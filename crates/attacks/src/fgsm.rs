@@ -1,0 +1,213 @@
+//! Fast Gradient Sign Method — the white-box evasion attack of use case 2.
+//!
+//! "FGSM is a technique … to generate adversarial examples by adding a small amount in
+//! the direction of the gradient of the loss function with respect to the input"
+//! (§VI-A). The paper crafts 103 adversarial samples on the NN model and *transfers*
+//! them to LightGBM and XGBoost, then quantifies impact (successful misclassification
+//! count) and complexity (per-sample crafting cost, ~37.86 µs).
+
+use spatial_data::Dataset;
+use spatial_linalg::Matrix;
+use spatial_ml::{GradientModel, Model};
+
+/// One crafted adversarial batch plus its generation cost (the paper's complexity
+/// input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialBatch {
+    /// Adversarial feature rows, aligned with the source rows.
+    pub adversarial: Matrix,
+    /// True labels of the source rows.
+    pub labels: Vec<usize>,
+    /// The perturbation budget used.
+    pub epsilon: f64,
+    /// Mean crafting time per sample, in microseconds.
+    pub mean_generation_us: f64,
+}
+
+/// Crafts one FGSM adversarial example: `x' = x + ε · sign(∇ₓ L(x, y))`.
+///
+/// When `clamp` is `Some((lo, hi))` the result is clipped into the valid feature box.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not strictly positive or the model is unfitted (see
+/// [`GradientModel::input_gradient`]).
+pub fn fgsm_example(
+    model: &dyn GradientModel,
+    x: &[f64],
+    true_class: usize,
+    epsilon: f64,
+    clamp: Option<(f64, f64)>,
+) -> Vec<f64> {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    let grad = model.input_gradient(x, true_class);
+    let mut adv: Vec<f64> =
+        x.iter().zip(&grad).map(|(&v, &g)| v + epsilon * g.signum()).collect();
+    if let Some((lo, hi)) = clamp {
+        spatial_linalg::vector::clamp_slice(&mut adv, lo, hi);
+    }
+    adv
+}
+
+/// Crafts adversarial versions of every row in `source` (the paper's "103 adversarial
+/// samples from the 103 test data samples"), timing the generation.
+///
+/// # Panics
+///
+/// Panics if `epsilon <= 0` or `source` is empty.
+pub fn fgsm_batch(
+    model: &dyn GradientModel,
+    source: &Dataset,
+    epsilon: f64,
+    clamp: Option<(f64, f64)>,
+) -> AdversarialBatch {
+    assert!(source.n_samples() > 0, "need at least one source sample");
+    let start = std::time::Instant::now();
+    let rows: Vec<Vec<f64>> = source
+        .features
+        .iter_rows()
+        .zip(&source.labels)
+        .map(|(row, &label)| fgsm_example(model, row, label, epsilon, clamp))
+        .collect();
+    let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+    AdversarialBatch {
+        adversarial: Matrix::from_row_vecs(rows),
+        labels: source.labels.clone(),
+        epsilon,
+        mean_generation_us: elapsed_us / source.n_samples() as f64,
+    }
+}
+
+/// Evaluates a (possibly different) model on an adversarial batch — the transfer
+/// attack. Returns `(clean_accuracy, adversarial_accuracy)` on the same rows.
+///
+/// # Panics
+///
+/// Panics if the batch and dataset row counts differ.
+pub fn transfer_accuracy(
+    target: &dyn Model,
+    clean: &Dataset,
+    batch: &AdversarialBatch,
+) -> (f64, f64) {
+    assert_eq!(
+        clean.n_samples(),
+        batch.labels.len(),
+        "clean set and adversarial batch must align"
+    );
+    let clean_preds = target.predict_batch(&clean.features);
+    let adv_preds = target.predict_batch(&batch.adversarial);
+    (
+        spatial_ml::metrics::accuracy(&clean_preds, &clean.labels),
+        spatial_ml::metrics::accuracy(&adv_preds, &batch.labels),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::rng;
+    use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+    use spatial_ml::tree::DecisionTree;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            let offset = label as f64 * 2.0 - 1.0;
+            rows.push(vec![
+                offset + rng::normal(&mut r, 0.0, 0.4),
+                rng::normal(&mut r, 0.0, 0.4),
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    fn trained_mlp(ds: &Dataset) -> MlpClassifier {
+        let mut nn = MlpClassifier::with_config(MlpConfig {
+            hidden: vec![16],
+            epochs: 120,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ..MlpConfig::default()
+        });
+        nn.fit(ds).unwrap();
+        nn
+    }
+
+    #[test]
+    fn fgsm_degrades_the_source_model() {
+        let ds = blobs(200, 1);
+        let nn = trained_mlp(&ds);
+        // The blobs sit 2.0 apart with σ = 0.4, so an ℓ∞ budget of 1.0 pushes most
+        // points across the decision boundary.
+        let batch = fgsm_batch(&nn, &ds, 1.0, None);
+        let (clean_acc, adv_acc) = transfer_accuracy(&nn, &ds, &batch);
+        assert!(clean_acc > 0.9, "clean {clean_acc}");
+        assert!(
+            adv_acc < clean_acc - 0.3,
+            "adversarial accuracy {adv_acc} should crater from {clean_acc}"
+        );
+    }
+
+    #[test]
+    fn perturbation_respects_epsilon_in_infinity_norm() {
+        let ds = blobs(50, 2);
+        let nn = trained_mlp(&ds);
+        let eps = 0.3;
+        let batch = fgsm_batch(&nn, &ds, eps, None);
+        for (orig, adv) in ds.features.iter_rows().zip(batch.adversarial.iter_rows()) {
+            for (o, a) in orig.iter().zip(adv) {
+                assert!((o - a).abs() <= eps + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_keeps_features_in_box() {
+        let ds = blobs(30, 3);
+        let nn = trained_mlp(&ds);
+        let batch = fgsm_batch(&nn, &ds, 5.0, Some((-1.0, 1.0)));
+        for row in batch.adversarial.iter_rows() {
+            assert!(row.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn transfer_hurts_tree_models_less_or_comparably() {
+        // Crafted on the NN, applied to a decision tree — the paper's transfer setup.
+        let ds = blobs(300, 4);
+        let nn = trained_mlp(&ds);
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        let batch = fgsm_batch(&nn, &ds, 0.6, None);
+        let (dt_clean, dt_adv) = transfer_accuracy(&dt, &ds, &batch);
+        // The transferred attack must at least not help the tree.
+        assert!(dt_adv <= dt_clean + 0.02, "transfer cannot improve accuracy");
+    }
+
+    #[test]
+    fn generation_cost_is_measured() {
+        let ds = blobs(40, 5);
+        let nn = trained_mlp(&ds);
+        let batch = fgsm_batch(&nn, &ds, 0.2, None);
+        assert!(batch.mean_generation_us > 0.0);
+        assert!(batch.mean_generation_us < 1e6, "per-sample cost should be microseconds");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let ds = blobs(10, 6);
+        let nn = trained_mlp(&ds);
+        let _ = fgsm_example(&nn, ds.features.row(0), 0, 0.0, None);
+    }
+}

@@ -1,0 +1,525 @@
+//! GAN-based poisoning — the CTGAN substitute.
+//!
+//! Use case 2 runs a "GAN-based poisoning attack … the goal is to generate synthetic
+//! data that looks very similar to the real data" using CTGAN (§VI-A). Per the
+//! substitution policy in `DESIGN.md`, this module implements a from-scratch tabular
+//! GAN: a generator MLP maps Gaussian noise to (standardized) feature rows, a
+//! discriminator MLP scores real-vs-fake, and both train adversarially with the
+//! non-saturating GAN loss under Adam.
+//!
+//! The attack then labels the synthetic rows with an attacker-chosen class and appends
+//! them to the training set ([`gan_poison`]).
+
+use crate::poison::PoisonedDataset;
+use spatial_data::Dataset;
+use spatial_linalg::{rng, stats::Moments, vector, Matrix};
+
+/// Training hyperparameters for [`TabularGan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanConfig {
+    /// Noise (latent) dimension.
+    pub latent_dim: usize,
+    /// Hidden width of both networks.
+    pub hidden: usize,
+    /// Adversarial training steps (one D and one G update each).
+    pub steps: usize,
+    /// Mini-batch size per step.
+    pub batch_size: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Fidelity anchoring for [`gan_poison`]: each synthetic row is pulled this
+    /// fraction of the way toward its nearest *real* row (`0.0` = raw GAN output,
+    /// `1.0` = copies of real rows). Our small GAN is lower-fidelity than CTGAN; a
+    /// moderate blend (~0.5) restores the "looks very similar to the real data"
+    /// property the paper's attack relies on.
+    pub anchor_blend: f64,
+    /// Initialization/sampling seed.
+    pub seed: u64,
+}
+
+impl Default for GanConfig {
+    fn default() -> Self {
+        Self {
+            latent_dim: 8,
+            hidden: 32,
+            steps: 800,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            anchor_blend: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Activation of one dense layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Act {
+    Relu,
+    Linear,
+}
+
+/// One dense layer with Adam state.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    act: Act,
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(input: usize, output: usize, act: Act, r: &mut rand::rngs::StdRng) -> Self {
+        let scale = (2.0 / input as f64).sqrt();
+        let mut w = Matrix::zeros(output, input);
+        for v in w.as_mut_slice() {
+            *v = rng::normal(r, 0.0, scale);
+        }
+        Self {
+            w,
+            b: vec![0.0; output],
+            act,
+            mw: Matrix::zeros(output, input),
+            vw: Matrix::zeros(output, input),
+            mb: vec![0.0; output],
+            vb: vec![0.0; output],
+        }
+    }
+}
+
+/// A small MLP with manual backprop exposing input gradients (needed to chain the
+/// discriminator's gradient into the generator).
+#[derive(Debug, Clone)]
+struct Net {
+    layers: Vec<Dense>,
+    adam_t: u64,
+    lr: f64,
+}
+
+/// Accumulated gradients for one [`Net`].
+type NetGrads = Vec<(Matrix, Vec<f64>)>;
+
+impl Net {
+    fn new(sizes: &[usize], last_act: Act, lr: f64, r: &mut rand::rngs::StdRng) -> Self {
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() { last_act } else { Act::Relu };
+                Dense::new(w[0], w[1], act, r)
+            })
+            .collect();
+        Self { layers, adam_t: 0, lr }
+    }
+
+    fn zero_grads(&self) -> NetGrads {
+        self.layers
+            .iter()
+            .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
+            .collect()
+    }
+
+    /// Forward pass keeping pre-activations and activations.
+    fn forward_trace(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let mut pre = layer.w.matvec(&cur);
+            for (p, b) in pre.iter_mut().zip(&layer.b) {
+                *p += b;
+            }
+            let act: Vec<f64> = match layer.act {
+                Act::Relu => pre.iter().map(|&v| v.max(0.0)).collect(),
+                Act::Linear => pre.clone(),
+            };
+            pres.push(pre);
+            cur = act.clone();
+            acts.push(act);
+        }
+        (pres, acts)
+    }
+
+    fn output(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_trace(x).1.pop().expect("net has layers")
+    }
+
+    /// Backpropagates `out_grad` (dL/d output) for one sample; accumulates parameter
+    /// gradients into `grads` and returns dL/d input.
+    fn backward(
+        &self,
+        x: &[f64],
+        pres: &[Vec<f64>],
+        acts: &[Vec<f64>],
+        out_grad: &[f64],
+        grads: &mut NetGrads,
+    ) -> Vec<f64> {
+        let l = self.layers.len();
+        let mut delta = out_grad.to_vec();
+        // Apply the last layer's activation derivative.
+        if self.layers[l - 1].act == Act::Relu {
+            for (d, &p) in delta.iter_mut().zip(&pres[l - 1]) {
+                if p <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        for li in (0..l).rev() {
+            let input: &[f64] = if li == 0 { x } else { &acts[li - 1] };
+            let (gw, gb) = &mut grads[li];
+            for (o, &dv) in delta.iter().enumerate() {
+                gb[o] += dv;
+                vector::axpy(dv, input, gw.row_mut(o));
+            }
+            let wt = self.layers[li].w.transpose();
+            let mut prev = wt.matvec(&delta);
+            if li > 0 && self.layers[li - 1].act == Act::Relu {
+                for (d, &p) in prev.iter_mut().zip(&pres[li - 1]) {
+                    if p <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            delta = prev;
+        }
+        delta
+    }
+
+    fn adam_step(&mut self, grads: &NetGrads, batch: f64) {
+        self.adam_t += 1;
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(self.adam_t as i32);
+        let bc2 = 1.0 - B2.powi(self.adam_t as i32);
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(grads) {
+            for i in 0..layer.w.rows() {
+                for j in 0..layer.w.cols() {
+                    let g = gw[(i, j)] / batch;
+                    layer.mw[(i, j)] = B1 * layer.mw[(i, j)] + (1.0 - B1) * g;
+                    layer.vw[(i, j)] = B2 * layer.vw[(i, j)] + (1.0 - B2) * g * g;
+                    layer.w[(i, j)] -=
+                        self.lr * (layer.mw[(i, j)] / bc1) / ((layer.vw[(i, j)] / bc2).sqrt() + EPS);
+                }
+                let g = gb[i] / batch;
+                layer.mb[i] = B1 * layer.mb[i] + (1.0 - B1) * g;
+                layer.vb[i] = B2 * layer.vb[i] + (1.0 - B2) * g * g;
+                layer.b[i] -= self.lr * (layer.mb[i] / bc1) / ((layer.vb[i] / bc2).sqrt() + EPS);
+            }
+        }
+    }
+}
+
+/// A trained tabular GAN.
+///
+/// # Example
+///
+/// ```no_run
+/// use spatial_attacks::gan::{TabularGan, GanConfig};
+/// use spatial_linalg::Matrix;
+///
+/// let real = Matrix::from_rows(&[&[1.0, 2.0], &[1.2, 2.1], &[0.9, 1.8]]);
+/// let gan = TabularGan::fit(&real, &GanConfig::default());
+/// let synthetic = gan.generate(100);
+/// assert_eq!(synthetic.shape(), (100, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TabularGan {
+    generator: Net,
+    moments: Vec<Moments>,
+    latent_dim: usize,
+    seed: u64,
+    /// Mean discriminator output on real data at the end of training (diagnostics).
+    final_d_real: f64,
+}
+
+impl TabularGan {
+    /// Trains a GAN on the (unstandardized) real rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` has no rows, or the config has a zero dimension/step/batch.
+    pub fn fit(real: &Matrix, config: &GanConfig) -> Self {
+        assert!(real.rows() > 0, "need real data to fit a GAN");
+        assert!(
+            config.latent_dim > 0 && config.hidden > 0 && config.steps > 0 && config.batch_size > 0,
+            "gan config dimensions must be positive"
+        );
+        let d = real.cols();
+        // Standardize per column so the generator's linear output is well-scaled.
+        let moments: Vec<Moments> =
+            (0..d).map(|c| spatial_linalg::stats::column_moments(&real.col(c))).collect();
+        let mut std_real = real.clone();
+        for row in 0..std_real.rows() {
+            let r = std_real.row_mut(row);
+            for (c, v) in r.iter_mut().enumerate() {
+                *v = moments[c].standardize(*v);
+            }
+        }
+
+        let mut r = rng::seeded(config.seed);
+        let mut gen = Net::new(
+            &[config.latent_dim, config.hidden, config.hidden, d],
+            Act::Linear,
+            config.learning_rate,
+            &mut r,
+        );
+        let mut disc = Net::new(
+            &[d, config.hidden, 1],
+            Act::Linear, // logit output; sigmoid applied in the loss
+            config.learning_rate,
+            &mut r,
+        );
+
+        let n = std_real.rows();
+        let mut final_d_real = 0.5;
+        for _ in 0..config.steps {
+            // --- Discriminator step ---
+            let mut dgrads = disc.zero_grads();
+            let mut d_real_acc = 0.0;
+            for _ in 0..config.batch_size {
+                // Real sample: target 1.
+                let idx = rand::Rng::random_range(&mut r, 0..n);
+                let x = std_real.row(idx).to_vec();
+                let (pres, acts) = disc.forward_trace(&x);
+                let logit = acts.last().expect("output")[0];
+                let p = vector::sigmoid(logit);
+                d_real_acc += p;
+                // dBCE/dlogit for target 1 is (p − 1).
+                disc.backward(&x, &pres, &acts, &[p - 1.0], &mut dgrads);
+                // Fake sample: target 0.
+                let z = rng::normal_vec(&mut r, config.latent_dim);
+                let fake = gen.output(&z);
+                let (pres, acts) = disc.forward_trace(&fake);
+                let p = vector::sigmoid(acts.last().expect("output")[0]);
+                disc.backward(&fake, &pres, &acts, &[p], &mut dgrads);
+            }
+            disc.adam_step(&dgrads, (config.batch_size * 2) as f64);
+            final_d_real = d_real_acc / config.batch_size as f64;
+
+            // --- Generator step (non-saturating loss: −log D(G(z))) ---
+            let mut ggrads = gen.zero_grads();
+            for _ in 0..config.batch_size {
+                let z = rng::normal_vec(&mut r, config.latent_dim);
+                let (gpres, gacts) = gen.forward_trace(&z);
+                let fake = gacts.last().expect("output").clone();
+                let (dpres, dacts) = disc.forward_trace(&fake);
+                let p = vector::sigmoid(dacts.last().expect("output")[0]);
+                // d(−log D)/dlogit = p − 1; chain through D to the fake input...
+                let mut scratch = disc.zero_grads();
+                let dx = disc.backward(&fake, &dpres, &dacts, &[p - 1.0], &mut scratch);
+                // ...then through G.
+                gen.backward(&z, &gpres, &gacts, &dx, &mut ggrads);
+            }
+            gen.adam_step(&ggrads, config.batch_size as f64);
+        }
+
+        Self {
+            generator: gen,
+            moments,
+            latent_dim: config.latent_dim,
+            seed: config.seed,
+            final_d_real,
+        }
+    }
+
+    /// Generates `n` synthetic rows in the original (unstandardized) feature space.
+    pub fn generate(&self, n: usize) -> Matrix {
+        let mut r = rng::seeded(rng::derive_seed(self.seed, 0xF4C3));
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let z = rng::normal_vec(&mut r, self.latent_dim);
+                self.generator
+                    .output(&z)
+                    .into_iter()
+                    .zip(&self.moments)
+                    .map(|(v, m)| m.destandardize(v))
+                    .collect()
+            })
+            .collect();
+        Matrix::from_row_vecs(rows)
+    }
+
+    /// Mean discriminator belief on real data at the end of training; ~0.5 indicates
+    /// a balanced adversarial game.
+    pub fn final_discriminator_real_score(&self) -> f64 {
+        self.final_d_real
+    }
+}
+
+/// The GAN-based poisoning attack: fits a GAN on the *target class's* clean rows,
+/// generates `n_synthetic` look-alike rows, labels them `target_class`... then appends
+/// them to the training set. With a poisoned target class (or mislabelled synthetic
+/// rows via `label_as`), the decision boundary shifts toward the attacker's goal.
+///
+/// `label_as` is the label given to synthetic rows — the paper labels CTGAN output as
+/// the class whose boundary it wants to blur.
+///
+/// # Panics
+///
+/// Panics if the target class has no samples or `n_synthetic == 0`.
+pub fn gan_poison(
+    ds: &Dataset,
+    fit_on_class: usize,
+    label_as: usize,
+    n_synthetic: usize,
+    config: &GanConfig,
+) -> PoisonedDataset {
+    assert!(n_synthetic > 0, "need at least one synthetic sample");
+    assert!(label_as < ds.n_classes(), "label_as out of range");
+    let source = ds.indices_of_class(fit_on_class);
+    assert!(!source.is_empty(), "class {fit_on_class} has no samples to fit on");
+    assert!(
+        (0.0..=1.0).contains(&config.anchor_blend),
+        "anchor_blend must be in [0,1]"
+    );
+    let real = ds.features.select_rows(&source);
+    let gan = TabularGan::fit(&real, config);
+    let mut synthetic = gan.generate(n_synthetic);
+    if config.anchor_blend > 0.0 {
+        // Pull each synthetic row toward its nearest real row: the CTGAN-fidelity
+        // compensation documented on `GanConfig::anchor_blend`.
+        let a = config.anchor_blend;
+        for i in 0..synthetic.rows() {
+            let nearest = spatial_linalg::distance::k_nearest(
+                &real,
+                synthetic.row(i),
+                1,
+                None,
+            )[0];
+            let anchor: Vec<f64> = real.row(nearest).to_vec();
+            let row = synthetic.row_mut(i);
+            for (v, t) in row.iter_mut().zip(&anchor) {
+                *v = (1.0 - a) * *v + a * t;
+            }
+        }
+    }
+
+    let n_orig = ds.n_samples();
+    let mut rows: Vec<Vec<f64>> = ds.features.iter_rows().map(|r| r.to_vec()).collect();
+    rows.extend(synthetic.iter_rows().map(|r| r.to_vec()));
+    let mut labels = ds.labels.clone();
+    labels.extend(std::iter::repeat_n(label_as, n_synthetic));
+
+    PoisonedDataset {
+        dataset: Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        ),
+        attack: "gan-poisoning".into(),
+        rate: n_synthetic as f64 / (n_orig + n_synthetic) as f64,
+        affected: (n_orig..n_orig + n_synthetic).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn gaussian_blob(n: usize, mean: &[f64], std: &[f64], seed: u64) -> Matrix {
+        let mut r = rng::seeded(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                mean.iter()
+                    .zip(std)
+                    .map(|(&m, &s)| m + s * rng::normal(&mut r, 0.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        Matrix::from_row_vecs(rows)
+    }
+
+    fn quick_config() -> GanConfig {
+        GanConfig { steps: 400, batch_size: 16, ..GanConfig::default() }
+    }
+
+    #[test]
+    fn generated_distribution_matches_real_moments() {
+        let real = gaussian_blob(300, &[2.0, -1.0], &[0.5, 1.5], 1);
+        let gan = TabularGan::fit(
+            &real,
+            &GanConfig { steps: 1500, batch_size: 16, ..GanConfig::default() },
+        );
+        let synth = gan.generate(400);
+        let real_means = real.col_means();
+        let synth_means = synth.col_means();
+        for (c, (rm, sm)) in real_means.iter().zip(&synth_means).enumerate() {
+            let rs = spatial_linalg::stats::std_dev(&real.col(c));
+            assert!(
+                (rm - sm).abs() < 1.2 * rs,
+                "column {c}: mean drift {rm} vs {sm} exceeds 1.2 sigma ({rs})"
+            );
+        }
+        for c in 0..2 {
+            let rs = spatial_linalg::stats::std_dev(&real.col(c));
+            let ss = spatial_linalg::stats::std_dev(&synth.col(c));
+            assert!(ss > rs * 0.25 && ss < rs * 3.0, "std {rs} vs {ss}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let real = gaussian_blob(100, &[0.0], &[1.0], 2);
+        let gan = TabularGan::fit(&real, &quick_config());
+        assert_eq!(gan.generate(10), gan.generate(10));
+    }
+
+    #[test]
+    fn discriminator_cannot_fully_separate_at_equilibrium() {
+        let real = gaussian_blob(200, &[1.0, 1.0], &[1.0, 1.0], 3);
+        let gan = TabularGan::fit(&real, &quick_config());
+        let score = gan.final_discriminator_real_score();
+        assert!(
+            score > 0.2 && score < 0.995,
+            "D(real) = {score} suggests training collapsed"
+        );
+    }
+
+    #[test]
+    fn gan_poison_appends_labelled_synthetics() {
+        let mut r = rng::seeded(4);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..60 {
+            let label = r.random_range(0..2usize);
+            rows.push(vec![label as f64 * 3.0 + rng::normal(&mut r, 0.0, 0.5)]);
+            labels.push(label);
+        }
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let poisoned = gan_poison(&ds, 0, 1, 30, &quick_config());
+        assert_eq!(poisoned.dataset.n_samples(), 90);
+        assert_eq!(poisoned.affected.len(), 30);
+        // Synthetic rows carry the attacker's label.
+        for &i in &poisoned.affected {
+            assert_eq!(poisoned.dataset.labels[i], 1);
+        }
+        // Synthetic rows resemble class 0 (mean near 0, not 3).
+        let synth_mean = spatial_linalg::vector::mean(
+            &poisoned.affected.iter().map(|&i| poisoned.dataset.features[(i, 0)]).collect::<Vec<_>>(),
+        );
+        assert!(synth_mean.abs() < 1.6, "synthetic mean {synth_mean} should hug class 0");
+        assert!((poisoned.rate - 30.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_class_rejected() {
+        let ds = Dataset::new(
+            Matrix::zeros(3, 1),
+            vec![0, 0, 0],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let _ = gan_poison(&ds, 1, 0, 5, &quick_config());
+    }
+}

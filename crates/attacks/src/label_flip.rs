@@ -1,0 +1,223 @@
+//! Label-flipping poisoning.
+//!
+//! Use case 1's adversary "poisons the data by performing a random label-flipping
+//! attack … at varying poisoning rates p of 0 %, 1 %, 5 %, 10 %, 20 %, 30 %, 40 %, and
+//! 50 %" (§VI-A). Use case 2 additionally runs a *targeted* variant that "flips the
+//! labels of some samples from one class to the target class (e.g., Video class)".
+
+use crate::poison::{validate_rate, PoisonedDataset};
+use rand::Rng;
+use spatial_data::Dataset;
+use spatial_linalg::rng;
+
+/// The poisoning rates evaluated in the paper's Fig. 6.
+pub const PAPER_RATES_UC1: [f64; 8] = [0.0, 0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50];
+
+/// The poisoning rates evaluated in the paper's Fig. 7(c)/(d).
+pub const PAPER_RATES_UC2: [f64; 6] = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50];
+
+/// Randomly flips the labels of a `rate` fraction of samples, each to a uniformly
+/// chosen *different* class.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]` or the dataset has fewer than two classes.
+///
+/// # Example
+///
+/// ```
+/// use spatial_attacks::label_flip::random_label_flip;
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::zeros(10, 1),
+///     vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+///     vec!["x".into()],
+///     vec!["a".into(), "b".into()],
+/// );
+/// let poisoned = random_label_flip(&ds, 0.3, 7);
+/// assert_eq!(poisoned.affected.len(), 3);
+/// ```
+pub fn random_label_flip(ds: &Dataset, rate: f64, seed: u64) -> PoisonedDataset {
+    validate_rate(rate);
+    assert!(ds.n_classes() >= 2, "label flipping needs at least two classes");
+    let n = ds.n_samples();
+    let n_flip = (n as f64 * rate).round() as usize;
+    let mut r = rng::seeded(seed);
+    let victims = rng::sample_without_replacement(&mut r, n, n_flip.min(n));
+    let mut labels = ds.labels.clone();
+    for &i in &victims {
+        let old = labels[i];
+        // Uniform over the other classes.
+        let mut new = r.random_range(0..ds.n_classes() - 1);
+        if new >= old {
+            new += 1;
+        }
+        labels[i] = new;
+    }
+    PoisonedDataset {
+        dataset: Dataset::new(
+            ds.features.clone(),
+            labels,
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        ),
+        attack: "random-label-flip".into(),
+        rate,
+        affected: victims,
+    }
+}
+
+/// Flips the labels of a `rate` fraction of samples *not* already in `target_class`
+/// to `target_class` (use case 2's "Target label flipping attack … to the target
+/// class (e.g., Video class)").
+///
+/// When `source_class` is `Some(c)`, only samples of class `c` are eligible victims;
+/// the rate is still measured against the whole dataset.
+///
+/// # Panics
+///
+/// Panics if `rate` is invalid or `target_class` (or `source_class`) is out of range.
+pub fn targeted_label_flip(
+    ds: &Dataset,
+    rate: f64,
+    source_class: Option<usize>,
+    target_class: usize,
+    seed: u64,
+) -> PoisonedDataset {
+    validate_rate(rate);
+    assert!(target_class < ds.n_classes(), "target class out of range");
+    if let Some(s) = source_class {
+        assert!(s < ds.n_classes(), "source class out of range");
+    }
+    let eligible: Vec<usize> = ds
+        .labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != target_class && source_class.is_none_or(|s| l == s))
+        .map(|(i, _)| i)
+        .collect();
+    let n_flip = ((ds.n_samples() as f64 * rate).round() as usize).min(eligible.len());
+    let mut r = rng::seeded(seed);
+    let picks = rng::sample_without_replacement(&mut r, eligible.len(), n_flip);
+    let victims: Vec<usize> = picks.into_iter().map(|p| eligible[p]).collect();
+    let mut labels = ds.labels.clone();
+    for &i in &victims {
+        labels[i] = target_class;
+    }
+    PoisonedDataset {
+        dataset: Dataset::new(
+            ds.features.clone(),
+            labels,
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        ),
+        attack: "targeted-label-flip".into(),
+        rate,
+        affected: victims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+
+    fn dataset(n: usize, k: usize) -> Dataset {
+        Dataset::new(
+            Matrix::zeros(n, 1),
+            (0..n).map(|i| i % k).collect(),
+            vec!["x".into()],
+            (0..k).map(|i| format!("c{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn zero_rate_touches_nothing() {
+        let ds = dataset(20, 2);
+        let p = random_label_flip(&ds, 0.0, 1);
+        assert!(p.affected.is_empty());
+        assert_eq!(p.dataset.labels, ds.labels);
+    }
+
+    #[test]
+    fn flip_count_matches_rate() {
+        let ds = dataset(100, 3);
+        let p = random_label_flip(&ds, 0.25, 2);
+        assert_eq!(p.affected.len(), 25);
+        // Every affected sample actually changed class.
+        for &i in &p.affected {
+            assert_ne!(p.dataset.labels[i], ds.labels[i]);
+        }
+        // Nothing else changed.
+        for i in 0..100 {
+            if !p.affected.contains(&i) {
+                assert_eq!(p.dataset.labels[i], ds.labels[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_labels_stay_in_range() {
+        let ds = dataset(60, 4);
+        let p = random_label_flip(&ds, 0.5, 3);
+        assert!(p.dataset.labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn full_rate_flips_everything() {
+        let ds = dataset(10, 2);
+        let p = random_label_flip(&ds, 1.0, 4);
+        assert_eq!(p.affected.len(), 10);
+        for i in 0..10 {
+            assert_ne!(p.dataset.labels[i], ds.labels[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset(50, 3);
+        assert_eq!(random_label_flip(&ds, 0.2, 9), random_label_flip(&ds, 0.2, 9));
+    }
+
+    #[test]
+    fn targeted_flip_only_creates_target_labels() {
+        let ds = dataset(90, 3);
+        let p = targeted_label_flip(&ds, 0.3, None, 2, 5);
+        for &i in &p.affected {
+            assert_eq!(p.dataset.labels[i], 2);
+            assert_ne!(ds.labels[i], 2);
+        }
+    }
+
+    #[test]
+    fn targeted_flip_respects_source_class() {
+        let ds = dataset(90, 3);
+        let p = targeted_label_flip(&ds, 0.2, Some(0), 2, 6);
+        for &i in &p.affected {
+            assert_eq!(ds.labels[i], 0);
+            assert_eq!(p.dataset.labels[i], 2);
+        }
+    }
+
+    #[test]
+    fn targeted_flip_caps_at_eligible_population() {
+        let ds = dataset(9, 3); // 3 samples per class
+        // Rate 1.0 would want 9 flips but only 3 samples are class 0.
+        let p = targeted_label_flip(&ds, 1.0, Some(0), 2, 7);
+        assert_eq!(p.affected.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_rejected() {
+        let ds = Dataset::new(
+            Matrix::zeros(3, 1),
+            vec![0, 0, 0],
+            vec!["x".into()],
+            vec!["only".into()],
+        );
+        let _ = random_label_flip(&ds, 0.5, 0);
+    }
+}

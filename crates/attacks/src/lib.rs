@@ -1,0 +1,30 @@
+//! Adversarial-attack suite for the SPATIAL reproduction.
+//!
+//! The paper's monitoring experiments hammer the two use-case models with exactly
+//! these attacks (§VI-A):
+//!
+//! - [`label_flip`] — the black-box *random label-flipping* poisoning of use case 1
+//!   (rates 0–50 %) and the *targeted* label flipping of use case 2.
+//! - [`swap`] — the *random swapping labels* attack ("chooses randomly two samples of
+//!   the training dataset and swaps their labels").
+//! - [`fgsm`] — the white-box *Fast Gradient Sign Method* evasion attack, built on
+//!   [`spatial_ml::GradientModel`]'s analytic input gradients; includes the
+//!   transfer-attack evaluation (FGSM crafted on the NN, applied to the tree models).
+//! - [`gan`] — the *GAN-based poisoning* attack: a from-scratch tabular GAN (the
+//!   CTGAN substitute, see `DESIGN.md`) learns the clean distribution and emits
+//!   synthetic samples with attacker-chosen labels.
+//! - [`membership`] — the confidence-threshold *membership-inference attack* from the
+//!   paper's Fig. 1 survey; its advantage statistic doubles as the privacy sensor's
+//!   leakage reading.
+//! - [`poison`] — the shared [`poison::PoisonedDataset`] report type.
+//!
+//! Every attack is seeded and deterministic, and returns both the perturbed data and
+//! a report of what was touched, so the resilience metrics can quantify impact and
+//! complexity.
+
+pub mod fgsm;
+pub mod gan;
+pub mod membership;
+pub mod label_flip;
+pub mod poison;
+pub mod swap;

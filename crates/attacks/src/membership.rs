@@ -1,0 +1,210 @@
+//! Membership-inference attack (MIA).
+//!
+//! The paper's threat survey (Fig. 1) lists membership inference against every
+//! evaluated model family, and §IV's confidentiality requirement is exactly that a
+//! model's "output predictions do not leak information that can be used to …
+//! reconstruct its training data". This module implements the standard
+//! confidence-threshold MIA [Shokri et al., 2017; Yeom et al., 2018]: a member's
+//! prediction confidence is systematically higher than a non-member's, so an attacker
+//! thresholds `max_c p(c|x)` (or the per-label confidence) to decide membership.
+//!
+//! The defender-side reading of the same quantity is the *membership advantage*
+//! `max_t (TPR(t) − FPR(t))`, which `spatial-core`'s privacy sensor reports: 0 means
+//! the model leaks nothing, 1 means membership is fully recoverable.
+
+use spatial_data::Dataset;
+use spatial_ml::Model;
+
+/// The attacker's view of one probed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipScore {
+    /// The attack's confidence signal (the model's probability for the true label).
+    pub confidence: f64,
+    /// Ground truth: was this point in the training set?
+    pub is_member: bool,
+}
+
+/// Result of a membership-inference evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiaReport {
+    /// Scores for every probed point (members and non-members).
+    pub scores: Vec<MembershipScore>,
+    /// The attacker's best achievable advantage `max_t TPR(t) − FPR(t)` in `[0, 1]`
+    /// (clamped at 0: a worse-than-random attacker just inverts its decision).
+    pub advantage: f64,
+    /// The threshold attaining the advantage.
+    pub best_threshold: f64,
+    /// Attack accuracy at the best threshold.
+    pub accuracy: f64,
+}
+
+/// Probes a model with known members (training rows) and non-members (held-out rows)
+/// and evaluates the confidence-threshold attack.
+///
+/// # Panics
+///
+/// Panics if either set is empty or the feature widths differ.
+pub fn evaluate_membership_inference(
+    model: &dyn Model,
+    members: &Dataset,
+    non_members: &Dataset,
+) -> MiaReport {
+    assert!(members.n_samples() > 0, "need member samples");
+    assert!(non_members.n_samples() > 0, "need non-member samples");
+    assert_eq!(
+        members.n_features(),
+        non_members.n_features(),
+        "member/non-member feature widths differ"
+    );
+    let mut scores = Vec::with_capacity(members.n_samples() + non_members.n_samples());
+    for (ds, is_member) in [(members, true), (non_members, false)] {
+        for i in 0..ds.n_samples() {
+            let p = model.predict_proba(ds.features.row(i));
+            scores.push(MembershipScore { confidence: p[ds.labels[i]], is_member });
+        }
+    }
+
+    // Sweep every distinct confidence as a threshold: predict "member" when
+    // confidence >= t.
+    let n_members = members.n_samples() as f64;
+    let n_non = non_members.n_samples() as f64;
+    let mut thresholds: Vec<f64> = scores.iter().map(|s| s.confidence).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite confidence"));
+    thresholds.dedup();
+
+    let mut best = (0.0f64, 0.5f64, 0.0f64); // (advantage, threshold, accuracy)
+    for &t in &thresholds {
+        let tp = scores.iter().filter(|s| s.is_member && s.confidence >= t).count() as f64;
+        let fp = scores.iter().filter(|s| !s.is_member && s.confidence >= t).count() as f64;
+        let advantage = tp / n_members - fp / n_non;
+        let accuracy = (tp + (n_non - fp)) / (n_members + n_non);
+        if advantage > best.0 {
+            best = (advantage, t, accuracy);
+        }
+    }
+    MiaReport {
+        scores,
+        advantage: best.0.max(0.0),
+        best_threshold: best.1,
+        accuracy: best.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::{rng, Matrix};
+    use spatial_ml::tree::{DecisionTree, TreeConfig};
+    use spatial_ml::TrainError;
+    use rand::Rng;
+
+    fn noisy_data(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            // Heavy class overlap: memorization is the only way to high train acc.
+            rows.push(vec![
+                label as f64 + rng::normal(&mut r, 0.0, 1.2),
+                rng::normal(&mut r, 0.0, 1.0),
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn overfitted_model_leaks_membership() {
+        let members = noisy_data(150, 1);
+        let non_members = noisy_data(150, 2);
+        // A fully grown tree memorizes its training data.
+        let mut dt = DecisionTree::with_config(TreeConfig {
+            max_depth: 64,
+            ..Default::default()
+        });
+        dt.fit(&members).unwrap();
+        let report = evaluate_membership_inference(&dt, &members, &non_members);
+        assert!(
+            report.advantage > 0.3,
+            "a memorizing model must leak: advantage {}",
+            report.advantage
+        );
+        assert!(report.accuracy > 0.6);
+    }
+
+    #[test]
+    fn regularized_model_leaks_less() {
+        let members = noisy_data(150, 3);
+        let non_members = noisy_data(150, 4);
+        let mut deep = DecisionTree::with_config(TreeConfig {
+            max_depth: 64,
+            ..Default::default()
+        });
+        deep.fit(&members).unwrap();
+        let mut shallow = DecisionTree::with_config(TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 20,
+            ..Default::default()
+        });
+        shallow.fit(&members).unwrap();
+        let leaky = evaluate_membership_inference(&deep, &members, &non_members);
+        let tight = evaluate_membership_inference(&shallow, &members, &non_members);
+        assert!(
+            tight.advantage < leaky.advantage,
+            "regularization must reduce leakage: {} vs {}",
+            tight.advantage,
+            leaky.advantage
+        );
+    }
+
+    #[test]
+    fn advantage_is_clamped_nonnegative() {
+        // A constant model gives identical confidences: advantage 0.
+        struct Constant;
+        impl Model for Constant {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, _: &[f64]) -> Vec<f64> {
+                vec![0.5, 0.5]
+            }
+        }
+        let members = noisy_data(30, 5);
+        let non_members = noisy_data(30, 6);
+        let report = evaluate_membership_inference(&Constant, &members, &non_members);
+        assert_eq!(report.advantage, 0.0);
+    }
+
+    #[test]
+    fn scores_cover_both_populations() {
+        let members = noisy_data(20, 7);
+        let non_members = noisy_data(30, 8);
+        let mut dt = DecisionTree::new();
+        dt.fit(&members).unwrap();
+        let report = evaluate_membership_inference(&dt, &members, &non_members);
+        assert_eq!(report.scores.len(), 50);
+        assert_eq!(report.scores.iter().filter(|s| s.is_member).count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "need member samples")]
+    fn empty_members_rejected() {
+        let ds = noisy_data(10, 9);
+        let empty = ds.subset(&[]);
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        let _ = evaluate_membership_inference(&dt, &empty, &ds);
+    }
+}

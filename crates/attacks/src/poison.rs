@@ -1,0 +1,69 @@
+//! Shared result type for poisoning attacks.
+
+use spatial_data::Dataset;
+
+/// A poisoned training set plus the record of what the attacker touched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisonedDataset {
+    /// The training set after the attack.
+    pub dataset: Dataset,
+    /// Attack display name ("random-label-flip", "gan-poisoning", ...).
+    pub attack: String,
+    /// Requested poisoning rate in `[0, 1]` (fraction of training samples affected,
+    /// or of synthetic samples added relative to the clean size).
+    pub rate: f64,
+    /// Indices (into `dataset`) of the samples the attacker controlled.
+    pub affected: Vec<usize>,
+}
+
+impl PoisonedDataset {
+    /// Fraction of the resulting dataset under attacker control.
+    pub fn affected_fraction(&self) -> f64 {
+        if self.dataset.n_samples() == 0 {
+            0.0
+        } else {
+            self.affected.len() as f64 / self.dataset.n_samples() as f64
+        }
+    }
+}
+
+/// Validates a poisoning rate.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]` or NaN.
+pub fn validate_rate(rate: f64) {
+    assert!(
+        (0.0..=1.0).contains(&rate) && !rate.is_nan(),
+        "poisoning rate must be in [0,1], got {rate}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+
+    #[test]
+    fn affected_fraction_counts() {
+        let ds = Dataset::new(
+            Matrix::zeros(4, 1),
+            vec![0, 0, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let p = PoisonedDataset {
+            dataset: ds,
+            attack: "test".into(),
+            rate: 0.5,
+            affected: vec![0, 2],
+        };
+        assert_eq!(p.affected_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoning rate")]
+    fn rate_out_of_range_panics() {
+        validate_rate(1.5);
+    }
+}

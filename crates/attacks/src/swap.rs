@@ -1,0 +1,122 @@
+//! Random label swapping — "Random swapping labels attack chooses randomly two
+//! samples of the training dataset and swaps their labels" (§VI-A).
+//!
+//! Unlike flipping, swapping preserves the marginal class distribution exactly, which
+//! makes it harder to spot with class-balance monitors — the reason the paper
+//! evaluates it separately.
+
+use crate::poison::{validate_rate, PoisonedDataset};
+use spatial_data::Dataset;
+use spatial_linalg::rng;
+
+/// Swaps labels between random pairs until a `rate` fraction of samples has been
+/// touched. Pairs are drawn without replacement; a pair whose two samples share a
+/// label still counts as touched (the attacker doesn't see labels a priori).
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use spatial_attacks::swap::random_swap_labels;
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::zeros(10, 1),
+///     vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1],
+///     vec!["x".into()],
+///     vec!["a".into(), "b".into()],
+/// );
+/// let poisoned = random_swap_labels(&ds, 0.4, 3);
+/// // Swapping never changes the class histogram.
+/// assert_eq!(poisoned.dataset.class_counts(), ds.class_counts());
+/// ```
+pub fn random_swap_labels(ds: &Dataset, rate: f64, seed: u64) -> PoisonedDataset {
+    validate_rate(rate);
+    let n = ds.n_samples();
+    let touched = (n as f64 * rate).round() as usize;
+    let n_pairs = touched / 2;
+    let mut r = rng::seeded(seed);
+    // 2·n_pairs distinct indices, consumed pairwise.
+    let picks = rng::sample_without_replacement(&mut r, n, (n_pairs * 2).min(n));
+    let mut labels = ds.labels.clone();
+    let mut affected = Vec::with_capacity(picks.len());
+    for pair in picks.chunks_exact(2) {
+        labels.swap(pair[0], pair[1]);
+        affected.push(pair[0]);
+        affected.push(pair[1]);
+    }
+    PoisonedDataset {
+        dataset: Dataset::new(
+            ds.features.clone(),
+            labels,
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        ),
+        attack: "random-swap-labels".into(),
+        rate,
+        affected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::new(
+            Matrix::zeros(n, 1),
+            (0..n).map(|i| i % 3).collect(),
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+    }
+
+    #[test]
+    fn preserves_class_histogram() {
+        let ds = dataset(60);
+        let p = random_swap_labels(&ds, 0.5, 1);
+        assert_eq!(p.dataset.class_counts(), ds.class_counts());
+    }
+
+    #[test]
+    fn touches_expected_fraction() {
+        let ds = dataset(100);
+        let p = random_swap_labels(&ds, 0.4, 2);
+        assert_eq!(p.affected.len(), 40);
+        // Affected indices are distinct.
+        let mut sorted = p.affected.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let ds = dataset(30);
+        let p = random_swap_labels(&ds, 0.0, 3);
+        assert_eq!(p.dataset.labels, ds.labels);
+        assert!(p.affected.is_empty());
+    }
+
+    #[test]
+    fn untouched_samples_keep_labels() {
+        let ds = dataset(40);
+        let p = random_swap_labels(&ds, 0.3, 4);
+        for i in 0..40 {
+            if !p.affected.contains(&i) {
+                assert_eq!(p.dataset.labels[i], ds.labels[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset(50);
+        assert_eq!(random_swap_labels(&ds, 0.2, 7), random_swap_labels(&ds, 0.2, 7));
+    }
+}

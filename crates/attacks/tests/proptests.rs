@@ -1,0 +1,127 @@
+//! Property-based tests for the attack suite: rate bookkeeping, histogram
+//! preservation, and FGSM's ℓ∞ budget must hold for arbitrary datasets and rates.
+
+use proptest::prelude::*;
+use spatial_attacks::label_flip::{random_label_flip, targeted_label_flip};
+use spatial_attacks::swap::random_swap_labels;
+use spatial_data::Dataset;
+use spatial_linalg::Matrix;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..40, 2usize..4).prop_flat_map(|(n, k)| {
+        let feats = proptest::collection::vec(-10.0f64..10.0, n);
+        let labels = proptest::collection::vec(0usize..k, n);
+        (feats, labels, Just(n), Just(k)).prop_map(|(f, l, n, k)| {
+            Dataset::new(
+                Matrix::from_vec(n, 1, f),
+                l,
+                vec!["x".into()],
+                (0..k).map(|i| format!("c{i}")).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn flip_touches_exactly_the_reported_samples(
+        ds in arb_dataset(), rate in 0.0f64..1.0, seed in 0u64..50
+    ) {
+        let p = random_label_flip(&ds, rate, seed);
+        // Reported count matches the rate rounding.
+        let expected = (ds.n_samples() as f64 * rate).round() as usize;
+        prop_assert_eq!(p.affected.len(), expected.min(ds.n_samples()));
+        // Affected changed, everything else identical.
+        for i in 0..ds.n_samples() {
+            if p.affected.contains(&i) {
+                prop_assert_ne!(p.dataset.labels[i], ds.labels[i]);
+            } else {
+                prop_assert_eq!(p.dataset.labels[i], ds.labels[i]);
+            }
+        }
+        // Features never change under label attacks.
+        prop_assert_eq!(&p.dataset.features, &ds.features);
+        // Labels stay in range.
+        prop_assert!(p.dataset.labels.iter().all(|&l| l < ds.n_classes()));
+    }
+
+    #[test]
+    fn swap_preserves_class_histogram(
+        ds in arb_dataset(), rate in 0.0f64..1.0, seed in 0u64..50
+    ) {
+        let p = random_swap_labels(&ds, rate, seed);
+        prop_assert_eq!(p.dataset.class_counts(), ds.class_counts());
+        prop_assert_eq!(&p.dataset.features, &ds.features);
+    }
+
+    #[test]
+    fn targeted_flip_only_produces_target(
+        ds in arb_dataset(), rate in 0.0f64..1.0, seed in 0u64..50
+    ) {
+        let target = ds.n_classes() - 1;
+        let p = targeted_label_flip(&ds, rate, None, target, seed);
+        for &i in &p.affected {
+            prop_assert_eq!(p.dataset.labels[i], target);
+            prop_assert_ne!(ds.labels[i], target);
+        }
+        // The target class can only grow.
+        prop_assert!(
+            p.dataset.class_counts()[target] >= ds.class_counts()[target]
+        );
+    }
+
+    #[test]
+    fn affected_fraction_is_bounded(ds in arb_dataset(), rate in 0.0f64..1.0) {
+        let p = random_label_flip(&ds, rate, 1);
+        let f = p.affected_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}
+
+mod fgsm_props {
+    use super::*;
+    use spatial_attacks::fgsm::fgsm_example;
+    use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+    use spatial_ml::Model;
+
+    fn tiny_trained() -> MlpClassifier {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.1, 0.2], &[0.9, 0.8]]),
+            vec![0, 1, 0, 1],
+            vec!["a".into(), "b".into()],
+            vec!["x".into(), "y".into()],
+        );
+        let mut nn = MlpClassifier::with_config(MlpConfig {
+            hidden: vec![4],
+            epochs: 20,
+            batch_size: 4,
+            ..Default::default()
+        });
+        nn.fit(&ds).unwrap();
+        nn
+    }
+
+    proptest! {
+        #[test]
+        fn fgsm_respects_linf_budget(
+            x in proptest::collection::vec(-2.0f64..2.0, 2..3),
+            eps in 0.01f64..2.0,
+        ) {
+            let nn = tiny_trained();
+            let adv = fgsm_example(&nn, &x[..2], 0, eps, None);
+            for (o, a) in x.iter().zip(&adv) {
+                prop_assert!((o - a).abs() <= eps + 1e-12);
+            }
+        }
+
+        #[test]
+        fn fgsm_clamp_is_respected(
+            x in proptest::collection::vec(-2.0f64..2.0, 2..3),
+            eps in 0.01f64..5.0,
+        ) {
+            let nn = tiny_trained();
+            let adv = fgsm_example(&nn, &x[..2], 1, eps, Some((-1.0, 1.0)));
+            prop_assert!(adv.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+}

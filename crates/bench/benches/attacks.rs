@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the attack suite: FGSM crafting cost (the paper's
+//! ~37.86 µs complexity figure), poisoning preparation, and GAN sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spatial_attacks::fgsm::fgsm_example;
+use spatial_attacks::gan::{GanConfig, TabularGan};
+use spatial_attacks::label_flip::random_label_flip;
+use spatial_attacks::swap::random_swap_labels;
+use spatial_bench::uc2_splits;
+use spatial_ml::mlp::MlpClassifier;
+use spatial_ml::Model;
+use std::hint::black_box;
+
+fn bench_fgsm(c: &mut Criterion) {
+    let (train, test) = uc2_splits(200, 7);
+    let mut nn = MlpClassifier::new().named("nn");
+    nn.fit(&train).expect("training succeeds");
+    let x = test.features.row(0).to_vec();
+    let label = test.labels[0];
+    // This is the per-sample crafting cost the paper reports as ~37.86 µs.
+    c.bench_function("fgsm_single_example", |b| {
+        b.iter(|| black_box(fgsm_example(&nn, black_box(&x), label, 0.25, None)))
+    });
+}
+
+fn bench_poisoning(c: &mut Criterion) {
+    let (train, _) = uc2_splits(382, 7);
+    let mut group = c.benchmark_group("poisoning_preparation");
+    group.bench_function("random_label_flip_30pct", |b| {
+        b.iter(|| black_box(random_label_flip(black_box(&train), 0.3, 1)))
+    });
+    group.bench_function("random_swap_30pct", |b| {
+        b.iter(|| black_box(random_swap_labels(black_box(&train), 0.3, 1)))
+    });
+    group.finish();
+}
+
+fn bench_gan(c: &mut Criterion) {
+    let (train, _) = uc2_splits(200, 7);
+    let web_rows = train.indices_of_class(0);
+    let real = train.features.select_rows(&web_rows);
+    let mut group = c.benchmark_group("gan");
+    group.sample_size(10);
+    group.bench_function("fit_200_steps", |b| {
+        let config = GanConfig { steps: 200, ..Default::default() };
+        b.iter(|| black_box(TabularGan::fit(black_box(&real), &config)))
+    });
+    let gan = TabularGan::fit(&real, &GanConfig { steps: 200, ..Default::default() });
+    group.bench_function("generate_100", |b| {
+        b.iter(|| black_box(gan.generate(100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fgsm, bench_poisoning, bench_gan);
+criterion_main!(benches);

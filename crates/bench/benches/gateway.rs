@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the micro-service substrate: raw HTTP round-trips,
+//! the gateway's forwarding overhead, and the worker-pool dispatch cost — plus the
+//! worker-count ablation behind the Fig. 8 queueing curves (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_gateway::http::{request, HttpServer, Response};
+use spatial_gateway::worker::WorkerPool;
+use spatial_gateway::ApiGateway;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn echo_server() -> HttpServer {
+    HttpServer::spawn(|req| Response::json(req.body)).unwrap()
+}
+
+fn bench_http_round_trip(c: &mut Criterion) {
+    let server = echo_server();
+    let addr = server.addr();
+    let mut group = c.benchmark_group("http");
+    group.sample_size(30);
+    group.bench_function("direct_round_trip", |b| {
+        b.iter(|| {
+            black_box(
+                request(addr, "POST", "/x", b"{\"v\":1}", Duration::from_secs(5)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_gateway_overhead(c: &mut Criterion) {
+    let server = echo_server();
+    let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+    gw.register("echo", server.addr());
+    let addr = gw.addr();
+    let mut group = c.benchmark_group("gateway");
+    group.sample_size(30);
+    group.bench_function("forwarded_round_trip", |b| {
+        b.iter(|| {
+            black_box(
+                request(addr, "POST", "/echo/x", b"{\"v\":1}", Duration::from_secs(5))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_pool_execute");
+    group.sample_size(30);
+    // Ablation: does the pool's dispatch overhead change with worker count?
+    for workers in [1usize, 4, 8] {
+        let pool = Arc::new(WorkerPool::new("bench", workers, 64));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            let pool = Arc::clone(&pool);
+            b.iter(|| pool.execute(|| black_box(7u64 * 6)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_http_round_trip, bench_gateway_overhead, bench_worker_pool);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the ML substrate: train/predict costs per model
+//! and the GBDT exact-vs-histogram split-finder ablation (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_bench::{uc1_splits, uc2_splits};
+use spatial_ml::forest::{ForestConfig, RandomForest};
+use spatial_ml::gbdt::{Gbdt, GbdtConfig};
+use spatial_ml::logreg::LogisticRegression;
+use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::Model;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let (train, _) = uc2_splits(200, 7);
+    let mut group = c.benchmark_group("train_uc2_200_traces");
+    group.sample_size(10);
+    group.bench_function("logistic_regression", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new();
+            m.fit(black_box(&train)).unwrap();
+            black_box(m)
+        })
+    });
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| {
+            let mut m = DecisionTree::new();
+            m.fit(black_box(&train)).unwrap();
+            black_box(m)
+        })
+    });
+    group.bench_function("random_forest_20", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::with_trees(20);
+            m.fit(black_box(&train)).unwrap();
+            black_box(m)
+        })
+    });
+    group.bench_function("mlp_10_epochs", |b| {
+        b.iter(|| {
+            let mut m = MlpClassifier::with_config(MlpConfig {
+                hidden: vec![32],
+                epochs: 10,
+                ..Default::default()
+            });
+            m.fit(black_box(&train)).unwrap();
+            black_box(m)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gbdt_split_finders(c: &mut Criterion) {
+    // The ablation: exact greedy (XGBoost-like) vs histogram (LightGBM-like), on the
+    // wider UC1 raw-signal data where the difference matters.
+    let (train, _) = uc1_splits(600, 7);
+    let mut group = c.benchmark_group("gbdt_split_finder_uc1_600");
+    group.sample_size(10);
+    for (name, config) in [
+        ("exact", GbdtConfig { n_rounds: 10, ..GbdtConfig::xgboost_like() }),
+        ("histogram", GbdtConfig { n_rounds: 10, ..GbdtConfig::lightgbm_like() }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let mut m = Gbdt::with_config(config.clone());
+                m.fit(black_box(&train)).unwrap();
+                black_box(m)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (train, test) = uc2_splits(200, 7);
+    let mut group = c.benchmark_group("predict_batch_uc2");
+    let mut rf = RandomForest::with_config(ForestConfig { n_trees: 20, ..Default::default() });
+    rf.fit(&train).unwrap();
+    let mut nn = MlpClassifier::new();
+    nn.fit(&train).unwrap();
+    group.bench_function("random_forest_20", |b| {
+        b.iter(|| black_box(rf.predict_batch(black_box(&test.features))))
+    });
+    group.bench_function("mlp", |b| {
+        b.iter(|| black_box(nn.predict_batch(black_box(&test.features))))
+    });
+    group.finish();
+}
+
+fn bench_forest_size_ablation(c: &mut Criterion) {
+    // DESIGN.md §6: ensemble size is the lever behind the Fig. 6 RF robustness.
+    let (train, _) = uc1_splits(400, 7);
+    let mut group = c.benchmark_group("forest_size_uc1_400");
+    group.sample_size(10);
+    for trees in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
+            b.iter(|| {
+                let mut m = RandomForest::with_trees(trees);
+                m.fit(black_box(&train)).unwrap();
+                black_box(m)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_gbdt_split_finders,
+    bench_prediction,
+    bench_forest_size_ablation
+);
+criterion_main!(benches);

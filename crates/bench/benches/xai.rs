@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the XAI methods — the per-request costs behind the
+//! Fig. 8 capacity curves, plus the KernelSHAP coalition-count ablation called out in
+//! DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_bench::uc2_splits;
+use spatial_data::image::generate_blobs;
+use spatial_ml::mlp::MlpClassifier;
+use spatial_ml::Model;
+use spatial_xai::lime::{LimeConfig, LimeTabular};
+use spatial_xai::lime_image::{explain_image, LimeImageConfig};
+use spatial_xai::occlusion::{occlusion_map, OcclusionConfig};
+use spatial_xai::shap::{KernelShap, ShapConfig};
+use std::hint::black_box;
+
+fn trained_nn() -> (MlpClassifier, spatial_data::Dataset, spatial_data::Dataset) {
+    let (train, test) = uc2_splits(200, 7);
+    let mut nn = MlpClassifier::new().named("nn");
+    nn.fit(&train).expect("training succeeds");
+    (nn, train, test)
+}
+
+fn bench_kernel_shap(c: &mut Criterion) {
+    let (nn, train, test) = trained_nn();
+    let x = test.features.row(0).to_vec();
+    let mut group = c.benchmark_group("kernel_shap_per_sample");
+    group.sample_size(20);
+    // Ablation: fidelity/cost trade-off of the coalition budget.
+    for coalitions in [64usize, 256, 1024] {
+        let shap = KernelShap::new(
+            &nn,
+            &train.features,
+            train.feature_names.clone(),
+            ShapConfig { n_coalitions: coalitions, background_limit: 10, ..Default::default() },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(coalitions),
+            &coalitions,
+            |b, _| b.iter(|| black_box(shap.explain(black_box(&x), 0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lime_tabular(c: &mut Criterion) {
+    let (nn, train, test) = trained_nn();
+    let x = test.features.row(0).to_vec();
+    let mut group = c.benchmark_group("lime_tabular_per_sample");
+    group.sample_size(20);
+    for samples in [128usize, 512, 2048] {
+        let lime = LimeTabular::new(
+            &nn,
+            &train.features,
+            train.feature_names.clone(),
+            LimeConfig { n_samples: samples, ..Default::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, _| {
+            b.iter(|| black_box(lime.explain(black_box(&x), 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_methods(c: &mut Criterion) {
+    // The expensive image path of Fig. 8(d).
+    let corpus = generate_blobs(60, 32, 3);
+    let rows: Vec<Vec<f64>> = corpus.images.iter().map(|i| i.as_slice().to_vec()).collect();
+    let ds = spatial_data::Dataset::new(
+        spatial_linalg::Matrix::from_row_vecs(rows),
+        corpus.labels.clone(),
+        (0..32 * 32).map(|i| format!("px{i}")).collect(),
+        vec!["a".into(), "b".into()],
+    );
+    let mut model = MlpClassifier::with_config(spatial_ml::mlp::MlpConfig {
+        hidden: vec![32],
+        epochs: 3,
+        ..Default::default()
+    });
+    model.fit(&ds).expect("image model trains");
+    let image = &corpus.images[0];
+
+    let mut group = c.benchmark_group("image_xai_per_sample");
+    group.sample_size(10);
+    group.bench_function("lime_image_256", |b| {
+        let config = LimeImageConfig { n_samples: 256, ..Default::default() };
+        b.iter(|| black_box(explain_image(&model, black_box(image), 0, &config)))
+    });
+    group.bench_function("occlusion_4x4_stride2", |b| {
+        let config = OcclusionConfig { patch: 4, stride: 2, fill: 0.0 };
+        b.iter(|| black_box(occlusion_map(&model, black_box(image), 0, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_shap, bench_lime_tabular, bench_image_methods);
+criterion_main!(benches);

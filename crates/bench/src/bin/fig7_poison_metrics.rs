@@ -1,0 +1,87 @@
+//! Fig. 7(c)/(d): impact and complexity vs poisoning percentage for the UC2 poisoning
+//! attacks (targeted label flipping, random swapping, GAN-based injection) on the NN.
+//!
+//! Paper: "we can observe how metrics changed based on the level of poisoning applied
+//! … there is an increasing relative trend between increased poisoning and drift in
+//! impact and complexity."
+
+use spatial_attacks::gan::{gan_poison, GanConfig};
+use spatial_attacks::label_flip::{targeted_label_flip, PAPER_RATES_UC2};
+use spatial_attacks::swap::random_swap_labels;
+use spatial_bench::{arg_or_env, banner, uc2_splits};
+use spatial_ml::metrics::evaluate;
+use spatial_ml::mlp::MlpClassifier;
+use spatial_ml::Model;
+use spatial_resilience::complexity::{poisoning_complexity, timed_us};
+use spatial_resilience::impact::{poisoning_impact, DriftMetric};
+
+fn main() {
+    banner(
+        "Fig 7(c)/(d) — poisoning impact & complexity vs poison % (NN)",
+        "both metrics trend upward with the poisoning level",
+    );
+    let traces = arg_or_env("--traces", "SPATIAL_TRACES").unwrap_or(382);
+    let (train, test) = uc2_splits(traces, spatial_bench::uc2_seed());
+
+    // Clean reference.
+    let mut clean_nn = MlpClassifier::new().named("nn");
+    clean_nn.fit(&train).expect("training succeeds");
+    let baseline = evaluate(
+        &clean_nn.predict_batch(&test.features),
+        &test.labels,
+        test.n_classes(),
+    );
+    println!("clean NN accuracy: {:.3}\n", baseline.accuracy);
+
+    println!(
+        "{:<22} {:>6} {:>10} {:>14} {:>12}",
+        "attack", "p%", "impact", "poisoned frac", "prep us/smp"
+    );
+    for &rate in PAPER_RATES_UC2.iter().filter(|&&r| r > 0.0) {
+        // Targeted label flipping (to Video).
+        let (flip, us) =
+            timed_us(|| targeted_label_flip(&train, rate, None, 2, (rate * 100.0) as u64));
+        report_row("targeted-label-flip", rate, &flip, us, &baseline, &test);
+
+        // Random swapping.
+        let (swap, us) = timed_us(|| random_swap_labels(&train, rate, (rate * 100.0) as u64));
+        report_row("random-swap-labels", rate, &swap, us, &baseline, &test);
+
+        // GAN-based injection: synthesize `rate` worth of Web look-alikes labelled
+        // Video (5000 samples in the paper; scaled to the corpus here).
+        let n_synth = ((train.n_samples() as f64 * rate) / (1.0 - rate)).round() as usize;
+        let (gan, us) = timed_us(|| {
+            gan_poison(
+                &train,
+                0, // learn the Web distribution
+                2, // label the fakes as Video
+                n_synth.max(1),
+                // High anchor fidelity stands in for CTGAN's (see GanConfig docs).
+                &GanConfig { steps: 500, anchor_blend: 0.95, ..GanConfig::default() },
+            )
+        });
+        report_row("gan-poisoning", rate, &gan, us, &baseline, &test);
+    }
+}
+
+fn report_row(
+    name: &str,
+    rate: f64,
+    poisoned: &spatial_attacks::poison::PoisonedDataset,
+    prep_us: f64,
+    baseline: &spatial_ml::metrics::Evaluation,
+    test: &spatial_data::Dataset,
+) {
+    let mut nn = MlpClassifier::new().named("nn");
+    nn.fit(&poisoned.dataset).expect("training succeeds");
+    let eval = evaluate(&nn.predict_batch(&test.features), &test.labels, test.n_classes());
+    let impact = poisoning_impact(baseline, &eval, DriftMetric::Accuracy);
+    let complexity = poisoning_complexity(poisoned, prep_us);
+    println!(
+        "{name:<22} {:>6.0} {:>10.3} {:>14.3} {:>12.2}",
+        rate * 100.0,
+        impact,
+        complexity.poisoned_fraction,
+        complexity.per_sample_us
+    );
+}

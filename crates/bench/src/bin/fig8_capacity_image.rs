@@ -1,0 +1,103 @@
+//! Fig. 8(d): the LIME service under *image* workloads with incremental concurrency
+//! (5 → 25 parallel users).
+//!
+//! Paper: "LIME methods require considerable amount (of) computation. As a result,
+//! when facing resource intensive processing, XAI are not able to handle concurrent
+//! workload below 1s. In fact, we can observe a steady increase in response time that
+//! depends on the number of concurrent users accessing the service."
+
+use spatial_bench::{banner, uc1_splits};
+use spatial_data::image::generate_blobs;
+use spatial_data::Dataset;
+use spatial_gateway::loadgen::{run, ThreadGroup};
+use spatial_gateway::services::LimeService;
+use spatial_gateway::wire::{to_json, ExplainImageRequest};
+use spatial_gateway::{ApiGateway, ServiceHost};
+use spatial_linalg::Matrix;
+use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+use spatial_ml::Model;
+use spatial_xai::lime::LimeConfig;
+use spatial_xai::lime_image::LimeImageConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIDE: usize = 64;
+
+fn main() {
+    banner(
+        "Fig 8(d) — image-LIME under incremental concurrency (5..25 users)",
+        "response time grows steadily with concurrent users; super-second under load",
+    );
+
+    // Train a pixel-space classifier on the synthetic blob corpus.
+    let corpus = generate_blobs(240, SIDE, 42);
+    let rows: Vec<Vec<f64>> = corpus.images.iter().map(|i| i.as_slice().to_vec()).collect();
+    let image_ds = Dataset::new(
+        Matrix::from_row_vecs(rows),
+        corpus.labels.clone(),
+        (0..SIDE * SIDE).map(|i| format!("px{i}")).collect(),
+        vec!["centered".into(), "split".into()],
+    );
+    let mut image_model = MlpClassifier::with_config(MlpConfig {
+        hidden: vec![128],
+        epochs: 6,
+        batch_size: 32,
+        ..MlpConfig::default()
+    });
+    image_model.fit(&image_ds).expect("image model trains");
+
+    // Tabular side of the LIME service is a formality here; the image endpoint is
+    // what gets hammered.
+    let (train, _) = uc1_splits(300, 42);
+    let mut tabular = MlpClassifier::with_config(MlpConfig {
+        hidden: vec![16],
+        epochs: 3,
+        ..MlpConfig::default()
+    });
+    tabular.fit(&train).expect("tabular model trains");
+    let service = LimeService::new(
+        Arc::new(tabular),
+        train.features.clone(),
+        train.feature_names.clone(),
+        LimeConfig::default(),
+        4, // the paper's 4 vCPUs
+    )
+    .with_image_model(
+        Arc::new(image_model),
+        LimeImageConfig { grid: 8, n_samples: 512, ..LimeImageConfig::default() },
+    );
+    let host = ServiceHost::spawn(Arc::new(service), 4096).expect("service spawns");
+    let gateway = ApiGateway::spawn(Duration::from_secs(300)).expect("gateway spawns");
+    gateway.register("lime", host.addr());
+
+    let body = to_json(&ExplainImageRequest {
+        side: SIDE,
+        pixels: corpus.images[0].as_slice().to_vec(),
+        class: 0,
+    });
+    println!(
+        "\nworkload: {SIDE}x{SIDE} image, 8x8 superpixel grid, 512 LIME samples per request\n"
+    );
+    println!("{:>8} {:>12} {:>12} {:>12} {:>10}", "users", "avg ms", "p95 ms", "max ms", "err%");
+    for users in [5usize, 10, 15, 20, 25] {
+        let result = run(
+            gateway.addr(),
+            "POST",
+            "/lime/explain-image",
+            &body,
+            &ThreadGroup {
+                threads: users,
+                requests_per_thread: 3,
+                ramp_up: Duration::from_secs(1),
+                timeout: Duration::from_secs(300),
+            },
+        );
+        println!(
+            "{users:>8} {:>12.0} {:>12.0} {:>12.0} {:>9.1}%",
+            result.summary.avg_ms,
+            result.summary.p95_ms,
+            result.summary.max_ms,
+            result.summary.error_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 8(b): capacity load on the impact-resilience micro-service — 100 concurrent
+//! requests through the gateway, each computing FGSM evasion impact on a batch.
+//!
+//! Paper: "Even with nearly 100 parallel requests, the numerical metric converges to
+//! an average of around 1600ms across the ramp-up time." The *shape* to reproduce is
+//! the convergence to a stable queueing plateau; the absolute magnitude depends on
+//! model size and hardware (see EXPERIMENTS.md).
+
+use spatial_bench::{arg_or_env, banner, print_active_thread_curve, uc1_splits};
+use spatial_gateway::loadgen::{run, ThreadGroup};
+use spatial_gateway::services::ImpactService;
+use spatial_gateway::wire::{to_json, ImpactRequest};
+use spatial_gateway::{ApiGateway, ServiceHost};
+use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+use spatial_ml::Model;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "Fig 8(b) — impact micro-service under ~100 concurrent requests",
+        "response time converges to a stable average under full load",
+    );
+    let threads = arg_or_env("--threads", "SPATIAL_THREADS").unwrap_or(100);
+
+    // A DNN on the 151-dimensional raw windows: the heaviest gradient model we ship.
+    let (train, test) = uc1_splits(1_500, 42);
+    let mut dnn = MlpClassifier::with_config(MlpConfig { epochs: 12, ..MlpConfig::dnn() });
+    dnn.fit(&train).expect("training succeeds");
+
+    // The paper's batch: 103 samples per request.
+    let n = test.n_samples().min(103);
+    let probe = test.subset(&(0..n).collect::<Vec<_>>());
+    let body = to_json(&ImpactRequest {
+        features: probe.features.as_slice().to_vec(),
+        rows: n,
+        labels: probe.labels.clone(),
+        epsilon: 0.5,
+    });
+
+    // Deploy: impact service (8 workers = the paper's GPU-box proxy) behind the
+    // gateway.
+    let service = ImpactService::new(
+        Arc::new(dnn),
+        train.feature_names.clone(),
+        train.class_names.clone(),
+        8,
+    );
+    let host = ServiceHost::spawn(Arc::new(service), 4096).expect("service spawns");
+    let gateway = ApiGateway::spawn(Duration::from_secs(120)).expect("gateway spawns");
+    gateway.register("impact", host.addr());
+
+    println!(
+        "\nload: {threads} threads x 3 requests, 1s ramp-up, batch of {n} samples/request\n"
+    );
+    let result = run(
+        gateway.addr(),
+        "POST",
+        "/impact/evasion",
+        &body,
+        &ThreadGroup {
+            threads,
+            requests_per_thread: 3,
+            ramp_up: Duration::from_secs(1),
+            timeout: Duration::from_secs(120),
+        },
+    );
+    println!("{}", result.summary);
+    println!(
+        "steady-state mean at >= {} active threads: {:.1} ms (paper: ~1600 ms on LUMI)\n",
+        threads / 2,
+        result.mean_at_load(threads / 2)
+    );
+    print_active_thread_curve(&result, (threads / 10).max(1));
+}

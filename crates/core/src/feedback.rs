@@ -1,0 +1,199 @@
+//! Human-in-the-loop feedback — "This information is then used by human operators to
+//! comprehend possible issues that influence the performance of AI models and adjust
+//! or counter them" (abstract); "Human feedback to change AI behavior is applied
+//! directly to the AI pipeline" (§IV).
+//!
+//! The paper names label sanitization as the corrective action for detected poisoning
+//! ("requiring to monitor further the model to apply corrective actions, e.g., Label
+//! sanitization methods", §VII). [`sanitize_labels`] implements the classic k-NN
+//! relabeling defence; [`OperatorAction`] is the dashboard's action vocabulary.
+
+use serde::{Deserialize, Serialize};
+use spatial_data::Dataset;
+use spatial_linalg::distance;
+
+/// Actions an operator can apply back to the pipeline from the dashboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OperatorAction {
+    /// Run k-NN label sanitization over the training set, then retrain.
+    SanitizeLabels {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// Retrain the model on the current (possibly repaired) training data.
+    Retrain,
+    /// Roll back to the previous deployed model version.
+    Rollback,
+    /// Tighten/loosen an alert rule on a named sensor.
+    AdjustAlertRule {
+        /// Sensor whose rule changes.
+        sensor: String,
+        /// New max degradation.
+        max_degradation: f64,
+    },
+    /// Take the model out of service pending investigation.
+    Quarantine,
+}
+
+/// Outcome of a label-sanitization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizationOutcome {
+    /// The sanitized dataset.
+    pub dataset: Dataset,
+    /// Indices whose labels were changed.
+    pub relabelled: Vec<usize>,
+}
+
+/// k-NN label sanitization: a sample is relabelled when a *strict majority* (> k/2)
+/// of its `k` nearest neighbours agrees on a label different from its own. Tied
+/// neighbourhoods (boundary points) are left alone, so clean, well-separated data
+/// passes through (nearly) unchanged while flipped labels inside class cores get
+/// repaired.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the dataset has fewer than `k + 1` samples.
+pub fn sanitize_labels(ds: &Dataset, k: usize) -> SanitizationOutcome {
+    assert!(k > 0, "k must be positive");
+    assert!(ds.n_samples() > k, "need more than k samples");
+    let mut labels = ds.labels.clone();
+    let mut relabelled = Vec::new();
+    #[allow(clippy::needless_range_loop)] // index i addresses rows, labels and output
+    for i in 0..ds.n_samples() {
+        let neighbours = distance::k_nearest(&ds.features, ds.features.row(i), k, Some(i));
+        let mut counts = vec![0usize; ds.n_classes()];
+        for &nb in &neighbours {
+            counts[ds.labels[nb]] += 1;
+        }
+        let (majority, votes) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("at least one class");
+        if 2 * votes > k && majority != ds.labels[i] {
+            labels[i] = majority;
+            relabelled.push(i);
+        }
+    }
+    SanitizationOutcome {
+        dataset: Dataset::new(
+            ds.features.clone(),
+            labels,
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        ),
+        relabelled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_attacks::label_flip::random_label_flip;
+    use spatial_linalg::{rng, Matrix};
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            rows.push(vec![
+                label as f64 * 6.0 + rng::normal(&mut r, 0.0, 0.5),
+                rng::normal(&mut r, 0.0, 0.5),
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn clean_data_is_left_untouched() {
+        let ds = blobs(100, 1);
+        let out = sanitize_labels(&ds, 5);
+        assert!(out.relabelled.is_empty(), "clean well-separated data needs no repair");
+        assert_eq!(out.dataset.labels, ds.labels);
+    }
+
+    #[test]
+    fn repairs_most_random_flips() {
+        let ds = blobs(200, 2);
+        let poisoned = random_label_flip(&ds, 0.1, 3);
+        let out = sanitize_labels(&poisoned.dataset, 5);
+        // Count how many of the flipped labels were restored.
+        let restored = poisoned
+            .affected
+            .iter()
+            .filter(|&&i| out.dataset.labels[i] == ds.labels[i])
+            .count();
+        assert!(
+            restored * 10 >= poisoned.affected.len() * 7,
+            "expected >=70% repair, got {restored}/{}",
+            poisoned.affected.len()
+        );
+    }
+
+    #[test]
+    fn sanitization_improves_downstream_accuracy() {
+        use spatial_ml::{tree::DecisionTree, Model};
+        let clean = blobs(200, 4);
+        let poisoned = random_label_flip(&clean, 0.2, 5);
+        let sanitized = sanitize_labels(&poisoned.dataset, 5).dataset;
+        let mut on_poisoned = DecisionTree::new();
+        on_poisoned.fit(&poisoned.dataset).unwrap();
+        let mut on_sanitized = DecisionTree::new();
+        on_sanitized.fit(&sanitized).unwrap();
+        let acc_p = spatial_ml::metrics::accuracy(
+            &on_poisoned.predict_batch(&clean.features),
+            &clean.labels,
+        );
+        let acc_s = spatial_ml::metrics::accuracy(
+            &on_sanitized.predict_batch(&clean.features),
+            &clean.labels,
+        );
+        assert!(acc_s >= acc_p, "sanitization should not hurt: {acc_s} vs {acc_p}");
+    }
+
+    #[test]
+    fn tied_neighbourhoods_are_conservative() {
+        // Symmetric two-cluster line: every k=4 neighbourhood splits 2–2, so no
+        // strict majority exists and nothing is relabelled.
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[-3.0], &[-2.0], &[-1.0], &[1.0], &[2.0], &[3.0]]),
+            vec![0, 0, 0, 1, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let out = sanitize_labels(&ds, 4);
+        assert!(out.relabelled.is_empty(), "relabelled {:?}", out.relabelled);
+    }
+
+    #[test]
+    fn actions_serialize_round_trip() {
+        let actions = vec![
+            OperatorAction::SanitizeLabels { k: 5 },
+            OperatorAction::Retrain,
+            OperatorAction::Rollback,
+            OperatorAction::AdjustAlertRule { sensor: "accuracy".into(), max_degradation: 0.05 },
+            OperatorAction::Quarantine,
+        ];
+        for a in actions {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: OperatorAction = serde_json::from_str(&json).unwrap();
+            assert_eq!(a, back);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let ds = blobs(10, 6);
+        let _ = sanitize_labels(&ds, 0);
+    }
+}

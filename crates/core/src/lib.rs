@@ -1,0 +1,48 @@
+//! The SPATIAL core: AI sensors, monitoring, trust scoring and human oversight.
+//!
+//! This crate is the paper's primary contribution rendered as a library:
+//!
+//! > "Applications are instrumented with AI sensors (for each trustworthy property),
+//! > and these sensors gauge and monitor the inference capabilities of AI models. …
+//! > Measurements obtained by the AI sensors are shown to human operators using the AI
+//! > dashboard … Human feedback to change AI behavior is applied directly to the AI
+//! > pipeline." (§IV)
+//!
+//! - [`property`] — the taxonomy of trustworthy properties sensors quantify.
+//! - [`sensor`] — the [`sensor::AiSensor`] trait ("AI sensors can be considered
+//!   APIs") and the built-in sensor suite: performance, confidence, class balance,
+//!   noise robustness, SHAP-dissimilarity.
+//! - [`registry`] — plug-in registry mapping properties to sensors, mirroring the
+//!   paper's one-micro-service-per-metric composition.
+//! - [`monitor`] — continuous monitoring: periodic sensor sweeps, per-sensor time
+//!   series, drift/threshold alerting.
+//! - [`pipeline`] — the augmented AI pipeline of Fig. 4(b): the standard construction
+//!   pipeline with sensor hooks at every stage.
+//! - [`trust`] — aggregation of sensor readings into a per-model trust score
+//!   (documented simple weighting; the paper flags standardization as open).
+//! - [`feedback`] — operator actions applied back to the pipeline (label
+//!   sanitization, retraining, rollback).
+//! - [`audit`] — machine-readable audit trail of readings, alerts and actions for
+//!   regulatory compliance.
+//! - [`privacy`] — the membership-inference leakage sensor (§IV confidentiality).
+//! - [`fairness`] — the group-fairness sensor over a protected attribute (§VIII's
+//!   loan-application scenario).
+//! - [`adapt`] — adaptive trustworthiness (§IX): alert-driven re-balancing of the
+//!   trust weights.
+
+pub mod adapt;
+pub mod audit;
+pub mod feedback;
+pub mod monitor;
+pub mod fairness;
+pub mod pipeline;
+pub mod privacy;
+pub mod property;
+pub mod registry;
+pub mod sensor;
+pub mod trust;
+
+pub use monitor::{Alert, Monitor};
+pub use property::TrustProperty;
+pub use registry::SensorRegistry;
+pub use sensor::{AiSensor, SensorContext, SensorReading};

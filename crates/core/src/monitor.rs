@@ -1,0 +1,309 @@
+//! Continuous monitoring.
+//!
+//! "The trustworthy properties have to be monitored over time as these can change as
+//! the AI model gets updated" (§IV). The [`Monitor`] sweeps every registered sensor
+//! per round, maintains a per-sensor time series whose *first* reading is the
+//! baseline, and raises [`Alert`]s when a reading crosses an absolute threshold or
+//! degrades too far from that baseline.
+
+use crate::registry::SensorRegistry;
+use crate::sensor::{SensorContext, SensorError, SensorReading};
+use serde::{Deserialize, Serialize};
+use spatial_telemetry::TimeSeries;
+use std::collections::HashMap;
+
+/// Why an alert fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// The reading degraded more than the allowed drift from the baseline.
+    DriftExceeded {
+        /// First-round baseline value.
+        baseline: f64,
+        /// Signed degradation (positive = worse).
+        degradation: f64,
+    },
+    /// The reading crossed an operator-set absolute bound.
+    ThresholdBreached {
+        /// The configured bound.
+        threshold: f64,
+    },
+}
+
+/// An operator-facing alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Offending sensor.
+    pub sensor: String,
+    /// Offending reading.
+    pub value: f64,
+    /// Monitoring round.
+    pub tick: u64,
+    /// What rule fired.
+    pub kind: AlertKind,
+}
+
+/// Per-sensor alerting rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Maximum tolerated degradation from the baseline before a drift alert
+    /// (`None` disables drift checking).
+    pub max_degradation: Option<f64>,
+    /// Absolute bound in the *bad* direction (`None` disables). For a
+    /// higher-is-better sensor this is a floor; for lower-is-better, a ceiling.
+    pub absolute_bound: Option<f64>,
+}
+
+impl Default for AlertRule {
+    fn default() -> Self {
+        Self { max_degradation: Some(0.1), absolute_bound: None }
+    }
+}
+
+/// The monitoring runtime: a registry, time series per sensor, and alert rules.
+pub struct Monitor {
+    registry: SensorRegistry,
+    series: HashMap<String, TimeSeries>,
+    rules: HashMap<String, AlertRule>,
+    default_rule: AlertRule,
+    tick: u64,
+}
+
+impl Monitor {
+    /// Creates a monitor over a registry with a default drift rule (10 % degradation).
+    pub fn new(registry: SensorRegistry) -> Self {
+        Self {
+            registry,
+            series: HashMap::new(),
+            rules: HashMap::new(),
+            default_rule: AlertRule::default(),
+            tick: 0,
+        }
+    }
+
+    /// Sets the rule applied to sensors with no explicit rule.
+    pub fn set_default_rule(&mut self, rule: AlertRule) {
+        self.default_rule = rule;
+    }
+
+    /// Sets a per-sensor rule.
+    pub fn set_rule(&mut self, sensor: impl Into<String>, rule: AlertRule) {
+        self.rules.insert(sensor.into(), rule);
+    }
+
+    /// Mutable access to the registry (sensors can be swapped mid-flight).
+    pub fn registry_mut(&mut self) -> &mut SensorRegistry {
+        &mut self.registry
+    }
+
+    /// The number of completed monitoring rounds.
+    pub fn rounds(&self) -> u64 {
+        self.tick
+    }
+
+    /// The recorded series for a sensor, if it has ever produced a reading.
+    pub fn series(&self, sensor: &str) -> Option<&TimeSeries> {
+        self.series.get(sensor)
+    }
+
+    /// All series, for dashboard rendering.
+    pub fn all_series(&self) -> impl Iterator<Item = &TimeSeries> {
+        self.series.values()
+    }
+
+    /// Runs one monitoring round: measures every sensor, appends to the series, and
+    /// evaluates alert rules. Returns the readings, raised alerts and sensor
+    /// failures.
+    pub fn observe(
+        &mut self,
+        ctx: &SensorContext<'_>,
+    ) -> (Vec<SensorReading>, Vec<Alert>, Vec<(String, SensorError)>) {
+        let tick = self.tick;
+        self.tick += 1;
+        let (readings, failures) = self.registry.measure_all(ctx, tick);
+        let mut alerts = Vec::new();
+        for reading in &readings {
+            let series = self
+                .series
+                .entry(reading.sensor.clone())
+                .or_insert_with(|| TimeSeries::new(reading.sensor.clone()));
+            series.push(tick, reading.value);
+            let rule = self.rules.get(&reading.sensor).copied().unwrap_or(self.default_rule);
+
+            if let (Some(max_deg), Some(baseline)) = (rule.max_degradation, series.baseline()) {
+                let degradation = reading.direction.degradation(baseline.value, reading.value);
+                if series.len() >= 2 && degradation > max_deg {
+                    alerts.push(Alert {
+                        sensor: reading.sensor.clone(),
+                        value: reading.value,
+                        tick,
+                        kind: AlertKind::DriftExceeded {
+                            baseline: baseline.value,
+                            degradation,
+                        },
+                    });
+                }
+            }
+            if let Some(bound) = rule.absolute_bound {
+                let breached = match reading.direction {
+                    crate::property::Direction::HigherIsBetter => reading.value < bound,
+                    crate::property::Direction::LowerIsBetter => reading.value > bound,
+                };
+                if breached {
+                    alerts.push(Alert {
+                        sensor: reading.sensor.clone(),
+                        value: reading.value,
+                        tick,
+                        kind: AlertKind::ThresholdBreached { threshold: bound },
+                    });
+                }
+            }
+        }
+        (readings, alerts, failures)
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("rounds", &self.tick)
+            .field("sensors", &self.registry.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::{Direction, TrustProperty};
+    use crate::sensor::AiSensor;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::Model;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Replays a scripted sequence of values, one per round.
+    struct ScriptedSensor {
+        name: &'static str,
+        direction: Direction,
+        script: Vec<f64>,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl AiSensor for ScriptedSensor {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn property(&self) -> TrustProperty {
+            TrustProperty::Performance
+        }
+        fn direction(&self) -> Direction {
+            self.direction
+        }
+        fn measure(&self, _: &SensorContext<'_>) -> Result<f64, crate::sensor::SensorError> {
+            let i = self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(self.script[i.min(self.script.len() - 1)])
+        }
+    }
+
+    fn fixture() -> (DecisionTree, Dataset) {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[1.0], &[0.1], &[1.1]]),
+            vec![0, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        (dt, ds)
+    }
+
+    fn monitor_with(script: Vec<f64>, direction: Direction) -> Monitor {
+        let mut reg = SensorRegistry::new();
+        reg.register(Box::new(ScriptedSensor {
+            name: "scripted",
+            direction,
+            script,
+            calls: Arc::new(AtomicUsize::new(0)),
+        }));
+        Monitor::new(reg)
+    }
+
+    #[test]
+    fn no_alert_while_healthy() {
+        let mut m = monitor_with(vec![0.97, 0.96, 0.95], Direction::HigherIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        for _ in 0..3 {
+            let (_, alerts, _) = m.observe(&ctx);
+            assert!(alerts.is_empty(), "{alerts:?}");
+        }
+        assert_eq!(m.rounds(), 3);
+    }
+
+    #[test]
+    fn drift_alert_fires_on_degradation() {
+        // Accuracy 0.97 → 0.71: the paper's poisoned-model trajectory.
+        let mut m = monitor_with(vec![0.97, 0.71], Direction::HigherIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (_, alerts, _) = m.observe(&ctx);
+        assert!(alerts.is_empty());
+        let (_, alerts, _) = m.observe(&ctx);
+        assert_eq!(alerts.len(), 1);
+        match &alerts[0].kind {
+            AlertKind::DriftExceeded { baseline, degradation } => {
+                assert!((baseline - 0.97).abs() < 1e-12);
+                assert!((degradation - 0.26).abs() < 1e-12);
+            }
+            other => panic!("unexpected alert {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_is_better_drift_direction() {
+        // SHAP dissimilarity rising = degradation.
+        let mut m = monitor_with(vec![0.1, 0.5], Direction::LowerIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        m.observe(&ctx);
+        let (_, alerts, _) = m.observe(&ctx);
+        assert_eq!(alerts.len(), 1);
+    }
+
+    #[test]
+    fn improvement_never_alerts() {
+        let mut m = monitor_with(vec![0.7, 0.99], Direction::HigherIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        m.observe(&ctx);
+        let (_, alerts, _) = m.observe(&ctx);
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn absolute_bound_fires_immediately() {
+        let mut m = monitor_with(vec![0.5], Direction::HigherIsBetter);
+        m.set_rule("scripted", AlertRule { max_degradation: None, absolute_bound: Some(0.9) });
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (_, alerts, _) = m.observe(&ctx);
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(alerts[0].kind, AlertKind::ThresholdBreached { .. }));
+    }
+
+    #[test]
+    fn series_accumulates_readings() {
+        let mut m = monitor_with(vec![0.9, 0.8, 0.7], Direction::HigherIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        for _ in 0..3 {
+            m.observe(&ctx);
+        }
+        let s = m.series("scripted").unwrap();
+        assert_eq!(s.len(), 3);
+        assert!((s.drift_from_baseline() + 0.2).abs() < 1e-9);
+        assert!(m.series("nonexistent").is_none());
+    }
+}

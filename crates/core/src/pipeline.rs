@@ -1,0 +1,203 @@
+//! The augmented AI pipeline (Fig. 4b): the standard construction pipeline with
+//! sensor instrumentation at every step.
+//!
+//! "As any step can be easily hampered to change the model inference process, AI
+//! sensors are required to be instrumented across the pipeline" (§IV). The augmented
+//! pipeline therefore measures *data-stage* signals before training (class balance,
+//! duplicates, non-finite cells) and the full sensor suite after deployment, producing
+//! a ready-to-monitor deployment.
+
+use crate::monitor::Monitor;
+use crate::registry::SensorRegistry;
+use crate::sensor::SensorContext;
+use spatial_data::Dataset;
+use spatial_ml::pipeline::{AiPipeline, DeployedModel};
+use spatial_ml::{Model, TrainError};
+
+/// Data-stage findings gathered before training — the sensors of the pipeline's
+/// first two steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataStageReport {
+    /// Fraction of duplicated rows in the raw data.
+    pub duplicate_fraction: f64,
+    /// Number of non-finite cells repaired.
+    pub non_finite_cells: usize,
+    /// Per-class fractions of the raw labels.
+    pub class_fractions: Vec<f64>,
+    /// Normalized class-balance entropy in `[0, 1]` (1 = perfectly balanced).
+    pub balance_entropy: f64,
+}
+
+/// A deployment produced by the augmented pipeline: the model plus its live monitor.
+pub struct MonitoredDeployment {
+    /// The deployed artefact (scaler + model + retained splits).
+    pub deployed: DeployedModel,
+    /// The monitor wired to the deployment, already primed with a baseline round.
+    pub monitor: Monitor,
+    /// Data-stage findings.
+    pub data_report: DataStageReport,
+}
+
+impl MonitoredDeployment {
+    /// Runs one monitoring round against the retained splits.
+    pub fn observe(
+        &mut self,
+    ) -> (Vec<crate::sensor::SensorReading>, Vec<crate::monitor::Alert>) {
+        let ctx = SensorContext {
+            model: self.deployed.model.as_ref(),
+            train: &self.deployed.train,
+            test: &self.deployed.test,
+        };
+        let (readings, alerts, _) = self.monitor.observe(&ctx);
+        (readings, alerts)
+    }
+}
+
+impl std::fmt::Debug for MonitoredDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredDeployment")
+            .field("model", &self.deployed.model.name())
+            .field("rounds", &self.monitor.rounds())
+            .finish()
+    }
+}
+
+/// The augmented pipeline runner.
+pub struct AugmentedPipeline {
+    model: Box<dyn Model>,
+    registry: SensorRegistry,
+}
+
+impl AugmentedPipeline {
+    /// Creates an augmented pipeline around an untrained model and a sensor registry.
+    pub fn new(model: Box<dyn Model>, registry: SensorRegistry) -> Self {
+        Self { model, registry }
+    }
+
+    /// Runs data-stage sensing, the standard pipeline, and a baseline monitoring
+    /// round; returns a deployment with its monitor attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the training stage.
+    pub fn run(
+        self,
+        raw: &Dataset,
+        train_fraction: f64,
+        seed: u64,
+    ) -> Result<MonitoredDeployment, TrainError> {
+        let data_report = inspect_data(raw);
+        let deployed = AiPipeline::new(self.model).run(raw, train_fraction, seed)?;
+        let mut monitor = Monitor::new(self.registry);
+        {
+            let ctx = SensorContext {
+                model: deployed.model.as_ref(),
+                train: &deployed.train,
+                test: &deployed.test,
+            };
+            // Baseline round: the first readings anchor all drift alerts.
+            let _ = monitor.observe(&ctx);
+        }
+        Ok(MonitoredDeployment { deployed, monitor, data_report })
+    }
+}
+
+/// Computes the data-stage report for a raw dataset.
+pub fn inspect_data(raw: &Dataset) -> DataStageReport {
+    let kept = spatial_data::preprocess::dedup_rows(&raw.features);
+    let duplicate_fraction = if raw.n_samples() == 0 {
+        0.0
+    } else {
+        1.0 - kept.len() as f64 / raw.n_samples() as f64
+    };
+    let non_finite_cells =
+        raw.features.as_slice().iter().filter(|v| !v.is_finite()).count();
+    let n = raw.n_samples().max(1) as f64;
+    let class_fractions: Vec<f64> =
+        raw.class_counts().iter().map(|&c| c as f64 / n).collect();
+    let k = class_fractions.len() as f64;
+    let entropy: f64 = class_fractions
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum();
+    let balance_entropy = if k > 1.0 { entropy / k.ln() } else { 1.0 };
+    DataStageReport { duplicate_fraction, non_finite_cells, class_fractions, balance_entropy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+
+    fn raw() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            rows.push(vec![(i % 2) as f64 * 4.0 + (i as f64) * 0.01, 1.0]);
+            labels.push(i % 2);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "b".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn augmented_run_produces_baselined_monitor() {
+        let dep = AugmentedPipeline::new(
+            Box::new(DecisionTree::new()),
+            SensorRegistry::standard(1),
+        )
+        .run(&raw(), 0.8, 1)
+        .unwrap();
+        assert_eq!(dep.monitor.rounds(), 1);
+        assert!(dep.monitor.series("accuracy").is_some());
+    }
+
+    #[test]
+    fn observe_appends_rounds_without_alerts_when_static() {
+        let mut dep = AugmentedPipeline::new(
+            Box::new(DecisionTree::new()),
+            SensorRegistry::standard(1),
+        )
+        .run(&raw(), 0.8, 2)
+        .unwrap();
+        let (readings, alerts) = dep.observe();
+        assert!(!readings.is_empty());
+        assert!(alerts.is_empty(), "identical context cannot drift: {alerts:?}");
+        assert_eq!(dep.monitor.rounds(), 2);
+    }
+
+    #[test]
+    fn data_report_flags_duplicates_and_balance() {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[1.0], &[1.0], &[2.0], &[3.0]]),
+            vec![0, 0, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let report = inspect_data(&ds);
+        assert!((report.duplicate_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(report.non_finite_cells, 0);
+        assert!(report.balance_entropy < 1.0); // 3:1 imbalance
+        assert_eq!(report.class_fractions, vec![0.75, 0.25]);
+    }
+
+    #[test]
+    fn balanced_data_has_unit_entropy() {
+        let report = inspect_data(&raw());
+        assert!((report.balance_entropy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_cells_counted() {
+        let mut ds = raw();
+        ds.features[(0, 0)] = f64::NAN;
+        ds.features[(1, 0)] = f64::INFINITY;
+        assert_eq!(inspect_data(&ds).non_finite_cells, 2);
+    }
+}

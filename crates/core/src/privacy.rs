@@ -1,0 +1,117 @@
+//! The privacy sensor.
+//!
+//! §IV's confidentiality requirement — model outputs must not "leak information that
+//! can be used to … reconstruct its training data" — is measurable: run the
+//! membership-inference attack against the deployment's own retained splits and
+//! report `1 − advantage`. A reading of 1 means an attacker thresholding prediction
+//! confidence learns nothing about membership; readings sink as the model memorizes.
+
+use crate::property::{Direction, TrustProperty};
+use crate::sensor::{AiSensor, SensorContext, SensorError};
+use spatial_attacks::membership::evaluate_membership_inference;
+
+/// Measures `1 − membership-inference advantage` on the retained splits.
+#[derive(Debug, Clone)]
+pub struct MembershipPrivacySensor {
+    /// Maximum samples drawn from each split (caps probe cost).
+    pub max_per_side: usize,
+}
+
+impl Default for MembershipPrivacySensor {
+    fn default() -> Self {
+        Self { max_per_side: 256 }
+    }
+}
+
+impl AiSensor for MembershipPrivacySensor {
+    fn name(&self) -> &str {
+        "membership-privacy"
+    }
+
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Privacy
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        if ctx.train.n_samples() == 0 || ctx.test.n_samples() == 0 {
+            return Err(SensorError::InsufficientData(
+                "both splits needed for the membership probe".into(),
+            ));
+        }
+        let cap = self.max_per_side.max(1);
+        let members = ctx.train.subset(&(0..ctx.train.n_samples().min(cap)).collect::<Vec<_>>());
+        let non_members =
+            ctx.test.subset(&(0..ctx.test.n_samples().min(cap)).collect::<Vec<_>>());
+        let report = evaluate_membership_inference(ctx.model, &members, &non_members);
+        Ok(1.0 - report.advantage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_linalg::{rng, Matrix};
+    use spatial_ml::tree::{DecisionTree, TreeConfig};
+    use spatial_ml::Model;
+    use rand::Rng;
+
+    fn noisy(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            rows.push(vec![label as f64 + rng::normal(&mut r, 0.0, 1.2)]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn memorizing_model_scores_low() {
+        let train = noisy(200, 1);
+        let test = noisy(200, 2);
+        let mut deep =
+            DecisionTree::with_config(TreeConfig { max_depth: 64, ..Default::default() });
+        deep.fit(&train).unwrap();
+        let ctx = SensorContext { model: &deep, train: &train, test: &test };
+        let leaky_score = MembershipPrivacySensor::default().measure(&ctx).unwrap();
+
+        let mut shallow = DecisionTree::with_config(TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 25,
+            ..Default::default()
+        });
+        shallow.fit(&train).unwrap();
+        let ctx2 = SensorContext { model: &shallow, train: &train, test: &test };
+        let tight_score = MembershipPrivacySensor::default().measure(&ctx2).unwrap();
+
+        assert!(
+            tight_score > leaky_score,
+            "regularized model must score higher privacy: {tight_score} vs {leaky_score}"
+        );
+        assert!((0.0..=1.0).contains(&leaky_score));
+    }
+
+    #[test]
+    fn probe_cap_is_respected() {
+        let train = noisy(500, 3);
+        let test = noisy(500, 4);
+        let mut dt = DecisionTree::new();
+        dt.fit(&train).unwrap();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        let sensor = MembershipPrivacySensor { max_per_side: 16 };
+        let v = sensor.measure(&ctx).unwrap();
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,106 @@
+//! The trustworthy-property taxonomy.
+//!
+//! "Trustworthy AI is valid, reliable, safe, fair, free of biases, secure, robust,
+//! resilient, privacy-preserving, accountable, transparent, explainable, and
+//! interpretable" (§I). Sensors quantify these; this module fixes the vocabulary the
+//! registry, dashboard and audit trail share.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A measurable trustworthy property of an AI component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrustProperty {
+    /// Predictive quality (accuracy/precision/recall).
+    Performance,
+    /// Explainability/accountability of the decision process (SHAP/LIME-based).
+    Accountability,
+    /// Resistance to and recovery from attacks (impact/complexity-based).
+    Resilience,
+    /// Stability of predictions under input perturbation.
+    Robustness,
+    /// Equitable behaviour across groups/classes.
+    Fairness,
+    /// Protection of training data from leakage.
+    Privacy,
+}
+
+impl TrustProperty {
+    /// All properties.
+    pub const ALL: [TrustProperty; 6] = [
+        TrustProperty::Performance,
+        TrustProperty::Accountability,
+        TrustProperty::Resilience,
+        TrustProperty::Robustness,
+        TrustProperty::Fairness,
+        TrustProperty::Privacy,
+    ];
+
+    /// Kebab-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Performance => "performance",
+            Self::Accountability => "accountability",
+            Self::Resilience => "resilience",
+            Self::Robustness => "robustness",
+            Self::Fairness => "fairness",
+            Self::Privacy => "privacy",
+        }
+    }
+}
+
+impl fmt::Display for TrustProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Whether larger sensor readings mean *better* or *worse* trustworthiness — drift
+/// alerts need to know which direction is degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Higher readings are better (accuracy, resilience score).
+    HigherIsBetter,
+    /// Lower readings are better (SHAP dissimilarity, impact).
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// Signed degradation of `current` against `baseline`: positive when the metric
+    /// moved in the *bad* direction.
+    pub fn degradation(self, baseline: f64, current: f64) -> f64 {
+        match self {
+            Direction::HigherIsBetter => baseline - current,
+            Direction::LowerIsBetter => current - baseline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_kebab_case() {
+        for p in TrustProperty::ALL {
+            assert!(p.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+
+    #[test]
+    fn degradation_signs() {
+        assert!((Direction::HigherIsBetter.degradation(0.97, 0.75) - 0.22).abs() < 1e-12);
+        assert!((Direction::LowerIsBetter.degradation(0.1, 0.5) - 0.4).abs() < 1e-12);
+        assert!(Direction::HigherIsBetter.degradation(0.9, 0.95) < 0.0);
+    }
+
+    #[test]
+    fn properties_serialize_round_trip() {
+        for p in TrustProperty::ALL {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: TrustProperty = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The sensor registry — the in-process analogue of the paper's micro-service
+//! composition: "each micro-service contributes with the specific functionality to
+//! monitor a trustworthy property, and this functionality is requested by an AI sensor
+//! instrumented in the application" (§I). Metrics can be added or replaced at runtime,
+//! the property the paper highlights as the reason for the micro-service pattern.
+
+use crate::sensor::{AiSensor, SensorContext, SensorError, SensorReading};
+use crate::property::TrustProperty;
+
+/// A mutable collection of AI sensors.
+#[derive(Default)]
+pub struct SensorRegistry {
+    sensors: Vec<Box<dyn AiSensor>>,
+}
+
+impl SensorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The registry the paper's prototype ships: performance indicators plus the
+    /// accountability (SHAP) and robustness probes. `shap_target_class` selects which
+    /// class the SHAP-dissimilarity sensor probes (the paper probes "fall").
+    pub fn standard(shap_target_class: usize) -> Self {
+        use crate::sensor::*;
+        let mut reg = Self::new();
+        reg.register(Box::new(AccuracySensor));
+        reg.register(Box::new(PrecisionSensor));
+        reg.register(Box::new(RecallSensor));
+        reg.register(Box::new(ConfidenceSensor));
+        reg.register(Box::new(ClassBalanceSensor));
+        reg.register(Box::new(NoiseRobustnessSensor::default()));
+        reg.register(Box::new(EvasionResilienceSensor::default()));
+        reg.register(Box::new(ShapDissimilaritySensor::new(shap_target_class)));
+        reg
+    }
+
+    /// [`SensorRegistry::standard`] plus the extension sensors: membership-privacy
+    /// and group fairness over `protected_feature`. This is the full property
+    /// coverage the paper's taxonomy calls for (§VIII).
+    pub fn extended(shap_target_class: usize, protected_feature: usize) -> Self {
+        let mut reg = Self::standard(shap_target_class);
+        reg.register(Box::new(crate::privacy::MembershipPrivacySensor::default()));
+        reg.register(Box::new(crate::fairness::GroupFairnessSensor::new(protected_feature)));
+        reg
+    }
+
+    /// Adds a sensor, replacing any existing sensor with the same name (the
+    /// "replace metrics with ease" requirement).
+    pub fn register(&mut self, sensor: Box<dyn AiSensor>) {
+        self.sensors.retain(|s| s.name() != sensor.name());
+        self.sensors.push(sensor);
+    }
+
+    /// Removes a sensor by name; returns whether one was present.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let before = self.sensors.len();
+        self.sensors.retain(|s| s.name() != name);
+        self.sensors.len() != before
+    }
+
+    /// Number of registered sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// Registered sensor names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sensors.iter().map(|s| s.name()).collect()
+    }
+
+    /// Sensors quantifying a given property.
+    pub fn sensors_for(&self, property: TrustProperty) -> Vec<&dyn AiSensor> {
+        self.sensors
+            .iter()
+            .filter(|s| s.property() == property)
+            .map(|s| s.as_ref())
+            .collect()
+    }
+
+    /// Runs every sensor against the context, tagging readings with `tick`. Sensor
+    /// failures are returned alongside the successes — a failing metric must not take
+    /// down the sweep (the gateway isolates micro-service failures the same way).
+    pub fn measure_all(
+        &self,
+        ctx: &SensorContext<'_>,
+        tick: u64,
+    ) -> (Vec<SensorReading>, Vec<(String, SensorError)>) {
+        let mut readings = Vec::with_capacity(self.sensors.len());
+        let mut failures = Vec::new();
+        for sensor in &self.sensors {
+            match sensor.measure(ctx) {
+                Ok(value) => readings.push(SensorReading {
+                    sensor: sensor.name().to_string(),
+                    property: sensor.property(),
+                    direction: sensor.direction(),
+                    value,
+                    tick,
+                }),
+                Err(e) => failures.push((sensor.name().to_string(), e)),
+            }
+        }
+        (readings, failures)
+    }
+}
+
+impl std::fmt::Debug for SensorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorRegistry").field("sensors", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Direction;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::Model;
+
+    struct FixedSensor {
+        name: &'static str,
+        value: f64,
+    }
+
+    impl AiSensor for FixedSensor {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn property(&self) -> TrustProperty {
+            TrustProperty::Performance
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn measure(&self, _: &SensorContext<'_>) -> Result<f64, SensorError> {
+            Ok(self.value)
+        }
+    }
+
+    struct FailingSensor;
+
+    impl AiSensor for FailingSensor {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn property(&self) -> TrustProperty {
+            TrustProperty::Privacy
+        }
+        fn direction(&self) -> Direction {
+            Direction::LowerIsBetter
+        }
+        fn measure(&self, _: &SensorContext<'_>) -> Result<f64, SensorError> {
+            Err(SensorError::InsufficientData("always".into()))
+        }
+    }
+
+    fn ctx_fixture() -> (DecisionTree, Dataset) {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[1.0], &[0.1], &[1.1]]),
+            vec![0, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        (dt, ds)
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        let mut reg = SensorRegistry::new();
+        reg.register(Box::new(FixedSensor { name: "m", value: 1.0 }));
+        reg.register(Box::new(FixedSensor { name: "m", value: 2.0 }));
+        assert_eq!(reg.len(), 1);
+        let (dt, ds) = ctx_fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (readings, _) = reg.measure_all(&ctx, 0);
+        assert_eq!(readings[0].value, 2.0);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut reg = SensorRegistry::new();
+        reg.register(Box::new(FixedSensor { name: "m", value: 1.0 }));
+        assert!(reg.unregister("m"));
+        assert!(!reg.unregister("m"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn failures_do_not_block_other_sensors() {
+        let mut reg = SensorRegistry::new();
+        reg.register(Box::new(FailingSensor));
+        reg.register(Box::new(FixedSensor { name: "ok", value: 0.5 }));
+        let (dt, ds) = ctx_fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (readings, failures) = reg.measure_all(&ctx, 3);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].tick, 3);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "failing");
+    }
+
+    #[test]
+    fn extended_registry_covers_privacy_and_fairness() {
+        let reg = SensorRegistry::extended(1, 0);
+        assert!(reg.names().contains(&"membership-privacy"));
+        assert!(reg.names().contains(&"group-fairness"));
+        assert!(!reg.sensors_for(TrustProperty::Privacy).is_empty());
+        // Every property in the taxonomy now has at least one sensor.
+        for p in TrustProperty::ALL {
+            assert!(
+                !reg.sensors_for(p).is_empty(),
+                "property {p} has no sensor in the extended registry"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_registry_has_all_papers_metrics() {
+        let reg = SensorRegistry::standard(1);
+        for name in ["accuracy", "precision", "recall", "shap-dissimilarity", "noise-robustness"]
+        {
+            assert!(reg.names().contains(&name), "{name} missing");
+        }
+        assert!(!reg.sensors_for(TrustProperty::Accountability).is_empty());
+        assert!(!reg.sensors_for(TrustProperty::Performance).is_empty());
+    }
+}

@@ -1,0 +1,484 @@
+//! AI sensors — "software-based (aka virtual sensors) … instrumented within the source
+//! code of an application to monitor specific parts of its code execution … AI sensors
+//! can be considered APIs" (§IV).
+//!
+//! A sensor measures one scalar trustworthy metric given a [`SensorContext`] (the
+//! deployed model plus its retained data splits). The built-in suite covers the
+//! metrics the paper's micro-services implement: performance indicators, the SHAP
+//! explanation-dissimilarity poisoning indicator, plus black-box robustness and
+//! balance probes.
+
+use crate::property::{Direction, TrustProperty};
+use serde::{Deserialize, Serialize};
+use spatial_data::Dataset;
+use spatial_linalg::rng;
+use spatial_ml::{metrics, Model};
+use spatial_xai::similarity::{shap_dissimilarity, DissimilarityConfig};
+use std::fmt;
+
+/// Everything a sensor may inspect: the live model and its retained splits.
+pub struct SensorContext<'a> {
+    /// The deployed model under observation.
+    pub model: &'a dyn Model,
+    /// The (scaled) training split the model saw.
+    pub train: &'a Dataset,
+    /// The retained clean test split (the paper's post-attack comparison set).
+    pub test: &'a Dataset,
+}
+
+/// One sensor measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// The sensor that produced the reading.
+    pub sensor: String,
+    /// The property the reading quantifies.
+    pub property: TrustProperty,
+    /// Which direction is good.
+    pub direction: Direction,
+    /// The scalar measurement.
+    pub value: f64,
+    /// Monitoring round the reading belongs to.
+    pub tick: u64,
+}
+
+/// Error raised by a sensor measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SensorError {
+    /// The context lacked data the sensor needs.
+    InsufficientData(String),
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientData(what) => write!(f, "insufficient data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+/// A virtual AI sensor quantifying one trustworthy metric.
+///
+/// Object-safe: the registry holds `Box<dyn AiSensor>` so applications plug in their
+/// own metrics exactly as the paper adds micro-services.
+pub trait AiSensor: Send + Sync {
+    /// Unique sensor name ("accuracy", "shap-dissimilarity", ...).
+    fn name(&self) -> &str;
+
+    /// The trustworthy property this sensor quantifies.
+    fn property(&self) -> TrustProperty;
+
+    /// Which direction of the reading is good.
+    fn direction(&self) -> Direction;
+
+    /// Takes one measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InsufficientData`] when the context cannot support the
+    /// metric (e.g. an empty test split).
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError>;
+}
+
+fn require_test_samples(ctx: &SensorContext<'_>, need: usize) -> Result<(), SensorError> {
+    if ctx.test.n_samples() < need {
+        Err(SensorError::InsufficientData(format!(
+            "test split has {} samples, need {need}",
+            ctx.test.n_samples()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Test-set accuracy (the paper's headline performance indicator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccuracySensor;
+
+impl AiSensor for AccuracySensor {
+    fn name(&self) -> &str {
+        "accuracy"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Performance
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let preds = ctx.model.predict_batch(&ctx.test.features);
+        Ok(metrics::accuracy(&preds, &ctx.test.labels))
+    }
+}
+
+/// Macro-precision on the test set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrecisionSensor;
+
+impl AiSensor for PrecisionSensor {
+    fn name(&self) -> &str {
+        "precision"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Performance
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let preds = ctx.model.predict_batch(&ctx.test.features);
+        Ok(metrics::evaluate(&preds, &ctx.test.labels, ctx.test.n_classes()).precision)
+    }
+}
+
+/// Macro-recall on the test set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecallSensor;
+
+impl AiSensor for RecallSensor {
+    fn name(&self) -> &str {
+        "recall"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Performance
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let preds = ctx.model.predict_batch(&ctx.test.features);
+        Ok(metrics::evaluate(&preds, &ctx.test.labels, ctx.test.n_classes()).recall)
+    }
+}
+
+/// Mean top-class probability on the test set — collapsing confidence is an early
+/// integrity signal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConfidenceSensor;
+
+impl AiSensor for ConfidenceSensor {
+    fn name(&self) -> &str {
+        "prediction-confidence"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Performance
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let mut total = 0.0;
+        for row in ctx.test.features.iter_rows() {
+            let p = ctx.model.predict_proba(row);
+            total += p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        }
+        Ok(total / ctx.test.n_samples() as f64)
+    }
+}
+
+/// Divergence of the *training* label distribution from the test distribution
+/// (total-variation distance). Targeted label flipping and GAN injection shift the
+/// training histogram; random swapping does not — the reason the paper pairs this
+/// probe with the SHAP one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassBalanceSensor;
+
+impl AiSensor for ClassBalanceSensor {
+    fn name(&self) -> &str {
+        "class-balance-divergence"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Fairness
+    }
+    fn direction(&self) -> Direction {
+        Direction::LowerIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        if ctx.train.n_samples() == 0 || ctx.test.n_samples() == 0 {
+            return Err(SensorError::InsufficientData("empty split".into()));
+        }
+        let tv: f64 = ctx
+            .train
+            .class_counts()
+            .iter()
+            .zip(ctx.test.class_counts())
+            .map(|(&a, b)| {
+                (a as f64 / ctx.train.n_samples() as f64
+                    - b as f64 / ctx.test.n_samples() as f64)
+                    .abs()
+            })
+            .sum();
+        Ok(tv / 2.0)
+    }
+}
+
+/// Black-box robustness probe: accuracy drop under Gaussian input noise of scale
+/// `sigma` (in scaled-feature units). A cheap, model-agnostic stand-in for a full
+/// adversarial evaluation that any application can run continuously.
+#[derive(Debug, Clone)]
+pub struct NoiseRobustnessSensor {
+    /// Noise scale in (standardized) feature units.
+    pub sigma: f64,
+    /// Perturbation seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseRobustnessSensor {
+    fn default() -> Self {
+        Self { sigma: 0.3, seed: 0 }
+    }
+}
+
+impl AiSensor for NoiseRobustnessSensor {
+    fn name(&self) -> &str {
+        "noise-robustness"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Robustness
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let mut r = rng::seeded(self.seed);
+        let clean_preds = ctx.model.predict_batch(&ctx.test.features);
+        let mut stable = 0usize;
+        for (i, row) in ctx.test.features.iter_rows().enumerate() {
+            let noisy: Vec<f64> =
+                row.iter().map(|&v| v + rng::normal(&mut r, 0.0, self.sigma)).collect();
+            if ctx.model.predict(&noisy) == clean_preds[i] {
+                stable += 1;
+            }
+        }
+        Ok(stable as f64 / ctx.test.n_samples() as f64)
+    }
+}
+
+/// Black-box evasion-resilience probe: for each correctly-classified test point
+/// (capped), try `tries` random sign perturbations of magnitude `epsilon` (the
+/// square-attack-style corner search); the reading is `1 − impact`, where impact is
+/// the fraction of correct points any perturbation flips — the sensor-sized version
+/// of the paper's evasion impact metric (§VI-A).
+#[derive(Debug, Clone)]
+pub struct EvasionResilienceSensor {
+    /// ℓ∞ perturbation budget in (standardized) feature units.
+    pub epsilon: f64,
+    /// Random sign vectors tried per point.
+    pub tries: usize,
+    /// Maximum probed test points.
+    pub max_points: usize,
+    /// Perturbation seed.
+    pub seed: u64,
+}
+
+impl Default for EvasionResilienceSensor {
+    fn default() -> Self {
+        Self { epsilon: 0.25, tries: 8, max_points: 128, seed: 0 }
+    }
+}
+
+impl AiSensor for EvasionResilienceSensor {
+    fn name(&self) -> &str {
+        "evasion-resilience"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Resilience
+    }
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        require_test_samples(ctx, 1)?;
+        let mut r = rng::seeded(self.seed);
+        let n = ctx.test.n_samples().min(self.max_points.max(1));
+        let mut correct = 0usize;
+        let mut flipped = 0usize;
+        let mut buf = vec![0.0; ctx.test.n_features()];
+        for i in 0..n {
+            let row = ctx.test.features.row(i);
+            let pred = ctx.model.predict(row);
+            if pred != ctx.test.labels[i] {
+                continue;
+            }
+            correct += 1;
+            'tries: for _ in 0..self.tries {
+                for (b, &v) in buf.iter_mut().zip(row) {
+                    *b = v + rng::random_sign(&mut r) * self.epsilon;
+                }
+                if ctx.model.predict(&buf) != pred {
+                    flipped += 1;
+                    break 'tries;
+                }
+            }
+        }
+        if correct == 0 {
+            return Err(SensorError::InsufficientData(
+                "no correctly classified points to probe".into(),
+            ));
+        }
+        Ok(1.0 - flipped as f64 / correct as f64)
+    }
+}
+
+/// The paper's SHAP explanation-dissimilarity poisoning indicator (§VI-A), wrapping
+/// [`spatial_xai::similarity::shap_dissimilarity`].
+#[derive(Debug, Clone)]
+pub struct ShapDissimilaritySensor {
+    /// Class whose instances are probed (the paper probes "fall").
+    pub target_class: usize,
+    /// Underlying metric configuration.
+    pub config: DissimilarityConfig,
+}
+
+impl ShapDissimilaritySensor {
+    /// Creates the sensor for a target class with the paper's defaults (k = 5).
+    pub fn new(target_class: usize) -> Self {
+        Self { target_class, config: DissimilarityConfig::default() }
+    }
+}
+
+impl AiSensor for ShapDissimilaritySensor {
+    fn name(&self) -> &str {
+        "shap-dissimilarity"
+    }
+    fn property(&self) -> TrustProperty {
+        TrustProperty::Accountability
+    }
+    fn direction(&self) -> Direction {
+        Direction::LowerIsBetter
+    }
+    fn measure(&self, ctx: &SensorContext<'_>) -> Result<f64, SensorError> {
+        if ctx.test.n_samples() <= self.config.k {
+            return Err(SensorError::InsufficientData(format!(
+                "need more than k={} test samples",
+                self.config.k
+            )));
+        }
+        if self.target_class >= ctx.test.n_classes() {
+            return Err(SensorError::InsufficientData(format!(
+                "target class {} not in test split",
+                self.target_class
+            )));
+        }
+        Ok(shap_dissimilarity(ctx.model, ctx.test, self.target_class, &self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+
+    fn fixture() -> (DecisionTree, Dataset, Dataset) {
+        let train = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[0.3], &[5.0], &[5.3], &[0.1], &[5.1]]),
+            vec![0, 0, 1, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let test = Dataset::new(
+            Matrix::from_rows(&[&[0.2], &[5.2], &[0.4], &[5.4], &[0.0], &[5.0]]),
+            vec![0, 1, 0, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&train).unwrap();
+        (dt, train, test)
+    }
+
+    #[test]
+    fn accuracy_sensor_reads_test_accuracy() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        assert_eq!(AccuracySensor.measure(&ctx).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_sensors_work() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        assert_eq!(PrecisionSensor.measure(&ctx).unwrap(), 1.0);
+        assert_eq!(RecallSensor.measure(&ctx).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn confidence_sensor_in_unit_interval() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        let c = ConfidenceSensor.measure(&ctx).unwrap();
+        assert!((0.5..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn class_balance_zero_for_matched_splits() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        assert!(ClassBalanceSensor.measure(&ctx).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_balance_detects_targeted_flip() {
+        let (dt, mut train, test) = fixture();
+        // Flip all of class 0 in training to class 1 (targeted attack).
+        for l in &mut train.labels {
+            *l = 1;
+        }
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        assert!(ClassBalanceSensor.measure(&ctx).unwrap() > 0.4);
+    }
+
+    #[test]
+    fn noise_robustness_high_for_wide_margin() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        let r = NoiseRobustnessSensor { sigma: 0.1, seed: 1 }.measure(&ctx).unwrap();
+        assert!(r > 0.9, "wide margins resist small noise: {r}");
+        let r_huge = NoiseRobustnessSensor { sigma: 50.0, seed: 1 }.measure(&ctx).unwrap();
+        assert!(r_huge < r, "huge noise must hurt: {r_huge} vs {r}");
+    }
+
+    #[test]
+    fn shap_sensor_errors_on_tiny_test_set() {
+        let (dt, train, test) = fixture();
+        let small = test.subset(&[0, 1]);
+        let ctx = SensorContext { model: &dt, train: &train, test: &small };
+        let sensor = ShapDissimilaritySensor::new(1);
+        assert!(matches!(sensor.measure(&ctx), Err(SensorError::InsufficientData(_))));
+    }
+
+    #[test]
+    fn shap_sensor_measures_on_fixture() {
+        let (dt, train, test) = fixture();
+        let ctx = SensorContext { model: &dt, train: &train, test: &test };
+        let mut sensor = ShapDissimilaritySensor::new(1);
+        sensor.config.k = 2;
+        sensor.config.shap.n_coalitions = 32;
+        let v = sensor.measure(&ctx).unwrap();
+        assert!(v >= 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn sensors_are_object_safe_and_named() {
+        let sensors: Vec<Box<dyn AiSensor>> = vec![
+            Box::new(AccuracySensor),
+            Box::new(PrecisionSensor),
+            Box::new(RecallSensor),
+            Box::new(ConfidenceSensor),
+            Box::new(ClassBalanceSensor),
+            Box::new(NoiseRobustnessSensor::default()),
+            Box::new(ShapDissimilaritySensor::new(0)),
+        ];
+        let mut names: Vec<&str> = sensors.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), sensors.len(), "sensor names must be unique");
+    }
+}

@@ -1,0 +1,171 @@
+//! Trust-score aggregation.
+//!
+//! The paper flags a universal trust score as an open challenge ("to produce a
+//! coherent and comparable trust score from measurements obtained by AI sensors",
+//! §VIII) and criticizes prior work for treating properties as homogeneous. This
+//! module therefore implements the *documented, inspectable* aggregation the
+//! dashboard needs — per-property normalization then weighted averaging — and keeps
+//! every intermediate visible for audit rather than claiming a standard.
+
+use crate::property::{Direction, TrustProperty};
+use crate::sensor::SensorReading;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-property weights used by the aggregation; weights need not sum to one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustWeights {
+    weights: HashMap<TrustProperty, f64>,
+}
+
+impl Default for TrustWeights {
+    fn default() -> Self {
+        let mut weights = HashMap::new();
+        for p in TrustProperty::ALL {
+            weights.insert(p, 1.0);
+        }
+        Self { weights }
+    }
+}
+
+impl TrustWeights {
+    /// Sets one property's weight (stakeholders tune these trade-offs, §VIII).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or NaN.
+    pub fn set(&mut self, property: TrustProperty, weight: f64) {
+        assert!(weight >= 0.0 && !weight.is_nan(), "weight must be non-negative");
+        self.weights.insert(property, weight);
+    }
+
+    /// The weight for a property (default 1.0).
+    pub fn get(&self, property: TrustProperty) -> f64 {
+        self.weights.get(&property).copied().unwrap_or(1.0)
+    }
+}
+
+/// The aggregated trust score with its per-property breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustScore {
+    /// Weighted overall score in `[0, 1]`.
+    pub overall: f64,
+    /// Normalized per-property scores in `[0, 1]`, with their weights.
+    pub per_property: Vec<(TrustProperty, f64, f64)>,
+}
+
+/// Normalizes one reading into a `[0, 1]` "goodness" score.
+///
+/// Higher-is-better readings are assumed already unit-scaled (accuracy, robustness)
+/// and are clamped; lower-is-better readings map through `1 / (1 + value)` so zero is
+/// perfect and growth decays smoothly (SHAP dissimilarity is unbounded above).
+pub fn normalize_reading(reading: &SensorReading) -> f64 {
+    match reading.direction {
+        Direction::HigherIsBetter => reading.value.clamp(0.0, 1.0),
+        Direction::LowerIsBetter => 1.0 / (1.0 + reading.value.max(0.0)),
+    }
+}
+
+/// Aggregates a monitoring round's readings into a [`TrustScore`].
+///
+/// Readings group by property (mean within property), then combine by weighted
+/// average. Properties with no readings are skipped — "the number of trustworthy
+/// properties that can be derived from an application depends on its inherent
+/// characteristics" (§I).
+///
+/// Returns `overall = 0.0` when no readings are given.
+pub fn aggregate(readings: &[SensorReading], weights: &TrustWeights) -> TrustScore {
+    let mut by_property: HashMap<TrustProperty, Vec<f64>> = HashMap::new();
+    for r in readings {
+        by_property.entry(r.property).or_default().push(normalize_reading(r));
+    }
+    let mut per_property = Vec::new();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for p in TrustProperty::ALL {
+        if let Some(values) = by_property.get(&p) {
+            let score = values.iter().sum::<f64>() / values.len() as f64;
+            let w = weights.get(p);
+            per_property.push((p, score, w));
+            num += score * w;
+            den += w;
+        }
+    }
+    TrustScore { overall: if den > 0.0 { num / den } else { 0.0 }, per_property }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(property: TrustProperty, direction: Direction, value: f64) -> SensorReading {
+        SensorReading {
+            sensor: format!("{property}-sensor"),
+            property,
+            direction,
+            value,
+            tick: 0,
+        }
+    }
+
+    #[test]
+    fn normalization_directions() {
+        let high = reading(TrustProperty::Performance, Direction::HigherIsBetter, 0.97);
+        assert!((normalize_reading(&high) - 0.97).abs() < 1e-12);
+        let low0 = reading(TrustProperty::Accountability, Direction::LowerIsBetter, 0.0);
+        assert_eq!(normalize_reading(&low0), 1.0);
+        let low_big = reading(TrustProperty::Accountability, Direction::LowerIsBetter, 9.0);
+        assert!((normalize_reading(&low_big) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_out_of_range_high_readings() {
+        let r = reading(TrustProperty::Performance, Direction::HigherIsBetter, 1.7);
+        assert_eq!(normalize_reading(&r), 1.0);
+    }
+
+    #[test]
+    fn aggregate_averages_within_property() {
+        let rs = vec![
+            reading(TrustProperty::Performance, Direction::HigherIsBetter, 1.0),
+            reading(TrustProperty::Performance, Direction::HigherIsBetter, 0.5),
+        ];
+        let score = aggregate(&rs, &TrustWeights::default());
+        assert!((score.overall - 0.75).abs() < 1e-12);
+        assert_eq!(score.per_property.len(), 1);
+    }
+
+    #[test]
+    fn weights_shift_the_overall() {
+        let rs = vec![
+            reading(TrustProperty::Performance, Direction::HigherIsBetter, 1.0),
+            reading(TrustProperty::Robustness, Direction::HigherIsBetter, 0.0),
+        ];
+        let balanced = aggregate(&rs, &TrustWeights::default());
+        assert!((balanced.overall - 0.5).abs() < 1e-12);
+        let mut w = TrustWeights::default();
+        w.set(TrustProperty::Robustness, 3.0);
+        let robust_heavy = aggregate(&rs, &w);
+        assert!(robust_heavy.overall < balanced.overall);
+    }
+
+    #[test]
+    fn missing_properties_are_skipped_not_zeroed() {
+        let rs = vec![reading(TrustProperty::Performance, Direction::HigherIsBetter, 0.9)];
+        let score = aggregate(&rs, &TrustWeights::default());
+        assert!((score.overall - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_readings_score_zero() {
+        let score = aggregate(&[], &TrustWeights::default());
+        assert_eq!(score.overall, 0.0);
+        assert!(score.per_property.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        TrustWeights::default().set(TrustProperty::Privacy, -1.0);
+    }
+}

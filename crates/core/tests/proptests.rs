@@ -1,0 +1,99 @@
+//! Property-based tests for the SPATIAL core: trust aggregation must be a proper
+//! weighted average of normalized readings, and label sanitization must terminate
+//! with labels in range.
+
+use proptest::prelude::*;
+use spatial_core::property::{Direction, TrustProperty};
+use spatial_core::sensor::SensorReading;
+use spatial_core::trust::{aggregate, normalize_reading, TrustWeights};
+
+fn arb_reading() -> impl Strategy<Value = SensorReading> {
+    (
+        0usize..TrustProperty::ALL.len(),
+        prop_oneof![Just(Direction::HigherIsBetter), Just(Direction::LowerIsBetter)],
+        -2.0f64..5.0,
+        0u64..100,
+    )
+        .prop_map(|(p, direction, value, tick)| SensorReading {
+            sensor: format!("s{p}"),
+            property: TrustProperty::ALL[p],
+            direction,
+            value,
+            tick,
+        })
+}
+
+proptest! {
+    #[test]
+    fn normalized_readings_are_unit_interval(r in arb_reading()) {
+        let n = normalize_reading(&r);
+        prop_assert!((0.0..=1.0).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn aggregate_is_bounded_and_stable(
+        readings in proptest::collection::vec(arb_reading(), 0..24)
+    ) {
+        let weights = TrustWeights::default();
+        let score = aggregate(&readings, &weights);
+        prop_assert!((0.0..=1.0).contains(&score.overall), "{}", score.overall);
+        for (_, s, w) in &score.per_property {
+            prop_assert!((0.0..=1.0).contains(s));
+            prop_assert!(*w >= 0.0);
+        }
+        // Aggregation is deterministic.
+        prop_assert_eq!(aggregate(&readings, &weights), score);
+    }
+
+    #[test]
+    fn zero_weight_property_does_not_move_the_score(
+        readings in proptest::collection::vec(arb_reading(), 1..24)
+    ) {
+        // Zero out one property's weight; the overall must equal aggregation over the
+        // remaining properties.
+        let mut weights = TrustWeights::default();
+        weights.set(TrustProperty::Privacy, 0.0);
+        let with_privacy = aggregate(&readings, &weights);
+        let without: Vec<SensorReading> = readings
+            .iter()
+            .filter(|r| r.property != TrustProperty::Privacy)
+            .cloned()
+            .collect();
+        let reference = aggregate(&without, &weights);
+        if !without.is_empty() {
+            prop_assert!((with_privacy.overall - reference.overall).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sanitization_terminates_with_valid_labels(
+        labels in proptest::collection::vec(0usize..3, 8..40),
+        seed in 0u64..50,
+    ) {
+        use spatial_core::feedback::sanitize_labels;
+        use spatial_data::Dataset;
+        use spatial_linalg::{rng, Matrix};
+        use rand::Rng;
+        let mut r = rng::seeded(seed);
+        let rows: Vec<Vec<f64>> = (0..labels.len())
+            .map(|_| vec![r.random_range(-5.0..5.0), r.random_range(-5.0..5.0)])
+            .collect();
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let out = sanitize_labels(&ds, 3);
+        prop_assert_eq!(out.dataset.n_samples(), ds.n_samples());
+        prop_assert!(out.dataset.labels.iter().all(|&l| l < 3));
+        // Relabelled indices actually changed; everything else unchanged.
+        for i in 0..ds.n_samples() {
+            if out.relabelled.contains(&i) {
+                prop_assert_ne!(out.dataset.labels[i], ds.labels[i]);
+            } else {
+                prop_assert_eq!(out.dataset.labels[i], ds.labels[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Text charts: sparklines, horizontal bars, and small line charts.
+//!
+//! These replace the paper's D3/Chart.js visualizations with information-equivalent
+//! terminal output.
+
+/// Unicode block ramp used by sparklines, from low to high.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a sparkline of the series. Non-finite values render as spaces; a constant
+/// series renders at mid-height. Returns an empty string for an empty series.
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let Some((lo, hi)) = spatial_linalg::stats::min_max(&finite) else {
+        return String::new();
+    };
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if hi > lo {
+                let idx = ((v - lo) / (hi - lo) * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.min(RAMP.len() - 1)]
+            } else {
+                RAMP[RAMP.len() / 2]
+            }
+        })
+        .collect()
+}
+
+/// Renders a horizontal bar of `value` within `[0, max]`, `width` characters wide.
+///
+/// # Panics
+///
+/// Panics if `max <= 0` or `width == 0`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    assert!(max > 0.0, "bar max must be positive");
+    assert!(width > 0, "bar width must be positive");
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"·".repeat(width - filled));
+    s
+}
+
+/// Renders an `(x, y)` series as a labelled line chart with `rows` text rows — the
+/// dashboard's equivalent of the paper's figure panels. Points map to columns in x
+/// order; each column's marker sits at the row matching its y value.
+///
+/// # Panics
+///
+/// Panics if `rows < 2`.
+pub fn line_chart(title: &str, points: &[(f64, f64)], rows: usize) -> String {
+    assert!(rows >= 2, "line chart needs at least two rows");
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN x value"));
+    let ys: Vec<f64> = sorted.iter().map(|p| p.1).collect();
+    let (lo, hi) = spatial_linalg::stats::min_max(&ys).expect("non-empty");
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let cols = sorted.len();
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (c, &(_, y)) in sorted.iter().enumerate() {
+        let r = ((hi - y) / span * (rows - 1) as f64).round() as usize;
+        grid[r.min(rows - 1)][c] = '●';
+    }
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>9.3} ")
+        } else if i == rows - 1 {
+            format!("{lo:>9.3} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} x: {:.3} .. {:.3}\n",
+        "",
+        sorted.first().expect("non-empty").0,
+        sorted.last().expect("non-empty").0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_is_mid() {
+        let s = sparkline(&[3.0, 3.0]);
+        assert!(s.chars().all(|c| c == RAMP[RAMP.len() / 2]));
+    }
+
+    #[test]
+    fn sparkline_empty_and_nan() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[f64::NAN]), "");
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(bar(0.5, 1.0, 4), "██··");
+        assert_eq!(bar(0.0, 1.0, 3), "···");
+        assert_eq!(bar(2.0, 1.0, 3), "███"); // clamped
+    }
+
+    #[test]
+    fn line_chart_contains_extremes_and_markers() {
+        let points = vec![(0.0, 0.97), (0.1, 0.9), (0.5, 0.75)];
+        let chart = line_chart("accuracy vs poison", &points, 5);
+        assert!(chart.contains("accuracy vs poison"));
+        assert!(chart.contains("0.970"));
+        assert!(chart.contains("0.750"));
+        assert_eq!(chart.matches('●').count(), 3);
+    }
+
+    #[test]
+    fn line_chart_empty() {
+        assert!(line_chart("t", &[], 4).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rows")]
+    fn line_chart_rejects_one_row() {
+        let _ = line_chart("t", &[(0.0, 1.0)], 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! JSON snapshot export — the machine-readable face of the dashboard, "for potential
+//! audits and … compliance with accountability regulations" (§I).
+
+use serde::{Deserialize, Serialize};
+use spatial_core::monitor::{Alert, Monitor};
+use spatial_core::trust::TrustScore;
+
+/// A serializable snapshot of the dashboard state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Deployment title.
+    pub title: String,
+    /// Monitored model name.
+    pub model: String,
+    /// Completed monitoring rounds.
+    pub rounds: u64,
+    /// Aggregated trust score.
+    pub trust: TrustScore,
+    /// Per-sensor full histories: `(sensor, values)`.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Outstanding alerts.
+    pub alerts: Vec<Alert>,
+}
+
+/// Builds a snapshot from live monitoring state.
+pub fn snapshot(
+    title: &str,
+    model: &str,
+    monitor: &Monitor,
+    trust: &TrustScore,
+    alerts: &[Alert],
+) -> Snapshot {
+    let mut series: Vec<(String, Vec<f64>)> = monitor
+        .all_series()
+        .map(|s| (s.name().to_string(), s.values()))
+        .collect();
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        title: title.to_string(),
+        model: model.to_string(),
+        rounds: monitor.rounds(),
+        trust: trust.clone(),
+        series,
+        alerts: alerts.to_vec(),
+    }
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is serializable")
+    }
+
+    /// Restores a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::property::TrustProperty;
+    use spatial_core::registry::SensorRegistry;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let monitor = Monitor::new(SensorRegistry::new());
+        let trust = TrustScore {
+            overall: 0.8,
+            per_property: vec![(TrustProperty::Performance, 0.8, 1.0)],
+        };
+        let snap = snapshot("uc1", "dnn", &monitor, &trust, &[]);
+        let json = snap.to_json();
+        assert!(json.contains("uc1"));
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(Snapshot::from_json("nope").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Unit-interval gauges with qualitative zones.
+
+/// Qualitative zone of a unit-interval score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Zone {
+    /// `[0, 0.5)` — requires operator attention.
+    Critical,
+    /// `[0.5, 0.8)` — degraded.
+    Warning,
+    /// `[0.8, 1.0]` — healthy.
+    Healthy,
+}
+
+impl Zone {
+    /// Classifies a score (clamped into `[0, 1]`).
+    pub fn of(score: f64) -> Zone {
+        let s = score.clamp(0.0, 1.0);
+        if s < 0.5 {
+            Zone::Critical
+        } else if s < 0.8 {
+            Zone::Warning
+        } else {
+            Zone::Healthy
+        }
+    }
+
+    /// Short label shown next to the gauge.
+    pub fn label(self) -> &'static str {
+        match self {
+            Zone::Critical => "CRITICAL",
+            Zone::Warning => "WARNING",
+            Zone::Healthy => "healthy",
+        }
+    }
+}
+
+/// Renders a labelled gauge line: `name  [████····]  0.53  WARNING`.
+pub fn gauge(name: &str, score: f64, width: usize) -> String {
+    let zone = Zone::of(score);
+    format!(
+        "{name:<22} [{}] {:>5.2} {}",
+        crate::chart::bar(score.clamp(0.0, 1.0), 1.0, width.max(1)),
+        score,
+        zone.label()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_partition_the_interval() {
+        assert_eq!(Zone::of(0.0), Zone::Critical);
+        assert_eq!(Zone::of(0.49), Zone::Critical);
+        assert_eq!(Zone::of(0.5), Zone::Warning);
+        assert_eq!(Zone::of(0.79), Zone::Warning);
+        assert_eq!(Zone::of(0.8), Zone::Healthy);
+        assert_eq!(Zone::of(1.0), Zone::Healthy);
+    }
+
+    #[test]
+    fn out_of_range_scores_clamp() {
+        assert_eq!(Zone::of(-3.0), Zone::Critical);
+        assert_eq!(Zone::of(7.0), Zone::Healthy);
+    }
+
+    #[test]
+    fn gauge_contains_name_value_zone() {
+        let g = gauge("resilience", 0.53, 10);
+        assert!(g.contains("resilience"));
+        assert!(g.contains("0.53"));
+        assert!(g.contains("WARNING"));
+    }
+}

@@ -1,0 +1,23 @@
+//! The AI dashboard — terminal edition.
+//!
+//! "An AI dashboard serves as a tool to provide insights to human operators, enabling
+//! them to monitor and adjust AI trustworthiness according to their preferences" (§I).
+//! The paper's front end is a React web app; per the substitution policy in
+//! `DESIGN.md`, this crate renders the same information content as text: per-property
+//! gauges, sensor time-series sparklines, alert feeds, and machine-readable JSON
+//! snapshots for auditors.
+//!
+//! - [`chart`] — sparklines, horizontal bars and axis-labelled line charts.
+//! - [`gauge`] — unit-interval gauges for trust/property scores.
+//! - [`render`] — the full dashboard view over a monitor + trust score.
+//! - [`export`] — JSON snapshot of everything on screen.
+//! - [`narrate`] — stakeholder-tailored plain-language summaries (end user /
+//!   developer / auditor), the paper's §VIII "extra layer of transformation".
+
+pub mod chart;
+pub mod export;
+pub mod gauge;
+pub mod narrate;
+pub mod render;
+
+pub use render::{render_dashboard, DashboardView};

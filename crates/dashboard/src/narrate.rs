@@ -1,0 +1,186 @@
+//! Stakeholder-tailored narration of monitoring state.
+//!
+//! The paper calls for "an extra layer of transformation … to map understandable
+//! insights of a model to a specific target audience", e.g. "tailored explanations
+//! for end users and software developers" (§VIII), and lists LLM-backed narration as
+//! future work (§IX). This module implements the deterministic template version of
+//! that layer: the same readings and alerts rendered in the vocabulary of three
+//! audiences.
+
+use spatial_core::monitor::{Alert, AlertKind};
+use spatial_core::property::TrustProperty;
+use spatial_core::sensor::SensorReading;
+use spatial_core::trust::TrustScore;
+
+/// Who the narration is written for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Audience {
+    /// Non-technical person relying on the application's decisions.
+    EndUser,
+    /// Engineer operating the deployment.
+    Developer,
+    /// Compliance/audit stakeholder.
+    Auditor,
+}
+
+/// Renders a narrated summary of one monitoring round for the given audience.
+pub fn narrate(
+    audience: Audience,
+    trust: &TrustScore,
+    readings: &[SensorReading],
+    alerts: &[Alert],
+) -> String {
+    match audience {
+        Audience::EndUser => narrate_end_user(trust, alerts),
+        Audience::Developer => narrate_developer(trust, readings, alerts),
+        Audience::Auditor => narrate_auditor(trust, readings, alerts),
+    }
+}
+
+fn health_word(score: f64) -> &'static str {
+    if score >= 0.8 {
+        "working normally"
+    } else if score >= 0.5 {
+        "showing some problems"
+    } else {
+        "not reliable right now"
+    }
+}
+
+fn narrate_end_user(trust: &TrustScore, alerts: &[Alert]) -> String {
+    let mut out = format!(
+        "The automated assistant is {}.\n",
+        health_word(trust.overall)
+    );
+    if alerts.is_empty() {
+        out.push_str("No issues need your attention.\n");
+    } else {
+        out.push_str(
+            "Our monitoring noticed unusual behaviour; a human operator has been notified. \
+             Please double-check important decisions until this clears.\n",
+        );
+    }
+    out
+}
+
+fn narrate_developer(
+    trust: &TrustScore,
+    readings: &[SensorReading],
+    alerts: &[Alert],
+) -> String {
+    let mut out = format!("trust={:.3}; per-sensor readings:\n", trust.overall);
+    for r in readings {
+        out.push_str(&format!("  {} [{}] = {:.4}\n", r.sensor, r.property, r.value));
+    }
+    for a in alerts {
+        match &a.kind {
+            AlertKind::DriftExceeded { baseline, degradation } => out.push_str(&format!(
+                "  ACTION: {} drifted {degradation:+.4} from baseline {baseline:.4} — inspect \
+                 recent training contributions; consider label sanitization + retrain\n",
+                a.sensor
+            )),
+            AlertKind::ThresholdBreached { threshold } => out.push_str(&format!(
+                "  ACTION: {} = {:.4} breached operator bound {threshold:.4} — check the \
+                 serving path and roll back if user-facing\n",
+                a.sensor, a.value
+            )),
+        }
+    }
+    out
+}
+
+fn narrate_auditor(
+    trust: &TrustScore,
+    readings: &[SensorReading],
+    alerts: &[Alert],
+) -> String {
+    let mut out = String::from("COMPLIANCE SUMMARY\n");
+    out.push_str(&format!(
+        "Aggregate trust score {:.2} across {} quantified properties.\n",
+        trust.overall,
+        trust.per_property.len()
+    ));
+    for p in TrustProperty::ALL {
+        let values: Vec<f64> =
+            readings.iter().filter(|r| r.property == p).map(|r| r.value).collect();
+        if values.is_empty() {
+            out.push_str(&format!("- {p}: not quantified for this application.\n"));
+        } else {
+            out.push_str(&format!(
+                "- {p}: {} sensor reading(s), values {:?}.\n",
+                values.len(),
+                values.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<f64>>()
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{} alert(s) raised this round; full event trail available as JSON export.\n",
+        alerts.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::property::Direction;
+
+    fn reading(sensor: &str, property: TrustProperty, value: f64) -> SensorReading {
+        SensorReading {
+            sensor: sensor.into(),
+            property,
+            direction: Direction::HigherIsBetter,
+            value,
+            tick: 1,
+        }
+    }
+
+    fn alert() -> Alert {
+        Alert {
+            sensor: "accuracy".into(),
+            value: 0.71,
+            tick: 1,
+            kind: AlertKind::DriftExceeded { baseline: 0.97, degradation: 0.26 },
+        }
+    }
+
+    fn trust(overall: f64) -> TrustScore {
+        TrustScore { overall, per_property: vec![(TrustProperty::Performance, overall, 1.0)] }
+    }
+
+    #[test]
+    fn end_user_text_is_nontechnical() {
+        let text = narrate(Audience::EndUser, &trust(0.9), &[], &[]);
+        assert!(text.contains("working normally"));
+        assert!(!text.contains("accuracy"), "no jargon for end users: {text}");
+        let degraded = narrate(Audience::EndUser, &trust(0.6), &[], &[alert()]);
+        assert!(degraded.contains("double-check"));
+    }
+
+    #[test]
+    fn developer_text_names_sensors_and_actions() {
+        let readings = vec![reading("accuracy", TrustProperty::Performance, 0.71)];
+        let text = narrate(Audience::Developer, &trust(0.7), &readings, &[alert()]);
+        assert!(text.contains("accuracy"));
+        assert!(text.contains("ACTION"));
+        assert!(text.contains("label sanitization"));
+    }
+
+    #[test]
+    fn auditor_text_covers_every_property() {
+        let readings = vec![reading("accuracy", TrustProperty::Performance, 0.97)];
+        let text = narrate(Audience::Auditor, &trust(0.97), &readings, &[]);
+        for p in TrustProperty::ALL {
+            assert!(text.contains(p.name()), "{} missing", p.name());
+        }
+        assert!(text.contains("not quantified"));
+        assert!(text.contains("0 alert(s)"));
+    }
+
+    #[test]
+    fn health_words_partition_scores() {
+        assert_eq!(health_word(0.95), "working normally");
+        assert_eq!(health_word(0.6), "showing some problems");
+        assert_eq!(health_word(0.2), "not reliable right now");
+    }
+}

@@ -1,0 +1,166 @@
+//! The full dashboard view.
+//!
+//! Composes the trust gauge, per-property gauges, per-sensor sparklines and the alert
+//! feed into the screen a human operator reads — the terminal equivalent of the
+//! paper's React dashboard.
+
+use crate::chart::sparkline;
+use crate::gauge::gauge;
+use spatial_core::monitor::{Alert, AlertKind, Monitor};
+use spatial_core::trust::TrustScore;
+
+/// Everything one dashboard render needs.
+#[derive(Debug)]
+pub struct DashboardView<'a> {
+    /// Application/deployment title.
+    pub title: &'a str,
+    /// Display name of the monitored model.
+    pub model_name: &'a str,
+    /// The monitor whose series are rendered.
+    pub monitor: &'a Monitor,
+    /// The latest aggregated trust score.
+    pub trust: &'a TrustScore,
+    /// Alerts to surface (typically the latest round's).
+    pub alerts: &'a [Alert],
+}
+
+/// Renders the dashboard as multi-line text.
+pub fn render_dashboard(view: &DashboardView<'_>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== SPATIAL AI DASHBOARD :: {} :: model {} ==\n",
+        view.title, view.model_name
+    ));
+    out.push_str(&format!("monitoring rounds: {}\n\n", view.monitor.rounds()));
+
+    out.push_str(&gauge("OVERALL TRUST", view.trust.overall, 24));
+    out.push('\n');
+    for (property, score, weight) in &view.trust.per_property {
+        out.push_str(&format!(
+            "{}  (w={weight:.1})\n",
+            gauge(&format!("  {property}"), *score, 24)
+        ));
+    }
+
+    out.push_str("\nsensor history\n");
+    let mut series: Vec<_> = view.monitor.all_series().collect();
+    series.sort_by(|a, b| a.name().cmp(b.name()));
+    for s in series {
+        let values = s.values();
+        out.push_str(&format!(
+            "  {:<26} {}  last={:.4} drift={:+.4}\n",
+            s.name(),
+            sparkline(&values),
+            s.last().map_or(f64::NAN, |x| x.value),
+            s.drift_from_baseline(),
+        ));
+    }
+
+    out.push_str("\nalerts\n");
+    if view.alerts.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for a in view.alerts {
+        match &a.kind {
+            AlertKind::DriftExceeded { baseline, degradation } => {
+                out.push_str(&format!(
+                    "  !! round {} {}: value {:.4} degraded {:+.4} from baseline {:.4}\n",
+                    a.tick, a.sensor, a.value, degradation, baseline
+                ));
+            }
+            AlertKind::ThresholdBreached { threshold } => {
+                out.push_str(&format!(
+                    "  !! round {} {}: value {:.4} breached bound {:.4}\n",
+                    a.tick, a.sensor, a.value, threshold
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::monitor::AlertKind;
+    use spatial_core::property::TrustProperty;
+    use spatial_core::registry::SensorRegistry;
+    use spatial_core::trust::TrustScore;
+
+    fn trust() -> TrustScore {
+        TrustScore {
+            overall: 0.74,
+            per_property: vec![
+                (TrustProperty::Performance, 0.97, 1.0),
+                (TrustProperty::Accountability, 0.51, 1.0),
+            ],
+        }
+    }
+
+    fn alert() -> Alert {
+        Alert {
+            sensor: "accuracy".into(),
+            value: 0.71,
+            tick: 4,
+            kind: AlertKind::DriftExceeded { baseline: 0.97, degradation: 0.26 },
+        }
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let monitor = Monitor::new(SensorRegistry::new());
+        let t = trust();
+        let alerts = vec![alert()];
+        let view = DashboardView {
+            title: "fall-detection",
+            model_name: "dnn",
+            monitor: &monitor,
+            trust: &t,
+            alerts: &alerts,
+        };
+        let text = render_dashboard(&view);
+        assert!(text.contains("SPATIAL AI DASHBOARD"));
+        assert!(text.contains("fall-detection"));
+        assert!(text.contains("OVERALL TRUST"));
+        assert!(text.contains("performance"));
+        assert!(text.contains("accountability"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("0.71"));
+    }
+
+    #[test]
+    fn no_alerts_renders_none() {
+        let monitor = Monitor::new(SensorRegistry::new());
+        let t = trust();
+        let view = DashboardView {
+            title: "t",
+            model_name: "m",
+            monitor: &monitor,
+            trust: &t,
+            alerts: &[],
+        };
+        assert!(render_dashboard(&view).contains("(none)"));
+    }
+
+    #[test]
+    fn threshold_alert_renders_bound() {
+        let monitor = Monitor::new(SensorRegistry::new());
+        let t = trust();
+        let alerts = vec![Alert {
+            sensor: "noise-robustness".into(),
+            value: 0.4,
+            tick: 2,
+            kind: AlertKind::ThresholdBreached { threshold: 0.8 },
+        }];
+        let view = DashboardView {
+            title: "t",
+            model_name: "m",
+            monitor: &monitor,
+            trust: &t,
+            alerts: &alerts,
+        };
+        let text = render_dashboard(&view);
+        assert!(text.contains("breached bound"));
+        assert!(text.contains("0.8"));
+    }
+}

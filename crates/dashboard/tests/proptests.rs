@@ -1,0 +1,48 @@
+//! Property-based tests for the dashboard rendering primitives.
+
+use proptest::prelude::*;
+use spatial_dashboard::chart::{bar, line_chart, sparkline};
+use spatial_dashboard::gauge::{gauge, Zone};
+
+proptest! {
+    #[test]
+    fn sparkline_has_one_glyph_per_value(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..64)
+    ) {
+        let s = sparkline(&values);
+        prop_assert_eq!(s.chars().count(), values.len());
+    }
+
+    #[test]
+    fn bar_width_is_exact(value in -5.0f64..5.0, width in 1usize..60) {
+        let b = bar(value.max(0.0), 1.0, width);
+        prop_assert_eq!(b.chars().count(), width);
+    }
+
+    #[test]
+    fn gauge_always_contains_name_and_zone(score in -2.0f64..2.0) {
+        let g = gauge("some-property", score, 12);
+        prop_assert!(g.contains("some-property"));
+        prop_assert!(
+            g.contains("healthy") || g.contains("WARNING") || g.contains("CRITICAL")
+        );
+    }
+
+    #[test]
+    fn zones_are_total_over_reals(score in -1e6f64..1e6) {
+        // Classification never panics and is one of the three zones.
+        let z = Zone::of(score);
+        prop_assert!(matches!(z, Zone::Critical | Zone::Warning | Zone::Healthy));
+    }
+
+    #[test]
+    fn line_chart_marks_every_point(
+        points in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..24),
+        rows in 2usize..12,
+    ) {
+        let chart = line_chart("t", &points, rows);
+        prop_assert_eq!(chart.matches('●').count(), points.len());
+        // The extreme y labels appear somewhere in the chart.
+        prop_assert!(chart.contains('|'));
+    }
+}

@@ -1,0 +1,275 @@
+//! CSV serialization for datasets.
+//!
+//! The paper's front end "utilize(s) … Papaparse for parsing CSV data" and the
+//! network use case feeds "processed CSV files" into the classifier. This module is the
+//! equivalent seam: write a [`Dataset`] to CSV and read it back, with quoting rules
+//! (RFC 4180 subset: quoted fields, escaped quotes, no embedded newlines).
+
+use crate::Dataset;
+use spatial_linalg::Matrix;
+use std::fmt;
+
+/// Error raised while parsing CSV text into a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// The header's final column must be the label column.
+    MissingLabelColumn,
+    /// A data row had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A feature cell failed to parse as a float.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "csv input has no header row"),
+            Self::MissingLabelColumn => write!(f, "csv header has no label column"),
+            Self::FieldCount { line, got, expected } => {
+                write!(f, "line {line}: expected {expected} fields, found {got}")
+            }
+            Self::BadNumber { line, col } => {
+                write!(f, "line {line}: column {col} is not a number")
+            }
+            Self::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Serializes a dataset as CSV: a header of feature names plus a final `label` column
+/// holding class *names*.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for name in &ds.feature_names {
+        out.push_str(&quote(name));
+        out.push(',');
+    }
+    out.push_str("label\n");
+    for (i, row) in ds.features.iter_rows().enumerate() {
+        for v in row {
+            out.push_str(&format_float(*v));
+            out.push(',');
+        }
+        out.push_str(&quote(&ds.class_names[ds.labels[i]]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text produced by [`to_csv`] (or compatible external data) back into a
+/// [`Dataset`]. The final column is the label; class names are collected in order of
+/// first appearance.
+///
+/// # Errors
+///
+/// Returns a [`ParseCsvError`] describing the first malformed line.
+pub fn from_csv(text: &str) -> Result<Dataset, ParseCsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (hline, header) = lines.next().ok_or(ParseCsvError::MissingHeader)?;
+    let mut names = split_line(header, hline + 1)?;
+    if names.len() < 2 {
+        return Err(ParseCsvError::MissingLabelColumn);
+    }
+    names.pop(); // drop the label column header
+    let n_features = names.len();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut class_names: Vec<String> = Vec::new();
+    for (lineno, line) in lines {
+        let fields = split_line(line, lineno + 1)?;
+        if fields.len() != n_features + 1 {
+            return Err(ParseCsvError::FieldCount {
+                line: lineno + 1,
+                got: fields.len(),
+                expected: n_features + 1,
+            });
+        }
+        let mut row = Vec::with_capacity(n_features);
+        for (c, cell) in fields[..n_features].iter().enumerate() {
+            let v: f64 = cell
+                .trim()
+                .parse()
+                .map_err(|_| ParseCsvError::BadNumber { line: lineno + 1, col: c })?;
+            row.push(v);
+        }
+        let class = fields[n_features].trim().to_string();
+        let label = match class_names.iter().position(|c| *c == class) {
+            Some(i) => i,
+            None => {
+                class_names.push(class);
+                class_names.len() - 1
+            }
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    let features = if rows.is_empty() {
+        Matrix::zeros(0, n_features)
+    } else {
+        Matrix::from_row_vecs(rows)
+    };
+    Ok(Dataset::new(features, labels, names, ensure_nonempty(class_names)))
+}
+
+fn ensure_nonempty(mut classes: Vec<String>) -> Vec<String> {
+    if classes.is_empty() {
+        classes.push("unlabelled".to_string());
+    }
+    classes
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn format_float(v: f64) -> String {
+    // Shortest representation that round-trips through f64.
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, ParseCsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ParseCsvError::UnterminatedQuote { line: lineno });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0, 2.5], &[-0.5, 3.0]]),
+            vec![0, 1],
+            vec!["dur".into(), "tcp,ratio".into()],
+            vec!["web".into(), "video".into()],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let text = to_csv(&ds);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.feature_names, ds.feature_names);
+        assert_eq!(back.class_names, ds.class_names);
+        assert_eq!(back.labels, ds.labels);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((back.features[(r, c)] - ds.features[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_commas_survive() {
+        let text = to_csv(&sample());
+        assert!(text.contains("\"tcp,ratio\""));
+    }
+
+    #[test]
+    fn escaped_quotes_round_trip() {
+        let mut ds = sample();
+        ds.feature_names[0] = "a\"b".into();
+        let back = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(back.feature_names[0], "a\"b");
+    }
+
+    #[test]
+    fn bad_number_is_located() {
+        let err = from_csv("x,label\nnot_a_number,web\n").unwrap_err();
+        assert_eq!(err, ParseCsvError::BadNumber { line: 2, col: 0 });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_reported() {
+        let err = from_csv("x,y,label\n1.0,web\n").unwrap_err();
+        assert!(matches!(err, ParseCsvError::FieldCount { line: 2, got: 2, expected: 3 }));
+    }
+
+    #[test]
+    fn missing_header_and_label() {
+        assert_eq!(from_csv("").unwrap_err(), ParseCsvError::MissingHeader);
+        assert_eq!(from_csv("only\n").unwrap_err(), ParseCsvError::MissingLabelColumn);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = from_csv("x,label\n\"oops,web\n").unwrap_err();
+        assert!(matches!(err, ParseCsvError::UnterminatedQuote { line: 2 }));
+    }
+
+    #[test]
+    fn empty_body_parses_to_empty_dataset() {
+        let ds = from_csv("x,label\n").unwrap();
+        assert_eq!(ds.n_samples(), 0);
+        assert_eq!(ds.n_features(), 1);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = from_csv("x,label\n\n1.0,a\n\n2.0,b\n").unwrap();
+        assert_eq!(ds.n_samples(), 2);
+        assert_eq!(ds.class_names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The shared labelled-dataset container.
+
+use spatial_linalg::{rng, Matrix};
+
+/// A labelled tabular dataset: one feature row and one class label per sample, with
+/// human-readable feature and class names (SHAP reports rank *named* features, as in
+/// the paper's Fig. 7).
+///
+/// # Example
+///
+/// ```
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[0.9, 0.1], &[0.1, 0.8]]),
+///     vec![0, 1, 1, 0],
+///     vec!["udp".into(), "tcp".into()],
+///     vec!["web".into(), "video".into()],
+/// );
+/// assert_eq!(ds.n_samples(), 4);
+/// assert_eq!(ds.class_counts(), vec![2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature matrix, one row per sample.
+    pub features: Matrix,
+    /// Class label per sample, each in `0..class_names.len()`.
+    pub labels: Vec<usize>,
+    /// One name per feature column.
+    pub feature_names: Vec<String>,
+    /// One name per class.
+    pub class_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating all invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the row count, a label is out of range,
+    /// or the feature-name count differs from the column count.
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(features.rows(), labels.len(), "one label per sample required");
+        assert_eq!(
+            features.cols(),
+            feature_names.len(),
+            "one name per feature column required"
+        );
+        assert!(!class_names.is_empty(), "at least one class required");
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < class_names.len(), "label {l} of sample {i} out of range");
+        }
+        Self { features, labels, feature_names, class_names }
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Per-class sample counts, indexed by label.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the samples selected by `indices` (repetition allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            class_names: self.class_names.clone(),
+        }
+    }
+
+    /// Stratified train/test split: each class contributes `train_fraction` of its
+    /// samples (rounded) to the training set, shuffled with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let (train_idx, test_idx) =
+            crate::split::stratified_indices(&self.labels, train_fraction, seed);
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Remaps the dataset to a binary task: classes whose index appears in
+    /// `positive_classes` become label `1` (named `positive_name`), everything else
+    /// label `0` (named `negative_name`). Used to derive the fall-vs-ADL task from the
+    /// 17-class UniMiB labels.
+    pub fn binarize(
+        &self,
+        positive_classes: &[usize],
+        negative_name: &str,
+        positive_name: &str,
+    ) -> Dataset {
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| usize::from(positive_classes.contains(l)))
+            .collect();
+        Dataset {
+            features: self.features.clone(),
+            labels,
+            feature_names: self.feature_names.clone(),
+            class_names: vec![negative_name.to_string(), positive_name.to_string()],
+        }
+    }
+
+    /// Returns a copy with rows shuffled by `seed` (labels follow their rows).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let perm = rng::permutation(&mut r, self.n_samples());
+        self.subset(&perm)
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]),
+            vec![0, 0, 0, 0, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let ds = tiny();
+        assert_eq!(ds.n_samples(), 6);
+        assert_eq!(ds.n_features(), 1);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn mismatched_labels_panic() {
+        Dataset::new(Matrix::zeros(2, 1), vec![0], vec!["x".into()], vec!["a".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        Dataset::new(Matrix::zeros(1, 1), vec![3], vec!["x".into()], vec!["a".into()]);
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let ds = tiny();
+        let s = ds.subset(&[4, 0]);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.features.row(0), &[4.0]);
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let ds = tiny();
+        let (train, test) = ds.split(0.5, 7);
+        assert_eq!(train.n_samples() + test.n_samples(), 6);
+        // Each class present in both halves.
+        assert!(train.class_counts().iter().all(|&c| c > 0));
+        assert!(test.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = tiny();
+        let (a, _) = ds.split(0.5, 9);
+        let (b, _) = ds.split(0.5, 9);
+        assert_eq!(a, b);
+        let (c, _) = ds.split(0.5, 10);
+        assert!(a != c || a.labels == c.labels); // different seed usually differs
+    }
+
+    #[test]
+    fn binarize_maps_positive_set() {
+        let ds = tiny();
+        let b = ds.binarize(&[1], "adl", "fall");
+        assert_eq!(b.labels, vec![0, 0, 0, 0, 1, 1]);
+        assert_eq!(b.class_names, vec!["adl".to_string(), "fall".to_string()]);
+        assert_eq!(b.n_classes(), 2);
+    }
+
+    #[test]
+    fn shuffled_preserves_pairing() {
+        let ds = tiny();
+        let sh = ds.shuffled(3);
+        for i in 0..sh.n_samples() {
+            // In `tiny`, feature value >= 4.0 iff label == 1.
+            assert_eq!(sh.labels[i] == 1, sh.features.row(i)[0] >= 4.0);
+        }
+    }
+
+    #[test]
+    fn indices_of_class_finds_all() {
+        let ds = tiny();
+        assert_eq!(ds.indices_of_class(1), vec![4, 5]);
+    }
+}

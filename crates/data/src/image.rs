@@ -1,0 +1,250 @@
+//! Synthetic grayscale image corpus for the image-XAI capacity experiments.
+//!
+//! The paper's Experiment 2 (§VI-B) stresses the LIME/SHAP/occlusion micro-services
+//! with *image* inputs, whose explanation cost dwarfs tabular inputs. The images
+//! themselves only need to (a) be classifiable by a small model and (b) have spatially
+//! localized evidence so occlusion/LIME produce meaningful maps. Two-class blob images
+//! satisfy both: class 0 has a single centered blob, class 1 has two off-center blobs.
+
+use rand::Rng;
+use spatial_linalg::rng;
+
+/// A square grayscale image with pixel intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    side: usize,
+    pixels: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Creates an all-black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn black(side: usize) -> Self {
+        assert!(side > 0, "image side must be positive");
+        Self { side, pixels: vec![0.0; side * side] }
+    }
+
+    /// Creates an image from a flat row-major pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not `side * side`.
+    pub fn from_pixels(side: usize, pixels: Vec<f64>) -> Self {
+        assert_eq!(pixels.len(), side * side, "pixel buffer size mismatch");
+        Self { side, pixels }
+    }
+
+    /// Side length in pixels.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.side && col < self.side, "pixel ({row},{col}) out of bounds");
+        self.pixels[row * self.side + col]
+    }
+
+    /// Sets pixel `(row, col)`, clamping into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        assert!(row < self.side && col < self.side, "pixel ({row},{col}) out of bounds");
+        self.pixels[row * self.side + col] = v.clamp(0.0, 1.0);
+    }
+
+    /// Flat row-major pixel view (the feature vector for pixel-space models).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Returns a copy with the square patch at `(row, col)` (top-left corner) of size
+    /// `patch` replaced by `fill` — the primitive behind occlusion sensitivity.
+    /// The patch is clipped at the image border.
+    pub fn occlude(&self, row: usize, col: usize, patch: usize, fill: f64) -> GrayImage {
+        let mut out = self.clone();
+        for r in row..(row + patch).min(self.side) {
+            for c in col..(col + patch).min(self.side) {
+                out.set(r, c, fill);
+            }
+        }
+        out
+    }
+
+    /// Splits the image into a grid of `grid x grid` superpixels and returns the
+    /// superpixel index of each pixel (row-major) — LIME's segmentation stand-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0` or `grid > side`.
+    pub fn superpixel_map(&self, grid: usize) -> Vec<usize> {
+        assert!(grid > 0 && grid <= self.side, "invalid superpixel grid {grid}");
+        let cell = self.side.div_ceil(grid);
+        let mut map = Vec::with_capacity(self.side * self.side);
+        for r in 0..self.side {
+            for c in 0..self.side {
+                let sr = (r / cell).min(grid - 1);
+                let sc = (c / cell).min(grid - 1);
+                map.push(sr * grid + sc);
+            }
+        }
+        map
+    }
+}
+
+/// A labelled image corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageCorpus {
+    /// The images.
+    pub images: Vec<GrayImage>,
+    /// Class labels (`0` = single centered blob, `1` = two off-center blobs).
+    pub labels: Vec<usize>,
+}
+
+/// Generates a two-class blob corpus of `n` images with side length `side`.
+///
+/// # Example
+///
+/// ```
+/// let corpus = spatial_data::image::generate_blobs(10, 16, 7);
+/// assert_eq!(corpus.images.len(), 10);
+/// assert!(corpus.labels.iter().all(|&l| l < 2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `side < 8`.
+pub fn generate_blobs(n: usize, side: usize, seed: u64) -> ImageCorpus {
+    assert!(n > 0, "need at least one image");
+    assert!(side >= 8, "side must be at least 8");
+    let mut r = rng::seeded(seed);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let mut img = GrayImage::black(side);
+        // Background noise.
+        for row in 0..side {
+            for col in 0..side {
+                img.set(row, col, r.random_range(0.0..0.15));
+            }
+        }
+        if label == 0 {
+            let cx = side as f64 / 2.0 + r.random_range(-1.5..1.5);
+            let cy = side as f64 / 2.0 + r.random_range(-1.5..1.5);
+            paint_blob(&mut img, cx, cy, side as f64 / 5.0, 0.9);
+        } else {
+            let off = side as f64 / 4.0;
+            paint_blob(&mut img, off, off, side as f64 / 7.0, 0.85);
+            paint_blob(
+                &mut img,
+                side as f64 - off,
+                side as f64 - off,
+                side as f64 / 7.0,
+                0.85,
+            );
+        }
+        images.push(img);
+        labels.push(label);
+    }
+    ImageCorpus { images, labels }
+}
+
+fn paint_blob(img: &mut GrayImage, cx: f64, cy: f64, radius: f64, intensity: f64) {
+    let side = img.side();
+    for r in 0..side {
+        for c in 0..side {
+            let d2 = (r as f64 - cy).powi(2) + (c as f64 - cx).powi(2);
+            let v = intensity * (-d2 / (2.0 * radius * radius)).exp();
+            if v > 0.02 {
+                let prev = img.get(r, c);
+                img.set(r, c, (prev + v).min(1.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_image_is_zero() {
+        let img = GrayImage::black(8);
+        assert_eq!(img.side(), 8);
+        assert!(img.as_slice().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn set_clamps_to_unit_interval() {
+        let mut img = GrayImage::black(8);
+        img.set(0, 0, 5.0);
+        img.set(0, 1, -1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn occlude_patches_and_clips() {
+        let mut img = GrayImage::black(8);
+        for r in 0..8 {
+            for c in 0..8 {
+                img.set(r, c, 1.0);
+            }
+        }
+        let occ = img.occlude(6, 6, 4, 0.0);
+        assert_eq!(occ.get(7, 7), 0.0);
+        assert_eq!(occ.get(5, 5), 1.0);
+        // Original untouched.
+        assert_eq!(img.get(7, 7), 1.0);
+    }
+
+    #[test]
+    fn superpixel_map_covers_grid() {
+        let img = GrayImage::black(16);
+        let map = img.superpixel_map(4);
+        assert_eq!(map.len(), 256);
+        let max = *map.iter().max().unwrap();
+        assert_eq!(max, 15);
+        // Top-left pixel in segment 0, bottom-right in the last.
+        assert_eq!(map[0], 0);
+        assert_eq!(map[255], 15);
+    }
+
+    #[test]
+    fn blob_classes_differ_in_center_intensity() {
+        let corpus = generate_blobs(20, 16, 3);
+        let center_mean = |label: usize| {
+            let mut total = 0.0;
+            let mut count = 0;
+            for (img, &l) in corpus.images.iter().zip(&corpus.labels) {
+                if l == label {
+                    total += img.get(8, 8);
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(center_mean(0) > center_mean(1) + 0.2);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        assert_eq!(generate_blobs(6, 16, 9), generate_blobs(6, 16, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be at least 8")]
+    fn tiny_images_rejected() {
+        generate_blobs(1, 4, 0);
+    }
+}

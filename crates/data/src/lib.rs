@@ -1,0 +1,29 @@
+//! Datasets for the SPATIAL reproduction.
+//!
+//! The paper evaluates on two industrial datasets we cannot redistribute:
+//!
+//! 1. **UniMiB SHAR** — 11 771 tri-axial accelerometer windows over 9 activities of
+//!    daily living (ADL) and 8 fall classes from 30 subjects, used by the medical
+//!    e-calling application (use case 1).
+//! 2. **Proprietary network traces** — 2.15 GB of Wireshark captures reduced to 382
+//!    labelled flow traces (304 Web / 34 Interactive / 44 Video) with 21 features in
+//!    five categories, used by the network activity classifier (use case 2).
+//!
+//! Per the substitution policy in `DESIGN.md`, this crate provides statistically
+//! faithful synthetic generators for both ([`unimib`], [`netflow`] fed by [`packet`]),
+//! plus a small synthetic image corpus ([`image`]) for the image-XAI capacity
+//! experiments, the shared [`Dataset`] container, stratified [`split`]ting, feature
+//! [`preprocess`]ing, and [`csv`] I/O (the papaparse equivalent).
+//!
+//! Everything is seeded and deterministic.
+
+pub mod csv;
+pub mod dataset;
+pub mod image;
+pub mod netflow;
+pub mod packet;
+pub mod preprocess;
+pub mod split;
+pub mod unimib;
+
+pub use dataset::Dataset;

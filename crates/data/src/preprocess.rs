@@ -1,0 +1,216 @@
+//! Feature preprocessing: the "data preparation" stage of the paper's AI pipeline
+//! (Fig. 4a). Scalers are *fitted on training data only* and then applied to test or
+//! production data, mirroring how the paper's pipeline micro-service prepares inputs.
+
+use spatial_linalg::{stats, stats::Moments, Matrix};
+
+/// Zero-mean / unit-variance scaler (scikit-learn's `StandardScaler` equivalent).
+///
+/// # Example
+///
+/// ```
+/// use spatial_data::preprocess::StandardScaler;
+/// use spatial_linalg::Matrix;
+///
+/// let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+/// let scaler = StandardScaler::fit(&train);
+/// let z = scaler.transform(&train);
+/// assert!(z.col(0).iter().sum::<f64>().abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    moments: Vec<Moments>,
+}
+
+impl StandardScaler {
+    /// Computes per-column moments from training features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` has no rows.
+    pub fn fit(train: &Matrix) -> Self {
+        assert!(train.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let moments =
+            (0..train.cols()).map(|c| stats::column_moments(&train.col(c))).collect();
+        Self { moments }
+    }
+
+    /// Standardizes every column of `m` with the fitted moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has a different column count than the fitted matrix.
+    pub fn transform(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.moments.len(), "scaler column-count mismatch");
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = self.moments[c].standardize(*v);
+            }
+        }
+        out
+    }
+
+    /// Standardizes a single feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted column count.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.moments.len(), "scaler column-count mismatch");
+        row.iter().zip(&self.moments).map(|(&v, m)| m.standardize(v)).collect()
+    }
+
+    /// Inverse of [`StandardScaler::transform_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted column count.
+    pub fn inverse_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.moments.len(), "scaler column-count mismatch");
+        row.iter().zip(&self.moments).map(|(&v, m)| m.destandardize(v)).collect()
+    }
+
+    /// The fitted per-column moments.
+    pub fn moments(&self) -> &[Moments] {
+        &self.moments
+    }
+}
+
+/// Min-max scaler mapping each column into `[0, 1]` (constant columns map to `0.5`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    ranges: Vec<(f64, f64)>,
+}
+
+impl MinMaxScaler {
+    /// Computes per-column `(min, max)` from training features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` has no rows.
+    pub fn fit(train: &Matrix) -> Self {
+        assert!(train.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let ranges = (0..train.cols())
+            .map(|c| stats::min_max(&train.col(c)).expect("non-empty column"))
+            .collect();
+        Self { ranges }
+    }
+
+    /// Rescales every column of `m` into `[0, 1]` (clamping out-of-range values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has a different column count than the fitted matrix.
+    pub fn transform(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.ranges.len(), "scaler column-count mismatch");
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                let (lo, hi) = self.ranges[c];
+                *v = if hi > lo { ((*v - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 };
+            }
+        }
+        out
+    }
+}
+
+/// Simple data-quality cleaning (the paper's "data collection" stage mentions missing
+/// data and duplicates): replaces non-finite entries with the column mean computed over
+/// finite entries, and returns the number of cells repaired.
+pub fn repair_non_finite(m: &mut Matrix) -> usize {
+    let cols = m.cols();
+    let mut repaired = 0;
+    for c in 0..cols {
+        let col = m.col(c);
+        let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+        let fill = spatial_linalg::vector::mean(&finite);
+        for r in 0..m.rows() {
+            if !m[(r, c)].is_finite() {
+                m[(r, c)] = fill;
+                repaired += 1;
+            }
+        }
+    }
+    repaired
+}
+
+/// Removes exactly duplicated rows (keeping first occurrences); returns the kept
+/// indices. Float equality is bitwise, which is what "removing duplicates" means for
+/// re-ingested CSV data.
+pub fn dedup_rows(m: &Matrix) -> Vec<usize> {
+    let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+    let mut keep = Vec::new();
+    for (i, row) in m.iter_rows().enumerate() {
+        let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+        if seen.insert(key) {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let m = Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0]]);
+        let s = StandardScaler::fit(&m);
+        let z = s.transform(&m);
+        for c in 0..2 {
+            let col = z.col(c);
+            assert!(spatial_linalg::vector::mean(&col).abs() < 1e-9);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_row_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, -5.0], &[3.0, 5.0]]);
+        let s = StandardScaler::fit(&m);
+        let z = s.transform_row(&[2.0, 0.0]);
+        let back = s.inverse_row(&z);
+        assert!((back[0] - 2.0).abs() < 1e-9);
+        assert!((back[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_scaler_constant_column() {
+        let m = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let s = StandardScaler::fit(&m);
+        assert_eq!(s.transform_row(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-count mismatch")]
+    fn standard_scaler_rejects_wrong_width() {
+        let s = StandardScaler::fit(&Matrix::zeros(2, 2));
+        let _ = s.transform_row(&[1.0]);
+    }
+
+    #[test]
+    fn min_max_scaler_bounds_and_clamps() {
+        let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let s = MinMaxScaler::fit(&train);
+        let out = s.transform(&Matrix::from_rows(&[&[-5.0], &[5.0], &[20.0]]));
+        assert_eq!(out.col(0), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn repair_non_finite_fills_with_mean() {
+        let mut m = Matrix::from_rows(&[&[1.0], &[f64::NAN], &[3.0]]);
+        let n = repair_non_finite(&mut m);
+        assert_eq!(n, 1);
+        assert_eq!(m[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn dedup_rows_keeps_first() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[1.0, 2.0]]);
+        assert_eq!(dedup_rows(&m), vec![0, 1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Stratified splitting and k-fold cross-validation indices.
+//!
+//! The paper trains on poisoned training sets and evaluates on a *retained clean test
+//! set* (§VI-A); stratification keeps the rare classes (8 fall classes; 34 Interactive
+//! traces) represented on both sides of the split.
+
+use spatial_linalg::rng;
+
+/// Produces stratified `(train, test)` index sets: within every class, a seeded shuffle
+/// assigns the first `train_fraction` of samples (rounded, but always leaving at least
+/// one sample on each side when the class has ≥ 2 samples) to the training set.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside the open interval `(0, 1)`.
+pub fn stratified_indices(
+    labels: &[usize],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0,1), got {train_fraction}"
+    );
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in 0..n_classes {
+        let mut members: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut r = rng::seeded(rng::derive_seed(seed, class as u64));
+        let perm = rng::permutation(&mut r, members.len());
+        members = perm.into_iter().map(|p| members[p]).collect();
+        let mut k = (members.len() as f64 * train_fraction).round() as usize;
+        if members.len() >= 2 {
+            k = k.clamp(1, members.len() - 1);
+        } else {
+            k = k.min(members.len());
+        }
+        train.extend_from_slice(&members[..k]);
+        test.extend_from_slice(&members[k..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// K-fold cross-validation index generator: yields `k` `(train, validation)` pairs
+/// covering all samples, stratified by class.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the size of the smallest class.
+pub fn k_fold_indices(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2, got {k}");
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    // Assign each sample to a fold, round-robin within its (shuffled) class.
+    let mut fold_of = vec![0usize; labels.len()];
+    for class in 0..n_classes {
+        let members: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect();
+        if members.is_empty() {
+            continue;
+        }
+        assert!(
+            members.len() >= k,
+            "class {class} has {} samples, fewer than k={k}",
+            members.len()
+        );
+        let mut r = rng::seeded(rng::derive_seed(seed, 1000 + class as u64));
+        let perm = rng::permutation(&mut r, members.len());
+        for (pos, &p) in perm.iter().enumerate() {
+            fold_of[members[p]] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut val = Vec::new();
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    val.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, val)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratified_split_partitions_everything() {
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2];
+        let (train, test) = stratified_indices(&labels, 0.5, 1);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_split_keeps_minorities() {
+        // Class 2 has only 2 members; both sides must get one.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 2, 2];
+        let (train, test) = stratified_indices(&labels, 0.8, 5);
+        assert_eq!(train.iter().filter(|&&i| labels[i] == 2).count(), 1);
+        assert_eq!(test.iter().filter(|&&i| labels[i] == 2).count(), 1);
+    }
+
+    #[test]
+    fn stratified_split_respects_fraction() {
+        let labels = vec![0; 100];
+        let (train, test) = stratified_indices(&labels, 0.8, 5);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn stratified_split_rejects_bad_fraction() {
+        stratified_indices(&[0, 1], 1.0, 0);
+    }
+
+    #[test]
+    fn k_fold_covers_each_sample_once_as_validation() {
+        let labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let folds = k_fold_indices(&labels, 5, 2);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; labels.len()];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), labels.len());
+            for &i in val {
+                seen[i] += 1;
+            }
+            // No overlap.
+            for &i in val {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than k")]
+    fn k_fold_rejects_tiny_class() {
+        k_fold_indices(&[0, 0, 0, 1], 3, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the data substrate.
+
+use proptest::prelude::*;
+use spatial_data::{csv, dataset::Dataset, split};
+use spatial_linalg::Matrix;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..6, 1usize..5, 2usize..4).prop_flat_map(|(n, d, k)| {
+        let feats = proptest::collection::vec(-100.0f64..100.0, n * d);
+        let labels = proptest::collection::vec(0usize..k, n);
+        (feats, labels, Just(n), Just(d), Just(k)).prop_map(|(f, l, n, d, k)| {
+            Dataset::new(
+                Matrix::from_vec(n, d, f),
+                l,
+                (0..d).map(|i| format!("f{i}")).collect(),
+                (0..k).map(|i| format!("c{i}")).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip(ds in arb_dataset()) {
+        let text = csv::to_csv(&ds);
+        let back = csv::from_csv(&text).unwrap();
+        prop_assert_eq!(back.n_samples(), ds.n_samples());
+        prop_assert_eq!(back.n_features(), ds.n_features());
+        // Labels map to the same class *names* even if indices were re-ordered.
+        for i in 0..ds.n_samples() {
+            prop_assert_eq!(
+                &back.class_names[back.labels[i]],
+                &ds.class_names[ds.labels[i]]
+            );
+            for c in 0..ds.n_features() {
+                prop_assert!((back.features[(i, c)] - ds.features[(i, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_split_partitions(labels in proptest::collection::vec(0usize..3, 4..64),
+                                   frac in 0.2f64..0.8, seed in 0u64..100) {
+        let (train, test) = split::stratified_indices(&labels, frac, seed);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), labels.len());
+        prop_assert_eq!(train.len() + test.len(), labels.len());
+        // Classes with >= 2 members appear on both sides.
+        for class in 0..3 {
+            let count = labels.iter().filter(|&&l| l == class).count();
+            if count >= 2 {
+                prop_assert!(train.iter().any(|&i| labels[i] == class));
+                prop_assert!(test.iter().any(|&i| labels[i] == class));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_preserves_label_feature_pairing(ds in arb_dataset(), seed in 0u64..50) {
+        let shuffled = ds.shuffled(seed);
+        // Every (features, label) pair of the shuffle exists in the original.
+        for i in 0..shuffled.n_samples() {
+            let row = shuffled.features.row(i);
+            let found = (0..ds.n_samples()).any(|j| {
+                ds.labels[j] == shuffled.labels[i] && ds.features.row(j) == row
+            });
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn binarize_is_consistent(ds in arb_dataset()) {
+        let b = ds.binarize(&[0], "neg", "pos");
+        prop_assert_eq!(b.n_classes(), 2);
+        for i in 0..ds.n_samples() {
+            prop_assert_eq!(b.labels[i] == 1, ds.labels[i] == 0);
+        }
+    }
+}

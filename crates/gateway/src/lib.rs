@@ -1,0 +1,29 @@
+//! Micro-service runtime for the SPATIAL reproduction.
+//!
+//! The paper deploys SPATIAL as Docker micro-services behind a Kong API gateway on six
+//! machines and stress-tests it with JMeter (§V, §VI-B). This crate is that deployment
+//! rebuilt as a self-contained, in-process-cluster substrate (see `DESIGN.md` §3.4):
+//!
+//! - [`http`] — a minimal HTTP/1.1 server/client over loopback TCP (the transport
+//!   Kong and the services speak).
+//! - [`worker`] — bounded worker pools: each service gets as many workers as the
+//!   paper gives it vCPUs, which is what shapes the Fig. 8 queueing curves.
+//! - [`service`] — the micro-service abstraction and its HTTP host.
+//! - [`services`] — the five paper services: SHAP, LIME (tabular + image), occlusion
+//!   sensitivity, impact-resilience, and the AI-pipeline service.
+//! - [`gateway`] — the Kong substitute: prefix routing, health checks, per-route
+//!   metrics, round-robin upstreams.
+//! - [`loadgen`] — the JMeter substitute: thread groups with ramp-up and the
+//!   summary/response-time listeners.
+//! - [`wire`] — the JSON request/response bodies services exchange.
+
+pub mod gateway;
+pub mod http;
+pub mod loadgen;
+pub mod service;
+pub mod services;
+pub mod wire;
+pub mod worker;
+
+pub use gateway::ApiGateway;
+pub use service::{Microservice, ServiceHost};

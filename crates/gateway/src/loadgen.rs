@@ -1,0 +1,224 @@
+//! The load generator — the JMeter substitute.
+//!
+//! The paper's capacity experiments configure "a test plan encompassing an ultimate
+//! thread group with a thread count set to 100 to simulate concurrent requests … a
+//! ramp-up period of 1s" and read results off the "Response Times Over Active Threads
+//! (and) Summary Report" listeners (§VI-B). [`ThreadGroup`] is that test plan;
+//! [`LoadResult`] carries both listeners' outputs.
+
+use crate::http;
+use spatial_telemetry::{LatencyRecorder, SummaryReport};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A JMeter-style thread group hitting one endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadGroup {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Requests issued by each thread.
+    pub requests_per_thread: usize,
+    /// Ramp-up period over which threads start (JMeter semantics: thread `i` starts
+    /// at `i / threads · ramp_up`).
+    pub ramp_up: Duration,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ThreadGroup {
+    fn default() -> Self {
+        Self {
+            threads: 10,
+            requests_per_thread: 5,
+            ramp_up: Duration::from_secs(1),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One sample of the "Response Times Over Active Threads" listener.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveThreadSample {
+    /// Threads active when the request completed.
+    pub active_threads: usize,
+    /// Response time in milliseconds.
+    pub response_ms: f64,
+    /// Whether the request succeeded (HTTP < 500 and no transport error).
+    pub ok: bool,
+}
+
+/// The outcome of one thread-group run.
+#[derive(Debug)]
+pub struct LoadResult {
+    /// Summary-report listener output.
+    pub summary: SummaryReport,
+    /// Response-times-over-active-threads listener output, in completion order.
+    pub samples: Vec<ActiveThreadSample>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadResult {
+    /// Mean response time among successful samples with at least `min_active`
+    /// concurrently active threads — the steady-state region of Fig. 8(b).
+    pub fn mean_at_load(&self, min_active: usize) -> f64 {
+        let in_region: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.ok && s.active_threads >= min_active)
+            .map(|s| s.response_ms)
+            .collect();
+        spatial_linalg::vector::mean(&in_region)
+    }
+}
+
+/// Runs a thread group against `method path` at `addr`, posting `body` each time.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `requests_per_thread == 0`.
+pub fn run(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    group: &ThreadGroup,
+) -> LoadResult {
+    assert!(group.threads > 0, "need at least one thread");
+    assert!(group.requests_per_thread > 0, "need at least one request per thread");
+    let recorder = Arc::new(LatencyRecorder::new(path));
+    let active = Arc::new(AtomicUsize::new(0));
+    let samples = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let started = Instant::now();
+
+    let handles: Vec<_> = (0..group.threads)
+        .map(|i| {
+            let recorder = Arc::clone(&recorder);
+            let active = Arc::clone(&active);
+            let samples = Arc::clone(&samples);
+            let method = method.to_string();
+            let path = path.to_string();
+            let body = body.to_vec();
+            let delay = group.ramp_up.mul_f64(i as f64 / group.threads as f64);
+            let timeout = group.timeout;
+            let requests = group.requests_per_thread;
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                active.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..requests {
+                    let t0 = Instant::now();
+                    let result = http::request(addr, &method, &path, &body, timeout);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let ok = matches!(&result, Ok(r) if r.status < 500);
+                    recorder.mark(started.elapsed().as_nanos() as u64);
+                    if ok {
+                        recorder.record_ok(ms);
+                    } else {
+                        recorder.record_err(ms);
+                    }
+                    samples.lock().push(ActiveThreadSample {
+                        active_threads: active.load(Ordering::SeqCst),
+                        response_ms: ms,
+                        ok,
+                    });
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    LoadResult {
+        summary: recorder.summary(),
+        samples: Arc::try_unwrap(samples).expect("threads joined").into_inner(),
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpServer, Response};
+
+    fn sleepy_server(ms: u64) -> HttpServer {
+        HttpServer::spawn(move |_req| {
+            std::thread::sleep(Duration::from_millis(ms));
+            Response::json(br#"{"ok":true}"#.to_vec())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn issues_threads_times_requests() {
+        let server = sleepy_server(1);
+        let result = run(
+            server.addr(),
+            "POST",
+            "/x",
+            b"{}",
+            &ThreadGroup {
+                threads: 4,
+                requests_per_thread: 3,
+                ramp_up: Duration::from_millis(50),
+                timeout: Duration::from_secs(5),
+            },
+        );
+        assert_eq!(result.summary.samples, 12);
+        assert_eq!(result.samples.len(), 12);
+        assert_eq!(result.summary.errors, 0);
+        assert!(result.summary.avg_ms >= 1.0);
+        assert!(result.summary.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn active_threads_ramp_up() {
+        let server = sleepy_server(20);
+        let result = run(
+            server.addr(),
+            "POST",
+            "/x",
+            b"{}",
+            &ThreadGroup {
+                threads: 8,
+                requests_per_thread: 2,
+                ramp_up: Duration::from_millis(80),
+                timeout: Duration::from_secs(5),
+            },
+        );
+        let max_active = result.samples.iter().map(|s| s.active_threads).max().unwrap();
+        assert!(max_active >= 4, "ramp-up should overlap threads: max {max_active}");
+        assert!(result.mean_at_load(1) > 0.0);
+    }
+
+    #[test]
+    fn transport_failures_count_as_errors() {
+        // Bind-and-drop yields a dead port.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let result = run(
+            dead,
+            "GET",
+            "/x",
+            b"",
+            &ThreadGroup {
+                threads: 2,
+                requests_per_thread: 2,
+                ramp_up: Duration::ZERO,
+                timeout: Duration::from_millis(200),
+            },
+        );
+        assert_eq!(result.summary.samples, 4);
+        assert_eq!(result.summary.errors, 4);
+        assert!((result.summary.error_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let _ = run(dead, "GET", "/x", b"", &ThreadGroup { threads: 0, ..Default::default() });
+    }
+}

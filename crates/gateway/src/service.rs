@@ -1,0 +1,214 @@
+//! The micro-service abstraction and its HTTP host.
+//!
+//! "Micro-services connected to the API gateway rely on docker containerization to
+//! encapsulate each metric" (§V). Here each metric is a [`Microservice`]
+//! implementation, and [`ServiceHost`] is the container: an HTTP server whose
+//! requests run on a bounded [`WorkerPool`] sized like the paper's per-service vCPU
+//! allocation.
+
+use crate::http::{HttpServer, Request, Response};
+use crate::wire::{to_json, ErrorBody};
+use crate::worker::{SubmitError, WorkerPool};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Error a service handler may return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request body or path was invalid.
+    BadRequest(String),
+    /// No handler for the path.
+    NotFound,
+    /// Internal failure.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadRequest(m) => write!(f, "bad request: {m}"),
+            Self::NotFound => write!(f, "not found"),
+            Self::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One SPATIAL micro-service: a named bundle of endpoints computing a trustworthy
+/// metric.
+pub trait Microservice: Send + Sync + 'static {
+    /// Service name; becomes the gateway route prefix (`/shap/...`).
+    fn name(&self) -> &str;
+
+    /// Worker-thread count — the paper's vCPU allocation for this service.
+    fn vcpus(&self) -> usize;
+
+    /// Handles one request. `endpoint` is the path *after* the service prefix
+    /// (e.g. `/explain`). Returns the JSON response body.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError>;
+}
+
+/// A hosted micro-service: HTTP server + bounded worker pool around a
+/// [`Microservice`].
+pub struct ServiceHost {
+    name: String,
+    server: HttpServer,
+}
+
+impl ServiceHost {
+    /// Spawns the service on a loopback port with `queue_depth` waiting slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying bind error.
+    pub fn spawn(service: Arc<dyn Microservice>, queue_depth: usize) -> std::io::Result<Self> {
+        let name = service.name().to_string();
+        let pool = Arc::new(WorkerPool::new(&name, service.vcpus(), queue_depth));
+        let prefix = format!("/{name}");
+        let server = HttpServer::spawn(move |req: Request| {
+            // Health endpoint bypasses the worker pool so saturation never makes the
+            // service look dead to the gateway.
+            if req.path == format!("{prefix}/health") {
+                return Response::json(br#"{"status":"ok"}"#.to_vec());
+            }
+            let Some(endpoint) = req.path.strip_prefix(&prefix).map(str::to_string) else {
+                return not_found();
+            };
+            let service = Arc::clone(&service);
+            let body = req.body;
+            match pool.execute(move || service.handle(&endpoint, &body)) {
+                Ok(Ok(body)) => Response::json(body),
+                Ok(Err(ServiceError::BadRequest(m))) => error_response(400, &m),
+                Ok(Err(ServiceError::NotFound)) => not_found(),
+                Ok(Err(ServiceError::Internal(m))) => error_response(500, &m),
+                Err(SubmitError::Saturated) => error_response(503, "service saturated"),
+                Err(SubmitError::Closed) => error_response(503, "service shutting down"),
+            }
+        })?;
+        Ok(Self { name, server })
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+}
+
+impl std::fmt::Debug for ServiceHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHost")
+            .field("name", &self.name)
+            .field("addr", &self.addr())
+            .finish()
+    }
+}
+
+fn not_found() -> Response {
+    Response {
+        status: 404,
+        body: to_json(&ErrorBody { error: "not found".into() }),
+        content_type: "application/json".into(),
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response {
+        status,
+        body: to_json(&ErrorBody { error: message.to_string() }),
+        content_type: "application/json".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use std::time::Duration;
+
+    /// A service that echoes and can be made slow for saturation tests.
+    struct EchoService {
+        delay: Duration,
+    }
+
+    impl Microservice for EchoService {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn vcpus(&self) -> usize {
+            1
+        }
+        fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+            std::thread::sleep(self.delay);
+            match endpoint {
+                "/say" => Ok(body.to_vec()),
+                "/boom" => Err(ServiceError::Internal("kaput".into())),
+                _ => Err(ServiceError::NotFound),
+            }
+        }
+    }
+
+    #[test]
+    fn routes_to_endpoints() {
+        let host =
+            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
+        let ok = request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"hi");
+        let missing =
+            request(host.addr(), "POST", "/echo/nope", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(missing.status, 404);
+        let boom =
+            request(host.addr(), "POST", "/echo/boom", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(boom.status, 500);
+        assert!(String::from_utf8_lossy(&boom.body).contains("kaput"));
+    }
+
+    #[test]
+    fn health_bypasses_the_pool() {
+        let host =
+            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::from_secs(5) }), 1)
+                .unwrap();
+        // Even with the worker busy-able, health answers instantly.
+        let h = request(host.addr(), "GET", "/echo/health", b"", Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(h.status, 200);
+    }
+
+    #[test]
+    fn saturation_returns_503() {
+        let host = ServiceHost::spawn(
+            Arc::new(EchoService { delay: Duration::from_millis(600) }),
+            0, // no queue: second concurrent request must bounce
+        )
+        .unwrap();
+        let addr = host.addr();
+        let busy = std::thread::spawn(move || {
+            request(addr, "POST", "/echo/say", b"1", Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let second =
+            request(addr, "POST", "/echo/say", b"2", Duration::from_secs(5)).unwrap();
+        assert_eq!(second.status, 503);
+        assert_eq!(busy.join().unwrap().status, 200);
+    }
+
+    #[test]
+    fn wrong_prefix_is_404() {
+        let host =
+            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 4).unwrap();
+        let resp =
+            request(host.addr(), "POST", "/other/say", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+}

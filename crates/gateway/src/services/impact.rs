@@ -1,0 +1,190 @@
+//! The impact-resilience micro-service (the paper hosts it on a GPU box; we give it
+//! the deepest worker pool instead).
+//!
+//! Given a batch of points, it crafts FGSM adversarial versions against the deployed
+//! gradient model and reports the evasion impact and crafting complexity — the
+//! numbers behind the paper's "NN (Impact 29 %, Complexity 37.86 µs)" table and the
+//! Fig. 8(b) load curve.
+
+use crate::service::{Microservice, ServiceError};
+use crate::wire::{from_json, to_json, ImpactRequest, ImpactResponse};
+use spatial_attacks::fgsm::fgsm_batch;
+use spatial_data::Dataset;
+use spatial_linalg::Matrix;
+use spatial_ml::GradientModel;
+use spatial_resilience::impact::evasion_impact;
+use std::sync::Arc;
+
+/// Serves evasion impact/complexity measurements.
+///
+/// Endpoint: `POST /impact/evasion` with an [`ImpactRequest`] body.
+pub struct ImpactService {
+    model: Arc<dyn GradientModel>,
+    /// Feature names used to rebuild a dataset from the wire format.
+    feature_names: Vec<String>,
+    class_names: Vec<String>,
+    vcpus: usize,
+}
+
+impl ImpactService {
+    /// Creates the service around a trained gradient model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0` or the name vectors are empty.
+    pub fn new(
+        model: Arc<dyn GradientModel>,
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+        vcpus: usize,
+    ) -> Self {
+        assert!(vcpus > 0, "vcpus must be positive");
+        assert!(!feature_names.is_empty(), "need feature names");
+        assert!(!class_names.is_empty(), "need class names");
+        Self { model, feature_names, class_names, vcpus }
+    }
+}
+
+impl Microservice for ImpactService {
+    fn name(&self) -> &str {
+        "impact"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint != "/evasion" {
+            return Err(ServiceError::NotFound);
+        }
+        let req: ImpactRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+        if req.rows == 0 {
+            return Err(ServiceError::BadRequest("need at least one row".into()));
+        }
+        let d = self.feature_names.len();
+        if req.features.len() != req.rows * d {
+            return Err(ServiceError::BadRequest(format!(
+                "feature buffer {} does not match rows {} x {d}",
+                req.features.len(),
+                req.rows
+            )));
+        }
+        if req.labels.len() != req.rows {
+            return Err(ServiceError::BadRequest("one label per row required".into()));
+        }
+        if req.labels.iter().any(|&l| l >= self.class_names.len()) {
+            return Err(ServiceError::BadRequest("label out of range".into()));
+        }
+        if req.epsilon <= 0.0 {
+            return Err(ServiceError::BadRequest("epsilon must be positive".into()));
+        }
+        let clean = Dataset::new(
+            Matrix::from_vec(req.rows, d, req.features),
+            req.labels,
+            self.feature_names.clone(),
+            self.class_names.clone(),
+        );
+        let batch = fgsm_batch(self.model.as_ref(), &clean, req.epsilon, None);
+        let impact = evasion_impact(self.model.as_ref(), &clean, &batch);
+        Ok(to_json(&ImpactResponse { impact, complexity_us: batch.mean_generation_us }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_linalg::rng;
+    use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+    use spatial_ml::Model;
+    use rand::Rng;
+    use std::time::Duration;
+
+    fn trained() -> (MlpClassifier, Dataset) {
+        let mut r = rng::seeded(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..150 {
+            let label = r.random_range(0..2usize);
+            rows.push(vec![
+                label as f64 * 2.0 - 1.0 + rng::normal(&mut r, 0.0, 0.4),
+                rng::normal(&mut r, 0.0, 0.4),
+            ]);
+            labels.push(label);
+        }
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut nn = MlpClassifier::with_config(MlpConfig {
+            hidden: vec![16],
+            epochs: 80,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ..MlpConfig::default()
+        });
+        nn.fit(&ds).unwrap();
+        (nn, ds)
+    }
+
+    fn host() -> (ServiceHost, Dataset) {
+        let (nn, ds) = trained();
+        let svc = ImpactService::new(
+            Arc::new(nn),
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+            8,
+        );
+        (ServiceHost::spawn(Arc::new(svc), 32).unwrap(), ds)
+    }
+
+    #[test]
+    fn measures_impact_over_http() {
+        let (h, ds) = host();
+        let body = to_json(&ImpactRequest {
+            features: ds.features.as_slice().to_vec(),
+            rows: ds.n_samples(),
+            labels: ds.labels.clone(),
+            epsilon: 1.0,
+        });
+        let resp =
+            request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(20))
+                .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let out: ImpactResponse = from_json(&resp.body).unwrap();
+        assert!(out.impact > 0.2, "a large epsilon should flip many points: {}", out.impact);
+        assert!(out.complexity_us > 0.0);
+    }
+
+    #[test]
+    fn rejects_inconsistent_buffers() {
+        let (h, _) = host();
+        let body = to_json(&ImpactRequest {
+            features: vec![1.0, 2.0, 3.0],
+            rows: 2,
+            labels: vec![0, 1],
+            epsilon: 0.1,
+        });
+        let resp = request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn rejects_zero_epsilon() {
+        let (h, ds) = host();
+        let body = to_json(&ImpactRequest {
+            features: ds.features.row(0).to_vec(),
+            rows: 1,
+            labels: vec![ds.labels[0]],
+            epsilon: 0.0,
+        });
+        let resp = request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+}

@@ -1,0 +1,247 @@
+//! The LIME micro-service (4 vCPUs in the paper's deployment).
+//!
+//! Serves both the cheap tabular endpoint and the expensive image endpoint — the
+//! contrast the paper's Experiment 2 measures ("when analyzing image-based samples,
+//! the analysis of methods, such as LIME … increases", §VI-B).
+
+use crate::service::{Microservice, ServiceError};
+use crate::wire::{
+    from_json, to_json, ExplainImageRequest, ExplainImageResponse, ExplainRequest,
+    ExplainResponse,
+};
+use spatial_data::image::GrayImage;
+use spatial_linalg::Matrix;
+use spatial_ml::Model;
+use spatial_xai::lime::{LimeConfig, LimeTabular};
+use spatial_xai::lime_image::{explain_image, LimeImageConfig};
+use std::sync::Arc;
+
+/// Serves LIME explanations for a tabular model and (optionally) an image model.
+///
+/// Endpoints:
+/// - `POST /lime/explain` — tabular, [`ExplainRequest`].
+/// - `POST /lime/explain-image` — image, [`ExplainImageRequest`] (requires an image
+///   model).
+pub struct LimeService {
+    model: Arc<dyn Model>,
+    background: Matrix,
+    feature_names: Vec<String>,
+    config: LimeConfig,
+    image_model: Option<Arc<dyn Model>>,
+    image_config: LimeImageConfig,
+    vcpus: usize,
+}
+
+impl LimeService {
+    /// Creates the tabular-only service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is empty or `vcpus == 0`.
+    pub fn new(
+        model: Arc<dyn Model>,
+        background: Matrix,
+        feature_names: Vec<String>,
+        config: LimeConfig,
+        vcpus: usize,
+    ) -> Self {
+        assert!(background.rows() > 0, "background must be non-empty");
+        assert!(vcpus > 0, "vcpus must be positive");
+        Self {
+            model,
+            background,
+            feature_names,
+            config,
+            image_model: None,
+            image_config: LimeImageConfig::default(),
+            vcpus,
+        }
+    }
+
+    /// Attaches an image model, enabling `/explain-image`.
+    pub fn with_image_model(
+        mut self,
+        image_model: Arc<dyn Model>,
+        image_config: LimeImageConfig,
+    ) -> Self {
+        self.image_model = Some(image_model);
+        self.image_config = image_config;
+        self
+    }
+}
+
+impl Microservice for LimeService {
+    fn name(&self) -> &str {
+        "lime"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        match endpoint {
+            "/explain" => {
+                let req: ExplainRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+                if req.features.len() != self.background.cols() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "expected {} features, got {}",
+                        self.background.cols(),
+                        req.features.len()
+                    )));
+                }
+                if req.class >= self.model.n_classes() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "class {} out of range",
+                        req.class
+                    )));
+                }
+                let lime = LimeTabular::new(
+                    self.model.as_ref(),
+                    &self.background,
+                    self.feature_names.clone(),
+                    self.config.clone(),
+                );
+                let e = lime.explain(&req.features, req.class);
+                Ok(to_json(&ExplainResponse {
+                    method: e.method,
+                    values: e.values,
+                    base_value: e.base_value,
+                    prediction: e.prediction,
+                }))
+            }
+            "/explain-image" => {
+                let model = self.image_model.as_ref().ok_or_else(|| {
+                    ServiceError::BadRequest("no image model deployed".into())
+                })?;
+                let req: ExplainImageRequest =
+                    from_json(body).map_err(ServiceError::BadRequest)?;
+                if req.pixels.len() != req.side * req.side {
+                    return Err(ServiceError::BadRequest(format!(
+                        "pixel buffer {} does not match side {}",
+                        req.pixels.len(),
+                        req.side
+                    )));
+                }
+                if req.class >= model.n_classes() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "class {} out of range",
+                        req.class
+                    )));
+                }
+                let image = GrayImage::from_pixels(req.side, req.pixels);
+                let e = explain_image(model.as_ref(), &image, req.class, &self.image_config);
+                Ok(to_json(&ExplainImageResponse {
+                    segment_values: e.values,
+                    grid: self.image_config.grid,
+                }))
+            }
+            _ => Err(ServiceError::NotFound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_data::Dataset;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::TrainError;
+    use std::time::Duration;
+
+    struct BrightnessModel {
+        side: usize,
+    }
+
+    impl Model for BrightnessModel {
+        fn name(&self) -> &str {
+            "brightness"
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, pixels: &[f64]) -> Vec<f64> {
+            let mean = spatial_linalg::vector::mean(pixels) * self.side as f64;
+            let p = spatial_linalg::vector::sigmoid(mean - 1.0);
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn tabular_service() -> LimeService {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[0.1, -1.0], &[0.9, -1.0]]),
+            vec![0, 1, 0, 1],
+            vec!["signal".into(), "noise".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        LimeService::new(
+            Arc::new(dt),
+            ds.features.clone(),
+            ds.feature_names.clone(),
+            LimeConfig { n_samples: 64, ..LimeConfig::default() },
+            4,
+        )
+    }
+
+    #[test]
+    fn tabular_explain_over_http() {
+        let host = ServiceHost::spawn(Arc::new(tabular_service()), 16).unwrap();
+        let body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
+        let resp = request(host.addr(), "POST", "/lime/explain", &body, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let out: ExplainResponse = from_json(&resp.body).unwrap();
+        assert_eq!(out.method, "lime");
+        assert_eq!(out.values.len(), 2);
+    }
+
+    #[test]
+    fn image_endpoint_requires_image_model() {
+        let host = ServiceHost::spawn(Arc::new(tabular_service()), 16).unwrap();
+        let body = to_json(&ExplainImageRequest { side: 8, pixels: vec![0.0; 64], class: 0 });
+        let resp =
+            request(host.addr(), "POST", "/lime/explain-image", &body, Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("no image model"));
+    }
+
+    #[test]
+    fn image_explain_over_http() {
+        let svc = tabular_service().with_image_model(
+            Arc::new(BrightnessModel { side: 16 }),
+            LimeImageConfig { n_samples: 32, ..LimeImageConfig::default() },
+        );
+        let host = ServiceHost::spawn(Arc::new(svc), 16).unwrap();
+        let body =
+            to_json(&ExplainImageRequest { side: 16, pixels: vec![0.5; 256], class: 1 });
+        let resp =
+            request(host.addr(), "POST", "/lime/explain-image", &body, Duration::from_secs(10))
+                .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let out: ExplainImageResponse = from_json(&resp.body).unwrap();
+        assert_eq!(out.grid, 4);
+        assert_eq!(out.segment_values.len(), 16);
+    }
+
+    #[test]
+    fn bad_pixel_buffer_is_400() {
+        let svc = tabular_service().with_image_model(
+            Arc::new(BrightnessModel { side: 16 }),
+            LimeImageConfig::default(),
+        );
+        let host = ServiceHost::spawn(Arc::new(svc), 16).unwrap();
+        let body = to_json(&ExplainImageRequest { side: 16, pixels: vec![0.5; 10], class: 0 });
+        let resp =
+            request(host.addr(), "POST", "/lime/explain-image", &body, Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's five micro-services (§VI-B):
+//!
+//! | Service | Paper allocation | Here |
+//! |---------|------------------|------|
+//! | LIME | 4 vCPUs, 4 GB | [`lime::LimeService`], 4 workers |
+//! | SHAP | 4 vCPUs, 4 GB | [`shap::ShapService`], 4 workers |
+//! | Occlusion sensitivity | 4 vCPUs, 8 GB | [`occlusion::OcclusionService`], 4 workers |
+//! | Impact resilience | A4000 GPU box | [`impact::ImpactService`], 8 workers |
+//! | AI pipeline | 8 vCPUs, 8 GB | [`pipeline::PipelineService`], 8 workers |
+
+pub mod impact;
+pub mod lime;
+pub mod occlusion;
+pub mod pipeline;
+pub mod shap;
+
+pub use impact::ImpactService;
+pub use lime::LimeService;
+pub use occlusion::OcclusionService;
+pub use pipeline::PipelineService;
+pub use shap::ShapService;

@@ -1,0 +1,193 @@
+//! The AI-pipeline micro-service (8 vCPUs, 8 GB in the paper's deployment).
+//!
+//! "Our architecture also implements a machine learning component, where several AI
+//! algorithms can be passed a dataset to create an AI model. This component also
+//! allows us to provide performance metrics about the AI model" (§V). Clients POST a
+//! CSV dataset and a model name; the service runs the standard pipeline and returns
+//! the performance indicators.
+
+use crate::service::{Microservice, ServiceError};
+use crate::wire::{from_json, to_json, TrainRequest, TrainResponse};
+use spatial_ml::forest::RandomForest;
+use spatial_ml::gbdt::{Gbdt, GbdtConfig};
+use spatial_ml::logreg::LogisticRegression;
+use spatial_ml::mlp::{MlpClassifier, MlpConfig};
+use spatial_ml::pipeline::AiPipeline;
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::Model;
+
+/// Serves on-demand model training + evaluation.
+///
+/// Endpoint: `POST /pipeline/train` with a [`TrainRequest`] body.
+pub struct PipelineService {
+    vcpus: usize,
+}
+
+impl PipelineService {
+    /// Creates the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0`.
+    pub fn new(vcpus: usize) -> Self {
+        assert!(vcpus > 0, "vcpus must be positive");
+        Self { vcpus }
+    }
+
+    /// Builds an untrained model from its wire name.
+    pub fn model_by_name(name: &str) -> Option<Box<dyn Model>> {
+        match name {
+            "logistic-regression" => Some(Box::new(LogisticRegression::new())),
+            "decision-tree" => Some(Box::new(DecisionTree::new())),
+            "random-forest" => Some(Box::new(RandomForest::new())),
+            "mlp" => Some(Box::new(MlpClassifier::with_config(MlpConfig::mlp()))),
+            "dnn" => Some(Box::new(MlpClassifier::with_config(MlpConfig::dnn()))),
+            "xgboost-like" => Some(Box::new(Gbdt::with_config(GbdtConfig::xgboost_like()))),
+            "lightgbm-like" => Some(Box::new(Gbdt::with_config(GbdtConfig::lightgbm_like()))),
+            _ => None,
+        }
+    }
+}
+
+impl Microservice for PipelineService {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint != "/train" {
+            return Err(ServiceError::NotFound);
+        }
+        let req: TrainRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+        if !(req.train_fraction > 0.0 && req.train_fraction < 1.0) {
+            return Err(ServiceError::BadRequest("train_fraction must be in (0,1)".into()));
+        }
+        let dataset = spatial_data::csv::from_csv(&req.csv)
+            .map_err(|e| ServiceError::BadRequest(format!("csv: {e}")))?;
+        let model = Self::model_by_name(&req.model)
+            .ok_or_else(|| ServiceError::BadRequest(format!("unknown model '{}'", req.model)))?;
+        let deployed = AiPipeline::new(model)
+            .run(&dataset, req.train_fraction, req.seed)
+            .map_err(|e| ServiceError::BadRequest(format!("training: {e}")))?;
+        Ok(to_json(&TrainResponse {
+            model: deployed.model.name().to_string(),
+            accuracy: deployed.evaluation.accuracy,
+            precision: deployed.evaluation.precision,
+            recall: deployed.evaluation.recall,
+            f1: deployed.evaluation.f1,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn csv() -> String {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![(i % 2) as f64 * 5.0 + (i as f64) * 0.01]);
+            labels.push(i % 2);
+        }
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        spatial_data::csv::to_csv(&ds)
+    }
+
+    fn host() -> ServiceHost {
+        ServiceHost::spawn(Arc::new(PipelineService::new(8)), 32).unwrap()
+    }
+
+    #[test]
+    fn trains_a_tree_over_http() {
+        let h = host();
+        let body = to_json(&TrainRequest {
+            csv: csv(),
+            model: "decision-tree".into(),
+            train_fraction: 0.8,
+            seed: 1,
+        });
+        let resp =
+            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(30))
+                .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let out: TrainResponse = from_json(&resp.body).unwrap();
+        assert_eq!(out.model, "decision-tree");
+        assert!(out.accuracy > 0.95, "separable data: {}", out.accuracy);
+    }
+
+    #[test]
+    fn unknown_model_is_400() {
+        let h = host();
+        let body = to_json(&TrainRequest {
+            csv: csv(),
+            model: "quantum-svm".into(),
+            train_fraction: 0.8,
+            seed: 1,
+        });
+        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("unknown model"));
+    }
+
+    #[test]
+    fn malformed_csv_is_400() {
+        let h = host();
+        let body = to_json(&TrainRequest {
+            csv: "x,label\nnot_a_number,a\n".into(),
+            model: "decision-tree".into(),
+            train_fraction: 0.8,
+            seed: 1,
+        });
+        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("csv"));
+    }
+
+    #[test]
+    fn bad_fraction_is_400() {
+        let h = host();
+        let body = to_json(&TrainRequest {
+            csv: csv(),
+            model: "decision-tree".into(),
+            train_fraction: 1.5,
+            seed: 1,
+        });
+        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn all_wire_model_names_resolve() {
+        for name in [
+            "logistic-regression",
+            "decision-tree",
+            "random-forest",
+            "mlp",
+            "dnn",
+            "xgboost-like",
+            "lightgbm-like",
+        ] {
+            assert!(PipelineService::model_by_name(name).is_some(), "{name}");
+        }
+        assert!(PipelineService::model_by_name("nope").is_none());
+    }
+}

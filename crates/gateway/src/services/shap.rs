@@ -1,0 +1,147 @@
+//! The SHAP micro-service (4 vCPUs in the paper's deployment).
+
+use crate::service::{Microservice, ServiceError};
+use crate::wire::{from_json, to_json, ExplainRequest, ExplainResponse};
+use spatial_linalg::Matrix;
+use spatial_ml::Model;
+use spatial_xai::shap::{KernelShap, ShapConfig};
+use std::sync::Arc;
+
+/// Serves KernelSHAP explanations for one deployed model.
+///
+/// Endpoint: `POST /shap/explain` with an [`ExplainRequest`] body.
+pub struct ShapService {
+    model: Arc<dyn Model>,
+    background: Matrix,
+    feature_names: Vec<String>,
+    config: ShapConfig,
+    vcpus: usize,
+}
+
+impl ShapService {
+    /// Creates the service around a trained model and its background data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is empty or `vcpus == 0`.
+    pub fn new(
+        model: Arc<dyn Model>,
+        background: Matrix,
+        feature_names: Vec<String>,
+        config: ShapConfig,
+        vcpus: usize,
+    ) -> Self {
+        assert!(background.rows() > 0, "background must be non-empty");
+        assert!(vcpus > 0, "vcpus must be positive");
+        Self { model, background, feature_names, config, vcpus }
+    }
+}
+
+impl Microservice for ShapService {
+    fn name(&self) -> &str {
+        "shap"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint != "/explain" {
+            return Err(ServiceError::NotFound);
+        }
+        let req: ExplainRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+        if req.features.len() != self.background.cols() {
+            return Err(ServiceError::BadRequest(format!(
+                "expected {} features, got {}",
+                self.background.cols(),
+                req.features.len()
+            )));
+        }
+        if req.class >= self.model.n_classes() {
+            return Err(ServiceError::BadRequest(format!("class {} out of range", req.class)));
+        }
+        let shap = KernelShap::new(
+            self.model.as_ref(),
+            &self.background,
+            self.feature_names.clone(),
+            self.config.clone(),
+        );
+        let e = shap.explain(&req.features, req.class);
+        Ok(to_json(&ExplainResponse {
+            method: e.method,
+            values: e.values,
+            base_value: e.base_value,
+            prediction: e.prediction,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_data::Dataset;
+    use spatial_ml::tree::DecisionTree;
+    use std::time::Duration;
+
+    fn service() -> ShapService {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[0.1, -1.0], &[0.9, -1.0]]),
+            vec![0, 1, 0, 1],
+            vec!["signal".into(), "noise".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        ShapService::new(
+            Arc::new(dt),
+            ds.features.clone(),
+            ds.feature_names.clone(),
+            ShapConfig { n_coalitions: 64, ..ShapConfig::default() },
+            4,
+        )
+    }
+
+    #[test]
+    fn explains_over_http() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
+        let resp = request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let out: ExplainResponse = from_json(&resp.body).unwrap();
+        assert_eq!(out.method, "kernel-shap");
+        assert_eq!(out.values.len(), 2);
+        // Additivity survives the wire.
+        let total = out.base_value + out.values.iter().sum::<f64>();
+        assert!((total - out.prediction).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_feature_count_is_400() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let body = to_json(&ExplainRequest { features: vec![1.0], class: 0 });
+        let resp = request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn malformed_body_is_400() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let resp =
+            request(host.addr(), "POST", "/shap/explain", b"{oops", Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let resp =
+            request(host.addr(), "POST", "/shap/other", b"{}", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+}

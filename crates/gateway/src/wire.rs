@@ -1,0 +1,170 @@
+//! JSON wire types exchanged between clients, the gateway and the micro-services.
+//!
+//! The paper's gateway "manages the communication flow, ensuring that each
+//! micro-service receives the necessary input, processes it, and returns the
+//! appropriate response" (§V). These are those inputs and responses.
+
+use serde::{Deserialize, Serialize};
+
+/// Request to an explanation service (`POST /<svc>/explain`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainRequest {
+    /// The feature row to explain.
+    pub features: Vec<f64>,
+    /// The class whose output is attributed.
+    pub class: usize,
+}
+
+/// Response from a tabular explanation service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// Method name ("kernel-shap" / "lime").
+    pub method: String,
+    /// Per-feature attributions.
+    pub values: Vec<f64>,
+    /// Attribution baseline.
+    pub base_value: f64,
+    /// The model output explained.
+    pub prediction: f64,
+}
+
+/// Request to an image explanation service (`POST /<svc>/explain-image`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainImageRequest {
+    /// Image side length; `pixels` must have `side * side` entries.
+    pub side: usize,
+    /// Row-major pixel intensities in `[0, 1]`.
+    pub pixels: Vec<f64>,
+    /// The class whose output is attributed.
+    pub class: usize,
+}
+
+/// Response from the image LIME service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainImageResponse {
+    /// Per-superpixel attributions (row-major over the grid).
+    pub segment_values: Vec<f64>,
+    /// Superpixel grid side.
+    pub grid: usize,
+}
+
+/// Response from the occlusion service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcclusionResponse {
+    /// Probability drops per patch position, row-major.
+    pub drops: Vec<f64>,
+    /// Patch positions per row/column.
+    pub cols: usize,
+    /// The un-occluded probability.
+    pub baseline: f64,
+}
+
+/// Request to the impact-resilience service (`POST /impact/evasion`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactRequest {
+    /// Feature rows to attack, flattened row-major.
+    pub features: Vec<f64>,
+    /// Number of rows in `features`.
+    pub rows: usize,
+    /// True labels per row.
+    pub labels: Vec<usize>,
+    /// FGSM perturbation budget.
+    pub epsilon: f64,
+}
+
+/// Response from the impact-resilience service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactResponse {
+    /// Fraction of points whose classification the attack flipped.
+    pub impact: f64,
+    /// Mean per-sample crafting cost in microseconds.
+    pub complexity_us: f64,
+}
+
+/// Request to the AI-pipeline service (`POST /pipeline/train`): a CSV dataset plus a
+/// model choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainRequest {
+    /// Dataset as CSV (feature columns + final label column).
+    pub csv: String,
+    /// Model name: "logistic-regression" | "decision-tree" | "random-forest" |
+    /// "mlp" | "dnn" | "xgboost-like" | "lightgbm-like".
+    pub model: String,
+    /// Train fraction for the internal split.
+    pub train_fraction: f64,
+    /// Split seed.
+    pub seed: u64,
+}
+
+/// Response from the AI-pipeline service: the paper's performance indicators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainResponse {
+    /// Model display name.
+    pub model: String,
+    /// Held-out accuracy.
+    pub accuracy: f64,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+}
+
+/// Uniform error body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable error.
+    pub error: String,
+}
+
+/// Serializes any wire type to JSON bytes.
+pub fn to_json<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_vec(value).expect("wire types are serializable")
+}
+
+/// Deserializes a wire type from JSON bytes.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed bodies.
+pub fn from_json<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, String> {
+    serde_json::from_slice(bytes).map_err(|e| format!("invalid request body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_round_trip() {
+        let req = ExplainRequest { features: vec![1.0, 2.0], class: 1 };
+        let back: ExplainRequest = from_json(&to_json(&req)).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn impact_round_trip() {
+        let req = ImpactRequest {
+            features: vec![1.0, 2.0, 3.0, 4.0],
+            rows: 2,
+            labels: vec![0, 1],
+            epsilon: 0.1,
+        };
+        let back: ImpactRequest = from_json(&to_json(&req)).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_readable_error() {
+        let err = from_json::<ExplainRequest>(b"{oops").unwrap_err();
+        assert!(err.contains("invalid request body"));
+    }
+
+    #[test]
+    fn error_body_serializes() {
+        let body = ErrorBody { error: "saturated".into() };
+        let json = String::from_utf8(to_json(&body)).unwrap();
+        assert!(json.contains("saturated"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Bounded worker pools.
+//!
+//! Each paper micro-service runs on a box with a fixed vCPU count (LIME 4, SHAP 4,
+//! occlusion 4, pipeline 8, impact GPU box). We model that capacity as a pool of
+//! `workers` threads fed from a bounded queue: requests beyond
+//! `workers + queue_depth` are rejected (the 503s JMeter counts as errors), and
+//! queueing delay under concurrency is what produces the Fig. 8 response-time curves.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// A job: a boxed closure executed on a pool thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue was full (the service is saturated).
+    Saturated,
+    /// The pool has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Saturated => write!(f, "worker pool saturated"),
+            Self::Closed => write!(f, "worker pool closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A fixed-size thread pool with a bounded submission queue.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` threads with `queue_depth` waiting slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(name: &str, workers: usize, queue_depth: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = bounded(queue_depth);
+        let receiver = Arc::new(receiver);
+        let threads = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { sender: Some(sender), threads, workers }
+    }
+
+    /// Number of worker threads (the service's "vCPUs").
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits a job without blocking; fails fast when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when the queue is full, [`SubmitError::Closed`]
+    /// after shutdown.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let sender = self.sender.as_ref().ok_or(SubmitError::Closed)?;
+        sender.try_send(Box::new(job)).map_err(|e| match e {
+            crossbeam::channel::TrySendError::Full(_) => SubmitError::Saturated,
+            crossbeam::channel::TrySendError::Disconnected(_) => SubmitError::Closed,
+        })
+    }
+
+    /// Runs `f` on the pool and blocks the caller until it finishes, returning its
+    /// value. This is the request path: the HTTP connection thread parks here, so
+    /// concurrency beyond the worker count turns into queueing delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission failures.
+    pub fn execute<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<T, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.try_submit(move || {
+            // The receiver can only be gone if the caller vanished; nothing to do.
+            let _ = tx.send(f());
+        })?;
+        rx.recv().map_err(|_| SubmitError::Closed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.sender.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_and_returns_values() {
+        let pool = WorkerPool::new("t", 2, 8);
+        assert_eq!(pool.execute(|| 21 * 2).unwrap(), 42);
+    }
+
+    #[test]
+    fn runs_jobs_concurrently() {
+        let pool = WorkerPool::new("t", 4, 16);
+        let started = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&started);
+                let (tx, rx) = mpsc::channel();
+                pool.try_submit(move || {
+                    s.fetch_add(1, Ordering::SeqCst);
+                    // Hold until all four have started — only possible if they run
+                    // in parallel.
+                    while s.load(Ordering::SeqCst) < 4 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    tx.send(()).unwrap();
+                })
+                .unwrap();
+                rx
+            })
+            .collect();
+        for rx in handles {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn saturation_rejects_rather_than_blocks() {
+        let pool = WorkerPool::new("t", 1, 1);
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        // Occupy the single worker.
+        pool.try_submit(move || {
+            let _ = hold_rx.recv();
+        })
+        .unwrap();
+        // Give the worker a moment to pick up the first job.
+        std::thread::sleep(Duration::from_millis(20));
+        // Fill the single queue slot.
+        pool.try_submit(|| {}).unwrap();
+        // The next submission must be rejected immediately.
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert_eq!(err, SubmitError::Saturated);
+        hold_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new("t", 2, 32);
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.try_submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+            }
+        } // drop joins workers
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new("t", 0, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the gateway substrate: wire-format round-trips with
+//! arbitrary payloads and HTTP body transport of arbitrary bytes.
+
+use proptest::prelude::*;
+use spatial_gateway::http::{request, HttpServer, Response};
+use spatial_gateway::wire::*;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn explain_request_round_trips(
+        features in proptest::collection::vec(-1e6f64..1e6, 0..64),
+        class in 0usize..16,
+    ) {
+        let req = ExplainRequest { features, class };
+        let back: ExplainRequest = from_json(&to_json(&req)).unwrap();
+        prop_assert_eq!(req, back);
+    }
+
+    #[test]
+    fn impact_request_round_trips(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        epsilon in 0.001f64..10.0,
+    ) {
+        let req = ImpactRequest {
+            features: vec![0.5; rows * cols],
+            rows,
+            labels: vec![0; rows],
+            epsilon,
+        };
+        let back: ImpactRequest = from_json(&to_json(&req)).unwrap();
+        prop_assert_eq!(req, back);
+    }
+
+    #[test]
+    fn train_request_round_trips_arbitrary_csv(
+        csv in "[ -~]{0,200}", // printable ASCII
+        frac in 0.01f64..0.99,
+        seed in 0u64..1000,
+    ) {
+        let req = TrainRequest {
+            csv,
+            model: "decision-tree".into(),
+            train_fraction: frac,
+            seed,
+        };
+        let back: TrainRequest = from_json(&to_json(&req)).unwrap();
+        prop_assert_eq!(req, back);
+    }
+}
+
+#[test]
+fn http_transports_arbitrary_binary_bodies() {
+    // One server reused across the proptest iterations below (servers are sockets,
+    // keep the count low).
+    let server = HttpServer::spawn(|req| Response::json(req.body)).unwrap();
+    let addr = server.addr();
+    proptest!(ProptestConfig::with_cases(16), |(body in proptest::collection::vec(any::<u8>(), 0..4096))| {
+        let resp = request(addr, "POST", "/echo", &body, Duration::from_secs(5)).unwrap();
+        prop_assert_eq!(resp.status, 200);
+        prop_assert_eq!(resp.body, body);
+    });
+}

@@ -1,0 +1,123 @@
+//! Distance metrics.
+//!
+//! The SHAP-dissimilarity monitor (paper §VI-A) finds the five nearest neighbours of
+//! each fall instance under the **Euclidean** distance and averages the distances of
+//! their SHAP explanations; LIME weights perturbed samples with an RBF kernel over
+//! the same metric. This module provides those metrics plus a k-NN helper.
+
+use crate::Matrix;
+
+/// Euclidean (L2) distance between two equal-length points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Manhattan (L1) distance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "manhattan length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine distance `1 − cos(a, b)`; returns `1.0` when either vector is zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let (na, nb) = (crate::vector::norm_l2(a), crate::vector::norm_l2(b));
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - crate::vector::dot(a, b) / (na * nb)
+}
+
+/// Gaussian RBF kernel weight `exp(−d² / width²)`; LIME's locality kernel.
+///
+/// # Panics
+///
+/// Panics if `width <= 0`.
+pub fn rbf_kernel(d: f64, width: f64) -> f64 {
+    assert!(width > 0.0, "rbf kernel width must be positive, got {width}");
+    (-(d * d) / (width * width)).exp()
+}
+
+/// Indices of the `k` nearest rows of `haystack` to `query` under the Euclidean
+/// distance, ascending by distance. Returns fewer than `k` when the matrix has fewer
+/// rows. `exclude` removes one row index (e.g. the query itself when it lives in the
+/// same matrix).
+///
+/// # Panics
+///
+/// Panics if `query.len() != haystack.cols()`.
+pub fn k_nearest(haystack: &Matrix, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<usize> {
+    assert_eq!(query.len(), haystack.cols(), "k_nearest dimension mismatch");
+    let mut scored: Vec<(usize, f64)> = haystack
+        .iter_rows()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(i, row)| (i, euclidean(row, query)))
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance in k_nearest"));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_known() {
+        assert_eq!(manhattan(&[1.0, 1.0], &[4.0, -1.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_parallel_orthogonal_zero() {
+        assert!(cosine(&[1.0, 0.0], &[5.0, 0.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn rbf_kernel_decays() {
+        assert_eq!(rbf_kernel(0.0, 1.0), 1.0);
+        assert!(rbf_kernel(1.0, 1.0) > rbf_kernel(2.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rbf_kernel_invalid_width() {
+        let _ = rbf_kernel(1.0, 0.0);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let m = Matrix::from_rows(&[&[0.0], &[10.0], &[1.0], &[5.0]]);
+        assert_eq!(k_nearest(&m, &[0.0], 2, None), vec![0, 2]);
+    }
+
+    #[test]
+    fn k_nearest_excludes_self() {
+        let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        assert_eq!(k_nearest(&m, &[0.0], 2, Some(0)), vec![1, 2]);
+    }
+
+    #[test]
+    fn k_nearest_truncates_to_available() {
+        let m = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        assert_eq!(k_nearest(&m, &[0.0], 10, None).len(), 2);
+    }
+}

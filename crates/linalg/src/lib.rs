@@ -1,0 +1,32 @@
+//! Dense linear-algebra and statistics substrate for the SPATIAL reproduction.
+//!
+//! The SPATIAL paper builds on NumPy/scikit-learn for its numeric layer. This crate is
+//! the from-scratch Rust equivalent scoped to what the rest of the workspace needs:
+//!
+//! - [`Matrix`] — a dense, row-major `f64` matrix with the arithmetic used by the ML
+//!   and XAI crates (matmul, transpose, row/column views, elementwise maps).
+//! - [`vector`] — free functions over `&[f64]` slices (dot, norms, axpy, softmax).
+//! - [`stats`] — summary statistics, standardization moments, covariance, quantiles.
+//! - [`distance`] — metric functions (Euclidean, Manhattan, cosine) used by the
+//!   SHAP-dissimilarity monitor and LIME kernels.
+//! - [`rng`] — seeded RNG constructors so every experiment in the workspace is
+//!   reproducible run-to-run.
+//!
+//! # Example
+//!
+//! ```
+//! use spatial_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod distance;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;

@@ -1,0 +1,201 @@
+//! Seeded RNG constructors and sampling helpers.
+//!
+//! Every stochastic component in the workspace (data generators, model initializers,
+//! attacks, coalition samplers) takes an explicit seed so each experiment is exactly
+//! reproducible run-to-run. This module centralizes the constructors so the choice of
+//! generator lives in one place.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Constructs the workspace-standard seeded RNG.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = spatial_linalg::rng::seeded(42);
+/// let mut b = spatial_linalg::rng::seeded(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label, so independent
+/// components can share one experiment seed without correlating their streams.
+/// Uses the SplitMix64 finalizer.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal value.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    rand_distr::StandardNormal.sample(rng)
+}
+
+/// Samples `n` standard normal values.
+pub fn normal_vec(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std` is negative or non-finite.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0 && std.is_finite(), "invalid normal std {std}");
+    mean + std * standard_normal(rng)
+}
+
+/// Samples uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is non-finite.
+pub fn uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid uniform range [{lo},{hi})");
+    rng.random_range(lo..hi)
+}
+
+/// A random sign: `-1.0` or `1.0` with equal probability.
+pub fn random_sign(rng: &mut impl Rng) -> f64 {
+    if rng.random::<bool>() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (a uniform k-subset), in random order.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    // Partial Fisher–Yates: O(n) setup, O(k) swaps.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Samples an index in `0..weights.len()` proportionally to the (non-negative) weights.
+/// Falls back to uniform when all weights are zero.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a negative/NaN weight.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && !w.is_nan(), "invalid weight {w}");
+            w
+        })
+        .sum();
+    if total == 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut t = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..8 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_varies_by_stream() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(3);
+        let mut p = permutation(&mut rng, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut rng = seeded(5);
+        let s = sample_without_replacement(&mut rng, 50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_without_replacement_too_many() {
+        let mut rng = seeded(5);
+        let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(11);
+        let xs = normal_vec(&mut rng, 20_000);
+        let m = crate::vector::mean(&xs);
+        let s = crate::stats::std_dev(&xs);
+        assert!(m.abs() < 0.05, "mean {m}");
+        assert!((s - 1.0).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(13);
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[weighted_index(&mut rng, &[1.0, 9.0])] += 1;
+        }
+        assert!(counts[1] > counts[0] * 4, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_all_zero_is_uniform() {
+        let mut rng = seeded(17);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[weighted_index(&mut rng, &[0.0, 0.0, 0.0])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,207 @@
+//! Summary statistics used across the workspace: standardization moments for the ML
+//! preprocessing stage, quantiles for the telemetry reports, and covariance/correlation
+//! for the synthetic data generators' self-checks.
+
+/// Mean and (population or sample) standard deviation of a feature column.
+///
+/// Produced by [`column_moments`] and consumed by the preprocessing stage to
+/// standardize features before training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (sample, `n-1` denominator). Zero for constant columns.
+    pub std: f64,
+}
+
+impl Moments {
+    /// Standardizes `x` to zero mean / unit variance. Constant columns (std == 0) map
+    /// to zero rather than dividing by zero.
+    pub fn standardize(&self, x: f64) -> f64 {
+        if self.std > 0.0 {
+            (x - self.mean) / self.std
+        } else {
+            0.0
+        }
+    }
+
+    /// Inverse of [`Moments::standardize`].
+    pub fn destandardize(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+/// Sample variance (`n-1` denominator); `0.0` when fewer than two values.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = crate::vector::mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Mean and sample standard deviation in one pass.
+pub fn column_moments(a: &[f64]) -> Moments {
+    Moments { mean: crate::vector::mean(a), std: std_dev(a) }
+}
+
+/// Sample covariance between two equal-length series; `0.0` with fewer than two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "covariance length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (crate::vector::mean(a), crate::vector::mean(b));
+    a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient; `0.0` when either series is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let (sa, sb) = (std_dev(a), std_dev(b));
+    if sa == 0.0 || sb == 0.0 {
+        return 0.0;
+    }
+    covariance(a, b) / (sa * sb)
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`) of an unsorted slice.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or NaN.
+pub fn quantile(a: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile q={q} outside [0,1]");
+    if a.is_empty() {
+        return None;
+    }
+    let mut sorted = a.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile). Returns `None` for an empty slice.
+pub fn median(a: &[f64]) -> Option<f64> {
+    quantile(a, 0.5)
+}
+
+/// Min and max of a slice; `None` for an empty slice. NaNs are ignored.
+pub fn min_max(a: &[f64]) -> Option<(f64, f64)> {
+    let mut it = a.iter().filter(|x| !x.is_nan());
+    let first = *it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &x in it {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// Histogram counts of `a` over `bins` equal-width buckets spanning `[lo, hi]`.
+/// Values outside the range are clamped into the edge buckets.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram_counts(a: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in a {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_and_std_known() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Sample variance of this classic example is 32/7.
+        assert!((variance(&a) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&a) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn moments_standardize_round_trip() {
+        let m = column_moments(&[1.0, 2.0, 3.0, 4.0]);
+        let z = m.standardize(4.0);
+        assert!((m.destandardize(z) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_constant_column_maps_to_zero() {
+        let m = column_moments(&[5.0, 5.0]);
+        assert_eq!(m.standardize(5.0), 0.0);
+        assert_eq!(m.standardize(100.0), 0.0);
+    }
+
+    #[test]
+    fn covariance_sign() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!(covariance(&x, &y) > 0.0);
+        let z = [6.0, 4.0, 2.0];
+        assert!(covariance(&x, &z) < 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&a, 0.0), Some(1.0));
+        assert_eq!(quantile(&a, 1.0), Some(4.0));
+        assert_eq!(median(&a), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        assert_eq!(min_max(&[3.0, f64::NAN, -1.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let counts = histogram_counts(&[-10.0, 0.1, 0.9, 10.0], 0.0, 1.0, 2);
+        assert_eq!(counts, vec![2, 2]);
+    }
+}

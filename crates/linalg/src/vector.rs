@@ -1,0 +1,222 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! These are the hot inner-loop primitives shared by the ML models (dot products,
+//! softmax, argmax) and the XAI methods (norms, normalization).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(spatial_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn norm_l2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Manhattan (L1) norm.
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Sum of all elements.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f64
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` for an empty slice.
+/// NaN elements are never selected unless all elements are NaN-or-ignored, in which
+/// case the first index is returned.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] || a[best].is_nan() {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element (first on ties); `None` for an empty slice.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v < a[best] || a[best].is_nan() {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Numerically stable softmax. Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```
+/// let p = spatial_linalg::vector::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)`, stable for large |x|.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Scales `a` in place so it sums to one. Leaves the slice untouched when the sum is
+/// zero or non-finite.
+pub fn normalize_sum(a: &mut [f64]) {
+    let s = sum(a);
+    if s != 0.0 && s.is_finite() {
+        for x in a.iter_mut() {
+            *x /= s;
+        }
+    }
+}
+
+/// Elementwise clamp into `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn clamp_slice(a: &mut [f64], lo: f64, hi: f64) {
+    assert!(lo <= hi, "invalid clamp range [{lo}, {hi}]");
+    for x in a.iter_mut() {
+        *x = x.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn norms_345() {
+        assert!((norm_l2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_l1(&[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn argmax_first_tie_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[2.0, -1.0, -1.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, 0.5]), Some(1));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 999.0]);
+        assert!((sum(&p) - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!(p[0] > p[2]);
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(sigmoid(1e6), 1.0);
+        assert_eq!(sigmoid(-1e6), 0.0);
+    }
+
+    #[test]
+    fn normalize_sum_handles_zero() {
+        let mut a = vec![0.0, 0.0];
+        normalize_sum(&mut a);
+        assert_eq!(a, vec![0.0, 0.0]);
+        let mut b = vec![2.0, 2.0];
+        normalize_sum(&mut b);
+        assert_eq!(b, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn clamp_slice_bounds() {
+        let mut a = vec![-5.0, 0.5, 9.0];
+        clamp_slice(&mut a, 0.0, 1.0);
+        assert_eq!(a, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

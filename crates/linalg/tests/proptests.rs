@@ -1,0 +1,133 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use spatial_linalg::{distance, stats, vector, Matrix};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1e2f64..1e2, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(1..32)) {
+        let b: Vec<f64> = a.iter().rev().cloned().collect();
+        prop_assert!((vector::dot(&a, &b) - vector::dot(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(a in finite_vec(1..16)) {
+        let p = vector::softmax(&a);
+        prop_assert_eq!(p.len(), a.len());
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!((vector::sum(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in finite_vec(1..16)) {
+        let p = vector::softmax(&a);
+        prop_assert_eq!(vector::argmax(&a), vector::argmax(&p));
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in finite_vec(3..4), b in finite_vec(3..4), c in finite_vec(3..4)
+    ) {
+        let ab = distance::euclidean(&a, &b);
+        let bc = distance::euclidean(&b, &c);
+        let ac = distance::euclidean(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn euclidean_symmetry_and_identity(a in finite_vec(1..16)) {
+        prop_assert_eq!(distance::euclidean(&a, &a), 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!((distance::euclidean(&a, &b) - distance::euclidean(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_right(m in matrix(4, 4)) {
+        let p = m.matmul(&Matrix::identity(4));
+        for (a, b) in p.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)
+    ) {
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution(m in matrix(3, 3), x in finite_vec(3..4)) {
+        // Make the system well-conditioned by dominating the diagonal.
+        let mut a = m;
+        for i in 0..3 {
+            a[(i, i)] += 500.0;
+        }
+        let b = a.matvec(&x);
+        let got = a.solve(&b).expect("diagonally dominant system must be solvable");
+        for (g, e) in got.iter().zip(&x) {
+            prop_assert!((g - e).abs() < 1e-6, "got {g} expected {e}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone(a in finite_vec(1..64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = stats::quantile(&a, lo).unwrap();
+        let vhi = stats::quantile(&a, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-12);
+    }
+
+    #[test]
+    fn quantile_within_range(a in finite_vec(1..64), q in 0.0f64..1.0) {
+        let (lo, hi) = stats::min_max(&a).unwrap();
+        let v = stats::quantile(&a, q).unwrap();
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn standardize_round_trips(a in finite_vec(2..64), x in -1e3f64..1e3) {
+        let m = stats::column_moments(&a);
+        prop_assume!(m.std > 1e-9);
+        prop_assert!((m.destandardize(m.standardize(x)) - x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_is_bounded(a in finite_vec(2..32)) {
+        let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = stats::pearson(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal(m in matrix(6, 2), y in finite_vec(6..7)) {
+        // Normal equations => X^T (y - X beta) ~ 0.
+        if let Some(beta) = m.least_squares(&y, None, 1e-9) {
+            let pred = m.matvec(&beta);
+            let resid: Vec<f64> = y.iter().zip(&pred).map(|(a, b)| a - b).collect();
+            let xt = m.transpose();
+            let g = xt.matvec(&resid);
+            for v in g {
+                prop_assert!(v.abs() < 1e-3, "gradient component {v}");
+            }
+        }
+    }
+}

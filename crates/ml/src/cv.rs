@@ -1,0 +1,125 @@
+//! K-fold cross-validation — the paper's model-evaluation step ("the model is
+//! evaluated, e.g., using cross-validation", §III).
+
+use crate::metrics::{evaluate, Evaluation};
+use crate::model::{Model, TrainError};
+use spatial_data::{split, Dataset};
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// One evaluation per fold.
+    pub folds: Vec<Evaluation>,
+}
+
+impl CvResult {
+    /// Mean accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.folds.iter().map(|e| e.accuracy).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Sample standard deviation of fold accuracies.
+    pub fn std_accuracy(&self) -> f64 {
+        let accs: Vec<f64> = self.folds.iter().map(|e| e.accuracy).collect();
+        spatial_linalg::stats::std_dev(&accs)
+    }
+
+    /// Mean macro-F1 across folds.
+    pub fn mean_f1(&self) -> f64 {
+        self.folds.iter().map(|e| e.f1).sum::<f64>() / self.folds.len() as f64
+    }
+}
+
+/// Runs stratified k-fold cross-validation, building a fresh model per fold via
+/// `factory`.
+///
+/// # Errors
+///
+/// Propagates the first [`TrainError`] from any fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or a class has fewer than `k` members (see
+/// [`split::k_fold_indices`]).
+///
+/// # Example
+///
+/// ```
+/// use spatial_ml::{cv::cross_validate, tree::DecisionTree};
+/// use spatial_data::unimib::{generate, binarize_falls, UnimibConfig};
+///
+/// let ds = binarize_falls(&generate(&UnimibConfig { samples: 200, ..Default::default() }));
+/// let result = cross_validate(|| Box::new(DecisionTree::new()), &ds, 4, 42)?;
+/// assert!(result.mean_accuracy() > 0.6);
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+pub fn cross_validate(
+    factory: impl Fn() -> Box<dyn Model>,
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<CvResult, TrainError> {
+    let mut folds = Vec::with_capacity(k);
+    for (train_idx, val_idx) in split::k_fold_indices(&ds.labels, k, seed) {
+        let train = ds.subset(&train_idx);
+        let val = ds.subset(&val_idx);
+        let mut model = factory();
+        model.fit(&train)?;
+        let preds = model.predict_batch(&val.features);
+        folds.push(evaluate(&preds, &val.labels, ds.n_classes()));
+    }
+    Ok(CvResult { folds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+    use spatial_linalg::Matrix;
+
+    fn separable(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 2) as f64 * 10.0 + (i as f64) * 0.01]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn produces_k_folds() {
+        let ds = separable(40);
+        let r = cross_validate(|| Box::new(DecisionTree::new()), &ds, 5, 1).unwrap();
+        assert_eq!(r.folds.len(), 5);
+        assert!((r.mean_accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(r.std_accuracy(), 0.0);
+        assert_eq!(r.mean_f1(), 1.0);
+    }
+
+    #[test]
+    fn propagates_training_errors() {
+        let ds = separable(12);
+        let err = cross_validate(
+            || {
+                Box::new(DecisionTree::with_config(crate::tree::TreeConfig {
+                    max_depth: 0,
+                    ..Default::default()
+                }))
+            },
+            &ds,
+            3,
+            2,
+        );
+        assert!(matches!(err, Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn rejects_k_below_two() {
+        let ds = separable(10);
+        let _ = cross_validate(|| Box::new(DecisionTree::new()), &ds, 1, 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Group-fairness metrics.
+//!
+//! The paper's property catalogue requires fairness sensing: "in a loan application,
+//! fairness can be applied to identify data biases in individual or specific groups
+//! (equitable), whereas fairness can be also calculated to estimate whether the
+//! decision process was fair to all the involved loaners (procedural)" (§VIII). This
+//! module implements the two standard group metrics those sensors quantify:
+//!
+//! - [`demographic_parity_difference`] — gap in positive-prediction rates between
+//!   groups (equitable fairness of *outcomes*);
+//! - [`equalized_odds_difference`] — worst gap in TPR/FPR between groups (procedural
+//!   fairness of *errors*).
+//!
+//! Both are 0 for a perfectly fair classifier and grow toward 1.
+
+/// Per-group prediction/label slices for a binary decision task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupOutcomes {
+    /// Group identifier per sample.
+    pub groups: Vec<usize>,
+    /// Predicted class per sample (`1` = the favourable outcome).
+    pub predicted: Vec<usize>,
+    /// Actual class per sample.
+    pub actual: Vec<usize>,
+}
+
+impl GroupOutcomes {
+    /// Validates and constructs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn new(groups: Vec<usize>, predicted: Vec<usize>, actual: Vec<usize>) -> Self {
+        assert_eq!(groups.len(), predicted.len(), "group/prediction length mismatch");
+        assert_eq!(groups.len(), actual.len(), "group/label length mismatch");
+        assert!(!groups.is_empty(), "need at least one sample");
+        Self { groups, predicted, actual }
+    }
+
+    fn group_ids(&self) -> Vec<usize> {
+        let mut ids = self.groups.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Positive-prediction rate within one group; `None` when the group is absent.
+    pub fn positive_rate(&self, group: usize) -> Option<f64> {
+        let members: Vec<usize> = (0..self.groups.len())
+            .filter(|&i| self.groups[i] == group)
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        let positives = members.iter().filter(|&&i| self.predicted[i] == 1).count();
+        Some(positives as f64 / members.len() as f64)
+    }
+
+    /// True-positive rate within one group; `None` when the group has no actual
+    /// positives.
+    pub fn true_positive_rate(&self, group: usize) -> Option<f64> {
+        let positives: Vec<usize> = (0..self.groups.len())
+            .filter(|&i| self.groups[i] == group && self.actual[i] == 1)
+            .collect();
+        if positives.is_empty() {
+            return None;
+        }
+        let hits = positives.iter().filter(|&&i| self.predicted[i] == 1).count();
+        Some(hits as f64 / positives.len() as f64)
+    }
+
+    /// False-positive rate within one group; `None` when the group has no actual
+    /// negatives.
+    pub fn false_positive_rate(&self, group: usize) -> Option<f64> {
+        let negatives: Vec<usize> = (0..self.groups.len())
+            .filter(|&i| self.groups[i] == group && self.actual[i] != 1)
+            .collect();
+        if negatives.is_empty() {
+            return None;
+        }
+        let hits = negatives.iter().filter(|&&i| self.predicted[i] == 1).count();
+        Some(hits as f64 / negatives.len() as f64)
+    }
+}
+
+/// Largest pairwise gap in positive-prediction rates across groups; `0.0` with fewer
+/// than two groups.
+pub fn demographic_parity_difference(outcomes: &GroupOutcomes) -> f64 {
+    let rates: Vec<f64> = outcomes
+        .group_ids()
+        .into_iter()
+        .filter_map(|g| outcomes.positive_rate(g))
+        .collect();
+    spread(&rates)
+}
+
+/// Largest pairwise gap in TPR or FPR across groups (the max of the two spreads);
+/// `0.0` with fewer than two comparable groups.
+pub fn equalized_odds_difference(outcomes: &GroupOutcomes) -> f64 {
+    let ids = outcomes.group_ids();
+    let tprs: Vec<f64> = ids.iter().filter_map(|&g| outcomes.true_positive_rate(g)).collect();
+    let fprs: Vec<f64> = ids.iter().filter_map(|&g| outcomes.false_positive_rate(g)).collect();
+    spread(&tprs).max(spread(&fprs))
+}
+
+fn spread(rates: &[f64]) -> f64 {
+    match spatial_linalg::stats::min_max(rates) {
+        Some((lo, hi)) if rates.len() >= 2 => hi - lo,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Group 0: predictions 1,1,0,0 / actual 1,0,1,0.
+    /// Group 1: predictions 1,1,1,0 / actual 1,1,0,0.
+    fn outcomes() -> GroupOutcomes {
+        GroupOutcomes::new(
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+            vec![1, 1, 0, 0, 1, 1, 1, 0],
+            vec![1, 0, 1, 0, 1, 1, 0, 0],
+        )
+    }
+
+    #[test]
+    fn positive_rates_per_group() {
+        let o = outcomes();
+        assert_eq!(o.positive_rate(0), Some(0.5));
+        assert_eq!(o.positive_rate(1), Some(0.75));
+        assert_eq!(o.positive_rate(9), None);
+    }
+
+    #[test]
+    fn demographic_parity_is_the_gap() {
+        assert!((demographic_parity_difference(&outcomes()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpr_fpr_per_group() {
+        let o = outcomes();
+        // Group 0: actual positives at 0,2 -> predicted 1,0 -> TPR 0.5.
+        assert_eq!(o.true_positive_rate(0), Some(0.5));
+        // Group 1: actual positives at 4,5 -> both predicted 1 -> TPR 1.0.
+        assert_eq!(o.true_positive_rate(1), Some(1.0));
+        // Group 0 FPR: negatives 1,3 -> predicted 1,0 -> 0.5.
+        assert_eq!(o.false_positive_rate(0), Some(0.5));
+    }
+
+    #[test]
+    fn equalized_odds_takes_the_worst_gap() {
+        // TPR gap 0.5; FPR gap |0.5 − 0.5| = 0.
+        assert!((equalized_odds_difference(&outcomes()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_classifier_scores_zero() {
+        let fair = GroupOutcomes::new(
+            vec![0, 0, 1, 1],
+            vec![1, 0, 1, 0],
+            vec![1, 0, 1, 0],
+        );
+        assert_eq!(demographic_parity_difference(&fair), 0.0);
+        assert_eq!(equalized_odds_difference(&fair), 0.0);
+    }
+
+    #[test]
+    fn single_group_scores_zero() {
+        let one = GroupOutcomes::new(vec![0, 0], vec![1, 0], vec![1, 0]);
+        assert_eq!(demographic_parity_difference(&one), 0.0);
+        assert_eq!(equalized_odds_difference(&one), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = GroupOutcomes::new(vec![0], vec![1, 0], vec![1, 0]);
+    }
+}

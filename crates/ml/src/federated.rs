@@ -1,0 +1,330 @@
+//! Federated learning — the paper's Fig. 2(c) distributed machine-learning
+//! architecture.
+//!
+//! "Currently, a global model is trained by data contributions of clients collected in
+//! a privacy-preserving manner, e.g., using federated learning; once trained, this
+//! model is then propagated to all the end devices … the model is updated by a global
+//! aggregator, which combines contributions from clients" (§III).
+//!
+//! [`FederatedTrainer`] implements that loop for [`MlpClassifier`] clients: each round,
+//! every client trains the current global parameters locally for a few epochs, and the
+//! aggregator combines the resulting parameter vectors. Three aggregators are
+//! provided, because the paper's threat model (poisoned clients) makes aggregation the
+//! battleground:
+//!
+//! - [`Aggregation::FedAvg`] — sample-weighted mean (McMahan et al.); optimal without
+//!   adversaries, hijackable by a single poisoned client.
+//! - [`Aggregation::Median`] — coordinate-wise median; robust to a minority of
+//!   arbitrary clients.
+//! - [`Aggregation::TrimmedMean`] — coordinate-wise mean after trimming the extreme
+//!   fraction from each side.
+
+use crate::mlp::{MlpClassifier, MlpConfig};
+use crate::model::TrainError;
+use spatial_data::Dataset;
+
+/// The global aggregation rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Sample-count-weighted parameter mean.
+    FedAvg,
+    /// Coordinate-wise median (unweighted).
+    Median,
+    /// Coordinate-wise mean after trimming `trim` (in `[0, 0.5)`) of clients from
+    /// each extreme, unweighted.
+    TrimmedMean {
+        /// Fraction trimmed from each side.
+        trim: f64,
+    },
+}
+
+/// Configuration for a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedConfig {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs per client per round.
+    pub local_epochs: usize,
+    /// The aggregation rule.
+    pub aggregation: Aggregation,
+    /// Client-model template (architecture + local optimizer settings).
+    pub client: MlpConfig,
+}
+
+impl Default for FederatedConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 10,
+            local_epochs: 2,
+            aggregation: Aggregation::FedAvg,
+            client: MlpConfig::default(),
+        }
+    }
+}
+
+/// Trains a global [`MlpClassifier`] over per-client datasets.
+#[derive(Debug, Clone)]
+pub struct FederatedTrainer {
+    config: FederatedConfig,
+}
+
+impl FederatedTrainer {
+    /// Creates a trainer.
+    pub fn new(config: FederatedConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the federated loop and returns the global model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when `clients` is empty, client feature widths differ,
+    /// the configuration is degenerate, or a local update fails.
+    pub fn train(&self, clients: &[Dataset]) -> Result<MlpClassifier, TrainError> {
+        if clients.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        if self.config.rounds == 0 || self.config.local_epochs == 0 {
+            return Err(TrainError::InvalidConfig(
+                "rounds and local_epochs must be positive".into(),
+            ));
+        }
+        if let Aggregation::TrimmedMean { trim } = self.config.aggregation {
+            if !(0.0..0.5).contains(&trim) {
+                return Err(TrainError::InvalidConfig("trim must be in [0, 0.5)".into()));
+            }
+        }
+        let d = clients[0].n_features();
+        let k = clients.iter().map(|c| c.n_classes()).max().expect("non-empty");
+        for (i, c) in clients.iter().enumerate() {
+            if c.n_features() != d {
+                return Err(TrainError::InvalidConfig(format!(
+                    "client {i} has {} features, expected {d}",
+                    c.n_features()
+                )));
+            }
+            if c.n_samples() == 0 {
+                return Err(TrainError::EmptyDataset);
+            }
+        }
+
+        let mut global = MlpClassifier::with_config(self.config.client.clone()).named("fed-mlp");
+        global.initialize(d, k);
+        let mut params = global.parameters();
+
+        for round in 0..self.config.rounds {
+            let mut updates: Vec<(Vec<f64>, f64)> = Vec::with_capacity(clients.len());
+            for (ci, data) in clients.iter().enumerate() {
+                let mut local = MlpClassifier::with_config(MlpConfig {
+                    // Vary the shuffling stream per client and round.
+                    seed: self
+                        .config
+                        .client
+                        .seed
+                        .wrapping_add(1 + round as u64 * 1000 + ci as u64),
+                    ..self.config.client.clone()
+                });
+                local.initialize(d, k);
+                local.set_parameters(&params);
+                local.continue_training(data, self.config.local_epochs)?;
+                updates.push((local.parameters(), data.n_samples() as f64));
+            }
+            params = aggregate(&updates, self.config.aggregation);
+        }
+        global.set_parameters(&params);
+        Ok(global)
+    }
+}
+
+/// Combines client parameter vectors per the aggregation rule.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or vectors have unequal lengths.
+pub fn aggregate(updates: &[(Vec<f64>, f64)], rule: Aggregation) -> Vec<f64> {
+    assert!(!updates.is_empty(), "need at least one client update");
+    let len = updates[0].0.len();
+    assert!(
+        updates.iter().all(|(u, _)| u.len() == len),
+        "client parameter vectors differ in length"
+    );
+    match rule {
+        Aggregation::FedAvg => {
+            let total: f64 = updates.iter().map(|(_, w)| w).sum();
+            let mut out = vec![0.0; len];
+            for (u, w) in updates {
+                for (o, v) in out.iter_mut().zip(u) {
+                    *o += v * (w / total);
+                }
+            }
+            out
+        }
+        Aggregation::Median => {
+            coordinate_wise(updates, len, |mut col| {
+                col.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
+                let m = col.len();
+                if m % 2 == 1 {
+                    col[m / 2]
+                } else {
+                    (col[m / 2 - 1] + col[m / 2]) / 2.0
+                }
+            })
+        }
+        Aggregation::TrimmedMean { trim } => {
+            let drop_each = ((updates.len() as f64) * trim).floor() as usize;
+            coordinate_wise(updates, len, move |mut col| {
+                col.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
+                let kept = &col[drop_each..col.len() - drop_each];
+                spatial_linalg::vector::mean(kept)
+            })
+        }
+    }
+}
+
+fn coordinate_wise(
+    updates: &[(Vec<f64>, f64)],
+    len: usize,
+    combine: impl Fn(Vec<f64>) -> f64,
+) -> Vec<f64> {
+    (0..len)
+        .map(|j| combine(updates.iter().map(|(u, _)| u[j]).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+    use spatial_linalg::{rng, Matrix};
+    use rand::Rng;
+
+    fn blob_client(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            rows.push(vec![
+                label as f64 * 2.0 - 1.0 + rng::normal(&mut r, 0.0, 0.5),
+                rng::normal(&mut r, 0.0, 0.5),
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    fn quick_config(aggregation: Aggregation) -> FederatedConfig {
+        FederatedConfig {
+            rounds: 6,
+            local_epochs: 2,
+            aggregation,
+            client: MlpConfig {
+                hidden: vec![8],
+                batch_size: 16,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fedavg_learns_from_distributed_clients() {
+        let clients: Vec<Dataset> = (0..4).map(|i| blob_client(80, i)).collect();
+        let global = FederatedTrainer::new(quick_config(Aggregation::FedAvg))
+            .train(&clients)
+            .unwrap();
+        let holdout = blob_client(200, 99);
+        let acc = crate::metrics::accuracy(
+            &global.predict_batch(&holdout.features),
+            &holdout.labels,
+        );
+        assert!(acc > 0.9, "federated model should generalize: {acc}");
+    }
+
+    #[test]
+    fn median_resists_a_poisoned_client() {
+        let mut clients: Vec<Dataset> = (0..5).map(|i| blob_client(80, i)).collect();
+        // One malicious client: all labels flipped.
+        for l in &mut clients[4].labels {
+            *l = 1 - *l;
+        }
+        let holdout = blob_client(200, 98);
+        let eval = |agg: Aggregation| {
+            let global = FederatedTrainer::new(quick_config(agg)).train(&clients).unwrap();
+            crate::metrics::accuracy(&global.predict_batch(&holdout.features), &holdout.labels)
+        };
+        let avg_acc = eval(Aggregation::FedAvg);
+        let med_acc = eval(Aggregation::Median);
+        assert!(
+            med_acc >= avg_acc - 0.02,
+            "median must not be worse under poisoning: median {med_acc} vs fedavg {avg_acc}"
+        );
+        assert!(med_acc > 0.85, "median should stay accurate: {med_acc}");
+    }
+
+    #[test]
+    fn trimmed_mean_matches_mean_without_adversaries() {
+        let clients: Vec<Dataset> = (0..4).map(|i| blob_client(60, 10 + i)).collect();
+        let avg = FederatedTrainer::new(quick_config(Aggregation::FedAvg))
+            .train(&clients)
+            .unwrap();
+        let trimmed =
+            FederatedTrainer::new(quick_config(Aggregation::TrimmedMean { trim: 0.25 }))
+                .train(&clients)
+                .unwrap();
+        let holdout = blob_client(150, 97);
+        let a = crate::metrics::accuracy(&avg.predict_batch(&holdout.features), &holdout.labels);
+        let t = crate::metrics::accuracy(
+            &trimmed.predict_batch(&holdout.features),
+            &holdout.labels,
+        );
+        assert!((a - t).abs() < 0.1, "benign clients: {a} vs {t}");
+    }
+
+    #[test]
+    fn aggregate_rules_are_exact_on_known_vectors() {
+        let updates = vec![
+            (vec![0.0, 10.0], 1.0),
+            (vec![1.0, 20.0], 1.0),
+            (vec![2.0, 90.0], 2.0),
+        ];
+        let avg = aggregate(&updates, Aggregation::FedAvg);
+        assert!((avg[0] - (0.0 + 1.0 + 2.0 * 2.0) / 4.0).abs() < 1e-12);
+        let med = aggregate(&updates, Aggregation::Median);
+        assert_eq!(med, vec![1.0, 20.0]);
+        let trimmed = aggregate(&updates, Aggregation::TrimmedMean { trim: 0.34 });
+        assert_eq!(trimmed, vec![1.0, 20.0]); // trims one from each side
+    }
+
+    #[test]
+    fn rejects_mismatched_clients() {
+        let a = blob_client(20, 1);
+        let b = Dataset::new(
+            Matrix::zeros(4, 3),
+            vec![0, 1, 0, 1],
+            vec!["x".into(), "y".into(), "z".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let err = FederatedTrainer::new(quick_config(Aggregation::FedAvg)).train(&[a, b]);
+        assert!(matches!(err, Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let t = FederatedTrainer::new(quick_config(Aggregation::FedAvg));
+        assert!(matches!(t.train(&[]), Err(TrainError::EmptyDataset)));
+        let bad = FederatedTrainer::new(FederatedConfig {
+            rounds: 0,
+            ..quick_config(Aggregation::FedAvg)
+        });
+        assert!(matches!(
+            bad.train(&[blob_client(10, 1)]),
+            Err(TrainError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! From-scratch machine-learning substrate for the SPATIAL reproduction.
+//!
+//! The paper's AI-pipeline micro-service trains and serves the models evaluated in both
+//! industrial use cases:
+//!
+//! | Paper model | Implementation |
+//! |-------------|----------------|
+//! | Logistic Regression (LR) | [`logreg::LogisticRegression`] — multinomial, gradient descent |
+//! | Decision Tree (DT) | [`tree::DecisionTree`] — CART with Gini impurity |
+//! | Random Forest (RF) | [`forest::RandomForest`] — bagging + feature subsampling |
+//! | MLP / DNN | [`mlp::MlpClassifier`] — ReLU layers, softmax, Adam |
+//! | LightGBM-like | [`gbdt::Gbdt`] with [`gbdt::SplitFinder::Histogram`] |
+//! | XGBoost-like | [`gbdt::Gbdt`] with [`gbdt::SplitFinder::Exact`] (second-order gain) |
+//!
+//! All models implement the object-safe [`Model`] trait, which is the seam the XAI,
+//! attack, resilience and gateway crates program against. [`mlp::MlpClassifier`]
+//! additionally implements [`GradientModel`], exposing input gradients for FGSM.
+//!
+//! [`pipeline`] implements the paper's standard model-construction pipeline (Fig. 4a);
+//! [`cv`] provides k-fold cross-validation; [`metrics`] the evaluation metrics the
+//! paper reports (accuracy, precision, recall, F1, confusion matrices).
+
+pub mod cv;
+pub mod fairness;
+pub mod federated;
+pub mod forest;
+pub mod gbdt;
+pub mod logreg;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod pipeline;
+pub mod tree;
+
+pub use model::{GradientModel, Model, TrainError};

@@ -1,0 +1,291 @@
+//! Multinomial logistic regression — the paper's LR baseline.
+//!
+//! Full-batch gradient descent on the softmax cross-entropy with L2 regularization and
+//! classical momentum. Deliberately linear: the paper's fall-detection results hinge on
+//! LR's inability to express the conjunctive fall signature (73 % vs ~97 % for the
+//! nonlinear models).
+
+use crate::model::{validate_training_set, Model, TrainError};
+use spatial_data::Dataset;
+use spatial_linalg::{vector, Matrix};
+
+/// Training hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRegConfig {
+    /// Gradient-descent epochs (full-batch steps).
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self { epochs: 300, learning_rate: 0.1, l2: 1e-4, momentum: 0.9 }
+    }
+}
+
+/// Multinomial logistic-regression classifier.
+///
+/// # Example
+///
+/// ```
+/// use spatial_ml::{logreg::LogisticRegression, Model};
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[0.0], &[0.1], &[0.9], &[1.0]]),
+///     vec![0, 0, 1, 1],
+///     vec!["x".into()],
+///     vec!["lo".into(), "hi".into()],
+/// );
+/// let mut lr = LogisticRegression::new();
+/// lr.fit(&ds)?;
+/// assert_eq!(lr.predict(&[0.95]), 1);
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogRegConfig,
+    /// `k × d` weight matrix (one row of coefficients per class).
+    weights: Option<Matrix>,
+    /// Per-class intercepts.
+    bias: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(LogRegConfig::default())
+    }
+
+    /// Creates an untrained model with explicit hyperparameters.
+    pub fn with_config(config: LogRegConfig) -> Self {
+        Self { config, weights: None, bias: Vec::new() }
+    }
+
+    /// The fitted `k × d` coefficient matrix, if trained.
+    pub fn coefficients(&self) -> Option<&Matrix> {
+        self.weights.as_ref()
+    }
+
+    fn logits(&self, x: &[f64]) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("model must be fitted before prediction");
+        assert_eq!(x.len(), w.cols(), "feature-count mismatch");
+        w.iter_rows()
+            .zip(&self.bias)
+            .map(|(row, b)| vector::dot(row, x) + b)
+            .collect()
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model for LogisticRegression {
+    fn name(&self) -> &str {
+        "logistic-regression"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.bias.len()
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<(), TrainError> {
+        let k = validate_training_set(train)?;
+        if self.config.learning_rate <= 0.0 {
+            return Err(TrainError::InvalidConfig("learning_rate must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.config.momentum) {
+            return Err(TrainError::InvalidConfig("momentum must be in [0,1)".into()));
+        }
+        let n = train.n_samples();
+        let d = train.n_features();
+        let mut w = Matrix::zeros(k, d);
+        let mut b = vec![0.0; k];
+        let mut vw = Matrix::zeros(k, d);
+        let mut vb = vec![0.0; k];
+        let inv_n = 1.0 / n as f64;
+
+        for _ in 0..self.config.epochs {
+            let mut gw = Matrix::zeros(k, d);
+            let mut gb = vec![0.0; k];
+            for (i, row) in train.features.iter_rows().enumerate() {
+                let logits: Vec<f64> = w
+                    .iter_rows()
+                    .zip(&b)
+                    .map(|(wr, bias)| vector::dot(wr, row) + bias)
+                    .collect();
+                let p = vector::softmax(&logits);
+                for class in 0..k {
+                    let err = p[class] - f64::from(u8::from(train.labels[i] == class));
+                    gb[class] += err * inv_n;
+                    vector::axpy(err * inv_n, row, gw.row_mut(class));
+                }
+            }
+            // L2 term.
+            gw.add_scaled(&w, self.config.l2);
+            // Momentum update.
+            for class in 0..k {
+                for j in 0..d {
+                    vw[(class, j)] = self.config.momentum * vw[(class, j)]
+                        - self.config.learning_rate * gw[(class, j)];
+                    w[(class, j)] += vw[(class, j)];
+                }
+                vb[class] =
+                    self.config.momentum * vb[class] - self.config.learning_rate * gb[class];
+                b[class] += vb[class];
+            }
+        }
+        self.weights = Some(w);
+        self.bias = b;
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        vector::softmax(&self.logits(features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::rng;
+    use rand::Rng;
+
+    fn linearly_separable(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = r.random_range(0..2usize);
+            let offset = if label == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![offset + rng::normal(&mut r, 0.0, 0.5), rng::normal(&mut r, 0.0, 1.0)]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["neg".into(), "pos".into()],
+        )
+    }
+
+    fn xor_dataset(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
+            let b = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
+            labels.push((a != b) as usize);
+            rows.push(vec![
+                a + rng::normal(&mut r, 0.0, 0.1),
+                b + rng::normal(&mut r, 0.0, 0.1),
+            ]);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["a".into(), "b".into()],
+            vec!["same".into(), "diff".into()],
+        )
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let ds = linearly_separable(300, 1);
+        let mut m = LogisticRegression::new();
+        m.fit(&ds).unwrap();
+        let acc = crate::metrics::accuracy(&m.predict_batch(&ds.features), &ds.labels);
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_direction() {
+        let ds = linearly_separable(300, 2);
+        let mut m = LogisticRegression::new();
+        m.fit(&ds).unwrap();
+        let p_pos_far = m.predict_proba(&[5.0, 0.0])[1];
+        let p_pos_near = m.predict_proba(&[0.5, 0.0])[1];
+        assert!(p_pos_far > p_pos_near);
+        assert!(p_pos_far > 0.95);
+    }
+
+    #[test]
+    fn cannot_learn_xor() {
+        // The defining limitation of a linear model.
+        let ds = xor_dataset(400, 3);
+        let mut m = LogisticRegression::new();
+        m.fit(&ds).unwrap();
+        let acc = crate::metrics::accuracy(&m.predict_batch(&ds.features), &ds.labels);
+        assert!(acc < 0.75, "a linear model should fail on XOR, got {acc}");
+    }
+
+    #[test]
+    fn multiclass_sums_to_one() {
+        let mut ds = linearly_separable(120, 4);
+        // Add a third class far away.
+        for i in 0..40 {
+            ds.labels[i] = 2;
+            ds.features.row_mut(i)[1] += 10.0;
+        }
+        let ds = Dataset::new(
+            ds.features.clone(),
+            ds.labels.clone(),
+            ds.feature_names.clone(),
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let mut m = LogisticRegression::new();
+        m.fit(&ds).unwrap();
+        let p = m.predict_proba(&[0.0, 0.0]);
+        assert_eq!(p.len(), 3);
+        assert!((vector::sum(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let ds = linearly_separable(10, 5);
+        let mut m = LogisticRegression::with_config(LogRegConfig {
+            learning_rate: 0.0,
+            ..LogRegConfig::default()
+        });
+        assert!(matches!(m.fit(&ds), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let ds = Dataset::new(
+            Matrix::zeros(5, 1),
+            vec![0; 5],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(LogisticRegression::new().fit(&ds), Err(TrainError::SingleClass));
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before prediction")]
+    fn predict_before_fit_panics() {
+        let m = LogisticRegression::new();
+        let _ = m.predict_proba(&[1.0]);
+    }
+
+    #[test]
+    fn refit_replaces_previous_model() {
+        let ds_a = linearly_separable(100, 6);
+        let mut m = LogisticRegression::new();
+        m.fit(&ds_a).unwrap();
+        let before = m.coefficients().unwrap().clone();
+        let ds_b = linearly_separable(100, 99);
+        m.fit(&ds_b).unwrap();
+        assert_ne!(&before, m.coefficients().unwrap());
+    }
+}

@@ -1,0 +1,212 @@
+//! Evaluation metrics: "the accuracy, precision, and recall evaluation metrics"
+//! (§VI-A), plus F1 and confusion matrices used by the resilience impact metric.
+
+/// A `k × k` confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, or contain a class index
+    /// `>= n_classes`.
+    pub fn from_predictions(predicted: &[usize], actual: &[usize], n_classes: usize) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        assert!(!predicted.is_empty(), "cannot build a confusion matrix from no samples");
+        let mut counts = vec![vec![0u64; n_classes]; n_classes];
+        for (&p, &a) in predicted.iter().zip(actual) {
+            assert!(p < n_classes && a < n_classes, "class index out of range");
+            counts[a][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with `actual` label predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual][predicted]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of correctly classified samples.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / self.total() as f64
+    }
+
+    /// Precision for one class: `TP / (TP + FP)`; `0.0` when the class is never
+    /// predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.counts[class][class] as f64;
+        let predicted: u64 = (0..self.n_classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Recall for one class: `TP / (TP + FN)`; `0.0` when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.counts[class][class] as f64;
+        let actual: u64 = self.counts[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp / actual as f64
+        }
+    }
+
+    /// F1 score for one class; `0.0` when precision + recall is zero.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class precisions (macro averaging).
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.n_classes()).map(|c| self.precision(c)).sum::<f64>() / self.n_classes() as f64
+    }
+
+    /// Unweighted mean of per-class recalls.
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.n_classes()).map(|c| self.recall(c)).sum::<f64>() / self.n_classes() as f64
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.n_classes()).map(|c| self.f1(c)).sum::<f64>() / self.n_classes() as f64
+    }
+}
+
+/// The metric bundle the paper reports per model per experiment condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+}
+
+/// Computes the full evaluation bundle in one pass.
+///
+/// # Panics
+///
+/// See [`ConfusionMatrix::from_predictions`].
+pub fn evaluate(predicted: &[usize], actual: &[usize], n_classes: usize) -> Evaluation {
+    let cm = ConfusionMatrix::from_predictions(predicted, actual, n_classes);
+    Evaluation {
+        accuracy: cm.accuracy(),
+        precision: cm.macro_precision(),
+        recall: cm.macro_recall(),
+        f1: cm.macro_f1(),
+    }
+}
+
+/// Plain accuracy over parallel slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "accuracy of zero samples is undefined");
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    correct as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// actual:    0 0 0 1 1 2
+    /// predicted: 0 0 1 1 1 0
+    fn cm() -> ConfusionMatrix {
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        assert!((cm().accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn precision_recall_per_class() {
+        let m = cm();
+        // Class 0: predicted 3 times, 2 correct; occurs 3 times, 2 found.
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        // Class 1: predicted 3 times, 2 correct; occurs twice, both found.
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), 1.0);
+        // Class 2: never predicted, never found.
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = cm();
+        let p = m.precision(0);
+        let r = m.recall(0);
+        assert!((m.f1(0) - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_metrics_average_classes() {
+        let m = cm();
+        let expect = (m.precision(0) + m.precision(1) + m.precision(2)) / 3.0;
+        assert!((m.macro_precision() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let e = evaluate(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(e.accuracy, 1.0);
+        assert_eq!(e.precision, 1.0);
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.f1, 1.0);
+    }
+
+    #[test]
+    fn totally_wrong_predictions() {
+        let e = evaluate(&[1, 0], &[0, 1], 2);
+        assert_eq!(e.accuracy, 0.0);
+        assert_eq!(e.f1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let _ = ConfusionMatrix::from_predictions(&[5], &[0], 3);
+    }
+}

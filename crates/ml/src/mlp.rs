@@ -1,0 +1,568 @@
+//! Multilayer perceptron / deep neural network with backpropagation and Adam.
+//!
+//! Covers the paper's MLP, DNN and "NN" models (use cases 1 and 2). The same
+//! implementation also powers the FGSM attack: [`MlpClassifier`] implements
+//! [`GradientModel`], returning the gradient of the cross-entropy loss with respect to
+//! the *input*, which is exactly the quantity FGSM signs.
+//!
+//! Architecture: fully connected ReLU layers with a softmax head, He initialization,
+//! mini-batch Adam, optional L2 weight decay.
+
+use crate::model::{validate_training_set, GradientModel, Model, TrainError};
+use rand::Rng;
+use spatial_data::Dataset;
+use spatial_linalg::{rng, vector, Matrix};
+
+/// Hyperparameters for [`MlpClassifier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer widths, e.g. `[64, 32]`.
+    pub hidden: Vec<usize>,
+    /// Training epochs over the full dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Parameter-initialization and batch-shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+impl MlpConfig {
+    /// The paper's shallower "MLP" preset (one hidden layer).
+    pub fn mlp() -> Self {
+        Self { hidden: vec![64], ..Self::default() }
+    }
+
+    /// The paper's deeper "DNN" preset (three hidden layers).
+    pub fn dnn() -> Self {
+        Self { hidden: vec![128, 64, 32], ..Self::default() }
+    }
+}
+
+/// One fully connected layer's parameters and Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// `out × in` weights.
+    w: Matrix,
+    b: Vec<f64>,
+    // Adam moments.
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(input: usize, output: usize, r: &mut impl Rng) -> Self {
+        // He initialization for ReLU layers.
+        let scale = (2.0 / input as f64).sqrt();
+        let mut w = Matrix::zeros(output, input);
+        for v in w.as_mut_slice() {
+            *v = rng::normal(r, 0.0, scale);
+        }
+        Self {
+            w,
+            b: vec![0.0; output],
+            mw: Matrix::zeros(output, input),
+            vw: Matrix::zeros(output, input),
+            mb: vec![0.0; output],
+            vb: vec![0.0; output],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.w.matvec(x);
+        for (o, b) in out.iter_mut().zip(&self.b) {
+            *o += b;
+        }
+        out
+    }
+}
+
+/// A feed-forward neural network classifier.
+///
+/// # Example
+///
+/// ```
+/// use spatial_ml::{mlp::{MlpClassifier, MlpConfig}, Model};
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]),
+///     vec![0, 1, 1, 0],
+///     vec!["a".into(), "b".into()],
+///     vec!["same".into(), "diff".into()],
+/// );
+/// let mut nn = MlpClassifier::with_config(MlpConfig {
+///     hidden: vec![16],
+///     epochs: 600,
+///     batch_size: 4,
+///     learning_rate: 5e-3,
+///     ..MlpConfig::default()
+/// });
+/// nn.fit(&ds)?;
+/// assert_eq!(nn.predict(&[1.0, 1.0]), 0); // XOR
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    name: String,
+    config: MlpConfig,
+    layers: Vec<Layer>,
+    n_classes: usize,
+    n_features: usize,
+    adam_t: u64,
+}
+
+impl MlpClassifier {
+    /// Creates an untrained network with the default (two-hidden-layer) preset.
+    pub fn new() -> Self {
+        Self::with_config(MlpConfig::default())
+    }
+
+    /// Creates an untrained network with explicit hyperparameters.
+    pub fn with_config(config: MlpConfig) -> Self {
+        let name = if config.hidden.len() >= 3 { "dnn" } else { "mlp" };
+        Self {
+            name: name.to_string(),
+            config,
+            layers: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+            adam_t: 0,
+        }
+    }
+
+    /// Overrides the display name (the paper calls the use-case-2 model just "NN").
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Expected input width (0 before fitting).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Flattens all weights and biases into one parameter vector (layer by layer,
+    /// weights row-major then biases) — the unit federated aggregation averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is unfitted/uninitialized.
+    pub fn parameters(&self) -> Vec<f64> {
+        assert!(!self.layers.is_empty(), "model must be initialized before reading parameters");
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.as_slice());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Replaces all weights and biases from a [`MlpClassifier::parameters`] vector of
+    /// a same-architecture network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is uninitialized or the vector length doesn't match.
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert!(!self.layers.is_empty(), "model must be initialized before loading parameters");
+        let expected: usize =
+            self.layers.iter().map(|l| l.w.as_slice().len() + l.b.len()).sum();
+        assert_eq!(params.len(), expected, "parameter vector length mismatch");
+        let mut at = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.w.as_slice().len();
+            layer.w.as_mut_slice().copy_from_slice(&params[at..at + wlen]);
+            at += wlen;
+            let blen = layer.b.len();
+            layer.b.copy_from_slice(&params[at..at + blen]);
+            at += blen;
+        }
+    }
+
+    /// Initializes the architecture for `n_features` inputs and `n_classes` outputs
+    /// without training — federated clients synchronize architectures this way before
+    /// the first round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or a hidden layer is empty.
+    pub fn initialize(&mut self, n_features: usize, n_classes: usize) {
+        assert!(n_features > 0 && n_classes > 0, "dimensions must be positive");
+        assert!(
+            self.config.hidden.iter().all(|&h| h > 0),
+            "hidden layers must be non-empty"
+        );
+        let mut r = rng::seeded(self.config.seed);
+        let mut sizes = vec![n_features];
+        sizes.extend_from_slice(&self.config.hidden);
+        sizes.push(n_classes);
+        self.layers = sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut r)).collect();
+        self.n_features = n_features;
+        self.n_classes = n_classes;
+        self.adam_t = 0;
+    }
+
+    /// Runs `epochs` additional training epochs on `train` *without* re-initializing
+    /// the parameters — the local-update step of federated learning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] for degenerate data or a feature-width mismatch.
+    pub fn continue_training(
+        &mut self,
+        train: &Dataset,
+        epochs: usize,
+    ) -> Result<(), TrainError> {
+        if self.layers.is_empty() {
+            return Err(TrainError::InvalidConfig(
+                "continue_training requires an initialized network".into(),
+            ));
+        }
+        if train.n_samples() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        if train.n_features() != self.n_features {
+            return Err(TrainError::InvalidConfig(format!(
+                "expected {} features, got {}",
+                self.n_features,
+                train.n_features()
+            )));
+        }
+        let mut r = rng::seeded(rng::derive_seed(self.config.seed, self.adam_t ^ 0x5EED));
+        let n = train.n_samples();
+        for _ in 0..epochs {
+            let order = rng::permutation(&mut r, n);
+            for chunk in order.chunks(self.config.batch_size) {
+                let mut acc: Option<Vec<(Matrix, Vec<f64>)>> = None;
+                for &i in chunk {
+                    let x = train.features.row(i);
+                    let (pres, acts) = self.forward_trace(x);
+                    let (grads, _) = self.backward(x, train.labels[i], &pres, &acts);
+                    match &mut acc {
+                        None => acc = Some(grads),
+                        Some(a) => {
+                            for ((aw, ab), (gw, gb)) in a.iter_mut().zip(&grads) {
+                                aw.add_scaled(gw, 1.0);
+                                vector::axpy(1.0, gb, ab);
+                            }
+                        }
+                    }
+                }
+                if let Some(grads) = acc {
+                    self.adam_step(&grads, chunk.len() as f64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward pass returning every layer's pre-activation and activation:
+    /// `(pre[i], act[i])` for layer `i`; `act.last()` is the softmax output.
+    fn forward_trace(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&cur);
+            let act = if li + 1 == self.layers.len() {
+                vector::softmax(&pre)
+            } else {
+                pre.iter().map(|&v| v.max(0.0)).collect()
+            };
+            pres.push(pre);
+            cur = act.clone();
+            acts.push(act);
+        }
+        (pres, acts)
+    }
+
+    /// Backpropagates one sample; returns per-layer weight/bias gradients and the
+    /// gradient with respect to the input.
+    fn backward(
+        &self,
+        x: &[f64],
+        label: usize,
+        pres: &[Vec<f64>],
+        acts: &[Vec<f64>],
+    ) -> (Vec<(Matrix, Vec<f64>)>, Vec<f64>) {
+        let l = self.layers.len();
+        let mut grads: Vec<(Matrix, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|layer| (Matrix::zeros(layer.w.rows(), layer.w.cols()), vec![0.0; layer.b.len()]))
+            .collect();
+        // Softmax + cross-entropy: delta = p − onehot(y).
+        let mut delta: Vec<f64> = acts[l - 1].clone();
+        delta[label] -= 1.0;
+        for li in (0..l).rev() {
+            let input: &[f64] = if li == 0 { x } else { &acts[li - 1] };
+            let (gw, gb) = &mut grads[li];
+            for (o, &dv) in delta.iter().enumerate() {
+                gb[o] += dv;
+                vector::axpy(dv, input, gw.row_mut(o));
+            }
+            if li > 0 {
+                // Propagate through weights then the previous layer's ReLU.
+                let wt = self.layers[li].w.transpose();
+                let mut prev_delta = wt.matvec(&delta);
+                for (pd, &pre) in prev_delta.iter_mut().zip(&pres[li - 1]) {
+                    if pre <= 0.0 {
+                        *pd = 0.0;
+                    }
+                }
+                delta = prev_delta;
+            } else {
+                // Gradient w.r.t. the input itself (used by input_gradient).
+                let wt = self.layers[0].w.transpose();
+                delta = wt.matvec(&delta);
+            }
+        }
+        (grads, delta)
+    }
+
+    fn adam_step(&mut self, grads: &[(Matrix, Vec<f64>)], batch: f64) {
+        self.adam_t += 1;
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let lr = self.config.learning_rate;
+        let bc1 = 1.0 - B1.powi(self.adam_t as i32);
+        let bc2 = 1.0 - B2.powi(self.adam_t as i32);
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(grads) {
+            for i in 0..layer.w.rows() {
+                for j in 0..layer.w.cols() {
+                    let g = gw[(i, j)] / batch + self.config.l2 * layer.w[(i, j)];
+                    layer.mw[(i, j)] = B1 * layer.mw[(i, j)] + (1.0 - B1) * g;
+                    layer.vw[(i, j)] = B2 * layer.vw[(i, j)] + (1.0 - B2) * g * g;
+                    let mhat = layer.mw[(i, j)] / bc1;
+                    let vhat = layer.vw[(i, j)] / bc2;
+                    layer.w[(i, j)] -= lr * mhat / (vhat.sqrt() + EPS);
+                }
+                let g = gb[i] / batch;
+                layer.mb[i] = B1 * layer.mb[i] + (1.0 - B1) * g;
+                layer.vb[i] = B2 * layer.vb[i] + (1.0 - B2) * g * g;
+                let mhat = layer.mb[i] / bc1;
+                let vhat = layer.vb[i] / bc2;
+                layer.b[i] -= lr * mhat / (vhat.sqrt() + EPS);
+            }
+        }
+    }
+}
+
+impl Default for MlpClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model for MlpClassifier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<(), TrainError> {
+        let k = validate_training_set(train)?;
+        if self.config.batch_size == 0 {
+            return Err(TrainError::InvalidConfig("batch_size must be at least 1".into()));
+        }
+        if self.config.learning_rate <= 0.0 {
+            return Err(TrainError::InvalidConfig("learning_rate must be positive".into()));
+        }
+        if self.config.hidden.contains(&0) {
+            return Err(TrainError::InvalidConfig("hidden layers must be non-empty".into()));
+        }
+        self.initialize(train.n_features(), k);
+        self.continue_training(train, self.config.epochs)
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        assert!(!self.layers.is_empty(), "model must be fitted before prediction");
+        assert_eq!(features.len(), self.n_features, "feature-count mismatch");
+        let (_, acts) = self.forward_trace(features);
+        acts.last().expect("network has layers").clone()
+    }
+}
+
+impl GradientModel for MlpClassifier {
+    fn input_gradient(&self, features: &[f64], true_class: usize) -> Vec<f64> {
+        assert!(!self.layers.is_empty(), "model must be fitted before gradients");
+        assert_eq!(features.len(), self.n_features, "feature-count mismatch");
+        assert!(true_class < self.n_classes, "class {true_class} out of range");
+        let (pres, acts) = self.forward_trace(features);
+        let (_, input_grad) = self.backward(features, true_class, &pres, &acts);
+        input_grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+
+    fn xor_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut r = rng::seeded(7);
+        for _ in 0..120 {
+            let a = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
+            let b = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
+            labels.push((a != b) as usize);
+            rows.push(vec![
+                a + rng::normal(&mut r, 0.0, 0.05),
+                b + rng::normal(&mut r, 0.0, 0.05),
+            ]);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["a".into(), "b".into()],
+            vec!["same".into(), "diff".into()],
+        )
+    }
+
+    fn quick_config() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![16],
+            epochs: 150,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            l2: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let ds = xor_dataset();
+        let mut nn = MlpClassifier::with_config(quick_config());
+        nn.fit(&ds).unwrap();
+        let acc = crate::metrics::accuracy(&nn.predict_batch(&ds.features), &ds.labels);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_is_distribution() {
+        let ds = xor_dataset();
+        let mut nn = MlpClassifier::with_config(quick_config());
+        nn.fit(&ds).unwrap();
+        let p = nn.predict_proba(&[0.3, 0.8]);
+        assert_eq!(p.len(), 2);
+        assert!((vector::sum(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = xor_dataset();
+        let mut a = MlpClassifier::with_config(quick_config());
+        let mut b = MlpClassifier::with_config(quick_config());
+        a.fit(&ds).unwrap();
+        b.fit(&ds).unwrap();
+        assert_eq!(a.predict_proba(&[0.5, 0.5]), b.predict_proba(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let ds = xor_dataset();
+        let mut nn = MlpClassifier::with_config(quick_config());
+        nn.fit(&ds).unwrap();
+        let x = [0.31, 0.72];
+        let label = 1;
+        let analytic = nn.input_gradient(&x, label);
+        let loss = |x: &[f64]| -> f64 { -(nn.predict_proba(x)[label].max(1e-12)).ln() };
+        let eps = 1e-5;
+        for j in 0..2 {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[j] += eps;
+            xm[j] -= eps;
+            let numeric = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (analytic[j] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "feature {j}: analytic {} vs numeric {numeric}",
+                analytic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_ascent_increases_loss() {
+        // Moving the input along the gradient sign should raise the loss — the FGSM
+        // premise.
+        let ds = xor_dataset();
+        let mut nn = MlpClassifier::with_config(quick_config());
+        nn.fit(&ds).unwrap();
+        let x = [1.0, 0.0];
+        let label = nn.predict(&x);
+        let loss = |x: &[f64]| -> f64 { -(nn.predict_proba(x)[label].max(1e-12)).ln() };
+        let g = nn.input_gradient(&x, label);
+        let adv: Vec<f64> = x.iter().zip(&g).map(|(&v, &gv)| v + 0.3 * gv.signum()).collect();
+        assert!(loss(&adv) > loss(&x));
+    }
+
+    #[test]
+    fn dnn_preset_is_deeper() {
+        let nn = MlpClassifier::with_config(MlpConfig::dnn());
+        assert_eq!(nn.name(), "dnn");
+        let shallow = MlpClassifier::with_config(MlpConfig::mlp());
+        assert_eq!(shallow.name(), "mlp");
+    }
+
+    #[test]
+    fn named_overrides_display_name() {
+        let nn = MlpClassifier::new().named("nn");
+        assert_eq!(nn.name(), "nn");
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let ds = xor_dataset();
+        for config in [
+            MlpConfig { batch_size: 0, ..quick_config() },
+            MlpConfig { learning_rate: 0.0, ..quick_config() },
+            MlpConfig { hidden: vec![0], ..quick_config() },
+        ] {
+            let mut nn = MlpClassifier::with_config(config);
+            assert!(matches!(nn.fit(&ds), Err(TrainError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before prediction")]
+    fn predict_before_fit_panics() {
+        let nn = MlpClassifier::new();
+        let _ = nn.predict_proba(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gradient_class_bounds_checked() {
+        let ds = xor_dataset();
+        let mut nn = MlpClassifier::with_config(quick_config());
+        nn.fit(&ds).unwrap();
+        let _ = nn.input_gradient(&[0.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! The model abstraction every SPATIAL component programs against.
+
+use spatial_data::Dataset;
+use spatial_linalg::{vector, Matrix};
+use std::fmt;
+
+/// Error raised by [`Model::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set had no samples.
+    EmptyDataset,
+    /// The training set contained only one class, so no decision boundary exists.
+    SingleClass,
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "training set is empty"),
+            Self::SingleClass => write!(f, "training set contains a single class"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A trainable, probabilistic classifier.
+///
+/// The trait is object-safe: the XAI methods, attack generators and micro-services all
+/// hold `&dyn Model` (or `Arc<dyn Model>`) so any algorithm can be plugged into any AI
+/// sensor, exactly as the paper's micro-services accept "a dataset (and) several AI
+/// algorithms".
+pub trait Model: Send + Sync {
+    /// Short display name ("random-forest", "dnn", ...), used in reports and
+    /// experiment tables.
+    fn name(&self) -> &str;
+
+    /// Number of classes the model was trained for. Zero before training.
+    fn n_classes(&self) -> usize;
+
+    /// Trains on the dataset, replacing any previous fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] when the dataset is empty, degenerate, or the model
+    /// configuration is invalid.
+    fn fit(&mut self, train: &Dataset) -> Result<(), TrainError>;
+
+    /// Class-probability vector for one feature row (sums to ~1).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before [`Model::fit`] or with the wrong
+    /// feature count.
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Most probable class for one feature row.
+    fn predict(&self, features: &[f64]) -> usize {
+        vector::argmax(&self.predict_proba(features)).expect("model produced no classes")
+    }
+
+    /// Predicted class per row.
+    fn predict_batch(&self, features: &Matrix) -> Vec<usize> {
+        features.iter_rows().map(|row| self.predict(row)).collect()
+    }
+
+    /// Probability matrix, one row per input row.
+    fn predict_proba_batch(&self, features: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> =
+            features.iter_rows().map(|row| self.predict_proba(row)).collect();
+        Matrix::from_row_vecs(rows)
+    }
+}
+
+/// A model that can differentiate its loss with respect to the *input* — the contract
+/// FGSM needs ("adding a small amount in the direction of the gradient of the loss
+/// function with respect to the input", §VI-A).
+pub trait GradientModel: Model {
+    /// Gradient of the cross-entropy loss `−log p(true_class)` with respect to the
+    /// input features, evaluated at `features`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before fitting, with the wrong feature
+    /// count, or with `true_class >= n_classes()`.
+    fn input_gradient(&self, features: &[f64], true_class: usize) -> Vec<f64>;
+}
+
+/// Validates the common preconditions shared by every `fit` implementation and returns
+/// the number of classes.
+///
+/// # Errors
+///
+/// [`TrainError::EmptyDataset`] when there are no samples, [`TrainError::SingleClass`]
+/// when all samples carry the same label.
+pub fn validate_training_set(train: &Dataset) -> Result<usize, TrainError> {
+    if train.n_samples() == 0 {
+        return Err(TrainError::EmptyDataset);
+    }
+    let distinct = {
+        let mut seen = vec![false; train.n_classes()];
+        for &l in &train.labels {
+            seen[l] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    if distinct < 2 {
+        return Err(TrainError::SingleClass);
+    }
+    Ok(train.n_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed-probability stub used to exercise the provided trait methods.
+    struct Stub;
+
+    impl Model for Stub {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn n_classes(&self) -> usize {
+            3
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+            // Probability mass follows the first feature's sign.
+            if features[0] >= 0.0 {
+                vec![0.1, 0.2, 0.7]
+            } else {
+                vec![0.6, 0.3, 0.1]
+            }
+        }
+    }
+
+    #[test]
+    fn predict_uses_argmax() {
+        let m = Stub;
+        assert_eq!(m.predict(&[1.0]), 2);
+        assert_eq!(m.predict(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn batch_helpers_cover_rows() {
+        let m = Stub;
+        let x = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+        assert_eq!(m.predict_batch(&x), vec![2, 0]);
+        let p = m.predict_proba_batch(&x);
+        assert_eq!(p.shape(), (2, 3));
+        assert!((p[(0, 2)] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_is_object_safe() {
+        let m: Box<dyn Model> = Box::new(Stub);
+        assert_eq!(m.name(), "stub");
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_single_class() {
+        let empty = Dataset::new(
+            Matrix::zeros(0, 1),
+            vec![],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(validate_training_set(&empty), Err(TrainError::EmptyDataset));
+        let single = Dataset::new(
+            Matrix::zeros(3, 1),
+            vec![1, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(validate_training_set(&single), Err(TrainError::SingleClass));
+    }
+
+    #[test]
+    fn train_error_messages_are_lowercase() {
+        for e in [
+            TrainError::EmptyDataset,
+            TrainError::SingleClass,
+            TrainError::InvalidConfig("x".into()),
+        ] {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

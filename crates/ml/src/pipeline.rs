@@ -1,0 +1,282 @@
+//! The standard AI-model construction pipeline (paper Fig. 4a): data collection →
+//! preparation → training → evaluation → deployment.
+//!
+//! [`AiPipeline`] runs those stages in order and records a [`StageLog`] per stage, which
+//! is the hook the SPATIAL core uses to instrument "every step of the AI pipelines with
+//! sensors" (§I). The augmented pipeline with sensor hooks lives in `spatial-core`;
+//! this type is the plain, un-instrumented substrate.
+
+use crate::metrics::{evaluate, Evaluation};
+use crate::model::{Model, TrainError};
+use spatial_data::preprocess::StandardScaler;
+use spatial_data::Dataset;
+
+/// The pipeline stages of Fig. 4(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Ingest + clean raw data.
+    DataCollection,
+    /// Transform into model inputs (standardization here).
+    DataPreparation,
+    /// Fit the model.
+    Training,
+    /// Score on the held-out set.
+    Evaluation,
+    /// Freeze the artefact for serving.
+    Deployment,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 5] = [
+        Stage::DataCollection,
+        Stage::DataPreparation,
+        Stage::Training,
+        Stage::Evaluation,
+        Stage::Deployment,
+    ];
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::DataCollection => "data-collection",
+            Stage::DataPreparation => "data-preparation",
+            Stage::Training => "training",
+            Stage::Evaluation => "evaluation",
+            Stage::Deployment => "deployment",
+        }
+    }
+}
+
+/// One executed stage's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLog {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: f64,
+    /// Free-form note ("repaired 3 cells", "accuracy 0.97", ...).
+    pub note: String,
+}
+
+/// A deployable artefact: the fitted scaler plus the fitted model, evaluated.
+///
+/// # Example
+///
+/// ```
+/// use spatial_ml::pipeline::AiPipeline;
+/// use spatial_ml::forest::RandomForest;
+/// use spatial_data::unimib::{generate, binarize_falls, UnimibConfig};
+///
+/// let ds = binarize_falls(&generate(&UnimibConfig { samples: 300, ..Default::default() }));
+/// let deployed = AiPipeline::new(Box::new(RandomForest::with_trees(8)))
+///     .run(&ds, 0.8, 42)?;
+/// assert!(deployed.evaluation.accuracy > 0.7);
+/// let _class = deployed.predict_raw(deployed.test.features.row(0));
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+pub struct DeployedModel {
+    /// Scaler fitted on the training split.
+    pub scaler: StandardScaler,
+    /// The fitted model (operates on *scaled* features).
+    pub model: Box<dyn Model>,
+    /// Held-out evaluation of the deployment candidate.
+    pub evaluation: Evaluation,
+    /// The (scaled) held-out test split, retained as the paper retains its
+    /// "clean test set" for post-attack comparisons.
+    pub test: Dataset,
+    /// The (scaled) training split the model saw.
+    pub train: Dataset,
+    /// Per-stage execution log.
+    pub log: Vec<StageLog>,
+}
+
+impl std::fmt::Debug for DeployedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeployedModel")
+            .field("model", &self.model.name())
+            .field("evaluation", &self.evaluation)
+            .field("stages", &self.log.len())
+            .finish()
+    }
+}
+
+impl DeployedModel {
+    /// Predicts the class of a *raw* (unscaled) feature row, applying the same
+    /// preparation the pipeline applied at train time.
+    pub fn predict_raw(&self, raw: &[f64]) -> usize {
+        self.model.predict(&self.scaler.transform_row(raw))
+    }
+
+    /// Probability vector for a raw feature row.
+    pub fn predict_proba_raw(&self, raw: &[f64]) -> Vec<f64> {
+        self.model.predict_proba(&self.scaler.transform_row(raw))
+    }
+}
+
+/// The standard pipeline runner.
+pub struct AiPipeline {
+    model: Box<dyn Model>,
+}
+
+impl AiPipeline {
+    /// Creates a pipeline that will fit the given (untrained) model.
+    pub fn new(model: Box<dyn Model>) -> Self {
+        Self { model }
+    }
+
+    /// Executes all five stages: clean → split + scale → fit → evaluate → freeze.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the training stage.
+    pub fn run(
+        mut self,
+        raw: &Dataset,
+        train_fraction: f64,
+        seed: u64,
+    ) -> Result<DeployedModel, TrainError> {
+        let mut log = Vec::new();
+        let t0 = std::time::Instant::now();
+
+        // Stage 1: data collection/cleaning.
+        let mut features = raw.features.clone();
+        let repaired = spatial_data::preprocess::repair_non_finite(&mut features);
+        let cleaned = Dataset::new(
+            features,
+            raw.labels.clone(),
+            raw.feature_names.clone(),
+            raw.class_names.clone(),
+        );
+        log.push(stage_log(Stage::DataCollection, t0, format!("repaired {repaired} cells")));
+
+        // Stage 2: preparation — split then scale (scaler sees only training data).
+        let t1 = std::time::Instant::now();
+        let (train_raw, test_raw) = cleaned.split(train_fraction, seed);
+        let scaler = StandardScaler::fit(&train_raw.features);
+        let train = Dataset::new(
+            scaler.transform(&train_raw.features),
+            train_raw.labels.clone(),
+            train_raw.feature_names.clone(),
+            train_raw.class_names.clone(),
+        );
+        let test = Dataset::new(
+            scaler.transform(&test_raw.features),
+            test_raw.labels.clone(),
+            test_raw.feature_names.clone(),
+            test_raw.class_names.clone(),
+        );
+        log.push(stage_log(
+            Stage::DataPreparation,
+            t1,
+            format!("train={} test={}", train.n_samples(), test.n_samples()),
+        ));
+
+        // Stage 3: training.
+        let t2 = std::time::Instant::now();
+        self.model.fit(&train)?;
+        log.push(stage_log(Stage::Training, t2, format!("model={}", self.model.name())));
+
+        // Stage 4: evaluation on the retained clean test set.
+        let t3 = std::time::Instant::now();
+        let predictions = self.model.predict_batch(&test.features);
+        let evaluation = evaluate(&predictions, &test.labels, raw.n_classes());
+        log.push(stage_log(
+            Stage::Evaluation,
+            t3,
+            format!("accuracy={:.4}", evaluation.accuracy),
+        ));
+
+        // Stage 5: deployment (freeze the artefact).
+        let t4 = std::time::Instant::now();
+        log.push(stage_log(Stage::Deployment, t4, "artefact frozen".to_string()));
+
+        Ok(DeployedModel { scaler, model: self.model, evaluation, test, train, log })
+    }
+}
+
+fn stage_log(stage: Stage, since: std::time::Instant, note: String) -> StageLog {
+    StageLog { stage, duration_ms: since.elapsed().as_secs_f64() * 1e3, note }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+    use spatial_linalg::Matrix;
+
+    fn dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            rows.push(vec![c as f64 * 10.0 + (i % 5) as f64 * 0.1, 1.0]);
+            labels.push(c);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "bias".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn runs_all_stages_in_order() {
+        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
+            .run(&dataset(), 0.8, 1)
+            .unwrap();
+        let stages: Vec<Stage> = deployed.log.iter().map(|l| l.stage).collect();
+        assert_eq!(stages, Stage::ALL.to_vec());
+    }
+
+    #[test]
+    fn evaluation_is_on_held_out_data() {
+        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
+            .run(&dataset(), 0.8, 2)
+            .unwrap();
+        assert_eq!(deployed.evaluation.accuracy, 1.0); // trivially separable
+        assert_eq!(deployed.test.n_samples(), 12);
+        assert_eq!(deployed.train.n_samples(), 48);
+    }
+
+    #[test]
+    fn predict_raw_applies_scaling() {
+        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
+            .run(&dataset(), 0.8, 3)
+            .unwrap();
+        // Raw values, not scaled: class 1 samples sit near x = 10.
+        assert_eq!(deployed.predict_raw(&[10.2, 1.0]), 1);
+        assert_eq!(deployed.predict_raw(&[0.2, 1.0]), 0);
+        let p = deployed.predict_proba_raw(&[10.2, 1.0]);
+        assert!((spatial_linalg::vector::sum(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cleaning_repairs_nan_cells() {
+        let mut ds = dataset();
+        ds.features[(0, 0)] = f64::NAN;
+        let deployed =
+            AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.8, 4).unwrap();
+        assert!(deployed.log[0].note.contains("repaired 1"));
+    }
+
+    #[test]
+    fn training_errors_propagate() {
+        let ds = Dataset::new(
+            Matrix::zeros(4, 1),
+            vec![0, 0, 0, 0],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let err = AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.5, 5);
+        assert!(matches!(err, Err(TrainError::SingleClass)));
+    }
+
+    #[test]
+    fn stage_names_are_kebab_case() {
+        for s in Stage::ALL {
+            assert!(s.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! CART decision tree with Gini impurity — the paper's DT baseline and the building
+//! block of [`crate::forest::RandomForest`].
+//!
+//! Split search sorts each candidate feature once and scans boundaries between
+//! distinct values; class distributions at the leaves give calibrated-ish
+//! probabilities for [`crate::Model::predict_proba`].
+
+use crate::model::{validate_training_set, Model, TrainError};
+use rand::rngs::StdRng;
+use spatial_data::Dataset;
+use spatial_linalg::rng;
+
+/// Hyperparameters for [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples that must land in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split; `None` means all (plain CART), a
+    /// `Some(m)` enables the random-subspace behaviour random forests need.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling (only used when `max_features` is set).
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Class-probability distribution of the training samples in this leaf.
+        distribution: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child (`<= threshold`); right child is `left + right_offset`.
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART classifier.
+///
+/// # Example
+///
+/// ```
+/// use spatial_ml::{tree::DecisionTree, Model};
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]),
+///     vec![0, 0, 1, 1],
+///     vec!["x".into()],
+///     vec!["lo".into(), "hi".into()],
+/// );
+/// let mut dt = DecisionTree::new();
+/// dt.fit(&ds)?;
+/// assert_eq!(dt.predict(&[2.5]), 1);
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(TreeConfig::default())
+    }
+
+    /// Creates an untrained tree with explicit hyperparameters.
+    pub fn with_config(config: TreeConfig) -> Self {
+        Self { config, nodes: Vec::new(), n_classes: 0, n_features: 0 }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// How often each feature is used as a split, normalized to sum to one; an empty
+    /// vector before fitting. A cheap global importance signal for the dashboard.
+    pub fn feature_split_counts(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_features];
+        for n in &self.nodes {
+            if let Node::Split { feature, .. } = n {
+                counts[*feature] += 1.0;
+            }
+        }
+        spatial_linalg::vector::normalize_sum(&mut counts);
+        counts
+    }
+
+    fn build(
+        &mut self,
+        ds: &Dataset,
+        indices: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let dist = class_distribution(ds, indices, self.n_classes);
+        let node_impurity = gini(&dist);
+        let stop = depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || node_impurity == 0.0;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(ds, indices, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| ds.features[(i, feature)] <= threshold);
+                if left_idx.len() >= self.config.min_samples_leaf
+                    && right_idx.len() >= self.config.min_samples_leaf
+                {
+                    let here = self.nodes.len();
+                    self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                    let left = self.build(ds, &left_idx, depth + 1, rng);
+                    let right = self.build(ds, &right_idx, depth + 1, rng);
+                    if let Node::Split { left: l, right: r, .. } = &mut self.nodes[here] {
+                        *l = left;
+                        *r = right;
+                    }
+                    return here;
+                }
+            }
+        }
+        let here = self.nodes.len();
+        self.nodes.push(Node::Leaf { distribution: dist });
+        here
+    }
+
+    /// Finds the `(feature, threshold)` with the largest Gini gain, or `None` when no
+    /// split separates anything.
+    fn best_split(
+        &self,
+        ds: &Dataset,
+        indices: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let d = ds.n_features();
+        let features: Vec<usize> = match self.config.max_features {
+            Some(m) if m < d => rng::sample_without_replacement(rng, d, m.max(1)),
+            _ => (0..d).collect(),
+        };
+        let parent_dist = class_distribution(ds, indices, self.n_classes);
+        let parent_gini = gini(&parent_dist);
+        let n = indices.len() as f64;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &features {
+            // Sort sample indices by this feature's value.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                ds.features[(a, f)]
+                    .partial_cmp(&ds.features[(b, f)])
+                    .expect("NaN feature value")
+            });
+            // Scan boundaries maintaining left/right class counts.
+            let mut left_counts = vec![0.0; self.n_classes];
+            let mut right_counts = class_counts(ds, &order, self.n_classes);
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                left_counts[ds.labels[i]] += 1.0;
+                right_counts[ds.labels[i]] -= 1.0;
+                let v_here = ds.features[(i, f)];
+                let v_next = ds.features[(order[w + 1], f)];
+                if v_here == v_next {
+                    continue; // can't split between equal values
+                }
+                let nl = (w + 1) as f64;
+                let nr = n - nl;
+                let g = parent_gini
+                    - (nl / n) * gini_from_counts(&left_counts, nl)
+                    - (nr / n) * gini_from_counts(&right_counts, nr);
+                // Zero-gain splits are allowed (as in CART/sklearn): symmetric
+                // concepts like XOR have a zero-gain first split that still
+                // enables perfect children.
+                if best.is_none_or(|(_, _, bg)| g > bg) {
+                    best = Some((f, (v_here + v_next) / 2.0, g));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+fn class_counts(ds: &Dataset, indices: &[usize], k: usize) -> Vec<f64> {
+    let mut counts = vec![0.0; k];
+    for &i in indices {
+        counts[ds.labels[i]] += 1.0;
+    }
+    counts
+}
+
+fn class_distribution(ds: &Dataset, indices: &[usize], k: usize) -> Vec<f64> {
+    let mut counts = class_counts(ds, indices, k);
+    spatial_linalg::vector::normalize_sum(&mut counts);
+    counts
+}
+
+fn gini(dist: &[f64]) -> f64 {
+    1.0 - dist.iter().map(|p| p * p).sum::<f64>()
+}
+
+fn gini_from_counts(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model for DecisionTree {
+    fn name(&self) -> &str {
+        "decision-tree"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<(), TrainError> {
+        let k = validate_training_set(train)?;
+        if self.config.max_depth == 0 {
+            return Err(TrainError::InvalidConfig("max_depth must be at least 1".into()));
+        }
+        self.n_classes = k;
+        self.n_features = train.n_features();
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..train.n_samples()).collect();
+        let mut rng = rng::seeded(self.config.seed);
+        self.build(train, &indices, 0, &mut rng);
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        assert!(!self.nodes.is_empty(), "model must be fitted before prediction");
+        assert_eq!(features.len(), self.n_features, "feature-count mismatch");
+        let mut at = 0;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { distribution } => return distribution.clone(),
+                Node::Split { feature, threshold, left, right } => {
+                    at = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_linalg::Matrix;
+
+    fn xor_dataset() -> Dataset {
+        // Deterministic XOR grid with margin.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for j in 0..10 {
+                    rows.push(vec![a as f64 + j as f64 * 0.005, b as f64 - j as f64 * 0.005]);
+                    labels.push((a != b) as usize);
+                }
+            }
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["a".into(), "b".into()],
+            vec!["same".into(), "diff".into()],
+        )
+    }
+
+    #[test]
+    fn learns_xor_perfectly() {
+        let ds = xor_dataset();
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        let acc = crate::metrics::accuracy(&dt.predict_batch(&ds.features), &ds.labels);
+        assert_eq!(acc, 1.0);
+        assert!(dt.depth() >= 2, "XOR needs at least two levels");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = xor_dataset();
+        let mut dt = DecisionTree::with_config(TreeConfig { max_depth: 1, ..TreeConfig::default() });
+        dt.fit(&ds).unwrap();
+        assert!(dt.depth() <= 1);
+        // A depth-1 tree cannot solve XOR.
+        let acc = crate::metrics::accuracy(&dt.predict_batch(&ds.features), &ds.labels);
+        assert!(acc < 0.9);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let ds = xor_dataset();
+        let mut dt = DecisionTree::with_config(TreeConfig {
+            min_samples_leaf: 15,
+            ..TreeConfig::default()
+        });
+        dt.fit(&ds).unwrap();
+        // 40 samples, leaves of >= 15: at most 2 splits.
+        assert!(dt.node_count() <= 5);
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf_per_class_region() {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[0.1], &[5.0], &[5.1]]),
+            vec![0, 0, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        assert_eq!(dt.node_count(), 3); // one split, two leaves
+        assert_eq!(dt.predict(&[0.05]), 0);
+        assert_eq!(dt.predict(&[4.9]), 1);
+    }
+
+    #[test]
+    fn proba_reflects_leaf_distribution() {
+        // Impure region: 3 of class 0, 1 of class 1 share x<=1; min leaf keeps them together.
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[0.2], &[0.4], &[0.6], &[5.0], &[5.2]]),
+            vec![0, 0, 0, 1, 1, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::with_config(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
+        dt.fit(&ds).unwrap();
+        let p = dt.predict_proba(&[0.1]);
+        assert!((spatial_linalg::vector::sum(&p) - 1.0).abs() < 1e-12);
+        assert!(p[0] > 0.6, "left region is majority class 0: {p:?}");
+    }
+
+    #[test]
+    fn constant_features_yield_root_leaf() {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]),
+            vec![0, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        assert_eq!(dt.node_count(), 1);
+        let p = dt.predict_proba(&[1.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_subsampling_is_seed_deterministic() {
+        let ds = xor_dataset();
+        let config = TreeConfig { max_features: Some(1), seed: 3, ..TreeConfig::default() };
+        let mut a = DecisionTree::with_config(config.clone());
+        let mut b = DecisionTree::with_config(config);
+        a.fit(&ds).unwrap();
+        b.fit(&ds).unwrap();
+        assert_eq!(a.predict_batch(&ds.features), b.predict_batch(&ds.features));
+    }
+
+    #[test]
+    fn split_counts_normalized() {
+        let ds = xor_dataset();
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        let counts = dt.feature_split_counts();
+        assert_eq!(counts.len(), 2);
+        assert!((counts.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before prediction")]
+    fn predict_before_fit_panics() {
+        let dt = DecisionTree::new();
+        let _ = dt.predict_proba(&[0.0]);
+    }
+
+    #[test]
+    fn rejects_zero_depth() {
+        let ds = xor_dataset();
+        let mut dt = DecisionTree::with_config(TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        assert!(matches!(dt.fit(&ds), Err(TrainError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the ML substrate: every model must produce valid
+//! probability distributions on arbitrary (non-degenerate) data, and the metric
+//! implementations must respect their algebraic bounds.
+
+use proptest::prelude::*;
+use spatial_data::Dataset;
+use spatial_linalg::Matrix;
+use spatial_ml::{
+    forest::RandomForest,
+    gbdt::{Gbdt, GbdtConfig},
+    logreg::LogisticRegression,
+    metrics,
+    mlp::{MlpClassifier, MlpConfig},
+    tree::DecisionTree,
+    Model,
+};
+
+/// A random dataset guaranteed to contain at least two classes.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (6usize..20, 2usize..4).prop_flat_map(|(n, d)| {
+        let feats = proptest::collection::vec(-10.0f64..10.0, n * d);
+        let labels = proptest::collection::vec(0usize..2, n - 2);
+        (feats, labels, Just(n), Just(d)).prop_map(|(f, mut l, n, d)| {
+            // Force both classes present.
+            l.push(0);
+            l.push(1);
+            Dataset::new(
+                Matrix::from_vec(n, d, f),
+                l,
+                (0..d).map(|i| format!("f{i}")).collect(),
+                vec!["a".into(), "b".into()],
+            )
+        })
+    })
+}
+
+fn all_models() -> Vec<Box<dyn Model>> {
+    vec![
+        Box::new(LogisticRegression::new()),
+        Box::new(DecisionTree::new()),
+        Box::new(RandomForest::with_trees(5)),
+        Box::new(MlpClassifier::with_config(MlpConfig {
+            hidden: vec![8],
+            epochs: 5,
+            ..MlpConfig::default()
+        })),
+        Box::new(Gbdt::with_config(GbdtConfig { n_rounds: 3, ..GbdtConfig::xgboost_like() })),
+        Box::new(Gbdt::with_config(GbdtConfig { n_rounds: 3, ..GbdtConfig::lightgbm_like() })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_model_emits_probability_distributions(ds in arb_dataset()) {
+        for mut model in all_models() {
+            model.fit(&ds).unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
+            for row in ds.features.iter_rows() {
+                let p = model.predict_proba(row);
+                prop_assert_eq!(p.len(), 2, "{}", model.name());
+                prop_assert!(
+                    p.iter().all(|&x| (-1e-9..=1.0 + 1e-9).contains(&x)),
+                    "{}: {:?}", model.name(), p
+                );
+                let total: f64 = p.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-6, "{}: sum {}", model.name(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_valid_class_indices(ds in arb_dataset()) {
+        for mut model in all_models() {
+            model.fit(&ds).unwrap();
+            let preds = model.predict_batch(&ds.features);
+            prop_assert!(preds.iter().all(|&p| p < 2), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn accuracy_is_bounded(preds in proptest::collection::vec(0usize..3, 1..40)) {
+        let actual: Vec<usize> = preds.iter().map(|&p| (p + 1) % 3).collect();
+        let acc = metrics::accuracy(&preds, &actual);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert_eq!(metrics::accuracy(&preds, &preds), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_conserves_samples(
+        preds in proptest::collection::vec(0usize..4, 1..60)
+    ) {
+        let actual: Vec<usize> = preds.iter().rev().cloned().collect();
+        let cm = metrics::ConfusionMatrix::from_predictions(&preds, &actual, 4);
+        prop_assert_eq!(cm.total() as usize, preds.len());
+        let e = metrics::evaluate(&preds, &actual, 4);
+        for v in [e.accuracy, e.precision, e.recall, e.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn trees_memorize_distinct_training_points(
+        seed in 0u64..50
+    ) {
+        // Distinct feature values => a fully grown tree classifies training data
+        // perfectly (zero-gain splits permitted).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![i as f64 + (seed as f64) * 0.001]);
+            labels.push((i * 7 + seed as usize) % 2);
+        }
+        let n = rows.len();
+        let ds = Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::with_config(spatial_ml::tree::TreeConfig {
+            max_depth: n, // deep enough to isolate every point
+            ..Default::default()
+        });
+        dt.fit(&ds).unwrap();
+        let acc = metrics::accuracy(&dt.predict_batch(&ds.features), &ds.labels);
+        prop_assert_eq!(acc, 1.0);
+    }
+}

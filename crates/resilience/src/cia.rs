@@ -1,0 +1,178 @@
+//! The CIA qualitative vulnerability model (§IV).
+//!
+//! "We enumerate the most common and critical vulnerabilities by relying on the CIA
+//! (confidentiality, integrity, and availability) approach. CIA provides a qualitative
+//! analysis to model the impact of vulnerabilities on AI models."
+
+use std::fmt;
+
+/// The classic security triad, as the paper applies it to AI models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityAttribute {
+    /// Access to the model and leakage through its predictions ("output predictions
+    /// do not leak information that can be used to … reconstruct its training data").
+    Confidentiality,
+    /// "Preserving expected behavior, level of performance, and quality of
+    /// predictions under any conditions, including attack."
+    Integrity,
+    /// "Accurate predictions are produced, that reflect those seen in testing, and in
+    /// a timely manner."
+    Availability,
+}
+
+impl SecurityAttribute {
+    /// All attributes.
+    pub const ALL: [SecurityAttribute; 3] = [
+        SecurityAttribute::Confidentiality,
+        SecurityAttribute::Integrity,
+        SecurityAttribute::Availability,
+    ];
+}
+
+impl fmt::Display for SecurityAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Confidentiality => "confidentiality",
+            Self::Integrity => "integrity",
+            Self::Availability => "availability",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Qualitative severity of a vulnerability's effect on one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// No meaningful effect.
+    None,
+    /// Degrades the attribute.
+    Moderate,
+    /// Defeats the attribute.
+    Critical,
+}
+
+/// A qualitative assessment: how severely one vulnerability affects each CIA
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiaAssessment {
+    /// The vulnerability or attack assessed.
+    pub vulnerability: String,
+    /// Effect on confidentiality.
+    pub confidentiality: Severity,
+    /// Effect on integrity.
+    pub integrity: Severity,
+    /// Effect on availability.
+    pub availability: Severity,
+}
+
+impl CiaAssessment {
+    /// The severity for a given attribute.
+    pub fn severity(&self, attr: SecurityAttribute) -> Severity {
+        match attr {
+            SecurityAttribute::Confidentiality => self.confidentiality,
+            SecurityAttribute::Integrity => self.integrity,
+            SecurityAttribute::Availability => self.availability,
+        }
+    }
+
+    /// The worst severity across the triad — the headline the dashboard shows.
+    pub fn worst(&self) -> Severity {
+        self.confidentiality.max(self.integrity).max(self.availability)
+    }
+
+    /// Attributes affected at [`Severity::Critical`].
+    pub fn critical_attributes(&self) -> Vec<SecurityAttribute> {
+        SecurityAttribute::ALL
+            .into_iter()
+            .filter(|&a| self.severity(a) == Severity::Critical)
+            .collect()
+    }
+}
+
+/// The paper's qualitative assessments for the attack families it evaluates.
+pub fn reference_assessments() -> Vec<CiaAssessment> {
+    vec![
+        CiaAssessment {
+            vulnerability: "data-poisoning".into(),
+            confidentiality: Severity::None,
+            integrity: Severity::Critical,
+            availability: Severity::Moderate,
+        },
+        CiaAssessment {
+            vulnerability: "evasion".into(),
+            confidentiality: Severity::None,
+            integrity: Severity::Critical,
+            availability: Severity::None,
+        },
+        CiaAssessment {
+            vulnerability: "model-stealing".into(),
+            confidentiality: Severity::Critical,
+            integrity: Severity::None,
+            availability: Severity::None,
+        },
+        CiaAssessment {
+            vulnerability: "membership-inference".into(),
+            confidentiality: Severity::Critical,
+            integrity: Severity::None,
+            availability: Severity::None,
+        },
+        CiaAssessment {
+            vulnerability: "sponge-examples".into(),
+            confidentiality: Severity::None,
+            integrity: Severity::None,
+            availability: Severity::Critical,
+        },
+        CiaAssessment {
+            vulnerability: "backdoor".into(),
+            confidentiality: Severity::None,
+            integrity: Severity::Critical,
+            availability: Severity::Moderate,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_is_meaningful() {
+        assert!(Severity::Critical > Severity::Moderate);
+        assert!(Severity::Moderate > Severity::None);
+    }
+
+    #[test]
+    fn worst_picks_the_maximum() {
+        let a = CiaAssessment {
+            vulnerability: "x".into(),
+            confidentiality: Severity::None,
+            integrity: Severity::Moderate,
+            availability: Severity::Critical,
+        };
+        assert_eq!(a.worst(), Severity::Critical);
+        assert_eq!(a.critical_attributes(), vec![SecurityAttribute::Availability]);
+    }
+
+    #[test]
+    fn reference_covers_the_papers_attack_families() {
+        let refs = reference_assessments();
+        for name in ["data-poisoning", "evasion", "model-stealing", "sponge-examples"] {
+            assert!(refs.iter().any(|a| a.vulnerability == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn poisoning_is_an_integrity_attack() {
+        let refs = reference_assessments();
+        let p = refs.iter().find(|a| a.vulnerability == "data-poisoning").unwrap();
+        assert_eq!(p.severity(SecurityAttribute::Integrity), Severity::Critical);
+        assert_eq!(p.severity(SecurityAttribute::Confidentiality), Severity::None);
+    }
+
+    #[test]
+    fn attribute_display_is_lowercase() {
+        for a in SecurityAttribute::ALL {
+            assert!(a.to_string().chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

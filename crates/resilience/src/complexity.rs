@@ -1,0 +1,133 @@
+//! Complexity metrics.
+//!
+//! "Complexity quantifies the effort required by an attacker to achieve a successful
+//! attack. The higher the complexity, the more difficult it is for the attack to
+//! hamper the model" (§V). Concretely (§VI-A):
+//!
+//! - evasion: "complexity is measured by characterizing the processing power required
+//!   to generate[] evasion data points" — per-sample crafting time in microseconds
+//!   (the paper's constant ~37.86 µs for FGSM-on-NN);
+//! - poisoning: "complexity is measured by quantifying the percentage of data that is
+//!   poisoned out of all the data used for training the model".
+
+use spatial_attacks::poison::PoisonedDataset;
+
+/// The attacker-effort measurement for one attack execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Complexity {
+    /// What was measured ("fgsm-evasion", "random-label-flip", ...).
+    pub attack: String,
+    /// Per-sample crafting cost in microseconds (evasion) or total preparation time
+    /// divided by poisoned samples (poisoning).
+    pub per_sample_us: f64,
+    /// Fraction of training data the attacker had to control (poisoning; `0.0` for
+    /// pure evasion, which never touches training data).
+    pub poisoned_fraction: f64,
+}
+
+/// Evasion complexity from a crafted batch's measured generation time.
+pub fn evasion_complexity(batch: &spatial_attacks::fgsm::AdversarialBatch) -> Complexity {
+    Complexity {
+        attack: "fgsm-evasion".into(),
+        per_sample_us: batch.mean_generation_us,
+        poisoned_fraction: 0.0,
+    }
+}
+
+/// Poisoning complexity from a poisoned dataset and its measured preparation time.
+///
+/// # Panics
+///
+/// Panics if `preparation_us` is negative.
+pub fn poisoning_complexity(poisoned: &PoisonedDataset, preparation_us: f64) -> Complexity {
+    assert!(preparation_us >= 0.0, "preparation time cannot be negative");
+    let per_sample = if poisoned.affected.is_empty() {
+        0.0
+    } else {
+        preparation_us / poisoned.affected.len() as f64
+    };
+    Complexity {
+        attack: poisoned.attack.clone(),
+        per_sample_us: per_sample,
+        poisoned_fraction: poisoned.affected_fraction(),
+    }
+}
+
+/// Runs `f` and returns `(result, elapsed_microseconds)` — the stopwatch used around
+/// attack generation.
+pub fn timed_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+
+    fn poisoned(affected: Vec<usize>, n: usize) -> PoisonedDataset {
+        PoisonedDataset {
+            dataset: Dataset::new(
+                Matrix::zeros(n, 1),
+                vec![0; n - 1].into_iter().chain([1]).collect(),
+                vec!["x".into()],
+                vec!["a".into(), "b".into()],
+            ),
+            attack: "test-poison".into(),
+            rate: affected.len() as f64 / n as f64,
+            affected,
+        }
+    }
+
+    #[test]
+    fn poisoning_complexity_reports_fraction() {
+        let p = poisoned(vec![0, 1, 2], 10);
+        let c = poisoning_complexity(&p, 300.0);
+        assert_eq!(c.poisoned_fraction, 0.3);
+        assert_eq!(c.per_sample_us, 100.0);
+        assert_eq!(c.attack, "test-poison");
+    }
+
+    #[test]
+    fn empty_attack_has_zero_per_sample_cost() {
+        let p = poisoned(vec![], 5);
+        let c = poisoning_complexity(&p, 500.0);
+        assert_eq!(c.per_sample_us, 0.0);
+        assert_eq!(c.poisoned_fraction, 0.0);
+    }
+
+    #[test]
+    fn timed_us_measures_something() {
+        let (value, us) = timed_us(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(value, 49_995_000);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn evasion_complexity_carries_batch_cost() {
+        let batch = spatial_attacks::fgsm::AdversarialBatch {
+            adversarial: Matrix::zeros(1, 1),
+            labels: vec![0],
+            epsilon: 0.1,
+            mean_generation_us: 37.86,
+        };
+        let c = evasion_complexity(&batch);
+        assert_eq!(c.per_sample_us, 37.86);
+        assert_eq!(c.poisoned_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_time_rejected() {
+        let p = poisoned(vec![0], 2);
+        let _ = poisoning_complexity(&p, -1.0);
+    }
+}

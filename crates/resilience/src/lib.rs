@@ -1,0 +1,20 @@
+//! Resilience quantification for the SPATIAL reproduction.
+//!
+//! "Resilience metrics quantify the ability of models to resist and recover from an
+//! exploited machine learning vulnerability. Resilience insights are thus estimated by
+//! calculating complexity and impact metrics on model and data" (§V):
+//!
+//! - [`impact`] — how much an attack hurt: successful-misclassification fraction for
+//!   evasion, performance drift for poisoning.
+//! - [`complexity`] — how much the attack cost the attacker: per-sample crafting time
+//!   (µs) for evasion, poisoned-data fraction for poisoning.
+//! - [`score`] — the combined resilience score shown on the AI dashboard.
+//! - [`cia`] — the confidentiality/integrity/availability qualitative model (§IV).
+//! - [`taxonomy`] — the paper's Fig. 1 (attack × algorithm matrix) and Fig. 3
+//!   (pipeline-stage vulnerability map) as queryable data.
+
+pub mod cia;
+pub mod complexity;
+pub mod impact;
+pub mod score;
+pub mod taxonomy;

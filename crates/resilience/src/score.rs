@@ -1,0 +1,92 @@
+//! The combined resilience score the AI dashboard displays.
+//!
+//! The paper reports impact and complexity separately and leaves trust-score
+//! aggregation as an open challenge (§VIII, "AI trust score and AI sensors"). For the
+//! dashboard we still need a single gauge per model, so this module provides the
+//! simple, documented combination: resilience is high when impact is low and attacker
+//! effort (complexity) is high.
+
+use crate::complexity::Complexity;
+
+/// A normalized resilience score in `[0, 1]` with its inputs, for audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceScore {
+    /// The combined score (1 = fully resilient).
+    pub score: f64,
+    /// The impact input in `[0, 1]`.
+    pub impact: f64,
+    /// The normalized attacker-effort input in `[0, 1]`.
+    pub effort: f64,
+}
+
+/// Combines an impact measurement with an attacker-effort measurement:
+/// `score = (1 − impact) · (0.5 + 0.5 · effort)`.
+///
+/// `effort` is normalized from complexity via `per_sample_us / reference_us`
+/// (clamped): an attack cheaper than the reference grants little credit, one far more
+/// expensive than the reference approaches full credit. The multiplicative form means
+/// a devastating attack (impact 1) zeroes the score regardless of its cost.
+///
+/// # Panics
+///
+/// Panics if `impact` is outside `[0, 1]` or `reference_us <= 0`.
+pub fn resilience_score(impact: f64, complexity: &Complexity, reference_us: f64) -> ResilienceScore {
+    assert!((0.0..=1.0).contains(&impact), "impact must be in [0,1], got {impact}");
+    assert!(reference_us > 0.0, "reference cost must be positive");
+    let effort = (complexity.per_sample_us / reference_us).clamp(0.0, 1.0);
+    ResilienceScore { score: (1.0 - impact) * (0.5 + 0.5 * effort), impact, effort }
+}
+
+/// Clamps an arbitrary drift (possibly negative: attacks occasionally *improve* a
+/// metric) into the `[0, 1]` impact domain.
+pub fn clamp_impact(drift: f64) -> f64 {
+    drift.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complexity(us: f64) -> Complexity {
+        Complexity { attack: "t".into(), per_sample_us: us, poisoned_fraction: 0.0 }
+    }
+
+    #[test]
+    fn zero_impact_expensive_attack_is_fully_resilient() {
+        let s = resilience_score(0.0, &complexity(1000.0), 100.0);
+        assert_eq!(s.score, 1.0);
+    }
+
+    #[test]
+    fn total_impact_zeroes_the_score() {
+        let s = resilience_score(1.0, &complexity(1e9), 100.0);
+        assert_eq!(s.score, 0.0);
+    }
+
+    #[test]
+    fn cheaper_attacks_reduce_resilience() {
+        let cheap = resilience_score(0.3, &complexity(10.0), 100.0);
+        let costly = resilience_score(0.3, &complexity(100.0), 100.0);
+        assert!(cheap.score < costly.score);
+    }
+
+    #[test]
+    fn score_is_monotone_in_impact() {
+        let low = resilience_score(0.1, &complexity(50.0), 100.0);
+        let high = resilience_score(0.6, &complexity(50.0), 100.0);
+        assert!(low.score > high.score);
+    }
+
+    #[test]
+    fn clamp_impact_handles_negative_drift() {
+        assert_eq!(clamp_impact(-0.1), 0.0);
+        assert_eq!(clamp_impact(0.4), 0.4);
+        assert_eq!(clamp_impact(1.7), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impact must be in")]
+    fn out_of_range_impact_rejected() {
+        let _ = resilience_score(1.5, &complexity(1.0), 1.0);
+    }
+}

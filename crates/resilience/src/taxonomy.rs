@@ -1,0 +1,224 @@
+//! The paper's threat taxonomies as queryable data.
+//!
+//! Fig. 1 summarizes "the type of attack that can be performed depending on each AI
+//! algorithm used for training"; Fig. 3 maps "vulnerabilities against machine learning
+//! systems" onto the construction pipeline. Encoding them as data lets the dashboard
+//! answer questions like "which attacks threaten the model family I deployed?" and the
+//! monitoring core decide which sensors a pipeline stage needs.
+
+use spatial_ml::pipeline::Stage;
+
+/// Attack classes from the paper's Fig. 1 survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Training-data contamination (label flipping, clean-label, GAN-based).
+    Poisoning,
+    /// Backdoor/trojan insertion.
+    Backdoor,
+    /// Test-time input perturbation (FGSM, C&W, JSMA, HopSkipJump, ZOO).
+    Evasion,
+    /// Model extraction via prediction APIs.
+    ModelStealing,
+    /// Membership inference on training data.
+    MembershipInference,
+    /// Training-data reconstruction (model inversion).
+    ModelInversion,
+    /// Property/attribute inference.
+    PropertyInference,
+    /// Energy-latency (sponge) attacks.
+    Sponge,
+}
+
+impl AttackClass {
+    /// All attack classes.
+    pub const ALL: [AttackClass; 8] = [
+        AttackClass::Poisoning,
+        AttackClass::Backdoor,
+        AttackClass::Evasion,
+        AttackClass::ModelStealing,
+        AttackClass::MembershipInference,
+        AttackClass::ModelInversion,
+        AttackClass::PropertyInference,
+        AttackClass::Sponge,
+    ];
+
+    /// Kebab-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Poisoning => "poisoning",
+            Self::Backdoor => "backdoor",
+            Self::Evasion => "evasion",
+            Self::ModelStealing => "model-stealing",
+            Self::MembershipInference => "membership-inference",
+            Self::ModelInversion => "model-inversion",
+            Self::PropertyInference => "property-inference",
+            Self::Sponge => "sponge",
+        }
+    }
+}
+
+/// Algorithm families from the Fig. 1 column axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmFamily {
+    /// Linear models (logistic regression).
+    Linear,
+    /// Support vector machines.
+    Svm,
+    /// Single decision trees.
+    DecisionTree,
+    /// Tree ensembles (random forest, gradient boosting).
+    TreeEnsemble,
+    /// Deep neural networks (MLP/DNN/CNN).
+    NeuralNetwork,
+    /// Bayesian networks.
+    Bayesian,
+}
+
+impl AlgorithmFamily {
+    /// All families.
+    pub const ALL: [AlgorithmFamily; 6] = [
+        AlgorithmFamily::Linear,
+        AlgorithmFamily::Svm,
+        AlgorithmFamily::DecisionTree,
+        AlgorithmFamily::TreeEnsemble,
+        AlgorithmFamily::NeuralNetwork,
+        AlgorithmFamily::Bayesian,
+    ];
+
+    /// The family of a model by its display name, if recognized.
+    pub fn of_model_name(name: &str) -> Option<Self> {
+        match name {
+            "logistic-regression" => Some(Self::Linear),
+            "decision-tree" => Some(Self::DecisionTree),
+            "random-forest" | "xgboost-like" | "lightgbm-like" | "lgbm" | "xgb" => {
+                Some(Self::TreeEnsemble)
+            }
+            "mlp" | "dnn" | "nn" => Some(Self::NeuralNetwork),
+            _ => None,
+        }
+    }
+}
+
+/// Which attack classes the literature of Fig. 1 demonstrates against each family.
+pub fn attacks_on(family: AlgorithmFamily) -> Vec<AttackClass> {
+    use AttackClass::*;
+    match family {
+        // Gradient-based evasion needs gradients, but surrogate/transfer attacks and
+        // decision-based attacks reach every family.
+        AlgorithmFamily::Linear => {
+            vec![Poisoning, Evasion, ModelStealing, MembershipInference]
+        }
+        AlgorithmFamily::Svm => {
+            vec![Poisoning, Evasion, ModelStealing, MembershipInference, ModelInversion]
+        }
+        AlgorithmFamily::DecisionTree => {
+            vec![Poisoning, Evasion, ModelStealing, MembershipInference]
+        }
+        AlgorithmFamily::TreeEnsemble => {
+            vec![Poisoning, Evasion, ModelStealing, MembershipInference, PropertyInference]
+        }
+        AlgorithmFamily::NeuralNetwork => vec![
+            Poisoning,
+            Backdoor,
+            Evasion,
+            ModelStealing,
+            MembershipInference,
+            ModelInversion,
+            PropertyInference,
+            Sponge,
+        ],
+        AlgorithmFamily::Bayesian => vec![Poisoning, Evasion],
+    }
+}
+
+/// Which attack classes exploit each pipeline stage (the paper's Fig. 3 map).
+pub fn attacks_at_stage(stage: Stage) -> Vec<AttackClass> {
+    use AttackClass::*;
+    match stage {
+        Stage::DataCollection => vec![Poisoning, Backdoor],
+        Stage::DataPreparation => vec![Poisoning],
+        Stage::Training => vec![Poisoning, Backdoor],
+        Stage::Evaluation => vec![MembershipInference],
+        Stage::Deployment => vec![
+            Evasion,
+            ModelStealing,
+            MembershipInference,
+            ModelInversion,
+            PropertyInference,
+            Sponge,
+        ],
+    }
+}
+
+/// The stages an attack class can enter through (inverse of [`attacks_at_stage`]).
+pub fn stages_of_attack(attack: AttackClass) -> Vec<Stage> {
+    Stage::ALL
+        .into_iter()
+        .filter(|&s| attacks_at_stage(s).contains(&attack))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neural_networks_face_every_attack_class() {
+        let attacks = attacks_on(AlgorithmFamily::NeuralNetwork);
+        for a in AttackClass::ALL {
+            assert!(attacks.contains(&a), "{} missing for NN", a.name());
+        }
+    }
+
+    #[test]
+    fn poisoning_threatens_every_family() {
+        for family in AlgorithmFamily::ALL {
+            assert!(attacks_on(family).contains(&AttackClass::Poisoning), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn every_stage_has_at_least_one_threat() {
+        for stage in Stage::ALL {
+            assert!(!attacks_at_stage(stage).is_empty(), "{stage:?} unthreatened");
+        }
+    }
+
+    #[test]
+    fn poisoning_enters_early_evasion_enters_late() {
+        let poison_stages = stages_of_attack(AttackClass::Poisoning);
+        assert!(poison_stages.contains(&Stage::DataCollection));
+        assert!(!poison_stages.contains(&Stage::Deployment));
+        let evasion_stages = stages_of_attack(AttackClass::Evasion);
+        assert_eq!(evasion_stages, vec![Stage::Deployment]);
+    }
+
+    #[test]
+    fn model_names_map_to_families() {
+        assert_eq!(
+            AlgorithmFamily::of_model_name("random-forest"),
+            Some(AlgorithmFamily::TreeEnsemble)
+        );
+        assert_eq!(
+            AlgorithmFamily::of_model_name("dnn"),
+            Some(AlgorithmFamily::NeuralNetwork)
+        );
+        assert_eq!(AlgorithmFamily::of_model_name("quantum"), None);
+    }
+
+    #[test]
+    fn inverse_mapping_is_consistent() {
+        for attack in AttackClass::ALL {
+            for stage in stages_of_attack(attack) {
+                assert!(attacks_at_stage(stage).contains(&attack));
+            }
+        }
+    }
+
+    #[test]
+    fn attack_names_are_kebab_case() {
+        for a in AttackClass::ALL {
+            assert!(a.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the resilience metrics.
+
+use proptest::prelude::*;
+use spatial_ml::metrics::Evaluation;
+use spatial_resilience::complexity::Complexity;
+use spatial_resilience::impact::{poisoning_impact, DriftMetric};
+use spatial_resilience::score::{clamp_impact, resilience_score};
+
+fn eval(a: f64, p: f64, r: f64, f1: f64) -> Evaluation {
+    Evaluation { accuracy: a, precision: p, recall: r, f1 }
+}
+
+proptest! {
+    #[test]
+    fn resilience_score_is_bounded_and_monotone(
+        impact in 0.0f64..1.0,
+        us in 0.0f64..1e5,
+        reference in 1.0f64..1e4,
+    ) {
+        let c = Complexity { attack: "t".into(), per_sample_us: us, poisoned_fraction: 0.0 };
+        let s = resilience_score(impact, &c, reference);
+        prop_assert!((0.0..=1.0).contains(&s.score), "{}", s.score);
+        // More impact can never raise the score.
+        let worse = resilience_score((impact + 0.1).min(1.0), &c, reference);
+        prop_assert!(worse.score <= s.score + 1e-12);
+        // A costlier attack can never lower the score.
+        let costly = Complexity { per_sample_us: us * 2.0 + 1.0, ..c.clone() };
+        let harder = resilience_score(impact, &costly, reference);
+        prop_assert!(harder.score >= s.score - 1e-12);
+    }
+
+    #[test]
+    fn poisoning_impact_is_antisymmetric(
+        a in 0.0f64..1.0, b in 0.0f64..1.0
+    ) {
+        let ea = eval(a, a, a, a);
+        let eb = eval(b, b, b, b);
+        for metric in [DriftMetric::Accuracy, DriftMetric::Precision, DriftMetric::Recall, DriftMetric::F1] {
+            let forward = poisoning_impact(&ea, &eb, metric);
+            let backward = poisoning_impact(&eb, &ea, metric);
+            prop_assert!((forward + backward).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamp_impact_is_idempotent(x in -10.0f64..10.0) {
+        let once = clamp_impact(x);
+        prop_assert_eq!(clamp_impact(once), once);
+        prop_assert!((0.0..=1.0).contains(&once));
+    }
+}
+
+mod taxonomy_props {
+    use proptest::prelude::*;
+    use spatial_ml::pipeline::Stage;
+    use spatial_resilience::taxonomy::{
+        attacks_at_stage, attacks_on, stages_of_attack, AlgorithmFamily, AttackClass,
+    };
+
+    proptest! {
+        #[test]
+        fn stage_attack_mappings_are_mutually_consistent(stage_idx in 0usize..5) {
+            let stage = Stage::ALL[stage_idx];
+            for attack in attacks_at_stage(stage) {
+                prop_assert!(stages_of_attack(attack).contains(&stage));
+            }
+        }
+
+        #[test]
+        fn every_family_faces_a_nonempty_unique_threat_list(f in 0usize..6) {
+            let family = AlgorithmFamily::ALL[f];
+            let attacks = attacks_on(family);
+            prop_assert!(!attacks.is_empty());
+            let mut dedup = attacks.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), attacks.len(), "duplicates for {:?}", family);
+            prop_assert!(attacks.iter().all(|a| AttackClass::ALL.contains(a)));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Thread-safe counters and gauges.
+//!
+//! The gateway's services count requests/errors with [`Counter`]; the monitoring core
+//! publishes the latest sensor readings through [`Gauge`]s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter, safe to share across threads.
+///
+/// # Example
+///
+/// ```
+/// let c = spatial_telemetry::Counter::new();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A set-point gauge holding the most recent `f64` reading.
+///
+/// Stored as bits in an `AtomicU64` so reads and writes are lock-free.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge initialized to `value`.
+    pub fn new(value: f64) -> Self {
+        Self { bits: AtomicU64::new(value.to_bits()) }
+    }
+
+    /// Replaces the reading.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn gauge_set_get() {
+        let g = Gauge::new(1.5);
+        assert_eq!(g.value(), 1.5);
+        g.set(-3.25);
+        assert_eq!(g.value(), -3.25);
+    }
+
+    #[test]
+    fn gauge_default_is_zero() {
+        assert_eq!(Gauge::default().value(), 0.0);
+    }
+}

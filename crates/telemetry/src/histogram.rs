@@ -1,0 +1,262 @@
+//! Fixed-bucket histogram with quantile estimation.
+//!
+//! Latency distributions in the capacity-load experiments are long-tailed, so the
+//! buckets grow geometrically: bucket `i` covers `[base·g^i, base·g^(i+1))`. Quantiles
+//! are estimated by linear interpolation inside the bucket that crosses the target rank,
+//! which is accurate to within one bucket width — plenty for response-time reporting.
+
+/// A geometric-bucket histogram over non-negative `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// let mut h = spatial_telemetry::Histogram::latency_millis();
+/// for ms in [10.0, 12.0, 11.0, 200.0] {
+///     h.record(ms);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) < 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    base: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` geometric buckets starting at `base` with
+    /// ratio `growth`. Samples below `base` land in bucket 0; samples beyond the last
+    /// boundary land in the final (overflow) bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 0`, `growth <= 1`, or `buckets == 0`.
+    pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
+        assert!(base > 0.0, "histogram base must be positive");
+        assert!(growth > 1.0, "histogram growth must exceed 1");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            base,
+            growth,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram tuned for millisecond latencies: 0.01 ms – ~160 s in 64 buckets.
+    pub fn latency_millis() -> Self {
+        Self::new(0.01, 1.3, 64)
+    }
+
+    /// Records one sample. Negative or NaN samples are clamped to zero.
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_nan() { 0.0 } else { value.max(0.0) };
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram with identical bucket geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.base, other.base, "histogram base mismatch");
+        assert_eq!(self.growth, other.growth, "histogram growth mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram bucket mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by interpolating within the bucket
+    /// containing the target rank. Returns `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile q={q} outside [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q * self.total as f64;
+        let mut cumulative = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c as f64;
+            if next >= target {
+                let (lo, hi) = self.bucket_bounds(i);
+                let frac = if c == 0 { 0.0 } else { ((target - cumulative) / c as f64).clamp(0.0, 1.0) };
+                // Clamp interpolation into the observed range so the estimate never
+                // exceeds the true min/max.
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
+
+    /// Per-bucket `(lower_bound, count)` pairs for non-empty buckets, for rendering.
+    pub fn nonempty_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_bounds(i).0, c))
+            .collect()
+    }
+
+    fn bucket_index(&self, v: f64) -> usize {
+        if v < self.base {
+            return 0;
+        }
+        let idx = ((v / self.base).ln() / self.growth.ln()).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let lo = if i == 0 { 0.0 } else { self.base * self.growth.powi(i as i32) };
+        let hi = self.base * self.growth.powi(i as i32 + 1);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::latency_millis();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::latency_millis();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn quantile_orders_correctly() {
+        let mut h = Histogram::latency_millis();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p95 && p95 < p99, "p50={p50} p95={p95} p99={p99}");
+        // Geometric buckets with growth 1.3 give ~30 % relative error bounds.
+        assert!((400.0..700.0).contains(&p50), "p50={p50}");
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn nan_and_negative_clamp_to_zero() {
+        let mut h = Histogram::latency_millis();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::latency_millis();
+        let mut b = Histogram::latency_millis();
+        a.record(1.0);
+        b.record(100.0);
+        b.record(200.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket mismatch")]
+    fn merge_rejects_different_layout() {
+        let mut a = Histogram::new(0.01, 1.3, 8);
+        let b = Histogram::new(0.01, 1.3, 9);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.record(1e18);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn nonempty_buckets_lists_only_used() {
+        let mut h = Histogram::latency_millis();
+        h.record(5.0);
+        h.record(5.1);
+        let buckets = h.nonempty_buckets();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].1, 2);
+    }
+}

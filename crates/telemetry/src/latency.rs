@@ -1,0 +1,189 @@
+//! Concurrent response-time recorder.
+//!
+//! The load generator's worker threads all record into one [`LatencyRecorder`]; the
+//! JMeter-style listeners then read a consistent snapshot. A `Mutex<Histogram>` is
+//! plenty here: recording happens at most a few thousand times per second and the
+//! critical section is a handful of arithmetic operations.
+
+use crate::histogram::Histogram;
+use parking_lot::Mutex;
+
+/// Thread-safe recorder of response times (milliseconds) and success/error outcomes.
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::LatencyRecorder;
+///
+/// let rec = LatencyRecorder::new("shap-service");
+/// rec.record_ok(228.6);
+/// rec.record_err(12.0);
+/// assert_eq!(rec.total(), 2);
+/// assert_eq!(rec.errors(), 1);
+/// ```
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    label: String,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    histogram: Histogram,
+    errors: u64,
+    first_nanos: Option<u64>,
+    last_nanos: Option<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder labelled with the sampled endpoint/service name.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            inner: Mutex::new(Inner {
+                histogram: Histogram::latency_millis(),
+                errors: 0,
+                first_nanos: None,
+                last_nanos: None,
+            }),
+        }
+    }
+
+    /// The endpoint/service label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Records a successful request's response time in milliseconds.
+    pub fn record_ok(&self, millis: f64) {
+        self.inner.lock().histogram.record(millis);
+    }
+
+    /// Records a failed request (also contributes its latency to the distribution,
+    /// as JMeter does).
+    pub fn record_err(&self, millis: f64) {
+        let mut g = self.inner.lock();
+        g.histogram.record(millis);
+        g.errors += 1;
+    }
+
+    /// Marks the observation window for throughput computation. Call with a monotonic
+    /// nanosecond timestamp at each request completion; the span between the first and
+    /// last mark is the active window.
+    pub fn mark(&self, now_nanos: u64) {
+        let mut g = self.inner.lock();
+        if g.first_nanos.is_none() {
+            g.first_nanos = Some(now_nanos);
+        }
+        g.last_nanos = Some(now_nanos);
+    }
+
+    /// Total recorded requests (successes + errors).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().histogram.count()
+    }
+
+    /// Number of failed requests.
+    pub fn errors(&self) -> u64 {
+        self.inner.lock().errors
+    }
+
+    /// Snapshot of the latency histogram.
+    pub fn histogram(&self) -> Histogram {
+        self.inner.lock().histogram.clone()
+    }
+
+    /// Requests per second across the marked window; `0.0` before two marks.
+    pub fn throughput_rps(&self) -> f64 {
+        let g = self.inner.lock();
+        match (g.first_nanos, g.last_nanos) {
+            (Some(a), Some(b)) if b > a => {
+                let span_secs = (b - a) as f64 / 1e9;
+                g.histogram.count() as f64 / span_secs
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Builds the JMeter-style [`crate::SummaryReport`] for this recorder.
+    pub fn summary(&self) -> crate::SummaryReport {
+        let g = self.inner.lock();
+        let h = &g.histogram;
+        let total = h.count();
+        let throughput = match (g.first_nanos, g.last_nanos) {
+            (Some(a), Some(b)) if b > a => total as f64 / ((b - a) as f64 / 1e9),
+            _ => 0.0,
+        };
+        crate::SummaryReport {
+            label: self.label.clone(),
+            samples: total,
+            errors: g.errors,
+            avg_ms: h.mean(),
+            min_ms: h.min(),
+            max_ms: h.max(),
+            p50_ms: h.quantile(0.5),
+            p95_ms: h.quantile(0.95),
+            p99_ms: h.quantile(0.99),
+            throughput_rps: throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_counts() {
+        let r = LatencyRecorder::new("svc");
+        r.record_ok(10.0);
+        r.record_ok(20.0);
+        r.record_err(30.0);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.errors(), 1);
+        assert!((r.histogram().mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_needs_window() {
+        let r = LatencyRecorder::new("svc");
+        r.record_ok(1.0);
+        assert_eq!(r.throughput_rps(), 0.0);
+        r.mark(0);
+        r.mark(1_000_000_000); // 1 s window, 1 sample
+        assert!((r.throughput_rps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_carries_error_rate() {
+        let r = LatencyRecorder::new("svc");
+        for _ in 0..9 {
+            r.record_ok(5.0);
+        }
+        r.record_err(5.0);
+        let s = r.summary();
+        assert_eq!(s.samples, 10);
+        assert_eq!(s.errors, 1);
+        assert!((s.error_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let r = Arc::new(LatencyRecorder::new("svc"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        r.record_ok(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.total(), 2000);
+    }
+}

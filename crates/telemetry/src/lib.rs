@@ -1,0 +1,28 @@
+//! Telemetry substrate for the SPATIAL reproduction.
+//!
+//! The paper's capacity-load experiments (§VI-B) use JMeter *listeners* — response-time
+//! summaries, throughput and error-rate reports — and its AI dashboard plots sensor
+//! readings over time. This crate provides the equivalent measurement plumbing:
+//!
+//! - [`Histogram`] — fixed-bucket latency histogram with quantile estimation.
+//! - [`Counter`] / [`Gauge`] — thread-safe monotonic counters and set-point gauges.
+//! - [`TimeSeries`] — append-only `(tick, value)` series with windowed statistics and
+//!   drift detection used by the monitoring core.
+//! - [`LatencyRecorder`] — concurrent response-time recorder for the load generator.
+//! - [`SummaryReport`] — the JMeter "Summary Report" equivalent (avg/min/max/percentile
+//!   response time, throughput, error rate).
+//! - [`clock`] — a virtual/real clock abstraction so simulations and tests are
+//!   deterministic.
+
+pub mod clock;
+pub mod counter;
+pub mod histogram;
+pub mod latency;
+pub mod report;
+pub mod timeseries;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::Histogram;
+pub use latency::LatencyRecorder;
+pub use report::SummaryReport;
+pub use timeseries::TimeSeries;

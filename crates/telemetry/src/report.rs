@@ -1,0 +1,129 @@
+//! JMeter-style summary reports.
+//!
+//! The paper's Experiment 1 "incorporated the Response Times Over Active Threads or
+//! the Summary Report listener … detailed metrics, including average response time,
+//! throughput, and error rate for each micro-service." [`SummaryReport`] is that
+//! listener's output row; [`render_table`] prints a set of rows the way JMeter does.
+
+/// One row of a load-test summary: the aggregate statistics for one sampled endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryReport {
+    /// Sampled endpoint/service label.
+    pub label: String,
+    /// Total requests issued.
+    pub samples: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Mean response time in milliseconds.
+    pub avg_ms: f64,
+    /// Minimum response time.
+    pub min_ms: f64,
+    /// Maximum response time.
+    pub max_ms: f64,
+    /// Median response time.
+    pub p50_ms: f64,
+    /// 95th-percentile response time.
+    pub p95_ms: f64,
+    /// 99th-percentile response time.
+    pub p99_ms: f64,
+    /// Requests per second over the observation window.
+    pub throughput_rps: f64,
+}
+
+impl SummaryReport {
+    /// Fraction of requests that failed, in `[0, 1]`; `0.0` when no samples.
+    pub fn error_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.samples as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SummaryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} n={:<6} err={:>5.1}% avg={:>9.1}ms p50={:>9.1}ms p95={:>9.1}ms p99={:>9.1}ms max={:>9.1}ms {:>8.1} req/s",
+            self.label,
+            self.samples,
+            self.error_rate() * 100.0,
+            self.avg_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.throughput_rps,
+        )
+    }
+}
+
+/// Renders a set of summary rows as an aligned text table with a header, the way
+/// JMeter's Summary Report listener presents them.
+pub fn render_table(rows: &[SummaryReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "label", "samples", "err%", "avg ms", "p50 ms", "p95 ms", "p99 ms", "max ms", "req/s"
+    ));
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>6.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            r.label,
+            r.samples,
+            r.error_rate() * 100.0,
+            r.avg_ms,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.max_ms,
+            r.throughput_rps,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, samples: u64, errors: u64) -> SummaryReport {
+        SummaryReport {
+            label: label.to_string(),
+            samples,
+            errors,
+            avg_ms: 100.0,
+            min_ms: 10.0,
+            max_ms: 500.0,
+            p50_ms: 90.0,
+            p95_ms: 300.0,
+            p99_ms: 450.0,
+            throughput_rps: 42.0,
+        }
+    }
+
+    #[test]
+    fn error_rate_edge_cases() {
+        assert_eq!(row("a", 0, 0).error_rate(), 0.0);
+        assert_eq!(row("a", 10, 5).error_rate(), 0.5);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = row("shap", 100, 1).to_string();
+        assert!(s.contains("shap"));
+        assert!(s.contains("n=100"));
+        assert!(s.contains("req/s"));
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let t = render_table(&[row("shap", 100, 0), row("lime", 100, 2)]);
+        assert!(t.lines().count() >= 4);
+        assert!(t.contains("label"));
+        assert!(t.contains("lime"));
+    }
+}

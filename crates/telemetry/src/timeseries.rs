@@ -1,0 +1,215 @@
+//! Append-only time series with windowed statistics and drift detection.
+//!
+//! The SPATIAL monitoring core samples each AI sensor periodically and needs to answer
+//! "has this trustworthy property drifted from its baseline?" — that check is
+//! [`TimeSeries::drift_from_baseline`]. The dashboard renders the same series as
+//! sparklines.
+
+/// One observation in a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Monotonic tick (e.g. nanoseconds from a `Clock`, or a monitoring round index).
+    pub tick: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// An append-only `(tick, value)` series.
+///
+/// # Example
+///
+/// ```
+/// let mut ts = spatial_telemetry::TimeSeries::new("accuracy");
+/// ts.push(0, 0.97);
+/// ts.push(1, 0.96);
+/// ts.push(2, 0.71);
+/// // A 25-point accuracy drop against the first-sample baseline:
+/// assert!(ts.drift_from_baseline() < -0.25 + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), samples: Vec::new() }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is older than the last appended tick (the series is
+    /// append-only in time).
+    pub fn push(&mut self, tick: u64, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(tick >= last.tick, "time series {} ticks must be non-decreasing", self.name);
+        }
+        self.samples.push(Sample { tick, value });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All observations, oldest first.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Values only, oldest first.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.value).collect()
+    }
+
+    /// Latest observation, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// First observation — treated as the *baseline* by the drift check.
+    pub fn baseline(&self) -> Option<Sample> {
+        self.samples.first().copied()
+    }
+
+    /// Mean of the most recent `window` values (or all values when fewer exist);
+    /// `0.0` when empty.
+    pub fn windowed_mean(&self, window: usize) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let start = self.samples.len().saturating_sub(window.max(1));
+        let tail = &self.samples[start..];
+        tail.iter().map(|s| s.value).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Latest value minus the baseline (first) value; `0.0` when fewer than two
+    /// observations. Negative for a degrading metric like accuracy; positive for a
+    /// growing one like SHAP dissimilarity.
+    pub fn drift_from_baseline(&self) -> f64 {
+        match (self.baseline(), self.last()) {
+            (Some(b), Some(l)) if self.samples.len() >= 2 => l.value - b.value,
+            _ => 0.0,
+        }
+    }
+
+    /// Relative drift `(last − baseline) / |baseline|`; `0.0` when the baseline is zero
+    /// or fewer than two observations exist.
+    pub fn relative_drift(&self) -> f64 {
+        match self.baseline() {
+            Some(b) if b.value != 0.0 => self.drift_from_baseline() / b.value.abs(),
+            _ => 0.0,
+        }
+    }
+
+    /// Least-squares slope of value against tick; `0.0` with fewer than two points or
+    /// when all ticks coincide. Used by the dashboard to annotate trends.
+    pub fn slope(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let tm = self.samples.iter().map(|s| s.tick as f64).sum::<f64>() / n as f64;
+        let vm = self.samples.iter().map(|s| s.value).sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in &self.samples {
+            let dt = s.tick as f64 - tm;
+            num += dt * (s.value - vm);
+            den += dt * dt;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new("t");
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(i as u64, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let ts = TimeSeries::new("x");
+        assert!(ts.is_empty());
+        assert_eq!(ts.drift_from_baseline(), 0.0);
+        assert_eq!(ts.windowed_mean(5), 0.0);
+        assert_eq!(ts.slope(), 0.0);
+        assert!(ts.last().is_none());
+    }
+
+    #[test]
+    fn single_sample_has_no_drift() {
+        let ts = series(&[0.9]);
+        assert_eq!(ts.drift_from_baseline(), 0.0);
+        assert_eq!(ts.relative_drift(), 0.0);
+    }
+
+    #[test]
+    fn drift_is_last_minus_first() {
+        let ts = series(&[0.9, 0.8, 0.6]);
+        assert!((ts.drift_from_baseline() + 0.3).abs() < 1e-12);
+        assert!((ts.relative_drift() + 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_mean_uses_tail() {
+        let ts = series(&[10.0, 0.0, 2.0, 4.0]);
+        assert_eq!(ts.windowed_mean(2), 3.0);
+        assert_eq!(ts.windowed_mean(100), 4.0);
+        assert_eq!(ts.windowed_mean(0), 4.0); // window clamps to 1
+    }
+
+    #[test]
+    fn slope_of_linear_series() {
+        let ts = series(&[1.0, 3.0, 5.0, 7.0]);
+        assert!((ts.slope() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_constant_ticks_is_zero() {
+        let mut ts = TimeSeries::new("t");
+        ts.push(5, 1.0);
+        ts.push(5, 9.0);
+        assert_eq!(ts.slope(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_rejects_time_travel() {
+        let mut ts = TimeSeries::new("t");
+        ts.push(10, 1.0);
+        ts.push(9, 2.0);
+    }
+
+    #[test]
+    fn baseline_is_first_sample() {
+        let ts = series(&[0.5, 0.9]);
+        assert_eq!(ts.baseline().unwrap().value, 0.5);
+        assert_eq!(ts.last().unwrap().value, 0.9);
+    }
+}

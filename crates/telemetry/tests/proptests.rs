@@ -1,0 +1,81 @@
+//! Property-based tests for the telemetry substrate.
+
+use proptest::prelude::*;
+use spatial_telemetry::{Histogram, TimeSeries};
+
+proptest! {
+    #[test]
+    fn histogram_count_and_mean_are_exact(
+        values in proptest::collection::vec(0.0f64..1e5, 1..200)
+    ) {
+        let mut h = Histogram::latency_millis();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * (1.0 + mean));
+        let (lo, hi) = (
+            values.iter().cloned().fold(f64::INFINITY, f64::min),
+            values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0.0f64..1e4, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::latency_millis();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = h.quantile(lo);
+        let vhi = h.quantile(hi);
+        prop_assert!(vlo <= vhi + 1e-9, "quantiles must be monotone: {vlo} vs {vhi}");
+        prop_assert!(vlo >= h.min() - 1e-9);
+        prop_assert!(vhi <= h.max() + 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in proptest::collection::vec(0.0f64..1e4, 1..50),
+        b in proptest::collection::vec(0.0f64..1e4, 1..50),
+    ) {
+        let mut ha = Histogram::latency_millis();
+        let mut hb = Histogram::latency_millis();
+        let mut hc = Histogram::latency_millis();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert!((ha.mean() - hc.mean()).abs() < 1e-9);
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.quantile(0.5), hc.quantile(0.5));
+    }
+
+    #[test]
+    fn time_series_drift_identity(values in proptest::collection::vec(-1e3f64..1e3, 2..64)) {
+        let mut ts = TimeSeries::new("t");
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(i as u64, v);
+        }
+        let expected = values.last().unwrap() - values.first().unwrap();
+        prop_assert!((ts.drift_from_baseline() - expected).abs() < 1e-12);
+        prop_assert_eq!(ts.len(), values.len());
+        // Windowed mean over the full window equals the plain mean.
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((ts.windowed_mean(values.len()) - mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Exact Shapley values by subset enumeration — the oracle KernelSHAP is tested
+//! against.
+//!
+//! Complexity is `O(2^d · |background| · predict)`, so this is only usable for small
+//! feature counts; [`exact_shapley`] refuses `d > 20`.
+
+use crate::explanation::Explanation;
+use spatial_linalg::Matrix;
+use spatial_ml::Model;
+
+/// Computes exact Shapley values for `class` at `x` against a background set.
+///
+/// The value function is the interventional expectation
+/// `v(S) = E_b[f(x_S, b_{\bar S})]`, matching KernelSHAP's.
+///
+/// # Panics
+///
+/// Panics if `x.len() != background.cols()`, the background is empty, the feature
+/// count exceeds 20, or `class` is out of range.
+pub fn exact_shapley(
+    model: &dyn Model,
+    background: &Matrix,
+    feature_names: Vec<String>,
+    x: &[f64],
+    class: usize,
+) -> Explanation {
+    let d = x.len();
+    assert_eq!(background.cols(), d, "background width mismatch");
+    assert!(background.rows() > 0, "background must be non-empty");
+    assert!(d <= 20, "exact shapley is exponential; refusing d = {d} > 20");
+    assert!(class < model.n_classes(), "class {class} out of range");
+
+    // v(S) for every subset, memoized by bitmask.
+    let n_subsets = 1usize << d;
+    let mut v = vec![0.0f64; n_subsets];
+    let mut buf = vec![0.0; d];
+    for (mask, value) in v.iter_mut().enumerate() {
+        let mut total = 0.0;
+        for b in background.iter_rows() {
+            for j in 0..d {
+                buf[j] = if mask & (1 << j) != 0 { x[j] } else { b[j] };
+            }
+            total += model.predict_proba(&buf)[class];
+        }
+        *value = total / background.rows() as f64;
+    }
+
+    // Precompute |S|! (d−|S|−1)! / d! weights by subset size.
+    let fact: Vec<f64> = {
+        let mut f = vec![1.0f64; d + 1];
+        for i in 1..=d {
+            f[i] = f[i - 1] * i as f64;
+        }
+        f
+    };
+    let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
+
+    let mut phi = vec![0.0; d];
+    for (j, p) in phi.iter_mut().enumerate() {
+        let bit = 1usize << j;
+        for mask in 0..n_subsets {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = (mask as u32).count_ones() as usize;
+            *p += weight(s) * (v[mask | bit] - v[mask]);
+        }
+    }
+
+    Explanation {
+        method: "exact-shapley".into(),
+        feature_names,
+        values: phi,
+        base_value: v[0],
+        prediction: v[n_subsets - 1],
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shap::{KernelShap, ShapConfig};
+    use spatial_data::Dataset;
+    use spatial_ml::TrainError;
+
+    /// p(1) = sigmoid(2x0 − x1 + 0.5·x0·x2): includes an interaction term.
+    struct Interacting;
+
+    impl Model for Interacting {
+        fn name(&self) -> &str {
+            "interacting"
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let p = spatial_linalg::vector::sigmoid(2.0 * x[0] - x[1] + 0.5 * x[0] * x[2]);
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn names(d: usize) -> Vec<String> {
+        (0..d).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn efficiency_holds_exactly() {
+        let bg = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 0.5, -1.0], &[0.3, 0.9, 0.4]]);
+        let e = exact_shapley(&Interacting, &bg, names(3), &[1.0, -0.5, 2.0], 1);
+        assert!(e.additivity_gap().abs() < 1e-12, "gap {}", e.additivity_gap());
+    }
+
+    #[test]
+    fn dummy_feature_gets_zero() {
+        // Feature 1 with coefficient 0 in a model that ignores it entirely.
+        struct IgnoresSecond;
+        impl Model for IgnoresSecond {
+            fn name(&self) -> &str {
+                "ignores"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                let p = spatial_linalg::vector::sigmoid(x[0]);
+                vec![1.0 - p, p]
+            }
+        }
+        let bg = Matrix::from_rows(&[&[0.0, 7.0], &[1.0, -2.0]]);
+        let e = exact_shapley(&IgnoresSecond, &bg, names(2), &[0.8, 100.0], 1);
+        assert_eq!(e.values[1], 0.0);
+    }
+
+    #[test]
+    fn kernel_shap_converges_to_exact() {
+        let bg = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0, 1.0],
+            &[0.5, -0.5, 0.2, 0.9],
+        ]);
+        let x = [1.2, -0.7, 0.4, 0.1];
+        let exact = exact_shapley(&Interacting4, &bg, names(4), &x, 1);
+        let shap = KernelShap::new(
+            &Interacting4,
+            &bg,
+            names(4),
+            ShapConfig { n_coalitions: 4096, ..ShapConfig::default() },
+        );
+        let approx = shap.explain(&x, 1);
+        for (a, e) in approx.values.iter().zip(&exact.values) {
+            assert!((a - e).abs() < 0.02, "kernel {a} vs exact {e}");
+        }
+    }
+
+    /// 4-feature variant with interactions across all features.
+    struct Interacting4;
+
+    impl Model for Interacting4 {
+        fn name(&self) -> &str {
+            "interacting4"
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let p = spatial_linalg::vector::sigmoid(
+                1.5 * x[0] - 0.8 * x[1] + 0.6 * x[2] * x[3] + 0.3 * x[0] * x[1],
+            );
+            vec![1.0 - p, p]
+        }
+    }
+
+    #[test]
+    fn symmetry_axiom() {
+        // Features 0 and 1 perfectly interchangeable.
+        struct Sym;
+        impl Model for Sym {
+            fn name(&self) -> &str {
+                "sym"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                let p = spatial_linalg::vector::sigmoid(x[0] * x[1]);
+                vec![1.0 - p, p]
+            }
+        }
+        let bg = Matrix::from_rows(&[&[0.0, 0.0], &[0.5, 0.5]]);
+        let e = exact_shapley(&Sym, &bg, names(2), &[1.0, 1.0], 1);
+        assert!((e.values[0] - e.values[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn refuses_large_d() {
+        let bg = Matrix::zeros(1, 21);
+        let x = vec![0.0; 21];
+        let _ = exact_shapley(&Interacting, &bg, names(21), &x, 1);
+    }
+}

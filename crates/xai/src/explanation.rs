@@ -1,0 +1,117 @@
+//! The common explanation container all XAI methods produce.
+
+/// A per-feature attribution for one prediction.
+///
+/// For SHAP, `values[j]` is the Shapley value of feature `j` and the additivity
+/// property `base_value + Σ values ≈ prediction` holds; for LIME, `values` are the
+/// local surrogate's coefficients and `base_value` its intercept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Name of the method that produced this explanation ("kernel-shap", "lime", ...).
+    pub method: String,
+    /// One name per feature (shared with the dataset).
+    pub feature_names: Vec<String>,
+    /// One attribution per feature.
+    pub values: Vec<f64>,
+    /// The attribution baseline (expected model output over the background for SHAP).
+    pub base_value: f64,
+    /// The model output being explained (probability of the explained class).
+    pub prediction: f64,
+    /// The class index the attributions explain.
+    pub class: usize,
+}
+
+impl Explanation {
+    /// Features ranked by |attribution|, most important first, as
+    /// `(feature_index, value)` pairs.
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        let mut idx: Vec<(usize, f64)> = self.values.iter().copied().enumerate().collect();
+        idx.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("NaN attribution"));
+        idx
+    }
+
+    /// The `k` most important features as `(name, value)` pairs.
+    pub fn top_k(&self, k: usize) -> Vec<(&str, f64)> {
+        self.ranking()
+            .into_iter()
+            .take(k)
+            .map(|(i, v)| (self.feature_names[i].as_str(), v))
+            .collect()
+    }
+
+    /// Rank position (0 = most important) of a named feature, if present.
+    pub fn rank_of(&self, feature: &str) -> Option<usize> {
+        let idx = self.feature_names.iter().position(|f| f == feature)?;
+        self.ranking().iter().position(|(i, _)| *i == idx)
+    }
+
+    /// Additivity residual `prediction − (base_value + Σ values)`; near zero for
+    /// faithful SHAP explanations.
+    pub fn additivity_gap(&self) -> f64 {
+        self.prediction - (self.base_value + self.values.iter().sum::<f64>())
+    }
+
+    /// L2 distance between two explanations' attribution vectors — the primitive of
+    /// the paper's SHAP-dissimilarity poisoning indicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the explanations have different feature counts.
+    pub fn distance(&self, other: &Explanation) -> f64 {
+        spatial_linalg::distance::euclidean(&self.values, &other.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expl(values: Vec<f64>) -> Explanation {
+        Explanation {
+            method: "test".into(),
+            feature_names: (0..values.len()).map(|i| format!("f{i}")).collect(),
+            values,
+            base_value: 0.5,
+            prediction: 0.9,
+            class: 1,
+        }
+    }
+
+    #[test]
+    fn ranking_is_by_absolute_value() {
+        let e = expl(vec![0.1, -0.5, 0.3]);
+        let r = e.ranking();
+        assert_eq!(r[0].0, 1);
+        assert_eq!(r[1].0, 2);
+        assert_eq!(r[2].0, 0);
+    }
+
+    #[test]
+    fn top_k_names() {
+        let e = expl(vec![0.1, -0.5, 0.3]);
+        let top = e.top_k(2);
+        assert_eq!(top[0].0, "f1");
+        assert_eq!(top[1].0, "f2");
+    }
+
+    #[test]
+    fn rank_of_named_feature() {
+        let e = expl(vec![0.1, -0.5, 0.3]);
+        assert_eq!(e.rank_of("f1"), Some(0));
+        assert_eq!(e.rank_of("f0"), Some(2));
+        assert_eq!(e.rank_of("nope"), None);
+    }
+
+    #[test]
+    fn additivity_gap_zero_when_exact() {
+        let e = expl(vec![0.3, 0.1]);
+        assert!(e.additivity_gap().abs() < 1e-12); // 0.5 + 0.4 == 0.9
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = expl(vec![0.0, 0.0]);
+        let b = expl(vec![3.0, 4.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

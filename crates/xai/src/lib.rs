@@ -1,0 +1,31 @@
+//! Explainable-AI methods for the SPATIAL reproduction.
+//!
+//! The paper's accountability sensors are built on XAI: "accountability is supported by
+//! implementing the XAI SHAP method" (§V), LIME and occlusion-sensitivity run as their
+//! own micro-services (§VI-B), and §VI-A defines a SHAP-dissimilarity metric that flags
+//! data poisoning. This crate implements all of them from scratch:
+//!
+//! - [`shap`] — KernelSHAP: coalition sampling + constrained weighted least squares.
+//! - [`exact_shap`] — exact Shapley values by subset enumeration (`d ≤ 20`); the test
+//!   oracle for KernelSHAP.
+//! - [`lime`] — LIME for tabular data: local perturbation + kernel-weighted ridge
+//!   surrogate.
+//! - [`lime_image`] — LIME for images over superpixel masks.
+//! - [`occlusion`] — occlusion-sensitivity maps for image models.
+//! - [`similarity`] — the paper's poisoning indicator: average SHAP-explanation
+//!   distance among nearest-neighbour instances (§VI-A).
+//! - [`report`] — global feature-importance reports and the rank-shift comparison
+//!   behind Fig. 7(a)/(b).
+//!
+//! All methods treat the model as a black box behind [`spatial_ml::Model`].
+
+pub mod exact_shap;
+pub mod explanation;
+pub mod lime;
+pub mod lime_image;
+pub mod occlusion;
+pub mod report;
+pub mod shap;
+pub mod similarity;
+
+pub use explanation::Explanation;

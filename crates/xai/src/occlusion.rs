@@ -1,0 +1,195 @@
+//! Occlusion sensitivity — "explainability can be generated using occlusion
+//! sensitivity to identify the most relevant area on an image contributing (to) the
+//! object detection" (§VIII). A patch slides over the image; at each position the
+//! patch is blanked and the drop in the model's class probability is recorded, giving
+//! a relevance heat map.
+
+use spatial_data::image::GrayImage;
+use spatial_ml::Model;
+
+/// Configuration for [`occlusion_map`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcclusionConfig {
+    /// Side length of the occluding square patch, in pixels.
+    pub patch: usize,
+    /// Step between successive patch positions (`1` = dense map).
+    pub stride: usize,
+    /// Intensity painted into the occluded patch.
+    pub fill: f64,
+}
+
+impl Default for OcclusionConfig {
+    fn default() -> Self {
+        Self { patch: 4, stride: 2, fill: 0.0 }
+    }
+}
+
+/// The occlusion-sensitivity heat map for one image and class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcclusionMap {
+    /// Number of patch positions per row.
+    pub cols: usize,
+    /// Number of patch rows.
+    pub rows: usize,
+    /// Probability drop per position, row-major: `baseline − p(occluded)`. Positive
+    /// where the occluded region supported the class.
+    pub drops: Vec<f64>,
+    /// The un-occluded class probability.
+    pub baseline: f64,
+    /// The explained class.
+    pub class: usize,
+}
+
+impl OcclusionMap {
+    /// The patch position with the largest probability drop, as `(row, col, drop)`.
+    /// `None` for an empty map.
+    pub fn hottest(&self) -> Option<(usize, usize, f64)> {
+        let idx = spatial_linalg::vector::argmax(&self.drops)?;
+        Some((idx / self.cols, idx % self.cols, self.drops[idx]))
+    }
+
+    /// Mean absolute drop — a scalar "how localized is the evidence" signal used by
+    /// the dashboard.
+    pub fn mean_abs_drop(&self) -> f64 {
+        spatial_linalg::vector::mean(
+            &self.drops.iter().map(|d| d.abs()).collect::<Vec<f64>>(),
+        )
+    }
+}
+
+/// Computes the occlusion-sensitivity map of `model` for `class` on `image`.
+///
+/// The model must accept flattened row-major pixel vectors.
+///
+/// # Panics
+///
+/// Panics if `patch == 0`, `stride == 0`, `patch > image.side()`, or `class` is out
+/// of range.
+pub fn occlusion_map(
+    model: &dyn Model,
+    image: &GrayImage,
+    class: usize,
+    config: &OcclusionConfig,
+) -> OcclusionMap {
+    assert!(config.patch > 0, "patch must be positive");
+    assert!(config.stride > 0, "stride must be positive");
+    assert!(config.patch <= image.side(), "patch larger than image");
+    assert!(class < model.n_classes(), "class {class} out of range");
+    let baseline = model.predict_proba(image.as_slice())[class];
+    let side = image.side();
+    let positions: Vec<usize> = (0..=(side - config.patch)).step_by(config.stride).collect();
+    let mut drops = Vec::with_capacity(positions.len() * positions.len());
+    for &r in &positions {
+        for &c in &positions {
+            let occluded = image.occlude(r, c, config.patch, config.fill);
+            let p = model.predict_proba(occluded.as_slice())[class];
+            drops.push(baseline - p);
+        }
+    }
+    OcclusionMap { cols: positions.len(), rows: positions.len(), drops, baseline, class }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_ml::TrainError;
+
+    /// Responds only to the pixel block at rows/cols 8..12.
+    struct CenterDetector {
+        side: usize,
+    }
+
+    impl Model for CenterDetector {
+        fn name(&self) -> &str {
+            "center"
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, pixels: &[f64]) -> Vec<f64> {
+            let mut total = 0.0;
+            for r in 8..12 {
+                for c in 8..12 {
+                    total += pixels[r * self.side + c];
+                }
+            }
+            let p = (total / 16.0).clamp(0.0, 1.0);
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn center_bright(side: usize) -> GrayImage {
+        let mut img = GrayImage::black(side);
+        for r in 8..12 {
+            for c in 8..12 {
+                img.set(r, c, 1.0);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn hottest_patch_covers_the_evidence() {
+        let side = 16;
+        let model = CenterDetector { side };
+        let img = center_bright(side);
+        let map = occlusion_map(&model, &img, 1, &OcclusionConfig::default());
+        let (r, c, drop) = map.hottest().unwrap();
+        // Patch positions are in steps of 2; the evidence block starts at (8, 8).
+        assert!((6..=10).contains(&(r * 2)), "row {r}");
+        assert!((6..=10).contains(&(c * 2)), "col {c}");
+        assert!(drop > 0.5, "occluding the evidence should crater the probability");
+    }
+
+    #[test]
+    fn occluding_empty_regions_changes_nothing() {
+        let side = 16;
+        let model = CenterDetector { side };
+        let img = center_bright(side);
+        let map = occlusion_map(&model, &img, 1, &OcclusionConfig::default());
+        // Position (0,0) is far from the evidence.
+        assert!(map.drops[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_dimensions_follow_stride() {
+        let side = 16;
+        let model = CenterDetector { side };
+        let img = center_bright(side);
+        let map = occlusion_map(
+            &model,
+            &img,
+            1,
+            &OcclusionConfig { patch: 4, stride: 4, fill: 0.0 },
+        );
+        assert_eq!((map.rows, map.cols), (4, 4));
+        assert_eq!(map.drops.len(), 16);
+    }
+
+    #[test]
+    fn mean_abs_drop_nonnegative() {
+        let side = 16;
+        let model = CenterDetector { side };
+        let img = center_bright(side);
+        let map = occlusion_map(&model, &img, 1, &OcclusionConfig::default());
+        assert!(map.mean_abs_drop() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch larger than image")]
+    fn oversized_patch_rejected() {
+        let side = 16;
+        let model = CenterDetector { side };
+        let img = center_bright(side);
+        let _ = occlusion_map(
+            &model,
+            &img,
+            1,
+            &OcclusionConfig { patch: 99, ..OcclusionConfig::default() },
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Global feature-importance reports and the rank-shift comparison behind the paper's
+//! Fig. 7(a)/(b): "shapley values for web activities have decreased around 16 % for the
+//! udp protocol, causing the feature to drop to the second place in ranking, while the
+//! importance of the tcp protocol has almost doubled."
+
+/// A global feature-importance snapshot: mean |SHAP| per feature over a set of
+/// instances, for one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceReport {
+    /// What is being explained ("web activities before attack", ...).
+    pub title: String,
+    /// One name per feature.
+    pub feature_names: Vec<String>,
+    /// Mean absolute attribution per feature.
+    pub importance: Vec<f64>,
+    /// The class the importances refer to.
+    pub class: usize,
+}
+
+impl ImportanceReport {
+    /// Builds a report, validating shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(
+        title: impl Into<String>,
+        feature_names: Vec<String>,
+        importance: Vec<f64>,
+        class: usize,
+    ) -> Self {
+        assert_eq!(feature_names.len(), importance.len(), "name/importance length mismatch");
+        Self { title: title.into(), feature_names, importance, class }
+    }
+
+    /// Features ordered by importance, descending, as `(name, importance)` pairs.
+    pub fn ranking(&self) -> Vec<(&str, f64)> {
+        let mut pairs: Vec<(&str, f64)> = self
+            .feature_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.importance.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN importance"));
+        pairs
+    }
+
+    /// Rank (0 = most important) of a named feature.
+    pub fn rank_of(&self, feature: &str) -> Option<usize> {
+        self.ranking().iter().position(|(n, _)| *n == feature)
+    }
+
+    /// Importance of a named feature.
+    pub fn importance_of(&self, feature: &str) -> Option<f64> {
+        let idx = self.feature_names.iter().position(|f| f == feature)?;
+        Some(self.importance[idx])
+    }
+}
+
+/// How one feature's importance moved between two reports — the structure of the
+/// paper's Fig. 7(a) → (b) narrative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureShift {
+    /// Feature name.
+    pub feature: String,
+    /// Importance in the "before" report.
+    pub before: f64,
+    /// Importance in the "after" report.
+    pub after: f64,
+    /// Rank before (0 = top).
+    pub rank_before: usize,
+    /// Rank after.
+    pub rank_after: usize,
+}
+
+impl FeatureShift {
+    /// Relative importance change `(after − before) / before`; infinite changes are
+    /// clamped to `after` when `before` is zero.
+    pub fn relative_change(&self) -> f64 {
+        if self.before != 0.0 {
+            (self.after - self.before) / self.before
+        } else {
+            self.after
+        }
+    }
+}
+
+/// Compares two importance reports feature-by-feature, ordered by absolute relative
+/// change, descending.
+///
+/// # Panics
+///
+/// Panics if the reports cover different feature sets.
+pub fn compare(before: &ImportanceReport, after: &ImportanceReport) -> Vec<FeatureShift> {
+    assert_eq!(
+        before.feature_names, after.feature_names,
+        "reports must cover the same features"
+    );
+    let mut shifts: Vec<FeatureShift> = before
+        .feature_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| FeatureShift {
+            feature: name.clone(),
+            before: before.importance[i],
+            after: after.importance[i],
+            rank_before: before.rank_of(name).expect("feature present"),
+            rank_after: after.rank_of(name).expect("feature present"),
+        })
+        .collect();
+    shifts.sort_by(|a, b| {
+        b.relative_change()
+            .abs()
+            .partial_cmp(&a.relative_change().abs())
+            .expect("NaN change")
+    });
+    shifts
+}
+
+/// Renders a report as an aligned text bar chart (the dashboard's Fig. 7 panel).
+pub fn render(report: &ImportanceReport, top: usize) -> String {
+    let ranking = report.ranking();
+    let max = ranking.first().map_or(1.0, |(_, v)| v.max(1e-12));
+    let mut out = format!("{} (class {})\n", report.title, report.class);
+    for (name, value) in ranking.into_iter().take(top) {
+        let bar = "#".repeat(((value / max) * 40.0).round() as usize);
+        out.push_str(&format!("{name:<24} {value:>9.4} {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn before() -> ImportanceReport {
+        ImportanceReport::new(
+            "benign",
+            vec!["udp".into(), "tcp".into(), "dur".into()],
+            vec![0.5, 0.2, 0.1],
+            0,
+        )
+    }
+
+    fn after() -> ImportanceReport {
+        ImportanceReport::new(
+            "attacked",
+            vec!["udp".into(), "tcp".into(), "dur".into()],
+            vec![0.42, 0.39, 0.1], // udp −16 %, tcp ~2×: the paper's Fig. 7 shift
+            0,
+        )
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let report = before();
+        let r = report.ranking();
+        assert_eq!(r[0].0, "udp");
+        assert_eq!(r[2].0, "dur");
+    }
+
+    #[test]
+    fn rank_of_tracks_reordering() {
+        assert_eq!(before().rank_of("udp"), Some(0));
+        assert_eq!(after().rank_of("udp"), Some(0));
+        assert_eq!(after().rank_of("tcp"), Some(1));
+        assert_eq!(before().rank_of("nope"), None);
+    }
+
+    #[test]
+    fn compare_surfaces_the_biggest_mover() {
+        let shifts = compare(&before(), &after());
+        assert_eq!(shifts[0].feature, "tcp"); // ~2x change
+        assert!(shifts[0].relative_change() > 0.9);
+        let udp = shifts.iter().find(|s| s.feature == "udp").unwrap();
+        assert!((udp.relative_change() + 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_change_is_clamped() {
+        let a = ImportanceReport::new("a", vec!["x".into()], vec![0.0], 0);
+        let b = ImportanceReport::new("b", vec!["x".into()], vec![0.3], 0);
+        let shifts = compare(&a, &b);
+        assert_eq!(shifts[0].relative_change(), 0.3);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let text = render(&before(), 2);
+        assert!(text.contains("udp"));
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), 3); // title + 2 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "same features")]
+    fn compare_rejects_mismatched_reports() {
+        let other = ImportanceReport::new("x", vec!["a".into()], vec![0.1], 0);
+        let _ = compare(&before(), &other);
+    }
+}

@@ -1,0 +1,396 @@
+//! KernelSHAP — the paper's accountability metric.
+//!
+//! KernelSHAP estimates Shapley values by regression: sample feature coalitions
+//! `z ∈ {0,1}^d`, evaluate the model with absent features replaced by background
+//! values, and solve a weighted least-squares problem whose solution converges to the
+//! Shapley values under the Shapley kernel weight
+//! `w(s) = (d−1) / (C(d,s) · s · (d−s))`.
+//!
+//! Implementation notes:
+//! - Coalition sizes are sampled proportionally to the kernel mass (so the WLS uses
+//!   uniform weights over sampled rows), with paired complements for variance
+//!   reduction — the same scheme as the reference `shap` package sampler.
+//! - The efficiency constraint `Σφ = f(x) − E[f]` is enforced exactly by eliminating
+//!   the last feature from the regression.
+
+use crate::explanation::Explanation;
+use spatial_linalg::{rng, Matrix};
+use spatial_ml::Model;
+
+/// Configuration for [`KernelShap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapConfig {
+    /// Number of sampled coalitions (rounded up to even for pairing).
+    pub n_coalitions: usize,
+    /// Maximum background rows used to integrate out absent features.
+    pub background_limit: usize,
+    /// Ridge damping for the constrained regression.
+    pub ridge: f64,
+    /// Coalition-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ShapConfig {
+    fn default() -> Self {
+        Self { n_coalitions: 512, background_limit: 16, ridge: 1e-6, seed: 0 }
+    }
+}
+
+/// KernelSHAP explainer bound to a model and a background dataset.
+///
+/// # Example
+///
+/// ```
+/// use spatial_xai::shap::{KernelShap, ShapConfig};
+/// use spatial_ml::{tree::DecisionTree, Model};
+/// use spatial_data::Dataset;
+/// use spatial_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[0.0, 5.0], &[1.0, 5.0], &[0.1, 5.0], &[0.9, 5.0]]),
+///     vec![0, 1, 0, 1],
+///     vec!["signal".into(), "noise".into()],
+///     vec!["a".into(), "b".into()],
+/// );
+/// let mut dt = DecisionTree::new();
+/// dt.fit(&ds)?;
+/// let shap = KernelShap::new(&dt, &ds.features, ds.feature_names.clone(),
+///                            ShapConfig::default());
+/// let e = shap.explain(&[1.0, 5.0], 1);
+/// // Only the first feature carries signal.
+/// assert!(e.values[0].abs() > e.values[1].abs());
+/// # Ok::<(), spatial_ml::TrainError>(())
+/// ```
+pub struct KernelShap<'a> {
+    model: &'a dyn Model,
+    background: Matrix,
+    feature_names: Vec<String>,
+    config: ShapConfig,
+    /// Mean model output per class over the background — the SHAP base values.
+    base_values: Vec<f64>,
+}
+
+impl<'a> KernelShap<'a> {
+    /// Creates an explainer. `background` rows represent the data distribution;
+    /// at most `config.background_limit` rows are used (evenly strided).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is empty, has a column count different from
+    /// `feature_names`, or `config.n_coalitions == 0`.
+    pub fn new(
+        model: &'a dyn Model,
+        background: &Matrix,
+        feature_names: Vec<String>,
+        config: ShapConfig,
+    ) -> Self {
+        assert!(background.rows() > 0, "background must be non-empty");
+        assert_eq!(
+            background.cols(),
+            feature_names.len(),
+            "feature-name count must match background columns"
+        );
+        assert!(config.n_coalitions > 0, "n_coalitions must be positive");
+        // Stride-subsample the background to the configured limit.
+        let keep = config.background_limit.max(1).min(background.rows());
+        let stride = background.rows() as f64 / keep as f64;
+        let rows: Vec<usize> =
+            (0..keep).map(|i| ((i as f64 * stride) as usize).min(background.rows() - 1)).collect();
+        let background = background.select_rows(&rows);
+        let k = model.n_classes();
+        let mut base_values = vec![0.0; k];
+        for row in background.iter_rows() {
+            let p = model.predict_proba(row);
+            for (b, v) in base_values.iter_mut().zip(&p) {
+                *b += v / background.rows() as f64;
+            }
+        }
+        Self { model, background, feature_names, config, base_values }
+    }
+
+    /// The expected model output per class over the background.
+    pub fn base_values(&self) -> &[f64] {
+        &self.base_values
+    }
+
+    /// Explains the model output for `class` at point `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the background width or
+    /// `class >= model.n_classes()`.
+    pub fn explain(&self, x: &[f64], class: usize) -> Explanation {
+        let d = self.background.cols();
+        assert_eq!(x.len(), d, "feature-count mismatch");
+        assert!(class < self.model.n_classes(), "class {class} out of range");
+        let fx = self.model.predict_proba(x)[class];
+        let base = self.base_values[class];
+
+        if d == 1 {
+            // Single feature gets the whole gap by efficiency.
+            return self.wrap(vec![fx - base], base, fx, class);
+        }
+
+        let mut r = rng::seeded(rng::derive_seed(self.config.seed, hash_point(x)));
+        let n = self.config.n_coalitions.next_multiple_of(2);
+        // Kernel mass per coalition size s ∈ [1, d−1] ∝ (d−1)/(s(d−s)).
+        let size_weights: Vec<f64> =
+            (1..d).map(|s| (d as f64 - 1.0) / ((s * (d - s)) as f64)).collect();
+
+        let mut masks: Vec<Vec<bool>> = Vec::with_capacity(n);
+        for _ in 0..n / 2 {
+            let s = 1 + rng::weighted_index(&mut r, &size_weights);
+            let chosen = rng::sample_without_replacement(&mut r, d, s);
+            let mut mask = vec![false; d];
+            for c in chosen {
+                mask[c] = true;
+            }
+            // Paired complement halves the sampler variance.
+            let complement: Vec<bool> = mask.iter().map(|&m| !m).collect();
+            masks.push(mask);
+            masks.push(complement);
+        }
+
+        // Evaluate y_i = E_b[f(h(z_i))] − base for every coalition.
+        let ys: Vec<f64> =
+            masks.iter().map(|mask| self.coalition_value(x, mask, class) - base).collect();
+
+        // Eliminate feature d−1 to enforce Σφ = fx − base exactly:
+        //   y_i − z_{i,d−1}·Δ = Σ_{j<d−1} φ_j (z_ij − z_{i,d−1})
+        let delta = fx - base;
+        let rows: Vec<Vec<f64>> = masks
+            .iter()
+            .map(|mask| {
+                let last = f64::from(u8::from(mask[d - 1]));
+                (0..d - 1).map(|j| f64::from(u8::from(mask[j])) - last).collect()
+            })
+            .collect();
+        let targets: Vec<f64> = masks
+            .iter()
+            .zip(&ys)
+            .map(|(mask, y)| y - f64::from(u8::from(mask[d - 1])) * delta)
+            .collect();
+        let design = Matrix::from_row_vecs(rows);
+        let mut phi = design
+            .least_squares(&targets, None, self.config.ridge)
+            .unwrap_or_else(|| vec![0.0; d - 1]);
+        let phi_last = delta - phi.iter().sum::<f64>();
+        phi.push(phi_last);
+        self.wrap(phi, base, fx, class)
+    }
+
+    /// Mean-|SHAP| global importance over a set of instances (the Fig. 7 bars).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or has mismatched width.
+    pub fn global_importance(&self, instances: &Matrix, class: usize) -> Vec<f64> {
+        assert!(instances.rows() > 0, "need at least one instance");
+        let mut acc = vec![0.0; instances.cols()];
+        for row in instances.iter_rows() {
+            let e = self.explain(row, class);
+            for (a, v) in acc.iter_mut().zip(&e.values) {
+                *a += v.abs() / instances.rows() as f64;
+            }
+        }
+        acc
+    }
+
+    /// E over background rows of the model output with absent features imputed.
+    fn coalition_value(&self, x: &[f64], mask: &[bool], class: usize) -> f64 {
+        let mut total = 0.0;
+        let mut buf = vec![0.0; x.len()];
+        for b in self.background.iter_rows() {
+            for j in 0..x.len() {
+                buf[j] = if mask[j] { x[j] } else { b[j] };
+            }
+            total += self.model.predict_proba(&buf)[class];
+        }
+        total / self.background.rows() as f64
+    }
+
+    fn wrap(&self, values: Vec<f64>, base: f64, fx: f64, class: usize) -> Explanation {
+        Explanation {
+            method: "kernel-shap".into(),
+            feature_names: self.feature_names.clone(),
+            values,
+            base_value: base,
+            prediction: fx,
+            class,
+        }
+    }
+}
+
+/// Stable per-point hash so repeated explanations of the same point reuse the same
+/// coalition sample (deterministic dashboards).
+fn hash_point(x: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in x {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::TrainError;
+
+    /// A deterministic model: p(class 1) = sigmoid(2*x0 + 0*x1 - 1*x2).
+    struct LinearProb;
+
+    impl Model for LinearProb {
+        fn name(&self) -> &str {
+            "linear-prob"
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+            Ok(())
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let p = spatial_linalg::vector::sigmoid(2.0 * x[0] - x[2]);
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn names(d: usize) -> Vec<String> {
+        (0..d).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn additivity_holds() {
+        let model = LinearProb;
+        let bg = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0], &[0.5, 0.2, 0.8]]);
+        let shap = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
+        let e = shap.explain(&[1.0, 0.3, -0.5], 1);
+        assert!(e.additivity_gap().abs() < 1e-9, "gap {}", e.additivity_gap());
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_near_zero() {
+        let model = LinearProb;
+        let bg = Matrix::from_rows(&[
+            &[0.0, 9.0, 0.0],
+            &[1.0, -3.0, 1.0],
+            &[0.3, 2.0, 0.7],
+            &[0.9, 5.0, 0.1],
+        ]);
+        let shap = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
+        let e = shap.explain(&[1.0, 100.0, 0.0], 1);
+        assert!(
+            e.values[1].abs() < 0.02,
+            "feature 1 never influences the model: {:?}",
+            e.values
+        );
+        assert!(e.values[0].abs() > e.values[1].abs());
+    }
+
+    #[test]
+    fn single_feature_gets_full_gap() {
+        let model = LinearProb;
+        // Only one feature visible (d=1 background); use a 1-feature wrapper model.
+        struct OneFeature;
+        impl Model for OneFeature {
+            fn name(&self) -> &str {
+                "one"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                let p = spatial_linalg::vector::sigmoid(x[0]);
+                vec![1.0 - p, p]
+            }
+        }
+        let _ = model;
+        let bg = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let one = OneFeature;
+        let shap = KernelShap::new(&one, &bg, names(1), ShapConfig::default());
+        let e = shap.explain(&[2.0], 1);
+        assert!(e.additivity_gap().abs() < 1e-12);
+        assert!((e.values[0] - (e.prediction - e.base_value)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_features_get_equal_values() {
+        // p(1) = sigmoid(x0 + x1): symmetric in both features.
+        struct Sym;
+        impl Model for Sym {
+            fn name(&self) -> &str {
+                "sym"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                let p = spatial_linalg::vector::sigmoid(x[0] + x[1]);
+                vec![1.0 - p, p]
+            }
+        }
+        let bg = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let shap = KernelShap::new(&Sym, &bg, names(2), ShapConfig::default());
+        let e = shap.explain(&[1.0, 1.0], 1);
+        assert!(
+            (e.values[0] - e.values[1]).abs() < 1e-6,
+            "symmetric features must tie: {:?}",
+            e.values
+        );
+    }
+
+    #[test]
+    fn explanations_are_deterministic() {
+        let model = LinearProb;
+        let bg = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]]);
+        let shap = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
+        let a = shap.explain(&[0.5, 0.5, 0.5], 1);
+        let b = shap.explain(&[0.5, 0.5, 0.5], 1);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn works_with_trained_tree() {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.2, -1.0], &[2.0, 1.0], &[2.2, -1.0]]),
+            vec![0, 0, 1, 1],
+            names(2),
+            vec!["a".into(), "b".into()],
+        );
+        let mut dt = DecisionTree::new();
+        dt.fit(&ds).unwrap();
+        let shap = KernelShap::new(&dt, &ds.features, names(2), ShapConfig::default());
+        let e = shap.explain(&[2.1, 1.0], 1);
+        // The tree only splits on feature 0.
+        assert!(e.values[0] > 0.2, "{:?}", e.values);
+        assert!(e.values[1].abs() < 0.05, "{:?}", e.values);
+    }
+
+    #[test]
+    fn global_importance_ranks_signal_feature() {
+        let model = LinearProb;
+        let bg = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0], &[0.2, 0.8, 0.4]]);
+        let shap = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
+        let inst = Matrix::from_rows(&[&[1.0, 0.5, 0.1], &[0.1, 0.9, 0.9], &[0.8, 0.1, 0.5]]);
+        let gi = shap.global_importance(&inst, 1);
+        assert!(gi[0] > gi[1], "x0 drives the model: {gi:?}");
+        assert!(gi[2] > gi[1], "x2 drives the model more than x1: {gi:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "background must be non-empty")]
+    fn empty_background_rejected() {
+        let model = LinearProb;
+        let bg = Matrix::zeros(0, 3);
+        let _ = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: the Shapley axioms must hold for arbitrary linear models,
+//! and KernelSHAP must agree with the exact enumeration on small feature counts.
+
+use proptest::prelude::*;
+use spatial_data::Dataset;
+use spatial_linalg::Matrix;
+use spatial_ml::{Model, TrainError};
+use spatial_xai::exact_shap::exact_shapley;
+use spatial_xai::shap::{KernelShap, ShapConfig};
+
+/// p(1) = sigmoid(w · x): an arbitrary linear model over d features.
+struct LinearModel {
+    w: Vec<f64>,
+}
+
+impl Model for LinearModel {
+    fn name(&self) -> &str {
+        "linear"
+    }
+    fn n_classes(&self) -> usize {
+        2
+    }
+    fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+        Ok(())
+    }
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let p = spatial_linalg::vector::sigmoid(spatial_linalg::vector::dot(&self.w, x));
+        vec![1.0 - p, p]
+    }
+}
+
+fn names(d: usize) -> Vec<String> {
+    (0..d).map(|i| format!("f{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_shapley_satisfies_efficiency(
+        w in proptest::collection::vec(-2.0f64..2.0, 3..6),
+        x in proptest::collection::vec(-2.0f64..2.0, 3..6),
+        b in proptest::collection::vec(-1.0f64..1.0, 3..6),
+    ) {
+        let d = w.len().min(x.len()).min(b.len());
+        let model = LinearModel { w: w[..d].to_vec() };
+        let bg = Matrix::from_rows(&[&b[..d]]);
+        let e = exact_shapley(&model, &bg, names(d), &x[..d], 1);
+        prop_assert!(e.additivity_gap().abs() < 1e-10, "gap {}", e.additivity_gap());
+    }
+
+    #[test]
+    fn exact_shapley_null_feature_axiom(
+        w in proptest::collection::vec(-2.0f64..2.0, 3..5),
+        x in proptest::collection::vec(-2.0f64..2.0, 3..5),
+    ) {
+        // Zero out one coefficient: that feature's Shapley value must be zero.
+        let d = w.len().min(x.len());
+        let mut w = w[..d].to_vec();
+        w[0] = 0.0;
+        let model = LinearModel { w };
+        let bg = Matrix::from_rows(&[&vec![0.25; d][..]]);
+        let e = exact_shapley(&model, &bg, names(d), &x[..d], 1);
+        prop_assert!(e.values[0].abs() < 1e-12, "null feature got {}", e.values[0]);
+    }
+
+    #[test]
+    fn kernel_shap_additivity_always_holds(
+        w in proptest::collection::vec(-2.0f64..2.0, 2..8),
+        x in proptest::collection::vec(-2.0f64..2.0, 2..8),
+    ) {
+        let d = w.len().min(x.len());
+        let model = LinearModel { w: w[..d].to_vec() };
+        let bg = Matrix::from_rows(&[&vec![0.0; d][..], &vec![0.5; d][..]]);
+        let shap = KernelShap::new(&model, &bg, names(d),
+                                   ShapConfig { n_coalitions: 128, ..Default::default() });
+        let e = shap.explain(&x[..d], 1);
+        // Efficiency is enforced by construction.
+        prop_assert!(e.additivity_gap().abs() < 1e-9, "gap {}", e.additivity_gap());
+        prop_assert!(e.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn kernel_matches_exact_on_small_d(
+        w in proptest::collection::vec(-1.5f64..1.5, 3..4),
+        x in proptest::collection::vec(-1.5f64..1.5, 3..4),
+    ) {
+        let d = 3;
+        let model = LinearModel { w: w[..d].to_vec() };
+        let bg = Matrix::from_rows(&[&vec![0.0; d][..], &vec![1.0; d][..]]);
+        let exact = exact_shapley(&model, &bg, names(d), &x[..d], 1);
+        let shap = KernelShap::new(&model, &bg, names(d),
+                                   ShapConfig { n_coalitions: 2048, ..Default::default() });
+        let approx = shap.explain(&x[..d], 1);
+        for (a, e) in approx.values.iter().zip(&exact.values) {
+            prop_assert!((a - e).abs() < 0.05, "kernel {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn class_explanations_are_antisymmetric_for_binary_models(
+        w in proptest::collection::vec(-2.0f64..2.0, 3..5),
+        x in proptest::collection::vec(-2.0f64..2.0, 3..5),
+    ) {
+        // For a binary model, p(0) = 1 − p(1), so Shapley values for class 0 are the
+        // negation of class 1's.
+        let d = w.len().min(x.len());
+        let model = LinearModel { w: w[..d].to_vec() };
+        let bg = Matrix::from_rows(&[&vec![0.3; d][..]]);
+        let e1 = exact_shapley(&model, &bg, names(d), &x[..d], 1);
+        let e0 = exact_shapley(&model, &bg, names(d), &x[..d], 0);
+        for (a, b) in e0.values.iter().zip(&e1.values) {
+            prop_assert!((a + b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+}

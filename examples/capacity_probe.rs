@@ -1,0 +1,90 @@
+//! Capacity-load probe: spin up the SPATIAL micro-service cluster behind the API
+//! gateway and stress one XAI endpoint with a JMeter-style thread group — a scaled-
+//! down interactive version of the paper's §VI-B experiments.
+//!
+//! ```sh
+//! cargo run --release --example capacity_probe
+//! ```
+
+use spatial::data::Dataset;
+use spatial::gateway::http;
+use spatial::gateway::loadgen::{run, ThreadGroup};
+use spatial::gateway::services::ShapService;
+use spatial::gateway::wire::{to_json, ExplainRequest};
+use spatial::gateway::{ApiGateway, ServiceHost};
+use spatial::linalg::Matrix;
+use spatial::ml::tree::DecisionTree;
+use spatial::ml::Model;
+use spatial::telemetry::report::render_table;
+use spatial::xai::shap::ShapConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small trained model for the SHAP service to explain.
+    let ds = Dataset::new(
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 0.3],
+            &[1.0, 1.0, 0.7],
+            &[0.1, -1.0, 0.2],
+            &[0.9, -1.0, 0.9],
+            &[0.2, 1.0, 0.1],
+            &[0.8, -1.0, 0.8],
+        ]),
+        vec![0, 1, 0, 1, 0, 1],
+        vec!["rate".into(), "proto".into(), "ratio".into()],
+        vec!["benign".into(), "suspicious".into()],
+    );
+    let mut model = DecisionTree::new();
+    model.fit(&ds)?;
+
+    // Deploy the SHAP micro-service (4 "vCPUs" as in the paper) behind the gateway.
+    let shap = ShapService::new(
+        Arc::new(model),
+        ds.features.clone(),
+        ds.feature_names.clone(),
+        ShapConfig { n_coalitions: 256, ..ShapConfig::default() },
+        4,
+    );
+    let host = ServiceHost::spawn(Arc::new(shap), 256)?;
+    let gateway = ApiGateway::spawn(Duration::from_secs(30))?;
+    gateway.register("shap", host.addr());
+    let (healthy, total) = gateway.health_check("shap");
+    println!("cluster up: gateway {} -> shap {} ({healthy}/{total} healthy)", gateway.addr(), host.addr());
+
+    // JMeter-style load: ramping thread group against the gateway.
+    let body = to_json(&ExplainRequest { features: vec![0.9, 1.0, 0.5], class: 1 });
+    for threads in [5, 10, 20] {
+        let result = run(
+            gateway.addr(),
+            "POST",
+            "/shap/explain",
+            &body,
+            &ThreadGroup {
+                threads,
+                requests_per_thread: 10,
+                ramp_up: Duration::from_secs(1),
+                timeout: Duration::from_secs(30),
+            },
+        );
+        println!(
+            "\n{} concurrent threads -> avg {:.1} ms, p95 {:.1} ms, {:.1} req/s, err {:.1}%",
+            threads,
+            result.summary.avg_ms,
+            result.summary.p95_ms,
+            result.summary.throughput_rps,
+            result.summary.error_rate() * 100.0
+        );
+    }
+
+    // The gateway's own per-route summary (Kong's analytics seam).
+    println!("\ngateway route metrics:");
+    if let Some(summary) = gateway.route_summary("shap") {
+        println!("{}", render_table(&[summary]));
+    }
+
+    // One direct request to show the response body end-to-end.
+    let resp = http::request(gateway.addr(), "POST", "/shap/explain", &body, Duration::from_secs(30))?;
+    println!("sample response ({}): {}", resp.status, String::from_utf8_lossy(&resp.body));
+    Ok(())
+}

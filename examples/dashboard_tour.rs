@@ -1,0 +1,90 @@
+//! Dashboard tour: everything the human operator sees — gauges, sparklines, alerts,
+//! the threat-taxonomy lookup, and the JSON audit export.
+//!
+//! ```sh
+//! cargo run --release --example dashboard_tour
+//! ```
+
+use spatial::attacks::swap::random_swap_labels;
+use spatial::core::monitor::{AlertRule, Monitor};
+use spatial::core::registry::SensorRegistry;
+use spatial::core::sensor::SensorContext;
+use spatial::core::trust::{aggregate, TrustWeights};
+use spatial::dashboard::chart::line_chart;
+use spatial::dashboard::export::snapshot;
+use spatial::dashboard::render::{render_dashboard, DashboardView};
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::ml::{tree::DecisionTree, Model};
+use spatial::resilience::taxonomy::{attacks_on, AlgorithmFamily};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let raw = binarize_falls(&generate(&UnimibConfig {
+        samples: 800,
+        ..UnimibConfig::default()
+    }));
+    let (train, test) = raw.split(0.8, 11);
+
+    let mut monitor = Monitor::new(SensorRegistry::standard(1));
+    // Tighten the accuracy rule: the operator wants alerts at 5 points of drift.
+    monitor.set_rule(
+        "accuracy",
+        AlertRule { max_degradation: Some(0.05), absolute_bound: Some(0.7) },
+    );
+
+    // Several monitoring rounds with slowly increasing label corruption.
+    let mut last = (Vec::new(), Vec::new());
+    for round in 0..4 {
+        let rate = round as f64 * 0.12;
+        let train_now = if rate > 0.0 {
+            random_swap_labels(&train, rate, round as u64).dataset
+        } else {
+            train.clone()
+        };
+        let mut model = DecisionTree::new();
+        model.fit(&train_now)?;
+        let ctx = SensorContext { model: &model, train: &train_now, test: &test };
+        let (readings, alerts, failures) = monitor.observe(&ctx);
+        for (sensor, err) in failures {
+            eprintln!("sensor {sensor} failed: {err}");
+        }
+        last = (readings, alerts);
+    }
+    let (readings, alerts) = last;
+
+    // Weight the trade-offs the way a medical stakeholder would: recall-heavy.
+    let mut weights = TrustWeights::default();
+    weights.set(spatial::core::property::TrustProperty::Performance, 2.0);
+    let trust = aggregate(&readings, &weights);
+
+    let view = DashboardView {
+        title: "dashboard tour",
+        model_name: "decision-tree",
+        monitor: &monitor,
+        trust: &trust,
+        alerts: &alerts,
+    };
+    println!("{}", render_dashboard(&view));
+
+    // A figure panel: accuracy across the rounds.
+    if let Some(series) = monitor.series("accuracy") {
+        let points: Vec<(f64, f64)> = series
+            .samples()
+            .iter()
+            .map(|s| (s.tick as f64, s.value))
+            .collect();
+        println!("{}", line_chart("accuracy over monitoring rounds", &points, 6));
+    }
+
+    // Threat-model lookup for the deployed family.
+    if let Some(family) = AlgorithmFamily::of_model_name("decision-tree") {
+        let names: Vec<&str> = attacks_on(family).iter().map(|a| a.name()).collect();
+        println!("threats for {family:?}: {}", names.join(", "));
+    }
+
+    // Machine-readable snapshot for the auditor.
+    let snap = snapshot("dashboard tour", "decision-tree", &monitor, &trust, &alerts);
+    let json = snap.to_json();
+    println!("\naudit snapshot: {} bytes of JSON (first 160):", json.len());
+    println!("{}", &json[..json.len().min(160)]);
+    Ok(())
+}

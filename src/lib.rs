@@ -1,0 +1,51 @@
+//! # SPATIAL
+//!
+//! A from-scratch Rust reproduction of *"The SPATIAL Architecture: Design and
+//! Development Experiences from Gauging and Monitoring the AI Inference Capabilities of
+//! Modern Applications"* (Ottun et al., ICDCS 2024).
+//!
+//! SPATIAL augments applications with **AI sensors** — software probes that quantify
+//! trustworthy properties (explainability, resilience, performance) of an AI model —
+//! served as micro-services behind an API gateway, and an **AI dashboard** through which
+//! human operators monitor and react to drifts in the AI inference process.
+//!
+//! This umbrella crate re-exports the whole workspace under stable module names:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`linalg`] | `spatial-linalg` | dense matrix, vector ops, statistics, distances |
+//! | [`telemetry`] | `spatial-telemetry` | histograms, time series, latency reports |
+//! | [`data`] | `spatial-data` | synthetic UniMiB SHAR + network-flow datasets, CSV |
+//! | [`ml`] | `spatial-ml` | LR, CART, random forest, MLP/DNN, GBDT, pipeline |
+//! | [`xai`] | `spatial-xai` | KernelSHAP, LIME, occlusion sensitivity |
+//! | [`attacks`] | `spatial-attacks` | label flipping/swapping, FGSM, GAN poisoning |
+//! | [`resilience`] | `spatial-resilience` | impact/complexity metrics, CIA taxonomy |
+//! | [`core`] | `spatial-core` | AI sensors, monitors, trust score, feedback loop |
+//! | [`gateway`] | `spatial-gateway` | HTTP micro-services, API gateway, load generator |
+//! | [`dashboard`] | `spatial-dashboard` | terminal AI dashboard, alerts, audit export |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spatial::data::unimib::{UnimibConfig, generate};
+//! use spatial::ml::{Model, forest::RandomForest};
+//!
+//! // A small synthetic fall-detection dataset and a random-forest model.
+//! let ds = generate(&UnimibConfig { samples: 200, ..UnimibConfig::default() });
+//! let (train, test) = ds.split(0.8, 42);
+//! let mut rf = RandomForest::with_trees(8);
+//! rf.fit(&train).unwrap();
+//! let acc = spatial::ml::metrics::accuracy(&rf.predict_batch(&test.features), &test.labels);
+//! assert!(acc > 0.7);
+//! ```
+
+pub use spatial_attacks as attacks;
+pub use spatial_core as core;
+pub use spatial_dashboard as dashboard;
+pub use spatial_data as data;
+pub use spatial_gateway as gateway;
+pub use spatial_linalg as linalg;
+pub use spatial_ml as ml;
+pub use spatial_resilience as resilience;
+pub use spatial_telemetry as telemetry;
+pub use spatial_xai as xai;

@@ -1,0 +1,117 @@
+//! Integration: the full use-case-1 loop — deploy, poison, detect, repair — spanning
+//! data, ml, attacks, core and xai.
+
+use spatial::attacks::label_flip::random_label_flip;
+use spatial::core::feedback::sanitize_labels;
+use spatial::core::monitor::Monitor;
+use spatial::core::registry::SensorRegistry;
+use spatial::core::sensor::SensorContext;
+use spatial::core::trust::{aggregate, TrustWeights};
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::ml::{forest::RandomForest, metrics, Model};
+
+fn dataset() -> (spatial::data::Dataset, spatial::data::Dataset) {
+    let raw = binarize_falls(&generate(&UnimibConfig {
+        samples: 900,
+        ..UnimibConfig::default()
+    }));
+    raw.split(0.8, 3)
+}
+
+#[test]
+fn poisoning_degrades_and_monitor_notices() {
+    let (train, test) = dataset();
+    let mut monitor = Monitor::new(SensorRegistry::standard(1));
+
+    // Clean baseline round.
+    let mut clean_model = RandomForest::with_trees(20);
+    clean_model.fit(&train).unwrap();
+    let ctx = SensorContext { model: &clean_model, train: &train, test: &test };
+    let (baseline_readings, baseline_alerts, failures) = monitor.observe(&ctx);
+    assert!(failures.is_empty(), "{failures:?}");
+    assert!(baseline_alerts.is_empty());
+    let baseline_acc = baseline_readings
+        .iter()
+        .find(|r| r.sensor == "accuracy")
+        .expect("accuracy sensor present")
+        .value;
+    assert!(baseline_acc > 0.9, "clean baseline should be strong: {baseline_acc}");
+
+    // Heavy poisoning round.
+    let poisoned = random_label_flip(&train, 0.45, 9);
+    let mut bad_model = RandomForest::with_trees(20);
+    bad_model.fit(&poisoned.dataset).unwrap();
+    let ctx = SensorContext { model: &bad_model, train: &poisoned.dataset, test: &test };
+    let (readings, alerts, _) = monitor.observe(&ctx);
+    let poisoned_acc =
+        readings.iter().find(|r| r.sensor == "accuracy").expect("accuracy present").value;
+    assert!(
+        poisoned_acc < baseline_acc - 0.1,
+        "45% flipping must hurt: {baseline_acc} -> {poisoned_acc}"
+    );
+    assert!(
+        alerts.iter().any(|a| a.sensor == "accuracy"),
+        "the monitor must flag the accuracy drift: {alerts:?}"
+    );
+
+    // Trust score reflects the degradation.
+    let clean_trust = aggregate(&baseline_readings, &TrustWeights::default());
+    let bad_trust = aggregate(&readings, &TrustWeights::default());
+    assert!(bad_trust.overall < clean_trust.overall);
+}
+
+#[test]
+fn sanitization_recovers_most_of_the_loss() {
+    let (train, test) = dataset();
+    let poisoned = random_label_flip(&train, 0.3, 17);
+
+    let mut on_poisoned = RandomForest::with_trees(20);
+    on_poisoned.fit(&poisoned.dataset).unwrap();
+    let acc_poisoned = metrics::accuracy(
+        &on_poisoned.predict_batch(&test.features),
+        &test.labels,
+    );
+
+    let repaired = sanitize_labels(&poisoned.dataset, 5);
+    assert!(!repaired.relabelled.is_empty());
+    let mut on_repaired = RandomForest::with_trees(20);
+    on_repaired.fit(&repaired.dataset).unwrap();
+    let acc_repaired = metrics::accuracy(
+        &on_repaired.predict_batch(&test.features),
+        &test.labels,
+    );
+
+    assert!(
+        acc_repaired >= acc_poisoned,
+        "label sanitization should not hurt: {acc_poisoned} -> {acc_repaired}"
+    );
+}
+
+#[test]
+fn shap_dissimilarity_rises_under_poisoning() {
+    use spatial::xai::similarity::{shap_dissimilarity, DissimilarityConfig};
+    let (train, test) = dataset();
+    let config = DissimilarityConfig {
+        k: 3,
+        max_probes: Some(8),
+        shap: spatial::xai::shap::ShapConfig {
+            n_coalitions: 64,
+            background_limit: 6,
+            ..Default::default()
+        },
+    };
+
+    let mut clean_model = RandomForest::with_trees(15);
+    clean_model.fit(&train).unwrap();
+    let clean_score = shap_dissimilarity(&clean_model, &test, 1, &config);
+
+    let poisoned = random_label_flip(&train, 0.5, 23);
+    let mut bad_model = RandomForest::with_trees(15);
+    bad_model.fit(&poisoned.dataset).unwrap();
+    let bad_score = shap_dissimilarity(&bad_model, &test, 1, &config);
+
+    assert!(
+        bad_score > clean_score,
+        "Fig 6(a)-iv: dissimilarity should rise with poisoning: {clean_score} -> {bad_score}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration: use case 2 — network activity classification under FGSM evasion and
+//! targeted poisoning, spanning data, ml, attacks, resilience and xai.
+
+use spatial::attacks::fgsm::{fgsm_batch, transfer_accuracy};
+use spatial::attacks::label_flip::targeted_label_flip;
+use spatial::data::netflow::{generate, NetflowConfig};
+use spatial::data::preprocess::StandardScaler;
+use spatial::data::Dataset;
+use spatial::ml::gbdt::{Gbdt, GbdtConfig};
+use spatial::ml::mlp::{MlpClassifier, MlpConfig};
+use spatial::ml::{metrics, Model};
+use spatial::resilience::impact::{evasion_impact, poisoning_impact, DriftMetric};
+
+fn scaled_splits() -> (Dataset, Dataset) {
+    let raw = generate(&NetflowConfig { traces: 382, seed: 5 });
+    let (train_raw, test_raw) = raw.split(0.75, 5);
+    let scaler = StandardScaler::fit(&train_raw.features);
+    let scale = |ds: &Dataset| {
+        Dataset::new(
+            scaler.transform(&ds.features),
+            ds.labels.clone(),
+            ds.feature_names.clone(),
+            ds.class_names.clone(),
+        )
+    };
+    (scale(&train_raw), scale(&test_raw))
+}
+
+fn quick_nn() -> MlpClassifier {
+    MlpClassifier::with_config(MlpConfig {
+        hidden: vec![32],
+        epochs: 30,
+        ..MlpConfig::default()
+    })
+    .named("nn")
+}
+
+#[test]
+fn fgsm_craters_the_nn_and_transfers_to_boosters() {
+    let (train, test) = scaled_splits();
+    let mut nn = quick_nn();
+    nn.fit(&train).unwrap();
+    let mut lgbm = Gbdt::with_config(GbdtConfig { n_rounds: 25, ..GbdtConfig::lightgbm_like() });
+    lgbm.fit(&train).unwrap();
+
+    let batch = fgsm_batch(&nn, &test, 0.8, None);
+    let (nn_clean, nn_adv) = transfer_accuracy(&nn, &test, &batch);
+    assert!(nn_clean > 0.85, "baseline NN should be strong: {nn_clean}");
+    assert!(
+        nn_adv < nn_clean - 0.2,
+        "white-box FGSM must crater the source model: {nn_clean} -> {nn_adv}"
+    );
+
+    // Transfer: the attack cannot *help* the booster.
+    let (lg_clean, lg_adv) = transfer_accuracy(&lgbm, &test, &batch);
+    assert!(lg_adv <= lg_clean + 0.02, "transfer cannot improve the target");
+
+    // Impact is measured per model and bounded.
+    let nn_impact = evasion_impact(&nn, &test, &batch);
+    let lg_impact = evasion_impact(&lgbm, &test, &batch);
+    assert!((0.0..=1.0).contains(&nn_impact));
+    assert!((0.0..=1.0).contains(&lg_impact));
+    assert!(nn_impact > 0.2, "white-box impact should be substantial: {nn_impact}");
+    assert!(batch.mean_generation_us > 0.0, "complexity must be measured");
+}
+
+#[test]
+fn targeted_flipping_inflates_the_target_class() {
+    let (train, test) = scaled_splits();
+    let video = 2;
+    let poisoned = targeted_label_flip(&train, 0.3, None, video, 7);
+
+    let mut clean_model =
+        Gbdt::with_config(GbdtConfig { n_rounds: 25, ..GbdtConfig::xgboost_like() });
+    clean_model.fit(&train).unwrap();
+    let mut bad_model =
+        Gbdt::with_config(GbdtConfig { n_rounds: 25, ..GbdtConfig::xgboost_like() });
+    bad_model.fit(&poisoned.dataset).unwrap();
+
+    let clean_eval = metrics::evaluate(
+        &clean_model.predict_batch(&test.features),
+        &test.labels,
+        test.n_classes(),
+    );
+    let bad_eval = metrics::evaluate(
+        &bad_model.predict_batch(&test.features),
+        &test.labels,
+        test.n_classes(),
+    );
+    let impact = poisoning_impact(&clean_eval, &bad_eval, DriftMetric::Accuracy);
+    assert!(impact > 0.05, "30% targeted flipping must dent accuracy: impact {impact}");
+
+    // The poisoned model over-predicts the target class.
+    let clean_video =
+        clean_model.predict_batch(&test.features).iter().filter(|&&p| p == video).count();
+    let bad_video =
+        bad_model.predict_batch(&test.features).iter().filter(|&&p| p == video).count();
+    assert!(
+        bad_video > clean_video,
+        "targeted flipping should inflate 'Video' predictions: {clean_video} -> {bad_video}"
+    );
+}
+
+#[test]
+fn class_balance_sensor_sees_targeted_flips_but_not_swaps() {
+    use spatial::attacks::swap::random_swap_labels;
+    use spatial::core::sensor::{AiSensor, ClassBalanceSensor, SensorContext};
+    let (train, test) = scaled_splits();
+    let mut model = quick_nn();
+    model.fit(&train).unwrap();
+
+    let flipped = targeted_label_flip(&train, 0.3, None, 2, 9).dataset;
+    let swapped = random_swap_labels(&train, 0.3, 9).dataset;
+
+    let ctx_flip = SensorContext { model: &model, train: &flipped, test: &test };
+    let ctx_swap = SensorContext { model: &model, train: &swapped, test: &test };
+    let sensor = ClassBalanceSensor;
+    let div_flip = sensor.measure(&ctx_flip).unwrap();
+    let div_swap = sensor.measure(&ctx_swap).unwrap();
+    assert!(
+        div_flip > div_swap + 0.1,
+        "targeted flips shift the histogram, swaps preserve it: {div_flip} vs {div_swap}"
+    );
+}

@@ -1,0 +1,77 @@
+//! Integration: the extension sensors (privacy, fairness, resilience) and adaptive
+//! weights in one monitored deployment — full property coverage end-to-end.
+
+use spatial::core::adapt::{AdaptConfig, WeightAdapter};
+use spatial::core::monitor::Monitor;
+use spatial::core::property::TrustProperty;
+use spatial::core::registry::SensorRegistry;
+use spatial::core::sensor::SensorContext;
+use spatial::core::trust::{aggregate, TrustWeights};
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::ml::forest::RandomForest;
+use spatial::ml::Model;
+
+#[test]
+fn extended_registry_quantifies_every_property_on_a_real_deployment() {
+    let raw = binarize_falls(&generate(&UnimibConfig {
+        samples: 500,
+        ..UnimibConfig::default()
+    }));
+    let (train, test) = raw.split(0.8, 3);
+    let mut model = RandomForest::with_trees(15);
+    model.fit(&train).unwrap();
+
+    let mut monitor = Monitor::new(SensorRegistry::extended(1, 0));
+    let ctx = SensorContext { model: &model, train: &train, test: &test };
+    let (readings, alerts, failures) = monitor.observe(&ctx);
+    assert!(failures.is_empty(), "all sensors must measure: {failures:?}");
+    assert!(alerts.is_empty(), "first round is the baseline");
+
+    // Every property has at least one reading, and all readings are finite.
+    for p in TrustProperty::ALL {
+        assert!(
+            readings.iter().any(|r| r.property == p),
+            "property {p} unquantified"
+        );
+    }
+    assert!(readings.iter().all(|r| r.value.is_finite()));
+
+    let trust = aggregate(&readings, &TrustWeights::default());
+    assert!(trust.overall > 0.5, "healthy deployment: {}", trust.overall);
+    assert_eq!(trust.per_property.len(), TrustProperty::ALL.len());
+}
+
+#[test]
+fn adaptive_weights_follow_alerts_through_the_monitor() {
+    let raw = binarize_falls(&generate(&UnimibConfig {
+        samples: 400,
+        ..UnimibConfig::default()
+    }));
+    let (train, test) = raw.split(0.8, 5);
+    let registry = SensorRegistry::standard(1);
+    let mut monitor = Monitor::new(SensorRegistry::standard(1));
+    let mut adapter = WeightAdapter::new(TrustWeights::default(), AdaptConfig::default());
+
+    // Baseline round with a good model.
+    let mut good = RandomForest::with_trees(15);
+    good.fit(&train).unwrap();
+    let ctx = SensorContext { model: &good, train: &train, test: &test };
+    let (_, alerts, _) = monitor.observe(&ctx);
+    adapter.observe_round(&alerts, &registry);
+    let before = adapter.multiplier(TrustProperty::Performance);
+
+    // Degraded round: heavy poisoning drives performance alerts.
+    let poisoned =
+        spatial::attacks::label_flip::random_label_flip(&train, 0.45, 11).dataset;
+    let mut bad = RandomForest::with_trees(15);
+    bad.fit(&poisoned).unwrap();
+    let ctx2 = SensorContext { model: &bad, train: &poisoned, test: &test };
+    let (_, alerts, _) = monitor.observe(&ctx2);
+    assert!(!alerts.is_empty(), "heavy poisoning must alert");
+    let weights = adapter.observe_round(&alerts, &registry);
+    assert!(
+        adapter.multiplier(TrustProperty::Performance) > before,
+        "alerting property must gain attention"
+    );
+    assert!(weights.get(TrustProperty::Performance) > 1.0);
+}

@@ -1,0 +1,122 @@
+//! Integration: the human-oversight loop — monitoring, trust scoring, dashboard
+//! rendering and the audit trail, spanning core, dashboard and telemetry.
+
+use spatial::attacks::label_flip::random_label_flip;
+use spatial::core::audit::{AuditEvent, AuditTrail};
+use spatial::core::feedback::OperatorAction;
+use spatial::core::monitor::{AlertRule, Monitor};
+use spatial::core::pipeline::AugmentedPipeline;
+use spatial::core::registry::SensorRegistry;
+use spatial::core::sensor::SensorContext;
+use spatial::core::trust::{aggregate, TrustWeights};
+use spatial::dashboard::export::{snapshot, Snapshot};
+use spatial::dashboard::render::{render_dashboard, DashboardView};
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::ml::tree::DecisionTree;
+use spatial::ml::Model;
+
+fn raw() -> spatial::data::Dataset {
+    binarize_falls(&generate(&UnimibConfig { samples: 600, ..UnimibConfig::default() }))
+}
+
+#[test]
+fn augmented_pipeline_to_dashboard_to_audit() {
+    let mut deployment = AugmentedPipeline::new(
+        Box::new(DecisionTree::new()),
+        SensorRegistry::standard(1),
+    )
+    .run(&raw(), 0.8, 1)
+    .unwrap();
+
+    let mut audit = AuditTrail::new();
+    audit.record(AuditEvent::Deployment {
+        tick: 0,
+        model: deployment.deployed.model.name().to_string(),
+        accuracy: deployment.deployed.evaluation.accuracy,
+    });
+
+    let (readings, alerts) = deployment.observe();
+    audit.record_round(&readings, &alerts);
+    let trust = aggregate(&readings, &TrustWeights::default());
+    assert!(trust.overall > 0.5, "healthy deployment should score well: {}", trust.overall);
+
+    // Dashboard renders every registered sensor's series.
+    let view = DashboardView {
+        title: "oversight-loop",
+        model_name: deployment.deployed.model.name(),
+        monitor: &deployment.monitor,
+        trust: &trust,
+        alerts: &alerts,
+    };
+    let screen = render_dashboard(&view);
+    for sensor in ["accuracy", "shap-dissimilarity", "noise-robustness"] {
+        assert!(screen.contains(sensor), "dashboard must show {sensor}");
+    }
+
+    // Snapshot round-trips for the auditor.
+    let snap = snapshot("oversight-loop", "decision-tree", &deployment.monitor, &trust, &alerts);
+    let restored = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(restored.rounds, deployment.monitor.rounds());
+    assert_eq!(restored.series.len(), 8); // the standard registry now ships 8 sensors
+
+    // Audit trail captured the deployment + the round.
+    assert!(audit.len() > readings.len());
+    let json = audit.to_json();
+    assert!(json.contains("Deployment"));
+    assert_eq!(AuditTrail::from_json(&json).unwrap(), audit);
+}
+
+#[test]
+fn operator_rule_change_makes_monitor_stricter() {
+    let ds = raw();
+    let (train, test) = ds.split(0.8, 2);
+    let mut monitor = Monitor::new(SensorRegistry::standard(1));
+
+    // Default rule: 10% degradation tolerated. Baseline round first.
+    let mut model = DecisionTree::new();
+    model.fit(&train).unwrap();
+    let ctx = SensorContext { model: &model, train: &train, test: &test };
+    monitor.observe(&ctx);
+
+    // Mildly poisoned round that degrades accuracy a little.
+    let poisoned = random_label_flip(&train, 0.12, 3);
+    let mut degraded = DecisionTree::new();
+    degraded.fit(&poisoned.dataset).unwrap();
+    let ctx2 = SensorContext { model: &degraded, train: &poisoned.dataset, test: &test };
+    let (readings, default_alerts, _) = monitor.observe(&ctx2);
+    let acc_drop = {
+        let baseline = monitor.series("accuracy").unwrap().baseline().unwrap().value;
+        baseline - readings.iter().find(|r| r.sensor == "accuracy").unwrap().value
+    };
+
+    // The operator tightens the rule below the observed drop and the same reading
+    // pattern now alerts (simulate with an action + a fresh observation).
+    let mut audit = AuditTrail::new();
+    audit.record(AuditEvent::Action {
+        tick: monitor.rounds(),
+        operator: "sre".into(),
+        action: OperatorAction::AdjustAlertRule {
+            sensor: "accuracy".into(),
+            max_degradation: (acc_drop / 2.0).max(1e-6),
+        },
+    });
+    monitor.set_rule(
+        "accuracy",
+        AlertRule {
+            max_degradation: Some((acc_drop / 2.0).max(1e-6)),
+            absolute_bound: None,
+        },
+    );
+    let (_, strict_alerts, _) = monitor.observe(&ctx2);
+    let strict_accuracy_alerts =
+        strict_alerts.iter().filter(|a| a.sensor == "accuracy").count();
+    let default_accuracy_alerts =
+        default_alerts.iter().filter(|a| a.sensor == "accuracy").count();
+    assert!(
+        strict_accuracy_alerts >= default_accuracy_alerts,
+        "a stricter rule can only add alerts"
+    );
+    if acc_drop > 1e-6 {
+        assert!(strict_accuracy_alerts > 0, "drop {acc_drop} should now alert");
+    }
+}
