@@ -1,0 +1,115 @@
+//! Chaos soak: the SHAP service replicated three times behind the resilient
+//! gateway, with ~10% of requests faulted at the wire (latency, 5xx, drops,
+//! corruption), must keep availability ≥ 99%.
+//!
+//! The paper's deployment claims (§V) rest on the gateway "ensuring that each
+//! micro-service receives the necessary input … and returns the appropriate
+//! response" even as individual replicas misbehave; this binary measures that
+//! directly. Fault injection is seeded, so a run is reproducible:
+//!
+//! ```sh
+//! cargo run -p spatial-bench --release --bin chaos_soak -- --seed 42 --threads 20
+//! ```
+
+use spatial_bench::{arg_or_env, banner, uc2_splits};
+use spatial_gateway::breaker::CircuitConfig;
+use spatial_gateway::chaos::{ChaosProxy, FaultPlan};
+use spatial_gateway::gateway::{GatewayConfig, HealthCheckConfig, IDEMPOTENT_HEADER};
+use spatial_gateway::loadgen::{run, ThreadGroup};
+use spatial_gateway::retry::RetryPolicy;
+use spatial_gateway::services::ShapService;
+use spatial_gateway::wire::{to_json, ExplainRequest};
+use spatial_gateway::{ApiGateway, ServiceHost};
+use spatial_linalg::rng::derive_seed;
+use spatial_ml::mlp::MlpClassifier;
+use spatial_ml::Model;
+use spatial_xai::shap::ShapConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "Chaos soak — 3 SHAP replicas, ~10% wire faults, resilient gateway",
+        "availability >= 99% while replicas are actively failing",
+    );
+    let threads = arg_or_env("--threads", "SPATIAL_THREADS").unwrap_or(20);
+    let seed = arg_or_env("--seed", "SPATIAL_SEED").map(|v| v as u64).unwrap_or(42);
+    let fault_pct = arg_or_env("--fault-pct", "SPATIAL_FAULT_PCT").unwrap_or(10);
+    let fault_rate = fault_pct as f64 / 100.0;
+
+    let (train, test) = uc2_splits(382, 42);
+    let mut nn = MlpClassifier::new().named("nn");
+    nn.fit(&train).expect("training succeeds");
+    let nn: Arc<dyn Model> = Arc::new(nn);
+
+    let gateway = ApiGateway::spawn_with_config(GatewayConfig {
+        upstream_timeout: Duration::from_secs(30),
+        circuit: CircuitConfig { failure_threshold: 10, cooldown: Duration::from_millis(500) },
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+            budget: 256,
+            budget_refill_per_sec: 32.0,
+        },
+        health: Some(HealthCheckConfig::default()),
+    })
+    .expect("gateway spawns");
+
+    let mut hosts = Vec::new();
+    let mut proxies = Vec::new();
+    for k in 0..3u64 {
+        let host = ServiceHost::spawn(
+            Arc::new(ShapService::new(
+                Arc::clone(&nn),
+                train.features.clone(),
+                train.feature_names.clone(),
+                ShapConfig { n_coalitions: 128, background_limit: 10, ..ShapConfig::default() },
+                4,
+            )),
+            4096,
+        )
+        .expect("shap replica spawns");
+        let plan =
+            FaultPlan::uniform(derive_seed(seed, k), fault_rate, Duration::from_millis(25));
+        let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(30))
+            .expect("chaos proxy spawns");
+        gateway.register("shap", proxy.addr());
+        hosts.push(host);
+        proxies.push(proxy);
+    }
+
+    let body = to_json(&ExplainRequest { features: test.features.row(0).to_vec(), class: 0 });
+    println!(
+        "\n--- {threads} threads x 10 requests, seed {seed}, {fault_pct}% wire faults ---"
+    );
+    let result = run(
+        gateway.addr(),
+        "POST",
+        "/shap/explain",
+        &body,
+        &ThreadGroup {
+            threads,
+            requests_per_thread: 10,
+            ramp_up: Duration::from_secs(1),
+            timeout: Duration::from_secs(60),
+            headers: vec![(IDEMPOTENT_HEADER.to_string(), "1".to_string())],
+        },
+    );
+
+    let mut report = gateway.resilience_report();
+    report.faults_injected = proxies.iter().map(|p| p.fault_counts().total()).sum();
+    println!("{}", result.summary);
+    println!("resilience: {report}");
+    for (k, p) in proxies.iter().enumerate() {
+        println!("replica {k}: {} over {} requests", p.fault_counts(), p.requests_seen());
+    }
+    let availability = 1.0 - result.summary.error_rate();
+    println!(
+        "\navailability: {:.2}% ({} errors of {}) — target >= 99%",
+        availability * 100.0,
+        result.summary.errors,
+        result.summary.samples
+    );
+}

@@ -63,6 +63,7 @@ fn main() {
             requests_per_thread: 3,
             ramp_up: Duration::from_secs(1),
             timeout: Duration::from_secs(120),
+            headers: Vec::new(),
         },
     );
     println!("{}", result.summary);

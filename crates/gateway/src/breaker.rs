@@ -1,0 +1,273 @@
+//! Three-state circuit breaker: closed → open → half-open.
+//!
+//! The seed gateway's breaker had only two states — after the cooldown *every*
+//! queued caller flooded through to the possibly-still-sick upstream at once. This
+//! breaker admits exactly **one** probe request in the half-open state; the probe's
+//! outcome decides whether the circuit closes (upstream recovered) or re-opens for
+//! another full cooldown (still sick). This is the standard pattern production
+//! gateways (Envoy, Hystrix, Kong's own plugins) use to avoid recovery stampedes.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker policy applied per upstream replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitConfig {
+    /// Consecutive transport failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rejects traffic before a half-open probe is allowed.
+    pub cooldown: Duration,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, cooldown: Duration::from_secs(5) }
+    }
+}
+
+/// Breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Normal operation; counts consecutive failures.
+    Closed { failures: u32 },
+    /// Rejecting traffic until the cooldown deadline.
+    Open { until: Instant },
+    /// Cooldown elapsed; at most one probe request is in flight.
+    HalfOpen { probe_in_flight: bool },
+}
+
+/// What the breaker tells a caller who wants to send a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Circuit closed — send normally.
+    Admit,
+    /// Circuit half-open — this caller carries the single recovery probe.
+    Probe,
+    /// Circuit open (or a probe is already in flight) — fail fast.
+    Reject,
+}
+
+/// State transition reported back for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// The circuit tripped open (threshold reached, or a probe failed).
+    Opened,
+    /// The circuit closed (a request — usually the probe — succeeded).
+    Closed,
+}
+
+/// A per-upstream three-state circuit breaker. All methods are thread-safe.
+#[derive(Debug)]
+pub struct Breaker {
+    config: CircuitConfig,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// Creates a closed breaker with the given policy.
+    pub fn new(config: CircuitConfig) -> Self {
+        Self { config, state: Mutex::new(State::Closed { failures: 0 }) }
+    }
+
+    /// Asks to send one request at time `now`.
+    ///
+    /// In the half-open state exactly one caller receives [`Admission::Probe`];
+    /// everyone else is rejected until that probe's outcome is reported via
+    /// [`Breaker::on_success`] or [`Breaker::on_failure`].
+    pub fn try_acquire(&self, now: Instant) -> Admission {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { .. } => Admission::Admit,
+            State::Open { until } => {
+                if now >= until {
+                    *state = State::HalfOpen { probe_in_flight: true };
+                    Admission::Probe
+                } else {
+                    Admission::Reject
+                }
+            }
+            State::HalfOpen { probe_in_flight } => {
+                if probe_in_flight {
+                    Admission::Reject
+                } else {
+                    *state = State::HalfOpen { probe_in_flight: true };
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Reports a successful request: the circuit closes from any state.
+    pub fn on_success(&self) -> Transition {
+        let mut state = self.state.lock();
+        let was_closed = matches!(*state, State::Closed { .. });
+        *state = State::Closed { failures: 0 };
+        if was_closed {
+            Transition::None
+        } else {
+            Transition::Closed
+        }
+    }
+
+    /// Reports a failed request at time `now`.
+    ///
+    /// A failed half-open probe re-opens the circuit for another cooldown; in the
+    /// closed state failures accumulate until the threshold trips the breaker.
+    pub fn on_failure(&self, now: Instant) -> Transition {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open { until: now + self.config.cooldown };
+                    Transition::Opened
+                } else {
+                    *state = State::Closed { failures };
+                    Transition::None
+                }
+            }
+            State::HalfOpen { .. } => {
+                *state = State::Open { until: now + self.config.cooldown };
+                Transition::Opened
+            }
+            // Already open (e.g. a stale in-flight request failed): keep the
+            // existing deadline so late failures can't extend the cooldown forever.
+            State::Open { .. } => Transition::None,
+        }
+    }
+
+    /// Whether the breaker currently rejects ordinary (non-probe) traffic.
+    pub fn is_open(&self, now: Instant) -> bool {
+        match *self.state.lock() {
+            State::Closed { .. } => false,
+            State::Open { until } => now < until,
+            State::HalfOpen { .. } => true,
+        }
+    }
+
+    /// Human-readable state name for diagnostics.
+    pub fn state_name(&self) -> &'static str {
+        match *self.state.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> Breaker {
+        Breaker::new(CircuitConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn closed_admits_and_opens_at_threshold() {
+        let b = breaker(3, 1000);
+        let t = Instant::now();
+        assert_eq!(b.try_acquire(t), Admission::Admit);
+        assert_eq!(b.on_failure(t), Transition::None);
+        assert_eq!(b.on_failure(t), Transition::None);
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.on_failure(t), Transition::Opened);
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.try_acquire(t), Admission::Reject);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let b = breaker(2, 1000);
+        let t = Instant::now();
+        assert_eq!(b.on_failure(t), Transition::None);
+        assert_eq!(b.on_success(), Transition::None); // stayed closed
+        assert_eq!(b.on_failure(t), Transition::None); // count restarted at 0
+        assert_eq!(b.on_failure(t), Transition::Opened);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_after_cooldown() {
+        let b = breaker(1, 50);
+        let t0 = Instant::now();
+        assert_eq!(b.on_failure(t0), Transition::Opened);
+        // Still cooling down: rejected.
+        assert_eq!(b.try_acquire(t0 + Duration::from_millis(10)), Admission::Reject);
+        // Cooldown over: the first caller gets the probe...
+        let t1 = t0 + Duration::from_millis(60);
+        assert_eq!(b.try_acquire(t1), Admission::Probe);
+        assert_eq!(b.state_name(), "half-open");
+        // ...and every other concurrent caller is rejected while it is in flight.
+        for _ in 0..8 {
+            assert_eq!(b.try_acquire(t1), Admission::Reject);
+        }
+    }
+
+    #[test]
+    fn probe_success_closes_the_circuit() {
+        let b = breaker(1, 10);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(b.try_acquire(t1), Admission::Probe);
+        assert_eq!(b.on_success(), Transition::Closed);
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.try_acquire(t1), Admission::Admit);
+    }
+
+    #[test]
+    fn probe_failure_reopens_for_another_cooldown() {
+        let b = breaker(1, 50);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        let t1 = t0 + Duration::from_millis(60);
+        assert_eq!(b.try_acquire(t1), Admission::Probe);
+        assert_eq!(b.on_failure(t1), Transition::Opened);
+        // Immediately after the failed probe the circuit is open again...
+        assert_eq!(b.try_acquire(t1 + Duration::from_millis(10)), Admission::Reject);
+        // ...until a fresh cooldown elapses, which admits exactly one new probe.
+        let t2 = t1 + Duration::from_millis(60);
+        assert_eq!(b.try_acquire(t2), Admission::Probe);
+        assert_eq!(b.try_acquire(t2), Admission::Reject);
+    }
+
+    #[test]
+    fn late_failure_while_open_keeps_the_deadline() {
+        let b = breaker(1, 50);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        // A stale request failing mid-cooldown must not extend the cooldown.
+        assert_eq!(b.on_failure(t0 + Duration::from_millis(40)), Transition::None);
+        assert_eq!(b.try_acquire(t0 + Duration::from_millis(55)), Admission::Probe);
+    }
+
+    #[test]
+    fn concurrent_acquires_grant_a_single_probe() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let b = Arc::new(breaker(1, 0));
+        b.on_failure(Instant::now());
+        std::thread::sleep(Duration::from_millis(5)); // cooldown of 0 has elapsed
+        let probes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let probes = Arc::clone(&probes);
+                std::thread::spawn(move || {
+                    if b.try_acquire(Instant::now()) == Admission::Probe {
+                        probes.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(probes.load(Ordering::SeqCst), 1, "exactly one probe may fly");
+    }
+}

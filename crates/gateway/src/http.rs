@@ -9,12 +9,18 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum accepted body size (16 MiB) — a hygiene bound against runaway peers.
 const MAX_BODY: usize = 16 << 20;
+
+/// Maximum accepted bytes for the request/status line plus all headers (32 KiB).
+/// Without this bound a misbehaving peer could stream an endless header section and
+/// grow memory without limit despite [`MAX_BODY`].
+const MAX_HEAD: usize = 32 << 10;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,14 +67,17 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Status",
         }
     }
 
-    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+    pub(crate) fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
             "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
@@ -89,6 +98,9 @@ pub enum HttpError {
     Io(std::io::Error),
     /// The peer sent something that isn't HTTP/1.1 as we speak it.
     Malformed(String),
+    /// The peer's head section (request line + headers) exceeded [`MAX_HEAD`];
+    /// servers answer this with `431 Request Header Fields Too Large`.
+    TooLarge(String),
 }
 
 impl std::fmt::Display for HttpError {
@@ -96,6 +108,7 @@ impl std::fmt::Display for HttpError {
         match self {
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Malformed(what) => write!(f, "malformed http: {what}"),
+            Self::TooLarge(what) => write!(f, "oversized http head: {what}"),
         }
     }
 }
@@ -108,11 +121,31 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// Reads one `\n`-terminated line, charging its bytes against `budget`.
+///
+/// The returned line keeps its terminator (like [`BufRead::read_line`]); callers
+/// trim. Exceeding the budget is a [`HttpError::TooLarge`].
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    // +1 so we can tell "exactly at budget" from "over budget".
+    reader.take(*budget as u64 + 1).read_until(b'\n', &mut buf)?;
+    if buf.len() > *budget {
+        return Err(HttpError::TooLarge(format!(
+            "head exceeds the {MAX_HEAD}-byte limit"
+        )));
+    }
+    *budget -= buf.len();
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-utf8 head line".into()))
+}
+
 /// Reads one request from a stream.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let mut budget = MAX_HEAD;
+    let line = read_line_bounded(&mut reader, &mut budget)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -125,8 +158,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 
     let mut headers = HashMap::new();
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        let header = read_line_bounded(&mut reader, &mut budget)?;
         let trimmed = header.trim_end();
         if trimmed.is_empty() {
             break;
@@ -154,8 +186,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 /// Reads one response from a stream (client side).
 pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let mut budget = MAX_HEAD;
+    let line = read_line_bounded(&mut reader, &mut budget)?;
     let status: u16 = line
         .split_whitespace()
         .nth(1)
@@ -164,8 +196,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     let mut content_type = "text/plain".to_string();
     let mut len = 0usize;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        let header = read_line_bounded(&mut reader, &mut budget)?;
         let trimmed = header.trim_end();
         if trimmed.is_empty() {
             break;
@@ -201,14 +232,35 @@ pub fn request(
     body: &[u8],
     timeout: Duration,
 ) -> Result<Response, HttpError> {
+    request_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// Like [`request`], with extra headers (e.g. `x-spatial-deadline-ms`) on the wire.
+///
+/// Header names should be lowercase; values must not contain CR/LF.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(String, String)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, HttpError> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nhost: spatial\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: spatial\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
-    )?;
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
     read_response(&mut stream)
@@ -233,7 +285,21 @@ impl HttpServer {
     pub fn spawn(
         handler: impl Fn(Request) -> Response + Send + Sync + 'static,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::spawn_on("127.0.0.1:0".parse().expect("loopback addr parses"), handler)
+    }
+
+    /// Like [`HttpServer::spawn`] but binds an explicit address — used to bring a
+    /// replica back on the port it previously served (health-checker restore tests,
+    /// rolling restarts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn_on(
+        bind: SocketAddr,
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         // Poll with a timeout so shutdown is prompt without a wake-up connection.
         listener.set_nonblocking(true)?;
@@ -250,7 +316,22 @@ impl HttpServer {
                             std::thread::spawn(move || {
                                 let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
                                 let response = match read_request(&mut conn) {
-                                    Ok(req) => handler(req),
+                                    // A handler panic must not kill the connection
+                                    // before a response is written — the client would
+                                    // hang until its read timeout. Catch it and
+                                    // answer 500.
+                                    Ok(req) => {
+                                        match catch_unwind(AssertUnwindSafe(|| handler(req))) {
+                                            Ok(resp) => resp,
+                                            Err(_) => Response::text(
+                                                500,
+                                                "handler panicked".to_string(),
+                                            ),
+                                        }
+                                    }
+                                    Err(e @ HttpError::TooLarge(_)) => {
+                                        Response::text(431, format!("bad request: {e}"))
+                                    }
                                     Err(e) => Response::text(400, format!("bad request: {e}")),
                                 };
                                 let _ = response.write_to(&mut conn);
@@ -341,6 +422,25 @@ mod tests {
     }
 
     #[test]
+    fn custom_headers_reach_the_handler() {
+        let server = HttpServer::spawn(|req| {
+            let v = req.headers.get("x-spatial-deadline-ms").cloned().unwrap_or_default();
+            Response::text(200, v)
+        })
+        .unwrap();
+        let resp = request_with_headers(
+            server.addr(),
+            "GET",
+            "/any",
+            &[("x-spatial-deadline-ms".into(), "250".into())],
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.body, b"250");
+    }
+
+    #[test]
     fn concurrent_requests_are_served() {
         let server = echo_server();
         let addr = server.addr();
@@ -369,11 +469,14 @@ mod tests {
     fn shutdown_stops_accepting() {
         let mut server = echo_server();
         let addr = server.addr();
+        // Before shutdown the server answers.
+        let before = request(addr, "GET", "/echo", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(before.status, 200);
         server.shutdown();
-        // After shutdown the connection may be refused or the read may fail; either
-        // way no successful response arrives.
+        // After shutdown the listener is closed, so the connection must be refused
+        // (or, at worst, reset mid-request): no successful response can arrive.
         let result = request(addr, "GET", "/echo", b"", Duration::from_millis(300));
-        assert!(result.is_err() || result.is_ok_and(|r| r.status != 200) || true);
+        assert!(result.is_err(), "post-shutdown request must fail, got {result:?}");
     }
 
     #[test]
@@ -383,5 +486,59 @@ mod tests {
         let resp =
             request(server.addr(), "POST", "/echo", &body, Duration::from_secs(10)).unwrap();
         assert_eq!(resp.body.len(), body.len());
+    }
+
+    #[test]
+    fn handler_panic_answers_500_instead_of_hanging() {
+        let server = HttpServer::spawn(|req| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::json(req.body)
+        })
+        .unwrap();
+        let resp =
+            request(server.addr(), "GET", "/boom", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 500);
+        // The server survives and keeps answering.
+        let ok = request(server.addr(), "POST", "/ok", b"x", Duration::from_secs(5)).unwrap();
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_with_431() {
+        let server = echo_server();
+        // Hand-roll a request whose single header exceeds the 32 KiB head budget.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let huge = "x".repeat(MAX_HEAD + 1024);
+        write!(stream, "GET /echo HTTP/1.1\r\nx-bloat: {huge}\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 431);
+    }
+
+    #[test]
+    fn unterminated_head_cannot_grow_memory() {
+        // A peer that streams header bytes forever (no blank line) is cut off at the
+        // head budget instead of ballooning the server's buffer. The client here
+        // sends just over the budget and the server must answer 431.
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(stream, "GET /echo HTTP/1.1\r\n").unwrap();
+        let chunk = format!("x-h: {}\r\n", "y".repeat(1000));
+        for _ in 0..(MAX_HEAD / chunk.len() + 2) {
+            if stream.write_all(chunk.as_bytes()).is_err() {
+                break; // server already slammed the door — that's fine too
+            }
+        }
+        let resp = read_response(&mut stream);
+        match resp {
+            Ok(r) => assert_eq!(r.status, 431),
+            // The server may have closed the connection after rejecting.
+            Err(HttpError::Io(_)) | Err(HttpError::Malformed(_)) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
 }

@@ -12,18 +12,30 @@
 //! - [`services`] — the five paper services: SHAP, LIME (tabular + image), occlusion
 //!   sensitivity, impact-resilience, and the AI-pipeline service.
 //! - [`gateway`] — the Kong substitute: prefix routing, health checks, per-route
-//!   metrics, round-robin upstreams.
+//!   metrics, round-robin upstreams, and the resilience policies (retries with a
+//!   retry budget, deadline propagation, eviction of failing replicas).
+//! - [`breaker`] — the per-replica three-state circuit breaker (closed/open/half-open
+//!   with single-probe recovery).
+//! - [`retry`] — retry/backoff policy and the token-bucket retry budget.
+//! - [`chaos`] — deterministic fault injection ([`chaos::ChaosProxy`],
+//!   [`chaos::ChaosService`]) for resilience testing.
 //! - [`loadgen`] — the JMeter substitute: thread groups with ramp-up and the
 //!   summary/response-time listeners.
 //! - [`wire`] — the JSON request/response bodies services exchange.
 
+pub mod breaker;
+pub mod chaos;
 pub mod gateway;
 pub mod http;
 pub mod loadgen;
+pub mod retry;
 pub mod service;
 pub mod services;
 pub mod wire;
 pub mod worker;
 
-pub use gateway::ApiGateway;
-pub use service::{Microservice, ServiceHost};
+pub use breaker::{Admission, Breaker, CircuitConfig};
+pub use chaos::{ChaosProxy, ChaosService, Fault, FaultCounts, FaultPlan};
+pub use gateway::{ApiGateway, GatewayConfig, HealthCheckConfig};
+pub use retry::RetryPolicy;
+pub use service::{Microservice, ServiceError, ServiceHost};

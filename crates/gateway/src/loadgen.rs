@@ -25,6 +25,9 @@ pub struct ThreadGroup {
     pub ramp_up: Duration,
     /// Per-request timeout.
     pub timeout: Duration,
+    /// Extra headers sent with every request — JMeter's "HTTP Header Manager". Used
+    /// to set `x-spatial-deadline-ms` / `x-spatial-idempotent` in resilience runs.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Default for ThreadGroup {
@@ -34,6 +37,7 @@ impl Default for ThreadGroup {
             requests_per_thread: 5,
             ramp_up: Duration::from_secs(1),
             timeout: Duration::from_secs(60),
+            headers: Vec::new(),
         }
     }
 }
@@ -104,12 +108,14 @@ pub fn run(
             let delay = group.ramp_up.mul_f64(i as f64 / group.threads as f64);
             let timeout = group.timeout;
             let requests = group.requests_per_thread;
+            let headers = group.headers.clone();
             std::thread::spawn(move || {
                 std::thread::sleep(delay);
                 active.fetch_add(1, Ordering::SeqCst);
                 for _ in 0..requests {
                     let t0 = Instant::now();
-                    let result = http::request(addr, &method, &path, &body, timeout);
+                    let result =
+                        http::request_with_headers(addr, &method, &path, &headers, &body, timeout);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     let ok = matches!(&result, Ok(r) if r.status < 500);
                     recorder.mark(started.elapsed().as_nanos() as u64);
@@ -165,6 +171,7 @@ mod tests {
                 requests_per_thread: 3,
                 ramp_up: Duration::from_millis(50),
                 timeout: Duration::from_secs(5),
+                headers: Vec::new(),
             },
         );
         assert_eq!(result.summary.samples, 12);
@@ -187,6 +194,7 @@ mod tests {
                 requests_per_thread: 2,
                 ramp_up: Duration::from_millis(80),
                 timeout: Duration::from_secs(5),
+                headers: Vec::new(),
             },
         );
         let max_active = result.samples.iter().map(|s| s.active_threads).max().unwrap();
@@ -208,6 +216,7 @@ mod tests {
                 requests_per_thread: 2,
                 ramp_up: Duration::ZERO,
                 timeout: Duration::from_millis(200),
+                headers: Vec::new(),
             },
         );
         assert_eq!(result.summary.samples, 4);

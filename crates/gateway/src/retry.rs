@@ -1,0 +1,201 @@
+//! Retry policy with exponential backoff, jitter, and a global retry budget.
+//!
+//! Retries amplify load: a sick upstream that fails every request can turn N client
+//! requests into `N × max_attempts` upstream requests — the classic retry storm that
+//! takes down the replicas that were still healthy. The budget here is a token
+//! bucket shared across the whole gateway: every retry (not first attempts) spends a
+//! token, and when the bucket is empty the gateway returns the original failure
+//! instead of retrying. This caps the amplification factor no matter how many
+//! callers are failing at once.
+
+use parking_lot::Mutex;
+use spatial_linalg::rng::derive_seed;
+use std::time::{Duration, Instant};
+
+/// Retry policy applied by the gateway's forward path to idempotent requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Fraction of each backoff randomized, in `[0, 1]`: the sleep is drawn
+    /// uniformly from `[b·(1−j/2), b·(1+j/2)]` so synchronized failures don't
+    /// retry in lockstep.
+    pub jitter: f64,
+    /// Token-bucket capacity of the gateway-wide retry budget.
+    pub budget: u32,
+    /// Budget tokens restored per second (0 = fixed budget, useful for tests).
+    pub budget_refill_per_sec: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+            jitter: 0.5,
+            budget: 64,
+            budget_refill_per_sec: 16.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the seed gateway's behaviour, and the default
+    /// for [`crate::ApiGateway::spawn`] so existing deployments are unchanged.
+    pub fn disabled() -> Self {
+        Self { max_attempts: 1, budget: 0, ..Self::default() }
+    }
+
+    /// Whether the policy can ever retry.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The jittered backoff before retry number `retry` (1-based). `salt` feeds the
+    /// deterministic jitter hash; pass a per-gateway counter value.
+    pub fn backoff_before_retry(&self, retry: u32, salt: u64) -> Duration {
+        let doublings = retry.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let j = self.jitter.clamp(0.0, 1.0);
+        // Uniform in [1 - j/2, 1 + j/2], from a counter-hash so no RNG state is
+        // shared across threads.
+        let u = unit_from_hash(derive_seed(0x5bd1_e995, salt));
+        exp.mul_f64(1.0 - j / 2.0 + j * u)
+    }
+}
+
+/// Maps a hash to the unit interval `[0, 1)`.
+pub(crate) fn unit_from_hash(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A thread-safe token bucket metering the gateway-wide retry budget.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    inner: Mutex<BucketInner>,
+}
+
+#[derive(Debug)]
+struct BucketInner {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket.
+    pub fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        Self {
+            capacity: capacity as f64,
+            refill_per_sec: refill_per_sec.max(0.0),
+            inner: Mutex::new(BucketInner {
+                tokens: capacity as f64,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// Takes one token if available; `false` means the budget is exhausted.
+    pub fn try_take(&self) -> bool {
+        let mut g = self.inner.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(g.last_refill).as_secs_f64();
+        g.last_refill = now;
+        g.tokens = (g.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if g.tokens >= 1.0 {
+            g.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (no refill applied; diagnostic only).
+    pub fn available(&self) -> f64 {
+        self.inner.lock().tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_retries_and_disabled_does_not() {
+        assert!(RetryPolicy::default().enabled());
+        assert!(!RetryPolicy::disabled().enabled());
+        assert_eq!(RetryPolicy::disabled().max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_is_capped() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_before_retry(1, 0), Duration::from_millis(10));
+        assert_eq!(p.backoff_before_retry(2, 0), Duration::from_millis(20));
+        // 40ms uncapped, capped to 35ms.
+        assert_eq!(p.backoff_before_retry(3, 0), Duration::from_millis(35));
+        assert_eq!(p.backoff_before_retry(30, 0), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_varies_by_salt() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for salt in 0..64 {
+            let b = p.backoff_before_retry(1, salt);
+            assert!(
+                b >= Duration::from_millis(75) && b <= Duration::from_millis(125),
+                "jittered backoff {b:?} outside [75ms, 125ms]"
+            );
+            distinct.insert(b.as_nanos());
+        }
+        assert!(distinct.len() > 16, "jitter should vary across salts");
+    }
+
+    #[test]
+    fn bucket_exhausts_without_refill() {
+        let b = TokenBucket::new(3, 0.0);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "fourth take must fail on a 3-token bucket");
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let b = TokenBucket::new(1, 100.0); // 1 token per 10ms
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.try_take(), "bucket should have refilled");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let b = TokenBucket::new(2, 1000.0);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "refill must cap at capacity");
+    }
+}

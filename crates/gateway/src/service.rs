@@ -88,6 +88,9 @@ impl ServiceHost {
                 Ok(Err(ServiceError::Internal(m))) => error_response(500, &m),
                 Err(SubmitError::Saturated) => error_response(503, "service saturated"),
                 Err(SubmitError::Closed) => error_response(503, "service shutting down"),
+                Err(SubmitError::Panicked(m)) => {
+                    error_response(500, &format!("handler panicked: {m}"))
+                }
             }
         })?;
         Ok(Self { name, server })
@@ -152,6 +155,7 @@ mod tests {
             match endpoint {
                 "/say" => Ok(body.to_vec()),
                 "/boom" => Err(ServiceError::Internal("kaput".into())),
+                "/panic" => panic!("handler bug"),
                 _ => Err(ServiceError::NotFound),
             }
         }
@@ -201,6 +205,23 @@ mod tests {
             request(addr, "POST", "/echo/say", b"2", Duration::from_secs(5)).unwrap();
         assert_eq!(second.status, 503);
         assert_eq!(busy.join().unwrap().status, 200);
+    }
+
+    #[test]
+    fn panicking_handler_is_500_and_pool_keeps_serving() {
+        // One vCPU: if the panic killed the worker thread, the follow-up requests
+        // would all time out or bounce with 503.
+        let host =
+            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
+        let boom =
+            request(host.addr(), "POST", "/echo/panic", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(boom.status, 500);
+        assert!(String::from_utf8_lossy(&boom.body).contains("panicked"));
+        for _ in 0..3 {
+            let ok = request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(ok.status, 200);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! queueing delay under concurrency is what produces the Fig. 8 response-time curves.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -20,6 +21,8 @@ pub enum SubmitError {
     Saturated,
     /// The pool has shut down.
     Closed,
+    /// The job panicked while running; the worker thread survived.
+    Panicked(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -27,7 +30,19 @@ impl std::fmt::Display for SubmitError {
         match self {
             Self::Saturated => write!(f, "worker pool saturated"),
             Self::Closed => write!(f, "worker pool closed"),
+            Self::Panicked(m) => write!(f, "worker job panicked: {m}"),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -57,7 +72,11 @@ impl WorkerPool {
                     .name(format!("{name}-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            // A panicking job must not unwind out of the loop: that
+                            // would permanently shrink the pool's capacity. Jobs
+                            // submitted through `execute` already catch panics to
+                            // report them; this guards raw `try_submit` jobs.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
                         }
                     })
                     .expect("spawn worker thread")
@@ -91,7 +110,8 @@ impl WorkerPool {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures.
+    /// Propagates submission failures; a panicking `f` surfaces as
+    /// [`SubmitError::Panicked`] while the worker thread stays alive.
     pub fn execute<T: Send + 'static>(
         &self,
         f: impl FnOnce() -> T + Send + 'static,
@@ -99,9 +119,13 @@ impl WorkerPool {
         let (tx, rx) = mpsc::channel();
         self.try_submit(move || {
             // The receiver can only be gone if the caller vanished; nothing to do.
-            let _ = tx.send(f());
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
         })?;
-        rx.recv().map_err(|_| SubmitError::Closed)
+        match rx.recv() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(payload)) => Err(SubmitError::Panicked(panic_message(payload.as_ref()))),
+            Err(_) => Err(SubmitError::Closed),
+        }
     }
 }
 
@@ -198,5 +222,26 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = WorkerPool::new("t", 0, 1);
+    }
+
+    #[test]
+    fn panicking_job_reports_and_pool_survives() {
+        // A single-worker pool makes thread death observable: if the panic killed
+        // the worker, every later job would hang or report Closed.
+        let pool = WorkerPool::new("t", 1, 8);
+        let err = pool.execute(|| -> u32 { panic!("job exploded") }).unwrap_err();
+        assert_eq!(err, SubmitError::Panicked("job exploded".into()));
+        // The same worker thread must still serve subsequent jobs.
+        for i in 0..4 {
+            assert_eq!(pool.execute(move || i * 2).unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn raw_submitted_panic_keeps_worker_alive() {
+        let pool = WorkerPool::new("t", 1, 8);
+        pool.try_submit(|| panic!("fire-and-forget panic")).unwrap();
+        // If the worker died, this execute would never complete.
+        assert_eq!(pool.execute(|| 7).unwrap(), 7);
     }
 }

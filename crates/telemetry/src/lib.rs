@@ -11,6 +11,8 @@
 //! - [`LatencyRecorder`] — concurrent response-time recorder for the load generator.
 //! - [`SummaryReport`] — the JMeter "Summary Report" equivalent (avg/min/max/percentile
 //!   response time, throughput, error rate).
+//! - [`ResilienceReport`] — cumulative gateway resilience events (retries, breaker
+//!   transitions, deadline sheds, evictions, injected faults).
 //! - [`clock`] — a virtual/real clock abstraction so simulations and tests are
 //!   deterministic.
 
@@ -24,5 +26,5 @@ pub mod timeseries;
 pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
 pub use latency::LatencyRecorder;
-pub use report::SummaryReport;
+pub use report::{ResilienceReport, SummaryReport};
 pub use timeseries::TimeSeries;

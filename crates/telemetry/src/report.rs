@@ -59,6 +59,50 @@ impl std::fmt::Display for SummaryReport {
     }
 }
 
+/// Resilience-event counters exported by the gateway (and merged with chaos-layer
+/// fault tallies in soak tests): how often the resilience machinery actually fired.
+///
+/// All fields are cumulative event counts since gateway start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Retry attempts issued (excludes first attempts).
+    pub retries: u64,
+    /// Retries suppressed because the gateway-wide retry budget was empty.
+    pub retry_budget_exhausted: u64,
+    /// Requests shed with 504 because their deadline budget ran out.
+    pub deadline_exceeded: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opened: u64,
+    /// Half-open probe requests admitted.
+    pub breaker_probes: u64,
+    /// Circuit-breaker transitions back to closed.
+    pub breaker_closed: u64,
+    /// Replicas evicted from rotation by the background health checker.
+    pub evictions: u64,
+    /// Evicted replicas restored to rotation.
+    pub restorations: u64,
+    /// Faults injected by a chaos layer, when one is attached (0 otherwise).
+    pub faults_injected: u64,
+}
+
+impl std::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retries={} budget_exhausted={} deadline_exceeded={} breaker(open={} probe={} close={}) evict={} restore={} faults={}",
+            self.retries,
+            self.retry_budget_exhausted,
+            self.deadline_exceeded,
+            self.breaker_opened,
+            self.breaker_probes,
+            self.breaker_closed,
+            self.evictions,
+            self.restorations,
+            self.faults_injected,
+        )
+    }
+}
+
 /// Renders a set of summary rows as an aligned text table with a header, the way
 /// JMeter's Summary Report listener presents them.
 pub fn render_table(rows: &[SummaryReport]) -> String {
@@ -117,6 +161,15 @@ mod tests {
         assert!(s.contains("shap"));
         assert!(s.contains("n=100"));
         assert!(s.contains("req/s"));
+    }
+
+    #[test]
+    fn resilience_report_displays_all_counters() {
+        let r = ResilienceReport { retries: 3, faults_injected: 7, ..Default::default() };
+        let s = r.to_string();
+        assert!(s.contains("retries=3"));
+        assert!(s.contains("faults=7"));
+        assert_eq!(ResilienceReport::default().retries, 0);
     }
 
     #[test]

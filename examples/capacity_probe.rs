@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 requests_per_thread: 10,
                 ramp_up: Duration::from_secs(1),
                 timeout: Duration::from_secs(30),
+                headers: Vec::new(),
             },
         );
         println!(

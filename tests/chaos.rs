@@ -1,0 +1,234 @@
+//! Integration: the resilience stack under chaos — a three-replica cluster behind the
+//! gateway with ~10% injected faults must keep serving, deterministically.
+
+use spatial::gateway::breaker::CircuitConfig;
+use spatial::gateway::chaos::{ChaosProxy, FaultPlan};
+use spatial::gateway::gateway::{
+    ApiGateway, GatewayConfig, HealthCheckConfig, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+};
+use spatial::gateway::http::{request, request_with_headers};
+use spatial::gateway::loadgen::{run, ThreadGroup};
+use spatial::gateway::retry::RetryPolicy;
+use spatial::gateway::{Microservice, ServiceError, ServiceHost};
+use spatial::linalg::rng::derive_seed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A tiny deterministic service: uppercases the body.
+struct Upper;
+
+impl Microservice for Upper {
+    fn name(&self) -> &str {
+        "upper"
+    }
+    fn vcpus(&self) -> usize {
+        2
+    }
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint == "/shout" {
+            Ok(String::from_utf8_lossy(body).to_uppercase().into_bytes())
+        } else {
+            Err(ServiceError::NotFound)
+        }
+    }
+}
+
+/// Spawns `replicas` chaos-wrapped service replicas behind a resilient gateway.
+/// Each replica gets an independent per-replica fault schedule derived from `seed`.
+fn chaos_cluster(
+    replicas: usize,
+    seed: u64,
+    fault_rate: f64,
+    config: GatewayConfig,
+) -> (ApiGateway, Vec<ServiceHost>, Vec<ChaosProxy>) {
+    let gw = ApiGateway::spawn_with_config(config).expect("gateway spawns");
+    let mut hosts = Vec::new();
+    let mut proxies = Vec::new();
+    for k in 0..replicas {
+        let host = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
+        let plan = FaultPlan::uniform(
+            derive_seed(seed, k as u64),
+            fault_rate,
+            Duration::from_millis(10),
+        );
+        let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(5))
+            .expect("chaos proxy spawns");
+        gw.register("upper", proxy.addr());
+        hosts.push(host);
+        proxies.push(proxy);
+    }
+    (gw, hosts, proxies)
+}
+
+/// The retry/breaker policy used by the soak: enough attempts to ride out ~10%
+/// faults, a breaker tolerant enough not to blackhole a replica over random noise,
+/// and a finite retry budget that still caps amplification.
+fn soak_config() -> GatewayConfig {
+    GatewayConfig {
+        upstream_timeout: Duration::from_secs(2),
+        circuit: CircuitConfig { failure_threshold: 10, cooldown: Duration::from_millis(200) },
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+            budget: 100,
+            budget_refill_per_sec: 0.0,
+        },
+        health: None,
+    }
+}
+
+#[test]
+fn chaos_soak_sustains_99_percent_success_with_bounded_retries() {
+    let (gw, _hosts, proxies) = chaos_cluster(3, 42, 0.10, soak_config());
+    let result = run(
+        gw.addr(),
+        "POST",
+        "/upper/shout",
+        b"spatial",
+        &ThreadGroup {
+            threads: 8,
+            requests_per_thread: 40,
+            ramp_up: Duration::from_millis(100),
+            timeout: Duration::from_secs(10),
+            headers: vec![(IDEMPOTENT_HEADER.to_string(), "1".to_string())],
+        },
+    );
+    assert_eq!(result.summary.samples, 320);
+
+    let mut report = gw.resilience_report();
+    report.faults_injected = proxies.iter().map(|p| p.fault_counts().total()).sum();
+    println!("soak summary : {}", result.summary);
+    println!("resilience   : {report}");
+    for (k, p) in proxies.iter().enumerate() {
+        println!("replica {k}    : {} over {} requests", p.fault_counts(), p.requests_seen());
+    }
+
+    assert!(
+        result.summary.error_rate() <= 0.01,
+        "chaos soak must sustain >= 99% success, got {:.2}% errors ({} of {})",
+        result.summary.error_rate() * 100.0,
+        result.summary.errors,
+        result.summary.samples,
+    );
+    // At a ~10% fault rate across 320 requests, faults (and hence retries) must have
+    // actually happened — otherwise the soak proves nothing.
+    assert!(report.faults_injected > 0, "the chaos layer must have injected faults");
+    assert!(report.retries > 0, "surviving injected faults requires retries");
+    // The token bucket caps amplification: with refill 0 the gateway can never
+    // retry more times than the configured budget.
+    assert!(
+        report.retries <= 100,
+        "retries ({}) exceeded the configured budget of 100",
+        report.retries
+    );
+}
+
+/// Runs `n` sequential requests against a fresh 2-replica chaos cluster and returns
+/// (per-request status codes, per-replica fault totals).
+fn sequential_run(seed: u64, n: usize) -> (Vec<u16>, Vec<u64>) {
+    // Retries and breakers are disabled so each client request maps to exactly one
+    // proxy request: the whole run is a pure function of (seed, request order).
+    let config = GatewayConfig {
+        upstream_timeout: Duration::from_secs(2),
+        circuit: CircuitConfig { failure_threshold: u32::MAX, cooldown: Duration::from_secs(600) },
+        retry: RetryPolicy::disabled(),
+        health: None,
+    };
+    let (gw, _hosts, proxies) = chaos_cluster(2, seed, 0.2, config);
+    let statuses: Vec<u16> = (0..n)
+        .map(|_| {
+            match request(gw.addr(), "POST", "/upper/shout", b"abc", Duration::from_secs(5)) {
+                Ok(resp) => resp.status,
+                Err(_) => 0, // transport error (drop/corrupt fault)
+            }
+        })
+        .collect();
+    let faults = proxies.iter().map(|p| p.fault_counts().total()).collect();
+    (statuses, faults)
+}
+
+#[test]
+fn same_seed_reproduces_the_exact_fault_schedule() {
+    let (statuses_a, faults_a) = sequential_run(1234, 200);
+    let (statuses_b, faults_b) = sequential_run(1234, 200);
+    assert_eq!(statuses_a, statuses_b, "same seed must reproduce per-request outcomes");
+    assert_eq!(faults_a, faults_b, "same seed must reproduce per-replica fault counts");
+    assert!(faults_a.iter().sum::<u64>() > 0, "the plan must actually inject faults");
+
+    let (statuses_c, _) = sequential_run(99, 200);
+    assert_ne!(statuses_a, statuses_c, "a different seed must produce a different run");
+}
+
+#[test]
+fn deadlines_hold_under_pure_latency_chaos() {
+    // Every request gets +300ms injected latency; a 100ms deadline must 504 without
+    // waiting for the slow path, even though retries are enabled.
+    let gw = ApiGateway::spawn_with_config(soak_config()).expect("gateway spawns");
+    let host = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
+    let plan = FaultPlan {
+        seed: 7,
+        latency_rate: 1.0,
+        added_latency: Duration::from_millis(300),
+        ..FaultPlan::default()
+    };
+    let proxy =
+        ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(5)).expect("proxy spawns");
+    gw.register("upper", proxy.addr());
+
+    let t0 = Instant::now();
+    let resp = request_with_headers(
+        gw.addr(),
+        "GET",
+        "/upper/shout",
+        &[(DEADLINE_HEADER.to_string(), "100".to_string())],
+        b"",
+        Duration::from_secs(5),
+    )
+    .expect("gateway always answers");
+    let wall = t0.elapsed();
+    assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+    assert!(
+        wall < Duration::from_millis(280),
+        "the caller must never wait past its deadline budget (waited {wall:?})"
+    );
+    assert!(gw.resilience_report().deadline_exceeded >= 1);
+}
+
+#[test]
+fn health_checker_keeps_the_cluster_clean_under_replica_death() {
+    // One live replica, one that dies mid-run. The background checker must evict the
+    // dead one so steady-state traffic sees no errors at all — without retries.
+    let config = GatewayConfig {
+        upstream_timeout: Duration::from_millis(500),
+        circuit: CircuitConfig { failure_threshold: 3, cooldown: Duration::from_millis(100) },
+        retry: RetryPolicy::disabled(),
+        health: Some(HealthCheckConfig {
+            interval: Duration::from_millis(40),
+            timeout: Duration::from_millis(150),
+            failures_to_evict: 2,
+            successes_to_restore: 1,
+        }),
+    };
+    let gw = ApiGateway::spawn_with_config(config).expect("gateway spawns");
+    let live = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
+    let doomed = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
+    gw.register("upper", live.addr());
+    gw.register("upper", doomed.addr());
+
+    drop(doomed);
+    let t0 = Instant::now();
+    while gw.resilience_report().evictions == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "dead replica was never evicted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Round-robin would hit the dead replica half the time; eviction means zero
+    // errors from here on.
+    for _ in 0..12 {
+        let resp = request(gw.addr(), "POST", "/upper/shout", b"ok", Duration::from_secs(5))
+            .expect("gateway answers");
+        assert_eq!(resp.status, 200, "evicted replica must be out of rotation");
+    }
+}

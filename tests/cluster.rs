@@ -223,6 +223,7 @@ fn concurrent_load_through_the_gateway_succeeds() {
             requests_per_thread: 4,
             ramp_up: Duration::from_millis(200),
             timeout: Duration::from_secs(60),
+            headers: Vec::new(),
         },
     );
     assert_eq!(result.summary.samples, 32);
