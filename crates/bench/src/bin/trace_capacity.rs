@@ -1,0 +1,198 @@
+//! Trace capacity — load-generates against a fully instrumented cluster and
+//! reports where the time goes: per-stage latency quantiles from the unified
+//! metrics registry, the Prometheus-style `/metrics` panel, and a sample trace
+//! waterfall straight out of the gateway's span collector.
+//!
+//! This is the observability counterpart of the Fig. 8 capacity runs: the same
+//! thread-group load, but the output is the monitoring surface itself — the
+//! gateway route histogram, the pipeline stage histograms, and an end-to-end
+//! span tree for one traced request.
+//!
+//! ```sh
+//! cargo run -p spatial-bench --release --bin trace_capacity -- --threads 16 --seed 7
+//! ```
+
+use spatial_bench::{arg_or_env, banner};
+use spatial_core::pipeline::AugmentedPipeline;
+use spatial_core::registry::SensorRegistry;
+use spatial_dashboard::{render_metrics_panel, render_waterfall};
+use spatial_gateway::breaker::CircuitConfig;
+use spatial_gateway::chaos::{ChaosProxy, FaultPlan};
+use spatial_gateway::gateway::{GatewayConfig, HealthCheckConfig, IDEMPOTENT_HEADER, TRACE_HEADER};
+use spatial_gateway::http::request_with_headers;
+use spatial_gateway::loadgen::{run, ThreadGroup};
+use spatial_gateway::retry::RetryPolicy;
+use spatial_gateway::service::{Microservice, ServiceError, ServiceHost};
+use spatial_gateway::ApiGateway;
+use spatial_linalg::rng::derive_seed;
+use spatial_ml::tree::DecisionTree;
+use spatial_telemetry::instrument::Instrumentation;
+use spatial_telemetry::registry::SeriesValue;
+use spatial_telemetry::trace::TraceId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deliberately cheap compute service — parses a comma-separated float list
+/// and replies with its mean — so the run times the *observability plane*, not
+/// the model underneath it.
+struct ScoreService;
+
+impl Microservice for ScoreService {
+    fn name(&self) -> &str {
+        "score"
+    }
+
+    fn vcpus(&self) -> usize {
+        2
+    }
+
+    fn handle(&self, _endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ServiceError::BadRequest("body is not UTF-8".into()))?;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for field in text.split(',').filter(|f| !f.trim().is_empty()) {
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| ServiceError::BadRequest(format!("bad float {field:?}")))?;
+            sum += v;
+            n += 1;
+        }
+        let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+        Ok(format!("{{\"mean\":{mean}}}").into_bytes())
+    }
+}
+
+fn main() {
+    let threads = arg_or_env("--threads", "SPATIAL_THREADS").unwrap_or(16);
+    let seed = arg_or_env("--seed", "SPATIAL_SEED").map(|v| v as u64).unwrap_or(7);
+    let fault_pct = arg_or_env("--fault-pct", "SPATIAL_FAULT_PCT").unwrap_or(5);
+    banner(
+        &format!(
+            "Trace capacity — instrumented cluster under load, 2 replicas, ~{fault_pct}% wire faults"
+        ),
+        "every request traced end to end; /metrics carries route + stage latency histograms",
+    );
+
+    let gateway = ApiGateway::spawn_with_config(GatewayConfig {
+        upstream_timeout: Duration::from_secs(10),
+        circuit: CircuitConfig { failure_threshold: 8, cooldown: Duration::from_millis(250) },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+            budget: 128,
+            budget_refill_per_sec: 32.0,
+        },
+        health: Some(HealthCheckConfig::default()),
+    })
+    .expect("gateway spawns");
+
+    let mut hosts = Vec::new();
+    let mut proxies = Vec::new();
+    for k in 0..2u64 {
+        let host = ServiceHost::spawn(Arc::new(ScoreService), 1024).expect("replica spawns");
+        let plan = FaultPlan::uniform(
+            derive_seed(seed, k),
+            fault_pct as f64 / 100.0,
+            Duration::from_millis(10),
+        );
+        let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(10))
+            .expect("chaos proxy spawns");
+        gateway.register("score", proxy.addr());
+        hosts.push(host);
+        proxies.push(proxy);
+    }
+
+    // The pipeline and the gateway share one observability plane: stage
+    // histograms land next to the route histograms, and pipeline spans next to
+    // the request spans.
+    let inst = Instrumentation::new(gateway.metrics_registry(), gateway.trace_collector());
+    let raw = spatial_data::netflow::generate(&spatial_data::netflow::NetflowConfig {
+        traces: 240,
+        seed,
+    });
+    let dep = AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+        .with_instrumentation(inst.clone())
+        .run(&raw, 0.75, seed)
+        .expect("pipeline trains");
+
+    // One hand-traced probe request, so the waterfall below has a known id.
+    let probe_trace = TraceId::generate();
+    let probe = request_with_headers(
+        gateway.addr(),
+        "POST",
+        "/score/mean",
+        &[
+            (TRACE_HEADER.to_string(), probe_trace.to_string()),
+            (IDEMPOTENT_HEADER.to_string(), "1".to_string()),
+        ],
+        b"1.0, 2.0, 3.0, 4.0",
+        Duration::from_secs(10),
+    )
+    .expect("probe request completes");
+    println!("\nprobe: status {} body {}", probe.status, String::from_utf8_lossy(&probe.body));
+
+    println!("\n--- {threads} threads x 25 requests, seed {seed}, {fault_pct}% wire faults ---");
+    let result = run(
+        gateway.addr(),
+        "POST",
+        "/score/mean",
+        b"0.5, 1.5, 2.5",
+        &ThreadGroup {
+            threads,
+            requests_per_thread: 25,
+            ramp_up: Duration::from_millis(500),
+            timeout: Duration::from_secs(10),
+            headers: vec![(IDEMPOTENT_HEADER.to_string(), "1".to_string())],
+        },
+    );
+    println!("{}", result.summary);
+    println!("resilience: {}", gateway.resilience_report());
+
+    println!("\n--- latency quantiles by histogram series ---");
+    println!("{:<58} {:>8} {:>9} {:>9} {:>9}", "series", "n", "p50 ms", "p95 ms", "p99 ms");
+    for family in inst.registry.snapshot() {
+        for series in &family.series {
+            if let SeriesValue::Histogram(h) = &series.value {
+                let labels: Vec<String> =
+                    series.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                println!(
+                    "{:<58} {:>8} {:>9.3} {:>9.3} {:>9.3}",
+                    format!("{}{{{}}}", family.name, labels.join(",")),
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                );
+            }
+        }
+    }
+
+    println!("\n--- pipeline construction trace ---");
+    let pipeline_trace = dep.pipeline_trace.expect("instrumented run records a trace");
+    print!("{}", render_waterfall(&inst.collector.tree(pipeline_trace)));
+
+    println!("\n--- probe request trace (gateway view) ---");
+    print!("{}", render_waterfall(&inst.collector.tree(probe_trace)));
+
+    println!("\n{}", render_metrics_panel(&inst.registry.snapshot()));
+
+    // The gateway dies with this process; --serve-secs keeps it up so the admin
+    // endpoints can actually be scraped from a second terminal.
+    let serve_secs = arg_or_env("--serve-secs", "SPATIAL_SERVE_SECS").unwrap_or(0);
+    if serve_secs > 0 {
+        println!(
+            "scrape it live for the next {serve_secs}s: curl http://{}/metrics | head  (trace: /trace/{})",
+            gateway.addr(),
+            probe_trace
+        );
+        std::thread::sleep(Duration::from_secs(serve_secs as u64));
+    } else {
+        println!(
+            "pass --serve-secs N to keep the gateway up for scraping /metrics and /trace/{probe_trace}"
+        );
+    }
+}

@@ -15,7 +15,9 @@
 //! - [`registry`] — plug-in registry mapping properties to sensors, mirroring the
 //!   paper's one-micro-service-per-metric composition.
 //! - [`monitor`] — continuous monitoring: periodic sensor sweeps, per-sensor time
-//!   series, drift/threshold alerting.
+//!   series, drift/threshold alerting. With an attached
+//!   [`Instrumentation`](spatial_telemetry::Instrumentation) plane each round is
+//!   traced span-per-sensor and per-stage latencies land in the metrics registry.
 //! - [`pipeline`] — the augmented AI pipeline of Fig. 4(b): the standard construction
 //!   pipeline with sensor hooks at every stage.
 //! - [`trust`] — aggregation of sensor readings into a per-model trust score
@@ -32,9 +34,9 @@
 
 pub mod adapt;
 pub mod audit;
+pub mod fairness;
 pub mod feedback;
 pub mod monitor;
-pub mod fairness;
 pub mod pipeline;
 pub mod privacy;
 pub mod property;
@@ -42,7 +44,7 @@ pub mod registry;
 pub mod sensor;
 pub mod trust;
 
-pub use monitor::{Alert, Monitor};
+pub use monitor::{stage_for, Alert, Monitor, STAGE_HISTOGRAM};
 pub use property::TrustProperty;
 pub use registry::SensorRegistry;
 pub use sensor::{AiSensor, SensorContext, SensorReading};

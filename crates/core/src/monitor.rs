@@ -9,8 +9,31 @@
 use crate::registry::SensorRegistry;
 use crate::sensor::{SensorContext, SensorError, SensorReading};
 use serde::{Deserialize, Serialize};
+use spatial_telemetry::instrument::Instrumentation;
+use spatial_telemetry::trace::{SpanStatus, TraceId};
 use spatial_telemetry::TimeSeries;
 use std::collections::HashMap;
+
+/// Name of the per-stage latency histogram family the instrumented monitor and
+/// pipeline record into (`spatial_pipeline_stage_duration_ms{stage=...}`).
+pub const STAGE_HISTOGRAM: &str = "spatial_pipeline_stage_duration_ms";
+
+/// Help text registered alongside [`STAGE_HISTOGRAM`].
+pub const STAGE_HISTOGRAM_HELP: &str =
+    "Latency of each instrumented pipeline/monitoring stage in milliseconds";
+
+/// The exposition stage label a sensor's readings are grouped under: the paper's
+/// per-property micro-services become per-stage latency series.
+pub fn stage_for(property: crate::property::TrustProperty) -> &'static str {
+    use crate::property::TrustProperty::*;
+    match property {
+        Performance => "infer",
+        Accountability => "xai",
+        Resilience | Robustness => "resilience",
+        Fairness => "fairness",
+        Privacy => "privacy",
+    }
+}
 
 /// Why an alert fired.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,6 +89,8 @@ pub struct Monitor {
     rules: HashMap<String, AlertRule>,
     default_rule: AlertRule,
     tick: u64,
+    inst: Option<Instrumentation>,
+    last_trace: Option<TraceId>,
 }
 
 impl Monitor {
@@ -77,7 +102,24 @@ impl Monitor {
             rules: HashMap::new(),
             default_rule: AlertRule::default(),
             tick: 0,
+            inst: None,
+            last_trace: None,
         }
+    }
+
+    /// Attaches an observability plane: every subsequent [`Monitor::observe`] round
+    /// opens a `monitor.observe` root span with one child span per sensor, and
+    /// records per-stage latencies into the plane's
+    /// [`STAGE_HISTOGRAM`] family.
+    pub fn instrument(&mut self, inst: Instrumentation) {
+        self.inst = Some(inst);
+    }
+
+    /// The trace id of the most recent instrumented round, if any — the key for the
+    /// gateway's `GET /trace/{id}` endpoint and for
+    /// [`SpanCollector::tree`](spatial_telemetry::trace::SpanCollector::tree).
+    pub fn last_trace(&self) -> Option<TraceId> {
+        self.last_trace
     }
 
     /// Sets the rule applied to sensors with no explicit rule.
@@ -119,7 +161,14 @@ impl Monitor {
     ) -> (Vec<SensorReading>, Vec<Alert>, Vec<(String, SensorError)>) {
         let tick = self.tick;
         self.tick += 1;
-        let (readings, failures) = self.registry.measure_all(ctx, tick);
+        let (readings, failures) = match self.inst.clone() {
+            Some(inst) => {
+                let trace = TraceId::generate();
+                self.last_trace = Some(trace);
+                measure_traced(&self.registry, ctx, tick, &inst, trace)
+            }
+            None => self.registry.measure_all(ctx, tick),
+        };
         let mut alerts = Vec::new();
         for reading in &readings {
             let series = self
@@ -136,10 +185,7 @@ impl Monitor {
                         sensor: reading.sensor.clone(),
                         value: reading.value,
                         tick,
-                        kind: AlertKind::DriftExceeded {
-                            baseline: baseline.value,
-                            degradation,
-                        },
+                        kind: AlertKind::DriftExceeded { baseline: baseline.value, degradation },
                     });
                 }
             }
@@ -160,6 +206,55 @@ impl Monitor {
         }
         (readings, alerts, failures)
     }
+}
+
+/// One instrumented sweep: a `monitor.observe` root span, a child span per sensor
+/// (tagged with its exposition stage, and with the error on failure), and one
+/// [`STAGE_HISTOGRAM`] observation per sensor.
+fn measure_traced(
+    registry: &SensorRegistry,
+    ctx: &SensorContext<'_>,
+    tick: u64,
+    inst: &Instrumentation,
+    trace: TraceId,
+) -> (Vec<SensorReading>, Vec<(String, SensorError)>) {
+    let mut root = inst.collector.start_span(trace, None, "monitor.observe");
+    root.set_attr("tick", tick.to_string());
+    let mut readings = Vec::with_capacity(registry.len());
+    let mut failures = Vec::new();
+    for sensor in registry.iter() {
+        let stage = stage_for(sensor.property());
+        let mut span = inst.collector.start_span(trace, Some(root.span_id()), sensor.name());
+        span.set_attr("stage", stage);
+        let started = inst.clock.now_nanos();
+        match sensor.measure(ctx) {
+            Ok(value) => {
+                span.set_status(SpanStatus::Ok);
+                readings.push(SensorReading {
+                    sensor: sensor.name().to_string(),
+                    property: sensor.property(),
+                    direction: sensor.direction(),
+                    value,
+                    tick,
+                });
+            }
+            Err(e) => {
+                span.set_status(SpanStatus::Error);
+                span.set_attr("error", e.to_string());
+                failures.push((sensor.name().to_string(), e));
+            }
+        }
+        let elapsed_ms = inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6;
+        inst.registry
+            .histogram_with(STAGE_HISTOGRAM, STAGE_HISTOGRAM_HELP, &[("stage", stage)])
+            .observe(elapsed_ms);
+        span.finish();
+    }
+    root.set_attr("sensors", registry.len().to_string());
+    root.set_attr("failures", failures.len().to_string());
+    root.set_status(if failures.is_empty() { SpanStatus::Ok } else { SpanStatus::Error });
+    root.finish();
+    (readings, failures)
 }
 
 impl std::fmt::Debug for Monitor {
@@ -291,6 +386,95 @@ mod tests {
         let (_, alerts, _) = m.observe(&ctx);
         assert_eq!(alerts.len(), 1);
         assert!(matches!(alerts[0].kind, AlertKind::ThresholdBreached { .. }));
+    }
+
+    /// Always fails — exercises the error path of the instrumented sweep.
+    struct FailingSensor;
+
+    impl AiSensor for FailingSensor {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn property(&self) -> TrustProperty {
+            TrustProperty::Accountability
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn measure(&self, _: &SensorContext<'_>) -> Result<f64, crate::sensor::SensorError> {
+            Err(crate::sensor::SensorError::InsufficientData("scripted failure".into()))
+        }
+    }
+
+    #[test]
+    fn instrumented_round_produces_span_tree_and_stage_latency() {
+        let mut m = monitor_with(vec![0.9, 0.8], Direction::HigherIsBetter);
+        let inst = Instrumentation::in_process();
+        m.instrument(inst.clone());
+        assert!(m.last_trace().is_none());
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (readings, _, failures) = m.observe(&ctx);
+        assert_eq!(readings.len(), 1);
+        assert!(failures.is_empty());
+
+        let trace = m.last_trace().expect("instrumented round records a trace");
+        let forest = inst.collector.tree(trace);
+        assert_eq!(forest.len(), 1, "one root span per round");
+        assert_eq!(forest[0].span.name, "monitor.observe");
+        assert_eq!(forest[0].span.status, SpanStatus::Ok);
+        assert_eq!(forest[0].children.len(), 1);
+        assert_eq!(forest[0].children[0].span.name, "scripted");
+        assert!(forest[0].children[0]
+            .span
+            .attributes
+            .iter()
+            .any(|(k, v)| k == "stage" && v == "infer"));
+
+        let text = inst.registry.encode();
+        assert!(
+            text.contains("spatial_pipeline_stage_duration_ms_bucket{stage=\"infer\""),
+            "stage histogram missing from exposition:\n{text}"
+        );
+        assert!(text.contains("spatial_pipeline_stage_duration_ms_count{stage=\"infer\"} 1"));
+
+        // Each round gets a fresh trace.
+        m.observe(&ctx);
+        assert_ne!(m.last_trace(), Some(trace));
+    }
+
+    #[test]
+    fn failing_sensor_marks_its_span_as_error() {
+        let mut reg = SensorRegistry::new();
+        reg.register(Box::new(FailingSensor));
+        let mut m = Monitor::new(reg);
+        let inst = Instrumentation::in_process();
+        m.instrument(inst.clone());
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (readings, _, failures) = m.observe(&ctx);
+        assert!(readings.is_empty());
+        assert_eq!(failures.len(), 1);
+
+        let forest = inst.collector.tree(m.last_trace().unwrap());
+        assert_eq!(forest[0].span.status, SpanStatus::Error, "root reflects the failure");
+        let child = &forest[0].children[0].span;
+        assert_eq!(child.status, SpanStatus::Error);
+        assert!(child.attributes.iter().any(|(k, v)| k == "error" && v.contains("insufficient")));
+        // The failed stage still records a latency observation.
+        assert!(inst
+            .registry
+            .encode()
+            .contains("spatial_pipeline_stage_duration_ms_count{stage=\"xai\"} 1"));
+    }
+
+    #[test]
+    fn uninstrumented_observe_records_no_trace() {
+        let mut m = monitor_with(vec![0.9], Direction::HigherIsBetter);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        m.observe(&ctx);
+        assert!(m.last_trace().is_none());
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! duplicates, non-finite cells) and the full sensor suite after deployment, producing
 //! a ready-to-monitor deployment.
 
-use crate::monitor::Monitor;
+use crate::monitor::{Monitor, STAGE_HISTOGRAM, STAGE_HISTOGRAM_HELP};
 use crate::registry::SensorRegistry;
 use crate::sensor::SensorContext;
 use spatial_data::Dataset;
 use spatial_ml::pipeline::{AiPipeline, DeployedModel};
 use spatial_ml::{Model, TrainError};
+use spatial_telemetry::instrument::Instrumentation;
+use spatial_telemetry::trace::{SpanStatus, TraceId};
 
 /// Data-stage findings gathered before training — the sensors of the pipeline's
 /// first two steps.
@@ -36,13 +38,16 @@ pub struct MonitoredDeployment {
     pub monitor: Monitor,
     /// Data-stage findings.
     pub data_report: DataStageReport,
+    /// Trace id of the construction run (`pipeline.run` root span), when the
+    /// pipeline was built with [`AugmentedPipeline::with_instrumentation`]. The
+    /// baseline and later monitoring rounds trace separately — see
+    /// [`Monitor::last_trace`].
+    pub pipeline_trace: Option<TraceId>,
 }
 
 impl MonitoredDeployment {
     /// Runs one monitoring round against the retained splits.
-    pub fn observe(
-        &mut self,
-    ) -> (Vec<crate::sensor::SensorReading>, Vec<crate::monitor::Alert>) {
+    pub fn observe(&mut self) -> (Vec<crate::sensor::SensorReading>, Vec<crate::monitor::Alert>) {
         let ctx = SensorContext {
             model: self.deployed.model.as_ref(),
             train: &self.deployed.train,
@@ -66,12 +71,22 @@ impl std::fmt::Debug for MonitoredDeployment {
 pub struct AugmentedPipeline {
     model: Box<dyn Model>,
     registry: SensorRegistry,
+    inst: Option<Instrumentation>,
 }
 
 impl AugmentedPipeline {
     /// Creates an augmented pipeline around an untrained model and a sensor registry.
     pub fn new(model: Box<dyn Model>, registry: SensorRegistry) -> Self {
-        Self { model, registry }
+        Self { model, registry, inst: None }
+    }
+
+    /// Attaches an observability plane: the construction run opens a
+    /// `pipeline.run` span with `preprocess`/`infer` stage children and per-stage
+    /// latency histograms, and the returned monitor traces every round the same
+    /// way (see [`Monitor::instrument`]).
+    pub fn with_instrumentation(mut self, inst: Instrumentation) -> Self {
+        self.inst = Some(inst);
+        self
     }
 
     /// Runs data-stage sensing, the standard pipeline, and a baseline monitoring
@@ -86,9 +101,22 @@ impl AugmentedPipeline {
         train_fraction: f64,
         seed: u64,
     ) -> Result<MonitoredDeployment, TrainError> {
-        let data_report = inspect_data(raw);
-        let deployed = AiPipeline::new(self.model).run(raw, train_fraction, seed)?;
-        let mut monitor = Monitor::new(self.registry);
+        let Self { model, registry, inst } = self;
+        let (deployed, data_report, pipeline_trace) = match &inst {
+            Some(inst) => {
+                let (deployed, report, trace) = run_traced(model, raw, train_fraction, seed, inst)?;
+                (deployed, report, Some(trace))
+            }
+            None => {
+                let report = inspect_data(raw);
+                let deployed = AiPipeline::new(model).run(raw, train_fraction, seed)?;
+                (deployed, report, None)
+            }
+        };
+        let mut monitor = Monitor::new(registry);
+        if let Some(inst) = inst {
+            monitor.instrument(inst);
+        }
         {
             let ctx = SensorContext {
                 model: deployed.model.as_ref(),
@@ -98,29 +126,76 @@ impl AugmentedPipeline {
             // Baseline round: the first readings anchor all drift alerts.
             let _ = monitor.observe(&ctx);
         }
-        Ok(MonitoredDeployment { deployed, monitor, data_report })
+        Ok(MonitoredDeployment { deployed, monitor, data_report, pipeline_trace })
+    }
+}
+
+/// The instrumented construction path: `pipeline.run` root span, `preprocess` and
+/// `infer` child spans, and one stage-histogram observation per stage. A training
+/// failure marks both the `infer` span and the root as errors before propagating.
+fn run_traced(
+    model: Box<dyn Model>,
+    raw: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+    inst: &Instrumentation,
+) -> Result<(DeployedModel, DataStageReport, TraceId), TrainError> {
+    let trace = TraceId::generate();
+    let mut root = inst.collector.start_span(trace, None, "pipeline.run");
+    root.set_attr("model", model.name());
+    root.set_attr("samples", raw.n_samples().to_string());
+    let stage_hist = |stage: &str| {
+        inst.registry.histogram_with(STAGE_HISTOGRAM, STAGE_HISTOGRAM_HELP, &[("stage", stage)])
+    };
+
+    let started = inst.clock.now_nanos();
+    let mut pre = inst.collector.start_span(trace, Some(root.span_id()), "preprocess");
+    pre.set_attr("stage", "preprocess");
+    let data_report = inspect_data(raw);
+    pre.set_attr("duplicate_fraction", format!("{:.4}", data_report.duplicate_fraction));
+    pre.set_attr("non_finite_cells", data_report.non_finite_cells.to_string());
+    pre.set_status(SpanStatus::Ok);
+    pre.finish();
+    stage_hist("preprocess").observe(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6);
+
+    let started = inst.clock.now_nanos();
+    let mut infer = inst.collector.start_span(trace, Some(root.span_id()), "infer");
+    infer.set_attr("stage", "infer");
+    let outcome = AiPipeline::new(model).run(raw, train_fraction, seed);
+    match &outcome {
+        Ok(_) => infer.set_status(SpanStatus::Ok),
+        Err(e) => {
+            infer.set_status(SpanStatus::Error);
+            infer.set_attr("error", e.to_string());
+        }
+    }
+    infer.finish();
+    stage_hist("infer").observe(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6);
+
+    match outcome {
+        Ok(deployed) => {
+            root.set_status(SpanStatus::Ok);
+            root.finish();
+            Ok((deployed, data_report, trace))
+        }
+        Err(e) => {
+            root.set_status(SpanStatus::Error);
+            root.finish();
+            Err(e)
+        }
     }
 }
 
 /// Computes the data-stage report for a raw dataset.
 pub fn inspect_data(raw: &Dataset) -> DataStageReport {
     let kept = spatial_data::preprocess::dedup_rows(&raw.features);
-    let duplicate_fraction = if raw.n_samples() == 0 {
-        0.0
-    } else {
-        1.0 - kept.len() as f64 / raw.n_samples() as f64
-    };
-    let non_finite_cells =
-        raw.features.as_slice().iter().filter(|v| !v.is_finite()).count();
+    let duplicate_fraction =
+        if raw.n_samples() == 0 { 0.0 } else { 1.0 - kept.len() as f64 / raw.n_samples() as f64 };
+    let non_finite_cells = raw.features.as_slice().iter().filter(|v| !v.is_finite()).count();
     let n = raw.n_samples().max(1) as f64;
-    let class_fractions: Vec<f64> =
-        raw.class_counts().iter().map(|&c| c as f64 / n).collect();
+    let class_fractions: Vec<f64> = raw.class_counts().iter().map(|&c| c as f64 / n).collect();
     let k = class_fractions.len() as f64;
-    let entropy: f64 = class_fractions
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum();
+    let entropy: f64 = class_fractions.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
     let balance_entropy = if k > 1.0 { entropy / k.ln() } else { 1.0 };
     DataStageReport { duplicate_fraction, non_finite_cells, class_fractions, balance_entropy }
 }
@@ -148,28 +223,69 @@ mod tests {
 
     #[test]
     fn augmented_run_produces_baselined_monitor() {
-        let dep = AugmentedPipeline::new(
-            Box::new(DecisionTree::new()),
-            SensorRegistry::standard(1),
-        )
-        .run(&raw(), 0.8, 1)
-        .unwrap();
+        let dep =
+            AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+                .run(&raw(), 0.8, 1)
+                .unwrap();
         assert_eq!(dep.monitor.rounds(), 1);
         assert!(dep.monitor.series("accuracy").is_some());
     }
 
     #[test]
     fn observe_appends_rounds_without_alerts_when_static() {
-        let mut dep = AugmentedPipeline::new(
-            Box::new(DecisionTree::new()),
-            SensorRegistry::standard(1),
-        )
-        .run(&raw(), 0.8, 2)
-        .unwrap();
+        let mut dep =
+            AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+                .run(&raw(), 0.8, 2)
+                .unwrap();
         let (readings, alerts) = dep.observe();
         assert!(!readings.is_empty());
         assert!(alerts.is_empty(), "identical context cannot drift: {alerts:?}");
         assert_eq!(dep.monitor.rounds(), 2);
+    }
+
+    #[test]
+    fn instrumented_run_traces_stages_and_baseline_round() {
+        let inst = Instrumentation::in_process();
+        let dep =
+            AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+                .with_instrumentation(inst.clone())
+                .run(&raw(), 0.8, 1)
+                .unwrap();
+
+        let trace = dep.pipeline_trace.expect("instrumented run records a trace");
+        let forest = inst.collector.tree(trace);
+        assert_eq!(forest.len(), 1, "one pipeline root span");
+        assert_eq!(forest[0].span.name, "pipeline.run");
+        assert_eq!(forest[0].span.status, SpanStatus::Ok);
+        let mut stages: Vec<&str> =
+            forest[0].children.iter().map(|c| c.span.name.as_str()).collect();
+        stages.sort_unstable();
+        assert_eq!(stages, ["infer", "preprocess"]);
+
+        // The baseline monitoring round traces separately, with its own id.
+        let baseline = dep.monitor.last_trace().expect("baseline round traced");
+        assert_ne!(baseline, trace);
+        assert!(!inst.collector.tree(baseline).is_empty());
+
+        let text = inst.registry.encode();
+        for stage in ["preprocess", "infer", "xai", "resilience"] {
+            assert!(
+                text.contains(&format!(
+                    "spatial_pipeline_stage_duration_ms_count{{stage=\"{stage}\"}}"
+                )),
+                "stage {stage} missing from exposition:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_records_no_trace() {
+        let dep =
+            AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+                .run(&raw(), 0.8, 3)
+                .unwrap();
+        assert!(dep.pipeline_trace.is_none());
+        assert!(dep.monitor.last_trace().is_none());
     }
 
     #[test]

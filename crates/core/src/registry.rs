@@ -4,8 +4,8 @@
 //! instrumented in the application" (§I). Metrics can be added or replaced at runtime,
 //! the property the paper highlights as the reason for the micro-service pattern.
 
-use crate::sensor::{AiSensor, SensorContext, SensorError, SensorReading};
 use crate::property::TrustProperty;
+use crate::sensor::{AiSensor, SensorContext, SensorError, SensorReading};
 
 /// A mutable collection of AI sensors.
 #[derive(Default)]
@@ -75,13 +75,16 @@ impl SensorRegistry {
         self.sensors.iter().map(|s| s.name()).collect()
     }
 
+    /// Iterates the registered sensors in registration order. The monitor's
+    /// instrumented sweep uses this to open one span per sensor instead of the
+    /// opaque [`SensorRegistry::measure_all`] batch.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn AiSensor> {
+        self.sensors.iter().map(|s| s.as_ref())
+    }
+
     /// Sensors quantifying a given property.
     pub fn sensors_for(&self, property: TrustProperty) -> Vec<&dyn AiSensor> {
-        self.sensors
-            .iter()
-            .filter(|s| s.property() == property)
-            .map(|s| s.as_ref())
-            .collect()
+        self.sensors.iter().filter(|s| s.property() == property).map(|s| s.as_ref()).collect()
     }
 
     /// Runs every sensor against the context, tagging readings with `tick`. Sensor
@@ -227,8 +230,7 @@ mod tests {
     #[test]
     fn standard_registry_has_all_papers_metrics() {
         let reg = SensorRegistry::standard(1);
-        for name in ["accuracy", "precision", "recall", "shap-dissimilarity", "noise-robustness"]
-        {
+        for name in ["accuracy", "precision", "recall", "shap-dissimilarity", "noise-robustness"] {
             assert!(reg.names().contains(&name), "{name} missing");
         }
         assert!(!reg.sensors_for(TrustProperty::Accountability).is_empty());

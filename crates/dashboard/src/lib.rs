@@ -13,11 +13,17 @@
 //! - [`export`] — JSON snapshot of everything on screen.
 //! - [`narrate`] — stakeholder-tailored plain-language summaries (end user /
 //!   developer / auditor), the paper's §VIII "extra layer of transformation".
+//! - [`waterfall`] — ASCII gantt of one distributed trace's span tree.
+//! - [`metrics`] — human-readable panel over a metrics-registry snapshot.
 
 pub mod chart;
 pub mod export;
 pub mod gauge;
+pub mod metrics;
 pub mod narrate;
 pub mod render;
+pub mod waterfall;
 
+pub use metrics::render_metrics_panel;
 pub use render::{render_dashboard, DashboardView};
+pub use waterfall::render_waterfall;

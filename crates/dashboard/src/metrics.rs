@@ -1,0 +1,100 @@
+//! Registry snapshot panel — the operator's text view of `GET /metrics`.
+//!
+//! The Prometheus exposition is for scrapers; this panel renders the same
+//! [`MetricsRegistry`](spatial_telemetry::MetricsRegistry) snapshot for humans:
+//! counters and gauges one series per line, histograms summarized as
+//! count/mean/p50/p95/p99.
+
+use spatial_telemetry::registry::{MetricSnapshot, SeriesValue};
+
+/// Renders a registry snapshot as an indented text panel.
+///
+/// Families arrive sorted by name (the registry snapshots in name order) and each
+/// series prints its label set, so the panel is stable across renders and
+/// diff-friendly in logs.
+pub fn render_metrics_panel(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::from("== METRICS ==\n");
+    if snapshot.is_empty() {
+        out.push_str("  (no metrics registered)\n");
+        return out;
+    }
+    for family in snapshot {
+        out.push_str(&format!("{} [{}] — {}\n", family.name, family.kind.as_str(), family.help));
+        for series in &family.series {
+            let labels = label_text(&series.labels);
+            match &series.value {
+                SeriesValue::Counter(v) => {
+                    out.push_str(&format!("  {labels:<40} {v}\n"));
+                }
+                SeriesValue::Gauge(v) => {
+                    out.push_str(&format!("  {labels:<40} {v}\n"));
+                }
+                SeriesValue::Histogram(h) => {
+                    if h.count() == 0 {
+                        out.push_str(&format!("  {labels:<40} n=0\n"));
+                    } else {
+                        out.push_str(&format!(
+                            "  {labels:<40} n={} mean={:.2}ms p50={:.2}ms p95={:.2}ms p99={:.2}ms\n",
+                            h.count(),
+                            h.mean(),
+                            h.quantile(0.5),
+                            h.quantile(0.95),
+                            h.quantile(0.99),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn label_text(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return "(no labels)".to_string();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_telemetry::MetricsRegistry;
+
+    #[test]
+    fn panel_renders_all_three_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("requests_total", "Requests served", &[("route", "shout")]).add(42);
+        reg.gauge("replicas_live", "Live replicas").set(3.0);
+        let h = reg.histogram_with("latency_ms", "Request latency", &[("route", "shout")]);
+        for v in [1.0, 2.0, 3.0, 40.0] {
+            h.observe(v);
+        }
+
+        let text = render_metrics_panel(&reg.snapshot());
+        assert!(text.contains("== METRICS =="));
+        assert!(text.contains("requests_total [counter] — Requests served"));
+        assert!(text.contains("{route=\"shout\"}"));
+        assert!(text.contains(" 42\n"));
+        assert!(text.contains("replicas_live [gauge]"));
+        assert!(text.contains("(no labels)"));
+        assert!(text.contains(" 3\n"));
+        assert!(text.contains("latency_ms [histogram]"));
+        assert!(text.contains("n=4"), "{text}");
+        assert!(text.contains("p95="), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        let reg = MetricsRegistry::new();
+        assert!(render_metrics_panel(&reg.snapshot()).contains("no metrics registered"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_count() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("idle_ms", "Never observed");
+        assert!(render_metrics_panel(&reg.snapshot()).contains("n=0"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Trace waterfall — the ASCII gantt view of one distributed trace.
+//!
+//! The paper's dashboard shows operators *what* the sensors read; this panel shows
+//! *where the time went*: every span of a trace on one line, indented by depth,
+//! with a bar positioned and scaled inside the trace's time window. It is the
+//! terminal equivalent of the waterfall view tracing UIs (Jaeger, Zipkin) put
+//! front and centre.
+
+use spatial_telemetry::trace::{SpanStatus, SpanTree};
+
+/// Width of the gantt bar area, in characters.
+const BAR_WIDTH: usize = 40;
+
+/// Renders the span forest of one trace as an indented ASCII gantt chart.
+///
+/// Each row is `name  |  bar  |  duration  status`; the bar is positioned inside
+/// the window spanned by the earliest start and the latest end across the whole
+/// forest. An empty forest renders a placeholder line.
+pub fn render_waterfall(forest: &[SpanTree]) -> String {
+    let mut spans = Vec::new();
+    for root in forest {
+        flatten(root, 0, &mut spans);
+    }
+    if spans.is_empty() {
+        return "trace waterfall: (no spans)\n".to_string();
+    }
+
+    let t0 = spans.iter().map(|(_, s)| s.start_nanos).min().unwrap_or(0);
+    let t1 = spans.iter().map(|(_, s)| s.end_nanos.max(s.start_nanos)).max().unwrap_or(t0);
+    let window = (t1.saturating_sub(t0)).max(1) as f64;
+
+    let trace = spans[0].1.trace_id;
+    let mut out = format!(
+        "trace {trace} :: {} span{} :: {:.2} ms\n",
+        spans.len(),
+        if spans.len() == 1 { "" } else { "s" },
+        window_ms(t0, t1)
+    );
+    for (depth, span) in &spans {
+        let label = format!("{}{}", "  ".repeat(*depth), span.name);
+        let begin = ((span.start_nanos - t0) as f64 / window * BAR_WIDTH as f64) as usize;
+        let end_nanos = span.end_nanos.max(span.start_nanos);
+        let end = ((end_nanos - t0) as f64 / window * BAR_WIDTH as f64).ceil() as usize;
+        let begin = begin.min(BAR_WIDTH.saturating_sub(1));
+        let end = end.clamp(begin + 1, BAR_WIDTH);
+        let bar: String =
+            (0..BAR_WIDTH).map(|i| if i >= begin && i < end { '#' } else { '.' }).collect();
+        let marker = match span.status {
+            SpanStatus::Error => " !!",
+            SpanStatus::Ok | SpanStatus::Unset => "",
+        };
+        out.push_str(&format!("  {label:<28} |{bar}| {:>9.3} ms{marker}\n", span.duration_ms()));
+    }
+    out
+}
+
+fn window_ms(t0: u64, t1: u64) -> f64 {
+    t1.saturating_sub(t0) as f64 / 1e6
+}
+
+/// Depth-first flatten: parents precede children, siblings keep collector order.
+fn flatten<'t>(
+    tree: &'t SpanTree,
+    depth: usize,
+    out: &mut Vec<(usize, &'t spatial_telemetry::trace::Span)>,
+) {
+    out.push((depth, &tree.span));
+    for child in &tree.children {
+        flatten(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_telemetry::clock::VirtualClock;
+    use spatial_telemetry::trace::{SpanCollector, TraceId};
+    use std::sync::Arc;
+
+    fn sample_forest() -> (TraceId, Vec<SpanTree>) {
+        let clock = VirtualClock::new();
+        let collector = SpanCollector::with_clock(64, Arc::new(clock.clone()));
+        let trace = TraceId(0xabc);
+        let mut root = collector.start_span(trace, None, "gateway /shout");
+        clock.advance_millis(2);
+        let mut attempt = collector.start_span(trace, Some(root.span_id()), "attempt");
+        attempt.set_status(SpanStatus::Error);
+        clock.advance_millis(3);
+        attempt.finish();
+        clock.advance_millis(5);
+        root.set_status(SpanStatus::Ok);
+        root.finish();
+        (trace, collector.tree(trace))
+    }
+
+    #[test]
+    fn waterfall_orders_indents_and_scales() {
+        let (trace, forest) = sample_forest();
+        let text = render_waterfall(&forest);
+        assert!(text.contains(&format!("trace {trace}")));
+        assert!(text.contains("2 spans"));
+        assert!(text.contains("10.00 ms"), "{text}");
+
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("gateway /shout"));
+        assert!(lines[2].contains("  attempt"), "children indent under parents: {text}");
+        assert!(lines[2].contains("!!"), "error spans are flagged: {text}");
+
+        // Root bar spans the whole window; the attempt bar starts 2/10ths in.
+        let root_bar = lines[1].split('|').nth(1).unwrap();
+        let attempt_bar = lines[2].split('|').nth(1).unwrap();
+        assert_eq!(root_bar.matches('#').count(), BAR_WIDTH);
+        assert!(attempt_bar.starts_with("........#"), "bar offset preserved: {attempt_bar:?}");
+        assert_eq!(attempt_bar.matches('#').count(), 12); // 3ms of 10ms ≈ 12 of 40 cols
+    }
+
+    #[test]
+    fn empty_forest_renders_placeholder() {
+        assert!(render_waterfall(&[]).contains("no spans"));
+    }
+
+    #[test]
+    fn zero_duration_spans_do_not_panic() {
+        let clock = VirtualClock::new();
+        let collector = SpanCollector::with_clock(8, Arc::new(clock.clone()));
+        let trace = TraceId(7);
+        collector.start_span(trace, None, "instant").finish();
+        let text = render_waterfall(&collector.tree(trace));
+        assert!(text.contains("instant"));
+        assert!(text.contains("0.000 ms"));
+    }
+}

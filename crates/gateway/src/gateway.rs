@@ -18,13 +18,20 @@
 //! - an optional background health checker that proactively evicts failing
 //!   replicas from rotation and restores them on recovery;
 //! - resilience telemetry (retries, breaker transitions, sheds, evictions)
-//!   surfaced as a [`spatial_telemetry::ResilienceReport`].
+//!   surfaced as a [`spatial_telemetry::ResilienceReport`] and, since the
+//!   observability PR, as counters in a [`MetricsRegistry`];
+//! - end-to-end tracing: each client request becomes a span tree (root + one child
+//!   per attempt), the trace context propagates upstream via `x-spatial-trace-id` /
+//!   `x-spatial-parent-span`, and the admin endpoints `GET /metrics` (Prometheus
+//!   text), `GET /trace/{id}` (JSON span tree), and `GET /healthz` expose it all.
 
 use crate::breaker::{Admission, Breaker, Transition};
 use crate::http::{self, HttpServer, Request, Response};
 use crate::retry::{RetryPolicy, TokenBucket};
 use crate::wire::{to_json, ErrorBody};
 use parking_lot::RwLock;
+use spatial_telemetry::registry::{HistogramHandle, MetricsRegistry};
+use spatial_telemetry::trace::{trace_to_json, SpanCollector, SpanId, SpanStatus, TraceId};
 use spatial_telemetry::{Counter, LatencyRecorder, ResilienceReport, SummaryReport};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -42,6 +49,17 @@ pub const DEADLINE_HEADER: &str = "x-spatial-deadline-ms";
 /// Marker header declaring a non-`GET` request safe to retry. `GET` requests are
 /// always treated as idempotent.
 pub const IDEMPOTENT_HEADER: &str = "x-spatial-idempotent";
+
+/// Header carrying the 32-hex trace id. Clients may supply one; the gateway
+/// generates one otherwise and forwards it upstream on every attempt.
+pub const TRACE_HEADER: &str = "x-spatial-trace-id";
+
+/// Header carrying the 16-hex id of the caller's span; the upstream parents its own
+/// spans under it. The gateway overwrites this with the current attempt's span id.
+pub const PARENT_SPAN_HEADER: &str = "x-spatial-parent-span";
+
+/// Spans retained by the gateway's trace collector before the oldest are evicted.
+const SPAN_CAPACITY: usize = 4096;
 
 /// Background health-checker policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +160,8 @@ struct Route {
     upstreams: Vec<Upstream>,
     next: AtomicUsize,
     recorder: Arc<LatencyRecorder>,
+    /// Per-route request latency in the shared registry, exposed via `/metrics`.
+    duration: HistogramHandle,
 }
 
 /// Shared routing table.
@@ -151,17 +171,56 @@ struct Table {
 }
 
 /// Resilience event counters, shared between the forward path, the health checker,
-/// and [`ApiGateway::resilience_report`].
-#[derive(Debug, Default)]
+/// and [`ApiGateway::resilience_report`]. The counters live in the gateway's
+/// [`MetricsRegistry`], so `/metrics` exposes them under `spatial_gateway_*_total`
+/// names while this struct keeps cheap typed handles.
+#[derive(Debug)]
 struct ResilienceCounters {
-    retries: Counter,
-    retry_budget_exhausted: Counter,
-    deadline_exceeded: Counter,
-    breaker_opened: Counter,
-    breaker_probes: Counter,
-    breaker_closed: Counter,
-    evictions: Counter,
-    restorations: Counter,
+    retries: Arc<Counter>,
+    retry_budget_exhausted: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    breaker_opened: Arc<Counter>,
+    breaker_probes: Arc<Counter>,
+    breaker_closed: Arc<Counter>,
+    evictions: Arc<Counter>,
+    restorations: Arc<Counter>,
+}
+
+impl ResilienceCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            retries: registry
+                .counter("spatial_gateway_retries_total", "Retry attempts issued by the gateway"),
+            retry_budget_exhausted: registry.counter(
+                "spatial_gateway_retry_budget_exhausted_total",
+                "Retries suppressed because the token-bucket retry budget was empty",
+            ),
+            deadline_exceeded: registry.counter(
+                "spatial_gateway_deadline_exceeded_total",
+                "Requests shed with 504 because their deadline budget expired",
+            ),
+            breaker_opened: registry.counter(
+                "spatial_gateway_breaker_opened_total",
+                "Circuit-breaker transitions into the open state",
+            ),
+            breaker_probes: registry.counter(
+                "spatial_gateway_breaker_probes_total",
+                "Half-open probe requests admitted by a circuit breaker",
+            ),
+            breaker_closed: registry.counter(
+                "spatial_gateway_breaker_closed_total",
+                "Circuit-breaker recoveries back into the closed state",
+            ),
+            evictions: registry.counter(
+                "spatial_gateway_evictions_total",
+                "Replicas evicted from rotation by the background health checker",
+            ),
+            restorations: registry.counter(
+                "spatial_gateway_restorations_total",
+                "Evicted replicas restored to rotation by the background health checker",
+            ),
+        }
+    }
 }
 
 /// Everything the per-request forward path needs.
@@ -171,6 +230,8 @@ struct ForwardState {
     stats: Arc<ResilienceCounters>,
     retry_bucket: TokenBucket,
     jitter_salt: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    collector: Arc<SpanCollector>,
 }
 
 /// Observable status of one replica, for dashboards and tests.
@@ -227,12 +288,16 @@ impl ApiGateway {
     ///
     /// Returns the bind error.
     pub fn spawn_with_config(config: GatewayConfig) -> std::io::Result<Self> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let collector = Arc::new(SpanCollector::new(SPAN_CAPACITY));
         let state = Arc::new(ForwardState {
             table: Arc::new(RwLock::new(Table::default())),
             config,
-            stats: Arc::new(ResilienceCounters::default()),
+            stats: Arc::new(ResilienceCounters::register(&registry)),
             retry_bucket: TokenBucket::new(config.retry.budget, config.retry.budget_refill_per_sec),
             jitter_salt: AtomicU64::new(0),
+            registry,
+            collector,
         });
         let handler_state = Arc::clone(&state);
         let server = HttpServer::spawn(move |req: Request| forward(&handler_state, req))?;
@@ -259,6 +324,11 @@ impl ApiGateway {
     /// replica for round-robin balancing.
     pub fn register(&self, prefix: &str, upstream: SocketAddr) {
         let circuit = self.state.config.circuit;
+        let duration = self.state.registry.histogram_with(
+            "spatial_gateway_request_duration_ms",
+            "End-to-end gateway request latency in milliseconds, by route",
+            &[("route", prefix)],
+        );
         let mut table = self.state.table.write();
         match table.routes.get_mut(prefix) {
             Some(route) => route.upstreams.push(Upstream::new(upstream, circuit)),
@@ -269,10 +339,21 @@ impl ApiGateway {
                         upstreams: vec![Upstream::new(upstream, circuit)],
                         next: AtomicUsize::new(0),
                         recorder: Arc::new(LatencyRecorder::new(prefix)),
+                        duration,
                     },
                 );
             }
         }
+    }
+
+    /// The gateway's unified metrics registry, as served by `GET /metrics`.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.state.registry)
+    }
+
+    /// The gateway's span collector, as served by `GET /trace/{id}`.
+    pub fn trace_collector(&self) -> Arc<SpanCollector> {
+        Arc::clone(&self.state.collector)
     }
 
     /// Registered prefixes.
@@ -373,7 +454,9 @@ enum Pick {
     NoRoute,
     /// Every replica is evicted, open, or has a probe in flight.
     Unavailable,
-    Picked(usize, SocketAddr),
+    /// `(index, addr, half_open_probe)` — the last flag marks a breaker probe, so
+    /// the attempt span can record how it was admitted.
+    Picked(usize, SocketAddr, bool),
 }
 
 /// Round-robins over replicas that are in rotation (not evicted) and admitted by
@@ -396,10 +479,10 @@ fn pick_replica(state: &ForwardState, prefix: &str) -> Pick {
             continue;
         }
         match up.breaker.try_acquire(now) {
-            Admission::Admit => return Pick::Picked(i, up.addr),
+            Admission::Admit => return Pick::Picked(i, up.addr, false),
             Admission::Probe => {
                 state.stats.breaker_probes.inc();
-                return Pick::Picked(i, up.addr);
+                return Pick::Picked(i, up.addr, true);
             }
             Admission::Reject => continue,
         }
@@ -431,29 +514,83 @@ fn json_error(status: u16, message: String) -> Response {
     }
 }
 
-/// The `x-spatial-*` headers to forward upstream (deadline handled separately).
+/// The `x-spatial-*` headers to forward upstream verbatim. The deadline and trace
+/// context headers are excluded: the gateway rewrites those per attempt.
 fn forwardable_headers(req: &Request) -> Vec<(String, String)> {
     req.headers
         .iter()
-        .filter(|(name, _)| name.starts_with("x-spatial-") && *name != DEADLINE_HEADER)
+        .filter(|(name, _)| {
+            name.starts_with("x-spatial-")
+                && *name != DEADLINE_HEADER
+                && *name != TRACE_HEADER
+                && *name != PARENT_SPAN_HEADER
+        })
         .map(|(name, value)| (name.clone(), value.clone()))
         .collect()
+}
+
+/// Serves the gateway's admin surface: `/metrics`, `/healthz`, and `/trace/{id}`.
+/// Returns `None` for ordinary paths, which fall through to route forwarding.
+fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
+    match req.path.as_str() {
+        "/metrics" => Some(Response {
+            status: 200,
+            body: state.registry.encode().into_bytes(),
+            content_type: "text/plain; version=0.0.4".into(),
+        }),
+        "/healthz" => {
+            let routes = state.table.read().routes.len();
+            Some(Response::json(format!("{{\"status\":\"ok\",\"routes\":{routes}}}").into_bytes()))
+        }
+        path => {
+            let id = path.strip_prefix("/trace/")?;
+            Some(match TraceId::from_hex(id) {
+                None => json_error(400, format!("malformed trace id {id:?}")),
+                Some(trace) => {
+                    let forest = state.collector.tree(trace);
+                    if forest.is_empty() {
+                        json_error(404, format!("no spans recorded for trace {trace}"))
+                    } else {
+                        Response::json(trace_to_json(trace, &forest).into_bytes())
+                    }
+                }
+            })
+        }
+    }
 }
 
 /// Resolves the route and forwards the request with the configured resilience
 /// policies: breaker admission, deadline budget, bounded budgeted retries with
 /// failover, and per-route latency recording (one sample per client request).
+///
+/// Tracing: the whole forward is one root span (`gateway /{prefix}`) under the
+/// client's trace context (or a fresh trace), and every upstream attempt is a child
+/// span tagged with its attempt number, replica, admission, and outcome. Upstreams
+/// receive the trace id and the attempt span as their parent.
 fn forward(state: &ForwardState, req: Request) -> Response {
+    if let Some(resp) = admin_response(state, &req) {
+        return resp;
+    }
     let prefix = req.path.trim_start_matches('/').split('/').next().unwrap_or("").to_string();
-    let recorder = {
+    let (recorder, duration) = {
         let table = state.table.read();
         match table.routes.get(&prefix) {
-            Some(route) => Arc::clone(&route.recorder),
+            Some(route) => (Arc::clone(&route.recorder), route.duration.clone()),
             None => {
                 return json_error(404, format!("no route for /{prefix}"));
             }
         }
     };
+
+    let trace_id = req
+        .headers
+        .get(TRACE_HEADER)
+        .and_then(|v| TraceId::from_hex(v.trim()))
+        .unwrap_or_else(TraceId::generate);
+    let client_span = req.headers.get(PARENT_SPAN_HEADER).and_then(|v| SpanId::from_hex(v.trim()));
+    let mut root = state.collector.start_span(trace_id, client_span, &format!("gateway /{prefix}"));
+    root.set_attr("method", &req.method);
+    root.set_attr("path", &req.path);
 
     let arrival = Instant::now();
     let deadline: Option<Instant> = req
@@ -475,36 +612,49 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         if let Some(d) = deadline {
             if Instant::now() >= d {
                 state.stats.deadline_exceeded.inc();
+                root.set_attr("shed", "deadline-expired");
                 break json_error(504, format!("deadline exceeded for /{prefix}"));
             }
         }
 
-        let (index, upstream) = match pick_replica(state, &prefix) {
+        let (index, upstream, probe) = match pick_replica(state, &prefix) {
             Pick::NoRoute => break json_error(404, format!("no route for /{prefix}")),
             Pick::Unavailable => {
+                root.set_attr("shed", "no-available-upstream");
                 break json_error(
                     503,
                     format!("circuit open or replica evicted: no available upstream of /{prefix}"),
                 );
             }
-            Pick::Picked(i, addr) => (i, addr),
+            Pick::Picked(i, addr, probe) => (i, addr, probe),
         };
 
+        attempts += 1;
+        let mut attempt_span =
+            state.collector.start_span(trace_id, Some(root.span_id()), "attempt");
+        attempt_span.set_attr("attempt", attempts.to_string());
+        attempt_span.set_attr("replica", upstream.to_string());
+        attempt_span.set_attr("breaker", if probe { "half-open-probe" } else { "admit" });
+
         // Clamp the attempt timeout to the remaining deadline and propagate the
-        // decremented budget upstream.
+        // decremented budget upstream, along with the trace context.
         let mut timeout = state.config.upstream_timeout;
         let mut headers = base_headers.clone();
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 state.stats.deadline_exceeded.inc();
+                attempt_span.set_status(SpanStatus::Error);
+                attempt_span.set_attr("outcome", "deadline-expired");
+                root.set_attr("shed", "deadline-expired");
                 break json_error(504, format!("deadline exceeded for /{prefix}"));
             }
             timeout = timeout.min(remaining);
             headers.push((DEADLINE_HEADER.to_string(), remaining.as_millis().to_string()));
         }
+        headers.push((TRACE_HEADER.to_string(), trace_id.to_string()));
+        headers.push((PARENT_SPAN_HEADER.to_string(), attempt_span.span_id().to_string()));
 
-        attempts += 1;
         let result = http::request_with_headers(
             upstream,
             &req.method,
@@ -521,20 +671,35 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         // and transport errors fail over to the next replica when the retry policy
         // allows, and are relayed to the client when it doesn't.
         let failure = match result {
-            Ok(resp) if resp.status < 500 => break resp,
-            Ok(resp) => resp,
-            Err(e) => json_error(502, format!("upstream failure: {e}")),
+            Ok(resp) if resp.status < 500 => {
+                attempt_span.set_status(SpanStatus::Ok);
+                attempt_span.set_attr("status", resp.status.to_string());
+                break resp;
+            }
+            Ok(resp) => {
+                attempt_span.set_status(SpanStatus::Error);
+                attempt_span.set_attr("status", resp.status.to_string());
+                resp
+            }
+            Err(e) => {
+                attempt_span.set_status(SpanStatus::Error);
+                attempt_span.set_attr("error", e.to_string());
+                json_error(502, format!("upstream failure: {e}"))
+            }
         };
 
         if attempts >= max_attempts {
+            attempt_span.set_attr("outcome", "max-attempts-reached");
             break finalize_failure(state, &prefix, deadline, failure);
         }
         if !state.retry_bucket.try_take() {
             state.stats.retry_budget_exhausted.inc();
+            attempt_span.set_attr("outcome", "retry-budget-exhausted");
             break finalize_failure(state, &prefix, deadline, failure);
         }
         retries += 1;
         state.stats.retries.inc();
+        attempt_span.set_attr("outcome", "retrying");
         let backoff = state
             .config
             .retry
@@ -543,19 +708,35 @@ fn forward(state: &ForwardState, req: Request) -> Response {
             // Never sleep past the deadline: shed instead.
             if Instant::now() + backoff >= d {
                 state.stats.deadline_exceeded.inc();
+                root.set_attr("shed", "deadline-expired");
                 break json_error(504, format!("deadline exceeded for /{prefix}"));
             }
         }
+        drop(attempt_span);
         std::thread::sleep(backoff);
     };
 
     let elapsed_ms = arrival.elapsed().as_secs_f64() * 1e3;
-    recorder.mark(now_marker());
+    recorder.mark_now();
     if response.status < 500 {
         recorder.record_ok(elapsed_ms);
     } else {
         recorder.record_err(elapsed_ms);
     }
+    duration.observe(elapsed_ms);
+    let code = response.status.to_string();
+    state
+        .registry
+        .counter_with(
+            "spatial_gateway_requests_total",
+            "Requests handled by the gateway, by route and status code",
+            &[("route", &prefix), ("code", &code)],
+        )
+        .inc();
+    root.set_attr("status", code);
+    root.set_attr("attempts", attempts.to_string());
+    root.set_status(if response.status < 500 { SpanStatus::Ok } else { SpanStatus::Error });
+    root.finish();
     response
 }
 
@@ -641,13 +822,6 @@ fn spawn_health_checker(
     })
 }
 
-/// Monotonic nanosecond marker for throughput windows.
-fn now_marker() -> u64 {
-    use std::sync::OnceLock;
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,14 +856,9 @@ mod tests {
     #[test]
     fn forwards_to_the_service() {
         let (gw, _host) = cluster();
-        let resp = http::request(
-            gw.addr(),
-            "POST",
-            "/upper/shout",
-            b"spatial",
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let resp =
+            http::request(gw.addr(), "POST", "/upper/shout", b"spatial", Duration::from_secs(5))
+                .unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"SPATIAL");
     }
@@ -720,14 +889,8 @@ mod tests {
     fn metrics_accumulate_per_route() {
         let (gw, _host) = cluster();
         for _ in 0..5 {
-            let _ = http::request(
-                gw.addr(),
-                "POST",
-                "/upper/shout",
-                b"x",
-                Duration::from_secs(5),
-            )
-            .unwrap();
+            let _ = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
         }
         let summary = gw.route_summary("upper").unwrap();
         assert_eq!(summary.samples, 5);
@@ -745,14 +908,9 @@ mod tests {
         // Both replicas answer; 4 requests must all succeed through alternating
         // upstreams.
         for _ in 0..4 {
-            let resp = http::request(
-                gw.addr(),
-                "POST",
-                "/upper/shout",
-                b"y",
-                Duration::from_secs(5),
-            )
-            .unwrap();
+            let resp =
+                http::request(gw.addr(), "POST", "/upper/shout", b"y", Duration::from_secs(5))
+                    .unwrap();
             assert_eq!(resp.status, 200);
         }
         assert_eq!(gw.route_summary("upper").unwrap().samples, 4);
@@ -769,14 +927,13 @@ mod tests {
         gw.register("ghost", dead);
         // First two requests hit the dead upstream (502) and trip the breaker...
         for _ in 0..2 {
-            let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-                .unwrap();
+            let r =
+                http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
             assert_eq!(r.status, 502);
         }
         // ...after which requests fail fast with 503 without touching the socket.
         let t0 = std::time::Instant::now();
-        let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-            .unwrap();
+        let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(r.status, 503);
         assert!(String::from_utf8_lossy(&r.body).contains("circuit open"));
         assert!(t0.elapsed() < Duration::from_millis(150), "must fail fast");
@@ -799,14 +956,8 @@ mod tests {
         // onto the live one only.
         let mut failures = 0;
         for _ in 0..6 {
-            let r = http::request(
-                gw.addr(),
-                "POST",
-                "/upper/shout",
-                b"x",
-                Duration::from_secs(5),
-            )
-            .unwrap();
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
             if r.status != 200 {
                 failures += 1;
             }
@@ -825,15 +976,15 @@ mod tests {
         // socket: an opened circuit's 503 turns back into the upstream's 502.
         let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
         gw.register("ghost", dead);
-        let first = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-            .unwrap();
+        let first =
+            http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(first.status, 502); // trips the breaker (threshold 1)
-        let open = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-            .unwrap();
+        let open =
+            http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(open.status, 503);
         std::thread::sleep(Duration::from_millis(150));
-        let retried = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-            .unwrap();
+        let retried =
+            http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(retried.status, 502, "after cooldown the probe retries the socket");
         let report = gw.resilience_report();
         assert!(report.breaker_probes >= 1, "recovery must go through a half-open probe");
@@ -920,8 +1071,7 @@ mod tests {
         })
         .unwrap();
         gw.register("ghost", dead);
-        let r = http::request(gw.addr(), "POST", "/ghost/x", b"", Duration::from_secs(5))
-            .unwrap();
+        let r = http::request(gw.addr(), "POST", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(r.status, 502);
         assert_eq!(gw.resilience_report().retries, 0, "bare POST must not retry");
     }
@@ -945,8 +1095,8 @@ mod tests {
         .unwrap();
         gw.register("ghost", dead);
         for _ in 0..5 {
-            let r = http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5))
-                .unwrap();
+            let r =
+                http::request(gw.addr(), "GET", "/ghost/x", b"", Duration::from_secs(5)).unwrap();
             assert_eq!(r.status, 502);
         }
         let report = gw.resilience_report();
@@ -975,8 +1125,7 @@ mod tests {
     #[test]
     fn deadline_bounds_a_slow_upstream_with_504() {
         let host =
-            ServiceHost::spawn(Arc::new(Slow { delay: Duration::from_millis(800) }), 16)
-                .unwrap();
+            ServiceHost::spawn(Arc::new(Slow { delay: Duration::from_millis(800) }), 16).unwrap();
         let gw = ApiGateway::spawn(Duration::from_secs(10)).unwrap();
         gw.register("slow", host.addr());
         let t0 = Instant::now();
@@ -1028,10 +1177,7 @@ mod tests {
         let seen = Arc::new(parking_lot::Mutex::new(None::<u64>));
         let seen_in_handler = Arc::clone(&seen);
         let upstream = HttpServer::spawn(move |req| {
-            let ms = req
-                .headers
-                .get(DEADLINE_HEADER)
-                .and_then(|v| v.parse::<u64>().ok());
+            let ms = req.headers.get(DEADLINE_HEADER).and_then(|v| v.parse::<u64>().ok());
             *seen_in_handler.lock() = ms;
             Response::json(b"{}".to_vec())
         })
@@ -1101,14 +1247,8 @@ mod tests {
         // With B out of rotation, every request lands on A and succeeds — no 502s
         // even though round-robin would have hit B half the time.
         for _ in 0..10 {
-            let r = http::request(
-                gw.addr(),
-                "POST",
-                "/upper/shout",
-                b"q",
-                Duration::from_secs(5),
-            )
-            .unwrap();
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"q", Duration::from_secs(5))
+                .unwrap();
             assert_eq!(r.status, 200, "evicted replica must be out of rotation");
         }
 
@@ -1132,16 +1272,148 @@ mod tests {
         assert_eq!(gw.replica_status("upper").iter().filter(|r| r.evicted).count(), 0);
         // And traffic flows to both again.
         for _ in 0..4 {
-            let r = http::request(
-                gw.addr(),
-                "POST",
-                "/upper/shout",
-                b"q",
-                Duration::from_secs(5),
-            )
-            .unwrap();
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"q", Duration::from_secs(5))
+                .unwrap();
             assert_eq!(r.status, 200);
         }
         drop(b2);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (gw, _host) = cluster();
+        for _ in 0..3 {
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let resp =
+            http::request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("# TYPE spatial_gateway_request_duration_ms histogram"), "{text}");
+        assert!(text
+            .contains("spatial_gateway_request_duration_ms_bucket{route=\"upper\",le=\"+Inf\"} 3"));
+        assert!(text.contains("spatial_gateway_request_duration_ms_count{route=\"upper\"} 3"));
+        assert!(text.contains("spatial_gateway_requests_total{code=\"200\",route=\"upper\"} 3"));
+        assert!(text.contains("# TYPE spatial_gateway_retries_total counter"));
+    }
+
+    #[test]
+    fn healthz_answers_with_route_count() {
+        let (gw, _host) = cluster();
+        let resp =
+            http::request(gw.addr(), "GET", "/healthz", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"routes\":1"), "{body}");
+    }
+
+    #[test]
+    fn trace_endpoint_returns_the_span_tree() {
+        let (gw, _host) = cluster();
+        // Supply the trace id so the test can retrieve it afterwards: `Response`
+        // carries no headers, so a generated id would be unobservable to the client.
+        let trace = "00000000000000000000000000abc123";
+        let r = request_with_headers(
+            gw.addr(),
+            "POST",
+            "/upper/shout",
+            &[(TRACE_HEADER.to_string(), trace.to_string())],
+            b"x",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+
+        let resp = http::request(
+            gw.addr(),
+            "GET",
+            &format!("/trace/{trace}"),
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let json = String::from_utf8(resp.body).unwrap();
+        assert!(json.contains(&format!("\"trace_id\":\"{trace}\"")), "{json}");
+        assert!(json.contains("\"name\":\"gateway /upper\""), "{json}");
+        assert!(json.contains("\"name\":\"attempt\""), "{json}");
+        assert!(json.contains("\"status\":\"ok\""), "{json}");
+
+        // The collector agrees: one root with one successful attempt child.
+        let forest = gw.trace_collector().tree(TraceId::from_hex(trace).unwrap());
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].span.name, "gateway /upper");
+        assert_eq!(forest[0].children.len(), 1);
+        assert_eq!(forest[0].children[0].span.name, "attempt");
+    }
+
+    #[test]
+    fn unknown_or_malformed_trace_ids_are_rejected() {
+        let (gw, _host) = cluster();
+        let missing = http::request(
+            gw.addr(),
+            "GET",
+            "/trace/00000000000000000000000000000001",
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(missing.status, 404);
+        let malformed =
+            http::request(gw.addr(), "GET", "/trace/not-hex", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(malformed.status, 400);
+    }
+
+    #[test]
+    fn trace_context_is_rewritten_toward_the_upstream() {
+        let seen =
+            Arc::new(parking_lot::Mutex::new(Vec::<(Option<String>, Option<String>)>::new()));
+        let seen_in_handler = Arc::clone(&seen);
+        let upstream = HttpServer::spawn(move |req| {
+            seen_in_handler.lock().push((
+                req.headers.get(TRACE_HEADER).cloned(),
+                req.headers.get(PARENT_SPAN_HEADER).cloned(),
+            ));
+            Response::json(b"{}".to_vec())
+        })
+        .unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("svc", upstream.addr());
+
+        let trace = "0000000000000000000000000000beef";
+        let client_span = "00000000000000ab";
+        let r = request_with_headers(
+            gw.addr(),
+            "GET",
+            "/svc/x",
+            &[
+                (TRACE_HEADER.to_string(), trace.to_string()),
+                (PARENT_SPAN_HEADER.to_string(), client_span.to_string()),
+            ],
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+
+        let observed = seen.lock().clone();
+        assert_eq!(observed.len(), 1);
+        let (up_trace, up_parent) = &observed[0];
+        assert_eq!(up_trace.as_deref(), Some(trace), "trace id must propagate unchanged");
+        let up_parent = up_parent.as_deref().expect("upstream must receive a parent span");
+        assert_ne!(up_parent, client_span, "the parent must be the attempt span, not the client's");
+
+        // The root span is parented under the client's span id.
+        let forest = gw.trace_collector().tree(TraceId::from_hex(trace).unwrap());
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].span.parent, SpanId::from_hex(client_span));
+        assert_eq!(
+            forest[0].children[0].span.span_id,
+            SpanId::from_hex(up_parent).unwrap(),
+            "the upstream's parent header must be the attempt span's id"
+        );
     }
 }

@@ -13,7 +13,10 @@
 //!   sensitivity, impact-resilience, and the AI-pipeline service.
 //! - [`gateway`] — the Kong substitute: prefix routing, health checks, per-route
 //!   metrics, round-robin upstreams, and the resilience policies (retries with a
-//!   retry budget, deadline propagation, eviction of failing replicas).
+//!   retry budget, deadline propagation, eviction of failing replicas). It also
+//!   carries the observability plane: trace propagation over
+//!   `x-spatial-trace-id`/`x-spatial-parent-span` and the admin endpoints
+//!   `GET /metrics`, `GET /trace/{id}`, `GET /healthz`.
 //! - [`breaker`] — the per-replica three-state circuit breaker (closed/open/half-open
 //!   with single-probe recovery).
 //! - [`retry`] — retry/backoff policy and the token-bucket retry budget.
@@ -36,6 +39,9 @@ pub mod worker;
 
 pub use breaker::{Admission, Breaker, CircuitConfig};
 pub use chaos::{ChaosProxy, ChaosService, Fault, FaultCounts, FaultPlan};
-pub use gateway::{ApiGateway, GatewayConfig, HealthCheckConfig};
+pub use gateway::{
+    ApiGateway, GatewayConfig, HealthCheckConfig, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+    PARENT_SPAN_HEADER, TRACE_HEADER,
+};
 pub use retry::RetryPolicy;
 pub use service::{Microservice, ServiceError, ServiceHost};

@@ -10,7 +10,9 @@
 
 use parking_lot::Mutex;
 use spatial_linalg::rng::derive_seed;
-use std::time::{Duration, Instant};
+use spatial_telemetry::clock::{Clock, SystemClock};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Retry policy applied by the gateway's forward path to idempotent requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,10 +62,7 @@ impl RetryPolicy {
     /// deterministic jitter hash; pass a per-gateway counter value.
     pub fn backoff_before_retry(&self, retry: u32, salt: u64) -> Duration {
         let doublings = retry.saturating_sub(1).min(16);
-        let exp = self
-            .base_backoff
-            .saturating_mul(1u32 << doublings)
-            .min(self.max_backoff);
+        let exp = self.base_backoff.saturating_mul(1u32 << doublings).min(self.max_backoff);
         let j = self.jitter.clamp(0.0, 1.0);
         // Uniform in [1 - j/2, 1 + j/2], from a counter-hash so no RNG state is
         // shared across threads.
@@ -82,34 +81,40 @@ pub(crate) fn unit_from_hash(x: u64) -> f64 {
 pub struct TokenBucket {
     capacity: f64,
     refill_per_sec: f64,
+    clock: Arc<dyn Clock>,
     inner: Mutex<BucketInner>,
 }
 
 #[derive(Debug)]
 struct BucketInner {
     tokens: f64,
-    last_refill: Instant,
+    last_refill_nanos: u64,
 }
 
 impl TokenBucket {
-    /// Creates a full bucket.
+    /// Creates a full bucket refilled on wall-clock time.
     pub fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        Self::with_clock(capacity, refill_per_sec, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a full bucket on an explicit clock, so refill tests can advance a
+    /// [`spatial_telemetry::clock::VirtualClock`] instead of sleeping.
+    pub fn with_clock(capacity: u32, refill_per_sec: f64, clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now_nanos();
         Self {
             capacity: capacity as f64,
             refill_per_sec: refill_per_sec.max(0.0),
-            inner: Mutex::new(BucketInner {
-                tokens: capacity as f64,
-                last_refill: Instant::now(),
-            }),
+            clock,
+            inner: Mutex::new(BucketInner { tokens: capacity as f64, last_refill_nanos: now }),
         }
     }
 
     /// Takes one token if available; `false` means the budget is exhausted.
     pub fn try_take(&self) -> bool {
         let mut g = self.inner.lock();
-        let now = Instant::now();
-        let elapsed = now.duration_since(g.last_refill).as_secs_f64();
-        g.last_refill = now;
+        let now = self.clock.now_nanos();
+        let elapsed = now.saturating_sub(g.last_refill_nanos) as f64 / 1e9;
+        g.last_refill_nanos = now;
         g.tokens = (g.tokens + elapsed * self.refill_per_sec).min(self.capacity);
         if g.tokens >= 1.0 {
             g.tokens -= 1.0;
@@ -183,17 +188,20 @@ mod tests {
 
     #[test]
     fn bucket_refills_over_time() {
-        let b = TokenBucket::new(1, 100.0); // 1 token per 10ms
+        // Virtual time: no sleeping, exact refill arithmetic.
+        let clock = spatial_telemetry::clock::VirtualClock::new();
+        let b = TokenBucket::with_clock(1, 100.0, Arc::new(clock.clone())); // 1 token per 10ms
         assert!(b.try_take());
         assert!(!b.try_take());
-        std::thread::sleep(Duration::from_millis(30));
+        clock.advance_millis(30);
         assert!(b.try_take(), "bucket should have refilled");
     }
 
     #[test]
     fn bucket_never_exceeds_capacity() {
-        let b = TokenBucket::new(2, 1000.0);
-        std::thread::sleep(Duration::from_millis(20));
+        let clock = spatial_telemetry::clock::VirtualClock::new();
+        let b = TokenBucket::with_clock(2, 1000.0, Arc::new(clock.clone()));
+        clock.advance_millis(20);
         assert!(b.try_take());
         assert!(b.try_take());
         assert!(!b.try_take(), "refill must cap at capacity");

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 /// clock.advance_millis(5);
 /// assert_eq!(clock.now_nanos() - t0, 5_000_000);
 /// ```
-pub trait Clock: Send + Sync {
+pub trait Clock: Send + Sync + std::fmt::Debug {
     /// Current time in nanoseconds since the clock's epoch.
     fn now_nanos(&self) -> u64;
 

@@ -81,8 +81,12 @@ impl Histogram {
         }
         self.total += other.total;
         self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        // An empty histogram carries sentinel min/max (±∞); folding those in would
+        // leave this histogram's extremes infinite forever.
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     /// Number of recorded samples.
@@ -118,7 +122,9 @@ impl Histogram {
     }
 
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by interpolating within the bucket
-    /// containing the target rank. Returns `0.0` when empty.
+    /// containing the target rank. Returns `0.0` when empty. The extremes are exact:
+    /// `q = 0.0` returns the observed minimum and `q = 1.0` the observed maximum,
+    /// rather than a bucket-boundary interpolation.
     ///
     /// # Panics
     ///
@@ -127,6 +133,12 @@ impl Histogram {
         assert!((0.0..=1.0).contains(&q), "quantile q={q} outside [0,1]");
         if self.total == 0 {
             return 0.0;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
         }
         let target = q * self.total as f64;
         let mut cumulative = 0.0;
@@ -137,7 +149,8 @@ impl Histogram {
             let next = cumulative + c as f64;
             if next >= target {
                 let (lo, hi) = self.bucket_bounds(i);
-                let frac = if c == 0 { 0.0 } else { ((target - cumulative) / c as f64).clamp(0.0, 1.0) };
+                let frac =
+                    if c == 0 { 0.0 } else { ((target - cumulative) / c as f64).clamp(0.0, 1.0) };
                 // Clamp interpolation into the observed range so the estimate never
                 // exceeds the true min/max.
                 return (lo + frac * (hi - lo)).clamp(self.min, self.max);
@@ -145,6 +158,26 @@ impl Histogram {
             cumulative = next;
         }
         self.max
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs in Prometheus order: one
+    /// entry per finite bucket boundary, then a final `(+∞, total)` entry for the
+    /// overflow bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            let upper =
+                if i + 1 == self.counts.len() { f64::INFINITY } else { self.bucket_bounds(i).1 };
+            out.push((upper, cumulative));
+        }
+        out
     }
 
     /// Per-bucket `(lower_bound, count)` pairs for non-empty buckets, for rendering.
@@ -232,6 +265,51 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 1.0);
         assert_eq!(a.max(), 200.0);
+    }
+
+    #[test]
+    fn quantile_zero_is_exact_min_and_one_is_exact_max() {
+        let mut h = Histogram::latency_millis();
+        // 7.3 sits mid-bucket, so interpolation at the bucket's lower edge would
+        // undershoot without the explicit q=0 fast path.
+        for v in [7.3, 9.0, 250.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 7.3);
+        assert_eq!(h.quantile(1.0), 250.0);
+    }
+
+    #[test]
+    fn merge_of_empty_histogram_keeps_extremes_finite() {
+        let mut a = Histogram::latency_millis();
+        a.record(5.0);
+        a.merge(&Histogram::latency_millis());
+        assert_eq!(a.count(), 1);
+        assert!(a.min().is_finite() && a.max().is_finite());
+        assert_eq!(a.min(), 5.0);
+        assert_eq!(a.max(), 5.0);
+
+        // Merging into an empty histogram adopts the other side's extremes.
+        let mut b = Histogram::latency_millis();
+        b.merge(&a);
+        assert_eq!(b.min(), 5.0);
+        assert_eq!(b.max(), 5.0);
+        assert_eq!(b.quantile(0.0), 5.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_infinity_with_total() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.record(0.5);
+        h.record(3.0);
+        h.record(1e12); // overflow bucket
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        let (last_upper, last_count) = *buckets.last().unwrap();
+        assert_eq!(last_upper, f64::INFINITY);
+        assert_eq!(last_count, h.count());
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "must be cumulative");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds must increase");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Bundled observability handles.
+//!
+//! Components that both trace and measure (the gateway, the sensor pipeline) would
+//! otherwise thread three `Arc`s through every constructor. [`Instrumentation`] bundles
+//! the [`MetricsRegistry`], the [`SpanCollector`], and the [`Clock`] they share, so one
+//! clone wires a whole subsystem into the same observability plane.
+
+use crate::clock::Clock;
+use crate::registry::MetricsRegistry;
+use crate::trace::SpanCollector;
+use std::sync::Arc;
+
+/// Shared handles onto one observability plane: metrics, spans, and the clock that
+/// times both.
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::instrument::Instrumentation;
+///
+/// let inst = Instrumentation::in_process();
+/// inst.registry.counter("boot_total", "Boots").inc();
+/// assert!(inst.registry.encode().contains("boot_total 1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// The unified metrics registry.
+    pub registry: Arc<MetricsRegistry>,
+    /// The span store for distributed traces.
+    pub collector: Arc<SpanCollector>,
+    /// Clock used for stage timing; matches the collector's clock.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Instrumentation {
+    /// Default collector capacity for [`in_process`](Self::in_process) planes.
+    pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+    /// Bundles existing handles; the clock is taken from the collector so spans and
+    /// stage histograms agree on time.
+    pub fn new(registry: Arc<MetricsRegistry>, collector: Arc<SpanCollector>) -> Self {
+        let clock = collector.clock();
+        Self { registry, collector, clock }
+    }
+
+    /// A fresh, self-contained plane on the system clock — convenient for binaries
+    /// and tests that do not attach to a gateway.
+    pub fn in_process() -> Self {
+        Self::new(
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(SpanCollector::new(Self::DEFAULT_SPAN_CAPACITY)),
+        )
+    }
+
+    /// A fresh plane on an explicit clock (virtual clocks make stage timing
+    /// deterministic in tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::new(
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(SpanCollector::with_clock(Self::DEFAULT_SPAN_CAPACITY, clock)),
+        )
+    }
+}
+
+impl Default for Instrumentation {
+    fn default() -> Self {
+        Self::in_process()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::trace::TraceId;
+
+    #[test]
+    fn clones_share_the_same_plane() {
+        let a = Instrumentation::in_process();
+        let b = a.clone();
+        b.registry.counter("shared_total", "Shared").inc();
+        assert!(a.registry.encode().contains("shared_total 1"));
+        let trace = TraceId::generate();
+        b.collector.start_span(trace, None, "work").finish();
+        assert_eq!(a.collector.spans(trace).len(), 1);
+    }
+
+    #[test]
+    fn with_clock_times_spans_virtually() {
+        let clock = VirtualClock::new();
+        let inst = Instrumentation::with_clock(Arc::new(clock.clone()));
+        let trace = TraceId::generate();
+        let span = inst.collector.start_span(trace, None, "step");
+        clock.advance_millis(8);
+        span.finish();
+        assert_eq!(inst.collector.spans(trace)[0].duration_ms(), 8.0);
+        assert_eq!(inst.clock.now_millis(), 8.0);
+    }
+}

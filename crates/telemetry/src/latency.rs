@@ -5,8 +5,10 @@
 //! plenty here: recording happens at most a few thousand times per second and the
 //! critical section is a handful of arithmetic operations.
 
+use crate::clock::{Clock, SystemClock};
 use crate::histogram::Histogram;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Thread-safe recorder of response times (milliseconds) and success/error outcomes.
 ///
@@ -24,6 +26,7 @@ use parking_lot::Mutex;
 #[derive(Debug)]
 pub struct LatencyRecorder {
     label: String,
+    clock: Arc<dyn Clock>,
     inner: Mutex<Inner>,
 }
 
@@ -36,10 +39,18 @@ struct Inner {
 }
 
 impl LatencyRecorder {
-    /// Creates a recorder labelled with the sampled endpoint/service name.
+    /// Creates a recorder labelled with the sampled endpoint/service name, timed by
+    /// [`SystemClock`].
     pub fn new(label: impl Into<String>) -> Self {
+        Self::with_clock(label, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a recorder with an explicit clock, so tests can drive the throughput
+    /// window with a [`crate::clock::VirtualClock`] instead of sleeping.
+    pub fn with_clock(label: impl Into<String>, clock: Arc<dyn Clock>) -> Self {
         Self {
             label: label.into(),
+            clock,
             inner: Mutex::new(Inner {
                 histogram: Histogram::latency_millis(),
                 errors: 0,
@@ -52,6 +63,11 @@ impl LatencyRecorder {
     /// The endpoint/service label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The recorder's clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Records a successful request's response time in milliseconds.
@@ -76,6 +92,11 @@ impl LatencyRecorder {
             g.first_nanos = Some(now_nanos);
         }
         g.last_nanos = Some(now_nanos);
+    }
+
+    /// Marks the observation window at the recorder's own clock's current time.
+    pub fn mark_now(&self) {
+        self.mark(self.clock.now_nanos());
     }
 
     /// Total recorded requests (successes + errors).
@@ -152,6 +173,19 @@ mod tests {
         assert_eq!(r.throughput_rps(), 0.0);
         r.mark(0);
         r.mark(1_000_000_000); // 1 s window, 1 sample
+        assert!((r.throughput_rps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_clock_drives_throughput_without_sleeping() {
+        let clock = crate::clock::VirtualClock::new();
+        let r = LatencyRecorder::with_clock("svc", Arc::new(clock.clone()));
+        r.record_ok(5.0);
+        r.mark_now();
+        clock.advance_millis(2_000);
+        r.record_ok(5.0);
+        r.mark_now();
+        // 2 samples over a 2 s window = 1 rps, with zero real time elapsed.
         assert!((r.throughput_rps() - 1.0).abs() < 1e-9);
     }
 

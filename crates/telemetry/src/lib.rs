@@ -15,16 +15,28 @@
 //!   transitions, deadline sheds, evictions, injected faults).
 //! - [`clock`] — a virtual/real clock abstraction so simulations and tests are
 //!   deterministic.
+//! - [`trace`] — distributed tracing: trace/span ids, span trees, and the bounded
+//!   [`trace::SpanCollector`] behind the gateway's `GET /trace/{id}` endpoint.
+//! - [`registry`] — the unified [`registry::MetricsRegistry`] of counter/gauge/histogram
+//!   families with a Prometheus text encoder for `GET /metrics`.
+//! - [`instrument`] — the [`instrument::Instrumentation`] bundle (registry + collector
+//!   + clock) threaded through the gateway and the sensor pipeline.
 
 pub mod clock;
 pub mod counter;
 pub mod histogram;
+pub mod instrument;
 pub mod latency;
+pub mod registry;
 pub mod report;
 pub mod timeseries;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
+pub use instrument::Instrumentation;
 pub use latency::LatencyRecorder;
+pub use registry::MetricsRegistry;
 pub use report::{ResilienceReport, SummaryReport};
 pub use timeseries::TimeSeries;
+pub use trace::{SpanCollector, SpanId, SpanStatus, TraceId};

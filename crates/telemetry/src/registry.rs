@@ -1,0 +1,460 @@
+//! Unified metrics registry with Prometheus text exposition.
+//!
+//! Every component registers named metric *families* — counters, gauges, or geometric
+//! [`Histogram`]s — keyed by a label set, and the gateway's `GET /metrics` endpoint
+//! serves [`MetricsRegistry::encode`], which renders the whole registry in the
+//! Prometheus text exposition format (version 0.0.4): `# HELP`/`# TYPE` headers,
+//! cumulative `_bucket{le="..."}` lines, `_sum` and `_count`.
+//!
+//! Handles are cheap `Arc`s: registering the same name + label set twice returns the
+//! same underlying series, so call sites can re-resolve handles instead of threading
+//! them through constructors.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The three Prometheus metric kinds this registry supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing event count.
+    Counter,
+    /// Set-point reading.
+    Gauge,
+    /// Geometric-bucket latency distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword for this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Shared handle onto one histogram series.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    inner: Arc<Mutex<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        self.inner.lock().record(value);
+    }
+
+    /// A consistent copy of the underlying histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(HistogramHandle),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// Point-in-time value of one series, for dashboard rendering.
+#[derive(Debug, Clone)]
+pub enum SeriesValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram copy.
+    Histogram(Histogram),
+}
+
+/// One series (label set + value) inside a [`MetricSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Sorted label pairs identifying the series.
+    pub labels: Vec<(String, String)>,
+    /// The series' value at snapshot time.
+    pub value: SeriesValue,
+}
+
+/// Point-in-time view of one metric family.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Family name, e.g. `spatial_gateway_retries_total`.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// All series of the family, in label order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Registry of named metric families, encodable as Prometheus text.
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::registry::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("requests_total", "Requests served").inc();
+/// reg.histogram_with("latency_ms", "Request latency", &[("route", "upper")]).observe(12.5);
+///
+/// let text = reg.encode();
+/// assert!(text.contains("# TYPE requests_total counter"));
+/// assert!(text.contains("requests_total 1"));
+/// assert!(text.contains("latency_ms_bucket{route=\"upper\",le=\"+Inf\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or resolves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or resolves) a counter series under `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid metric name or is already registered as a
+    /// different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let series = self.series(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Arc::new(Counter::new()))
+        });
+        match series {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or resolves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or resolves) a gauge series under `labels`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let series = self.series(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Arc::new(Gauge::default()))
+        });
+        match series {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or resolves) an unlabelled histogram with the standard
+    /// [`Histogram::latency_millis`] geometry.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or resolves) a histogram series under `labels`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> HistogramHandle {
+        let series = self.series(name, help, MetricKind::Histogram, labels, || {
+            Series::Histogram(HistogramHandle {
+                inner: Arc::new(Mutex::new(Histogram::latency_millis())),
+            })
+        });
+        match series {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?} on metric {name}");
+        }
+        let mut key: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        key.sort();
+        let mut families = self.families.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric {name} already registered as a {}",
+            family.kind.as_str()
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// A consistent snapshot of every family, in name order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.families
+            .lock()
+            .iter()
+            .map(|(name, family)| MetricSnapshot {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                series: family
+                    .series
+                    .iter()
+                    .map(|(labels, series)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match series {
+                            Series::Counter(c) => SeriesValue::Counter(c.value()),
+                            Series::Gauge(g) => SeriesValue::Gauge(g.value()),
+                            Series::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format (0.0.4).
+    ///
+    /// Families are emitted in name order and series in label order, so the output is
+    /// deterministic given the same recorded values.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for metric in self.snapshot() {
+            out.push_str(&format!("# HELP {} {}\n", metric.name, escape_help(&metric.help)));
+            out.push_str(&format!("# TYPE {} {}\n", metric.name, metric.kind.as_str()));
+            for series in &metric.series {
+                match &series.value {
+                    SeriesValue::Counter(v) => {
+                        out.push_str(&format!(
+                            "{}{} {v}\n",
+                            metric.name,
+                            label_block(&series.labels, None)
+                        ));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            metric.name,
+                            label_block(&series.labels, None),
+                            fmt_value(*v)
+                        ));
+                    }
+                    SeriesValue::Histogram(h) => {
+                        for (upper, cumulative) in h.cumulative_buckets() {
+                            out.push_str(&format!(
+                                "{}_bucket{} {cumulative}\n",
+                                metric.name,
+                                label_block(&series.labels, Some(upper))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            metric.name,
+                            label_block(&series.labels, None),
+                            fmt_value(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            metric.name,
+                            label_block(&series.labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus metric/label name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Renders `{k="v",...}` (with an optional trailing `le` label) or `""` when empty.
+fn label_block(labels: &[(String, String)], le: Option<f64>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(upper) = le {
+        parts.push(format!("le=\"{}\"", fmt_value(upper)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes help text: backslash and newline.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Formats an `f64` the way Prometheus expects (`+Inf`/`-Inf`/`NaN` specials).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", "Hits").add(3);
+        reg.counter("hits_total", "Hits").inc(); // same handle resolved twice
+        reg.gauge("temperature", "Reading").set(21.5);
+        let text = reg.encode();
+        assert!(text.contains("# HELP hits_total Hits\n"));
+        assert!(text.contains("# TYPE hits_total counter\n"));
+        assert!(text.contains("hits_total 4\n"));
+        assert!(text.contains("temperature 21.5\n"));
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("req_total", "Requests", &[("code", "200"), ("route", "a")]).inc();
+        reg.counter_with("req_total", "Requests", &[("route", "a"), ("code", "500")]).add(2);
+        let text = reg.encode();
+        // Labels are sorted by key regardless of call-site order.
+        assert!(text.contains("req_total{code=\"200\",route=\"a\"} 1\n"));
+        assert!(text.contains("req_total{code=\"500\",route=\"a\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_ends_at_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ms", "Latency");
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(1000.0);
+        let text = reg.encode();
+        assert!(text.contains("# TYPE lat_ms histogram\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ms_count 3\n"));
+        assert!(text.contains("lat_ms_sum 1003\n"));
+
+        // Bucket lines must be monotone non-decreasing in file order.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_ms_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.len() > 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "buckets must be cumulative");
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("odd_total", "Odd", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.encode();
+        assert!(text.contains("odd_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("thing", "A counter");
+        reg.gauge("thing", "Now a gauge?");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        MetricsRegistry::new().counter("bad-name", "dashes are not allowed");
+    }
+
+    #[test]
+    fn snapshot_mirrors_encode() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "A").inc();
+        reg.histogram_with("h_ms", "H", &[("stage", "infer")]).observe(4.2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a_total");
+        match &snap[0].series[0].value {
+            SeriesValue::Counter(v) => assert_eq!(*v, 1),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &snap[1].series[0].value {
+            SeriesValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(snap[1].series[0].labels, vec![("stage".to_string(), "infer".to_string())]);
+    }
+
+    #[test]
+    fn concurrent_registration_resolves_one_series() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        reg.counter("shared_total", "Shared").inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(reg.encode().contains("shared_total 800\n"));
+    }
+}

@@ -1,0 +1,563 @@
+//! Distributed request tracing.
+//!
+//! One client request fans out across the gateway, chaos proxies, service replicas and
+//! the sensor pipeline. A [`TraceId`] names the whole journey; every hop opens a
+//! [`Span`] (a named interval with status and key/value attributes) parented to the hop
+//! that caused it. Finished spans land in a sharded [`SpanCollector`], from which the
+//! gateway's `GET /trace/{id}` endpoint and the dashboard's waterfall view rebuild the
+//! span tree.
+//!
+//! Identifiers travel between processes as lowercase hex strings — 32 chars for a
+//! trace, 16 for a span — matching the W3C trace-context width without the version
+//! framing.
+
+use crate::clock::{Clock, SystemClock};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64 mixer — the same finalizer `spatial-linalg` seeds its PRNGs with, inlined
+/// here so the telemetry crate stays dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Process-unique entropy: wall-clock nanos mixed with a monotonically increasing
+/// counter, so ids stay distinct even when generated within the same clock tick.
+fn next_entropy() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix64(nanos ^ count.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Identifier shared by every span of one end-to-end request (128 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Generates a fresh, non-zero trace id.
+    pub fn generate() -> Self {
+        let hi = next_entropy() as u128;
+        let lo = next_entropy() as u128;
+        Self(((hi << 64) | lo).max(1))
+    }
+
+    /// Parses a 1–32 character lowercase/uppercase hex string; `None` on anything else.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Self)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Identifier of a single span within a trace (64 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Generates a fresh, non-zero span id.
+    pub fn generate() -> Self {
+        Self(next_entropy().max(1))
+    }
+
+    /// Parses a 1–16 character hex string; `None` on anything else.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Self)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Outcome of the operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// The span finished without an explicit verdict.
+    Unset,
+    /// The operation succeeded.
+    Ok,
+    /// The operation failed.
+    Error,
+}
+
+impl SpanStatus {
+    /// Lowercase wire name (`"unset"` / `"ok"` / `"error"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanStatus::Unset => "unset",
+            SpanStatus::Ok => "ok",
+            SpanStatus::Error => "error",
+        }
+    }
+}
+
+/// A finished interval of work: name, parentage, start/end ticks on the collector's
+/// clock, status, and free-form key/value attributes.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's own id.
+    pub span_id: SpanId,
+    /// Parent span, if any; `None` marks a root.
+    pub parent: Option<SpanId>,
+    /// Operation name, e.g. `"gateway /upper"` or `"preprocess"`.
+    pub name: String,
+    /// Start tick (nanoseconds on the collector's clock).
+    pub start_nanos: u64,
+    /// End tick (nanoseconds on the collector's clock).
+    pub end_nanos: u64,
+    /// Outcome of the covered operation.
+    pub status: SpanStatus,
+    /// Attributes in insertion order.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Span duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_nanos.saturating_sub(self.start_nanos) as f64 / 1e6
+    }
+}
+
+/// An in-flight span. Set attributes and status while the work runs; the span is
+/// recorded into its collector when the guard is dropped (or [`finish`](Self::finish)ed
+/// explicitly).
+#[derive(Debug)]
+pub struct ActiveSpan<'c> {
+    collector: &'c SpanCollector,
+    span: Option<Span>,
+}
+
+impl ActiveSpan<'_> {
+    /// This span's id — hand it to children (and downstream hops) as their parent.
+    pub fn span_id(&self) -> SpanId {
+        self.span.as_ref().expect("span still active").span_id
+    }
+
+    /// The trace this span belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        self.span.as_ref().expect("span still active").trace_id
+    }
+
+    /// Appends a key/value attribute.
+    pub fn set_attr(&mut self, key: &str, value: impl Into<String>) {
+        self.span
+            .as_mut()
+            .expect("span still active")
+            .attributes
+            .push((key.to_string(), value.into()));
+    }
+
+    /// Sets the span's outcome.
+    pub fn set_status(&mut self, status: SpanStatus) {
+        self.span.as_mut().expect("span still active").status = status;
+    }
+
+    /// Ends the span now and records it. Equivalent to dropping the guard, but reads
+    /// better at explicit completion points.
+    pub fn finish(self) {}
+}
+
+impl Drop for ActiveSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.span.take() {
+            span.end_nanos = self.collector.clock.now_nanos();
+            self.collector.record(span);
+        }
+    }
+}
+
+/// Bounded, sharded store of finished spans.
+///
+/// Writers pick a shard round-robin so concurrent request threads rarely contend on the
+/// same mutex; each shard keeps at most `capacity / shards` spans and evicts its oldest
+/// when full, so a long-running gateway never grows without bound.
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::clock::VirtualClock;
+/// use spatial_telemetry::trace::{SpanCollector, SpanStatus, TraceId};
+/// use std::sync::Arc;
+///
+/// let clock = VirtualClock::new();
+/// let collector = SpanCollector::with_clock(1024, Arc::new(clock.clone()));
+/// let trace = TraceId::generate();
+///
+/// let mut root = collector.start_span(trace, None, "request");
+/// clock.advance_millis(3);
+/// root.set_status(SpanStatus::Ok);
+/// root.finish();
+///
+/// let forest = collector.tree(trace);
+/// assert_eq!(forest.len(), 1);
+/// assert_eq!(forest[0].span.duration_ms(), 3.0);
+/// ```
+#[derive(Debug)]
+pub struct SpanCollector {
+    shards: Vec<Mutex<VecDeque<Span>>>,
+    capacity_per_shard: usize,
+    next_shard: AtomicUsize,
+    dropped: AtomicU64,
+    clock: Arc<dyn Clock>,
+}
+
+const SHARDS: usize = 8;
+
+impl SpanCollector {
+    /// Creates a collector holding at most ~`capacity` spans, timed by [`SystemClock`].
+    pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a collector with an explicit clock (virtual clocks make span timing
+    /// deterministic in tests).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            capacity_per_shard: per_shard,
+            next_shard: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            clock,
+        }
+    }
+
+    /// Opens a span starting now. The returned guard records the span on drop.
+    pub fn start_span(&self, trace: TraceId, parent: Option<SpanId>, name: &str) -> ActiveSpan<'_> {
+        ActiveSpan {
+            collector: self,
+            span: Some(Span {
+                trace_id: trace,
+                span_id: SpanId::generate(),
+                parent,
+                name: name.to_string(),
+                start_nanos: self.clock.now_nanos(),
+                end_nanos: 0,
+                status: SpanStatus::Unset,
+                attributes: Vec::new(),
+            }),
+        }
+    }
+
+    /// Stores an already-finished span (used by the guard; public so remote hops can
+    /// report spans they timed themselves).
+    pub fn record(&self, span: Span) {
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut shard = self.shards[idx].lock();
+        if shard.len() >= self.capacity_per_shard {
+            shard.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(span);
+    }
+
+    /// The collector's clock, shared so callers can time sub-operations consistently.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Spans evicted because the collector was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total spans currently retained, across all traces.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All finished spans of `trace`, ordered by start tick.
+    pub fn spans(&self, trace: TraceId) -> Vec<Span> {
+        let mut out: Vec<Span> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock().iter().filter(|sp| sp.trace_id == trace).cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|s| (s.start_nanos, s.span_id.0));
+        out
+    }
+
+    /// Rebuilds the span forest of `trace`: spans whose parent is missing (or absent)
+    /// become roots, everything else nests under its parent. Empty when the trace is
+    /// unknown.
+    pub fn tree(&self, trace: TraceId) -> Vec<SpanTree> {
+        build_forest(self.spans(trace))
+    }
+}
+
+/// A span with its children, ordered by start tick.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    /// The node itself.
+    pub span: Span,
+    /// Child spans, each a subtree.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    /// Number of spans in this subtree (including the root).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanTree::size).sum::<usize>()
+    }
+}
+
+/// Assembles a parent/child forest from a flat span list. Spans referencing a parent
+/// that is not in the list (e.g. evicted, or started by a remote caller) become roots.
+pub fn build_forest(mut spans: Vec<Span>) -> Vec<SpanTree> {
+    spans.sort_by_key(|s| (s.start_nanos, s.span_id.0));
+    let present: HashSet<u64> = spans.iter().map(|s| s.span_id.0).collect();
+    let mut by_parent: HashMap<u64, Vec<Span>> = HashMap::new();
+    let mut roots = Vec::new();
+    for span in spans {
+        match span.parent {
+            Some(p) if p != span.span_id && present.contains(&p.0) => {
+                by_parent.entry(p.0).or_default().push(span);
+            }
+            _ => roots.push(span),
+        }
+    }
+    fn attach(span: Span, by_parent: &mut HashMap<u64, Vec<Span>>) -> SpanTree {
+        let children = by_parent.remove(&span.span_id.0).unwrap_or_default();
+        SpanTree { span, children: children.into_iter().map(|c| attach(c, by_parent)).collect() }
+    }
+    roots.into_iter().map(|r| attach(r, &mut by_parent)).collect()
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn tree_to_json(tree: &SpanTree, out: &mut String) {
+    let s = &tree.span;
+    out.push_str(&format!("{{\"span_id\":\"{}\",", s.span_id));
+    match s.parent {
+        Some(p) => out.push_str(&format!("\"parent\":\"{p}\",")),
+        None => out.push_str("\"parent\":null,"),
+    }
+    out.push_str(&format!(
+        "\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"duration_ms\":{},\"status\":\"{}\",",
+        json_escape(&s.name),
+        s.start_nanos,
+        s.end_nanos,
+        s.duration_ms(),
+        s.status.as_str()
+    ));
+    out.push_str("\"attributes\":{");
+    for (i, (k, v)) in s.attributes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str("},\"children\":[");
+    for (i, child) in tree.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        tree_to_json(child, out);
+    }
+    out.push_str("]}");
+}
+
+/// Serializes a span forest as the JSON document served by `GET /trace/{id}`.
+///
+/// The telemetry crate deliberately hand-rolls this encoder: it has no serde
+/// dependency, and the span model is small enough that the format is auditable here.
+pub fn trace_to_json(trace: TraceId, forest: &[SpanTree]) -> String {
+    let span_count: usize = forest.iter().map(SpanTree::size).sum();
+    let mut out = format!("{{\"trace_id\":\"{trace}\",\"span_count\":{span_count},\"roots\":[");
+    for (i, tree) in forest.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        tree_to_json(tree, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn collector() -> (VirtualClock, SpanCollector) {
+        let clock = VirtualClock::new();
+        let collector = SpanCollector::with_clock(64, Arc::new(clock.clone()));
+        (clock, collector)
+    }
+
+    #[test]
+    fn ids_round_trip_through_hex() {
+        for _ in 0..32 {
+            let t = TraceId::generate();
+            assert_eq!(TraceId::from_hex(&t.to_string()), Some(t));
+            let s = SpanId::generate();
+            assert_eq!(SpanId::from_hex(&s.to_string()), Some(s));
+        }
+        assert_eq!(TraceId::from_hex(""), None);
+        assert_eq!(TraceId::from_hex("zz"), None);
+        assert_eq!(TraceId::from_hex(&"f".repeat(33)), None);
+        assert_eq!(SpanId::from_hex(&"f".repeat(17)), None);
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(TraceId::generate()), "trace ids must not repeat");
+        }
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_with_clock_times() {
+        let (clock, collector) = collector();
+        let trace = TraceId::generate();
+        {
+            let mut span = collector.start_span(trace, None, "work");
+            span.set_attr("k", "v");
+            clock.advance_millis(5);
+        }
+        let spans = collector.spans(trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration_ms(), 5.0);
+        assert_eq!(spans[0].status, SpanStatus::Unset);
+        assert_eq!(spans[0].attributes, vec![("k".to_string(), "v".to_string())]);
+    }
+
+    #[test]
+    fn tree_nests_children_and_orphans_become_roots() {
+        let (clock, collector) = collector();
+        let trace = TraceId::generate();
+        let root = collector.start_span(trace, None, "root");
+        let root_id = root.span_id();
+        clock.advance_millis(1);
+        {
+            let child = collector.start_span(trace, Some(root_id), "child");
+            clock.advance_millis(1);
+            let _grand = collector.start_span(trace, Some(child.span_id()), "grandchild");
+            clock.advance_millis(1);
+        }
+        // Orphan: parent id that was never recorded.
+        collector.start_span(trace, Some(SpanId(0xdead)), "orphan").finish();
+        root.finish();
+
+        let forest = collector.tree(trace);
+        assert_eq!(forest.len(), 2, "root + orphan");
+        let main = forest.iter().find(|t| t.span.name == "root").unwrap();
+        assert_eq!(main.size(), 3);
+        assert_eq!(main.children.len(), 1);
+        assert_eq!(main.children[0].span.name, "child");
+        assert_eq!(main.children[0].children[0].span.name, "grandchild");
+    }
+
+    #[test]
+    fn collector_is_bounded_and_counts_drops() {
+        let (_clock, collector) = collector(); // capacity 64 → 8 per shard
+        let trace = TraceId::generate();
+        for _ in 0..100 {
+            collector.start_span(trace, None, "s").finish();
+        }
+        assert!(collector.len() <= 64);
+        assert_eq!(collector.dropped(), 100 - collector.len() as u64);
+    }
+
+    #[test]
+    fn traces_are_isolated() {
+        let (_clock, collector) = collector();
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        collector.start_span(a, None, "a").finish();
+        collector.start_span(b, None, "b").finish();
+        assert_eq!(collector.spans(a).len(), 1);
+        assert_eq!(collector.spans(a)[0].name, "a");
+    }
+
+    #[test]
+    fn json_encodes_tree_shape_and_escapes() {
+        let (clock, collector) = collector();
+        let trace = TraceId::from_hex("abc123").unwrap();
+        let mut root = collector.start_span(trace, None, "say \"hi\"\n");
+        root.set_attr("path", "/a\\b");
+        clock.advance_millis(2);
+        let root_id = root.span_id();
+        collector.start_span(trace, Some(root_id), "child").finish();
+        root.set_status(SpanStatus::Ok);
+        root.finish();
+
+        let json = trace_to_json(trace, &collector.tree(trace));
+        assert!(json.starts_with(&format!("{{\"trace_id\":\"{trace}\",\"span_count\":2,")));
+        assert!(json.contains("\"name\":\"say \\\"hi\\\"\\n\""));
+        assert!(json.contains("\"path\":\"/a\\\\b\""));
+        assert!(json.contains("\"status\":\"ok\""));
+        assert!(json.contains("\"children\":[{"));
+        // Balanced braces/brackets — cheap structural sanity for the hand-rolled encoder.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn concurrent_span_recording_is_safe() {
+        let collector = Arc::new(SpanCollector::new(4096));
+        let trace = TraceId::generate();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&collector);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.start_span(trace, None, "w").finish();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(collector.spans(trace).len(), 400);
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints-as-errors, full test suite.
+# Run from anywhere; CI and pre-push hooks should call exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

@@ -5,8 +5,9 @@ use spatial::gateway::breaker::CircuitConfig;
 use spatial::gateway::chaos::{ChaosProxy, FaultPlan};
 use spatial::gateway::gateway::{
     ApiGateway, GatewayConfig, HealthCheckConfig, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+    PARENT_SPAN_HEADER, TRACE_HEADER,
 };
-use spatial::gateway::http::{request, request_with_headers};
+use spatial::gateway::http::{request, request_with_headers, HttpServer, Response};
 use spatial::gateway::loadgen::{run, ThreadGroup};
 use spatial::gateway::retry::RetryPolicy;
 use spatial::gateway::{Microservice, ServiceError, ServiceHost};
@@ -46,11 +47,8 @@ fn chaos_cluster(
     let mut proxies = Vec::new();
     for k in 0..replicas {
         let host = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
-        let plan = FaultPlan::uniform(
-            derive_seed(seed, k as u64),
-            fault_rate,
-            Duration::from_millis(10),
-        );
+        let plan =
+            FaultPlan::uniform(derive_seed(seed, k as u64), fault_rate, Duration::from_millis(10));
         let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(5))
             .expect("chaos proxy spawns");
         gw.register("upper", proxy.addr());
@@ -173,8 +171,7 @@ fn deadlines_hold_under_pure_latency_chaos() {
         added_latency: Duration::from_millis(300),
         ..FaultPlan::default()
     };
-    let proxy =
-        ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(5)).expect("proxy spawns");
+    let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(5)).expect("proxy spawns");
     gw.register("upper", proxy.addr());
 
     let t0 = Instant::now();
@@ -194,6 +191,89 @@ fn deadlines_hold_under_pure_latency_chaos() {
         "the caller must never wait past its deadline budget (waited {wall:?})"
     );
     assert!(gw.resilience_report().deadline_exceeded >= 1);
+}
+
+#[test]
+fn one_trace_id_survives_chaos_and_a_retried_attempt() {
+    use spatial::telemetry::trace::{SpanStatus, TraceId};
+
+    // Replica A always serves a fabricated 503 through its chaos proxy; replica B is
+    // healthy behind a fault-free proxy and records the headers it receives. A
+    // request that first lands on A must retry onto B carrying the same trace id,
+    // so one client call yields root + failed attempt + successful attempt.
+    let gw = ApiGateway::spawn_with_config(soak_config()).expect("gateway spawns");
+
+    let sick_host = ServiceHost::spawn(Arc::new(Upper), 32).expect("replica spawns");
+    let sick_plan = FaultPlan { seed: 5, error_rate: 1.0, ..FaultPlan::default() };
+    let sick = ChaosProxy::spawn(sick_host.addr(), sick_plan, Duration::from_secs(5))
+        .expect("chaos proxy spawns");
+
+    let seen = Arc::new(std::sync::Mutex::new(Vec::<(Option<String>, Option<String>)>::new()));
+    let seen_in_handler = Arc::clone(&seen);
+    let live_server = HttpServer::spawn(move |req| {
+        seen_in_handler.lock().unwrap().push((
+            req.headers.get(TRACE_HEADER).cloned(),
+            req.headers.get(PARENT_SPAN_HEADER).cloned(),
+        ));
+        Response::text(200, "SPATIAL")
+    })
+    .expect("live upstream spawns");
+    let live = ChaosProxy::spawn(live_server.addr(), FaultPlan::default(), Duration::from_secs(5))
+        .expect("fault-free proxy spawns");
+
+    gw.register("upper", sick.addr());
+    gw.register("upper", live.addr());
+
+    // Round-robin alternates the first pick, so within two client calls one request
+    // starts on the sick replica and has to retry.
+    let collector = gw.trace_collector();
+    let mut retried = None;
+    for i in 0..2u128 {
+        let trace = TraceId(0xc4a0_5000 + i);
+        let resp = request_with_headers(
+            gw.addr(),
+            "POST",
+            "/upper/shout",
+            &[
+                (TRACE_HEADER.to_string(), trace.to_string()),
+                (IDEMPOTENT_HEADER.to_string(), "1".to_string()),
+            ],
+            b"ok",
+            Duration::from_secs(5),
+        )
+        .expect("gateway answers");
+        assert_eq!(resp.status, 200, "retry onto the live replica must succeed");
+        assert_eq!(resp.body, b"SPATIAL");
+        if collector.spans(trace).len() >= 3 {
+            retried = Some(trace);
+            break;
+        }
+    }
+    let trace = retried.expect("one of two round-robin requests must start on the sick replica");
+
+    let forest = collector.tree(trace);
+    assert_eq!(forest.len(), 1, "all spans share the client-supplied trace id");
+    let root = &forest[0];
+    assert_eq!(root.span.name, "gateway /upper");
+    assert_eq!(root.span.status, SpanStatus::Ok);
+    assert!(root.children.len() >= 2, "a failed and a successful attempt: {root:#?}");
+    let statuses: Vec<SpanStatus> = root.children.iter().map(|c| c.span.status).collect();
+    assert!(statuses.contains(&SpanStatus::Error), "the 503 attempt is marked Error");
+    assert!(statuses.contains(&SpanStatus::Ok), "the retried attempt is marked Ok");
+
+    // The live upstream saw the same trace id, rewritten to a gateway parent span.
+    let seen = seen.lock().unwrap();
+    let attempt_ids: Vec<String> =
+        root.children.iter().map(|c| c.span.span_id.to_string()).collect();
+    let hit = seen
+        .iter()
+        .find(|(t, _)| t.as_deref() == Some(&trace.to_string()))
+        .expect("the upstream must have received the trace header through the chaos proxy");
+    let parent = hit.1.as_deref().expect("parent span header propagated");
+    assert!(
+        attempt_ids.iter().any(|id| id == parent),
+        "upstream parent {parent} must be one of the gateway's attempt spans {attempt_ids:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,200 @@
+//! Integration: the observability plane end to end — one traced client request
+//! through a retrying gateway cluster, scraped back out through `GET /metrics`
+//! (Prometheus text), `GET /trace/{id}` (JSON span tree), and `GET /healthz`.
+
+use spatial::gateway::breaker::CircuitConfig;
+use spatial::gateway::gateway::{ApiGateway, GatewayConfig, IDEMPOTENT_HEADER, TRACE_HEADER};
+use spatial::gateway::http::{request, request_with_headers};
+use spatial::gateway::retry::RetryPolicy;
+use spatial::gateway::{Microservice, ServiceError, ServiceHost};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Echoes the body back reversed — cheap, deterministic, content-checkable.
+struct Reverse;
+
+impl Microservice for Reverse {
+    fn name(&self) -> &str {
+        "reverse"
+    }
+    fn vcpus(&self) -> usize {
+        2
+    }
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint == "/flip" {
+            let mut out = body.to_vec();
+            out.reverse();
+            Ok(out)
+        } else {
+            Err(ServiceError::NotFound)
+        }
+    }
+}
+
+fn observed_cluster() -> (ApiGateway, Vec<ServiceHost>) {
+    let gw = ApiGateway::spawn_with_config(GatewayConfig {
+        upstream_timeout: Duration::from_secs(2),
+        circuit: CircuitConfig::default(),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+            budget: 32,
+            budget_refill_per_sec: 8.0,
+        },
+        health: None,
+    })
+    .expect("gateway spawns");
+    let mut hosts = Vec::new();
+    for _ in 0..2 {
+        let host = ServiceHost::spawn(Arc::new(Reverse), 32).expect("replica spawns");
+        gw.register("reverse", host.addr());
+        hosts.push(host);
+    }
+    (gw, hosts)
+}
+
+/// Structural validation of Prometheus text exposition: every non-comment line is
+/// `name{labels} value` with a parsable float, metric names are legal, and each
+/// histogram series' cumulative buckets are monotonically non-decreasing.
+fn assert_valid_prometheus_text(text: &str) {
+    // Last seen cumulative count per (bucket-series minus its `le` label).
+    let mut bucket_watermarks: std::collections::HashMap<String, u64> =
+        std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("# ") {
+            continue;
+        }
+        // Split on the *last* space: label values may contain escaped spaces.
+        let idx = line.rfind(' ').unwrap_or_else(|| panic!("unparsable sample line: {line}"));
+        let (series, value) = (&line[..idx], &line[idx + 1..]);
+        let value: f64 =
+            value.parse().unwrap_or_else(|_| panic!("sample value must be a float: {line}"));
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in line: {line}"
+        );
+        if name.ends_with("_bucket") {
+            // Identify the series by everything except the `le="..."` label.
+            let key = match series.find("le=\"") {
+                Some(i) => {
+                    let close =
+                        series[i + 4..].find('"').map(|j| i + 5 + j).unwrap_or(series.len());
+                    format!("{}{}", &series[..i], &series[close..])
+                }
+                None => series.to_string(),
+            };
+            let count = value as u64;
+            if let Some(prev) = bucket_watermarks.get(&key) {
+                assert!(
+                    count >= *prev,
+                    "cumulative buckets must be monotone: {line} after count {prev}"
+                );
+            }
+            bucket_watermarks.insert(key, count);
+        }
+    }
+}
+
+#[test]
+fn a_single_request_is_visible_in_metrics_trace_and_healthz() {
+    let (gw, _hosts) = observed_cluster();
+
+    // -- the one client request, with an explicit trace id -----------------------
+    let trace_hex = "00000000000000000000000000051ace";
+    let resp = request_with_headers(
+        gw.addr(),
+        "POST",
+        "/reverse/flip",
+        &[
+            (TRACE_HEADER.to_string(), trace_hex.to_string()),
+            (IDEMPOTENT_HEADER.to_string(), "1".to_string()),
+        ],
+        b"lairps",
+        Duration::from_secs(5),
+    )
+    .expect("gateway answers");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"sprial");
+
+    // -- GET /metrics ------------------------------------------------------------
+    let metrics =
+        request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.content_type, "text/plain; version=0.0.4");
+    let text = String::from_utf8(metrics.body).expect("exposition is UTF-8");
+    assert_valid_prometheus_text(&text);
+    assert!(text.contains("# TYPE spatial_gateway_request_duration_ms histogram"));
+    assert!(
+        text.contains("spatial_gateway_request_duration_ms_bucket{route=\"reverse\""),
+        "request-latency buckets must be present:\n{text}"
+    );
+    assert!(text.contains("spatial_gateway_request_duration_ms_count{route=\"reverse\"} 1"));
+    assert!(text.contains("spatial_gateway_requests_total{code=\"200\",route=\"reverse\"} 1"));
+    // The resilience counters are registered up front, visible even at zero.
+    for counter in [
+        "spatial_gateway_retries_total",
+        "spatial_gateway_breaker_opened_total",
+        "spatial_gateway_deadline_exceeded_total",
+    ] {
+        assert!(text.contains(&format!("# TYPE {counter} counter")), "missing {counter}");
+    }
+
+    // -- GET /trace/{id} ---------------------------------------------------------
+    let traced =
+        request(gw.addr(), "GET", &format!("/trace/{trace_hex}"), b"", Duration::from_secs(5))
+            .expect("trace endpoint answers");
+    assert_eq!(traced.status, 200);
+    let json = String::from_utf8(traced.body).unwrap();
+    assert!(json.contains(&format!("\"trace_id\":\"{trace_hex}\"")), "{json}");
+    assert!(json.contains("\"gateway /reverse\""), "root span present: {json}");
+    assert!(json.contains("\"attempt\""), "attempt child span present: {json}");
+    // Root + at least one attempt span.
+    let span_count: usize = json
+        .split("\"span_count\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("span_count field present");
+    assert!(span_count >= 2, "a request produces root + attempt spans, got {span_count}");
+
+    // -- unknown trace -----------------------------------------------------------
+    let missing = request(
+        gw.addr(),
+        "GET",
+        "/trace/000000000000000000000000deadbeef",
+        b"",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(missing.status, 404);
+
+    // -- GET /healthz ------------------------------------------------------------
+    let health =
+        request(gw.addr(), "GET", "/healthz", b"", Duration::from_secs(5)).expect("healthz");
+    assert_eq!(health.status, 200);
+    let body = String::from_utf8(health.body).unwrap();
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+}
+
+#[test]
+fn metrics_accumulate_across_requests_and_stay_well_formed() {
+    let (gw, _hosts) = observed_cluster();
+    for _ in 0..5 {
+        let resp =
+            request(gw.addr(), "POST", "/reverse/flip", b"abc", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // A 404 from the service maps to a non-200 code label.
+    let resp = request(gw.addr(), "POST", "/reverse/nope", b"abc", Duration::from_secs(5)).unwrap();
+    assert_ne!(resp.status, 200);
+
+    let metrics = request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).unwrap();
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert_valid_prometheus_text(&text);
+    assert!(text.contains("spatial_gateway_request_duration_ms_count{route=\"reverse\"} 6"));
+    assert!(text.contains("spatial_gateway_requests_total{code=\"200\",route=\"reverse\"} 5"));
+}
