@@ -41,8 +41,7 @@ pub fn fgsm_example(
 ) -> Vec<f64> {
     assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
     let grad = model.input_gradient(x, true_class);
-    let mut adv: Vec<f64> =
-        x.iter().zip(&grad).map(|(&v, &g)| v + epsilon * g.signum()).collect();
+    let mut adv: Vec<f64> = x.iter().zip(&grad).map(|(&v, &g)| v + epsilon * g.signum()).collect();
     if let Some((lo, hi)) = clamp {
         spatial_linalg::vector::clamp_slice(&mut adv, lo, hi);
     }
@@ -89,11 +88,7 @@ pub fn transfer_accuracy(
     clean: &Dataset,
     batch: &AdversarialBatch,
 ) -> (f64, f64) {
-    assert_eq!(
-        clean.n_samples(),
-        batch.labels.len(),
-        "clean set and adversarial batch must align"
-    );
+    assert_eq!(clean.n_samples(), batch.labels.len(), "clean set and adversarial batch must align");
     let clean_preds = target.predict_batch(&clean.features);
     let adv_preds = target.predict_batch(&batch.adversarial);
     (
@@ -105,10 +100,10 @@ pub fn transfer_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use spatial_linalg::rng;
     use spatial_ml::mlp::{MlpClassifier, MlpConfig};
     use spatial_ml::tree::DecisionTree;
-    use rand::Rng;
 
     fn blobs(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);
@@ -117,10 +112,7 @@ mod tests {
         for _ in 0..n {
             let label = r.random_range(0..2usize);
             let offset = label as f64 * 2.0 - 1.0;
-            rows.push(vec![
-                offset + rng::normal(&mut r, 0.0, 0.4),
-                rng::normal(&mut r, 0.0, 0.4),
-            ]);
+            rows.push(vec![offset + rng::normal(&mut r, 0.0, 0.4), rng::normal(&mut r, 0.0, 0.4)]);
             labels.push(label);
         }
         Dataset::new(

@@ -200,8 +200,8 @@ impl Net {
                     let g = gw[(i, j)] / batch;
                     layer.mw[(i, j)] = B1 * layer.mw[(i, j)] + (1.0 - B1) * g;
                     layer.vw[(i, j)] = B2 * layer.vw[(i, j)] + (1.0 - B2) * g * g;
-                    layer.w[(i, j)] -=
-                        self.lr * (layer.mw[(i, j)] / bc1) / ((layer.vw[(i, j)] / bc2).sqrt() + EPS);
+                    layer.w[(i, j)] -= self.lr * (layer.mw[(i, j)] / bc1)
+                        / ((layer.vw[(i, j)] / bc2).sqrt() + EPS);
                 }
                 let g = gb[i] / batch;
                 layer.mb[i] = B1 * layer.mb[i] + (1.0 - B1) * g;
@@ -371,10 +371,7 @@ pub fn gan_poison(
     assert!(label_as < ds.n_classes(), "label_as out of range");
     let source = ds.indices_of_class(fit_on_class);
     assert!(!source.is_empty(), "class {fit_on_class} has no samples to fit on");
-    assert!(
-        (0.0..=1.0).contains(&config.anchor_blend),
-        "anchor_blend must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&config.anchor_blend), "anchor_blend must be in [0,1]");
     let real = ds.features.select_rows(&source);
     let gan = TabularGan::fit(&real, config);
     let mut synthetic = gan.generate(n_synthetic);
@@ -383,12 +380,7 @@ pub fn gan_poison(
         // compensation documented on `GanConfig::anchor_blend`.
         let a = config.anchor_blend;
         for i in 0..synthetic.rows() {
-            let nearest = spatial_linalg::distance::k_nearest(
-                &real,
-                synthetic.row(i),
-                1,
-                None,
-            )[0];
+            let nearest = spatial_linalg::distance::k_nearest(&real, synthetic.row(i), 1, None)[0];
             let anchor: Vec<f64> = real.row(nearest).to_vec();
             let row = synthetic.row_mut(i);
             for (v, t) in row.iter_mut().zip(&anchor) {
@@ -425,10 +417,7 @@ mod tests {
         let mut r = rng::seeded(seed);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| {
-                mean.iter()
-                    .zip(std)
-                    .map(|(&m, &s)| m + s * rng::normal(&mut r, 0.0, 1.0))
-                    .collect()
+                mean.iter().zip(std).map(|(&m, &s)| m + s * rng::normal(&mut r, 0.0, 1.0)).collect()
             })
             .collect();
         Matrix::from_row_vecs(rows)
@@ -474,10 +463,7 @@ mod tests {
         let real = gaussian_blob(200, &[1.0, 1.0], &[1.0, 1.0], 3);
         let gan = TabularGan::fit(&real, &quick_config());
         let score = gan.final_discriminator_real_score();
-        assert!(
-            score > 0.2 && score < 0.995,
-            "D(real) = {score} suggests training collapsed"
-        );
+        assert!(score > 0.2 && score < 0.995, "D(real) = {score} suggests training collapsed");
     }
 
     #[test]
@@ -505,7 +491,11 @@ mod tests {
         }
         // Synthetic rows resemble class 0 (mean near 0, not 3).
         let synth_mean = spatial_linalg::vector::mean(
-            &poisoned.affected.iter().map(|&i| poisoned.dataset.features[(i, 0)]).collect::<Vec<_>>(),
+            &poisoned
+                .affected
+                .iter()
+                .map(|&i| poisoned.dataset.features[(i, 0)])
+                .collect::<Vec<_>>(),
         );
         assert!(synth_mean.abs() < 1.6, "synthetic mean {synth_mean} should hug class 0");
         assert!((poisoned.rate - 30.0 / 90.0).abs() < 1e-12);

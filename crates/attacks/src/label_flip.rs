@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn targeted_flip_caps_at_eligible_population() {
         let ds = dataset(9, 3); // 3 samples per class
-        // Rate 1.0 would want 9 flips but only 3 samples are class 0.
+                                // Rate 1.0 would want 9 flips but only 3 samples are class 0.
         let p = targeted_label_flip(&ds, 1.0, Some(0), 2, 7);
         assert_eq!(p.affected.len(), 3);
     }
@@ -212,12 +212,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two classes")]
     fn single_class_rejected() {
-        let ds = Dataset::new(
-            Matrix::zeros(3, 1),
-            vec![0, 0, 0],
-            vec!["x".into()],
-            vec!["only".into()],
-        );
+        let ds =
+            Dataset::new(Matrix::zeros(3, 1), vec![0, 0, 0], vec!["x".into()], vec!["only".into()]);
         let _ = random_label_flip(&ds, 0.5, 0);
     }
 }

@@ -24,7 +24,7 @@
 
 pub mod fgsm;
 pub mod gan;
-pub mod membership;
 pub mod label_flip;
+pub mod membership;
 pub mod poison;
 pub mod swap;

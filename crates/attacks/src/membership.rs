@@ -82,21 +82,16 @@ pub fn evaluate_membership_inference(
             best = (advantage, t, accuracy);
         }
     }
-    MiaReport {
-        scores,
-        advantage: best.0.max(0.0),
-        best_threshold: best.1,
-        accuracy: best.2,
-    }
+    MiaReport { scores, advantage: best.0.max(0.0), best_threshold: best.1, accuracy: best.2 }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use spatial_linalg::{rng, Matrix};
     use spatial_ml::tree::{DecisionTree, TreeConfig};
     use spatial_ml::TrainError;
-    use rand::Rng;
 
     fn noisy_data(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);
@@ -124,10 +119,7 @@ mod tests {
         let members = noisy_data(150, 1);
         let non_members = noisy_data(150, 2);
         // A fully grown tree memorizes its training data.
-        let mut dt = DecisionTree::with_config(TreeConfig {
-            max_depth: 64,
-            ..Default::default()
-        });
+        let mut dt = DecisionTree::with_config(TreeConfig { max_depth: 64, ..Default::default() });
         dt.fit(&members).unwrap();
         let report = evaluate_membership_inference(&dt, &members, &non_members);
         assert!(
@@ -142,10 +134,8 @@ mod tests {
     fn regularized_model_leaks_less() {
         let members = noisy_data(150, 3);
         let non_members = noisy_data(150, 4);
-        let mut deep = DecisionTree::with_config(TreeConfig {
-            max_depth: 64,
-            ..Default::default()
-        });
+        let mut deep =
+            DecisionTree::with_config(TreeConfig { max_depth: 64, ..Default::default() });
         deep.fit(&members).unwrap();
         let mut shallow = DecisionTree::with_config(TreeConfig {
             max_depth: 2,

@@ -52,12 +52,8 @@ mod tests {
             vec!["x".into()],
             vec!["a".into(), "b".into()],
         );
-        let p = PoisonedDataset {
-            dataset: ds,
-            attack: "test".into(),
-            rate: 0.5,
-            affected: vec![0, 2],
-        };
+        let p =
+            PoisonedDataset { dataset: ds, attack: "test".into(), rate: 0.5, affected: vec![0, 2] };
         assert_eq!(p.affected_fraction(), 0.5);
     }
 

@@ -46,9 +46,7 @@ fn bench_gan(c: &mut Criterion) {
         b.iter(|| black_box(TabularGan::fit(black_box(&real), &config)))
     });
     let gan = TabularGan::fit(&real, &GanConfig { steps: 200, ..Default::default() });
-    group.bench_function("generate_100", |b| {
-        b.iter(|| black_box(gan.generate(100)))
-    });
+    group.bench_function("generate_100", |b| b.iter(|| black_box(gan.generate(100))));
     group.finish();
 }
 

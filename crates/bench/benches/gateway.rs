@@ -21,9 +21,7 @@ fn bench_http_round_trip(c: &mut Criterion) {
     group.sample_size(30);
     group.bench_function("direct_round_trip", |b| {
         b.iter(|| {
-            black_box(
-                request(addr, "POST", "/x", b"{\"v\":1}", Duration::from_secs(5)).unwrap(),
-            )
+            black_box(request(addr, "POST", "/x", b"{\"v\":1}", Duration::from_secs(5)).unwrap())
         })
     });
     group.finish();
@@ -39,8 +37,7 @@ fn bench_gateway_overhead(c: &mut Criterion) {
     group.bench_function("forwarded_round_trip", |b| {
         b.iter(|| {
             black_box(
-                request(addr, "POST", "/echo/x", b"{\"v\":1}", Duration::from_secs(5))
-                    .unwrap(),
+                request(addr, "POST", "/echo/x", b"{\"v\":1}", Duration::from_secs(5)).unwrap(),
             )
         })
     });

@@ -33,11 +33,9 @@ fn bench_kernel_shap(c: &mut Criterion) {
             train.feature_names.clone(),
             ShapConfig { n_coalitions: coalitions, background_limit: 10, ..Default::default() },
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(coalitions),
-            &coalitions,
-            |b, _| b.iter(|| black_box(shap.explain(black_box(&x), 0))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(coalitions), &coalitions, |b, _| {
+            b.iter(|| black_box(shap.explain(black_box(&x), 0)))
+        });
     }
     group.finish();
 }

@@ -39,8 +39,7 @@ fn main() {
             let clean_acc = accuracy(&clean_rf.predict_batch(&test.features), &test.labels);
             let mut poisoned_rf = RandomForest::with_config(config());
             poisoned_rf.fit(&poisoned.dataset).expect("training succeeds");
-            let poisoned_acc =
-                accuracy(&poisoned_rf.predict_batch(&test.features), &test.labels);
+            let poisoned_acc = accuracy(&poisoned_rf.predict_batch(&test.features), &test.labels);
             println!(
                 "{trees:>6} {leaf:>6} {clean_acc:>12.3} {poisoned_acc:>12.3} {:>11.1}%",
                 poisoned_acc / clean_acc * 100.0

@@ -71,8 +71,7 @@ fn main() {
             4096,
         )
         .expect("shap replica spawns");
-        let plan =
-            FaultPlan::uniform(derive_seed(seed, k), fault_rate, Duration::from_millis(25));
+        let plan = FaultPlan::uniform(derive_seed(seed, k), fault_rate, Duration::from_millis(25));
         let proxy = ChaosProxy::spawn(host.addr(), plan, Duration::from_secs(30))
             .expect("chaos proxy spawns");
         gateway.register("shap", proxy.addr());
@@ -81,9 +80,7 @@ fn main() {
     }
 
     let body = to_json(&ExplainRequest { features: test.features.row(0).to_vec(), class: 0 });
-    println!(
-        "\n--- {threads} threads x 10 requests, seed {seed}, {fault_pct}% wire faults ---"
-    );
+    println!("\n--- {threads} threads x 10 requests, seed {seed}, {fault_pct}% wire faults ---");
     let result = run(
         gateway.addr(),
         "POST",

@@ -28,11 +28,7 @@ fn main() {
         for (mi, (name, factory)) in models.iter().enumerate() {
             let mut model = factory();
             model.fit(&poisoned.dataset).expect("training succeeds");
-            let e = evaluate(
-                &model.predict_batch(&test.features),
-                &test.labels,
-                test.n_classes(),
-            );
+            let e = evaluate(&model.predict_batch(&test.features), &test.labels, test.n_classes());
             table[mi].push(e);
             eprintln!("  p={:>4.0}% {:<4} acc={:.3}", rate * 100.0, name, e.accuracy);
         }

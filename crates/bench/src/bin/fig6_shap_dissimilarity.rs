@@ -33,10 +33,7 @@ fn main() {
     println!("{:<8} {:>16}", "p%", "dissimilarity");
     for &rate in PAPER_RATES_UC1.iter() {
         let poisoned = random_label_flip(&train, rate, 500 + (rate * 100.0) as u64);
-        let mut dnn = MlpClassifier::with_config(MlpConfig {
-            epochs: 20,
-            ..MlpConfig::dnn()
-        });
+        let mut dnn = MlpClassifier::with_config(MlpConfig { epochs: 20, ..MlpConfig::dnn() });
         dnn.fit(&poisoned.dataset).expect("training succeeds");
         let score = shap_dissimilarity(&dnn, &probe, 1, &config);
         println!("{:<8.0} {score:>16.4}", rate * 100.0);

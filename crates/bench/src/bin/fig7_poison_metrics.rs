@@ -26,11 +26,8 @@ fn main() {
     // Clean reference.
     let mut clean_nn = MlpClassifier::new().named("nn");
     clean_nn.fit(&train).expect("training succeeds");
-    let baseline = evaluate(
-        &clean_nn.predict_batch(&test.features),
-        &test.labels,
-        test.n_classes(),
-    );
+    let baseline =
+        evaluate(&clean_nn.predict_batch(&test.features), &test.labels, test.n_classes());
     println!("clean NN accuracy: {:.3}\n", baseline.accuracy);
 
     println!(

@@ -50,9 +50,7 @@ fn main() {
     let gateway = ApiGateway::spawn(Duration::from_secs(120)).expect("gateway spawns");
     gateway.register("impact", host.addr());
 
-    println!(
-        "\nload: {threads} threads x 3 requests, 1s ramp-up, batch of {n} samples/request\n"
-    );
+    println!("\nload: {threads} threads x 3 requests, 1s ramp-up, batch of {n} samples/request\n");
     let result = run(
         gateway.addr(),
         "POST",

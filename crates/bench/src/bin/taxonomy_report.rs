@@ -34,7 +34,10 @@ fn main() {
     }
 
     println!("\nCIA qualitative impact of the attack families (§IV):");
-    println!("{:<24} {:>16} {:>12} {:>14}", "vulnerability", "confidentiality", "integrity", "availability");
+    println!(
+        "{:<24} {:>16} {:>12} {:>14}",
+        "vulnerability", "confidentiality", "integrity", "availability"
+    );
     for a in reference_assessments() {
         println!(
             "{:<24} {:>16} {:>12} {:>14}",

@@ -20,7 +20,10 @@ fn main() {
         test.n_samples(),
         train.n_features()
     );
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "model", "accuracy", "precision", "recall", "train s");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "model", "accuracy", "precision", "recall", "train s"
+    );
     for (name, factory) in uc1_models() {
         let mut model = factory();
         let t0 = std::time::Instant::now();

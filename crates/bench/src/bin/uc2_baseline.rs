@@ -18,7 +18,10 @@ fn main() {
         train.n_samples(),
         test.n_samples()
     );
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "model", "accuracy", "precision", "recall", "train s");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "model", "accuracy", "precision", "recall", "train s"
+    );
     for (name, factory) in uc2_models() {
         let mut model = factory();
         let t0 = std::time::Instant::now();

@@ -52,10 +52,8 @@ pub fn uc1_splits(samples: usize, seed: u64) -> (Dataset, Dataset) {
 
 /// The use-case-2 flow dataset, stratified-split and standardized.
 pub fn uc2_splits(traces: usize, seed: u64) -> (Dataset, Dataset) {
-    let raw = spatial_data::netflow::generate(&spatial_data::netflow::NetflowConfig {
-        traces,
-        seed,
-    });
+    let raw =
+        spatial_data::netflow::generate(&spatial_data::netflow::NetflowConfig { traces, seed });
     scaled_split(&raw, 0.75, seed)
 }
 
@@ -85,15 +83,11 @@ pub fn uc1_models() -> Vec<ModelFactory> {
         ("RF", Box::new(|| Box::new(RandomForest::new()) as Box<dyn Model>)),
         (
             "MLP",
-            Box::new(|| {
-                Box::new(MlpClassifier::with_config(MlpConfig::mlp())) as Box<dyn Model>
-            }),
+            Box::new(|| Box::new(MlpClassifier::with_config(MlpConfig::mlp())) as Box<dyn Model>),
         ),
         (
             "DNN",
-            Box::new(|| {
-                Box::new(MlpClassifier::with_config(MlpConfig::dnn())) as Box<dyn Model>
-            }),
+            Box::new(|| Box::new(MlpClassifier::with_config(MlpConfig::dnn())) as Box<dyn Model>),
         ),
     ]
 }
@@ -101,10 +95,7 @@ pub fn uc1_models() -> Vec<ModelFactory> {
 /// The three use-case-2 models with the paper's names.
 pub fn uc2_models() -> Vec<ModelFactory> {
     vec![
-        (
-            "NN",
-            Box::new(|| Box::new(MlpClassifier::new().named("nn")) as Box<dyn Model>),
-        ),
+        ("NN", Box::new(|| Box::new(MlpClassifier::new().named("nn")) as Box<dyn Model>)),
         (
             "LightGBM",
             Box::new(|| {
@@ -127,8 +118,7 @@ pub fn uc2_models() -> Vec<ModelFactory> {
 /// Fig. 8(b)–(d).
 pub fn print_active_thread_curve(result: &spatial_gateway::loadgen::LoadResult, bucket: usize) {
     assert!(bucket > 0, "bucket must be positive");
-    let max_active =
-        result.samples.iter().map(|s| s.active_threads).max().unwrap_or(0);
+    let max_active = result.samples.iter().map(|s| s.active_threads).max().unwrap_or(0);
     println!("{:>14} {:>10} {:>12}", "active threads", "samples", "mean ms");
     let mut lo = 1usize;
     while lo <= max_active {

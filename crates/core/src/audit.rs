@@ -123,10 +123,7 @@ mod tests {
             sensor: "accuracy".into(),
             value: 0.71,
             tick: 3,
-            kind: crate::monitor::AlertKind::DriftExceeded {
-                baseline: 0.97,
-                degradation: 0.26,
-            },
+            kind: crate::monitor::AlertKind::DriftExceeded { baseline: 0.97, degradation: 0.26 },
         }
     }
 

@@ -67,15 +67,11 @@ impl AiSensor for GroupFairnessSensor {
             .into_iter()
             .map(|p| usize::from(p == self.favourable_class))
             .collect();
-        let actual: Vec<usize> = ctx
-            .test
-            .labels
-            .iter()
-            .map(|&l| usize::from(l == self.favourable_class))
-            .collect();
+        let actual: Vec<usize> =
+            ctx.test.labels.iter().map(|&l| usize::from(l == self.favourable_class)).collect();
         let outcomes = GroupOutcomes::new(groups, predicted, actual);
-        let gap = demographic_parity_difference(&outcomes)
-            .max(equalized_odds_difference(&outcomes));
+        let gap =
+            demographic_parity_difference(&outcomes).max(equalized_odds_difference(&outcomes));
         Ok((1.0 - gap).clamp(0.0, 1.0))
     }
 }

@@ -65,11 +65,8 @@ pub fn sanitize_labels(ds: &Dataset, k: usize) -> SanitizationOutcome {
         for &nb in &neighbours {
             counts[ds.labels[nb]] += 1;
         }
-        let (majority, votes) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .expect("at least one class");
+        let (majority, votes) =
+            counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("at least one class");
         if 2 * votes > k && majority != ds.labels[i] {
             labels[i] = majority;
             relabelled.push(i);
@@ -89,9 +86,9 @@ pub fn sanitize_labels(ds: &Dataset, k: usize) -> SanitizationOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use spatial_attacks::label_flip::random_label_flip;
     use spatial_linalg::{rng, Matrix};
-    use rand::Rng;
 
     fn blobs(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);
@@ -127,11 +124,8 @@ mod tests {
         let poisoned = random_label_flip(&ds, 0.1, 3);
         let out = sanitize_labels(&poisoned.dataset, 5);
         // Count how many of the flipped labels were restored.
-        let restored = poisoned
-            .affected
-            .iter()
-            .filter(|&&i| out.dataset.labels[i] == ds.labels[i])
-            .count();
+        let restored =
+            poisoned.affected.iter().filter(|&&i| out.dataset.labels[i] == ds.labels[i]).count();
         assert!(
             restored * 10 >= poisoned.affected.len() * 7,
             "expected >=70% repair, got {restored}/{}",

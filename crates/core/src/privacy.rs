@@ -44,8 +44,7 @@ impl AiSensor for MembershipPrivacySensor {
         }
         let cap = self.max_per_side.max(1);
         let members = ctx.train.subset(&(0..ctx.train.n_samples().min(cap)).collect::<Vec<_>>());
-        let non_members =
-            ctx.test.subset(&(0..ctx.test.n_samples().min(cap)).collect::<Vec<_>>());
+        let non_members = ctx.test.subset(&(0..ctx.test.n_samples().min(cap)).collect::<Vec<_>>());
         let report = evaluate_membership_inference(ctx.model, &members, &non_members);
         Ok(1.0 - report.advantage)
     }
@@ -54,11 +53,11 @@ impl AiSensor for MembershipPrivacySensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use spatial_data::Dataset;
     use spatial_linalg::{rng, Matrix};
     use spatial_ml::tree::{DecisionTree, TreeConfig};
     use spatial_ml::Model;
-    use rand::Rng;
 
     fn noisy(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);

@@ -208,8 +208,7 @@ impl AiSensor for ClassBalanceSensor {
             .iter()
             .zip(ctx.test.class_counts())
             .map(|(&a, b)| {
-                (a as f64 / ctx.train.n_samples() as f64
-                    - b as f64 / ctx.test.n_samples() as f64)
+                (a as f64 / ctx.train.n_samples() as f64 - b as f64 / ctx.test.n_samples() as f64)
                     .abs()
             })
             .sum();

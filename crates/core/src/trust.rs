@@ -99,13 +99,7 @@ mod tests {
     use super::*;
 
     fn reading(property: TrustProperty, direction: Direction, value: f64) -> SensorReading {
-        SensorReading {
-            sensor: format!("{property}-sensor"),
-            property,
-            direction,
-            value,
-            tick: 0,
-        }
+        SensorReading { sensor: format!("{property}-sensor"), property, direction, value, tick: 0 }
     }
 
     #[test]

@@ -30,10 +30,8 @@ pub fn snapshot(
     trust: &TrustScore,
     alerts: &[Alert],
 ) -> Snapshot {
-    let mut series: Vec<(String, Vec<f64>)> = monitor
-        .all_series()
-        .map(|s| (s.name().to_string(), s.values()))
-        .collect();
+    let mut series: Vec<(String, Vec<f64>)> =
+        monitor.all_series().map(|s| (s.name().to_string(), s.values())).collect();
     series.sort_by(|a, b| a.0.cmp(&b.0));
     Snapshot {
         title: title.to_string(),
@@ -70,10 +68,8 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_json() {
         let monitor = Monitor::new(SensorRegistry::new());
-        let trust = TrustScore {
-            overall: 0.8,
-            per_property: vec![(TrustProperty::Performance, 0.8, 1.0)],
-        };
+        let trust =
+            TrustScore { overall: 0.8, per_property: vec![(TrustProperty::Performance, 0.8, 1.0)] };
         let snap = snapshot("uc1", "dnn", &monitor, &trust, &[]);
         let json = snap.to_json();
         assert!(json.contains("uc1"));

@@ -48,10 +48,7 @@ fn health_word(score: f64) -> &'static str {
 }
 
 fn narrate_end_user(trust: &TrustScore, alerts: &[Alert]) -> String {
-    let mut out = format!(
-        "The automated assistant is {}.\n",
-        health_word(trust.overall)
-    );
+    let mut out = format!("The automated assistant is {}.\n", health_word(trust.overall));
     if alerts.is_empty() {
         out.push_str("No issues need your attention.\n");
     } else {
@@ -63,11 +60,7 @@ fn narrate_end_user(trust: &TrustScore, alerts: &[Alert]) -> String {
     out
 }
 
-fn narrate_developer(
-    trust: &TrustScore,
-    readings: &[SensorReading],
-    alerts: &[Alert],
-) -> String {
+fn narrate_developer(trust: &TrustScore, readings: &[SensorReading], alerts: &[Alert]) -> String {
     let mut out = format!("trust={:.3}; per-sensor readings:\n", trust.overall);
     for r in readings {
         out.push_str(&format!("  {} [{}] = {:.4}\n", r.sensor, r.property, r.value));
@@ -89,11 +82,7 @@ fn narrate_developer(
     out
 }
 
-fn narrate_auditor(
-    trust: &TrustScore,
-    readings: &[SensorReading],
-    alerts: &[Alert],
-) -> String {
+fn narrate_auditor(trust: &TrustScore, readings: &[SensorReading], alerts: &[Alert]) -> String {
     let mut out = String::from("COMPLIANCE SUMMARY\n");
     out.push_str(&format!(
         "Aggregate trust score {:.2} across {} quantified properties.\n",

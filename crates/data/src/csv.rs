@@ -127,11 +127,8 @@ pub fn from_csv(text: &str) -> Result<Dataset, ParseCsvError> {
         rows.push(row);
         labels.push(label);
     }
-    let features = if rows.is_empty() {
-        Matrix::zeros(0, n_features)
-    } else {
-        Matrix::from_row_vecs(rows)
-    };
+    let features =
+        if rows.is_empty() { Matrix::zeros(0, n_features) } else { Matrix::from_row_vecs(rows) };
     Ok(Dataset::new(features, labels, names, ensure_nonempty(class_names)))
 }
 

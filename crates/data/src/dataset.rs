@@ -47,11 +47,7 @@ impl Dataset {
         class_names: Vec<String>,
     ) -> Self {
         assert_eq!(features.rows(), labels.len(), "one label per sample required");
-        assert_eq!(
-            features.cols(),
-            feature_names.len(),
-            "one name per feature column required"
-        );
+        assert_eq!(features.cols(), feature_names.len(), "one name per feature column required");
         assert!(!class_names.is_empty(), "at least one class required");
         for (i, &l) in labels.iter().enumerate() {
             assert!(l < class_names.len(), "label {l} of sample {i} out of range");
@@ -119,11 +115,8 @@ impl Dataset {
         negative_name: &str,
         positive_name: &str,
     ) -> Dataset {
-        let labels = self
-            .labels
-            .iter()
-            .map(|l| usize::from(positive_classes.contains(l)))
-            .collect();
+        let labels =
+            self.labels.iter().map(|l| usize::from(positive_classes.contains(l))).collect();
         Dataset {
             features: self.features.clone(),
             labels,
@@ -141,12 +134,7 @@ impl Dataset {
 
     /// Indices of all samples with the given label.
     pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == class)
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect()
     }
 }
 

@@ -145,13 +145,7 @@ pub fn generate_blobs(n: usize, side: usize, seed: u64) -> ImageCorpus {
         } else {
             let off = side as f64 / 4.0;
             paint_blob(&mut img, off, off, side as f64 / 7.0, 0.85);
-            paint_blob(
-                &mut img,
-                side as f64 - off,
-                side as f64 - off,
-                side as f64 / 7.0,
-                0.85,
-            );
+            paint_blob(&mut img, side as f64 - off, side as f64 - off, side as f64 / 7.0, 0.85);
         }
         images.push(img);
         labels.push(label);

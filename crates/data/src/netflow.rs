@@ -82,11 +82,9 @@ pub fn extract_features(trace: &Trace) -> Vec<f64> {
     // Peak throughput over 1-second windows.
     let mut window_bytes = std::collections::HashMap::new();
     for p in pkts {
-        *window_bytes.entry((p.timestamp_us - first) / 1_000_000).or_insert(0.0) +=
-            p.size as f64;
+        *window_bytes.entry((p.timestamp_us - first) / 1_000_000).or_insert(0.0) += p.size as f64;
     }
-    let peak_throughput =
-        window_bytes.values().cloned().fold(0.0f64, f64::max) * 8.0; // bits per second
+    let peak_throughput = window_bytes.values().cloned().fold(0.0f64, f64::max) * 8.0; // bits per second
 
     let mean_iat = vector::mean(&iats_ms);
     let std_iat = stats::std_dev(&iats_ms);

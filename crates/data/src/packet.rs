@@ -327,12 +327,10 @@ fn blend_secondary(r: &mut impl Rng, trace: &mut Trace, duration_secs: f64) {
     let frac = r.random_range(0.3..0.8);
     let sub = synthesize_trace(r, secondary, duration_secs * frac);
     let offset_us = (r.random_range(0.0..(1.0 - frac).max(0.05)) * duration_secs * 1e6) as u64;
-    trace
-        .packets
-        .extend(sub.packets.into_iter().map(|mut p| {
-            p.timestamp_us += offset_us;
-            p
-        }));
+    trace.packets.extend(sub.packets.into_iter().map(|mut p| {
+        p.timestamp_us += offset_us;
+        p
+    }));
     trace.packets.sort_by_key(|p| p.timestamp_us);
 }
 

@@ -30,8 +30,7 @@ impl StandardScaler {
     /// Panics if `train` has no rows.
     pub fn fit(train: &Matrix) -> Self {
         assert!(train.rows() > 0, "cannot fit a scaler on an empty matrix");
-        let moments =
-            (0..train.cols()).map(|c| stats::column_moments(&train.col(c))).collect();
+        let moments = (0..train.cols()).map(|c| stats::column_moments(&train.col(c))).collect();
         Self { moments }
     }
 

@@ -190,9 +190,7 @@ pub fn windows_to_raw_dataset(windows: &[Window], repr: Representation) -> Datas
                 .iter()
                 .map(|w| {
                     (0..n)
-                        .map(|i| {
-                            (w.x[i] * w.x[i] + w.y[i] * w.y[i] + w.z[i] * w.z[i]).sqrt()
-                        })
+                        .map(|i| (w.x[i] * w.x[i] + w.y[i] * w.y[i] + w.z[i] * w.z[i]).sqrt())
                         .collect()
                 })
                 .collect();
@@ -274,11 +272,11 @@ fn synthesize_window(
         // --- Locomotion ADLs: periodic gait with harmonics ---
         2..=5 | 8 => {
             let (amp, freq) = match label {
-                2 => (1.6, 1.9),  // walking
-                3 => (4.2, 2.9),  // running
-                4 => (2.0, 1.6),  // upstairs
-                5 => (2.4, 1.8),  // downstairs
-                8 => (5.5, 2.2),  // jumping
+                2 => (1.6, 1.9), // walking
+                3 => (4.2, 2.9), // running
+                4 => (2.0, 1.6), // upstairs
+                5 => (2.4, 1.8), // downstairs
+                8 => (5.5, 2.2), // jumping
                 _ => unreachable!(),
             };
             let amp = amp * sgain;
@@ -427,9 +425,8 @@ fn direction_y(fall_kind: usize) -> f64 {
 /// Extracts the 24 engineered features from one window.
 pub fn extract_features(w: &Window) -> Vec<f64> {
     let n = w.x.len();
-    let mag: Vec<f64> = (0..n)
-        .map(|i| (w.x[i] * w.x[i] + w.y[i] * w.y[i] + w.z[i] * w.z[i]).sqrt())
-        .collect();
+    let mag: Vec<f64> =
+        (0..n).map(|i| (w.x[i] * w.x[i] + w.y[i] * w.y[i] + w.z[i] * w.z[i]).sqrt()).collect();
     let mag_mean = vector::mean(&mag);
     let mag_std = spatial_linalg::stats::std_dev(&mag);
     let (mag_min, mag_max) = spatial_linalg::stats::min_max(&mag).expect("non-empty window");
@@ -443,17 +440,13 @@ pub fn extract_features(w: &Window) -> Vec<f64> {
     const G: f64 = 9.81;
     let impact_count = mag.iter().filter(|&&v| v > G + 8.0).count() as f64;
     let freefall_fraction = mag.iter().filter(|&&v| v < 4.0).count() as f64 / n as f64;
-    let stillness_fraction =
-        mag.iter().filter(|&&v| (v - G).abs() < 1.2).count() as f64 / n as f64;
+    let stillness_fraction = mag.iter().filter(|&&v| (v - G).abs() < 1.2).count() as f64 / n as f64;
 
     // Stillness *after* the global peak — the conjunctive fall signature.
     let peak_at = vector::argmax(&mag).unwrap_or(0);
     let tail = &mag[(peak_at + 2).min(n - 1)..];
-    let post_peak_stillness = if tail.is_empty() {
-        0.0
-    } else {
-        spatial_linalg::stats::std_dev(tail)
-    };
+    let post_peak_stillness =
+        if tail.is_empty() { 0.0 } else { spatial_linalg::stats::std_dev(tail) };
     let peak_to_end_drop = mag_max - vector::mean(&mag[n - n / 8..]);
 
     // Dominant period via first positive-to-negative autocorrelation crossing.

@@ -234,9 +234,8 @@ impl ChaosProxy {
             tally: FaultTally::default(),
         });
         let thread_state = Arc::clone(&state);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("chaos-proxy-{addr}"))
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name(format!("chaos-proxy-{addr}")).spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((mut conn, _)) => {
@@ -416,9 +415,7 @@ impl Microservice for ChaosService {
                 std::thread::sleep(self.plan.added_latency);
                 self.inner.handle(endpoint, body)
             }
-            Some(Fault::Error) => {
-                Err(ServiceError::Internal("chaos: injected fault".into()))
-            }
+            Some(Fault::Error) => Err(ServiceError::Internal("chaos: injected fault".into())),
             Some(Fault::Drop) => panic!("chaos: injected handler panic"),
             Some(Fault::Corrupt) => {
                 let mut out = self.inner.handle(endpoint, body)?;
@@ -493,14 +490,10 @@ mod tests {
     #[test]
     fn quiet_proxy_is_transparent_and_forwards_spatial_headers() {
         let upstream = upstream_echo();
-        let proxy = ChaosProxy::spawn(
-            upstream.addr(),
-            FaultPlan::default(),
-            Duration::from_secs(5),
-        )
-        .unwrap();
-        let resp =
-            request(proxy.addr(), "POST", "/x", b"payload", Duration::from_secs(5)).unwrap();
+        let proxy =
+            ChaosProxy::spawn(upstream.addr(), FaultPlan::default(), Duration::from_secs(5))
+                .unwrap();
+        let resp = request(proxy.addr(), "POST", "/x", b"payload", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"payload");
         // x-spatial-* headers pass through.
@@ -533,8 +526,7 @@ mod tests {
     fn drop_fault_fails_the_client_transport() {
         let upstream = upstream_echo();
         let plan = FaultPlan { drop_rate: 1.0, ..FaultPlan::default() };
-        let proxy =
-            ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
+        let proxy = ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
         let result = request(proxy.addr(), "GET", "/x", b"", Duration::from_secs(2));
         assert!(result.is_err(), "dropped connection must error, got {result:?}");
         assert_eq!(proxy.fault_counts().drop, 1);
@@ -544,8 +536,7 @@ mod tests {
     fn corrupt_fault_is_unparsable_not_silently_wrong() {
         let upstream = upstream_echo();
         let plan = FaultPlan { corrupt_rate: 1.0, ..FaultPlan::default() };
-        let proxy =
-            ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
+        let proxy = ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
         let result = request(proxy.addr(), "POST", "/x", b"data", Duration::from_secs(2));
         match result {
             Err(HttpError::Malformed(_)) | Err(HttpError::Io(_)) => {}
@@ -562,8 +553,7 @@ mod tests {
             added_latency: Duration::from_millis(80),
             ..FaultPlan::default()
         };
-        let proxy =
-            ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
+        let proxy = ChaosProxy::spawn(upstream.addr(), plan, Duration::from_secs(5)).unwrap();
         let t0 = std::time::Instant::now();
         let resp = request(proxy.addr(), "POST", "/x", b"z", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 200);
@@ -592,8 +582,10 @@ mod tests {
         assert_eq!(quiet.name(), "upper");
         assert_eq!(quiet.vcpus(), 1);
 
-        let err_only =
-            ChaosService::new(Arc::new(Upper), FaultPlan { error_rate: 1.0, ..FaultPlan::default() });
+        let err_only = ChaosService::new(
+            Arc::new(Upper),
+            FaultPlan { error_rate: 1.0, ..FaultPlan::default() },
+        );
         assert!(matches!(err_only.handle("/x", b"ab"), Err(ServiceError::Internal(_))));
         assert_eq!(err_only.fault_counts().error, 1);
 

@@ -125,17 +125,12 @@ impl From<std::io::Error> for HttpError {
 ///
 /// The returned line keeps its terminator (like [`BufRead::read_line`]); callers
 /// trim. Exceeding the budget is a [`HttpError::TooLarge`].
-fn read_line_bounded(
-    reader: &mut impl BufRead,
-    budget: &mut usize,
-) -> Result<String, HttpError> {
+fn read_line_bounded(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     // +1 so we can tell "exactly at budget" from "over budget".
     reader.take(*budget as u64 + 1).read_until(b'\n', &mut buf)?;
     if buf.len() > *budget {
-        return Err(HttpError::TooLarge(format!(
-            "head exceeds the {MAX_HEAD}-byte limit"
-        )));
+        return Err(HttpError::TooLarge(format!("head exceeds the {MAX_HEAD}-byte limit")));
     }
     *budget -= buf.len();
     String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-utf8 head line".into()))
@@ -147,10 +142,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut budget = MAX_HEAD;
     let line = read_line_bounded(&mut reader, &mut budget)?;
     let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
-        .to_string();
+    let method =
+        parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
     let path = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("request line lacks a path".into()))?
@@ -306,9 +299,8 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handler = Arc::new(handler);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("http-accept-{addr}"))
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name(format!("http-accept-{addr}")).spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((mut conn, _)) => {
@@ -323,10 +315,9 @@ impl HttpServer {
                                     Ok(req) => {
                                         match catch_unwind(AssertUnwindSafe(|| handler(req))) {
                                             Ok(resp) => resp,
-                                            Err(_) => Response::text(
-                                                500,
-                                                "handler panicked".to_string(),
-                                            ),
+                                            Err(_) => {
+                                                Response::text(500, "handler panicked".to_string())
+                                            }
                                         }
                                     }
                                     Err(e @ HttpError::TooLarge(_)) => {
@@ -391,14 +382,8 @@ mod tests {
     #[test]
     fn round_trips_a_post() {
         let server = echo_server();
-        let resp = request(
-            server.addr(),
-            "POST",
-            "/echo",
-            b"{\"x\":1}",
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let resp =
+            request(server.addr(), "POST", "/echo", b"{\"x\":1}", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"x\":1}");
         assert_eq!(resp.content_type, "application/json");
@@ -407,16 +392,14 @@ mod tests {
     #[test]
     fn unknown_path_is_404() {
         let server = echo_server();
-        let resp =
-            request(server.addr(), "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
+        let resp = request(server.addr(), "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 404);
     }
 
     #[test]
     fn empty_body_get_works() {
         let server = echo_server();
-        let resp =
-            request(server.addr(), "GET", "/echo", b"", Duration::from_secs(5)).unwrap();
+        let resp = request(server.addr(), "GET", "/echo", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 200);
         assert!(resp.body.is_empty());
     }
@@ -448,14 +431,9 @@ mod tests {
             .map(|i| {
                 std::thread::spawn(move || {
                     let body = format!("{{\"i\":{i}}}");
-                    let resp = request(
-                        addr,
-                        "POST",
-                        "/echo",
-                        body.as_bytes(),
-                        Duration::from_secs(5),
-                    )
-                    .unwrap();
+                    let resp =
+                        request(addr, "POST", "/echo", body.as_bytes(), Duration::from_secs(5))
+                            .unwrap();
                     assert_eq!(resp.body, body.as_bytes());
                 })
             })
@@ -483,8 +461,7 @@ mod tests {
     fn large_body_round_trips() {
         let server = echo_server();
         let body = vec![b'a'; 1 << 20];
-        let resp =
-            request(server.addr(), "POST", "/echo", &body, Duration::from_secs(10)).unwrap();
+        let resp = request(server.addr(), "POST", "/echo", &body, Duration::from_secs(10)).unwrap();
         assert_eq!(resp.body.len(), body.len());
     }
 
@@ -497,8 +474,7 @@ mod tests {
             Response::json(req.body)
         })
         .unwrap();
-        let resp =
-            request(server.addr(), "GET", "/boom", b"", Duration::from_secs(5)).unwrap();
+        let resp = request(server.addr(), "GET", "/boom", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 500);
         // The server survives and keeps answering.
         let ok = request(server.addr(), "POST", "/ok", b"x", Duration::from_secs(5)).unwrap();

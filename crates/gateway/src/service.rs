@@ -109,10 +109,7 @@ impl ServiceHost {
 
 impl std::fmt::Debug for ServiceHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceHost")
-            .field("name", &self.name)
-            .field("addr", &self.addr())
-            .finish()
+        f.debug_struct("ServiceHost").field("name", &self.name).field("addr", &self.addr()).finish()
     }
 }
 
@@ -163,17 +160,14 @@ mod tests {
 
     #[test]
     fn routes_to_endpoints() {
-        let host =
-            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
-        let ok = request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5))
-            .unwrap();
+        let host = ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
+        let ok = request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5)).unwrap();
         assert_eq!(ok.status, 200);
         assert_eq!(ok.body, b"hi");
         let missing =
             request(host.addr(), "POST", "/echo/nope", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(missing.status, 404);
-        let boom =
-            request(host.addr(), "POST", "/echo/boom", b"", Duration::from_secs(5)).unwrap();
+        let boom = request(host.addr(), "POST", "/echo/boom", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(boom.status, 500);
         assert!(String::from_utf8_lossy(&boom.body).contains("kaput"));
     }
@@ -181,11 +175,9 @@ mod tests {
     #[test]
     fn health_bypasses_the_pool() {
         let host =
-            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::from_secs(5) }), 1)
-                .unwrap();
+            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::from_secs(5) }), 1).unwrap();
         // Even with the worker busy-able, health answers instantly.
-        let h = request(host.addr(), "GET", "/echo/health", b"", Duration::from_secs(2))
-            .unwrap();
+        let h = request(host.addr(), "GET", "/echo/health", b"", Duration::from_secs(2)).unwrap();
         assert_eq!(h.status, 200);
     }
 
@@ -201,8 +193,7 @@ mod tests {
             request(addr, "POST", "/echo/say", b"1", Duration::from_secs(5)).unwrap()
         });
         std::thread::sleep(Duration::from_millis(150));
-        let second =
-            request(addr, "POST", "/echo/say", b"2", Duration::from_secs(5)).unwrap();
+        let second = request(addr, "POST", "/echo/say", b"2", Duration::from_secs(5)).unwrap();
         assert_eq!(second.status, 503);
         assert_eq!(busy.join().unwrap().status, 200);
     }
@@ -211,25 +202,22 @@ mod tests {
     fn panicking_handler_is_500_and_pool_keeps_serving() {
         // One vCPU: if the panic killed the worker thread, the follow-up requests
         // would all time out or bounce with 503.
-        let host =
-            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
+        let host = ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
         let boom =
             request(host.addr(), "POST", "/echo/panic", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(boom.status, 500);
         assert!(String::from_utf8_lossy(&boom.body).contains("panicked"));
         for _ in 0..3 {
-            let ok = request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5))
-                .unwrap();
+            let ok =
+                request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5)).unwrap();
             assert_eq!(ok.status, 200);
         }
     }
 
     #[test]
     fn wrong_prefix_is_404() {
-        let host =
-            ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 4).unwrap();
-        let resp =
-            request(host.addr(), "POST", "/other/say", b"", Duration::from_secs(5)).unwrap();
+        let host = ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 4).unwrap();
+        let resp = request(host.addr(), "POST", "/other/say", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 404);
     }
 }

@@ -96,10 +96,10 @@ mod tests {
     use super::*;
     use crate::http::request;
     use crate::service::ServiceHost;
+    use rand::Rng;
     use spatial_linalg::rng;
     use spatial_ml::mlp::{MlpClassifier, MlpConfig};
     use spatial_ml::Model;
-    use rand::Rng;
     use std::time::Duration;
 
     fn trained() -> (MlpClassifier, Dataset) {
@@ -133,12 +133,8 @@ mod tests {
 
     fn host() -> (ServiceHost, Dataset) {
         let (nn, ds) = trained();
-        let svc = ImpactService::new(
-            Arc::new(nn),
-            ds.feature_names.clone(),
-            ds.class_names.clone(),
-            8,
-        );
+        let svc =
+            ImpactService::new(Arc::new(nn), ds.feature_names.clone(), ds.class_names.clone(), 8);
         (ServiceHost::spawn(Arc::new(svc), 32).unwrap(), ds)
     }
 
@@ -152,8 +148,7 @@ mod tests {
             epsilon: 1.0,
         });
         let resp =
-            request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(20))
-                .unwrap();
+            request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(20)).unwrap();
         assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
         let out: ImpactResponse = from_json(&resp.body).unwrap();
         assert!(out.impact > 0.2, "a large epsilon should flip many points: {}", out.impact);
@@ -169,8 +164,8 @@ mod tests {
             labels: vec![0, 1],
             epsilon: 0.1,
         });
-        let resp = request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
     }
 
@@ -183,8 +178,8 @@ mod tests {
             labels: vec![ds.labels[0]],
             epsilon: 0.0,
         });
-        let resp = request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(h.addr(), "POST", "/impact/evasion", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
     }
 }

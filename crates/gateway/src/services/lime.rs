@@ -6,8 +6,7 @@
 
 use crate::service::{Microservice, ServiceError};
 use crate::wire::{
-    from_json, to_json, ExplainImageRequest, ExplainImageResponse, ExplainRequest,
-    ExplainResponse,
+    from_json, to_json, ExplainImageRequest, ExplainImageResponse, ExplainRequest, ExplainResponse,
 };
 use spatial_data::image::GrayImage;
 use spatial_linalg::Matrix;
@@ -111,11 +110,11 @@ impl Microservice for LimeService {
                 }))
             }
             "/explain-image" => {
-                let model = self.image_model.as_ref().ok_or_else(|| {
-                    ServiceError::BadRequest("no image model deployed".into())
-                })?;
-                let req: ExplainImageRequest =
-                    from_json(body).map_err(ServiceError::BadRequest)?;
+                let model = self
+                    .image_model
+                    .as_ref()
+                    .ok_or_else(|| ServiceError::BadRequest("no image model deployed".into()))?;
+                let req: ExplainImageRequest = from_json(body).map_err(ServiceError::BadRequest)?;
                 if req.pixels.len() != req.side * req.side {
                     return Err(ServiceError::BadRequest(format!(
                         "pixel buffer {} does not match side {}",
@@ -194,8 +193,8 @@ mod tests {
     fn tabular_explain_over_http() {
         let host = ServiceHost::spawn(Arc::new(tabular_service()), 16).unwrap();
         let body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
-        let resp = request(host.addr(), "POST", "/lime/explain", &body, Duration::from_secs(10))
-            .unwrap();
+        let resp =
+            request(host.addr(), "POST", "/lime/explain", &body, Duration::from_secs(10)).unwrap();
         assert_eq!(resp.status, 200);
         let out: ExplainResponse = from_json(&resp.body).unwrap();
         assert_eq!(out.method, "lime");
@@ -220,8 +219,7 @@ mod tests {
             LimeImageConfig { n_samples: 32, ..LimeImageConfig::default() },
         );
         let host = ServiceHost::spawn(Arc::new(svc), 16).unwrap();
-        let body =
-            to_json(&ExplainImageRequest { side: 16, pixels: vec![0.5; 256], class: 1 });
+        let body = to_json(&ExplainImageRequest { side: 16, pixels: vec![0.5; 256], class: 1 });
         let resp =
             request(host.addr(), "POST", "/lime/explain-image", &body, Duration::from_secs(10))
                 .unwrap();
@@ -233,10 +231,8 @@ mod tests {
 
     #[test]
     fn bad_pixel_buffer_is_400() {
-        let svc = tabular_service().with_image_model(
-            Arc::new(BrightnessModel { side: 16 }),
-            LimeImageConfig::default(),
-        );
+        let svc = tabular_service()
+            .with_image_model(Arc::new(BrightnessModel { side: 16 }), LimeImageConfig::default());
         let host = ServiceHost::spawn(Arc::new(svc), 16).unwrap();
         let body = to_json(&ExplainImageRequest { side: 16, pixels: vec![0.5; 10], class: 0 });
         let resp =

@@ -58,11 +58,7 @@ impl Microservice for OcclusionService {
         }
         let image = GrayImage::from_pixels(req.side, req.pixels);
         let map = occlusion_map(self.model.as_ref(), &image, req.class, &self.config);
-        Ok(to_json(&OcclusionResponse {
-            drops: map.drops,
-            cols: map.cols,
-            baseline: map.baseline,
-        }))
+        Ok(to_json(&OcclusionResponse { drops: map.drops, cols: map.cols, baseline: map.baseline }))
     }
 }
 
@@ -141,8 +137,7 @@ mod tests {
     fn unknown_endpoint_is_404() {
         let h = host();
         let resp =
-            request(h.addr(), "POST", "/occlusion/explain", b"{}", Duration::from_secs(5))
-                .unwrap();
+            request(h.addr(), "POST", "/occlusion/explain", b"{}", Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 404);
     }
 }

@@ -123,8 +123,7 @@ mod tests {
             seed: 1,
         });
         let resp =
-            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(30))
-                .unwrap();
+            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(30)).unwrap();
         assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
         let out: TrainResponse = from_json(&resp.body).unwrap();
         assert_eq!(out.model, "decision-tree");
@@ -140,8 +139,8 @@ mod tests {
             train_fraction: 0.8,
             seed: 1,
         });
-        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
         assert!(String::from_utf8_lossy(&resp.body).contains("unknown model"));
     }
@@ -155,8 +154,8 @@ mod tests {
             train_fraction: 0.8,
             seed: 1,
         });
-        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
         assert!(String::from_utf8_lossy(&resp.body).contains("csv"));
     }
@@ -170,8 +169,8 @@ mod tests {
             train_fraction: 1.5,
             seed: 1,
         });
-        let resp = request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(h.addr(), "POST", "/pipeline/train", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
     }
 

@@ -108,8 +108,8 @@ mod tests {
     fn explains_over_http() {
         let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
         let body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
-        let resp = request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(10))
-            .unwrap();
+        let resp =
+            request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(10)).unwrap();
         assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
         let out: ExplainResponse = from_json(&resp.body).unwrap();
         assert_eq!(out.method, "kernel-shap");
@@ -123,17 +123,16 @@ mod tests {
     fn wrong_feature_count_is_400() {
         let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
         let body = to_json(&ExplainRequest { features: vec![1.0], class: 0 });
-        let resp = request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(5))
-            .unwrap();
+        let resp =
+            request(host.addr(), "POST", "/shap/explain", &body, Duration::from_secs(5)).unwrap();
         assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn malformed_body_is_400() {
         let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
-        let resp =
-            request(host.addr(), "POST", "/shap/explain", b"{oops", Duration::from_secs(5))
-                .unwrap();
+        let resp = request(host.addr(), "POST", "/shap/explain", b"{oops", Duration::from_secs(5))
+            .unwrap();
         assert_eq!(resp.status, 400);
     }
 

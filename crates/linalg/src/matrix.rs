@@ -205,11 +205,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -359,7 +355,12 @@ impl Matrix {
     ///
     /// Panics if `y.len() != self.rows()`, or if `weights` is `Some` with a length other
     /// than `self.rows()`.
-    pub fn least_squares(&self, y: &[f64], weights: Option<&[f64]>, ridge: f64) -> Option<Vec<f64>> {
+    pub fn least_squares(
+        &self,
+        y: &[f64],
+        weights: Option<&[f64]>,
+        ridge: f64,
+    ) -> Option<Vec<f64>> {
         assert_eq!(y.len(), self.rows, "least_squares rhs length mismatch");
         if let Some(w) = weights {
             assert_eq!(w.len(), self.rows, "least_squares weight length mismatch");

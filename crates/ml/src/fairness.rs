@@ -46,9 +46,8 @@ impl GroupOutcomes {
 
     /// Positive-prediction rate within one group; `None` when the group is absent.
     pub fn positive_rate(&self, group: usize) -> Option<f64> {
-        let members: Vec<usize> = (0..self.groups.len())
-            .filter(|&i| self.groups[i] == group)
-            .collect();
+        let members: Vec<usize> =
+            (0..self.groups.len()).filter(|&i| self.groups[i] == group).collect();
         if members.is_empty() {
             return None;
         }
@@ -86,11 +85,8 @@ impl GroupOutcomes {
 /// Largest pairwise gap in positive-prediction rates across groups; `0.0` with fewer
 /// than two groups.
 pub fn demographic_parity_difference(outcomes: &GroupOutcomes) -> f64 {
-    let rates: Vec<f64> = outcomes
-        .group_ids()
-        .into_iter()
-        .filter_map(|g| outcomes.positive_rate(g))
-        .collect();
+    let rates: Vec<f64> =
+        outcomes.group_ids().into_iter().filter_map(|g| outcomes.positive_rate(g)).collect();
     spread(&rates)
 }
 
@@ -156,11 +152,7 @@ mod tests {
 
     #[test]
     fn fair_classifier_scores_zero() {
-        let fair = GroupOutcomes::new(
-            vec![0, 0, 1, 1],
-            vec![1, 0, 1, 0],
-            vec![1, 0, 1, 0],
-        );
+        let fair = GroupOutcomes::new(vec![0, 0, 1, 1], vec![1, 0, 1, 0], vec![1, 0, 1, 0]);
         assert_eq!(demographic_parity_difference(&fair), 0.0);
         assert_eq!(equalized_odds_difference(&fair), 0.0);
     }

@@ -117,11 +117,7 @@ impl FederatedTrainer {
             for (ci, data) in clients.iter().enumerate() {
                 let mut local = MlpClassifier::with_config(MlpConfig {
                     // Vary the shuffling stream per client and round.
-                    seed: self
-                        .config
-                        .client
-                        .seed
-                        .wrapping_add(1 + round as u64 * 1000 + ci as u64),
+                    seed: self.config.client.seed.wrapping_add(1 + round as u64 * 1000 + ci as u64),
                     ..self.config.client.clone()
                 });
                 local.initialize(d, k);
@@ -159,17 +155,15 @@ pub fn aggregate(updates: &[(Vec<f64>, f64)], rule: Aggregation) -> Vec<f64> {
             }
             out
         }
-        Aggregation::Median => {
-            coordinate_wise(updates, len, |mut col| {
-                col.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
-                let m = col.len();
-                if m % 2 == 1 {
-                    col[m / 2]
-                } else {
-                    (col[m / 2 - 1] + col[m / 2]) / 2.0
-                }
-            })
-        }
+        Aggregation::Median => coordinate_wise(updates, len, |mut col| {
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
+            let m = col.len();
+            if m % 2 == 1 {
+                col[m / 2]
+            } else {
+                (col[m / 2 - 1] + col[m / 2]) / 2.0
+            }
+        }),
         Aggregation::TrimmedMean { trim } => {
             let drop_each = ((updates.len() as f64) * trim).floor() as usize;
             coordinate_wise(updates, len, move |mut col| {
@@ -186,17 +180,15 @@ fn coordinate_wise(
     len: usize,
     combine: impl Fn(Vec<f64>) -> f64,
 ) -> Vec<f64> {
-    (0..len)
-        .map(|j| combine(updates.iter().map(|(u, _)| u[j]).collect()))
-        .collect()
+    (0..len).map(|j| combine(updates.iter().map(|(u, _)| u[j]).collect())).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Model;
-    use spatial_linalg::{rng, Matrix};
     use rand::Rng;
+    use spatial_linalg::{rng, Matrix};
 
     fn blob_client(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);
@@ -235,14 +227,11 @@ mod tests {
     #[test]
     fn fedavg_learns_from_distributed_clients() {
         let clients: Vec<Dataset> = (0..4).map(|i| blob_client(80, i)).collect();
-        let global = FederatedTrainer::new(quick_config(Aggregation::FedAvg))
-            .train(&clients)
-            .unwrap();
+        let global =
+            FederatedTrainer::new(quick_config(Aggregation::FedAvg)).train(&clients).unwrap();
         let holdout = blob_client(200, 99);
-        let acc = crate::metrics::accuracy(
-            &global.predict_batch(&holdout.features),
-            &holdout.labels,
-        );
+        let acc =
+            crate::metrics::accuracy(&global.predict_batch(&holdout.features), &holdout.labels);
         assert!(acc > 0.9, "federated model should generalize: {acc}");
     }
 
@@ -270,29 +259,20 @@ mod tests {
     #[test]
     fn trimmed_mean_matches_mean_without_adversaries() {
         let clients: Vec<Dataset> = (0..4).map(|i| blob_client(60, 10 + i)).collect();
-        let avg = FederatedTrainer::new(quick_config(Aggregation::FedAvg))
+        let avg = FederatedTrainer::new(quick_config(Aggregation::FedAvg)).train(&clients).unwrap();
+        let trimmed = FederatedTrainer::new(quick_config(Aggregation::TrimmedMean { trim: 0.25 }))
             .train(&clients)
             .unwrap();
-        let trimmed =
-            FederatedTrainer::new(quick_config(Aggregation::TrimmedMean { trim: 0.25 }))
-                .train(&clients)
-                .unwrap();
         let holdout = blob_client(150, 97);
         let a = crate::metrics::accuracy(&avg.predict_batch(&holdout.features), &holdout.labels);
-        let t = crate::metrics::accuracy(
-            &trimmed.predict_batch(&holdout.features),
-            &holdout.labels,
-        );
+        let t =
+            crate::metrics::accuracy(&trimmed.predict_batch(&holdout.features), &holdout.labels);
         assert!((a - t).abs() < 0.1, "benign clients: {a} vs {t}");
     }
 
     #[test]
     fn aggregate_rules_are_exact_on_known_vectors() {
-        let updates = vec![
-            (vec![0.0, 10.0], 1.0),
-            (vec![1.0, 20.0], 1.0),
-            (vec![2.0, 90.0], 2.0),
-        ];
+        let updates = vec![(vec![0.0, 10.0], 1.0), (vec![1.0, 20.0], 1.0), (vec![2.0, 90.0], 2.0)];
         let avg = aggregate(&updates, Aggregation::FedAvg);
         assert!((avg[0] - (0.0 + 1.0 + 2.0 * 2.0) / 4.0).abs() < 1e-12);
         let med = aggregate(&updates, Aggregation::Median);
@@ -322,9 +302,6 @@ mod tests {
             rounds: 0,
             ..quick_config(Aggregation::FedAvg)
         });
-        assert!(matches!(
-            bad.train(&[blob_client(10, 1)]),
-            Err(TrainError::InvalidConfig(_))
-        ));
+        assert!(matches!(bad.train(&[blob_client(10, 1)]), Err(TrainError::InvalidConfig(_))));
     }
 }

@@ -89,8 +89,7 @@ impl RandomForest {
         if self.trees.is_empty() {
             return Vec::new();
         }
-        let per_tree: Vec<Vec<f64>> =
-            self.trees.iter().map(|t| t.feature_split_counts()).collect();
+        let per_tree: Vec<Vec<f64>> = self.trees.iter().map(|t| t.feature_split_counts()).collect();
         let d = per_tree[0].len();
         let mut mean = vec![0.0; d];
         for counts in &per_tree {
@@ -237,8 +236,16 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let ds = noisy_rings(200, 4);
-        let mut a = RandomForest::with_config(ForestConfig { n_trees: 10, seed: 5, ..ForestConfig::default() });
-        let mut b = RandomForest::with_config(ForestConfig { n_trees: 10, seed: 5, ..ForestConfig::default() });
+        let mut a = RandomForest::with_config(ForestConfig {
+            n_trees: 10,
+            seed: 5,
+            ..ForestConfig::default()
+        });
+        let mut b = RandomForest::with_config(ForestConfig {
+            n_trees: 10,
+            seed: 5,
+            ..ForestConfig::default()
+        });
         a.fit(&ds).unwrap();
         b.fit(&ds).unwrap();
         assert_eq!(a.predict_batch(&ds.features), b.predict_batch(&ds.features));
@@ -266,7 +273,8 @@ mod tests {
     #[test]
     fn rejects_zero_trees() {
         let ds = noisy_rings(50, 9);
-        let mut rf = RandomForest::with_config(ForestConfig { n_trees: 0, ..ForestConfig::default() });
+        let mut rf =
+            RandomForest::with_config(ForestConfig { n_trees: 0, ..ForestConfig::default() });
         assert!(matches!(rf.fit(&ds), Err(TrainError::InvalidConfig(_))));
     }
 

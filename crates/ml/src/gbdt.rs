@@ -209,9 +209,8 @@ impl TreeBuilder<'_> {
         let h: f64 = indices.iter().map(|&i| self.hess[i]).sum();
         if depth < self.config.max_depth {
             if let Some(c) = self.best_split(indices, g, h) {
-                let (li, ri): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| self.features[(i, c.feature)] <= c.threshold);
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| self.features[(i, c.feature)] <= c.threshold);
                 if !li.is_empty() && !ri.is_empty() {
                     let here = nodes.len();
                     nodes.push(RegNode::Split {
@@ -248,8 +247,7 @@ impl TreeBuilder<'_> {
             if let Some((threshold, gl, hl)) = candidate {
                 let gr = g_total - gl;
                 let hr = h_total - hl;
-                let gain = 0.5
-                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
                 if gain > 1e-9 && best.is_none_or(|b| gain > b.gain) {
                     best = Some(Candidate { feature: f, threshold, gain });
                 }
@@ -270,9 +268,7 @@ impl TreeBuilder<'_> {
         let min_h = self.config.min_child_weight;
         let mut order: Vec<usize> = indices.to_vec();
         order.sort_by(|&a, &b| {
-            self.features[(a, f)]
-                .partial_cmp(&self.features[(b, f)])
-                .expect("NaN feature value")
+            self.features[(a, f)].partial_cmp(&self.features[(b, f)]).expect("NaN feature value")
         });
         let parent_score = g_total * g_total / (h_total + lambda);
         let mut gl = 0.0;
@@ -292,8 +288,7 @@ impl TreeBuilder<'_> {
                 continue;
             }
             let gr = g_total - gl;
-            let gain =
-                0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+            let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
             if best.is_none_or(|(bg, ..)| gain > bg) {
                 best = Some((gain, (v_here + v_next) / 2.0, gl, hl));
             }
@@ -335,8 +330,7 @@ impl TreeBuilder<'_> {
                 continue;
             }
             let gr = g_total - gl;
-            let gain =
-                0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+            let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
             if best.is_none_or(|(bg, ..)| gain > bg) {
                 best = Some((gain, edges[b], gl, hl));
             }
@@ -397,10 +391,7 @@ impl Model for Gbdt {
 
         // Base score: log class priors.
         let counts = train.class_counts();
-        self.base = counts
-            .iter()
-            .map(|&c| ((c.max(1)) as f64 / n as f64).ln())
-            .collect();
+        self.base = counts.iter().map(|&c| ((c.max(1)) as f64 / n as f64).ln()).collect();
 
         let bins = match self.config.split_finder {
             SplitFinder::Histogram => Some(quantile_edges(&train.features, self.config.n_bins)),
@@ -490,8 +481,7 @@ mod tests {
     fn histogram_learns_spiral() {
         let ds = spiral(400, 3);
         let (train, test) = ds.split(0.75, 4);
-        let mut gb =
-            Gbdt::with_config(GbdtConfig { n_rounds: 40, ..GbdtConfig::lightgbm_like() });
+        let mut gb = Gbdt::with_config(GbdtConfig { n_rounds: 40, ..GbdtConfig::lightgbm_like() });
         gb.fit(&train).unwrap();
         let acc = crate::metrics::accuracy(&gb.predict_batch(&test.features), &test.labels);
         assert!(acc > 0.88, "histogram accuracy {acc}");
@@ -501,7 +491,8 @@ mod tests {
     fn histogram_close_to_exact() {
         let ds = spiral(300, 5);
         let (train, test) = ds.split(0.75, 6);
-        let mut exact = Gbdt::with_config(GbdtConfig { n_rounds: 30, ..GbdtConfig::xgboost_like() });
+        let mut exact =
+            Gbdt::with_config(GbdtConfig { n_rounds: 30, ..GbdtConfig::xgboost_like() });
         let mut hist =
             Gbdt::with_config(GbdtConfig { n_rounds: 30, ..GbdtConfig::lightgbm_like() });
         exact.fit(&train).unwrap();

@@ -76,10 +76,7 @@ impl LogisticRegression {
     fn logits(&self, x: &[f64]) -> Vec<f64> {
         let w = self.weights.as_ref().expect("model must be fitted before prediction");
         assert_eq!(x.len(), w.cols(), "feature-count mismatch");
-        w.iter_rows()
-            .zip(&self.bias)
-            .map(|(row, b)| vector::dot(row, x) + b)
-            .collect()
+        w.iter_rows().zip(&self.bias).map(|(row, b)| vector::dot(row, x) + b).collect()
     }
 }
 
@@ -118,11 +115,8 @@ impl Model for LogisticRegression {
             let mut gw = Matrix::zeros(k, d);
             let mut gb = vec![0.0; k];
             for (i, row) in train.features.iter_rows().enumerate() {
-                let logits: Vec<f64> = w
-                    .iter_rows()
-                    .zip(&b)
-                    .map(|(wr, bias)| vector::dot(wr, row) + bias)
-                    .collect();
+                let logits: Vec<f64> =
+                    w.iter_rows().zip(&b).map(|(wr, bias)| vector::dot(wr, row) + bias).collect();
                 let p = vector::softmax(&logits);
                 for class in 0..k {
                     let err = p[class] - f64::from(u8::from(train.labels[i] == class));
@@ -157,8 +151,8 @@ impl Model for LogisticRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spatial_linalg::rng;
     use rand::Rng;
+    use spatial_linalg::rng;
 
     fn linearly_separable(n: usize, seed: u64) -> Dataset {
         let mut r = rng::seeded(seed);
@@ -186,10 +180,7 @@ mod tests {
             let a = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
             let b = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
             labels.push((a != b) as usize);
-            rows.push(vec![
-                a + rng::normal(&mut r, 0.0, 0.1),
-                b + rng::normal(&mut r, 0.0, 0.1),
-            ]);
+            rows.push(vec![a + rng::normal(&mut r, 0.0, 0.1), b + rng::normal(&mut r, 0.0, 0.1)]);
         }
         Dataset::new(
             Matrix::from_row_vecs(rows),

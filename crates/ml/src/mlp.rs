@@ -185,8 +185,7 @@ impl MlpClassifier {
     /// Panics if the network is uninitialized or the vector length doesn't match.
     pub fn set_parameters(&mut self, params: &[f64]) {
         assert!(!self.layers.is_empty(), "model must be initialized before loading parameters");
-        let expected: usize =
-            self.layers.iter().map(|l| l.w.as_slice().len() + l.b.len()).sum();
+        let expected: usize = self.layers.iter().map(|l| l.w.as_slice().len() + l.b.len()).sum();
         assert_eq!(params.len(), expected, "parameter vector length mismatch");
         let mut at = 0;
         for layer in &mut self.layers {
@@ -208,10 +207,7 @@ impl MlpClassifier {
     /// Panics if either dimension is zero or a hidden layer is empty.
     pub fn initialize(&mut self, n_features: usize, n_classes: usize) {
         assert!(n_features > 0 && n_classes > 0, "dimensions must be positive");
-        assert!(
-            self.config.hidden.iter().all(|&h| h > 0),
-            "hidden layers must be non-empty"
-        );
+        assert!(self.config.hidden.iter().all(|&h| h > 0), "hidden layers must be non-empty");
         let mut r = rng::seeded(self.config.seed);
         let mut sizes = vec![n_features];
         sizes.extend_from_slice(&self.config.hidden);
@@ -228,11 +224,7 @@ impl MlpClassifier {
     /// # Errors
     ///
     /// Returns [`TrainError`] for degenerate data or a feature-width mismatch.
-    pub fn continue_training(
-        &mut self,
-        train: &Dataset,
-        epochs: usize,
-    ) -> Result<(), TrainError> {
+    pub fn continue_training(&mut self, train: &Dataset, epochs: usize) -> Result<(), TrainError> {
         if self.layers.is_empty() {
             return Err(TrainError::InvalidConfig(
                 "continue_training requires an initialized network".into(),
@@ -431,10 +423,7 @@ mod tests {
             let a = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
             let b = f64::from(u8::from(r.random_range(0.0..1.0) > 0.5));
             labels.push((a != b) as usize);
-            rows.push(vec![
-                a + rng::normal(&mut r, 0.0, 0.05),
-                b + rng::normal(&mut r, 0.0, 0.05),
-            ]);
+            rows.push(vec![a + rng::normal(&mut r, 0.0, 0.05), b + rng::normal(&mut r, 0.0, 0.05)]);
         }
         Dataset::new(
             Matrix::from_row_vecs(rows),

@@ -69,8 +69,7 @@ pub trait Model: Send + Sync {
 
     /// Probability matrix, one row per input row.
     fn predict_proba_batch(&self, features: &Matrix) -> Matrix {
-        let rows: Vec<Vec<f64>> =
-            features.iter_rows().map(|row| self.predict_proba(row)).collect();
+        let rows: Vec<Vec<f64>> = features.iter_rows().map(|row| self.predict_proba(row)).collect();
         Matrix::from_row_vecs(rows)
     }
 }

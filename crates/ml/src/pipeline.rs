@@ -181,11 +181,7 @@ impl AiPipeline {
         let t3 = std::time::Instant::now();
         let predictions = self.model.predict_batch(&test.features);
         let evaluation = evaluate(&predictions, &test.labels, raw.n_classes());
-        log.push(stage_log(
-            Stage::Evaluation,
-            t3,
-            format!("accuracy={:.4}", evaluation.accuracy),
-        ));
+        log.push(stage_log(Stage::Evaluation, t3, format!("accuracy={:.4}", evaluation.accuracy)));
 
         // Stage 5: deployment (freeze the artefact).
         let t4 = std::time::Instant::now();
@@ -223,18 +219,16 @@ mod tests {
 
     #[test]
     fn runs_all_stages_in_order() {
-        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
-            .run(&dataset(), 0.8, 1)
-            .unwrap();
+        let deployed =
+            AiPipeline::new(Box::new(DecisionTree::new())).run(&dataset(), 0.8, 1).unwrap();
         let stages: Vec<Stage> = deployed.log.iter().map(|l| l.stage).collect();
         assert_eq!(stages, Stage::ALL.to_vec());
     }
 
     #[test]
     fn evaluation_is_on_held_out_data() {
-        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
-            .run(&dataset(), 0.8, 2)
-            .unwrap();
+        let deployed =
+            AiPipeline::new(Box::new(DecisionTree::new())).run(&dataset(), 0.8, 2).unwrap();
         assert_eq!(deployed.evaluation.accuracy, 1.0); // trivially separable
         assert_eq!(deployed.test.n_samples(), 12);
         assert_eq!(deployed.train.n_samples(), 48);
@@ -242,9 +236,8 @@ mod tests {
 
     #[test]
     fn predict_raw_applies_scaling() {
-        let deployed = AiPipeline::new(Box::new(DecisionTree::new()))
-            .run(&dataset(), 0.8, 3)
-            .unwrap();
+        let deployed =
+            AiPipeline::new(Box::new(DecisionTree::new())).run(&dataset(), 0.8, 3).unwrap();
         // Raw values, not scaled: class 1 samples sit near x = 10.
         assert_eq!(deployed.predict_raw(&[10.2, 1.0]), 1);
         assert_eq!(deployed.predict_raw(&[0.2, 1.0]), 0);
@@ -256,8 +249,7 @@ mod tests {
     fn cleaning_repairs_nan_cells() {
         let mut ds = dataset();
         ds.features[(0, 0)] = f64::NAN;
-        let deployed =
-            AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.8, 4).unwrap();
+        let deployed = AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.8, 4).unwrap();
         assert!(deployed.log[0].note.contains("repaired 1"));
     }
 

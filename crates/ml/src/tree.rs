@@ -125,13 +125,7 @@ impl DecisionTree {
         counts
     }
 
-    fn build(
-        &mut self,
-        ds: &Dataset,
-        indices: &[usize],
-        depth: usize,
-        rng: &mut StdRng,
-    ) -> usize {
+    fn build(&mut self, ds: &Dataset, indices: &[usize], depth: usize, rng: &mut StdRng) -> usize {
         let dist = class_distribution(ds, indices, self.n_classes);
         let node_impurity = gini(&dist);
         let stop = depth >= self.config.max_depth
@@ -139,9 +133,8 @@ impl DecisionTree {
             || node_impurity == 0.0;
         if !stop {
             if let Some((feature, threshold)) = self.best_split(ds, indices, rng) {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| ds.features[(i, feature)] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| ds.features[(i, feature)] <= threshold);
                 if left_idx.len() >= self.config.min_samples_leaf
                     && right_idx.len() >= self.config.min_samples_leaf
                 {
@@ -184,9 +177,7 @@ impl DecisionTree {
             // Sort sample indices by this feature's value.
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| {
-                ds.features[(a, f)]
-                    .partial_cmp(&ds.features[(b, f)])
-                    .expect("NaN feature value")
+                ds.features[(a, f)].partial_cmp(&ds.features[(b, f)]).expect("NaN feature value")
             });
             // Scan boundaries maintaining left/right class counts.
             let mut left_counts = vec![0.0; self.n_classes];
@@ -324,7 +315,8 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let ds = xor_dataset();
-        let mut dt = DecisionTree::with_config(TreeConfig { max_depth: 1, ..TreeConfig::default() });
+        let mut dt =
+            DecisionTree::with_config(TreeConfig { max_depth: 1, ..TreeConfig::default() });
         dt.fit(&ds).unwrap();
         assert!(dt.depth() <= 1);
         // A depth-1 tree cannot solve XOR.
@@ -335,10 +327,8 @@ mod tests {
     #[test]
     fn min_samples_leaf_prevents_tiny_leaves() {
         let ds = xor_dataset();
-        let mut dt = DecisionTree::with_config(TreeConfig {
-            min_samples_leaf: 15,
-            ..TreeConfig::default()
-        });
+        let mut dt =
+            DecisionTree::with_config(TreeConfig { min_samples_leaf: 15, ..TreeConfig::default() });
         dt.fit(&ds).unwrap();
         // 40 samples, leaves of >= 15: at most 2 splits.
         assert!(dt.node_count() <= 5);
@@ -368,10 +358,8 @@ mod tests {
             vec!["x".into()],
             vec!["a".into(), "b".into()],
         );
-        let mut dt = DecisionTree::with_config(TreeConfig {
-            max_depth: 1,
-            ..TreeConfig::default()
-        });
+        let mut dt =
+            DecisionTree::with_config(TreeConfig { max_depth: 1, ..TreeConfig::default() });
         dt.fit(&ds).unwrap();
         let p = dt.predict_proba(&[0.1]);
         assert!((spatial_linalg::vector::sum(&p) - 1.0).abs() < 1e-12);
@@ -424,7 +412,8 @@ mod tests {
     #[test]
     fn rejects_zero_depth() {
         let ds = xor_dataset();
-        let mut dt = DecisionTree::with_config(TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        let mut dt =
+            DecisionTree::with_config(TreeConfig { max_depth: 0, ..TreeConfig::default() });
         assert!(matches!(dt.fit(&ds), Err(TrainError::InvalidConfig(_))));
     }
 }

@@ -21,11 +21,7 @@ use spatial_ml::Model;
 /// Panics if the clean set and batch row counts differ or the set is empty.
 pub fn evasion_impact(model: &dyn Model, clean: &Dataset, batch: &AdversarialBatch) -> f64 {
     assert!(clean.n_samples() > 0, "need at least one sample");
-    assert_eq!(
-        clean.n_samples(),
-        batch.labels.len(),
-        "clean set and adversarial batch must align"
-    );
+    assert_eq!(clean.n_samples(), batch.labels.len(), "clean set and adversarial batch must align");
     let mut gained = 0usize;
     for i in 0..clean.n_samples() {
         let clean_ok = model.predict(clean.features.row(i)) == clean.labels[i];
@@ -134,7 +130,10 @@ mod tests {
 
     #[test]
     fn poisoning_impact_is_signed_drift() {
-        assert!((poisoning_impact(&eval(0.96), &eval(0.71), DriftMetric::Accuracy) - 0.25).abs() < 1e-12);
+        assert!(
+            (poisoning_impact(&eval(0.96), &eval(0.71), DriftMetric::Accuracy) - 0.25).abs()
+                < 1e-12
+        );
         assert!(poisoning_impact(&eval(0.9), &eval(0.95), DriftMetric::F1) < 0.0);
     }
 

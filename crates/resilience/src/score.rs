@@ -30,7 +30,11 @@ pub struct ResilienceScore {
 /// # Panics
 ///
 /// Panics if `impact` is outside `[0, 1]` or `reference_us <= 0`.
-pub fn resilience_score(impact: f64, complexity: &Complexity, reference_us: f64) -> ResilienceScore {
+pub fn resilience_score(
+    impact: f64,
+    complexity: &Complexity,
+    reference_us: f64,
+) -> ResilienceScore {
     assert!((0.0..=1.0).contains(&impact), "impact must be in [0,1], got {impact}");
     assert!(reference_us > 0.0, "reference cost must be positive");
     let effort = (complexity.per_sample_us / reference_us).clamp(0.0, 1.0);

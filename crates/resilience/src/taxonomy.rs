@@ -152,10 +152,7 @@ pub fn attacks_at_stage(stage: Stage) -> Vec<AttackClass> {
 
 /// The stages an attack class can enter through (inverse of [`attacks_at_stage`]).
 pub fn stages_of_attack(attack: AttackClass) -> Vec<Stage> {
-    Stage::ALL
-        .into_iter()
-        .filter(|&s| attacks_at_stage(s).contains(&attack))
-        .collect()
+    Stage::ALL.into_iter().filter(|&s| attacks_at_stage(s).contains(&attack)).collect()
 }
 
 #[cfg(test)]
@@ -199,10 +196,7 @@ mod tests {
             AlgorithmFamily::of_model_name("random-forest"),
             Some(AlgorithmFamily::TreeEnsemble)
         );
-        assert_eq!(
-            AlgorithmFamily::of_model_name("dnn"),
-            Some(AlgorithmFamily::NeuralNetwork)
-        );
+        assert_eq!(AlgorithmFamily::of_model_name("dnn"), Some(AlgorithmFamily::NeuralNetwork));
         assert_eq!(AlgorithmFamily::of_model_name("quantum"), None);
     }
 

@@ -107,8 +107,7 @@ impl<'a> LimeTabular<'a> {
         assert_eq!(x.len(), d, "feature-count mismatch");
         assert!(class < self.model.n_classes(), "class {class} out of range");
         let mut r = rng::seeded(self.config.seed);
-        let kernel_width =
-            self.config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt());
+        let kernel_width = self.config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt());
 
         let n = self.config.n_samples;
         // Perturb in scaled space: z ~ N(0, 1), sample = x + z·scale.

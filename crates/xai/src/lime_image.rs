@@ -53,10 +53,7 @@ pub fn explain_image(
     config: &LimeImageConfig,
 ) -> Explanation {
     assert!(config.n_samples >= 8, "lime-image needs at least 8 samples");
-    assert!(
-        config.keep_prob > 0.0 && config.keep_prob < 1.0,
-        "keep_prob must be in (0,1)"
-    );
+    assert!(config.keep_prob > 0.0 && config.keep_prob < 1.0, "keep_prob must be in (0,1)");
     assert!(class < model.n_classes(), "class {class} out of range");
     let seg_map = image.superpixel_map(config.grid);
     let n_segments = config.grid * config.grid;
@@ -165,10 +162,8 @@ mod tests {
         assert_eq!(e.values.len(), 16);
         // Segment (0,0) and (0,1),(1,0),(1,1) cover the bright quadrant on a 4x4 grid.
         let quadrant: f64 = [0usize, 1, 4, 5].iter().map(|&s| e.values[s]).sum();
-        let elsewhere: f64 = (0..16)
-            .filter(|s| ![0usize, 1, 4, 5].contains(s))
-            .map(|s| e.values[s].abs())
-            .sum();
+        let elsewhere: f64 =
+            (0..16).filter(|s| ![0usize, 1, 4, 5].contains(s)).map(|s| e.values[s].abs()).sum();
         assert!(
             quadrant > elsewhere,
             "bright quadrant should dominate: quadrant {quadrant} vs rest {elsewhere}"

@@ -51,9 +51,7 @@ impl OcclusionMap {
     /// Mean absolute drop — a scalar "how localized is the evidence" signal used by
     /// the dashboard.
     pub fn mean_abs_drop(&self) -> f64 {
-        spatial_linalg::vector::mean(
-            &self.drops.iter().map(|d| d.abs()).collect::<Vec<f64>>(),
-        )
+        spatial_linalg::vector::mean(&self.drops.iter().map(|d| d.abs()).collect::<Vec<f64>>())
     }
 }
 
@@ -160,12 +158,8 @@ mod tests {
         let side = 16;
         let model = CenterDetector { side };
         let img = center_bright(side);
-        let map = occlusion_map(
-            &model,
-            &img,
-            1,
-            &OcclusionConfig { patch: 4, stride: 4, fill: 0.0 },
-        );
+        let map =
+            occlusion_map(&model, &img, 1, &OcclusionConfig { patch: 4, stride: 4, fill: 0.0 });
         assert_eq!((map.rows, map.cols), (4, 4));
         assert_eq!(map.drops.len(), 16);
     }

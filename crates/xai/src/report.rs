@@ -92,10 +92,7 @@ impl FeatureShift {
 ///
 /// Panics if the reports cover different feature sets.
 pub fn compare(before: &ImportanceReport, after: &ImportanceReport) -> Vec<FeatureShift> {
-    assert_eq!(
-        before.feature_names, after.feature_names,
-        "reports must cover the same features"
-    );
+    assert_eq!(before.feature_names, after.feature_names, "reports must cover the same features");
     let mut shifts: Vec<FeatureShift> = before
         .feature_names
         .iter()
@@ -109,10 +106,7 @@ pub fn compare(before: &ImportanceReport, after: &ImportanceReport) -> Vec<Featu
         })
         .collect();
     shifts.sort_by(|a, b| {
-        b.relative_change()
-            .abs()
-            .partial_cmp(&a.relative_change().abs())
-            .expect("NaN change")
+        b.relative_change().abs().partial_cmp(&a.relative_change().abs()).expect("NaN change")
     });
     shifts
 }

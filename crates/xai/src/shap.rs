@@ -282,11 +282,7 @@ mod tests {
         ]);
         let shap = KernelShap::new(&model, &bg, names(3), ShapConfig::default());
         let e = shap.explain(&[1.0, 100.0, 0.0], 1);
-        assert!(
-            e.values[1].abs() < 0.02,
-            "feature 1 never influences the model: {:?}",
-            e.values
-        );
+        assert!(e.values[1].abs() < 0.02, "feature 1 never influences the model: {:?}", e.values);
         assert!(e.values[0].abs() > e.values[1].abs());
     }
 

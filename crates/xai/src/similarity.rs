@@ -68,12 +68,8 @@ pub fn shap_dissimilarity(
         _ => probes_all,
     };
 
-    let shap = KernelShap::new(
-        model,
-        &test.features,
-        test.feature_names.clone(),
-        config.shap.clone(),
-    );
+    let shap =
+        KernelShap::new(model, &test.features, test.feature_names.clone(), config.shap.clone());
 
     // Cache explanations by row index: neighbours repeat across probes.
     let mut cache: std::collections::HashMap<usize, Vec<f64>> = std::collections::HashMap::new();
@@ -181,10 +177,7 @@ mod tests {
         let test = test_set();
         let smooth = shap_dissimilarity(&Smooth, &test, 1, &quick_config());
         let erratic = shap_dissimilarity(&Erratic, &test, 1, &quick_config());
-        assert!(
-            erratic > smooth * 2.0,
-            "erratic {erratic} should far exceed smooth {smooth}"
-        );
+        assert!(erratic > smooth * 2.0, "erratic {erratic} should far exceed smooth {smooth}");
     }
 
     #[test]

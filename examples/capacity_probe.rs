@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gateway = ApiGateway::spawn(Duration::from_secs(30))?;
     gateway.register("shap", host.addr());
     let (healthy, total) = gateway.health_check("shap");
-    println!("cluster up: gateway {} -> shap {} ({healthy}/{total} healthy)", gateway.addr(), host.addr());
+    println!(
+        "cluster up: gateway {} -> shap {} ({healthy}/{total} healthy)",
+        gateway.addr(),
+        host.addr()
+    );
 
     // JMeter-style load: ramping thread group against the gateway.
     let body = to_json(&ExplainRequest { features: vec![0.9, 1.0, 0.5], class: 1 });
@@ -85,7 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // One direct request to show the response body end-to-end.
-    let resp = http::request(gateway.addr(), "POST", "/shap/explain", &body, Duration::from_secs(30))?;
+    let resp =
+        http::request(gateway.addr(), "POST", "/shap/explain", &body, Duration::from_secs(30))?;
     println!("sample response ({}): {}", resp.status, String::from_utf8_lossy(&resp.body));
     Ok(())
 }

@@ -18,18 +18,13 @@ use spatial::ml::{tree::DecisionTree, Model};
 use spatial::resilience::taxonomy::{attacks_on, AlgorithmFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 800,
-        ..UnimibConfig::default()
-    }));
+    let raw = binarize_falls(&generate(&UnimibConfig { samples: 800, ..UnimibConfig::default() }));
     let (train, test) = raw.split(0.8, 11);
 
     let mut monitor = Monitor::new(SensorRegistry::standard(1));
     // Tighten the accuracy rule: the operator wants alerts at 5 points of drift.
-    monitor.set_rule(
-        "accuracy",
-        AlertRule { max_degradation: Some(0.05), absolute_bound: Some(0.7) },
-    );
+    monitor
+        .set_rule("accuracy", AlertRule { max_degradation: Some(0.05), absolute_bound: Some(0.7) });
 
     // Several monitoring rounds with slowly increasing label corruption.
     let mut last = (Vec::new(), Vec::new());
@@ -67,11 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A figure panel: accuracy across the rounds.
     if let Some(series) = monitor.series("accuracy") {
-        let points: Vec<(f64, f64)> = series
-            .samples()
-            .iter()
-            .map(|s| (s.tick as f64, s.value))
-            .collect();
+        let points: Vec<(f64, f64)> =
+            series.samples().iter().map(|s| (s.tick as f64, s.value)).collect();
         println!("{}", line_chart("accuracy over monitoring rounds", &points, 6));
     }
 

@@ -26,10 +26,8 @@ use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
 use spatial::ml::{forest::RandomForest, Model};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 1_200,
-        ..UnimibConfig::default()
-    }));
+    let raw =
+        binarize_falls(&generate(&UnimibConfig { samples: 1_200, ..UnimibConfig::default() }));
     let (train_clean, test) = raw.split(0.8, 7);
 
     let mut audit = AuditTrail::new();
@@ -93,6 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("\n{}", render_dashboard(&view));
 
-    println!("audit trail: {} events ({} alerts) — exportable as JSON", audit.len(), audit.alert_count());
+    println!(
+        "audit trail: {} events ({} alerts) — exportable as JSON",
+        audit.len(),
+        audit.alert_count()
+    );
     Ok(())
 }

@@ -91,8 +91,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let med_acc = accuracy(&med.predict_batch(&test.features), &test.labels);
     println!("3/8 poisoned + median:    accuracy {:.3}", med_acc);
 
-    let trim = FederatedTrainer::new(config(Aggregation::TrimmedMean { trim: 0.2 }))
-        .train(&clients)?;
+    let trim =
+        FederatedTrainer::new(config(Aggregation::TrimmedMean { trim: 0.2 })).train(&clients)?;
     let trim_acc = accuracy(&trim.predict_batch(&test.features), &test.labels);
     println!("3/8 poisoned + trim20:    accuracy {:.3}", trim_acc);
 

@@ -14,10 +14,8 @@ use spatial::ml::forest::RandomForest;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small synthetic fall-detection dataset (the paper's use case 1).
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 1_500,
-        ..UnimibConfig::default()
-    }));
+    let raw =
+        binarize_falls(&generate(&UnimibConfig { samples: 1_500, ..UnimibConfig::default() }));
     println!(
         "dataset: {} samples x {} features, classes {:?}",
         raw.n_samples(),

@@ -1,6 +1,7 @@
 //! Integration: the full micro-service cluster — all five paper services behind the
 //! API gateway, exercised over real HTTP, including load and saturation behaviour.
 
+use rand::Rng;
 use spatial::data::Dataset;
 use spatial::gateway::http::request;
 use spatial::gateway::loadgen::{run, ThreadGroup};
@@ -17,7 +18,6 @@ use spatial::xai::lime::LimeConfig;
 use spatial::xai::lime_image::LimeImageConfig;
 use spatial::xai::occlusion::OcclusionConfig;
 use spatial::xai::shap::ShapConfig;
-use rand::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -194,12 +194,8 @@ fn every_service_answers_through_the_gateway() {
 
     // Pipeline.
     let csv = spatial::data::csv::to_csv(&tab_ds);
-    let train_body = to_json(&TrainRequest {
-        csv,
-        model: "decision-tree".into(),
-        train_fraction: 0.7,
-        seed: 1,
-    });
+    let train_body =
+        to_json(&TrainRequest { csv, model: "decision-tree".into(), train_fraction: 0.7, seed: 1 });
     let r = request(gw.addr(), "POST", "/pipeline/train", &train_body, t).unwrap();
     assert_eq!(r.status, 200, "pipeline: {}", String::from_utf8_lossy(&r.body));
 
@@ -242,14 +238,8 @@ fn gateway_isolates_a_dead_service() {
 
     // Occlusion requests now fail at the gateway with 502...
     let body = to_json(&ExplainImageRequest { side: 16, pixels: vec![0.0; 256], class: 0 });
-    let r = request(
-        gw.addr(),
-        "POST",
-        "/occlusion/explain-image",
-        &body,
-        Duration::from_secs(5),
-    )
-    .unwrap();
+    let r = request(gw.addr(), "POST", "/occlusion/explain-image", &body, Duration::from_secs(5))
+        .unwrap();
     assert_eq!(r.status, 502);
 
     // ...while the other services keep answering.

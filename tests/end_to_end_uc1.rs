@@ -11,10 +11,7 @@ use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
 use spatial::ml::{forest::RandomForest, metrics, Model};
 
 fn dataset() -> (spatial::data::Dataset, spatial::data::Dataset) {
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 900,
-        ..UnimibConfig::default()
-    }));
+    let raw = binarize_falls(&generate(&UnimibConfig { samples: 900, ..UnimibConfig::default() }));
     raw.split(0.8, 3)
 }
 
@@ -67,19 +64,13 @@ fn sanitization_recovers_most_of_the_loss() {
 
     let mut on_poisoned = RandomForest::with_trees(20);
     on_poisoned.fit(&poisoned.dataset).unwrap();
-    let acc_poisoned = metrics::accuracy(
-        &on_poisoned.predict_batch(&test.features),
-        &test.labels,
-    );
+    let acc_poisoned = metrics::accuracy(&on_poisoned.predict_batch(&test.features), &test.labels);
 
     let repaired = sanitize_labels(&poisoned.dataset, 5);
     assert!(!repaired.relabelled.is_empty());
     let mut on_repaired = RandomForest::with_trees(20);
     on_repaired.fit(&repaired.dataset).unwrap();
-    let acc_repaired = metrics::accuracy(
-        &on_repaired.predict_batch(&test.features),
-        &test.labels,
-    );
+    let acc_repaired = metrics::accuracy(&on_repaired.predict_batch(&test.features), &test.labels);
 
     assert!(
         acc_repaired >= acc_poisoned,

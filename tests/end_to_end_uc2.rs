@@ -27,12 +27,8 @@ fn scaled_splits() -> (Dataset, Dataset) {
 }
 
 fn quick_nn() -> MlpClassifier {
-    MlpClassifier::with_config(MlpConfig {
-        hidden: vec![32],
-        epochs: 30,
-        ..MlpConfig::default()
-    })
-    .named("nn")
+    MlpClassifier::with_config(MlpConfig { hidden: vec![32], epochs: 30, ..MlpConfig::default() })
+        .named("nn")
 }
 
 #[test]
@@ -82,19 +78,15 @@ fn targeted_flipping_inflates_the_target_class() {
         &test.labels,
         test.n_classes(),
     );
-    let bad_eval = metrics::evaluate(
-        &bad_model.predict_batch(&test.features),
-        &test.labels,
-        test.n_classes(),
-    );
+    let bad_eval =
+        metrics::evaluate(&bad_model.predict_batch(&test.features), &test.labels, test.n_classes());
     let impact = poisoning_impact(&clean_eval, &bad_eval, DriftMetric::Accuracy);
     assert!(impact > 0.05, "30% targeted flipping must dent accuracy: impact {impact}");
 
     // The poisoned model over-predicts the target class.
     let clean_video =
         clean_model.predict_batch(&test.features).iter().filter(|&&p| p == video).count();
-    let bad_video =
-        bad_model.predict_batch(&test.features).iter().filter(|&&p| p == video).count();
+    let bad_video = bad_model.predict_batch(&test.features).iter().filter(|&&p| p == video).count();
     assert!(
         bad_video > clean_video,
         "targeted flipping should inflate 'Video' predictions: {clean_video} -> {bad_video}"

@@ -13,10 +13,7 @@ use spatial::ml::Model;
 
 #[test]
 fn extended_registry_quantifies_every_property_on_a_real_deployment() {
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 500,
-        ..UnimibConfig::default()
-    }));
+    let raw = binarize_falls(&generate(&UnimibConfig { samples: 500, ..UnimibConfig::default() }));
     let (train, test) = raw.split(0.8, 3);
     let mut model = RandomForest::with_trees(15);
     model.fit(&train).unwrap();
@@ -29,10 +26,7 @@ fn extended_registry_quantifies_every_property_on_a_real_deployment() {
 
     // Every property has at least one reading, and all readings are finite.
     for p in TrustProperty::ALL {
-        assert!(
-            readings.iter().any(|r| r.property == p),
-            "property {p} unquantified"
-        );
+        assert!(readings.iter().any(|r| r.property == p), "property {p} unquantified");
     }
     assert!(readings.iter().all(|r| r.value.is_finite()));
 
@@ -43,10 +37,7 @@ fn extended_registry_quantifies_every_property_on_a_real_deployment() {
 
 #[test]
 fn adaptive_weights_follow_alerts_through_the_monitor() {
-    let raw = binarize_falls(&generate(&UnimibConfig {
-        samples: 400,
-        ..UnimibConfig::default()
-    }));
+    let raw = binarize_falls(&generate(&UnimibConfig { samples: 400, ..UnimibConfig::default() }));
     let (train, test) = raw.split(0.8, 5);
     let registry = SensorRegistry::standard(1);
     let mut monitor = Monitor::new(SensorRegistry::standard(1));
@@ -61,8 +52,7 @@ fn adaptive_weights_follow_alerts_through_the_monitor() {
     let before = adapter.multiplier(TrustProperty::Performance);
 
     // Degraded round: heavy poisoning drives performance alerts.
-    let poisoned =
-        spatial::attacks::label_flip::random_label_flip(&train, 0.45, 11).dataset;
+    let poisoned = spatial::attacks::label_flip::random_label_flip(&train, 0.45, 11).dataset;
     let mut bad = RandomForest::with_trees(15);
     bad.fit(&poisoned).unwrap();
     let ctx2 = SensorContext { model: &bad, train: &poisoned, test: &test };

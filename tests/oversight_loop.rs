@@ -21,12 +21,10 @@ fn raw() -> spatial::data::Dataset {
 
 #[test]
 fn augmented_pipeline_to_dashboard_to_audit() {
-    let mut deployment = AugmentedPipeline::new(
-        Box::new(DecisionTree::new()),
-        SensorRegistry::standard(1),
-    )
-    .run(&raw(), 0.8, 1)
-    .unwrap();
+    let mut deployment =
+        AugmentedPipeline::new(Box::new(DecisionTree::new()), SensorRegistry::standard(1))
+            .run(&raw(), 0.8, 1)
+            .unwrap();
 
     let mut audit = AuditTrail::new();
     audit.record(AuditEvent::Deployment {
@@ -102,16 +100,11 @@ fn operator_rule_change_makes_monitor_stricter() {
     });
     monitor.set_rule(
         "accuracy",
-        AlertRule {
-            max_degradation: Some((acc_drop / 2.0).max(1e-6)),
-            absolute_bound: None,
-        },
+        AlertRule { max_degradation: Some((acc_drop / 2.0).max(1e-6)), absolute_bound: None },
     );
     let (_, strict_alerts, _) = monitor.observe(&ctx2);
-    let strict_accuracy_alerts =
-        strict_alerts.iter().filter(|a| a.sensor == "accuracy").count();
-    let default_accuracy_alerts =
-        default_alerts.iter().filter(|a| a.sensor == "accuracy").count();
+    let strict_accuracy_alerts = strict_alerts.iter().filter(|a| a.sensor == "accuracy").count();
+    let default_accuracy_alerts = default_alerts.iter().filter(|a| a.sensor == "accuracy").count();
     assert!(
         strict_accuracy_alerts >= default_accuracy_alerts,
         "a stricter rule can only add alerts"
