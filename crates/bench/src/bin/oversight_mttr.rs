@@ -1,0 +1,312 @@
+//! MTTD/MTTR of the self-healing oversight loop on UC1 (see `DESIGN.md` §9).
+//!
+//! Replays the UC1 fall-detection deployment and stages a label-flip poisoning
+//! incident at `poison_at = rounds/2` (late enough that every detector, including
+//! the 12-tick window-ks reference, is armed). Two incident shapes are staged:
+//!
+//! - **bad promotion** — a model retrained on flipped labels slips into
+//!   production; the holdout-batch accuracy of whatever is serving collapses.
+//!   An older healthy version exists, so the ladder's answer is rollback.
+//! - **stream poisoning** — the deployment stays clean but the incoming stream's
+//!   labels are flipped for six rounds; only one version was ever promoted, so
+//!   rollback has nothing older and the ladder escalates to quarantine. The
+//!   health gate rejects retrains attempted while the stream is still poisoned,
+//!   and recovery lands once the attack ends and a sanitized retrain on the
+//!   cured stream clears the gate.
+//!
+//! The run is fully seeded: the same flags reproduce the same trajectory.
+//! Reported per policy:
+//! - **MTTD** — rounds from the incident to the first `Drifting` verdict.
+//! - **MTTR** — rounds from the incident until the serving plane (fallback
+//!   included) is back within `RECOVERED_MARGIN` of the pre-incident accuracy.
+//! - **degraded** — rounds spent answering from the quarantine fallback.
+//!
+//! Flags: `--samples N` (UC1 windows), `--rounds N` (monitoring rounds),
+//! `--seed N`, `--flip PCT` (also `SPATIAL_FLIP_PCT`).
+
+use spatial_attacks::label_flip::random_label_flip;
+use spatial_bench::{arg_or_env, banner, uc1_splits};
+use spatial_core::drift::{DetectorKind, DriftBank, DriftState};
+use spatial_core::property::{Direction, TrustProperty};
+use spatial_core::respond::{ActionExecutor, RecoveryContext, ResponsePolicy};
+use spatial_core::sensor::SensorReading;
+use spatial_data::Dataset;
+use spatial_ml::metrics::accuracy;
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::{Model, ModelStore};
+use std::sync::Arc;
+
+/// Serving accuracy within this margin of the pre-incident level counts as
+/// recovered — the same margin the escalation ladder's health gate uses, so the
+/// bench calls "recovered" exactly what the loop promises to deliver.
+const RECOVERED_MARGIN: f64 = 0.15;
+
+fn main() {
+    banner(
+        "oversight MTTD/MTTR — staged UC1 label-flip incident",
+        "§VII: the operator loop detects drift and restores service; here, automated",
+    );
+    let samples = arg_or_env("--samples", "SPATIAL_SAMPLES").unwrap_or(1_200);
+    let rounds = arg_or_env("--rounds", "SPATIAL_ROUNDS").unwrap_or(30) as u64;
+    let seed = arg_or_env("--seed", "SPATIAL_SEED").map(|v| v as u64).unwrap_or(7);
+    let flip = arg_or_env("--flip", "SPATIAL_FLIP_PCT").unwrap_or(40) as f64 / 100.0;
+    let poison_at = rounds / 2;
+    assert!(rounds >= 26, "need ≥ 26 rounds so the window-ks reference freezes clean");
+
+    let (train, holdout) = uc1_splits(samples, seed);
+    let poisoned = random_label_flip(&train, flip, seed).dataset;
+
+    let clean_model = fit_tree(&train);
+    let bad_model = fit_tree(&poisoned);
+    let baseline = accuracy(&clean_model.predict_batch(&holdout.features), &holdout.labels);
+    let corrupted = accuracy(&bad_model.predict_batch(&holdout.features), &holdout.labels);
+    println!(
+        "samples={samples} rounds={rounds} seed={seed} flip={:.0}% poison_at=t{poison_at}",
+        flip * 100.0
+    );
+    println!("clean accuracy {baseline:.3} | poisoned-model accuracy {corrupted:.3}\n");
+
+    // -- MTTD per detector, with no automated response ---------------------------
+    println!("== MTTD per detector (detect-only, bad promotion) ==");
+    println!("{:<14} {:>14} {:>15} {:>12}", "detector", "first warning", "first drifting", "MTTD");
+    for kind in [DetectorKind::PageHinkley, DetectorKind::Cusum, DetectorKind::WindowKs] {
+        let trace = detect_only_trace(kind, rounds, poison_at, &clean_model, &bad_model, &holdout);
+        println!(
+            "{:<14} {:>14} {:>15} {:>12}",
+            detector_name(kind),
+            fmt_tick(trace.first_warning),
+            fmt_tick(trace.first_drifting),
+            fmt_delta(trace.first_drifting, poison_at),
+        );
+    }
+
+    // -- Policy comparison (Page–Hinkley bank) -----------------------------------
+    println!("\n== Policy comparison (page-hinkley bank) ==");
+    println!(
+        "{:<20} {:>6} {:>6} {:>9} {:>7}  {}",
+        "policy", "MTTD", "MTTR", "degraded", "final", "actions"
+    );
+    for (name, mode) in [
+        ("detect-only", Mode::DetectOnly),
+        ("rollback-ladder", Mode::Rollback),
+        ("quarantine+retrain", Mode::Quarantine),
+    ] {
+        let run = run_policy(mode, rounds, poison_at, &train, &poisoned, &holdout);
+        println!(
+            "{:<20} {:>6} {:>6} {:>9} {:>7.3}  {}",
+            name,
+            fmt_delta(run.first_drifting, poison_at),
+            fmt_delta(run.recovered_at, poison_at),
+            run.degraded_ticks,
+            run.final_accuracy,
+            if run.actions.is_empty() { "(none)".to_string() } else { run.actions.join(", ") },
+        );
+    }
+    println!("\nMTTD/MTTR are in monitoring rounds relative to the incident at t{poison_at}.");
+}
+
+fn fit_tree(train: &Dataset) -> Arc<dyn Model> {
+    let mut model = DecisionTree::new();
+    model.fit(train).expect("training succeeds");
+    Arc::from(Box::new(model) as Box<dyn Model>)
+}
+
+fn detector_name(kind: DetectorKind) -> &'static str {
+    match kind {
+        DetectorKind::PageHinkley => "page-hinkley",
+        DetectorKind::Cusum => "cusum",
+        DetectorKind::WindowKs => "window-ks",
+    }
+}
+
+fn fmt_tick(t: Option<u64>) -> String {
+    t.map(|t| format!("t{t}")).unwrap_or_else(|| "—".into())
+}
+
+fn fmt_delta(t: Option<u64>, poison_at: u64) -> String {
+    t.map(|t| format!("{}", t.saturating_sub(poison_at) + 1)).unwrap_or_else(|| "—".into())
+}
+
+/// The serving model's accuracy on a rotating holdout batch — natural variance in
+/// the stable phase, a collapse once a poisoned model serves.
+fn batch_accuracy(model: &Arc<dyn Model>, holdout: &Dataset, tick: u64) -> f64 {
+    let n = holdout.n_samples();
+    let batch = (n / 2).max(1);
+    let start = ((tick as usize) * 37) % (n - batch + 1);
+    let rows: Vec<&[f64]> = (start..start + batch).map(|i| holdout.features.row(i)).collect();
+    let feats = spatial_linalg::matrix::Matrix::from_rows(&rows);
+    accuracy(&model.predict_batch(&feats), &holdout.labels[start..start + batch])
+}
+
+fn reading(value: f64, tick: u64) -> SensorReading {
+    SensorReading {
+        sensor: "accuracy".into(),
+        property: TrustProperty::Performance,
+        direction: Direction::HigherIsBetter,
+        value,
+        tick,
+    }
+}
+
+struct DetectTrace {
+    first_warning: Option<u64>,
+    first_drifting: Option<u64>,
+}
+
+fn detect_only_trace(
+    kind: DetectorKind,
+    rounds: u64,
+    poison_at: u64,
+    clean: &Arc<dyn Model>,
+    bad: &Arc<dyn Model>,
+    holdout: &Dataset,
+) -> DetectTrace {
+    let mut bank = DriftBank::new(kind);
+    let mut trace = DetectTrace { first_warning: None, first_drifting: None };
+    for tick in 0..rounds {
+        let model = if tick < poison_at { clean } else { bad };
+        let verdicts = bank.update(&[reading(batch_accuracy(model, holdout, tick), tick)]);
+        let state = verdicts.iter().map(|v| v.state).max().unwrap_or(DriftState::Stable);
+        if state >= DriftState::Warning && trace.first_warning.is_none() {
+            trace.first_warning = Some(tick);
+        }
+        if state == DriftState::Drifting && trace.first_drifting.is_none() {
+            trace.first_drifting = Some(tick);
+        }
+    }
+    trace
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Detectors run, nothing acts — the paper's "wait for the operator" baseline.
+    DetectOnly,
+    /// Bad promotion over a healthy history: the ladder's answer is rollback.
+    Rollback,
+    /// Transient stream poisoning with a single promoted version: rollback has
+    /// nothing older, so the ladder escalates to quarantine; recovery promotes a
+    /// sanitized retrain on the cured stream once it clears the health gate.
+    Quarantine,
+}
+
+struct PolicyRun {
+    first_drifting: Option<u64>,
+    recovered_at: Option<u64>,
+    degraded_ticks: u64,
+    final_accuracy: f64,
+    actions: Vec<String>,
+}
+
+fn run_policy(
+    mode: Mode,
+    rounds: u64,
+    poison_at: u64,
+    train: &Dataset,
+    poisoned: &Dataset,
+    holdout: &Dataset,
+) -> PolicyRun {
+    let store = Arc::new(ModelStore::with_majority_fallback(train, 4).expect("fallback"));
+
+    // Pre-incident deployment: a clean model promoted with its honest accuracy.
+    let clean_model = fit_tree(train);
+    let baseline = accuracy(&clean_model.predict_batch(&holdout.features), &holdout.labels);
+    store.promote(Arc::clone(&clean_model), 0, baseline, "initial deployment");
+
+    let mut executor = match mode {
+        Mode::DetectOnly => None,
+        Mode::Rollback | Mode::Quarantine => Some(ActionExecutor::new(
+            Arc::clone(&store),
+            ResponsePolicy { recovery_margin: 0.15, ..ResponsePolicy::default() },
+            || Box::new(DecisionTree::new()) as Box<dyn Model>,
+        )),
+    };
+
+    let mut bank = DriftBank::new(DetectorKind::PageHinkley);
+    let mut run = PolicyRun {
+        first_drifting: None,
+        recovered_at: None,
+        degraded_ticks: 0,
+        final_accuracy: 0.0,
+        actions: Vec::new(),
+    };
+    let mut impaired = false;
+
+    // The stream-poisoning attack is transient: six rounds, then the stream cures.
+    let cure_at = poison_at + 6;
+
+    for tick in 0..rounds {
+        // Stage the incident.
+        if tick == poison_at {
+            match mode {
+                Mode::DetectOnly | Mode::Rollback => {
+                    // An unvetted retrain on the flipped stream is promoted; the
+                    // clean version stays in history for rollback.
+                    let bad = fit_tree(poisoned);
+                    let acc = accuracy(&bad.predict_batch(&holdout.features), &holdout.labels);
+                    store.promote(bad, tick, acc, "unvetted retrain on the live stream");
+                }
+                Mode::Quarantine => {} // the stream itself turns poisoned below
+            }
+        }
+        let stream = if (poison_at..cure_at).contains(&tick) { poisoned } else { train };
+
+        let (serving, _) = store.serving();
+        let value = match mode {
+            Mode::DetectOnly | Mode::Rollback => batch_accuracy(&serving, holdout, tick),
+            // Stream poisoning: accuracy against the incoming (flipped) labels.
+            Mode::Quarantine => accuracy(&serving.predict_batch(&stream.features), &stream.labels),
+        };
+        let verdicts = bank.update(&[reading(value, tick)]);
+        let state = verdicts.iter().map(|v| v.state).max().unwrap_or(DriftState::Stable);
+        if state == DriftState::Drifting && run.first_drifting.is_none() {
+            run.first_drifting = Some(tick);
+        }
+        // The pre-action reading is the impairment signal: it is exactly what the
+        // detector saw collapse, before the executor gets a chance to heal it.
+        if tick >= poison_at && value < baseline - RECOVERED_MARGIN {
+            impaired = true;
+        }
+
+        if let Some(exec) = executor.as_mut() {
+            // Recovery retrains on the stream as currently collected — sanitize can
+            // only repair so much while the attack is live; the health gate decides.
+            let ctx = RecoveryContext { train: stream, holdout };
+            for action in exec.step(tick, &mut bank, &verdicts, &[], &ctx) {
+                run.actions.push(format!("{}@t{tick}", short_label(&action.outcome)));
+            }
+        }
+
+        if store.is_quarantined() {
+            run.degraded_ticks += 1;
+        }
+        // Recovery check against the *post-action* serving plane, full holdout —
+        // only meaningful after an actual impairment (under stream poisoning the
+        // deployed model stays sound on the holdout until the loop quarantines it).
+        let (serving, _) = store.serving();
+        let acc = accuracy(&serving.predict_batch(&holdout.features), &holdout.labels);
+        run.final_accuracy = acc;
+        if acc < baseline - RECOVERED_MARGIN {
+            impaired = true;
+        } else if tick >= poison_at && impaired && run.recovered_at.is_none() {
+            run.recovered_at = Some(tick);
+        }
+    }
+    run
+}
+
+/// Compresses an executed-action outcome to a table-friendly label.
+fn short_label(outcome: &str) -> &'static str {
+    if outcome.starts_with("rolled back") {
+        "rollback"
+    } else if outcome.starts_with("recovered") {
+        "recover"
+    } else if outcome.contains("promoted retrain") {
+        "sanitize-retrain"
+    } else if outcome.contains("fallback") {
+        "quarantine"
+    } else if outcome.contains("below health gate") {
+        "gate-rejected"
+    } else {
+        "no-op"
+    }
+}

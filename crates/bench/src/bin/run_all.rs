@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "taxonomy_report",
     "uc1_baseline",
     "fig6_label_flip",
@@ -15,6 +15,7 @@ const EXPERIMENTS: [&str; 10] = [
     "fig7_poison_metrics",
     "fig8_capacity_xai",
     "ablation_rf_robustness",
+    "oversight_mttr",
 ];
 
 /// Heavier capacity runs, enabled with `--full`.

@@ -1,0 +1,716 @@
+//! Streaming change-point detection over sensor streams.
+//!
+//! The paper's operators "monitor and react to drifts in the AI inference process"
+//! (§IV, §VII). The [`Monitor`](crate::monitor::Monitor) compares each reading against
+//! a warm-up baseline; that catches large jumps but is blind to slow rot and noisy
+//! streams. This module adds the classic streaming change-point detectors — the
+//! Page–Hinkley test ([`PageHinkley`]), one-sided CUSUM ([`Cusum`]) and a
+//! sliding-window Kolmogorov–Smirnov mean-shift detector ([`WindowKs`]) — each a
+//! deterministic state machine `Stable → Warning → Drifting` over a scalar stream.
+//!
+//! All three detectors monitor *degradation*: feed them values where **larger means
+//! worse** (use [`DriftBank`] to orient raw sensor readings automatically via their
+//! [`Direction`](crate::property::Direction)). `Drifting` latches until
+//! [`DriftDetector::reset`] — the response layer resets detectors after a recovery
+//! action so MTTR is measurable and the loop cannot flap on a stale statistic.
+
+use crate::property::Direction;
+use crate::sensor::SensorReading;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The detector state machine. Ordered: `Stable < Warning < Drifting`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DriftState {
+    /// No evidence of change.
+    Stable,
+    /// The statistic crossed the warning threshold; not yet conclusive.
+    Warning,
+    /// Change point confirmed. Latched until `reset`.
+    Drifting,
+}
+
+impl DriftState {
+    /// Kebab-case name for metrics labels and dashboards.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftState::Stable => "stable",
+            DriftState::Warning => "warning",
+            DriftState::Drifting => "drifting",
+        }
+    }
+
+    /// Numeric encoding for the `spatial_drift_state` gauge: 0 / 1 / 2.
+    pub fn level(self) -> f64 {
+        match self {
+            DriftState::Stable => 0.0,
+            DriftState::Warning => 1.0,
+            DriftState::Drifting => 2.0,
+        }
+    }
+}
+
+/// A streaming change-point detector over a scalar stream where larger = worse.
+///
+/// Object-safe so a [`DriftBank`] can mix detector families per sensor.
+pub trait DriftDetector: Send + Sync {
+    /// Detector family name ("page-hinkley", "cusum", "window-ks").
+    fn name(&self) -> &'static str;
+
+    /// Feeds one observation and returns the post-update state.
+    fn update(&mut self, value: f64) -> DriftState;
+
+    /// Current state without feeding a value.
+    fn state(&self) -> DriftState;
+
+    /// Forgets all accumulated evidence and returns to `Stable`. Called by the
+    /// response layer after a recovery action.
+    fn reset(&mut self);
+}
+
+fn classify(stat: f64, warn: f64, drift: f64, latched: &mut bool) -> DriftState {
+    if *latched {
+        return DriftState::Drifting;
+    }
+    if stat >= drift {
+        *latched = true;
+        DriftState::Drifting
+    } else if stat >= warn {
+        DriftState::Warning
+    } else {
+        DriftState::Stable
+    }
+}
+
+/// Configuration of the [`PageHinkley`] test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHinkleyConfig {
+    /// Magnitude of change tolerated around the running mean (`δ`).
+    pub delta: f64,
+    /// Drift threshold on the PH statistic (`λ`).
+    pub lambda: f64,
+    /// Warning threshold as a fraction of `lambda` (in `(0, 1]`).
+    pub warn_fraction: f64,
+    /// Observations consumed before the test activates (the running mean needs
+    /// anchoring; mirrors the monitor's warm-up window).
+    pub warmup: usize,
+}
+
+impl Default for PageHinkleyConfig {
+    fn default() -> Self {
+        Self { delta: 0.005, lambda: 0.25, warn_fraction: 0.5, warmup: 3 }
+    }
+}
+
+/// The Page–Hinkley test: cumulative deviation from the running mean, compared
+/// against its running minimum.
+///
+/// After `t` observations with running mean `x̄_t`, the statistic is
+/// `m_t = Σ (x_i − x̄_i − δ)` and the alarm fires when `m_t − min_{i≤t} m_i ≥ λ`.
+/// A sustained upward (= degrading) shift grows `m_t` linearly while the minimum
+/// stays put, so the gap crosses `λ` within `≈ λ / (shift − δ)` ticks.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    cfg: PageHinkleyConfig,
+    n: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+    latched: bool,
+    state: DriftState,
+}
+
+impl PageHinkley {
+    /// Creates the test with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0`, `delta ≥ 0` and `warn_fraction ∈ (0, 1]`.
+    pub fn new(cfg: PageHinkleyConfig) -> Self {
+        assert!(cfg.lambda > 0.0, "lambda must be positive");
+        assert!(cfg.delta >= 0.0, "delta must be non-negative");
+        assert!(
+            cfg.warn_fraction > 0.0 && cfg.warn_fraction <= 1.0,
+            "warn_fraction must be in (0, 1]"
+        );
+        Self {
+            cfg,
+            n: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            minimum: 0.0,
+            latched: false,
+            state: DriftState::Stable,
+        }
+    }
+
+    /// Current value of the PH statistic `m_t − min m`.
+    pub fn statistic(&self) -> f64 {
+        self.cumulative - self.minimum
+    }
+}
+
+impl Default for PageHinkley {
+    fn default() -> Self {
+        Self::new(PageHinkleyConfig::default())
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn name(&self) -> &'static str {
+        "page-hinkley"
+    }
+
+    fn update(&mut self, value: f64) -> DriftState {
+        self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
+        if self.n as usize <= self.cfg.warmup {
+            // Warm-up: anchor the mean only; the statistic stays flat.
+            return self.state;
+        }
+        self.cumulative += value - self.mean - self.cfg.delta;
+        self.minimum = self.minimum.min(self.cumulative);
+        let warn = self.cfg.lambda * self.cfg.warn_fraction;
+        self.state = classify(self.statistic(), warn, self.cfg.lambda, &mut self.latched);
+        self.state
+    }
+
+    fn state(&self) -> DriftState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let cfg = self.cfg;
+        *self = Self::new(cfg);
+    }
+}
+
+/// Configuration of the one-sided [`Cusum`] detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumConfig {
+    /// Allowed slack around the reference mean (`k`), absorbing noise.
+    pub slack: f64,
+    /// Drift threshold on the cumulative sum (`h`).
+    pub threshold: f64,
+    /// Warning threshold as a fraction of `threshold` (in `(0, 1]`).
+    pub warn_fraction: f64,
+    /// Observations used to estimate the in-control reference mean.
+    pub warmup: usize,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        Self { slack: 0.01, threshold: 0.2, warn_fraction: 0.5, warmup: 3 }
+    }
+}
+
+/// One-sided CUSUM: `g_t = max(0, g_{t−1} + x_t − μ₀ − k)` against threshold `h`,
+/// where `μ₀` is the mean of the first `warmup` observations (the in-control level).
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    cfg: CusumConfig,
+    warmup_sum: f64,
+    warmup_seen: usize,
+    reference: f64,
+    g: f64,
+    latched: bool,
+    state: DriftState,
+}
+
+impl Cusum {
+    /// Creates the detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold > 0`, `slack ≥ 0`, `warmup ≥ 1` and
+    /// `warn_fraction ∈ (0, 1]`.
+    pub fn new(cfg: CusumConfig) -> Self {
+        assert!(cfg.threshold > 0.0, "threshold must be positive");
+        assert!(cfg.slack >= 0.0, "slack must be non-negative");
+        assert!(cfg.warmup >= 1, "warmup must be at least one observation");
+        assert!(
+            cfg.warn_fraction > 0.0 && cfg.warn_fraction <= 1.0,
+            "warn_fraction must be in (0, 1]"
+        );
+        Self {
+            cfg,
+            warmup_sum: 0.0,
+            warmup_seen: 0,
+            reference: 0.0,
+            g: 0.0,
+            latched: false,
+            state: DriftState::Stable,
+        }
+    }
+
+    /// Current value of the cumulative statistic `g_t`.
+    pub fn statistic(&self) -> f64 {
+        self.g
+    }
+}
+
+impl Default for Cusum {
+    fn default() -> Self {
+        Self::new(CusumConfig::default())
+    }
+}
+
+impl DriftDetector for Cusum {
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+
+    fn update(&mut self, value: f64) -> DriftState {
+        if self.warmup_seen < self.cfg.warmup {
+            self.warmup_sum += value;
+            self.warmup_seen += 1;
+            self.reference = self.warmup_sum / self.warmup_seen as f64;
+            return self.state;
+        }
+        self.g = (self.g + value - self.reference - self.cfg.slack).max(0.0);
+        let warn = self.cfg.threshold * self.cfg.warn_fraction;
+        self.state = classify(self.g, warn, self.cfg.threshold, &mut self.latched);
+        self.state
+    }
+
+    fn state(&self) -> DriftState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let cfg = self.cfg;
+        *self = Self::new(cfg);
+    }
+}
+
+/// Configuration of the sliding-window [`WindowKs`] detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowKsConfig {
+    /// Reference-window length (frozen after the first `window` observations).
+    pub window: usize,
+    /// KS-statistic drift threshold in `[0, 1]`.
+    pub drift_threshold: f64,
+    /// KS-statistic warning threshold (must not exceed `drift_threshold`).
+    pub warn_threshold: f64,
+}
+
+impl Default for WindowKsConfig {
+    /// With 12-observation windows the KS statistic moves in steps of 1/12, so a
+    /// drift threshold of 0.9 demands 11-of-12 separation between the windows —
+    /// on stationary streams that never occurs by chance (0 false alarms over
+    /// 32 seeds × 10 000 ticks in the detector property suite), while a genuine
+    /// mean shift larger than the in-window noise still confirms within about one
+    /// window length. The looser 0.75 (9-of-12) does false-alarm on long streams.
+    fn default() -> Self {
+        Self { window: 12, drift_threshold: 0.9, warn_threshold: 0.66 }
+    }
+}
+
+/// Sliding-window Kolmogorov–Smirnov mean-shift detector: freezes the first
+/// `window` observations as the reference distribution, keeps the most recent
+/// `window` observations as the current sample, and compares the two empirical
+/// CDFs. `D = sup_x |F_ref(x) − F_cur(x)|` reaches 1.0 when the windows fully
+/// separate — which is exactly what a mean shift larger than the in-window noise
+/// produces.
+#[derive(Debug, Clone)]
+pub struct WindowKs {
+    cfg: WindowKsConfig,
+    reference: Vec<f64>,
+    current: VecDeque<f64>,
+    latched: bool,
+    state: DriftState,
+}
+
+impl WindowKs {
+    /// Creates the detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window ≥ 2` and `0 < warn ≤ drift ≤ 1`.
+    pub fn new(cfg: WindowKsConfig) -> Self {
+        assert!(cfg.window >= 2, "window must hold at least two observations");
+        assert!(
+            cfg.warn_threshold > 0.0 && cfg.warn_threshold <= cfg.drift_threshold,
+            "need 0 < warn_threshold <= drift_threshold"
+        );
+        assert!(cfg.drift_threshold <= 1.0, "a KS statistic never exceeds 1");
+        Self {
+            cfg,
+            reference: Vec::new(),
+            current: VecDeque::new(),
+            latched: false,
+            state: DriftState::Stable,
+        }
+    }
+
+    /// Two-sample KS statistic between the frozen reference and the current window;
+    /// `0.0` while the reference is still filling.
+    pub fn statistic(&self) -> f64 {
+        if self.reference.len() < self.cfg.window || self.current.is_empty() {
+            return 0.0;
+        }
+        let mut a: Vec<f64> = self.reference.clone();
+        let mut b: Vec<f64> = self.current.iter().copied().collect();
+        a.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
+        b.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
+        let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            let fa = i as f64 / a.len() as f64;
+            let fb = j as f64 / b.len() as f64;
+            d = d.max((fa - fb).abs());
+        }
+        d
+    }
+}
+
+impl Default for WindowKs {
+    fn default() -> Self {
+        Self::new(WindowKsConfig::default())
+    }
+}
+
+impl DriftDetector for WindowKs {
+    fn name(&self) -> &'static str {
+        "window-ks"
+    }
+
+    fn update(&mut self, value: f64) -> DriftState {
+        if self.reference.len() < self.cfg.window {
+            self.reference.push(value);
+            return self.state;
+        }
+        self.current.push_back(value);
+        if self.current.len() > self.cfg.window {
+            self.current.pop_front();
+        }
+        if self.current.len() < self.cfg.window {
+            // Until the current window fills, D is inflated by the small sample;
+            // hold judgement to keep the false-alarm rate down.
+            return self.state;
+        }
+        self.state = classify(
+            self.statistic(),
+            self.cfg.warn_threshold,
+            self.cfg.drift_threshold,
+            &mut self.latched,
+        );
+        self.state
+    }
+
+    fn state(&self) -> DriftState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let cfg = self.cfg;
+        *self = Self::new(cfg);
+    }
+}
+
+/// Which detector family a [`DriftBank`] instantiates per sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DetectorKind {
+    /// [`PageHinkley`] with its default configuration.
+    #[default]
+    PageHinkley,
+    /// [`Cusum`] with its default configuration.
+    Cusum,
+    /// [`WindowKs`] with its default configuration.
+    WindowKs,
+}
+
+impl DetectorKind {
+    fn build(self) -> Box<dyn DriftDetector> {
+        match self {
+            DetectorKind::PageHinkley => Box::new(PageHinkley::default()),
+            DetectorKind::Cusum => Box::new(Cusum::default()),
+            DetectorKind::WindowKs => Box::new(WindowKs::default()),
+        }
+    }
+}
+
+/// One sensor's verdict after a bank update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftVerdict {
+    /// Sensor the verdict concerns.
+    pub sensor: String,
+    /// Detector family that produced it.
+    pub detector: &'static str,
+    /// Post-update state.
+    pub state: DriftState,
+}
+
+/// A bank of per-sensor detectors fed from [`SensorReading`]s.
+///
+/// Readings are oriented so larger = worse before hitting the detector: a
+/// `HigherIsBetter` sensor (accuracy) is negated, a `LowerIsBetter` sensor (SHAP
+/// dissimilarity) passes through. Sensors are keyed in a `BTreeMap` so iteration —
+/// and therefore verdict order and metrics export — is deterministic.
+pub struct DriftBank {
+    kind: DetectorKind,
+    detectors: BTreeMap<String, Box<dyn DriftDetector>>,
+}
+
+impl DriftBank {
+    /// Creates an empty bank that lazily instantiates `kind` per sensor.
+    pub fn new(kind: DetectorKind) -> Self {
+        Self { kind, detectors: BTreeMap::new() }
+    }
+
+    /// Feeds one monitoring round of readings; returns one verdict per reading,
+    /// in sensor-name order.
+    pub fn update(&mut self, readings: &[SensorReading]) -> Vec<DriftVerdict> {
+        let mut oriented: Vec<(&SensorReading, f64)> = readings
+            .iter()
+            .map(|r| {
+                let v = match r.direction {
+                    Direction::HigherIsBetter => -r.value,
+                    Direction::LowerIsBetter => r.value,
+                };
+                (r, v)
+            })
+            .collect();
+        oriented.sort_by(|(a, _), (b, _)| a.sensor.cmp(&b.sensor));
+        let kind = self.kind;
+        oriented
+            .into_iter()
+            .map(|(r, v)| {
+                let det = self.detectors.entry(r.sensor.clone()).or_insert_with(|| kind.build());
+                DriftVerdict {
+                    sensor: r.sensor.clone(),
+                    detector: det.name(),
+                    state: det.update(v),
+                }
+            })
+            .collect()
+    }
+
+    /// The worst state across all sensors (`Stable` when the bank is empty).
+    pub fn severity(&self) -> DriftState {
+        self.detectors.values().map(|d| d.state()).max().unwrap_or(DriftState::Stable)
+    }
+
+    /// Current per-sensor states in sensor-name order.
+    pub fn states(&self) -> Vec<(String, DriftState)> {
+        self.detectors.iter().map(|(s, d)| (s.clone(), d.state())).collect()
+    }
+
+    /// Resets every detector to `Stable` — called after a recovery action.
+    pub fn reset(&mut self) {
+        for det in self.detectors.values_mut() {
+            det.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for DriftBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftBank")
+            .field("kind", &self.kind)
+            .field("sensors", &self.detectors.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::TrustProperty;
+    use spatial_linalg::rng;
+
+    /// A stationary seeded stream: accuracy-like noise around 0.95.
+    fn stationary(seed: u64, n: usize) -> Vec<f64> {
+        let mut r = rng::seeded(seed);
+        (0..n).map(|_| rng::normal(&mut r, 0.05, 0.01)).collect()
+    }
+
+    fn detectors() -> Vec<Box<dyn DriftDetector>> {
+        vec![
+            Box::new(PageHinkley::default()),
+            Box::new(Cusum::default()),
+            Box::new(WindowKs::default()),
+        ]
+    }
+
+    #[test]
+    fn no_false_alarms_on_stationary_streams() {
+        for seed in [1u64, 2, 3] {
+            for mut det in detectors() {
+                for v in stationary(seed, 10_000) {
+                    let state = det.update(v);
+                    assert_ne!(
+                        state,
+                        DriftState::Drifting,
+                        "{} false-alarmed on a stationary stream (seed {seed})",
+                        det.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_change_detected_within_k_ticks() {
+        const K: usize = 25;
+        for mut det in detectors() {
+            for v in stationary(7, 200) {
+                assert_ne!(det.update(v), DriftState::Drifting, "{} pre-step", det.name());
+            }
+            let mut r = rng::seeded(8);
+            let mut detected_at = None;
+            for i in 0..K {
+                // A 0.25 upward (bad) step — the paper's poisoned-accuracy drop.
+                let v = rng::normal(&mut r, 0.30, 0.01);
+                if det.update(v) == DriftState::Drifting {
+                    detected_at = Some(i);
+                    break;
+                }
+            }
+            assert!(detected_at.is_some(), "{} missed a 0.25 step within {K} ticks", det.name());
+        }
+    }
+
+    #[test]
+    fn drifting_latches_until_reset_and_reset_recovers() {
+        for mut det in detectors() {
+            for v in stationary(11, 100) {
+                det.update(v);
+            }
+            let mut r = rng::seeded(12);
+            for _ in 0..60 {
+                det.update(rng::normal(&mut r, 0.4, 0.01));
+            }
+            assert_eq!(det.state(), DriftState::Drifting, "{}", det.name());
+            // Even good values cannot clear a latched alarm...
+            let post = stationary(13, 5);
+            for &v in &post {
+                assert_eq!(det.update(v), DriftState::Drifting, "{} must latch", det.name());
+            }
+            // ...only reset does, and the detector is then immediately usable.
+            det.reset();
+            assert_eq!(det.state(), DriftState::Stable, "{}", det.name());
+            for v in stationary(14, 2_000) {
+                assert_ne!(det.update(v), DriftState::Drifting, "{} post-reset", det.name());
+            }
+        }
+    }
+
+    #[test]
+    fn warning_precedes_drift_under_gradual_shift() {
+        let mut det = Cusum::new(CusumConfig { slack: 0.01, threshold: 0.3, ..Default::default() });
+        let mut seen_warning_first = false;
+        for i in 0..400 {
+            // Slow rot: +0.002 per tick after warm-up.
+            let v = 0.05 + 0.002 * i as f64;
+            match det.update(v) {
+                DriftState::Warning => seen_warning_first = true,
+                DriftState::Drifting => {
+                    assert!(seen_warning_first, "gradual drift should pass through Warning");
+                    return;
+                }
+                DriftState::Stable => {}
+            }
+        }
+        panic!("gradual shift never reached Drifting");
+    }
+
+    #[test]
+    fn bank_orients_directions_and_orders_verdicts() {
+        let mut bank = DriftBank::new(DetectorKind::Cusum);
+        let reading = |sensor: &str, dir: Direction, value: f64, tick: u64| SensorReading {
+            sensor: sensor.into(),
+            property: TrustProperty::Performance,
+            direction: dir,
+            value,
+            tick,
+        };
+        // Healthy warm-up rounds.
+        for t in 0..5 {
+            let verdicts = bank.update(&[
+                reading("zeta-accuracy", Direction::HigherIsBetter, 0.95, t),
+                reading("alpha-dissim", Direction::LowerIsBetter, 0.05, t),
+            ]);
+            assert_eq!(verdicts[0].sensor, "alpha-dissim", "verdicts are name-ordered");
+            assert_eq!(bank.severity(), DriftState::Stable);
+        }
+        // Accuracy collapses (HigherIsBetter: falling value must register as worse).
+        for t in 5..40 {
+            bank.update(&[
+                reading("zeta-accuracy", Direction::HigherIsBetter, 0.55, t),
+                reading("alpha-dissim", Direction::LowerIsBetter, 0.05, t),
+            ]);
+        }
+        assert_eq!(bank.severity(), DriftState::Drifting);
+        let states = bank.states();
+        assert_eq!(states[0], ("alpha-dissim".to_string(), DriftState::Stable));
+        assert_eq!(states[1].1, DriftState::Drifting);
+        bank.reset();
+        assert_eq!(bank.severity(), DriftState::Stable);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Same seed → byte-identical state trajectory, the property the bench's
+        // MTTD/MTTR numbers rely on.
+        let run = || {
+            let mut det = PageHinkley::default();
+            let mut trajectory = Vec::new();
+            let mut r = rng::seeded(42);
+            for i in 0..500 {
+                let base = if i < 300 { 0.05 } else { 0.3 };
+                trajectory.push(det.update(rng::normal(&mut r, base, 0.01)));
+            }
+            trajectory
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn state_levels_are_monotone() {
+        assert!(DriftState::Stable < DriftState::Warning);
+        assert!(DriftState::Warning < DriftState::Drifting);
+        assert_eq!(DriftState::Stable.level(), 0.0);
+        assert_eq!(DriftState::Drifting.level(), 2.0);
+        assert_eq!(DriftState::Warning.name(), "warning");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn page_hinkley_rejects_bad_lambda() {
+        let _ = PageHinkley::new(PageHinkleyConfig { lambda: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "window must hold")]
+    fn window_ks_rejects_tiny_window() {
+        let _ = WindowKs::new(WindowKsConfig { window: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn mixed_bank_uses_requested_kind() {
+        let mut bank = DriftBank::new(DetectorKind::WindowKs);
+        let verdicts = bank.update(&[SensorReading {
+            sensor: "s".into(),
+            property: TrustProperty::Performance,
+            direction: Direction::LowerIsBetter,
+            value: 0.1,
+            tick: 0,
+        }]);
+        assert_eq!(verdicts[0].detector, "window-ks");
+    }
+
+    #[test]
+    fn rng_follows_stationary_then_shifts() {
+        // Sanity-check the fixture itself: the stream really is stationary.
+        let s = stationary(5, 1000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 0.05).abs() < 0.01, "fixture mean {mean}");
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+}

@@ -31,9 +31,16 @@
 //!   loan-application scenario).
 //! - [`adapt`] — adaptive trustworthiness (§IX): alert-driven re-balancing of the
 //!   trust weights.
+//! - [`drift`] — streaming change-point detectors (Page–Hinkley, CUSUM, windowed
+//!   KS) that turn sensor streams into `Stable → Warning → Drifting` verdicts.
+//! - [`respond`] — the automated response layer: verdicts and alerts drive label
+//!   sanitization, retraining, rollback and quarantine against a versioned
+//!   [`ModelStore`](spatial_ml::ModelStore), closing the oversight loop without a
+//!   human in the hot path.
 
 pub mod adapt;
 pub mod audit;
+pub mod drift;
 pub mod fairness;
 pub mod feedback;
 pub mod monitor;
@@ -41,10 +48,13 @@ pub mod pipeline;
 pub mod privacy;
 pub mod property;
 pub mod registry;
+pub mod respond;
 pub mod sensor;
 pub mod trust;
 
+pub use drift::{DetectorKind, DriftBank, DriftDetector, DriftState, DriftVerdict};
 pub use monitor::{stage_for, Alert, Monitor, STAGE_HISTOGRAM};
 pub use property::TrustProperty;
 pub use registry::SensorRegistry;
+pub use respond::{ActionExecutor, ExecutedAction, RecoveryContext, ResponsePolicy};
 pub use sensor::{AiSensor, SensorContext, SensorReading};

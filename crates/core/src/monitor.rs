@@ -2,9 +2,21 @@
 //!
 //! "The trustworthy properties have to be monitored over time as these can change as
 //! the AI model gets updated" (§IV). The [`Monitor`] sweeps every registered sensor
-//! per round, maintains a per-sensor time series whose *first* reading is the
-//! baseline, and raises [`Alert`]s when a reading crosses an absolute threshold or
-//! degrades too far from that baseline.
+//! per round, maintains a per-sensor time series whose warm-up window (the mean of
+//! the first [`Monitor::baseline_window`] readings, default
+//! [`DEFAULT_BASELINE_WINDOW`]) is the baseline, and raises [`Alert`]s when a reading
+//! crosses an absolute threshold or degrades too far from that baseline.
+//!
+//! Alert-guard semantics (unified and intentional):
+//!
+//! - **Drift alerts** need a complete baseline: they arm only once a series holds
+//!   *more* than `baseline_window` readings — the warm-up readings define "normal"
+//!   and are never judged against themselves. With `baseline_window = 1` this is the
+//!   legacy behaviour (baseline = first reading, alerts from the second).
+//! - **Absolute-bound alerts** are baseline-free operator invariants ("accuracy must
+//!   never sit below 0.9") and fire from the very first reading, including during
+//!   warm-up — so a model that is already broken at round 0 still alerts. See the
+//!   regression test `absolute_bound_fires_during_warmup_but_drift_does_not`.
 
 use crate::registry::SensorRegistry;
 use crate::sensor::{SensorContext, SensorError, SensorReading};
@@ -35,12 +47,16 @@ pub fn stage_for(property: crate::property::TrustProperty) -> &'static str {
     }
 }
 
+/// Default warm-up window: the baseline is the mean of the first three readings, so
+/// one noisy first round cannot anchor every future drift alert.
+pub const DEFAULT_BASELINE_WINDOW: usize = 3;
+
 /// Why an alert fired.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AlertKind {
     /// The reading degraded more than the allowed drift from the baseline.
     DriftExceeded {
-        /// First-round baseline value.
+        /// Warm-up baseline value (mean of the first `baseline_window` readings).
         baseline: f64,
         /// Signed degradation (positive = worse).
         degradation: f64,
@@ -88,23 +104,42 @@ pub struct Monitor {
     series: HashMap<String, TimeSeries>,
     rules: HashMap<String, AlertRule>,
     default_rule: AlertRule,
+    baseline_window: usize,
     tick: u64,
     inst: Option<Instrumentation>,
     last_trace: Option<TraceId>,
 }
 
 impl Monitor {
-    /// Creates a monitor over a registry with a default drift rule (10 % degradation).
+    /// Creates a monitor over a registry with a default drift rule (10 % degradation)
+    /// and the default warm-up window ([`DEFAULT_BASELINE_WINDOW`] rounds).
     pub fn new(registry: SensorRegistry) -> Self {
         Self {
             registry,
             series: HashMap::new(),
             rules: HashMap::new(),
             default_rule: AlertRule::default(),
+            baseline_window: DEFAULT_BASELINE_WINDOW,
             tick: 0,
             inst: None,
             last_trace: None,
         }
+    }
+
+    /// Sets the warm-up window anchoring drift baselines. `1` restores the legacy
+    /// first-reading baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` — a drift check needs at least one baseline reading.
+    pub fn set_baseline_window(&mut self, window: usize) {
+        assert!(window >= 1, "baseline window must hold at least one reading");
+        self.baseline_window = window;
+    }
+
+    /// The active warm-up window length.
+    pub fn baseline_window(&self) -> usize {
+        self.baseline_window
     }
 
     /// Attaches an observability plane: every subsequent [`Monitor::observe`] round
@@ -178,14 +213,19 @@ impl Monitor {
             series.push(tick, reading.value);
             let rule = self.rules.get(&reading.sensor).copied().unwrap_or(self.default_rule);
 
-            if let (Some(max_deg), Some(baseline)) = (rule.max_degradation, series.baseline()) {
-                let degradation = reading.direction.degradation(baseline.value, reading.value);
-                if series.len() >= 2 && degradation > max_deg {
+            // Drift guard: armed only after the warm-up window is complete, so the
+            // readings that *form* the baseline are never judged against it.
+            // (Absolute bounds below are deliberately unguarded — see module docs.)
+            if let (Some(max_deg), Some(baseline)) =
+                (rule.max_degradation, series.baseline_mean(self.baseline_window))
+            {
+                let degradation = reading.direction.degradation(baseline, reading.value);
+                if series.len() > self.baseline_window && degradation > max_deg {
                     alerts.push(Alert {
                         sensor: reading.sensor.clone(),
                         value: reading.value,
                         tick,
-                        kind: AlertKind::DriftExceeded { baseline: baseline.value, degradation },
+                        kind: AlertKind::DriftExceeded { baseline, degradation },
                     });
                 }
             }
@@ -339,8 +379,10 @@ mod tests {
 
     #[test]
     fn drift_alert_fires_on_degradation() {
-        // Accuracy 0.97 → 0.71: the paper's poisoned-model trajectory.
+        // Accuracy 0.97 → 0.71: the paper's poisoned-model trajectory. Window 1
+        // restores the legacy first-reading baseline.
         let mut m = monitor_with(vec![0.97, 0.71], Direction::HigherIsBetter);
+        m.set_baseline_window(1);
         let (dt, ds) = fixture();
         let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
         let (_, alerts, _) = m.observe(&ctx);
@@ -360,11 +402,54 @@ mod tests {
     fn lower_is_better_drift_direction() {
         // SHAP dissimilarity rising = degradation.
         let mut m = monitor_with(vec![0.1, 0.5], Direction::LowerIsBetter);
+        m.set_baseline_window(1);
         let (dt, ds) = fixture();
         let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
         m.observe(&ctx);
         let (_, alerts, _) = m.observe(&ctx);
         assert_eq!(alerts.len(), 1);
+    }
+
+    #[test]
+    fn warmup_window_anchors_the_baseline_mean() {
+        // Default window is 3: readings 0.98, 0.96, 0.94 form the baseline (0.96);
+        // the 4th reading is judged against that mean, not against 0.98 alone.
+        let mut m = monitor_with(vec![0.98, 0.96, 0.94, 0.80], Direction::HigherIsBetter);
+        assert_eq!(m.baseline_window(), DEFAULT_BASELINE_WINDOW);
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        for _ in 0..3 {
+            let (_, alerts, _) = m.observe(&ctx);
+            assert!(alerts.is_empty(), "warm-up rounds must not drift-alert: {alerts:?}");
+        }
+        let (_, alerts, _) = m.observe(&ctx);
+        assert_eq!(alerts.len(), 1);
+        match &alerts[0].kind {
+            AlertKind::DriftExceeded { baseline, degradation } => {
+                assert!((baseline - 0.96).abs() < 1e-12, "baseline is the warm-up mean");
+                assert!((degradation - 0.16).abs() < 1e-12);
+            }
+            other => panic!("unexpected alert {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absolute_bound_fires_during_warmup_but_drift_does_not() {
+        // Regression test for the unified guard semantics: during warm-up the drift
+        // rule stays silent even for a huge drop, while the baseline-free absolute
+        // bound catches a model that is already broken at round 0.
+        let mut m = monitor_with(vec![0.5, 0.2], Direction::HigherIsBetter);
+        m.set_rule("scripted", AlertRule { max_degradation: Some(0.1), absolute_bound: Some(0.9) });
+        let (dt, ds) = fixture();
+        let ctx = SensorContext { model: &dt, train: &ds, test: &ds };
+        let (_, first, _) = m.observe(&ctx);
+        assert_eq!(first.len(), 1, "round 0: absolute bound only: {first:?}");
+        assert!(matches!(first[0].kind, AlertKind::ThresholdBreached { .. }));
+        let (_, second, _) = m.observe(&ctx);
+        assert!(
+            second.iter().all(|a| matches!(a.kind, AlertKind::ThresholdBreached { .. })),
+            "drift stays silent until the warm-up window completes: {second:?}"
+        );
     }
 
     #[test]

@@ -123,7 +123,8 @@ impl AugmentedPipeline {
                 train: &deployed.train,
                 test: &deployed.test,
             };
-            // Baseline round: the first readings anchor all drift alerts.
+            // First baseline round: together with the monitor's remaining warm-up
+            // rounds it anchors all drift alerts (see Monitor::baseline_window).
             let _ = monitor.observe(&ctx);
         }
         Ok(MonitoredDeployment { deployed, monitor, data_report, pipeline_trace })

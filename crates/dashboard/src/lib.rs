@@ -15,15 +15,19 @@
 //!   developer / auditor), the paper's §VIII "extra layer of transformation".
 //! - [`waterfall`] — ASCII gantt of one distributed trace's span tree.
 //! - [`metrics`] — human-readable panel over a metrics-registry snapshot.
+//! - [`oversight`] — the self-healing loop's panel: detector states, serving
+//!   (deployed vs DEGRADED fallback) and the executed-action tail.
 
 pub mod chart;
 pub mod export;
 pub mod gauge;
 pub mod metrics;
 pub mod narrate;
+pub mod oversight;
 pub mod render;
 pub mod waterfall;
 
 pub use metrics::render_metrics_panel;
+pub use oversight::{render_oversight_panel, ServingStatus};
 pub use render::{render_dashboard, DashboardView};
 pub use waterfall::render_waterfall;

@@ -1,0 +1,170 @@
+//! Oversight-loop panel — the operator's view of the self-healing machinery.
+//!
+//! Shows three things at a glance: what every drift detector currently believes
+//! (per-sensor state with a severity glyph), what the serving plane is doing
+//! (deployed version or DEGRADED fallback), and the tail of the action log — so an
+//! operator arriving after an incident can reconstruct detect → react → recover
+//! without reading raw metrics.
+
+use spatial_core::drift::{DriftState, DriftVerdict};
+use spatial_core::respond::ExecutedAction;
+
+/// Serving-plane status fed to the panel (a plain snapshot, so the dashboard does
+/// not need a live store handle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingStatus {
+    /// Whether serving is quarantined to the fallback model.
+    pub quarantined: bool,
+    /// Deployed version id and its promotion accuracy, when one exists.
+    pub deployed: Option<(u64, f64)>,
+    /// Model name currently answering `/predict`.
+    pub model: String,
+    /// Number of versions retained in the store.
+    pub versions: usize,
+}
+
+fn glyph(state: DriftState) -> &'static str {
+    match state {
+        DriftState::Stable => "·",
+        DriftState::Warning => "!",
+        DriftState::Drifting => "!!",
+    }
+}
+
+/// Renders the oversight panel. `actions` shows at most the last `max_actions`
+/// entries, newest last (the audit-trail convention).
+pub fn render_oversight_panel(
+    verdicts: &[DriftVerdict],
+    status: &ServingStatus,
+    actions: &[ExecutedAction],
+    max_actions: usize,
+) -> String {
+    let mut out = String::from("== OVERSIGHT ==\n");
+
+    match (status.quarantined, status.deployed) {
+        (true, _) => out.push_str(&format!(
+            "serving: DEGRADED — fallback `{}` answering, {} versions held\n",
+            status.model, status.versions
+        )),
+        (false, Some((id, acc))) => out.push_str(&format!(
+            "serving: v{id} `{}` (promotion accuracy {acc:.3}), {} versions held\n",
+            status.model, status.versions
+        )),
+        (false, None) => out.push_str("serving: no deployed version — fallback answering\n"),
+    }
+
+    if verdicts.is_empty() {
+        out.push_str("detectors: (none registered)\n");
+    } else {
+        out.push_str("detectors:\n");
+        for v in verdicts {
+            out.push_str(&format!(
+                "  {:<28} {:<12} [{:>2}] {}\n",
+                v.sensor,
+                v.detector,
+                glyph(v.state),
+                v.state.name()
+            ));
+        }
+    }
+
+    if actions.is_empty() {
+        out.push_str("actions: (none executed)\n");
+    } else {
+        let shown = &actions[actions.len().saturating_sub(max_actions.max(1))..];
+        out.push_str(&format!("actions (last {} of {}):\n", shown.len(), actions.len()));
+        for a in shown {
+            out.push_str(&format!(
+                "  t={:<5} {:<24} {}\n",
+                a.tick,
+                action_label(&a.action),
+                a.outcome
+            ));
+        }
+    }
+    out
+}
+
+fn action_label(action: &spatial_core::feedback::OperatorAction) -> String {
+    use spatial_core::feedback::OperatorAction::*;
+    match action {
+        SanitizeLabels { k } => format!("sanitize-labels(k={k})"),
+        Retrain => "retrain".into(),
+        Rollback => "rollback".into(),
+        AdjustAlertRule { sensor, .. } => format!("adjust-rule({sensor})"),
+        Quarantine => "quarantine".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::feedback::OperatorAction;
+
+    fn verdict(sensor: &str, state: DriftState) -> DriftVerdict {
+        DriftVerdict { sensor: sensor.into(), detector: "page-hinkley", state }
+    }
+
+    fn healthy_status() -> ServingStatus {
+        ServingStatus {
+            quarantined: false,
+            deployed: Some((3, 0.942)),
+            model: "random-forest".into(),
+            versions: 4,
+        }
+    }
+
+    #[test]
+    fn healthy_panel_shows_version_and_states() {
+        let verdicts =
+            [verdict("accuracy", DriftState::Stable), verdict("confidence", DriftState::Warning)];
+        let text = render_oversight_panel(&verdicts, &healthy_status(), &[], 5);
+        assert!(text.contains("== OVERSIGHT =="));
+        assert!(text.contains("serving: v3 `random-forest` (promotion accuracy 0.942)"), "{text}");
+        assert!(text.contains("accuracy"), "{text}");
+        assert!(text.contains("warning"), "{text}");
+        assert!(text.contains("(none executed)"), "{text}");
+    }
+
+    #[test]
+    fn quarantined_panel_shouts_degraded() {
+        let status = ServingStatus {
+            quarantined: true,
+            deployed: Some((2, 0.5)),
+            model: "majority-class".into(),
+            versions: 2,
+        };
+        let text =
+            render_oversight_panel(&[verdict("accuracy", DriftState::Drifting)], &status, &[], 5);
+        assert!(text.contains("DEGRADED"), "{text}");
+        assert!(text.contains("majority-class"), "{text}");
+        assert!(text.contains("drifting"), "{text}");
+    }
+
+    #[test]
+    fn action_tail_is_truncated_newest_last() {
+        let actions: Vec<ExecutedAction> = (0..6)
+            .map(|i| ExecutedAction {
+                tick: i,
+                action: OperatorAction::Rollback,
+                outcome: format!("rolled back at {i}"),
+            })
+            .collect();
+        let text = render_oversight_panel(&[], &healthy_status(), &actions, 3);
+        assert!(text.contains("actions (last 3 of 6):"), "{text}");
+        assert!(!text.contains("rolled back at 2"), "{text}");
+        assert!(text.contains("rolled back at 5"), "{text}");
+        assert!(text.contains("rollback"), "{text}");
+    }
+
+    #[test]
+    fn sanitize_label_spells_out_k() {
+        let actions = [ExecutedAction {
+            tick: 4,
+            action: OperatorAction::SanitizeLabels { k: 5 },
+            outcome: "repaired 12 labels".into(),
+        }];
+        let text = render_oversight_panel(&[], &healthy_status(), &actions, 5);
+        assert!(text.contains("sanitize-labels(k=5)"), "{text}");
+    }
+}

@@ -267,6 +267,7 @@ impl ChaosProxy {
                                                 error: "chaos: injected 503".into(),
                                             }),
                                             content_type: "application/json".into(),
+                                            headers: Vec::new(),
                                         }
                                         .write_to(&mut conn);
                                     }
@@ -365,6 +366,7 @@ fn relay(state: &ProxyState, req: &http::Request) -> Response {
             status: 502,
             body: to_json(&ErrorBody { error: format!("chaos proxy: upstream failure: {e}") }),
             content_type: "application/json".into(),
+            headers: Vec::new(),
         },
     }
 }

@@ -511,6 +511,7 @@ fn json_error(status: u16, message: String) -> Response {
         status,
         body: to_json(&ErrorBody { error: message }),
         content_type: "application/json".into(),
+        headers: Vec::new(),
     }
 }
 
@@ -537,6 +538,7 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
             status: 200,
             body: state.registry.encode().into_bytes(),
             content_type: "text/plain; version=0.0.4".into(),
+            headers: Vec::new(),
         }),
         "/healthz" => {
             let routes = state.table.read().routes.len();

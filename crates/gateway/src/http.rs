@@ -44,12 +44,21 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Content type header value.
     pub content_type: String,
+    /// Extra `x-*` response headers (lowercase names, CR/LF-free values). The
+    /// standard `content-length`/`content-type`/`connection` trio is always emitted
+    /// separately and never belongs here.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A 200 response with a JSON body.
     pub fn json(body: impl Into<Vec<u8>>) -> Self {
-        Self { status: 200, body: body.into(), content_type: "application/json".into() }
+        Self {
+            status: 200,
+            body: body.into(),
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+        }
     }
 
     /// A plain-text response with the given status.
@@ -58,7 +67,19 @@ impl Response {
             status,
             body: body.into().into_bytes(),
             content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Returns the response with an extra header attached.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of a (lowercase) extra header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// The status phrase for serialization.
@@ -80,12 +101,16 @@ impl Response {
     pub(crate) fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: close\r\n",
             self.status,
             self.phrase(),
             self.body.len(),
             self.content_type,
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -188,6 +213,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
         .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line}")))?;
     let mut content_type = "text/plain".to_string();
     let mut len = 0usize;
+    let mut extra = Vec::new();
     loop {
         let header = read_line_bounded(&mut reader, &mut budget)?;
         let trimmed = header.trim_end();
@@ -195,7 +221,8 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
-            match name.trim().to_ascii_lowercase().as_str() {
+            let name = name.trim().to_ascii_lowercase();
+            match name.as_str() {
                 "content-length" => {
                     len = value
                         .trim()
@@ -203,7 +230,10 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
                         .map_err(|_| HttpError::Malformed("unparsable content-length".into()))?;
                 }
                 "content-type" => content_type = value.trim().to_string(),
-                _ => {}
+                "connection" => {}
+                // Application headers (x-spatial-degraded, ...) survive the hop so
+                // the gateway can forward them to its own client.
+                _ => extra.push((name, value.trim().to_string())),
             }
         }
     }
@@ -212,7 +242,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    Ok(Response { status, body, content_type })
+    Ok(Response { status, body, content_type, headers: extra })
 }
 
 /// Issues one request over a fresh connection and waits for the response.

@@ -10,7 +10,10 @@
 //!   paper gives it vCPUs, which is what shapes the Fig. 8 queueing curves.
 //! - [`service`] — the micro-service abstraction and its HTTP host.
 //! - [`services`] — the five paper services: SHAP, LIME (tabular + image), occlusion
-//!   sensitivity, impact-resilience, and the AI-pipeline service.
+//!   sensitivity, impact-resilience, and the AI-pipeline service — plus the
+//!   model-serving service (`/serve/predict`) backed by the oversight loop's
+//!   versioned model store, which keeps answering (degraded, flagged with
+//!   `x-spatial-degraded: 1`) while the deployed model is quarantined.
 //! - [`gateway`] — the Kong substitute: prefix routing, health checks, per-route
 //!   metrics, round-robin upstreams, and the resilience policies (retries with a
 //!   retry budget, deadline propagation, eviction of failing replicas). It also

@@ -7,6 +7,8 @@
 //! [`LoadResult`] carries both listeners' outputs.
 
 use crate::http;
+use rand::Rng;
+use spatial_linalg::rng;
 use spatial_telemetry::{LatencyRecorder, SummaryReport};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +44,59 @@ impl Default for ThreadGroup {
     }
 }
 
+/// A payload mix for a capacity run: mostly-clean traffic with a seeded fraction of
+/// adversarial bodies interleaved, so a soak can drive the oversight loop's
+/// detectors while the latency listeners keep measuring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMix {
+    /// The well-formed payload sent by honest clients.
+    pub clean: Vec<u8>,
+    /// Adversarial payloads (malformed bodies, poisoned training batches, …) drawn
+    /// round-robin-by-seed when a request is poisoned. Ignored when empty.
+    pub adversarial: Vec<Vec<u8>>,
+    /// Probability in `[0, 1]` that any one request sends an adversarial payload.
+    pub poison_fraction: f64,
+    /// Seed for the per-thread payload choice; same seed → same request schedule.
+    pub seed: u64,
+}
+
+impl TrafficMix {
+    /// A mix that only ever sends `clean` — what [`run`] uses.
+    pub fn clean_only(clean: impl Into<Vec<u8>>) -> Self {
+        Self { clean: clean.into(), adversarial: Vec::new(), poison_fraction: 0.0, seed: 0 }
+    }
+
+    /// A poisoned mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poison_fraction` is outside `[0, 1]`, or it is positive while
+    /// `adversarial` is empty.
+    pub fn poisoned(
+        clean: impl Into<Vec<u8>>,
+        adversarial: Vec<Vec<u8>>,
+        poison_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&poison_fraction), "poison_fraction must be in [0, 1]");
+        assert!(
+            poison_fraction == 0.0 || !adversarial.is_empty(),
+            "a positive poison_fraction needs adversarial payloads"
+        );
+        Self { clean: clean.into(), adversarial, poison_fraction, seed }
+    }
+
+    /// Picks the next payload; returns `(body, poisoned)`.
+    fn pick(&self, r: &mut impl Rng) -> (&[u8], bool) {
+        if !self.adversarial.is_empty() && r.random_bool(self.poison_fraction) {
+            let i = r.random_range(0..self.adversarial.len());
+            (&self.adversarial[i], true)
+        } else {
+            (&self.clean, false)
+        }
+    }
+}
+
 /// One sample of the "Response Times Over Active Threads" listener.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActiveThreadSample {
@@ -62,6 +117,11 @@ pub struct LoadResult {
     pub samples: Vec<ActiveThreadSample>,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
+    /// Requests that sent an adversarial payload (0 for a clean run).
+    pub poisoned_requests: usize,
+    /// Responses flagged `x-spatial-degraded` — the oversight loop was serving from
+    /// the fallback when these were answered.
+    pub degraded_responses: usize,
 }
 
 impl LoadResult {
@@ -90,11 +150,31 @@ pub fn run(
     body: &[u8],
     group: &ThreadGroup,
 ) -> LoadResult {
+    run_mixed(addr, method, path, &TrafficMix::clean_only(body), group)
+}
+
+/// Runs a thread group drawing each request's payload from `mix` — the
+/// poisoned-traffic capacity scenario. Payload choice is seeded per thread
+/// (`derive_seed(mix.seed, thread)`), so a run is reproducible regardless of
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `requests_per_thread == 0`.
+pub fn run_mixed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    mix: &TrafficMix,
+    group: &ThreadGroup,
+) -> LoadResult {
     assert!(group.threads > 0, "need at least one thread");
     assert!(group.requests_per_thread > 0, "need at least one request per thread");
     let recorder = Arc::new(LatencyRecorder::new(path));
     let active = Arc::new(AtomicUsize::new(0));
     let samples = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let poisoned_total = Arc::new(AtomicUsize::new(0));
+    let degraded_total = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
 
     let handles: Vec<_> = (0..group.threads)
@@ -102,22 +182,33 @@ pub fn run(
             let recorder = Arc::clone(&recorder);
             let active = Arc::clone(&active);
             let samples = Arc::clone(&samples);
+            let poisoned_total = Arc::clone(&poisoned_total);
+            let degraded_total = Arc::clone(&degraded_total);
             let method = method.to_string();
             let path = path.to_string();
-            let body = body.to_vec();
+            let mix = mix.clone();
             let delay = group.ramp_up.mul_f64(i as f64 / group.threads as f64);
             let timeout = group.timeout;
             let requests = group.requests_per_thread;
             let headers = group.headers.clone();
+            let mut payload_rng = rng::seeded(rng::derive_seed(mix.seed, i as u64));
             std::thread::spawn(move || {
                 std::thread::sleep(delay);
                 active.fetch_add(1, Ordering::SeqCst);
                 for _ in 0..requests {
+                    let (body, poisoned) = mix.pick(&mut payload_rng);
+                    if poisoned {
+                        poisoned_total.fetch_add(1, Ordering::Relaxed);
+                    }
                     let t0 = Instant::now();
                     let result =
-                        http::request_with_headers(addr, &method, &path, &headers, &body, timeout);
+                        http::request_with_headers(addr, &method, &path, &headers, body, timeout);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     let ok = matches!(&result, Ok(r) if r.status < 500);
+                    if matches!(&result, Ok(r) if r.header(crate::services::DEGRADED_HEADER).is_some())
+                    {
+                        degraded_total.fetch_add(1, Ordering::Relaxed);
+                    }
                     recorder.mark(started.elapsed().as_nanos() as u64);
                     if ok {
                         recorder.record_ok(ms);
@@ -142,6 +233,8 @@ pub fn run(
         summary: recorder.summary(),
         samples: Arc::try_unwrap(samples).expect("threads joined").into_inner(),
         wall: started.elapsed(),
+        poisoned_requests: poisoned_total.load(Ordering::Relaxed),
+        degraded_responses: degraded_total.load(Ordering::Relaxed),
     }
 }
 
@@ -229,5 +322,80 @@ mod tests {
     fn zero_threads_rejected() {
         let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
         let _ = run(dead, "GET", "/x", b"", &ThreadGroup { threads: 0, ..Default::default() });
+    }
+
+    /// Flags any request whose body carries the adversarial marker as degraded —
+    /// a stand-in for a serving service that fell back under poisoning.
+    fn marking_server() -> HttpServer {
+        HttpServer::spawn(|req| {
+            let resp = Response::json(br#"{"ok":true}"#.to_vec());
+            if req.body.windows(6).any(|w| w == b"poison") {
+                resp.with_header(crate::services::DEGRADED_HEADER, "1")
+            } else {
+                resp
+            }
+        })
+        .unwrap()
+    }
+
+    fn poisoned_group() -> ThreadGroup {
+        ThreadGroup {
+            threads: 4,
+            requests_per_thread: 25,
+            ramp_up: Duration::from_millis(20),
+            timeout: Duration::from_secs(5),
+            headers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mixed_run_interleaves_adversarial_payloads() {
+        let server = marking_server();
+        let mix = TrafficMix::poisoned(
+            &br#"{"clean":true}"#[..],
+            vec![b"poison-a".to_vec(), b"poison-b".to_vec()],
+            0.3,
+            42,
+        );
+        let result = run_mixed(server.addr(), "POST", "/x", &mix, &poisoned_group());
+        assert_eq!(result.summary.samples, 100);
+        assert!(
+            result.poisoned_requests > 10 && result.poisoned_requests < 60,
+            "~30% of 100 requests should be adversarial: {}",
+            result.poisoned_requests
+        );
+        // Every adversarial request was flagged degraded by the server, and only
+        // those.
+        assert_eq!(result.degraded_responses, result.poisoned_requests);
+    }
+
+    #[test]
+    fn mixed_run_is_deterministic_per_seed() {
+        let server = marking_server();
+        let mix =
+            TrafficMix::poisoned(&br#"{"clean":true}"#[..], vec![b"poison".to_vec()], 0.25, 7);
+        let a = run_mixed(server.addr(), "POST", "/x", &mix, &poisoned_group());
+        let b = run_mixed(server.addr(), "POST", "/x", &mix, &poisoned_group());
+        assert_eq!(a.poisoned_requests, b.poisoned_requests, "same seed, same schedule");
+    }
+
+    #[test]
+    fn clean_run_reports_no_poison() {
+        let server = marking_server();
+        let result = run(
+            server.addr(),
+            "POST",
+            "/x",
+            b"{}",
+            &ThreadGroup { requests_per_thread: 2, ..poisoned_group() },
+        );
+        assert_eq!(result.poisoned_requests, 0);
+        assert_eq!(result.degraded_responses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs adversarial payloads")]
+    fn poison_without_payloads_rejected() {
+        let _ = TrafficMix::poisoned(&b"{}"[..], Vec::new(), 0.5, 1);
     }
 }

@@ -51,6 +51,13 @@ pub trait Microservice: Send + Sync + 'static {
     ///
     /// See [`ServiceError`].
     fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError>;
+
+    /// Extra response headers attached to every successful response — e.g. the
+    /// serving service marks degraded (fallback) answers with
+    /// `x-spatial-degraded: 1`. Default: none.
+    fn response_headers(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
 }
 
 /// A hosted micro-service: HTTP server + bounded worker pool around a
@@ -80,9 +87,14 @@ impl ServiceHost {
                 return not_found();
             };
             let service = Arc::clone(&service);
+            let headers_source = Arc::clone(&service);
             let body = req.body;
             match pool.execute(move || service.handle(&endpoint, &body)) {
-                Ok(Ok(body)) => Response::json(body),
+                Ok(Ok(body)) => {
+                    let mut resp = Response::json(body);
+                    resp.headers = headers_source.response_headers();
+                    resp
+                }
                 Ok(Err(ServiceError::BadRequest(m))) => error_response(400, &m),
                 Ok(Err(ServiceError::NotFound)) => not_found(),
                 Ok(Err(ServiceError::Internal(m))) => error_response(500, &m),
@@ -118,6 +130,7 @@ fn not_found() -> Response {
         status: 404,
         body: to_json(&ErrorBody { error: "not found".into() }),
         content_type: "application/json".into(),
+        headers: Vec::new(),
     }
 }
 
@@ -126,6 +139,7 @@ fn error_response(status: u16, message: &str) -> Response {
         status,
         body: to_json(&ErrorBody { error: message.to_string() }),
         content_type: "application/json".into(),
+        headers: Vec::new(),
     }
 }
 

@@ -12,10 +12,12 @@ pub mod impact;
 pub mod lime;
 pub mod occlusion;
 pub mod pipeline;
+pub mod serving;
 pub mod shap;
 
 pub use impact::ImpactService;
 pub use lime::LimeService;
 pub use occlusion::OcclusionService;
 pub use pipeline::PipelineService;
+pub use serving::{ServingService, DEGRADED_HEADER};
 pub use shap::ShapService;

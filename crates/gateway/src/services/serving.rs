@@ -1,0 +1,262 @@
+//! The model-serving micro-service — the inference endpoint the oversight loop
+//! protects.
+//!
+//! `POST /serve/predict` answers from whatever the [`ModelStore`] currently
+//! designates: the deployed version in normal operation, the always-available
+//! fallback under quarantine. Degraded answers stay `200` — the paper's gateway
+//! "ensures that each micro-service … returns the appropriate response" even when a
+//! model is pulled, so clients keep getting predictions and learn about the
+//! degradation from the [`DEGRADED_HEADER`] instead of a 503.
+//!
+//! The predict wire format is deliberately a flat hand-rolled codec (like the score
+//! service's): one feature array in, one small object out, no reflection on the
+//! inference hot path.
+
+use crate::service::{Microservice, ServiceError};
+use spatial_ml::{ModelStore, ServingSource};
+use std::sync::Arc;
+
+/// Response header marking answers served by the fallback model while the deployed
+/// model is quarantined. Value is always `"1"`; the header is absent on healthy
+/// responses.
+pub const DEGRADED_HEADER: &str = "x-spatial-degraded";
+
+/// Serves predictions from a live [`ModelStore`].
+///
+/// Endpoint: `POST /serve/predict` with body `{"features":[f64,...]}`. Replies
+/// `{"class":c,"confidence":p,"version":v,"degraded":d,"model":"name"}` where
+/// `version` is `0` when the fallback answered.
+pub struct ServingService {
+    store: Arc<ModelStore>,
+    n_features: usize,
+    vcpus: usize,
+}
+
+impl ServingService {
+    /// Creates the service over a store whose models expect `n_features` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0` or `vcpus == 0`.
+    pub fn new(store: Arc<ModelStore>, n_features: usize, vcpus: usize) -> Self {
+        assert!(n_features > 0, "n_features must be positive");
+        assert!(vcpus > 0, "vcpus must be positive");
+        Self { store, n_features, vcpus }
+    }
+
+    /// The store this service answers from (shared with the oversight loop's
+    /// action executor).
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.store
+    }
+}
+
+/// Extracts the `"features"` array from a predict body without a JSON reflection
+/// layer: scans to the key, then parses the bracketed comma-separated floats.
+fn parse_features(body: &[u8]) -> Result<Vec<f64>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let key = "\"features\"";
+    let at = text.find(key).ok_or_else(|| "missing \"features\" key".to_string())?;
+    let rest = &text[at + key.len()..];
+    let open = rest.find('[').ok_or_else(|| "\"features\" is not an array".to_string())?;
+    let close = rest[open..].find(']').ok_or_else(|| "unterminated features array".to_string())?;
+    let inner = &rest[open + 1..open + close];
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|tok| {
+            tok.trim().parse::<f64>().map_err(|_| format!("bad number in features: {tok:?}"))
+        })
+        .collect()
+}
+
+impl Microservice for ServingService {
+    fn name(&self) -> &str {
+        "serve"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        if endpoint != "/predict" {
+            return Err(ServiceError::NotFound);
+        }
+        let features = parse_features(body).map_err(ServiceError::BadRequest)?;
+        if features.len() != self.n_features {
+            return Err(ServiceError::BadRequest(format!(
+                "expected {} features, got {}",
+                self.n_features,
+                features.len()
+            )));
+        }
+        let (model, source) = self.store.serving();
+        let proba = model.predict_proba(&features);
+        let (class, confidence) = proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, &p)| (c, p))
+            .ok_or_else(|| ServiceError::Internal("model produced no classes".into()))?;
+        let (version, degraded) = match source {
+            ServingSource::Deployed(v) => (v, false),
+            ServingSource::Fallback => (0, true),
+        };
+        Ok(format!(
+            "{{\"class\":{class},\"confidence\":{confidence},\"version\":{version},\"degraded\":{degraded},\"model\":\"{}\"}}",
+            model.name()
+        )
+        .into_bytes())
+    }
+
+    fn response_headers(&self) -> Vec<(String, String)> {
+        if self.store.is_quarantined() {
+            vec![(DEGRADED_HEADER.to_string(), "1".to_string())]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::Model;
+    use std::time::Duration;
+
+    fn two_blob_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let label = i % 2;
+            rows.push(vec![label as f64 * 6.0 + (i as f64 % 3.0) * 0.1, (i as f64 % 5.0) * 0.1]);
+            labels.push(label);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    fn serving_store() -> Arc<ModelStore> {
+        let ds = two_blob_dataset();
+        let store = Arc::new(ModelStore::with_majority_fallback(&ds, 4).unwrap());
+        let mut model = DecisionTree::new();
+        model.fit(&ds).unwrap();
+        store.promote(Arc::new(model), 0, 0.99, "initial");
+        store
+    }
+
+    #[test]
+    fn predicts_over_http_with_version() {
+        let store = serving_store();
+        let host = ServiceHost::spawn(Arc::new(ServingService::new(store, 2, 2)), 16).unwrap();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/predict",
+            br#"{"features":[6.0, 0.1]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(resp.header(DEGRADED_HEADER).is_none(), "healthy responses carry no flag");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"class\":1"), "{body}");
+        assert!(body.contains("\"version\":1"), "{body}");
+        assert!(body.contains("\"degraded\":false"), "{body}");
+    }
+
+    #[test]
+    fn quarantined_store_serves_degraded_with_header_not_503() {
+        let store = serving_store();
+        store.quarantine();
+        let host = ServiceHost::spawn(Arc::new(ServingService::new(store, 2, 2)), 16).unwrap();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/predict",
+            br#"{"features":[0.0, 0.0]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "degradation must not 503");
+        assert_eq!(resp.header(DEGRADED_HEADER), Some("1"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        assert!(body.contains("\"version\":0"), "{body}");
+        assert!(body.contains("majority-class"), "{body}");
+    }
+
+    #[test]
+    fn recovery_clears_the_degraded_flag() {
+        let store = serving_store();
+        store.quarantine();
+        let host = ServiceHost::spawn(Arc::new(ServingService::new(Arc::clone(&store), 2, 2)), 16)
+            .unwrap();
+        store.lift_quarantine();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/predict",
+            br#"{"features":[6.0, 0.1]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.header(DEGRADED_HEADER).is_none());
+    }
+
+    #[test]
+    fn wrong_feature_count_is_400() {
+        let host =
+            ServiceHost::spawn(Arc::new(ServingService::new(serving_store(), 2, 2)), 16).unwrap();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/predict",
+            br#"{"features":[1.0]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn malformed_body_is_400() {
+        let host =
+            ServiceHost::spawn(Arc::new(ServingService::new(serving_store(), 2, 2)), 16).unwrap();
+        for bad in [&b"{oops"[..], b"{\"features\":[1.0,", b"{\"features\":[\"x\"]}"] {
+            let resp = request(host.addr(), "POST", "/serve/predict", bad, Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn parse_features_handles_spacing_and_empties() {
+        assert_eq!(parse_features(br#"{"features":[1.0, -2.5,3]}"#).unwrap(), vec![1.0, -2.5, 3.0]);
+        assert_eq!(parse_features(br#"{"features":[]}"#).unwrap(), Vec::<f64>::new());
+        assert!(parse_features(b"{}").is_err());
+        assert!(parse_features(br#"{"features":1}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404() {
+        let host =
+            ServiceHost::spawn(Arc::new(ServingService::new(serving_store(), 2, 2)), 16).unwrap();
+        let resp =
+            request(host.addr(), "POST", "/serve/other", b"{}", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+}

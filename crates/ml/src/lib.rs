@@ -18,7 +18,9 @@
 //!
 //! [`pipeline`] implements the paper's standard model-construction pipeline (Fig. 4a);
 //! [`cv`] provides k-fold cross-validation; [`metrics`] the evaluation metrics the
-//! paper reports (accuracy, precision, recall, F1, confusion matrices).
+//! paper reports (accuracy, precision, recall, F1, confusion matrices); [`store`] the
+//! versioned [`ModelStore`] (atomic promote/rollback plus a quarantine fallback) the
+//! self-healing oversight loop acts on.
 
 pub mod cv;
 pub mod fairness;
@@ -30,6 +32,8 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod pipeline;
+pub mod store;
 pub mod tree;
 
 pub use model::{GradientModel, Model, TrainError};
+pub use store::{MajorityClass, ModelStore, ServingSource, StoreError, VersionMeta};

@@ -1,0 +1,428 @@
+//! Versioned model store with atomic promote/rollback and a quarantine fallback.
+//!
+//! The oversight loop needs somewhere to *act*: `Rollback` must restore a previous
+//! deployment and `Quarantine` must keep `/predict` answering while a poisoned model
+//! is pulled. [`ModelStore`] is that seam — the deployed model plus up to `capacity`
+//! versioned snapshots with promotion metadata, guarded by a single lock so
+//! `promote`/`rollback`/`quarantine` are atomic with respect to serving reads, and a
+//! designated always-available fallback ([`MajorityClass`] by default) that degraded
+//! mode serves from.
+
+use crate::model::{Model, TrainError};
+use parking_lot::RwLock;
+use spatial_data::Dataset;
+use std::sync::Arc;
+
+/// A deterministic, never-failing fallback model: predicts the training majority
+/// class with the observed class frequencies as probabilities. It is intentionally
+/// dumb — quarantine trades accuracy for availability.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClass {
+    proba: Vec<f64>,
+}
+
+impl Model for MajorityClass {
+    fn name(&self) -> &str {
+        "majority-class"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.proba.len()
+    }
+
+    fn fit(&mut self, train: &Dataset) -> Result<(), TrainError> {
+        if train.n_samples() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        let mut counts = vec![0usize; train.n_classes()];
+        for &label in &train.labels {
+            counts[label] += 1;
+        }
+        self.proba = counts.iter().map(|&c| c as f64 / train.n_samples() as f64).collect();
+        Ok(())
+    }
+
+    fn predict_proba(&self, _features: &[f64]) -> Vec<f64> {
+        assert!(!self.proba.is_empty(), "MajorityClass must be fitted before predicting");
+        self.proba.clone()
+    }
+}
+
+/// Metadata frozen at promotion time — the audit trail of a version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionMeta {
+    /// Monotonic version id (1-based; 0 is reserved for the fallback).
+    pub id: u64,
+    /// Monitoring tick at which the version was trained/promoted.
+    pub train_tick: u64,
+    /// Held-out accuracy measured at promotion.
+    pub accuracy: f64,
+    /// Model display name.
+    pub model: String,
+    /// Free-form provenance note ("initial deployment", "retrained on sanitized data").
+    pub note: String,
+}
+
+/// What the store is currently serving from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingSource {
+    /// The deployed version with the given id.
+    Deployed(u64),
+    /// The quarantine fallback.
+    Fallback,
+}
+
+/// Errors from store transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// `rollback` with no older version to roll back to.
+    NoPreviousVersion,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoPreviousVersion => write!(f, "no previous version to roll back to"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+struct Version {
+    meta: VersionMeta,
+    model: Arc<dyn Model>,
+}
+
+struct StoreInner {
+    versions: Vec<Version>,
+    deployed: usize,
+    quarantined: bool,
+    next_id: u64,
+}
+
+/// The versioned model store.
+///
+/// Thread-safe: serving reads take a shared lock, transitions an exclusive one, so a
+/// reader either sees the pre- or post-transition deployment, never a mix.
+pub struct ModelStore {
+    fallback: Arc<dyn Model>,
+    capacity: usize,
+    inner: RwLock<StoreInner>,
+}
+
+impl ModelStore {
+    /// Creates a store with an already-fitted fallback and room for `capacity`
+    /// snapshots (at least 2, so rollback always has somewhere to go).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` or the fallback is unfitted (zero classes).
+    pub fn new(fallback: Arc<dyn Model>, capacity: usize) -> Self {
+        assert!(capacity >= 2, "capacity must keep at least two versions");
+        assert!(fallback.n_classes() > 0, "fallback must be fitted before registration");
+        Self {
+            fallback,
+            capacity,
+            inner: RwLock::new(StoreInner {
+                versions: Vec::new(),
+                deployed: 0,
+                quarantined: false,
+                next_id: 1,
+            }),
+        }
+    }
+
+    /// Convenience: fits a [`MajorityClass`] fallback on `train` and builds the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fallback's [`TrainError`] (empty dataset).
+    pub fn with_majority_fallback(train: &Dataset, capacity: usize) -> Result<Self, TrainError> {
+        let mut fallback = MajorityClass::default();
+        fallback.fit(train)?;
+        Ok(Self::new(Arc::new(fallback), capacity))
+    }
+
+    /// Promotes a fitted model to deployed, snapshotting it with metadata. Evicts the
+    /// oldest non-deployed version beyond `capacity`. Returns the new version id.
+    pub fn promote(
+        &self,
+        model: Arc<dyn Model>,
+        train_tick: u64,
+        accuracy: f64,
+        note: impl Into<String>,
+    ) -> u64 {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let meta = VersionMeta {
+            id,
+            train_tick,
+            accuracy,
+            model: model.name().to_string(),
+            note: note.into(),
+        };
+        inner.versions.push(Version { meta, model });
+        inner.deployed = inner.versions.len() - 1;
+        if inner.versions.len() > self.capacity {
+            // Never evict the deployed version (it is the newest, index > 0 here).
+            inner.versions.remove(0);
+            inner.deployed -= 1;
+        }
+        id
+    }
+
+    /// Atomically moves the deployment pointer to the previous snapshot. The rolled-
+    /// away version stays in history (an operator may inspect it) but is skipped by
+    /// future rollbacks. Also lifts quarantine — rollback *is* the recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoPreviousVersion`] when no older snapshot exists.
+    pub fn rollback(&self) -> Result<u64, StoreError> {
+        let mut inner = self.inner.write();
+        if inner.deployed == 0 {
+            return Err(StoreError::NoPreviousVersion);
+        }
+        inner.deployed -= 1;
+        inner.quarantined = false;
+        Ok(inner.versions[inner.deployed].meta.id)
+    }
+
+    /// Switches serving to the fallback model. Idempotent.
+    pub fn quarantine(&self) {
+        self.inner.write().quarantined = true;
+    }
+
+    /// Returns serving to the deployed version. Idempotent.
+    pub fn lift_quarantine(&self) {
+        self.inner.write().quarantined = false;
+    }
+
+    /// Whether serving is currently degraded to the fallback.
+    pub fn is_quarantined(&self) -> bool {
+        self.inner.read().quarantined
+    }
+
+    /// The model to answer predictions with *right now*, and where it came from.
+    /// Quarantine — or an empty store — serves the fallback.
+    pub fn serving(&self) -> (Arc<dyn Model>, ServingSource) {
+        let inner = self.inner.read();
+        if inner.quarantined || inner.versions.is_empty() {
+            (Arc::clone(&self.fallback), ServingSource::Fallback)
+        } else {
+            let v = &inner.versions[inner.deployed];
+            (Arc::clone(&v.model), ServingSource::Deployed(v.meta.id))
+        }
+    }
+
+    /// Metadata of the deployed version (`None` when nothing was promoted yet).
+    pub fn deployed_meta(&self) -> Option<VersionMeta> {
+        let inner = self.inner.read();
+        inner.versions.get(inner.deployed).map(|v| v.meta.clone())
+    }
+
+    /// Metadata of every retained snapshot, oldest first.
+    pub fn history(&self) -> Vec<VersionMeta> {
+        self.inner.read().versions.iter().map(|v| v.meta.clone()).collect()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.inner.read().versions.len()
+    }
+
+    /// Whether no version was ever promoted.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().versions.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ModelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("ModelStore")
+            .field("versions", &inner.versions.len())
+            .field("deployed", &inner.versions.get(inner.deployed).map(|v| v.meta.id))
+            .field("quarantined", &inner.quarantined)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+    use spatial_linalg::Matrix;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[0.1], &[1.0], &[1.1], &[0.2], &[1.2]]),
+            vec![0, 0, 1, 1, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    fn fitted_tree(ds: &Dataset) -> Arc<dyn Model> {
+        let mut t = DecisionTree::new();
+        t.fit(ds).unwrap();
+        Arc::new(t)
+    }
+
+    fn store() -> ModelStore {
+        ModelStore::with_majority_fallback(&dataset(), 3).unwrap()
+    }
+
+    #[test]
+    fn majority_class_predicts_frequencies() {
+        let mut m = MajorityClass::default();
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]),
+            vec![0, 0, 0, 1],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        m.fit(&ds).unwrap();
+        assert_eq!(m.predict(&[99.0]), 0);
+        assert_eq!(m.predict_proba(&[0.0]), vec![0.75, 0.25]);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn empty_store_serves_fallback() {
+        let s = store();
+        let (model, source) = s.serving();
+        assert_eq!(source, ServingSource::Fallback);
+        assert_eq!(model.name(), "majority-class");
+        assert!(s.is_empty());
+        assert!(s.deployed_meta().is_none());
+    }
+
+    #[test]
+    fn promote_deploys_and_records_metadata() {
+        let s = store();
+        let ds = dataset();
+        let id = s.promote(fitted_tree(&ds), 0, 0.97, "initial deployment");
+        assert_eq!(id, 1);
+        let (model, source) = s.serving();
+        assert_eq!(source, ServingSource::Deployed(1));
+        assert_eq!(model.name(), "decision-tree");
+        let meta = s.deployed_meta().unwrap();
+        assert_eq!((meta.train_tick, meta.accuracy), (0, 0.97));
+        assert_eq!(meta.note, "initial deployment");
+    }
+
+    #[test]
+    fn rollback_restores_previous_version() {
+        let s = store();
+        let ds = dataset();
+        s.promote(fitted_tree(&ds), 0, 0.97, "v1");
+        s.promote(fitted_tree(&ds), 5, 0.60, "v2 (poisoned)");
+        assert_eq!(s.serving().1, ServingSource::Deployed(2));
+        let restored = s.rollback().unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(s.serving().1, ServingSource::Deployed(1));
+        // History keeps the bad version for inspection.
+        assert_eq!(s.history().len(), 2);
+        // A second rollback has nowhere to go.
+        assert_eq!(s.rollback(), Err(StoreError::NoPreviousVersion));
+    }
+
+    #[test]
+    fn quarantine_switches_to_fallback_and_lifts() {
+        let s = store();
+        s.promote(fitted_tree(&dataset()), 0, 0.97, "v1");
+        assert!(!s.is_quarantined());
+        s.quarantine();
+        assert!(s.is_quarantined());
+        assert_eq!(s.serving().1, ServingSource::Fallback);
+        s.lift_quarantine();
+        assert_eq!(s.serving().1, ServingSource::Deployed(1));
+    }
+
+    #[test]
+    fn rollback_lifts_quarantine() {
+        let s = store();
+        let ds = dataset();
+        s.promote(fitted_tree(&ds), 0, 0.97, "v1");
+        s.promote(fitted_tree(&ds), 3, 0.5, "v2");
+        s.quarantine();
+        s.rollback().unwrap();
+        assert!(!s.is_quarantined());
+        assert_eq!(s.serving().1, ServingSource::Deployed(1));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_snapshot() {
+        let s = store(); // capacity 3
+        let ds = dataset();
+        for tick in 0..5u64 {
+            s.promote(fitted_tree(&ds), tick, 0.9, format!("v{}", tick + 1));
+        }
+        let ids: Vec<u64> = s.history().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert_eq!(s.serving().1, ServingSource::Deployed(5));
+        // Rollback still works across the retained window.
+        assert_eq!(s.rollback().unwrap(), 4);
+        assert_eq!(s.rollback().unwrap(), 3);
+        assert_eq!(s.rollback(), Err(StoreError::NoPreviousVersion));
+    }
+
+    #[test]
+    fn version_ids_are_monotonic_across_eviction() {
+        let s = store();
+        let ds = dataset();
+        for tick in 0..4u64 {
+            s.promote(fitted_tree(&ds), tick, 0.9, "v");
+        }
+        assert_eq!(s.promote(fitted_tree(&ds), 9, 0.9, "v"), 5);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must keep")]
+    fn tiny_capacity_rejected() {
+        let mut fb = MajorityClass::default();
+        fb.fit(&dataset()).unwrap();
+        let _ = ModelStore::new(Arc::new(fb), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fallback must be fitted")]
+    fn unfitted_fallback_rejected() {
+        let _ = ModelStore::new(Arc::new(MajorityClass::default()), 3);
+    }
+
+    #[test]
+    fn concurrent_reads_during_transitions_see_consistent_state() {
+        let s = Arc::new(store());
+        let ds = dataset();
+        s.promote(fitted_tree(&ds), 0, 0.97, "v1");
+        s.promote(fitted_tree(&ds), 1, 0.96, "v2");
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (model, source) = s.serving();
+                        // Whatever the source, the model must answer.
+                        let _ = model.predict(&[0.5]);
+                        match source {
+                            ServingSource::Deployed(id) => assert!(id >= 1),
+                            ServingSource::Fallback => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            s.quarantine();
+            s.lift_quarantine();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

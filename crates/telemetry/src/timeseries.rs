@@ -86,6 +86,18 @@ impl TimeSeries {
         self.samples.first().copied()
     }
 
+    /// Warm-up baseline: the mean of the first `min(window, len)` values. A single
+    /// early outlier no longer owns the baseline forever — the monitor anchors its
+    /// drift alerts here. `window` clamps to at least 1, so `baseline_mean(1)` is
+    /// exactly the legacy first-sample baseline. `None` when empty.
+    pub fn baseline_mean(&self, window: usize) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let take = self.samples.len().min(window.max(1));
+        Some(self.samples[..take].iter().map(|s| s.value).sum::<f64>() / take as f64)
+    }
+
     /// Mean of the most recent `window` values (or all values when fewer exist);
     /// `0.0` when empty.
     pub fn windowed_mean(&self, window: usize) -> f64 {
@@ -211,5 +223,18 @@ mod tests {
         let ts = series(&[0.5, 0.9]);
         assert_eq!(ts.baseline().unwrap().value, 0.5);
         assert_eq!(ts.last().unwrap().value, 0.9);
+    }
+
+    #[test]
+    fn baseline_mean_averages_the_warmup_window() {
+        let ts = series(&[0.9, 0.8, 1.0, 0.1, 0.1]);
+        assert!((ts.baseline_mean(3).unwrap() - 0.9).abs() < 1e-12);
+        // Window 1 reproduces the legacy first-sample baseline.
+        assert_eq!(ts.baseline_mean(1).unwrap(), ts.baseline().unwrap().value);
+        // Window 0 clamps to 1.
+        assert_eq!(ts.baseline_mean(0).unwrap(), 0.9);
+        // Oversized windows average whatever exists.
+        assert!((ts.baseline_mean(100).unwrap() - 0.58).abs() < 1e-12);
+        assert!(TimeSeries::new("empty").baseline_mean(3).is_none());
     }
 }

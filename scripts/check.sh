@@ -13,4 +13,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== oversight MTTD/MTTR smoke (small scale) =="
+cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --rounds 26
+
 echo "all checks passed"

@@ -19,6 +19,9 @@ fn dataset() -> (spatial::data::Dataset, spatial::data::Dataset) {
 fn poisoning_degrades_and_monitor_notices() {
     let (train, test) = dataset();
     let mut monitor = Monitor::new(SensorRegistry::standard(1));
+    // Legacy single-round baseline: this scenario runs one clean round and expects
+    // the poisoned round right after it to alert.
+    monitor.set_baseline_window(1);
 
     // Clean baseline round.
     let mut clean_model = RandomForest::with_trees(20);

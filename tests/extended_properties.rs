@@ -41,6 +41,8 @@ fn adaptive_weights_follow_alerts_through_the_monitor() {
     let (train, test) = raw.split(0.8, 5);
     let registry = SensorRegistry::standard(1);
     let mut monitor = Monitor::new(SensorRegistry::standard(1));
+    // One clean round anchors the baseline; the next round must already alert.
+    monitor.set_baseline_window(1);
     let mut adapter = WeightAdapter::new(TrustWeights::default(), AdaptConfig::default());
 
     // Baseline round with a good model.

@@ -3,11 +3,15 @@
 
 use spatial::attacks::label_flip::random_label_flip;
 use spatial::core::audit::{AuditEvent, AuditTrail};
+use spatial::core::drift::{DetectorKind, DriftBank};
 use spatial::core::feedback::OperatorAction;
 use spatial::core::monitor::{AlertRule, Monitor};
 use spatial::core::pipeline::AugmentedPipeline;
+use spatial::core::property::{Direction, TrustProperty};
 use spatial::core::registry::SensorRegistry;
+use spatial::core::respond::{ActionExecutor, RecoveryContext, ResponsePolicy};
 use spatial::core::sensor::SensorContext;
+use spatial::core::sensor::SensorReading;
 use spatial::core::trust::{aggregate, TrustWeights};
 use spatial::dashboard::export::{snapshot, Snapshot};
 use spatial::dashboard::render::{render_dashboard, DashboardView};
@@ -69,6 +73,8 @@ fn operator_rule_change_makes_monitor_stricter() {
     let ds = raw();
     let (train, test) = ds.split(0.8, 2);
     let mut monitor = Monitor::new(SensorRegistry::standard(1));
+    // The manual operator path uses the legacy one-round baseline.
+    monitor.set_baseline_window(1);
 
     // Default rule: 10% degradation tolerated. Baseline round first.
     let mut model = DecisionTree::new();
@@ -112,4 +118,119 @@ fn operator_rule_change_makes_monitor_stricter() {
     if acc_drop > 1e-6 {
         assert!(strict_accuracy_alerts > 0, "drop {acc_drop} should now alert");
     }
+}
+
+/// The fully automated path: a label-flip attack poisons the live stream, the drift
+/// bank detects it, the executor escalates to quarantine (no older version exists to
+/// roll back to), `/serve/predict` keeps answering from the fallback with the
+/// degraded header, and a sanitized retrain that clears the health gate lifts the
+/// quarantine — no human in the loop.
+#[test]
+fn automated_path_poison_detect_quarantine_recover() {
+    use spatial::gateway::http::request;
+    use spatial::gateway::service::ServiceHost;
+    use spatial::gateway::services::{ServingService, DEGRADED_HEADER};
+    use spatial::ml::metrics::accuracy;
+    use spatial::ml::store::ModelStore;
+    use spatial::ml::tree::DecisionTree;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let ds = raw();
+    let (train, holdout) = ds.split(0.8, 1);
+
+    // Only one version is ever promoted, so a `Drifting` verdict finds nothing
+    // older to roll back to and must escalate straight to quarantine.
+    let store = Arc::new(ModelStore::with_majority_fallback(&train, 2).unwrap());
+    let mut clean = DecisionTree::new();
+    clean.fit(&train).unwrap();
+    let baseline = accuracy(&clean.predict_batch(&holdout.features), &holdout.labels);
+    let clean: Arc<dyn Model> = Arc::from(Box::new(clean) as Box<dyn Model>);
+    store.promote(Arc::clone(&clean), 0, baseline, "initial deployment");
+
+    let host = ServiceHost::spawn(
+        Arc::new(ServingService::new(Arc::clone(&store), train.n_features(), 2)),
+        16,
+    )
+    .unwrap();
+    let probe = {
+        let row = holdout.features.row(0);
+        let coords: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        format!("{{\"features\":[{}]}}", coords.join(","))
+    };
+    let predict = |label: &str| {
+        request(host.addr(), "POST", "/serve/predict", probe.as_bytes(), Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{label}: /serve/predict must keep answering: {e}"))
+    };
+
+    let healthy = predict("healthy phase");
+    assert_eq!(healthy.status, 200);
+    assert!(healthy.header(DEGRADED_HEADER).is_none(), "healthy serving is not degraded");
+
+    // A transient 40 % label flip: the deployed model's accuracy on the incoming
+    // stream collapses far past the drift threshold in a single round, and the
+    // attack subsides a few ticks later. While it is live, every sanitized retrain
+    // is (correctly) rejected by the health gate; recovery only lands once the
+    // executor retrains on the cured stream.
+    let poisoned = random_label_flip(&train, 0.4, 7).dataset;
+    let poison_at = 6u64;
+    let cure_at = poison_at + 6;
+
+    let mut bank = DriftBank::new(DetectorKind::PageHinkley);
+    let mut executor = ActionExecutor::new(
+        Arc::clone(&store),
+        ResponsePolicy { recovery_margin: 0.2, ..ResponsePolicy::default() },
+        || Box::new(DecisionTree::new()) as Box<dyn Model>,
+    );
+
+    let mut quarantined_seen = false;
+    let mut recovered_at = None;
+    for tick in 0..32u64 {
+        let stream = if (poison_at..cure_at).contains(&tick) { &poisoned } else { &train };
+        let (serving, _) = store.serving();
+        let reading = SensorReading {
+            sensor: "accuracy".into(),
+            property: TrustProperty::Performance,
+            direction: Direction::HigherIsBetter,
+            value: accuracy(&serving.predict_batch(&stream.features), &stream.labels),
+            tick,
+        };
+        let verdicts = bank.update(&[reading]);
+        let ctx = RecoveryContext { train: stream, holdout: &holdout };
+        executor.step(tick, &mut bank, &verdicts, &[], &ctx);
+
+        if store.is_quarantined() {
+            quarantined_seen = true;
+            // Degraded mode answers 200 + flag, never a 503.
+            let resp = predict("quarantine phase");
+            assert_eq!(resp.status, 200, "degraded serving must not 503");
+            assert_eq!(resp.header(DEGRADED_HEADER), Some("1"));
+            assert!(String::from_utf8_lossy(&resp.body).contains("\"degraded\":true"));
+        } else if quarantined_seen && recovered_at.is_none() {
+            recovered_at = Some(tick);
+        }
+    }
+
+    assert!(quarantined_seen, "the drifting deployment must have been quarantined");
+    let recovered_at = recovered_at.expect("the loop must recover from quarantine unaided");
+    assert!(recovered_at > poison_at);
+
+    // The executor's audit log tells the whole story: quarantine, then recovery.
+    let log = executor.log();
+    assert!(log.iter().any(|a| a.action == OperatorAction::Quarantine), "{log:?}");
+    assert!(
+        log.iter().any(|a| a.action == OperatorAction::Retrain && a.outcome.contains("recovered")),
+        "{log:?}"
+    );
+
+    // Post-recovery: deployed again, clean responses, accuracy back near baseline.
+    let healed = predict("recovered phase");
+    assert_eq!(healed.status, 200);
+    assert!(healed.header(DEGRADED_HEADER).is_none(), "recovery clears the degraded flag");
+    let (serving, _) = store.serving();
+    let final_accuracy = accuracy(&serving.predict_batch(&holdout.features), &holdout.labels);
+    assert!(
+        final_accuracy >= baseline - executor.policy().recovery_margin,
+        "recovered accuracy {final_accuracy} vs baseline {baseline}"
+    );
 }
