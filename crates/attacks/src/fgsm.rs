@@ -62,12 +62,11 @@ pub fn fgsm_batch(
 ) -> AdversarialBatch {
     assert!(source.n_samples() > 0, "need at least one source sample");
     let start = std::time::Instant::now();
-    let rows: Vec<Vec<f64>> = source
-        .features
-        .iter_rows()
-        .zip(&source.labels)
-        .map(|(row, &label)| fgsm_example(model, row, label, epsilon, clamp))
-        .collect();
+    // Each example is a pure function of its source row — no RNG — so the crafting
+    // sweep fans out over the pool without affecting any output bit.
+    let rows: Vec<Vec<f64>> = spatial_parallel::global().par_map_indexed(source.n_samples(), |i| {
+        fgsm_example(model, source.features.row(i), source.labels[i], epsilon, clamp)
+    });
     let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
     AdversarialBatch {
         adversarial: Matrix::from_row_vecs(rows),

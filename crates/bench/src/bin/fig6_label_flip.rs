@@ -21,16 +21,32 @@ fn main() {
     println!("dataset: {samples} windows, rates {:?}\n", PAPER_RATES_UC1);
 
     let models = uc1_models();
+    // One pool job per poisoning rate; each rate's seed depends only on the rate, so
+    // the fan-out reproduces the sequential sweep exactly. Nested training
+    // parallelism runs inline inside the workers.
+    let per_rate: Vec<Vec<Evaluation>> =
+        spatial_parallel::global().par_map(&PAPER_RATES_UC1, |&rate| {
+            let poisoned = random_label_flip(&train, rate, 1000 + (rate * 100.0) as u64);
+            models
+                .iter()
+                .map(|(name, factory)| {
+                    let mut model = factory();
+                    model.fit(&poisoned.dataset).expect("training succeeds");
+                    let e = evaluate(
+                        &model.predict_batch(&test.features),
+                        &test.labels,
+                        test.n_classes(),
+                    );
+                    eprintln!("  p={:>4.0}% {:<4} acc={:.3}", rate * 100.0, name, e.accuracy);
+                    e
+                })
+                .collect()
+        });
     // results[metric][model] = per-rate values
     let mut table: Vec<Vec<Evaluation>> = vec![Vec::new(); models.len()];
-    for &rate in PAPER_RATES_UC1.iter() {
-        let poisoned = random_label_flip(&train, rate, 1000 + (rate * 100.0) as u64);
-        for (mi, (name, factory)) in models.iter().enumerate() {
-            let mut model = factory();
-            model.fit(&poisoned.dataset).expect("training succeeds");
-            let e = evaluate(&model.predict_batch(&test.features), &test.labels, test.n_classes());
-            table[mi].push(e);
-            eprintln!("  p={:>4.0}% {:<4} acc={:.3}", rate * 100.0, name, e.accuracy);
+    for row in &per_rate {
+        for (mi, e) in row.iter().enumerate() {
+            table[mi].push(*e);
         }
     }
 

@@ -34,15 +34,20 @@ fn main() {
         "{:<22} {:>6} {:>10} {:>14} {:>12}",
         "attack", "p%", "impact", "poisoned frac", "prep us/smp"
     );
-    for &rate in PAPER_RATES_UC2.iter().filter(|&&r| r > 0.0) {
+    // One pool job per poisoning level; each returns its three formatted rows so the
+    // table still prints in rate order (attack seeds depend only on the rate).
+    let rates: Vec<f64> = PAPER_RATES_UC2.iter().copied().filter(|&r| r > 0.0).collect();
+    let rows: Vec<Vec<String>> = spatial_parallel::global().par_map(&rates, |&rate| {
+        let mut out = Vec::with_capacity(3);
+
         // Targeted label flipping (to Video).
         let (flip, us) =
             timed_us(|| targeted_label_flip(&train, rate, None, 2, (rate * 100.0) as u64));
-        report_row("targeted-label-flip", rate, &flip, us, &baseline, &test);
+        out.push(report_row("targeted-label-flip", rate, &flip, us, &baseline, &test));
 
         // Random swapping.
         let (swap, us) = timed_us(|| random_swap_labels(&train, rate, (rate * 100.0) as u64));
-        report_row("random-swap-labels", rate, &swap, us, &baseline, &test);
+        out.push(report_row("random-swap-labels", rate, &swap, us, &baseline, &test));
 
         // GAN-based injection: synthesize `rate` worth of Web look-alikes labelled
         // Video (5000 samples in the paper; scaled to the corpus here).
@@ -57,7 +62,11 @@ fn main() {
                 &GanConfig { steps: 500, anchor_blend: 0.95, ..GanConfig::default() },
             )
         });
-        report_row("gan-poisoning", rate, &gan, us, &baseline, &test);
+        out.push(report_row("gan-poisoning", rate, &gan, us, &baseline, &test));
+        out
+    });
+    for line in rows.iter().flatten() {
+        println!("{line}");
     }
 }
 
@@ -68,17 +77,17 @@ fn report_row(
     prep_us: f64,
     baseline: &spatial_ml::metrics::Evaluation,
     test: &spatial_data::Dataset,
-) {
+) -> String {
     let mut nn = MlpClassifier::new().named("nn");
     nn.fit(&poisoned.dataset).expect("training succeeds");
     let eval = evaluate(&nn.predict_batch(&test.features), &test.labels, test.n_classes());
     let impact = poisoning_impact(baseline, &eval, DriftMetric::Accuracy);
     let complexity = poisoning_complexity(poisoned, prep_us);
-    println!(
+    format!(
         "{name:<22} {:>6.0} {:>10.3} {:>14.3} {:>12.2}",
         rate * 100.0,
         impact,
         complexity.poisoned_fraction,
         complexity.per_sample_us
-    );
+    )
 }

@@ -1,0 +1,251 @@
+//! Machine-readable performance baseline for the parallel compute layer.
+//!
+//! Prints one JSON object on stdout covering the three hot paths the
+//! `spatial-parallel` pool accelerates — random-forest training, batch
+//! prediction and batch KernelSHAP — each measured at 1, 2 and all available
+//! threads, plus the cache-blocked `Matrix::matmul` kernel in GFLOP/s.
+//!
+//! Every thread count must produce byte-identical outputs (the pool's
+//! determinism contract); this binary always verifies that. With `--smoke` it
+//! runs at a reduced scale and additionally asserts a >= 1.3x speedup of the
+//! widest configuration over single-threaded — skipped on single-core runners
+//! where no speedup is possible.
+//!
+//! Scale knobs: `--samples N` / `SPATIAL_SAMPLES` (forest + SHAP corpus size).
+
+use spatial_bench::{arg_or_env, uc1_splits};
+use spatial_linalg::Matrix;
+use spatial_ml::forest::{ForestConfig, RandomForest};
+use spatial_ml::Model;
+use spatial_xai::shap::{KernelShap, ShapConfig};
+use std::time::Instant;
+
+/// One measured configuration of one benchmark section.
+struct Row {
+    section: &'static str,
+    threads: usize,
+    seconds: f64,
+    /// Work units per second (trees trained, rows predicted, explanations).
+    throughput: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let samples =
+        arg_or_env("--samples", "SPATIAL_SAMPLES").unwrap_or(if smoke { 600 } else { 2_000 });
+    let pool = spatial_parallel::global();
+    let available = pool.threads();
+    let mut thread_counts = vec![1usize, 2, available];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t <= available.max(2));
+
+    let (train, test) = uc1_splits(samples, 42);
+    let probe_rows: Vec<usize> = (0..test.n_samples().min(if smoke { 8 } else { 24 })).collect();
+    let probe = test.subset(&probe_rows);
+
+    // -- matmul ----------------------------------------------------------------
+    let dim = if smoke { 96 } else { 256 };
+    let a = pseudo_random(dim, dim, 1);
+    let b = pseudo_random(dim, dim, 2);
+    let matmul_secs = best_of(3, || {
+        let c = a.matmul(&b);
+        std::hint::black_box(c[(0, 0)]);
+    });
+    let matmul_gflops = 2.0 * (dim as f64).powi(3) / matmul_secs / 1e9;
+
+    // -- forest fit / predict / SHAP at each thread count ----------------------
+    let forest_config =
+        ForestConfig { n_trees: if smoke { 16 } else { 50 }, seed: 42, ..ForestConfig::default() };
+    let shap_config = ShapConfig {
+        n_coalitions: if smoke { 128 } else { 256 },
+        background_limit: 8,
+        ..ShapConfig::default()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<(Matrix, Vec<Vec<f64>>)> = None;
+    for &t in &thread_counts {
+        let (probs, shap_values, fit_secs, predict_secs, shap_secs) =
+            pool.scoped_threads(t, || {
+                let mut forest = RandomForest::with_config(forest_config.clone());
+                let fit_secs = timed(|| forest.fit(&train).expect("forest training succeeds"));
+                let (probs, predict_secs) =
+                    timed_value(|| forest.predict_proba_batch(&test.features));
+                let shap = KernelShap::new(
+                    &forest,
+                    &train.features,
+                    train.feature_names.clone(),
+                    shap_config.clone(),
+                );
+                let (shap_values, shap_secs) = timed_value(|| {
+                    probe
+                        .features
+                        .iter_rows()
+                        .map(|row| shap.explain(row, 1).values)
+                        .collect::<Vec<_>>()
+                });
+                (probs, shap_values, fit_secs, predict_secs, shap_secs)
+            });
+        rows.push(Row {
+            section: "forest_fit",
+            threads: t,
+            seconds: fit_secs,
+            throughput: forest_config.n_trees as f64 / fit_secs,
+        });
+        rows.push(Row {
+            section: "forest_predict",
+            threads: t,
+            seconds: predict_secs,
+            throughput: test.n_samples() as f64 / predict_secs,
+        });
+        rows.push(Row {
+            section: "shap_batch",
+            threads: t,
+            seconds: shap_secs,
+            throughput: probe.n_samples() as f64 / shap_secs,
+        });
+        // Determinism contract: every thread count reproduces the t=1 bytes.
+        match &reference {
+            None => reference = Some((probs, shap_values)),
+            Some((ref_probs, ref_shap)) => {
+                assert!(
+                    bits_equal(ref_probs.as_slice(), probs.as_slice()),
+                    "forest probabilities differ between 1 and {t} threads"
+                );
+                assert_eq!(ref_shap.len(), shap_values.len());
+                for (a, b) in ref_shap.iter().zip(&shap_values) {
+                    assert!(bits_equal(a, b), "SHAP values differ between 1 and {t} threads");
+                }
+            }
+        }
+    }
+
+    // -- speedup summary -------------------------------------------------------
+    let widest = *thread_counts.last().expect("at least one thread count");
+    let speedup = |section: &str| -> f64 {
+        let at = |t: usize| {
+            rows.iter()
+                .find(|r| r.section == section && r.threads == t)
+                .expect("section measured")
+                .seconds
+        };
+        at(1) / at(widest)
+    };
+    let fit_speedup = speedup("forest_fit");
+    let shap_speedup = speedup("shap_batch");
+
+    if smoke {
+        if available >= 2 && widest >= 2 {
+            let best = fit_speedup.max(shap_speedup);
+            assert!(
+                best >= 1.3,
+                "expected >= 1.3x parallel speedup on {available} cores, got fit {fit_speedup:.2}x / shap {shap_speedup:.2}x"
+            );
+        } else {
+            eprintln!("single-core runner: skipping the speedup assertion");
+        }
+        eprintln!("smoke OK: outputs byte-identical across threads {thread_counts:?}");
+    }
+
+    print_json(
+        samples,
+        available,
+        dim,
+        matmul_gflops,
+        matmul_secs,
+        &rows,
+        fit_speedup,
+        shap_speedup,
+    );
+}
+
+/// Emits the baseline as a single hand-built JSON object (no serde needed).
+#[allow(clippy::too_many_arguments)]
+fn print_json(
+    samples: usize,
+    available: usize,
+    matmul_dim: usize,
+    matmul_gflops: f64,
+    matmul_secs: f64,
+    rows: &[Row],
+    fit_speedup: f64,
+    shap_speedup: f64,
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"spatial-perf-baseline/v1\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"threads_available\": {available},\n"));
+    out.push_str(&format!(
+        "  \"matmul\": {{\"dim\": {matmul_dim}, \"seconds\": {}, \"gflops\": {}}},\n",
+        num(matmul_secs),
+        num(matmul_gflops)
+    ));
+    out.push_str("  \"sections\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"seconds\": {}, \"per_second\": {}}}{}\n",
+            r.section,
+            r.threads,
+            num(r.seconds),
+            num(r.throughput),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup\": {{\"forest_fit\": {}, \"shap_batch\": {}}}\n",
+        num(fit_speedup),
+        num(shap_speedup)
+    ));
+    out.push('}');
+    println!("{out}");
+}
+
+/// JSON number formatting: six significant decimals, `null` for non-finite.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn timed(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn timed_value<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
+    (0..n.max(1)).map(|_| timed(&mut f)).fold(f64::INFINITY, f64::min)
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for v in m.row_mut(r) {
+            *v = next();
+        }
+    }
+    m
+}

@@ -4,8 +4,9 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "taxonomy_report",
+    "perf_baseline",
     "uc1_baseline",
     "fig6_label_flip",
     "fig6_shap_dissimilarity",

@@ -72,8 +72,9 @@ pub fn scaled_split(raw: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, 
     (scale(&train_raw), scale(&test_raw))
 }
 
-/// A named factory producing a fresh, untrained model.
-pub type ModelFactory = (&'static str, Box<dyn Fn() -> Box<dyn Model>>);
+/// A named factory producing a fresh, untrained model. `Send + Sync` so the sweep
+/// drivers can share factories across compute-pool workers.
+pub type ModelFactory = (&'static str, Box<dyn Fn() -> Box<dyn Model> + Send + Sync>);
 
 /// The five use-case-1 models with the paper's names, as fresh factories.
 pub fn uc1_models() -> Vec<ModelFactory> {

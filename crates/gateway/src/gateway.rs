@@ -289,6 +289,9 @@ impl ApiGateway {
     /// Returns the bind error.
     pub fn spawn_with_config(config: GatewayConfig) -> std::io::Result<Self> {
         let registry = Arc::new(MetricsRegistry::new());
+        // Mirror the shared compute pool into this registry so `GET /metrics` shows
+        // compute saturation next to the request-path series.
+        spatial_parallel::global().install_metrics(&registry);
         let collector = Arc::new(SpanCollector::new(SPAN_CAPACITY));
         let state = Arc::new(ForwardState {
             table: Arc::new(RwLock::new(Table::default())),

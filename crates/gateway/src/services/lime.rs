@@ -101,7 +101,9 @@ impl Microservice for LimeService {
                     self.feature_names.clone(),
                     self.config.clone(),
                 );
-                let e = lime.explain(&req.features, req.class);
+                // One request stays on one worker thread: the worker pool already
+                // models this service's vCPU allotment.
+                let e = spatial_parallel::run_inline(|| lime.explain(&req.features, req.class));
                 Ok(to_json(&ExplainResponse {
                     method: e.method,
                     values: e.values,

@@ -67,7 +67,10 @@ impl Microservice for ShapService {
             self.feature_names.clone(),
             self.config.clone(),
         );
-        let e = shap.explain(&req.features, req.class);
+        // The worker pool already provides this service's `vcpus` concurrency;
+        // running the explanation inline keeps one request on one thread, matching
+        // the paper's 4-vCPU capacity model.
+        let e = spatial_parallel::run_inline(|| shap.explain(&req.features, req.class));
         Ok(to_json(&ExplainResponse {
             method: e.method,
             values: e.values,

@@ -153,12 +153,51 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, computed with a transposed-RHS, cache-blocked
+    /// kernel: `other` is transposed once so both operands stream contiguously, then
+    /// the output is walked in `TILE × TILE` tiles so each RHS row loaded into cache
+    /// is reused across a whole tile of output rows. The inner product is
+    /// [`crate::vector::fused_dot`] (four accumulator lanes); output values are
+    /// deterministic for a given shape but may differ from the naive kernel by
+    /// rounding — see [`Matrix::matmul_naive`] for the reference summation order.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        const TILE: usize = 64;
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let bt = other.transpose();
+        let mut out = Matrix::zeros(m, n);
+        for jb in (0..n).step_by(TILE) {
+            let je = (jb + TILE).min(n);
+            for ib in (0..m).step_by(TILE) {
+                let ie = (ib + TILE).min(m);
+                for i in ib..ie {
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    let orow = &mut out.data[i * n..(i + 1) * n];
+                    for j in jb..je {
+                        orow[j] = crate::vector::fused_dot(arow, &bt.data[j * k..(j + 1) * k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference matrix product with the historical i-k-j summation order. Kept as
+    /// the oracle for the `matmul_blocked_matches_naive` property test and for
+    /// callers that need the exact pre-blocking float association.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -476,6 +515,61 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Deterministic pseudo-random fill (SplitMix64-ish) for kernel comparisons.
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= 1e-10 * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_row_vector_times_column_vector() {
+        // 1×N * N×1 -> 1×1 (a dot product).
+        let a = pseudo_random(1, 129, 1);
+        let b = pseudo_random(129, 1, 2);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn matmul_column_vector_times_row_vector() {
+        // N×1 * 1×N -> N×N outer product, crossing the 64-wide tile boundary.
+        let a = pseudo_random(70, 1, 3);
+        let b = pseudo_random(1, 67, 4);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn matmul_non_square_across_tile_boundary() {
+        let a = pseudo_random(65, 33, 5);
+        let b = pseudo_random(33, 130, 6);
+        let blocked = a.matmul(&b);
+        assert_close(&blocked, &a.matmul_naive(&b));
+        // Deterministic: the blocked kernel must reproduce itself exactly.
+        assert_eq!(blocked, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_single_element() {
+        let a = Matrix::from_rows(&[&[3.0]]);
+        let b = Matrix::from_rows(&[&[-4.0]]);
+        assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[-12.0]]));
     }
 
     #[test]

@@ -12,6 +12,18 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Multipliable pair with shapes that straddle the 64-wide matmul tile boundary.
+fn matmul_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..80, 1usize..12, 1usize..80).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-1e2f64..1e2, m * k)
+                .prop_map(move |data| Matrix::from_vec(m, k, data)),
+            proptest::collection::vec(-1e2f64..1e2, k * n)
+                .prop_map(move |data| Matrix::from_vec(k, n, data)),
+        )
+    })
+}
+
 proptest! {
     #[test]
     fn dot_is_commutative(a in finite_vec(1..32)) {
@@ -61,6 +73,27 @@ proptest! {
         for (a, b) in p.as_slice().iter().zip(m.as_slice()) {
             prop_assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive((a, b) in matmul_operands()) {
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "blocked={x} naive={y}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_dot_tracks_dot(a in finite_vec(1..128)) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+        let exact = vector::dot(&a, &b);
+        let fused = vector::fused_dot(&a, &b);
+        prop_assert!((exact - fused).abs() <= 1e-9 * (1.0 + exact.abs()));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::model::{validate_training_set, Model, TrainError};
 use crate::tree::{DecisionTree, TreeConfig};
 use spatial_data::Dataset;
-use spatial_linalg::rng;
+use spatial_linalg::{rng, Matrix};
 
 /// Hyperparameters for [`RandomForest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -131,7 +131,10 @@ impl Model for RandomForest {
             .max_features
             .unwrap_or_else(|| (d as f64).sqrt().round().max(1.0) as usize);
 
-        for t in 0..self.config.n_trees {
+        // Each tree's seed is derived from (forest seed, tree index), so the trees are
+        // independent pure functions of their index — the parallel fan-out below is
+        // bit-identical to the old sequential loop at any thread count.
+        let fitted = spatial_parallel::global().par_map_indexed(self.config.n_trees, |t| {
             let tree_seed = rng::derive_seed(self.config.seed, t as u64);
             let mut r = rng::seeded(tree_seed);
             // Bootstrap resample (with replacement).
@@ -143,8 +146,11 @@ impl Model for RandomForest {
                 seed: rng::derive_seed(tree_seed, 1),
                 ..self.config.tree.clone()
             });
-            match tree.fit(&boot) {
-                Ok(()) => self.trees.push(tree),
+            tree.fit(&boot).map(|()| tree)
+        });
+        for result in fitted {
+            match result {
+                Ok(tree) => self.trees.push(tree),
                 // A bootstrap can collapse to one class; skip that resample.
                 Err(TrainError::SingleClass) => continue,
                 Err(e) => return Err(e),
@@ -172,6 +178,20 @@ impl Model for RandomForest {
             *a /= self.trees.len() as f64;
         }
         acc
+    }
+
+    // Batch prediction fans out over input rows; each row's vote aggregation stays
+    // the sequential `predict_proba` above, so per-row results are bit-identical to
+    // the default row-by-row loop.
+    fn predict_batch(&self, features: &Matrix) -> Vec<usize> {
+        spatial_parallel::global()
+            .par_map_indexed(features.rows(), |i| self.predict(features.row(i)))
+    }
+
+    fn predict_proba_batch(&self, features: &Matrix) -> Matrix {
+        let rows = spatial_parallel::global()
+            .par_map_indexed(features.rows(), |i| self.predict_proba(features.row(i)));
+        Matrix::from_row_vecs(rows)
     }
 }
 

@@ -1,0 +1,33 @@
+//! Deterministic parallel compute layer for the SPATIAL workspace.
+//!
+//! Every AI sensor in the paper is compute-bound — forest bagging, SHAP coalition
+//! evaluation, LIME perturbation scoring, poisoning sweeps — and every one of them is
+//! a *pure map*: item `i`'s result depends only on the inputs and on `i` (per-item
+//! seeds are derived from `(base seed, index)` via
+//! `spatial_linalg::rng::derive_seed`). This crate exploits that shape: a scoped,
+//! work-chunking fan-out whose results come back **in input order** and are therefore
+//! bit-identical to the sequential loop at any thread count.
+//!
+//! Determinism contract (what callers must uphold, and what the pool guarantees):
+//!
+//! 1. The closure passed to [`Pool::par_map`]/[`Pool::par_map_indexed`] must be a pure
+//!    function of the item (plus captured immutable state). Anything stochastic must
+//!    seed itself from the item index, never from a shared RNG stream.
+//! 2. The pool returns results ordered by index, so downstream reductions run
+//!    sequentially in the caller and associate floats exactly as the inline loop does.
+//! 3. [`Pool::par_map_chunks`] hands the closure contiguous index ranges so it can
+//!    reuse scratch buffers; per-item values must not depend on where chunk boundaries
+//!    fall (the inline path runs one chunk covering everything).
+//! 4. `threads = 1` (and any call from inside a pool worker) short-circuits to the
+//!    plain inline loop — no threads, no channels, same machine code as the
+//!    pre-parallel implementation.
+//!
+//! The global pool sizes itself from `SPATIAL_PARALLEL_THREADS` or the machine's
+//! available parallelism; [`Pool::scoped_threads`] temporarily overrides the count for
+//! benchmarks and determinism tests. [`Pool::install_metrics`] mirrors pool activity
+//! into a [`spatial_telemetry::MetricsRegistry`] (`spatial_parallel_tasks_total`,
+//! `spatial_parallel_utilization`, ...) so the dashboard can show compute saturation.
+
+pub mod pool;
+
+pub use pool::{global, run_inline, Pool};

@@ -1,0 +1,462 @@
+//! The scoped, work-chunking thread pool.
+//!
+//! Work is split into fixed chunks whose size depends **only on the item count**
+//! (never on the thread count), workers steal chunks from an atomic cursor, and every
+//! chunk's results land in its own slot — so the concatenated output is always in
+//! input order. Threads are scoped ([`std::thread::scope`]): they borrow the caller's
+//! data directly, exist only for the duration of one job, and a panicking chunk
+//! propagates to the caller exactly like a panicking loop iteration would.
+
+use spatial_telemetry::registry::MetricsRegistry;
+use spatial_telemetry::{Counter, Gauge};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on the number of chunks a job is split into. More chunks than worker
+/// threads gives the cursor-based stealing room to balance uneven items (tree fits,
+/// coalition batches) without shrinking chunks so far that cursor traffic dominates.
+const MAX_CHUNKS: usize = 64;
+
+thread_local! {
+    /// Set while the current thread is a pool worker (or inside [`run_inline`]);
+    /// nested `par_map` calls then run inline instead of fanning out again.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores a thread-local or atomic value on drop, so panics cannot leak overrides.
+struct ThreadCountGuard<'a> {
+    pool: &'a Pool,
+    previous: usize,
+}
+
+impl Drop for ThreadCountGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.threads.store(self.previous, Ordering::SeqCst);
+    }
+}
+
+struct InlineGuard {
+    previous: bool,
+}
+
+impl InlineGuard {
+    fn enter() -> Self {
+        Self { previous: IN_POOL.with(|f| f.replace(true)) }
+    }
+}
+
+impl Drop for InlineGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        IN_POOL.with(|f| f.set(previous));
+    }
+}
+
+/// Runs `f` with pool fan-out disabled on this thread: any [`Pool::par_map`] call
+/// inside executes inline. The gateway micro-services wrap their per-request
+/// explanation work in this so a 4-vCPU service stays a 4-thread service (the paper's
+/// capacity model) instead of multiplying by the pool width.
+pub fn run_inline<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = InlineGuard::enter();
+    f()
+}
+
+/// Registry handles mirroring pool activity, installed via [`Pool::install_metrics`].
+struct Metrics {
+    tasks: Arc<Counter>,
+    jobs: Arc<Counter>,
+    inline_jobs: Arc<Counter>,
+    threads: Arc<Gauge>,
+    fanout: Arc<Gauge>,
+    utilization: Arc<Gauge>,
+}
+
+/// A deterministic, scoped, work-chunking thread pool.
+///
+/// # Example
+///
+/// ```
+/// let pool = spatial_parallel::Pool::new(4);
+/// let squares = pool.par_map_indexed(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // Identical output at any thread count — results always come back in order.
+/// assert_eq!(squares, spatial_parallel::Pool::new(1).par_map_indexed(8, |i| i * i));
+/// ```
+pub struct Pool {
+    threads: AtomicUsize,
+    /// Serializes [`Pool::scoped_threads`] overrides (tests, benchmarks).
+    override_lock: Mutex<()>,
+    jobs_total: AtomicU64,
+    inline_jobs_total: AtomicU64,
+    tasks_total: AtomicU64,
+    metrics: Mutex<Option<Metrics>>,
+}
+
+impl Pool {
+    /// Creates a pool that fans out over at most `threads` scoped workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        Self {
+            threads: AtomicUsize::new(threads),
+            override_lock: Mutex::new(()),
+            jobs_total: AtomicU64::new(0),
+            inline_jobs_total: AtomicU64::new(0),
+            tasks_total: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::SeqCst)
+    }
+
+    /// Sets the thread count (1 disables fan-out entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&self, threads: usize) {
+        assert!(threads > 0, "pool needs at least one thread");
+        self.threads.store(threads, Ordering::SeqCst);
+        if let Some(m) = self.metrics.lock().expect("metrics lock").as_ref() {
+            m.threads.set(threads as f64);
+        }
+    }
+
+    /// Runs `f` with the thread count temporarily set to `threads`, restoring the
+    /// previous value afterwards (even on panic). Overrides are serialized across
+    /// callers, which is what the determinism tests and `perf_baseline` need to
+    /// compare thread counts honestly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`. Do not call it reentrantly from inside `f` on the
+    /// same pool: the override lock is not reentrant.
+    pub fn scoped_threads<R>(&self, threads: usize, f: impl FnOnce() -> R) -> R {
+        assert!(threads > 0, "pool needs at least one thread");
+        let _serial = self.override_lock.lock().expect("override lock");
+        let previous = self.threads.swap(threads, Ordering::SeqCst);
+        let _restore = ThreadCountGuard { pool: self, previous };
+        f()
+    }
+
+    /// Total items processed across all jobs (parallel and inline).
+    pub fn tasks_total(&self) -> u64 {
+        self.tasks_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that fanned out over scoped workers.
+    pub fn jobs_total(&self) -> u64 {
+        self.jobs_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ran on the caller's thread (threads = 1, tiny inputs, or nested).
+    pub fn inline_jobs_total(&self) -> u64 {
+        self.inline_jobs_total.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors this pool's activity into `registry`:
+    ///
+    /// - `spatial_parallel_tasks_total` — items processed
+    /// - `spatial_parallel_jobs_total` / `spatial_parallel_inline_jobs_total`
+    /// - `spatial_parallel_threads` — configured width (gauge)
+    /// - `spatial_parallel_last_fanout` — workers used by the latest parallel job
+    /// - `spatial_parallel_utilization` — `last_fanout / threads`, the dashboard's
+    ///   compute-saturation reading
+    pub fn install_metrics(&self, registry: &MetricsRegistry) {
+        let metrics = Metrics {
+            tasks: registry
+                .counter("spatial_parallel_tasks_total", "Items processed by the compute pool"),
+            jobs: registry
+                .counter("spatial_parallel_jobs_total", "Compute-pool jobs that fanned out"),
+            inline_jobs: registry.counter(
+                "spatial_parallel_inline_jobs_total",
+                "Compute-pool jobs that ran inline on the caller thread",
+            ),
+            threads: registry
+                .gauge("spatial_parallel_threads", "Configured compute-pool thread count"),
+            fanout: registry.gauge(
+                "spatial_parallel_last_fanout",
+                "Workers used by the most recent parallel job",
+            ),
+            utilization: registry.gauge(
+                "spatial_parallel_utilization",
+                "Fraction of the compute pool used by the most recent parallel job",
+            ),
+        };
+        metrics.threads.set(self.threads() as f64);
+        *self.metrics.lock().expect("metrics lock") = Some(metrics);
+    }
+
+    /// Maps `f` over `items`, returning results in input order. Bit-identical to
+    /// `items.iter().map(f).collect()` at any thread count.
+    pub fn par_map<T: Sync, U: Send>(&self, items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order. Bit-identical to
+    /// `(0..n).map(f).collect()` at any thread count.
+    pub fn par_map_indexed<U: Send>(&self, n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+        self.par_map_chunks(n, |range| range.map(&f).collect())
+    }
+
+    /// Maps over `0..n` in contiguous chunks: `f` receives an index range and returns
+    /// one value per index, letting hot loops reuse scratch buffers across a chunk
+    /// (the SHAP coalition evaluator's zero-allocation path). Chunk boundaries depend
+    /// only on `n`, and per-item values must not depend on where they fall — the
+    /// inline path runs a single chunk covering `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a vector whose length differs from its range, or if a
+    /// chunk panics (the worker's panic propagates to the caller).
+    pub fn par_map_chunks<U: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(Range<usize>) -> Vec<U> + Sync,
+    ) -> Vec<U> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads();
+        let chunk = n.div_ceil(MAX_CHUNKS).max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let workers = threads.min(n_chunks);
+        if workers <= 1 || IN_POOL.with(Cell::get) {
+            let out = f(0..n);
+            assert_eq!(out.len(), n, "chunk closure must return one value per index");
+            self.note_inline(n);
+            return out;
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Vec<U>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _guard = InlineGuard::enter();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let values = f(start..end);
+                        assert_eq!(
+                            values.len(),
+                            end - start,
+                            "chunk closure must return one value per index"
+                        );
+                        slots.lock().expect("slot lock")[c] = Some(values);
+                    }
+                });
+            }
+        });
+
+        self.note_parallel(n, workers, threads);
+        let mut out = Vec::with_capacity(n);
+        for slot in slots.into_inner().expect("slot lock") {
+            out.extend(slot.expect("every chunk completed"));
+        }
+        out
+    }
+
+    fn note_inline(&self, n: usize) {
+        self.tasks_total.fetch_add(n as u64, Ordering::Relaxed);
+        self.inline_jobs_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.lock().expect("metrics lock").as_ref() {
+            m.tasks.add(n as u64);
+            m.inline_jobs.inc();
+        }
+    }
+
+    fn note_parallel(&self, n: usize, workers: usize, threads: usize) {
+        self.tasks_total.fetch_add(n as u64, Ordering::Relaxed);
+        self.jobs_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.lock().expect("metrics lock").as_ref() {
+            m.tasks.add(n as u64);
+            m.jobs.inc();
+            m.fanout.set(workers as f64);
+            m.utilization.set(workers as f64 / threads.max(1) as f64);
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .field("jobs_total", &self.jobs_total())
+            .field("inline_jobs_total", &self.inline_jobs_total())
+            .finish()
+    }
+}
+
+/// The process-wide pool used by the compute crates. Width comes from
+/// `SPATIAL_PARALLEL_THREADS` when set (1 disables fan-out), otherwise the machine's
+/// available parallelism.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+fn default_threads() -> usize {
+    if let Some(n) =
+        std::env::var("SPATIAL_PARALLEL_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let pool = Pool::new(8);
+        let out = pool.par_map_indexed(1000, |i| i * 3);
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..500).collect();
+        let f = |x: &u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 3);
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(Pool::new(threads).par_map(&items, f), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.par_map_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = Pool::new(1);
+        let before = pool.inline_jobs_total();
+        let _ = pool.par_map_indexed(64, |i| i);
+        assert_eq!(pool.inline_jobs_total(), before + 1);
+        assert_eq!(pool.jobs_total(), 0);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let pool = Pool::new(4);
+        // Each outer item issues an inner par_map on the same pool; the inner ones
+        // must not fan out again (workers would deadlock-spawn unboundedly otherwise).
+        let out = pool.par_map_indexed(8, |i| {
+            let inner = pool.par_map_indexed(4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out[2], 2 * 10 * 4 + 6);
+        assert!(pool.inline_jobs_total() >= 8, "inner jobs must be inline");
+    }
+
+    #[test]
+    fn run_inline_disables_fanout() {
+        let pool = Pool::new(4);
+        run_inline(|| {
+            let before = pool.jobs_total();
+            let _ = pool.par_map_indexed(64, |i| i);
+            assert_eq!(pool.jobs_total(), before, "no parallel job inside run_inline");
+        });
+        // And the flag is restored afterwards.
+        let before = pool.jobs_total();
+        let _ = pool.par_map_indexed(64, |i| i);
+        assert_eq!(pool.jobs_total(), before + 1);
+    }
+
+    #[test]
+    fn chunked_map_reuses_scratch_and_preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.par_map_chunks(300, |range| {
+            let mut scratch = vec![0u8; 4]; // one allocation per chunk, not per item
+            range
+                .map(|i| {
+                    scratch[i % 4] = (i % 251) as u8;
+                    i as u64 + u64::from(scratch[i % 4])
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = (0..300).map(|i| i as u64 + (i % 251) as u64).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scoped_threads_overrides_and_restores() {
+        let pool = Pool::new(4);
+        let inside = pool.scoped_threads(2, || pool.threads());
+        assert_eq!(inside, 2);
+        assert_eq!(pool.threads(), 4);
+    }
+
+    #[test]
+    fn scoped_threads_restores_after_panic() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped_threads(2, || panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.threads(), 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_map_indexed(100, |i| if i == 57 { panic!("item 57") } else { i })
+        }));
+        assert!(result.is_err(), "panicking item must propagate like a loop panic");
+    }
+
+    #[test]
+    fn metrics_mirror_into_registry() {
+        let pool = Pool::new(4);
+        let registry = MetricsRegistry::new();
+        pool.install_metrics(&registry);
+        let _ = pool.par_map_indexed(128, |i| i);
+        let text = registry.encode();
+        assert!(text.contains("spatial_parallel_tasks_total 128"), "{text}");
+        assert!(text.contains("spatial_parallel_jobs_total 1"), "{text}");
+        assert!(text.contains("spatial_parallel_threads 4"), "{text}");
+        assert!(text.contains("spatial_parallel_utilization 1"), "{text}");
+    }
+
+    #[test]
+    fn tasks_counter_accumulates() {
+        let pool = Pool::new(2);
+        let _ = pool.par_map_indexed(10, |i| i);
+        let _ = pool.par_map_indexed(15, |i| i);
+        assert_eq!(pool.tasks_total(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let out = global().par_map_indexed(8, |i| i + 1);
+        assert_eq!(out.len(), 8);
+        assert!(global().threads() >= 1);
+    }
+}

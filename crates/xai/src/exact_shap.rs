@@ -30,20 +30,25 @@ pub fn exact_shapley(
     assert!(d <= 20, "exact shapley is exponential; refusing d = {d} > 20");
     assert!(class < model.n_classes(), "class {class} out of range");
 
-    // v(S) for every subset, memoized by bitmask.
+    // v(S) for every subset, memoized by bitmask. Subsets are independent, so they
+    // fan out across the pool; each chunk reuses one imputation scratch buffer and a
+    // subset's value depends only on its bitmask, never on chunk boundaries.
     let n_subsets = 1usize << d;
-    let mut v = vec![0.0f64; n_subsets];
-    let mut buf = vec![0.0; d];
-    for (mask, value) in v.iter_mut().enumerate() {
-        let mut total = 0.0;
-        for b in background.iter_rows() {
-            for j in 0..d {
-                buf[j] = if mask & (1 << j) != 0 { x[j] } else { b[j] };
-            }
-            total += model.predict_proba(&buf)[class];
-        }
-        *value = total / background.rows() as f64;
-    }
+    let v = spatial_parallel::global().par_map_chunks(n_subsets, |range| {
+        let mut buf = vec![0.0; d];
+        range
+            .map(|mask| {
+                let mut total = 0.0;
+                for b in background.iter_rows() {
+                    for j in 0..d {
+                        buf[j] = if mask & (1 << j) != 0 { x[j] } else { b[j] };
+                    }
+                    total += model.predict_proba(&buf)[class];
+                }
+                total / background.rows() as f64
+            })
+            .collect()
+    });
 
     // Precompute |S|! (d−|S|−1)! / d! weights by subset size.
     let fact: Vec<f64> = {
@@ -55,17 +60,20 @@ pub fn exact_shapley(
     };
     let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
 
-    let mut phi = vec![0.0; d];
-    for (j, p) in phi.iter_mut().enumerate() {
+    // Each feature's φ_j sums over its own subsets in the same order as the old
+    // sequential loop, so fanning out over features is bit-identical.
+    let phi = spatial_parallel::global().par_map_indexed(d, |j| {
         let bit = 1usize << j;
+        let mut p = 0.0;
         for mask in 0..n_subsets {
             if mask & bit != 0 {
                 continue;
             }
             let s = (mask as u32).count_ones() as usize;
-            *p += weight(s) * (v[mask | bit] - v[mask]);
+            p += weight(s) * (v[mask | bit] - v[mask]);
         }
-    }
+        p
+    });
 
     Explanation {
         method: "exact-shapley".into(),

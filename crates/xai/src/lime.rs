@@ -110,31 +110,41 @@ impl<'a> LimeTabular<'a> {
         let kernel_width = self.config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt());
 
         let n = self.config.n_samples;
-        // Perturb in scaled space: z ~ N(0, 1), sample = x + z·scale.
-        let mut design_rows: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut targets = Vec::with_capacity(n);
+        // Perturb in scaled space: z ~ N(0, 1), sample = x + z·scale. The noise
+        // stream is one sequential RNG walk (z_i depends on the state left by
+        // z_{i−1}), so it is generated up front; only the model evaluations — the
+        // expensive, per-sample-independent part — fan out over the pool.
+        let zs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![0.0; d] // include the instance itself
+                } else {
+                    rng::normal_vec(&mut r, d)
+                }
+            })
+            .collect();
+        let origin = vec![0.0; d];
+        let mut design = Matrix::zeros(n, d + 1);
         let mut weights = Vec::with_capacity(n);
-        let mut buf = vec![0.0; d];
-        for i in 0..n {
-            let z: Vec<f64> = if i == 0 {
-                vec![0.0; d] // include the instance itself
-            } else {
-                rng::normal_vec(&mut r, d)
-            };
-            for j in 0..d {
-                buf[j] = x[j] + z[j] * self.scales[j];
-            }
-            let p = self.model.predict_proba(&buf)[class];
-            let dist = distance::euclidean(&z, &vec![0.0; d]);
+        for (i, z) in zs.iter().enumerate() {
+            let dist = distance::euclidean(z, &origin);
             weights.push(distance::rbf_kernel(dist, kernel_width));
             // Design row includes an intercept column.
-            let mut row = Vec::with_capacity(d + 1);
-            row.push(1.0);
-            row.extend_from_slice(&z);
-            design_rows.push(row);
-            targets.push(p);
+            let row = design.row_mut(i);
+            row[0] = 1.0;
+            row[1..].copy_from_slice(z);
         }
-        let design = Matrix::from_row_vecs(design_rows);
+        let targets = spatial_parallel::global().par_map_chunks(n, |range| {
+            let mut buf = vec![0.0; d];
+            range
+                .map(|i| {
+                    for j in 0..d {
+                        buf[j] = x[j] + zs[i][j] * self.scales[j];
+                    }
+                    self.model.predict_proba(&buf)[class]
+                })
+                .collect()
+        });
         let beta = design
             .least_squares(&targets, Some(&weights), self.config.ridge)
             .unwrap_or_else(|| vec![0.0; d + 1]);

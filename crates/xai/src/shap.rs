@@ -137,40 +137,49 @@ impl<'a> KernelShap<'a> {
         let size_weights: Vec<f64> =
             (1..d).map(|s| (d as f64 - 1.0) / ((s * (d - s)) as f64)).collect();
 
-        let mut masks: Vec<Vec<bool>> = Vec::with_capacity(n);
-        for _ in 0..n / 2 {
+        // One flat n×d mask buffer for the whole sample instead of a Vec per
+        // coalition; the sequential RNG stream below is the determinism anchor.
+        let mut masks = vec![false; n * d];
+        for pair in 0..n / 2 {
             let s = 1 + rng::weighted_index(&mut r, &size_weights);
             let chosen = rng::sample_without_replacement(&mut r, d, s);
-            let mut mask = vec![false; d];
+            let (mask, complement) = masks[2 * pair * d..2 * (pair + 1) * d].split_at_mut(d);
             for c in chosen {
                 mask[c] = true;
             }
             // Paired complement halves the sampler variance.
-            let complement: Vec<bool> = mask.iter().map(|&m| !m).collect();
-            masks.push(mask);
-            masks.push(complement);
+            for (cm, m) in complement.iter_mut().zip(mask.iter()) {
+                *cm = !m;
+            }
         }
 
-        // Evaluate y_i = E_b[f(h(z_i))] − base for every coalition.
-        let ys: Vec<f64> =
-            masks.iter().map(|mask| self.coalition_value(x, mask, class) - base).collect();
+        // Evaluate y_i = E_b[f(h(z_i))] − base for every coalition. Coalitions are
+        // independent given the masks, so they fan out across the pool; each chunk
+        // reuses one imputation scratch buffer and values never depend on where the
+        // chunk boundaries fall.
+        let ys = spatial_parallel::global().par_map_chunks(n, |range| {
+            let mut buf = vec![0.0; d];
+            range
+                .map(|i| {
+                    self.coalition_value_into(x, &masks[i * d..(i + 1) * d], class, &mut buf) - base
+                })
+                .collect()
+        });
 
         // Eliminate feature d−1 to enforce Σφ = fx − base exactly:
         //   y_i − z_{i,d−1}·Δ = Σ_{j<d−1} φ_j (z_ij − z_{i,d−1})
         let delta = fx - base;
-        let rows: Vec<Vec<f64>> = masks
-            .iter()
-            .map(|mask| {
-                let last = f64::from(u8::from(mask[d - 1]));
-                (0..d - 1).map(|j| f64::from(u8::from(mask[j])) - last).collect()
-            })
-            .collect();
-        let targets: Vec<f64> = masks
-            .iter()
-            .zip(&ys)
-            .map(|(mask, y)| y - f64::from(u8::from(mask[d - 1])) * delta)
-            .collect();
-        let design = Matrix::from_row_vecs(rows);
+        let mut design = Matrix::zeros(n, d - 1);
+        let mut targets = vec![0.0; n];
+        for i in 0..n {
+            let mask = &masks[i * d..(i + 1) * d];
+            let last = f64::from(u8::from(mask[d - 1]));
+            let row = design.row_mut(i);
+            for j in 0..d - 1 {
+                row[j] = f64::from(u8::from(mask[j])) - last;
+            }
+            targets[i] = ys[i] - last * delta;
+        }
         let mut phi = design
             .least_squares(&targets, None, self.config.ridge)
             .unwrap_or_else(|| vec![0.0; d - 1]);
@@ -186,9 +195,13 @@ impl<'a> KernelShap<'a> {
     /// Panics if `instances` is empty or has mismatched width.
     pub fn global_importance(&self, instances: &Matrix, class: usize) -> Vec<f64> {
         assert!(instances.rows() > 0, "need at least one instance");
+        // Each instance seeds its own coalition sample from `hash_point`, so the
+        // batch fan-out cannot perturb any per-instance result; the |φ| average
+        // stays sequential to keep the float association fixed.
+        let explanations = spatial_parallel::global()
+            .par_map_indexed(instances.rows(), |i| self.explain(instances.row(i), class));
         let mut acc = vec![0.0; instances.cols()];
-        for row in instances.iter_rows() {
-            let e = self.explain(row, class);
+        for e in &explanations {
             for (a, v) in acc.iter_mut().zip(&e.values) {
                 *a += v.abs() / instances.rows() as f64;
             }
@@ -196,15 +209,15 @@ impl<'a> KernelShap<'a> {
         acc
     }
 
-    /// E over background rows of the model output with absent features imputed.
-    fn coalition_value(&self, x: &[f64], mask: &[bool], class: usize) -> f64 {
+    /// E over background rows of the model output with absent features imputed into
+    /// the caller-provided scratch buffer (`buf.len() == x.len()`).
+    fn coalition_value_into(&self, x: &[f64], mask: &[bool], class: usize, buf: &mut [f64]) -> f64 {
         let mut total = 0.0;
-        let mut buf = vec![0.0; x.len()];
         for b in self.background.iter_rows() {
             for j in 0..x.len() {
                 buf[j] = if mask[j] { x[j] } else { b[j] };
             }
-            total += self.model.predict_proba(&buf)[class];
+            total += self.model.predict_proba(buf)[class];
         }
         total / self.background.rows() as f64
     }

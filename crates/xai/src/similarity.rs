@@ -71,28 +71,31 @@ pub fn shap_dissimilarity(
     let shap =
         KernelShap::new(model, &test.features, test.feature_names.clone(), config.shap.clone());
 
-    // Cache explanations by row index: neighbours repeat across probes.
-    let mut cache: std::collections::HashMap<usize, Vec<f64>> = std::collections::HashMap::new();
-    let explain = |idx: usize, cache: &mut std::collections::HashMap<usize, Vec<f64>>| {
-        cache
-            .entry(idx)
-            .or_insert_with(|| shap.explain(test.features.row(idx), target_class).values)
-            .clone()
-    };
+    // Neighbour search is cheap; run it first so the set of rows needing an
+    // explanation is known up front, then explain each unique row exactly once
+    // (neighbours repeat across probes) with the explanations fanned out over the
+    // pool. Each explanation is seeded per-point inside KernelSHAP, so the fan-out
+    // cannot change any value, and the distance averaging below runs in the same
+    // sequential order as the original cache-as-you-go loop.
+    let neighbour_sets: Vec<Vec<usize>> = probes
+        .iter()
+        .map(|&p| distance::k_nearest(&test.features, test.features.row(p), config.k, Some(p)))
+        .collect();
+    let mut needed: Vec<usize> = probes.clone();
+    needed.extend(neighbour_sets.iter().flatten().copied());
+    needed.sort_unstable();
+    needed.dedup();
+    let values = spatial_parallel::global()
+        .par_map(&needed, |&idx| shap.explain(test.features.row(idx), target_class).values);
+    let cache: std::collections::HashMap<usize, Vec<f64>> =
+        needed.into_iter().zip(values).collect();
 
     let mut per_probe = Vec::with_capacity(probes.len());
-    for &p in &probes {
-        let neighbours =
-            distance::k_nearest(&test.features, test.features.row(p), config.k, Some(p));
-        let probe_expl = explain(p, &mut cache);
-        let mean_dist = neighbours
-            .iter()
-            .map(|&nb| {
-                let e = explain(nb, &mut cache);
-                distance::euclidean(&probe_expl, &e)
-            })
-            .sum::<f64>()
-            / neighbours.len() as f64;
+    for (&p, neighbours) in probes.iter().zip(&neighbour_sets) {
+        let probe_expl = &cache[&p];
+        let mean_dist =
+            neighbours.iter().map(|nb| distance::euclidean(probe_expl, &cache[nb])).sum::<f64>()
+                / neighbours.len() as f64;
         per_probe.push(mean_dist);
     }
     spatial_linalg::vector::mean(&per_probe)

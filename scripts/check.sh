@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== cargo test =="
+echo "== cargo test (default test harness parallelism) =="
 cargo test -q
+
+echo "== cargo test (RUST_TEST_THREADS=1: compute-pool results must not depend on harness scheduling) =="
+RUST_TEST_THREADS=1 cargo test -q
+
+echo "== performance baseline smoke (byte-identical outputs; >=1.3x speedup on multi-core) =="
+cargo run -q --release -p spatial-bench --bin perf_baseline -- --smoke > /dev/null
 
 echo "== oversight MTTD/MTTR smoke (small scale) =="
 cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --rounds 26

@@ -14,6 +14,7 @@
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
 //! | [`linalg`] | `spatial-linalg` | dense matrix, vector ops, statistics, distances |
+//! | [`parallel`] | `spatial-parallel` | deterministic scoped thread pool (`par_map`) |
 //! | [`telemetry`] | `spatial-telemetry` | histograms, time series, latency reports |
 //! | [`data`] | `spatial-data` | synthetic UniMiB SHAR + network-flow datasets, CSV |
 //! | [`ml`] | `spatial-ml` | LR, CART, random forest, MLP/DNN, GBDT, pipeline |
@@ -46,6 +47,7 @@ pub use spatial_data as data;
 pub use spatial_gateway as gateway;
 pub use spatial_linalg as linalg;
 pub use spatial_ml as ml;
+pub use spatial_parallel as parallel;
 pub use spatial_resilience as resilience;
 pub use spatial_telemetry as telemetry;
 pub use spatial_xai as xai;

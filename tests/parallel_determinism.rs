@@ -1,0 +1,84 @@
+//! Integration: the determinism contract of the parallel compute layer.
+//!
+//! Random-forest training, KernelSHAP and LIME must produce byte-identical
+//! results at 1, 2 and 8 threads — parallelism is an implementation detail the
+//! numbers are not allowed to observe. The comparisons use `f64::to_bits`, not
+//! tolerances: any reordering of a floating-point reduction would fail here.
+
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::ml::forest::RandomForest;
+use spatial::ml::Model;
+use spatial::xai::lime::{LimeConfig, LimeTabular};
+use spatial::xai::shap::{KernelShap, ShapConfig};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs `f` once per thread count and asserts every run reproduces the first.
+fn identical_at_every_thread_count<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let pool = spatial::parallel::global();
+    let reference = pool.scoped_threads(THREADS[0], &f);
+    for &t in &THREADS[1..] {
+        let run = pool.scoped_threads(t, &f);
+        assert!(run == reference, "output at {t} threads differs from {} threads", THREADS[0]);
+    }
+}
+
+fn splits() -> (spatial::data::Dataset, spatial::data::Dataset) {
+    let raw = binarize_falls(&generate(&UnimibConfig { samples: 320, ..UnimibConfig::default() }));
+    raw.split(0.8, 11)
+}
+
+#[test]
+fn forest_training_is_identical_across_thread_counts() {
+    let (train, test) = splits();
+    identical_at_every_thread_count(|| {
+        let mut rf = RandomForest::with_trees(12);
+        rf.fit(&train).unwrap();
+        let probs = rf.predict_proba_batch(&test.features);
+        (rf.tree_count(), bits(probs.as_slice()))
+    });
+}
+
+#[test]
+fn kernel_shap_is_identical_across_thread_counts() {
+    let (train, test) = splits();
+    let mut rf = RandomForest::with_trees(10);
+    rf.fit(&train).unwrap();
+    let config = ShapConfig { n_coalitions: 96, background_limit: 6, ..ShapConfig::default() };
+    identical_at_every_thread_count(|| {
+        let shap =
+            KernelShap::new(&rf, &train.features, train.feature_names.clone(), config.clone());
+        test.features
+            .iter_rows()
+            .take(4)
+            .map(|row| bits(&shap.explain(row, 1).values))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn lime_is_identical_across_thread_counts() {
+    let (train, test) = splits();
+    let mut rf = RandomForest::with_trees(10);
+    rf.fit(&train).unwrap();
+    let config = LimeConfig { n_samples: 128, ..LimeConfig::default() };
+    identical_at_every_thread_count(|| {
+        let lime =
+            LimeTabular::new(&rf, &train.features, train.feature_names.clone(), config.clone());
+        let e = lime.explain(test.features.row(0), 1);
+        (bits(&e.values), e.base_value.to_bits())
+    });
+}
+
+#[test]
+fn scoped_threads_restores_the_pool_width() {
+    let pool = spatial::parallel::global();
+    let before = pool.threads();
+    let seen = pool.scoped_threads(3, || pool.threads());
+    assert_eq!(seen, 3);
+    assert_eq!(pool.threads(), before);
+}
