@@ -1,0 +1,232 @@
+//! Cross-stack conformance audit: differential oracles for telemetry, Shapley
+//! axioms and LIME fidelity for the XAI services, metamorphic relations for the
+//! ML/data layer, and a seeded wire fuzz of the HTTP front door.
+//!
+//! Everything is seeded — two runs print the same verdicts. Exits non-zero if any
+//! check fails, so CI can gate on it. `--smoke` shrinks the fuzz corpus from
+//! 10 000 to 500 connections.
+
+use conformance::LinearProbe;
+use rand::Rng;
+use spatial_bench::banner;
+use spatial_conformance as conformance;
+use spatial_data::image::GrayImage;
+use spatial_data::Dataset;
+use spatial_linalg::{rng, Matrix};
+use spatial_xai::lime::{LimeConfig, LimeTabular};
+use spatial_xai::occlusion::{occlusion_map, OcclusionConfig};
+use spatial_xai::shap::{KernelShap, ShapConfig};
+use std::time::Duration;
+
+const QS: [f64; 10] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+
+fn check(name: &str, verdict: Result<(), String>, failures: &mut Vec<String>) {
+    match verdict {
+        Ok(()) => println!("  PASS  {name}"),
+        Err(e) => {
+            println!("  FAIL  {name}: {e}");
+            failures.push(name.to_string());
+        }
+    }
+}
+
+fn bool_check(name: &str, ok: bool, detail: String, failures: &mut Vec<String>) {
+    check(name, if ok { Ok(()) } else { Err(detail) }, failures);
+}
+
+/// Deterministic latency-like corpora covering the shapes production histograms
+/// actually see; all values stay inside `latency_millis`'s finite buckets.
+fn corpora() -> Vec<(&'static str, Vec<f64>)> {
+    let uniform: Vec<f64> = (1..=2000).map(|i| i as f64 * 0.37).collect();
+    let mut r = rng::seeded(41);
+    let heavy_tail: Vec<f64> =
+        (0..1500).map(|_| r.random::<f64>().powi(4) * 9.0e4 + 0.05).collect();
+    let mut bursty: Vec<f64> = (0..900).map(|i| 1.0 + (i % 7) as f64 * 0.01).collect();
+    bursty.extend((0..30).map(|i| 5_000.0 + i as f64));
+    let constant = vec![42.0; 100];
+    vec![
+        ("uniform", uniform),
+        ("heavy-tail", heavy_tail),
+        ("bursty", bursty),
+        ("constant", constant),
+    ]
+}
+
+fn telemetry_section(failures: &mut Vec<String>) {
+    println!("\n== telemetry: quantile oracle, merge algebra ==");
+    for (name, samples) in corpora() {
+        check(
+            &format!("quantile conformance [{name}]"),
+            conformance::check_quantile_conformance(&samples, 0.01, 1.3, 64, &QS),
+            failures,
+        );
+        check(
+            &format!("quantile monotonicity [{name}]"),
+            conformance::check_quantile_monotonicity(&samples, 100),
+            failures,
+        );
+    }
+    let all = corpora();
+    check(
+        "histogram merge associativity/order-freedom",
+        conformance::check_merge_relations(&all[0].1, &all[1].1, &all[2].1),
+        failures,
+    );
+    check(
+        "counter/gauge aggregation identities",
+        conformance::check_counter_gauge_merge(&[vec![1, 2, 3], vec![], vec![u32::MAX as u64; 4]]),
+        failures,
+    );
+}
+
+fn xai_section(failures: &mut Vec<String>) {
+    println!("\n== xai: Shapley axioms, exact differential, LIME fidelity ==");
+    // Feature 1 is an exact dummy; features 2 and 3 are duplicated columns with
+    // duplicated weights, hence exactly symmetric.
+    let model = LinearProbe { weights: vec![0.20, 0.0, 0.10, 0.10], intercept: 0.30 };
+    let background = Matrix::from_row_vecs(
+        (0..8)
+            .map(|i| {
+                let t = i as f64 * 0.25;
+                vec![t, 1.5 - t, t * 0.5, t * 0.5]
+            })
+            .collect(),
+    );
+    let x = [1.0, 0.4, 0.8, 0.8];
+    let names = conformance::axioms::feature_names(4);
+    let e = KernelShap::new(&model, &background, names, ShapConfig::default()).explain(&x, 1);
+    check("shap efficiency axiom", conformance::check_efficiency(&e, 1e-6), failures);
+    check("shap dummy-feature axiom", conformance::check_dummy_feature(&e, 1, 1e-5), failures);
+    check("shap symmetry axiom", conformance::check_symmetry(&e, 2, 3, 1e-5), failures);
+    let gap = conformance::kernel_vs_exact_gap(&model, &background, &x, 1, ShapConfig::default());
+    bool_check(
+        "kernel-shap vs exact enumeration",
+        gap <= 1e-4,
+        format!("max per-feature gap {gap} > 1e-4"),
+        failures,
+    );
+
+    let lime_model = LinearProbe { weights: vec![0.05, -0.03, 0.02], intercept: 0.5 };
+    let lime_bg = Matrix::from_row_vecs(
+        (0..16).map(|i| vec![(i % 4) as f64, (i % 3) as f64 - 1.0, i as f64 * 0.1]).collect(),
+    );
+    let lx = [1.0, 0.0, 0.5];
+    let le = LimeTabular::new(
+        &lime_model,
+        &lime_bg,
+        conformance::axioms::feature_names(3),
+        LimeConfig::default(),
+    )
+    .explain(&lx, 1);
+    let rmse = conformance::lime_local_fidelity(&lime_model, &lime_bg, &le, &lx, 9001, 256);
+    bool_check(
+        "lime local fidelity (out-of-sample)",
+        rmse <= 0.05,
+        format!("weighted RMSE {rmse} > 0.05"),
+        failures,
+    );
+
+    let side = 4;
+    let mut weights = vec![0.001; side * side];
+    weights[5] = 0.30;
+    weights[10] = 0.20;
+    weights[0] = 0.10;
+    let img_model = LinearProbe { weights, intercept: 0.1 };
+    let pixels = vec![1.0; side * side];
+    let image = GrayImage::from_pixels(side, pixels.clone());
+    let map =
+        occlusion_map(&img_model, &image, 1, &OcclusionConfig { patch: 1, stride: 1, fill: 0.0 });
+    let bg = Matrix::from_row_vecs(vec![vec![0.0; side * side]]);
+    let img_names = conformance::axioms::feature_names(side * side);
+    let ie = KernelShap::new(&img_model, &bg, img_names, ShapConfig::default()).explain(&pixels, 1);
+    let agreement = conformance::rank_agreement(&map.drops, &ie.values, 3);
+    bool_check(
+        "occlusion/shap top-3 rank agreement",
+        agreement >= 2.0 / 3.0,
+        format!("agreement {agreement} < 2/3"),
+        failures,
+    );
+}
+
+fn metamorphic_section(failures: &mut Vec<String>) {
+    println!("\n== ml/data: metamorphic relations ==");
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        let t = i as f64 * 0.1;
+        rows.push(vec![t, 2.0 - t, (i % 5) as f64, (i % 2) as f64]);
+        labels.push(0);
+        rows.push(vec![t + 5.0, 7.0 - t, (i % 7) as f64, (i % 3) as f64]);
+        labels.push(1);
+    }
+    let ds = Dataset::new(
+        Matrix::from_row_vecs(rows),
+        labels,
+        conformance::axioms::feature_names(4),
+        vec!["neg".into(), "pos".into()],
+    );
+    let swap_gap = conformance::label_swap_gap(&ds, 12, 5);
+    bool_check(
+        "forest label-swap equivariance",
+        swap_gap <= 1e-9,
+        format!("probability gap {swap_gap} > 1e-9"),
+        failures,
+    );
+    let agreement = conformance::feature_permutation_agreement(&ds, &[3, 1, 0, 2]);
+    bool_check(
+        "tree feature-permutation equivariance",
+        agreement >= 0.9,
+        format!("agreement {agreement} < 0.9"),
+        failures,
+    );
+    let split_labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+    let frac_gap = conformance::duplicate_rows_fraction_gap(&split_labels, 0.8, 5, 17);
+    let bound = 0.5 * 3.0 / 60.0 + 1e-12;
+    bool_check(
+        "stratified-split duplicate-row invariance",
+        frac_gap <= bound,
+        format!("fraction gap {frac_gap} > {bound}"),
+        failures,
+    );
+}
+
+fn wire_section(cases: usize, failures: &mut Vec<String>) {
+    println!("\n== gateway wire: seeded fuzz ({cases} connections) ==");
+    let host = conformance::spawn_reference_target();
+    let report = conformance::fuzz_round_trip(host.addr(), 0xC0FFEE, cases, Duration::from_secs(5));
+    println!(
+        "  {} responses, {} closed connections, {} violations",
+        report.responses,
+        report.closed,
+        report.violations.len()
+    );
+    for v in report.violations.iter().take(10) {
+        println!("    {v}");
+    }
+    bool_check(
+        "front-door contract (no panic, no hang, envelope statuses)",
+        report.is_clean(),
+        format!("{} violations", report.violations.len()),
+        failures,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "Conformance audit — oracles, axioms, metamorphic relations, wire fuzz",
+        "every numeric claim checked against an implementation-independent reference",
+    );
+    let mut failures = Vec::new();
+    telemetry_section(&mut failures);
+    xai_section(&mut failures);
+    metamorphic_section(&mut failures);
+    wire_section(if smoke { 500 } else { 10_000 }, &mut failures);
+    println!();
+    if failures.is_empty() {
+        println!("conformance: all checks passed");
+    } else {
+        eprintln!("conformance: {} check(s) FAILED: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "taxonomy_report",
     "perf_baseline",
     "uc1_baseline",
@@ -17,6 +17,7 @@ const EXPERIMENTS: [&str; 12] = [
     "fig8_capacity_xai",
     "ablation_rf_robustness",
     "oversight_mttr",
+    "conformance",
 ];
 
 /// Heavier capacity runs, enabled with `--full`.

@@ -1,0 +1,199 @@
+//! SHAP axiom checks, the KernelSHAP-vs-exact differential, LIME local fidelity,
+//! and cross-method rank agreement.
+//!
+//! The Shapley axioms (efficiency, dummy, symmetry) are what make SHAP values
+//! *mean* something; an explanation service that violates them is emitting noise
+//! with confident formatting. `exact_shap` enumerates the 2^d coalitions and is the
+//! ground truth on small feature counts; KernelSHAP must track it, and LIME's
+//! surrogate must actually fit the model it claims to summarize locally.
+
+use spatial_data::Dataset;
+use spatial_linalg::{distance, rng, stats, Matrix};
+use spatial_ml::{Model, TrainError};
+use spatial_xai::shap::{KernelShap, ShapConfig};
+use spatial_xai::Explanation;
+
+/// A deterministic linear-probability model: `p(class 1) = intercept + w·x`,
+/// clamped to `[0, 1]`. Zero-weight features are exact dummies, equal-weight
+/// features are exactly symmetric, and the local behaviour is linear — the three
+/// properties the SHAP/LIME axiom checks need a ground truth for.
+pub struct LinearProbe {
+    /// Per-feature slope of the class-1 probability.
+    pub weights: Vec<f64>,
+    /// Class-1 probability at the origin.
+    pub intercept: f64,
+}
+
+impl Model for LinearProbe {
+    fn name(&self) -> &str {
+        "linear-probe"
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn fit(&mut self, _: &Dataset) -> Result<(), TrainError> {
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let raw: f64 = self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        let p = raw.clamp(0.0, 1.0);
+        vec![1.0 - p, p]
+    }
+}
+
+/// Generated feature names `f0..f{d-1}` for harness-built explainers.
+pub fn feature_names(d: usize) -> Vec<String> {
+    (0..d).map(|j| format!("f{j}")).collect()
+}
+
+/// Efficiency axiom: `base_value + Σ φ_j` must equal the explained prediction
+/// within `tol`.
+pub fn check_efficiency(e: &Explanation, tol: f64) -> Result<(), String> {
+    let gap = e.additivity_gap();
+    if gap > tol {
+        return Err(format!("{}: additivity gap {gap} exceeds {tol}", e.method));
+    }
+    Ok(())
+}
+
+/// Dummy axiom: a feature the model provably ignores must get `|φ| ≤ tol`.
+pub fn check_dummy_feature(e: &Explanation, dummy: usize, tol: f64) -> Result<(), String> {
+    let phi = e.values[dummy].abs();
+    if phi > tol {
+        return Err(format!(
+            "{}: dummy feature {dummy} got attribution {phi}, expected ≤ {tol}",
+            e.method
+        ));
+    }
+    Ok(())
+}
+
+/// Symmetry axiom: two features that contribute identically (duplicated columns
+/// with equal values at the explained point) must get equal attributions.
+pub fn check_symmetry(e: &Explanation, i: usize, j: usize, tol: f64) -> Result<(), String> {
+    let gap = (e.values[i] - e.values[j]).abs();
+    if gap > tol {
+        return Err(format!(
+            "{}: symmetric features {i}/{j} got {} vs {} (gap {gap} > {tol})",
+            e.method, e.values[i], e.values[j]
+        ));
+    }
+    Ok(())
+}
+
+/// Largest per-feature deviation between KernelSHAP and the exact Shapley
+/// enumeration at `x` — the differential oracle (`d ≤ 20`).
+pub fn kernel_vs_exact_gap(
+    model: &dyn Model,
+    background: &Matrix,
+    x: &[f64],
+    class: usize,
+    config: ShapConfig,
+) -> f64 {
+    let names = feature_names(x.len());
+    let kernel = KernelShap::new(model, background, names.clone(), config).explain(x, class);
+    let exact = spatial_xai::exact_shap::exact_shapley(model, background, names, x, class);
+    kernel.values.iter().zip(&exact.values).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+}
+
+/// Fraction of the top-`k` features (by |attribution|) two importance vectors
+/// agree on. 1.0 = identical top-`k` sets.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds either vector's length.
+pub fn rank_agreement(a: &[f64], b: &[f64], k: usize) -> f64 {
+    assert!(k > 0 && k <= a.len() && k <= b.len(), "invalid k={k}");
+    let top = |v: &[f64]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&p, &q| v[q].abs().partial_cmp(&v[p].abs()).expect("non-NaN importance"));
+        idx.truncate(k);
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    ta.iter().filter(|i| tb.contains(i)).count() as f64 / k as f64
+}
+
+/// Weighted RMSE between the model and a LIME explanation's linear surrogate on a
+/// *fresh* cloud of perturbations around `x` — fresh meaning drawn from
+/// `probe_seed`, not the seed LIME itself fit on, so the surrogate is scored out
+/// of sample. Perturbations and weights follow LIME's own locality definition
+/// (per-feature background σ scaling, RBF kernel of width `0.75·√d`).
+pub fn lime_local_fidelity(
+    model: &dyn Model,
+    background: &Matrix,
+    e: &Explanation,
+    x: &[f64],
+    probe_seed: u64,
+    n_probes: usize,
+) -> f64 {
+    let d = x.len();
+    let scales: Vec<f64> = (0..background.cols())
+        .map(|c| {
+            let s = stats::std_dev(&background.col(c));
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let width = 0.75 * (d as f64).sqrt();
+    let mut r = rng::seeded(probe_seed);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut probe = vec![0.0; d];
+    for _ in 0..n_probes {
+        let z = rng::normal_vec(&mut r, d);
+        for j in 0..d {
+            probe[j] = x[j] + z[j] * scales[j];
+        }
+        let f = model.predict_proba(&probe)[e.class];
+        // The surrogate lives in scaled units: g(z) = intercept + Σ values_j·z_j.
+        let g: f64 = e.base_value + e.values.iter().zip(&z).map(|(v, zj)| v * zj).sum::<f64>();
+        let dist = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let w = distance::rbf_kernel(dist, width);
+        num += w * (f - g) * (f - g);
+        den += w;
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_probe_is_a_valid_distribution() {
+        let m = LinearProbe { weights: vec![0.1, -0.05], intercept: 0.4 };
+        let p = m.predict_proba(&[1.0, 2.0]);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn rank_agreement_extremes() {
+        assert_eq!(rank_agreement(&[3.0, 2.0, 0.1], &[-30.0, 2.5, 0.0], 2), 1.0);
+        assert_eq!(rank_agreement(&[1.0, 0.0], &[0.0, 1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn dummy_and_symmetry_checks_fire_on_violations() {
+        let e = Explanation {
+            method: "test".into(),
+            feature_names: feature_names(3),
+            values: vec![0.5, 0.2, 0.0],
+            base_value: 0.1,
+            prediction: 0.8,
+            class: 1,
+        };
+        assert!(check_efficiency(&e, 1e-9).is_ok());
+        assert!(check_dummy_feature(&e, 2, 1e-9).is_ok());
+        assert!(check_dummy_feature(&e, 1, 1e-3).is_err());
+        assert!(check_symmetry(&e, 0, 1, 1e-3).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Cross-stack conformance harness for the SPATIAL reproduction.
+//!
+//! SPATIAL's value proposition is that the numbers its AI sensors emit — SHAP
+//! attributions, resilience metrics, latency quantiles — can be trusted enough to
+//! drive operator (and automated) decisions. This crate audits that claim with
+//! independent oracles instead of re-testing implementations against themselves:
+//!
+//! - [`oracle`] — differential oracles for the telemetry layer: histogram quantiles
+//!   against the exact sorted-sample quantile, merge/record-order relations, and
+//!   counter/gauge aggregation identities.
+//! - [`axioms`] — the SHAP axioms (efficiency, dummy feature, symmetry), KernelSHAP
+//!   vs the `exact_shap` enumeration oracle, LIME local fidelity, and cross-method
+//!   rank agreement.
+//! - [`metamorphic`] — metamorphic relations for the ML/data layer: label-swap
+//!   equivariance of the forest, feature-permutation equivariance of trees, and
+//!   duplicate-row invariance of stratified splitting.
+//! - [`wire_fuzz`] — a seeded byte-level fuzzer for the HTTP front door: casing,
+//!   smuggling-shaped framing conflicts, truncation, and garbage must all produce a
+//!   prompt 4xx/5xx, never a panic or a hang.
+//!
+//! Everything is seeded and deterministic, like the rest of the repo: the same
+//! harness run produces the same verdicts on every machine. The helpers return
+//! `Result<(), String>` (or raw gaps/fractions) instead of asserting, so both the
+//! `tests/conformance.rs` suite and the `conformance` bench bin can share them.
+//!
+//! This crate is a dev-dependency-style library: production crates never depend on
+//! it; only `tests/` and `spatial-bench` do.
+
+pub mod axioms;
+pub mod metamorphic;
+pub mod oracle;
+pub mod wire_fuzz;
+
+pub use axioms::{
+    check_dummy_feature, check_efficiency, check_symmetry, kernel_vs_exact_gap,
+    lime_local_fidelity, rank_agreement, LinearProbe,
+};
+pub use metamorphic::{duplicate_rows_fraction_gap, feature_permutation_agreement, label_swap_gap};
+pub use oracle::{
+    check_counter_gauge_merge, check_merge_relations, check_quantile_conformance,
+    check_quantile_monotonicity, quantile_oracle,
+};
+pub use wire_fuzz::{fuzz_round_trip, spawn_reference_target, FuzzReport};

@@ -1,0 +1,172 @@
+//! Metamorphic relations for the ML and data layers.
+//!
+//! Tree learners have no closed-form oracle, but they do have *relations* any
+//! correct implementation must satisfy: relabelling the classes relabels the
+//! outputs (training never peeks at the numeric label values), permuting feature
+//! columns permutes nothing semantic (CART scores columns independently), and
+//! duplicating every row leaves a stratified split's realized fraction unchanged
+//! (stratification works per class, not per index).
+
+use spatial_data::{split, Dataset};
+use spatial_linalg::Matrix;
+use spatial_ml::forest::{ForestConfig, RandomForest};
+use spatial_ml::tree::{DecisionTree, TreeConfig};
+use spatial_ml::Model;
+
+/// Largest probability deviation, over every training row, between a forest
+/// trained on a binary dataset and a forest trained on the label-swapped copy
+/// (evaluated through the mirrored class index).
+///
+/// Bootstrap sampling and feature subspaces depend only on `seed`, and two-class
+/// Gini impurity is symmetric in the classes, so the relation is exact up to
+/// commutative float sums — a correct learner scores ~0 here.
+///
+/// # Panics
+///
+/// Panics unless `dataset` has exactly two classes.
+pub fn label_swap_gap(dataset: &Dataset, n_trees: usize, seed: u64) -> f64 {
+    assert_eq!(dataset.n_classes(), 2, "label-swap relation is defined for binary datasets");
+    let swapped = Dataset::new(
+        dataset.features.clone(),
+        dataset.labels.iter().map(|&l| 1 - l).collect(),
+        dataset.feature_names.clone(),
+        vec![dataset.class_names[1].clone(), dataset.class_names[0].clone()],
+    );
+    let config = ForestConfig { n_trees, seed, ..ForestConfig::default() };
+    let mut plain = RandomForest::with_config(config.clone());
+    let mut mirrored = RandomForest::with_config(config);
+    plain.fit(dataset).expect("forest fit on original labels");
+    mirrored.fit(&swapped).expect("forest fit on swapped labels");
+    let mut gap = 0.0f64;
+    for row in dataset.features.iter_rows() {
+        let p = plain.predict_proba(row);
+        let m = mirrored.predict_proba(row);
+        for class in 0..2 {
+            gap = gap.max((p[class] - m[1 - class]).abs());
+        }
+    }
+    gap
+}
+
+/// Fraction of training rows on which a plain CART tree agrees with a tree
+/// trained on column-permuted features (each evaluated in its own column order).
+///
+/// Exhaustive-split CART is equivariant under column permutation except where two
+/// candidate splits tie exactly and the scan order breaks the tie, so correctness
+/// shows up as agreement near 1.0, not exact equality.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n_features`.
+pub fn feature_permutation_agreement(dataset: &Dataset, perm: &[usize]) -> f64 {
+    let d = dataset.n_features();
+    let mut seen = vec![false; d];
+    assert_eq!(perm.len(), d, "permutation length must match feature count");
+    for &p in perm {
+        assert!(p < d && !seen[p], "perm is not a permutation of 0..{d}");
+        seen[p] = true;
+    }
+    let permute = |row: &[f64]| -> Vec<f64> { perm.iter().map(|&p| row[p]).collect() };
+    let permuted = Dataset::new(
+        Matrix::from_row_vecs(dataset.features.iter_rows().map(permute).collect()),
+        dataset.labels.clone(),
+        perm.iter().map(|&p| dataset.feature_names[p].clone()).collect(),
+        dataset.class_names.clone(),
+    );
+    // max_features: None ⇒ every split scans every column; the seed is unused.
+    let config = TreeConfig { max_features: None, ..TreeConfig::default() };
+    let mut plain = DecisionTree::with_config(config.clone());
+    let mut shuffled = DecisionTree::with_config(config);
+    plain.fit(dataset).expect("tree fit on original columns");
+    shuffled.fit(&permuted).expect("tree fit on permuted columns");
+    let agreeing = dataset
+        .features
+        .iter_rows()
+        .filter(|row| plain.predict(row) == shuffled.predict(&permute(row)))
+        .count();
+    agreeing as f64 / dataset.n_samples() as f64
+}
+
+/// Absolute difference between the realized train fraction of a stratified split
+/// on `labels` and on `labels` repeated `dup` times.
+///
+/// Stratification allocates `round(members · f)` per class, so duplicating every
+/// row scales each class count by `dup` and must leave the realized fraction
+/// unchanged up to per-class rounding (at most `0.5 · classes / n` on each side).
+///
+/// # Panics
+///
+/// Panics if `dup` is zero or `labels` is empty (the split itself panics on a bad
+/// `train_fraction`).
+pub fn duplicate_rows_fraction_gap(
+    labels: &[usize],
+    train_fraction: f64,
+    dup: usize,
+    seed: u64,
+) -> f64 {
+    assert!(dup > 0 && !labels.is_empty(), "need dup ≥ 1 and a non-empty label set");
+    let realized = |labels: &[usize]| {
+        let (train, test) = split::stratified_indices(labels, train_fraction, seed);
+        train.len() as f64 / (train.len() + test.len()) as f64
+    };
+    let mut repeated = Vec::with_capacity(labels.len() * dup);
+    for _ in 0..dup {
+        repeated.extend_from_slice(labels);
+    }
+    (realized(labels) - realized(&repeated)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_dataset() -> Dataset {
+        // Two well-separated blobs on a deterministic lattice, 3 features.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let t = i as f64 * 0.1;
+            rows.push(vec![t, 1.0 - t, (i % 5) as f64]);
+            labels.push(0);
+            rows.push(vec![t + 4.0, 5.0 - t, (i % 7) as f64]);
+            labels.push(1);
+        }
+        Dataset::new(
+            Matrix::from_row_vecs(rows),
+            labels,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["neg".into(), "pos".into()],
+        )
+    }
+
+    #[test]
+    fn label_swap_is_tight_on_binary_blobs() {
+        let gap = label_swap_gap(&two_blob_dataset(), 9, 7);
+        assert!(gap <= 1e-9, "label-swap gap {gap} should be ~0");
+    }
+
+    #[test]
+    fn permutation_agreement_is_high_on_separable_data() {
+        let agree = feature_permutation_agreement(&two_blob_dataset(), &[2, 0, 1]);
+        assert!(agree >= 0.9, "agreement {agree} below 0.9");
+    }
+
+    #[test]
+    fn identity_permutation_agrees_exactly() {
+        assert_eq!(feature_permutation_agreement(&two_blob_dataset(), &[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn duplicate_rows_leave_split_fraction_alone() {
+        let labels = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let gap = duplicate_rows_fraction_gap(&labels, 0.75, 4, 3);
+        // Rounding bound: 0.5·C/n on each side, C = 3 classes, n = 12.
+        assert!(gap <= 0.5 * 3.0 / 12.0 + 1e-12, "fraction gap {gap} too large");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_is_rejected() {
+        feature_permutation_agreement(&two_blob_dataset(), &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Differential oracles for the telemetry layer.
+//!
+//! The capacity experiments and the dashboard both lean on
+//! [`Histogram::quantile`]; these checks audit it against the *exact* quantile of
+//! the raw samples (something production code never keeps, but a harness can), and
+//! pin the algebraic relations the registry relies on when it merges per-thread
+//! histograms and counters into one exposition.
+
+use spatial_telemetry::{Counter, Gauge, Histogram};
+
+/// Exact nearest-rank quantile of `samples`: `q = 0` → min, `q = 1` → max,
+/// otherwise the `⌈q·n⌉`-th smallest sample, computed on a sorted copy. This is the
+/// reference definition the histogram estimate is audited against.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains NaN, or `q` is outside `[0, 1]`.
+pub fn quantile_oracle(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "oracle needs at least one sample");
+    assert!((0.0..=1.0).contains(&q), "q={q} outside [0,1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("oracle samples must not be NaN"));
+    if q == 0.0 {
+        return sorted[0];
+    }
+    if q == 1.0 {
+        return *sorted.last().expect("non-empty");
+    }
+    let n = sorted.len();
+    let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[k - 1]
+}
+
+/// Audits `Histogram::quantile` against [`quantile_oracle`] on one corpus.
+///
+/// A geometric-bucket histogram cannot be exact, but its estimate must stay inside
+/// the bucket holding the oracle's rank-`k` sample — i.e. within one `growth`
+/// factor of the exact value — and the `q = 0`/`q = 1` extremes must be exact.
+/// The corpus must fit the finite buckets (`[0, base·growth^(buckets-1))`) so the
+/// one-bucket bound is meaningful; the overflow bucket has no upper edge.
+pub fn check_quantile_conformance(
+    samples: &[f64],
+    base: f64,
+    growth: f64,
+    buckets: usize,
+    qs: &[f64],
+) -> Result<(), String> {
+    if samples.is_empty() {
+        return Err("conformance corpus is empty".into());
+    }
+    let finite_limit = base * growth.powi(buckets as i32 - 1);
+    if samples.iter().any(|&v| !(0.0..finite_limit).contains(&v)) {
+        return Err(format!(
+            "corpus must lie in [0, {finite_limit}) — overflow bucket is unbounded"
+        ));
+    }
+    let mut h = Histogram::new(base, growth, buckets);
+    for &v in samples {
+        h.record(v);
+    }
+    for &q in qs {
+        let est = h.quantile(q);
+        let exact = quantile_oracle(samples, q);
+        let ok = if q == 0.0 || q == 1.0 {
+            est == exact
+        } else {
+            // Bucket 0 spans [0, base·growth), so its lower edge is 0; everywhere
+            // else the bucket holding `exact` has edges within one growth factor.
+            let upper = exact.max(base) * growth * (1.0 + 1e-12);
+            let lower = if exact < base * growth { 0.0 } else { exact / growth * (1.0 - 1e-12) };
+            (lower..=upper).contains(&est)
+        };
+        if !ok {
+            return Err(format!(
+                "quantile({q}) = {est} strays more than one bucket from the sorted-sample \
+                 oracle {exact} (n = {})",
+                samples.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Quantile estimates must be non-decreasing in `q` over a uniform grid of
+/// `steps + 1` points including both extremes.
+pub fn check_quantile_monotonicity(samples: &[f64], steps: usize) -> Result<(), String> {
+    if samples.is_empty() || steps == 0 {
+        return Err("monotonicity check needs samples and at least one step".into());
+    }
+    let mut h = Histogram::latency_millis();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut prev = h.quantile(0.0);
+    for s in 1..=steps {
+        let q = s as f64 / steps as f64;
+        let q_prev = (s - 1) as f64 / steps as f64;
+        let v = h.quantile(q);
+        if v < prev {
+            return Err(format!("quantile({q}) = {v} dropped below quantile({q_prev}) = {prev}"));
+        }
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Merge relations the registry depends on when folding per-source histograms:
+/// recording `a ∪ b ∪ c` serially, merging `(a ⊕ b) ⊕ c`, and merging
+/// `a ⊕ (b ⊕ c)` must agree exactly on counts/min/max/quantiles (integer counters
+/// and order-free extremes) and within float tolerance on the sum.
+pub fn check_merge_relations(a: &[f64], b: &[f64], c: &[f64]) -> Result<(), String> {
+    let build = |parts: &[&[f64]]| {
+        let mut h = Histogram::latency_millis();
+        for part in parts {
+            for &v in *part {
+                h.record(v);
+            }
+        }
+        h
+    };
+    let serial = build(&[a, b, c]);
+    let (ha, hb, hc) = (build(&[a]), build(&[b]), build(&[c]));
+
+    let mut left = ha.clone();
+    left.merge(&hb);
+    left.merge(&hc);
+
+    let mut bc = hb.clone();
+    bc.merge(&hc);
+    let mut right = ha;
+    right.merge(&bc);
+
+    for (name, h) in [("(a⊕b)⊕c", &left), ("a⊕(b⊕c)", &right)] {
+        if h.count() != serial.count() {
+            return Err(format!("{name}: count {} != serial {}", h.count(), serial.count()));
+        }
+        if h.min() != serial.min() || h.max() != serial.max() {
+            return Err(format!(
+                "{name}: extremes {:?}/{:?} != serial {:?}/{:?}",
+                h.min(),
+                h.max(),
+                serial.min(),
+                serial.max()
+            ));
+        }
+        if h.cumulative_buckets() != serial.cumulative_buckets() {
+            return Err(format!("{name}: bucket counts diverge from serial recording"));
+        }
+        let rel = (h.sum() - serial.sum()).abs() / serial.sum().abs().max(1.0);
+        if rel > 1e-9 {
+            return Err(format!("{name}: sum {} vs serial {}", h.sum(), serial.sum()));
+        }
+        // Quantiles are a pure function of (counts, min, max), so with the above
+        // equalities they must agree bit-for-bit.
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            if h.quantile(q) != serial.quantile(q) {
+                return Err(format!(
+                    "{name}: quantile({q}) {} != serial {}",
+                    h.quantile(q),
+                    serial.quantile(q)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counter/gauge aggregation identities: a counter fed a partitioned stream equals
+/// one counter fed the whole stream (u64 addition is associative and lossless), and
+/// a gauge is last-write-wins regardless of how the writes are grouped.
+pub fn check_counter_gauge_merge(parts: &[Vec<u64>]) -> Result<(), String> {
+    let whole = Counter::new();
+    let mut partials = Vec::new();
+    for part in parts {
+        let c = Counter::new();
+        for &n in part {
+            whole.add(n);
+            c.add(n);
+        }
+        partials.push(c.value());
+    }
+    let folded: u64 = partials.iter().sum();
+    if folded != whole.value() {
+        return Err(format!(
+            "partitioned counters sum to {folded}, serial counter {}",
+            whole.value()
+        ));
+    }
+
+    let gauge = Gauge::new(0.0);
+    let mut last = 0.0;
+    for part in parts {
+        for &n in part {
+            gauge.set(n as f64);
+            last = n as f64;
+        }
+    }
+    if gauge.value() != last {
+        return Err(format!("gauge {} is not last-write-wins ({last})", gauge.value()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_hand_computed_ranks() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile_oracle(&samples, 0.0), 1.0);
+        assert_eq!(quantile_oracle(&samples, 0.25), 1.0); // k = 1
+        assert_eq!(quantile_oracle(&samples, 0.5), 2.0); // k = 2
+        assert_eq!(quantile_oracle(&samples, 0.75), 3.0); // k = 3
+        assert_eq!(quantile_oracle(&samples, 0.9), 4.0); // k = 4
+        assert_eq!(quantile_oracle(&samples, 1.0), 4.0);
+    }
+
+    #[test]
+    fn conformance_accepts_the_fixed_histogram() {
+        let samples: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        check_quantile_conformance(&samples, 0.01, 1.3, 64, &[0.0, 0.01, 0.5, 0.95, 0.99, 1.0])
+            .unwrap();
+    }
+
+    #[test]
+    fn conformance_rejects_out_of_range_corpora() {
+        assert!(check_quantile_conformance(&[1e30], 0.01, 1.3, 64, &[0.5]).is_err());
+        assert!(check_quantile_conformance(&[], 0.01, 1.3, 64, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn merge_relations_hold_for_disjoint_parts() {
+        let a: Vec<f64> = (1..40).map(|i| i as f64 * 0.7).collect();
+        let b: Vec<f64> = (1..25).map(|i| i as f64 * 13.0).collect();
+        let c = vec![0.5, 900.0];
+        check_merge_relations(&a, &b, &c).unwrap();
+        check_merge_relations(&c, &b, &a).unwrap();
+        check_merge_relations(&a, &[], &c).unwrap();
+    }
+
+    #[test]
+    fn counter_gauge_identities_hold() {
+        check_counter_gauge_merge(&[vec![1, 2, 3], vec![], vec![u32::MAX as u64, 7]]).unwrap();
+    }
+}

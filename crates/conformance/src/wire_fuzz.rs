@@ -1,0 +1,287 @@
+//! Seeded byte-level fuzzing of the HTTP front door.
+//!
+//! The gateway's parser faces attacker-controlled bytes; its contract is narrow
+//! but absolute: every connection gets either a prompt HTTP status from the
+//! allowed envelope or a closed socket — never a panic, never a hang, and never a
+//! 2xx for a malformed frame. The fuzzer drives a real [`ServiceHost`] over real
+//! sockets so the whole accept/parse/dispatch path is exercised, with a fixed
+//! strategy rotation and a seeded RNG so any failure replays exactly.
+
+use rand::Rng;
+use spatial_data::Dataset;
+use spatial_gateway::http::{read_response, HttpError, Response};
+use spatial_gateway::service::ServiceHost;
+use spatial_gateway::services::ShapService;
+use spatial_gateway::wire::{to_json, ExplainRequest};
+use spatial_linalg::{rng, Matrix};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::Model;
+use spatial_xai::shap::ShapConfig;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Statuses a hardened front door may legitimately emit, whatever the input.
+const ALLOWED: [u16; 8] = [200, 400, 404, 413, 429, 431, 500, 503];
+
+/// Number of generation strategies in the rotation (case `i` uses `i % STRATEGIES`).
+pub const STRATEGIES: usize = 10;
+
+/// Outcome tally of one fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Connections attempted.
+    pub cases: usize,
+    /// Connections answered with a parseable HTTP response.
+    pub responses: usize,
+    /// Connections the server closed without a response (legal for garbage).
+    pub closed: usize,
+    /// Contract violations: hangs, out-of-envelope statuses, or a valid request
+    /// that did not get its 200. Empty means the corpus is clean.
+    pub violations: Vec<String>,
+}
+
+impl FuzzReport {
+    /// True when no case violated the front-door contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Spawns the reference fuzzing target: a [`ShapService`] over a small trained
+/// decision tree, behind a real [`ServiceHost`] socket. Dropping the host shuts
+/// it down.
+pub fn spawn_reference_target() -> ServiceHost {
+    let ds = Dataset::new(
+        Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[0.1, -1.0], &[0.9, -1.0]]),
+        vec![0, 1, 0, 1],
+        vec!["signal".into(), "noise".into()],
+        vec!["a".into(), "b".into()],
+    );
+    let mut dt = DecisionTree::new();
+    dt.fit(&ds).expect("reference tree fits");
+    let service = ShapService::new(
+        Arc::new(dt),
+        ds.features.clone(),
+        ds.feature_names.clone(),
+        ShapConfig { n_coalitions: 32, ..ShapConfig::default() },
+        2,
+    );
+    ServiceHost::spawn(Arc::new(service), 16).expect("reference service host spawns")
+}
+
+/// Runs `cases` seeded fuzz connections against `addr` and tallies the outcomes.
+///
+/// Strategy rotation (case `i` uses strategy `i % 10`):
+/// 0. valid `POST /shap/explain` — must answer 200;
+/// 1. the same request with randomized header-name casing — must answer 200;
+/// 2. duplicate `Content-Length` headers (equal or conflicting) — must answer 400;
+/// 3. mangled `Content-Length` values (`+3`, `-1`, `3 3`, `0x10`, empty, huge);
+/// 4. body truncated below the declared length;
+/// 5. declared body over the 16 MiB cap — must answer 413 (no body bytes sent);
+/// 6. head truncated mid-line before the blank line;
+/// 7. raw random bytes;
+/// 8. one header line far past the 32 KiB head cap;
+/// 9. `GET` on an unroutable path — must answer 404.
+///
+/// Strategies 2–9 may also legally see the connection closed; a timeout (hang) is
+/// a violation for every strategy.
+pub fn fuzz_round_trip(addr: SocketAddr, seed: u64, cases: usize, timeout: Duration) -> FuzzReport {
+    let valid_body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
+    let mut r = rng::seeded(seed);
+    let mut report = FuzzReport { cases, ..FuzzReport::default() };
+    for case in 0..cases {
+        let strategy = case % STRATEGIES;
+        let bytes = generate(&mut r, strategy, &valid_body);
+        let must_answer = matches!(strategy, 0 | 1 | 9);
+        match exchange(addr, &bytes, timeout) {
+            Ok(resp) => {
+                report.responses += 1;
+                let expected: &[u16] = match strategy {
+                    0 | 1 => &[200],
+                    2 => &[400],
+                    3 | 4 => &[400, 413],
+                    5 => &[413],
+                    8 => &[431],
+                    9 => &[404],
+                    _ => &ALLOWED,
+                };
+                if !expected.contains(&resp.status) {
+                    report.violations.push(format!(
+                        "case {case} (strategy {strategy}): status {} not in {expected:?}",
+                        resp.status
+                    ));
+                }
+            }
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                report.violations.push(format!(
+                    "case {case} (strategy {strategy}): connection hung past {timeout:?}"
+                ));
+            }
+            Err(e) if must_answer => {
+                report
+                    .violations
+                    .push(format!("case {case} (strategy {strategy}): expected a response: {e}"));
+            }
+            Err(_) => report.closed += 1,
+        }
+    }
+    report
+}
+
+/// One connection: write the raw bytes, half-close, read whatever comes back.
+fn exchange(addr: SocketAddr, bytes: &[u8], timeout: Duration) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
+    stream.set_read_timeout(Some(timeout)).map_err(HttpError::Io)?;
+    stream.set_write_timeout(Some(timeout)).map_err(HttpError::Io)?;
+    stream.write_all(bytes).map_err(HttpError::Io)?;
+    stream.flush().map_err(HttpError::Io)?;
+    // Half-close tells the parser no more bytes are coming, so truncation cases
+    // resolve immediately instead of waiting out the server's own read timeout.
+    let _ = stream.shutdown(Shutdown::Write);
+    read_response(&mut stream)
+}
+
+fn generate(r: &mut impl Rng, strategy: usize, valid_body: &[u8]) -> Vec<u8> {
+    match strategy {
+        0 => frame("POST", "/shap/explain", &[], valid_body, false),
+        1 => frame("POST", "/shap/explain", &[], valid_body, true).to_ascii_case_shuffled(r),
+        2 => {
+            let a = valid_body.len();
+            let b = if r.random_range(0..2) == 0 { a } else { r.random_range(0..4096) };
+            frame(
+                "POST",
+                "/shap/explain",
+                &[format!("Content-Length: {a}"), format!("Content-Length: {b}")],
+                valid_body,
+                false,
+            )
+        }
+        3 => {
+            let bad = ["+3", "-1", "3 3", "0x10", "", "99999999999999999999999999"];
+            let v = bad[r.random_range(0..bad.len())];
+            frame("POST", "/shap/explain", &[format!("Content-Length: {v}")], valid_body, false)
+        }
+        4 => {
+            let declared = valid_body.len() + 1 + r.random_range(0..512);
+            frame(
+                "POST",
+                "/shap/explain",
+                &[format!("Content-Length: {declared}")],
+                valid_body,
+                false,
+            )
+        }
+        5 => {
+            let over = (16usize << 20) + 1 + r.random_range(0..1024);
+            frame("POST", "/shap/explain", &[format!("Content-Length: {over}")], b"", false)
+        }
+        6 => {
+            let full = frame("POST", "/shap/explain", &[], valid_body, false);
+            let head_end = full.windows(4).position(|w| w == b"\r\n\r\n").expect("framed head");
+            let cut = r.random_range(1..head_end + 2);
+            full[..cut].to_vec()
+        }
+        7 => {
+            let len = r.random_range(1usize..200);
+            (0..len).map(|_| r.random::<u8>()).collect()
+        }
+        8 => {
+            let mut junk = String::with_capacity(40 << 10);
+            while junk.len() < 40 << 10 {
+                junk.push((b'a' + r.random_range(0..26) as u8) as char);
+            }
+            frame("POST", "/shap/explain", &[format!("X-Padding: {junk}")], valid_body, false)
+        }
+        _ => {
+            let path = format!("/fuzz/{}", r.random_range(0..1_000_000));
+            frame("GET", &path, &[], b"", false)
+        }
+    }
+}
+
+/// Builds an HTTP/1.1 frame. With `default_cl` false and no extra headers naming
+/// it, a correct `Content-Length` is added automatically; `extra` lines are
+/// emitted verbatim so strategies can inject conflicting framing.
+fn frame(method: &str, path: &str, extra: &[String], body: &[u8], lowercase: bool) -> Vec<u8> {
+    let mut out = format!("{method} {path} HTTP/1.1\r\n");
+    let host = if lowercase { "host" } else { "Host" };
+    out.push_str(&format!("{host}: 127.0.0.1\r\n"));
+    let has_cl = extra.iter().any(|h| h.to_ascii_lowercase().starts_with("content-length"));
+    if !body.is_empty() && !has_cl {
+        let cl = if lowercase { "content-length" } else { "Content-Length" };
+        out.push_str(&format!("{cl}: {}\r\n", body.len()));
+    }
+    for h in extra {
+        out.push_str(h);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// Byte-vector helper: randomize ASCII letter casing in the *header lines* only.
+/// The request line stays intact (methods and paths are case-sensitive), and the
+/// body starts after the first blank line and must stay intact too.
+trait CaseShuffle {
+    fn to_ascii_case_shuffled(self, r: &mut impl Rng) -> Vec<u8>;
+}
+
+impl CaseShuffle for Vec<u8> {
+    fn to_ascii_case_shuffled(mut self, r: &mut impl Rng) -> Vec<u8> {
+        let line_end = self.windows(2).position(|w| w == b"\r\n").map_or(0, |p| p + 2);
+        let head_end = self.windows(4).position(|w| w == b"\r\n\r\n").map_or(self.len(), |p| p + 4);
+        for b in &mut self[line_end..head_end] {
+            if b.is_ascii_alphabetic() && r.random_range(0..2) == 0 {
+                *b = if b.is_ascii_lowercase() {
+                    b.to_ascii_uppercase()
+                } else {
+                    b.to_ascii_lowercase()
+                };
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_builds_parseable_http() {
+        let bytes = frame("POST", "/x", &[], b"{}", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST /x HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let body = b"{\"features\":[0.9,1.0],\"class\":1}";
+        let mut a = rng::seeded(42);
+        let mut b = rng::seeded(42);
+        for strategy in 0..STRATEGIES {
+            assert_eq!(generate(&mut a, strategy, body), generate(&mut b, strategy, body));
+        }
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let host = spawn_reference_target();
+        let report = fuzz_round_trip(host.addr(), 7, 40, Duration::from_secs(5));
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
+        assert_eq!(report.responses + report.closed, report.cases);
+        // The four valid-request strategies in 40 cases (0,1,9 × 4 rotations).
+        assert!(report.responses >= 12);
+    }
+}

@@ -29,20 +29,21 @@ pub fn render_metrics_panel(snapshot: &[MetricSnapshot]) -> String {
                 SeriesValue::Gauge(v) => {
                     out.push_str(&format!("  {labels:<40} {v}\n"));
                 }
-                SeriesValue::Histogram(h) => {
-                    if h.count() == 0 {
-                        out.push_str(&format!("  {labels:<40} n=0\n"));
-                    } else {
+                SeriesValue::Histogram(h) => match h.mean() {
+                    // An unobserved histogram has no aggregates; rendering 0.00ms
+                    // would read as a perfect latency.
+                    None => out.push_str(&format!("  {labels:<40} n=0 (no samples)\n")),
+                    Some(mean) => {
                         out.push_str(&format!(
                             "  {labels:<40} n={} mean={:.2}ms p50={:.2}ms p95={:.2}ms p99={:.2}ms\n",
                             h.count(),
-                            h.mean(),
+                            mean,
                             h.quantile(0.5),
                             h.quantile(0.95),
                             h.quantile(0.99),
                         ));
                     }
-                }
+                },
             }
         }
     }

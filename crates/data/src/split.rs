@@ -129,6 +129,66 @@ mod tests {
     }
 
     #[test]
+    fn stratified_fraction_drift_is_bounded_on_many_small_classes() {
+        // Per-class rounding moves at most 0.5 samples per class, so with C classes
+        // over n samples the realized train fraction drifts from the requested one
+        // by at most 0.5·C/n. 40 three-member classes at f=0.5 sit exactly at that
+        // bound (round(1.5) = 2 in every class).
+        let mut labels = Vec::new();
+        for class in 0..40 {
+            labels.extend_from_slice(&[class, class, class]);
+        }
+        let fraction = 0.5;
+        let (train, test) = stratified_indices(&labels, fraction, 11);
+        assert_eq!(train.len() + test.len(), labels.len());
+        let realized = train.len() as f64 / labels.len() as f64;
+        let bound = 0.5 * 40.0 / labels.len() as f64;
+        assert!(
+            (realized - fraction).abs() <= bound + 1e-12,
+            "realized {realized} drifted more than {bound} from {fraction}"
+        );
+    }
+
+    #[test]
+    fn stratified_single_member_class_follows_rounded_fraction() {
+        // A one-member class can't straddle the split; it lands on the side the
+        // rounded fraction says. (The ≥2-member clamp doesn't apply.)
+        let labels = vec![0, 0, 0, 0, 1];
+        let (train_hi, test_hi) = stratified_indices(&labels, 0.8, 3);
+        assert!(train_hi.contains(&4), "f=0.8 rounds the singleton into train");
+        assert!(!test_hi.contains(&4));
+        let (train_lo, test_lo) = stratified_indices(&labels, 0.3, 3);
+        assert!(test_lo.contains(&4), "f=0.3 rounds the singleton into test");
+        assert!(!train_lo.contains(&4));
+    }
+
+    #[test]
+    fn stratified_split_is_deterministic_per_seed() {
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+        assert_eq!(stratified_indices(&labels, 0.5, 9), stratified_indices(&labels, 0.5, 9));
+        assert_eq!(k_fold_indices(&labels, 2, 9), k_fold_indices(&labels, 2, 9));
+    }
+
+    #[test]
+    fn k_fold_accepts_k_equal_to_smallest_class() {
+        // Boundary of the documented panic: k == smallest class size is legal and
+        // gives every fold exactly one validation member of that class.
+        let labels = vec![0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let folds = k_fold_indices(&labels, 3, 4);
+        for (train, val) in &folds {
+            assert_eq!(val.iter().filter(|&&i| labels[i] == 1).count(), 1);
+            assert_eq!(train.len() + val.len(), labels.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than k")]
+    fn k_fold_panics_when_k_exceeds_smallest_class() {
+        // The documented panic path: a 2-member class cannot fill 3 folds.
+        k_fold_indices(&[0, 0, 0, 0, 1, 1], 3, 0);
+    }
+
+    #[test]
     fn k_fold_covers_each_sample_once_as_validation() {
         let labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
         let folds = k_fold_indices(&labels, 5, 2);

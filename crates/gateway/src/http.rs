@@ -88,6 +88,7 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            413 => "Payload Too Large",
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
@@ -126,6 +127,10 @@ pub enum HttpError {
     /// The peer's head section (request line + headers) exceeded [`MAX_HEAD`];
     /// servers answer this with `431 Request Header Fields Too Large`.
     TooLarge(String),
+    /// The peer declared a body exceeding [`MAX_BODY`]; servers answer this with
+    /// `413 Payload Too Large` (distinct from 400: the request was well-formed,
+    /// just bigger than this deployment accepts).
+    BodyTooLarge(String),
 }
 
 impl std::fmt::Display for HttpError {
@@ -134,6 +139,7 @@ impl std::fmt::Display for HttpError {
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Malformed(what) => write!(f, "malformed http: {what}"),
             Self::TooLarge(what) => write!(f, "oversized http head: {what}"),
+            Self::BodyTooLarge(what) => write!(f, "oversized http body: {what}"),
         }
     }
 }
@@ -156,6 +162,12 @@ fn read_line_bounded(reader: &mut impl BufRead, budget: &mut usize) -> Result<St
     reader.take(*budget as u64 + 1).read_until(b'\n', &mut buf)?;
     if buf.len() > *budget {
         return Err(HttpError::TooLarge(format!("head exceeds the {MAX_HEAD}-byte limit")));
+    }
+    // EOF before the line terminator: the peer closed (or shut down) mid-head. The
+    // old behaviour returned the partial line, which let a truncated head parse as
+    // a complete zero-header request instead of being rejected.
+    if !buf.ends_with(b"\n") {
+        return Err(HttpError::Malformed("head truncated before line terminator".into()));
     }
     *budget -= buf.len();
     String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-utf8 head line".into()))
@@ -184,21 +196,43 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         let Some((name, value)) = trimmed.split_once(':') else {
             return Err(HttpError::Malformed(format!("bad header line: {trimmed}")));
         };
-        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(HttpError::Malformed("empty header name".into()));
+        }
+        // Last-wins on repeated headers is fine for application headers, but a
+        // repeated content-length is the classic request-smuggling vector (two
+        // parsers, two framings); reject it outright.
+        if headers.insert(name.clone(), value.trim().to_string()).is_some()
+            && name == "content-length"
+        {
+            return Err(HttpError::Malformed("duplicate content-length".into()));
+        }
     }
 
-    let len: usize = headers
-        .get("content-length")
-        .map(|v| v.parse())
-        .transpose()
-        .map_err(|_| HttpError::Malformed("unparsable content-length".into()))?
-        .unwrap_or(0);
+    let len = body_length(&headers)?;
     if len > MAX_BODY {
-        return Err(HttpError::Malformed(format!("body of {len} bytes exceeds limit")));
+        return Err(HttpError::BodyTooLarge(format!(
+            "declared body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
     }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(Request { method, path, headers, body })
+}
+
+/// Parses the declared body length: absent means 0; anything but a plain ASCII
+/// digit string is malformed. `usize::from_str` alone would accept `"+5"`, which a
+/// lenient upstream parser can frame differently than we do — the same smuggling
+/// class as a duplicate content-length.
+fn body_length(headers: &HashMap<String, String>) -> Result<usize, HttpError> {
+    let Some(v) = headers.get("content-length") else {
+        return Ok(0);
+    };
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::Malformed(format!("non-numeric content-length: {v:?}")));
+    }
+    v.parse().map_err(|_| HttpError::Malformed(format!("unparsable content-length: {v:?}")))
 }
 
 /// Reads one response from a stream (client side).
@@ -352,6 +386,9 @@ impl HttpServer {
                                     }
                                     Err(e @ HttpError::TooLarge(_)) => {
                                         Response::text(431, format!("bad request: {e}"))
+                                    }
+                                    Err(e @ HttpError::BodyTooLarge(_)) => {
+                                        Response::text(413, format!("bad request: {e}"))
                                     }
                                     Err(e) => Response::text(400, format!("bad request: {e}")),
                                 };
@@ -509,6 +546,84 @@ mod tests {
         // The server survives and keeps answering.
         let ok = request(server.addr(), "POST", "/ok", b"x", Duration::from_secs(5)).unwrap();
         assert_eq!(ok.status, 200);
+    }
+
+    /// Writes raw bytes to the server, half-closes, and reads the response.
+    fn raw_round_trip(addr: SocketAddr, bytes: &[u8]) -> Result<Response, HttpError> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = stream.write_all(bytes);
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        read_response(&mut stream)
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Regression (conformance harness): the header map's last-wins insert
+        // silently accepted two conflicting content-length framings — the classic
+        // request-smuggling shape. Must be 400, not "use the second value".
+        let server = echo_server();
+        let resp = raw_round_trip(
+            server.addr(),
+            b"POST /echo HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 1\r\n\r\nabc",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+        // Equal duplicates are rejected too: one framing, one header.
+        let resp = raw_round_trip(
+            server.addr(),
+            b"POST /echo HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 3\r\n\r\nabc",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn plus_prefixed_content_length_is_rejected() {
+        // Regression (conformance harness): `usize::from_str` accepts "+3", which a
+        // stricter upstream parser would frame as 0 bytes. Digits only.
+        let server = echo_server();
+        for bad in ["+3", "-1", "3 3", "0x10", ""] {
+            let head = format!("POST /echo HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nabc");
+            let resp = raw_round_trip(server.addr(), head.as_bytes()).unwrap();
+            assert_eq!(resp.status, 400, "content-length {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn truncated_head_is_rejected_not_parsed() {
+        // Regression (conformance harness): a peer closing mid-head used to yield an
+        // empty "line" at EOF, which broke the header loop and let the truncated
+        // prefix parse as a complete request with no headers.
+        let server = HttpServer::spawn(|_| Response::text(200, "should never run")).unwrap();
+        for partial in
+            ["GET /echo HTTP/1.1\r\ncontent-le", "GET /echo HTTP/1.1\r\n", "GET /echo HTTP/1.1"]
+        {
+            let resp = raw_round_trip(server.addr(), partial.as_bytes()).unwrap();
+            assert_eq!(resp.status, 400, "truncated head {partial:?} must be 400");
+        }
+    }
+
+    #[test]
+    fn declared_oversized_body_is_413() {
+        // The declared length alone must trigger the rejection — no body bytes are
+        // sent, so the server must not wait for (or allocate) 17 MiB either.
+        let server = echo_server();
+        let head = format!("POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let resp = raw_round_trip(server.addr(), head.as_bytes()).unwrap();
+        assert_eq!(resp.status, 413);
+        // Absurd (but digit-valid) lengths get the same treatment.
+        let head = format!("POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n", u64::MAX);
+        let resp = raw_round_trip(server.addr(), head.as_bytes()).unwrap();
+        assert!(resp.status == 413 || resp.status == 400, "status {}", resp.status);
+    }
+
+    #[test]
+    fn empty_header_name_is_rejected() {
+        let server = echo_server();
+        let resp = raw_round_trip(server.addr(), b"GET /echo HTTP/1.1\r\n: stray\r\n\r\n").unwrap();
+        assert_eq!(resp.status, 400);
     }
 
     #[test]

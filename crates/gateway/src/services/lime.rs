@@ -15,6 +15,11 @@ use spatial_xai::lime::{LimeConfig, LimeTabular};
 use spatial_xai::lime_image::{explain_image, LimeImageConfig};
 use std::sync::Arc;
 
+/// Largest accepted image side; also keeps the client-controlled `side * side`
+/// multiply below from wrapping in release builds (side = 2³² would wrap to 0 and
+/// "match" an empty pixel buffer).
+const MAX_SIDE: usize = 4096;
+
 /// Serves LIME explanations for a tabular model and (optionally) an image model.
 ///
 /// Endpoints:
@@ -117,6 +122,12 @@ impl Microservice for LimeService {
                     .as_ref()
                     .ok_or_else(|| ServiceError::BadRequest("no image model deployed".into()))?;
                 let req: ExplainImageRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+                if req.side == 0 || req.side > MAX_SIDE {
+                    return Err(ServiceError::BadRequest(format!(
+                        "side {} outside 1..={MAX_SIDE}",
+                        req.side
+                    )));
+                }
                 if req.pixels.len() != req.side * req.side {
                     return Err(ServiceError::BadRequest(format!(
                         "pixel buffer {} does not match side {}",
@@ -229,6 +240,22 @@ mod tests {
         let out: ExplainImageResponse = from_json(&resp.body).unwrap();
         assert_eq!(out.grid, 4);
         assert_eq!(out.segment_values.len(), 16);
+    }
+
+    #[test]
+    fn huge_side_is_rejected_before_multiplying() {
+        // Regression (conformance harness): `side * side` wraps on adversarial
+        // sides in release builds; the bound must reject before the multiply.
+        let svc = tabular_service()
+            .with_image_model(Arc::new(BrightnessModel { side: 16 }), LimeImageConfig::default());
+        let host = ServiceHost::spawn(Arc::new(svc), 16).unwrap();
+        for side in [1usize << 32, usize::MAX, 0] {
+            let body = to_json(&ExplainImageRequest { side, pixels: vec![], class: 0 });
+            let resp =
+                request(host.addr(), "POST", "/lime/explain-image", &body, Duration::from_secs(5))
+                    .unwrap();
+            assert_eq!(resp.status, 400, "side {side} must be rejected");
+        }
     }
 
     #[test]

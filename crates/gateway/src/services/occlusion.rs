@@ -8,6 +8,12 @@ use spatial_ml::Model;
 use spatial_xai::occlusion::{occlusion_map, OcclusionConfig};
 use std::sync::Arc;
 
+/// Largest accepted image side. Bounds both memory (`side²` pixels) and, because
+/// `side` is client-controlled, the `side * side` multiply below: without this
+/// guard `side = 2³²` wraps to 0 in release builds, "matches" an empty pixel
+/// buffer, and the occlusion scan then walks ~2³² patch positions.
+const MAX_SIDE: usize = 4096;
+
 /// Serves occlusion-sensitivity maps for an image model.
 ///
 /// Endpoint: `POST /occlusion/explain-image` with an [`ExplainImageRequest`] body.
@@ -43,6 +49,12 @@ impl Microservice for OcclusionService {
             return Err(ServiceError::NotFound);
         }
         let req: ExplainImageRequest = from_json(body).map_err(ServiceError::BadRequest)?;
+        if req.side == 0 || req.side > MAX_SIDE {
+            return Err(ServiceError::BadRequest(format!(
+                "side {} outside 1..={MAX_SIDE}",
+                req.side
+            )));
+        }
         if req.pixels.len() != req.side * req.side {
             return Err(ServiceError::BadRequest(format!(
                 "pixel buffer {} does not match side {}",
@@ -131,6 +143,26 @@ mod tests {
             request(h.addr(), "POST", "/occlusion/explain-image", &body, Duration::from_secs(5))
                 .unwrap();
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn huge_side_is_rejected_not_walked() {
+        // Regression (conformance harness): side = 2³² made `side * side` wrap to 0
+        // in release builds, matching an empty pixel buffer and sending the service
+        // into a ~2³²-position occlusion scan. Must be a prompt 400.
+        let h = host();
+        for side in [1usize << 32, usize::MAX, 5000, 0] {
+            let body = to_json(&ExplainImageRequest { side, pixels: vec![], class: 0 });
+            let resp = request(
+                h.addr(),
+                "POST",
+                "/occlusion/explain-image",
+                &body,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 400, "side {side} must be rejected");
+        }
     }
 
     #[test]

@@ -94,37 +94,45 @@ impl Histogram {
         self.total
     }
 
-    /// Mean of recorded samples; `0.0` when empty.
-    pub fn mean(&self) -> f64 {
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of recorded samples; `None` when empty. An empty histogram has no mean —
+    /// the old `0.0` sentinel rendered as a fake perfect latency in dashboards.
+    pub fn mean(&self) -> Option<f64> {
         if self.total == 0 {
-            0.0
+            None
         } else {
-            self.sum / self.total as f64
+            Some(self.sum / self.total as f64)
         }
     }
 
-    /// Smallest recorded sample; `0.0` when empty.
-    pub fn min(&self) -> f64 {
+    /// Smallest recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
         if self.total == 0 {
-            0.0
+            None
         } else {
-            self.min
+            Some(self.min)
         }
     }
 
-    /// Largest recorded sample; `0.0` when empty.
-    pub fn max(&self) -> f64 {
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
         if self.total == 0 {
-            0.0
+            None
         } else {
-            self.max
+            Some(self.max)
         }
     }
 
-    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by interpolating within the bucket
-    /// containing the target rank. Returns `0.0` when empty. The extremes are exact:
-    /// `q = 0.0` returns the observed minimum and `q = 1.0` the observed maximum,
-    /// rather than a bucket-boundary interpolation.
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) with nearest-rank semantics: the
+    /// estimate interpolates inside the bucket holding the `⌈q·n⌉`-th smallest sample,
+    /// so it always lands within one bucket of the exact sorted-sample quantile.
+    /// Returns `0.0` when empty (callers should gate on [`Histogram::is_empty`]). The
+    /// extremes are exact: `q = 0.0` returns the observed minimum and `q = 1.0` the
+    /// observed maximum, rather than a bucket-boundary interpolation.
     ///
     /// # Panics
     ///
@@ -140,22 +148,27 @@ impl Histogram {
         if q == 1.0 {
             return self.max;
         }
-        let target = q * self.total as f64;
-        let mut cumulative = 0.0;
+        // Nearest-rank: the q-quantile of n samples is the k-th smallest, k = ⌈q·n⌉.
+        let k = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut below = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            let next = cumulative + c as f64;
-            if next >= target {
+            if below + c >= k {
                 let (lo, hi) = self.bucket_bounds(i);
-                let frac =
-                    if c == 0 { 0.0 } else { ((target - cumulative) / c as f64).clamp(0.0, 1.0) };
-                // Clamp interpolation into the observed range so the estimate never
-                // exceeds the true min/max.
+                // Interpolate at the midpoint of the rank-k sample's slot so frac
+                // stays in (0, 1) and the estimate stays inside the bucket that
+                // actually holds the rank-k sample. The previous `rank / count`
+                // rule reached frac = 1.0 at exact bucket-boundary ranks and
+                // returned the *next* bucket's lower bound.
+                let j = (k - below) as f64;
+                let frac = (j - 0.5) / c as f64;
+                // Clamp into the observed range so the estimate never exceeds the
+                // true min/max.
                 return (lo + frac * (hi - lo)).clamp(self.min, self.max);
             }
-            cumulative = next;
+            below += c;
         }
         self.max
     }
@@ -210,13 +223,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_is_all_zero() {
+    fn empty_histogram_has_no_aggregates() {
+        // Regression (conformance harness): mean/min/max used to return 0.0 when
+        // empty, which rendered as a fake perfect latency downstream.
         let h = Histogram::latency_millis();
+        assert!(h.is_empty());
         assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
         assert_eq!(h.quantile(0.99), 0.0);
-        assert_eq!(h.min(), 0.0);
-        assert_eq!(h.max(), 0.0);
     }
 
     #[test]
@@ -225,9 +241,10 @@ mod tests {
         for v in [1.0, 2.0, 3.0] {
             h.record(v);
         }
-        assert_eq!(h.mean(), 2.0);
-        assert_eq!(h.min(), 1.0);
-        assert_eq!(h.max(), 3.0);
+        assert!(!h.is_empty());
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(3.0));
     }
 
     #[test]
@@ -242,7 +259,7 @@ mod tests {
         assert!(p50 < p95 && p95 < p99, "p50={p50} p95={p95} p99={p99}");
         // Geometric buckets with growth 1.3 give ~30 % relative error bounds.
         assert!((400.0..700.0).contains(&p50), "p50={p50}");
-        assert!(p99 <= h.max());
+        assert!(p99 <= h.max().unwrap());
     }
 
     #[test]
@@ -251,7 +268,7 @@ mod tests {
         h.record(f64::NAN);
         h.record(-5.0);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.max(), Some(0.0));
     }
 
     #[test]
@@ -263,8 +280,8 @@ mod tests {
         b.record(200.0);
         a.merge(&b);
         assert_eq!(a.count(), 3);
-        assert_eq!(a.min(), 1.0);
-        assert_eq!(a.max(), 200.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(200.0));
     }
 
     #[test]
@@ -285,16 +302,49 @@ mod tests {
         a.record(5.0);
         a.merge(&Histogram::latency_millis());
         assert_eq!(a.count(), 1);
-        assert!(a.min().is_finite() && a.max().is_finite());
-        assert_eq!(a.min(), 5.0);
-        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.min(), Some(5.0));
+        assert_eq!(a.max(), Some(5.0));
 
         // Merging into an empty histogram adopts the other side's extremes.
         let mut b = Histogram::latency_millis();
         b.merge(&a);
-        assert_eq!(b.min(), 5.0);
-        assert_eq!(b.max(), 5.0);
+        assert_eq!(b.min(), Some(5.0));
+        assert_eq!(b.max(), Some(5.0));
         assert_eq!(b.quantile(0.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_boundary_rank_stays_in_bucket() {
+        // Regression (conformance harness): samples 1, 2, 4, 8 land in four distinct
+        // power-of-two buckets. q = 0.25 targets rank 1 — exactly the boundary of the
+        // first bucket — and the old `q·total` interpolation returned that bucket's
+        // *upper* bound (2.0, the next sample's bucket) instead of a value inside the
+        // bucket holding sample 1.0.
+        let mut h = Histogram::new(1.0, 2.0, 8);
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        let q25 = h.quantile(0.25);
+        assert!((1.0..2.0).contains(&q25), "rank-1 estimate {q25} must stay in [1,2)");
+        let q50 = h.quantile(0.5);
+        assert!((2.0..4.0).contains(&q50), "rank-2 estimate {q50} must stay in [2,4)");
+        let q75 = h.quantile(0.75);
+        assert!((4.0..8.0).contains(&q75), "rank-3 estimate {q75} must stay in [4,8)");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::latency_millis();
+        for i in 0..500 {
+            h.record(1.0 + (i as f64 * 1.7) % 300.0);
+        }
+        let mut prev = h.quantile(0.0);
+        for step in 1..=100 {
+            let q = step as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} dropped below {prev}");
+            prev = v;
+        }
     }
 
     #[test]
@@ -325,7 +375,7 @@ mod tests {
         let mut h = Histogram::new(1.0, 2.0, 4);
         h.record(1e18);
         assert_eq!(h.count(), 1);
-        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(1.0) <= h.max().unwrap());
     }
 
     #[test]

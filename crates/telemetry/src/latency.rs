@@ -139,9 +139,11 @@ impl LatencyRecorder {
             label: self.label.clone(),
             samples: total,
             errors: g.errors,
-            avg_ms: h.mean(),
-            min_ms: h.min(),
-            max_ms: h.max(),
+            // With zero samples the aggregates are undefined; the report keeps 0.0 in
+            // the numeric fields but renders them as "-" because `samples == 0`.
+            avg_ms: h.mean().unwrap_or(0.0),
+            min_ms: h.min().unwrap_or(0.0),
+            max_ms: h.max().unwrap_or(0.0),
             p50_ms: h.quantile(0.5),
             p95_ms: h.quantile(0.95),
             p99_ms: h.quantile(0.99),
@@ -163,7 +165,7 @@ mod tests {
         r.record_err(30.0);
         assert_eq!(r.total(), 3);
         assert_eq!(r.errors(), 1);
-        assert!((r.histogram().mean() - 20.0).abs() < 1e-9);
+        assert!((r.histogram().mean().unwrap() - 20.0).abs() < 1e-9);
     }
 
     #[test]

@@ -43,6 +43,11 @@ impl SummaryReport {
 
 impl std::fmt::Display for SummaryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.samples == 0 {
+            // No samples → no latency aggregates. Printing "avg=0.0ms" here would
+            // read as a perfect latency rather than an idle endpoint.
+            return write!(f, "{:<28} n=0      (no samples)", self.label);
+        }
         write!(
             f,
             "{:<28} n={:<6} err={:>5.1}% avg={:>9.1}ms p50={:>9.1}ms p95={:>9.1}ms p99={:>9.1}ms max={:>9.1}ms {:>8.1} req/s",
@@ -114,6 +119,13 @@ pub fn render_table(rows: &[SummaryReport]) -> String {
     out.push_str(&"-".repeat(110));
     out.push('\n');
     for r in rows {
+        if r.samples == 0 {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>6.1}% {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                r.label, 0, 0.0, "-", "-", "-", "-", "-", "-",
+            ));
+            continue;
+        }
         out.push_str(&format!(
             "{:<28} {:>8} {:>6.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
             r.label,
@@ -170,6 +182,19 @@ mod tests {
         assert!(s.contains("retries=3"));
         assert!(s.contains("faults=7"));
         assert_eq!(ResilienceReport::default().retries, 0);
+    }
+
+    #[test]
+    fn empty_summary_renders_no_samples_marker() {
+        // Regression (conformance harness): an idle endpoint used to display
+        // avg=0.0ms, indistinguishable from a genuinely instant one.
+        let empty = row("idle", 0, 0);
+        let display = empty.to_string();
+        assert!(display.contains("no samples"), "{display}");
+        assert!(!display.contains("avg="), "{display}");
+        let table = render_table(&[empty]);
+        let data_row = table.lines().nth(2).unwrap();
+        assert!(data_row.contains("idle") && data_row.contains('-'), "{table}");
     }
 
     #[test]

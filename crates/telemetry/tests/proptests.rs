@@ -14,13 +14,13 @@ proptest! {
         }
         prop_assert_eq!(h.count(), values.len() as u64);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-6 * (1.0 + mean));
+        prop_assert!((h.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean));
         let (lo, hi) = (
             values.iter().cloned().fold(f64::INFINITY, f64::min),
             values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         );
-        prop_assert_eq!(h.min(), lo);
-        prop_assert_eq!(h.max(), hi);
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
     }
 
     #[test]
@@ -37,8 +37,8 @@ proptest! {
         let vlo = h.quantile(lo);
         let vhi = h.quantile(hi);
         prop_assert!(vlo <= vhi + 1e-9, "quantiles must be monotone: {vlo} vs {vhi}");
-        prop_assert!(vlo >= h.min() - 1e-9);
-        prop_assert!(vhi <= h.max() + 1e-9);
+        prop_assert!(vlo >= h.min().unwrap() - 1e-9);
+        prop_assert!(vhi <= h.max().unwrap() + 1e-9);
     }
 
     #[test]
@@ -59,7 +59,7 @@ proptest! {
         }
         ha.merge(&hb);
         prop_assert_eq!(ha.count(), hc.count());
-        prop_assert!((ha.mean() - hc.mean()).abs() < 1e-9);
+        prop_assert!((ha.mean().unwrap() - hc.mean().unwrap()).abs() < 1e-9);
         prop_assert_eq!(ha.min(), hc.min());
         prop_assert_eq!(ha.max(), hc.max());
         prop_assert_eq!(ha.quantile(0.5), hc.quantile(0.5));

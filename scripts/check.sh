@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (warnings are errors) =="
-cargo clippy --all-targets -- -D warnings
+echo "== cargo clippy (whole workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test (default test harness parallelism) =="
 cargo test -q
@@ -21,5 +21,8 @@ cargo run -q --release -p spatial-bench --bin perf_baseline -- --smoke > /dev/nu
 
 echo "== oversight MTTD/MTTR smoke (small scale) =="
 cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --rounds 26
+
+echo "== conformance audit (oracles, axioms, metamorphic relations, wire fuzz smoke) =="
+cargo run -q --release -p spatial-bench --bin conformance -- --smoke
 
 echo "all checks passed"

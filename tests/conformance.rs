@@ -1,0 +1,230 @@
+//! Cross-stack conformance suite: every numeric claim the stack makes is audited
+//! against an independent oracle or a metamorphic relation (see DESIGN.md §11).
+//!
+//! The helpers live in `spatial-conformance`; this suite wires them to real
+//! corpora, real models, and a real socket, and pins the bug crop the harness
+//! originally surfaced (quantile boundary ranks, empty-aggregate sentinels,
+//! Content-Length smuggling shapes, `side * side` overflow).
+
+use conformance::LinearProbe;
+use proptest::prelude::*;
+use spatial::data::image::GrayImage;
+use spatial::data::Dataset;
+use spatial::linalg::Matrix;
+use spatial::xai::exact_shap::exact_shapley;
+use spatial::xai::lime::{LimeConfig, LimeTabular};
+use spatial::xai::occlusion::{occlusion_map, OcclusionConfig};
+use spatial::xai::shap::{KernelShap, ShapConfig};
+use spatial_conformance as conformance;
+use std::time::Duration;
+
+const QS: [f64; 10] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+
+// ---------------------------------------------------------------------------
+// Telemetry: differential oracles.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Satellite pin: the boundary-rank bug made `quantile` return the *next*
+    /// bucket's lower bound at exact bucket-boundary ranks; this property held
+    /// the counterexample and must keep holding on arbitrary corpora.
+    #[test]
+    fn prop_quantile_tracks_sorted_sample_oracle(
+        samples in prop::collection::vec(0.0..100_000.0f64, 1..300),
+    ) {
+        let verdict =
+            conformance::check_quantile_conformance(&samples, 0.01, 1.3, 64, &QS);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+
+    #[test]
+    fn prop_quantile_is_monotone_in_q(
+        samples in prop::collection::vec(0.0..100_000.0f64, 1..300),
+    ) {
+        let verdict = conformance::check_quantile_monotonicity(&samples, 64);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+
+    #[test]
+    fn prop_histogram_merge_is_associative_and_order_free(
+        a in prop::collection::vec(0.0..100_000.0f64, 0..80),
+        b in prop::collection::vec(0.0..100_000.0f64, 0..80),
+        c in prop::collection::vec(0.0..100_000.0f64, 0..80),
+    ) {
+        let verdict = conformance::check_merge_relations(&a, &b, &c);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+}
+
+#[test]
+fn counter_and_gauge_aggregation_identities_hold() {
+    conformance::check_counter_gauge_merge(&[
+        vec![1, 2, 3, 4],
+        vec![],
+        vec![u32::MAX as u64; 3],
+        vec![9],
+    ])
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// XAI: Shapley axioms, differential oracle, LIME fidelity, rank agreement.
+// ---------------------------------------------------------------------------
+
+/// Deterministic 8-row background over 4 features; columns 2 and 3 duplicated
+/// for the symmetry axiom.
+fn probe_background() -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let t = i as f64 * 0.25;
+            vec![t, 1.5 - t, t * 0.5, t * 0.5]
+        })
+        .collect();
+    Matrix::from_row_vecs(rows)
+}
+
+/// Weight layout: feature 1 is an exact dummy, features 2 and 3 are exactly
+/// symmetric (duplicated column, duplicated weight).
+fn probe() -> LinearProbe {
+    LinearProbe { weights: vec![0.20, 0.0, 0.10, 0.10], intercept: 0.30 }
+}
+
+#[test]
+fn kernel_shap_satisfies_axioms_and_tracks_exact_enumeration() {
+    let model = probe();
+    let background = probe_background();
+    let x = [1.0, 0.4, 0.8, 0.8];
+    let names = conformance::axioms::feature_names(4);
+    let shap = KernelShap::new(&model, &background, names, ShapConfig::default());
+    let e = shap.explain(&x, 1);
+    conformance::check_efficiency(&e, 1e-6).unwrap();
+    // The sampled kernel regression is exact for a linear model up to its ridge
+    // term, so 1e-5 leaves headroom without hiding real asymmetries.
+    conformance::check_dummy_feature(&e, 1, 1e-5).unwrap();
+    conformance::check_symmetry(&e, 2, 3, 1e-5).unwrap();
+    let gap = conformance::kernel_vs_exact_gap(&model, &background, &x, 1, ShapConfig::default());
+    assert!(gap <= 1e-4, "KernelSHAP strayed {gap} from the exact enumeration");
+}
+
+#[test]
+fn exact_enumeration_satisfies_the_axioms_too() {
+    let model = probe();
+    let background = probe_background();
+    let x = [0.6, -1.0, 0.3, 0.3];
+    let e = exact_shapley(&model, &background, conformance::axioms::feature_names(4), &x, 1);
+    conformance::check_efficiency(&e, 1e-9).unwrap();
+    conformance::check_dummy_feature(&e, 1, 1e-9).unwrap();
+    conformance::check_symmetry(&e, 2, 3, 1e-9).unwrap();
+}
+
+#[test]
+fn lime_surrogate_is_locally_faithful_on_a_linear_model() {
+    // Small slopes keep the clamped probability linear across the whole
+    // perturbation cloud, so the surrogate can in principle be near-perfect.
+    let model = LinearProbe { weights: vec![0.05, -0.03, 0.02], intercept: 0.5 };
+    let background = Matrix::from_row_vecs(
+        (0..16).map(|i| vec![(i % 4) as f64, (i % 3) as f64 - 1.0, i as f64 * 0.1]).collect(),
+    );
+    let x = [1.0, 0.0, 0.5];
+    let lime = LimeTabular::new(
+        &model,
+        &background,
+        conformance::axioms::feature_names(3),
+        LimeConfig::default(),
+    );
+    let e = lime.explain(&x, 1);
+    // Fresh probe seed ≠ LIME's fit seed: out-of-sample fidelity.
+    let rmse = conformance::lime_local_fidelity(&model, &background, &e, &x, 9001, 256);
+    assert!(rmse <= 0.05, "LIME local weighted RMSE {rmse} exceeds the fidelity bound");
+}
+
+#[test]
+fn occlusion_and_shap_agree_on_the_evidence_ranking() {
+    // 4×4 image probe with three well-separated heavy pixels; everything else
+    // carries negligible weight.
+    let side = 4;
+    let mut weights = vec![0.001; side * side];
+    weights[5] = 0.30;
+    weights[10] = 0.20;
+    weights[0] = 0.10;
+    let model = LinearProbe { weights, intercept: 0.1 };
+    let pixels = vec![1.0; side * side];
+    let image = GrayImage::from_pixels(side, pixels.clone());
+    let map = occlusion_map(&model, &image, 1, &OcclusionConfig { patch: 1, stride: 1, fill: 0.0 });
+    assert_eq!(map.drops.len(), side * side, "dense 1×1 map covers every pixel");
+    // Occlusion's hottest cell must be the heaviest pixel (row 1, col 1 = index 5).
+    assert_eq!(map.hottest().map(|(r, c, _)| (r, c)), Some((1, 1)));
+
+    let background = Matrix::from_row_vecs(vec![vec![0.0; side * side]]);
+    let names = conformance::axioms::feature_names(side * side);
+    let shap = KernelShap::new(&model, &background, names, ShapConfig::default());
+    let e = shap.explain(&pixels, 1);
+    let agreement = conformance::rank_agreement(&map.drops, &e.values, 3);
+    assert!(agreement >= 2.0 / 3.0, "occlusion/SHAP top-3 agreement {agreement} too low");
+}
+
+// ---------------------------------------------------------------------------
+// ML/data: metamorphic relations.
+// ---------------------------------------------------------------------------
+
+fn binary_blobs() -> Dataset {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        let t = i as f64 * 0.1;
+        rows.push(vec![t, 2.0 - t, (i % 5) as f64, (i % 2) as f64]);
+        labels.push(0);
+        rows.push(vec![t + 5.0, 7.0 - t, (i % 7) as f64, (i % 3) as f64]);
+        labels.push(1);
+    }
+    Dataset::new(
+        Matrix::from_row_vecs(rows),
+        labels,
+        (0..4).map(|j| format!("f{j}")).collect(),
+        vec!["neg".into(), "pos".into()],
+    )
+}
+
+#[test]
+fn forest_is_equivariant_under_binary_label_swap() {
+    let gap = conformance::label_swap_gap(&binary_blobs(), 12, 5);
+    assert!(gap <= 1e-9, "label-swap probability gap {gap} should be ~0");
+}
+
+#[test]
+fn cart_tree_is_equivariant_under_feature_permutation() {
+    let agreement = conformance::feature_permutation_agreement(&binary_blobs(), &[3, 1, 0, 2]);
+    assert!(agreement >= 0.9, "permutation agreement {agreement} below 0.9");
+}
+
+#[test]
+fn stratified_split_fraction_survives_row_duplication() {
+    let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+    let gap = conformance::duplicate_rows_fraction_gap(&labels, 0.8, 5, 17);
+    // Per-class rounding bound on each side: 0.5 · classes / n.
+    assert!(gap <= 0.5 * 3.0 / 60.0 + 1e-12, "duplication moved the fraction by {gap}");
+}
+
+// ---------------------------------------------------------------------------
+// Gateway wire: seeded fuzz round-trip.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_fuzz_corpus_is_clean() {
+    // 600 cases = 60 rotations of all 10 strategies; the bench bin runs 10k.
+    let host = conformance::spawn_reference_target();
+    let report = conformance::fuzz_round_trip(host.addr(), 0xC0FFEE, 600, Duration::from_secs(5));
+    assert!(report.is_clean(), "front-door contract violations: {:#?}", report.violations);
+    assert_eq!(report.responses + report.closed, report.cases);
+    assert!(report.responses >= 180, "valid strategies alone are 3 in 10");
+}
+
+#[test]
+fn wire_fuzz_is_deterministic_per_seed() {
+    let host = conformance::spawn_reference_target();
+    let a = conformance::fuzz_round_trip(host.addr(), 7, 100, Duration::from_secs(5));
+    let b = conformance::fuzz_round_trip(host.addr(), 7, 100, Duration::from_secs(5));
+    assert!(a.is_clean() && b.is_clean());
+    assert_eq!(a.responses, b.responses);
+    assert_eq!(a.closed, b.closed);
+}
