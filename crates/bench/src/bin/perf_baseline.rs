@@ -35,6 +35,15 @@ fn main() {
         arg_or_env("--samples", "SPATIAL_SAMPLES").unwrap_or(if smoke { 600 } else { 2_000 });
     let pool = spatial_parallel::global();
     let available = pool.threads();
+    let degraded = available == 1;
+    if degraded {
+        eprintln!(
+            "WARNING: only 1 compute thread is available — parallel speedups cannot \
+             manifest, and every figure below understates multi-core throughput. The \
+             emitted JSON carries \"degraded_measurement\": true; do not use this run \
+             as a trajectory point."
+        );
+    }
     let mut thread_counts = vec![1usize, 2, available];
     thread_counts.sort_unstable();
     thread_counts.dedup();
@@ -151,6 +160,7 @@ fn main() {
     print_json(
         samples,
         available,
+        degraded,
         dim,
         matmul_gflops,
         matmul_secs,
@@ -165,6 +175,7 @@ fn main() {
 fn print_json(
     samples: usize,
     available: usize,
+    degraded: bool,
     matmul_dim: usize,
     matmul_gflops: f64,
     matmul_secs: f64,
@@ -176,6 +187,7 @@ fn print_json(
     out.push_str("  \"schema\": \"spatial-perf-baseline/v1\",\n");
     out.push_str(&format!("  \"samples\": {samples},\n"));
     out.push_str(&format!("  \"threads_available\": {available},\n"));
+    out.push_str(&format!("  \"degraded_measurement\": {degraded},\n"));
     out.push_str(&format!(
         "  \"matmul\": {{\"dim\": {matmul_dim}, \"seconds\": {}, \"gflops\": {}}},\n",
         num(matmul_secs),

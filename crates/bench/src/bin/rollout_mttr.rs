@@ -1,0 +1,325 @@
+//! Rollout MTTR — canary+shadow vs direct promotion on a staged bad epoch.
+//!
+//! Stages the same incident the fleet integration test uses: a model retrained
+//! on flipped labels is pushed to a 3-replica UC1 serving fleet. Two rollout
+//! strategies face it:
+//!
+//! - **canary-shadow** — the PR-6 [`FleetController`]: the candidate goes to a
+//!   drained canary replica, live traffic is mirrored to it, and the shadow
+//!   mismatch rate triggers rollback + epoch quarantine. No client request is
+//!   ever answered by the bad epoch, so the blast radius is structurally zero.
+//! - **direct-promote** — the no-gating baseline: the candidate replaces every
+//!   replica at once and a fleet-wide accuracy monitor (three consecutive ticks
+//!   below `baseline - margin`) triggers the rollback. Every request until
+//!   detection is served by the bad epoch.
+//!
+//! The probe stream alternates rows on which the candidate agrees and disagrees
+//! with production, pinning the shadow mismatch rate at exactly 0.5 — the run
+//! is deterministic by construction, not statistically. Reported per strategy:
+//!
+//! - **detection_ticks** — ticks from the incident to the divergence verdict.
+//! - **rollback_ticks** — ticks from the incident until every replica serves
+//!   the pre-incident epoch again.
+//! - **blast_radius** — fraction of the run's client requests answered by the
+//!   bad epoch.
+//!
+//! Prints one JSON object on stdout; `--write` also saves it to
+//! `BENCH_rollout.json`. Flags: `--samples N`, `--rounds N`, `--seed N`,
+//! `--smoke` (reduced scale + invariant assertions).
+
+use spatial_bench::{arg_or_env, banner, uc1_splits};
+use spatial_core::respond::ResponsePolicy;
+use spatial_core::sensor::SensorReading;
+use spatial_data::Dataset;
+use spatial_fleet::{
+    FleetController, FleetEventKind, ReplicaHandle, RolloutConfig, ShadowEvidence,
+};
+use spatial_ml::metrics::accuracy;
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::{Model, ModelStore};
+use std::sync::Arc;
+
+/// Client requests per controller tick.
+const REQUESTS_PER_TICK: u64 = 30;
+/// Accuracy drop that the direct-promote monitor treats as a breach.
+const MARGIN: f64 = 0.15;
+/// Consecutive breach ticks before the direct-promote monitor acts.
+const BREACH_TICKS: u32 = 3;
+
+fn main() {
+    banner(
+        "rollout MTTR — canary+shadow vs direct promotion, staged bad epoch",
+        "fleet-level serving: drift-gated rollout confines a bad epoch to the canary",
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+    let samples =
+        arg_or_env("--samples", "SPATIAL_SAMPLES").unwrap_or(if smoke { 400 } else { 1_200 });
+    let rounds =
+        arg_or_env("--rounds", "SPATIAL_ROUNDS").unwrap_or(if smoke { 24 } else { 40 }) as u64;
+    let seed = arg_or_env("--seed", "SPATIAL_SEED").map(|v| v as u64).unwrap_or(7);
+    let incident_at = rounds / 4;
+
+    let (train, holdout) = uc1_splits(samples, seed);
+    let poisoned = spatial_attacks::label_flip::random_label_flip(&train, 0.45, seed).dataset;
+    let clean = fit_tree(&train);
+    let bad = fit_tree(&poisoned);
+    let baseline = accuracy(&clean.predict_batch(&holdout.features), &holdout.labels);
+    let candidate = accuracy(&bad.predict_batch(&holdout.features), &holdout.labels);
+    assert!(
+        candidate < baseline - MARGIN,
+        "staging requires a real collapse: baseline {baseline:.3}, candidate {candidate:.3}"
+    );
+
+    // The alternating probe stream needs both kinds of row to exist.
+    let clean_pred = clean.predict_batch(&holdout.features);
+    let bad_pred = bad.predict_batch(&holdout.features);
+    let disagree: Vec<usize> =
+        (0..holdout.n_samples()).filter(|&r| clean_pred[r] != bad_pred[r]).collect();
+    assert!(!disagree.is_empty(), "candidate must disagree with production somewhere");
+    assert!(disagree.len() < holdout.n_samples(), "candidate must also agree somewhere");
+
+    println!(
+        "samples={samples} rounds={rounds} seed={seed} incident_at=t{incident_at} \
+         requests/tick={REQUESTS_PER_TICK}"
+    );
+    println!("baseline accuracy {baseline:.3} | candidate accuracy {candidate:.3}\n");
+
+    let canary = run_canary(&train, &clean, &bad, candidate, rounds, incident_at);
+    let direct = run_direct(&train, &clean, &bad, &holdout, baseline, rounds, incident_at);
+
+    println!(
+        "{:<16} {:>10} {:>9} {:>13} {:>13}",
+        "strategy", "detection", "rollback", "bad-served", "blast radius"
+    );
+    for s in [&canary, &direct] {
+        println!(
+            "{:<16} {:>9}t {:>8}t {:>13} {:>12.1}%",
+            s.name,
+            s.detection_ticks,
+            s.rollback_ticks,
+            s.bad_served,
+            s.blast_radius() * 100.0
+        );
+    }
+    println!("\n(detection/rollback in controller ticks after the incident; blast radius is the");
+    println!("fraction of all client requests answered by the bad epoch)");
+
+    if smoke {
+        assert_eq!(canary.bad_served, 0, "the canary strategy must confine the bad epoch");
+        assert!(direct.bad_served > 0, "direct promotion must expose clients");
+        assert!(
+            canary.detection_ticks <= direct.detection_ticks,
+            "shadow comparison must not detect slower than the accuracy monitor"
+        );
+        eprintln!("smoke OK: canary blast radius 0, direct exposes {} requests", direct.bad_served);
+    }
+
+    let json = render_json(samples, rounds, seed, incident_at, &[canary, direct]);
+    println!("{json}");
+    if write {
+        std::fs::write("BENCH_rollout.json", format!("{json}\n"))
+            .expect("write BENCH_rollout.json");
+        eprintln!("wrote BENCH_rollout.json");
+    }
+}
+
+fn fit_tree(train: &Dataset) -> Arc<dyn Model> {
+    let mut model = DecisionTree::new();
+    model.fit(train).expect("training succeeds");
+    Arc::from(Box::new(model) as Box<dyn Model>)
+}
+
+struct StrategyRun {
+    name: &'static str,
+    detection_ticks: u64,
+    rollback_ticks: u64,
+    bad_served: u64,
+    total_requests: u64,
+}
+
+impl StrategyRun {
+    fn blast_radius(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.bad_served as f64 / self.total_requests as f64
+        }
+    }
+}
+
+fn fleet_stores(train: &Dataset, clean_acc_note: (&Arc<dyn Model>, f64)) -> Vec<Arc<ModelStore>> {
+    let (clean, acc) = clean_acc_note;
+    (0..3)
+        .map(|_| {
+            let store = Arc::new(ModelStore::with_majority_fallback(train, 8).expect("store"));
+            store.promote(Arc::clone(clean), 0, acc, "baseline");
+            store
+        })
+        .collect()
+}
+
+/// The PR-6 state machine: candidate to a drained canary, all live traffic
+/// mirrored, divergence on the 0.5 mismatch rate → rollback + quarantine.
+fn run_canary(
+    train: &Dataset,
+    clean: &Arc<dyn Model>,
+    bad: &Arc<dyn Model>,
+    candidate_acc: f64,
+    rounds: u64,
+    incident_at: u64,
+) -> StrategyRun {
+    let stores = fleet_stores(train, (clean, 0.9));
+    let baseline_version = stores[0].deployed_meta().expect("baseline deployed").id;
+    let handles: Vec<ReplicaHandle> = stores
+        .iter()
+        .enumerate()
+        .map(|(i, store)| ReplicaHandle { name: format!("replica-{i}"), store: Arc::clone(store) })
+        .collect();
+    let cfg = RolloutConfig {
+        shadow_fraction: 1.0, // mirror everything during evaluation
+        min_shadow_samples: 16,
+        max_mismatch_rate: 0.25,
+        max_canary_rollbacks: 1, // first divergence quarantines outright
+        policy: ResponsePolicy::default(),
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(handles, cfg);
+
+    let mut epoch = 0u64;
+    let mut evidence = ShadowEvidence::default();
+    let (mut bad_served, mut total) = (0u64, 0u64);
+    let empty: Vec<Vec<SensorReading>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for tick in 0..rounds {
+        if tick == incident_at {
+            epoch = ctl
+                .begin_rollout(tick, Arc::clone(bad), candidate_acc, "staged bad epoch")
+                .expect("rollout starts");
+        }
+        let evaluating = ctl.canary_index().is_some();
+        let epochs: Vec<u64> = ctl.replica_epochs().into_iter().map(|(_, e)| e).collect();
+        for r in 0..REQUESTS_PER_TICK {
+            total += 1;
+            // The canary (replica 0) is drained while a rollout evaluates.
+            let replica = if evaluating { 1 + (r as usize % 2) } else { r as usize % 3 };
+            if epoch != 0 && epochs[replica] == epoch {
+                bad_served += 1;
+            }
+            if evaluating {
+                // Mirror-all shadow tap: alternating agree/disagree probe rows
+                // pin the mismatch rate at exactly 0.5.
+                evidence.samples += 1;
+                if r % 2 == 0 {
+                    evidence.mismatches += 1;
+                }
+            }
+        }
+        ctl.step(tick, &empty, evidence);
+    }
+
+    let detect = ctl
+        .events()
+        .iter()
+        .find(|e| e.kind == FleetEventKind::EpochQuarantined)
+        .map(|e| e.tick)
+        .expect("the staged epoch must be quarantined");
+    assert!(ctl.is_quarantined(epoch));
+    assert_eq!(
+        stores[0].deployed_meta().map(|m| m.id),
+        Some(baseline_version),
+        "rollback must restore the exact pre-incident version"
+    );
+    StrategyRun {
+        name: "canary-shadow",
+        detection_ticks: detect - incident_at + 1,
+        rollback_ticks: detect - incident_at + 1, // rollback fires in the detection tick
+        bad_served,
+        total_requests: total,
+    }
+}
+
+/// The no-gating baseline: the candidate replaces all replicas at once; a
+/// fleet-wide accuracy monitor rolls back after `BREACH_TICKS` breaches.
+fn run_direct(
+    train: &Dataset,
+    clean: &Arc<dyn Model>,
+    bad: &Arc<dyn Model>,
+    holdout: &Dataset,
+    baseline: f64,
+    rounds: u64,
+    incident_at: u64,
+) -> StrategyRun {
+    let stores = fleet_stores(train, (clean, 0.9));
+    let bad_acc = accuracy(&bad.predict_batch(&holdout.features), &holdout.labels);
+    let (mut bad_served, mut total) = (0u64, 0u64);
+    let mut deployed_bad = false;
+    let mut consecutive = 0u32;
+    let (mut detect_tick, mut restored_tick) = (None, None);
+    for tick in 0..rounds {
+        if tick == incident_at {
+            for store in &stores {
+                store.promote(Arc::clone(bad), tick, bad_acc, "unvetted fleet-wide promotion");
+            }
+            deployed_bad = true;
+        }
+        total += REQUESTS_PER_TICK;
+        if deployed_bad {
+            bad_served += REQUESTS_PER_TICK;
+        }
+        // The fleet monitor sees the serving plane's holdout accuracy.
+        let (serving, _) = stores[0].serving();
+        let acc = accuracy(&serving.predict_batch(&holdout.features), &holdout.labels);
+        consecutive = if acc < baseline - MARGIN { consecutive + 1 } else { 0 };
+        if consecutive >= BREACH_TICKS && deployed_bad {
+            for store in &stores {
+                store.rollback().expect("a baseline exists below the promotion");
+            }
+            deployed_bad = false;
+            detect_tick = Some(tick);
+            restored_tick = Some(tick);
+        }
+    }
+    let detect = detect_tick.expect("the accuracy monitor must fire");
+    StrategyRun {
+        name: "direct-promote",
+        detection_ticks: detect - incident_at + 1,
+        rollback_ticks: restored_tick.expect("restored") - incident_at + 1,
+        bad_served,
+        total_requests: total,
+    }
+}
+
+/// One hand-built JSON object (no serde needed), shaped like the other
+/// `BENCH_*.json` trajectory artifacts.
+fn render_json(
+    samples: usize,
+    rounds: u64,
+    seed: u64,
+    incident_at: u64,
+    strategies: &[StrategyRun],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"spatial-rollout-mttr/v1\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"incident_at\": {incident_at},\n"));
+    out.push_str(&format!("  \"requests_per_tick\": {REQUESTS_PER_TICK},\n"));
+    out.push_str("  \"strategies\": [\n");
+    for (i, s) in strategies.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detection_ticks\": {}, \"rollback_ticks\": {}, \
+             \"bad_epoch_requests\": {}, \"total_requests\": {}, \"blast_radius\": {:.6}}}{}\n",
+            s.name,
+            s.detection_ticks,
+            s.rollback_ticks,
+            s.bad_served,
+            s.total_requests,
+            s.blast_radius(),
+            if i + 1 < strategies.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push('}');
+    out
+}

@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "taxonomy_report",
     "perf_baseline",
     "uc1_baseline",
@@ -17,6 +17,7 @@ const EXPERIMENTS: [&str; 13] = [
     "fig8_capacity_xai",
     "ablation_rf_robustness",
     "oversight_mttr",
+    "rollout_mttr",
     "conformance",
 ];
 

@@ -17,6 +17,8 @@
 //! - [`wire_fuzz`] — a seeded byte-level fuzzer for the HTTP front door: casing,
 //!   smuggling-shaped framing conflicts, truncation, and garbage must all produce a
 //!   prompt 4xx/5xx, never a panic or a hang.
+//! - [`scrape`] — structural validation of Prometheus text exposition, shared by
+//!   every `/metrics` surface (gateway, bench bins, fleet rollout).
 //!
 //! Everything is seeded and deterministic, like the rest of the repo: the same
 //! harness run produces the same verdicts on every machine. The helpers return
@@ -29,6 +31,7 @@
 pub mod axioms;
 pub mod metamorphic;
 pub mod oracle;
+pub mod scrape;
 pub mod wire_fuzz;
 
 pub use axioms::{
@@ -40,4 +43,5 @@ pub use oracle::{
     check_counter_gauge_merge, check_merge_relations, check_quantile_conformance,
     check_quantile_monotonicity, quantile_oracle,
 };
+pub use scrape::{assert_valid_prometheus_text, check_prometheus_text};
 pub use wire_fuzz::{fuzz_round_trip, spawn_reference_target, FuzzReport};

@@ -1,0 +1,117 @@
+//! Structural conformance for Prometheus text exposition.
+//!
+//! Every surface that serves `/metrics` — the gateway, the bench bins, the
+//! fleet rollout controller's `spatial_fleet_*` family — must emit text a real
+//! scraper would accept. The checker validates the exposition format itself
+//! rather than any one metric: every non-comment line is `name{labels} value`
+//! with a parsable float, metric names use the legal charset, and each
+//! histogram's cumulative buckets are monotonically non-decreasing per series.
+//!
+//! Shared by `tests/observability.rs`, `tests/fleet_rollout.rs`, and the
+//! conformance bench bin, so the fleet metrics ride through the same gate as
+//! the seed ones.
+
+use std::collections::HashMap;
+
+/// Validates a Prometheus text exposition body. Returns the first violation as
+/// `Err(description)`.
+///
+/// Checks, per sample line (comments and blanks skipped):
+/// 1. the line splits into a series and a float value on its last space;
+/// 2. the metric name is non-empty and uses `[a-zA-Z0-9_:]` only;
+/// 3. `*_bucket` series are cumulative: for a fixed label set (minus `le`),
+///    counts never decrease in exposition order.
+pub fn check_prometheus_text(text: &str) -> Result<(), String> {
+    // Last seen cumulative count per (bucket-series minus its `le` label).
+    let mut bucket_watermarks: HashMap<String, u64> = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("# ") {
+            continue;
+        }
+        // Split on the *last* space: label values may contain escaped spaces.
+        let idx = line.rfind(' ').ok_or_else(|| format!("unparsable sample line: {line}"))?;
+        let (series, value) = (&line[..idx], &line[idx + 1..]);
+        let value: f64 =
+            value.parse().map_err(|_| format!("sample value must be a float: {line}"))?;
+        let name = series.split('{').next().unwrap_or_default();
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("invalid metric name in line: {line}"));
+        }
+        if name.ends_with("_bucket") {
+            // Identify the series by everything except the `le="..."` label.
+            let key = match series.find("le=\"") {
+                Some(i) => {
+                    let close =
+                        series[i + 4..].find('"').map(|j| i + 5 + j).unwrap_or(series.len());
+                    format!("{}{}", &series[..i], &series[close..])
+                }
+                None => series.to_string(),
+            };
+            let count = value as u64;
+            if let Some(prev) = bucket_watermarks.get(&key) {
+                if count < *prev {
+                    return Err(format!(
+                        "cumulative buckets must be monotone: {line} after count {prev}"
+                    ));
+                }
+            }
+            bucket_watermarks.insert(key, count);
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`check_prometheus_text`] for test suites.
+pub fn assert_valid_prometheus_text(text: &str) {
+    if let Err(violation) = check_prometheus_text(text) {
+        panic!("{violation}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "# HELP spatial_fleet_rollout_phase Rollout phase\n\
+                    # TYPE spatial_fleet_rollout_phase gauge\n\
+                    spatial_fleet_rollout_phase 1\n\
+                    spatial_fleet_replica_epoch{replica=\"replica-0\"} 2\n\
+                    lat_bucket{route=\"a\",le=\"1\"} 3\n\
+                    lat_bucket{route=\"a\",le=\"+Inf\"} 5\n\
+                    lat_count{route=\"a\"} 5\n";
+        check_prometheus_text(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_a_bad_metric_name() {
+        let err = check_prometheus_text("bad-name 1\n").unwrap_err();
+        assert!(err.contains("invalid metric name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_non_numeric_value() {
+        let err = check_prometheus_text("ok_name NaNope\n").unwrap_err();
+        assert!(err.contains("must be a float"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_buckets() {
+        let text = "lat_bucket{le=\"1\"} 5\nlat_bucket{le=\"+Inf\"} 3\n";
+        let err = check_prometheus_text(text).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn bucket_series_are_keyed_per_label_set() {
+        // Different routes may interleave; monotonicity is per-series.
+        let text = "lat_bucket{route=\"a\",le=\"1\"} 5\n\
+                    lat_bucket{route=\"b\",le=\"1\"} 1\n\
+                    lat_bucket{route=\"a\",le=\"+Inf\"} 6\n\
+                    lat_bucket{route=\"b\",le=\"+Inf\"} 2\n";
+        check_prometheus_text(text).unwrap();
+    }
+}

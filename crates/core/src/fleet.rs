@@ -1,0 +1,143 @@
+//! Cross-replica drift merging: one fleet-level verdict from many windows.
+//!
+//! Each serving replica runs its own [`crate::DriftBank`] over the readings it
+//! observes, so a fleet of N replicas produces N per-sensor drift states. Acting
+//! on any single replica's window makes rollout decisions hostage to one noisy
+//! stream; acting only on unanimity misses real regressions. The merge here is a
+//! quorum rule, evaluated per sensor over the replicas that report it:
+//!
+//! - **Drifting** when at least `ceil(quorum * reporters)` replicas are
+//!   Drifting — the fleet agrees something is wrong.
+//! - **Warning** when any replica is at Warning or above but the Drifting
+//!   quorum is not met — suspicion propagates, certainty does not.
+//! - **Stable** otherwise.
+//!
+//! Output ordering is deterministic (sensors sorted by name), matching the
+//! conventions of the rest of the stack.
+
+use crate::drift::DriftState;
+use std::collections::BTreeMap;
+
+/// Merges per-replica `(sensor, state)` snapshots into one fleet-level snapshot.
+///
+/// `quorum` is the fraction of *reporting* replicas that must be Drifting for
+/// the merged state to be Drifting; it is clamped into `(0, 1]`. Replicas that
+/// do not report a sensor simply do not vote on it.
+pub fn merge_drift_states(
+    per_replica: &[Vec<(String, DriftState)>],
+    quorum: f64,
+) -> Vec<(String, DriftState)> {
+    let quorum = if quorum <= 0.0 { f64::MIN_POSITIVE } else { quorum.min(1.0) };
+    let mut votes: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new(); // (reporters, warning+, drifting)
+    for replica in per_replica {
+        for (sensor, state) in replica {
+            let entry = votes.entry(sensor.as_str()).or_default();
+            entry.0 += 1;
+            if *state >= DriftState::Warning {
+                entry.1 += 1;
+            }
+            if *state == DriftState::Drifting {
+                entry.2 += 1;
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(sensor, (reporters, warnings, drifting))| {
+            let needed = (quorum * reporters as f64).ceil().max(1.0) as usize;
+            let state = if drifting >= needed {
+                DriftState::Drifting
+            } else if warnings > 0 {
+                DriftState::Warning
+            } else {
+                DriftState::Stable
+            };
+            (sensor.to_string(), state)
+        })
+        .collect()
+}
+
+/// The worst state in a merged snapshot — the fleet's single-number severity.
+pub fn merged_severity(merged: &[(String, DriftState)]) -> DriftState {
+    merged.iter().map(|(_, s)| *s).max().unwrap_or(DriftState::Stable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, DriftState)]) -> Vec<(String, DriftState)> {
+        pairs.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    #[test]
+    fn unanimous_stability_merges_stable() {
+        let merged = merge_drift_states(
+            &[snap(&[("accuracy", DriftState::Stable)]), snap(&[("accuracy", DriftState::Stable)])],
+            0.5,
+        );
+        assert_eq!(merged, snap(&[("accuracy", DriftState::Stable)]));
+        assert_eq!(merged_severity(&merged), DriftState::Stable);
+    }
+
+    #[test]
+    fn minority_drift_is_only_a_warning() {
+        // 1 of 3 drifting under a 0.5 quorum: suspicion, not certainty.
+        let merged = merge_drift_states(
+            &[
+                snap(&[("accuracy", DriftState::Drifting)]),
+                snap(&[("accuracy", DriftState::Stable)]),
+                snap(&[("accuracy", DriftState::Stable)]),
+            ],
+            0.5,
+        );
+        assert_eq!(merged, snap(&[("accuracy", DriftState::Warning)]));
+    }
+
+    #[test]
+    fn quorum_drift_merges_drifting() {
+        let merged = merge_drift_states(
+            &[
+                snap(&[("accuracy", DriftState::Drifting)]),
+                snap(&[("accuracy", DriftState::Drifting)]),
+                snap(&[("accuracy", DriftState::Stable)]),
+            ],
+            0.5,
+        );
+        assert_eq!(merged, snap(&[("accuracy", DriftState::Drifting)]));
+        assert_eq!(merged_severity(&merged), DriftState::Drifting);
+    }
+
+    #[test]
+    fn sensors_vote_independently_and_sort_by_name() {
+        let merged = merge_drift_states(
+            &[
+                snap(&[("latency", DriftState::Stable), ("accuracy", DriftState::Drifting)]),
+                snap(&[("latency", DriftState::Warning), ("accuracy", DriftState::Drifting)]),
+            ],
+            0.5,
+        );
+        assert_eq!(
+            merged,
+            snap(&[("accuracy", DriftState::Drifting), ("latency", DriftState::Warning)])
+        );
+    }
+
+    #[test]
+    fn absent_replicas_do_not_vote() {
+        // Only one replica reports the sensor; its drift alone meets any quorum
+        // over one reporter.
+        let merged =
+            merge_drift_states(&[snap(&[("fairness", DriftState::Drifting)]), snap(&[])], 0.75);
+        assert_eq!(merged, snap(&[("fairness", DriftState::Drifting)]));
+    }
+
+    #[test]
+    fn quorum_is_clamped() {
+        let replicas = [snap(&[("a", DriftState::Drifting)]), snap(&[("a", DriftState::Stable)])];
+        // quorum 0 behaves like "any reporter", quorum > 1 like unanimity.
+        assert_eq!(merge_drift_states(&replicas, 0.0)[0].1, DriftState::Drifting);
+        assert_eq!(merge_drift_states(&replicas, 5.0)[0].1, DriftState::Warning);
+        assert_eq!(merged_severity(&[]), DriftState::Stable);
+    }
+}

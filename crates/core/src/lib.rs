@@ -33,6 +33,8 @@
 //!   trust weights.
 //! - [`drift`] — streaming change-point detectors (Page–Hinkley, CUSUM, windowed
 //!   KS) that turn sensor streams into `Stable → Warning → Drifting` verdicts.
+//! - [`fleet`] — cross-replica drift merging: quorum rules that turn N per-replica
+//!   drift windows into one fleet-level verdict for rollout decisions.
 //! - [`respond`] — the automated response layer: verdicts and alerts drive label
 //!   sanitization, retraining, rollback and quarantine against a versioned
 //!   [`ModelStore`](spatial_ml::ModelStore), closing the oversight loop without a
@@ -43,6 +45,7 @@ pub mod audit;
 pub mod drift;
 pub mod fairness;
 pub mod feedback;
+pub mod fleet;
 pub mod monitor;
 pub mod pipeline;
 pub mod privacy;

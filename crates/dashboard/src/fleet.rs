@@ -1,0 +1,192 @@
+//! Fleet panel — the operator's view of the replica fleet and the rollout in
+//! flight.
+//!
+//! Extends the oversight panel sideways: where [`crate::oversight`] shows one
+//! serving plane, this panel shows *all* of them — per-replica breaker,
+//! eviction, drain, and epoch state, the quorum-merged drift view, quarantined
+//! epochs, and the tail of the rollout controller's event log. An operator
+//! arriving mid-incident sees which replica is the canary, which epoch it is
+//! evaluating, and whether the state machine already rolled it back.
+
+use spatial_core::drift::DriftState;
+use spatial_fleet::{FleetEvent, RolloutPhase};
+
+/// One replica's row in the panel: gateway-side state (breaker, eviction,
+/// drain) joined with controller-side state (epoch, role). A plain snapshot so
+/// the dashboard needs no live handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReplicaRow {
+    /// Stable replica name (controller-side, e.g. `replica-0`).
+    pub name: String,
+    /// Model epoch the replica currently serves.
+    pub epoch: u64,
+    /// Breaker state: `"closed"`, `"open"`, or `"half-open"`.
+    pub breaker: String,
+    /// Evicted from rotation by the health checker.
+    pub evicted: bool,
+    /// Drained from live rotation by the rollout driver.
+    pub drained: bool,
+    /// `"canary"` while hosting a rollout evaluation, else `"primary"`.
+    pub role: String,
+}
+
+fn phase_label(phase: RolloutPhase) -> &'static str {
+    match phase {
+        RolloutPhase::Idle => "idle",
+        RolloutPhase::Canary => "canary evaluation",
+        RolloutPhase::Ramping => "ramping",
+    }
+}
+
+fn drift_glyph(state: DriftState) -> &'static str {
+    match state {
+        DriftState::Stable => "·",
+        DriftState::Warning => "!",
+        DriftState::Drifting => "!!",
+    }
+}
+
+/// Renders the fleet panel. `events` shows at most the last `max_events`
+/// entries, newest last (the audit-trail convention shared with the oversight
+/// panel's action log).
+pub fn render_fleet_panel(
+    phase: RolloutPhase,
+    replicas: &[FleetReplicaRow],
+    merged_drift: &[(String, DriftState)],
+    quarantined: &[u64],
+    events: &[FleetEvent],
+    max_events: usize,
+) -> String {
+    let mut out = String::from("== FLEET ==\n");
+    out.push_str(&format!("rollout: {}\n", phase_label(phase)));
+
+    if quarantined.is_empty() {
+        out.push_str("quarantined epochs: (none)\n");
+    } else {
+        let list: Vec<String> = quarantined.iter().map(u64::to_string).collect();
+        out.push_str(&format!("quarantined epochs: [{}]\n", list.join(", ")));
+    }
+
+    if replicas.is_empty() {
+        out.push_str("replicas: (none registered)\n");
+    } else {
+        out.push_str("replicas:\n");
+        for r in replicas {
+            let mut flags = Vec::new();
+            if r.evicted {
+                flags.push("EVICTED");
+            }
+            if r.drained {
+                flags.push("drained");
+            }
+            let flags =
+                if flags.is_empty() { String::new() } else { format!(" [{}]", flags.join(",")) };
+            out.push_str(&format!(
+                "  {:<12} epoch={:<4} breaker={:<9} {:<8}{}\n",
+                r.name, r.epoch, r.breaker, r.role, flags
+            ));
+        }
+    }
+
+    if merged_drift.is_empty() {
+        out.push_str("fleet drift: (no sensor evidence yet)\n");
+    } else {
+        out.push_str("fleet drift (quorum-merged):\n");
+        for (sensor, state) in merged_drift {
+            out.push_str(&format!(
+                "  {:<28} [{:>2}] {}\n",
+                sensor,
+                drift_glyph(*state),
+                state.name()
+            ));
+        }
+    }
+
+    if events.is_empty() {
+        out.push_str("rollout events: (none)\n");
+    } else {
+        let shown = &events[events.len().saturating_sub(max_events.max(1))..];
+        out.push_str(&format!("rollout events (last {} of {}):\n", shown.len(), events.len()));
+        for e in shown {
+            out.push_str(&format!("  {e}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_fleet::FleetEventKind;
+
+    fn row(name: &str, epoch: u64, role: &str) -> FleetReplicaRow {
+        FleetReplicaRow {
+            name: name.into(),
+            epoch,
+            breaker: "closed".into(),
+            evicted: false,
+            drained: false,
+            role: role.into(),
+        }
+    }
+
+    fn event(tick: u64, kind: FleetEventKind, detail: &str) -> FleetEvent {
+        FleetEvent { tick, epoch: 2, kind, replica: "replica-0".into(), detail: detail.into() }
+    }
+
+    #[test]
+    fn panel_shows_phase_replicas_and_drift() {
+        let rows = [row("replica-0", 2, "canary"), row("replica-1", 1, "primary")];
+        let drift = [("accuracy".to_string(), DriftState::Warning)];
+        let text = render_fleet_panel(RolloutPhase::Canary, &rows, &drift, &[], &[], 5);
+        assert!(text.contains("== FLEET =="), "{text}");
+        assert!(text.contains("rollout: canary evaluation"), "{text}");
+        assert!(text.contains("replica-0"), "{text}");
+        assert!(text.contains("epoch=2"), "{text}");
+        assert!(text.contains("canary"), "{text}");
+        assert!(text.contains("accuracy"), "{text}");
+        assert!(text.contains("warning"), "{text}");
+        assert!(text.contains("quarantined epochs: (none)"), "{text}");
+    }
+
+    #[test]
+    fn drained_and_evicted_flags_are_visible() {
+        let mut drained = row("replica-0", 2, "canary");
+        drained.drained = true;
+        let mut evicted = row("replica-1", 1, "primary");
+        evicted.evicted = true;
+        evicted.breaker = "open".into();
+        let text = render_fleet_panel(RolloutPhase::Canary, &[drained, evicted], &[], &[], &[], 5);
+        assert!(text.contains("[drained]"), "{text}");
+        assert!(text.contains("[EVICTED]"), "{text}");
+        assert!(text.contains("breaker=open"), "{text}");
+    }
+
+    #[test]
+    fn quarantined_epochs_and_event_tail_are_listed() {
+        let events: Vec<FleetEvent> = (0..6)
+            .map(|i| event(i, FleetEventKind::CanaryRolledBack, &format!("divergence {i}")))
+            .collect();
+        let text = render_fleet_panel(
+            RolloutPhase::Idle,
+            &[row("replica-0", 1, "primary")],
+            &[],
+            &[2, 5],
+            &events,
+            3,
+        );
+        assert!(text.contains("quarantined epochs: [2, 5]"), "{text}");
+        assert!(text.contains("rollout events (last 3 of 6):"), "{text}");
+        assert!(!text.contains("divergence 2"), "{text}");
+        assert!(text.contains("divergence 5"), "{text}");
+        assert!(text.contains("canary-rolled-back"), "{text}");
+    }
+
+    #[test]
+    fn empty_panel_degrades_gracefully() {
+        let text = render_fleet_panel(RolloutPhase::Idle, &[], &[], &[], &[], 5);
+        assert!(text.contains("replicas: (none registered)"), "{text}");
+        assert!(text.contains("rollout events: (none)"), "{text}");
+        assert!(text.contains("fleet drift: (no sensor evidence yet)"), "{text}");
+    }
+}

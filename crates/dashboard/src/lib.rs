@@ -17,9 +17,12 @@
 //! - [`metrics`] — human-readable panel over a metrics-registry snapshot.
 //! - [`oversight`] — the self-healing loop's panel: detector states, serving
 //!   (deployed vs DEGRADED fallback) and the executed-action tail.
+//! - [`fleet`] — the replica-fleet panel: per-replica breaker/eviction/drain and
+//!   epoch state, quorum-merged drift, quarantined epochs, rollout event tail.
 
 pub mod chart;
 pub mod export;
+pub mod fleet;
 pub mod gauge;
 pub mod metrics;
 pub mod narrate;
@@ -27,6 +30,7 @@ pub mod oversight;
 pub mod render;
 pub mod waterfall;
 
+pub use fleet::{render_fleet_panel, FleetReplicaRow};
 pub use metrics::render_metrics_panel;
 pub use oversight::{render_oversight_panel, ServingStatus};
 pub use render::{render_dashboard, DashboardView};

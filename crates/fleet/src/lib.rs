@@ -1,0 +1,29 @@
+//! Fleet-level serving for the SPATIAL reproduction.
+//!
+//! The paper deploys its AI-sensor micro-services replicated behind a gateway;
+//! this crate adds the piece that makes a replicated fleet *safe to change*:
+//! epoch-versioned model rollout with canary + shadow evaluation and
+//! drift-gated auto-rollback, built on the PR-3 oversight primitives
+//! ([`spatial_ml::ModelStore`], [`spatial_core::DriftBank`],
+//! [`spatial_core::ResponsePolicy`]).
+//!
+//! - [`shadow`] — deterministic shadow-traffic sampling (a credit scheme whose
+//!   fraction cap is an invariant, not an expectation) and prediction-level
+//!   output comparison.
+//! - [`rollout`] — the [`rollout::FleetController`] state machine: promote to a
+//!   canary, soak it on shadowed live traffic, then ramp fleet-wide or roll
+//!   back; a flapping canary quarantines its *epoch*, not just the replica.
+//!
+//! The gateway (`spatial-gateway`) consumes [`shadow`] for its duplication
+//! hook; integration drivers own the controller and translate its events into
+//! gateway drain/shadow actions. Everything here is deterministic: no clocks,
+//! no ambient randomness.
+
+pub mod rollout;
+pub mod shadow;
+
+pub use rollout::{
+    FleetController, FleetEvent, FleetEventKind, ReplicaHandle, RolloutConfig, RolloutError,
+    RolloutPhase,
+};
+pub use shadow::{compare_shadow, ShadowEvidence, ShadowOutcome, ShadowSampler};

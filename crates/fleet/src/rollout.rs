@@ -1,0 +1,710 @@
+//! The epoch rollout state machine: canary → shadow-evaluate → ramp or rollback.
+//!
+//! A [`FleetController`] owns one [`ModelStore`] per serving replica plus a
+//! per-replica [`DriftBank`], and drives *epoch-versioned* promotion through
+//! them. Epochs are controller-assigned (store version ids are per-store and
+//! cannot identify a model across replicas):
+//!
+//! ```text
+//!            begin_rollout(model)
+//!   Idle ───────────────────────────► Canary ──── soak healthy ────► Ramping ──► Idle
+//!                                       │  ▲                           │     (completed)
+//!              divergence (1st) ────────┘  │ retry after cooldown      │ divergence
+//!                       │                  │                           ▼
+//!                       ▼                  │                 rollback all promoted
+//!                 rollback canary ─────────┘                 + quarantine epoch
+//!                       │
+//!                       │ divergence again within the flap window
+//!                       ▼
+//!              quarantine the EPOCH (replica keeps serving the restored prior)
+//! ```
+//!
+//! Divergence is judged on merged evidence, never one replica's window alone:
+//! the canary's own drift bank must reach `Drifting` *while* the quorum-merged
+//! baseline (see [`spatial_core::fleet::merge_drift_states`]) stays below it, or
+//! the shadow-comparison mismatch rate must exceed its budget with enough
+//! samples. The escalation ladder reuses the PR-3 [`ResponsePolicy`] knobs:
+//! `rollback_cooldown` spaces the retry promotion, `escalation_window` is the
+//! flap-guard window after which a re-diverging canary quarantines its epoch.
+//! Every controller action resets the banks it judged, mirroring
+//! `ActionExecutor`.
+//!
+//! The controller is deterministic: no clocks, no RNG — ticks and evidence come
+//! from the caller, and the emitted [`FleetEvent`] log is reproducible bit for
+//! bit under a fixed seed upstream.
+
+use crate::shadow::ShadowEvidence;
+use spatial_core::drift::{DetectorKind, DriftBank, DriftState};
+use spatial_core::fleet::{merge_drift_states, merged_severity};
+use spatial_core::respond::ResponsePolicy;
+use spatial_core::sensor::SensorReading;
+use spatial_ml::{Model, ModelStore};
+use spatial_telemetry::fleet as names;
+use spatial_telemetry::MetricsRegistry;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// One serving replica as the controller sees it: a stable name (used in events
+/// and metric labels — never the socket address, which differs run to run) and
+/// the versioned store its `ServingService` serves from.
+#[derive(Clone)]
+pub struct ReplicaHandle {
+    pub name: String,
+    pub store: Arc<ModelStore>,
+}
+
+/// Tuning for the rollout state machine. All windows are in controller ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RolloutConfig {
+    /// Fraction of live traffic to duplicate to the canary (advisory: the
+    /// gateway's sampler enforces it; the controller records it for reports).
+    pub shadow_fraction: f64,
+    /// Minimum shadow comparisons before the canary may be judged — healthy
+    /// soak ticks do not accumulate until the evidence is this deep.
+    pub min_shadow_samples: u64,
+    /// Mismatch-or-error rate above which the canary diverges.
+    pub max_mismatch_rate: f64,
+    /// Healthy, evidence-backed ticks required before ramping starts.
+    pub soak_ticks: u64,
+    /// Ticks between successive replica promotions during ramp.
+    pub ramp_interval: u64,
+    /// Quorum fraction for the cross-replica drift merge.
+    pub drift_quorum: f64,
+    /// Hard cap on canary rollbacks per epoch; reaching it quarantines.
+    pub max_canary_rollbacks: u32,
+    /// PR-3 escalation ladder: `rollback_cooldown` delays the retry promotion,
+    /// `escalation_window` is the flap-guard window for quarantine.
+    pub policy: ResponsePolicy,
+    /// Detector family for the per-replica drift banks.
+    pub detector: DetectorKind,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        Self {
+            shadow_fraction: 0.2,
+            min_shadow_samples: 16,
+            max_mismatch_rate: 0.25,
+            soak_ticks: 4,
+            ramp_interval: 2,
+            drift_quorum: 0.5,
+            max_canary_rollbacks: 3,
+            policy: ResponsePolicy::default(),
+            detector: DetectorKind::PageHinkley,
+        }
+    }
+}
+
+/// Where the state machine currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// No rollout in flight.
+    Idle,
+    /// Candidate epoch serving shadow traffic on the canary replica.
+    Canary,
+    /// Canary soaked healthy; the epoch is being promoted replica by replica.
+    Ramping,
+}
+
+impl RolloutPhase {
+    /// Gauge encoding: 0 = idle, 1 = canary, 2 = ramping.
+    pub fn level(self) -> f64 {
+        match self {
+            RolloutPhase::Idle => 0.0,
+            RolloutPhase::Canary => 1.0,
+            RolloutPhase::Ramping => 2.0,
+        }
+    }
+}
+
+/// What happened, in the deterministic event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEventKind {
+    /// Candidate promoted to the canary replica; shadow evaluation begins.
+    CanaryStarted,
+    /// Divergence: canary rolled back to the prior epoch, retry pending.
+    CanaryRolledBack,
+    /// Cooldown elapsed: candidate re-promoted to the canary.
+    CanaryRetried,
+    /// Flap guard tripped (or rollback budget exhausted): the epoch is
+    /// quarantined fleet-wide. Terminal for the rollout.
+    EpochQuarantined,
+    /// Canary soaked healthy; fleet-wide ramp begins.
+    RampStarted,
+    /// One more replica promoted to the epoch during ramp.
+    ReplicaRamped,
+    /// Divergence during ramp: every promoted replica rolled back, epoch
+    /// quarantined. Terminal.
+    RampAborted,
+    /// Every replica serves the epoch. Terminal (success).
+    RolloutCompleted,
+}
+
+impl FleetEventKind {
+    /// Stable kebab-case label used in logs and the dashboard.
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetEventKind::CanaryStarted => "canary-started",
+            FleetEventKind::CanaryRolledBack => "canary-rolled-back",
+            FleetEventKind::CanaryRetried => "canary-retried",
+            FleetEventKind::EpochQuarantined => "epoch-quarantined",
+            FleetEventKind::RampStarted => "ramp-started",
+            FleetEventKind::ReplicaRamped => "replica-ramped",
+            FleetEventKind::RampAborted => "ramp-aborted",
+            FleetEventKind::RolloutCompleted => "rollout-completed",
+        }
+    }
+}
+
+/// One entry in the controller's event log. `PartialEq` + stable `Display` make
+/// the log directly comparable across two seeded runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEvent {
+    pub tick: u64,
+    pub epoch: u64,
+    pub kind: FleetEventKind,
+    /// Replica the event concerns, empty for fleet-wide events.
+    pub replica: String,
+    /// Human-readable cause, deterministic under a fixed seed.
+    pub detail: String,
+}
+
+impl fmt::Display for FleetEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} epoch={} {}", self.tick, self.epoch, self.kind.label())?;
+        if !self.replica.is_empty() {
+            write!(f, " {}", self.replica)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a rollout could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutError {
+    /// A rollout is already in flight; finish or abort it first.
+    InProgress,
+    /// A replica store has no deployed baseline to roll back to.
+    NoBaseline(String),
+}
+
+impl fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RolloutError::InProgress => write!(f, "a rollout is already in progress"),
+            RolloutError::NoBaseline(name) => {
+                write!(f, "replica {name} has no deployed baseline to fall back to")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RolloutError {}
+
+struct ReplicaEntry {
+    handle: ReplicaHandle,
+    bank: DriftBank,
+    epoch: u64,
+}
+
+struct ActiveRollout {
+    epoch: u64,
+    model: Arc<dyn Model>,
+    accuracy: f64,
+    note: String,
+    canary: usize,
+    /// Epoch each replica served before this rollout, restored on abort.
+    prior_epochs: Vec<u64>,
+    /// Per-store version id each replica served before this rollout. Rollback
+    /// rewinds until this id serves again: after a retry the store history is
+    /// `[baseline, candidate, candidate]`, and a single `rollback()` would land
+    /// on the stale candidate, not the baseline.
+    prior_versions: Vec<u64>,
+    ramping: bool,
+    /// False between a rollback and the retry promotion.
+    canary_promoted: bool,
+    /// Tick of the latest (re-)promotion — the flap window anchors here.
+    promoted_at: u64,
+    rollbacks: u32,
+    last_rollback: Option<u64>,
+    healthy_ticks: u64,
+    last_ramp: u64,
+    /// Replica indices (canary excluded) already promoted during ramp.
+    ramped: Vec<usize>,
+}
+
+/// Drives epoch promotion across a fleet of replica stores. See module docs.
+pub struct FleetController {
+    replicas: Vec<ReplicaEntry>,
+    cfg: RolloutConfig,
+    registry: Option<Arc<MetricsRegistry>>,
+    active: Option<ActiveRollout>,
+    next_epoch: u64,
+    quarantined: BTreeSet<u64>,
+    events: Vec<FleetEvent>,
+}
+
+impl FleetController {
+    /// A controller over at least two replicas (a canary needs a primary to
+    /// shadow from).
+    pub fn new(replicas: Vec<ReplicaHandle>, cfg: RolloutConfig) -> Self {
+        assert!(replicas.len() >= 2, "a fleet needs >= 2 replicas, got {}", replicas.len());
+        let detector = cfg.detector;
+        Self {
+            replicas: replicas
+                .into_iter()
+                .map(|handle| ReplicaEntry { handle, bank: DriftBank::new(detector), epoch: 0 })
+                .collect(),
+            cfg,
+            registry: None,
+            active: None,
+            next_epoch: 1,
+            quarantined: BTreeSet::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Attaches a metrics registry; the controller then exports the
+    /// `spatial_fleet_*` family on every step.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Starts a rollout: assigns the next epoch and promotes the candidate to
+    /// the canary replica (deterministically the lowest-index replica). The
+    /// caller is responsible for draining the canary from live rotation and
+    /// pointing shadow traffic at it — [`FleetEventKind::CanaryStarted`] is the
+    /// cue. Replica stores need `capacity >= max_canary_rollbacks + 1` so the
+    /// pre-rollout baseline survives retry promotions.
+    pub fn begin_rollout(
+        &mut self,
+        tick: u64,
+        model: Arc<dyn Model>,
+        accuracy: f64,
+        note: &str,
+    ) -> Result<u64, RolloutError> {
+        if self.active.is_some() {
+            return Err(RolloutError::InProgress);
+        }
+        for entry in &self.replicas {
+            if entry.handle.store.is_empty() {
+                return Err(RolloutError::NoBaseline(entry.handle.name.clone()));
+            }
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let canary = 0usize;
+        let prior_epochs: Vec<u64> = self.replicas.iter().map(|r| r.epoch).collect();
+        let prior_versions: Vec<u64> = self
+            .replicas
+            .iter()
+            .map(|r| r.handle.store.deployed_meta().expect("checked non-empty above").id)
+            .collect();
+        self.promote_to(canary, &Arc::clone(&model), accuracy, tick, epoch, note);
+        self.active = Some(ActiveRollout {
+            epoch,
+            model,
+            accuracy,
+            note: note.to_string(),
+            canary,
+            prior_epochs,
+            prior_versions,
+            ramping: false,
+            canary_promoted: true,
+            promoted_at: tick,
+            rollbacks: 0,
+            last_rollback: None,
+            healthy_ticks: 0,
+            last_ramp: tick,
+            ramped: Vec::new(),
+        });
+        let name = self.replicas[canary].handle.name.clone();
+        self.push_event(FleetEvent {
+            tick,
+            epoch,
+            kind: FleetEventKind::CanaryStarted,
+            replica: name,
+            detail: format!("candidate \"{note}\" acc={accuracy:.3}"),
+        });
+        self.export_gauges();
+        Ok(epoch)
+    }
+
+    /// Advances the state machine one tick.
+    ///
+    /// `readings` holds each replica's sensor readings for this tick (outer
+    /// index = replica index). `shadow` is the *cumulative* comparison evidence
+    /// for the current canary attempt; drivers reset their shadow stream on
+    /// every `CanaryRolledBack`/`CanaryRetried` event so the evidence window
+    /// matches the attempt. Returns the events emitted this tick.
+    pub fn step(
+        &mut self,
+        tick: u64,
+        readings: &[Vec<SensorReading>],
+        shadow: ShadowEvidence,
+    ) -> Vec<FleetEvent> {
+        assert_eq!(
+            readings.len(),
+            self.replicas.len(),
+            "one reading batch per replica is required"
+        );
+        for (entry, batch) in self.replicas.iter_mut().zip(readings) {
+            if !batch.is_empty() {
+                entry.bank.update(batch);
+            }
+        }
+        let before = self.events.len();
+        if self.active.is_some() {
+            self.step_active(tick, shadow);
+        }
+        self.export_gauges();
+        self.events[before..].to_vec()
+    }
+
+    fn step_active(&mut self, tick: u64, shadow: ShadowEvidence) {
+        let mut active = self.active.take().expect("checked by caller");
+        let keep = if active.ramping {
+            self.step_ramping(tick, &mut active)
+        } else {
+            self.step_canary(tick, shadow, &mut active)
+        };
+        if keep {
+            self.active = Some(active);
+        }
+    }
+
+    /// Returns whether the rollout stays in flight.
+    fn step_canary(
+        &mut self,
+        tick: u64,
+        shadow: ShadowEvidence,
+        active: &mut ActiveRollout,
+    ) -> bool {
+        let epoch = active.epoch;
+        let canary = active.canary;
+        if !active.canary_promoted {
+            // Awaiting retry: the PR-3 rollback cooldown spaces re-promotion.
+            let due = active.last_rollback.map_or(0, |t| t + self.cfg.policy.rollback_cooldown);
+            if tick >= due {
+                let (model, accuracy, note) =
+                    (Arc::clone(&active.model), active.accuracy, active.note.clone());
+                self.promote_to(canary, &model, accuracy, tick, epoch, &note);
+                active.canary_promoted = true;
+                active.promoted_at = tick;
+                active.healthy_ticks = 0;
+                let name = self.replicas[canary].handle.name.clone();
+                self.push_event(FleetEvent {
+                    tick,
+                    epoch,
+                    kind: FleetEventKind::CanaryRetried,
+                    replica: name,
+                    detail: format!("retry {} after cooldown", active.rollbacks),
+                });
+            }
+            return true;
+        }
+
+        match self.divergence(canary, shadow) {
+            Some(reason) => {
+                let flapped = active.rollbacks >= 1
+                    && tick < active.promoted_at + self.cfg.policy.escalation_window;
+                let budget_exhausted = active.rollbacks + 1 >= self.cfg.max_canary_rollbacks;
+                self.rollback_replica(
+                    canary,
+                    active.prior_epochs[canary],
+                    active.prior_versions[canary],
+                );
+                if flapped || budget_exhausted {
+                    let cause = if flapped { "flapping canary" } else { "rollback budget spent" };
+                    self.quarantine_epoch(tick, epoch, format!("{cause}; {reason}"));
+                    false // Terminal: drop the rollout.
+                } else {
+                    active.rollbacks += 1;
+                    active.last_rollback = Some(tick);
+                    active.canary_promoted = false;
+                    active.healthy_ticks = 0;
+                    if let Some(reg) = &self.registry {
+                        reg.counter(names::FLEET_ROLLBACKS_COUNTER, names::FLEET_ROLLBACKS_HELP)
+                            .inc();
+                    }
+                    let name = self.replicas[canary].handle.name.clone();
+                    self.push_event(FleetEvent {
+                        tick,
+                        epoch,
+                        kind: FleetEventKind::CanaryRolledBack,
+                        replica: name,
+                        detail: reason,
+                    });
+                    true
+                }
+            }
+            None => {
+                // Healthy ticks only count once the shadow evidence is deep
+                // enough to mean something.
+                if shadow.samples >= self.cfg.min_shadow_samples {
+                    active.healthy_ticks += 1;
+                }
+                if active.healthy_ticks >= self.cfg.soak_ticks {
+                    active.ramping = true;
+                    active.last_ramp = tick;
+                    self.push_event(FleetEvent {
+                        tick,
+                        epoch,
+                        kind: FleetEventKind::RampStarted,
+                        replica: String::new(),
+                        detail: format!(
+                            "soaked {} healthy ticks over {} shadow samples",
+                            active.healthy_ticks, shadow.samples
+                        ),
+                    });
+                }
+                true
+            }
+        }
+    }
+
+    /// Returns whether the rollout stays in flight.
+    fn step_ramping(&mut self, tick: u64, active: &mut ActiveRollout) -> bool {
+        let epoch = active.epoch;
+        // During ramp the promoted replicas serve live traffic; judge the fleet
+        // as a whole on merged evidence.
+        let merged = self.merged_drift();
+        if merged_severity(&merged) == DriftState::Drifting {
+            let drifting: Vec<&str> = merged
+                .iter()
+                .filter(|(_, s)| *s == DriftState::Drifting)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            let mut touched: Vec<usize> = vec![active.canary];
+            touched.extend(active.ramped.iter().copied());
+            for &idx in &touched {
+                self.rollback_replica(idx, active.prior_epochs[idx], active.prior_versions[idx]);
+            }
+            self.push_event(FleetEvent {
+                tick,
+                epoch,
+                kind: FleetEventKind::RampAborted,
+                replica: String::new(),
+                detail: format!(
+                    "fleet drift on [{}]; rolled back {} replicas",
+                    drifting.join(","),
+                    touched.len()
+                ),
+            });
+            self.quarantine_epoch(tick, epoch, "drift after ramp".to_string());
+            return false;
+        }
+        if tick >= active.last_ramp + self.cfg.ramp_interval {
+            let next = (0..self.replicas.len())
+                .find(|i| *i != active.canary && !active.ramped.contains(i));
+            if let Some(idx) = next {
+                let (model, accuracy, note) =
+                    (Arc::clone(&active.model), active.accuracy, active.note.clone());
+                self.promote_to(idx, &model, accuracy, tick, epoch, &note);
+                active.ramped.push(idx);
+                active.last_ramp = tick;
+                let name = self.replicas[idx].handle.name.clone();
+                let on_epoch = active.ramped.len() + 1;
+                self.push_event(FleetEvent {
+                    tick,
+                    epoch,
+                    kind: FleetEventKind::ReplicaRamped,
+                    replica: name,
+                    detail: format!("{on_epoch}/{} replicas on epoch", self.replicas.len()),
+                });
+            }
+            if active.ramped.len() + 1 == self.replicas.len() {
+                self.push_event(FleetEvent {
+                    tick,
+                    epoch,
+                    kind: FleetEventKind::RolloutCompleted,
+                    replica: String::new(),
+                    detail: String::new(),
+                });
+                return false; // every replica serves the epoch: rollout done.
+            }
+        }
+        true
+    }
+
+    /// The two divergence signals, merged-evidence first.
+    fn divergence(&self, canary: usize, shadow: ShadowEvidence) -> Option<String> {
+        let canary_state = self.replicas[canary].bank.severity();
+        let baseline: Vec<Vec<(String, DriftState)>> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != canary)
+            .map(|(_, r)| r.bank.states())
+            .collect();
+        let baseline_state = merged_severity(&merge_drift_states(&baseline, self.cfg.drift_quorum));
+        if canary_state == DriftState::Drifting && baseline_state < DriftState::Drifting {
+            let sensors: Vec<String> = self.replicas[canary]
+                .bank
+                .states()
+                .into_iter()
+                .filter(|(_, s)| *s == DriftState::Drifting)
+                .map(|(n, _)| n)
+                .collect();
+            return Some(format!(
+                "canary drift on [{}] while fleet baseline is {}",
+                sensors.join(","),
+                baseline_state.name()
+            ));
+        }
+        if shadow.samples >= self.cfg.min_shadow_samples
+            && shadow.mismatch_rate() > self.cfg.max_mismatch_rate
+        {
+            return Some(format!(
+                "shadow mismatch rate {:.3} over {} samples (budget {:.3})",
+                shadow.mismatch_rate(),
+                shadow.samples,
+                self.cfg.max_mismatch_rate
+            ));
+        }
+        None
+    }
+
+    fn promote_to(
+        &mut self,
+        idx: usize,
+        model: &Arc<dyn Model>,
+        accuracy: f64,
+        tick: u64,
+        epoch: u64,
+        note: &str,
+    ) {
+        let entry = &mut self.replicas[idx];
+        entry.handle.store.promote(
+            Arc::clone(model),
+            tick,
+            accuracy,
+            format!("epoch {epoch}: {note}"),
+        );
+        entry.epoch = epoch;
+        entry.bank.reset();
+        if let Some(reg) = &self.registry {
+            reg.counter(names::FLEET_PROMOTIONS_COUNTER, names::FLEET_PROMOTIONS_HELP).inc();
+        }
+    }
+
+    /// Rewinds the replica's store until `prior_version` serves again. After a
+    /// retried canary the history holds rolled-away candidate snapshots between
+    /// the deployment pointer and the baseline; one `rollback()` per snapshot
+    /// walks past them. Stores need `capacity >= max_canary_rollbacks + 1` so
+    /// eviction never drops the baseline mid-rollout.
+    fn rollback_replica(&mut self, idx: usize, prior_epoch: u64, prior_version: u64) {
+        let entry = &mut self.replicas[idx];
+        let store = &entry.handle.store;
+        for _ in 0..store.len() {
+            if store.deployed_meta().map(|m| m.id) == Some(prior_version) {
+                break;
+            }
+            store.rollback().expect("begin_rollout guarantees the baseline below every promotion");
+        }
+        assert_eq!(
+            store.deployed_meta().map(|m| m.id),
+            Some(prior_version),
+            "store history must retain the pre-rollout baseline"
+        );
+        entry.epoch = prior_epoch;
+        entry.bank.reset();
+    }
+
+    fn quarantine_epoch(&mut self, tick: u64, epoch: u64, reason: String) {
+        self.quarantined.insert(epoch);
+        if let Some(reg) = &self.registry {
+            reg.counter(names::FLEET_QUARANTINES_COUNTER, names::FLEET_QUARANTINES_HELP).inc();
+        }
+        self.push_event(FleetEvent {
+            tick,
+            epoch,
+            kind: FleetEventKind::EpochQuarantined,
+            replica: String::new(),
+            detail: reason,
+        });
+    }
+
+    fn push_event(&mut self, event: FleetEvent) {
+        self.events.push(event);
+    }
+
+    fn export_gauges(&self) {
+        let Some(reg) = &self.registry else { return };
+        for entry in &self.replicas {
+            reg.gauge_with(
+                names::FLEET_REPLICA_EPOCH_GAUGE,
+                names::FLEET_REPLICA_EPOCH_HELP,
+                &[("replica", &entry.handle.name)],
+            )
+            .set(entry.epoch as f64);
+        }
+        reg.gauge(names::FLEET_PHASE_GAUGE, names::FLEET_PHASE_HELP).set(self.phase().level());
+        reg.gauge(names::FLEET_QUARANTINED_GAUGE, names::FLEET_QUARANTINED_HELP)
+            .set(self.quarantined.len() as f64);
+        for (sensor, state) in self.merged_drift() {
+            reg.gauge_with(
+                names::FLEET_DRIFT_STATE_GAUGE,
+                names::FLEET_DRIFT_STATE_HELP,
+                &[("sensor", &sensor)],
+            )
+            .set(state.level());
+        }
+    }
+
+    /// Current phase of the state machine.
+    pub fn phase(&self) -> RolloutPhase {
+        match &self.active {
+            None => RolloutPhase::Idle,
+            Some(a) if a.ramping => RolloutPhase::Ramping,
+            Some(_) => RolloutPhase::Canary,
+        }
+    }
+
+    /// Index of the canary replica for the in-flight rollout, if any.
+    pub fn canary_index(&self) -> Option<usize> {
+        self.active.as_ref().map(|a| a.canary)
+    }
+
+    /// `(name, deployed epoch)` per replica, in replica order.
+    pub fn replica_epochs(&self) -> Vec<(String, u64)> {
+        self.replicas.iter().map(|r| (r.handle.name.clone(), r.epoch)).collect()
+    }
+
+    /// The store behind replica `idx` (for drivers computing readings).
+    pub fn store(&self, idx: usize) -> &Arc<ModelStore> {
+        &self.replicas[idx].handle.store
+    }
+
+    /// Quorum-merged drift snapshot across every replica's bank.
+    pub fn merged_drift(&self) -> Vec<(String, DriftState)> {
+        let states: Vec<Vec<(String, DriftState)>> =
+            self.replicas.iter().map(|r| r.bank.states()).collect();
+        merge_drift_states(&states, self.cfg.drift_quorum)
+    }
+
+    /// Epochs quarantined so far, ascending.
+    pub fn quarantined_epochs(&self) -> Vec<u64> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Whether an epoch is quarantined.
+    pub fn is_quarantined(&self, epoch: u64) -> bool {
+        self.quarantined.contains(&epoch)
+    }
+
+    /// The full event log since construction, in emission order.
+    pub fn events(&self) -> &[FleetEvent] {
+        &self.events
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &RolloutConfig {
+        &self.cfg
+    }
+}

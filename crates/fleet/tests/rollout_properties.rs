@@ -1,0 +1,300 @@
+//! Property and scenario tests for the rollout state machine (ISSUE 6):
+//!
+//! 1. The shadow fraction cap is never exceeded over 10k-request streams, for
+//!    arbitrary fractions.
+//! 2. Rollback restores the prior epoch bit-identically — including after a
+//!    retry, when stale candidate snapshots sit between the deployment pointer
+//!    and the baseline.
+//! 3. A flapping canary ends quarantined, never ramped.
+//!
+//! Plus the happy path (a healthy canary ramps to completion), the drift-based
+//! divergence signal, and event-log determinism across identical runs.
+
+use proptest::prelude::*;
+use spatial_attacks::label_flip::random_label_flip;
+use spatial_core::property::{Direction, TrustProperty};
+use spatial_core::respond::ResponsePolicy;
+use spatial_core::sensor::SensorReading;
+use spatial_data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial_data::Dataset;
+use spatial_fleet::{
+    FleetController, FleetEventKind, ReplicaHandle, RolloutConfig, ShadowEvidence, ShadowSampler,
+};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::{Model, ModelStore};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// ISSUE 6: "shadow fraction never exceeded over 10k seeded requests".
+    /// The credit sampler keeps `shadowed <= fraction * total` after *every*
+    /// request, not merely in expectation.
+    #[test]
+    fn shadow_fraction_is_never_exceeded_over_10k_requests(fraction in 0.0f64..=1.0) {
+        let mut sampler = ShadowSampler::new(fraction);
+        for i in 1..=10_000u64 {
+            sampler.admit();
+            prop_assert!(
+                sampler.shadowed() as f64 <= fraction * i as f64 + 1e-9,
+                "cap broken at request {}: {} shadowed of {} at fraction {}",
+                i, sampler.shadowed(), i, fraction
+            );
+        }
+        prop_assert_eq!(sampler.total(), 10_000);
+        // Greedy under the cap: never starves by more than one request.
+        prop_assert!(sampler.shadowed() + 1 >= (fraction * 10_000.0) as u64);
+    }
+}
+
+fn dataset() -> Dataset {
+    binarize_falls(&generate(&UnimibConfig { samples: 400, ..UnimibConfig::default() }))
+}
+
+/// A clean tree and a poisoned one (45% label flips) on the same split.
+fn models(train: &Dataset) -> (Arc<dyn Model>, Arc<dyn Model>) {
+    let mut clean = DecisionTree::new();
+    clean.fit(train).expect("clean fit");
+    let poisoned = random_label_flip(train, 0.45, 7).dataset;
+    let mut bad = DecisionTree::new();
+    bad.fit(&poisoned).expect("poisoned fit");
+    (Arc::new(clean), Arc::new(bad))
+}
+
+/// `n` replicas, each with a majority fallback and the clean baseline deployed.
+fn fleet(n: usize, train: &Dataset, clean: &Arc<dyn Model>) -> Vec<ReplicaHandle> {
+    (0..n)
+        .map(|i| {
+            let store = Arc::new(ModelStore::with_majority_fallback(train, 8).expect("store"));
+            store.promote(Arc::clone(clean), 0, 0.9, "baseline");
+            ReplicaHandle { name: format!("replica-{i}"), store }
+        })
+        .collect()
+}
+
+fn empty_readings(n: usize) -> Vec<Vec<SensorReading>> {
+    vec![Vec::new(); n]
+}
+
+fn accuracy_reading(value: f64, tick: u64) -> SensorReading {
+    SensorReading {
+        sensor: "accuracy".to_string(),
+        property: TrustProperty::Performance,
+        direction: Direction::HigherIsBetter,
+        value,
+        tick,
+    }
+}
+
+/// Evidence whose mismatch rate comfortably exceeds the default 0.25 budget.
+fn mismatching_evidence() -> ShadowEvidence {
+    ShadowEvidence { samples: 32, mismatches: 20, errors: 0 }
+}
+
+fn clean_evidence(samples: u64) -> ShadowEvidence {
+    ShadowEvidence { samples, mismatches: 0, errors: 0 }
+}
+
+fn kinds(events: &[spatial_fleet::FleetEvent]) -> Vec<FleetEventKind> {
+    events.iter().map(|e| e.kind).collect()
+}
+
+#[test]
+fn rollback_restores_the_prior_epoch_bit_identically() {
+    let data = dataset();
+    let (train, test) = data.split(0.8, 42);
+    let (clean, bad) = models(&train);
+    let replicas = fleet(3, &train, &clean);
+    let baseline_id = replicas[0].store.deployed_meta().expect("baseline").id;
+    let baseline_pred = replicas[0].store.serving().0.predict_batch(&test.features);
+
+    let cfg = RolloutConfig {
+        policy: ResponsePolicy { rollback_cooldown: 2, ..ResponsePolicy::default() },
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(replicas, cfg);
+    ctl.begin_rollout(0, Arc::clone(&bad), 0.5, "poisoned retrain").expect("rollout starts");
+    assert_ne!(
+        ctl.store(0).serving().0.predict_batch(&test.features),
+        baseline_pred,
+        "the poisoned candidate must actually change predictions"
+    );
+
+    // First divergence: shadow comparisons disagree with the fleet.
+    let events = ctl.step(1, &empty_readings(3), mismatching_evidence());
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRolledBack]);
+    assert_eq!(ctl.store(0).deployed_meta().expect("meta").id, baseline_id);
+    assert_eq!(
+        ctl.store(0).serving().0.predict_batch(&test.features),
+        baseline_pred,
+        "rollback must restore the exact baseline behaviour"
+    );
+
+    // Retry after the cooldown re-promotes the candidate...
+    assert!(ctl.step(2, &empty_readings(3), ShadowEvidence::default()).is_empty());
+    let events = ctl.step(3, &empty_readings(3), ShadowEvidence::default());
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRetried]);
+
+    // ...and a second divergence outside the flap window rolls back again. The
+    // store history now holds a stale candidate snapshot between the pointer
+    // and the baseline; the controller must rewind *past* it.
+    for tick in 4..=11 {
+        assert!(ctl.step(tick, &empty_readings(3), ShadowEvidence::default()).is_empty());
+    }
+    let events = ctl.step(12, &empty_readings(3), mismatching_evidence());
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRolledBack]);
+    assert_eq!(ctl.store(0).deployed_meta().expect("meta").id, baseline_id);
+    assert_eq!(
+        ctl.store(0).serving().0.predict_batch(&test.features),
+        baseline_pred,
+        "second rollback must skip the rolled-away candidate snapshot"
+    );
+}
+
+#[test]
+fn a_flapping_canary_is_quarantined_and_never_ramped() {
+    let data = dataset();
+    let (train, _test) = data.split(0.8, 42);
+    let (clean, bad) = models(&train);
+    let replicas = fleet(3, &train, &clean);
+    let baseline_id = replicas[0].store.deployed_meta().expect("baseline").id;
+
+    let cfg = RolloutConfig {
+        policy: ResponsePolicy {
+            rollback_cooldown: 2,
+            escalation_window: 8,
+            ..ResponsePolicy::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(replicas, cfg);
+    let epoch = ctl.begin_rollout(0, bad, 0.5, "poisoned retrain").expect("rollout starts");
+
+    let events = ctl.step(1, &empty_readings(3), mismatching_evidence());
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRolledBack]);
+    let events = ctl.step(3, &empty_readings(3), ShadowEvidence::default());
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRetried]);
+    // Diverging again right after the retry is a flap: inside the escalation
+    // window the epoch is quarantined instead of cycling forever.
+    let events = ctl.step(4, &empty_readings(3), mismatching_evidence());
+    assert_eq!(kinds(&events), vec![FleetEventKind::EpochQuarantined]);
+
+    assert!(ctl.is_quarantined(epoch));
+    assert_eq!(ctl.quarantined_epochs(), vec![epoch]);
+    assert_eq!(ctl.phase(), spatial_fleet::RolloutPhase::Idle);
+    // Never ramped: no ramp events anywhere in the log.
+    assert!(ctl.events().iter().all(|e| e.kind != FleetEventKind::RampStarted
+        && e.kind != FleetEventKind::ReplicaRamped
+        && e.kind != FleetEventKind::RolloutCompleted));
+    // The canary replica serves the restored baseline, not the fallback: the
+    // *epoch* is quarantined, the replica is healthy.
+    assert_eq!(ctl.store(0).deployed_meta().expect("meta").id, baseline_id);
+    assert!(!ctl.store(0).is_quarantined());
+    for (_, epoch_now) in ctl.replica_epochs() {
+        assert_eq!(epoch_now, 0, "no replica may be left on the quarantined epoch");
+    }
+}
+
+#[test]
+fn a_healthy_canary_soaks_then_ramps_to_completion() {
+    let data = dataset();
+    let (train, test) = data.split(0.8, 42);
+    let (clean, _bad) = models(&train);
+    let replicas = fleet(3, &train, &clean);
+
+    let cfg = RolloutConfig {
+        soak_ticks: 2,
+        ramp_interval: 1,
+        min_shadow_samples: 8,
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(replicas, cfg);
+    let epoch = ctl.begin_rollout(0, Arc::clone(&clean), 0.92, "retrained").expect("starts");
+
+    let mut log = Vec::new();
+    for tick in 1..=6 {
+        log.extend(kinds(&ctl.step(tick, &empty_readings(3), clean_evidence(16))));
+    }
+    assert_eq!(
+        log,
+        vec![
+            FleetEventKind::RampStarted,
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::RolloutCompleted,
+        ]
+    );
+    assert_eq!(ctl.phase(), spatial_fleet::RolloutPhase::Idle);
+    assert!(!ctl.is_quarantined(epoch));
+    for (name, epoch_now) in ctl.replica_epochs() {
+        assert_eq!(epoch_now, epoch, "{name} must serve the new epoch after completion");
+    }
+    // Every store answers identically: the fleet converged on one model.
+    let reference = ctl.store(0).serving().0.predict_batch(&test.features);
+    for idx in 1..3 {
+        assert_eq!(ctl.store(idx).serving().0.predict_batch(&test.features), reference);
+    }
+}
+
+#[test]
+fn canary_drift_with_a_stable_fleet_baseline_rolls_back() {
+    let data = dataset();
+    let (train, _test) = data.split(0.8, 42);
+    let (clean, bad) = models(&train);
+    let replicas = fleet(3, &train, &clean);
+
+    let mut ctl = FleetController::new(replicas, RolloutConfig::default());
+    ctl.begin_rollout(0, bad, 0.5, "poisoned retrain").expect("starts");
+
+    // The canary's accuracy sensor collapses while the baseline replicas hold
+    // steady — the drift signal alone (no shadow evidence) must trip rollback.
+    let mut rolled = false;
+    for tick in 1..=25 {
+        let canary_acc = if tick <= 3 { 0.9 } else { 0.2 };
+        let readings = vec![
+            vec![accuracy_reading(canary_acc, tick)],
+            vec![accuracy_reading(0.9, tick)],
+            vec![accuracy_reading(0.9, tick)],
+        ];
+        let events = ctl.step(tick, &readings, ShadowEvidence::default());
+        if let Some(e) = events.iter().find(|e| e.kind == FleetEventKind::CanaryRolledBack) {
+            assert!(e.detail.contains("canary drift"), "wrong divergence signal: {}", e.detail);
+            rolled = true;
+            break;
+        }
+    }
+    assert!(rolled, "a collapsing canary accuracy stream must trigger drift rollback");
+}
+
+/// One full flap episode, returning the rendered event log.
+fn flap_episode() -> Vec<String> {
+    let data = dataset();
+    let (train, _test) = data.split(0.8, 42);
+    let (clean, bad) = models(&train);
+    let replicas = fleet(3, &train, &clean);
+    let cfg = RolloutConfig {
+        policy: ResponsePolicy { rollback_cooldown: 2, ..ResponsePolicy::default() },
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(replicas, cfg);
+    ctl.begin_rollout(0, bad, 0.5, "poisoned retrain").expect("starts");
+    for tick in 1..=6 {
+        let evidence =
+            if tick == 1 || tick == 4 { mismatching_evidence() } else { ShadowEvidence::default() };
+        let readings = vec![
+            vec![accuracy_reading(0.7, tick)],
+            vec![accuracy_reading(0.9, tick)],
+            vec![accuracy_reading(0.9, tick)],
+        ];
+        ctl.step(tick, &readings, evidence);
+    }
+    ctl.events().iter().map(|e| e.to_string()).collect()
+}
+
+#[test]
+fn identical_runs_emit_identical_event_logs() {
+    let first = flap_episode();
+    let second = flap_episode();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "the controller must be deterministic tick for tick");
+}

@@ -29,7 +29,10 @@ use crate::breaker::{Admission, Breaker, Transition};
 use crate::http::{self, HttpServer, Request, Response};
 use crate::retry::{RetryPolicy, TokenBucket};
 use crate::wire::{to_json, ErrorBody};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use spatial_fleet::shadow::{compare_shadow, ShadowEvidence, ShadowOutcome, ShadowSampler};
+use spatial_linalg::rng;
+use spatial_telemetry::fleet as fleet_metrics;
 use spatial_telemetry::registry::{HistogramHandle, MetricsRegistry};
 use spatial_telemetry::trace::{trace_to_json, SpanCollector, SpanId, SpanStatus, TraceId};
 use spatial_telemetry::{Counter, LatencyRecorder, ResilienceReport, SummaryReport};
@@ -58,11 +61,17 @@ pub const TRACE_HEADER: &str = "x-spatial-trace-id";
 /// spans under it. The gateway overwrites this with the current attempt's span id.
 pub const PARENT_SPAN_HEADER: &str = "x-spatial-parent-span";
 
+/// Header carrying an opaque shard key. Routes configured with
+/// [`RoutingPolicy::ConsistentHash`] pin all requests bearing the same key to the
+/// same replica (while it stays available); requests without the header fall back
+/// to round-robin.
+pub const SHARD_KEY_HEADER: &str = "x-spatial-shard-key";
+
 /// Spans retained by the gateway's trace collector before the oldest are evicted.
 const SPAN_CAPACITY: usize = 4096;
 
 /// Background health-checker policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthCheckConfig {
     /// Delay between probe sweeps.
     pub interval: Duration,
@@ -72,6 +81,15 @@ pub struct HealthCheckConfig {
     pub failures_to_evict: u32,
     /// Consecutive successful probes that restore an evicted replica.
     pub successes_to_restore: u32,
+    /// Per-replica probe jitter as a fraction of `interval` (`0.0` disables it).
+    /// With N replicas of one route, a jitter-free checker fires N probes in the
+    /// same instant every sweep — a synchronized burst that can tip a struggling
+    /// upstream over. Each probe is instead delayed by a seeded offset in
+    /// `[0, jitter * interval)`, deterministic per `(sweep, route, replica)`.
+    pub jitter: f64,
+    /// Seed for the probe-offset stream, so two gateways with the same
+    /// configuration jitter identically.
+    pub jitter_seed: u64,
 }
 
 impl Default for HealthCheckConfig {
@@ -81,6 +99,37 @@ impl Default for HealthCheckConfig {
             timeout: Duration::from_millis(250),
             failures_to_evict: 2,
             successes_to_restore: 1,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// How a route spreads requests over its replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Rotate through replicas in registration order (the seed behaviour).
+    #[default]
+    RoundRobin,
+    /// Prefer the replica with the fewest requests currently in flight
+    /// (ties break toward the lowest index, so the choice is deterministic).
+    LeastLoaded,
+    /// Rendezvous-hash the request's [`SHARD_KEY_HEADER`] over the replicas so
+    /// equal keys stick to one replica; keyless requests fall back to
+    /// round-robin. The seed keeps the key→replica mapping reproducible.
+    ConsistentHash {
+        /// Seed mixed into every rendezvous score.
+        seed: u64,
+    },
+}
+
+impl RoutingPolicy {
+    /// Stable label for status endpoints and dashboards.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::ConsistentHash { .. } => "consistent-hash",
         }
     }
 }
@@ -116,6 +165,14 @@ struct Upstream {
     breaker: Breaker,
     /// Set by the background health checker; evicted replicas leave rotation.
     evicted: AtomicBool,
+    /// Set administratively (e.g. while the replica is a rollout canary);
+    /// drained replicas leave live rotation but stay health-checked and keep
+    /// receiving shadow traffic.
+    drained: AtomicBool,
+    /// Requests currently being forwarded to this replica.
+    in_flight: AtomicUsize,
+    /// Free-form operator annotation surfaced by `GET /fleet` (e.g. the epoch).
+    tag: Mutex<String>,
     probe_failures: AtomicU32,
     probe_successes: AtomicU32,
 }
@@ -126,6 +183,9 @@ impl Upstream {
             addr,
             breaker: Breaker::new(circuit),
             evicted: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            tag: Mutex::new(String::new()),
             probe_failures: AtomicU32::new(0),
             probe_successes: AtomicU32::new(0),
         }
@@ -154,11 +214,23 @@ impl Upstream {
     }
 }
 
+/// A shadow tap on a route: a fraction of live requests is duplicated to
+/// `target` after the primary response is in hand, and the two responses are
+/// compared. Shadow failures are recorded, never surfaced.
+#[derive(Debug)]
+struct ShadowTap {
+    target: SocketAddr,
+    sampler: Mutex<ShadowSampler>,
+    evidence: Mutex<ShadowEvidence>,
+}
+
 /// One routing entry: a path prefix and its upstream replicas.
 #[derive(Debug)]
 struct Route {
     upstreams: Vec<Upstream>,
     next: AtomicUsize,
+    policy: RoutingPolicy,
+    shadow: Option<ShadowTap>,
     recorder: Arc<LatencyRecorder>,
     /// Per-route request latency in the shared registry, exposed via `/metrics`.
     duration: HistogramHandle,
@@ -243,6 +315,26 @@ pub struct ReplicaStatus {
     pub breaker: &'static str,
     /// Whether the background health checker has evicted it from rotation.
     pub evicted: bool,
+    /// Whether an operator (or the rollout driver) has drained it from live
+    /// rotation.
+    pub drained: bool,
+    /// Requests currently in flight to it.
+    pub in_flight: usize,
+    /// Operator annotation (e.g. `"epoch=2 canary"`), empty when unset.
+    pub tag: String,
+}
+
+/// Snapshot of a route's shadow tap, as returned by [`ApiGateway::shadow_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowReport {
+    /// Where duplicates are sent.
+    pub target: SocketAddr,
+    /// Live requests the sampler has seen since the tap was set.
+    pub total: u64,
+    /// Requests duplicated to the target.
+    pub sampled: u64,
+    /// Comparison outcomes accumulated so far.
+    pub evidence: ShadowEvidence,
 }
 
 /// The running gateway.
@@ -341,6 +433,8 @@ impl ApiGateway {
                     Route {
                         upstreams: vec![Upstream::new(upstream, circuit)],
                         next: AtomicUsize::new(0),
+                        policy: RoutingPolicy::RoundRobin,
+                        shadow: None,
                         recorder: Arc::new(LatencyRecorder::new(prefix)),
                         duration,
                     },
@@ -380,10 +474,98 @@ impl ApiGateway {
                     addr: u.addr,
                     breaker: u.breaker.state_name(),
                     evicted: u.evicted.load(Ordering::Relaxed),
+                    drained: u.drained.load(Ordering::Relaxed),
+                    in_flight: u.in_flight.load(Ordering::Relaxed),
+                    tag: u.tag.lock().clone(),
                 })
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Sets the routing policy of a registered route. Returns `false` for an
+    /// unknown prefix.
+    pub fn set_routing(&self, prefix: &str, policy: RoutingPolicy) -> bool {
+        let mut table = self.state.table.write();
+        match table.routes.get_mut(prefix) {
+            Some(route) => {
+                route.policy = policy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains (or un-drains) one replica of a route: a drained replica leaves
+    /// live rotation but stays health-checked and remains a valid shadow
+    /// target. Returns `false` when the route or replica is unknown.
+    pub fn set_drain(&self, prefix: &str, addr: SocketAddr, drained: bool) -> bool {
+        let table = self.state.table.read();
+        let Some(up) = table
+            .routes
+            .get(prefix)
+            .and_then(|route| route.upstreams.iter().find(|u| u.addr == addr))
+        else {
+            return false;
+        };
+        up.drained.store(drained, Ordering::Relaxed);
+        true
+    }
+
+    /// Annotates one replica with a free-form tag shown by `GET /fleet` (e.g.
+    /// `"epoch=2 canary"`). Returns `false` when the route or replica is unknown.
+    pub fn set_replica_tag(&self, prefix: &str, addr: SocketAddr, tag: &str) -> bool {
+        let table = self.state.table.read();
+        let Some(up) = table
+            .routes
+            .get(prefix)
+            .and_then(|route| route.upstreams.iter().find(|u| u.addr == addr))
+        else {
+            return false;
+        };
+        *up.tag.lock() = tag.to_string();
+        true
+    }
+
+    /// Installs a shadow tap on a route: from now on, a `fraction` of live
+    /// requests is duplicated to `target` after the primary response is served,
+    /// and the responses are compared (see `spatial_fleet::shadow`). Replaces
+    /// any existing tap and resets its counters. Returns `false` for an unknown
+    /// prefix.
+    pub fn set_shadow(&self, prefix: &str, target: SocketAddr, fraction: f64) -> bool {
+        let mut table = self.state.table.write();
+        match table.routes.get_mut(prefix) {
+            Some(route) => {
+                route.shadow = Some(ShadowTap {
+                    target,
+                    sampler: Mutex::new(ShadowSampler::new(fraction)),
+                    evidence: Mutex::new(ShadowEvidence::default()),
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a route's shadow tap, if any.
+    pub fn clear_shadow(&self, prefix: &str) {
+        if let Some(route) = self.state.table.write().routes.get_mut(prefix) {
+            route.shadow = None;
+        }
+    }
+
+    /// Snapshot of a route's shadow tap; `None` when no tap is installed.
+    pub fn shadow_report(&self, prefix: &str) -> Option<ShadowReport> {
+        let table = self.state.table.read();
+        let tap = table.routes.get(prefix)?.shadow.as_ref()?;
+        let sampler = tap.sampler.lock();
+        let report = ShadowReport {
+            target: tap.target,
+            total: sampler.total(),
+            sampled: sampler.shadowed(),
+            evidence: *tap.evidence.lock(),
+        };
+        Some(report)
     }
 
     /// Snapshot of the gateway's resilience telemetry. `faults_injected` is zero
@@ -462,23 +644,60 @@ enum Pick {
     Picked(usize, SocketAddr, bool),
 }
 
-/// Round-robins over replicas that are in rotation (not evicted) and admitted by
-/// their breaker. In the half-open state the breaker grants a single probe.
-fn pick_replica(state: &ForwardState, prefix: &str) -> Pick {
+/// Rendezvous score of one replica for one shard key: the replica with the
+/// highest score owns the key. Seeded and pure, so the key→replica mapping is
+/// reproducible and survives unrelated replicas joining or leaving (only keys
+/// owned by a departed replica move).
+fn shard_score(seed: u64, key: &str, replica: usize) -> u64 {
+    // FNV-1a over the key, mixed with the seed, finalized per replica.
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rng::derive_seed(h, replica as u64)
+}
+
+/// The order in which one attempt tries a route's replicas, per routing policy.
+/// The walk still applies eviction, drain, and breaker admission; the policy
+/// only decides preference.
+fn candidate_order(route: &Route, shard_key: Option<&str>) -> Vec<usize> {
+    let n = route.upstreams.len();
+    let round_robin = |route: &Route| {
+        let start_at = route.next.fetch_add(1, Ordering::Relaxed);
+        (0..n).map(|k| (start_at + k) % n).collect::<Vec<_>>()
+    };
+    match (route.policy, shard_key) {
+        (RoutingPolicy::LeastLoaded, _) => {
+            let load: Vec<usize> =
+                route.upstreams.iter().map(|u| u.in_flight.load(Ordering::Relaxed)).collect();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (load[i], i));
+            order
+        }
+        (RoutingPolicy::ConsistentHash { seed }, Some(key)) => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(shard_score(seed, key, i)), i));
+            order
+        }
+        _ => round_robin(route),
+    }
+}
+
+/// Walks the policy-ordered replicas that are in rotation (not evicted, not
+/// drained) and admitted by their breaker. In the half-open state the breaker
+/// grants a single probe.
+fn pick_replica(state: &ForwardState, prefix: &str, shard_key: Option<&str>) -> Pick {
     let table = state.table.read();
     let Some(route) = table.routes.get(prefix) else {
         return Pick::NoRoute;
     };
-    let n = route.upstreams.len();
-    if n == 0 {
+    if route.upstreams.is_empty() {
         return Pick::Unavailable;
     }
-    let start_at = route.next.fetch_add(1, Ordering::Relaxed);
     let now = Instant::now();
-    for k in 0..n {
-        let i = (start_at + k) % n;
+    for i in candidate_order(route, shard_key) {
         let up = &route.upstreams[i];
-        if up.evicted.load(Ordering::Relaxed) {
+        if up.evicted.load(Ordering::Relaxed) || up.drained.load(Ordering::Relaxed) {
             continue;
         }
         match up.breaker.try_acquire(now) {
@@ -491,6 +710,18 @@ fn pick_replica(state: &ForwardState, prefix: &str) -> Pick {
         }
     }
     Pick::Unavailable
+}
+
+/// Adjusts a replica's in-flight counter around an upstream attempt.
+fn track_in_flight(state: &ForwardState, prefix: &str, index: usize, delta: isize) {
+    let table = state.table.read();
+    if let Some(up) = table.routes.get(prefix).and_then(|r| r.upstreams.get(index)) {
+        if delta >= 0 {
+            up.in_flight.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            up.in_flight.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
 }
 
 /// Reports an attempt outcome to the chosen replica's breaker.
@@ -547,6 +778,7 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
             let routes = state.table.read().routes.len();
             Some(Response::json(format!("{{\"status\":\"ok\",\"routes\":{routes}}}").into_bytes()))
         }
+        "/fleet" => Some(Response::json(fleet_status_json(state).into_bytes())),
         path => {
             let id = path.strip_prefix("/trace/")?;
             Some(match TraceId::from_hex(id) {
@@ -562,6 +794,67 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
             })
         }
     }
+}
+
+/// Minimal JSON string escaping for operator-supplied values (tags).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Builds the `GET /fleet` body: per-route routing policy, per-replica breaker
+/// + eviction + drain + in-flight + tag state, and the shadow tap if one is
+/// installed. Routes are sorted by name so the output is deterministic.
+fn fleet_status_json(state: &ForwardState) -> String {
+    let table = state.table.read();
+    let mut names: Vec<&String> = table.routes.keys().collect();
+    names.sort();
+    let routes: Vec<String> = names
+        .into_iter()
+        .map(|name| {
+            let route = &table.routes[name];
+            let replicas: Vec<String> = route
+                .upstreams
+                .iter()
+                .map(|u| {
+                    format!(
+                        "{{\"addr\":\"{}\",\"breaker\":\"{}\",\"evicted\":{},\"drained\":{},\
+                         \"in_flight\":{},\"tag\":\"{}\"}}",
+                        u.addr,
+                        u.breaker.state_name(),
+                        u.evicted.load(Ordering::Relaxed),
+                        u.drained.load(Ordering::Relaxed),
+                        u.in_flight.load(Ordering::Relaxed),
+                        json_escape(&u.tag.lock()),
+                    )
+                })
+                .collect();
+            let shadow = match &route.shadow {
+                Some(tap) => {
+                    let sampler = tap.sampler.lock();
+                    let evidence = *tap.evidence.lock();
+                    format!(
+                        "{{\"target\":\"{}\",\"total\":{},\"sampled\":{},\"samples\":{},\
+                         \"mismatches\":{},\"errors\":{}}}",
+                        tap.target,
+                        sampler.total(),
+                        sampler.shadowed(),
+                        evidence.samples,
+                        evidence.mismatches,
+                        evidence.errors,
+                    )
+                }
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"route\":\"{}\",\"policy\":\"{}\",\"replicas\":[{}],\"shadow\":{}}}",
+                json_escape(name),
+                route.policy.name(),
+                replicas.join(","),
+                shadow
+            )
+        })
+        .collect();
+    format!("{{\"routes\":[{}]}}", routes.join(","))
 }
 
 /// Resolves the route and forwards the request with the configured resilience
@@ -607,6 +900,7 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         req.method.eq_ignore_ascii_case("GET") || req.headers.contains_key(IDEMPOTENT_HEADER);
     let max_attempts = if idempotent { state.config.retry.max_attempts.max(1) } else { 1 };
     let base_headers = forwardable_headers(&req);
+    let shard_key = req.headers.get(SHARD_KEY_HEADER).cloned();
 
     let mut attempts = 0u32;
     let mut retries = 0u32;
@@ -622,7 +916,7 @@ fn forward(state: &ForwardState, req: Request) -> Response {
             }
         }
 
-        let (index, upstream, probe) = match pick_replica(state, &prefix) {
+        let (index, upstream, probe) = match pick_replica(state, &prefix, shard_key.as_deref()) {
             Pick::NoRoute => break json_error(404, format!("no route for /{prefix}")),
             Pick::Unavailable => {
                 root.set_attr("shed", "no-available-upstream");
@@ -660,6 +954,7 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         headers.push((TRACE_HEADER.to_string(), trace_id.to_string()));
         headers.push((PARENT_SPAN_HEADER.to_string(), attempt_span.span_id().to_string()));
 
+        track_in_flight(state, &prefix, index, 1);
         let result = http::request_with_headers(
             upstream,
             &req.method,
@@ -668,6 +963,7 @@ fn forward(state: &ForwardState, req: Request) -> Response {
             &req.body,
             timeout,
         );
+        track_in_flight(state, &prefix, index, -1);
         // Transport failures count against the breaker; an HTTP response (any
         // status) means the replica is alive.
         note_attempt(state, &prefix, index, result.is_ok());
@@ -738,6 +1034,11 @@ fn forward(state: &ForwardState, req: Request) -> Response {
             &[("route", &prefix), ("code", &code)],
         )
         .inc();
+    // The primary response is already decided; the shadow duplicate (if the
+    // route has a tap and the sampler admits this request) happens after the
+    // route latency was recorded, so shadow overhead never pollutes the
+    // client-latency series.
+    maybe_shadow(state, &prefix, &req, &response, &base_headers);
     root.set_attr("status", code);
     root.set_attr("attempts", attempts.to_string());
     root.set_status(if response.status < 500 { SpanStatus::Ok } else { SpanStatus::Error });
@@ -762,9 +1063,100 @@ fn finalize_failure(
     last_failure
 }
 
+/// Marker header set on shadow duplicates so upstreams (and tests) can tell a
+/// mirrored request from live traffic.
+pub const SHADOW_HEADER: &str = "x-spatial-shadow";
+
+/// Duplicates this request to the route's shadow target — if a tap is installed
+/// and its sampler admits the request — and scores the canary's answer against
+/// the already-served primary response. Runs synchronously so evidence counts
+/// are deterministic under serial load; the duplicate is bounded by the normal
+/// upstream timeout. The primary response is never altered: shadow mismatches
+/// and failures become evidence in the tap (and `spatial_fleet_shadow_*`
+/// counters), not client-visible errors.
+fn maybe_shadow(
+    state: &ForwardState,
+    prefix: &str,
+    req: &Request,
+    primary: &Response,
+    base_headers: &[(String, String)],
+) {
+    let target = {
+        let table = state.table.read();
+        let Some(tap) = table.routes.get(prefix).and_then(|r| r.shadow.as_ref()) else {
+            return;
+        };
+        if !tap.sampler.lock().admit() {
+            return;
+        }
+        tap.target
+    };
+    state
+        .registry
+        .counter_with(
+            fleet_metrics::FLEET_SHADOW_REQUESTS_COUNTER,
+            fleet_metrics::FLEET_SHADOW_REQUESTS_HELP,
+            &[("route", prefix)],
+        )
+        .inc();
+    let mut headers = base_headers.to_vec();
+    headers.push((SHADOW_HEADER.to_string(), "1".to_string()));
+    let outcome = match http::request_with_headers(
+        target,
+        &req.method,
+        &req.path,
+        &headers,
+        &req.body,
+        state.config.upstream_timeout,
+    ) {
+        Ok(resp) => compare_shadow(primary.status, &primary.body, resp.status, &resp.body),
+        Err(_) => ShadowOutcome::Error,
+    };
+    match outcome {
+        ShadowOutcome::Match => {}
+        ShadowOutcome::Mismatch => state
+            .registry
+            .counter_with(
+                fleet_metrics::FLEET_SHADOW_MISMATCHES_COUNTER,
+                fleet_metrics::FLEET_SHADOW_MISMATCHES_HELP,
+                &[("route", prefix)],
+            )
+            .inc(),
+        ShadowOutcome::Error => state
+            .registry
+            .counter_with(
+                fleet_metrics::FLEET_SHADOW_ERRORS_COUNTER,
+                fleet_metrics::FLEET_SHADOW_ERRORS_HELP,
+                &[("route", prefix)],
+            )
+            .inc(),
+    }
+    let table = state.table.read();
+    if let Some(tap) = table.routes.get(prefix).and_then(|r| r.shadow.as_ref()) {
+        tap.evidence.lock().record(outcome);
+    }
+}
+
+/// The seeded probe-start offset for one replica in one health sweep: a
+/// deterministic point in `[0, jitter * interval)`, keyed by `(sweep, route,
+/// replica)`. Zero when jitter is disabled. Spreading probe starts means N
+/// replicas of one route are not hit by a synchronized probe burst every sweep.
+fn probe_offset(config: &HealthCheckConfig, sweep: u64, prefix: &str, replica: usize) -> Duration {
+    if config.jitter <= 0.0 {
+        return Duration::ZERO;
+    }
+    let mut h = config.jitter_seed ^ sweep.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in prefix.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Top 53 bits of the derived stream → a uniform unit float.
+    let unit = (rng::derive_seed(h, replica as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    config.interval.mul_f64(config.jitter.min(1.0) * unit)
+}
+
 /// Spawns the background health checker: each sweep probes every upstream of every
-/// route concurrently, evicting replicas after consecutive failures and restoring
-/// them on recovery.
+/// route concurrently (each probe delayed by its seeded jitter offset), evicting
+/// replicas after consecutive failures and restoring them on recovery.
 fn spawn_health_checker(
     table: Arc<RwLock<Table>>,
     stats: Arc<ResilienceCounters>,
@@ -772,6 +1164,7 @@ fn spawn_health_checker(
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new().name("gateway-health-checker".into()).spawn(move || {
+        let mut sweep = 0u64;
         while !stop.load(Ordering::Relaxed) {
             let targets: Vec<(String, usize, SocketAddr)> = {
                 let t = table.read();
@@ -790,11 +1183,15 @@ fn spawn_health_checker(
             let outcomes: Vec<(String, usize, bool)> = std::thread::scope(|s| {
                 let handles: Vec<_> = targets
                     .iter()
-                    .map(|(prefix, _, addr)| {
+                    .map(|(prefix, i, addr)| {
+                        let offset = probe_offset(&config, sweep, prefix, *i);
                         let path = format!("/{prefix}/health");
                         let addr = *addr;
                         let timeout = config.timeout;
                         s.spawn(move || {
+                            if !offset.is_zero() {
+                                std::thread::sleep(offset);
+                            }
                             http::request(addr, "GET", &path, b"", timeout)
                                 .is_ok_and(|r| r.status == 200)
                         })
@@ -816,6 +1213,7 @@ fn spawn_health_checker(
                     }
                 }
             }
+            sweep = sweep.wrapping_add(1);
             // Sleep in small slices so shutdown stays prompt.
             let mut slept = Duration::ZERO;
             while slept < config.interval && !stop.load(Ordering::Relaxed) {
@@ -1229,6 +1627,7 @@ mod tests {
                 timeout: Duration::from_millis(150),
                 failures_to_evict: 2,
                 successes_to_restore: 1,
+                ..HealthCheckConfig::default()
             }),
         })
         .unwrap();
@@ -1420,5 +1819,204 @@ mod tests {
             SpanId::from_hex(up_parent).unwrap(),
             "the upstream's parent header must be the attempt span's id"
         );
+    }
+
+    #[test]
+    fn shard_scores_are_deterministic_and_key_sensitive() {
+        assert_eq!(shard_score(7, "user-42", 0), shard_score(7, "user-42", 0));
+        assert_ne!(shard_score(7, "user-42", 0), shard_score(7, "user-42", 1));
+        assert_ne!(shard_score(7, "user-42", 0), shard_score(7, "user-43", 0));
+        assert_ne!(shard_score(7, "user-42", 0), shard_score(8, "user-42", 0));
+    }
+
+    #[test]
+    fn probe_offset_is_zero_without_jitter_and_bounded_with_it() {
+        let plain = HealthCheckConfig::default();
+        assert_eq!(probe_offset(&plain, 3, "upper", 1), Duration::ZERO);
+
+        let jittered = HealthCheckConfig {
+            interval: Duration::from_millis(100),
+            jitter: 0.5,
+            jitter_seed: 11,
+            ..HealthCheckConfig::default()
+        };
+        let mut offsets = Vec::new();
+        for replica in 0..4 {
+            let off = probe_offset(&jittered, 0, "upper", replica);
+            assert!(off <= Duration::from_millis(50), "offset {off:?} exceeds jitter bound");
+            assert_eq!(off, probe_offset(&jittered, 0, "upper", replica), "must be deterministic");
+            offsets.push(off);
+        }
+        offsets.dedup();
+        assert!(offsets.len() > 1, "replicas of one route must not probe in lockstep");
+        // A new sweep re-draws the offsets, so lockstep cannot re-emerge over time.
+        assert_ne!(
+            (0..4).map(|r| probe_offset(&jittered, 0, "upper", r)).collect::<Vec<_>>(),
+            (0..4).map(|r| probe_offset(&jittered, 1, "upper", r)).collect::<Vec<_>>(),
+        );
+    }
+
+    fn two_named_replicas() -> (ApiGateway, HttpServer, HttpServer) {
+        let a = HttpServer::spawn(|_req| Response::json(b"\"a\"".to_vec())).unwrap();
+        let b = HttpServer::spawn(|_req| Response::json(b"\"b\"".to_vec())).unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("svc", a.addr());
+        gw.register("svc", b.addr());
+        (gw, a, b)
+    }
+
+    #[test]
+    fn consistent_hash_pins_a_shard_key_to_one_replica() {
+        let (gw, _a, _b) = two_named_replicas();
+        assert!(gw.set_routing("svc", RoutingPolicy::ConsistentHash { seed: 42 }));
+        let body_for = |key: &str| {
+            let r = request_with_headers(
+                gw.addr(),
+                "GET",
+                "/svc/x",
+                &[(SHARD_KEY_HEADER.to_string(), key.to_string())],
+                b"",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(r.status, 200);
+            String::from_utf8(r.body).unwrap()
+        };
+        let first = body_for("session-9");
+        for _ in 0..7 {
+            assert_eq!(body_for("session-9"), first, "a shard key must stick to its replica");
+        }
+        // Different keys spread: across many keys both replicas must appear.
+        let spread: std::collections::HashSet<String> =
+            (0..16).map(|k| body_for(&format!("session-{k}"))).collect();
+        assert_eq!(spread.len(), 2, "hashing must use both replicas across keys");
+    }
+
+    #[test]
+    fn consistent_hash_without_a_key_falls_back_to_round_robin() {
+        let (gw, _a, _b) = two_named_replicas();
+        assert!(gw.set_routing("svc", RoutingPolicy::ConsistentHash { seed: 42 }));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+            seen.insert(String::from_utf8(r.body).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "keyless requests must round-robin over both replicas");
+    }
+
+    #[test]
+    fn least_loaded_routes_around_a_busy_replica() {
+        let slow = HttpServer::spawn(|_req| {
+            std::thread::sleep(Duration::from_millis(400));
+            Response::json(b"\"slow\"".to_vec())
+        })
+        .unwrap();
+        let fast = HttpServer::spawn(|_req| Response::json(b"\"fast\"".to_vec())).unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("svc", slow.addr());
+        gw.register("svc", fast.addr());
+        assert!(gw.set_routing("svc", RoutingPolicy::LeastLoaded));
+
+        // All replicas idle: ties break by index, so the first request occupies
+        // replica 0 (the slow one)...
+        let gw_addr = gw.addr();
+        let occupier = std::thread::spawn(move || {
+            http::request(gw_addr, "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // ...so while it is in flight, a least-loaded pick must land on replica 1.
+        let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(String::from_utf8(r.body).unwrap(), "\"fast\"");
+        let first = occupier.join().unwrap();
+        assert_eq!(String::from_utf8(first.body).unwrap(), "\"slow\"");
+    }
+
+    #[test]
+    fn drained_replica_is_skipped_until_undrained() {
+        let (gw, a, _b) = two_named_replicas();
+        assert!(gw.set_drain("svc", a.addr(), true));
+        for _ in 0..4 {
+            let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(
+                String::from_utf8(r.body).unwrap(),
+                "\"b\"",
+                "drained replica must not serve"
+            );
+        }
+        assert!(gw.replica_status("svc").iter().any(|r| r.drained));
+        assert!(gw.set_drain("svc", a.addr(), false));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+            seen.insert(String::from_utf8(r.body).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "undrained replica must rejoin rotation");
+    }
+
+    #[test]
+    fn fleet_endpoint_reports_routing_and_replica_state() {
+        let (gw, a, _b) = two_named_replicas();
+        assert!(gw.set_routing("svc", RoutingPolicy::LeastLoaded));
+        assert!(gw.set_replica_tag("svc", a.addr(), "epoch=2 canary"));
+        assert!(gw.set_drain("svc", a.addr(), true));
+        let resp = http::request(gw.addr(), "GET", "/fleet", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"route\":\"svc\""), "{body}");
+        assert!(body.contains("\"policy\":\"least-loaded\""), "{body}");
+        assert!(body.contains("\"tag\":\"epoch=2 canary\""), "{body}");
+        assert!(body.contains("\"drained\":true"), "{body}");
+        assert!(body.contains(&format!("\"addr\":\"{}\"", a.addr())), "{body}");
+        assert!(body.contains("\"shadow\":null"), "{body}");
+    }
+
+    #[test]
+    fn shadow_tap_duplicates_a_fraction_with_the_shadow_header() {
+        let primary = HttpServer::spawn(|_req| Response::json(b"{\"class\":1}".to_vec())).unwrap();
+        let shadow_hits = Arc::new(AtomicUsize::new(0));
+        let marked = Arc::new(AtomicUsize::new(0));
+        let (hits, flags) = (Arc::clone(&shadow_hits), Arc::clone(&marked));
+        let shadow = HttpServer::spawn(move |req| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            if req.headers.get(SHADOW_HEADER).map(String::as_str) == Some("1") {
+                flags.fetch_add(1, Ordering::SeqCst);
+            }
+            Response::json(b"{\"class\":1}".to_vec())
+        })
+        .unwrap();
+        let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+        gw.register("svc", primary.addr());
+        assert!(gw.set_shadow("svc", shadow.addr(), 0.5));
+        for _ in 0..10 {
+            let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let report = gw.shadow_report("svc").expect("tap must be installed");
+        assert_eq!(report.total, 10);
+        assert_eq!(report.sampled, 5, "credit sampler at 0.5 must shadow exactly half");
+        assert_eq!(shadow_hits.load(Ordering::SeqCst), 5);
+        assert_eq!(marked.load(Ordering::SeqCst), 5, "duplicates must carry the shadow header");
+        assert_eq!(report.evidence.samples, 5);
+        assert_eq!(report.evidence.mismatches, 0);
+        assert_eq!(report.evidence.errors, 0);
+    }
+
+    #[test]
+    fn shadow_failures_never_surface_to_the_client() {
+        let primary = HttpServer::spawn(|_req| Response::json(b"{\"class\":0}".to_vec())).unwrap();
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let gw = ApiGateway::spawn(Duration::from_millis(500)).unwrap();
+        gw.register("svc", primary.addr());
+        assert!(gw.set_shadow("svc", dead, 1.0));
+        for _ in 0..4 {
+            let r = http::request(gw.addr(), "GET", "/svc/x", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(r.status, 200, "a dead shadow target must never fail the primary");
+        }
+        let report = gw.shadow_report("svc").expect("tap must be installed");
+        assert_eq!(report.sampled, 4);
+        assert_eq!(report.evidence.errors, 4, "transport failures count as shadow errors");
+        gw.clear_shadow("svc");
+        assert!(gw.shadow_report("svc").is_none());
+        assert_eq!(gw.route_summary("svc").unwrap().errors, 0);
     }
 }

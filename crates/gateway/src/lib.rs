@@ -43,8 +43,8 @@ pub mod worker;
 pub use breaker::{Admission, Breaker, CircuitConfig};
 pub use chaos::{ChaosProxy, ChaosService, Fault, FaultCounts, FaultPlan};
 pub use gateway::{
-    ApiGateway, GatewayConfig, HealthCheckConfig, DEADLINE_HEADER, IDEMPOTENT_HEADER,
-    PARENT_SPAN_HEADER, TRACE_HEADER,
+    ApiGateway, GatewayConfig, HealthCheckConfig, RoutingPolicy, ShadowReport, DEADLINE_HEADER,
+    IDEMPOTENT_HEADER, PARENT_SPAN_HEADER, SHADOW_HEADER, SHARD_KEY_HEADER, TRACE_HEADER,
 };
 pub use retry::RetryPolicy;
 pub use service::{Microservice, ServiceError, ServiceHost};

@@ -238,6 +238,37 @@ pub fn run_mixed(
     }
 }
 
+/// A thread-group run executing in the background — used by incident scenarios
+/// that must drive live client traffic *while* the test thread manipulates the
+/// fleet (e.g. a rollout promoted mid-soak).
+pub struct LoadHandle {
+    thread: std::thread::JoinHandle<LoadResult>,
+}
+
+impl LoadHandle {
+    /// Blocks until the run finishes and returns its listeners' output.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the load-generator thread.
+    pub fn join(self) -> LoadResult {
+        self.thread.join().expect("load generator must not panic")
+    }
+}
+
+/// Starts [`run_mixed`] on a background thread and returns immediately.
+pub fn spawn_mixed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    mix: &TrafficMix,
+    group: &ThreadGroup,
+) -> LoadHandle {
+    let (method, path, mix, group) =
+        (method.to_string(), path.to_string(), mix.clone(), group.clone());
+    LoadHandle { thread: std::thread::spawn(move || run_mixed(addr, &method, &path, &mix, &group)) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +428,26 @@ mod tests {
     #[should_panic(expected = "needs adversarial payloads")]
     fn poison_without_payloads_rejected() {
         let _ = TrafficMix::poisoned(&b"{}"[..], Vec::new(), 0.5, 1);
+    }
+
+    #[test]
+    fn spawned_run_completes_in_the_background() {
+        let server = marking_server();
+        let handle = spawn_mixed(
+            server.addr(),
+            "POST",
+            "/x",
+            &TrafficMix::clean_only(&b"{}"[..]),
+            &ThreadGroup {
+                threads: 2,
+                requests_per_thread: 3,
+                ramp_up: Duration::ZERO,
+                timeout: Duration::from_secs(5),
+                headers: Vec::new(),
+            },
+        );
+        let result = handle.join();
+        assert_eq!(result.summary.samples, 6);
+        assert_eq!(result.summary.errors, 0);
     }
 }

@@ -1,0 +1,78 @@
+//! Metric names for the fleet/rollout plane.
+//!
+//! The fleet controller (crate `spatial-fleet`) and the gateway's shadow
+//! duplication both export into the shared [`crate::MetricsRegistry`]; keeping
+//! the metric names and help strings here — the one crate both depend on —
+//! guarantees the `spatial_fleet_*` family stays consistent across exporters
+//! and scrape-side assertions.
+
+/// Per-replica deployed epoch (gauge, labelled `replica`). 0 = pre-rollout baseline.
+pub const FLEET_REPLICA_EPOCH_GAUGE: &str = "spatial_fleet_replica_epoch";
+pub const FLEET_REPLICA_EPOCH_HELP: &str =
+    "Model epoch currently deployed on each replica (0 = baseline)";
+
+/// Rollout phase (gauge): 0 = idle, 1 = canary/shadow evaluation, 2 = ramping.
+pub const FLEET_PHASE_GAUGE: &str = "spatial_fleet_rollout_phase";
+pub const FLEET_PHASE_HELP: &str = "Rollout state machine phase (0=idle,1=canary,2=ramping)";
+
+/// Fleet-merged drift state per sensor (gauge, labelled `sensor`): 0/1/2.
+pub const FLEET_DRIFT_STATE_GAUGE: &str = "spatial_fleet_drift_state";
+pub const FLEET_DRIFT_STATE_HELP: &str =
+    "Quorum-merged drift state across replicas per sensor (0=stable,1=warning,2=drifting)";
+
+/// Number of epochs currently quarantined (gauge).
+pub const FLEET_QUARANTINED_GAUGE: &str = "spatial_fleet_quarantined_epochs";
+pub const FLEET_QUARANTINED_HELP: &str = "Model epochs quarantined by the rollout controller";
+
+/// Canary rollbacks executed by the controller (counter).
+pub const FLEET_ROLLBACKS_COUNTER: &str = "spatial_fleet_rollbacks_total";
+pub const FLEET_ROLLBACKS_HELP: &str = "Canary rollbacks executed by the rollout controller";
+
+/// Epoch quarantines executed by the controller (counter).
+pub const FLEET_QUARANTINES_COUNTER: &str = "spatial_fleet_quarantines_total";
+pub const FLEET_QUARANTINES_HELP: &str = "Epoch quarantines executed by the rollout controller";
+
+/// Replica promotions during ramp, canary included (counter).
+pub const FLEET_PROMOTIONS_COUNTER: &str = "spatial_fleet_promotions_total";
+pub const FLEET_PROMOTIONS_HELP: &str = "Replica promotions executed by the rollout controller";
+
+/// Shadow duplicates sent to a canary (counter, labelled `route` on the gateway).
+pub const FLEET_SHADOW_REQUESTS_COUNTER: &str = "spatial_fleet_shadow_requests_total";
+pub const FLEET_SHADOW_REQUESTS_HELP: &str = "Live requests duplicated to a shadow target";
+
+/// Shadow duplicates whose canary answer disagreed with the primary (counter).
+pub const FLEET_SHADOW_MISMATCHES_COUNTER: &str = "spatial_fleet_shadow_mismatches_total";
+pub const FLEET_SHADOW_MISMATCHES_HELP: &str =
+    "Shadow duplicates whose canary response disagreed with the primary";
+
+/// Shadow duplicates where the canary errored (counter). Never client-visible.
+pub const FLEET_SHADOW_ERRORS_COUNTER: &str = "spatial_fleet_shadow_errors_total";
+pub const FLEET_SHADOW_ERRORS_HELP: &str =
+    "Shadow duplicates where the canary failed (transport error or 5xx)";
+
+#[cfg(test)]
+mod tests {
+    /// Every fleet metric name must be legal under the Prometheus data model —
+    /// the same charset the scrape validator enforces.
+    #[test]
+    fn metric_names_are_scrape_legal() {
+        for name in [
+            super::FLEET_REPLICA_EPOCH_GAUGE,
+            super::FLEET_PHASE_GAUGE,
+            super::FLEET_DRIFT_STATE_GAUGE,
+            super::FLEET_QUARANTINED_GAUGE,
+            super::FLEET_ROLLBACKS_COUNTER,
+            super::FLEET_QUARANTINES_COUNTER,
+            super::FLEET_PROMOTIONS_COUNTER,
+            super::FLEET_SHADOW_REQUESTS_COUNTER,
+            super::FLEET_SHADOW_MISMATCHES_COUNTER,
+            super::FLEET_SHADOW_ERRORS_COUNTER,
+        ] {
+            assert!(name.starts_with("spatial_fleet_"), "{name} outside the fleet namespace");
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{name} is not a legal metric name"
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod clock;
 pub mod counter;
+pub mod fleet;
 pub mod histogram;
 pub mod instrument;
 pub mod latency;

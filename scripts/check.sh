@@ -22,6 +22,9 @@ cargo run -q --release -p spatial-bench --bin perf_baseline -- --smoke > /dev/nu
 echo "== oversight MTTD/MTTR smoke (small scale) =="
 cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --rounds 26
 
+echo "== rollout MTTR smoke (canary blast radius must be zero) =="
+cargo run -q --release -p spatial-bench --bin rollout_mttr -- --smoke > /dev/null
+
 echo "== conformance audit (oracles, axioms, metamorphic relations, wire fuzz smoke) =="
 cargo run -q --release -p spatial-bench --bin conformance -- --smoke
 

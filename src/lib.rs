@@ -22,6 +22,7 @@
 //! | [`attacks`] | `spatial-attacks` | label flipping/swapping, FGSM, GAN poisoning |
 //! | [`resilience`] | `spatial-resilience` | impact/complexity metrics, CIA taxonomy |
 //! | [`core`] | `spatial-core` | AI sensors, monitors, trust score, feedback loop |
+//! | [`fleet`] | `spatial-fleet` | canary/shadow rollout state machine, epoch quarantine |
 //! | [`gateway`] | `spatial-gateway` | HTTP micro-services, API gateway, load generator |
 //! | [`dashboard`] | `spatial-dashboard` | terminal AI dashboard, alerts, audit export |
 //!
@@ -44,6 +45,7 @@ pub use spatial_attacks as attacks;
 pub use spatial_core as core;
 pub use spatial_dashboard as dashboard;
 pub use spatial_data as data;
+pub use spatial_fleet as fleet;
 pub use spatial_gateway as gateway;
 pub use spatial_linalg as linalg;
 pub use spatial_ml as ml;

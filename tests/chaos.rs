@@ -289,6 +289,10 @@ fn health_checker_keeps_the_cluster_clean_under_replica_death() {
             timeout: Duration::from_millis(150),
             failures_to_evict: 2,
             successes_to_restore: 1,
+            // Seeded jitter: probes of the two replicas start up to 25% of the
+            // interval apart instead of as a synchronized burst.
+            jitter: 0.25,
+            jitter_seed: 7,
         }),
     };
     let gw = ApiGateway::spawn_with_config(config).expect("gateway spawns");

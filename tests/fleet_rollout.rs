@@ -1,0 +1,356 @@
+//! Integration: fleet-level serving end to end (the ISSUE 6 acceptance test).
+//!
+//! A 3-replica UC1 serving fleet behind the gateway. A poisoned retrain is
+//! promoted to the canary replica; shadowed live traffic flags the divergence;
+//! the controller auto-rolls the canary back and — when the epoch flaps on
+//! retry — quarantines the epoch. The client-visible request stream sees zero
+//! 5xx for the whole episode, the fleet metrics ride the `/metrics` scrape
+//! gate, and two identical runs produce bit-identical event logs.
+
+use spatial::attacks::label_flip::random_label_flip;
+use spatial::core::property::{Direction, TrustProperty};
+use spatial::core::respond::ResponsePolicy;
+use spatial::core::sensor::SensorReading;
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::data::Dataset;
+use spatial::fleet::{FleetController, FleetEvent, FleetEventKind, ReplicaHandle, RolloutConfig};
+use spatial::gateway::http::request;
+use spatial::gateway::loadgen::{self, ThreadGroup, TrafficMix};
+use spatial::gateway::service::ServiceHost;
+use spatial::gateway::services::ServingService;
+use spatial::gateway::ApiGateway;
+use spatial::ml::metrics::accuracy;
+use spatial::ml::tree::DecisionTree;
+use spatial::ml::{Model, ModelStore};
+use spatial_conformance::assert_valid_prometheus_text;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROUTE: &str = "serve";
+
+fn uc1_data() -> (Dataset, Dataset) {
+    let ds = binarize_falls(&generate(&UnimibConfig { samples: 400, ..UnimibConfig::default() }));
+    ds.split(0.8, 42)
+}
+
+fn fit_tree(train: &Dataset) -> Arc<dyn Model> {
+    let mut tree = DecisionTree::new();
+    tree.fit(train).expect("fit");
+    Arc::new(tree)
+}
+
+fn body_for(row: &[f64]) -> Vec<u8> {
+    let coords: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+    format!("{{\"features\":[{}]}}", coords.join(",")).into_bytes()
+}
+
+/// The fleet under test: 3 serving replicas behind one gateway route, each with
+/// its own versioned store serving the clean baseline.
+struct Fleet {
+    gw: ApiGateway,
+    _hosts: Vec<ServiceHost>,
+    addrs: Vec<SocketAddr>,
+    ctl: FleetController,
+}
+
+fn build_fleet(train: &Dataset, clean: &Arc<dyn Model>, cfg: RolloutConfig) -> Fleet {
+    let gw = ApiGateway::spawn(Duration::from_secs(5)).expect("gateway spawns");
+    let mut hosts = Vec::new();
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let store = Arc::new(ModelStore::with_majority_fallback(train, 8).expect("store"));
+        store.promote(Arc::clone(clean), 0, 0.9, "baseline");
+        let host = ServiceHost::spawn(
+            Arc::new(ServingService::new(Arc::clone(&store), train.n_features(), 2)),
+            32,
+        )
+        .expect("replica spawns");
+        gw.register(ROUTE, host.addr());
+        addrs.push(host.addr());
+        handles.push(ReplicaHandle { name: format!("replica-{i}"), store });
+        hosts.push(host);
+    }
+    let ctl = FleetController::new(handles, cfg).with_registry(gw.metrics_registry());
+    Fleet { gw, _hosts: hosts, addrs, ctl }
+}
+
+/// Applies the controller's events to the gateway: drain/undrain the canary,
+/// point the shadow tap, tag replicas. This is "the driver" in the design docs.
+fn apply_events(fleet: &Fleet, events: &[FleetEvent], shadow_fraction: f64) {
+    let canary = fleet.addrs[0];
+    for event in events {
+        match event.kind {
+            FleetEventKind::CanaryStarted | FleetEventKind::CanaryRetried => {
+                assert!(fleet.gw.set_drain(ROUTE, canary, true));
+                assert!(fleet.gw.set_shadow(ROUTE, canary, shadow_fraction));
+                assert!(fleet.gw.set_replica_tag(
+                    ROUTE,
+                    canary,
+                    &format!("epoch={} canary", event.epoch)
+                ));
+            }
+            FleetEventKind::CanaryRolledBack => {
+                // Keep the canary drained between attempts; just stop shadowing
+                // so the next attempt's evidence window starts fresh.
+                fleet.gw.clear_shadow(ROUTE);
+            }
+            FleetEventKind::EpochQuarantined | FleetEventKind::RampAborted => {
+                fleet.gw.clear_shadow(ROUTE);
+                assert!(fleet.gw.set_drain(ROUTE, canary, false));
+                assert!(fleet.gw.set_replica_tag(ROUTE, canary, ""));
+            }
+            FleetEventKind::RampStarted => {
+                fleet.gw.clear_shadow(ROUTE);
+                assert!(fleet.gw.set_drain(ROUTE, canary, false));
+            }
+            FleetEventKind::ReplicaRamped | FleetEventKind::RolloutCompleted => {}
+        }
+    }
+}
+
+/// Per-replica accuracy readings for one tick, measured on the holdout set —
+/// the fleet's quality sensors.
+fn fleet_readings(fleet: &Fleet, holdout: &Dataset, tick: u64) -> Vec<Vec<SensorReading>> {
+    (0..3)
+        .map(|i| {
+            let (model, _) = fleet.ctl.store(i).serving();
+            vec![SensorReading {
+                sensor: "accuracy".to_string(),
+                property: TrustProperty::Performance,
+                direction: Direction::HigherIsBetter,
+                value: accuracy(&model.predict_batch(&holdout.features), &holdout.labels),
+                tick,
+            }]
+        })
+        .collect()
+}
+
+/// One deterministic bad-epoch episode: promote the poisoned tree to the
+/// canary, serve 20 live requests each tick (cycling rows the clean and
+/// poisoned trees *disagree* on, so every shadow comparison is a mismatch), and
+/// feed the gateway's live shadow evidence back into the controller. Returns
+/// the rendered event log and every client-visible status.
+fn bad_epoch_episode() -> (Vec<String>, Vec<u16>, Fleet) {
+    let (train, holdout) = uc1_data();
+    let clean = fit_tree(&train);
+    let bad = fit_tree(&random_label_flip(&train, 0.45, 7).dataset);
+
+    // Rows where the two models disagree: shadowing these makes the mismatch
+    // rate 1.0, so divergence is deterministic, not a statistical accident.
+    let clean_pred = clean.predict_batch(&holdout.features);
+    let bad_pred = bad.predict_batch(&holdout.features);
+    let diff_rows: Vec<usize> =
+        (0..holdout.features.rows()).filter(|&r| clean_pred[r] != bad_pred[r]).collect();
+    assert!(
+        diff_rows.len() >= 8,
+        "a 45% label-flip model must disagree with the clean one: {} rows",
+        diff_rows.len()
+    );
+
+    let cfg = RolloutConfig {
+        shadow_fraction: 0.5,
+        min_shadow_samples: 8,
+        max_mismatch_rate: 0.25,
+        policy: ResponsePolicy {
+            rollback_cooldown: 2,
+            escalation_window: 8,
+            ..ResponsePolicy::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let mut fleet = build_fleet(&train, &clean, cfg);
+
+    let epoch = fleet
+        .ctl
+        .begin_rollout(0, Arc::clone(&bad), 0.55, "poisoned retrain")
+        .expect("rollout starts");
+    assert_eq!(epoch, 1);
+    apply_events(&fleet, &fleet.ctl.events().to_vec(), cfg.shadow_fraction);
+
+    let mut statuses = Vec::new();
+    for tick in 1..=6u64 {
+        // 20 live client requests through the gateway, every tick.
+        for k in 0..20 {
+            let row = holdout.features.row(diff_rows[k % diff_rows.len()]);
+            let resp = request(
+                fleet.gw.addr(),
+                "POST",
+                "/serve/predict",
+                &body_for(row),
+                Duration::from_secs(5),
+            )
+            .expect("client request answered");
+            statuses.push(resp.status);
+        }
+        let shadow = fleet.gw.shadow_report(ROUTE).map(|r| r.evidence).unwrap_or_default();
+        let readings = fleet_readings(&fleet, &holdout, tick);
+        let events = fleet.ctl.step(tick, &readings, shadow);
+        apply_events(&fleet, &events, cfg.shadow_fraction);
+    }
+
+    let log = fleet.ctl.events().iter().map(|e| e.to_string()).collect();
+    (log, statuses, fleet)
+}
+
+#[test]
+fn bad_epoch_is_rolled_back_then_quarantined_with_zero_client_5xx() {
+    let (train, holdout) = uc1_data();
+    let clean = fit_tree(&train);
+    let baseline_pred = clean.predict_batch(&holdout.features);
+
+    let (log, statuses, fleet) = bad_epoch_episode();
+
+    // The whole story, in order: canary up, divergence, retry, flap-quarantine.
+    let kinds: Vec<FleetEventKind> = fleet.ctl.events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FleetEventKind::CanaryStarted,
+            FleetEventKind::CanaryRolledBack,
+            FleetEventKind::CanaryRetried,
+            FleetEventKind::EpochQuarantined,
+        ],
+        "{log:?}"
+    );
+    assert!(fleet.ctl.is_quarantined(1));
+    assert_eq!(fleet.ctl.phase(), spatial::fleet::RolloutPhase::Idle);
+
+    // Zero 5xx client-visible for the whole episode — the bad epoch never
+    // answered a live request (canary drained; shadow failures are evidence).
+    assert_eq!(statuses.len(), 120);
+    assert!(statuses.iter().all(|&s| s == 200), "non-200 in {statuses:?}");
+    assert_eq!(fleet.gw.route_summary(ROUTE).expect("route").errors, 0);
+
+    // Rollback restored the canary bit-identically: same deployed predictions
+    // as the pre-rollout baseline on the whole holdout set.
+    let (canary_model, _) = fleet.ctl.store(0).serving();
+    assert_eq!(canary_model.predict_batch(&holdout.features), baseline_pred);
+    for (name, epoch) in fleet.ctl.replica_epochs() {
+        assert_eq!(epoch, 0, "{name} must be back on the baseline epoch");
+    }
+    // The replica itself is healthy — the epoch is quarantined, not the store.
+    assert!(!fleet.ctl.store(0).is_quarantined());
+
+    // Fleet state is visible to operators: the /fleet admin endpoint...
+    let resp =
+        request(fleet.gw.addr(), "GET", "/fleet", b"", Duration::from_secs(5)).expect("/fleet");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).expect("utf-8");
+    assert!(body.contains("\"route\":\"serve\""), "{body}");
+    assert!(body.contains("\"policy\":\"round-robin\""), "{body}");
+    assert!(body.contains("\"drained\":false"), "{body}");
+    assert!(body.contains("\"shadow\":null"), "{body}");
+
+    // ...and the spatial_fleet_* family rides the same scrape gate as the seed
+    // metrics.
+    let resp =
+        request(fleet.gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).expect("metrics");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).expect("utf-8");
+    for needle in [
+        "spatial_fleet_rollout_phase",
+        "spatial_fleet_replica_epoch{replica=\"replica-0\"}",
+        "spatial_fleet_quarantined_epochs 1",
+        "spatial_fleet_shadow_requests_total{route=\"serve\"}",
+        "spatial_fleet_shadow_mismatches_total{route=\"serve\"}",
+        "spatial_fleet_promotions_total",
+        "spatial_fleet_rollbacks_total",
+        "spatial_fleet_quarantines_total 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    assert_valid_prometheus_text(&text);
+}
+
+#[test]
+fn the_episode_is_deterministic_across_runs() {
+    let (first_log, first_statuses, _) = bad_epoch_episode();
+    let (second_log, second_statuses, _) = bad_epoch_episode();
+    assert!(!first_log.is_empty());
+    assert_eq!(first_log, second_log, "event logs must match bit for bit");
+    assert_eq!(first_statuses, second_statuses);
+}
+
+/// ISSUE 6 loadgen scenario: the same incident under concurrent UC1 load. The
+/// load generator hammers the route from 4 threads while the rollout promotes,
+/// diverges, and rolls back in real time — and the client-visible stream sees
+/// zero 5xx for the whole episode (degraded answers are allowed, 5xx are not).
+#[test]
+fn mid_rollout_incident_under_live_load_keeps_clients_clean() {
+    let (train, holdout) = uc1_data();
+    let clean = fit_tree(&train);
+    let bad = fit_tree(&random_label_flip(&train, 0.45, 7).dataset);
+
+    // A probe row the two models disagree on, so live-traffic shadow
+    // comparisons reliably flag the canary.
+    let clean_pred = clean.predict_batch(&holdout.features);
+    let bad_pred = bad.predict_batch(&holdout.features);
+    let probe_row = (0..holdout.features.rows())
+        .find(|&r| clean_pred[r] != bad_pred[r])
+        .expect("poisoned tree must disagree somewhere");
+
+    let cfg = RolloutConfig {
+        shadow_fraction: 0.5,
+        min_shadow_samples: 8,
+        max_mismatch_rate: 0.25,
+        policy: ResponsePolicy {
+            rollback_cooldown: 2,
+            escalation_window: 16,
+            ..ResponsePolicy::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let mut fleet = build_fleet(&train, &clean, cfg);
+
+    // Live UC1 traffic starts first; the incident happens under it.
+    let load = loadgen::spawn_mixed(
+        fleet.gw.addr(),
+        "POST",
+        "/serve/predict",
+        &TrafficMix::clean_only(body_for(holdout.features.row(probe_row))),
+        &ThreadGroup {
+            threads: 4,
+            requests_per_thread: 150,
+            ramp_up: Duration::from_millis(20),
+            timeout: Duration::from_secs(5),
+            headers: Vec::new(),
+        },
+    );
+    std::thread::sleep(Duration::from_millis(50));
+
+    fleet
+        .ctl
+        .begin_rollout(0, Arc::clone(&bad), 0.55, "poisoned retrain under load")
+        .expect("rollout starts");
+    apply_events(&fleet, &fleet.ctl.events().to_vec(), cfg.shadow_fraction);
+
+    // Real-time controller loop: evidence comes from the gateway's live shadow
+    // tap, not synthetic counters. The driver also trickles a few requests of
+    // its own so evidence keeps accumulating even if the load run drains early.
+    let probe = body_for(holdout.features.row(probe_row));
+    let mut tick = 0u64;
+    while !fleet.ctl.is_quarantined(1) && tick < 400 {
+        tick += 1;
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..4 {
+            let resp =
+                request(fleet.gw.addr(), "POST", "/serve/predict", &probe, Duration::from_secs(5))
+                    .expect("driver probe answered");
+            assert!(resp.status < 500, "probe saw a 5xx: {}", resp.status);
+        }
+        let shadow = fleet.gw.shadow_report(ROUTE).map(|r| r.evidence).unwrap_or_default();
+        let events = fleet.ctl.step(tick, &fleet_readings(&fleet, &holdout, tick), shadow);
+        apply_events(&fleet, &events, cfg.shadow_fraction);
+    }
+    assert!(fleet.ctl.is_quarantined(1), "the poisoned epoch must end quarantined");
+
+    let result = load.join();
+    assert_eq!(result.summary.samples, 600);
+    assert_eq!(
+        result.summary.errors, 0,
+        "zero client-visible 5xx through the whole incident: {:?}",
+        result.summary
+    );
+}

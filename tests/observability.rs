@@ -55,49 +55,10 @@ fn observed_cluster() -> (ApiGateway, Vec<ServiceHost>) {
     (gw, hosts)
 }
 
-/// Structural validation of Prometheus text exposition: every non-comment line is
-/// `name{labels} value` with a parsable float, metric names are legal, and each
-/// histogram series' cumulative buckets are monotonically non-decreasing.
-fn assert_valid_prometheus_text(text: &str) {
-    // Last seen cumulative count per (bucket-series minus its `le` label).
-    let mut bucket_watermarks: std::collections::HashMap<String, u64> =
-        std::collections::HashMap::new();
-    for line in text.lines() {
-        if line.is_empty() || line.starts_with("# ") {
-            continue;
-        }
-        // Split on the *last* space: label values may contain escaped spaces.
-        let idx = line.rfind(' ').unwrap_or_else(|| panic!("unparsable sample line: {line}"));
-        let (series, value) = (&line[..idx], &line[idx + 1..]);
-        let value: f64 =
-            value.parse().unwrap_or_else(|_| panic!("sample value must be a float: {line}"));
-        let name = series.split('{').next().unwrap();
-        assert!(
-            !name.is_empty()
-                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
-            "invalid metric name in line: {line}"
-        );
-        if name.ends_with("_bucket") {
-            // Identify the series by everything except the `le="..."` label.
-            let key = match series.find("le=\"") {
-                Some(i) => {
-                    let close =
-                        series[i + 4..].find('"').map(|j| i + 5 + j).unwrap_or(series.len());
-                    format!("{}{}", &series[..i], &series[close..])
-                }
-                None => series.to_string(),
-            };
-            let count = value as u64;
-            if let Some(prev) = bucket_watermarks.get(&key) {
-                assert!(
-                    count >= *prev,
-                    "cumulative buckets must be monotone: {line} after count {prev}"
-                );
-            }
-            bucket_watermarks.insert(key, count);
-        }
-    }
-}
+// Structural Prometheus exposition validation now lives in the conformance
+// crate (`spatial_conformance::scrape`), shared with the fleet-rollout suite
+// and the bench bins.
+use spatial_conformance::assert_valid_prometheus_text;
 
 #[test]
 fn a_single_request_is_visible_in_metrics_trace_and_healthz() {
