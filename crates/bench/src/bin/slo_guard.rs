@@ -1,0 +1,218 @@
+//! SLO guard — multi-window burn-rate paging vs drift-only detection.
+//!
+//! Stages two latency incidents against the same deterministic request stream
+//! (virtual clock, fixed tick geometry — no randomness anywhere) and lets two
+//! watchdogs race:
+//!
+//! - **burn-rate** — the PR-7 [`SloEngine`]: a latency SLO ("99 % of requests
+//!   at or under 25 ms") evaluated with the standard multi-window rules; the
+//!   page fires only when burn exceeds 14.4× over *both* the 1 h and the 5 m
+//!   window.
+//! - **drift-only** — the pre-existing oversight signal: a Page–Hinkley
+//!   detector on the per-tick bad-request fraction, the same detector family
+//!   the monitor runs on model-quality streams.
+//!
+//! Scenario A is a sustained tail regression (20 % of requests jump from 5 ms
+//! to 80 ms and stay there). Scenario B is a transient blip (two ticks at 50 %
+//! bad, then full recovery). Reported per watchdog:
+//!
+//! - **mttd_secs** — seconds from the regression to the first page (scenario A).
+//! - **false_pages** — pages raised on the transient blip (scenario B), where
+//!   the correct number is zero.
+//!
+//! The point of the multi-window recipe is the trade the table shows: the
+//! drift detector reacts within a tick but also latches a page on the blip;
+//! the burn-rate page arrives later and ignores the blip entirely.
+//!
+//! Prints one JSON object on stdout; `--write` also saves it to
+//! `BENCH_slo.json`. Flags: `--smoke` (invariant assertions; the run is
+//! already small and deterministic).
+
+use spatial_bench::banner;
+use spatial_core::drift::{DriftDetector, DriftState, PageHinkley};
+use spatial_telemetry::clock::VirtualClock;
+use spatial_telemetry::registry::MetricsRegistry;
+use spatial_telemetry::slo::{BreachSeverity, SloEngine, SloSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seconds of virtual time per tick.
+const TICK_SECS: u64 = 10;
+/// Requests per tick.
+const REQUESTS_PER_TICK: u64 = 100;
+/// Healthy request latency (ms) — far under the SLO threshold.
+const FAST_MS: f64 = 5.0;
+/// Regressed request latency (ms) — far over the SLO threshold.
+const SLOW_MS: f64 = 80.0;
+/// SLO latency threshold (ms).
+const THRESHOLD_MS: f64 = 25.0;
+/// SLO objective: fraction of requests that must be fast.
+const OBJECTIVE: f64 = 0.99;
+/// Healthy warm-up ticks before each staged incident.
+const WARMUP_TICKS: u64 = 30;
+
+fn main() {
+    banner(
+        "SLO guard — burn-rate paging vs drift-only detection, staged latency incidents",
+        "multi-window multi-burn-rate alerting pages on sustained burn and ignores blips",
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+
+    println!(
+        "tick={TICK_SECS}s requests/tick={REQUESTS_PER_TICK} objective={OBJECTIVE} \
+         threshold={THRESHOLD_MS}ms warmup={WARMUP_TICKS} ticks"
+    );
+    println!("scenario A: sustained 20% tail regression ({FAST_MS}ms -> {SLOW_MS}ms)");
+    println!("scenario B: transient blip, 2 ticks at 50% bad, then recovery\n");
+
+    let sustained = run_sustained();
+    let transient = run_transient();
+
+    println!("{:<12} {:>14} {:>14}", "watchdog", "mttd (A)", "false pages (B)");
+    for w in [&sustained.burn, &sustained.drift] {
+        let fp = if w.name == "burn-rate" { transient.burn.pages } else { transient.drift.pages };
+        match w.page_tick {
+            Some(t) => println!("{:<12} {:>13}s {:>14}", w.name, t * TICK_SECS, fp),
+            None => println!("{:<12} {:>14} {:>14}", w.name, "never", fp),
+        }
+    }
+    println!("\n(mttd counts seconds of virtual time from the regression to the first page;");
+    println!("false pages counts pages raised on a blip that self-heals within two ticks)");
+
+    if smoke {
+        let burn_mttd = sustained.burn.page_tick.expect("burn-rate must page on sustained burn");
+        assert!(burn_mttd >= 1, "the page must not precede the regression");
+        assert!(
+            sustained.drift.page_tick.is_some(),
+            "the drift baseline must also see the sustained regression"
+        );
+        assert_eq!(transient.burn.pages, 0, "burn-rate must ignore a two-tick blip");
+        assert!(transient.drift.pages > 0, "drift-only must false-page on the blip");
+        eprintln!(
+            "smoke OK: burn-rate paged at {}s with 0 false pages; drift false-paged {}x",
+            burn_mttd * TICK_SECS,
+            transient.drift.pages
+        );
+    }
+
+    let json = render_json(&sustained, &transient);
+    println!("{json}");
+    if write {
+        std::fs::write("BENCH_slo.json", format!("{json}\n")).expect("write BENCH_slo.json");
+        eprintln!("wrote BENCH_slo.json");
+    }
+}
+
+/// One watchdog's outcome in a scenario.
+struct Watch {
+    name: &'static str,
+    /// Ticks from the incident to the first page, if any.
+    page_tick: Option<u64>,
+    /// Total pages raised during the scenario.
+    pages: u64,
+}
+
+struct Scenario {
+    burn: Watch,
+    drift: Watch,
+}
+
+/// The shared harness: one registry + SLO engine + drift detector driven over
+/// `bad_fraction(tick_after_warmup)`, virtual clock advancing `TICK_SECS` per
+/// tick. Pages are attributed to ticks after the warm-up.
+fn run(total_ticks: u64, bad_per_tick: impl Fn(u64) -> u64) -> Scenario {
+    let clock = Arc::new(VirtualClock::new());
+    let registry = MetricsRegistry::new();
+    let engine = SloEngine::new(clock.clone() as Arc<dyn spatial_telemetry::clock::Clock>);
+    engine.install(SloSpec::latency(
+        "serve-latency",
+        "slo_guard_request_duration_ms",
+        THRESHOLD_MS,
+        OBJECTIVE,
+    ));
+    let hist = registry.histogram("slo_guard_request_duration_ms", "staged request latencies");
+    let mut detector = PageHinkley::default();
+
+    let mut burn = Watch { name: "burn-rate", page_tick: None, pages: 0 };
+    let mut drift = Watch { name: "drift-only", page_tick: None, pages: 0 };
+    let mut drift_paged_last = false;
+
+    for tick in 0..total_ticks {
+        clock.advance(Duration::from_secs(TICK_SECS));
+        let bad = bad_per_tick(tick.saturating_sub(WARMUP_TICKS)).min(REQUESTS_PER_TICK);
+        let bad = if tick < WARMUP_TICKS { 0 } else { bad };
+        for _ in 0..REQUESTS_PER_TICK - bad {
+            hist.observe(FAST_MS);
+        }
+        for _ in 0..bad {
+            hist.observe(SLOW_MS);
+        }
+        let after = tick.saturating_sub(WARMUP_TICKS) + 1;
+
+        // Burn-rate watchdog: a Page-severity breach from the engine.
+        let statuses = engine.evaluate(&registry);
+        let paged = statuses
+            .iter()
+            .filter_map(|s| s.breach.as_ref())
+            .any(|b| b.severity == BreachSeverity::Page);
+        if paged && tick >= WARMUP_TICKS {
+            burn.pages += 1;
+            burn.page_tick.get_or_insert(after);
+        }
+
+        // Drift watchdog: Page–Hinkley on the per-tick bad fraction. A page is
+        // the Stable -> Drifting edge, so a latched detector counts once.
+        let state = detector.update(bad as f64 / REQUESTS_PER_TICK as f64);
+        let firing = state == DriftState::Drifting;
+        if firing && !drift_paged_last && tick >= WARMUP_TICKS {
+            drift.pages += 1;
+            drift.page_tick.get_or_insert(after);
+        }
+        drift_paged_last = firing;
+    }
+    Scenario { burn, drift }
+}
+
+/// Scenario A: from the incident on, 20 % of every tick's requests are slow.
+/// Run long enough for the 1 h window to cross the 14.4× page threshold.
+fn run_sustained() -> Scenario {
+    run(WARMUP_TICKS + 150, |_| REQUESTS_PER_TICK / 5)
+}
+
+/// Scenario B: two ticks at 50 % bad, then fully healthy again.
+fn run_transient() -> Scenario {
+    run(WARMUP_TICKS + 60, |after| if after < 2 { REQUESTS_PER_TICK / 2 } else { 0 })
+}
+
+/// One hand-built JSON object (no serde needed), shaped like the other
+/// `BENCH_*.json` artifacts.
+fn render_json(sustained: &Scenario, transient: &Scenario) -> String {
+    let mttd = |w: &Watch| match w.page_tick {
+        Some(t) => (t * TICK_SECS).to_string(),
+        None => "null".to_string(),
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"spatial-slo-guard/v1\",\n");
+    out.push_str(&format!("  \"tick_secs\": {TICK_SECS},\n"));
+    out.push_str(&format!("  \"requests_per_tick\": {REQUESTS_PER_TICK},\n"));
+    out.push_str(&format!("  \"objective\": {OBJECTIVE},\n"));
+    out.push_str(&format!("  \"threshold_ms\": {THRESHOLD_MS},\n"));
+    out.push_str("  \"watchdogs\": [\n");
+    let rows = [
+        ("burn-rate", &sustained.burn, &transient.burn),
+        ("drift-only", &sustained.drift, &transient.drift),
+    ];
+    for (i, (name, s, t)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mttd_secs\": {}, \"false_pages\": {}}}{}\n",
+            name,
+            mttd(s),
+            t.pages,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push('}');
+    out
+}

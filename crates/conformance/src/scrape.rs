@@ -4,23 +4,44 @@
 //! fleet rollout controller's `spatial_fleet_*` family — must emit text a real
 //! scraper would accept. The checker validates the exposition format itself
 //! rather than any one metric: every non-comment line is `name{labels} value`
-//! with a parsable float, metric names use the legal charset, and each
-//! histogram's cumulative buckets are monotonically non-decreasing per series.
+//! with a parsable float, metric names use the legal charset, label blocks are
+//! balanced with legal escapes (`\\`, `\"`, `\n`) inside quoted values, each
+//! histogram's cumulative buckets are monotonically non-decreasing per series,
+//! and OpenMetrics exemplar clauses (`# {trace_id="…"} value`) appear only on
+//! `_bucket` lines and parse cleanly.
 //!
 //! Shared by `tests/observability.rs`, `tests/fleet_rollout.rs`, and the
 //! conformance bench bin, so the fleet metrics ride through the same gate as
 //! the seed ones.
+//!
+//! The earlier checker split each line on its *last* space, which silently
+//! accepted unescaped quotes inside label values and rejected every exemplar
+//! line; this one parses from the left, escape-aware, so the escaping rules in
+//! `spatial_telemetry::registry` are verified end to end rather than assumed.
 
 use std::collections::HashMap;
+
+/// One parsed sample line (exemplar clause excluded).
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
 
 /// Validates a Prometheus text exposition body. Returns the first violation as
 /// `Err(description)`.
 ///
 /// Checks, per sample line (comments and blanks skipped):
-/// 1. the line splits into a series and a float value on its last space;
+/// 1. the line parses from the left as `name{labels} value`, where the label
+///    block is balanced, label names use the legal charset, and label values
+///    use only the legal escapes (`\\`, `\"`, `\n`) — an unescaped `"` inside
+///    a value is a violation;
 /// 2. the metric name is non-empty and uses `[a-zA-Z0-9_:]` only;
-/// 3. `*_bucket` series are cumulative: for a fixed label set (minus `le`),
-///    counts never decrease in exposition order.
+/// 3. the value parses as a float (`+Inf`/`-Inf`/`NaN` included);
+/// 4. `*_bucket` series are cumulative: for a fixed label set (minus `le`),
+///    counts never decrease in exposition order;
+/// 5. an OpenMetrics exemplar clause (`# {labels} value`) is only present on
+///    `_bucket` lines and its label block and value parse by the same rules.
 pub fn check_prometheus_text(text: &str) -> Result<(), String> {
     // Last seen cumulative count per (bucket-series minus its `le` label).
     let mut bucket_watermarks: HashMap<String, u64> = HashMap::new();
@@ -28,28 +49,24 @@ pub fn check_prometheus_text(text: &str) -> Result<(), String> {
         if line.is_empty() || line.starts_with("# ") {
             continue;
         }
-        // Split on the *last* space: label values may contain escaped spaces.
-        let idx = line.rfind(' ').ok_or_else(|| format!("unparsable sample line: {line}"))?;
-        let (series, value) = (&line[..idx], &line[idx + 1..]);
-        let value: f64 =
-            value.parse().map_err(|_| format!("sample value must be a float: {line}"))?;
-        let name = series.split('{').next().unwrap_or_default();
-        if name.is_empty()
-            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-        {
-            return Err(format!("invalid metric name in line: {line}"));
+        let (sample, consumed) = parse_sample(line)?;
+        let rest = &line[consumed..];
+        if !rest.is_empty() {
+            let clause = rest
+                .strip_prefix(" # ")
+                .ok_or_else(|| format!("trailing garbage after sample: {line}"))?;
+            if !sample.name.ends_with("_bucket") {
+                return Err(format!("exemplars are only legal on _bucket lines: {line}"));
+            }
+            parse_exemplar(clause, line)?;
         }
-        if name.ends_with("_bucket") {
+        if sample.name.ends_with("_bucket") {
             // Identify the series by everything except the `le="..."` label.
-            let key = match series.find("le=\"") {
-                Some(i) => {
-                    let close =
-                        series[i + 4..].find('"').map(|j| i + 5 + j).unwrap_or(series.len());
-                    format!("{}{}", &series[..i], &series[close..])
-                }
-                None => series.to_string(),
-            };
-            let count = value as u64;
+            let mut key_labels: Vec<&(String, String)> =
+                sample.labels.iter().filter(|(k, _)| k != "le").collect();
+            key_labels.sort();
+            let key = format!("{}{:?}", sample.name, key_labels);
+            let count = sample.value as u64;
             if let Some(prev) = bucket_watermarks.get(&key) {
                 if count < *prev {
                     return Err(format!(
@@ -60,6 +77,111 @@ pub fn check_prometheus_text(text: &str) -> Result<(), String> {
             bucket_watermarks.insert(key, count);
         }
     }
+    Ok(())
+}
+
+/// Parses `name{labels} value` from the start of `line`; returns the sample and
+/// the byte length consumed (the value token ends at the next space or EOL, so
+/// an exemplar clause may follow).
+fn parse_sample(line: &str) -> Result<(Sample, usize), String> {
+    let name_end = line.find(|c: char| c == '{' || c == ' ').unwrap_or(line.len());
+    let name = &line[..name_end];
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("invalid metric name in line: {line}"));
+    }
+    let (labels, after_labels) = if line[name_end..].starts_with('{') {
+        let (labels, consumed) = parse_label_block(&line[name_end..], line)?;
+        (labels, name_end + consumed)
+    } else {
+        (Vec::new(), name_end)
+    };
+    let value_start = after_labels + 1;
+    if !line[after_labels..].starts_with(' ') || value_start >= line.len() {
+        return Err(format!("sample line is missing a value: {line}"));
+    }
+    let value_end = line[value_start..].find(' ').map(|j| value_start + j).unwrap_or(line.len());
+    let value: f64 = line[value_start..value_end]
+        .parse()
+        .map_err(|_| format!("sample value must be a float: {line}"))?;
+    Ok((Sample { name: name.to_string(), labels, value }, value_end))
+}
+
+/// Parses a `{k="v",...}` block at the start of `block`; returns the label
+/// pairs and the byte length consumed including both braces. Escape-aware:
+/// `\\`, `\"`, and `\n` are the only legal escapes inside a quoted value.
+fn parse_label_block(block: &str, line: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = block.as_bytes();
+    let mut labels = Vec::new();
+    let mut i = 1; // past '{'
+    if bytes.get(i) == Some(&b'}') {
+        return Ok((labels, i + 1));
+    }
+    loop {
+        let key_start = i;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+        {
+            i += 1;
+        }
+        let key = &block[key_start..i];
+        if key.is_empty() {
+            return Err(format!("empty or illegal label name: {line}"));
+        }
+        if !block[i..].starts_with("=\"") {
+            return Err(format!("label {key} must be followed by a quoted value: {line}"));
+        }
+        i += 2;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value: {line}")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => {
+                            return Err(format!("illegal escape in label value: {line}"));
+                        }
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let c = block[i..].chars().next().expect("in-bounds char");
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok((labels, i + 1)),
+            // An unescaped quote inside a value lands here: the scanner closed
+            // the value early and the next byte is neither ',' nor '}'.
+            _ => return Err(format!("label pairs must be separated by ',': {line}")),
+        }
+    }
+}
+
+/// Parses an OpenMetrics exemplar clause `{labels} value` (the `# ` prefix is
+/// already stripped).
+fn parse_exemplar(clause: &str, line: &str) -> Result<(), String> {
+    if !clause.starts_with('{') {
+        return Err(format!("exemplar clause must start with a label block: {line}"));
+    }
+    let (_, consumed) = parse_label_block(clause, line)?;
+    let value = clause[consumed..]
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("exemplar clause is missing a value: {line}"))?;
+    if value.is_empty() || value.contains(' ') {
+        return Err(format!("exemplar value must be a single float: {line}"));
+    }
+    value.parse::<f64>().map_err(|_| format!("exemplar value must be a float: {line}"))?;
     Ok(())
 }
 
@@ -113,5 +235,69 @@ mod tests {
                     lat_bucket{route=\"a\",le=\"+Inf\"} 6\n\
                     lat_bucket{route=\"b\",le=\"+Inf\"} 2\n";
         check_prometheus_text(text).unwrap();
+    }
+
+    #[test]
+    fn accepts_escaped_label_values() {
+        // Exactly what `spatial_telemetry::registry` emits for the raw value
+        // `a"b\c` + newline + `d`, plus spaces — all legal inside a value.
+        let text = "odd_total{path=\"a\\\"b\\\\c\\nd\",route=\"with space\"} 1\n";
+        check_prometheus_text(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_unescaped_quote_in_label_value() {
+        // Regression: the old last-space splitter accepted this line whole.
+        let err = check_prometheus_text("odd_total{path=\"a\"b\"} 1\n").unwrap_err();
+        assert!(err.contains("separated by ','"), "{err}");
+    }
+
+    #[test]
+    fn rejects_illegal_escape_in_label_value() {
+        let err = check_prometheus_text("odd_total{path=\"a\\tb\"} 1\n").unwrap_err();
+        assert!(err.contains("illegal escape"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_label_block() {
+        let err = check_prometheus_text("odd_total{path=\"a\" 1\n").unwrap_err();
+        assert!(err.contains("separated by ','") || err.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn accepts_openmetrics_exemplars_on_bucket_lines() {
+        let text = "lat_bucket{le=\"5\"} 3 # {trace_id=\"00ab\"} 4.2\n\
+                    lat_bucket{le=\"+Inf\"} 3\n\
+                    lat_count 3\n";
+        check_prometheus_text(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_exemplars_on_non_bucket_lines() {
+        let err = check_prometheus_text("lat_count 3 # {trace_id=\"00ab\"} 4.2\n").unwrap_err();
+        assert!(err.contains("only legal on _bucket"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_exemplar_clause() {
+        let err = check_prometheus_text("lat_bucket{le=\"5\"} 3 # trace=oops\n").unwrap_err();
+        assert!(err.contains("label block"), "{err}");
+        let err = check_prometheus_text("lat_bucket{le=\"5\"} 3 # {trace_id=\"a\"}\n").unwrap_err();
+        assert!(err.contains("missing a value"), "{err}");
+    }
+
+    #[test]
+    fn label_values_may_contain_comment_markers() {
+        // " # " inside a label value must not be mistaken for an exemplar.
+        let text = "odd_total{path=\"a # b\"} 1\n";
+        check_prometheus_text(text).unwrap();
+    }
+
+    #[test]
+    fn bucket_monotonicity_is_checked_with_exemplars_present() {
+        let text = "lat_bucket{le=\"1\"} 5 # {trace_id=\"aa\"} 0.5\n\
+                    lat_bucket{le=\"+Inf\"} 3\n";
+        let err = check_prometheus_text(text).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
     }
 }

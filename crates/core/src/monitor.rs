@@ -258,12 +258,14 @@ fn measure_traced(
     inst: &Instrumentation,
     trace: TraceId,
 ) -> (Vec<SensorReading>, Vec<(String, SensorError)>) {
+    let _prof = spatial_telemetry::profile::ProfScope::enter(&inst.profiler, "monitor.observe");
     let mut root = inst.collector.start_span(trace, None, "monitor.observe");
     root.set_attr("tick", tick.to_string());
     let mut readings = Vec::with_capacity(registry.len());
     let mut failures = Vec::new();
     for sensor in registry.iter() {
         let stage = stage_for(sensor.property());
+        let _sensor_prof = spatial_telemetry::profile::ProfScope::enter(&inst.profiler, stage);
         let mut span = inst.collector.start_span(trace, Some(root.span_id()), sensor.name());
         span.set_attr("stage", stage);
         let started = inst.clock.now_nanos();
@@ -287,7 +289,7 @@ fn measure_traced(
         let elapsed_ms = inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6;
         inst.registry
             .histogram_with(STAGE_HISTOGRAM, STAGE_HISTOGRAM_HELP, &[("stage", stage)])
-            .observe(elapsed_ms);
+            .observe_with_exemplar(elapsed_ms, trace);
         span.finish();
     }
     root.set_attr("sensors", registry.len().to_string());

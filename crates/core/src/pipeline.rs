@@ -14,6 +14,7 @@ use spatial_data::Dataset;
 use spatial_ml::pipeline::{AiPipeline, DeployedModel};
 use spatial_ml::{Model, TrainError};
 use spatial_telemetry::instrument::Instrumentation;
+use spatial_telemetry::profile::ProfScope;
 use spatial_telemetry::trace::{SpanStatus, TraceId};
 
 /// Data-stage findings gathered before training — the sensors of the pipeline's
@@ -142,6 +143,7 @@ fn run_traced(
     inst: &Instrumentation,
 ) -> Result<(DeployedModel, DataStageReport, TraceId), TrainError> {
     let trace = TraceId::generate();
+    let _prof = ProfScope::enter(&inst.profiler, "pipeline.run");
     let mut root = inst.collector.start_span(trace, None, "pipeline.run");
     root.set_attr("model", model.name());
     root.set_attr("samples", raw.n_samples().to_string());
@@ -152,17 +154,24 @@ fn run_traced(
     let started = inst.clock.now_nanos();
     let mut pre = inst.collector.start_span(trace, Some(root.span_id()), "preprocess");
     pre.set_attr("stage", "preprocess");
-    let data_report = inspect_data(raw);
+    let data_report = {
+        let _stage = ProfScope::enter(&inst.profiler, "preprocess");
+        inspect_data(raw)
+    };
     pre.set_attr("duplicate_fraction", format!("{:.4}", data_report.duplicate_fraction));
     pre.set_attr("non_finite_cells", data_report.non_finite_cells.to_string());
     pre.set_status(SpanStatus::Ok);
     pre.finish();
-    stage_hist("preprocess").observe(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6);
+    stage_hist("preprocess")
+        .observe_with_exemplar(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6, trace);
 
     let started = inst.clock.now_nanos();
     let mut infer = inst.collector.start_span(trace, Some(root.span_id()), "infer");
     infer.set_attr("stage", "infer");
-    let outcome = AiPipeline::new(model).run(raw, train_fraction, seed);
+    let outcome = {
+        let _stage = ProfScope::enter(&inst.profiler, "infer");
+        AiPipeline::new(model).run(raw, train_fraction, seed)
+    };
     match &outcome {
         Ok(_) => infer.set_status(SpanStatus::Ok),
         Err(e) => {
@@ -171,7 +180,8 @@ fn run_traced(
         }
     }
     infer.finish();
-    stage_hist("infer").observe(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6);
+    stage_hist("infer")
+        .observe_with_exemplar(inst.clock.now_nanos().saturating_sub(started) as f64 / 1e6, trace);
 
     match outcome {
         Ok(deployed) => {

@@ -31,6 +31,7 @@ use crate::monitor::Alert;
 use spatial_data::Dataset;
 use spatial_ml::metrics::accuracy;
 use spatial_ml::{Model, ModelStore};
+use spatial_telemetry::slo::{BreachSeverity, BudgetBreach};
 use spatial_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
@@ -46,6 +47,23 @@ pub const RECOVERY_ACTIONS_COUNTER: &str = "spatial_recovery_actions_total";
 
 /// Help text for [`RECOVERY_ACTIONS_COUNTER`].
 pub const RECOVERY_ACTIONS_HELP: &str = "Recovery actions executed by the automated oversight loop";
+
+/// Maps an SLO [`BudgetBreach`] onto the drift-verdict vocabulary the
+/// escalation ladder already speaks, so a burning error budget walks the same
+/// rungs as statistical drift: a page (fast burn) lands on the `Drifting` rung
+/// (rollback), a ticket (slow burn) on the `Warning` rung (sanitize + retrain).
+/// The verdict's sensor is `slo:<name>`, so `spatial_drift_state` exposes
+/// budget burn alongside the drift sensors.
+pub fn breach_verdict(breach: &BudgetBreach) -> DriftVerdict {
+    DriftVerdict {
+        sensor: format!("slo:{}", breach.slo),
+        detector: "burn-rate",
+        state: match breach.severity {
+            BreachSeverity::Page => DriftState::Drifting,
+            BreachSeverity::Ticket => DriftState::Warning,
+        },
+    }
+}
 
 /// Tuning knobs of the escalation ladder.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -625,6 +643,36 @@ mod tests {
         let ctx = RecoveryContext { train: &train, holdout: &holdout };
         let actions = ex.step(1, &mut bank, &[verdict(DriftState::Warning)], &[], &ctx);
         assert!(actions[0].outcome.contains("skipped"));
+    }
+
+    #[test]
+    fn budget_breaches_map_onto_the_escalation_ladder() {
+        let page = BudgetBreach {
+            slo: "gateway-latency".into(),
+            severity: BreachSeverity::Page,
+            burn_rate: 20.0,
+            window: "1h".into(),
+        };
+        let v = breach_verdict(&page);
+        assert_eq!(v.sensor, "slo:gateway-latency");
+        assert_eq!(v.detector, "burn-rate");
+        assert_eq!(v.state, DriftState::Drifting);
+
+        let ticket = BudgetBreach { severity: BreachSeverity::Ticket, ..page };
+        assert_eq!(breach_verdict(&ticket).state, DriftState::Warning);
+
+        // A breach verdict drives the executor's ladder end to end.
+        let train = blobs(120, 25);
+        let holdout = blobs(60, 26);
+        let store = store_with(&train, &holdout);
+        let mut bad = DecisionTree::new();
+        bad.fit(&train).unwrap();
+        store.promote(Arc::new(bad), 5, 0.5, "slow deploy");
+        let mut ex = executor(&store, ResponsePolicy::default());
+        let mut bank = DriftBank::new(DetectorKind::Cusum);
+        let ctx = RecoveryContext { train: &train, holdout: &holdout };
+        let actions = ex.step(6, &mut bank, &[breach_verdict(&ticket)], &[], &ctx);
+        assert!(!actions.is_empty(), "ticket breach must reach the Warning rung");
     }
 
     #[test]

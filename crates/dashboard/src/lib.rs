@@ -19,6 +19,10 @@
 //!   (deployed vs DEGRADED fallback) and the executed-action tail.
 //! - [`fleet`] — the replica-fleet panel: per-replica breaker/eviction/drain and
 //!   epoch state, quorum-merged drift, quarantined epochs, rollout event tail.
+//! - [`slo`] — error-budget panel: budget remaining, per-window burn rates,
+//!   firing breaches first.
+//! - [`profile`] — continuous-profiler panel: hottest self-time frames with
+//!   their share of recorded wall time.
 
 pub mod chart;
 pub mod export;
@@ -27,11 +31,15 @@ pub mod gauge;
 pub mod metrics;
 pub mod narrate;
 pub mod oversight;
+pub mod profile;
 pub mod render;
+pub mod slo;
 pub mod waterfall;
 
 pub use fleet::{render_fleet_panel, FleetReplicaRow};
 pub use metrics::render_metrics_panel;
 pub use oversight::{render_oversight_panel, ServingStatus};
+pub use profile::render_profile_panel;
 pub use render::{render_dashboard, DashboardView};
+pub use slo::render_slo_panel;
 pub use waterfall::render_waterfall;

@@ -1,0 +1,100 @@
+//! Profile panel — the continuous profiler's hot paths at a glance.
+//!
+//! Turns [`Profiler::report`] frames into the table an operator scans during
+//! an incident: the hottest self-time frames first, each with its share of
+//! the total recorded wall time, call count, and mean per-call latency.
+//!
+//! [`Profiler::report`]: spatial_telemetry::profile::Profiler::report
+
+use spatial_telemetry::profile::FrameStats;
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Renders the profile panel from `(path, stats)` frames (as returned by
+/// `Profiler::report`). Shows at most `max_rows` frames, hottest self-time
+/// first.
+pub fn render_profile_panel(frames: &[(String, FrameStats)], max_rows: usize) -> String {
+    let mut out = String::from("== HOT PATHS ==\n");
+    if frames.is_empty() {
+        out.push_str("profile: (no frames recorded)\n");
+        return out;
+    }
+
+    let total_self: u64 = frames.iter().map(|(_, s)| s.wall_self_nanos).sum();
+    let mut ranked: Vec<&(String, FrameStats)> = frames.iter().collect();
+    ranked.sort_by(|a, b| b.1.wall_self_nanos.cmp(&a.1.wall_self_nanos).then(a.0.cmp(&b.0)));
+    let shown = &ranked[..ranked.len().min(max_rows.max(1))];
+    out.push_str(&format!(
+        "frames: {} shown of {}  total self-time: {:.3}ms\n",
+        shown.len(),
+        ranked.len(),
+        total_self as f64 / 1e6
+    ));
+
+    for (path, stats) in shown {
+        let share =
+            if total_self == 0 { 0.0 } else { stats.wall_self_nanos as f64 / total_self as f64 };
+        let mean_us = if stats.calls == 0 {
+            0.0
+        } else {
+            stats.wall_self_nanos as f64 / stats.calls as f64 / 1e3
+        };
+        out.push_str(&format!(
+            "  {} {:>5.1}%  {:<40} calls={:<6} mean={:.1}us\n",
+            bar(share, 12),
+            share * 100.0,
+            path,
+            stats.calls,
+            mean_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(calls: u64, self_nanos: u64) -> FrameStats {
+        FrameStats {
+            calls,
+            wall_self_nanos: self_nanos,
+            wall_total_nanos: self_nanos,
+            cpu_nanos: 0,
+            allocs: 0,
+        }
+    }
+
+    #[test]
+    fn hottest_frame_leads_with_its_share() {
+        let frames = vec![
+            ("gateway.forward".to_string(), frame(10, 1_000_000)),
+            ("gateway.forward;upstream.attempt".to_string(), frame(10, 3_000_000)),
+        ];
+        let text = render_profile_panel(&frames, 10);
+        let upstream = text.find("upstream.attempt").expect("hot frame shown");
+        let forward = text.find("  gateway.forward ").expect("cool frame shown");
+        assert!(upstream < forward, "hottest frame must rank first:\n{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("calls=10"), "{text}");
+    }
+
+    #[test]
+    fn max_rows_truncates_but_reports_the_full_count() {
+        let frames: Vec<(String, FrameStats)> =
+            (0..5).map(|i| (format!("stage-{i}"), frame(1, 100 * (i + 1)))).collect();
+        let text = render_profile_panel(&frames, 2);
+        assert!(text.contains("frames: 2 shown of 5"), "{text}");
+        assert!(text.contains("stage-4"), "{text}");
+        assert!(!text.contains("stage-0"), "{text}");
+    }
+
+    #[test]
+    fn empty_panel_degrades_gracefully() {
+        let text = render_profile_panel(&[], 5);
+        assert!(text.contains("profile: (no frames recorded)"), "{text}");
+    }
+}

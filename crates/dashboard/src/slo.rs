@@ -1,0 +1,107 @@
+//! SLO panel — error budgets and burn rates for the operator.
+//!
+//! Renders the telemetry SLO engine's [`SloStatus`] snapshots the way an
+//! on-call engineer reads them: budget remaining as a bar, burn rates per
+//! window, and the firing breach (if any) called out at the top so a page is
+//! never buried under healthy rows.
+
+use crate::gauge::gauge;
+use spatial_telemetry::slo::{BreachSeverity, SloStatus};
+
+fn severity_tag(severity: BreachSeverity) -> &'static str {
+    match severity {
+        BreachSeverity::Page => "PAGE",
+        BreachSeverity::Ticket => "ticket",
+    }
+}
+
+/// Renders the SLO panel from engine snapshots, breaches first.
+pub fn render_slo_panel(statuses: &[SloStatus]) -> String {
+    let mut out = String::from("== SLO BUDGETS ==\n");
+    if statuses.is_empty() {
+        out.push_str("slos: (none installed)\n");
+        return out;
+    }
+
+    let firing: Vec<&SloStatus> = statuses.iter().filter(|s| s.breach.is_some()).collect();
+    if firing.is_empty() {
+        out.push_str("breaches: (none firing)\n");
+    } else {
+        for s in &firing {
+            let b = s.breach.as_ref().expect("filtered on breach");
+            out.push_str(&format!(
+                "  !! {} {}: burning {:.1}x budget over {}\n",
+                severity_tag(b.severity),
+                b.slo,
+                b.burn_rate,
+                b.window
+            ));
+        }
+    }
+
+    for s in statuses {
+        out.push_str(&format!(
+            "{}  objective={:.3}\n",
+            gauge(&format!("  {}", s.name), s.budget_remaining, 24),
+            s.objective
+        ));
+        for (window, burn) in &s.burn_rates {
+            let marker = if *burn >= 1.0 { "*" } else { " " };
+            out.push_str(&format!("      burn[{window:>3}] {marker}{burn:>8.2}x\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_telemetry::slo::BudgetBreach;
+
+    fn healthy(name: &str) -> SloStatus {
+        SloStatus {
+            name: name.into(),
+            objective: 0.99,
+            budget_remaining: 0.87,
+            burn_rates: vec![("5m".into(), 0.2), ("1h".into(), 0.4)],
+            breach: None,
+        }
+    }
+
+    #[test]
+    fn healthy_slos_show_budget_and_burn_without_a_breach_line() {
+        let text = render_slo_panel(&[healthy("serve-availability")]);
+        assert!(text.contains("== SLO BUDGETS =="), "{text}");
+        assert!(text.contains("breaches: (none firing)"), "{text}");
+        assert!(text.contains("serve-availability"), "{text}");
+        assert!(text.contains("objective=0.990"), "{text}");
+        assert!(text.contains("burn[ 5m]"), "{text}");
+        assert!(text.contains("burn[ 1h]"), "{text}");
+    }
+
+    #[test]
+    fn a_firing_page_is_called_out_at_the_top() {
+        let mut status = healthy("gateway-latency");
+        status.budget_remaining = 0.05;
+        status.burn_rates = vec![("5m".into(), 20.0), ("1h".into(), 18.3)];
+        status.breach = Some(BudgetBreach {
+            slo: "gateway-latency".into(),
+            severity: BreachSeverity::Page,
+            burn_rate: 18.3,
+            window: "1h".into(),
+        });
+        let text = render_slo_panel(&[status, healthy("serve-availability")]);
+        let page_at = text.find("!! PAGE gateway-latency").expect("page line present");
+        let healthy_at = text.find("serve-availability").expect("healthy row present");
+        assert!(page_at < healthy_at, "breach must precede healthy rows:\n{text}");
+        assert!(text.contains("burning 18.3x budget over 1h"), "{text}");
+        // Burn rates at or above 1x carry the over-budget marker.
+        assert!(text.contains("* "), "{text}");
+    }
+
+    #[test]
+    fn empty_panel_degrades_gracefully() {
+        let text = render_slo_panel(&[]);
+        assert!(text.contains("slos: (none installed)"), "{text}");
+    }
+}

@@ -40,6 +40,7 @@ use spatial_core::respond::ResponsePolicy;
 use spatial_core::sensor::SensorReading;
 use spatial_ml::{Model, ModelStore};
 use spatial_telemetry::fleet as names;
+use spatial_telemetry::slo::{BreachSeverity, BudgetBreach};
 use spatial_telemetry::MetricsRegistry;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -348,6 +349,21 @@ impl FleetController {
         readings: &[Vec<SensorReading>],
         shadow: ShadowEvidence,
     ) -> Vec<FleetEvent> {
+        self.step_with_slo(tick, readings, shadow, None)
+    }
+
+    /// [`FleetController::step`] with SLO budget evidence. A `Page` breach is a
+    /// hard divergence signal — it rolls a canary back and aborts a ramp exactly
+    /// like merged drift does. A `Ticket` breach freezes progress: soak ticks
+    /// stop accumulating and no further replica is promoted until the burn
+    /// clears, but nothing is rolled back.
+    pub fn step_with_slo(
+        &mut self,
+        tick: u64,
+        readings: &[Vec<SensorReading>],
+        shadow: ShadowEvidence,
+        breach: Option<&BudgetBreach>,
+    ) -> Vec<FleetEvent> {
         assert_eq!(
             readings.len(),
             self.replicas.len(),
@@ -360,18 +376,18 @@ impl FleetController {
         }
         let before = self.events.len();
         if self.active.is_some() {
-            self.step_active(tick, shadow);
+            self.step_active(tick, shadow, breach);
         }
         self.export_gauges();
         self.events[before..].to_vec()
     }
 
-    fn step_active(&mut self, tick: u64, shadow: ShadowEvidence) {
+    fn step_active(&mut self, tick: u64, shadow: ShadowEvidence, breach: Option<&BudgetBreach>) {
         let mut active = self.active.take().expect("checked by caller");
         let keep = if active.ramping {
-            self.step_ramping(tick, &mut active)
+            self.step_ramping(tick, &mut active, breach)
         } else {
-            self.step_canary(tick, shadow, &mut active)
+            self.step_canary(tick, shadow, &mut active, breach)
         };
         if keep {
             self.active = Some(active);
@@ -384,6 +400,7 @@ impl FleetController {
         tick: u64,
         shadow: ShadowEvidence,
         active: &mut ActiveRollout,
+        breach: Option<&BudgetBreach>,
     ) -> bool {
         let epoch = active.epoch;
         let canary = active.canary;
@@ -409,7 +426,12 @@ impl FleetController {
             return true;
         }
 
-        match self.divergence(canary, shadow) {
+        // An SLO page is treated exactly like observed divergence: the error
+        // budget is burning too fast for the canary to stay promoted.
+        let page_reason =
+            breach.filter(|b| b.severity == BreachSeverity::Page).map(slo_breach_reason);
+        let ticket_frozen = breach.is_some_and(|b| b.severity == BreachSeverity::Ticket);
+        match page_reason.or_else(|| self.divergence(canary, shadow)) {
             Some(reason) => {
                 let flapped = active.rollbacks >= 1
                     && tick < active.promoted_at + self.cfg.policy.escalation_window;
@@ -445,8 +467,9 @@ impl FleetController {
             }
             None => {
                 // Healthy ticks only count once the shadow evidence is deep
-                // enough to mean something.
-                if shadow.samples >= self.cfg.min_shadow_samples {
+                // enough to mean something, and never while a ticket-severity
+                // burn is open: the soak clock freezes until the budget recovers.
+                if shadow.samples >= self.cfg.min_shadow_samples && !ticket_frozen {
                     active.healthy_ticks += 1;
                 }
                 if active.healthy_ticks >= self.cfg.soak_ticks {
@@ -469,17 +492,30 @@ impl FleetController {
     }
 
     /// Returns whether the rollout stays in flight.
-    fn step_ramping(&mut self, tick: u64, active: &mut ActiveRollout) -> bool {
+    fn step_ramping(
+        &mut self,
+        tick: u64,
+        active: &mut ActiveRollout,
+        breach: Option<&BudgetBreach>,
+    ) -> bool {
         let epoch = active.epoch;
         // During ramp the promoted replicas serve live traffic; judge the fleet
-        // as a whole on merged evidence.
+        // as a whole on merged evidence. An SLO page is fleet-wide evidence of
+        // the same weight as merged drift and aborts the ramp outright.
         let merged = self.merged_drift();
-        if merged_severity(&merged) == DriftState::Drifting {
-            let drifting: Vec<&str> = merged
-                .iter()
-                .filter(|(_, s)| *s == DriftState::Drifting)
-                .map(|(n, _)| n.as_str())
-                .collect();
+        let page = breach.filter(|b| b.severity == BreachSeverity::Page);
+        if merged_severity(&merged) == DriftState::Drifting || page.is_some() {
+            let cause = match page {
+                Some(b) => slo_breach_reason(b),
+                None => {
+                    let drifting: Vec<&str> = merged
+                        .iter()
+                        .filter(|(_, s)| *s == DriftState::Drifting)
+                        .map(|(n, _)| n.as_str())
+                        .collect();
+                    format!("fleet drift on [{}]", drifting.join(","))
+                }
+            };
             let mut touched: Vec<usize> = vec![active.canary];
             touched.extend(active.ramped.iter().copied());
             for &idx in &touched {
@@ -490,16 +526,17 @@ impl FleetController {
                 epoch,
                 kind: FleetEventKind::RampAborted,
                 replica: String::new(),
-                detail: format!(
-                    "fleet drift on [{}]; rolled back {} replicas",
-                    drifting.join(","),
-                    touched.len()
-                ),
+                detail: format!("{cause}; rolled back {} replicas", touched.len()),
             });
-            self.quarantine_epoch(tick, epoch, "drift after ramp".to_string());
+            let quarantine_cause =
+                if page.is_some() { "slo page after ramp" } else { "drift after ramp" };
+            self.quarantine_epoch(tick, epoch, quarantine_cause.to_string());
             return false;
         }
-        if tick >= active.last_ramp + self.cfg.ramp_interval {
+        // A ticket-severity burn freezes the ramp in place: no further replica
+        // is promoted until the budget recovers.
+        let ticket_frozen = breach.is_some_and(|b| b.severity == BreachSeverity::Ticket);
+        if !ticket_frozen && tick >= active.last_ramp + self.cfg.ramp_interval {
             let next = (0..self.replicas.len())
                 .find(|i| *i != active.canary && !active.ramped.contains(i));
             if let Some(idx) = next {
@@ -707,4 +744,9 @@ impl FleetController {
     pub fn config(&self) -> &RolloutConfig {
         &self.cfg
     }
+}
+
+/// Render an SLO breach as a rollback/abort reason string.
+fn slo_breach_reason(b: &BudgetBreach) -> String {
+    format!("slo {} {}: burn rate {:.1} over {}", b.slo, b.severity.as_str(), b.burn_rate, b.window)
 }

@@ -1,0 +1,200 @@
+//! SLO budget gating of the rollout state machine (ISSUE 7).
+//!
+//! Burn-rate breaches from the telemetry SLO engine gate promotions the same
+//! way drift does: a `Page` breach rolls a canary back (and aborts a ramp,
+//! quarantining the epoch), while a `Ticket` breach freezes the soak clock and
+//! the ramp in place without rolling anything back.
+
+use spatial_attacks::label_flip::random_label_flip;
+use spatial_core::sensor::SensorReading;
+use spatial_data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial_data::Dataset;
+use spatial_fleet::{
+    FleetController, FleetEventKind, ReplicaHandle, RolloutConfig, ShadowEvidence,
+};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::{Model, ModelStore};
+use spatial_telemetry::slo::{BreachSeverity, BudgetBreach};
+use std::sync::Arc;
+
+fn train_set() -> Dataset {
+    let data = binarize_falls(&generate(&UnimibConfig { samples: 400, ..UnimibConfig::default() }));
+    data.split(0.8, 42).0
+}
+
+fn models(train: &Dataset) -> (Arc<dyn Model>, Arc<dyn Model>) {
+    let mut clean = DecisionTree::new();
+    clean.fit(train).expect("clean fit");
+    let poisoned = random_label_flip(train, 0.45, 7).dataset;
+    let mut bad = DecisionTree::new();
+    bad.fit(&poisoned).expect("poisoned fit");
+    (Arc::new(clean), Arc::new(bad))
+}
+
+fn fleet(n: usize, train: &Dataset, clean: &Arc<dyn Model>) -> Vec<ReplicaHandle> {
+    (0..n)
+        .map(|i| {
+            let store = Arc::new(ModelStore::with_majority_fallback(train, 8).expect("store"));
+            store.promote(Arc::clone(clean), 0, 0.9, "baseline");
+            ReplicaHandle { name: format!("replica-{i}"), store }
+        })
+        .collect()
+}
+
+fn empty_readings(n: usize) -> Vec<Vec<SensorReading>> {
+    vec![Vec::new(); n]
+}
+
+fn clean_evidence(samples: u64) -> ShadowEvidence {
+    ShadowEvidence { samples, mismatches: 0, errors: 0 }
+}
+
+fn page_breach() -> BudgetBreach {
+    BudgetBreach {
+        slo: "serve-availability".to_string(),
+        severity: BreachSeverity::Page,
+        burn_rate: 20.0,
+        window: "1h".to_string(),
+    }
+}
+
+fn ticket_breach() -> BudgetBreach {
+    BudgetBreach {
+        slo: "serve-availability".to_string(),
+        severity: BreachSeverity::Ticket,
+        burn_rate: 1.5,
+        window: "3d".to_string(),
+    }
+}
+
+fn kinds(events: &[spatial_fleet::FleetEvent]) -> Vec<FleetEventKind> {
+    events.iter().map(|e| e.kind).collect()
+}
+
+#[test]
+fn a_page_breach_rolls_the_canary_back_like_divergence() {
+    let train = train_set();
+    let (clean, bad) = models(&train);
+    let mut ctl = FleetController::new(fleet(3, &train, &clean), RolloutConfig::default());
+    ctl.begin_rollout(0, bad, 0.5, "retrain under burn").expect("starts");
+
+    // Shadow evidence is spotless; the page breach alone must trip rollback.
+    let events = ctl.step_with_slo(1, &empty_readings(3), clean_evidence(64), Some(&page_breach()));
+    assert_eq!(kinds(&events), vec![FleetEventKind::CanaryRolledBack]);
+    let detail = &events[0].detail;
+    assert!(detail.contains("slo serve-availability page"), "wrong reason: {detail}");
+    assert!(detail.contains("over 1h"), "wrong reason: {detail}");
+    for (_, epoch) in ctl.replica_epochs() {
+        assert_eq!(epoch, 0, "every replica back on the baseline epoch");
+    }
+}
+
+#[test]
+fn a_ticket_breach_freezes_the_soak_clock_without_rolling_back() {
+    let train = train_set();
+    let (clean, _) = models(&train);
+    let cfg = RolloutConfig {
+        soak_ticks: 2,
+        ramp_interval: 1,
+        min_shadow_samples: 8,
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(fleet(3, &train, &clean), cfg);
+    ctl.begin_rollout(0, Arc::clone(&clean), 0.92, "retrained").expect("starts");
+
+    // Plenty of clean shadow depth, but a ticket burn is open: the soak clock
+    // must not advance, so no ramp starts and nothing rolls back either.
+    let ticket = ticket_breach();
+    for tick in 1..=4 {
+        let events = ctl.step_with_slo(tick, &empty_readings(3), clean_evidence(64), Some(&ticket));
+        assert!(events.is_empty(), "frozen canary emitted {events:?}");
+    }
+    assert_eq!(ctl.phase(), spatial_fleet::RolloutPhase::Canary);
+
+    // Budget recovers: soaking resumes where it left off and the ramp begins.
+    let mut log = Vec::new();
+    for tick in 5..=10 {
+        log.extend(kinds(&ctl.step(tick, &empty_readings(3), clean_evidence(64))));
+    }
+    assert_eq!(
+        log,
+        vec![
+            FleetEventKind::RampStarted,
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::RolloutCompleted,
+        ]
+    );
+}
+
+#[test]
+fn a_page_breach_mid_ramp_aborts_and_quarantines_the_epoch() {
+    let train = train_set();
+    let (clean, bad) = models(&train);
+    let cfg = RolloutConfig {
+        soak_ticks: 1,
+        ramp_interval: 1,
+        min_shadow_samples: 8,
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(fleet(3, &train, &clean), cfg);
+    let epoch = ctl.begin_rollout(0, bad, 0.8, "latent regression").expect("starts");
+
+    // Soak then start ramping with one replica already promoted.
+    let events = ctl.step(1, &empty_readings(3), clean_evidence(16));
+    assert_eq!(kinds(&events), vec![FleetEventKind::RampStarted]);
+    let events = ctl.step(2, &empty_readings(3), clean_evidence(16));
+    assert_eq!(kinds(&events), vec![FleetEventKind::ReplicaRamped]);
+
+    // The regression shows up as an error-budget page, not as drift: the ramp
+    // aborts, every touched replica rolls back, and the epoch is quarantined.
+    let events = ctl.step_with_slo(3, &empty_readings(3), clean_evidence(16), Some(&page_breach()));
+    assert_eq!(kinds(&events), vec![FleetEventKind::RampAborted, FleetEventKind::EpochQuarantined]);
+    assert!(events[0].detail.contains("slo serve-availability page"), "{}", events[0].detail);
+    assert!(events[0].detail.contains("rolled back 2 replicas"), "{}", events[0].detail);
+    assert!(events[1].detail.contains("slo page after ramp"), "{}", events[1].detail);
+    assert!(ctl.is_quarantined(epoch));
+    assert_eq!(ctl.phase(), spatial_fleet::RolloutPhase::Idle);
+    for (name, epoch_now) in ctl.replica_epochs() {
+        assert_eq!(epoch_now, 0, "{name} must be back on the baseline epoch");
+    }
+}
+
+#[test]
+fn a_ticket_breach_mid_ramp_pauses_promotions_until_it_clears() {
+    let train = train_set();
+    let (clean, _) = models(&train);
+    let cfg = RolloutConfig {
+        soak_ticks: 1,
+        ramp_interval: 1,
+        min_shadow_samples: 8,
+        ..RolloutConfig::default()
+    };
+    let mut ctl = FleetController::new(fleet(3, &train, &clean), cfg);
+    ctl.begin_rollout(0, Arc::clone(&clean), 0.92, "retrained").expect("starts");
+
+    let events = ctl.step(1, &empty_readings(3), clean_evidence(16));
+    assert_eq!(kinds(&events), vec![FleetEventKind::RampStarted]);
+
+    // Ticket burn: the ramp holds its position, promoting nobody.
+    let ticket = ticket_breach();
+    for tick in 2..=5 {
+        let events = ctl.step_with_slo(tick, &empty_readings(3), clean_evidence(16), Some(&ticket));
+        assert!(events.is_empty(), "frozen ramp emitted {events:?}");
+    }
+    assert_eq!(ctl.phase(), spatial_fleet::RolloutPhase::Ramping);
+
+    // Clear: the remaining replicas ramp and the rollout completes.
+    let mut log = Vec::new();
+    for tick in 6..=9 {
+        log.extend(kinds(&ctl.step(tick, &empty_readings(3), clean_evidence(16))));
+    }
+    assert_eq!(
+        log,
+        vec![
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::ReplicaRamped,
+            FleetEventKind::RolloutCompleted,
+        ]
+    );
+}

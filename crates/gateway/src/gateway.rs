@@ -32,8 +32,11 @@ use crate::wire::{to_json, ErrorBody};
 use parking_lot::{Mutex, RwLock};
 use spatial_fleet::shadow::{compare_shadow, ShadowEvidence, ShadowOutcome, ShadowSampler};
 use spatial_linalg::rng;
+use spatial_telemetry::clock::SystemClock;
 use spatial_telemetry::fleet as fleet_metrics;
-use spatial_telemetry::registry::{HistogramHandle, MetricsRegistry};
+use spatial_telemetry::profile::{ProfScope, Profiler};
+use spatial_telemetry::registry::{HistogramHandle, MetricsRegistry, SeriesValue};
+use spatial_telemetry::slo::{BudgetBreach, SloEngine, SloSpec, SloStatus};
 use spatial_telemetry::trace::{trace_to_json, SpanCollector, SpanId, SpanStatus, TraceId};
 use spatial_telemetry::{Counter, LatencyRecorder, ResilienceReport, SummaryReport};
 use std::collections::HashMap;
@@ -304,6 +307,8 @@ struct ForwardState {
     jitter_salt: AtomicU64,
     registry: Arc<MetricsRegistry>,
     collector: Arc<SpanCollector>,
+    profiler: Arc<Profiler>,
+    slos: Arc<SloEngine>,
 }
 
 /// Observable status of one replica, for dashboards and tests.
@@ -385,6 +390,10 @@ impl ApiGateway {
         // compute saturation next to the request-path series.
         spatial_parallel::global().install_metrics(&registry);
         let collector = Arc::new(SpanCollector::new(SPAN_CAPACITY));
+        let clock = Arc::new(SystemClock::new());
+        let profiler = Arc::new(Profiler::new(clock.clone()));
+        // Pool worker time lands in the same profile as the request path.
+        spatial_parallel::global().install_profiler(Arc::clone(&profiler));
         let state = Arc::new(ForwardState {
             table: Arc::new(RwLock::new(Table::default())),
             config,
@@ -393,6 +402,8 @@ impl ApiGateway {
             jitter_salt: AtomicU64::new(0),
             registry,
             collector,
+            profiler,
+            slos: Arc::new(SloEngine::new(clock)),
         });
         let handler_state = Arc::clone(&state);
         let server = HttpServer::spawn(move |req: Request| forward(&handler_state, req))?;
@@ -451,6 +462,32 @@ impl ApiGateway {
     /// The gateway's span collector, as served by `GET /trace/{id}`.
     pub fn trace_collector(&self) -> Arc<SpanCollector> {
         Arc::clone(&self.state.collector)
+    }
+
+    /// The gateway's continuous profiler, as served by `GET /profile`. Every
+    /// forwarded request is attributed to named stages under `gateway.forward`.
+    pub fn profiler(&self) -> Arc<Profiler> {
+        Arc::clone(&self.state.profiler)
+    }
+
+    /// Installs (or replaces) an SLO over the gateway's own metrics. Installed
+    /// SLOs are re-evaluated on every `/metrics` scrape and by
+    /// [`ApiGateway::slo_statuses`] / [`ApiGateway::slo_breach`].
+    pub fn install_slo(&self, spec: SloSpec) {
+        self.state.slos.install(spec);
+    }
+
+    /// Evaluates every installed SLO against the gateway registry, publishing
+    /// the budget/burn gauges as a side effect.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.state.slos.evaluate(&self.state.registry)
+    }
+
+    /// The most severe breach currently firing across installed SLOs, if any —
+    /// the signal the fleet driver feeds into
+    /// `FleetController::step_with_slo`.
+    pub fn slo_breach(&self) -> Option<BudgetBreach> {
+        self.slo_statuses().into_iter().filter_map(|s| s.breach).max_by_key(|b| b.severity)
     }
 
     /// Registered prefixes.
@@ -764,24 +801,41 @@ fn forwardable_headers(req: &Request) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Serves the gateway's admin surface: `/metrics`, `/healthz`, and `/trace/{id}`.
-/// Returns `None` for ordinary paths, which fall through to route forwarding.
+/// Serves the gateway's admin surface: `/metrics`, `/healthz`, `/trace/{id}`,
+/// `/profile`, `/slo[/{name}]`, and `/exemplars/{family}`. Returns `None` for
+/// ordinary paths, which fall through to route forwarding. Unknown resources
+/// under the admin prefixes all answer the same `{"error": …}` 404 shape.
 fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
     match req.path.as_str() {
-        "/metrics" => Some(Response {
-            status: 200,
-            body: state.registry.encode().into_bytes(),
-            content_type: "text/plain; version=0.0.4".into(),
-            headers: Vec::new(),
-        }),
+        "/metrics" => {
+            // Scrapes drive SLO evaluation: the burn/budget gauges in the body
+            // are current as of this scrape.
+            let _ = state.slos.evaluate(&state.registry);
+            Some(Response {
+                status: 200,
+                body: state.registry.encode().into_bytes(),
+                content_type: "text/plain; version=0.0.4".into(),
+                headers: Vec::new(),
+            })
+        }
         "/healthz" => {
             let routes = state.table.read().routes.len();
             Some(Response::json(format!("{{\"status\":\"ok\",\"routes\":{routes}}}").into_bytes()))
         }
         "/fleet" => Some(Response::json(fleet_status_json(state).into_bytes())),
-        path => {
-            let id = path.strip_prefix("/trace/")?;
-            Some(match TraceId::from_hex(id) {
+        "/profile" => Some(Response {
+            status: 200,
+            body: state.profiler.collapsed().into_bytes(),
+            content_type: "text/plain".into(),
+            headers: Vec::new(),
+        }),
+        "/slo" => {
+            let statuses = state.slos.evaluate(&state.registry);
+            let body: Vec<String> = statuses.iter().map(slo_status_json).collect();
+            Some(Response::json(format!("{{\"slos\":[{}]}}", body.join(",")).into_bytes()))
+        }
+        path => Some(if let Some(id) = path.strip_prefix("/trace/") {
+            match TraceId::from_hex(id) {
                 None => json_error(400, format!("malformed trace id {id:?}")),
                 Some(trace) => {
                     let forest = state.collector.tree(trace);
@@ -791,9 +845,89 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
                         Response::json(trace_to_json(trace, &forest).into_bytes())
                     }
                 }
-            })
-        }
+            }
+        } else if let Some(name) = path.strip_prefix("/slo/") {
+            match state.slos.evaluate(&state.registry).into_iter().find(|s| s.name == name) {
+                Some(status) => Response::json(slo_status_json(&status).into_bytes()),
+                None => json_error(404, format!("no SLO named {name:?}")),
+            }
+        } else if let Some(family) = path.strip_prefix("/exemplars/") {
+            match exemplars_json(&state.registry, family) {
+                Some(body) => Response::json(body.into_bytes()),
+                None => json_error(404, format!("no histogram family named {family:?}")),
+            }
+        } else {
+            return None;
+        }),
     }
+}
+
+/// Renders one [`SloStatus`] as JSON for the `/slo` endpoints.
+fn slo_status_json(status: &SloStatus) -> String {
+    let burns: Vec<String> = status
+        .burn_rates
+        .iter()
+        .map(|(window, burn)| format!("{{\"window\":\"{window}\",\"burn_rate\":{burn}}}"))
+        .collect();
+    let breach = match &status.breach {
+        Some(b) => format!(
+            "{{\"severity\":\"{}\",\"burn_rate\":{},\"window\":\"{}\"}}",
+            b.severity.as_str(),
+            b.burn_rate,
+            b.window
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"objective\":{},\"budget_remaining\":{},\"burn_rates\":[{}],\
+         \"breach\":{}}}",
+        json_escape(&status.name),
+        status.objective,
+        status.budget_remaining,
+        burns.join(","),
+        breach
+    )
+}
+
+/// Builds the `GET /exemplars/{family}` body: per-series, per-bucket surviving
+/// exemplars with their trace ids (each resolvable via `GET /trace/{id}`).
+/// `None` when no histogram family has that name.
+fn exemplars_json(registry: &MetricsRegistry, family: &str) -> Option<String> {
+    let snapshot = registry.snapshot();
+    let metric = snapshot.iter().find(|m| m.name == family)?;
+    let mut series_out = Vec::new();
+    for series in &metric.series {
+        let SeriesValue::Histogram(hist) = &series.value else {
+            return None;
+        };
+        let labels: Vec<String> = series
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let buckets: Vec<String> = hist
+            .bucket_exemplars()
+            .iter()
+            .map(|(upper, kept)| {
+                let exemplars: Vec<String> = kept
+                    .iter()
+                    .map(|e| format!("{{\"trace_id\":\"{}\",\"value\":{}}}", e.trace_id, e.value()))
+                    .collect();
+                let le = if upper.is_infinite() { "+Inf".to_string() } else { upper.to_string() };
+                format!("{{\"le\":\"{le}\",\"exemplars\":[{}]}}", exemplars.join(","))
+            })
+            .collect();
+        series_out.push(format!(
+            "{{\"labels\":{{{}}},\"buckets\":[{}]}}",
+            labels.join(","),
+            buckets.join(",")
+        ));
+    }
+    Some(format!(
+        "{{\"family\":\"{}\",\"series\":[{}]}}",
+        json_escape(family),
+        series_out.join(",")
+    ))
 }
 
 /// Minimal JSON string escaping for operator-supplied values (tags).
@@ -869,8 +1003,10 @@ fn forward(state: &ForwardState, req: Request) -> Response {
     if let Some(resp) = admin_response(state, &req) {
         return resp;
     }
+    let _prof = ProfScope::enter(&state.profiler, "gateway.forward");
     let prefix = req.path.trim_start_matches('/').split('/').next().unwrap_or("").to_string();
     let (recorder, duration) = {
+        let _stage = ProfScope::enter(&state.profiler, "route-resolve");
         let table = state.table.read();
         match table.routes.get(&prefix) {
             Some(route) => (Arc::clone(&route.recorder), route.duration.clone()),
@@ -955,14 +1091,17 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         headers.push((PARENT_SPAN_HEADER.to_string(), attempt_span.span_id().to_string()));
 
         track_in_flight(state, &prefix, index, 1);
-        let result = http::request_with_headers(
-            upstream,
-            &req.method,
-            &req.path,
-            &headers,
-            &req.body,
-            timeout,
-        );
+        let result = {
+            let _stage = ProfScope::enter(&state.profiler, "upstream.attempt");
+            http::request_with_headers(
+                upstream,
+                &req.method,
+                &req.path,
+                &headers,
+                &req.body,
+                timeout,
+            )
+        };
         track_in_flight(state, &prefix, index, -1);
         // Transport failures count against the breaker; an HTTP response (any
         // status) means the replica is alive.
@@ -1014,31 +1153,42 @@ fn forward(state: &ForwardState, req: Request) -> Response {
             }
         }
         drop(attempt_span);
-        std::thread::sleep(backoff);
+        {
+            let _stage = ProfScope::enter(&state.profiler, "backoff");
+            std::thread::sleep(backoff);
+        }
     };
 
     let elapsed_ms = arrival.elapsed().as_secs_f64() * 1e3;
-    recorder.mark_now();
-    if response.status < 500 {
-        recorder.record_ok(elapsed_ms);
-    } else {
-        recorder.record_err(elapsed_ms);
-    }
-    duration.observe(elapsed_ms);
     let code = response.status.to_string();
-    state
-        .registry
-        .counter_with(
-            "spatial_gateway_requests_total",
-            "Requests handled by the gateway, by route and status code",
-            &[("route", &prefix), ("code", &code)],
-        )
-        .inc();
+    {
+        let _stage = ProfScope::enter(&state.profiler, "record");
+        recorder.mark_now();
+        if response.status < 500 {
+            recorder.record_ok(elapsed_ms);
+        } else {
+            recorder.record_err(elapsed_ms);
+        }
+        // The request's trace id rides along as the bucket exemplar, so a latency
+        // outlier on `/metrics` links straight to its span tree.
+        duration.observe_with_exemplar(elapsed_ms, trace_id);
+        state
+            .registry
+            .counter_with(
+                "spatial_gateway_requests_total",
+                "Requests handled by the gateway, by route and status code",
+                &[("route", &prefix), ("code", &code)],
+            )
+            .inc();
+    }
     // The primary response is already decided; the shadow duplicate (if the
     // route has a tap and the sampler admits this request) happens after the
     // route latency was recorded, so shadow overhead never pollutes the
     // client-latency series.
-    maybe_shadow(state, &prefix, &req, &response, &base_headers);
+    {
+        let _stage = ProfScope::enter(&state.profiler, "shadow");
+        maybe_shadow(state, &prefix, &req, &response, &base_headers);
+    }
     root.set_attr("status", code);
     root.set_attr("attempts", attempts.to_string());
     root.set_status(if response.status < 500 { SpanStatus::Ok } else { SpanStatus::Error });
@@ -1999,6 +2149,138 @@ mod tests {
         assert_eq!(report.evidence.samples, 5);
         assert_eq!(report.evidence.mismatches, 0);
         assert_eq!(report.evidence.errors, 0);
+    }
+
+    #[test]
+    fn profile_endpoint_attributes_forward_time_to_stages() {
+        let (gw, _host) = cluster();
+        for _ in 0..5 {
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let resp =
+            http::request(gw.addr(), "GET", "/profile", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        for frame in [
+            "gateway.forward ",
+            "gateway.forward;route-resolve ",
+            "gateway.forward;upstream.attempt ",
+        ] {
+            assert!(text.contains(frame), "missing {frame:?} in:\n{text}");
+        }
+        // The named child stages account for ≥90% of the forward wall time.
+        let attribution = gw.profiler().attribution("gateway.forward");
+        assert!(attribution >= 0.9, "only {attribution:.3} of forward time attributed");
+    }
+
+    #[test]
+    fn slo_endpoints_report_budget_and_fire_on_sustained_burn() {
+        let (gw, _host) = cluster();
+        // A healthy latency SLO: everything finishes far below one second.
+        gw.install_slo(SloSpec::latency(
+            "upper-latency",
+            "spatial_gateway_request_duration_ms",
+            1_000.0,
+            0.95,
+        ));
+        for _ in 0..10 {
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let statuses = gw.slo_statuses();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].budget_remaining, 1.0, "no slow request, full budget");
+        assert!(gw.slo_breach().is_none());
+        let resp =
+            http::request(gw.addr(), "GET", "/slo/upper-latency", b"", Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(resp.status, 200);
+
+        // Tighten the threshold so every request is an SLI miss: burn hits
+        // 1 / (1 - 0.95) = 20 ≥ 14.4 over both page windows.
+        gw.install_slo(SloSpec::latency(
+            "upper-latency",
+            "spatial_gateway_request_duration_ms",
+            0.000_001,
+            0.95,
+        ));
+        for _ in 0..10 {
+            let _ = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
+        }
+        let breach = gw.slo_breach().expect("sustained misses must breach");
+        assert_eq!(breach.severity, spatial_telemetry::slo::BreachSeverity::Page);
+        assert_eq!(breach.slo, "upper-latency");
+        // The burn/budget gauges ride the `/metrics` scrape.
+        let resp =
+            http::request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("spatial_slo_error_budget_remaining{slo=\"upper-latency\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spatial_slo_burn_rate{slo=\"upper-latency\",window=\"5m\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exemplars_endpoint_links_buckets_to_resolvable_traces() {
+        let (gw, _host) = cluster();
+        let trace = "00000000000000000000000000facade";
+        let r = request_with_headers(
+            gw.addr(),
+            "POST",
+            "/upper/shout",
+            &[(TRACE_HEADER.to_string(), trace.to_string())],
+            b"x",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        let resp = http::request(
+            gw.addr(),
+            "GET",
+            "/exemplars/spatial_gateway_request_duration_ms",
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"family\":\"spatial_gateway_request_duration_ms\""), "{body}");
+        assert!(body.contains(&format!("\"trace_id\":\"{trace}\"")), "{body}");
+        // The linked trace resolves to its span tree.
+        let resolved = http::request(
+            gw.addr(),
+            "GET",
+            &format!("/trace/{trace}"),
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resolved.status, 200);
+    }
+
+    #[test]
+    fn unknown_admin_resources_share_one_404_shape() {
+        let (gw, _host) = cluster();
+        let mut shapes = std::collections::HashSet::new();
+        for path in
+            ["/trace/00000000000000000000000000000001", "/slo/missing", "/exemplars/missing"]
+        {
+            let r = http::request(gw.addr(), "GET", path, b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(r.status, 404, "{path}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.starts_with('{'), "{path}: {body}");
+            // The first JSON key is the shape; all admin 404s must agree.
+            shapes.insert(body.split('"').nth(1).map(str::to_string));
+        }
+        assert_eq!(shapes.len(), 1, "admin 404 bodies must share one shape: {shapes:?}");
     }
 
     #[test]

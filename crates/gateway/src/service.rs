@@ -9,6 +9,7 @@
 use crate::http::{HttpServer, Request, Response};
 use crate::wire::{to_json, ErrorBody};
 use crate::worker::{SubmitError, WorkerPool};
+use spatial_telemetry::profile::{ProfScope, Profiler};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -74,9 +75,33 @@ impl ServiceHost {
     ///
     /// Returns the underlying bind error.
     pub fn spawn(service: Arc<dyn Microservice>, queue_depth: usize) -> std::io::Result<Self> {
+        Self::spawn_inner(service, queue_depth, None)
+    }
+
+    /// Like [`ServiceHost::spawn`], but attributes handler time to a
+    /// `service.{name}` frame in `profiler`, so per-service work shows up in
+    /// the continuous profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying bind error.
+    pub fn spawn_with_profiler(
+        service: Arc<dyn Microservice>,
+        queue_depth: usize,
+        profiler: Arc<Profiler>,
+    ) -> std::io::Result<Self> {
+        Self::spawn_inner(service, queue_depth, Some(profiler))
+    }
+
+    fn spawn_inner(
+        service: Arc<dyn Microservice>,
+        queue_depth: usize,
+        profiler: Option<Arc<Profiler>>,
+    ) -> std::io::Result<Self> {
         let name = service.name().to_string();
         let pool = Arc::new(WorkerPool::new(&name, service.vcpus(), queue_depth));
         let prefix = format!("/{name}");
+        let frame = format!("service.{name}");
         let server = HttpServer::spawn(move |req: Request| {
             // Health endpoint bypasses the worker pool so saturation never makes the
             // service look dead to the gateway.
@@ -89,7 +114,12 @@ impl ServiceHost {
             let service = Arc::clone(&service);
             let headers_source = Arc::clone(&service);
             let body = req.body;
-            match pool.execute(move || service.handle(&endpoint, &body)) {
+            let profiler = profiler.clone();
+            let frame = frame.clone();
+            match pool.execute(move || {
+                let _prof = profiler.as_ref().map(|p| ProfScope::enter(p, &frame));
+                service.handle(&endpoint, &body)
+            }) {
                 Ok(Ok(body)) => {
                     let mut resp = Response::json(body);
                     resp.headers = headers_source.response_headers();
@@ -226,6 +256,28 @@ mod tests {
                 request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5)).unwrap();
             assert_eq!(ok.status, 200);
         }
+    }
+
+    #[test]
+    fn profiled_host_attributes_handler_time_to_a_service_frame() {
+        let profiler =
+            Arc::new(Profiler::new(Arc::new(spatial_telemetry::clock::SystemClock::new())));
+        let host = ServiceHost::spawn_with_profiler(
+            Arc::new(EchoService { delay: Duration::from_millis(5) }),
+            8,
+            Arc::clone(&profiler),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let ok =
+                request(host.addr(), "POST", "/echo/say", b"hi", Duration::from_secs(5)).unwrap();
+            assert_eq!(ok.status, 200);
+        }
+        let report = profiler.report();
+        let (_, stats) =
+            report.iter().find(|(path, _)| path == "service.echo").expect("service frame recorded");
+        assert_eq!(stats.calls, 3);
+        assert!(profiler.collapsed().contains("service.echo "));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! data directly, exist only for the duration of one job, and a panicking chunk
 //! propagates to the caller exactly like a panicking loop iteration would.
 
+use spatial_telemetry::profile::{ProfScope, Profiler};
 use spatial_telemetry::registry::MetricsRegistry;
 use spatial_telemetry::{Counter, Gauge};
 use std::cell::Cell;
@@ -92,6 +93,7 @@ pub struct Pool {
     inline_jobs_total: AtomicU64,
     tasks_total: AtomicU64,
     metrics: Mutex<Option<Metrics>>,
+    profiler: Mutex<Option<Arc<Profiler>>>,
 }
 
 impl Pool {
@@ -109,6 +111,7 @@ impl Pool {
             inline_jobs_total: AtomicU64::new(0),
             tasks_total: AtomicU64::new(0),
             metrics: Mutex::new(None),
+            profiler: Mutex::new(None),
         }
     }
 
@@ -195,6 +198,14 @@ impl Pool {
         *self.metrics.lock().expect("metrics lock") = Some(metrics);
     }
 
+    /// Attributes worker-thread time to `parallel.worker` frames in `profiler`,
+    /// so pool fan-out shows up in the continuous profile alongside the
+    /// pipeline stages. Inline jobs are not scoped here: their time already
+    /// lands in whatever stage issued the map.
+    pub fn install_profiler(&self, profiler: Arc<Profiler>) {
+        *self.profiler.lock().expect("profiler lock") = Some(profiler);
+    }
+
     /// Maps `f` over `items`, returning results in input order. Bit-identical to
     /// `items.iter().map(f).collect()` at any thread count.
     pub fn par_map<T: Sync, U: Send>(&self, items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
@@ -238,10 +249,13 @@ impl Pool {
 
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Vec<U>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+        let profiler = self.profiler.lock().expect("profiler lock").clone();
+        let profiler = &profiler;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let _guard = InlineGuard::enter();
+                    let _prof = profiler.as_ref().map(|p| ProfScope::enter(p, "parallel.worker"));
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
@@ -437,6 +451,22 @@ mod tests {
         assert!(text.contains("spatial_parallel_jobs_total 1"), "{text}");
         assert!(text.contains("spatial_parallel_threads 4"), "{text}");
         assert!(text.contains("spatial_parallel_utilization 1"), "{text}");
+    }
+
+    #[test]
+    fn profiler_sees_worker_frames() {
+        use spatial_telemetry::clock::SystemClock;
+        let pool = Pool::new(4);
+        let profiler = Arc::new(Profiler::new(Arc::new(SystemClock::new())));
+        pool.install_profiler(Arc::clone(&profiler));
+        let _ = pool.par_map_indexed(256, |i| i * 2);
+        let report = profiler.report();
+        let (_, workers) = report
+            .iter()
+            .find(|(path, _)| path == "parallel.worker")
+            .expect("worker frame recorded");
+        assert!(workers.calls >= 1 && workers.calls <= 4, "calls = {}", workers.calls);
+        assert!(profiler.collapsed().contains("parallel.worker "));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Exemplar reservoirs: linking histogram buckets back to traces.
+//!
+//! A p99 spike in `spatial_gateway_request_duration_ms` tells an operator *that*
+//! something is slow; an exemplar tells them *which request*. Each histogram
+//! bucket keeps a small reservoir of `(trace_id, value)` pairs, exposed through
+//! the OpenMetrics `# {trace_id="…"} value` exemplar clause on `_bucket` lines
+//! and the gateway's `GET /exemplars/{family}` endpoint, so the operator can jump
+//! straight from a bucket to `GET /trace/{id}` and the span forest behind it.
+//!
+//! The reservoir is a *seeded bottom-k sketch* rather than classic reservoir
+//! sampling: every sample gets a deterministic rank derived from its content
+//! (`splitmix64(seed ⊕ trace ⊕ value bits)`), and the reservoir keeps the `cap`
+//! highest-ranked samples. Selection is therefore a pure function of the sample
+//! *set* — independent of arrival order, thread interleaving, or how the stream
+//! was sharded — so merging per-shard reservoirs is bit-identical to building one
+//! reservoir over the whole stream. That is what makes exemplars safe inside the
+//! deterministic parallel layer.
+
+use crate::trace::TraceId;
+
+/// Default per-bucket reservoir capacity used by the metrics registry.
+pub const DEFAULT_EXEMPLAR_CAP: usize = 2;
+
+/// Default rank seed used by the metrics registry. Fixed so two processes with
+/// identical sample streams keep identical exemplars.
+pub const DEFAULT_EXEMPLAR_SEED: u64 = 0x510_ba11_ad_5eed;
+
+/// SplitMix64 finalizer — same mixer as `trace.rs`, reused for rank derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One retained exemplar: the trace that produced a recorded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace of the request that recorded the sample.
+    pub trace_id: TraceId,
+    /// The recorded sample value (e.g. latency in ms).
+    pub value_bits: u64,
+    /// Deterministic selection rank (higher survives).
+    rank: u64,
+}
+
+impl Exemplar {
+    /// The sample value as an `f64`.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.value_bits)
+    }
+}
+
+/// A bounded, order-independent exemplar reservoir (seeded bottom-k sketch).
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::exemplar::Reservoir;
+/// use spatial_telemetry::trace::TraceId;
+///
+/// let mut r = Reservoir::new(2, 42);
+/// for i in 1..=100u128 {
+///     r.offer(TraceId(i), i as f64);
+/// }
+/// assert_eq!(r.entries().len(), 2); // cap invariant
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    cap: usize,
+    seed: u64,
+    /// Sorted descending by `(rank, trace, value_bits)` — a canonical order, so
+    /// two reservoirs with the same content compare equal bit for bit.
+    entries: Vec<Exemplar>,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir keeping at most `cap` exemplars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "exemplar reservoir needs a positive capacity");
+        Self { cap, seed, entries: Vec::new() }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The rank of a sample: a pure function of `(seed, trace, value)`.
+    fn rank(&self, trace: TraceId, value_bits: u64) -> u64 {
+        let folded = (trace.0 >> 64) as u64 ^ trace.0 as u64;
+        splitmix64(self.seed ^ splitmix64(folded) ^ value_bits.rotate_left(17))
+    }
+
+    /// Offers one sample. Kept iff its rank is among the `cap` highest seen;
+    /// an identical `(trace, value)` pair is never stored twice.
+    pub fn offer(&mut self, trace: TraceId, value: f64) {
+        let value_bits = value.to_bits();
+        let rank = self.rank(trace, value_bits);
+        let candidate = Exemplar { trace_id: trace, value_bits, rank };
+        let key = |e: &Exemplar| (std::cmp::Reverse(e.rank), e.trace_id, e.value_bits);
+        match self.entries.binary_search_by_key(&key(&candidate), key) {
+            Ok(_) => {} // exact duplicate sample: set semantics
+            Err(pos) => {
+                if pos < self.cap {
+                    self.entries.insert(pos, candidate);
+                    self.entries.truncate(self.cap);
+                }
+            }
+        }
+    }
+
+    /// Merges another reservoir (same seed and cap) into this one. The result
+    /// equals a single reservoir offered both sample streams, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if seeds or capacities differ — ranks would be incomparable.
+    pub fn merge(&mut self, other: &Reservoir) {
+        assert_eq!(self.seed, other.seed, "exemplar reservoir seed mismatch");
+        assert_eq!(self.cap, other.cap, "exemplar reservoir capacity mismatch");
+        for e in &other.entries {
+            let key = |x: &Exemplar| (std::cmp::Reverse(x.rank), x.trace_id, x.value_bits);
+            if let Err(pos) = self.entries.binary_search_by_key(&key(e), key) {
+                if pos < self.cap {
+                    self.entries.insert(pos, e.clone());
+                    self.entries.truncate(self.cap);
+                }
+            }
+        }
+    }
+
+    /// Retained exemplars, highest rank first.
+    pub fn entries(&self) -> &[Exemplar] {
+        &self.entries
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u128) -> Vec<(TraceId, f64)> {
+        (1..=n).map(|i| (TraceId(i * 7 + 1), (i % 13) as f64 + 0.5)).collect()
+    }
+
+    #[test]
+    fn cap_is_never_exceeded() {
+        let mut r = Reservoir::new(3, 9);
+        for (t, v) in stream(500) {
+            r.offer(t, v);
+            assert!(r.entries().len() <= 3);
+        }
+        assert_eq!(r.entries().len(), 3);
+    }
+
+    #[test]
+    fn selection_is_order_independent() {
+        let samples = stream(200);
+        let mut forward = Reservoir::new(2, 7);
+        let mut backward = Reservoir::new(2, 7);
+        for (t, v) in &samples {
+            forward.offer(*t, *v);
+        }
+        for (t, v) in samples.iter().rev() {
+            backward.offer(*t, *v);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_stream() {
+        let samples = stream(300);
+        for shards in [1usize, 2, 3, 8] {
+            let mut merged = Reservoir::new(2, 11);
+            for chunk in samples.chunks(samples.len().div_ceil(shards)) {
+                let mut shard = Reservoir::new(2, 11);
+                for (t, v) in chunk {
+                    shard.offer(*t, *v);
+                }
+                merged.merge(&shard);
+            }
+            let mut single = Reservoir::new(2, 11);
+            for (t, v) in &samples {
+                single.offer(*t, *v);
+            }
+            assert_eq!(merged, single, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_collapse() {
+        let mut r = Reservoir::new(4, 1);
+        for _ in 0..10 {
+            r.offer(TraceId(42), 1.25);
+        }
+        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.entries()[0].value(), 1.25);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let samples = stream(120);
+        let (a_half, b_half) = samples.split_at(60);
+        let build = |chunk: &[(TraceId, f64)]| {
+            let mut r = Reservoir::new(2, 5);
+            for (t, v) in chunk {
+                r.offer(*t, *v);
+            }
+            r
+        };
+        let (a, b) = (build(a_half), build(b_half));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_different_seeds() {
+        let mut a = Reservoir::new(2, 1);
+        let b = Reservoir::new(2, 2);
+        a.merge(&b);
+    }
+}

@@ -5,6 +5,9 @@
 //! are estimated by linear interpolation inside the bucket that crosses the target rank,
 //! which is accurate to within one bucket width — plenty for response-time reporting.
 
+use crate::exemplar::Reservoir;
+use crate::trace::TraceId;
+
 /// A geometric-bucket histogram over non-negative `f64` samples.
 ///
 /// # Example
@@ -26,6 +29,9 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// One exemplar reservoir per bucket when exemplar capture is enabled (the
+    /// metrics registry enables it; bare histograms stay lean).
+    exemplars: Option<Vec<Reservoir>>,
 }
 
 impl Histogram {
@@ -48,7 +54,16 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: None,
         }
+    }
+
+    /// Enables per-bucket exemplar capture: each bucket keeps a seeded
+    /// order-independent reservoir of up to `cap` `(trace, value)` pairs (see
+    /// [`crate::exemplar::Reservoir`]).
+    pub fn with_exemplars(mut self, cap: usize, seed: u64) -> Self {
+        self.exemplars = Some(vec![Reservoir::new(cap, seed); self.counts.len()]);
+        self
     }
 
     /// A histogram tuned for millisecond latencies: 0.01 ms – ~160 s in 64 buckets.
@@ -65,6 +80,17 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Records one sample and, when exemplar capture is enabled, offers the
+    /// originating trace to the sample's bucket reservoir.
+    pub fn record_exemplar(&mut self, value: f64, trace: TraceId) {
+        let v = if value.is_nan() { 0.0 } else { value.max(0.0) };
+        let idx = self.bucket_index(v);
+        self.record(value);
+        if let Some(reservoirs) = &mut self.exemplars {
+            reservoirs[idx].offer(trace, v);
+        }
     }
 
     /// Merges another histogram with identical bucket geometry into this one.
@@ -87,6 +113,37 @@ impl Histogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+        match (&mut self.exemplars, &other.exemplars) {
+            (Some(mine), Some(theirs)) => {
+                for (a, b) in mine.iter_mut().zip(theirs) {
+                    a.merge(b);
+                }
+            }
+            (None, Some(theirs)) => self.exemplars = Some(theirs.clone()),
+            _ => {}
+        }
+    }
+
+    /// Per-bucket exemplars aligned with [`Histogram::cumulative_buckets`]:
+    /// `(upper_bound, exemplars recorded inside that bucket)`, non-empty buckets
+    /// only. Empty when exemplar capture is disabled.
+    pub fn bucket_exemplars(&self) -> Vec<(f64, &[crate::exemplar::Exemplar])> {
+        let Some(reservoirs) = &self.exemplars else {
+            return Vec::new();
+        };
+        reservoirs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, r)| {
+                let upper = if i + 1 == self.counts.len() {
+                    f64::INFINITY
+                } else {
+                    self.bucket_bounds(i).1
+                };
+                (upper, r.entries())
+            })
+            .collect()
     }
 
     /// Number of recorded samples.
@@ -376,6 +433,49 @@ mod tests {
         h.record(1e18);
         assert_eq!(h.count(), 1);
         assert!(h.quantile(1.0) <= h.max().unwrap());
+    }
+
+    #[test]
+    fn exemplars_follow_their_bucket() {
+        let mut h = Histogram::new(1.0, 2.0, 4).with_exemplars(2, 7);
+        h.record_exemplar(1.5, TraceId(10)); // bucket [1,2)
+        h.record_exemplar(3.0, TraceId(20)); // bucket [2,4)
+        let buckets = h.bucket_exemplars();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].0, 2.0);
+        assert_eq!(buckets[0].1[0].trace_id, TraceId(10));
+        assert_eq!(buckets[1].0, 4.0);
+        assert_eq!(buckets[1].1[0].trace_id, TraceId(20));
+        // Counts still flow into the plain histogram path.
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn exemplars_disabled_by_default() {
+        let mut h = Histogram::latency_millis();
+        h.record_exemplar(5.0, TraceId(1));
+        assert_eq!(h.count(), 1);
+        assert!(h.bucket_exemplars().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_exemplars_per_bucket() {
+        let mut a = Histogram::new(1.0, 2.0, 4).with_exemplars(2, 7);
+        let mut b = Histogram::new(1.0, 2.0, 4).with_exemplars(2, 7);
+        a.record_exemplar(1.5, TraceId(1));
+        b.record_exemplar(1.6, TraceId(2));
+        b.record_exemplar(100.0, TraceId(3)); // overflow bucket
+        a.merge(&b);
+        let buckets = a.bucket_exemplars();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1.len(), 2, "both [1,2) exemplars survive under cap 2");
+        assert_eq!(buckets[1].0, f64::INFINITY);
+        assert_eq!(buckets[1].1[0].trace_id, TraceId(3));
+
+        // Merging into an exemplar-less histogram adopts the other side's reservoirs.
+        let mut plain = Histogram::new(1.0, 2.0, 4);
+        plain.merge(&a);
+        assert_eq!(plain.bucket_exemplars().len(), 2);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! clone wires a whole subsystem into the same observability plane.
 
 use crate::clock::Clock;
+use crate::profile::Profiler;
 use crate::registry::MetricsRegistry;
 use crate::trace::SpanCollector;
 use std::sync::Arc;
@@ -30,6 +31,8 @@ pub struct Instrumentation {
     pub collector: Arc<SpanCollector>,
     /// Clock used for stage timing; matches the collector's clock.
     pub clock: Arc<dyn Clock>,
+    /// The per-stage self-profiler behind `GET /profile`; on the same clock.
+    pub profiler: Arc<Profiler>,
 }
 
 impl Instrumentation {
@@ -40,7 +43,8 @@ impl Instrumentation {
     /// stage histograms agree on time.
     pub fn new(registry: Arc<MetricsRegistry>, collector: Arc<SpanCollector>) -> Self {
         let clock = collector.clock();
-        Self { registry, collector, clock }
+        let profiler = Arc::new(Profiler::new(Arc::clone(&clock)));
+        Self { registry, collector, clock, profiler }
     }
 
     /// A fresh, self-contained plane on the system clock — convenient for binaries

@@ -21,15 +21,24 @@
 //!   families with a Prometheus text encoder for `GET /metrics`.
 //! - [`instrument`] — the [`instrument::Instrumentation`] bundle (registry + collector
 //!   + clock) threaded through the gateway and the sensor pipeline.
+//! - [`exemplar`] — deterministic per-bucket exemplar reservoirs linking histogram
+//!   buckets back to the traces that produced them.
+//! - [`slo`] — declarative SLOs with multi-window multi-burn-rate evaluation and the
+//!   [`slo::BudgetBreach`] signal that gates fleet rollouts.
+//! - [`profile`] — the always-on per-stage self-profiler behind `GET /profile`
+//!   (collapsed-stack wall/CPU/allocation accounting via [`profile::ProfScope`]).
 
 pub mod clock;
 pub mod counter;
+pub mod exemplar;
 pub mod fleet;
 pub mod histogram;
 pub mod instrument;
 pub mod latency;
+pub mod profile;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod timeseries;
 pub mod trace;
 
@@ -37,7 +46,9 @@ pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
 pub use instrument::Instrumentation;
 pub use latency::LatencyRecorder;
+pub use profile::{ProfScope, Profiler};
 pub use registry::MetricsRegistry;
 pub use report::{ResilienceReport, SummaryReport};
+pub use slo::{BreachSeverity, BudgetBreach, SloEngine, SloSpec};
 pub use timeseries::TimeSeries;
 pub use trace::{SpanCollector, SpanId, SpanStatus, TraceId};

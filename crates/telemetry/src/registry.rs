@@ -11,7 +11,9 @@
 //! them through constructors.
 
 use crate::counter::{Counter, Gauge};
+use crate::exemplar::{DEFAULT_EXEMPLAR_CAP, DEFAULT_EXEMPLAR_SEED};
 use crate::histogram::Histogram;
+use crate::trace::TraceId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,6 +50,12 @@ impl HistogramHandle {
     /// Records one observation.
     pub fn observe(&self, value: f64) {
         self.inner.lock().record(value);
+    }
+
+    /// Records one observation and offers `trace` as an exemplar for the bucket
+    /// the value lands in.
+    pub fn observe_with_exemplar(&self, value: f64, trace: TraceId) {
+        self.inner.lock().record_exemplar(value, trace);
     }
 
     /// A consistent copy of the underlying histogram.
@@ -182,7 +190,10 @@ impl MetricsRegistry {
     ) -> HistogramHandle {
         let series = self.series(name, help, MetricKind::Histogram, labels, || {
             Series::Histogram(HistogramHandle {
-                inner: Arc::new(Mutex::new(Histogram::latency_millis())),
+                inner: Arc::new(Mutex::new(
+                    Histogram::latency_millis()
+                        .with_exemplars(DEFAULT_EXEMPLAR_CAP, DEFAULT_EXEMPLAR_SEED),
+                )),
             })
         });
         match series {
@@ -273,12 +284,28 @@ impl MetricsRegistry {
                         ));
                     }
                     SeriesValue::Histogram(h) => {
+                        let exemplars = h.bucket_exemplars();
                         for (upper, cumulative) in h.cumulative_buckets() {
                             out.push_str(&format!(
-                                "{}_bucket{} {cumulative}\n",
+                                "{}_bucket{} {cumulative}",
                                 metric.name,
                                 label_block(&series.labels, Some(upper))
                             ));
+                            // OpenMetrics exemplar clause on the bucket the sample
+                            // landed in: `# {trace_id="…"} value`. One exemplar per
+                            // line; the highest-ranked survivor represents the bucket.
+                            if let Some((_, kept)) =
+                                exemplars.iter().find(|(bound, _)| *bound == upper)
+                            {
+                                if let Some(e) = kept.first() {
+                                    out.push_str(&format!(
+                                        " # {{trace_id=\"{}\"}} {}",
+                                        e.trace_id,
+                                        fmt_value(e.value())
+                                    ));
+                                }
+                            }
+                            out.push('\n');
                         }
                         out.push_str(&format!(
                             "{}_sum{} {}\n",
@@ -396,6 +423,23 @@ mod tests {
         assert!(counts.len() > 1);
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "buckets must be cumulative");
         assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn bucket_lines_carry_exemplars() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ex_ms", "Latency");
+        h.observe_with_exemplar(5.0, TraceId(0xabc));
+        h.observe(7.0); // exemplar-less observation on the same series is fine
+        let text = reg.encode();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("ex_ms_bucket") && l.contains(" # {"))
+            .expect("one bucket line should carry the exemplar clause");
+        assert!(line.contains("trace_id=\"00000000000000000000000000000abc\""), "{line}");
+        assert!(line.ends_with("} 5"), "{line}");
+        // Only the bucket the sample landed in carries a clause.
+        assert_eq!(text.matches(" # {").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! Declarative SLOs with multi-window multi-burn-rate evaluation.
+//!
+//! A service-level objective ("99.9 % of requests under 25 ms over 3 days") turns
+//! raw counters into a *budget*: at objective `o`, a fraction `1 − o` of events may
+//! be bad before the objective is broken. The **burn rate** over a window is how
+//! fast that budget is being consumed — `error_rate / (1 − o)` — so burn 1.0 spends
+//! exactly the budget over the window and burn 14.4 exhausts a 3-day budget in five
+//! hours. Following the multi-window multi-burn-rate recipe, each [`SloSpec`]
+//! carries paired windows per alert rule: the long window ("is this sustained?")
+//! and a short window ("is it *still* happening?") must **both** exceed the rule's
+//! threshold before a [`BudgetBreach`] fires. The default rules page at burn 14.4
+//! over 1 h + 5 m and ticket at burn 1.0 over 3 d + 6 h.
+//!
+//! The engine is deterministic: it reads event counts from the
+//! [`MetricsRegistry`], takes time from the shared [`Clock`] seam, and keeps its
+//! rolling state in a [`WindowLedger`] — time-bucketed `(good, bad)` counts whose
+//! rotate/merge algebra never loses budget mass (property-tested in
+//! `tests/slo_props.rs`). Evaluations publish `spatial_slo_error_budget_remaining`
+//! and `spatial_slo_burn_rate` gauges back into the same registry, and the breach
+//! signal feeds the response policy and the fleet controller so a burning budget
+//! gates ramps the same way drift does.
+
+use crate::clock::Clock;
+use crate::registry::{MetricsRegistry, SeriesValue};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Gauge family: fraction of error budget left over the budget window, per SLO.
+pub const SLO_BUDGET_GAUGE: &str = "spatial_slo_error_budget_remaining";
+
+/// Gauge family: current burn rate per SLO and window.
+pub const SLO_BURN_GAUGE: &str = "spatial_slo_burn_rate";
+
+/// Time-bucketed `(good, bad)` event ledger behind the rolling windows.
+///
+/// Events recorded at time `t` land in bucket `t / bucket_secs`; [`rotate`]
+/// drops buckets that have aged out of the horizon; [`totals_within`] sums the
+/// buckets covering a trailing window. Merging two ledgers sums bucket-wise, so
+/// sharded recording is equivalent to a single stream.
+///
+/// [`rotate`]: WindowLedger::rotate
+/// [`totals_within`]: WindowLedger::totals_within
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowLedger {
+    bucket_secs: u64,
+    horizon_secs: u64,
+    /// Bucket index (`now_secs / bucket_secs`) → `(good, bad)`.
+    buckets: BTreeMap<u64, (u64, u64)>,
+}
+
+impl WindowLedger {
+    /// Creates a ledger with `bucket_secs` resolution retaining `horizon_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs == 0` or the horizon is shorter than one bucket.
+    pub fn new(bucket_secs: u64, horizon_secs: u64) -> Self {
+        assert!(bucket_secs > 0, "ledger bucket width must be positive");
+        assert!(horizon_secs >= bucket_secs, "ledger horizon must cover at least one bucket");
+        Self { bucket_secs, horizon_secs, buckets: BTreeMap::new() }
+    }
+
+    /// Records `good`/`bad` events at `now_nanos`.
+    pub fn record(&mut self, now_nanos: u64, good: u64, bad: u64) {
+        if good == 0 && bad == 0 {
+            return;
+        }
+        let idx = now_nanos / 1_000_000_000 / self.bucket_secs;
+        let slot = self.buckets.entry(idx).or_insert((0, 0));
+        slot.0 += good;
+        slot.1 += bad;
+    }
+
+    /// Drops buckets that ended more than the horizon before `now_nanos`.
+    pub fn rotate(&mut self, now_nanos: u64) {
+        let now_idx = now_nanos / 1_000_000_000 / self.bucket_secs;
+        let horizon_buckets = self.horizon_secs / self.bucket_secs;
+        let oldest = now_idx.saturating_sub(horizon_buckets);
+        self.buckets.retain(|&idx, _| idx >= oldest);
+    }
+
+    /// Merges another ledger (same geometry) bucket-wise into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bucket width or horizon differ.
+    pub fn merge(&mut self, other: &WindowLedger) {
+        assert_eq!(self.bucket_secs, other.bucket_secs, "ledger bucket width mismatch");
+        assert_eq!(self.horizon_secs, other.horizon_secs, "ledger horizon mismatch");
+        for (&idx, &(good, bad)) in &other.buckets {
+            let slot = self.buckets.entry(idx).or_insert((0, 0));
+            slot.0 += good;
+            slot.1 += bad;
+        }
+    }
+
+    /// `(good, bad)` totals across every retained bucket.
+    pub fn totals(&self) -> (u64, u64) {
+        self.buckets.values().fold((0, 0), |(g, b), &(dg, db)| (g + dg, b + db))
+    }
+
+    /// `(good, bad)` totals across the trailing `window_secs` ending at `now_nanos`.
+    pub fn totals_within(&self, now_nanos: u64, window_secs: u64) -> (u64, u64) {
+        let now_idx = now_nanos / 1_000_000_000 / self.bucket_secs;
+        let window_buckets = (window_secs / self.bucket_secs).max(1);
+        let oldest = now_idx.saturating_sub(window_buckets.saturating_sub(1));
+        self.buckets.range(oldest..).fold((0, 0), |(g, b), (_, &(dg, db))| (g + dg, b + db))
+    }
+
+    /// Bucket resolution in seconds.
+    pub fn bucket_secs(&self) -> u64 {
+        self.bucket_secs
+    }
+
+    /// Retention horizon in seconds.
+    pub fn horizon_secs(&self) -> u64 {
+        self.horizon_secs
+    }
+}
+
+/// Where an SLO reads its good/bad event counts from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliSource {
+    /// Availability SLI over a pair of counter families: `errors / total`.
+    CounterRatio {
+        /// Counter family counting all events.
+        total: String,
+        /// Counter family counting failed events.
+        errors: String,
+    },
+    /// Latency SLI over a histogram family: a sample is bad when it exceeds
+    /// `threshold_ms`. The threshold is resolved against the histogram's bucket
+    /// boundaries (the smallest boundary ≥ the threshold), so pick one close to a
+    /// boundary when exactness matters.
+    LatencyThreshold {
+        /// Histogram family to read.
+        family: String,
+        /// Samples above this value (ms) consume error budget.
+        threshold_ms: f64,
+    },
+}
+
+/// How urgent a [`BudgetBreach`] is. Ordered: `Ticket < Page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BreachSeverity {
+    /// Sustained slow burn — budget will run out in days; file a ticket.
+    Ticket,
+    /// Fast burn — budget runs out within hours; page and stop rollouts.
+    Page,
+}
+
+impl BreachSeverity {
+    /// Lowercase label for metrics and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreachSeverity::Ticket => "ticket",
+            BreachSeverity::Page => "page",
+        }
+    }
+}
+
+/// One multi-window burn-rate alert rule: fire when burn exceeds `threshold`
+/// over **both** the long and the short window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRule {
+    /// Long window ("is this sustained?"), seconds.
+    pub long_secs: u64,
+    /// Short window ("is it still happening?"), seconds.
+    pub short_secs: u64,
+    /// Minimum burn rate over both windows for the rule to fire.
+    pub threshold: f64,
+    /// Severity of the breach this rule produces.
+    pub severity: BreachSeverity,
+}
+
+impl BurnRule {
+    /// The standard fast-burn page: 14.4× over 1 h and 5 m.
+    pub fn page() -> Self {
+        Self { long_secs: 3_600, short_secs: 300, threshold: 14.4, severity: BreachSeverity::Page }
+    }
+
+    /// The standard slow-burn ticket: 1.0× over 3 d and 6 h.
+    pub fn ticket() -> Self {
+        Self {
+            long_secs: 259_200,
+            short_secs: 21_600,
+            threshold: 1.0,
+            severity: BreachSeverity::Ticket,
+        }
+    }
+}
+
+/// A declarative service-level objective over registry metrics.
+///
+/// # Example
+///
+/// ```
+/// use spatial_telemetry::slo::SloSpec;
+///
+/// // 99.9 % of gateway requests under 25 ms, defended by the default
+/// // page (14.4× over 1h+5m) and ticket (1.0× over 3d+6h) burn rules.
+/// let slo = SloSpec::latency(
+///     "gateway-latency",
+///     "spatial_gateway_request_duration_ms",
+///     25.0,
+///     0.999,
+/// );
+/// assert_eq!(slo.rules.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// SLO name, used as the `slo` label on published gauges.
+    pub name: String,
+    /// Target fraction of good events, e.g. `0.999`.
+    pub objective: f64,
+    /// Where good/bad counts come from.
+    pub source: SliSource,
+    /// Burn-rate alert rules (default: page + ticket).
+    pub rules: Vec<BurnRule>,
+    /// Window for the error-budget-remaining gauge, seconds (default 3 d).
+    pub budget_window_secs: u64,
+}
+
+impl SloSpec {
+    fn base(name: &str, objective: f64, source: SliSource) -> Self {
+        assert!((0.0..1.0).contains(&objective), "objective must be in [0, 1)");
+        Self {
+            name: name.to_string(),
+            objective,
+            source,
+            rules: vec![BurnRule::page(), BurnRule::ticket()],
+            budget_window_secs: 259_200,
+        }
+    }
+
+    /// A latency SLO: `objective` of samples in `family` at or under `threshold_ms`.
+    pub fn latency(name: &str, family: &str, threshold_ms: f64, objective: f64) -> Self {
+        Self::base(
+            name,
+            objective,
+            SliSource::LatencyThreshold { family: family.to_string(), threshold_ms },
+        )
+    }
+
+    /// An availability SLO: `objective` of `total` events not counted by `errors`.
+    pub fn availability(name: &str, total: &str, errors: &str, objective: f64) -> Self {
+        Self::base(
+            name,
+            objective,
+            SliSource::CounterRatio { total: total.to_string(), errors: errors.to_string() },
+        )
+    }
+
+    /// Replaces the alert rules.
+    pub fn with_rules(mut self, rules: Vec<BurnRule>) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Overrides the error-budget window.
+    pub fn with_budget_window_secs(mut self, secs: u64) -> Self {
+        self.budget_window_secs = secs;
+        self
+    }
+}
+
+/// An SLO burning budget fast enough to trip one of its rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetBreach {
+    /// Name of the breached SLO.
+    pub slo: String,
+    /// Page or ticket.
+    pub severity: BreachSeverity,
+    /// Burn rate over the rule's long window at evaluation time.
+    pub burn_rate: f64,
+    /// Human-readable long window, e.g. `"1h"`.
+    pub window: String,
+}
+
+/// Point-in-time evaluation of one SLO.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// SLO name.
+    pub name: String,
+    /// Target fraction of good events.
+    pub objective: f64,
+    /// Fraction of error budget left over the budget window, in `[0, 1]`.
+    pub budget_remaining: f64,
+    /// `(window, burn_rate)` per distinct rule window, ascending by window.
+    pub burn_rates: Vec<(String, f64)>,
+    /// The most severe rule currently firing, if any.
+    pub breach: Option<BudgetBreach>,
+}
+
+#[derive(Debug)]
+struct SloState {
+    spec: SloSpec,
+    ledger: WindowLedger,
+    /// Cumulative `(events, errors)` seen at the previous evaluation, for deltas.
+    last: Option<(u64, u64)>,
+}
+
+/// Evaluates a set of [`SloSpec`]s against a [`MetricsRegistry`].
+///
+/// Call [`SloEngine::evaluate`] periodically (the gateway does it on every
+/// `/metrics` scrape); each call folds new event deltas into the rolling ledgers,
+/// publishes the budget/burn gauges, and returns per-SLO status including any
+/// [`BudgetBreach`].
+#[derive(Debug)]
+pub struct SloEngine {
+    clock: Arc<dyn Clock>,
+    slos: Mutex<Vec<SloState>>,
+}
+
+impl SloEngine {
+    /// Creates an engine reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self { clock, slos: Mutex::new(Vec::new()) }
+    }
+
+    /// Installs an SLO. Re-installing the same name replaces the old spec and
+    /// resets its ledger.
+    pub fn install(&self, spec: SloSpec) {
+        // Bucket at 1/10th of the shortest window (min 1 s) so short-window
+        // totals are accurate to within one bucket.
+        let shortest = spec
+            .rules
+            .iter()
+            .map(|r| r.short_secs.min(r.long_secs))
+            .min()
+            .unwrap_or(spec.budget_window_secs)
+            .min(spec.budget_window_secs);
+        let bucket_secs = (shortest / 10).max(1);
+        let horizon = spec
+            .rules
+            .iter()
+            .map(|r| r.long_secs.max(r.short_secs))
+            .max()
+            .unwrap_or(0)
+            .max(spec.budget_window_secs);
+        let state = SloState { ledger: WindowLedger::new(bucket_secs, horizon), spec, last: None };
+        let mut slos = self.slos.lock();
+        if let Some(existing) = slos.iter_mut().find(|s| s.spec.name == state.spec.name) {
+            *existing = state;
+        } else {
+            slos.push(state);
+        }
+    }
+
+    /// Names of installed SLOs, in installation order.
+    pub fn names(&self) -> Vec<String> {
+        self.slos.lock().iter().map(|s| s.spec.name.clone()).collect()
+    }
+
+    /// Evaluates every installed SLO, publishing gauges into `registry` and
+    /// returning statuses in installation order.
+    pub fn evaluate(&self, registry: &MetricsRegistry) -> Vec<SloStatus> {
+        let now = self.clock.now_nanos();
+        let snapshot = registry.snapshot();
+        let mut out = Vec::new();
+        let mut slos = self.slos.lock();
+        for state in slos.iter_mut() {
+            let (events, errors) = read_sli(&snapshot, &state.spec.source);
+            let (last_events, last_errors) = state.last.unwrap_or((0, 0));
+            // Cumulative counters only grow; a shrink means the source was reset,
+            // in which case the full value is new mass.
+            let d_events = events.checked_sub(last_events).unwrap_or(events);
+            let d_errors = errors.checked_sub(last_errors).unwrap_or(errors);
+            state.last = Some((events, errors));
+            let d_good = d_events.saturating_sub(d_errors);
+            state.ledger.record(now, d_good, d_errors.min(d_events));
+            state.ledger.rotate(now);
+
+            let status = status_of(&state.spec, &state.ledger, now);
+            publish(registry, &status);
+            out.push(status);
+        }
+        out
+    }
+
+    /// The status of one SLO by name, without re-evaluating.
+    pub fn status(&self, registry: &MetricsRegistry, name: &str) -> Option<SloStatus> {
+        self.evaluate(registry).into_iter().find(|s| s.name == name)
+    }
+}
+
+/// Burn rate over a window: observed error rate divided by allowed error rate.
+fn burn_over(ledger: &WindowLedger, now: u64, window_secs: u64, objective: f64) -> f64 {
+    let (good, bad) = ledger.totals_within(now, window_secs);
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    let error_rate = bad as f64 / total as f64;
+    error_rate / (1.0 - objective)
+}
+
+fn status_of(spec: &SloSpec, ledger: &WindowLedger, now: u64) -> SloStatus {
+    let mut breach: Option<BudgetBreach> = None;
+    for rule in &spec.rules {
+        let long = burn_over(ledger, now, rule.long_secs, spec.objective);
+        let short = burn_over(ledger, now, rule.short_secs, spec.objective);
+        if long >= rule.threshold && short >= rule.threshold {
+            let candidate = BudgetBreach {
+                slo: spec.name.clone(),
+                severity: rule.severity,
+                burn_rate: long,
+                window: fmt_window(rule.long_secs),
+            };
+            if breach.as_ref().is_none_or(|b| candidate.severity > b.severity) {
+                breach = Some(candidate);
+            }
+        }
+    }
+
+    let mut windows: Vec<u64> =
+        spec.rules.iter().flat_map(|r| [r.short_secs, r.long_secs]).collect();
+    windows.sort_unstable();
+    windows.dedup();
+    let burn_rates = windows
+        .into_iter()
+        .map(|w| (fmt_window(w), burn_over(ledger, now, w, spec.objective)))
+        .collect();
+
+    let (good, bad) = ledger.totals_within(now, spec.budget_window_secs);
+    let total = good + bad;
+    let budget_remaining = if total == 0 {
+        1.0
+    } else {
+        let allowed = (1.0 - spec.objective) * total as f64;
+        (1.0 - bad as f64 / allowed).clamp(0.0, 1.0)
+    };
+
+    SloStatus {
+        name: spec.name.clone(),
+        objective: spec.objective,
+        budget_remaining,
+        burn_rates,
+        breach,
+    }
+}
+
+fn publish(registry: &MetricsRegistry, status: &SloStatus) {
+    registry
+        .gauge_with(
+            SLO_BUDGET_GAUGE,
+            "Fraction of SLO error budget remaining over the budget window",
+            &[("slo", &status.name)],
+        )
+        .set(status.budget_remaining);
+    for (window, burn) in &status.burn_rates {
+        registry
+            .gauge_with(
+                SLO_BURN_GAUGE,
+                "SLO burn rate (error rate / budget rate) per window",
+                &[("slo", &status.name), ("window", window)],
+            )
+            .set(*burn);
+    }
+}
+
+/// Sums cumulative `(events, errors)` for a source across every series of its
+/// families in the snapshot.
+fn read_sli(snapshot: &[crate::registry::MetricSnapshot], source: &SliSource) -> (u64, u64) {
+    match source {
+        SliSource::CounterRatio { total, errors } => {
+            (sum_counters(snapshot, total), sum_counters(snapshot, errors))
+        }
+        SliSource::LatencyThreshold { family, threshold_ms } => {
+            let mut events = 0u64;
+            let mut bad = 0u64;
+            for metric in snapshot.iter().filter(|m| &m.name == family) {
+                for series in &metric.series {
+                    if let SeriesValue::Histogram(h) = &series.value {
+                        events += h.count();
+                        // Good = samples at or below the smallest bucket boundary
+                        // covering the threshold; everything past it is bad.
+                        let good_at_threshold = h
+                            .cumulative_buckets()
+                            .iter()
+                            .find(|(upper, _)| *upper >= *threshold_ms)
+                            .map(|&(_, c)| c)
+                            .unwrap_or(h.count());
+                        bad += h.count() - good_at_threshold;
+                    }
+                }
+            }
+            (events, bad)
+        }
+    }
+}
+
+fn sum_counters(snapshot: &[crate::registry::MetricSnapshot], family: &str) -> u64 {
+    snapshot
+        .iter()
+        .filter(|m| m.name == family)
+        .flat_map(|m| &m.series)
+        .filter_map(|s| match s.value {
+            SeriesValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .sum()
+}
+
+/// `300 → "5m"`, `3600 → "1h"`, `259200 → "3d"`; falls back to seconds.
+fn fmt_window(secs: u64) -> String {
+    if secs % 86_400 == 0 {
+        format!("{}d", secs / 86_400)
+    } else if secs % 3_600 == 0 {
+        format!("{}h", secs / 3_600)
+    } else if secs % 60 == 0 {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::time::Duration;
+
+    fn engine_with(clock: &VirtualClock, spec: SloSpec) -> SloEngine {
+        let engine = SloEngine::new(Arc::new(clock.clone()));
+        engine.install(spec);
+        engine
+    }
+
+    #[test]
+    fn ledger_totals_respect_windows() {
+        let mut ledger = WindowLedger::new(60, 3_600);
+        ledger.record(0, 100, 0);
+        let t1 = 30 * 60 * 1_000_000_000u64; // 30 minutes in
+        ledger.record(t1, 50, 10);
+        assert_eq!(ledger.totals(), (150, 10));
+        // A 5-minute window at t1 only sees the second batch.
+        assert_eq!(ledger.totals_within(t1, 300), (50, 10));
+        // The full hour sees both.
+        assert_eq!(ledger.totals_within(t1, 3_600), (150, 10));
+    }
+
+    #[test]
+    fn ledger_rotation_drops_only_expired_mass() {
+        let mut ledger = WindowLedger::new(60, 600);
+        ledger.record(0, 10, 1);
+        let later = 700 * 1_000_000_000u64; // past the 600 s horizon
+        ledger.record(later, 5, 0);
+        ledger.rotate(later);
+        assert_eq!(ledger.totals(), (5, 0));
+    }
+
+    #[test]
+    fn burn_rate_is_error_rate_over_budget_rate() {
+        let mut ledger = WindowLedger::new(30, 3_600);
+        // 1% errors against a 99.9% objective → burn 10.
+        ledger.record(1_000_000_000, 990, 10);
+        let burn = burn_over(&ledger, 1_000_000_000, 300, 0.999);
+        assert!((burn - 10.0).abs() < 1e-9, "burn={burn}");
+    }
+
+    #[test]
+    fn healthy_traffic_never_breaches() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.999));
+        let reg = MetricsRegistry::new();
+        let total = reg.counter("req_total", "requests");
+        reg.counter("err_total", "errors");
+        for _ in 0..20 {
+            total.add(100);
+            clock.advance(Duration::from_secs(30));
+            let status = &engine.evaluate(&reg)[0];
+            assert!(status.breach.is_none());
+            assert_eq!(status.budget_remaining, 1.0);
+        }
+    }
+
+    #[test]
+    fn sustained_errors_page_then_recover() {
+        let clock = VirtualClock::new();
+        // Page rule only: the ticket rule's 6 h short window would (correctly)
+        // keep ticketing long after the page clears, which is not under test here.
+        let engine = engine_with(
+            &clock,
+            SloSpec::availability("avail", "req_total", "err_total", 0.99)
+                .with_rules(vec![BurnRule::page()]),
+        );
+        let reg = MetricsRegistry::new();
+        let total = reg.counter("req_total", "requests");
+        let errors = reg.counter("err_total", "errors");
+        // 50% errors against a 1% budget → burn 50 over every window.
+        let mut paged = false;
+        for _ in 0..30 {
+            total.add(100);
+            errors.add(50);
+            clock.advance(Duration::from_secs(60));
+            let status = &engine.evaluate(&reg)[0];
+            if let Some(b) = &status.breach {
+                assert_eq!(b.severity, BreachSeverity::Page);
+                assert!(b.burn_rate > 14.4);
+                paged = true;
+            }
+        }
+        assert!(paged, "sustained 50% errors must trip the fast-burn page");
+
+        // Clean traffic for well past the short window clears the page (the
+        // 5m short window empties even though the 1h long window still burns).
+        for _ in 0..12 {
+            total.add(100);
+            clock.advance(Duration::from_secs(60));
+        }
+        let status = &engine.evaluate(&reg)[0];
+        assert!(
+            status.breach.is_none(),
+            "short window must clear after recovery: {:?}",
+            status.breach
+        );
+    }
+
+    #[test]
+    fn latency_source_counts_samples_over_threshold() {
+        let clock = VirtualClock::new();
+        let engine = engine_with(&clock, SloSpec::latency("lat", "lat_ms", 25.0, 0.9));
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ms", "latency");
+        for _ in 0..50 {
+            h.observe(1.0); // good
+            h.observe(500.0); // bad
+        }
+        clock.advance(Duration::from_secs(60));
+        let status = &engine.evaluate(&reg)[0];
+        // 50% bad against a 10% budget → burn 5 over every window.
+        for (window, burn) in &status.burn_rates {
+            assert!((burn - 5.0).abs() < 1e-9, "window {window} burn {burn}");
+        }
+        assert!(status.budget_remaining < 1.0);
+    }
+
+    #[test]
+    fn gauges_are_published() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.999));
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total", "requests").add(1_000);
+        clock.advance(Duration::from_secs(10));
+        engine.evaluate(&reg);
+        let text = reg.encode();
+        assert!(text.contains("spatial_slo_error_budget_remaining{slo=\"avail\"} 1\n"), "{text}");
+        assert!(text.contains("spatial_slo_burn_rate{slo=\"avail\",window=\"5m\"} 0\n"));
+        assert!(text.contains("spatial_slo_burn_rate{slo=\"avail\",window=\"3d\"} 0\n"));
+    }
+
+    #[test]
+    fn reinstall_replaces_and_resets() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.99));
+        engine.install(SloSpec::availability("avail", "req_total", "err_total", 0.999));
+        assert_eq!(engine.names(), vec!["avail"]);
+        let reg = MetricsRegistry::new();
+        let status = &engine.evaluate(&reg)[0];
+        assert_eq!(status.objective, 0.999);
+    }
+
+    #[test]
+    fn counter_reset_is_treated_as_new_mass() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.99));
+        let reg1 = MetricsRegistry::new();
+        reg1.counter("req_total", "requests").add(500);
+        clock.advance(Duration::from_secs(10));
+        engine.evaluate(&reg1);
+        // A fresh registry (process restart) resets the counters to below the
+        // last-seen values; the engine must not panic or lose mass.
+        let reg2 = MetricsRegistry::new();
+        reg2.counter("req_total", "requests").add(100);
+        clock.advance(Duration::from_secs(10));
+        let status = &engine.evaluate(&reg2)[0];
+        assert!(status.breach.is_none());
+    }
+
+    #[test]
+    fn fmt_window_uses_natural_units() {
+        assert_eq!(fmt_window(300), "5m");
+        assert_eq!(fmt_window(3_600), "1h");
+        assert_eq!(fmt_window(21_600), "6h");
+        assert_eq!(fmt_window(259_200), "3d");
+        assert_eq!(fmt_window(90), "90s");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the SLO window algebra and the exemplar reservoirs.
+//!
+//! The burn-rate engine's correctness rests on two algebraic claims that are
+//! easy to state and easy to get subtly wrong:
+//!
+//! - the [`WindowLedger`]'s rotate/merge operations never invent or lose
+//!   budget mass inside the horizon, and sharded recording merges to the same
+//!   ledger as a single stream;
+//! - the exemplar [`Reservoir`] is a deterministic function of the offered
+//!   *set* of samples — any sharding, any order, bit-identical result — and
+//!   never exceeds its capacity.
+//!
+//! Plus the burn-rate direction itself: with the good count fixed, adding bad
+//! events can only burn budget faster, never slower.
+
+use proptest::prelude::*;
+use spatial_telemetry::clock::VirtualClock;
+use spatial_telemetry::exemplar::Reservoir;
+use spatial_telemetry::registry::MetricsRegistry;
+use spatial_telemetry::slo::{SloEngine, SloSpec, WindowLedger};
+use spatial_telemetry::trace::TraceId;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SECOND: u64 = 1_000_000_000;
+
+proptest! {
+    /// Sharding a stream of (time, good, bad) records across two ledgers and
+    /// merging equals recording everything into one ledger.
+    #[test]
+    fn sharded_ledgers_merge_to_the_single_stream_ledger(
+        events in proptest::collection::vec(
+            (0u64..600, 0u64..50, 0u64..50, proptest::bool::ANY), 0..80),
+    ) {
+        let mut single = WindowLedger::new(30, 3_600);
+        let mut shard_a = WindowLedger::new(30, 3_600);
+        let mut shard_b = WindowLedger::new(30, 3_600);
+        for &(t_secs, good, bad, pick_a) in &events {
+            let now = t_secs * SECOND;
+            single.record(now, good, bad);
+            if pick_a { shard_a.record(now, good, bad) } else { shard_b.record(now, good, bad) };
+        }
+        shard_a.merge(&shard_b);
+        prop_assert_eq!(&shard_a, &single, "merge must equal the unsharded ledger");
+        let want: (u64, u64) = events.iter().fold((0, 0), |(g, b), &(_, dg, db, _)| (g + dg, b + db));
+        prop_assert_eq!(single.totals(), want, "no mass lost or invented");
+    }
+
+    /// Rotation only ever discards mass that aged out of the horizon: totals
+    /// never grow, and everything recorded inside the horizon survives.
+    #[test]
+    fn rotation_conserves_in_horizon_mass(
+        events in proptest::collection::vec((0u64..2_000, 1u64..20, 0u64..20), 1..60),
+        now_secs in 2_000u64..4_000,
+    ) {
+        let horizon = 600;
+        let mut ledger = WindowLedger::new(30, horizon);
+        for &(t_secs, good, bad) in &events {
+            ledger.record(t_secs * SECOND, good, bad);
+        }
+        let before = ledger.totals();
+        ledger.rotate(now_secs * SECOND);
+        let after = ledger.totals();
+        prop_assert!(after.0 <= before.0 && after.1 <= before.1, "rotation must not create mass");
+        // Lower bound: every event strictly inside the horizon must survive.
+        let (mut keep_good, mut keep_bad) = (0, 0);
+        for &(t_secs, good, bad) in &events {
+            if t_secs + horizon > now_secs {
+                keep_good += good;
+                keep_bad += bad;
+            }
+        }
+        prop_assert!(
+            after.0 >= keep_good && after.1 >= keep_bad,
+            "rotation dropped in-horizon mass: kept {after:?}, expected at least ({keep_good}, {keep_bad})"
+        );
+        // Idempotence: rotating again at the same instant changes nothing.
+        let mut again = ledger.clone();
+        again.rotate(now_secs * SECOND);
+        prop_assert_eq!(again, ledger);
+    }
+
+    /// Window totals are monotone in the window: a wider trailing window can
+    /// only see more, and the horizon-wide window sees exactly the totals.
+    #[test]
+    fn trailing_window_totals_are_monotone_in_the_window(
+        events in proptest::collection::vec((0u64..600, 0u64..20, 0u64..20), 0..60),
+        w1 in 30u64..3_600,
+        w2 in 30u64..3_600,
+    ) {
+        let mut ledger = WindowLedger::new(30, 3_600);
+        for &(t_secs, good, bad) in &events {
+            ledger.record(t_secs * SECOND, good, bad);
+        }
+        let now = 600 * SECOND;
+        let (narrow, wide) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let (ng, nb) = ledger.totals_within(now, narrow);
+        let (wg, wb) = ledger.totals_within(now, wide);
+        prop_assert!(ng <= wg && nb <= wb, "wider windows must dominate");
+        prop_assert_eq!(ledger.totals_within(now, 3_600), ledger.totals());
+    }
+
+    /// With the good count fixed, extra bad events never lower any burn rate
+    /// and never raise the remaining budget.
+    #[test]
+    fn burn_is_monotone_and_budget_antitone_in_bad_events(
+        good in 1u64..2_000,
+        bad in 0u64..200,
+        extra_bad in 1u64..200,
+    ) {
+        let run = |bad: u64| {
+            let clock = Arc::new(VirtualClock::new());
+            let registry = MetricsRegistry::new();
+            let engine = SloEngine::new(clock.clone() as Arc<dyn spatial_telemetry::clock::Clock>);
+            engine.install(SloSpec::availability("avail", "events_total", "errors_total", 0.99));
+            clock.advance(Duration::from_secs(60));
+            registry.counter("events_total", "all events").add(good + bad);
+            registry.counter("errors_total", "failed events").add(bad);
+            engine.evaluate(&registry).remove(0)
+        };
+        let base = run(bad);
+        let worse = run(bad + extra_bad);
+        prop_assert!(worse.budget_remaining <= base.budget_remaining + 1e-12);
+        for ((w_window, w_burn), (b_window, b_burn)) in
+            worse.burn_rates.iter().zip(base.burn_rates.iter())
+        {
+            prop_assert_eq!(w_window, b_window);
+            prop_assert!(
+                *w_burn >= *b_burn - 1e-12,
+                "burn over {w_window} fell from {b_burn} to {w_burn} with more errors"
+            );
+        }
+    }
+
+    /// The reservoir is a function of the offered sample *set*: any sharding
+    /// into any number of reservoirs, offered in any order, merges bit-identical
+    /// to the single-reservoir result — and never holds more than `cap`.
+    #[test]
+    fn reservoir_is_deterministic_under_sharding_and_order(
+        samples in proptest::collection::vec((1u128..1_000_000, 0.0f64..1e4), 0..120),
+        cap in 1usize..8,
+        seed in proptest::num::u64::ANY,
+        shards in 1usize..4,
+    ) {
+        let mut single = Reservoir::new(cap, seed);
+        for &(trace, value) in &samples {
+            single.offer(TraceId(trace), value);
+        }
+
+        let mut parts: Vec<Reservoir> = (0..shards).map(|_| Reservoir::new(cap, seed)).collect();
+        // Offer in reverse order and round-robin across shards.
+        for (i, &(trace, value)) in samples.iter().rev().enumerate() {
+            parts[i % shards].offer(TraceId(trace), value);
+        }
+        let mut merged = parts.pop().expect("at least one shard");
+        for part in &parts {
+            merged.merge(part);
+        }
+
+        prop_assert!(merged.entries().len() <= cap, "cap invariant");
+        prop_assert_eq!(merged, single, "sharding or order changed the reservoir");
+    }
+
+    /// Re-offering samples already retained is a no-op (set semantics), so
+    /// scrapes that replay traffic cannot evict fresher exemplars.
+    #[test]
+    fn reoffering_retained_samples_is_idempotent(
+        samples in proptest::collection::vec((1u128..10_000, 0.0f64..1e3), 1..60),
+        cap in 1usize..6,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let mut r = Reservoir::new(cap, seed);
+        for &(trace, value) in &samples {
+            r.offer(TraceId(trace), value);
+        }
+        let before = r.clone();
+        for e in before.entries() {
+            r.offer(e.trace_id, e.value());
+        }
+        prop_assert_eq!(r, before);
+    }
+}

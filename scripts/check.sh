@@ -25,6 +25,9 @@ cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --
 echo "== rollout MTTR smoke (canary blast radius must be zero) =="
 cargo run -q --release -p spatial-bench --bin rollout_mttr -- --smoke > /dev/null
 
+echo "== SLO guard smoke (burn-rate pages on sustained burn, ignores blips)"
+cargo run -q --release -p spatial-bench --bin slo_guard -- --smoke > /dev/null
+
 echo "== conformance audit (oracles, axioms, metamorphic relations, wire fuzz smoke) =="
 cargo run -q --release -p spatial-bench --bin conformance -- --smoke
 
