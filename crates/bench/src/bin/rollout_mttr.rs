@@ -118,8 +118,11 @@ fn main() {
     let json = render_json(samples, rounds, seed, incident_at, &[canary, direct]);
     println!("{json}");
     if write {
-        std::fs::write("BENCH_rollout.json", format!("{json}\n"))
-            .expect("write BENCH_rollout.json");
+        spatial_durability::backend::atomic_write(
+            "BENCH_rollout.json",
+            format!("{json}\n").as_bytes(),
+        )
+        .expect("write BENCH_rollout.json");
         eprintln!("wrote BENCH_rollout.json");
     }
 }

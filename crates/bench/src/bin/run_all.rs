@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "taxonomy_report",
     "perf_baseline",
     "uc1_baseline",
@@ -18,6 +18,7 @@ const EXPERIMENTS: [&str; 15] = [
     "ablation_rf_robustness",
     "oversight_mttr",
     "rollout_mttr",
+    "recovery_mttr",
     "slo_guard",
     "conformance",
 ];

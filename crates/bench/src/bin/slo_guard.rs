@@ -99,7 +99,8 @@ fn main() {
     let json = render_json(&sustained, &transient);
     println!("{json}");
     if write {
-        std::fs::write("BENCH_slo.json", format!("{json}\n")).expect("write BENCH_slo.json");
+        spatial_durability::backend::atomic_write("BENCH_slo.json", format!("{json}\n").as_bytes())
+            .expect("write BENCH_slo.json");
         eprintln!("wrote BENCH_slo.json");
     }
 }

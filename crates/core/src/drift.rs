@@ -49,6 +49,20 @@ impl DriftState {
             DriftState::Drifting => 2.0,
         }
     }
+
+    /// Inverse of [`DriftState::name`], for decoding durable records.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message for unknown names.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "stable" => Ok(DriftState::Stable),
+            "warning" => Ok(DriftState::Warning),
+            "drifting" => Ok(DriftState::Drifting),
+            other => Err(format!("unknown drift state \"{other}\"")),
+        }
+    }
 }
 
 /// A streaming change-point detector over a scalar stream where larger = worse.
@@ -67,6 +81,66 @@ pub trait DriftDetector: Send + Sync {
     /// Forgets all accumulated evidence and returns to `Stable`. Called by the
     /// response layer after a recovery action.
     fn reset(&mut self);
+
+    /// Captures the detector's accumulated evidence for a durable checkpoint.
+    fn export(&self) -> DetectorSnapshot;
+
+    /// Restores accumulated evidence from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when the snapshot belongs to a different detector
+    /// family; the detector is left untouched on error.
+    fn import(&mut self, snapshot: &DetectorSnapshot) -> Result<(), String>;
+}
+
+/// Plain-data capture of one detector's accumulated evidence. Configurations
+/// are *not* part of the snapshot: a [`DriftBank`] always instantiates its
+/// [`DetectorKind`] with default configuration, so the evidence is the only
+/// state that must survive a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorSnapshot {
+    /// [`PageHinkley`] evidence.
+    PageHinkley {
+        /// Observations seen.
+        n: u64,
+        /// Running mean.
+        mean: f64,
+        /// Cumulative deviation statistic.
+        cumulative: f64,
+        /// Running minimum of the cumulative statistic.
+        minimum: f64,
+        /// Whether the drift verdict has latched.
+        latched: bool,
+        /// Current state.
+        state: DriftState,
+    },
+    /// [`Cusum`] evidence.
+    Cusum {
+        /// Sum of warm-up observations.
+        warmup_sum: f64,
+        /// Warm-up observations consumed.
+        warmup_seen: usize,
+        /// In-control reference mean.
+        reference: f64,
+        /// Cumulative statistic `g_t`.
+        g: f64,
+        /// Whether the drift verdict has latched.
+        latched: bool,
+        /// Current state.
+        state: DriftState,
+    },
+    /// [`WindowKs`] evidence.
+    WindowKs {
+        /// Frozen reference window.
+        reference: Vec<f64>,
+        /// Most recent observations, oldest first.
+        current: Vec<f64>,
+        /// Whether the drift verdict has latched.
+        latched: bool,
+        /// Current state.
+        state: DriftState,
+    },
 }
 
 fn classify(stat: f64, warn: f64, drift: f64, latched: &mut bool) -> DriftState {
@@ -180,6 +254,32 @@ impl DriftDetector for PageHinkley {
         self.state
     }
 
+    fn export(&self) -> DetectorSnapshot {
+        DetectorSnapshot::PageHinkley {
+            n: self.n,
+            mean: self.mean,
+            cumulative: self.cumulative,
+            minimum: self.minimum,
+            latched: self.latched,
+            state: self.state,
+        }
+    }
+
+    fn import(&mut self, snapshot: &DetectorSnapshot) -> Result<(), String> {
+        match snapshot {
+            DetectorSnapshot::PageHinkley { n, mean, cumulative, minimum, latched, state } => {
+                self.n = *n;
+                self.mean = *mean;
+                self.cumulative = *cumulative;
+                self.minimum = *minimum;
+                self.latched = *latched;
+                self.state = *state;
+                Ok(())
+            }
+            other => Err(format!("snapshot is not page-hinkley evidence: {other:?}")),
+        }
+    }
+
     fn reset(&mut self) {
         let cfg = self.cfg;
         *self = Self::new(cfg);
@@ -276,6 +376,32 @@ impl DriftDetector for Cusum {
 
     fn state(&self) -> DriftState {
         self.state
+    }
+
+    fn export(&self) -> DetectorSnapshot {
+        DetectorSnapshot::Cusum {
+            warmup_sum: self.warmup_sum,
+            warmup_seen: self.warmup_seen,
+            reference: self.reference,
+            g: self.g,
+            latched: self.latched,
+            state: self.state,
+        }
+    }
+
+    fn import(&mut self, snapshot: &DetectorSnapshot) -> Result<(), String> {
+        match snapshot {
+            DetectorSnapshot::Cusum { warmup_sum, warmup_seen, reference, g, latched, state } => {
+                self.warmup_sum = *warmup_sum;
+                self.warmup_seen = *warmup_seen;
+                self.reference = *reference;
+                self.g = *g;
+                self.latched = *latched;
+                self.state = *state;
+                Ok(())
+            }
+            other => Err(format!("snapshot is not cusum evidence: {other:?}")),
+        }
     }
 
     fn reset(&mut self) {
@@ -407,6 +533,28 @@ impl DriftDetector for WindowKs {
         self.state
     }
 
+    fn export(&self) -> DetectorSnapshot {
+        DetectorSnapshot::WindowKs {
+            reference: self.reference.clone(),
+            current: self.current.iter().copied().collect(),
+            latched: self.latched,
+            state: self.state,
+        }
+    }
+
+    fn import(&mut self, snapshot: &DetectorSnapshot) -> Result<(), String> {
+        match snapshot {
+            DetectorSnapshot::WindowKs { reference, current, latched, state } => {
+                self.reference = reference.clone();
+                self.current = current.iter().copied().collect();
+                self.latched = *latched;
+                self.state = *state;
+                Ok(())
+            }
+            other => Err(format!("snapshot is not window-ks evidence: {other:?}")),
+        }
+    }
+
     fn reset(&mut self) {
         let cfg = self.cfg;
         *self = Self::new(cfg);
@@ -431,6 +579,29 @@ impl DetectorKind {
             DetectorKind::PageHinkley => Box::new(PageHinkley::default()),
             DetectorKind::Cusum => Box::new(Cusum::default()),
             DetectorKind::WindowKs => Box::new(WindowKs::default()),
+        }
+    }
+
+    /// Kebab-case label, matching the detector family's `name()`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorKind::PageHinkley => "page-hinkley",
+            DetectorKind::Cusum => "cusum",
+            DetectorKind::WindowKs => "window-ks",
+        }
+    }
+
+    /// Inverse of [`DetectorKind::label`], for decoding durable records.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message for unknown labels.
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "page-hinkley" => Ok(DetectorKind::PageHinkley),
+            "cusum" => Ok(DetectorKind::Cusum),
+            "window-ks" => Ok(DetectorKind::WindowKs),
+            other => Err(format!("unknown detector kind \"{other}\"")),
         }
     }
 }
@@ -507,6 +678,53 @@ impl DriftBank {
             det.reset();
         }
     }
+
+    /// Which detector family this bank instantiates per sensor.
+    pub fn kind(&self) -> DetectorKind {
+        self.kind
+    }
+
+    /// Captures the bank — family plus every sensor's accumulated evidence, in
+    /// sensor-name order — for a durable checkpoint.
+    pub fn export_state(&self) -> BankState {
+        BankState {
+            kind: self.kind,
+            detectors: self
+                .detectors
+                .iter()
+                .map(|(sensor, det)| (sensor.clone(), det.export()))
+                .collect(),
+        }
+    }
+
+    /// Replaces the bank's detectors with checkpointed evidence. The bank's
+    /// family is overwritten by the checkpoint's so a restarted controller
+    /// continues with the detectors it actually had.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when a snapshot does not match the checkpoint's
+    /// detector family; the bank is left untouched on error.
+    pub fn import_state(&mut self, state: &BankState) -> Result<(), String> {
+        let mut detectors: BTreeMap<String, Box<dyn DriftDetector>> = BTreeMap::new();
+        for (sensor, snapshot) in &state.detectors {
+            let mut det = state.kind.build();
+            det.import(snapshot).map_err(|e| format!("sensor \"{sensor}\": {e}"))?;
+            detectors.insert(sensor.clone(), det);
+        }
+        self.kind = state.kind;
+        self.detectors = detectors;
+        Ok(())
+    }
+}
+
+/// Plain-data checkpoint of a [`DriftBank`] (see [`DriftBank::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankState {
+    /// Detector family the bank instantiates per sensor.
+    pub kind: DetectorKind,
+    /// Per-sensor evidence, in sensor-name order.
+    pub detectors: Vec<(String, DetectorSnapshot)>,
 }
 
 impl std::fmt::Debug for DriftBank {
@@ -712,5 +930,85 @@ mod tests {
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - 0.05).abs() < 0.01, "fixture mean {mean}");
         assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn names_and_labels_round_trip() {
+        for s in [DriftState::Stable, DriftState::Warning, DriftState::Drifting] {
+            assert_eq!(DriftState::from_name(s.name()).unwrap(), s);
+        }
+        assert!(DriftState::from_name("bogus").is_err());
+        for k in [DetectorKind::PageHinkley, DetectorKind::Cusum, DetectorKind::WindowKs] {
+            assert_eq!(DetectorKind::from_label(k.label()).unwrap(), k);
+        }
+        assert!(DetectorKind::from_label("bogus").is_err());
+    }
+
+    #[test]
+    fn detector_snapshots_resume_mid_stream_identically() {
+        // For each family: feed a prefix, export, import into a fresh detector,
+        // then feed the identical suffix to both — states must match exactly.
+        let stream: Vec<f64> = {
+            let mut s = stationary(7, 40);
+            s.extend(std::iter::repeat(0.4).take(40)); // shift: degradation
+            s
+        };
+        for kind in [DetectorKind::PageHinkley, DetectorKind::Cusum, DetectorKind::WindowKs] {
+            let mut original = kind.build();
+            for v in &stream[..30] {
+                original.update(*v);
+            }
+            let snapshot = original.export();
+            let mut resumed = kind.build();
+            resumed.import(&snapshot).unwrap();
+            assert_eq!(resumed.export(), snapshot, "{} import/export", original.name());
+            for v in &stream[30..] {
+                assert_eq!(original.update(*v), resumed.update(*v), "{}", original.name());
+            }
+            assert_eq!(original.export(), resumed.export(), "{}", original.name());
+            assert_eq!(original.state(), DriftState::Drifting, "{} must confirm", original.name());
+        }
+    }
+
+    #[test]
+    fn importing_the_wrong_family_fails_loudly() {
+        let mut ph = PageHinkley::default();
+        ph.update(0.1);
+        let mut cu = Cusum::default();
+        assert!(cu.import(&ph.export()).is_err());
+        let mut ks = WindowKs::default();
+        assert!(ks.import(&ph.export()).is_err());
+    }
+
+    #[test]
+    fn bank_state_round_trips_and_resumes() {
+        let reading = |sensor: &str, value: f64, tick: u64| SensorReading {
+            sensor: sensor.into(),
+            property: TrustProperty::Performance,
+            direction: Direction::LowerIsBetter,
+            value,
+            tick,
+        };
+        let mut bank = DriftBank::new(DetectorKind::Cusum);
+        for t in 0..25u64 {
+            let v = if t < 10 { 0.05 } else { 0.5 };
+            bank.update(&[reading("acc", v, t), reading("shap", 0.02, t)]);
+        }
+        let state = bank.export_state();
+        assert_eq!(state.kind, DetectorKind::Cusum);
+        assert_eq!(state.detectors.len(), 2);
+
+        // Import into a bank of a *different* kind: the checkpoint wins.
+        let mut restored = DriftBank::new(DetectorKind::PageHinkley);
+        restored.import_state(&state).unwrap();
+        assert_eq!(restored.kind(), DetectorKind::Cusum);
+        assert_eq!(restored.severity(), bank.severity());
+        assert_eq!(restored.states(), bank.states());
+        assert_eq!(restored.export_state(), state);
+
+        // Both continue identically.
+        let a = bank.update(&[reading("acc", 0.5, 25), reading("shap", 0.02, 25)]);
+        let b = restored.update(&[reading("acc", 0.5, 25), reading("shap", 0.02, 25)]);
+        assert_eq!(a, b);
     }
 }

@@ -55,9 +55,11 @@ pub mod respond;
 pub mod sensor;
 pub mod trust;
 
-pub use drift::{DetectorKind, DriftBank, DriftDetector, DriftState, DriftVerdict};
+pub use drift::{
+    BankState, DetectorKind, DetectorSnapshot, DriftBank, DriftDetector, DriftState, DriftVerdict,
+};
 pub use monitor::{stage_for, Alert, Monitor, STAGE_HISTOGRAM};
 pub use property::TrustProperty;
 pub use registry::SensorRegistry;
-pub use respond::{ActionExecutor, ExecutedAction, RecoveryContext, ResponsePolicy};
+pub use respond::{ActionExecutor, ExecutedAction, ExecutorState, RecoveryContext, ResponsePolicy};
 pub use sensor::{AiSensor, SensorContext, SensorReading};

@@ -121,6 +121,21 @@ pub struct ExecutedAction {
     pub outcome: String,
 }
 
+/// Plain-data checkpoint of an [`ActionExecutor`]'s cooldown clocks and action
+/// log (see [`ActionExecutor::export_state`]). The policy, store and model
+/// factory are construction-time wiring and are not part of the checkpoint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutorState {
+    /// Tick of the last sanitize-and-retrain action.
+    pub last_retrain: Option<u64>,
+    /// Tick of the last rollback.
+    pub last_rollback: Option<u64>,
+    /// Tick of the last quarantine-recovery attempt.
+    pub last_recovery_attempt: Option<u64>,
+    /// The executed-action audit log, oldest first.
+    pub log: Vec<ExecutedAction>,
+}
+
 /// Everything a recovery step may touch: the live training stream (possibly
 /// poisoned) and the retained clean held-out split that gates promotions — the
 /// paper's "clean test set" kept for post-attack comparison.
@@ -182,6 +197,27 @@ impl ActionExecutor {
     /// The active policy.
     pub fn policy(&self) -> &ResponsePolicy {
         &self.policy
+    }
+
+    /// Captures the executor's cooldown clocks and action log for a durable
+    /// checkpoint. Without this, a restarted oversight loop forgets it just
+    /// rolled back and may immediately rollback again — double-acting on the
+    /// same drift episode.
+    pub fn export_state(&self) -> ExecutorState {
+        ExecutorState {
+            last_retrain: self.last_retrain,
+            last_rollback: self.last_rollback,
+            last_recovery_attempt: self.last_recovery_attempt,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Restores cooldown clocks and the action log from a checkpoint.
+    pub fn import_state(&mut self, state: &ExecutorState) {
+        self.last_retrain = state.last_retrain;
+        self.last_rollback = state.last_rollback;
+        self.last_recovery_attempt = state.last_recovery_attempt;
+        self.log = state.log.clone();
     }
 
     /// Runs one response step at `tick`: exports detector state, folds alerts into
@@ -509,6 +545,32 @@ mod tests {
         let actions = ex.step(7, &mut bank, &[verdict(DriftState::Drifting)], &[], &ctx);
         assert_eq!(actions[0].action, OperatorAction::Quarantine);
         assert!(store.is_quarantined());
+    }
+
+    #[test]
+    fn executor_state_round_trip_preserves_cooldowns() {
+        let train = blobs(120, 3);
+        let holdout = blobs(60, 4);
+        let store = store_with(&train, &holdout);
+        let mut bad = DecisionTree::new();
+        bad.fit(&train).unwrap();
+        store.promote(Arc::new(bad), 5, 0.5, "poisoned retrain");
+        let mut ex = executor(&store, ResponsePolicy::default());
+        let mut bank = DriftBank::new(DetectorKind::Cusum);
+        let ctx = RecoveryContext { train: &train, holdout: &holdout };
+        let actions = ex.step(6, &mut bank, &[verdict(DriftState::Drifting)], &[], &ctx);
+        assert_eq!(actions[0].action, OperatorAction::Rollback);
+
+        // Checkpoint, "restart", restore — the fresh executor must remember the
+        // rollback it just performed and escalate instead of rolling back again.
+        let state = ex.export_state();
+        assert_eq!(state.last_rollback, Some(6));
+        let mut restarted = executor(&store, ResponsePolicy::default());
+        restarted.import_state(&state);
+        assert_eq!(restarted.export_state(), state);
+        assert_eq!(restarted.log(), ex.log());
+        let actions = restarted.step(7, &mut bank, &[verdict(DriftState::Drifting)], &[], &ctx);
+        assert_eq!(actions[0].action, OperatorAction::Quarantine);
     }
 
     #[test]

@@ -49,6 +49,17 @@ impl Snapshot {
         serde_json::to_string_pretty(self).expect("snapshot is serializable")
     }
 
+    /// Writes the snapshot JSON to `path` atomically (tmp file + fsync +
+    /// rename), so a crash mid-export leaves the previous snapshot intact
+    /// instead of a truncated JSON — an audit artifact must never be torn.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_atomic(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        spatial_durability::backend::atomic_write(path, self.to_json().as_bytes())
+    }
+
     /// Restores a snapshot from JSON.
     ///
     /// # Errors
@@ -80,5 +91,21 @@ mod tests {
     #[test]
     fn malformed_json_errors() {
         assert!(Snapshot::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn atomic_export_replaces_not_truncates() {
+        let monitor = Monitor::new(SensorRegistry::new());
+        let trust =
+            TrustScore { overall: 0.8, per_property: vec![(TrustProperty::Performance, 0.8, 1.0)] };
+        let snap = snapshot("uc1", "dnn", &monitor, &trust, &[]);
+        let path = std::env::temp_dir().join(format!("spatial-export-{}.json", std::process::id()));
+        snap.write_atomic(&path).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, snap.to_json());
+        // A second export lands over the first via rename, leaving no tmp file.
+        snap.write_atomic(&path).unwrap();
+        assert!(!path.with_extension("json.tmp").exists(), "tmp file must not linger");
+        let _ = std::fs::remove_file(&path);
     }
 }

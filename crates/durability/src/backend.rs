@@ -1,0 +1,378 @@
+//! Storage backends for the durable state plane, plus seeded crash injection.
+//!
+//! A [`Backend`] owns two durable objects: an append-only WAL byte stream and a
+//! single atomically-replaced snapshot blob. Two implementations:
+//!
+//! - [`MemBackend`] — an `Arc`-shared in-memory "disk". Cloning the handle keeps
+//!   the bytes alive after the writing component is dropped, which is exactly the
+//!   property crash tests need: kill the control plane, keep the disk.
+//! - [`FileBackend`] — a directory holding `wal.log` and `snapshot.json`, with
+//!   fsync on append and tmp-file + rename + directory-fsync snapshot publication
+//!   (see [`atomic_write`]).
+//!
+//! [`Crashable`] wraps any backend and injects a *seeded* crash at the Nth durable
+//! operation, mirroring the `FaultPlan` pattern of the gateway's chaos proxy: the
+//! decision for operation `n` is a pure function of `derive_seed(seed, n)`, so a
+//! crash sweep is reproducible bit for bit. A crash during a WAL append persists
+//! only a seeded *prefix* of the frame (a torn write); a crash during snapshot
+//! publication persists nothing (rename is atomic — the old snapshot survives).
+//! After the crash every further durable operation fails, but reads still work:
+//! recovery inspects the post-crash disk.
+
+use spatial_linalg::rng::derive_seed;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Error raised by a durable operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The injected crash point fired (or a previous one did): the process is
+    /// considered dead and no further durable writes may happen.
+    Crashed,
+    /// A real I/O failure, with the OS message.
+    Io(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Crashed => write!(f, "injected crash point fired"),
+            Self::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A durable store: an append-only WAL plus one atomically-replaced snapshot.
+pub trait Backend: Send {
+    /// Appends raw frame bytes to the WAL, durably.
+    fn append_wal(&mut self, frame: &[u8]) -> Result<(), BackendError>;
+
+    /// The entire WAL byte stream as currently durable (including any torn tail).
+    fn wal_bytes(&self) -> Result<Vec<u8>, BackendError>;
+
+    /// Atomically replaces the snapshot blob. Either the old or the new snapshot
+    /// is durable afterwards — never a mix, never a truncation.
+    fn publish_snapshot(&mut self, bytes: &[u8]) -> Result<(), BackendError>;
+
+    /// The current snapshot blob, if one was ever published.
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, BackendError>;
+}
+
+#[derive(Debug, Default)]
+struct MemDisk {
+    wal: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+}
+
+/// An in-memory [`Backend`] handle. Clones share one "disk", so the bytes
+/// survive dropping the component that wrote them — the crash-test analogue of
+/// a filesystem outliving a killed process.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    disk: Arc<Mutex<MemDisk>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn append_wal(&mut self, frame: &[u8]) -> Result<(), BackendError> {
+        self.disk.lock().expect("mem disk poisoned").wal.extend_from_slice(frame);
+        Ok(())
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, BackendError> {
+        Ok(self.disk.lock().expect("mem disk poisoned").wal.clone())
+    }
+
+    fn publish_snapshot(&mut self, bytes: &[u8]) -> Result<(), BackendError> {
+        self.disk.lock().expect("mem disk poisoned").snapshot = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, BackendError> {
+        Ok(self.disk.lock().expect("mem disk poisoned").snapshot.clone())
+    }
+}
+
+/// Writes `bytes` to `path` so that a crash at any point leaves either the old
+/// content or the new content — never a truncated mix: write to `<path>.tmp`,
+/// fsync the file, rename over the target, fsync the parent directory so the
+/// rename itself is durable.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Directory fsync is advisory on some platforms; opening it read-only
+        // and syncing is the portable best effort.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A directory-backed [`Backend`]: `wal.log` (append + fsync) and
+/// `snapshot.json` (atomic replace via [`atomic_write`]).
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the backing directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.json")
+    }
+}
+
+fn io_err(e: std::io::Error) -> BackendError {
+    BackendError::Io(e.to_string())
+}
+
+impl Backend for FileBackend {
+    fn append_wal(&mut self, frame: &[u8]) -> Result<(), BackendError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.wal_path())
+            .map_err(io_err)?;
+        f.write_all(frame).map_err(io_err)?;
+        f.sync_all().map_err(io_err)
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, BackendError> {
+        match fs::read(self.wal_path()) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn publish_snapshot(&mut self, bytes: &[u8]) -> Result<(), BackendError> {
+        atomic_write(self.snapshot_path(), bytes).map_err(io_err)
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, BackendError> {
+        match fs::read(self.snapshot_path()) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+}
+
+/// Seeded crash-point plan: which durable operation dies, and how torn the
+/// dying WAL append is. Mirrors the gateway chaos `FaultPlan`: everything is a
+/// pure function of `(seed, op index)`, so sweeps are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Seed for the torn-write prefix length.
+    pub seed: u64,
+    /// Zero-based index of the durable operation that crashes; `None` disables
+    /// injection.
+    pub crash_at_op: Option<u64>,
+}
+
+impl CrashPlan {
+    /// Never crashes.
+    pub fn none() -> Self {
+        Self { seed: 0, crash_at_op: None }
+    }
+
+    /// Crashes at durable operation `op` (0-based), tearing with `seed`.
+    pub fn at(seed: u64, op: u64) -> Self {
+        Self { seed, crash_at_op: Some(op) }
+    }
+
+    /// How many bytes of an `n`-byte frame survive the torn write at `op`.
+    /// Uniform in `[0, n)` from the hashed seed — always a *strict* prefix, so
+    /// the recovery path must truncate at least the final record.
+    fn torn_prefix_len(&self, op: u64, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let u = unit_from_hash(derive_seed(self.seed, op));
+        ((u * n as f64) as usize).min(n - 1)
+    }
+}
+
+/// Maps a hash to the unit interval `[0, 1)` — same mapping as the gateway's
+/// retry jitter, duplicated here to keep this crate below the gateway in the
+/// dependency stack.
+fn unit_from_hash(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Wraps a [`Backend`] with seeded crash injection. Durable operations count up
+/// from zero; the operation at `crash_at_op` dies (tearing a WAL append, or
+/// vanishing entirely for a snapshot publication) and every later operation
+/// returns [`BackendError::Crashed`]. Reads keep working — recovery reads the
+/// post-crash disk.
+#[derive(Debug)]
+pub struct Crashable<B: Backend> {
+    inner: B,
+    plan: CrashPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+impl<B: Backend> Crashable<B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: B, plan: CrashPlan) -> Self {
+        Self { inner, plan, ops: 0, crashed: false }
+    }
+
+    /// Durable operations attempted so far (including the crashing one).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Consumes the wrapper, returning the underlying backend (the "disk" a
+    /// recovery run reopens).
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn next_op(&mut self) -> Result<u64, BackendError> {
+        if self.crashed {
+            return Err(BackendError::Crashed);
+        }
+        let op = self.ops;
+        self.ops += 1;
+        Ok(op)
+    }
+}
+
+impl<B: Backend> Backend for Crashable<B> {
+    fn append_wal(&mut self, frame: &[u8]) -> Result<(), BackendError> {
+        let op = self.next_op()?;
+        if self.plan.crash_at_op == Some(op) {
+            self.crashed = true;
+            let torn = self.plan.torn_prefix_len(op, frame.len());
+            if torn > 0 {
+                self.inner.append_wal(&frame[..torn])?;
+            }
+            return Err(BackendError::Crashed);
+        }
+        self.inner.append_wal(frame)
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, BackendError> {
+        self.inner.wal_bytes()
+    }
+
+    fn publish_snapshot(&mut self, bytes: &[u8]) -> Result<(), BackendError> {
+        let op = self.next_op()?;
+        if self.plan.crash_at_op == Some(op) {
+            // Atomic publication: a crash mid-publish leaves the previous
+            // snapshot untouched, so nothing is written at all.
+            self.crashed = true;
+            return Err(BackendError::Crashed);
+        }
+        self.inner.publish_snapshot(bytes)
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, BackendError> {
+        self.inner.snapshot_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_clones_share_the_disk() {
+        let mut a = MemBackend::new();
+        let b = a.clone();
+        a.append_wal(b"abc").unwrap();
+        a.publish_snapshot(b"s1").unwrap();
+        drop(a);
+        assert_eq!(b.wal_bytes().unwrap(), b"abc");
+        assert_eq!(b.snapshot_bytes().unwrap().as_deref(), Some(&b"s1"[..]));
+    }
+
+    #[test]
+    fn crash_on_append_tears_a_strict_prefix_then_fails_everything() {
+        let disk = MemBackend::new();
+        let mut b = Crashable::new(disk.clone(), CrashPlan::at(7, 1));
+        b.append_wal(b"first-frame").unwrap();
+        let err = b.append_wal(b"second-frame").unwrap_err();
+        assert_eq!(err, BackendError::Crashed);
+        let wal = disk.wal_bytes().unwrap();
+        assert!(wal.len() < b"first-framesecond-frame".len(), "tear must be strict");
+        assert!(wal.starts_with(b"first-frame"));
+        // Dead after the crash point — but reads still work.
+        assert_eq!(b.append_wal(b"x"), Err(BackendError::Crashed));
+        assert_eq!(b.publish_snapshot(b"x"), Err(BackendError::Crashed));
+        assert!(b.wal_bytes().is_ok());
+    }
+
+    #[test]
+    fn crash_on_snapshot_keeps_the_old_snapshot() {
+        let disk = MemBackend::new();
+        let mut b = Crashable::new(disk.clone(), CrashPlan::at(3, 1));
+        b.publish_snapshot(b"old").unwrap();
+        assert_eq!(b.publish_snapshot(b"new"), Err(BackendError::Crashed));
+        assert_eq!(disk.snapshot_bytes().unwrap().as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_per_seed_and_op() {
+        let plan = CrashPlan::at(42, 5);
+        let a = plan.torn_prefix_len(5, 1000);
+        let b = plan.torn_prefix_len(5, 1000);
+        assert_eq!(a, b);
+        assert!(a < 1000);
+    }
+
+    #[test]
+    fn file_backend_round_trips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("spatial-dur-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.wal_bytes().unwrap(), Vec::<u8>::new());
+        assert_eq!(b.snapshot_bytes().unwrap(), None);
+        b.append_wal(b"one").unwrap();
+        b.append_wal(b"two").unwrap();
+        b.publish_snapshot(b"snap").unwrap();
+        drop(b);
+        let reopened = FileBackend::open(&dir).unwrap();
+        assert_eq!(reopened.wal_bytes().unwrap(), b"onetwo");
+        assert_eq!(reopened.snapshot_bytes().unwrap().as_deref(), Some(&b"snap"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,508 @@
+//! The typed journal: [`Codec`] records over the WAL, compacted snapshots, and
+//! the torn-tail-truncating recovery path.
+//!
+//! The journal is write-ahead: callers append the *input* of a state transition
+//! before applying it. Snapshots are compaction points — a snapshot published at
+//! record count `n` embeds the state after exactly the first `n` records, so
+//! recovery is `import(snapshot) + replay(records[n..])`, and because the live
+//! path applies every record through the same function as replay,
+//! `replay(snapshot, suffix) == replay(full log)` holds by construction. The
+//! property suite in `tests/wal_props.rs` pins this down over arbitrary record
+//! sequences and arbitrary tail damage.
+//!
+//! Records and snapshots are payloads of the crate's own deterministic JSON
+//! ([`crate::json`]): exact float round-trips and one canonical rendering per
+//! value — both requirements for bit-identical recovery.
+
+use crate::backend::{Backend, BackendError};
+use crate::json::{Codec, Value};
+use crate::wal::{decode_frames, encode_frame, TailReport};
+
+/// Error raised by journal operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The backend failed (crash point or real I/O).
+    Backend(BackendError),
+    /// A record or snapshot failed to encode — a caller bug.
+    Encode(String),
+    /// The snapshot blob exists but cannot be decoded. Unlike a torn WAL tail
+    /// this is not survivable by truncation: the snapshot is the *only* copy of
+    /// the compacted prefix.
+    CorruptSnapshot(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Backend(e) => write!(f, "backend: {e}"),
+            Self::Encode(msg) => write!(f, "encode: {msg}"),
+            Self::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<BackendError> for JournalError {
+    fn from(e: BackendError) -> Self {
+        Self::Backend(e)
+    }
+}
+
+/// Whether the journal died at an injected crash point (the caller should stop
+/// mutating and hand the backend to recovery).
+pub fn is_crash(err: &JournalError) -> bool {
+    matches!(err, JournalError::Backend(BackendError::Crashed))
+}
+
+fn snapshot_envelope(at_record: u64, state: Value) -> Value {
+    Value::obj(vec![("at_record", Value::Uint(at_record)), ("state", state)])
+}
+
+/// What recovery found on the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Total WAL bytes on disk (including any truncated tail).
+    pub wal_bytes: u64,
+    /// Intact records decoded from the WAL.
+    pub wal_records: u64,
+    /// Record count the loaded snapshot already covered (0 without a snapshot).
+    pub snapshot_at: u64,
+    /// Records handed back for replay (`wal_records - snapshot_at`).
+    pub records_replayed: u64,
+    /// Bytes cut off the damaged tail (torn write or corruption).
+    pub truncated_bytes: u64,
+    /// Whether a damaged tail was found and truncated.
+    pub torn_tail: bool,
+}
+
+/// The result of [`Journal::recover`]: a journal positioned after the last
+/// intact record, the snapshot state (if any), and the record suffix to replay.
+#[derive(Debug)]
+pub struct Recovered<B: Backend, S, R> {
+    /// The reopened journal, ready for further appends.
+    pub journal: Journal<B>,
+    /// Compacted state to import before replaying `suffix`.
+    pub snapshot: Option<S>,
+    /// Records after the snapshot point, in append order.
+    pub suffix: Vec<R>,
+    /// What the disk looked like.
+    pub report: RecoveryReport,
+}
+
+/// A typed, checksummed write-ahead journal with compacted snapshots.
+#[derive(Debug)]
+pub struct Journal<B: Backend> {
+    backend: B,
+    records: u64,
+    snapshot_at: u64,
+}
+
+impl<B: Backend> Journal<B> {
+    /// Opens a journal over an *empty* backend (use [`Journal::recover`] for a
+    /// disk that may hold prior state).
+    pub fn create(backend: B) -> Self {
+        Self { backend, records: 0, snapshot_at: 0 }
+    }
+
+    /// Records appended over the journal's lifetime (snapshot-covered included).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Record count covered by the latest published snapshot.
+    pub fn snapshot_at(&self) -> u64 {
+        self.snapshot_at
+    }
+
+    /// Records appended since the latest snapshot — the replay cost a crash
+    /// right now would incur.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.records - self.snapshot_at
+    }
+
+    /// The underlying backend (crash sweeps inspect injection counters here).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consumes the journal, returning the backend — the "disk" that survives
+    /// a simulated process kill.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Appends one record durably. On error the record is *not* counted: a torn
+    /// append is exactly what recovery truncates.
+    pub fn append<R: Codec>(&mut self, record: &R) -> Result<(), JournalError> {
+        let payload = record.to_bytes();
+        self.backend.append_wal(&encode_frame(&payload))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Publishes a compacted snapshot embedding the state after every record
+    /// appended so far. Atomic: a crash mid-publish keeps the previous snapshot.
+    pub fn publish_snapshot<S: Codec>(&mut self, state: &S) -> Result<(), JournalError> {
+        let bytes = snapshot_envelope(self.records, state.to_value()).to_bytes();
+        self.backend.publish_snapshot(&bytes)?;
+        self.snapshot_at = self.records;
+        Ok(())
+    }
+
+    /// Recovers from a disk that may hold a snapshot, a WAL, and a damaged
+    /// tail. The tail — torn header, torn payload, CRC mismatch, or a record
+    /// whose payload no longer decodes — is truncated, never deserialized into
+    /// state. Returns the snapshot, the record suffix to replay, and a report.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::CorruptSnapshot`] when a snapshot blob exists but cannot
+    /// be decoded (truncation cannot repair a snapshot — that is why snapshot
+    /// publication must be atomic), and [`JournalError::Backend`] on I/O
+    /// failure.
+    pub fn recover<S, R>(backend: B) -> Result<Recovered<B, S, R>, JournalError>
+    where
+        S: Codec,
+        R: Codec,
+    {
+        let snapshot_blob = backend.snapshot_bytes()?;
+        let (snapshot, snapshot_at) = match snapshot_blob {
+            Some(bytes) => {
+                let envelope = Value::parse(&bytes).map_err(JournalError::CorruptSnapshot)?;
+                let at_record = envelope
+                    .field("at_record")
+                    .and_then(Value::as_u64)
+                    .map_err(JournalError::CorruptSnapshot)?;
+                let state = envelope
+                    .field("state")
+                    .and_then(S::from_value)
+                    .map_err(JournalError::CorruptSnapshot)?;
+                (Some(state), at_record)
+            }
+            None => (None, 0),
+        };
+
+        let stream = backend.wal_bytes()?;
+        let (raw_frames, tail) = decode_frames(&stream);
+
+        // Records the snapshot compacted only need their CRC walk (done by
+        // `decode_frames` above) — replay starts after them, so their payloads
+        // are never deserialized and recovery cost scales with the *suffix*,
+        // not the full history. A snapshot can cover more records than the
+        // (truncated) WAL retains only if the crash tore the very records the
+        // snapshot compacted — impossible under write-ahead ordering (the
+        // snapshot is published *after* the records it covers are durable).
+        // Clamp defensively anyway.
+        let covered = (snapshot_at as usize).min(raw_frames.len());
+
+        // A suffix frame that passes its CRC but fails payload decoding is
+        // treated the same as a corrupt tail: records after it are unreachable
+        // too, because replay order must match append order.
+        let (suffix, truncated, decode_failure) =
+            decode_records::<R>(&raw_frames[covered..], &tail);
+        let wal_records = (covered + suffix.len()) as u64;
+
+        let report = RecoveryReport {
+            wal_bytes: stream.len() as u64,
+            wal_records,
+            snapshot_at: covered as u64,
+            records_replayed: suffix.len() as u64,
+            truncated_bytes: truncated,
+            torn_tail: tail.torn() || decode_failure,
+        };
+        Ok(Recovered {
+            journal: Self { backend, records: wal_records, snapshot_at: covered as u64 },
+            snapshot,
+            suffix,
+            report,
+        })
+    }
+}
+
+/// Decodes frames into records, stopping at the first frame whose payload fails
+/// to decode. Returns `(records, truncated_bytes, decode_failure)`.
+fn decode_records<R: Codec>(raw_frames: &[Vec<u8>], tail: &TailReport) -> (Vec<R>, u64, bool) {
+    let mut records: Vec<R> = Vec::with_capacity(raw_frames.len());
+    let mut truncated = tail.truncated_bytes;
+    let mut decode_failure = false;
+    for (i, frame) in raw_frames.iter().enumerate() {
+        match R::from_bytes(frame) {
+            Ok(r) => records.push(r),
+            Err(_) => {
+                decode_failure = true;
+                // Everything from this frame on is dropped.
+                let dropped: u64 = raw_frames[i..]
+                    .iter()
+                    .map(|f| (crate::wal::FRAME_HEADER_BYTES + f.len()) as u64)
+                    .sum();
+                truncated += dropped;
+                break;
+            }
+        }
+    }
+    (records, truncated, decode_failure)
+}
+
+/// What the gateway's `GET /durability` endpoint reports: the outcome of the
+/// boot-time recovery plus the journal's live position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityReport {
+    /// Controller tick embedded in the last published snapshot (0 if none).
+    pub last_snapshot_tick: u64,
+    /// WAL bytes found on disk at recovery.
+    pub wal_bytes: u64,
+    /// Intact WAL records found at recovery.
+    pub wal_records: u64,
+    /// Records replayed on top of the snapshot.
+    pub records_recovered: u64,
+    /// Damaged-tail truncations performed (0 or 1 per recovery).
+    pub truncated_tails: u64,
+    /// Bytes dropped from the damaged tail.
+    pub truncated_bytes: u64,
+}
+
+impl DurabilityReport {
+    /// Builds the endpoint report from a recovery report and the snapshot tick.
+    pub fn from_recovery(report: &RecoveryReport, last_snapshot_tick: u64) -> Self {
+        Self {
+            last_snapshot_tick,
+            wal_bytes: report.wal_bytes,
+            wal_records: report.wal_records,
+            records_recovered: report.records_replayed,
+            truncated_tails: u64::from(report.torn_tail),
+            truncated_bytes: report.truncated_bytes,
+        }
+    }
+}
+
+impl Codec for DurabilityReport {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("last_snapshot_tick", Value::Uint(self.last_snapshot_tick)),
+            ("wal_bytes", Value::Uint(self.wal_bytes)),
+            ("wal_records", Value::Uint(self.wal_records)),
+            ("records_recovered", Value::Uint(self.records_recovered)),
+            ("truncated_tails", Value::Uint(self.truncated_tails)),
+            ("truncated_bytes", Value::Uint(self.truncated_bytes)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            last_snapshot_tick: v.field("last_snapshot_tick")?.as_u64()?,
+            wal_bytes: v.field("wal_bytes")?.as_u64()?,
+            wal_records: v.field("wal_records")?.as_u64()?,
+            records_recovered: v.field("records_recovered")?.as_u64()?,
+            truncated_tails: v.field("truncated_tails")?.as_u64()?,
+            truncated_bytes: v.field("truncated_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// Metric family names the durable state plane exports (counters live in the
+/// gateway/fleet registries; this crate only names them).
+pub mod names {
+    /// Counter: records appended to the WAL.
+    pub const WAL_RECORDS_COUNTER: &str = "spatial_durability_wal_records_total";
+    /// Help for [`WAL_RECORDS_COUNTER`].
+    pub const WAL_RECORDS_HELP: &str = "Records appended to the durable write-ahead log";
+    /// Counter: snapshots published.
+    pub const SNAPSHOTS_COUNTER: &str = "spatial_durability_snapshots_total";
+    /// Help for [`SNAPSHOTS_COUNTER`].
+    pub const SNAPSHOTS_HELP: &str = "Compacted snapshots atomically published";
+    /// Counter: recoveries performed.
+    pub const RECOVERIES_COUNTER: &str = "spatial_durability_recoveries_total";
+    /// Help for [`RECOVERIES_COUNTER`].
+    pub const RECOVERIES_HELP: &str = "Recovery runs (snapshot load + WAL suffix replay)";
+    /// Counter: records replayed during recovery.
+    pub const RECORDS_RECOVERED_COUNTER: &str = "spatial_durability_records_recovered_total";
+    /// Help for [`RECORDS_RECOVERED_COUNTER`].
+    pub const RECORDS_RECOVERED_HELP: &str = "WAL records replayed on top of snapshots at recovery";
+    /// Counter: damaged tails truncated.
+    pub const TRUNCATED_TAILS_COUNTER: &str = "spatial_durability_truncated_tails_total";
+    /// Help for [`TRUNCATED_TAILS_COUNTER`].
+    pub const TRUNCATED_TAILS_HELP: &str = "Torn or corrupt WAL tails detected and truncated";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CrashPlan, Crashable, MemBackend};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Rec {
+        n: u64,
+        tag: String,
+    }
+
+    impl Codec for Rec {
+        fn to_value(&self) -> Value {
+            Value::obj(vec![("n", Value::Uint(self.n)), ("tag", Value::str(&self.tag))])
+        }
+
+        fn from_value(v: &Value) -> Result<Self, String> {
+            Ok(Self { n: v.field("n")?.as_u64()?, tag: v.field("tag")?.as_str()?.to_string() })
+        }
+    }
+
+    fn rec(n: u64) -> Rec {
+        Rec { n, tag: format!("record-{n}") }
+    }
+
+    /// Toy state machine: the fold of all records.
+    #[derive(Debug, Default, Clone, PartialEq)]
+    struct Sum {
+        total: u64,
+        applied: u64,
+    }
+
+    impl Codec for Sum {
+        fn to_value(&self) -> Value {
+            Value::obj(vec![
+                ("total", Value::Uint(self.total)),
+                ("applied", Value::Uint(self.applied)),
+            ])
+        }
+
+        fn from_value(v: &Value) -> Result<Self, String> {
+            Ok(Self { total: v.field("total")?.as_u64()?, applied: v.field("applied")?.as_u64()? })
+        }
+    }
+
+    impl Sum {
+        fn apply(&mut self, r: &Rec) {
+            self.total += r.n;
+            self.applied += 1;
+        }
+    }
+
+    #[test]
+    fn append_then_recover_replays_everything_without_a_snapshot() {
+        let disk = MemBackend::new();
+        let mut j = Journal::create(disk.clone());
+        for i in 0..5 {
+            j.append(&rec(i)).unwrap();
+        }
+        let recovered = Journal::recover::<Sum, Rec>(disk).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.suffix.len(), 5);
+        assert_eq!(recovered.report.records_replayed, 5);
+        assert!(!recovered.report.torn_tail);
+    }
+
+    #[test]
+    fn snapshot_plus_suffix_equals_full_replay() {
+        let disk = MemBackend::new();
+        let mut j = Journal::create(disk.clone());
+        let mut live = Sum::default();
+        for i in 0..4 {
+            let r = rec(i);
+            j.append(&r).unwrap();
+            live.apply(&r);
+        }
+        j.publish_snapshot(&live).unwrap();
+        for i in 4..9 {
+            let r = rec(i);
+            j.append(&r).unwrap();
+            live.apply(&r);
+        }
+
+        let recovered = Journal::recover::<Sum, Rec>(disk).unwrap();
+        let mut state = recovered.snapshot.expect("snapshot was published");
+        assert_eq!(state.applied, 4);
+        for r in &recovered.suffix {
+            state.apply(r);
+        }
+        assert_eq!(state, live);
+        assert_eq!(recovered.report.snapshot_at, 4);
+        assert_eq!(recovered.report.records_replayed, 5);
+        assert_eq!(recovered.journal.records(), 9);
+    }
+
+    #[test]
+    fn torn_append_is_truncated_and_prior_records_survive() {
+        let disk = MemBackend::new();
+        let crashable = Crashable::new(disk.clone(), CrashPlan::at(11, 3));
+        let mut j = Journal::create(crashable);
+        for i in 0..3 {
+            j.append(&rec(i)).unwrap();
+        }
+        let err = j.append(&rec(3)).unwrap_err();
+        assert!(is_crash(&err));
+
+        let recovered = Journal::recover::<Sum, Rec>(disk).unwrap();
+        assert_eq!(recovered.suffix, vec![rec(0), rec(1), rec(2)]);
+        assert!(recovered.report.torn_tail || recovered.report.truncated_bytes == 0);
+        // The reopened journal continues after the intact prefix.
+        let mut j2 = recovered.journal;
+        assert_eq!(j2.records(), 3);
+        j2.append(&rec(3)).unwrap();
+    }
+
+    #[test]
+    fn crash_during_snapshot_keeps_the_previous_one() {
+        let disk = MemBackend::new();
+        let mut j = Journal::create(Crashable::new(disk.clone(), CrashPlan::at(5, 4)));
+        let mut state = Sum::default();
+        for i in 0..3 {
+            let r = rec(i);
+            j.append(&r).unwrap();
+            state.apply(&r);
+        }
+        j.publish_snapshot(&state).unwrap(); // op 3
+        let err = j.publish_snapshot(&state).unwrap_err(); // op 4: crash
+        assert!(is_crash(&err));
+
+        let recovered = Journal::recover::<Sum, Rec>(disk).unwrap();
+        assert_eq!(recovered.snapshot.unwrap().applied, 3);
+        assert_eq!(recovered.report.records_replayed, 0);
+    }
+
+    #[test]
+    fn valid_crc_but_bogus_payload_is_truncated_not_deserialized() {
+        let disk = MemBackend::new();
+        let mut j = Journal::create(disk.clone());
+        j.append(&rec(0)).unwrap();
+        // A perfectly-framed record whose payload is not a `Rec`.
+        let mut raw = disk.clone();
+        use crate::backend::Backend as _;
+        raw.append_wal(&crate::wal::encode_frame(b"{\"not\":\"a rec\"}")).unwrap();
+        j.append(&rec(1)).unwrap(); // after the bogus frame: unreachable
+
+        let recovered = Journal::recover::<Sum, Rec>(disk).unwrap();
+        assert_eq!(recovered.suffix, vec![rec(0)]);
+        assert!(recovered.report.torn_tail);
+        assert!(recovered.report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let disk = MemBackend::new();
+        {
+            use crate::backend::Backend as _;
+            let mut raw = disk.clone();
+            raw.publish_snapshot(b"{\"at_record\": not json").unwrap();
+        }
+        let err = Journal::recover::<Sum, Rec>(disk).unwrap_err();
+        assert!(matches!(err, JournalError::CorruptSnapshot(_)), "{err:?}");
+    }
+
+    #[test]
+    fn durability_report_summarizes_recovery_and_round_trips() {
+        let report = RecoveryReport {
+            wal_bytes: 120,
+            wal_records: 7,
+            snapshot_at: 4,
+            records_replayed: 3,
+            truncated_bytes: 9,
+            torn_tail: true,
+        };
+        let d = DurabilityReport::from_recovery(&report, 42);
+        assert_eq!(d.last_snapshot_tick, 42);
+        assert_eq!(d.records_recovered, 3);
+        assert_eq!(d.truncated_tails, 1);
+        let back = DurabilityReport::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,653 @@
+//! A small, deterministic JSON layer for durable records.
+//!
+//! The durable state plane needs three properties from its payload encoding that
+//! are stronger than "any JSON library will do":
+//!
+//! 1. **Determinism** — the same state must encode to the same bytes on every
+//!    run, because the crash-sweep suite compares recovered state to a reference
+//!    run *byte for byte*. [`Value`] keeps object fields in insertion order and
+//!    has exactly one rendering per value.
+//! 2. **Exact floats** — drift statistics, model thresholds and class
+//!    probabilities must survive the disk bit for bit. Floats are rendered with
+//!    Rust's shortest-round-trip formatting and parsed back with `f64::from_str`,
+//!    which is an exact inverse for every finite `f64`.
+//! 3. **No panics on hostile bytes** — recovery feeds this parser data that a
+//!    torn write may have damaged *after* the CRC was appended (or that passed
+//!    the CRC by construction in a property test). [`Value::parse`] returns
+//!    errors, never panics, and bounds its recursion depth.
+//!
+//! [`Codec`] is the typed seam over [`Value`]: every WAL record and snapshot
+//! state implements it by hand, which keeps this crate dependency-free and the
+//! encoding reviewable next to the type it encodes.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic rendering. Objects preserve insertion order
+/// (encode fields in a fixed order and equality is byte equality).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (u64 range, rendered without a decimal point).
+    Uint(u64),
+    /// A negative integer (rendered without a decimal point).
+    Int(i64),
+    /// A finite float, rendered shortest-round-trip (always with `.` or `e`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field, with a path-flavoured error.
+    pub fn field(&self, key: &str) -> Result<&Value, String> {
+        self.get(key).ok_or_else(|| format!("missing field \"{key}\""))
+    }
+
+    /// The value as a `u64` (integers only — floats are never silently floored).
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Uint(n) => Ok(*n),
+            other => Err(format!("expected unsigned integer, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The value as an `f64`. Integers widen (a whole-valued float may have been
+    /// produced by arithmetic, but we always *encode* floats as [`Value::Float`],
+    /// so decoding back through this accessor is still exact).
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Uint(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    /// `None` for `null`, `Some(self)` otherwise — for optional fields.
+    pub fn as_opt(&self) -> Option<&Value> {
+        match self {
+            Value::Null => None,
+            v => Some(v),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Uint(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Renders the value as compact JSON. Deterministic: one rendering per value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders the value as compact JSON bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.render().into_bytes()
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => render_float(*x, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON bytes. Never panics; depth-bounded against stack exhaustion.
+    pub fn parse(bytes: &[u8]) -> Result<Value, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("invalid utf-8: {e}"))?;
+        let mut p = Parser { chars: text.as_bytes(), at: 0, text };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.at != p.chars.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(v)
+    }
+}
+
+/// Shortest round-trip rendering. `{:?}` on an `f64` always includes a `.` or an
+/// exponent, so integers and floats never collide on the wire. Non-finite values
+/// have no JSON form; they are a caller bug and encode as `null` (decode then
+/// fails loudly rather than corrupting state with a guessed value).
+fn render_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    chars: &'a [u8],
+    at: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.chars.get(self.at) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.at))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.text[self.at..].starts_with(lit) {
+            self.at += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value(depth + 1)?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte 0x{b:02x} at offset {}", self.at)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Find the next backslash or closing quote byte-wise; everything in
+            // between is verbatim UTF-8 (already validated for the whole input).
+            let rest = &self.text[self.at..];
+            let stop = rest
+                .bytes()
+                .position(|b| b == b'"' || b == b'\\' || b < 0x20)
+                .ok_or("unterminated string")?;
+            out.push_str(&rest[..stop]);
+            self.at += stop;
+            match self.chars[self.at] {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: our encoder never emits them (it
+                            // only escapes ASCII control characters), but accept
+                            // them for robustness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat_literal("\\u")) {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(cp).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        b => return Err(format!("invalid escape '\\{}'", b as char)),
+                    }
+                }
+                b => return Err(format!("raw control byte 0x{b:02x} in string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self.text.get(self.at..self.at + 4).ok_or("truncated \\u escape")?;
+        self.at += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape \"{hex}\""))
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = &self.text[start..self.at];
+        if token.is_empty() || token == "-" {
+            return Err(format!("invalid number at offset {start}"));
+        }
+        if is_float {
+            let x: f64 = token.parse().map_err(|_| format!("invalid number \"{token}\""))?;
+            if !x.is_finite() {
+                return Err(format!("non-finite number \"{token}\""));
+            }
+            Ok(Value::Float(x))
+        } else if let Some(rest) = token.strip_prefix('-') {
+            let n: i64 = rest
+                .parse::<i64>()
+                .map(|n| -n)
+                .map_err(|_| format!("integer out of range \"{token}\""))?;
+            Ok(Value::Int(n))
+        } else {
+            let n: u64 = token.parse().map_err(|_| format!("integer out of range \"{token}\""))?;
+            Ok(Value::Uint(n))
+        }
+    }
+}
+
+/// The typed encoding seam every WAL record and snapshot state implements.
+///
+/// Implementations are hand-written per type (no derive magic): `to_value` must
+/// be deterministic, and `from_value(to_value(x)) == x` must hold exactly — the
+/// journal's `replay(snapshot, suffix) == replay(full log)` contract inherits
+/// from it.
+pub trait Codec: Sized {
+    /// Encodes the value. Must be deterministic.
+    fn to_value(&self) -> Value;
+
+    /// Decodes a value. Errors are messages, never panics — recovery treats a
+    /// failing decode as a corrupt tail.
+    fn from_value(v: &Value) -> Result<Self, String>;
+
+    /// Compact JSON bytes of [`Codec::to_value`].
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_value().to_bytes()
+    }
+
+    /// Parses JSON bytes and decodes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        Self::from_value(&Value::parse(bytes)?)
+    }
+}
+
+/// Encodes an `Option<T>` as `null` / value.
+pub fn opt_value<T: Codec>(v: &Option<T>) -> Value {
+    match v {
+        None => Value::Null,
+        Some(x) => x.to_value(),
+    }
+}
+
+/// Decodes `null` / value into an `Option<T>`.
+pub fn opt_from<T: Codec>(v: &Value) -> Result<Option<T>, String> {
+    match v.as_opt() {
+        None => Ok(None),
+        Some(x) => Ok(Some(T::from_value(x)?)),
+    }
+}
+
+/// Encodes a slice element-wise.
+pub fn arr_value<T: Codec>(items: &[T]) -> Value {
+    Value::Arr(items.iter().map(Codec::to_value).collect())
+}
+
+/// Decodes an array element-wise.
+pub fn arr_from<T: Codec>(v: &Value) -> Result<Vec<T>, String> {
+    v.as_arr()?.iter().map(T::from_value).collect()
+}
+
+/// Encodes `Option<u64>` as `null` / integer (u64 has no `Codec` impl of its
+/// own — bare integers are common enough in state structs to warrant helpers).
+pub fn opt_u64_value(v: &Option<u64>) -> Value {
+    match v {
+        None => Value::Null,
+        Some(n) => Value::Uint(*n),
+    }
+}
+
+/// Decodes `null` / integer into `Option<u64>`.
+pub fn opt_u64_from(v: &Value) -> Result<Option<u64>, String> {
+    match v.as_opt() {
+        None => Ok(None),
+        Some(x) => Ok(Some(x.as_u64()?)),
+    }
+}
+
+/// Encodes a float slice.
+pub fn f64s_value(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::Float(x)).collect())
+}
+
+/// Decodes a float array.
+pub fn f64s_from(v: &Value) -> Result<Vec<f64>, String> {
+    v.as_arr()?.iter().map(Value::as_f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_exactly() {
+        let cases = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Uint(0),
+            Value::Uint(u64::MAX),
+            Value::Int(-1),
+            Value::Int(i64::MIN + 1),
+            Value::Float(0.1),
+            Value::Float(-0.0),
+            Value::Float(1.0 / 3.0),
+            Value::Float(f64::MIN_POSITIVE),
+            Value::Float(1e300),
+            Value::Str("plain".into()),
+            Value::Str("esc \" \\ \n \t \u{1} ünïcødé".into()),
+        ];
+        for v in cases {
+            let rendered = v.render();
+            let back = Value::parse(rendered.as_bytes()).unwrap_or_else(|e| {
+                panic!("failed to parse {rendered}: {e}");
+            });
+            assert_eq!(back, v, "rendered as {rendered}");
+            // Determinism: render(parse(render(v))) == render(v).
+            assert_eq!(back.render(), rendered);
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_for_bit() {
+        // A pseudo-random walk over the f64 space via bit patterns.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = f64::from_bits(x);
+            if !f.is_finite() {
+                continue;
+            }
+            let v = Value::Float(f);
+            let back = Value::parse(v.render().as_bytes()).unwrap();
+            match back {
+                Value::Float(g) => assert_eq!(g.to_bits(), f.to_bits(), "{f:?}"),
+                other => panic!("float decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::obj(vec![
+            ("tick", Value::Uint(42)),
+            ("name", Value::str("replica-a")),
+            ("stats", f64s_value(&[0.25, -1.5, 1e-9])),
+            ("inner", Value::obj(vec![("flag", Value::Bool(false)), ("opt", Value::Null)])),
+            ("empty_arr", Value::Arr(vec![])),
+            ("empty_obj", Value::Obj(vec![])),
+        ]);
+        let rendered = v.render();
+        assert_eq!(Value::parse(rendered.as_bytes()).unwrap(), v);
+        assert_eq!(v.get("tick").unwrap().as_u64().unwrap(), 42);
+        assert_eq!(v.get("missing"), None);
+        assert!(v.field("missing").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_panicking() {
+        let bad: Vec<&[u8]> = vec![
+            b"",
+            b"{",
+            b"}",
+            b"[1,",
+            b"{\"a\":}",
+            b"{\"a\" 1}",
+            b"\"unterminated",
+            b"\"bad \\q escape\"",
+            b"nul",
+            b"--1",
+            b"1e999",
+            b"12extra",
+            b"[1] trailing",
+            b"\xff\xfe",
+            b"\"\\ud800\"",
+        ];
+        for b in bad {
+            assert!(Value::parse(b).is_err(), "accepted {:?}", String::from_utf8_lossy(b));
+        }
+        // Depth bound holds.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(deep.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let v = Value::parse(b" { \"a\" : [ 1 , -2 , 3.5 ] , \"b\" : \"x\\u0041\\n\" } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str().unwrap(), "xA\n");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Value::Int(-2));
+    }
+
+    struct Point {
+        x: f64,
+        tag: Option<u64>,
+    }
+
+    impl Codec for Point {
+        fn to_value(&self) -> Value {
+            Value::obj(vec![("x", Value::Float(self.x)), ("tag", opt_u64_value(&self.tag))])
+        }
+
+        fn from_value(v: &Value) -> Result<Self, String> {
+            Ok(Self { x: v.field("x")?.as_f64()?, tag: opt_u64_from(v.field("tag")?)? })
+        }
+    }
+
+    #[test]
+    fn codec_helpers_round_trip() {
+        let pts = vec![Point { x: 0.5, tag: Some(7) }, Point { x: -2.25, tag: None }];
+        let v = arr_value(&pts);
+        let back: Vec<Point> = arr_from(&v).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].x, 0.5);
+        assert_eq!(back[0].tag, Some(7));
+        assert_eq!(back[1].tag, None);
+        let one = Point::from_bytes(&pts[0].to_bytes()).unwrap();
+        assert_eq!(one.x, 0.5);
+    }
+}

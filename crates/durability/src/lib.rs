@@ -1,0 +1,40 @@
+//! Crash-safe durable state plane for the SPATIAL reproduction.
+//!
+//! Every oversight decision the control plane makes — model promotions,
+//! rollbacks, epoch quarantines, drift-detector evidence, SLO budget burn — used
+//! to live only in memory: one process crash erased the control plane's entire
+//! memory and a restart served with blank drift baselines at epoch 0. This crate
+//! is the fix, in three layers:
+//!
+//! - [`wal`] — the frame codec: length-prefixed, CRC32-checksummed records and a
+//!   decoder that *truncates* torn or corrupt tails instead of failing.
+//! - [`backend`] — where bytes go: an `Arc`-shared [`backend::MemBackend`] for
+//!   deterministic crash sweeps, a fsyncing [`backend::FileBackend`] for real
+//!   disks, the [`backend::atomic_write`] tmp+rename+fsync helper every file
+//!   write in the workspace routes through, and [`backend::Crashable`] — seeded
+//!   crash-point and torn-write injection mirroring the gateway chaos
+//!   `FaultPlan`.
+//! - [`json`] — the deterministic encoding seam: a hand-rolled JSON [`Value`]
+//!   with exact float round-trips and one canonical rendering per value, and the
+//!   [`Codec`] trait every durable record and snapshot state implements.
+//! - [`journal`] — the typed write-ahead [`journal::Journal`]: [`Codec`]
+//!   records, periodic compacted snapshots with atomic publication, and a
+//!   recovery path returning `snapshot + suffix` such that `replay(snapshot,
+//!   suffix) == replay(full log)` by construction.
+//!
+//! The fleet crate (`spatial_fleet::durable`) wires this under the
+//! `FleetController`, the model stores, the drift banks and the SLO engine; the
+//! gateway surfaces the recovery outcome at `GET /durability`.
+
+pub mod backend;
+pub mod crc;
+pub mod journal;
+pub mod json;
+pub mod wal;
+
+pub use backend::{
+    atomic_write, Backend, BackendError, CrashPlan, Crashable, FileBackend, MemBackend,
+};
+pub use journal::{is_crash, DurabilityReport, Journal, JournalError, Recovered, RecoveryReport};
+pub use json::{Codec, Value};
+pub use wal::{decode_frames, encode_frame, TailDefect, TailReport};

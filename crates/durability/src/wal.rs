@@ -1,0 +1,171 @@
+//! The WAL frame codec: length-prefixed, CRC-checksummed records, and the
+//! torn-tail-tolerant decoder.
+//!
+//! ```text
+//! frame := len:u32le | crc32(payload):u32le | payload[len]
+//! ```
+//!
+//! [`decode_frames`] walks the stream front to back and stops at the first frame
+//! that cannot be proven intact — a short header, a length prefix pointing past
+//! the end of the stream, or a CRC mismatch. Everything before that point is a
+//! valid record; everything from it on is the *tail* and is reported (never
+//! deserialized) so the recovery path can truncate it. A torn write only ever
+//! damages the final frame (appends are sequential), so "valid prefix + reported
+//! tail" is exactly the crash-consistency contract the journal needs.
+
+use crate::crc::crc32;
+
+/// Per-frame header bytes: u32 length + u32 CRC.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Hard cap on a single record payload (16 MiB) — a corrupted length prefix
+/// must not drive a multi-gigabyte allocation before the CRC check can fail.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Encodes one payload as a WAL frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "record exceeds the frame cap");
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Why decoding stopped before the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDefect {
+    /// Fewer than [`FRAME_HEADER_BYTES`] bytes remained — a torn header.
+    ShortHeader,
+    /// The length prefix points past the end of the stream — a torn payload.
+    ShortPayload,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`] — corrupt beyond trust.
+    OversizedLength,
+    /// The payload's checksum does not match the header — corruption.
+    CrcMismatch,
+}
+
+impl TailDefect {
+    /// Stable label for reports and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            TailDefect::ShortHeader => "short-header",
+            TailDefect::ShortPayload => "short-payload",
+            TailDefect::OversizedLength => "oversized-length",
+            TailDefect::CrcMismatch => "crc-mismatch",
+        }
+    }
+}
+
+/// What the decoder found at the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailReport {
+    /// Bytes consumed by valid frames (the truncation point for repair).
+    pub valid_bytes: u64,
+    /// Bytes from the first damaged frame to the end of the stream.
+    pub truncated_bytes: u64,
+    /// The defect that stopped decoding, if the stream did not end cleanly.
+    pub defect: Option<TailDefect>,
+}
+
+impl TailReport {
+    /// Whether the stream ended mid-frame or corrupt.
+    pub fn torn(&self) -> bool {
+        self.defect.is_some()
+    }
+}
+
+/// Decodes every intact frame, reporting (not failing on) a damaged tail.
+pub fn decode_frames(stream: &[u8]) -> (Vec<Vec<u8>>, TailReport) {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let defect = loop {
+        if at == stream.len() {
+            break None;
+        }
+        let rest = &stream[at..];
+        if rest.len() < FRAME_HEADER_BYTES {
+            break Some(TailDefect::ShortHeader);
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            break Some(TailDefect::OversizedLength);
+        }
+        let expected_crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if rest.len() < FRAME_HEADER_BYTES + len {
+            break Some(TailDefect::ShortPayload);
+        }
+        let payload = &rest[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+        if crc32(payload) != expected_crc {
+            break Some(TailDefect::CrcMismatch);
+        }
+        frames.push(payload.to_vec());
+        at += FRAME_HEADER_BYTES + len;
+    };
+    let report =
+        TailReport { valid_bytes: at as u64, truncated_bytes: (stream.len() - at) as u64, defect };
+    (frames, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_of(payloads: &[&[u8]]) -> Vec<u8> {
+        payloads.iter().flat_map(|p| encode_frame(p)).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_order_and_bytes() {
+        let stream = stream_of(&[b"alpha", b"", b"gamma gamma"]);
+        let (frames, report) = decode_frames(&stream);
+        assert_eq!(frames, vec![b"alpha".to_vec(), Vec::new(), b"gamma gamma".to_vec()]);
+        assert_eq!(report.valid_bytes, stream.len() as u64);
+        assert!(!report.torn());
+    }
+
+    #[test]
+    fn every_strict_prefix_decodes_a_record_prefix() {
+        let payloads: Vec<&[u8]> = vec![b"one", b"two-two", b"three"];
+        let stream = stream_of(&payloads);
+        for cut in 0..stream.len() {
+            let (frames, report) = decode_frames(&stream[..cut]);
+            // A cut at a frame boundary is clean; anywhere else is torn.
+            assert!(frames.len() <= payloads.len());
+            for (got, want) in frames.iter().zip(&payloads) {
+                assert_eq!(got.as_slice(), *want);
+            }
+            assert_eq!(report.valid_bytes + report.truncated_bytes, cut as u64);
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_stops_decoding_at_the_damaged_frame() {
+        let mut stream = stream_of(&[b"good", b"also-good"]);
+        // Flip one payload byte of the second frame.
+        let second_payload_at = FRAME_HEADER_BYTES + 4 + FRAME_HEADER_BYTES;
+        stream[second_payload_at] ^= 0x40;
+        let (frames, report) = decode_frames(&stream);
+        assert_eq!(frames, vec![b"good".to_vec()]);
+        assert_eq!(report.defect, Some(TailDefect::CrcMismatch));
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut stream = stream_of(&[b"fine"]);
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+        bogus.extend_from_slice(&[0, 0, 0, 0]);
+        stream.extend_from_slice(&bogus);
+        let (frames, report) = decode_frames(&stream);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(report.defect, Some(TailDefect::OversizedLength));
+    }
+
+    #[test]
+    fn defect_labels_are_stable() {
+        assert_eq!(TailDefect::ShortHeader.label(), "short-header");
+        assert_eq!(TailDefect::CrcMismatch.label(), "crc-mismatch");
+    }
+}

@@ -1,0 +1,1477 @@
+//! The durable state plane: crash-consistent fleet control.
+//!
+//! [`DurablePlane`] wraps a [`FleetController`] in a write-ahead
+//! [`Journal`]: every state-changing operation is journaled as a
+//! [`ControlRecord`] *before* it is applied, and a compacted [`PlaneState`]
+//! snapshot is published every `snapshot_every` records. Recovery loads
+//! `snapshot + WAL suffix` and replays the suffix through the **same** apply
+//! function the live path uses, so
+//!
+//! ```text
+//! replay(snapshot, suffix) == replay(full log)
+//! ```
+//!
+//! holds by construction — there is no second interpretation of a record to
+//! drift from the first. A torn or corrupt WAL tail (crash mid-append) is
+//! truncated by the journal layer, which under write-ahead ordering recovers
+//! the state as of the last *durable* operation: the in-memory effects of the
+//! torn operation died with the process, so nothing is lost that ever mattered
+//! to a client.
+//!
+//! This module also hosts the JSON codecs for every checkpointed type. The
+//! owner crates (`spatial-ml`, `spatial-core`, `spatial-telemetry`) export
+//! plain-data `*State` structs with public fields and no serialization
+//! dependency; the durable plane — the only component that needs bytes — maps
+//! them onto [`Value`] trees here. Foreign types get free `*_value`/`*_from`
+//! functions (the orphan rule forbids implementing [`Codec`] for them);
+//! crate-local types implement [`Codec`] directly.
+
+use crate::rollout::{
+    ActiveRolloutState, FleetController, FleetEvent, FleetEventKind, FleetState, ReplicaState,
+    RolloutError,
+};
+use crate::shadow::ShadowEvidence;
+use spatial_core::drift::{BankState, DetectorKind, DetectorSnapshot, DriftState};
+use spatial_core::feedback::OperatorAction;
+use spatial_core::property::{Direction, TrustProperty};
+use spatial_core::respond::ExecutorState;
+use spatial_core::sensor::SensorReading;
+use spatial_durability::backend::Backend;
+use spatial_durability::journal::{
+    is_crash, names, DurabilityReport, Journal, JournalError, Recovered,
+};
+use spatial_durability::json::{
+    arr_from, arr_value, f64s_from, f64s_value, opt_from, opt_u64_from, opt_u64_value, opt_value,
+    Codec, Value,
+};
+use spatial_ml::{PortableModel, PortableNode, PortableTreeConfig, StoreState, VersionMeta};
+use spatial_telemetry::slo::{BreachSeverity, BudgetBreach, LedgerState};
+use spatial_telemetry::{MetricsRegistry, SloEngineState, SloSlotState};
+use std::fmt;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Codecs for foreign plain-data state types (free functions: orphan rule).
+// ---------------------------------------------------------------------------
+
+fn trust_property_from(name: &str) -> Result<TrustProperty, String> {
+    TrustProperty::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown trust property \"{name}\""))
+}
+
+fn direction_label(d: Direction) -> &'static str {
+    match d {
+        Direction::HigherIsBetter => "higher-is-better",
+        Direction::LowerIsBetter => "lower-is-better",
+    }
+}
+
+fn direction_from(label: &str) -> Result<Direction, String> {
+    match label {
+        "higher-is-better" => Ok(Direction::HigherIsBetter),
+        "lower-is-better" => Ok(Direction::LowerIsBetter),
+        other => Err(format!("unknown direction \"{other}\"")),
+    }
+}
+
+fn severity_from(label: &str) -> Result<BreachSeverity, String> {
+    match label {
+        "ticket" => Ok(BreachSeverity::Ticket),
+        "page" => Ok(BreachSeverity::Page),
+        other => Err(format!("unknown breach severity \"{other}\"")),
+    }
+}
+
+/// [`SensorReading`] ⇄ JSON.
+pub fn sensor_reading_value(r: &SensorReading) -> Value {
+    Value::obj(vec![
+        ("sensor", Value::str(&r.sensor)),
+        ("property", Value::str(r.property.name())),
+        ("direction", Value::str(direction_label(r.direction))),
+        ("value", Value::Float(r.value)),
+        ("tick", Value::Uint(r.tick)),
+    ])
+}
+
+/// Inverse of [`sensor_reading_value`].
+///
+/// # Errors
+///
+/// An explanatory message for missing fields or unknown labels.
+pub fn sensor_reading_from(v: &Value) -> Result<SensorReading, String> {
+    Ok(SensorReading {
+        sensor: v.field("sensor")?.as_str()?.to_string(),
+        property: trust_property_from(v.field("property")?.as_str()?)?,
+        direction: direction_from(v.field("direction")?.as_str()?)?,
+        value: v.field("value")?.as_f64()?,
+        tick: v.field("tick")?.as_u64()?,
+    })
+}
+
+/// [`BudgetBreach`] ⇄ JSON.
+pub fn budget_breach_value(b: &BudgetBreach) -> Value {
+    Value::obj(vec![
+        ("slo", Value::str(&b.slo)),
+        ("severity", Value::str(b.severity.as_str())),
+        ("burn_rate", Value::Float(b.burn_rate)),
+        ("window", Value::str(&b.window)),
+    ])
+}
+
+/// Inverse of [`budget_breach_value`].
+///
+/// # Errors
+///
+/// An explanatory message for missing fields or unknown labels.
+pub fn budget_breach_from(v: &Value) -> Result<BudgetBreach, String> {
+    Ok(BudgetBreach {
+        slo: v.field("slo")?.as_str()?.to_string(),
+        severity: severity_from(v.field("severity")?.as_str()?)?,
+        burn_rate: v.field("burn_rate")?.as_f64()?,
+        window: v.field("window")?.as_str()?.to_string(),
+    })
+}
+
+/// [`LedgerState`] ⇄ JSON (buckets as `[index, good, bad]` triples).
+pub fn ledger_state_value(l: &LedgerState) -> Value {
+    Value::obj(vec![
+        ("bucket_secs", Value::Uint(l.bucket_secs)),
+        ("horizon_secs", Value::Uint(l.horizon_secs)),
+        (
+            "buckets",
+            Value::Arr(
+                l.buckets
+                    .iter()
+                    .map(|(i, g, b)| {
+                        Value::Arr(vec![Value::Uint(*i), Value::Uint(*g), Value::Uint(*b)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Inverse of [`ledger_state_value`].
+///
+/// # Errors
+///
+/// An explanatory message for malformed bucket triples.
+pub fn ledger_state_from(v: &Value) -> Result<LedgerState, String> {
+    let buckets = v
+        .field("buckets")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            let t = b.as_arr()?;
+            if t.len() != 3 {
+                return Err(format!("ledger bucket has {} elements, want 3", t.len()));
+            }
+            Ok((t[0].as_u64()?, t[1].as_u64()?, t[2].as_u64()?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LedgerState {
+        bucket_secs: v.field("bucket_secs")?.as_u64()?,
+        horizon_secs: v.field("horizon_secs")?.as_u64()?,
+        buckets,
+    })
+}
+
+/// [`SloEngineState`] ⇄ JSON.
+pub fn slo_engine_state_value(s: &SloEngineState) -> Value {
+    Value::obj(vec![(
+        "slos",
+        Value::Arr(
+            s.slos
+                .iter()
+                .map(|slot| {
+                    Value::obj(vec![
+                        ("name", Value::str(&slot.name)),
+                        ("ledger", ledger_state_value(&slot.ledger)),
+                        (
+                            "last",
+                            match slot.last {
+                                None => Value::Null,
+                                Some((a, b)) => Value::Arr(vec![Value::Uint(a), Value::Uint(b)]),
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Inverse of [`slo_engine_state_value`].
+///
+/// # Errors
+///
+/// An explanatory message for malformed entries.
+pub fn slo_engine_state_from(v: &Value) -> Result<SloEngineState, String> {
+    let slos = v
+        .field("slos")?
+        .as_arr()?
+        .iter()
+        .map(|slot| {
+            let last = match slot.field("last")?.as_opt() {
+                None => None,
+                Some(pair) => {
+                    let p = pair.as_arr()?;
+                    if p.len() != 2 {
+                        return Err(format!("slo cursor has {} elements, want 2", p.len()));
+                    }
+                    Some((p[0].as_u64()?, p[1].as_u64()?))
+                }
+            };
+            Ok(SloSlotState {
+                name: slot.field("name")?.as_str()?.to_string(),
+                ledger: ledger_state_from(slot.field("ledger")?)?,
+                last,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SloEngineState { slos })
+}
+
+fn portable_node_value(n: &PortableNode) -> Value {
+    match n {
+        PortableNode::Leaf { distribution } => Value::obj(vec![
+            ("kind", Value::str("leaf")),
+            ("distribution", f64s_value(distribution)),
+        ]),
+        PortableNode::Split { feature, threshold, left, right } => Value::obj(vec![
+            ("kind", Value::str("split")),
+            ("feature", Value::Uint(*feature as u64)),
+            ("threshold", Value::Float(*threshold)),
+            ("left", Value::Uint(*left as u64)),
+            ("right", Value::Uint(*right as u64)),
+        ]),
+    }
+}
+
+fn portable_node_from(v: &Value) -> Result<PortableNode, String> {
+    match v.field("kind")?.as_str()? {
+        "leaf" => Ok(PortableNode::Leaf { distribution: f64s_from(v.field("distribution")?)? }),
+        "split" => Ok(PortableNode::Split {
+            feature: v.field("feature")?.as_usize()?,
+            threshold: v.field("threshold")?.as_f64()?,
+            left: v.field("left")?.as_usize()?,
+            right: v.field("right")?.as_usize()?,
+        }),
+        other => Err(format!("unknown tree node kind \"{other}\"")),
+    }
+}
+
+/// [`PortableModel`] ⇄ JSON.
+pub fn portable_model_value(m: &PortableModel) -> Value {
+    match m {
+        PortableModel::Majority { proba } => {
+            Value::obj(vec![("type", Value::str("majority")), ("proba", f64s_value(proba))])
+        }
+        PortableModel::Tree { config, nodes, n_classes, n_features } => Value::obj(vec![
+            ("type", Value::str("tree")),
+            (
+                "config",
+                Value::obj(vec![
+                    ("max_depth", Value::Uint(config.max_depth as u64)),
+                    ("min_samples_split", Value::Uint(config.min_samples_split as u64)),
+                    ("min_samples_leaf", Value::Uint(config.min_samples_leaf as u64)),
+                    (
+                        "max_features",
+                        match config.max_features {
+                            None => Value::Null,
+                            Some(k) => Value::Uint(k as u64),
+                        },
+                    ),
+                    ("seed", Value::Uint(config.seed)),
+                ]),
+            ),
+            ("nodes", Value::Arr(nodes.iter().map(portable_node_value).collect())),
+            ("n_classes", Value::Uint(*n_classes as u64)),
+            ("n_features", Value::Uint(*n_features as u64)),
+        ]),
+    }
+}
+
+/// Inverse of [`portable_model_value`].
+///
+/// # Errors
+///
+/// An explanatory message for unknown model types or malformed parameters.
+pub fn portable_model_from(v: &Value) -> Result<PortableModel, String> {
+    match v.field("type")?.as_str()? {
+        "majority" => Ok(PortableModel::Majority { proba: f64s_from(v.field("proba")?)? }),
+        "tree" => {
+            let c = v.field("config")?;
+            Ok(PortableModel::Tree {
+                config: PortableTreeConfig {
+                    max_depth: c.field("max_depth")?.as_usize()?,
+                    min_samples_split: c.field("min_samples_split")?.as_usize()?,
+                    min_samples_leaf: c.field("min_samples_leaf")?.as_usize()?,
+                    max_features: match c.field("max_features")?.as_opt() {
+                        None => None,
+                        Some(k) => Some(k.as_usize()?),
+                    },
+                    seed: c.field("seed")?.as_u64()?,
+                },
+                nodes: v
+                    .field("nodes")?
+                    .as_arr()?
+                    .iter()
+                    .map(portable_node_from)
+                    .collect::<Result<_, _>>()?,
+                n_classes: v.field("n_classes")?.as_usize()?,
+                n_features: v.field("n_features")?.as_usize()?,
+            })
+        }
+        other => Err(format!("unknown portable model type \"{other}\"")),
+    }
+}
+
+fn version_meta_value(m: &VersionMeta) -> Value {
+    Value::obj(vec![
+        ("id", Value::Uint(m.id)),
+        ("train_tick", Value::Uint(m.train_tick)),
+        ("accuracy", Value::Float(m.accuracy)),
+        ("model", Value::str(&m.model)),
+        ("note", Value::str(&m.note)),
+    ])
+}
+
+fn version_meta_from(v: &Value) -> Result<VersionMeta, String> {
+    Ok(VersionMeta {
+        id: v.field("id")?.as_u64()?,
+        train_tick: v.field("train_tick")?.as_u64()?,
+        accuracy: v.field("accuracy")?.as_f64()?,
+        model: v.field("model")?.as_str()?.to_string(),
+        note: v.field("note")?.as_str()?.to_string(),
+    })
+}
+
+/// [`StoreState`] ⇄ JSON.
+pub fn store_state_value(s: &StoreState) -> Value {
+    Value::obj(vec![
+        (
+            "versions",
+            Value::Arr(
+                s.versions
+                    .iter()
+                    .map(|(meta, model)| {
+                        Value::obj(vec![
+                            ("meta", version_meta_value(meta)),
+                            ("model", portable_model_value(model)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("deployed", Value::Uint(s.deployed as u64)),
+        ("quarantined", Value::Bool(s.quarantined)),
+        ("next_id", Value::Uint(s.next_id)),
+    ])
+}
+
+/// Inverse of [`store_state_value`].
+///
+/// # Errors
+///
+/// An explanatory message for malformed versions.
+pub fn store_state_from(v: &Value) -> Result<StoreState, String> {
+    Ok(StoreState {
+        versions: v
+            .field("versions")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Ok((version_meta_from(e.field("meta")?)?, portable_model_from(e.field("model")?)?))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        deployed: v.field("deployed")?.as_usize()?,
+        quarantined: v.field("quarantined")?.as_bool()?,
+        next_id: v.field("next_id")?.as_u64()?,
+    })
+}
+
+fn detector_snapshot_value(d: &DetectorSnapshot) -> Value {
+    match d {
+        DetectorSnapshot::PageHinkley { n, mean, cumulative, minimum, latched, state } => {
+            Value::obj(vec![
+                ("family", Value::str("page-hinkley")),
+                ("n", Value::Uint(*n)),
+                ("mean", Value::Float(*mean)),
+                ("cumulative", Value::Float(*cumulative)),
+                ("minimum", Value::Float(*minimum)),
+                ("latched", Value::Bool(*latched)),
+                ("state", Value::str(state.name())),
+            ])
+        }
+        DetectorSnapshot::Cusum { warmup_sum, warmup_seen, reference, g, latched, state } => {
+            Value::obj(vec![
+                ("family", Value::str("cusum")),
+                ("warmup_sum", Value::Float(*warmup_sum)),
+                ("warmup_seen", Value::Uint(*warmup_seen as u64)),
+                ("reference", Value::Float(*reference)),
+                ("g", Value::Float(*g)),
+                ("latched", Value::Bool(*latched)),
+                ("state", Value::str(state.name())),
+            ])
+        }
+        DetectorSnapshot::WindowKs { reference, current, latched, state } => Value::obj(vec![
+            ("family", Value::str("window-ks")),
+            ("reference", f64s_value(reference)),
+            ("current", f64s_value(current)),
+            ("latched", Value::Bool(*latched)),
+            ("state", Value::str(state.name())),
+        ]),
+    }
+}
+
+fn detector_snapshot_from(v: &Value) -> Result<DetectorSnapshot, String> {
+    let state = DriftState::from_name(v.field("state")?.as_str()?)?;
+    let latched = v.field("latched")?.as_bool()?;
+    match v.field("family")?.as_str()? {
+        "page-hinkley" => Ok(DetectorSnapshot::PageHinkley {
+            n: v.field("n")?.as_u64()?,
+            mean: v.field("mean")?.as_f64()?,
+            cumulative: v.field("cumulative")?.as_f64()?,
+            minimum: v.field("minimum")?.as_f64()?,
+            latched,
+            state,
+        }),
+        "cusum" => Ok(DetectorSnapshot::Cusum {
+            warmup_sum: v.field("warmup_sum")?.as_f64()?,
+            warmup_seen: v.field("warmup_seen")?.as_usize()?,
+            reference: v.field("reference")?.as_f64()?,
+            g: v.field("g")?.as_f64()?,
+            latched,
+            state,
+        }),
+        "window-ks" => Ok(DetectorSnapshot::WindowKs {
+            reference: f64s_from(v.field("reference")?)?,
+            current: f64s_from(v.field("current")?)?,
+            latched,
+            state,
+        }),
+        other => Err(format!("unknown detector family \"{other}\"")),
+    }
+}
+
+/// [`BankState`] ⇄ JSON.
+pub fn bank_state_value(b: &BankState) -> Value {
+    Value::obj(vec![
+        ("kind", Value::str(b.kind.label())),
+        (
+            "detectors",
+            Value::Arr(
+                b.detectors
+                    .iter()
+                    .map(|(sensor, snap)| {
+                        Value::obj(vec![
+                            ("sensor", Value::str(sensor)),
+                            ("snapshot", detector_snapshot_value(snap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Inverse of [`bank_state_value`].
+///
+/// # Errors
+///
+/// An explanatory message for unknown detector families or states.
+pub fn bank_state_from(v: &Value) -> Result<BankState, String> {
+    Ok(BankState {
+        kind: DetectorKind::from_label(v.field("kind")?.as_str()?)?,
+        detectors: v
+            .field("detectors")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Ok((
+                    e.field("sensor")?.as_str()?.to_string(),
+                    detector_snapshot_from(e.field("snapshot")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+fn operator_action_value(a: &OperatorAction) -> Value {
+    match a {
+        OperatorAction::SanitizeLabels { k } => {
+            Value::obj(vec![("op", Value::str("sanitize-labels")), ("k", Value::Uint(*k as u64))])
+        }
+        OperatorAction::Retrain => Value::obj(vec![("op", Value::str("retrain"))]),
+        OperatorAction::Rollback => Value::obj(vec![("op", Value::str("rollback"))]),
+        OperatorAction::AdjustAlertRule { sensor, max_degradation } => Value::obj(vec![
+            ("op", Value::str("adjust-alert-rule")),
+            ("sensor", Value::str(sensor)),
+            ("max_degradation", Value::Float(*max_degradation)),
+        ]),
+        OperatorAction::Quarantine => Value::obj(vec![("op", Value::str("quarantine"))]),
+    }
+}
+
+fn operator_action_from(v: &Value) -> Result<OperatorAction, String> {
+    match v.field("op")?.as_str()? {
+        "sanitize-labels" => Ok(OperatorAction::SanitizeLabels { k: v.field("k")?.as_usize()? }),
+        "retrain" => Ok(OperatorAction::Retrain),
+        "rollback" => Ok(OperatorAction::Rollback),
+        "adjust-alert-rule" => Ok(OperatorAction::AdjustAlertRule {
+            sensor: v.field("sensor")?.as_str()?.to_string(),
+            max_degradation: v.field("max_degradation")?.as_f64()?,
+        }),
+        "quarantine" => Ok(OperatorAction::Quarantine),
+        other => Err(format!("unknown operator action \"{other}\"")),
+    }
+}
+
+/// [`ExecutorState`] ⇄ JSON — the PR-3 oversight loop's cooldown clocks and
+/// action log, so a restarted gateway keeps its escalation history.
+pub fn executor_state_value(s: &ExecutorState) -> Value {
+    Value::obj(vec![
+        ("last_retrain", opt_u64_value(&s.last_retrain)),
+        ("last_rollback", opt_u64_value(&s.last_rollback)),
+        ("last_recovery_attempt", opt_u64_value(&s.last_recovery_attempt)),
+        (
+            "log",
+            Value::Arr(
+                s.log
+                    .iter()
+                    .map(|e| {
+                        Value::obj(vec![
+                            ("tick", Value::Uint(e.tick)),
+                            ("action", operator_action_value(&e.action)),
+                            ("outcome", Value::str(&e.outcome)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Inverse of [`executor_state_value`].
+///
+/// # Errors
+///
+/// An explanatory message for malformed log entries.
+pub fn executor_state_from(v: &Value) -> Result<ExecutorState, String> {
+    Ok(ExecutorState {
+        last_retrain: opt_u64_from(v.field("last_retrain")?)?,
+        last_rollback: opt_u64_from(v.field("last_rollback")?)?,
+        last_recovery_attempt: opt_u64_from(v.field("last_recovery_attempt")?)?,
+        log: v
+            .field("log")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Ok(spatial_core::respond::ExecutedAction {
+                    tick: e.field("tick")?.as_u64()?,
+                    action: operator_action_from(e.field("action")?)?,
+                    outcome: e.field("outcome")?.as_str()?.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Codec impls for crate-local types.
+// ---------------------------------------------------------------------------
+
+impl Codec for FleetEvent {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("tick", Value::Uint(self.tick)),
+            ("epoch", Value::Uint(self.epoch)),
+            ("kind", Value::str(self.kind.label())),
+            ("replica", Value::str(&self.replica)),
+            ("detail", Value::str(&self.detail)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            tick: v.field("tick")?.as_u64()?,
+            epoch: v.field("epoch")?.as_u64()?,
+            kind: FleetEventKind::from_label(v.field("kind")?.as_str()?)?,
+            replica: v.field("replica")?.as_str()?.to_string(),
+            detail: v.field("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl Codec for ShadowEvidence {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("samples", Value::Uint(self.samples)),
+            ("mismatches", Value::Uint(self.mismatches)),
+            ("errors", Value::Uint(self.errors)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            samples: v.field("samples")?.as_u64()?,
+            mismatches: v.field("mismatches")?.as_u64()?,
+            errors: v.field("errors")?.as_u64()?,
+        })
+    }
+}
+
+impl Codec for ReplicaState {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(&self.name)),
+            ("epoch", Value::Uint(self.epoch)),
+            ("bank", bank_state_value(&self.bank)),
+            ("store", store_state_value(&self.store)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            name: v.field("name")?.as_str()?.to_string(),
+            epoch: v.field("epoch")?.as_u64()?,
+            bank: bank_state_from(v.field("bank")?)?,
+            store: store_state_from(v.field("store")?)?,
+        })
+    }
+}
+
+impl Codec for ActiveRolloutState {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("epoch", Value::Uint(self.epoch)),
+            ("model", portable_model_value(&self.model)),
+            ("accuracy", Value::Float(self.accuracy)),
+            ("note", Value::str(&self.note)),
+            ("canary", Value::Uint(self.canary as u64)),
+            (
+                "prior_epochs",
+                Value::Arr(self.prior_epochs.iter().map(|&e| Value::Uint(e)).collect()),
+            ),
+            (
+                "prior_versions",
+                Value::Arr(self.prior_versions.iter().map(|&e| Value::Uint(e)).collect()),
+            ),
+            ("ramping", Value::Bool(self.ramping)),
+            ("canary_promoted", Value::Bool(self.canary_promoted)),
+            ("promoted_at", Value::Uint(self.promoted_at)),
+            ("rollbacks", Value::Uint(u64::from(self.rollbacks))),
+            ("last_rollback", opt_u64_value(&self.last_rollback)),
+            ("healthy_ticks", Value::Uint(self.healthy_ticks)),
+            ("last_ramp", Value::Uint(self.last_ramp)),
+            ("ramped", Value::Arr(self.ramped.iter().map(|&i| Value::Uint(i as u64)).collect())),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let u64s = |key: &str| -> Result<Vec<u64>, String> {
+            v.field(key)?.as_arr()?.iter().map(Value::as_u64).collect()
+        };
+        Ok(Self {
+            epoch: v.field("epoch")?.as_u64()?,
+            model: portable_model_from(v.field("model")?)?,
+            accuracy: v.field("accuracy")?.as_f64()?,
+            note: v.field("note")?.as_str()?.to_string(),
+            canary: v.field("canary")?.as_usize()?,
+            prior_epochs: u64s("prior_epochs")?,
+            prior_versions: u64s("prior_versions")?,
+            ramping: v.field("ramping")?.as_bool()?,
+            canary_promoted: v.field("canary_promoted")?.as_bool()?,
+            promoted_at: v.field("promoted_at")?.as_u64()?,
+            rollbacks: u32::try_from(v.field("rollbacks")?.as_u64()?)
+                .map_err(|_| "rollback count overflows u32".to_string())?,
+            last_rollback: opt_u64_from(v.field("last_rollback")?)?,
+            healthy_ticks: v.field("healthy_ticks")?.as_u64()?,
+            last_ramp: v.field("last_ramp")?.as_u64()?,
+            ramped: v
+                .field("ramped")?
+                .as_arr()?
+                .iter()
+                .map(Value::as_usize)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl Codec for FleetState {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("replicas", arr_value(&self.replicas)),
+            ("active", opt_value(&self.active)),
+            ("next_epoch", Value::Uint(self.next_epoch)),
+            ("quarantined", Value::Arr(self.quarantined.iter().map(|&e| Value::Uint(e)).collect())),
+            ("events", arr_value(&self.events)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            replicas: arr_from(v.field("replicas")?)?,
+            active: opt_from(v.field("active")?)?,
+            next_epoch: v.field("next_epoch")?.as_u64()?,
+            quarantined: v
+                .field("quarantined")?
+                .as_arr()?
+                .iter()
+                .map(Value::as_u64)
+                .collect::<Result<_, _>>()?,
+            events: arr_from(v.field("events")?)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable plane itself.
+// ---------------------------------------------------------------------------
+
+/// One journaled state-changing operation against the fleet controller.
+///
+/// Replay applies these through the same code path the live operation took, so
+/// a record's meaning can never drift between the write side and the recovery
+/// side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRecord {
+    /// Direct baseline promotion to one replica's store (pre-rollout seeding).
+    Baseline {
+        /// Replica index.
+        replica: usize,
+        /// Promotion tick.
+        tick: u64,
+        /// The model, in portable parameter form.
+        model: PortableModel,
+        /// Held-out accuracy at promotion.
+        accuracy: f64,
+        /// Provenance note.
+        note: String,
+    },
+    /// [`FleetController::begin_rollout`].
+    Begin {
+        /// Tick the rollout started.
+        tick: u64,
+        /// The candidate, in portable parameter form.
+        model: PortableModel,
+        /// Held-out accuracy of the candidate.
+        accuracy: f64,
+        /// Provenance note.
+        note: String,
+    },
+    /// One [`FleetController::step_with_slo`] tick, with everything the step
+    /// consumed — sensor readings, shadow evidence, the SLO breach verdict —
+    /// plus the SLO engine's post-evaluation state so a recovered gateway sees
+    /// its error budget as already burned.
+    Step {
+        /// Controller tick.
+        tick: u64,
+        /// Per-replica sensor readings (outer index = replica).
+        readings: Vec<Vec<SensorReading>>,
+        /// Cumulative shadow evidence for the current canary attempt.
+        shadow: ShadowEvidence,
+        /// SLO breach in force this tick, if any.
+        breach: Option<BudgetBreach>,
+        /// SLO engine state after this tick's evaluation.
+        slo: Option<SloEngineState>,
+    },
+}
+
+impl Codec for ControlRecord {
+    fn to_value(&self) -> Value {
+        match self {
+            ControlRecord::Baseline { replica, tick, model, accuracy, note } => Value::obj(vec![
+                ("op", Value::str("baseline")),
+                ("replica", Value::Uint(*replica as u64)),
+                ("tick", Value::Uint(*tick)),
+                ("model", portable_model_value(model)),
+                ("accuracy", Value::Float(*accuracy)),
+                ("note", Value::str(note)),
+            ]),
+            ControlRecord::Begin { tick, model, accuracy, note } => Value::obj(vec![
+                ("op", Value::str("begin")),
+                ("tick", Value::Uint(*tick)),
+                ("model", portable_model_value(model)),
+                ("accuracy", Value::Float(*accuracy)),
+                ("note", Value::str(note)),
+            ]),
+            ControlRecord::Step { tick, readings, shadow, breach, slo } => Value::obj(vec![
+                ("op", Value::str("step")),
+                ("tick", Value::Uint(*tick)),
+                (
+                    "readings",
+                    Value::Arr(
+                        readings
+                            .iter()
+                            .map(|batch| {
+                                Value::Arr(batch.iter().map(sensor_reading_value).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("shadow", shadow.to_value()),
+                (
+                    "breach",
+                    match breach {
+                        None => Value::Null,
+                        Some(b) => budget_breach_value(b),
+                    },
+                ),
+                (
+                    "slo",
+                    match slo {
+                        None => Value::Null,
+                        Some(s) => slo_engine_state_value(s),
+                    },
+                ),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.field("op")?.as_str()? {
+            "baseline" => Ok(ControlRecord::Baseline {
+                replica: v.field("replica")?.as_usize()?,
+                tick: v.field("tick")?.as_u64()?,
+                model: portable_model_from(v.field("model")?)?,
+                accuracy: v.field("accuracy")?.as_f64()?,
+                note: v.field("note")?.as_str()?.to_string(),
+            }),
+            "begin" => Ok(ControlRecord::Begin {
+                tick: v.field("tick")?.as_u64()?,
+                model: portable_model_from(v.field("model")?)?,
+                accuracy: v.field("accuracy")?.as_f64()?,
+                note: v.field("note")?.as_str()?.to_string(),
+            }),
+            "step" => Ok(ControlRecord::Step {
+                tick: v.field("tick")?.as_u64()?,
+                readings: v
+                    .field("readings")?
+                    .as_arr()?
+                    .iter()
+                    .map(|batch| batch.as_arr()?.iter().map(sensor_reading_from).collect())
+                    .collect::<Result<Vec<_>, String>>()?,
+                shadow: ShadowEvidence::from_value(v.field("shadow")?)?,
+                breach: match v.field("breach")?.as_opt() {
+                    None => None,
+                    Some(b) => Some(budget_breach_from(b)?),
+                },
+                slo: match v.field("slo")?.as_opt() {
+                    None => None,
+                    Some(s) => Some(slo_engine_state_from(s)?),
+                },
+            }),
+            other => Err(format!("unknown control record op \"{other}\"")),
+        }
+    }
+}
+
+/// The compacted snapshot the plane publishes: full fleet state plus the last
+/// seen SLO engine state, stamped with the last applied controller tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneState {
+    /// Last controller tick applied before the snapshot.
+    pub tick: u64,
+    /// Full controller checkpoint.
+    pub fleet: FleetState,
+    /// Last SLO engine state carried by a step record, if any.
+    pub slo: Option<SloEngineState>,
+}
+
+impl Codec for PlaneState {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("tick", Value::Uint(self.tick)),
+            ("fleet", self.fleet.to_value()),
+            (
+                "slo",
+                match &self.slo {
+                    None => Value::Null,
+                    Some(s) => slo_engine_state_value(s),
+                },
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            tick: v.field("tick")?.as_u64()?,
+            fleet: FleetState::from_value(v.field("fleet")?)?,
+            slo: match v.field("slo")?.as_opt() {
+                None => None,
+                Some(s) => Some(slo_engine_state_from(s)?),
+            },
+        })
+    }
+}
+
+/// Error from a durable-plane operation.
+#[derive(Debug)]
+pub enum PlaneError {
+    /// The journal could not persist or recover (including injected crashes —
+    /// test with [`PlaneError::is_crash`]).
+    Journal(JournalError),
+    /// State capture, restore, or replay failed (message explains why).
+    State(String),
+}
+
+impl PlaneError {
+    /// Whether the error is an injected crash (the process would be dead; the
+    /// sweep harness recovers from the surviving bytes instead).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, PlaneError::Journal(e) if is_crash(e))
+    }
+}
+
+impl fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaneError::Journal(e) => write!(f, "journal: {e}"),
+            PlaneError::State(msg) => write!(f, "state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+impl From<JournalError> for PlaneError {
+    fn from(e: JournalError) -> Self {
+        PlaneError::Journal(e)
+    }
+}
+
+/// What recovery found and restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneRecovery {
+    /// The `GET /durability` report (snapshot tick, WAL length, records
+    /// replayed, truncated tails).
+    pub report: DurabilityReport,
+    /// SLO engine state as of the last durable record — import it into the
+    /// serving engine before traffic resumes so the error budget stays burned.
+    pub slo: Option<SloEngineState>,
+}
+
+/// A [`FleetController`] behind a write-ahead journal. See module docs.
+pub struct DurablePlane<B: Backend> {
+    journal: Journal<B>,
+    controller: FleetController,
+    snapshot_every: u64,
+    last_tick: u64,
+    last_slo: Option<SloEngineState>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl<B: Backend> DurablePlane<B> {
+    /// A plane over an *empty* backend (use [`DurablePlane::recover`] for a
+    /// disk that may hold prior state). `snapshot_every` is the compaction
+    /// cadence in records; 0 disables periodic snapshots.
+    pub fn create(backend: B, controller: FleetController, snapshot_every: u64) -> Self {
+        Self {
+            journal: Journal::create(backend),
+            controller,
+            snapshot_every,
+            last_tick: 0,
+            last_slo: None,
+            registry: None,
+        }
+    }
+
+    /// Attaches a metrics registry; the plane then exports the
+    /// `spatial_durability_*` counter family.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The wrapped controller (read-only: mutations must go through the
+    /// journaled operations or replay would diverge from the live history).
+    pub fn controller(&self) -> &FleetController {
+        &self.controller
+    }
+
+    /// Records appended over the journal's lifetime.
+    pub fn records(&self) -> u64 {
+        self.journal.records()
+    }
+
+    /// Record count covered by the latest published snapshot.
+    pub fn snapshot_at(&self) -> u64 {
+        self.journal.snapshot_at()
+    }
+
+    /// Last controller tick applied.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// The underlying backend (crash sweeps read injection counters here).
+    pub fn backend(&self) -> &B {
+        self.journal.backend()
+    }
+
+    /// Consumes the plane, returning the backend — the "disk" that survives a
+    /// simulated process kill and is handed to [`DurablePlane::recover`].
+    pub fn into_backend(self) -> B {
+        self.journal.into_backend()
+    }
+
+    /// Journals and applies a baseline promotion to one replica's store.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError::Journal`] when the append fails or crashes (the promotion
+    /// is then *not* applied — write-ahead), [`PlaneError::State`] when the
+    /// model has no portable form or the replica index is out of range.
+    pub fn promote_baseline(
+        &mut self,
+        replica: usize,
+        tick: u64,
+        model: &Arc<dyn spatial_ml::Model>,
+        accuracy: f64,
+        note: &str,
+    ) -> Result<(), PlaneError> {
+        if replica >= self.controller.replica_epochs().len() {
+            return Err(PlaneError::State(format!("replica index {replica} out of range")));
+        }
+        let record = ControlRecord::Baseline {
+            replica,
+            tick,
+            model: PortableModel::capture(model.as_ref()).map_err(PlaneError::State)?,
+            accuracy,
+            note: note.to_string(),
+        };
+        self.commit(record)?;
+        Ok(())
+    }
+
+    /// Journals and applies [`FleetController::begin_rollout`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError::Journal`]/[`PlaneError::State`] as for
+    /// [`DurablePlane::promote_baseline`]; a [`RolloutError`] from the
+    /// controller is returned in the inner `Result` (the journaled record
+    /// replays to the same refusal, so the history stays consistent).
+    pub fn begin_rollout(
+        &mut self,
+        tick: u64,
+        model: &Arc<dyn spatial_ml::Model>,
+        accuracy: f64,
+        note: &str,
+    ) -> Result<Result<u64, RolloutError>, PlaneError> {
+        let record = ControlRecord::Begin {
+            tick,
+            model: PortableModel::capture(model.as_ref()).map_err(PlaneError::State)?,
+            accuracy,
+            note: note.to_string(),
+        };
+        match self.commit(record)? {
+            Applied::Begin(outcome) => Ok(outcome),
+            _ => unreachable!("begin record applies to a begin outcome"),
+        }
+    }
+
+    /// Journals and applies one controller tick. `slo` is the engine state
+    /// *after* this tick's evaluation (the breach verdict and the state must
+    /// describe the same instant); recovery restores the last one seen.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError::Journal`] when the append fails or crashes — the tick is
+    /// then *not* applied, which is exactly the recovery contract: a torn tick
+    /// never half-happens.
+    pub fn step(
+        &mut self,
+        tick: u64,
+        readings: Vec<Vec<SensorReading>>,
+        shadow: ShadowEvidence,
+        breach: Option<BudgetBreach>,
+        slo: Option<SloEngineState>,
+    ) -> Result<Vec<FleetEvent>, PlaneError> {
+        let record = ControlRecord::Step { tick, readings, shadow, breach, slo };
+        match self.commit(record)? {
+            Applied::Step(events) => Ok(events),
+            _ => unreachable!("step record applies to a step outcome"),
+        }
+    }
+
+    /// Write-ahead commit: journal the record, apply it, then maybe compact.
+    fn commit(&mut self, record: ControlRecord) -> Result<Applied, PlaneError> {
+        self.journal.append(&record)?;
+        if let Some(reg) = &self.registry {
+            reg.counter(names::WAL_RECORDS_COUNTER, names::WAL_RECORDS_HELP).inc();
+        }
+        let applied = apply(&mut self.controller, &record).map_err(PlaneError::State)?;
+        track(&record, &mut self.last_tick, &mut self.last_slo);
+        self.maybe_snapshot()?;
+        Ok(applied)
+    }
+
+    /// Publishes a compacted snapshot when the WAL suffix has grown past the
+    /// cadence. Crash-safe: publication is atomic, and a crash mid-publish
+    /// keeps the previous snapshot while the WAL still covers everything.
+    fn maybe_snapshot(&mut self) -> Result<(), PlaneError> {
+        if self.snapshot_every == 0 || self.journal.records_since_snapshot() < self.snapshot_every {
+            return Ok(());
+        }
+        let state = PlaneState {
+            tick: self.last_tick,
+            fleet: self.controller.export_state().map_err(PlaneError::State)?,
+            slo: self.last_slo.clone(),
+        };
+        self.journal.publish_snapshot(&state)?;
+        if let Some(reg) = &self.registry {
+            reg.counter(names::SNAPSHOTS_COUNTER, names::SNAPSHOTS_HELP).inc();
+        }
+        Ok(())
+    }
+
+    /// Recovers a plane from a disk that may hold a snapshot, a WAL, and a
+    /// damaged tail. `controller` must be freshly built over the same topology
+    /// and configuration as the crashed one; the snapshot state is imported
+    /// into it and the WAL suffix is replayed through the same apply function
+    /// the live path uses.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError::Journal`] for unreadable disks or a corrupt snapshot,
+    /// [`PlaneError::State`] when the checkpoint does not fit the controller
+    /// (topology mismatch, damaged parameters).
+    pub fn recover(
+        backend: B,
+        mut controller: FleetController,
+        snapshot_every: u64,
+    ) -> Result<(Self, PlaneRecovery), PlaneError> {
+        let Recovered { journal, snapshot, suffix, report } =
+            Journal::<B>::recover::<PlaneState, ControlRecord>(backend)?;
+        let mut last_tick = 0;
+        let mut last_slo = None;
+        let mut snapshot_tick = 0;
+        if let Some(state) = snapshot {
+            controller.import_state(&state.fleet).map_err(PlaneError::State)?;
+            last_tick = state.tick;
+            snapshot_tick = state.tick;
+            last_slo = state.slo;
+        }
+        for record in &suffix {
+            apply(&mut controller, record).map_err(PlaneError::State)?;
+            track(record, &mut last_tick, &mut last_slo);
+        }
+        let recovery = PlaneRecovery {
+            report: DurabilityReport::from_recovery(&report, snapshot_tick),
+            slo: last_slo.clone(),
+        };
+        Ok((
+            Self { journal, controller, snapshot_every, last_tick, last_slo, registry: None },
+            recovery,
+        ))
+    }
+
+    /// Publishes the recovery outcome to an attached registry (call after
+    /// [`DurablePlane::with_registry`] on a recovered plane).
+    pub fn export_recovery_counters(&self, recovery: &PlaneRecovery) {
+        let Some(reg) = &self.registry else { return };
+        reg.counter(names::RECOVERIES_COUNTER, names::RECOVERIES_HELP).inc();
+        reg.counter(names::RECORDS_RECOVERED_COUNTER, names::RECORDS_RECOVERED_HELP)
+            .add(recovery.report.records_recovered);
+        reg.counter(names::TRUNCATED_TAILS_COUNTER, names::TRUNCATED_TAILS_HELP)
+            .add(recovery.report.truncated_tails);
+    }
+}
+
+/// What applying a record produced (the live caller wants it back).
+enum Applied {
+    Baseline,
+    Begin(Result<u64, RolloutError>),
+    Step(Vec<FleetEvent>),
+}
+
+/// THE apply function: both the live path and recovery replay go through this,
+/// which is what makes `replay(snapshot, suffix) == replay(full log)` hold by
+/// construction.
+fn apply(controller: &mut FleetController, record: &ControlRecord) -> Result<Applied, String> {
+    match record {
+        ControlRecord::Baseline { replica, tick, model, accuracy, note } => {
+            let model = model.restore()?;
+            controller.store(*replica).promote(model, *tick, *accuracy, note.clone());
+            Ok(Applied::Baseline)
+        }
+        ControlRecord::Begin { tick, model, accuracy, note } => {
+            let model = model.restore()?;
+            Ok(Applied::Begin(controller.begin_rollout(*tick, model, *accuracy, note)))
+        }
+        ControlRecord::Step { tick, readings, shadow, breach, .. } => {
+            Ok(Applied::Step(controller.step_with_slo(*tick, readings, *shadow, breach.as_ref())))
+        }
+    }
+}
+
+/// Tracks the post-apply bookkeeping shared by the live path and replay.
+fn track(record: &ControlRecord, last_tick: &mut u64, last_slo: &mut Option<SloEngineState>) {
+    match record {
+        ControlRecord::Baseline { tick, .. } | ControlRecord::Begin { tick, .. } => {
+            *last_tick = (*tick).max(*last_tick);
+        }
+        ControlRecord::Step { tick, slo, .. } => {
+            *last_tick = (*tick).max(*last_tick);
+            if let Some(s) = slo {
+                *last_slo = Some(s.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::{ReplicaHandle, RolloutConfig};
+    use spatial_core::property::{Direction, TrustProperty};
+    use spatial_durability::backend::{CrashPlan, Crashable, MemBackend};
+    use spatial_ml::tree::DecisionTree;
+    use spatial_ml::{Model, ModelStore};
+
+    fn dataset(shift: f64) -> spatial_data::Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![i as f64 / 8.0 + shift, 1.0 - i as f64 / 8.0]).collect();
+        let labels: Vec<usize> = (0..16).map(|i| usize::from(i >= 8)).collect();
+        spatial_data::Dataset::new(
+            spatial_linalg::Matrix::from_row_vecs(rows),
+            labels,
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    fn tree(shift: f64) -> Arc<dyn Model> {
+        let mut t = DecisionTree::new();
+        t.fit(&dataset(shift)).unwrap();
+        Arc::new(t)
+    }
+
+    fn controller() -> FleetController {
+        let replicas = (0..3)
+            .map(|i| ReplicaHandle {
+                name: format!("replica-{i}"),
+                store: Arc::new(ModelStore::with_majority_fallback(&dataset(0.0), 8).unwrap()),
+            })
+            .collect();
+        FleetController::new(
+            replicas,
+            RolloutConfig { min_shadow_samples: 4, soak_ticks: 2, ..RolloutConfig::default() },
+        )
+    }
+
+    fn reading(tick: u64, value: f64) -> SensorReading {
+        SensorReading {
+            sensor: "accuracy".into(),
+            property: TrustProperty::Performance,
+            direction: Direction::HigherIsBetter,
+            value,
+            tick,
+        }
+    }
+
+    /// Drives a short healthy rollout through a plane, returning it.
+    fn drive(plane: &mut DurablePlane<MemBackend>) {
+        let baseline = tree(0.0);
+        for r in 0..3 {
+            plane.promote_baseline(r, 0, &baseline, 0.95, "baseline").unwrap();
+        }
+        plane.begin_rollout(1, &tree(0.05), 0.96, "candidate").unwrap().unwrap();
+        for tick in 2..10 {
+            let readings = vec![vec![reading(tick, 0.95)]; 3];
+            let shadow = ShadowEvidence { samples: 8 * (tick - 1), mismatches: 0, errors: 0 };
+            plane.step(tick, readings, shadow, None, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn control_records_round_trip_bit_for_bit() {
+        let records = vec![
+            ControlRecord::Baseline {
+                replica: 1,
+                tick: 3,
+                model: PortableModel::capture(tree(0.0).as_ref()).unwrap(),
+                accuracy: 0.9375,
+                note: "seed".into(),
+            },
+            ControlRecord::Begin {
+                tick: 4,
+                model: PortableModel::Majority { proba: vec![0.5, 0.5] },
+                accuracy: 0.5,
+                note: "fallback candidate".into(),
+            },
+            ControlRecord::Step {
+                tick: 5,
+                readings: vec![vec![reading(5, 0.93)], vec![]],
+                shadow: ShadowEvidence { samples: 9, mismatches: 2, errors: 1 },
+                breach: Some(BudgetBreach {
+                    slo: "avail".into(),
+                    severity: BreachSeverity::Page,
+                    burn_rate: 20.5,
+                    window: "1h".into(),
+                }),
+                slo: Some(SloEngineState {
+                    slos: vec![SloSlotState {
+                        name: "avail".into(),
+                        ledger: LedgerState {
+                            bucket_secs: 30,
+                            horizon_secs: 3_600,
+                            buckets: vec![(0, 100, 3), (2, 50, 1)],
+                        },
+                        last: Some((150, 4)),
+                    }],
+                }),
+            },
+        ];
+        for r in &records {
+            let bytes = r.to_bytes();
+            let back = ControlRecord::from_bytes(&bytes).unwrap();
+            assert_eq!(&back, r);
+            // Canonical: re-encoding is byte-identical.
+            assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn fleet_state_codec_round_trips_after_an_episode() {
+        let mut plane = DurablePlane::create(MemBackend::new(), controller(), 0);
+        drive(&mut plane);
+        let state = plane.controller().export_state().unwrap();
+        let back = FleetState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.to_bytes(), state.to_bytes());
+    }
+
+    #[test]
+    fn executor_state_codec_round_trips() {
+        let state = ExecutorState {
+            last_retrain: Some(4),
+            last_rollback: None,
+            last_recovery_attempt: Some(9),
+            log: vec![spatial_core::respond::ExecutedAction {
+                tick: 4,
+                action: OperatorAction::SanitizeLabels { k: 5 },
+                outcome: "sanitized 3 labels".into(),
+            }],
+        };
+        let back = executor_state_from(&executor_state_value(&state)).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn recovery_equals_uncrashed_reference() {
+        let backend = MemBackend::new();
+        let mut plane = DurablePlane::create(backend.clone(), controller(), 4);
+        drive(&mut plane);
+        let reference = plane.controller().export_state().unwrap();
+        assert!(plane.snapshot_at() > 0, "cadence 4 must have compacted");
+
+        // "Restart": recover from the surviving bytes into a fresh topology.
+        let (recovered, info) = DurablePlane::recover(backend, controller(), 4).unwrap();
+        let state = recovered.controller().export_state().unwrap();
+        assert_eq!(state, reference);
+        // Bit-identical, not just structurally equal.
+        assert_eq!(state.to_bytes(), reference.to_bytes());
+        assert_eq!(info.report.truncated_tails, 0);
+        assert_eq!(info.report.last_snapshot_tick, plane.last_tick());
+    }
+
+    #[test]
+    fn crash_sweep_recovers_every_prefix_consistently() {
+        let total_ops = {
+            // Re-run against a crash-counting backend to learn the op count.
+            let probe = Crashable::new(MemBackend::new(), CrashPlan::none());
+            let mut p = DurablePlane::create(probe, controller(), 3);
+            drive_until_crash(&mut p);
+            p.backend().ops()
+        };
+        assert!(total_ops > 8, "episode too short to sweep: {total_ops} ops");
+
+        for crash_at in 0..total_ops {
+            let backend = Crashable::new(MemBackend::new(), CrashPlan::at(7, crash_at));
+            let mut p = DurablePlane::create(backend, controller(), 3);
+            let crashed = drive_until_crash(&mut p);
+            assert!(crashed, "op {crash_at} must crash before the episode ends");
+            let survivor = p.into_backend().into_inner();
+
+            // Recovery must succeed and reproduce some prefix of the reference.
+            let (rec, info) =
+                DurablePlane::recover(survivor, controller(), 3).expect("recovery never fails");
+            let k = rec.records() as usize;
+            let reference = replay_reference(k);
+            assert_eq!(
+                rec.controller().export_state().unwrap().to_bytes(),
+                reference.to_bytes(),
+                "crash at op {crash_at}: recovered state diverges at record {k} \
+                 (truncated {} bytes)",
+                info.report.truncated_bytes,
+            );
+        }
+    }
+
+    /// Replays the canonical episode's first `k` records on a fresh controller.
+    fn replay_reference(k: usize) -> FleetState {
+        let mut plane = DurablePlane::create(MemBackend::new(), controller(), 0);
+        let baseline = tree(0.0);
+        let mut done = 0usize;
+        let mut step = |plane: &mut DurablePlane<MemBackend>,
+                        op: &dyn Fn(&mut DurablePlane<MemBackend>)| {
+            if done < k {
+                op(plane);
+                done += 1;
+            }
+        };
+        for r in 0..3 {
+            let b = Arc::clone(&baseline);
+            step(&mut plane, &move |p| {
+                p.promote_baseline(r, 0, &b, 0.95, "baseline").unwrap();
+            });
+        }
+        let candidate = tree(0.05);
+        step(&mut plane, &move |p| {
+            p.begin_rollout(1, &candidate, 0.96, "candidate").unwrap().unwrap();
+        });
+        for tick in 2..10 {
+            step(&mut plane, &move |p| {
+                let readings = vec![vec![reading(tick, 0.95)]; 3];
+                let shadow = ShadowEvidence { samples: 8 * (tick - 1), mismatches: 0, errors: 0 };
+                p.step(tick, readings, shadow, None, None).unwrap();
+            });
+        }
+        assert_eq!(done, k, "reference episode has fewer than {k} records");
+        plane.controller().export_state().unwrap()
+    }
+
+    /// Drives the canonical episode, stopping at the injected crash. Returns
+    /// whether a crash fired.
+    fn drive_until_crash(plane: &mut DurablePlane<Crashable<MemBackend>>) -> bool {
+        let baseline = tree(0.0);
+        for r in 0..3 {
+            match plane.promote_baseline(r, 0, &baseline, 0.95, "baseline") {
+                Ok(()) => {}
+                Err(e) if e.is_crash() => return true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        match plane.begin_rollout(1, &tree(0.05), 0.96, "candidate") {
+            Ok(inner) => inner.unwrap(),
+            Err(e) if e.is_crash() => return true,
+            Err(e) => panic!("unexpected error: {e}"),
+        };
+        for tick in 2..10 {
+            let readings = vec![vec![reading(tick, 0.95)]; 3];
+            let shadow = ShadowEvidence { samples: 8 * (tick - 1), mismatches: 0, errors: 0 };
+            match plane.step(tick, readings, shadow, None, None) {
+                Ok(_) => {}
+                Err(e) if e.is_crash() => return true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        false
+    }
+}

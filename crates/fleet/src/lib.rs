@@ -13,17 +13,24 @@
 //! - [`rollout`] — the [`rollout::FleetController`] state machine: promote to a
 //!   canary, soak it on shadowed live traffic, then ramp fleet-wide or roll
 //!   back; a flapping canary quarantines its *epoch*, not just the replica.
+//! - [`durable`] — the crash-consistent state plane: every controller mutation
+//!   goes through a write-ahead journal with compacted snapshots
+//!   (`spatial-durability`), so a restarted gateway recovers to a consistent
+//!   epoch, keeps its quarantine decisions, and does not re-page on an
+//!   already-burned error budget.
 //!
 //! The gateway (`spatial-gateway`) consumes [`shadow`] for its duplication
 //! hook; integration drivers own the controller and translate its events into
 //! gateway drain/shadow actions. Everything here is deterministic: no clocks,
 //! no ambient randomness.
 
+pub mod durable;
 pub mod rollout;
 pub mod shadow;
 
+pub use durable::{ControlRecord, DurablePlane, PlaneError, PlaneRecovery, PlaneState};
 pub use rollout::{
-    FleetController, FleetEvent, FleetEventKind, ReplicaHandle, RolloutConfig, RolloutError,
-    RolloutPhase,
+    ActiveRolloutState, FleetController, FleetEvent, FleetEventKind, FleetState, ReplicaHandle,
+    ReplicaState, RolloutConfig, RolloutError, RolloutPhase,
 };
 pub use shadow::{compare_shadow, ShadowEvidence, ShadowOutcome, ShadowSampler};

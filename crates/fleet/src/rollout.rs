@@ -156,6 +156,25 @@ impl FleetEventKind {
             FleetEventKind::RolloutCompleted => "rollout-completed",
         }
     }
+
+    /// Inverse of [`FleetEventKind::label`], for the durable state plane.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message for an unknown label.
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "canary-started" => Ok(FleetEventKind::CanaryStarted),
+            "canary-rolled-back" => Ok(FleetEventKind::CanaryRolledBack),
+            "canary-retried" => Ok(FleetEventKind::CanaryRetried),
+            "epoch-quarantined" => Ok(FleetEventKind::EpochQuarantined),
+            "ramp-started" => Ok(FleetEventKind::RampStarted),
+            "replica-ramped" => Ok(FleetEventKind::ReplicaRamped),
+            "ramp-aborted" => Ok(FleetEventKind::RampAborted),
+            "rollout-completed" => Ok(FleetEventKind::RolloutCompleted),
+            other => Err(format!("unknown fleet event kind \"{other}\"")),
+        }
+    }
 }
 
 /// One entry in the controller's event log. `PartialEq` + stable `Display` make
@@ -744,6 +763,192 @@ impl FleetController {
     pub fn config(&self) -> &RolloutConfig {
         &self.cfg
     }
+
+    /// Captures the full controller state — replica stores, drift banks,
+    /// epochs, the in-flight rollout (with its candidate model in portable
+    /// form), quarantine set and event log — as plain data for a durable
+    /// checkpoint. Configuration is *not* captured: a recovered controller is
+    /// rebuilt over the same topology and [`RolloutConfig`] first, then fed
+    /// this state.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when a store holds a model that cannot be made
+    /// portable (see `spatial_ml::persist`) — the checkpoint fails loudly
+    /// rather than silently dropping a version.
+    pub fn export_state(&self) -> Result<FleetState, String> {
+        let replicas = self
+            .replicas
+            .iter()
+            .map(|r| {
+                Ok(ReplicaState {
+                    name: r.handle.name.clone(),
+                    epoch: r.epoch,
+                    bank: r.bank.export_state(),
+                    store: r
+                        .handle
+                        .store
+                        .export_state()
+                        .map_err(|e| format!("replica {}: {e}", r.handle.name))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let active = match &self.active {
+            None => None,
+            Some(a) => Some(ActiveRolloutState {
+                epoch: a.epoch,
+                model: spatial_ml::PortableModel::capture(a.model.as_ref())
+                    .map_err(|e| format!("in-flight candidate: {e}"))?,
+                accuracy: a.accuracy,
+                note: a.note.clone(),
+                canary: a.canary,
+                prior_epochs: a.prior_epochs.clone(),
+                prior_versions: a.prior_versions.clone(),
+                ramping: a.ramping,
+                canary_promoted: a.canary_promoted,
+                promoted_at: a.promoted_at,
+                rollbacks: a.rollbacks,
+                last_rollback: a.last_rollback,
+                healthy_ticks: a.healthy_ticks,
+                last_ramp: a.last_ramp,
+                ramped: a.ramped.clone(),
+            }),
+        };
+        Ok(FleetState {
+            replicas,
+            active,
+            next_epoch: self.next_epoch,
+            quarantined: self.quarantined.iter().copied().collect(),
+            events: self.events.clone(),
+        })
+    }
+
+    /// Restores a checkpoint produced by [`FleetController::export_state`] into
+    /// a controller built over the *same topology* (replica count and names
+    /// must match, in order). Replica stores are restored through their shared
+    /// [`ModelStore`] handles, so a `ServingService` holding the same `Arc`
+    /// immediately serves the recovered deployment. By construction,
+    /// `import_state(export_state())` is an identity: a re-export produces a
+    /// bit-identical checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message on topology mismatch or a malformed checkpoint;
+    /// replica stores touched before the failing entry keep the imported
+    /// state (callers treat any error as fatal for the recovery).
+    pub fn import_state(&mut self, state: &FleetState) -> Result<(), String> {
+        if state.replicas.len() != self.replicas.len() {
+            return Err(format!(
+                "checkpoint has {} replicas, controller has {}",
+                state.replicas.len(),
+                self.replicas.len()
+            ));
+        }
+        for (entry, saved) in self.replicas.iter().zip(&state.replicas) {
+            if entry.handle.name != saved.name {
+                return Err(format!(
+                    "replica name mismatch: checkpoint \"{}\", controller \"{}\"",
+                    saved.name, entry.handle.name
+                ));
+            }
+        }
+        for (entry, saved) in self.replicas.iter_mut().zip(&state.replicas) {
+            entry
+                .handle
+                .store
+                .import_state(&saved.store)
+                .map_err(|e| format!("replica {}: {e}", saved.name))?;
+            entry
+                .bank
+                .import_state(&saved.bank)
+                .map_err(|e| format!("replica {}: {e}", saved.name))?;
+            entry.epoch = saved.epoch;
+        }
+        self.active = match &state.active {
+            None => None,
+            Some(a) => {
+                if a.canary >= self.replicas.len() {
+                    return Err(format!("canary index {} out of range", a.canary));
+                }
+                if a.prior_epochs.len() != self.replicas.len()
+                    || a.prior_versions.len() != self.replicas.len()
+                {
+                    return Err("prior epoch/version vectors must cover every replica".into());
+                }
+                Some(ActiveRollout {
+                    epoch: a.epoch,
+                    model: a.model.restore().map_err(|e| format!("in-flight candidate: {e}"))?,
+                    accuracy: a.accuracy,
+                    note: a.note.clone(),
+                    canary: a.canary,
+                    prior_epochs: a.prior_epochs.clone(),
+                    prior_versions: a.prior_versions.clone(),
+                    ramping: a.ramping,
+                    canary_promoted: a.canary_promoted,
+                    promoted_at: a.promoted_at,
+                    rollbacks: a.rollbacks,
+                    last_rollback: a.last_rollback,
+                    healthy_ticks: a.healthy_ticks,
+                    last_ramp: a.last_ramp,
+                    ramped: a.ramped.clone(),
+                })
+            }
+        };
+        self.next_epoch = state.next_epoch;
+        self.quarantined = state.quarantined.iter().copied().collect();
+        self.events = state.events.clone();
+        self.export_gauges();
+        Ok(())
+    }
+}
+
+/// Plain-data checkpoint of one replica (see [`FleetController::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaState {
+    /// Stable replica name — import validates it against the topology.
+    pub name: String,
+    /// Epoch the replica was serving.
+    pub epoch: u64,
+    /// Drift-bank evidence.
+    pub bank: spatial_core::drift::BankState,
+    /// Versioned store contents and deployment pointer.
+    pub store: spatial_ml::StoreState,
+}
+
+/// Plain-data checkpoint of an in-flight rollout. Field-for-field mirror of
+/// the private `ActiveRollout`, with the candidate in portable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveRolloutState {
+    pub epoch: u64,
+    pub model: spatial_ml::PortableModel,
+    pub accuracy: f64,
+    pub note: String,
+    pub canary: usize,
+    pub prior_epochs: Vec<u64>,
+    pub prior_versions: Vec<u64>,
+    pub ramping: bool,
+    pub canary_promoted: bool,
+    pub promoted_at: u64,
+    pub rollbacks: u32,
+    pub last_rollback: Option<u64>,
+    pub healthy_ticks: u64,
+    pub last_ramp: u64,
+    pub ramped: Vec<usize>,
+}
+
+/// Plain-data checkpoint of a [`FleetController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetState {
+    /// Per-replica state, in replica order.
+    pub replicas: Vec<ReplicaState>,
+    /// The in-flight rollout, if any.
+    pub active: Option<ActiveRolloutState>,
+    /// Next epoch the controller would assign.
+    pub next_epoch: u64,
+    /// Quarantined epochs, ascending.
+    pub quarantined: Vec<u64>,
+    /// The deterministic event log.
+    pub events: Vec<FleetEvent>,
 }
 
 /// Render an SLO breach as a rollback/abort reason string.

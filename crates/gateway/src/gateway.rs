@@ -30,6 +30,8 @@ use crate::http::{self, HttpServer, Request, Response};
 use crate::retry::{RetryPolicy, TokenBucket};
 use crate::wire::{to_json, ErrorBody};
 use parking_lot::{Mutex, RwLock};
+use spatial_durability::journal::{names as durability_names, DurabilityReport};
+use spatial_durability::json::Codec;
 use spatial_fleet::shadow::{compare_shadow, ShadowEvidence, ShadowOutcome, ShadowSampler};
 use spatial_linalg::rng;
 use spatial_telemetry::clock::SystemClock;
@@ -309,6 +311,9 @@ struct ForwardState {
     collector: Arc<SpanCollector>,
     profiler: Arc<Profiler>,
     slos: Arc<SloEngine>,
+    /// Outcome of the boot-time durable-state recovery, published by
+    /// [`ApiGateway::set_durability_report`] and served by `GET /durability`.
+    durability: Mutex<Option<DurabilityReport>>,
 }
 
 /// Observable status of one replica, for dashboards and tests.
@@ -404,6 +409,7 @@ impl ApiGateway {
             collector,
             profiler,
             slos: Arc::new(SloEngine::new(clock)),
+            durability: Mutex::new(None),
         });
         let handler_state = Arc::clone(&state);
         let server = HttpServer::spawn(move |req: Request| forward(&handler_state, req))?;
@@ -488,6 +494,34 @@ impl ApiGateway {
     /// `FleetController::step_with_slo`.
     pub fn slo_breach(&self) -> Option<BudgetBreach> {
         self.slo_statuses().into_iter().filter_map(|s| s.breach).max_by_key(|b| b.severity)
+    }
+
+    /// Publishes the outcome of the boot-time durable-state recovery. The
+    /// report is served by `GET /durability`, and its counts land in the
+    /// `spatial_durability_*` counters on `/metrics` — the driver calls this
+    /// once after `spatial_fleet::DurablePlane::recover`, before admitting
+    /// traffic. Calling it again (e.g. after an in-place restart) replaces the
+    /// report and accumulates the counters.
+    pub fn set_durability_report(&self, report: DurabilityReport) {
+        let r = &self.state.registry;
+        r.counter(durability_names::RECOVERIES_COUNTER, durability_names::RECOVERIES_HELP).inc();
+        r.counter(
+            durability_names::RECORDS_RECOVERED_COUNTER,
+            durability_names::RECORDS_RECOVERED_HELP,
+        )
+        .add(report.records_recovered);
+        r.counter(
+            durability_names::TRUNCATED_TAILS_COUNTER,
+            durability_names::TRUNCATED_TAILS_HELP,
+        )
+        .add(report.truncated_tails);
+        *self.state.durability.lock() = Some(report);
+    }
+
+    /// The last recovery report published via
+    /// [`ApiGateway::set_durability_report`], if any.
+    pub fn durability_report(&self) -> Option<DurabilityReport> {
+        *self.state.durability.lock()
     }
 
     /// Registered prefixes.
@@ -802,7 +836,8 @@ fn forwardable_headers(req: &Request) -> Vec<(String, String)> {
 }
 
 /// Serves the gateway's admin surface: `/metrics`, `/healthz`, `/trace/{id}`,
-/// `/profile`, `/slo[/{name}]`, and `/exemplars/{family}`. Returns `None` for
+/// `/profile`, `/slo[/{name}]`, `/durability`, and `/exemplars/{family}`.
+/// Returns `None` for
 /// ordinary paths, which fall through to route forwarding. Unknown resources
 /// under the admin prefixes all answer the same `{"error": …}` 404 shape.
 fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
@@ -823,6 +858,10 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
             Some(Response::json(format!("{{\"status\":\"ok\",\"routes\":{routes}}}").into_bytes()))
         }
         "/fleet" => Some(Response::json(fleet_status_json(state).into_bytes())),
+        "/durability" => Some(match *state.durability.lock() {
+            Some(report) => Response::json(report.to_bytes()),
+            None => json_error(404, "no durable recovery has been reported".to_string()),
+        }),
         "/profile" => Some(Response {
             status: 200,
             body: state.profiler.collapsed().into_bytes(),

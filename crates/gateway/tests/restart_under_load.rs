@@ -1,0 +1,206 @@
+//! Restart-under-load incident scenario (PR-8 satellite).
+//!
+//! Background mixed traffic keeps hitting the serving route while the control
+//! plane's in-memory state is torn down (the crash) and rebuilt from the
+//! durable journal (the recovery). The scenario asserts the two properties a
+//! crash must not break:
+//!
+//! - **no request is silently dropped** — every request issued by the load
+//!   generator gets an answer, and none of them is a client-visible 5xx: the
+//!   blank post-crash store serves quarantined fallback answers (`200` +
+//!   `x-spatial-degraded`) until recovery completes;
+//! - **the degraded window is bounded** — recovery imports the journaled state
+//!   back into the live serving store, the quarantine lifts, and traffic after
+//!   that point is answered by the recovered deployed model with no degraded
+//!   flag.
+
+use spatial_core::property::{Direction, TrustProperty};
+use spatial_core::sensor::SensorReading;
+use spatial_durability::backend::FileBackend;
+use spatial_durability::json::Codec;
+use spatial_fleet::shadow::ShadowEvidence;
+use spatial_fleet::{DurablePlane, FleetController, ReplicaHandle, RolloutConfig};
+use spatial_gateway::gateway::ApiGateway;
+use spatial_gateway::http;
+use spatial_gateway::loadgen::{self, ThreadGroup, TrafficMix};
+use spatial_gateway::service::ServiceHost;
+use spatial_gateway::services::{ServingService, DEGRADED_HEADER};
+use spatial_ml::tree::DecisionTree;
+use spatial_ml::{Model, ModelStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn dataset(shift: f64) -> spatial_data::Dataset {
+    let rows: Vec<Vec<f64>> =
+        (0..16).map(|i| vec![i as f64 / 8.0 + shift, 1.0 - i as f64 / 8.0]).collect();
+    let labels: Vec<usize> = (0..16).map(|i| usize::from(i >= 8)).collect();
+    spatial_data::Dataset::new(
+        spatial_linalg::Matrix::from_row_vecs(rows),
+        labels,
+        vec!["x".into(), "y".into()],
+        vec!["a".into(), "b".into()],
+    )
+}
+
+fn tree(shift: f64) -> Arc<dyn Model> {
+    let mut t = DecisionTree::new();
+    t.fit(&dataset(shift)).unwrap();
+    Arc::new(t)
+}
+
+/// A controller over *shared* store handles: the HTTP serving service answers
+/// from `stores[0]`, so a recovery that imports state through these Arcs flips
+/// the live serving path back in place — exactly what a restarted process does.
+fn controller(stores: &[Arc<ModelStore>]) -> FleetController {
+    let replicas = stores
+        .iter()
+        .enumerate()
+        .map(|(i, store)| ReplicaHandle { name: format!("replica-{i}"), store: Arc::clone(store) })
+        .collect();
+    FleetController::new(
+        replicas,
+        RolloutConfig { min_shadow_samples: 4, soak_ticks: 2, ..RolloutConfig::default() },
+    )
+}
+
+fn reading(tick: u64, value: f64) -> SensorReading {
+    SensorReading {
+        sensor: "accuracy".into(),
+        property: TrustProperty::Performance,
+        direction: Direction::HigherIsBetter,
+        value,
+        tick,
+    }
+}
+
+/// Polls the gateway's route summary until at least `n` samples have completed.
+fn wait_for_samples(gw: &ApiGateway, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let done = gw.route_summary("serve").map(|s| s.samples).unwrap_or(0);
+        if done >= n {
+            return;
+        }
+        assert!(Instant::now() < deadline, "only {done}/{n} requests completed in 30s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn restart_under_load_bounds_the_degraded_window() {
+    let dir =
+        std::env::temp_dir().join(format!("spatial-restart-under-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A short healthy rollout episode through the durable plane, so the journal
+    // holds non-trivial state: baselines, an active candidate, soak steps.
+    let stores: Vec<Arc<ModelStore>> = (0..2)
+        .map(|_| Arc::new(ModelStore::with_majority_fallback(&dataset(0.0), 8).unwrap()))
+        .collect();
+    let mut plane = DurablePlane::create(FileBackend::open(&dir).unwrap(), controller(&stores), 4);
+    let baseline = tree(0.0);
+    for r in 0..2 {
+        plane.promote_baseline(r, 0, &baseline, 0.95, "baseline").unwrap();
+    }
+    plane.begin_rollout(1, &tree(0.05), 0.96, "candidate").unwrap().unwrap();
+    for tick in 2..8 {
+        let readings = vec![vec![reading(tick, 0.95)]; 2];
+        let shadow = ShadowEvidence { samples: 8 * (tick - 1), mismatches: 0, errors: 0 };
+        plane.step(tick, readings, shadow, None, None).unwrap();
+    }
+    let reference = plane.controller().export_state().unwrap();
+
+    // The serving stack answers from replica 0's store, behind the gateway.
+    let serving = Arc::clone(&stores[0]);
+    let host =
+        ServiceHost::spawn(Arc::new(ServingService::new(Arc::clone(&serving), 2, 2)), 32).unwrap();
+    let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
+    gw.register("serve", host.addr());
+
+    // Background mixed traffic for the whole incident.
+    let mix = TrafficMix::clean_only(&br#"{"features":[0.9,0.1]}"#[..]);
+    let group = ThreadGroup {
+        threads: 4,
+        requests_per_thread: 400,
+        ramp_up: Duration::ZERO,
+        timeout: Duration::from_secs(10),
+        headers: Vec::new(),
+    };
+    let load = loadgen::spawn_mixed(gw.addr(), "POST", "/serve/predict", &mix, &group);
+    wait_for_samples(&gw, 20);
+
+    // The crash: the control plane dies mid-run. The replacement process boots
+    // with a blank store and serves from the quarantined fallback — degraded
+    // but answering — while recovery replays the journal.
+    drop(plane);
+    let blank = ModelStore::with_majority_fallback(&dataset(0.0), 8).unwrap();
+    blank.quarantine();
+    serving.import_state(&blank.export_state().unwrap()).unwrap();
+    let probe = http::request(
+        gw.addr(),
+        "POST",
+        "/serve/predict",
+        br#"{"features":[0.9,0.1]}"#,
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(probe.status, 200, "degraded answers stay 200");
+    assert_eq!(probe.header(DEGRADED_HEADER), Some("1"), "blank store serves degraded");
+    // Hold the window open long enough that background requests land in it.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The recovery: replay snapshot + WAL suffix into a fresh controller that
+    // shares the live store handles, then publish the report to the gateway.
+    let (rec, info) =
+        DurablePlane::recover(FileBackend::open(&dir).unwrap(), controller(&stores), 4).unwrap();
+    gw.set_durability_report(info.report);
+    let recovered = rec.controller().export_state().unwrap();
+    assert_eq!(
+        recovered.to_bytes(),
+        reference.to_bytes(),
+        "recovered state must be bit-identical to the pre-crash state"
+    );
+    assert!(!serving.is_quarantined(), "recovery lifts the crash-time quarantine");
+    let at_recovery = gw.route_summary("serve").map(|s| s.samples).unwrap_or(0);
+    // Let a post-recovery slice of the background traffic complete.
+    wait_for_samples(&gw, at_recovery + 50);
+
+    let result = load.join();
+    let expected = group.threads * group.requests_per_thread;
+    assert_eq!(result.summary.samples, expected as u64, "no request silently dropped");
+    assert_eq!(result.summary.errors, 0, "zero client-visible 5xx across the restart");
+    assert!(result.degraded_responses > 0, "the degraded window was live traffic");
+    assert!(
+        result.degraded_responses < expected,
+        "the degraded window must close: {} of {} degraded",
+        result.degraded_responses,
+        expected
+    );
+
+    // Post-restart traffic is answered by the recovered deployed model.
+    let after = http::request(
+        gw.addr(),
+        "POST",
+        "/serve/predict",
+        br#"{"features":[0.9,0.1]}"#,
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(after.status, 200);
+    assert!(after.header(DEGRADED_HEADER).is_none(), "window closed");
+    let body = String::from_utf8(after.body).unwrap();
+    assert!(body.contains("\"degraded\":false"), "{body}");
+
+    // The admin surface reports the recovery.
+    let report =
+        http::request(gw.addr(), "GET", "/durability", b"", Duration::from_secs(5)).unwrap();
+    assert_eq!(report.status, 200);
+    let report = String::from_utf8(report.body).unwrap();
+    assert!(report.contains("\"records_recovered\""), "{report}");
+    let metrics = http::request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).unwrap();
+    let metrics = String::from_utf8(metrics.body).unwrap();
+    assert!(metrics.contains("spatial_durability_recoveries_total 1"), "{metrics}");
+
+    drop(host);
+    let _ = std::fs::remove_dir_all(&dir);
+}

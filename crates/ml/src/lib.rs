@@ -20,7 +20,8 @@
 //! [`cv`] provides k-fold cross-validation; [`metrics`] the evaluation metrics the
 //! paper reports (accuracy, precision, recall, F1, confusion matrices); [`store`] the
 //! versioned [`ModelStore`] (atomic promote/rollback plus a quarantine fallback) the
-//! self-healing oversight loop acts on.
+//! self-healing oversight loop acts on; [`persist`] the portable parameter forms the
+//! durable state plane checkpoints stores through.
 
 pub mod cv;
 pub mod fairness;
@@ -31,9 +32,11 @@ pub mod logreg;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod persist;
 pub mod pipeline;
 pub mod store;
 pub mod tree;
 
 pub use model::{GradientModel, Model, TrainError};
-pub use store::{MajorityClass, ModelStore, ServingSource, StoreError, VersionMeta};
+pub use persist::{PortableModel, PortableNode, PortableTreeConfig};
+pub use store::{MajorityClass, ModelStore, ServingSource, StoreError, StoreState, VersionMeta};

@@ -72,6 +72,15 @@ pub trait Model: Send + Sync {
         let rows: Vec<Vec<f64>> = features.iter_rows().map(|row| self.predict_proba(row)).collect();
         Matrix::from_row_vecs(rows)
     }
+
+    /// Downcast hook for the durable state plane: models that can be captured
+    /// into a portable parameter form (see `spatial_ml::persist`) override this
+    /// to return `Some(self)`. `None` (the default) means the model's
+    /// parameters cannot be persisted and a checkpoint of a store holding it
+    /// fails loudly instead of silently dropping the model.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// A model that can differentiate its loss with respect to the *input* — the contract

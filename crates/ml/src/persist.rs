@@ -1,0 +1,279 @@
+//! Portable model parameters for the durable state plane.
+//!
+//! A crash-consistent checkpoint of a [`crate::ModelStore`] must carry the
+//! *parameters* of every retained version, not pointers to live objects.
+//! [`PortableModel`] is that parameter form: a plain-data mirror of the models
+//! the serving stack deploys ([`MajorityClass`] and [`DecisionTree`] today),
+//! captured via [`crate::Model::as_any`] and restored into a fresh `Arc<dyn
+//! Model>` that predicts identically to the original.
+//!
+//! Capture is total or loud: a model type without a portable form makes
+//! [`PortableModel::capture`] return an error (so a checkpoint never silently
+//! drops a deployed model), and [`PortableModel::restore`] validates structure
+//! (node indices in range, non-empty distributions) so damaged bytes that
+//! slipped past framing checks cannot build a model that panics at serve time.
+
+use crate::model::Model;
+use crate::store::MajorityClass;
+use crate::tree::{DecisionTree, Node, TreeConfig};
+use std::sync::Arc;
+
+/// One node of a portable decision tree (index-based arena, mirroring
+/// [`DecisionTree`]'s internal layout).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortableNode {
+    /// A leaf holding the class-probability distribution.
+    Leaf {
+        /// Class probabilities (sums to ~1, never empty).
+        distribution: Vec<f64>,
+    },
+    /// An internal split.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (`<=` goes left).
+        threshold: f64,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// Plain-data parameters of a deployable model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortableModel {
+    /// A fitted [`MajorityClass`] fallback.
+    Majority {
+        /// Observed class frequencies.
+        proba: Vec<f64>,
+    },
+    /// A fitted [`DecisionTree`].
+    Tree {
+        /// Hyperparameters the tree was trained with.
+        config: PortableTreeConfig,
+        /// Node arena, root at index 0.
+        nodes: Vec<PortableNode>,
+        /// Class count.
+        n_classes: usize,
+        /// Feature count.
+        n_features: usize,
+    },
+}
+
+/// [`TreeConfig`] flattened to plain data (`max_features: None` means all).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableTreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per child.
+    pub min_samples_leaf: usize,
+    /// Features examined per split; `None` means all.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl PortableModel {
+    /// Captures a live model's parameters.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when the model type has no portable form — the
+    /// checkpoint must fail rather than silently drop a deployed model.
+    pub fn capture(model: &dyn Model) -> Result<Self, String> {
+        let any = model
+            .as_any()
+            .ok_or_else(|| format!("model \"{}\" has no portable parameter form", model.name()))?;
+        if let Some(m) = any.downcast_ref::<MajorityClass>() {
+            if m.proba.is_empty() {
+                return Err("majority-class fallback is unfitted".into());
+            }
+            return Ok(Self::Majority { proba: m.proba.clone() });
+        }
+        if let Some(t) = any.downcast_ref::<DecisionTree>() {
+            if t.nodes.is_empty() {
+                return Err("decision tree is unfitted".into());
+            }
+            let nodes = t
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { distribution } => {
+                        PortableNode::Leaf { distribution: distribution.clone() }
+                    }
+                    Node::Split { feature, threshold, left, right } => PortableNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: *left,
+                        right: *right,
+                    },
+                })
+                .collect();
+            return Ok(Self::Tree {
+                config: PortableTreeConfig {
+                    max_depth: t.config.max_depth,
+                    min_samples_split: t.config.min_samples_split,
+                    min_samples_leaf: t.config.min_samples_leaf,
+                    max_features: t.config.max_features,
+                    seed: t.config.seed,
+                },
+                nodes,
+                n_classes: t.n_classes,
+                n_features: t.n_features,
+            });
+        }
+        Err(format!("model \"{}\" advertises as_any but is not a portable type", model.name()))
+    }
+
+    /// Rebuilds a live model from captured parameters, validating structure so
+    /// damaged state cannot produce a model that panics at serve time.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message for structurally invalid parameters (empty
+    /// distribution, node index out of range).
+    pub fn restore(&self) -> Result<Arc<dyn Model>, String> {
+        match self {
+            Self::Majority { proba } => {
+                if proba.is_empty() {
+                    return Err("portable majority-class has no classes".into());
+                }
+                Ok(Arc::new(MajorityClass { proba: proba.clone() }))
+            }
+            Self::Tree { config, nodes, n_classes, n_features } => {
+                if nodes.is_empty() {
+                    return Err("portable tree has no nodes".into());
+                }
+                let rebuilt: Vec<Node> = nodes
+                    .iter()
+                    .map(|n| match n {
+                        PortableNode::Leaf { distribution } => {
+                            if distribution.is_empty() {
+                                Err("portable tree leaf has an empty distribution".to_string())
+                            } else {
+                                Ok(Node::Leaf { distribution: distribution.clone() })
+                            }
+                        }
+                        PortableNode::Split { feature, threshold, left, right } => {
+                            if *left >= nodes.len() || *right >= nodes.len() {
+                                Err(format!(
+                                    "portable tree split points past the arena ({left}/{right} of {})",
+                                    nodes.len()
+                                ))
+                            } else {
+                                Ok(Node::Split {
+                                    feature: *feature,
+                                    threshold: *threshold,
+                                    left: *left,
+                                    right: *right,
+                                })
+                            }
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut tree = DecisionTree::with_config(TreeConfig {
+                    max_depth: config.max_depth,
+                    min_samples_split: config.min_samples_split,
+                    min_samples_leaf: config.min_samples_leaf,
+                    max_features: config.max_features,
+                    seed: config.seed,
+                });
+                tree.nodes = rebuilt;
+                tree.n_classes = *n_classes;
+                tree.n_features = *n_features;
+                Ok(Arc::new(tree))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::Dataset;
+    use spatial_linalg::Matrix;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.2, 0.8], &[1.0, 0.1], &[1.2, 0.0]]),
+            vec![0, 0, 1, 1],
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn tree_round_trips_and_predicts_identically() {
+        let ds = dataset();
+        let mut tree = DecisionTree::new();
+        tree.fit(&ds).unwrap();
+        let captured = PortableModel::capture(&tree).unwrap();
+        let restored = captured.restore().unwrap();
+        assert_eq!(restored.name(), "decision-tree");
+        for row in ds.features.iter_rows() {
+            assert_eq!(restored.predict_proba(row), tree.predict_proba(row));
+        }
+        // Capture of the restored model is bit-identical to the first capture.
+        assert_eq!(PortableModel::capture(restored.as_ref()).unwrap(), captured);
+    }
+
+    #[test]
+    fn majority_round_trips() {
+        let ds = dataset();
+        let mut m = MajorityClass::default();
+        m.fit(&ds).unwrap();
+        let captured = PortableModel::capture(&m).unwrap();
+        let restored = captured.restore().unwrap();
+        assert_eq!(restored.predict_proba(&[9.0, 9.0]), m.predict_proba(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn unfitted_models_do_not_capture() {
+        assert!(PortableModel::capture(&MajorityClass::default()).is_err());
+        assert!(PortableModel::capture(&DecisionTree::new()).is_err());
+    }
+
+    #[test]
+    fn non_portable_models_fail_loudly() {
+        struct Opaque;
+        impl Model for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn fit(&mut self, _: &Dataset) -> Result<(), crate::TrainError> {
+                Ok(())
+            }
+            fn predict_proba(&self, _: &[f64]) -> Vec<f64> {
+                vec![0.5, 0.5]
+            }
+        }
+        let err = PortableModel::capture(&Opaque).unwrap_err();
+        assert!(err.contains("opaque"), "{err}");
+    }
+
+    #[test]
+    fn damaged_parameters_are_rejected_at_restore() {
+        let empty = PortableModel::Majority { proba: vec![] };
+        assert!(empty.restore().is_err());
+        let bad_index = PortableModel::Tree {
+            config: PortableTreeConfig {
+                max_depth: 4,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                max_features: None,
+                seed: 0,
+            },
+            nodes: vec![PortableNode::Split { feature: 0, threshold: 0.5, left: 7, right: 8 }],
+            n_classes: 2,
+            n_features: 1,
+        };
+        let err = bad_index.restore().err().expect("out-of-range index must fail");
+        assert!(err.contains("past the arena"), "{err}");
+    }
+}

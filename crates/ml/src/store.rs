@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// dumb — quarantine trades accuracy for availability.
 #[derive(Debug, Clone, Default)]
 pub struct MajorityClass {
-    proba: Vec<f64>,
+    pub(crate) proba: Vec<f64>,
 }
 
 impl Model for MajorityClass {
@@ -46,6 +46,10 @@ impl Model for MajorityClass {
         assert!(!self.proba.is_empty(), "MajorityClass must be fitted before predicting");
         self.proba.clone()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Metadata frozen at promotion time — the audit trail of a version.
@@ -72,17 +76,32 @@ pub enum ServingSource {
     Fallback,
 }
 
-/// Errors from store transitions.
+/// Errors from store construction and transitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// `rollback` with no older version to roll back to.
     NoPreviousVersion,
+    /// The store was built with room for fewer than two versions, so rollback
+    /// would never have anywhere to go.
+    InvalidCapacity(usize),
+    /// The fallback model reports zero classes — it would panic on the very
+    /// degraded-mode request it exists to answer.
+    UnfittedFallback,
+    /// Fitting the built-in [`MajorityClass`] fallback failed.
+    FallbackTraining(TrainError),
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoPreviousVersion => write!(f, "no previous version to roll back to"),
+            Self::InvalidCapacity(c) => {
+                write!(f, "capacity {c} cannot keep the two versions rollback needs")
+            }
+            Self::UnfittedFallback => {
+                write!(f, "fallback must be fitted before registration (zero classes)")
+            }
+            Self::FallbackTraining(e) => write!(f, "fallback training failed: {e}"),
         }
     }
 }
@@ -115,13 +134,20 @@ impl ModelStore {
     /// Creates a store with an already-fitted fallback and room for `capacity`
     /// snapshots (at least 2, so rollback always has somewhere to go).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity < 2` or the fallback is unfitted (zero classes).
-    pub fn new(fallback: Arc<dyn Model>, capacity: usize) -> Self {
-        assert!(capacity >= 2, "capacity must keep at least two versions");
-        assert!(fallback.n_classes() > 0, "fallback must be fitted before registration");
-        Self {
+    /// [`StoreError::InvalidCapacity`] when `capacity < 2`, and
+    /// [`StoreError::UnfittedFallback`] when the fallback reports zero classes —
+    /// an unfitted [`MajorityClass`] would otherwise panic on the first
+    /// degraded-mode prediction, which is exactly the moment it must not.
+    pub fn new(fallback: Arc<dyn Model>, capacity: usize) -> Result<Self, StoreError> {
+        if capacity < 2 {
+            return Err(StoreError::InvalidCapacity(capacity));
+        }
+        if fallback.n_classes() == 0 {
+            return Err(StoreError::UnfittedFallback);
+        }
+        Ok(Self {
             fallback,
             capacity,
             inner: RwLock::new(StoreInner {
@@ -130,18 +156,19 @@ impl ModelStore {
                 quarantined: false,
                 next_id: 1,
             }),
-        }
+        })
     }
 
     /// Convenience: fits a [`MajorityClass`] fallback on `train` and builds the store.
     ///
     /// # Errors
     ///
-    /// Propagates the fallback's [`TrainError`] (empty dataset).
-    pub fn with_majority_fallback(train: &Dataset, capacity: usize) -> Result<Self, TrainError> {
+    /// [`StoreError::FallbackTraining`] when the fallback cannot be fitted
+    /// (empty dataset), plus the [`ModelStore::new`] constructor errors.
+    pub fn with_majority_fallback(train: &Dataset, capacity: usize) -> Result<Self, StoreError> {
         let mut fallback = MajorityClass::default();
-        fallback.fit(train)?;
-        Ok(Self::new(Arc::new(fallback), capacity))
+        fallback.fit(train).map_err(StoreError::FallbackTraining)?;
+        Self::new(Arc::new(fallback), capacity)
     }
 
     /// Promotes a fitted model to deployed, snapshotting it with metadata. Evicts the
@@ -237,6 +264,74 @@ impl ModelStore {
     pub fn is_empty(&self) -> bool {
         self.inner.read().versions.is_empty()
     }
+
+    /// Captures the full store state — every retained version's metadata and
+    /// portable parameters, the deployment pointer, quarantine flag and id
+    /// counter — for a durable checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when a retained model has no portable form
+    /// ([`crate::persist::PortableModel::capture`]); checkpoints fail loudly
+    /// rather than silently dropping a version.
+    pub fn export_state(&self) -> Result<StoreState, String> {
+        let inner = self.inner.read();
+        let mut versions = Vec::with_capacity(inner.versions.len());
+        for v in &inner.versions {
+            let portable = crate::persist::PortableModel::capture(v.model.as_ref())
+                .map_err(|e| format!("version {}: {e}", v.meta.id))?;
+            versions.push((v.meta.clone(), portable));
+        }
+        Ok(StoreState {
+            versions,
+            deployed: inner.deployed,
+            quarantined: inner.quarantined,
+            next_id: inner.next_id,
+        })
+    }
+
+    /// Replaces the store's versions, deployment pointer, quarantine flag and
+    /// id counter with a previously captured state. The fallback and capacity
+    /// are construction-time properties and are not part of the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when the state is structurally invalid (model
+    /// restore failure, deployment pointer out of range); the store is left
+    /// untouched on error.
+    pub fn import_state(&self, state: &StoreState) -> Result<(), String> {
+        if !state.versions.is_empty() && state.deployed >= state.versions.len() {
+            return Err(format!(
+                "deployment pointer {} out of range ({} versions)",
+                state.deployed,
+                state.versions.len()
+            ));
+        }
+        let mut versions = Vec::with_capacity(state.versions.len());
+        for (meta, portable) in &state.versions {
+            let model = portable.restore().map_err(|e| format!("version {}: {e}", meta.id))?;
+            versions.push(Version { meta: meta.clone(), model });
+        }
+        let mut inner = self.inner.write();
+        inner.versions = versions;
+        inner.deployed = state.deployed;
+        inner.quarantined = state.quarantined;
+        inner.next_id = state.next_id;
+        Ok(())
+    }
+}
+
+/// Plain-data checkpoint of a [`ModelStore`] (see [`ModelStore::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreState {
+    /// Retained versions, oldest first: metadata plus portable parameters.
+    pub versions: Vec<(VersionMeta, crate::persist::PortableModel)>,
+    /// Index of the deployed version within `versions`.
+    pub deployed: usize,
+    /// Whether serving was degraded to the fallback.
+    pub quarantined: bool,
+    /// Next version id to assign.
+    pub next_id: u64,
 }
 
 impl std::fmt::Debug for ModelStore {
@@ -382,17 +477,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must keep")]
-    fn tiny_capacity_rejected() {
+    fn tiny_capacity_rejected_with_typed_error() {
         let mut fb = MajorityClass::default();
         fb.fit(&dataset()).unwrap();
-        let _ = ModelStore::new(Arc::new(fb), 1);
+        let err = ModelStore::new(Arc::new(fb), 1).unwrap_err();
+        assert_eq!(err, StoreError::InvalidCapacity(1));
     }
 
     #[test]
-    #[should_panic(expected = "fallback must be fitted")]
-    fn unfitted_fallback_rejected() {
-        let _ = ModelStore::new(Arc::new(MajorityClass::default()), 3);
+    fn unfitted_fallback_rejected_with_typed_error() {
+        // Regression: an unfitted MajorityClass used to slip into the store and
+        // panic on the first degraded-mode predict_proba call. Construction now
+        // rejects it before it can ever serve.
+        let err = ModelStore::new(Arc::new(MajorityClass::default()), 3).unwrap_err();
+        assert_eq!(err, StoreError::UnfittedFallback);
+        assert!(err.to_string().contains("fitted"));
+    }
+
+    #[test]
+    fn empty_training_set_surfaces_as_fallback_training_error() {
+        let empty = Dataset::new(
+            Matrix::zeros(0, 1),
+            vec![],
+            vec!["x".into()],
+            vec!["a".into(), "b".into()],
+        );
+        let err = ModelStore::with_majority_fallback(&empty, 3).unwrap_err();
+        assert_eq!(err, StoreError::FallbackTraining(TrainError::EmptyDataset));
+    }
+
+    #[test]
+    fn state_round_trip_preserves_versions_pointer_and_quarantine() {
+        let ds = dataset();
+        let s = store();
+        s.promote(fitted_tree(&ds), 0, 0.97, "v1");
+        s.promote(fitted_tree(&ds), 5, 0.60, "v2 (poisoned)");
+        s.rollback().unwrap();
+        s.quarantine();
+        let state = s.export_state().unwrap();
+
+        let restored = store();
+        restored.import_state(&state).unwrap();
+        assert_eq!(restored.history(), s.history());
+        assert!(restored.is_quarantined());
+        assert_eq!(restored.serving().1, ServingSource::Fallback);
+        restored.lift_quarantine();
+        s.lift_quarantine();
+        assert_eq!(restored.serving().1, s.serving().1);
+        // The restored deployed model predicts identically.
+        assert_eq!(restored.serving().0.predict(&[0.15]), s.serving().0.predict(&[0.15]));
+        // Id counters line up: the next promotion gets the same id on both.
+        assert_eq!(
+            restored.promote(fitted_tree(&ds), 9, 0.9, "v3"),
+            s.promote(fitted_tree(&ds), 9, 0.9, "v3"),
+        );
+        // Bit-identical re-export.
+        let again = restored.export_state().unwrap();
+        assert_eq!(again, s.export_state().unwrap());
+    }
+
+    #[test]
+    fn import_rejects_out_of_range_deployment_pointer() {
+        let s = store();
+        let state = StoreState { versions: vec![], deployed: 0, quarantined: false, next_id: 1 };
+        s.import_state(&state).unwrap(); // empty with pointer 0 is the fresh state
+        let mut bad = s.export_state().unwrap();
+        bad.deployed = 7;
+        bad.versions.push((
+            VersionMeta {
+                id: 1,
+                train_tick: 0,
+                accuracy: 0.9,
+                model: "decision-tree".into(),
+                note: "v".into(),
+            },
+            crate::persist::PortableModel::Majority { proba: vec![1.0] },
+        ));
+        assert!(s.import_state(&bad).unwrap_err().contains("out of range"));
     }
 
     #[test]

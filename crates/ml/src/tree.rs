@@ -39,7 +39,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Class-probability distribution of the training samples in this leaf.
         distribution: Vec<f64>,
@@ -75,10 +75,10 @@ enum Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
-    config: TreeConfig,
-    nodes: Vec<Node>,
-    n_classes: usize,
-    n_features: usize,
+    pub(crate) config: TreeConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) n_classes: usize,
+    pub(crate) n_features: usize,
 }
 
 impl DecisionTree {
@@ -274,6 +274,10 @@ impl Model for DecisionTree {
                 }
             }
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

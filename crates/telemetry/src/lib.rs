@@ -49,6 +49,8 @@ pub use latency::LatencyRecorder;
 pub use profile::{ProfScope, Profiler};
 pub use registry::MetricsRegistry;
 pub use report::{ResilienceReport, SummaryReport};
-pub use slo::{BreachSeverity, BudgetBreach, SloEngine, SloSpec};
+pub use slo::{
+    BreachSeverity, BudgetBreach, LedgerState, SloEngine, SloEngineState, SloSlotState, SloSpec,
+};
 pub use timeseries::TimeSeries;
 pub use trace::{SpanCollector, SpanId, SpanStatus, TraceId};

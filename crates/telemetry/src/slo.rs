@@ -117,6 +117,47 @@ impl WindowLedger {
     pub fn horizon_secs(&self) -> u64 {
         self.horizon_secs
     }
+
+    /// Captures the ledger — geometry plus every retained bucket — for a
+    /// durable checkpoint.
+    pub fn export_state(&self) -> LedgerState {
+        LedgerState {
+            bucket_secs: self.bucket_secs,
+            horizon_secs: self.horizon_secs,
+            buckets: self.buckets.iter().map(|(&idx, &(g, b))| (idx, g, b)).collect(),
+        }
+    }
+
+    /// Rebuilds a ledger from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message for invalid geometry (zero bucket width, horizon
+    /// shorter than a bucket).
+    pub fn import_state(state: &LedgerState) -> Result<Self, String> {
+        if state.bucket_secs == 0 {
+            return Err("ledger bucket width must be positive".into());
+        }
+        if state.horizon_secs < state.bucket_secs {
+            return Err("ledger horizon must cover at least one bucket".into());
+        }
+        Ok(Self {
+            bucket_secs: state.bucket_secs,
+            horizon_secs: state.horizon_secs,
+            buckets: state.buckets.iter().map(|&(idx, g, b)| (idx, (g, b))).collect(),
+        })
+    }
+}
+
+/// Plain-data checkpoint of a [`WindowLedger`] (see [`WindowLedger::export_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerState {
+    /// Bucket resolution in seconds.
+    pub bucket_secs: u64,
+    /// Retention horizon in seconds.
+    pub horizon_secs: u64,
+    /// Retained buckets as `(bucket_index, good, bad)`, ascending by index.
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 /// Where an SLO reads its good/bad event counts from.
@@ -383,6 +424,68 @@ impl SloEngine {
     pub fn status(&self, registry: &MetricsRegistry, name: &str) -> Option<SloStatus> {
         self.evaluate(registry).into_iter().find(|s| s.name == name)
     }
+
+    /// Captures every installed SLO's rolling ledger and delta cursor for a
+    /// durable checkpoint. Specs are *not* captured — they are installation-time
+    /// configuration; the checkpoint carries only the burned-budget evidence.
+    pub fn export_state(&self) -> SloEngineState {
+        SloEngineState {
+            slos: self
+                .slos
+                .lock()
+                .iter()
+                .map(|s| SloSlotState {
+                    name: s.spec.name.clone(),
+                    ledger: s.ledger.export_state(),
+                    last: s.last,
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores ledgers and delta cursors into already-installed SLOs, matched
+    /// by name. A restarted gateway that restores this state sees its error
+    /// budget as already burned instead of freshly full — so it does not
+    /// re-page (or worse, silently re-grant budget) for an episode that
+    /// happened before the crash. Checkpoint entries naming an uninstalled SLO
+    /// are an error; installed SLOs absent from the checkpoint keep their
+    /// fresh ledgers.
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when an entry names an uninstalled SLO or its
+    /// ledger geometry is invalid.
+    pub fn import_state(&self, state: &SloEngineState) -> Result<(), String> {
+        let mut slos = self.slos.lock();
+        for slot in &state.slos {
+            let target = slos
+                .iter_mut()
+                .find(|s| s.spec.name == slot.name)
+                .ok_or_else(|| format!("checkpoint names uninstalled SLO \"{}\"", slot.name))?;
+            target.ledger = WindowLedger::import_state(&slot.ledger)
+                .map_err(|e| format!("slo \"{}\": {e}", slot.name))?;
+            target.last = slot.last;
+        }
+        Ok(())
+    }
+}
+
+/// Plain-data checkpoint of one installed SLO's burned-budget evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloSlotState {
+    /// SLO name (matches the installed [`SloSpec`]).
+    pub name: String,
+    /// Rolling good/bad ledger.
+    pub ledger: LedgerState,
+    /// Cumulative `(events, errors)` cursor at the previous evaluation.
+    pub last: Option<(u64, u64)>,
+}
+
+/// Plain-data checkpoint of a [`SloEngine`] (see [`SloEngine::export_state`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SloEngineState {
+    /// Per-SLO checkpoints, in installation order.
+    pub slos: Vec<SloSlotState>,
 }
 
 /// Burn rate over a window: observed error rate divided by allowed error rate.
@@ -690,5 +793,57 @@ mod tests {
         assert_eq!(fmt_window(21_600), "6h");
         assert_eq!(fmt_window(259_200), "3d");
         assert_eq!(fmt_window(90), "90s");
+    }
+
+    #[test]
+    fn ledger_state_round_trips_and_rejects_bad_geometry() {
+        let mut ledger = WindowLedger::new(60, 3_600);
+        ledger.record(0, 100, 3);
+        ledger.record(90 * 1_000_000_000, 50, 1);
+        let state = ledger.export_state();
+        let restored = WindowLedger::import_state(&state).expect("valid geometry");
+        assert_eq!(restored.totals(), ledger.totals());
+        assert_eq!(restored.export_state(), state);
+
+        let mut broken = state.clone();
+        broken.bucket_secs = 0;
+        assert!(WindowLedger::import_state(&broken).is_err());
+    }
+
+    #[test]
+    fn engine_state_restores_burned_budget_across_restart() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.99));
+        let reg = MetricsRegistry::new();
+        let total = reg.counter("req_total", "requests");
+        let errors = reg.counter("err_total", "errors");
+        total.add(1_000);
+        errors.add(100);
+        clock.advance(Duration::from_secs(60));
+        let before = engine.evaluate(&reg)[0].clone();
+        assert!(before.budget_remaining < 1.0, "errors must burn budget");
+
+        // "Restart": a fresh engine with the same spec, restored from the
+        // checkpoint, sees the budget already burned instead of full.
+        let restarted =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.99));
+        restarted.import_state(&engine.export_state()).expect("same spec installed");
+        let after = restarted.evaluate(&reg)[0].clone();
+        assert_eq!(after.budget_remaining, before.budget_remaining);
+        // The delta cursor was restored too: the already-counted mass is not
+        // re-ingested as new errors.
+        assert_eq!(after.burn_rates, before.burn_rates);
+    }
+
+    #[test]
+    fn engine_state_naming_an_uninstalled_slo_fails_loudly() {
+        let clock = VirtualClock::new();
+        let engine =
+            engine_with(&clock, SloSpec::availability("avail", "req_total", "err_total", 0.99));
+        let mut state = engine.export_state();
+        state.slos[0].name = "other".into();
+        let err = engine.import_state(&state).err().expect("unknown SLO must fail");
+        assert!(err.contains("other"), "{err}");
     }
 }

@@ -25,6 +25,12 @@ cargo run -q --release -p spatial-bench --bin oversight_mttr -- --samples 600 --
 echo "== rollout MTTR smoke (canary blast radius must be zero) =="
 cargo run -q --release -p spatial-bench --bin rollout_mttr -- --smoke > /dev/null
 
+echo "== recovery MTTR smoke (every recovery bit-identical; snapshot suffix bounded) =="
+cargo run -q --release -p spatial-bench --bin recovery_mttr -- --smoke > /dev/null
+
+echo "== crash-point sweep (single-threaded: the sweep spawns its own serving stacks) =="
+RUST_TEST_THREADS=1 cargo test -q --test crash_recovery
+
 echo "== SLO guard smoke (burn-rate pages on sustained burn, ignores blips)"
 cargo run -q --release -p spatial-bench --bin slo_guard -- --smoke > /dev/null
 

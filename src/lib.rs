@@ -45,6 +45,7 @@ pub use spatial_attacks as attacks;
 pub use spatial_core as core;
 pub use spatial_dashboard as dashboard;
 pub use spatial_data as data;
+pub use spatial_durability as durability;
 pub use spatial_fleet as fleet;
 pub use spatial_gateway as gateway;
 pub use spatial_linalg as linalg;

@@ -1,0 +1,300 @@
+//! Integration: crash-recovery sweep over the poisoned-rollout episode (the
+//! ISSUE 8 acceptance test).
+//!
+//! The PR-6 bad-epoch episode — poisoned canary, deterministic shadow
+//! mismatches, rollback, retry, epoch quarantine — is re-driven through the
+//! durable control plane, journaling every control operation. A seeded crash
+//! is then injected at *every* durable operation in turn (WAL appends and
+//! snapshot publications alike); after each kill the plane recovers from the
+//! surviving bytes and must land bit-identically on the uncrashed reference
+//! state for however many records made it to disk. Finally the recovered
+//! replica is put back behind a real gateway and served live traffic: zero
+//! client-visible 5xx after restart, and `/durability` reports the recovery.
+
+use spatial::attacks::label_flip::random_label_flip;
+use spatial::core::property::{Direction, TrustProperty};
+use spatial::core::respond::ResponsePolicy;
+use spatial::core::sensor::SensorReading;
+use spatial::data::unimib::{binarize_falls, generate, UnimibConfig};
+use spatial::data::Dataset;
+use spatial::durability::backend::{Backend, CrashPlan, Crashable, MemBackend};
+use spatial::durability::journal::DurabilityReport;
+use spatial::fleet::{
+    DurablePlane, FleetController, FleetEventKind, ReplicaHandle, RolloutConfig, ShadowEvidence,
+};
+use spatial::gateway::http::request;
+use spatial::gateway::service::ServiceHost;
+use spatial::gateway::services::ServingService;
+use spatial::gateway::ApiGateway;
+use spatial::ml::metrics::accuracy;
+use spatial::ml::tree::DecisionTree;
+use spatial::ml::{Model, ModelStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROUTE: &str = "serve";
+/// Snapshot cadence: low enough that the sweep crosses snapshot publications,
+/// so torn snapshots are crash points too, not just torn WAL appends.
+const SNAPSHOT_EVERY: u64 = 4;
+/// Control ticks after the rollout begins; the quarantine lands mid-episode so
+/// the sweep also covers post-quarantine (idle) appends.
+const TICKS: u64 = 8;
+/// The seed for the torn-write fault injection at each crash point.
+const SEED: u64 = 7;
+
+/// The shared fixtures: UC1 data, the clean baseline, and the poisoned tree.
+struct Episode {
+    train: Dataset,
+    holdout: Dataset,
+    clean: Arc<dyn Model>,
+    bad: Arc<dyn Model>,
+}
+
+fn fit_tree(train: &Dataset) -> Arc<dyn Model> {
+    let mut tree = DecisionTree::new();
+    tree.fit(train).expect("fit");
+    Arc::new(tree)
+}
+
+fn episode() -> Episode {
+    let ds = binarize_falls(&generate(&UnimibConfig { samples: 400, ..UnimibConfig::default() }));
+    let (train, holdout) = ds.split(0.8, 42);
+    let clean = fit_tree(&train);
+    let bad = fit_tree(&random_label_flip(&train, 0.45, 7).dataset);
+    Episode { train, holdout, clean, bad }
+}
+
+/// The PR-6 rollout policy, verbatim: tight shadow window, a 2-tick rollback
+/// cooldown, and an 8-tick flap guard that quarantines the retried epoch.
+fn cfg() -> RolloutConfig {
+    RolloutConfig {
+        shadow_fraction: 0.5,
+        min_shadow_samples: 8,
+        max_mismatch_rate: 0.25,
+        policy: ResponsePolicy {
+            rollback_cooldown: 2,
+            escalation_window: 8,
+            ..ResponsePolicy::default()
+        },
+        ..RolloutConfig::default()
+    }
+}
+
+fn controller(ep: &Episode) -> FleetController {
+    let replicas = (0..3)
+        .map(|i| ReplicaHandle {
+            name: format!("replica-{i}"),
+            store: Arc::new(ModelStore::with_majority_fallback(&ep.train, 8).expect("store")),
+        })
+        .collect();
+    FleetController::new(replicas, cfg())
+}
+
+/// Per-replica holdout-accuracy readings — a pure function of controller
+/// state, so reference and crashed runs measure identical values.
+fn readings(ctl: &FleetController, holdout: &Dataset, tick: u64) -> Vec<Vec<SensorReading>> {
+    (0..3)
+        .map(|i| {
+            let (model, _) = ctl.store(i).serving();
+            vec![SensorReading {
+                sensor: "accuracy".to_string(),
+                property: TrustProperty::Performance,
+                direction: Direction::HigherIsBetter,
+                value: accuracy(&model.predict_batch(&holdout.features), &holdout.labels),
+                tick,
+            }]
+        })
+        .collect()
+}
+
+fn export_bytes<B: Backend>(plane: &DurablePlane<B>) -> Vec<u8> {
+    use spatial::durability::json::Codec;
+    plane.controller().export_state().expect("exportable").to_bytes()
+}
+
+/// Drives the poisoned episode through a durable plane, calling `checkpoint`
+/// after every successfully journaled record. The shadow evidence mirrors the
+/// PR-6 gateway tap deterministically: while a canary attempt is live every
+/// shadowed comparison is a mismatch, and the tap resets when the driver
+/// would clear it (rollback, retry, quarantine). Returns whether the
+/// backend's injected crash fired.
+fn drive<B: Backend>(
+    plane: &mut DurablePlane<B>,
+    ep: &Episode,
+    checkpoint: &mut dyn FnMut(&DurablePlane<B>),
+) -> bool {
+    for r in 0..3 {
+        match plane.promote_baseline(r, 0, &ep.clean, 0.9, "baseline") {
+            Ok(()) => checkpoint(plane),
+            Err(e) if e.is_crash() => return true,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let mut tap: Option<u64> = match plane.begin_rollout(0, &ep.bad, 0.55, "poisoned retrain") {
+        Ok(epoch) => {
+            assert_eq!(epoch.expect("rollout starts"), 1);
+            checkpoint(plane);
+            Some(0) // CanaryStarted: the driver opens the shadow tap
+        }
+        Err(e) if e.is_crash() => return true,
+        Err(e) => panic!("unexpected error: {e}"),
+    };
+    for tick in 1..=TICKS {
+        let shadow = match tap.as_mut() {
+            Some(ticks_open) => {
+                *ticks_open += 1;
+                // All-mismatch, as PR-6 arranges by shadowing disagreement rows.
+                ShadowEvidence {
+                    samples: 10 * *ticks_open,
+                    mismatches: 10 * *ticks_open,
+                    errors: 0,
+                }
+            }
+            None => ShadowEvidence::default(),
+        };
+        let sensed = readings(plane.controller(), &ep.holdout, tick);
+        match plane.step(tick, sensed, shadow, None, None) {
+            Ok(events) => {
+                checkpoint(plane);
+                for event in &events {
+                    match event.kind {
+                        FleetEventKind::CanaryStarted | FleetEventKind::CanaryRetried => {
+                            tap = Some(0);
+                        }
+                        FleetEventKind::CanaryRolledBack
+                        | FleetEventKind::EpochQuarantined
+                        | FleetEventKind::RampAborted
+                        | FleetEventKind::RampStarted => tap = None,
+                        FleetEventKind::ReplicaRamped | FleetEventKind::RolloutCompleted => {}
+                    }
+                }
+            }
+            Err(e) if e.is_crash() => return true,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    false
+}
+
+/// Puts the recovered canary replica behind a fresh gateway and serves live
+/// traffic: every post-restart request must answer (no 5xx, no drops), and
+/// the admin surface must report the recovery.
+fn serve_after_restart(
+    ep: &Episode,
+    rec: &DurablePlane<MemBackend>,
+    report: DurabilityReport,
+    crash_at: u64,
+) {
+    let store = Arc::clone(rec.controller().store(0));
+    let host =
+        ServiceHost::spawn(Arc::new(ServingService::new(store, ep.train.n_features(), 2)), 32)
+            .expect("replica spawns");
+    let gw = ApiGateway::spawn(Duration::from_secs(5)).expect("gateway spawns");
+    gw.register(ROUTE, host.addr());
+    gw.set_durability_report(report);
+
+    for r in 0..8 {
+        let row = ep.holdout.features.row(r);
+        let coords: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        let body = format!("{{\"features\":[{}]}}", coords.join(","));
+        let resp =
+            request(gw.addr(), "POST", "/serve/predict", body.as_bytes(), Duration::from_secs(5))
+                .expect("post-restart request answered");
+        assert_eq!(
+            resp.status, 200,
+            "crash at op {crash_at}: post-restart request {r} returned {}",
+            resp.status
+        );
+    }
+    let resp = request(gw.addr(), "GET", "/durability", b"", Duration::from_secs(5))
+        .expect("/durability answered");
+    assert_eq!(resp.status, 200, "crash at op {crash_at}: /durability not served");
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(
+        body.contains("\"records_recovered\""),
+        "crash at op {crash_at}: /durability body missing recovery fields: {body}"
+    );
+}
+
+/// The headline sweep: kill the control plane at every seeded crash point,
+/// recover, and require bit-identical state plus a clean serving path.
+#[test]
+fn crash_sweep_is_bit_identical_and_serves_zero_5xx() {
+    let ep = episode();
+
+    // Uncrashed reference run: checkpoint the canonical-JSON fleet export
+    // after every record, so `states[k]` is *the* state after k records.
+    let mut states: Vec<Vec<u8>> = Vec::new();
+    let mut reference = DurablePlane::create(MemBackend::new(), controller(&ep), SNAPSHOT_EVERY);
+    states.push(export_bytes(&reference));
+    let crashed = drive(&mut reference, &ep, &mut |p| states.push(export_bytes(p)));
+    assert!(!crashed, "the reference run has no fault injection");
+
+    // Prove this really is the PR-6 episode: rollback, retry, quarantine.
+    let kinds: Vec<FleetEventKind> =
+        reference.controller().events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FleetEventKind::CanaryStarted,
+            FleetEventKind::CanaryRolledBack,
+            FleetEventKind::CanaryRetried,
+            FleetEventKind::EpochQuarantined,
+        ],
+        "the synthetic tap must reproduce the PR-6 trajectory"
+    );
+    assert!(reference.controller().is_quarantined(1), "epoch 1 ends quarantined");
+
+    // Count durable operations (appends + snapshot publications) with a
+    // crash-counting probe that never fires.
+    let total_ops = {
+        let mut probe = DurablePlane::create(
+            Crashable::new(MemBackend::new(), CrashPlan::none()),
+            controller(&ep),
+            SNAPSHOT_EVERY,
+        );
+        assert!(!drive(&mut probe, &ep, &mut |_| {}));
+        probe.backend().ops()
+    };
+    let total_records = (states.len() - 1) as u64;
+    assert!(
+        total_ops > total_records,
+        "cadence {SNAPSHOT_EVERY} must add snapshot ops: {total_ops} ops, {total_records} records"
+    );
+
+    for crash_at in 0..total_ops {
+        let backend = Crashable::new(MemBackend::new(), CrashPlan::at(SEED, crash_at));
+        let mut plane = DurablePlane::create(backend, controller(&ep), SNAPSHOT_EVERY);
+        let crashed = drive(&mut plane, &ep, &mut |_| {});
+        assert!(crashed, "op {crash_at} must crash before the episode ends");
+        let survivor = plane.into_backend().into_inner();
+
+        let (rec, info) = DurablePlane::recover(survivor, controller(&ep), SNAPSHOT_EVERY)
+            .expect("recovery never fails");
+        let k = rec.records() as usize;
+        assert!(k <= total_records as usize, "recovered more records than were ever written");
+        assert_eq!(
+            export_bytes(&rec),
+            states[k],
+            "crash at op {crash_at}: recovered state diverges from the uncrashed \
+             reference at record {k} (truncated {} bytes)",
+            info.report.truncated_bytes,
+        );
+        serve_after_restart(&ep, &rec, info.report, crash_at);
+    }
+}
+
+/// Two full sweeps produce bit-identical reference checkpoints: the episode —
+/// and therefore every recovery target — is deterministic end to end.
+#[test]
+fn reference_episode_is_deterministic() {
+    let run = || {
+        let ep = episode();
+        let mut states: Vec<Vec<u8>> = Vec::new();
+        let mut plane = DurablePlane::create(MemBackend::new(), controller(&ep), SNAPSHOT_EVERY);
+        states.push(export_bytes(&plane));
+        assert!(!drive(&mut plane, &ep, &mut |p| states.push(export_bytes(p))));
+        states
+    };
+    assert_eq!(run(), run(), "reference checkpoints must not wobble between runs");
+}
