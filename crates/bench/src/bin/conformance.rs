@@ -209,6 +209,25 @@ fn wire_section(cases: usize, failures: &mut Vec<String>) {
         format!("{} violations", report.violations.len()),
         failures,
     );
+
+    let ka_cases = (cases / 4).max(20);
+    println!("\n== gateway wire: keep-alive/pipelining fuzz ({ka_cases} connections) ==");
+    let ka = conformance::fuzz_keep_alive(host.addr(), 0xD00F, ka_cases, Duration::from_secs(5));
+    println!(
+        "  {} responses, {} closed connections, {} violations",
+        ka.responses,
+        ka.closed,
+        ka.violations.len()
+    );
+    for v in ka.violations.iter().take(10) {
+        println!("    {v}");
+    }
+    bool_check(
+        "keep-alive contract (pipelining, split writes, close mid-stream)",
+        ka.is_clean(),
+        format!("{} violations", ka.violations.len()),
+        failures,
+    );
 }
 
 fn main() {

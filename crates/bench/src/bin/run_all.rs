@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "taxonomy_report",
     "perf_baseline",
     "uc1_baseline",
@@ -20,6 +20,7 @@ const EXPERIMENTS: [&str; 16] = [
     "rollout_mttr",
     "recovery_mttr",
     "slo_guard",
+    "gateway_throughput",
     "conformance",
 ];
 

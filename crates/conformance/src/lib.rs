@@ -44,4 +44,4 @@ pub use oracle::{
     check_quantile_monotonicity, quantile_oracle,
 };
 pub use scrape::{assert_valid_prometheus_text, check_prometheus_text};
-pub use wire_fuzz::{fuzz_round_trip, spawn_reference_target, FuzzReport};
+pub use wire_fuzz::{fuzz_keep_alive, fuzz_round_trip, spawn_reference_target, FuzzReport};

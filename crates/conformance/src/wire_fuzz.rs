@@ -9,7 +9,7 @@
 
 use rand::Rng;
 use spatial_data::Dataset;
-use spatial_gateway::http::{read_response, HttpError, Response};
+use spatial_gateway::http::{read_response, read_response_buffered, HttpError, Response};
 use spatial_gateway::service::ServiceHost;
 use spatial_gateway::services::ShapService;
 use spatial_gateway::wire::{to_json, ExplainRequest};
@@ -17,7 +17,7 @@ use spatial_linalg::{rng, Matrix};
 use spatial_ml::tree::DecisionTree;
 use spatial_ml::Model;
 use spatial_xai::shap::ShapConfig;
-use std::io::Write;
+use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -133,6 +133,144 @@ pub fn fuzz_round_trip(addr: SocketAddr, seed: u64, cases: usize, timeout: Durat
         }
     }
     report
+}
+
+/// Number of keep-alive/pipelining strategies in [`fuzz_keep_alive`]'s rotation.
+pub const KEEP_ALIVE_STRATEGIES: usize = 5;
+
+/// Fuzzes HTTP/1.1 connection reuse against the event-driven reactor: several
+/// requests share one connection and the framing is stressed at the points
+/// where keep-alive parsers historically break.
+///
+/// Strategy rotation (case `i` uses strategy `i % 5`):
+/// 0. three valid requests pipelined in one write — three `200`s, in order;
+/// 1. two valid requests written in seeded random chunks that straddle the
+///    request boundary — chunking must not change framing: two `200`s;
+/// 2. a valid request with trailing garbage after its `Content-Length` bytes —
+///    the first response must still be a clean `200`; the garbage may earn an
+///    error status or a closed connection, never a hang;
+/// 3. `Connection: close` on the second of three pipelined requests — the
+///    first two answer `200`, and per RFC 9112 §9.6 the third must *never* be
+///    answered;
+/// 4. two valid requests separated by an idle pause — the reuse after the
+///    pause must answer `200` on the same connection.
+///
+/// A timeout (hang) is a violation for every strategy.
+pub fn fuzz_keep_alive(addr: SocketAddr, seed: u64, cases: usize, timeout: Duration) -> FuzzReport {
+    let valid_body = to_json(&ExplainRequest { features: vec![0.9, 1.0], class: 1 });
+    let mut r = rng::seeded(seed);
+    let mut report = FuzzReport { cases, ..FuzzReport::default() };
+    for case in 0..cases {
+        let strategy = case % KEEP_ALIVE_STRATEGIES;
+        if let Err(v) = keep_alive_case(addr, strategy, &mut r, &valid_body, timeout, &mut report) {
+            report.violations.push(format!("case {case} (keep-alive strategy {strategy}): {v}"));
+        }
+    }
+    report
+}
+
+/// Runs one keep-alive strategy on a fresh connection; `Err` is a violation.
+fn keep_alive_case(
+    addr: SocketAddr,
+    strategy: usize,
+    r: &mut impl Rng,
+    valid_body: &[u8],
+    timeout: Duration,
+    report: &mut FuzzReport,
+) -> Result<(), String> {
+    let valid = frame("POST", "/shap/explain", &[], valid_body, false);
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let is_hang = |e: &HttpError| {
+        matches!(e, HttpError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ))
+    };
+    match strategy {
+        0 => {
+            let script: Vec<u8> = valid.iter().chain(&valid).chain(&valid).copied().collect();
+            writer.write_all(&script).map_err(|e| e.to_string())?;
+            expect_ok(&mut reader, 3, report)
+        }
+        1 => {
+            let script: Vec<u8> = valid.iter().chain(&valid).copied().collect();
+            let mut at = 0;
+            while at < script.len() {
+                let chunk = r.random_range(1..=script.len() - at);
+                writer.write_all(&script[at..at + chunk]).map_err(|e| e.to_string())?;
+                writer.flush().map_err(|e| e.to_string())?;
+                at += chunk;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            expect_ok(&mut reader, 2, report)
+        }
+        2 => {
+            let mut script = valid.clone();
+            script.extend((0..r.random_range(1usize..64)).map(|_| r.random::<u8>()));
+            writer.write_all(&script).map_err(|e| e.to_string())?;
+            // Half-close so a garbage tail that looks like a partial head
+            // resolves now instead of waiting out the server's idle sweep.
+            let _ = writer.shutdown(Shutdown::Write);
+            expect_ok(&mut reader, 1, report)?;
+            match read_response_buffered(&mut reader) {
+                Ok(resp) if resp.status >= 400 && ALLOWED.contains(&resp.status) => {
+                    report.responses += 1;
+                    Ok(())
+                }
+                Ok(resp) => Err(format!("garbage tail answered {}", resp.status)),
+                Err(e) if is_hang(&e) => Err("hung on the garbage tail".into()),
+                Err(_) => {
+                    report.closed += 1;
+                    Ok(())
+                }
+            }
+        }
+        3 => {
+            let closing =
+                frame("POST", "/shap/explain", &["Connection: close".into()], valid_body, false);
+            let script: Vec<u8> = valid.iter().chain(&closing).chain(&valid).copied().collect();
+            writer.write_all(&script).map_err(|e| e.to_string())?;
+            expect_ok(&mut reader, 2, report)?;
+            match read_response_buffered(&mut reader) {
+                Ok(resp) => {
+                    Err(format!("request after connection: close was answered {}", resp.status))
+                }
+                Err(e) if is_hang(&e) => Err("hung instead of closing after close".into()),
+                Err(_) => {
+                    report.closed += 1;
+                    Ok(())
+                }
+            }
+        }
+        _ => {
+            writer.write_all(&valid).map_err(|e| e.to_string())?;
+            expect_ok(&mut reader, 1, report)?;
+            std::thread::sleep(Duration::from_millis(r.random_range(1..20)));
+            writer.write_all(&valid).map_err(|e| e.to_string())?;
+            expect_ok(&mut reader, 1, report)
+        }
+    }
+}
+
+/// Reads `n` pipelined responses, requiring a `200` for each.
+fn expect_ok(
+    reader: &mut BufReader<TcpStream>,
+    n: usize,
+    report: &mut FuzzReport,
+) -> Result<(), String> {
+    for i in 0..n {
+        let resp = read_response_buffered(reader)
+            .map_err(|e| format!("response {}/{n} never arrived: {e}", i + 1))?;
+        report.responses += 1;
+        if resp.status != 200 {
+            return Err(format!("response {}/{n} was {}", i + 1, resp.status));
+        }
+    }
+    Ok(())
 }
 
 /// One connection: write the raw bytes, half-close, read whatever comes back.
@@ -273,6 +411,15 @@ mod tests {
         for strategy in 0..STRATEGIES {
             assert_eq!(generate(&mut a, strategy, body), generate(&mut b, strategy, body));
         }
+    }
+
+    #[test]
+    fn keep_alive_fuzz_run_is_clean() {
+        let host = spawn_reference_target();
+        let report = fuzz_keep_alive(host.addr(), 13, 15, Duration::from_secs(5));
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
+        // Three full rotations; strategies answer 3+2+1+2+2 requests minimum.
+        assert!(report.responses >= 30, "only {} responses", report.responses);
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Adaptive micro-batching for the inference hot path.
+//!
+//! PR 4's deterministic parallel layer made `predict_proba_batch` the cheap way
+//! to answer many predictions, but every request still reached the model alone.
+//! [`MicroBatcher`] closes that gap: requests that arrive within a small,
+//! load-adaptive window coalesce into one batched call and are fanned back out
+//! to their submitters, each receiving exactly the result it would have gotten
+//! unbatched.
+//!
+//! # Leader/follower protocol
+//!
+//! The first submitter whose entry has no active leader becomes the batch
+//! leader: it waits up to the current window (or until the batch fills), drains
+//! up to `max_batch` pending entries, runs the batch closure once, and
+//! distributes one output per input. Everyone else parks until its slot is
+//! filled. Leadership hands off through the same condition variable, so a
+//! stream of arrivals never stalls waiting for a "dispatcher" thread — there is
+//! none.
+//!
+//! # Adaptive window
+//!
+//! The window is the latency the batcher is willing to spend buying occupancy,
+//! and it tracks load: a batch that fills before the window expires shrinks it
+//! (co-arrivals don't need the wait), a singleton batch shrinks it too (there
+//! is nothing to coalesce, don't tax latency), and a partial batch grows it
+//! (waiting slightly longer would have coalesced more). The window is clamped
+//! to `[min_window, max_window]`.
+//!
+//! # Determinism
+//!
+//! The batcher adds no arithmetic of its own: outputs come from the caller's
+//! batch closure, and each submitter receives the output at its own index. As
+//! long as the closure computes row `i` exactly as the unbatched path computes
+//! that request (true for `predict_proba_batch`, whose per-row math is the
+//! sequential `predict_proba`), batched results are bit-identical to unbatched
+//! ones at every batch size — the property `serving.rs` and `shap.rs` pin with
+//! tests.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bounds of the batch-occupancy histogram buckets; the last implicit
+/// bucket is `+Inf`.
+pub const OCCUPANCY_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Tuning knobs for a [`MicroBatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Most requests coalesced into one batched call. `1` disables coalescing
+    /// (every request is its own batch, with no added wait).
+    pub max_batch: usize,
+    /// Smallest (and initial) coalescing window.
+    pub min_window: Duration,
+    /// Largest coalescing window the adaptation may grow to.
+    pub max_window: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            min_window: Duration::from_micros(50),
+            max_window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Occupancy and throughput counters of one batcher.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    occupancy: [AtomicU64; OCCUPANCY_BUCKETS.len() + 1],
+    window_ns: AtomicU64,
+}
+
+impl BatchStats {
+    /// Requests submitted.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Batched calls executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per batched call (`0.0` before the first batch).
+    pub fn mean_occupancy(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.requests() as f64 / batches as f64
+        }
+    }
+
+    /// Cumulative occupancy histogram as `(le, count)` pairs; the final entry
+    /// is the `+Inf` bucket and equals [`BatchStats::batches`].
+    pub fn occupancy_histogram(&self) -> Vec<(f64, u64)> {
+        let mut cumulative = 0;
+        let mut out = Vec::with_capacity(OCCUPANCY_BUCKETS.len() + 1);
+        for (i, &le) in OCCUPANCY_BUCKETS.iter().enumerate() {
+            cumulative += self.occupancy[i].load(Ordering::Relaxed);
+            out.push((le as f64, cumulative));
+        }
+        cumulative += self.occupancy[OCCUPANCY_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push((f64::INFINITY, cumulative));
+        out
+    }
+
+    /// The coalescing window the adaptation currently uses.
+    pub fn current_window(&self) -> Duration {
+        Duration::from_nanos(self.window_ns.load(Ordering::Relaxed))
+    }
+
+    fn record_batch(&self, occupancy: usize, window: Duration) {
+        self.requests.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = OCCUPANCY_BUCKETS
+            .iter()
+            .position(|&le| occupancy <= le)
+            .unwrap_or(OCCUPANCY_BUCKETS.len());
+        self.occupancy[bucket].fetch_add(1, Ordering::Relaxed);
+        self.window_ns.store(window.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Result slot one submitter waits on. `Panicked` re-throws in the submitter so
+/// a failing batch closure surfaces exactly like a failing inline handler.
+enum Outcome<O> {
+    Done(O),
+    Panicked(String),
+}
+
+type Slot<O> = Arc<Mutex<Option<Outcome<O>>>>;
+
+struct Inner<I, O> {
+    pending: VecDeque<(I, Slot<O>)>,
+    leader_active: bool,
+    window: Duration,
+}
+
+/// Coalesces concurrent [`MicroBatcher::submit`] calls into batched calls of
+/// `run`, fanning results back out by index.
+pub struct MicroBatcher<I, O> {
+    config: BatcherConfig,
+    inner: Mutex<Inner<I, O>>,
+    cv: Condvar,
+    run: Box<dyn Fn(&[I]) -> Vec<O> + Send + Sync>,
+    stats: BatchStats,
+}
+
+impl<I: Send, O: Send> MicroBatcher<I, O> {
+    /// Creates a batcher around `run`, which must return exactly one output per
+    /// input, with output `i` computed from input `i` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or `min_window > max_window`.
+    pub fn new(
+        config: BatcherConfig,
+        run: impl Fn(&[I]) -> Vec<O> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.min_window <= config.max_window, "min_window must not exceed max_window");
+        let stats = BatchStats::default();
+        stats.window_ns.store(config.min_window.as_nanos() as u64, Ordering::Relaxed);
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                pending: VecDeque::new(),
+                leader_active: false,
+                window: config.min_window,
+            }),
+            cv: Condvar::new(),
+            run: Box::new(run),
+            stats,
+        }
+    }
+
+    /// Occupancy counters and the current adaptive window.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Submits one request and blocks until its result is available, joining
+    /// whatever batch forms around it.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws (with the original message) if the batch closure panicked
+    /// while this request was in the batch.
+    pub fn submit(&self, input: I) -> O {
+        let slot: Slot<O> = Arc::new(Mutex::new(None));
+        let mut inner = self.inner.lock();
+        inner.pending.push_back((input, Arc::clone(&slot)));
+        if inner.pending.len() >= self.config.max_batch {
+            // A full batch forms: wake the leader out of its window early.
+            self.cv.notify_all();
+        }
+        loop {
+            match slot.lock().take() {
+                Some(Outcome::Done(out)) => return out,
+                Some(Outcome::Panicked(msg)) => panic!("batch closure panicked: {msg}"),
+                None => {}
+            }
+            if inner.leader_active || inner.pending.is_empty() {
+                // Someone else is forming a batch (or ours is already in
+                // flight); park until a batch completes or leadership frees up.
+                self.cv.wait(&mut inner);
+                continue;
+            }
+            inner.leader_active = true;
+            let deadline = Instant::now() + inner.window;
+            while inner.pending.len() < self.config.max_batch {
+                if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                    break;
+                }
+            }
+            let take = inner.pending.len().min(self.config.max_batch);
+            let mut inputs = Vec::with_capacity(take);
+            let mut slots = Vec::with_capacity(take);
+            for (input, entry_slot) in inner.pending.drain(..take) {
+                inputs.push(input);
+                slots.push(entry_slot);
+            }
+            adapt_window(&mut inner.window, &self.config, take);
+            let window = inner.window;
+            inner.leader_active = false;
+            drop(inner);
+            // Wake a pending submitter into the vacant leader role before the
+            // (possibly long) batch call, so the next batch forms concurrently.
+            self.cv.notify_all();
+            self.execute(&inputs, &slots, window);
+            inner = self.inner.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Runs one drained batch and fills every slot, converting a panic in the
+    /// closure into a `Panicked` outcome for each submitter.
+    fn execute(&self, inputs: &[I], slots: &[Slot<O>], window: Duration) {
+        let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)(inputs)));
+        self.stats.record_batch(inputs.len(), window);
+        match outputs {
+            Ok(outputs) => {
+                assert_eq!(
+                    outputs.len(),
+                    inputs.len(),
+                    "batch closure must return one output per input"
+                );
+                for (slot, out) in slots.iter().zip(outputs) {
+                    *slot.lock() = Some(Outcome::Done(out));
+                }
+            }
+            Err(payload) => {
+                let msg = panic_text(payload.as_ref());
+                for slot in slots {
+                    *slot.lock() = Some(Outcome::Panicked(msg.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// One step of window adaptation, driven by the occupancy of the batch that
+/// just formed. See the module docs for the rationale.
+fn adapt_window(window: &mut Duration, config: &BatcherConfig, occupancy: usize) {
+    if occupancy <= 1 || occupancy >= config.max_batch {
+        *window = (*window / 2).max(config.min_window);
+    } else {
+        *window = window.saturating_mul(2).min(config.max_window);
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    /// Non-trivial float math: results must match bit-for-bit however requests
+    /// are grouped.
+    fn transform(x: f64) -> f64 {
+        (x * 1.000_000_1).sin().mul_add(x, 1.0 / (x.abs() + 0.25))
+    }
+
+    fn transform_batcher(config: BatcherConfig) -> MicroBatcher<f64, f64> {
+        MicroBatcher::new(config, |xs: &[f64]| xs.iter().map(|&x| transform(x)).collect())
+    }
+
+    #[test]
+    fn sequential_submits_pass_through_as_singletons() {
+        let b = transform_batcher(BatcherConfig::default());
+        for i in 0..5 {
+            let x = i as f64 * 0.7 - 1.3;
+            assert_eq!(b.submit(x).to_bits(), transform(x).to_bits());
+        }
+        assert_eq!(b.stats().requests(), 5);
+        assert_eq!(b.stats().batches(), 5, "sequential submits cannot coalesce");
+        let hist = b.stats().occupancy_histogram();
+        assert_eq!(hist[0], (1.0, 5), "all five batches were singletons");
+    }
+
+    #[test]
+    fn concurrent_submits_coalesce_and_fan_out_bit_identically() {
+        let b = Arc::new(transform_batcher(BatcherConfig {
+            max_batch: 8,
+            min_window: Duration::from_millis(20),
+            max_window: Duration::from_millis(50),
+        }));
+        let n = 8;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let x = i as f64 * 1.9 - 3.7;
+                    barrier.wait();
+                    (x, b.submit(x))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (x, got) = h.join().unwrap();
+            assert_eq!(got.to_bits(), transform(x).to_bits(), "fan-out must route by index");
+        }
+        assert_eq!(b.stats().requests(), n as u64);
+        assert!(
+            b.stats().batches() < n as u64,
+            "simultaneous submits should share at least one batch (got {} batches)",
+            b.stats().batches()
+        );
+        assert!(b.stats().mean_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn every_submitter_completes_when_arrivals_exceed_max_batch() {
+        let b = Arc::new(transform_batcher(BatcherConfig {
+            max_batch: 2,
+            min_window: Duration::from_millis(5),
+            max_window: Duration::from_millis(10),
+        }));
+        let n = 9;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let x = i as f64 + 0.5;
+                    barrier.wait();
+                    assert_eq!(b.submit(x).to_bits(), transform(x).to_bits());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.stats().requests(), n as u64);
+        let hist = b.stats().occupancy_histogram();
+        let (_, total) = *hist.last().unwrap();
+        assert_eq!(total, b.stats().batches(), "+Inf bucket counts every batch");
+    }
+
+    #[test]
+    fn max_batch_one_disables_coalescing() {
+        let b = Arc::new(transform_batcher(BatcherConfig {
+            max_batch: 1,
+            min_window: Duration::from_secs(10), // would be noticeable if waited on
+            max_window: Duration::from_secs(10),
+        }));
+        let start = Instant::now();
+        let x = 2.25;
+        assert_eq!(b.submit(x).to_bits(), transform(x).to_bits());
+        assert!(start.elapsed() < Duration::from_secs(1), "no window wait for batch size 1");
+    }
+
+    #[test]
+    fn panicking_batch_closure_rethrows_in_every_submitter() {
+        let b: Arc<MicroBatcher<u32, u32>> = Arc::new(MicroBatcher::new(
+            BatcherConfig { max_batch: 4, ..BatcherConfig::default() },
+            |_: &[u32]| panic!("batch exploded"),
+        ));
+        let b2 = Arc::clone(&b);
+        let handle = std::thread::spawn(move || b2.submit(7));
+        let err = handle.join().expect_err("submit must rethrow the closure panic");
+        let msg = panic_text(err.as_ref());
+        assert!(msg.contains("batch exploded"), "{msg}");
+        // The batcher stays usable after a poisoned batch.
+        let b3 = Arc::clone(&b);
+        assert!(std::thread::spawn(move || b3.submit(8)).join().is_err());
+    }
+
+    #[test]
+    fn window_shrinks_on_singletons_and_full_batches_grows_on_partial() {
+        let config = BatcherConfig {
+            max_batch: 8,
+            min_window: Duration::from_micros(100),
+            max_window: Duration::from_millis(4),
+        };
+        let mut window = Duration::from_millis(1);
+        adapt_window(&mut window, &config, 1);
+        assert_eq!(window, Duration::from_micros(500), "singleton halves the window");
+        adapt_window(&mut window, &config, 8);
+        assert_eq!(window, Duration::from_micros(250), "full batch halves the window");
+        adapt_window(&mut window, &config, 3);
+        assert_eq!(window, Duration::from_micros(500), "partial batch doubles the window");
+        for _ in 0..8 {
+            adapt_window(&mut window, &config, 3);
+        }
+        assert_eq!(window, config.max_window, "growth clamps at max_window");
+        for _ in 0..16 {
+            adapt_window(&mut window, &config, 1);
+        }
+        assert_eq!(window, config.min_window, "shrink clamps at min_window");
+    }
+
+    #[test]
+    fn stats_expose_the_current_window() {
+        let b = transform_batcher(BatcherConfig::default());
+        assert_eq!(b.stats().current_window(), BatcherConfig::default().min_window);
+        b.submit(1.0);
+        // A singleton batch keeps the window at the floor.
+        assert_eq!(b.stats().current_window(), BatcherConfig::default().min_window);
+    }
+}

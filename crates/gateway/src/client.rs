@@ -1,0 +1,341 @@
+//! Pooled keep-alive HTTP client for upstream forwarding.
+//!
+//! The blocking [`crate::http::request_with_headers`] opens a fresh TCP
+//! connection per attempt — a full handshake on every proxied request, which is
+//! where the blocking gateway pays most of its per-request cost. [`PooledClient`]
+//! keeps a small per-upstream pool of idle keep-alive connections and reuses
+//! them across requests:
+//!
+//! - Checkout probes the idle connection with a non-blocking one-byte read, so a
+//!   server that closed while the connection sat idle is detected *before* the
+//!   request bytes are spent on it.
+//! - A request that still fails on a reused connection (the close raced the
+//!   probe) is retried once on a fresh connection. A server that crashes after
+//!   reading a request but before answering can therefore see it twice — the
+//!   same trade hyper-style pools make; the gateway's retry policy remains the
+//!   layer that reasons about idempotency for *application* retries.
+//! - The server's `Connection` answer is honored: `close` responses drop the
+//!   connection (so the blocking one-shot servers and the chaos proxy keep
+//!   working unpooled), anything else returns it to the pool up to
+//!   `max_idle_per_host`.
+//!
+//! Headers are passed as two borrowed slices (`base` + per-attempt extras) so
+//! the forward path no longer clones its header set per attempt.
+
+use crate::http::{read_response_keep_conn, HttpError, Response};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Idle connections kept per upstream address.
+const MAX_IDLE_PER_HOST: usize = 8;
+
+/// One pooled connection: the stream plus its long-lived buffered reader (the
+/// reader must outlive a single response so pipelined bytes are never dropped).
+struct Idle {
+    reader: BufReader<TcpStream>,
+}
+
+/// Connection-reuse counters, mirrored into the gateway's `/metrics`.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    connects: AtomicU64,
+    reuses: AtomicU64,
+    stale_drops: AtomicU64,
+    retries_on_stale: AtomicU64,
+}
+
+impl ClientStats {
+    /// Fresh TCP connections opened.
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+    /// Requests served over a pooled (reused) connection.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+    /// Idle connections discarded because the checkout probe saw them dead.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops.load(Ordering::Relaxed)
+    }
+    /// Requests replayed on a fresh connection after a reused one failed.
+    pub fn retries_on_stale(&self) -> u64 {
+        self.retries_on_stale.load(Ordering::Relaxed)
+    }
+}
+
+/// A keep-alive connection pool over every upstream the gateway talks to.
+pub struct PooledClient {
+    idle: Mutex<HashMap<SocketAddr, Vec<Idle>>>,
+    stats: ClientStats,
+}
+
+impl Default for PooledClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PooledClient {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self { idle: Mutex::new(HashMap::new()), stats: ClientStats::default() }
+    }
+
+    /// Reuse counters for dashboards and the throughput bench.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Issues one request, preferring a pooled connection. `base_headers` and
+    /// `attempt_headers` are written in order; both are borrowed, so callers
+    /// retrying with per-attempt headers never clone the shared base set.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses surface as [`HttpError`].
+    pub fn request(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        base_headers: &[(String, String)],
+        attempt_headers: &[(String, String)],
+        body: &[u8],
+        timeout: Duration,
+    ) -> Result<Response, HttpError> {
+        if let Some(mut conn) = self.checkout(addr) {
+            self.stats.reuses.fetch_add(1, Ordering::Relaxed);
+            match self.exchange(
+                &mut conn,
+                method,
+                path,
+                base_headers,
+                attempt_headers,
+                body,
+                timeout,
+            ) {
+                Ok((resp, server_close)) => {
+                    if !server_close {
+                        self.checkin(addr, conn);
+                    }
+                    return Ok(resp);
+                }
+                Err(_) => {
+                    // The reused connection went stale between probe and use;
+                    // replay once on a fresh one.
+                    self.stats.retries_on_stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        let mut conn = Idle { reader: BufReader::new(stream) };
+        let (resp, server_close) =
+            self.exchange(&mut conn, method, path, base_headers, attempt_headers, body, timeout)?;
+        if !server_close {
+            self.checkin(addr, conn);
+        }
+        Ok(resp)
+    }
+
+    /// Writes one keep-alive request and reads its response off `conn`.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange(
+        &self,
+        conn: &mut Idle,
+        method: &str,
+        path: &str,
+        base_headers: &[(String, String)],
+        attempt_headers: &[(String, String)],
+        body: &[u8],
+        timeout: Duration,
+    ) -> Result<(Response, bool), HttpError> {
+        let stream = conn.reader.get_mut();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut head = String::with_capacity(128);
+        head.push_str(method);
+        head.push(' ');
+        head.push_str(path);
+        head.push_str(" HTTP/1.1\r\nhost: spatial\r\ncontent-length: ");
+        head.push_str(&body.len().to_string());
+        head.push_str("\r\nconnection: keep-alive\r\n");
+        for (name, value) in base_headers.iter().chain(attempt_headers) {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response_keep_conn(&mut conn.reader)
+    }
+
+    /// Pops an idle connection for `addr`, discarding any the probe finds dead.
+    fn checkout(&self, addr: SocketAddr) -> Option<Idle> {
+        loop {
+            let conn = self.idle.lock().get_mut(&addr)?.pop()?;
+            if Self::probe_alive(&conn) {
+                return Some(conn);
+            }
+            self.stats.stale_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True when the idle connection is still open: a non-blocking read must see
+    /// no data (`WouldBlock`). EOF or buffered bytes (a server speaking out of
+    /// turn) both disqualify it.
+    fn probe_alive(conn: &Idle) -> bool {
+        let stream = conn.reader.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let alive = matches!(
+            (&*stream).peek(&mut probe),
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+        );
+        alive && stream.set_nonblocking(false).is_ok()
+    }
+
+    fn checkin(&self, addr: SocketAddr, conn: Idle) {
+        let mut idle = self.idle.lock();
+        let pool = idle.entry(addr).or_default();
+        if pool.len() < MAX_IDLE_PER_HOST {
+            pool.push(conn);
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idle: usize = self.idle.lock().values().map(Vec::len).sum();
+        f.debug_struct("PooledClient").field("idle", &idle).field("stats", &self.stats).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpServer, Response as HttpResponse};
+    use crate::reactor::ReactorServer;
+
+    fn no_headers() -> &'static [(String, String)] {
+        &[]
+    }
+
+    #[test]
+    fn reuses_connections_against_a_keep_alive_server() {
+        let server = ReactorServer::spawn(|req| HttpResponse::json(req.body)).unwrap();
+        let client = PooledClient::new();
+        for i in 0..5 {
+            let body = format!("b{i}");
+            let resp = client
+                .request(
+                    server.addr(),
+                    "POST",
+                    "/x",
+                    no_headers(),
+                    no_headers(),
+                    body.as_bytes(),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, body.as_bytes());
+        }
+        assert_eq!(client.stats().connects(), 1, "one connection should serve all requests");
+        assert_eq!(client.stats().reuses(), 4);
+        assert_eq!(server.stats().accepted_total(), 1);
+    }
+
+    #[test]
+    fn honors_connection_close_from_one_shot_servers() {
+        // The blocking server closes after every response; the pool must not
+        // cache those connections, and every request must still succeed.
+        let server = HttpServer::spawn(|req| HttpResponse::json(req.body)).unwrap();
+        let client = PooledClient::new();
+        for _ in 0..3 {
+            let resp = client
+                .request(
+                    server.addr(),
+                    "POST",
+                    "/x",
+                    no_headers(),
+                    no_headers(),
+                    b"hi",
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(client.stats().connects(), 3);
+        assert_eq!(client.stats().reuses(), 0);
+    }
+
+    #[test]
+    fn survives_an_upstream_restart_between_requests() {
+        let addr = {
+            let server = ReactorServer::spawn(|_| HttpResponse::json(b"\"one\"".to_vec())).unwrap();
+            let client_addr = server.addr();
+            let client = PooledClient::new();
+            let resp = client
+                .request(
+                    client_addr,
+                    "GET",
+                    "/x",
+                    no_headers(),
+                    no_headers(),
+                    b"",
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            // Server drops here with a pooled idle connection outstanding.
+            drop(server);
+            let second =
+                ReactorServer::spawn_on(client_addr, |_| HttpResponse::json(b"\"two\"".to_vec()));
+            // The port may need a beat to rebind; skip the flaky-port case.
+            let Ok(second) = second else { return };
+            let resp = client
+                .request(
+                    client_addr,
+                    "GET",
+                    "/x",
+                    no_headers(),
+                    no_headers(),
+                    b"",
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, b"\"two\"");
+            drop(second);
+            client_addr
+        };
+        let _ = addr;
+    }
+
+    #[test]
+    fn headers_from_both_slices_reach_the_server() {
+        let server = ReactorServer::spawn(|req| {
+            let a = req.headers.get("x-spatial-a").cloned().unwrap_or_default();
+            let b = req.headers.get("x-spatial-b").cloned().unwrap_or_default();
+            HttpResponse::json(format!("{a}{b}").into_bytes())
+        })
+        .unwrap();
+        let client = PooledClient::new();
+        let base = vec![("x-spatial-a".to_string(), "1".to_string())];
+        let extra = vec![("x-spatial-b".to_string(), "2".to_string())];
+        let resp = client
+            .request(server.addr(), "GET", "/x", &base, &extra, b"", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.body, b"12");
+    }
+}

@@ -26,7 +26,9 @@
 //!   text), `GET /trace/{id}` (JSON span tree), and `GET /healthz` expose it all.
 
 use crate::breaker::{Admission, Breaker, Transition};
-use crate::http::{self, HttpServer, Request, Response};
+use crate::client::PooledClient;
+use crate::http::{self, Request, Response};
+use crate::reactor::{ReactorServer, ReactorStats};
 use crate::retry::{RetryPolicy, TokenBucket};
 use crate::wire::{to_json, ErrorBody};
 use parking_lot::{Mutex, RwLock};
@@ -314,6 +316,12 @@ struct ForwardState {
     /// Outcome of the boot-time durable-state recovery, published by
     /// [`ApiGateway::set_durability_report`] and served by `GET /durability`.
     durability: Mutex<Option<DurabilityReport>>,
+    /// Pooled keep-alive client carrying every upstream attempt (and shadow
+    /// duplicate), so proxied requests stop paying per-attempt connect cost.
+    client: PooledClient,
+    /// Counters of the reactor serving the listen socket; installed right after
+    /// spawn so `GET /metrics` can mirror the event-loop gauges.
+    reactor: Mutex<Option<Arc<ReactorStats>>>,
 }
 
 /// Observable status of one replica, for dashboards and tests.
@@ -347,9 +355,23 @@ pub struct ShadowReport {
     pub evidence: ShadowEvidence,
 }
 
+/// Snapshot of the gateway's upstream connection-pool counters, as returned by
+/// [`ApiGateway::upstream_pool_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardPoolStats {
+    /// Fresh TCP connections opened to upstreams.
+    pub connects: u64,
+    /// Upstream requests served over a pooled keep-alive connection.
+    pub reuses: u64,
+    /// Idle connections discarded after the liveness probe saw them dead.
+    pub stale_drops: u64,
+    /// Requests replayed on a fresh connection after a reused one failed.
+    pub retries_on_stale: u64,
+}
+
 /// The running gateway.
 pub struct ApiGateway {
-    server: HttpServer,
+    server: ReactorServer,
     state: Arc<ForwardState>,
     health_stop: Arc<AtomicBool>,
     health_thread: Option<std::thread::JoinHandle<()>>,
@@ -410,9 +432,12 @@ impl ApiGateway {
             profiler,
             slos: Arc::new(SloEngine::new(clock)),
             durability: Mutex::new(None),
+            client: PooledClient::new(),
+            reactor: Mutex::new(None),
         });
         let handler_state = Arc::clone(&state);
-        let server = HttpServer::spawn(move |req: Request| forward(&handler_state, req))?;
+        let server = ReactorServer::spawn(move |req: Request| forward(&handler_state, req))?;
+        *state.reactor.lock() = Some(server.stats());
         let health_stop = Arc::new(AtomicBool::new(false));
         let health_thread = match config.health {
             Some(health) => Some(spawn_health_checker(
@@ -429,6 +454,23 @@ impl ApiGateway {
     /// The gateway's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.server.addr()
+    }
+
+    /// Event-loop counters of the reactor serving the gateway's listen socket
+    /// (open connections, keep-alive reuse, wakeups).
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        self.server.stats()
+    }
+
+    /// Reuse counters of the pooled keep-alive upstream client.
+    pub fn upstream_pool_stats(&self) -> ForwardPoolStats {
+        let s = self.state.client.stats();
+        ForwardPoolStats {
+            connects: s.connects(),
+            reuses: s.reuses(),
+            stale_drops: s.stale_drops(),
+            retries_on_stale: s.retries_on_stale(),
+        }
     }
 
     /// Registers (or extends) a route: requests whose path starts with
@@ -835,6 +877,66 @@ fn forwardable_headers(req: &Request) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Refreshes the event-loop and upstream-pool gauges at scrape time, so
+/// `GET /metrics` always shows current reactor occupancy next to the
+/// request-path series.
+fn mirror_transport_gauges(state: &ForwardState) {
+    if let Some(reactor) = state.reactor.lock().as_ref() {
+        let set = |name: &str, help: &str, value: u64| {
+            state.registry.gauge(name, help).set(value as f64);
+        };
+        set(
+            "spatial_gateway_reactor_open_connections",
+            "Client connections currently held open by the gateway's event loop",
+            reactor.open_connections(),
+        );
+        set(
+            "spatial_gateway_reactor_accepted_total",
+            "Client connections accepted by the gateway's event loop since start",
+            reactor.accepted_total(),
+        );
+        set(
+            "spatial_gateway_reactor_wakeups_total",
+            "Readiness wakeups (poll returns) of the gateway's event loop",
+            reactor.wakeups(),
+        );
+        set(
+            "spatial_gateway_reactor_keepalive_reuses_total",
+            "Requests served on an already-open client connection (keep-alive reuse)",
+            reactor.keepalive_reuses(),
+        );
+        set(
+            "spatial_gateway_reactor_rejected_over_limit_total",
+            "Client connections refused with 503 because the connection limit was reached",
+            reactor.rejected_over_limit(),
+        );
+    }
+    let pool = state.client.stats();
+    let set = |name: &str, help: &str, value: u64| {
+        state.registry.gauge(name, help).set(value as f64);
+    };
+    set(
+        "spatial_gateway_upstream_pool_connects_total",
+        "Fresh TCP connections the pooled upstream client has opened",
+        pool.connects(),
+    );
+    set(
+        "spatial_gateway_upstream_pool_reuses_total",
+        "Upstream requests served over a pooled keep-alive connection",
+        pool.reuses(),
+    );
+    set(
+        "spatial_gateway_upstream_pool_stale_drops_total",
+        "Idle upstream connections discarded after the liveness probe saw them dead",
+        pool.stale_drops(),
+    );
+    set(
+        "spatial_gateway_upstream_pool_stale_retries_total",
+        "Upstream requests replayed on a fresh connection after a reused one failed",
+        pool.retries_on_stale(),
+    );
+}
+
 /// Serves the gateway's admin surface: `/metrics`, `/healthz`, `/trace/{id}`,
 /// `/profile`, `/slo[/{name}]`, `/durability`, and `/exemplars/{family}`.
 /// Returns `None` for
@@ -846,6 +948,7 @@ fn admin_response(state: &ForwardState, req: &Request) -> Option<Response> {
             // Scrapes drive SLO evaluation: the burn/budget gauges in the body
             // are current as of this scrape.
             let _ = state.slos.evaluate(&state.registry);
+            mirror_transport_gauges(state);
             Some(Response {
                 status: 200,
                 body: state.registry.encode().into_bytes(),
@@ -1111,9 +1214,11 @@ fn forward(state: &ForwardState, req: Request) -> Response {
         attempt_span.set_attr("breaker", if probe { "half-open-probe" } else { "admit" });
 
         // Clamp the attempt timeout to the remaining deadline and propagate the
-        // decremented budget upstream, along with the trace context.
+        // decremented budget upstream, along with the trace context. Only the
+        // per-attempt headers are materialized here; the shared base set rides
+        // along borrowed, uncloned.
         let mut timeout = state.config.upstream_timeout;
-        let mut headers = base_headers.clone();
+        let mut attempt_headers: Vec<(String, String)> = Vec::with_capacity(3);
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -1124,19 +1229,20 @@ fn forward(state: &ForwardState, req: Request) -> Response {
                 break json_error(504, format!("deadline exceeded for /{prefix}"));
             }
             timeout = timeout.min(remaining);
-            headers.push((DEADLINE_HEADER.to_string(), remaining.as_millis().to_string()));
+            attempt_headers.push((DEADLINE_HEADER.to_string(), remaining.as_millis().to_string()));
         }
-        headers.push((TRACE_HEADER.to_string(), trace_id.to_string()));
-        headers.push((PARENT_SPAN_HEADER.to_string(), attempt_span.span_id().to_string()));
+        attempt_headers.push((TRACE_HEADER.to_string(), trace_id.to_string()));
+        attempt_headers.push((PARENT_SPAN_HEADER.to_string(), attempt_span.span_id().to_string()));
 
         track_in_flight(state, &prefix, index, 1);
         let result = {
             let _stage = ProfScope::enter(&state.profiler, "upstream.attempt");
-            http::request_with_headers(
+            state.client.request(
                 upstream,
                 &req.method,
                 &req.path,
-                &headers,
+                &base_headers,
+                &attempt_headers,
                 &req.body,
                 timeout,
             )
@@ -1288,13 +1394,13 @@ fn maybe_shadow(
             &[("route", prefix)],
         )
         .inc();
-    let mut headers = base_headers.to_vec();
-    headers.push((SHADOW_HEADER.to_string(), "1".to_string()));
-    let outcome = match http::request_with_headers(
+    let shadow_mark = [(SHADOW_HEADER.to_string(), "1".to_string())];
+    let outcome = match state.client.request(
         target,
         &req.method,
         &req.path,
-        &headers,
+        base_headers,
+        &shadow_mark,
         &req.body,
         state.config.upstream_timeout,
     ) {
@@ -1417,7 +1523,7 @@ fn spawn_health_checker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::request_with_headers;
+    use crate::http::{request_with_headers, HttpServer};
     use crate::service::{Microservice, ServiceError, ServiceHost};
 
     struct Upper;
@@ -1443,6 +1549,25 @@ mod tests {
         let gw = ApiGateway::spawn(Duration::from_secs(5)).unwrap();
         gw.register("upper", host.addr());
         (gw, host)
+    }
+
+    #[test]
+    fn forwarding_reuses_pooled_upstream_connections() {
+        let (gw, host) = cluster();
+        for _ in 0..4 {
+            let r = http::request(gw.addr(), "POST", "/upper/shout", b"x", Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let pool = gw.upstream_pool_stats();
+        assert_eq!(pool.connects, 1, "all four forwards should share one upstream connection");
+        assert_eq!(pool.reuses, 3);
+        assert_eq!(host.reactor_stats().accepted_total(), 1);
+        let resp =
+            http::request(gw.addr(), "GET", "/metrics", b"", Duration::from_secs(5)).unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("spatial_gateway_reactor_open_connections"), "{text}");
+        assert!(text.contains("spatial_gateway_upstream_pool_reuses_total 3"), "{text}");
     }
 
     #[test]

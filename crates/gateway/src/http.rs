@@ -1,10 +1,14 @@
 //! Minimal HTTP/1.1 over TCP.
 //!
 //! Implements exactly the subset the SPATIAL deployment needs: `GET`/`POST` with
-//! `Content-Length` bodies, status lines, and `Connection: close` semantics (every
-//! request uses a fresh connection, as JMeter's default HTTP sampler does). No
-//! chunked encoding, no keep-alive, no TLS — the paper's cluster runs on a trusted
-//! internal network and so does this one (loopback).
+//! `Content-Length` bodies and status lines. No chunked encoding, no TLS — the
+//! paper's cluster runs on a trusted internal network and so does this one
+//! (loopback). Two transports share the parsing/validation logic in this module:
+//! the original blocking [`HttpServer`] (thread-per-connection, one request per
+//! connection, `Connection: close` — JMeter's default HTTP sampler shape) and the
+//! readiness-driven [`crate::reactor::ReactorServer`] (non-blocking sockets,
+//! HTTP/1.1 keep-alive and pipelining), which consumes the incremental
+//! [`parse_request_buffer`] entry point over per-connection buffers.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -15,12 +19,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum accepted body size (16 MiB) — a hygiene bound against runaway peers.
-const MAX_BODY: usize = 16 << 20;
+pub(crate) const MAX_BODY: usize = 16 << 20;
 
 /// Maximum accepted bytes for the request/status line plus all headers (32 KiB).
 /// Without this bound a misbehaving peer could stream an endless header section and
 /// grow memory without limit despite [`MAX_BODY`].
-const MAX_HEAD: usize = 32 << 10;
+pub(crate) const MAX_HEAD: usize = 32 << 10;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +37,14 @@ pub struct Request {
     pub headers: HashMap<String, String>,
     /// Raw body bytes.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// True when the client asked for the connection to close after this request
+    /// (`Connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.headers.get("connection").is_some_and(|v| v.trim().eq_ignore_ascii_case("close"))
+    }
 }
 
 /// An HTTP response under construction.
@@ -99,20 +111,35 @@ impl Response {
         }
     }
 
-    pub(crate) fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            stream,
-            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: close\r\n",
-            self.status,
-            self.phrase(),
-            self.body.len(),
-            self.content_type,
-        )?;
+    /// Serializes the response to wire bytes. The `connection` header is the only
+    /// byte-level difference between the blocking server (`close`) and the reactor
+    /// under keep-alive — the keep-alive determinism test pins this.
+    pub(crate) fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: {}\r\n",
+                self.status,
+                self.phrase(),
+                self.body.len(),
+                self.content_type,
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
+        );
         for (name, value) in &self.headers {
-            write!(stream, "{name}: {value}\r\n")?;
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        stream.write_all(b"\r\n")?;
-        stream.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    pub(crate) fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes(false))?;
         stream.flush()
     }
 }
@@ -235,9 +262,132 @@ fn body_length(headers: &HashMap<String, String>) -> Result<usize, HttpError> {
     v.parse().map_err(|_| HttpError::Malformed(format!("unparsable content-length: {v:?}")))
 }
 
+/// Outcome of incrementally parsing a connection's buffered bytes.
+#[derive(Debug)]
+pub(crate) enum Parsed {
+    /// A complete request plus the number of buffered bytes it consumed.
+    Complete(Request, usize),
+    /// The buffer holds a valid prefix; more bytes are needed.
+    Partial,
+}
+
+/// Takes one `\n`-terminated line out of `buf` starting at `pos`, charging its
+/// bytes against `budget` — the buffered twin of [`read_line_bounded`], enforcing
+/// the identical [`MAX_HEAD`] accounting. Returns `None` when the line is still
+/// incomplete (and within budget).
+fn take_line<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    budget: &mut usize,
+) -> Result<Option<&'a str>, HttpError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            let line_len = i + 1;
+            if line_len > *budget {
+                return Err(HttpError::TooLarge(format!("head exceeds the {MAX_HEAD}-byte limit")));
+            }
+            *budget -= line_len;
+            let line = std::str::from_utf8(&rest[..line_len])
+                .map_err(|_| HttpError::Malformed("non-utf8 head line".into()))?;
+            *pos += line_len;
+            Ok(Some(line))
+        }
+        None if rest.len() > *budget => {
+            Err(HttpError::TooLarge(format!("head exceeds the {MAX_HEAD}-byte limit")))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Parses one request out of a connection buffer without consuming the stream —
+/// the reactor's entry point. Mirrors [`read_request`] check for check (duplicate
+/// content-length, digit-only lengths, empty header names, the [`MAX_HEAD`] /
+/// [`MAX_BODY`] bounds), so the non-blocking core rejects exactly what the
+/// blocking core rejects.
+pub(crate) fn parse_request_buffer(buf: &[u8]) -> Result<Parsed, HttpError> {
+    let mut pos = 0usize;
+    let mut budget = MAX_HEAD;
+    let Some(line) = take_line(buf, &mut pos, &mut budget)? else {
+        return Ok(Parsed::Partial);
+    };
+    let mut parts = line.split_whitespace();
+    let method =
+        parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line lacks a path".into()))?
+        .to_string();
+
+    let mut headers = HashMap::new();
+    loop {
+        let Some(header) = take_line(buf, &mut pos, &mut budget)? else {
+            return Ok(Parsed::Partial);
+        };
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line: {trimmed}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(HttpError::Malformed("empty header name".into()));
+        }
+        if headers.insert(name.clone(), value.trim().to_string()).is_some()
+            && name == "content-length"
+        {
+            return Err(HttpError::Malformed("duplicate content-length".into()));
+        }
+    }
+
+    let len = body_length(&headers)?;
+    if len > MAX_BODY {
+        return Err(HttpError::BodyTooLarge(format!(
+            "declared body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    if buf.len() - pos < len {
+        return Ok(Parsed::Partial);
+    }
+    let body = buf[pos..pos + len].to_vec();
+    Ok(Parsed::Complete(Request { method, path, headers, body }, pos + len))
+}
+
+/// Maps a parse error to the status the blocking accept loop answers with.
+pub(crate) fn error_status(e: &HttpError) -> u16 {
+    match e {
+        HttpError::TooLarge(_) => 431,
+        HttpError::BodyTooLarge(_) => 413,
+        _ => 400,
+    }
+}
+
 /// Reads one response from a stream (client side).
+///
+/// Allocates a fresh [`BufReader`] per call, which is only safe when at most one
+/// response is in flight on the stream (the buffered reader would otherwise
+/// swallow bytes of the next response). Pipelined clients — the keep-alive pooled
+/// client, the fuzz harness — must hold one reader across responses and call
+/// [`read_response_buffered`] instead.
 pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     let mut reader = BufReader::new(stream);
+    read_response_buffered(&mut reader)
+}
+
+/// Reads one response through a caller-owned buffered reader, leaving any
+/// following pipelined response bytes in the reader for the next call.
+pub fn read_response_buffered(reader: &mut impl BufRead) -> Result<Response, HttpError> {
+    read_response_keep_conn(reader).map(|(resp, _)| resp)
+}
+
+/// Like [`read_response_buffered`], but also reports whether the server asked to
+/// close the connection (`connection: close`) — the signal the pooled keep-alive
+/// client uses to decide whether a connection may be returned to its pool.
+pub(crate) fn read_response_keep_conn(
+    reader: &mut impl BufRead,
+) -> Result<(Response, bool), HttpError> {
     let mut budget = MAX_HEAD;
     let line = read_line_bounded(&mut reader, &mut budget)?;
     let status: u16 = line
@@ -248,6 +398,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     let mut content_type = "text/plain".to_string();
     let mut len = 0usize;
     let mut extra = Vec::new();
+    let mut server_close = false;
     loop {
         let header = read_line_bounded(&mut reader, &mut budget)?;
         let trimmed = header.trim_end();
@@ -264,7 +415,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
                         .map_err(|_| HttpError::Malformed("unparsable content-length".into()))?;
                 }
                 "content-type" => content_type = value.trim().to_string(),
-                "connection" => {}
+                "connection" => server_close = value.trim().eq_ignore_ascii_case("close"),
                 // Application headers (x-spatial-degraded, ...) survive the hop so
                 // the gateway can forward them to its own client.
                 _ => extra.push((name, value.trim().to_string())),
@@ -276,7 +427,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    Ok(Response { status, body, content_type, headers: extra })
+    Ok((Response { status, body, content_type, headers: extra }, server_close))
 }
 
 /// Issues one request over a fresh connection and waits for the response.
@@ -637,6 +788,68 @@ mod tests {
         stream.flush().unwrap();
         let resp = read_response(&mut stream).unwrap();
         assert_eq!(resp.status, 431);
+    }
+
+    #[test]
+    fn buffered_parser_matches_blocking_parser() {
+        // Every prefix of a valid request is Partial; the full bytes are Complete
+        // with the exact consumed count, and trailing bytes are left alone.
+        let wire = b"POST /echo HTTP/1.1\r\nx-k: v\r\ncontent-length: 3\r\n\r\nabcREST";
+        let full = wire.len() - 4;
+        for cut in 0..full {
+            match parse_request_buffer(&wire[..cut]) {
+                Ok(Parsed::Partial) => {}
+                other => panic!("prefix of {cut} bytes must be Partial, got {other:?}"),
+            }
+        }
+        match parse_request_buffer(wire) {
+            Ok(Parsed::Complete(req, consumed)) => {
+                assert_eq!(consumed, full);
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/echo");
+                assert_eq!(req.headers.get("x-k").map(String::as_str), Some("v"));
+                assert_eq!(req.body, b"abc");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffered_parser_rejects_what_the_blocking_parser_rejects() {
+        let cases: [(&[u8], u16); 5] = [
+            (b"POST /e HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 1\r\n\r\nabc", 400),
+            (b"POST /e HTTP/1.1\r\ncontent-length: +3\r\n\r\nabc", 400),
+            (b"GET /e HTTP/1.1\r\n: stray\r\n\r\n", 400),
+            (b"\r\n\r\n", 400),
+            (b"GET\r\n\r\n", 400),
+        ];
+        for (bytes, status) in cases {
+            let err = match parse_request_buffer(bytes) {
+                Err(e) => e,
+                ok => panic!("{:?} must be rejected, got {ok:?}", String::from_utf8_lossy(bytes)),
+            };
+            assert_eq!(error_status(&err), status);
+        }
+        // Declared-oversized body is 413 from the head alone.
+        let head = format!("POST /e HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = parse_request_buffer(head.as_bytes()).unwrap_err();
+        assert_eq!(error_status(&err), 413);
+        // An over-budget head is 431 even before its terminating blank line shows up.
+        let huge = format!("GET /e HTTP/1.1\r\nx-bloat: {}", "y".repeat(MAX_HEAD + 1024));
+        let err = parse_request_buffer(huge.as_bytes()).unwrap_err();
+        assert_eq!(error_status(&err), 431);
+    }
+
+    #[test]
+    fn wants_close_reads_the_connection_header() {
+        let parse = |wire: &[u8]| match parse_request_buffer(wire) {
+            Ok(Parsed::Complete(req, _)) => req,
+            other => panic!("expected Complete, got {other:?}"),
+        };
+        assert!(parse(b"GET /e HTTP/1.1\r\nconnection: close\r\n\r\n").wants_close());
+        assert!(parse(b"GET /e HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_close());
+        assert!(!parse(b"GET /e HTTP/1.1\r\nconnection: keep-alive\r\n\r\n").wants_close());
+        assert!(!parse(b"GET /e HTTP/1.1\r\n\r\n").wants_close());
     }
 
     #[test]

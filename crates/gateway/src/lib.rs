@@ -6,6 +6,13 @@
 //!
 //! - [`http`] — a minimal HTTP/1.1 server/client over loopback TCP (the transport
 //!   Kong and the services speak).
+//! - [`reactor`] — the non-blocking, readiness-driven event loop (epoll on Linux,
+//!   portable scan fallback) that hosts the gateway and every service:
+//!   keep-alive + pipelining per connection, connection limits, idle sweeps.
+//! - [`client`] — the pooled keep-alive upstream client the gateway forwards
+//!   through, so proxied requests stop paying per-attempt connect cost.
+//! - [`batch`] — the adaptive micro-batcher coalescing concurrent predict/SHAP
+//!   requests into one batched call with bit-identical per-request results.
 //! - [`worker`] — bounded worker pools: each service gets as many workers as the
 //!   paper gives it vCPUs, which is what shapes the Fig. 8 queueing curves.
 //! - [`service`] — the micro-service abstraction and its HTTP host.
@@ -29,22 +36,29 @@
 //!   summary/response-time listeners.
 //! - [`wire`] — the JSON request/response bodies services exchange.
 
+pub mod batch;
 pub mod breaker;
 pub mod chaos;
+pub mod client;
 pub mod gateway;
 pub mod http;
 pub mod loadgen;
+pub mod reactor;
 pub mod retry;
 pub mod service;
 pub mod services;
 pub mod wire;
 pub mod worker;
 
+pub use batch::{BatchStats, BatcherConfig, MicroBatcher};
 pub use breaker::{Admission, Breaker, CircuitConfig};
 pub use chaos::{ChaosProxy, ChaosService, Fault, FaultCounts, FaultPlan};
+pub use client::{ClientStats, PooledClient};
 pub use gateway::{
-    ApiGateway, GatewayConfig, HealthCheckConfig, RoutingPolicy, ShadowReport, DEADLINE_HEADER,
-    IDEMPOTENT_HEADER, PARENT_SPAN_HEADER, SHADOW_HEADER, SHARD_KEY_HEADER, TRACE_HEADER,
+    ApiGateway, ForwardPoolStats, GatewayConfig, HealthCheckConfig, RoutingPolicy, ShadowReport,
+    DEADLINE_HEADER, IDEMPOTENT_HEADER, PARENT_SPAN_HEADER, SHADOW_HEADER, SHARD_KEY_HEADER,
+    TRACE_HEADER,
 };
+pub use reactor::{ReactorConfig, ReactorServer, ReactorStats};
 pub use retry::RetryPolicy;
 pub use service::{Microservice, ServiceError, ServiceHost};

@@ -256,6 +256,203 @@ impl LoadHandle {
     }
 }
 
+/// An open-loop load plan: requests arrive on a seeded Poisson schedule that
+/// does **not** slow down when the server does.
+///
+/// The closed-loop [`ThreadGroup`] suffers coordinated omission: a slow
+/// response delays every subsequent request the same thread would have sent,
+/// so the latency distribution silently loses exactly the samples that would
+/// have hurt. Here the arrival schedule is fixed up front, response time is
+/// measured from the *scheduled* arrival (queueing before dispatch counts),
+/// and the offered rate is reported next to what was actually achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopPlan {
+    /// Target arrival rate in requests per second.
+    pub offered_rps: f64,
+    /// How long arrivals are scheduled for.
+    pub duration: Duration,
+    /// Per-request timeout.
+    pub timeout: Duration,
+    /// Extra headers sent with every request.
+    pub headers: Vec<(String, String)>,
+    /// Seed of the exponential inter-arrival draw; same seed → same schedule.
+    pub seed: u64,
+    /// Concurrent in-flight requests the generator may hold. Arrivals beyond
+    /// this queue (and their queueing delay is charged to their latency),
+    /// they are never silently dropped or rescheduled.
+    pub max_in_flight: usize,
+}
+
+impl Default for OpenLoopPlan {
+    fn default() -> Self {
+        Self {
+            offered_rps: 100.0,
+            duration: Duration::from_secs(1),
+            timeout: Duration::from_secs(5),
+            headers: Vec::new(),
+            seed: 0,
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// The outcome of one open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopResult {
+    /// Summary-report listener output (latencies measured from scheduled
+    /// arrival, so queueing is included).
+    pub summary: SummaryReport,
+    /// The configured arrival rate.
+    pub offered_rps: f64,
+    /// Completions per second actually sustained over the run.
+    pub achieved_rps: f64,
+    /// Arrivals the schedule contained (every one was issued).
+    pub offered_requests: usize,
+    /// Wall-clock duration from first scheduled arrival to last completion.
+    pub wall: Duration,
+    /// Fresh TCP connections the generator's pooled client opened.
+    pub connections_opened: u64,
+    /// Requests served over a reused keep-alive connection.
+    pub keepalive_reuses: u64,
+}
+
+/// One point of a latency-vs-offered-rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSweepPoint {
+    /// Arrival rate this point was measured at.
+    pub offered_rps: f64,
+    /// Completion rate actually sustained — diverges below `offered_rps` once
+    /// the system saturates.
+    pub achieved_rps: f64,
+    /// Median latency from scheduled arrival, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency from scheduled arrival, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of requests that failed.
+    pub error_rate: f64,
+}
+
+/// Runs one open-loop plan against `method path` at `addr`.
+///
+/// # Panics
+///
+/// Panics if `offered_rps`, `duration`, or `max_in_flight` is zero/negative.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    plan: &OpenLoopPlan,
+) -> OpenLoopResult {
+    assert!(plan.offered_rps > 0.0, "offered_rps must be positive");
+    assert!(!plan.duration.is_zero(), "duration must be positive");
+    assert!(plan.max_in_flight > 0, "need at least one in-flight slot");
+
+    // The whole schedule is drawn up front: exponential inter-arrival gaps with
+    // mean 1/rate. Nothing that happens during the run can shift it.
+    let mut r = rng::seeded(plan.seed);
+    let mut arrivals: Vec<Duration> = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = r.random();
+        t += -(1.0 - u).ln() / plan.offered_rps;
+        if t >= plan.duration.as_secs_f64() {
+            break;
+        }
+        arrivals.push(Duration::from_secs_f64(t));
+    }
+    if arrivals.is_empty() {
+        arrivals.push(Duration::ZERO);
+    }
+
+    let recorder = Arc::new(LatencyRecorder::new(path));
+    let client = Arc::new(crate::client::PooledClient::new());
+    let next = Arc::new(AtomicUsize::new(0));
+    let arrivals = Arc::new(arrivals);
+    let offered_requests = arrivals.len();
+    let workers = plan.max_in_flight.min(offered_requests);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let recorder = Arc::clone(&recorder);
+            let client = Arc::clone(&client);
+            let next = Arc::clone(&next);
+            let arrivals = Arc::clone(&arrivals);
+            let (method, path) = (method.to_string(), path.to_string());
+            let body = body.to_vec();
+            let headers = plan.headers.clone();
+            let timeout = plan.timeout;
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(&at) = arrivals.get(i) else { break };
+                let now = started.elapsed();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+                let result = client.request(addr, &method, &path, &headers, &[], &body, timeout);
+                // Latency from the scheduled arrival: a request that waited for
+                // an in-flight slot pays for the wait, exactly as a real
+                // arrival would have.
+                let ms = (started.elapsed().saturating_sub(at)).as_secs_f64() * 1e3;
+                let ok = matches!(&result, Ok(resp) if resp.status < 500);
+                recorder.mark(started.elapsed().as_nanos() as u64);
+                if ok {
+                    recorder.record_ok(ms);
+                } else {
+                    recorder.record_err(ms);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = started.elapsed();
+    let summary = recorder.summary();
+    let achieved_rps = summary.samples as f64 / wall.as_secs_f64();
+    OpenLoopResult {
+        summary,
+        offered_rps: plan.offered_rps,
+        achieved_rps,
+        offered_requests,
+        wall,
+        connections_opened: client.stats().connects(),
+        keepalive_reuses: client.stats().reuses(),
+    }
+}
+
+/// Measures one [`RateSweepPoint`] per entry of `rates`, reusing `plan` for
+/// everything but the offered rate (each point derives its own schedule seed so
+/// sweeps are reproducible end to end).
+pub fn latency_rate_sweep(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    rates: &[f64],
+    plan: &OpenLoopPlan,
+) -> Vec<RateSweepPoint> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &offered_rps)| {
+            let point_plan = OpenLoopPlan {
+                offered_rps,
+                seed: rng::derive_seed(plan.seed, i as u64),
+                ..plan.clone()
+            };
+            let res = run_open_loop(addr, method, path, body, &point_plan);
+            RateSweepPoint {
+                offered_rps,
+                achieved_rps: res.achieved_rps,
+                p50_ms: res.summary.p50_ms,
+                p99_ms: res.summary.p99_ms,
+                error_rate: res.summary.error_rate(),
+            }
+        })
+        .collect()
+}
+
 /// Starts [`run_mixed`] on a background thread and returns immediately.
 pub fn spawn_mixed(
     addr: SocketAddr,
@@ -449,5 +646,106 @@ mod tests {
         let result = handle.join();
         assert_eq!(result.summary.samples, 6);
         assert_eq!(result.summary.errors, 0);
+    }
+
+    #[test]
+    fn open_loop_issues_every_scheduled_arrival() {
+        let server = sleepy_server(1);
+        let plan = OpenLoopPlan {
+            offered_rps: 200.0,
+            duration: Duration::from_millis(500),
+            seed: 11,
+            ..OpenLoopPlan::default()
+        };
+        let result = run_open_loop(server.addr(), "POST", "/x", b"{}", &plan);
+        // The Poisson count is random but the seed pins it; ~100 expected.
+        assert!(
+            result.offered_requests > 50 && result.offered_requests < 170,
+            "Poisson(100) draw way off: {}",
+            result.offered_requests
+        );
+        assert_eq!(
+            result.summary.samples, result.offered_requests as u64,
+            "no arrival may be dropped"
+        );
+        assert_eq!(result.summary.errors, 0);
+        assert!(result.achieved_rps > 0.0);
+        assert!(result.connections_opened >= 1);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_per_seed() {
+        let server = sleepy_server(0);
+        let plan = OpenLoopPlan {
+            offered_rps: 500.0,
+            duration: Duration::from_millis(200),
+            seed: 3,
+            ..OpenLoopPlan::default()
+        };
+        let a = run_open_loop(server.addr(), "POST", "/x", b"{}", &plan);
+        let b = run_open_loop(server.addr(), "POST", "/x", b"{}", &plan);
+        assert_eq!(a.offered_requests, b.offered_requests, "same seed, same schedule");
+    }
+
+    #[test]
+    fn open_loop_charges_queueing_to_latency() {
+        // One in-flight slot against a 40ms server at 100 rps: the queue grows,
+        // and because latency is measured from the *scheduled* arrival, later
+        // requests must record far more than the 40ms service time. A
+        // closed-loop group would have reported ~40ms for every request —
+        // that is coordinated omission.
+        let server = sleepy_server(40);
+        let plan = OpenLoopPlan {
+            offered_rps: 100.0,
+            duration: Duration::from_millis(400),
+            max_in_flight: 1,
+            seed: 5,
+            ..OpenLoopPlan::default()
+        };
+        let result = run_open_loop(server.addr(), "POST", "/x", b"{}", &plan);
+        assert!(result.offered_requests > 10, "rate 100 over 400ms: {}", result.offered_requests);
+        assert!(
+            result.summary.max_ms > 100.0,
+            "queueing delay must surface in latency: max {}ms",
+            result.summary.max_ms
+        );
+        assert!(
+            result.achieved_rps < plan.offered_rps,
+            "a saturated server cannot keep up with the offered rate"
+        );
+    }
+
+    #[test]
+    fn rate_sweep_reports_one_point_per_rate() {
+        let server = sleepy_server(1);
+        let rates = [50.0, 150.0];
+        let points = latency_rate_sweep(
+            server.addr(),
+            "POST",
+            "/x",
+            b"{}",
+            &rates,
+            &OpenLoopPlan { duration: Duration::from_millis(200), ..OpenLoopPlan::default() },
+        );
+        assert_eq!(points.len(), 2);
+        for (point, &rate) in points.iter().zip(&rates) {
+            assert_eq!(point.offered_rps, rate);
+            assert!(point.achieved_rps > 0.0);
+            assert!(point.p99_ms >= point.p50_ms);
+            assert!(point.error_rate < 1.0, "fast server should serve the sweep");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offered_rps must be positive")]
+    fn open_loop_rejects_zero_rate() {
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let _ = run_open_loop(
+            dead,
+            "GET",
+            "/x",
+            b"",
+            &OpenLoopPlan { offered_rps: 0.0, ..OpenLoopPlan::default() },
+        );
     }
 }

@@ -1,0 +1,1319 @@
+//! The non-blocking, readiness-driven gateway I/O core.
+//!
+//! The blocking [`crate::http::HttpServer`] spends one OS thread per connection and
+//! one TCP handshake per request — the ceiling the paper's JMeter runs push against
+//! (§VI-B) and the first open item on the ROADMAP's "millions of users" north star.
+//! [`ReactorServer`] replaces that with a single event-loop thread multiplexing
+//! every connection over non-blocking `std::net` sockets:
+//!
+//! - **Poller** — readiness notification. On Linux a thin `epoll(7)` FFI shim
+//!   (level-triggered, no external crates); elsewhere (or with
+//!   `SPATIAL_REACTOR_POLLER=scan`) a portable fallback that rescans all
+//!   connections on a short tick, which is semantically identical because every
+//!   socket is non-blocking and tolerates spurious readiness.
+//! - **Per-connection state machines** — reading-head → reading-body →
+//!   dispatching → writing, driven by the incremental
+//!   [`crate::http::parse_request_buffer`] parser, which mirrors the hardened
+//!   blocking parser check for check (431/413/400 envelope included).
+//! - **HTTP/1.1 keep-alive + pipelining** — connections persist across requests;
+//!   pipelined requests dispatch concurrently but responses are sequenced back in
+//!   request order. `Connection: close` and error responses close after the write.
+//! - **Bounded intake** — a connection limit (over-limit accepts get an immediate
+//!   `503` and close), an idle timeout sweep, and a per-connection pipeline cap
+//!   that masks read interest until responses drain.
+//! - **Dispatch pool** — handlers run on a cached thread pool that grows on
+//!   demand and retires idle threads, preserving the blocking server's effective
+//!   concurrency semantics (service worker pools keep providing the 503
+//!   saturation envelope) while reusing threads across requests.
+//!
+//! Responses are handed back to the loop through a completion queue plus a
+//! loopback waker socket, so handler threads never touch client sockets.
+
+use crate::http::{self, parse_request_buffer, HttpError, Parsed, Request, Response};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token of the accept socket in the poller.
+const LISTENER: u64 = 0;
+/// Token of the waker's read side.
+const WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+/// How long the poller sleeps when nothing is ready; bounds idle-sweep latency.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// Most bytes read from one connection per readiness cycle, so a firehose peer
+/// cannot starve the other connections on the loop.
+const READ_QUANTUM: usize = 256 << 10;
+
+/// Tuning knobs for a [`ReactorServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// Open-connection ceiling; accepts beyond it are answered `503` and closed.
+    pub max_connections: usize,
+    /// Connections idle longer than this (no reads, no pending work) are closed.
+    pub idle_timeout: Duration,
+    /// Pipelined requests a single connection may have in flight before the loop
+    /// stops reading from it (backpressure, not an error).
+    pub max_pipeline: usize,
+    /// Ceiling on dispatch threads; beyond it requests queue for a free thread.
+    pub dispatch_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(30),
+            max_pipeline: 32,
+            dispatch_cap: 512,
+        }
+    }
+}
+
+/// Counters the event loop maintains; scraped into gateway `/metrics` gauges.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    open_connections: AtomicU64,
+    accepted_total: AtomicU64,
+    requests_total: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    wakeups: AtomicU64,
+    rejected_over_limit: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Connections currently registered with the loop.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+    /// Connections accepted since the server started.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted_total.load(Ordering::Relaxed)
+    }
+    /// Requests dispatched to handlers.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+    /// Requests served on an already-used connection — keep-alive doing its job.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+    /// Times the event loop woke from the poller.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+    /// Accepts bounced with `503` because the connection limit was reached.
+    pub fn rejected_over_limit(&self) -> u64 {
+        self.rejected_over_limit.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller: epoll on Linux, portable rescan fallback everywhere else.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    //! Thin `epoll(7)` FFI — the only foreign code in the workspace, kept to the
+    //! four calls the reactor needs so no external crate is pulled in.
+
+    /// `struct epoll_event`. Packed on x86-64 only, matching the kernel ABI.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+#[cfg(target_os = "linux")]
+struct EpollPoller {
+    epfd: i32,
+    /// token → (fd, readable-interest, writable-interest)
+    fds: HashMap<u64, (i32, bool, bool)>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> std::io::Result<Self> {
+        // Safety: epoll_create1 takes no pointers; a negative return is an error.
+        let epfd = unsafe { epoll_sys::epoll_create1(0) };
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self { epfd, fds: HashMap::new() })
+    }
+
+    fn ctl(
+        &self,
+        op: i32,
+        fd: i32,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> std::io::Result<()> {
+        let mut events = 0u32;
+        if readable {
+            events |= epoll_sys::EPOLLIN;
+        }
+        if writable {
+            events |= epoll_sys::EPOLLOUT;
+        }
+        let mut ev = epoll_sys::EpollEvent { events, data: token };
+        // Safety: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn register(&mut self, token: u64, fd: i32) -> std::io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_ADD, fd, token, true, false)?;
+        self.fds.insert(token, (fd, true, false));
+        Ok(())
+    }
+
+    fn set_interest(&mut self, token: u64, readable: bool, writable: bool) -> std::io::Result<()> {
+        let Some(&(fd, r, w)) = self.fds.get(&token) else {
+            return Ok(());
+        };
+        if (r, w) == (readable, writable) {
+            return Ok(());
+        }
+        self.ctl(epoll_sys::EPOLL_CTL_MOD, fd, token, readable, writable)?;
+        self.fds.insert(token, (fd, readable, writable));
+        Ok(())
+    }
+
+    fn deregister(&mut self, token: u64) {
+        if let Some((fd, _, _)) = self.fds.remove(&token) {
+            let _ = self.ctl(epoll_sys::EPOLL_CTL_DEL, fd, token, false, false);
+        }
+    }
+
+    fn wait(&mut self, timeout: Duration, ready: &mut Vec<u64>) -> std::io::Result<()> {
+        let mut events = [epoll_sys::EpollEvent { events: 0, data: 0 }; 64];
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // Safety: the events buffer is valid for 64 entries for the whole call.
+        let n = unsafe { epoll_sys::epoll_wait(self.epfd, events.as_mut_ptr(), 64, ms) };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in events.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let token = ev.data;
+            ready.push(token);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // Safety: the fd came from epoll_create1 and is closed exactly once.
+        unsafe { epoll_sys::close(self.epfd) };
+    }
+}
+
+/// Portable fallback poller: sleeps one tick, then reports every registered token
+/// as ready. Correct (all sockets are non-blocking and ignore spurious readiness)
+/// but burns a read attempt per connection per tick — the degraded path, used on
+/// non-Linux hosts or when `SPATIAL_REACTOR_POLLER=scan` forces it for testing.
+struct ScanPoller {
+    tokens: Vec<u64>,
+}
+
+impl ScanPoller {
+    fn wait(&mut self, timeout: Duration, ready: &mut Vec<u64>) {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+        ready.extend_from_slice(&self.tokens);
+    }
+}
+
+enum Poller {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    Scan(ScanPoller),
+}
+
+impl Poller {
+    fn new() -> Self {
+        let forced_scan =
+            std::env::var("SPATIAL_REACTOR_POLLER").map(|v| v == "scan").unwrap_or(false);
+        #[cfg(target_os = "linux")]
+        if !forced_scan {
+            if let Ok(p) = EpollPoller::new() {
+                return Self::Epoll(p);
+            }
+        }
+        let _ = forced_scan;
+        Self::Scan(ScanPoller { tokens: Vec::new() })
+    }
+
+    /// The poller backend's name, surfaced in `/metrics` and the bench artifact.
+    fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Epoll(_) => "epoll",
+            Self::Scan(_) => "scan",
+        }
+    }
+
+    fn register(&mut self, token: u64, stream: &impl RawSocket) -> std::io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Epoll(p) => p.register(token, stream.raw_fd()),
+            Self::Scan(p) => {
+                let _ = stream;
+                p.tokens.push(token);
+                Ok(())
+            }
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, readable: bool, writable: bool) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Epoll(p) => {
+                let _ = p.set_interest(token, readable, writable);
+            }
+            Self::Scan(_) => {}
+        }
+    }
+
+    fn deregister(&mut self, token: u64) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Epoll(p) => p.deregister(token),
+            Self::Scan(p) => p.tokens.retain(|&t| t != token),
+        }
+    }
+
+    fn wait(&mut self, timeout: Duration, ready: &mut Vec<u64>) -> std::io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Epoll(p) => p.wait(timeout, ready),
+            Self::Scan(p) => {
+                p.wait(timeout, ready);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The minimal "give me your fd" abstraction the poller needs; a trait so both
+/// `TcpListener` and `TcpStream` register the same way.
+trait RawSocket {
+    #[cfg(target_os = "linux")]
+    fn raw_fd(&self) -> i32;
+}
+
+#[cfg(target_os = "linux")]
+impl RawSocket for TcpListener {
+    fn raw_fd(&self) -> i32 {
+        std::os::fd::AsRawFd::as_raw_fd(self)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl RawSocket for TcpStream {
+    fn raw_fd(&self) -> i32 {
+        std::os::fd::AsRawFd::as_raw_fd(self)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl RawSocket for TcpListener {}
+#[cfg(not(target_os = "linux"))]
+impl RawSocket for TcpStream {}
+
+// ---------------------------------------------------------------------------
+// Waker: a loopback socket pair so handler threads can interrupt the poller.
+// ---------------------------------------------------------------------------
+
+struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    fn wake(&self) {
+        // A full pipe already means a wakeup is pending — WouldBlock is success.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+fn waker_pair() -> std::io::Result<(Waker, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    let _ = tx.set_nodelay(true);
+    Ok((Waker { tx }, rx))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch pool: cached threads, grown on demand, retired when idle.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A cached thread pool. Unlike [`crate::worker::WorkerPool`] (whose bounded
+/// queue *is* the per-service saturation model), this pool exists only to take
+/// handler execution off the event loop; it grows a thread whenever a job
+/// arrives and none is idle (up to `cap`), and threads retire after 2 s idle, so
+/// effective concurrency matches the blocking server's thread-per-connection
+/// behaviour without paying a thread spawn per request at steady state.
+struct DispatchPool {
+    tx: Option<crossbeam::channel::Sender<Job>>,
+    rx: crossbeam::channel::Receiver<Job>,
+    idle: Arc<AtomicUsize>,
+    live: Arc<AtomicUsize>,
+    cap: usize,
+    name: String,
+}
+
+impl DispatchPool {
+    fn new(name: String, cap: usize) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        Self {
+            tx: Some(tx),
+            rx,
+            idle: Arc::new(AtomicUsize::new(0)),
+            live: Arc::new(AtomicUsize::new(0)),
+            cap: cap.max(1),
+            name,
+        }
+    }
+
+    fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let Some(tx) = &self.tx else { return };
+        if tx.send(Box::new(job)).is_err() {
+            return;
+        }
+        if self.idle.load(Ordering::SeqCst) == 0 && self.live.load(Ordering::SeqCst) < self.cap {
+            self.spawn_worker();
+        }
+    }
+
+    fn spawn_worker(&self) {
+        let rx = self.rx.clone();
+        let idle = Arc::clone(&self.idle);
+        let live = Arc::clone(&self.live);
+        live.fetch_add(1, Ordering::SeqCst);
+        let spawned =
+            std::thread::Builder::new().name(format!("{}-dispatch", self.name)).spawn(move || {
+                loop {
+                    idle.fetch_add(1, Ordering::SeqCst);
+                    let job = rx.recv_timeout(Duration::from_secs(2));
+                    idle.fetch_sub(1, Ordering::SeqCst);
+                    match job {
+                        // Handlers wrap their own panics; this guard keeps a stray
+                        // one from killing the thread with stale accounting.
+                        Ok(job) => {
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            // A job may have landed in the hand-off window between
+                            // the timeout and the idle decrement; drain it before
+                            // retiring.
+                            if !rx.is_empty() {
+                                continue;
+                            }
+                            break;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for DispatchPool {
+    fn drop(&mut self) {
+        // Closing the channel retires idle workers; busy ones finish their job
+        // and exit on the next recv. They are detached by design.
+        self.tx.take();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state machine.
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    /// Reused read buffer — bytes not yet parsed into a request.
+    in_buf: Vec<u8>,
+    /// Serialized responses pending write, drained from `out_pos`.
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    /// Next request sequence number to assign on this connection.
+    next_seq: u64,
+    /// Sequence number the next written response must carry (pipelining order).
+    write_seq: u64,
+    /// Out-of-order completions parked until their turn: seq → (bytes, close).
+    done: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Requests dispatched to the pool whose completions are still pending.
+    in_flight: usize,
+    /// Set on `Connection: close`, a parse error, or consumed EOF: stop reading.
+    no_more_reads: bool,
+    /// Close the socket once `out_buf` drains.
+    close_after_flush: bool,
+    peer_closed: bool,
+    last_activity: Instant,
+    /// Interest currently registered with the poller, to skip redundant syscalls.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            write_seq: 0,
+            done: BTreeMap::new(),
+            in_flight: 0,
+            no_more_reads: false,
+            close_after_flush: false,
+            peer_closed: false,
+            last_activity: Instant::now(),
+            want_read: true,
+            want_write: false,
+        }
+    }
+
+    fn pending_responses(&self) -> usize {
+        self.in_flight + self.done.len()
+    }
+
+    fn out_drained(&self) -> bool {
+        self.out_pos >= self.out_buf.len()
+    }
+
+    fn idle(&self) -> bool {
+        self.pending_responses() == 0 && self.out_drained() && self.next_seq == self.write_seq
+    }
+}
+
+type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+type Completion = (u64, u64, Response, bool);
+
+struct Reactor {
+    listener: TcpListener,
+    poller: Poller,
+    waker_rx: TcpStream,
+    waker: Arc<Waker>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    completions: Arc<parking_lot::Mutex<Vec<Completion>>>,
+    handler: Handler,
+    pool: DispatchPool,
+    stats: Arc<ReactorStats>,
+    config: ReactorConfig,
+    stop: Arc<AtomicBool>,
+    last_sweep: Instant,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut ready = Vec::with_capacity(64);
+        while !self.stop.load(Ordering::Relaxed) {
+            ready.clear();
+            if self.poller.wait(WAIT_TICK, &mut ready).is_err() {
+                break;
+            }
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            for &token in &ready {
+                match token {
+                    LISTENER => self.accept_ready(),
+                    WAKER => self.drain_waker(),
+                    token => self.conn_ready(token),
+                }
+            }
+            self.apply_completions();
+            self.sweep_idle();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if self.conns.len() >= self.config.max_connections {
+            // Over the limit: best-effort canned 503, then drop. Never blocks.
+            self.stats.rejected_over_limit.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::text(503, "connection limit reached");
+            let _ = (&stream).write(&resp.to_bytes(false));
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.poller.register(token, &stream).is_err() {
+            return;
+        }
+        self.stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(token, Conn::new(stream));
+        // The peer may have written already (common under the scan poller).
+        self.conn_ready(token);
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.waker_rx).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drives one connection through its state machine: flush pending writes,
+    /// read what the socket has, parse + dispatch complete requests.
+    fn conn_ready(&mut self, token: u64) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if !self.flush(token) {
+            return;
+        }
+        let mut closed = false;
+        {
+            let conn = self.conns.get_mut(&token).expect("checked above");
+            if !conn.no_more_reads
+                && !conn.peer_closed
+                && conn.pending_responses() < self.config.max_pipeline
+            {
+                let mut chunk = [0u8; 16 << 10];
+                let mut taken = 0usize;
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.peer_closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.in_buf.extend_from_slice(&chunk[..n]);
+                            conn.last_activity = Instant::now();
+                            taken += n;
+                            if taken >= READ_QUANTUM {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if closed {
+            self.close_conn(token);
+            return;
+        }
+        self.parse_and_dispatch(token);
+        if !self.flush(token) {
+            return;
+        }
+        self.update_interest(token);
+        self.maybe_close(token);
+    }
+
+    fn parse_and_dispatch(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.no_more_reads || conn.pending_responses() >= self.config.max_pipeline {
+                return;
+            }
+            match parse_request_buffer(&conn.in_buf) {
+                Ok(Parsed::Complete(req, consumed)) => {
+                    conn.in_buf.drain(..consumed);
+                    let close = req.wants_close();
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.in_flight += 1;
+                    if close {
+                        // Per RFC 9112 §9.6: nothing after a close request is
+                        // processed; trailing pipelined bytes are discarded.
+                        conn.no_more_reads = true;
+                        conn.in_buf.clear();
+                    }
+                    self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+                    if seq > 0 {
+                        self.stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let handler = Arc::clone(&self.handler);
+                    let completions = Arc::clone(&self.completions);
+                    let waker = Arc::clone(&self.waker);
+                    self.pool.submit(move || {
+                        // Mirrors the blocking server: a handler panic answers 500
+                        // instead of hanging the client.
+                        let resp = match catch_unwind(AssertUnwindSafe(|| handler(req))) {
+                            Ok(resp) => resp,
+                            Err(_) => Response::text(500, "handler panicked".to_string()),
+                        };
+                        completions.lock().push((token, seq, resp, close));
+                        waker.wake();
+                    });
+                    if close {
+                        return;
+                    }
+                }
+                Ok(Parsed::Partial) => {
+                    if conn.peer_closed {
+                        conn.no_more_reads = true;
+                        if !conn.in_buf.is_empty() {
+                            conn.in_buf.clear();
+                            let e = HttpError::Malformed(
+                                "head truncated before line terminator".into(),
+                            );
+                            self.finish_local(token, e);
+                        }
+                    }
+                    return;
+                }
+                Err(e) => {
+                    conn.no_more_reads = true;
+                    conn.in_buf.clear();
+                    self.finish_local(token, e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues a parse-error response locally (no dispatch), sequenced after any
+    /// pipelined requests already in flight, and closes after it is written —
+    /// the same status envelope as the blocking accept loop.
+    fn finish_local(&mut self, token: u64, e: HttpError) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let resp = Response::text(http::error_status(&e), format!("bad request: {e}"));
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.done.insert(seq, (resp.to_bytes(false), true));
+        Self::drain_done(conn);
+    }
+
+    fn apply_completions(&mut self) {
+        let batch: Vec<Completion> = std::mem::take(&mut *self.completions.lock());
+        let mut touched = Vec::new();
+        for (token, seq, resp, close) in batch {
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            conn.in_flight -= 1;
+            conn.done.insert(seq, (resp.to_bytes(!close), close));
+            Self::drain_done(conn);
+            touched.push(token);
+        }
+        for token in touched {
+            if self.flush(token) {
+                // Responses drained may have freed pipeline slots.
+                self.parse_and_dispatch(token);
+                if self.flush(token) {
+                    self.update_interest(token);
+                    self.maybe_close(token);
+                }
+            }
+        }
+    }
+
+    /// Moves in-order completed responses into the write buffer.
+    fn drain_done(conn: &mut Conn) {
+        while let Some((bytes, close)) = conn.done.remove(&conn.write_seq) {
+            conn.out_buf.extend_from_slice(&bytes);
+            conn.write_seq += 1;
+            if close {
+                conn.close_after_flush = true;
+                conn.done.clear();
+                break;
+            }
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts. Returns false when
+    /// the connection was torn down.
+    fn flush(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        let mut dead = false;
+        while conn.out_pos < conn.out_buf.len() {
+            match (&conn.stream).write(&conn.out_buf[conn.out_pos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.close_conn(token);
+            return false;
+        }
+        if conn.out_drained() {
+            // Reuse the allocation: this is the per-connection buffer that keeps
+            // the hot path from allocating a fresh Vec per response.
+            conn.out_buf.clear();
+            conn.out_pos = 0;
+        }
+        true
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let read = !conn.no_more_reads
+            && !conn.peer_closed
+            && conn.pending_responses() < self.config.max_pipeline;
+        let write = !conn.out_drained();
+        if (conn.want_read, conn.want_write) != (read, write) {
+            conn.want_read = read;
+            conn.want_write = write;
+            self.poller.set_interest(token, read, write);
+        }
+    }
+
+    fn maybe_close(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let finished = conn.out_drained() && conn.pending_responses() == 0;
+        let close = (conn.close_after_flush && finished)
+            || (conn.peer_closed && finished && conn.in_buf.is_empty());
+        if close {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if self.conns.remove(&token).is_some() {
+            self.poller.deregister(token);
+            self.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        if self.last_sweep.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        self.last_sweep = Instant::now();
+        let timeout = self.config.idle_timeout;
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle() && c.last_activity.elapsed() > timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stale {
+            self.close_conn(token);
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public server handle.
+// ---------------------------------------------------------------------------
+
+/// A running reactor server; dropping it (or calling [`ReactorServer::shutdown`])
+/// stops the event loop. Drop-in replacement for [`crate::http::HttpServer`] —
+/// same handler signature, same status envelope — plus keep-alive, pipelining and
+/// the [`ReactorStats`] counters.
+pub struct ReactorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    stats: Arc<ReactorStats>,
+    backend: &'static str,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `127.0.0.1:0` and serves with the default [`ReactorConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        Self::spawn_on("127.0.0.1:0".parse().expect("loopback addr parses"), handler)
+    }
+
+    /// Like [`ReactorServer::spawn`] with an explicit bind address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn_on(
+        bind: SocketAddr,
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        Self::spawn_with(bind, ReactorConfig::default(), handler)
+    }
+
+    /// Full-control spawn with explicit tuning knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (or waker/poller setup failure).
+    pub fn spawn_with(
+        bind: SocketAddr,
+        config: ReactorConfig,
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (waker, waker_rx) = waker_pair()?;
+        let waker = Arc::new(waker);
+        let mut poller = Poller::new();
+        poller.register(LISTENER, &listener)?;
+        poller.register(WAKER, &waker_rx)?;
+        let backend = poller.backend();
+        let stats = Arc::new(ReactorStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reactor = Reactor {
+            listener,
+            poller,
+            waker_rx,
+            waker: Arc::clone(&waker),
+            conns: HashMap::new(),
+            next_token: FIRST_CONN,
+            completions: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            handler: Arc::new(handler),
+            pool: DispatchPool::new(format!("reactor-{addr}"), config.dispatch_cap),
+            stats: Arc::clone(&stats),
+            config,
+            stop: Arc::clone(&stop),
+            last_sweep: Instant::now(),
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("reactor-{addr}"))
+            .spawn(move || reactor.run())?;
+        Ok(Self { addr, stop, waker, stats, backend, thread: Some(thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters for this server's event loop.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Which poller backend the loop runs on (`"epoll"` or `"scan"`).
+    pub fn poller_backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Stops the event loop and joins it. In-flight handler jobs finish on
+    /// detached dispatch threads; their completions are discarded.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ReactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorServer")
+            .field("addr", &self.addr)
+            .field("poller", &self.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, request, HttpServer};
+    use std::io::BufReader;
+
+    fn echo_server() -> ReactorServer {
+        ReactorServer::spawn(|req| {
+            if req.path == "/echo" {
+                Response::json(req.body)
+            } else {
+                Response::text(404, "not found")
+            }
+        })
+        .unwrap()
+    }
+
+    fn connect(addr: SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream
+    }
+
+    fn send_keepalive(stream: &mut TcpStream, path: &str, body: &[u8]) {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nhost: spatial\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        stream.flush().unwrap();
+    }
+
+    #[test]
+    fn round_trips_like_the_blocking_server() {
+        let server = echo_server();
+        let resp =
+            request(server.addr(), "POST", "/echo", b"{\"x\":1}", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"x\":1}");
+        assert_eq!(resp.content_type, "application/json");
+        let missing = request(server.addr(), "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_many_requests() {
+        let server = echo_server();
+        let mut stream = connect(server.addr());
+        for i in 0..5 {
+            let body = format!("{{\"i\":{i}}}");
+            send_keepalive(&mut stream, "/echo", body.as_bytes());
+            let resp = read_response(&mut stream).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, body.as_bytes());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests_total(), 5);
+        assert!(stats.keepalive_reuses() >= 4, "reuses: {}", stats.keepalive_reuses());
+        assert_eq!(stats.accepted_total(), 1);
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_request_order() {
+        // The first request is slower than the second; in-order sequencing must
+        // hold the fast response until the slow one is written.
+        let server = ReactorServer::spawn(|req| {
+            if req.path == "/slow" {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            Response::json(req.path.into_bytes())
+        })
+        .unwrap();
+        let mut stream = connect(server.addr());
+        let wire = "GET /slow HTTP/1.1\r\n\r\nGET /fast HTTP/1.1\r\n\r\n";
+        stream.write_all(wire.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let first = crate::http::read_response_buffered(&mut reader).unwrap();
+        let second = crate::http::read_response_buffered(&mut reader).unwrap();
+        assert_eq!(first.body, b"/slow");
+        assert_eq!(second.body, b"/fast");
+    }
+
+    #[test]
+    fn connection_close_is_honored_and_trailing_bytes_ignored() {
+        let server = echo_server();
+        let mut stream = connect(server.addr());
+        stream
+            .write_all(
+                b"POST /echo HTTP/1.1\r\ncontent-length: 2\r\nconnection: close\r\n\r\nhi\
+                  GET /echo HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = crate::http::read_response_buffered(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hi");
+        // The pipelined request after `Connection: close` is discarded and the
+        // server closes: the next read sees EOF.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "unexpected bytes after close: {rest:?}");
+    }
+
+    /// Writes raw bytes, half-closes, reads one response (fuzz-style exchange).
+    fn raw_round_trip(addr: SocketAddr, bytes: &[u8]) -> Response {
+        let mut stream = connect(addr);
+        let _ = stream.write_all(bytes);
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        read_response(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn error_envelope_matches_the_blocking_server() {
+        let server = echo_server();
+        let addr = server.addr();
+        let dup = b"POST /echo HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 1\r\n\r\nabc";
+        assert_eq!(raw_round_trip(addr, dup).status, 400);
+        let truncated = b"GET /echo HTTP/1.1\r\ncontent-le";
+        assert_eq!(raw_round_trip(addr, truncated).status, 400);
+        let oversized_body =
+            format!("POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n", crate::http::MAX_BODY + 1);
+        assert_eq!(raw_round_trip(addr, oversized_body.as_bytes()).status, 413);
+        let huge_head =
+            format!("GET /echo HTTP/1.1\r\nx-bloat: {}\r\n\r\n", "x".repeat(crate::http::MAX_HEAD));
+        assert_eq!(raw_round_trip(addr, huge_head.as_bytes()).status, 431);
+    }
+
+    #[test]
+    fn split_writes_across_request_boundaries_parse_whole_requests() {
+        let server = echo_server();
+        let mut stream = connect(server.addr());
+        let wire = b"POST /echo HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        // Dribble the request a few bytes at a time across many writes.
+        for chunk in wire.chunks(7) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello");
+    }
+
+    #[test]
+    fn handler_panic_answers_500_and_connection_keeps_serving() {
+        let server = ReactorServer::spawn(|req| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::json(req.body)
+        })
+        .unwrap();
+        let mut stream = connect(server.addr());
+        send_keepalive(&mut stream, "/boom", b"");
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 500);
+        // Panic responses keep the connection alive (they are ordinary 500s).
+        send_keepalive(&mut stream, "/ok", b"x");
+        let ok = read_response(&mut stream).unwrap();
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn connection_limit_answers_503() {
+        let config = ReactorConfig { max_connections: 2, ..ReactorConfig::default() };
+        let server = ReactorServer::spawn_with("127.0.0.1:0".parse().unwrap(), config, |req| {
+            Response::json(req.body)
+        })
+        .unwrap();
+        // Two held-open keep-alive connections occupy the limit.
+        let mut a = connect(server.addr());
+        let mut b = connect(server.addr());
+        send_keepalive(&mut a, "/x", b"1");
+        send_keepalive(&mut b, "/x", b"2");
+        assert_eq!(read_response(&mut a).unwrap().status, 200);
+        assert_eq!(read_response(&mut b).unwrap().status, 200);
+        // The third connection is bounced with a canned 503.
+        let mut c = connect(server.addr());
+        let resp = read_response(&mut c);
+        match resp {
+            Ok(r) => assert_eq!(r.status, 503),
+            // The kernel may accept+reset before our 503 lands; either is a bounce.
+            Err(HttpError::Io(_)) | Err(HttpError::Malformed(_)) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        assert!(server.stats().rejected_over_limit() >= 1);
+    }
+
+    #[test]
+    fn idle_connections_are_swept() {
+        let config =
+            ReactorConfig { idle_timeout: Duration::from_millis(300), ..Default::default() };
+        let server = ReactorServer::spawn_with("127.0.0.1:0".parse().unwrap(), config, |req| {
+            Response::json(req.body)
+        })
+        .unwrap();
+        let mut stream = connect(server.addr());
+        send_keepalive(&mut stream, "/x", b"1");
+        assert_eq!(read_response(&mut stream).unwrap().status, 200);
+        // The sweep runs on a 1 s cadence; within a few seconds the idle
+        // connection must be gone and the socket must read EOF.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut byte = [0u8; 1];
+            match stream.read(&mut byte) {
+                Ok(0) => break,
+                Ok(_) => panic!("unexpected data on idle connection"),
+                Err(_) if Instant::now() > deadline => panic!("idle connection never swept"),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        assert_eq!(server.stats().open_connections(), 0);
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!("{{\"i\":{i}}}");
+                    let resp =
+                        request(addr, "POST", "/echo", body.as_bytes(), Duration::from_secs(5))
+                            .unwrap();
+                    assert_eq!(resp.body, body.as_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let before = request(addr, "GET", "/echo", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(before.status, 200);
+        server.shutdown();
+        let result = request(addr, "GET", "/echo", b"", Duration::from_millis(300));
+        assert!(result.is_err(), "post-shutdown request must fail, got {result:?}");
+    }
+
+    #[test]
+    fn keep_alive_responses_are_byte_identical_to_the_blocking_server() {
+        // The determinism gate: the same request script against the blocking core
+        // and the reactor must produce byte-identical response streams when the
+        // client runs in `Connection: close` mode (the only mode the blocking
+        // server speaks), and identical-modulo-connection-header under keep-alive.
+        let handler = |req: Request| -> Response {
+            Response::json(format!("{{\"path\":\"{}\",\"len\":{}}}", req.path, req.body.len()))
+                .with_header("x-spatial-probe", "1")
+        };
+        let blocking = HttpServer::spawn(handler).unwrap();
+        let reactor = ReactorServer::spawn(handler).unwrap();
+        let script: [(&str, &[u8]); 3] =
+            [("/serve/predict", b"{\"features\":[1,2]}"), ("/a", b""), ("/b/c", b"xyz")];
+        let run = |addr: SocketAddr| -> Vec<Vec<u8>> {
+            script
+                .iter()
+                .map(|(path, body)| {
+                    let mut stream = connect(addr);
+                    let head = format!(
+                        "POST {path} HTTP/1.1\r\nhost: spatial\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                        body.len()
+                    );
+                    stream.write_all(head.as_bytes()).unwrap();
+                    stream.write_all(body).unwrap();
+                    let mut raw = Vec::new();
+                    stream.read_to_end(&mut raw).unwrap();
+                    raw
+                })
+                .collect()
+        };
+        assert_eq!(run(blocking.addr()), run(reactor.addr()), "close-mode bytes must match");
+        // Keep-alive replay of the same script over one reactor connection: same
+        // responses, with `connection: keep-alive` the only byte-level delta.
+        let mut stream = connect(reactor.addr());
+        let reader_stream = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(reader_stream);
+        for ((path, body), close_raw) in script.iter().zip(run(blocking.addr())) {
+            send_keepalive(&mut stream, path, body);
+            let resp = crate::http::read_response_buffered(&mut reader).unwrap();
+            let close_resp = {
+                let mut cursor = &close_raw[..];
+                crate::http::read_response_buffered(&mut cursor).unwrap()
+            };
+            assert_eq!(resp.status, close_resp.status);
+            assert_eq!(resp.body, close_resp.body);
+            assert_eq!(resp.content_type, close_resp.content_type);
+            assert_eq!(resp.headers, close_resp.headers);
+        }
+    }
+
+    #[test]
+    fn scan_poller_fallback_serves_requests() {
+        // Force the portable fallback regardless of platform and run a quick
+        // round trip: semantics must not depend on the epoll fast path.
+        std::env::set_var("SPATIAL_REACTOR_POLLER", "scan");
+        let server = echo_server();
+        std::env::remove_var("SPATIAL_REACTOR_POLLER");
+        assert_eq!(server.poller_backend(), "scan");
+        let resp = request(server.addr(), "POST", "/echo", b"ok", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+        let mut stream = connect(server.addr());
+        send_keepalive(&mut stream, "/echo", b"again");
+        assert_eq!(read_response(&mut stream).unwrap().body, b"again");
+    }
+}

@@ -6,7 +6,8 @@
 //! requests run on a bounded [`WorkerPool`] sized like the paper's per-service vCPU
 //! allocation.
 
-use crate::http::{HttpServer, Request, Response};
+use crate::http::{Request, Response};
+use crate::reactor::{ReactorServer, ReactorStats};
 use crate::wire::{to_json, ErrorBody};
 use crate::worker::{SubmitError, WorkerPool};
 use spatial_telemetry::profile::{ProfScope, Profiler};
@@ -62,10 +63,12 @@ pub trait Microservice: Send + Sync + 'static {
 }
 
 /// A hosted micro-service: HTTP server + bounded worker pool around a
-/// [`Microservice`].
+/// [`Microservice`]. Served by the non-blocking [`ReactorServer`] core
+/// (keep-alive + pipelining); the bounded [`WorkerPool`] still models the
+/// paper's per-service vCPU capacity and its 503 saturation envelope.
 pub struct ServiceHost {
     name: String,
-    server: HttpServer,
+    server: ReactorServer,
 }
 
 impl ServiceHost {
@@ -102,7 +105,7 @@ impl ServiceHost {
         let pool = Arc::new(WorkerPool::new(&name, service.vcpus(), queue_depth));
         let prefix = format!("/{name}");
         let frame = format!("service.{name}");
-        let server = HttpServer::spawn(move |req: Request| {
+        let server = ReactorServer::spawn(move |req: Request| {
             // Health endpoint bypasses the worker pool so saturation never makes the
             // service look dead to the gateway.
             if req.path == format!("{prefix}/health") {
@@ -146,6 +149,12 @@ impl ServiceHost {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.server.addr()
+    }
+
+    /// Event-loop counters of the hosting reactor (open connections, keep-alive
+    /// reuse, wakeups).
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        self.server.stats()
     }
 }
 
@@ -278,6 +287,25 @@ mod tests {
             report.iter().find(|(path, _)| path == "service.echo").expect("service frame recorded");
         assert_eq!(stats.calls, 3);
         assert!(profiler.collapsed().contains("service.echo "));
+    }
+
+    #[test]
+    fn keep_alive_clients_reuse_the_connection() {
+        let host = ServiceHost::spawn(Arc::new(EchoService { delay: Duration::ZERO }), 8).unwrap();
+        let mut stream = std::net::TcpStream::connect(host.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for i in 0..3 {
+            use std::io::Write;
+            let body = format!("hi{i}");
+            let head = format!("POST /echo/say HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len());
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body.as_bytes()).unwrap();
+            let resp = crate::http::read_response(&mut stream).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, body.as_bytes());
+        }
+        assert!(host.reactor_stats().keepalive_reuses() >= 2);
+        assert_eq!(host.reactor_stats().accepted_total(), 1);
     }
 
     #[test]

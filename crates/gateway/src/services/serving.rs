@@ -12,7 +12,9 @@
 //! service's): one feature array in, one small object out, no reflection on the
 //! inference hot path.
 
+use crate::batch::{BatchStats, BatcherConfig, MicroBatcher};
 use crate::service::{Microservice, ServiceError};
+use spatial_linalg::Matrix;
 use spatial_ml::{ModelStore, ServingSource};
 use std::sync::Arc;
 
@@ -26,28 +28,93 @@ pub const DEGRADED_HEADER: &str = "x-spatial-degraded";
 /// Endpoint: `POST /serve/predict` with body `{"features":[f64,...]}`. Replies
 /// `{"class":c,"confidence":p,"version":v,"degraded":d,"model":"name"}` where
 /// `version` is `0` when the fallback answered.
+///
+/// Concurrent predict requests coalesce through a [`MicroBatcher`] into one
+/// `predict_proba_batch` call. The batched path is bit-identical to unbatched
+/// serving: `predict_proba_batch` computes each row with the same sequential
+/// `predict_proba` the unbatched path would run, and the batcher routes row `i`
+/// back to request `i`.
 pub struct ServingService {
     store: Arc<ModelStore>,
     n_features: usize,
     vcpus: usize,
+    batcher: MicroBatcher<Vec<f64>, PredictOutcome>,
+}
+
+/// One request's share of a batched `predict_proba_batch` call. `class_conf`
+/// is `None` when the model produced no classes for the row.
+struct PredictOutcome {
+    class_conf: Option<(usize, f64)>,
+    version: u64,
+    degraded: bool,
+    model: String,
 }
 
 impl ServingService {
-    /// Creates the service over a store whose models expect `n_features` inputs.
+    /// Creates the service over a store whose models expect `n_features` inputs,
+    /// with the default micro-batching window.
     ///
     /// # Panics
     ///
     /// Panics if `n_features == 0` or `vcpus == 0`.
     pub fn new(store: Arc<ModelStore>, n_features: usize, vcpus: usize) -> Self {
+        Self::with_batching(store, n_features, vcpus, BatcherConfig::default())
+    }
+
+    /// Like [`ServingService::new`] with explicit batcher tuning;
+    /// `BatcherConfig { max_batch: 1, .. }` disables coalescing entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0` or `vcpus == 0`.
+    pub fn with_batching(
+        store: Arc<ModelStore>,
+        n_features: usize,
+        vcpus: usize,
+        batching: BatcherConfig,
+    ) -> Self {
         assert!(n_features > 0, "n_features must be positive");
         assert!(vcpus > 0, "vcpus must be positive");
-        Self { store, n_features, vcpus }
+        let batch_store = Arc::clone(&store);
+        let batcher = MicroBatcher::new(batching, move |rows: &[Vec<f64>]| {
+            // One store read per batch: every coalesced request is answered by
+            // the same model snapshot, a legal linearization of the concurrent
+            // promote/quarantine it may race with.
+            let (model, source) = batch_store.serving();
+            let (version, degraded) = match source {
+                ServingSource::Deployed(v) => (v, false),
+                ServingSource::Fallback => (0, true),
+            };
+            let proba = model.predict_proba_batch(&Matrix::from_row_vecs(rows.to_vec()));
+            (0..proba.rows())
+                .map(|i| {
+                    let class_conf = proba
+                        .row(i)
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(c, &p)| (c, p));
+                    PredictOutcome {
+                        class_conf,
+                        version,
+                        degraded,
+                        model: model.name().to_string(),
+                    }
+                })
+                .collect()
+        });
+        Self { store, n_features, vcpus, batcher }
     }
 
     /// The store this service answers from (shared with the oversight loop's
     /// action executor).
     pub fn store(&self) -> &Arc<ModelStore> {
         &self.store
+    }
+
+    /// Occupancy counters of the predict micro-batcher.
+    pub fn batch_stats(&self) -> &BatchStats {
+        self.batcher.stats()
     }
 }
 
@@ -93,21 +160,13 @@ impl Microservice for ServingService {
                 features.len()
             )));
         }
-        let (model, source) = self.store.serving();
-        let proba = model.predict_proba(&features);
-        let (class, confidence) = proba
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, &p)| (c, p))
+        let out = self.batcher.submit(features);
+        let (class, confidence) = out
+            .class_conf
             .ok_or_else(|| ServiceError::Internal("model produced no classes".into()))?;
-        let (version, degraded) = match source {
-            ServingSource::Deployed(v) => (v, false),
-            ServingSource::Fallback => (0, true),
-        };
+        let (version, degraded, model) = (out.version, out.degraded, out.model);
         Ok(format!(
-            "{{\"class\":{class},\"confidence\":{confidence},\"version\":{version},\"degraded\":{degraded},\"model\":\"{}\"}}",
-            model.name()
+            "{{\"class\":{class},\"confidence\":{confidence},\"version\":{version},\"degraded\":{degraded},\"model\":\"{model}\"}}",
         )
         .into_bytes())
     }
@@ -240,6 +299,77 @@ mod tests {
             let resp = request(host.addr(), "POST", "/serve/predict", bad, Duration::from_secs(5))
                 .unwrap();
             assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn batched_predictions_are_bit_identical_to_unbatched_at_every_batch_size() {
+        let store = serving_store();
+        // Reference service: coalescing disabled, every request reaches the
+        // model alone via the same code path.
+        let unbatched = ServiceHost::spawn(
+            Arc::new(ServingService::with_batching(
+                Arc::clone(&store),
+                2,
+                8,
+                BatcherConfig { max_batch: 1, ..BatcherConfig::default() },
+            )),
+            32,
+        )
+        .unwrap();
+        for batch_size in [1usize, 2, 4, 8] {
+            let svc = Arc::new(ServingService::with_batching(
+                Arc::clone(&store),
+                2,
+                8,
+                BatcherConfig {
+                    max_batch: batch_size,
+                    min_window: Duration::from_millis(20),
+                    max_window: Duration::from_millis(20),
+                },
+            ));
+            let host = ServiceHost::spawn(Arc::clone(&svc) as _, 32).unwrap();
+            let addr = host.addr();
+            let barrier = Arc::new(std::sync::Barrier::new(batch_size));
+            let handles: Vec<_> = (0..batch_size)
+                .map(|i| {
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        let body = format!(
+                            "{{\"features\":[{},{}]}}",
+                            i as f64 * 1.7 - 2.0,
+                            0.1 * i as f64
+                        );
+                        barrier.wait();
+                        let resp = request(
+                            addr,
+                            "POST",
+                            "/serve/predict",
+                            body.as_bytes(),
+                            Duration::from_secs(5),
+                        )
+                        .unwrap();
+                        assert_eq!(resp.status, 200);
+                        (body, resp.body)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (req_body, batched_body) = h.join().unwrap();
+                let reference = request(
+                    unbatched.addr(),
+                    "POST",
+                    "/serve/predict",
+                    req_body.as_bytes(),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+                assert_eq!(
+                    batched_body, reference.body,
+                    "batch size {batch_size}: batched response must be byte-identical"
+                );
+            }
+            assert_eq!(svc.batch_stats().requests(), batch_size as u64);
         }
     }
 

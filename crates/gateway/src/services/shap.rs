@@ -1,5 +1,6 @@
 //! The SHAP micro-service (4 vCPUs in the paper's deployment).
 
+use crate::batch::{BatchStats, BatcherConfig, MicroBatcher};
 use crate::service::{Microservice, ServiceError};
 use crate::wire::{from_json, to_json, ExplainRequest, ExplainResponse};
 use spatial_linalg::Matrix;
@@ -10,16 +11,23 @@ use std::sync::Arc;
 /// Serves KernelSHAP explanations for one deployed model.
 ///
 /// Endpoint: `POST /shap/explain` with an [`ExplainRequest`] body.
+///
+/// Concurrent explain requests coalesce through a [`MicroBatcher`] into one
+/// batched SHAP call that fans the instances out across the shared compute
+/// pool. The batched path is bit-identical to unbatched serving: each
+/// instance's coalition sample is seeded from the instance itself
+/// (`derive_seed(config.seed, hash_point(x))`), so explanations do not depend
+/// on which batch — or which thread — computed them.
 pub struct ShapService {
     model: Arc<dyn Model>,
     background: Matrix,
-    feature_names: Vec<String>,
-    config: ShapConfig,
     vcpus: usize,
+    batcher: MicroBatcher<(Vec<f64>, usize), ExplainResponse>,
 }
 
 impl ShapService {
-    /// Creates the service around a trained model and its background data.
+    /// Creates the service around a trained model and its background data, with
+    /// the default micro-batching window.
     ///
     /// # Panics
     ///
@@ -31,9 +39,61 @@ impl ShapService {
         config: ShapConfig,
         vcpus: usize,
     ) -> Self {
+        Self::with_batching(
+            model,
+            background,
+            feature_names,
+            config,
+            vcpus,
+            BatcherConfig::default(),
+        )
+    }
+
+    /// Like [`ShapService::new`] with explicit batcher tuning;
+    /// `BatcherConfig { max_batch: 1, .. }` disables coalescing entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is empty or `vcpus == 0`.
+    pub fn with_batching(
+        model: Arc<dyn Model>,
+        background: Matrix,
+        feature_names: Vec<String>,
+        config: ShapConfig,
+        vcpus: usize,
+        batching: BatcherConfig,
+    ) -> Self {
         assert!(background.rows() > 0, "background must be non-empty");
         assert!(vcpus > 0, "vcpus must be positive");
-        Self { model, background, feature_names, config, vcpus }
+        let batch_model = Arc::clone(&model);
+        let batch_background = background.clone();
+        let batcher = MicroBatcher::new(batching, move |jobs: &[(Vec<f64>, usize)]| {
+            let shap = KernelShap::new(
+                batch_model.as_ref(),
+                &batch_background,
+                feature_names.clone(),
+                config.clone(),
+            );
+            // Fan the coalesced instances across the compute pool; each single
+            // explanation stays inline on its worker, exactly like the
+            // unbatched path ran it on its request thread.
+            spatial_parallel::global().par_map_indexed(jobs.len(), |i| {
+                let (features, class) = &jobs[i];
+                let e = spatial_parallel::run_inline(|| shap.explain(features, *class));
+                ExplainResponse {
+                    method: e.method,
+                    values: e.values,
+                    base_value: e.base_value,
+                    prediction: e.prediction,
+                }
+            })
+        });
+        Self { model, background, vcpus, batcher }
+    }
+
+    /// Occupancy counters of the explain micro-batcher.
+    pub fn batch_stats(&self) -> &BatchStats {
+        self.batcher.stats()
     }
 }
 
@@ -61,22 +121,8 @@ impl Microservice for ShapService {
         if req.class >= self.model.n_classes() {
             return Err(ServiceError::BadRequest(format!("class {} out of range", req.class)));
         }
-        let shap = KernelShap::new(
-            self.model.as_ref(),
-            &self.background,
-            self.feature_names.clone(),
-            self.config.clone(),
-        );
-        // The worker pool already provides this service's `vcpus` concurrency;
-        // running the explanation inline keeps one request on one thread, matching
-        // the paper's 4-vCPU capacity model.
-        let e = spatial_parallel::run_inline(|| shap.explain(&req.features, req.class));
-        Ok(to_json(&ExplainResponse {
-            method: e.method,
-            values: e.values,
-            base_value: e.base_value,
-            prediction: e.prediction,
-        }))
+        let out = self.batcher.submit((req.features, req.class));
+        Ok(to_json(&out))
     }
 }
 
@@ -120,6 +166,73 @@ mod tests {
         // Additivity survives the wire.
         let total = out.base_value + out.values.iter().sum::<f64>();
         assert!((total - out.prediction).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_explanations_are_bit_identical_to_unbatched() {
+        fn build(batching: BatcherConfig) -> ShapService {
+            let ds = Dataset::new(
+                Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[0.1, -1.0], &[0.9, -1.0]]),
+                vec![0, 1, 0, 1],
+                vec!["signal".into(), "noise".into()],
+                vec!["a".into(), "b".into()],
+            );
+            let mut dt = DecisionTree::new();
+            dt.fit(&ds).unwrap();
+            ShapService::with_batching(
+                Arc::new(dt),
+                ds.features.clone(),
+                ds.feature_names.clone(),
+                ShapConfig { n_coalitions: 32, ..ShapConfig::default() },
+                4,
+                batching,
+            )
+        }
+        let unbatched = ServiceHost::spawn(
+            Arc::new(build(BatcherConfig { max_batch: 1, ..BatcherConfig::default() })),
+            16,
+        )
+        .unwrap();
+        let batched = ServiceHost::spawn(
+            Arc::new(build(BatcherConfig {
+                max_batch: 4,
+                min_window: Duration::from_millis(20),
+                max_window: Duration::from_millis(20),
+            })),
+            16,
+        )
+        .unwrap();
+        let addr = batched.addr();
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let body = to_json(&ExplainRequest {
+                        features: vec![0.2 * i as f64, 1.0 - 0.5 * i as f64],
+                        class: i % 2,
+                    });
+                    barrier.wait();
+                    let resp =
+                        request(addr, "POST", "/shap/explain", &body, Duration::from_secs(10))
+                            .unwrap();
+                    assert_eq!(resp.status, 200);
+                    (body, resp.body)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (req_body, batched_body) = h.join().unwrap();
+            let reference = request(
+                unbatched.addr(),
+                "POST",
+                "/shap/explain",
+                &req_body,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            assert_eq!(batched_body, reference.body, "coalesced SHAP must be byte-identical");
+        }
     }
 
     #[test]

@@ -34,6 +34,9 @@ RUST_TEST_THREADS=1 cargo test -q --test crash_recovery
 echo "== SLO guard smoke (burn-rate pages on sustained burn, ignores blips)"
 cargo run -q --release -p spatial-bench --bin slo_guard -- --smoke > /dev/null
 
+echo "== gateway throughput smoke (reactor vs blocking core at p99 < 10ms; batch occupancy) =="
+cargo run -q --release -p spatial-bench --bin gateway_throughput -- --smoke > /dev/null
+
 echo "== conformance audit (oracles, axioms, metamorphic relations, wire fuzz smoke) =="
 cargo run -q --release -p spatial-bench --bin conformance -- --smoke
 

@@ -220,6 +220,18 @@ fn wire_fuzz_corpus_is_clean() {
 }
 
 #[test]
+fn keep_alive_fuzz_corpus_is_clean() {
+    // 50 cases = 10 rotations of all 5 keep-alive strategies against the
+    // reactor-hosted reference target: pipelining, split writes across request
+    // boundaries, trailing garbage after Content-Length, close mid-stream.
+    let host = conformance::spawn_reference_target();
+    let report = conformance::fuzz_keep_alive(host.addr(), 0xBEEF, 50, Duration::from_secs(5));
+    assert!(report.is_clean(), "keep-alive contract violations: {:#?}", report.violations);
+    // Strategies answer 3+2+1+2+2 = 10 requests minimum per rotation.
+    assert!(report.responses >= 100, "only {} responses", report.responses);
+}
+
+#[test]
 fn wire_fuzz_is_deterministic_per_seed() {
     let host = conformance::spawn_reference_target();
     let a = conformance::fuzz_round_trip(host.addr(), 7, 100, Duration::from_secs(5));
