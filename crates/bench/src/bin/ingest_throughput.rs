@@ -1,0 +1,345 @@
+//! Streaming ingestion throughput and drift-detection latency — the streaming
+//! data plane's headline numbers.
+//!
+//! Three sections:
+//!
+//! 1. **Ingest throughput** — a seeded UC1/UC2-style sensor replay with a
+//!    mid-stream concept drift is pushed through the bounded lock-free
+//!    [`IngestRing`] into the [`StreamPipeline`] at every combination of ring
+//!    capacity {16, 1024} and producer thread count {1, 8}. Reported in
+//!    events/s; the decision streams of all four runs are compared and the
+//!    JSON records whether they were bit-identical (the determinism contract —
+//!    capacity and concurrency are throughput knobs only).
+//! 2. **Detection latency vs retrain cadence** — the pipeline's Page–Hinkley
+//!    test watches the prequential error of the online ensemble, so it reacts
+//!    *within* the stream. The baseline is a cadence retrainer that can only
+//!    notice the drift at its next retrain boundary. The headline figure is
+//!    stream detection latency in events vs one retrain cadence; smoke asserts
+//!    the former is strictly smaller.
+//! 3. **Gateway leg** — the same replay posted to `POST /serve/stream` through
+//!    the pooled keep-alive client at 1 and 8 threads; smoke asserts zero 5xx.
+//!
+//! Prints one JSON object on stdout; `--write` also saves it to
+//! `BENCH_ingest.json`. `--smoke` runs a reduced replay with assertions.
+
+use spatial_bench::banner;
+use spatial_core::stream::{StreamDecision, StreamPipeline, StreamPipelineConfig};
+use spatial_core::DriftState;
+use spatial_data::ingest::{IngestRing, StreamEvent};
+use spatial_data::stream::{generate_drift_stream, DriftStreamConfig};
+use spatial_gateway::loadgen::{run_stream_replay, StreamReplayReport};
+use spatial_gateway::service::ServiceHost;
+use spatial_gateway::services::StreamService;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ring capacities the replay sweeps.
+const RING_CAPACITIES: [usize; 2] = [16, 1024];
+/// Producer thread counts the replay sweeps.
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// One ring replay measurement.
+struct RingRun {
+    capacity: usize,
+    threads: usize,
+    events_per_second: f64,
+    backpressure_spins: u64,
+    decisions: Vec<StreamDecision>,
+    transitions: Vec<(u64, DriftState)>,
+}
+
+/// Section 2's outcome.
+struct Detection {
+    drift_at: u64,
+    detected_at: Option<u64>,
+    /// Events from the true drift point to the `Drifting` transition.
+    stream_latency_events: Option<u64>,
+    /// Events between cadence retrains — the baseline's best possible reaction
+    /// time when the drift lands just before a boundary, and its worst when
+    /// just after.
+    retrain_cadence_events: u64,
+    /// Events from the drift point to the next retrain boundary.
+    cadence_latency_events: u64,
+}
+
+fn main() {
+    banner(
+        "streaming ingestion throughput and drift-detection latency",
+        "stream-level detection reacts within one window; cadence retraining waits for the clock",
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+    let threads_available = spatial_parallel::global().threads();
+    let degraded = threads_available == 1;
+    if degraded {
+        eprintln!(
+            "WARNING: only 1 hardware thread is available — producers, the consumer and \
+             the gateway all share one core, so every events/s figure understates real \
+             throughput. The emitted JSON carries \"degraded_measurement\": true."
+        );
+    }
+
+    let (events_total, drift_at, cadence): (usize, u64, u64) =
+        if smoke { (2_400, 1_200, 600) } else { (12_000, 6_000, 2_000) };
+    let stream_config = DriftStreamConfig {
+        n_streams: 2,
+        n_channels: 3,
+        events: events_total,
+        drift_at,
+        seed: 42,
+        ..DriftStreamConfig::default()
+    };
+    let events = generate_drift_stream(&stream_config);
+
+    // -- section 1: ring replay sweep -----------------------------------------
+    let mut runs = Vec::new();
+    for capacity in RING_CAPACITIES {
+        for threads in THREAD_COUNTS {
+            let run = replay_through_ring(&stream_config, &events, capacity, threads);
+            eprintln!(
+                "  ring {capacity:>5} x {threads} producers: {:>9.0} events/s ({} backpressure spins)",
+                run.events_per_second, run.backpressure_spins
+            );
+            runs.push(run);
+        }
+    }
+    let replay_identical = runs
+        .iter()
+        .all(|r| r.decisions == runs[0].decisions && r.transitions == runs[0].transitions);
+    eprintln!(
+        "  decision streams bit-identical across all {} configurations: {replay_identical}",
+        runs.len()
+    );
+
+    // -- section 2: detection latency vs retrain cadence ----------------------
+    let detection = measure_detection(&runs[0], drift_at, cadence);
+    match (detection.detected_at, detection.stream_latency_events) {
+        (Some(at), Some(latency)) => eprintln!(
+            "  drift injected at event {drift_at}, stream detector fired at {at} \
+             ({latency} events); cadence retrainer would react after {} events \
+             (cadence {})",
+            detection.cadence_latency_events, detection.retrain_cadence_events
+        ),
+        _ => eprintln!("  drift NOT detected by the stream detector"),
+    }
+
+    // -- section 3: gateway leg ------------------------------------------------
+    let mut gateway_runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let report = replay_through_gateway(&stream_config, &events, threads);
+        eprintln!(
+            "  gateway x {threads} client threads: {:>9.0} events/s, {} decisions, {} 5xx",
+            report.events_per_second(),
+            report.decisions,
+            report.server_errors
+        );
+        gateway_runs.push((threads, report));
+    }
+
+    // -- verdicts --------------------------------------------------------------
+    if smoke {
+        assert!(replay_identical, "decision streams diverged across ring/thread configs");
+        let latency =
+            detection.stream_latency_events.expect("smoke replay must detect the injected drift");
+        assert!(
+            latency < detection.retrain_cadence_events,
+            "stream detection ({latency} events) must beat one retrain cadence ({})",
+            detection.retrain_cadence_events
+        );
+        for (threads, report) in &gateway_runs {
+            assert_eq!(
+                report.server_errors, 0,
+                "stream replay at {threads} threads must be 5xx-free"
+            );
+            assert!(report.decisions > 0, "gateway replay produced no decisions");
+        }
+        eprintln!(
+            "smoke OK: detection in {latency} events vs {}-event cadence, zero 5xx",
+            detection.retrain_cadence_events
+        );
+    }
+
+    let json = render_json(
+        threads_available,
+        degraded,
+        &runs,
+        replay_identical,
+        &detection,
+        &gateway_runs,
+    );
+    println!("{json}");
+    if write {
+        spatial_durability::backend::atomic_write(
+            "BENCH_ingest.json",
+            format!("{json}\n").as_bytes(),
+        )
+        .expect("write BENCH_ingest.json");
+        eprintln!("wrote BENCH_ingest.json");
+    }
+}
+
+/// Pushes the replay through a ring with `threads` producers into one
+/// consuming pipeline; returns throughput and everything needed for the
+/// determinism comparison.
+fn replay_through_ring(
+    config: &DriftStreamConfig,
+    events: &[StreamEvent],
+    capacity: usize,
+    threads: usize,
+) -> RingRun {
+    let ring = Arc::new(IngestRing::new(capacity));
+    let total = events.len();
+    let started = Instant::now();
+    let producers: Vec<_> = (0..threads)
+        .map(|t| {
+            let slice: Vec<StreamEvent> = events.iter().skip(t).step_by(threads).cloned().collect();
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for event in slice {
+                    ring.push_blocking(event);
+                }
+            })
+        })
+        .collect();
+    let mut pipeline = StreamPipeline::new(StreamPipelineConfig {
+        n_streams: config.n_streams,
+        n_channels: config.n_channels,
+        ..StreamPipelineConfig::default()
+    });
+    let mut decisions = Vec::new();
+    let mut consumed = 0usize;
+    while consumed < total {
+        match ring.pop() {
+            Some(event) => {
+                consumed += 1;
+                decisions.extend(pipeline.offer(event));
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    for p in producers {
+        p.join().expect("producer thread");
+    }
+    let wall = started.elapsed();
+    RingRun {
+        capacity,
+        threads,
+        events_per_second: total as f64 / wall.as_secs_f64(),
+        backpressure_spins: ring.stats().backpressure_spins(),
+        transitions: pipeline.transitions().to_vec(),
+        decisions,
+    }
+}
+
+/// Extracts the detection figures from one run's drift transitions.
+fn measure_detection(run: &RingRun, drift_at: u64, cadence: u64) -> Detection {
+    let detected_at = run
+        .transitions
+        .iter()
+        .find(|(seq, state)| *state == DriftState::Drifting && *seq >= drift_at)
+        .map(|(seq, _)| *seq);
+    let stream_latency_events = detected_at.map(|at| at - drift_at);
+    // The cadence retrainer evaluates only at multiples of `cadence`, and a
+    // retrain at boundary B trains on data *before* B — so the first retrain
+    // that can see the drift is the first boundary strictly after the drift
+    // point (a drift landing exactly on a boundary still waits a full period).
+    let next_boundary = (drift_at / cadence + 1) * cadence;
+    Detection {
+        drift_at,
+        detected_at,
+        stream_latency_events,
+        retrain_cadence_events: cadence,
+        cadence_latency_events: next_boundary - drift_at,
+    }
+}
+
+/// Posts the replay to a hosted [`StreamService`] with `threads` client threads.
+fn replay_through_gateway(
+    config: &DriftStreamConfig,
+    events: &[StreamEvent],
+    threads: usize,
+) -> StreamReplayReport {
+    let svc = Arc::new(StreamService::new(
+        StreamPipelineConfig {
+            n_streams: config.n_streams,
+            n_channels: config.n_channels,
+            ..StreamPipelineConfig::default()
+        },
+        4,
+    ));
+    let host = ServiceHost::spawn(Arc::clone(&svc) as _, 256).expect("service host binds");
+    run_stream_replay(host.addr(), "/serve/stream", events, threads, Duration::from_secs(10))
+}
+
+/// Emits the whole run as one hand-built JSON object (no serde needed).
+fn render_json(
+    threads_available: usize,
+    degraded: bool,
+    runs: &[RingRun],
+    replay_identical: bool,
+    detection: &Detection,
+    gateway_runs: &[(usize, StreamReplayReport)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"spatial-ingest-throughput/v1\",\n");
+    out.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    out.push_str(&format!("  \"degraded_measurement\": {degraded},\n"));
+    out.push_str("  \"ring_replays\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"capacity\": {}, \"producer_threads\": {}, \"events_per_second\": {}, \"backpressure_spins\": {}, \"decisions\": {}}}{}\n",
+            r.capacity,
+            r.threads,
+            num(r.events_per_second),
+            r.backpressure_spins,
+            r.decisions.len(),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"replay_bit_identical\": {replay_identical},\n"));
+    out.push_str("  \"detection\": {\n");
+    out.push_str(&format!("    \"drift_injected_at_event\": {},\n", detection.drift_at));
+    out.push_str(&format!(
+        "    \"stream_detected_at_event\": {},\n",
+        detection.detected_at.map_or("null".to_string(), |v| v.to_string())
+    ));
+    out.push_str(&format!(
+        "    \"stream_detection_latency_events\": {},\n",
+        detection.stream_latency_events.map_or("null".to_string(), |v| v.to_string())
+    ));
+    out.push_str(&format!(
+        "    \"retrain_cadence_events\": {},\n",
+        detection.retrain_cadence_events
+    ));
+    out.push_str(&format!(
+        "    \"cadence_detection_latency_events\": {}\n",
+        detection.cadence_latency_events
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"gateway_replays\": [\n");
+    for (i, (threads, r)) in gateway_runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"client_threads\": {}, \"events_per_second\": {}, \"decisions\": {}, \"server_errors\": {}, \"client_errors\": {}, \"connections_opened\": {}, \"keepalive_reuses\": {}}}{}\n",
+            threads,
+            num(r.events_per_second()),
+            r.decisions,
+            r.server_errors,
+            r.client_errors,
+            r.connections_opened,
+            r.keepalive_reuses,
+            if i + 1 < gateway_runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// JSON number formatting: six significant decimals, `null` for non-finite.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}

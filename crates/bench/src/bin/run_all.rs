@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "taxonomy_report",
     "perf_baseline",
     "uc1_baseline",
@@ -21,6 +21,7 @@ const EXPERIMENTS: [&str; 17] = [
     "recovery_mttr",
     "slo_guard",
     "gateway_throughput",
+    "ingest_throughput",
     "conformance",
 ];
 

@@ -39,6 +39,10 @@
 //!   sanitization, retraining, rollback and quarantine against a versioned
 //!   [`ModelStore`](spatial_ml::ModelStore), closing the oversight loop without a
 //!   human in the hot path.
+//! - [`stream`] — the streaming inference pipeline: seq-ordered replay of ingested
+//!   events through quality control, sliding-window features, sensor fusion, the
+//!   online ensemble and stream-level drift detection, bit-identical for a given
+//!   seed regardless of ring capacity or thread count.
 
 pub mod adapt;
 pub mod audit;
@@ -53,6 +57,7 @@ pub mod property;
 pub mod registry;
 pub mod respond;
 pub mod sensor;
+pub mod stream;
 pub mod trust;
 
 pub use drift::{

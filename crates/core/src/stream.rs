@@ -1,0 +1,350 @@
+//! The streaming inference pipeline: ingest → QC → windows → fusion →
+//! online ensemble → windowed drift detection, in one deterministic machine.
+//!
+//! [`StreamPipeline`] is the single consumer behind the
+//! [`IngestRing`](spatial_data::ingest::IngestRing). It accepts events in *any*
+//! arrival order and releases them through a reorder buffer in source `seq`
+//! order before any arithmetic happens, which gives the plane its determinism
+//! contract: **for a given seed and event stream, every output — predicted
+//! classes, confidence values, drift transitions — is bit-identical regardless
+//! of ring capacity, producer thread count or batch grouping.** Those knobs
+//! change arrival interleaving; the reorder buffer erases interleaving; the
+//! stages downstream are pure sequential functions. The replay test in
+//! `tests/stream_replay.rs` pins exactly this.
+//!
+//! Drift is detected *on the stream*: the Page–Hinkley test watches the
+//! prequential (test-then-train) error indicator of the online ensemble, so
+//! mean time-to-detect is a property of the event stream itself and is
+//! decoupled from the batch retrain cadence — the `ingest_throughput` bench
+//! measures the gap.
+
+use crate::drift::{DriftDetector, DriftState, PageHinkley, PageHinkleyConfig};
+use spatial_data::ingest::StreamEvent;
+use spatial_data::stream::{
+    QcConfig, QcReport, QcVerdict, QualityControl, SensorFusion, WindowConfig, WindowExtractor,
+    WindowOutcome,
+};
+use spatial_ml::online::OnlineEnsemble;
+use std::collections::BTreeMap;
+
+/// Shape and thresholds of one streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct StreamPipelineConfig {
+    /// Independent sensor streams fused into each prediction.
+    pub n_streams: usize,
+    /// Channels per event (all streams alike).
+    pub n_channels: usize,
+    /// Classes the ensemble discriminates.
+    pub n_classes: usize,
+    /// Stage-1 quality gate.
+    pub qc: QcConfig,
+    /// Sliding-window geometry.
+    pub window: WindowConfig,
+    /// Drift test over the prequential error indicator.
+    pub drift: PageHinkleyConfig,
+}
+
+impl Default for StreamPipelineConfig {
+    fn default() -> Self {
+        Self {
+            n_streams: 2,
+            n_channels: 3,
+            n_classes: 2,
+            qc: QcConfig::default(),
+            window: WindowConfig::default(),
+            // The error indicator is 0/1, much coarser than the sensor streams
+            // the defaults were tuned for; tolerate more slack before alarming.
+            drift: PageHinkleyConfig { delta: 0.05, lambda: 5.0, warn_fraction: 0.5, warmup: 8 },
+        }
+    }
+}
+
+/// One serving decision emitted by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDecision {
+    /// `seq` of the event whose window completed and triggered this decision.
+    pub seq: u64,
+    /// Predicted class.
+    pub class: usize,
+    /// Ensemble mean probability of the predicted class.
+    pub proba: f64,
+    /// Cross-member agreement in `[0, 1]` — the `x-spatial-confidence` value.
+    pub confidence: f64,
+    /// Drift state *after* this decision's prequential update.
+    pub drift: DriftState,
+}
+
+/// Counters describing everything a pipeline has consumed and produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamSummary {
+    /// Events released through the reorder buffer.
+    pub events: u64,
+    /// Decisions emitted.
+    pub decisions: u64,
+    /// Stale events dropped because their `seq` was already released.
+    pub stale_dropped: u64,
+    /// Running prequential error rate of the ensemble.
+    pub error_rate: f64,
+    /// Quality-control outcome counters.
+    pub qc: QcReport,
+}
+
+/// The deterministic single-consumer streaming pipeline.
+pub struct StreamPipeline {
+    config: StreamPipelineConfig,
+    /// Reorder buffer: events that arrived ahead of `next_seq`.
+    pending: BTreeMap<u64, StreamEvent>,
+    /// The next source sequence number to release.
+    next_seq: u64,
+    qc: QualityControl,
+    windows: WindowExtractor,
+    fusion: SensorFusion,
+    ensemble: OnlineEnsemble,
+    detector: PageHinkley,
+    /// `(seq, new_state)` at every drift-state change.
+    transitions: Vec<(u64, DriftState)>,
+    summary: StreamSummary,
+}
+
+impl StreamPipeline {
+    /// An empty pipeline with untrained models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured shape is degenerate (no streams/channels, or
+    /// fewer than two classes).
+    pub fn new(config: StreamPipelineConfig) -> Self {
+        assert!(config.n_streams > 0, "need at least one stream");
+        assert!(config.n_channels > 0, "need at least one channel");
+        let n_features = config.n_streams * WindowExtractor::n_features(config.n_channels);
+        Self {
+            qc: QualityControl::new(config.n_streams, config.qc.clone()),
+            windows: WindowExtractor::new(config.n_streams, config.window.clone()),
+            fusion: SensorFusion::new(config.n_streams),
+            ensemble: OnlineEnsemble::new(n_features, config.n_classes),
+            detector: PageHinkley::new(config.drift.clone()),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            transitions: Vec::new(),
+            summary: StreamSummary::default(),
+            config,
+        }
+    }
+
+    /// Offers one event in arbitrary arrival order; processes every event the
+    /// reorder buffer can now release, in `seq` order, and returns the
+    /// decisions those events produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's `stream` is out of range for the configured shape.
+    pub fn offer(&mut self, event: StreamEvent) -> Vec<StreamDecision> {
+        assert!(event.stream < self.config.n_streams, "stream {} out of range", event.stream);
+        if event.seq < self.next_seq {
+            self.summary.stale_dropped += 1;
+            return Vec::new();
+        }
+        self.pending.insert(event.seq, event);
+        let mut decisions = Vec::new();
+        while let Some(event) = self.pending.remove(&self.next_seq) {
+            self.next_seq += 1;
+            if let Some(d) = self.process(event) {
+                decisions.push(d);
+            }
+        }
+        decisions
+    }
+
+    /// Runs one in-order event through QC → window → fusion → ensemble.
+    fn process(&mut self, event: StreamEvent) -> Option<StreamDecision> {
+        self.summary.events += 1;
+        match self.qc.admit(event.stream, &event.values) {
+            QcVerdict::Accepted => self.summary.qc.accepted += 1,
+            QcVerdict::OutOfRange => {
+                self.summary.qc.rejected_out_of_range += 1;
+                return None;
+            }
+            QcVerdict::StuckAt => {
+                self.summary.qc.rejected_stuck += 1;
+                return None;
+            }
+        }
+        let features = match self.windows.push(event.stream, &event.values) {
+            WindowOutcome::Pending => return None,
+            WindowOutcome::RejectedUnrepairable { .. } => {
+                self.summary.qc.windows_rejected_unrepairable += 1;
+                return None;
+            }
+            WindowOutcome::Features { features, repaired } => {
+                self.summary.qc.cells_repaired += repaired as u64;
+                features
+            }
+        };
+        let fused = self.fusion.update(event.stream, features)?;
+        let decision = match event.label {
+            Some(y) => {
+                let out = self.ensemble.prequential(&fused, y);
+                let before = self.detector.state();
+                // Detect on the slow reference member's error, not the
+                // ensemble's: the fast member heals the ensemble error within
+                // a few decisions of a shift, which would starve the detector.
+                let after = self.detector.update(out.reference_error);
+                if after != before {
+                    self.transitions.push((event.seq, after));
+                }
+                StreamDecision {
+                    seq: event.seq,
+                    class: out.predicted,
+                    proba: out.proba,
+                    confidence: out.confidence,
+                    drift: after,
+                }
+            }
+            None => {
+                let (class, proba, confidence) = self.ensemble.predict(&fused);
+                StreamDecision {
+                    seq: event.seq,
+                    class,
+                    proba,
+                    confidence,
+                    drift: self.detector.state(),
+                }
+            }
+        };
+        self.summary.decisions += 1;
+        Some(decision)
+    }
+
+    /// Current drift verdict over the prequential error stream.
+    pub fn drift_state(&self) -> DriftState {
+        self.detector.state()
+    }
+
+    /// Every `(seq, new_state)` drift transition so far.
+    pub fn transitions(&self) -> &[(u64, DriftState)] {
+        &self.transitions
+    }
+
+    /// Consumption and production counters (error rate filled on read).
+    pub fn summary(&self) -> StreamSummary {
+        let mut s = self.summary.clone();
+        s.error_rate = self.ensemble.error_rate();
+        s
+    }
+
+    /// Events buffered waiting for a missing earlier `seq`.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &StreamPipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_data::stream::{generate_drift_stream, DriftStreamConfig};
+
+    fn pipeline_for(stream_config: &DriftStreamConfig) -> StreamPipeline {
+        StreamPipeline::new(StreamPipelineConfig {
+            n_streams: stream_config.n_streams,
+            n_channels: stream_config.n_channels,
+            ..StreamPipelineConfig::default()
+        })
+    }
+
+    #[test]
+    fn in_order_events_produce_decisions() {
+        let config =
+            DriftStreamConfig { events: 600, drift_at: 600, ..DriftStreamConfig::default() };
+        let mut pipeline = pipeline_for(&config);
+        let mut decisions = Vec::new();
+        for event in generate_drift_stream(&config) {
+            decisions.extend(pipeline.offer(event));
+        }
+        assert!(!decisions.is_empty(), "no decisions from 600 events");
+        let summary = pipeline.summary();
+        assert_eq!(summary.events, 600);
+        assert_eq!(summary.decisions, decisions.len() as u64);
+        assert_eq!(pipeline.pending_len(), 0);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_outputs() {
+        let config =
+            DriftStreamConfig { events: 500, drift_at: 250, ..DriftStreamConfig::default() };
+        let events = generate_drift_stream(&config);
+
+        let mut in_order = pipeline_for(&config);
+        let mut a = Vec::new();
+        for e in events.iter().cloned() {
+            a.extend(in_order.offer(e));
+        }
+
+        // Same events, shuffled within blocks of 16 (simulating ring
+        // interleaving): the reorder buffer must erase the difference.
+        let mut scrambled = pipeline_for(&config);
+        let mut b = Vec::new();
+        for chunk in events.chunks(16) {
+            let mut chunk: Vec<_> = chunk.to_vec();
+            chunk.reverse();
+            for e in chunk {
+                b.extend(scrambled.offer(e));
+            }
+        }
+
+        assert_eq!(a, b, "decisions must be bit-identical under reordering");
+        assert_eq!(in_order.transitions(), scrambled.transitions());
+        assert_eq!(in_order.summary(), scrambled.summary());
+    }
+
+    #[test]
+    fn drift_is_detected_after_the_concept_inverts() {
+        let config =
+            DriftStreamConfig { events: 3_000, drift_at: 1_500, ..DriftStreamConfig::default() };
+        let mut pipeline = pipeline_for(&config);
+        for event in generate_drift_stream(&config) {
+            pipeline.offer(event);
+        }
+        assert_eq!(pipeline.drift_state(), DriftState::Drifting, "drift missed entirely");
+        let drift_seq = pipeline
+            .transitions()
+            .iter()
+            .find(|(_, s)| *s == DriftState::Drifting)
+            .map(|(seq, _)| *seq)
+            .expect("a drifting transition");
+        assert!(drift_seq >= 1_500, "drift flagged before it happened (seq {drift_seq})");
+        assert!(drift_seq < 3_000, "detected only at the very end (seq {drift_seq})");
+    }
+
+    #[test]
+    fn stale_events_are_dropped_not_reprocessed() {
+        let config =
+            DriftStreamConfig { events: 100, drift_at: 100, ..DriftStreamConfig::default() };
+        let events = generate_drift_stream(&config);
+        let mut pipeline = pipeline_for(&config);
+        for e in events.iter().cloned() {
+            pipeline.offer(e);
+        }
+        let before = pipeline.summary();
+        pipeline.offer(events[0].clone());
+        let after = pipeline.summary();
+        assert_eq!(after.stale_dropped, before.stale_dropped + 1);
+        assert_eq!(after.events, before.events, "stale event must not be reprocessed");
+    }
+
+    #[test]
+    fn out_of_range_events_are_gated_before_the_models() {
+        let config = DriftStreamConfig { events: 50, drift_at: 50, ..DriftStreamConfig::default() };
+        let mut events = generate_drift_stream(&config);
+        events[10].values[0] = 5e7; // beyond QcConfig::default() max_value.
+        let mut pipeline = pipeline_for(&config);
+        for e in events {
+            pipeline.offer(e);
+        }
+        assert_eq!(pipeline.summary().qc.rejected_out_of_range, 1);
+    }
+}

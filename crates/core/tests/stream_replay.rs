@@ -1,0 +1,123 @@
+//! The streaming plane's determinism contract, pinned end-to-end: replaying
+//! the same seeded event stream through the ingest ring must produce
+//! bit-identical decisions — predicted classes, confidence values, drift
+//! states and drift transitions — at every combination of ring capacity and
+//! producer thread count. Capacity and concurrency are throughput knobs, not
+//! semantics knobs.
+
+use spatial_core::stream::{StreamDecision, StreamPipeline, StreamPipelineConfig};
+use spatial_core::DriftState;
+use spatial_data::ingest::{IngestRing, StreamEvent};
+use spatial_data::stream::{generate_drift_stream, DriftStreamConfig};
+use std::sync::Arc;
+
+const RING_CAPACITIES: [usize; 2] = [16, 1024];
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn stream_config() -> DriftStreamConfig {
+    DriftStreamConfig {
+        n_streams: 2,
+        n_channels: 3,
+        events: 2_400,
+        drift_at: 1_200,
+        seed: 42,
+        ..DriftStreamConfig::default()
+    }
+}
+
+fn pipeline() -> StreamPipeline {
+    let sc = stream_config();
+    StreamPipeline::new(StreamPipelineConfig {
+        n_streams: sc.n_streams,
+        n_channels: sc.n_channels,
+        ..StreamPipelineConfig::default()
+    })
+}
+
+/// Replays `events` through a ring with `n_threads` producers and one
+/// consuming pipeline; returns everything observable about the run.
+fn replay(
+    events: &[StreamEvent],
+    capacity: usize,
+    n_threads: usize,
+) -> (Vec<StreamDecision>, Vec<(u64, DriftState)>, DriftState) {
+    let ring = Arc::new(IngestRing::new(capacity));
+    let total = events.len();
+    let producers: Vec<_> = (0..n_threads)
+        .map(|t| {
+            // Round-robin partition: thread t pushes events t, t+n, t+2n, ...
+            let slice: Vec<StreamEvent> =
+                events.iter().skip(t).step_by(n_threads).cloned().collect();
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for event in slice {
+                    ring.push_blocking(event);
+                }
+            })
+        })
+        .collect();
+    let mut pipeline = pipeline();
+    let mut decisions = Vec::new();
+    let mut consumed = 0usize;
+    while consumed < total {
+        match ring.pop() {
+            Some(event) => {
+                consumed += 1;
+                decisions.extend(pipeline.offer(event));
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert_eq!(pipeline.pending_len(), 0, "reorder buffer must drain");
+    assert_eq!(pipeline.summary().events, total as u64);
+    (decisions, pipeline.transitions().to_vec(), pipeline.drift_state())
+}
+
+#[test]
+fn replay_is_bit_identical_across_ring_capacities_and_thread_counts() {
+    let events = generate_drift_stream(&stream_config());
+
+    // Baseline: straight in-order offer, no ring, no threads.
+    let mut baseline_pipeline = pipeline();
+    let mut baseline = Vec::new();
+    for e in events.iter().cloned() {
+        baseline.extend(baseline_pipeline.offer(e));
+    }
+    assert!(!baseline.is_empty(), "the replay produced no decisions at all");
+    assert_eq!(
+        baseline_pipeline.drift_state(),
+        DriftState::Drifting,
+        "the mid-stream concept drift went undetected"
+    );
+
+    for capacity in RING_CAPACITIES {
+        for n_threads in THREAD_COUNTS {
+            let (decisions, transitions, drift) = replay(&events, capacity, n_threads);
+            // PartialEq on f64 fields is exact — any bit difference in a
+            // probability or confidence value fails here.
+            assert_eq!(
+                decisions, baseline,
+                "decisions diverged at capacity {capacity}, {n_threads} threads"
+            );
+            // And the rendered header values (shortest round-trip Display)
+            // must match byte-for-byte too — this is what clients see.
+            let rendered: Vec<String> =
+                decisions.iter().map(|d| format!("{}", d.confidence)).collect();
+            let baseline_rendered: Vec<String> =
+                baseline.iter().map(|d| format!("{}", d.confidence)).collect();
+            assert_eq!(
+                rendered, baseline_rendered,
+                "rendered confidence diverged at capacity {capacity}, {n_threads} threads"
+            );
+            assert_eq!(
+                transitions,
+                baseline_pipeline.transitions().to_vec(),
+                "drift transitions diverged at capacity {capacity}, {n_threads} threads"
+            );
+            assert_eq!(drift, baseline_pipeline.drift_state());
+        }
+    }
+}

@@ -13,17 +13,22 @@
 //! faithful synthetic generators for both ([`unimib`], [`netflow`] fed by [`packet`]),
 //! plus a small synthetic image corpus ([`image`]) for the image-XAI capacity
 //! experiments, the shared [`Dataset`] container, stratified [`split`]ting, feature
-//! [`preprocess`]ing, and [`csv`] I/O (the papaparse equivalent).
+//! [`preprocess`]ing, and [`csv`] I/O (the papaparse equivalent). The streaming
+//! data plane lives in [`ingest`] (bounded lock-free event ring) and [`stream`]
+//! (per-stream quality control, sliding-window feature extraction, multi-sensor
+//! fusion, and a seeded concept-drift stream generator).
 //!
 //! Everything is seeded and deterministic.
 
 pub mod csv;
 pub mod dataset;
 pub mod image;
+pub mod ingest;
 pub mod netflow;
 pub mod packet;
 pub mod preprocess;
 pub mod split;
+pub mod stream;
 pub mod unimib;
 
 pub use dataset::Dataset;

@@ -116,24 +116,79 @@ impl MinMaxScaler {
     }
 }
 
+/// Per-column outcome of [`repair_non_finite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRepair {
+    /// Column index in the repaired matrix.
+    pub column: usize,
+    /// Non-finite cells replaced with the column's finite mean.
+    pub repaired: usize,
+    /// True when the column had *no* finite entries: there is nothing
+    /// trustworthy to impute from, so its cells were left non-finite instead of
+    /// being invented. Consumers (the batch pipeline, the stream QC path) must
+    /// treat such columns as unusable rather than silently trained on.
+    pub unrepairable: bool,
+}
+
+/// Report from [`repair_non_finite`]: one entry per column that needed
+/// attention (fully finite columns are omitted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Per-column outcomes, in ascending column order.
+    pub columns: Vec<ColumnRepair>,
+}
+
+impl RepairReport {
+    /// Total cells replaced across all columns.
+    pub fn total_repaired(&self) -> usize {
+        self.columns.iter().map(|c| c.repaired).sum()
+    }
+
+    /// Indices of columns that could not be repaired (no finite entries).
+    pub fn unrepairable_columns(&self) -> Vec<usize> {
+        self.columns.iter().filter(|c| c.unrepairable).map(|c| c.column).collect()
+    }
+
+    /// True when every column was fully finite to begin with.
+    pub fn is_clean(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
 /// Simple data-quality cleaning (the paper's "data collection" stage mentions missing
 /// data and duplicates): replaces non-finite entries with the column mean computed over
-/// finite entries, and returns the number of cells repaired.
-pub fn repair_non_finite(m: &mut Matrix) -> usize {
+/// finite entries and reports, per column, how many cells were repaired.
+///
+/// A column with no finite entries at all is **not** repaired: `mean(&[])` is
+/// `0.0`, and zero-filling such a column used to fabricate a constant feature
+/// out of pure garbage while counting it as "fixed". Those columns are left
+/// untouched and flagged [`ColumnRepair::unrepairable`] instead; callers decide
+/// whether to drop the column, reject the window, or fail the run.
+pub fn repair_non_finite(m: &mut Matrix) -> RepairReport {
     let cols = m.cols();
-    let mut repaired = 0;
+    let mut report = RepairReport::default();
     for c in 0..cols {
         let col = m.col(c);
         let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+        let broken = col.len() - finite.len();
+        if broken == 0 {
+            continue;
+        }
+        if finite.is_empty() {
+            report.columns.push(ColumnRepair { column: c, repaired: 0, unrepairable: true });
+            continue;
+        }
         let fill = spatial_linalg::vector::mean(&finite);
+        let mut repaired = 0;
         for r in 0..m.rows() {
             if !m[(r, c)].is_finite() {
                 m[(r, c)] = fill;
                 repaired += 1;
             }
         }
+        report.columns.push(ColumnRepair { column: c, repaired, unrepairable: false });
     }
-    repaired
+    report
 }
 
 /// Removes exactly duplicated rows (keeping first occurrences); returns the kept
@@ -202,9 +257,43 @@ mod tests {
     #[test]
     fn repair_non_finite_fills_with_mean() {
         let mut m = Matrix::from_rows(&[&[1.0], &[f64::NAN], &[3.0]]);
-        let n = repair_non_finite(&mut m);
-        assert_eq!(n, 1);
+        let report = repair_non_finite(&mut m);
+        assert_eq!(report.total_repaired(), 1);
+        assert!(report.unrepairable_columns().is_empty());
         assert_eq!(m[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn repair_report_is_per_column() {
+        let mut m = Matrix::from_rows(&[
+            &[1.0, f64::NAN, 5.0],
+            &[3.0, f64::INFINITY, f64::NAN],
+            &[5.0, 2.0, 7.0],
+        ]);
+        let report = repair_non_finite(&mut m);
+        // Column 0 was clean and is omitted; columns 1 and 2 each had repairs.
+        assert_eq!(report.columns.len(), 2);
+        assert_eq!(report.columns[0], ColumnRepair { column: 1, repaired: 2, unrepairable: false });
+        assert_eq!(report.columns[1], ColumnRepair { column: 2, repaired: 1, unrepairable: false });
+        assert_eq!(report.total_repaired(), 3);
+        assert_eq!(m[(0, 1)], 2.0, "column-1 fill is the mean of its single finite entry");
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn all_nan_column_is_reported_unrepairable_not_zero_filled() {
+        // Regression: a column with no finite entries used to be "repaired" with
+        // `mean(&[]) == 0.0` — a fabricated constant feature counted as fixed.
+        let mut m = Matrix::from_rows(&[&[1.0, f64::NAN], &[2.0, f64::NAN], &[3.0, f64::NAN]]);
+        let report = repair_non_finite(&mut m);
+        assert_eq!(report.total_repaired(), 0, "nothing real was repaired");
+        assert_eq!(report.unrepairable_columns(), vec![1]);
+        assert!(!report.is_clean());
+        for r in 0..3 {
+            assert!(m[(r, 1)].is_nan(), "unrepairable cells must stay non-finite, not become 0.0");
+        }
+        // The finite column is untouched.
+        assert_eq!(m.col(0), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

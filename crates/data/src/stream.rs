@@ -1,0 +1,457 @@
+//! Per-stream quality control, sliding-window feature extraction and
+//! multi-sensor fusion for the streaming data plane.
+//!
+//! The pipeline stages here are deliberately *per-event deterministic*: each
+//! stage is a pure function of the events it has already consumed in `seq`
+//! order, with no clocks, no randomness and no dependence on arrival timing.
+//! `spatial-core`'s stream pipeline composes them behind its reorder buffer, so
+//! the whole plane is bit-identical across ring capacities and thread counts.
+//!
+//! Stages:
+//!
+//! 1. [`QualityControl`] — rejects physically impossible readings (out of
+//!    range) and dead sensors (stuck-at: a channel repeating the same bit
+//!    pattern). Non-finite values deliberately *pass* QC: they are repairable
+//!    by window-level mean imputation, and [`WindowExtractor`] routes the
+//!    per-column [`RepairReport`](crate::preprocess::RepairReport) so that
+//!    windows with unrepairable (all-NaN) columns are rejected instead of
+//!    silently zero-filled.
+//! 2. [`WindowExtractor`] — sliding window over accepted events, emitting
+//!    per-channel summary features (mean/std/min/max).
+//! 3. [`SensorFusion`] — concatenates the latest window features of every
+//!    stream, in stream-id order, once all streams have reported.
+//!
+//! [`generate_drift_stream`] produces the seeded UC1/UC2-style replay traffic
+//! with a mid-stream concept drift (the class-conditional means invert at
+//! `drift_at`), used by the replay tests and the `ingest_throughput` bench.
+
+use crate::ingest::StreamEvent;
+use crate::preprocess::repair_non_finite;
+use rand::Rng;
+use spatial_linalg::{rng, stats, vector, Matrix};
+use std::collections::VecDeque;
+
+/// Quality-control thresholds for one deployment of sensors.
+#[derive(Debug, Clone)]
+pub struct QcConfig {
+    /// Smallest physically plausible reading; finite values below reject the event.
+    pub min_value: f64,
+    /// Largest physically plausible reading; finite values above reject the event.
+    pub max_value: f64,
+    /// A channel repeating the exact same bit pattern for this many consecutive
+    /// events is considered stuck-at and the event is rejected.
+    pub stuck_limit: usize,
+}
+
+impl Default for QcConfig {
+    fn default() -> Self {
+        Self { min_value: -1e6, max_value: 1e6, stuck_limit: 8 }
+    }
+}
+
+/// What [`QualityControl::admit`] decided about one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QcVerdict {
+    /// The event passes on to windowing.
+    Accepted,
+    /// A finite reading fell outside `[min_value, max_value]`.
+    OutOfRange,
+    /// A channel has repeated the same bit pattern `stuck_limit` times.
+    StuckAt,
+}
+
+/// Cumulative quality-control counters for one pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QcReport {
+    /// Events that passed all checks.
+    pub accepted: u64,
+    /// Events rejected for an out-of-range finite reading.
+    pub rejected_out_of_range: u64,
+    /// Events rejected because a channel was stuck-at.
+    pub rejected_stuck: u64,
+    /// Windows discarded because a column had no finite entries to impute from.
+    pub windows_rejected_unrepairable: u64,
+    /// Non-finite cells repaired by window-level mean imputation.
+    pub cells_repaired: u64,
+}
+
+impl QcReport {
+    /// Total rejected events (not counting rejected windows).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_out_of_range + self.rejected_stuck
+    }
+}
+
+/// Per-channel stuck-at tracking state for one stream.
+#[derive(Debug, Clone, Default)]
+struct StuckState {
+    /// Bit pattern of the last reading per channel.
+    last_bits: Vec<u64>,
+    /// Consecutive repeats of that bit pattern per channel.
+    run: Vec<usize>,
+}
+
+/// Stage 1: per-stream out-of-range and stuck-at rejection.
+#[derive(Debug)]
+pub struct QualityControl {
+    config: QcConfig,
+    streams: Vec<StuckState>,
+}
+
+impl QualityControl {
+    /// A quality gate for `n_streams` independent sensor streams.
+    pub fn new(n_streams: usize, config: QcConfig) -> Self {
+        Self { config, streams: vec![StuckState::default(); n_streams] }
+    }
+
+    /// Judges one event. Stuck-at run lengths advance on every call (a stuck
+    /// sensor stays flagged until it produces a different bit pattern), but
+    /// out-of-range readings are checked first: an impossible value is a
+    /// stronger signal than a repeated one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range for this gate.
+    pub fn admit(&mut self, stream: usize, values: &[f64]) -> QcVerdict {
+        let state = &mut self.streams[stream];
+        if state.last_bits.len() != values.len() {
+            // First event (or a channel-count change): reset tracking.
+            state.last_bits = values.iter().map(|v| v.to_bits()).collect();
+            state.run = vec![1; values.len()];
+        } else {
+            for (i, v) in values.iter().enumerate() {
+                let bits = v.to_bits();
+                if bits == state.last_bits[i] {
+                    state.run[i] = state.run[i].saturating_add(1);
+                } else {
+                    state.last_bits[i] = bits;
+                    state.run[i] = 1;
+                }
+            }
+        }
+        if values
+            .iter()
+            .any(|v| v.is_finite() && (*v < self.config.min_value || *v > self.config.max_value))
+        {
+            return QcVerdict::OutOfRange;
+        }
+        if self.config.stuck_limit > 0 && state.run.iter().any(|r| *r >= self.config.stuck_limit) {
+            return QcVerdict::StuckAt;
+        }
+        QcVerdict::Accepted
+    }
+}
+
+/// Sliding-window geometry.
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Events per window.
+    pub window: usize,
+    /// Events consumed between successive windows (`stride == window` means
+    /// tumbling, `stride < window` means overlapping).
+    pub stride: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self { window: 16, stride: 8 }
+    }
+}
+
+/// What [`WindowExtractor::push`] produced for one accepted event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowOutcome {
+    /// The window is not full yet.
+    Pending,
+    /// A full window was summarised; `repaired` non-finite cells were
+    /// mean-imputed before feature extraction.
+    Features { features: Vec<f64>, repaired: usize },
+    /// The window had columns with no finite entries and was discarded rather
+    /// than trained on fabricated zeros.
+    RejectedUnrepairable { columns: Vec<usize> },
+}
+
+/// Stage 2: per-stream sliding windows summarised into
+/// `4 × n_channels` features (mean, std, min, max per channel).
+#[derive(Debug)]
+pub struct WindowExtractor {
+    config: WindowConfig,
+    buffers: Vec<VecDeque<Vec<f64>>>,
+}
+
+impl WindowExtractor {
+    /// A windower for `n_streams` independent streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(n_streams: usize, config: WindowConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.stride > 0, "stride must be positive");
+        Self { buffers: vec![VecDeque::new(); n_streams], config }
+    }
+
+    /// Appends one accepted event and, when the window fills, repairs and
+    /// summarises it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn push(&mut self, stream: usize, values: &[f64]) -> WindowOutcome {
+        let buffer = &mut self.buffers[stream];
+        buffer.push_back(values.to_vec());
+        if buffer.len() < self.config.window {
+            return WindowOutcome::Pending;
+        }
+        let rows: Vec<Vec<f64>> = buffer.iter().cloned().collect();
+        for _ in 0..self.config.stride.min(buffer.len()) {
+            buffer.pop_front();
+        }
+        let mut m = Matrix::from_row_vecs(rows);
+        let report = repair_non_finite(&mut m);
+        let unrepairable = report.unrepairable_columns();
+        if !unrepairable.is_empty() {
+            return WindowOutcome::RejectedUnrepairable { columns: unrepairable };
+        }
+        let mut features = Vec::with_capacity(4 * m.cols());
+        for c in 0..m.cols() {
+            let col = m.col(c);
+            let (lo, hi) = stats::min_max(&col).unwrap_or((0.0, 0.0));
+            features.push(vector::mean(&col));
+            features.push(stats::std_dev(&col));
+            features.push(lo);
+            features.push(hi);
+        }
+        WindowOutcome::Features { features, repaired: report.total_repaired() }
+    }
+
+    /// The number of features a full window emits for `n_channels` channels.
+    pub fn n_features(n_channels: usize) -> usize {
+        4 * n_channels
+    }
+}
+
+/// Stage 3: concatenates the latest window features of every stream, in
+/// stream-id order, once all streams have reported at least once.
+#[derive(Debug)]
+pub struct SensorFusion {
+    latest: Vec<Option<Vec<f64>>>,
+}
+
+impl SensorFusion {
+    /// A fuser over `n_streams` streams.
+    pub fn new(n_streams: usize) -> Self {
+        Self { latest: vec![None; n_streams] }
+    }
+
+    /// Records `features` for `stream`; returns the fused vector once every
+    /// stream has reported (and on every update thereafter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn update(&mut self, stream: usize, features: Vec<f64>) -> Option<Vec<f64>> {
+        self.latest[stream] = Some(features);
+        if self.latest.iter().all(Option::is_some) {
+            let mut fused = Vec::new();
+            for f in self.latest.iter().flatten() {
+                fused.extend_from_slice(f);
+            }
+            Some(fused)
+        } else {
+            None
+        }
+    }
+}
+
+/// Geometry of a synthetic drifting sensor replay.
+#[derive(Debug, Clone)]
+pub struct DriftStreamConfig {
+    /// Independent sensor streams (devices).
+    pub n_streams: usize,
+    /// Channels per event.
+    pub n_channels: usize,
+    /// Total events across all streams.
+    pub events: usize,
+    /// Global `seq` at which the concept inverts (class-conditional means swap
+    /// sign), i.e. the true drift point the detectors should find.
+    pub drift_at: u64,
+    /// Events per label regime: the class is redrawn every `label_run` events
+    /// and held constant in between, the way a real flow stays attack or
+    /// benign for its duration. Runs must span several extraction windows —
+    /// per-event coin-flip labels would leave every window an uninformative
+    /// polarity mix with nothing for an online learner to learn (and therefore
+    /// no error shift for the drift detector to see).
+    pub label_run: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for DriftStreamConfig {
+    fn default() -> Self {
+        Self { n_streams: 2, n_channels: 3, events: 2_000, drift_at: 1_000, label_run: 64, seed: 7 }
+    }
+}
+
+/// Generates a seeded two-class Gaussian sensor replay with a mid-stream
+/// concept drift, in global `seq` order with streams assigned round-robin.
+/// Labels arrive in runs of [`DriftStreamConfig::label_run`] events (coherent
+/// regimes, like flows), so sliding windows are mostly label-pure.
+///
+/// Before `drift_at`, class 0 readings centre at `-1` and class 1 at `+1` per
+/// channel; at `drift_at` the mapping inverts, so a model trained on the old
+/// concept sees its prequential error jump — the signal the windowed drift
+/// detector must catch faster than the retrain cadence.
+///
+/// # Panics
+///
+/// Panics if `label_run` is zero.
+pub fn generate_drift_stream(config: &DriftStreamConfig) -> Vec<StreamEvent> {
+    assert!(config.label_run > 0, "label_run must be positive");
+    let mut r = rng::seeded(config.seed);
+    let mut events = Vec::with_capacity(config.events);
+    let mut label = 0usize;
+    for seq in 0..config.events as u64 {
+        if seq % config.label_run == 0 {
+            label = r.random_range(0..2usize);
+        }
+        let drifted = seq >= config.drift_at;
+        // Concept: sign of the class-conditional mean; inverts at the drift point.
+        let polarity = if (label == 1) != drifted { 1.0 } else { -1.0 };
+        let values: Vec<f64> =
+            (0..config.n_channels).map(|_| rng::normal(&mut r, polarity, 0.6)).collect();
+        events.push(StreamEvent {
+            stream: (seq as usize) % config.n_streams,
+            seq,
+            values,
+            label: Some(label),
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut qc =
+            QualityControl::new(1, QcConfig { min_value: -10.0, max_value: 10.0, stuck_limit: 8 });
+        assert_eq!(qc.admit(0, &[1.0, 2.0]), QcVerdict::Accepted);
+        assert_eq!(qc.admit(0, &[1.0, 11.0]), QcVerdict::OutOfRange);
+        assert_eq!(qc.admit(0, &[-11.0, 2.0]), QcVerdict::OutOfRange);
+        // Non-finite values are repairable downstream, not out-of-range.
+        assert_eq!(qc.admit(0, &[f64::NAN, 2.0]), QcVerdict::Accepted);
+    }
+
+    #[test]
+    fn stuck_channel_is_rejected_after_limit() {
+        let mut qc = QualityControl::new(1, QcConfig { stuck_limit: 3, ..QcConfig::default() });
+        assert_eq!(qc.admit(0, &[5.0, 1.0]), QcVerdict::Accepted);
+        assert_eq!(qc.admit(0, &[5.0, 2.0]), QcVerdict::Accepted);
+        // Third identical reading on channel 0 hits the limit.
+        assert_eq!(qc.admit(0, &[5.0, 3.0]), QcVerdict::StuckAt);
+        // A fresh bit pattern releases the channel.
+        assert_eq!(qc.admit(0, &[6.0, 4.0]), QcVerdict::Accepted);
+    }
+
+    #[test]
+    fn stuck_tracking_is_per_stream() {
+        let mut qc = QualityControl::new(2, QcConfig { stuck_limit: 2, ..QcConfig::default() });
+        assert_eq!(qc.admit(0, &[5.0]), QcVerdict::Accepted);
+        // Same value on a *different* stream does not advance stream 0's run.
+        assert_eq!(qc.admit(1, &[5.0]), QcVerdict::Accepted);
+        assert_eq!(qc.admit(1, &[5.0]), QcVerdict::StuckAt);
+    }
+
+    #[test]
+    fn window_emits_after_fill_and_respects_stride() {
+        let mut w = WindowExtractor::new(1, WindowConfig { window: 4, stride: 2 });
+        for i in 0..3 {
+            assert_eq!(w.push(0, &[i as f64]), WindowOutcome::Pending);
+        }
+        match w.push(0, &[3.0]) {
+            WindowOutcome::Features { features, repaired } => {
+                // mean, std, min, max of [0,1,2,3].
+                assert_eq!(features.len(), 4);
+                assert!((features[0] - 1.5).abs() < 1e-12);
+                assert_eq!(features[2], 0.0);
+                assert_eq!(features[3], 3.0);
+                assert_eq!(repaired, 0);
+            }
+            other => panic!("expected features, got {other:?}"),
+        }
+        // Stride 2: two more events refill the window ([2,3,4,5]).
+        assert_eq!(w.push(0, &[4.0]), WindowOutcome::Pending);
+        match w.push(0, &[5.0]) {
+            WindowOutcome::Features { features, .. } => assert_eq!(features[3], 5.0),
+            other => panic!("expected features, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_nan_channel_rejects_the_window() {
+        let mut w = WindowExtractor::new(1, WindowConfig { window: 3, stride: 3 });
+        assert_eq!(w.push(0, &[f64::NAN, 1.0]), WindowOutcome::Pending);
+        assert_eq!(w.push(0, &[f64::NAN, 2.0]), WindowOutcome::Pending);
+        match w.push(0, &[f64::NAN, 3.0]) {
+            WindowOutcome::RejectedUnrepairable { columns } => assert_eq!(columns, vec![0]),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partially_nan_channel_is_repaired_not_rejected() {
+        let mut w = WindowExtractor::new(1, WindowConfig { window: 3, stride: 3 });
+        w.push(0, &[1.0]);
+        w.push(0, &[f64::NAN]);
+        match w.push(0, &[3.0]) {
+            WindowOutcome::Features { features, repaired } => {
+                assert_eq!(repaired, 1);
+                // NaN imputed with the column mean (2.0): mean stays 2.0.
+                assert!((features[0] - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected features, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_waits_for_all_streams_then_concatenates_in_order() {
+        let mut fusion = SensorFusion::new(2);
+        assert_eq!(fusion.update(1, vec![3.0, 4.0]), None);
+        assert_eq!(fusion.update(0, vec![1.0, 2.0]), Some(vec![1.0, 2.0, 3.0, 4.0]));
+        // Later updates re-emit with the newest features.
+        assert_eq!(fusion.update(1, vec![5.0, 6.0]), Some(vec![1.0, 2.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn drift_stream_is_seed_deterministic_and_inverts_at_drift_point() {
+        // Short label runs so both classes appear on each side of the drift.
+        let config = DriftStreamConfig {
+            events: 400,
+            drift_at: 200,
+            label_run: 16,
+            ..DriftStreamConfig::default()
+        };
+        let a = generate_drift_stream(&config);
+        let b = generate_drift_stream(&config);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 400);
+        assert_eq!(a[0].seq, 0);
+        assert_eq!(a[399].seq, 399);
+        // Before the drift, class-1 events centre positive; after, negative.
+        let mean_of = |events: &[StreamEvent], label: usize| {
+            let vals: Vec<f64> = events
+                .iter()
+                .filter(|e| e.label == Some(label))
+                .flat_map(|e| e.values.iter().copied())
+                .collect();
+            vector::mean(&vals)
+        };
+        assert!(mean_of(&a[..200], 1) > 0.5);
+        assert!(mean_of(&a[200..], 1) < -0.5);
+        assert!(mean_of(&a[..200], 0) < -0.5);
+        assert!(mean_of(&a[200..], 0) > 0.5);
+    }
+}

@@ -268,8 +268,10 @@ impl<I: Send, O: Send> MicroBatcher<I, O> {
 }
 
 /// One step of window adaptation, driven by the occupancy of the batch that
-/// just formed. See the module docs for the rationale.
-fn adapt_window(window: &mut Duration, config: &BatcherConfig, occupancy: usize) {
+/// just formed. See the module docs for the rationale. Public so the window
+/// bounds can be property-tested from outside the crate: for any occupancy
+/// sequence, a window starting inside `[min_window, max_window]` stays there.
+pub fn adapt_window(window: &mut Duration, config: &BatcherConfig, occupancy: usize) {
     if occupancy <= 1 || occupancy >= config.max_batch {
         *window = (*window / 2).max(config.min_window);
     } else {

@@ -10,28 +10,52 @@
 //!   server that closed while the connection sat idle is detected *before* the
 //!   request bytes are spent on it.
 //! - A request that still fails on a reused connection (the close raced the
-//!   probe) is retried once on a fresh connection. A server that crashes after
-//!   reading a request but before answering can therefore see it twice — the
-//!   same trade hyper-style pools make; the gateway's retry policy remains the
-//!   layer that reasons about idempotency for *application* retries.
+//!   probe) is replayed once on a fresh connection — but *only* when the
+//!   failure proves the server never processed the request: a non-timeout
+//!   write error, or EOF / connection reset before the first response byte.
+//!   Timeouts and failures after response bytes started arriving are never
+//!   replayed (the server may be mid-processing; a replay would silently
+//!   deliver a non-idempotent request twice and bypass the retry-budget
+//!   layer). Suppressed replays surface the transport error to the caller and
+//!   are counted in [`ClientStats::replay_suppressed`].
 //! - The server's `Connection` answer is honored: `close` responses drop the
 //!   connection (so the blocking one-shot servers and the chaos proxy keep
 //!   working unpooled), anything else returns it to the pool up to
 //!   `max_idle_per_host`.
 //!
 //! Headers are passed as two borrowed slices (`base` + per-attempt extras) so
-//! the forward path no longer clones its header set per attempt.
+//! the forward path no longer clones its header set per attempt. The client
+//! always frames the request itself (`host`, `content-length`, `connection`);
+//! caller-supplied headers with those names are dropped rather than emitted as
+//! duplicates the hardened servers reject with 400.
 
 use crate::http::{read_response_keep_conn, HttpError, Response};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Idle connections kept per upstream address.
 const MAX_IDLE_PER_HOST: usize = 8;
+
+/// Header names the client frames itself on every request. Caller-supplied
+/// values for these are dropped: a second `content-length` is the classic
+/// request-smuggling shape the PR-5-hardened servers reject with 400, and a
+/// caller's `connection: close` would silently defeat pooling.
+const RESERVED_HEADERS: [&str; 3] = ["host", "content-length", "connection"];
+
+fn is_reserved_header(name: &str) -> bool {
+    RESERVED_HEADERS.iter().any(|r| name.eq_ignore_ascii_case(r))
+}
+
+/// True when `e` is *not* a timeout. A timed-out request may still be draining
+/// or executing server-side, so timeouts never justify a replay; any other
+/// transport failure at the probed points proves the server never answered.
+fn not_a_timeout(e: &std::io::Error) -> bool {
+    !matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+}
 
 /// One pooled connection: the stream plus its long-lived buffered reader (the
 /// reader must outlive a single response so pipelined bytes are never dropped).
@@ -46,6 +70,7 @@ pub struct ClientStats {
     reuses: AtomicU64,
     stale_drops: AtomicU64,
     retries_on_stale: AtomicU64,
+    replay_suppressed: AtomicU64,
 }
 
 impl ClientStats {
@@ -61,9 +86,18 @@ impl ClientStats {
     pub fn stale_drops(&self) -> u64 {
         self.stale_drops.load(Ordering::Relaxed)
     }
-    /// Requests replayed on a fresh connection after a reused one failed.
+    /// Requests replayed on a fresh connection after a reused one failed
+    /// *before* the server could have processed them (write error, or
+    /// EOF/reset before the first response byte).
     pub fn retries_on_stale(&self) -> u64 {
         self.retries_on_stale.load(Ordering::Relaxed)
+    }
+    /// Reused-connection failures that were **not** replayed because the
+    /// server may already have processed the request (timeout, or failure
+    /// after response bytes started arriving). These surface as errors to the
+    /// caller, whose retry policy owns the idempotency decision.
+    pub fn replay_suppressed(&self) -> u64 {
+        self.replay_suppressed.load(Ordering::Relaxed)
     }
 }
 
@@ -124,9 +158,19 @@ impl PooledClient {
                     }
                     return Ok(resp);
                 }
-                Err(_) => {
-                    // The reused connection went stale between probe and use;
-                    // replay once on a fresh one.
+                Err((err, replayable)) => {
+                    if !replayable {
+                        // A timeout, or a failure after response bytes started
+                        // arriving: the server may have processed (or still be
+                        // processing) the request, so a replay could deliver a
+                        // non-idempotent request twice. Surface the error to
+                        // the caller's retry-budget layer instead.
+                        self.stats.replay_suppressed.fetch_add(1, Ordering::Relaxed);
+                        return Err(err);
+                    }
+                    // The reused connection proved dead before the server could
+                    // have processed the request (its close raced the idle
+                    // probe); replay once on a fresh connection.
                     self.stats.retries_on_stale.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -134,8 +178,9 @@ impl PooledClient {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         self.stats.connects.fetch_add(1, Ordering::Relaxed);
         let mut conn = Idle { reader: BufReader::new(stream) };
-        let (resp, server_close) =
-            self.exchange(&mut conn, method, path, base_headers, attempt_headers, body, timeout)?;
+        let (resp, server_close) = self
+            .exchange(&mut conn, method, path, base_headers, attempt_headers, body, timeout)
+            .map_err(|(e, _)| e)?;
         if !server_close {
             self.checkin(addr, conn);
         }
@@ -143,6 +188,11 @@ impl PooledClient {
     }
 
     /// Writes one keep-alive request and reads its response off `conn`.
+    ///
+    /// The error side carries a replay verdict: `true` when the failure proves
+    /// the server never processed the request (non-timeout write error, or
+    /// EOF/reset before the first response byte), `false` when a replay would
+    /// be unsafe (timeout anywhere, or any failure once response bytes exist).
     #[allow(clippy::too_many_arguments)]
     fn exchange(
         &self,
@@ -153,10 +203,16 @@ impl PooledClient {
         attempt_headers: &[(String, String)],
         body: &[u8],
         timeout: Duration,
-    ) -> Result<(Response, bool), HttpError> {
+    ) -> Result<(Response, bool), (HttpError, bool)> {
         let stream = conn.reader.get_mut();
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+        let setup = stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)));
+        if let Err(e) = setup {
+            // Nothing was written, so the server cannot have seen the request.
+            let replayable = not_a_timeout(&e);
+            return Err((HttpError::Io(e), replayable));
+        }
         let mut head = String::with_capacity(128);
         head.push_str(method);
         head.push(' ');
@@ -165,16 +221,43 @@ impl PooledClient {
         head.push_str(&body.len().to_string());
         head.push_str("\r\nconnection: keep-alive\r\n");
         for (name, value) in base_headers.iter().chain(attempt_headers) {
+            if is_reserved_header(name) {
+                continue;
+            }
             head.push_str(name);
             head.push_str(": ");
             head.push_str(value);
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(body)?;
-        stream.flush()?;
-        read_response_keep_conn(&mut conn.reader)
+        let written = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush());
+        if let Err(e) = written {
+            let replayable = not_a_timeout(&e);
+            return Err((HttpError::Io(e), replayable));
+        }
+        // Probe for the first response byte before parsing. EOF or a reset
+        // here is the stale-keep-alive signature — the server closed without
+        // answering, so it never processed the request and a replay is safe.
+        // Once at least one response byte exists, the server *did* process the
+        // request and no failure after this point may be replayed.
+        match conn.reader.fill_buf() {
+            Ok([]) => {
+                let e = std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before any response byte",
+                );
+                return Err((HttpError::Io(e), true));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                let replayable = not_a_timeout(&e);
+                return Err((HttpError::Io(e), replayable));
+            }
+        }
+        read_response_keep_conn(&mut conn.reader).map_err(|e| (e, false))
     }
 
     /// Pops an idle connection for `addr`, discarding any the probe finds dead.
@@ -225,6 +308,7 @@ mod tests {
     use super::*;
     use crate::http::{HttpServer, Response as HttpResponse};
     use crate::reactor::ReactorServer;
+    use std::sync::Arc;
 
     fn no_headers() -> &'static [(String, String)] {
         &[]
@@ -320,6 +404,145 @@ mod tests {
             client_addr
         };
         let _ = addr;
+    }
+
+    /// A raw upstream whose behavior is keyed by request body: `ok` is answered
+    /// with a keep-alive 200, `stall` is read and then never answered, and
+    /// `truncate` gets a partial status line followed by a close. Returns the
+    /// address plus delivery counters for the stall and truncate bodies.
+    fn scripted_upstream() -> (std::net::SocketAddr, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stalls = Arc::new(AtomicU64::new(0));
+        let truncates = Arc::new(AtomicU64::new(0));
+        let (s, t) = (Arc::clone(&stalls), Arc::clone(&truncates));
+        std::thread::spawn(move || {
+            while let Ok((mut conn, _)) = listener.accept() {
+                let (s, t) = (Arc::clone(&s), Arc::clone(&t));
+                std::thread::spawn(move || {
+                    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                    while let Ok(req) = crate::http::read_request(&mut conn) {
+                        match req.body.as_slice() {
+                            b"stall" => {
+                                // Deliberately no response: the client must time
+                                // out without replaying the request anywhere.
+                                s.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_secs(2));
+                                return;
+                            }
+                            b"truncate" => {
+                                // The first response byte arrives, then the
+                                // connection dies mid-status-line.
+                                t.fetch_add(1, Ordering::Relaxed);
+                                let _ = conn.write_all(b"HTTP/1.1 2");
+                                let _ = conn.flush();
+                                return;
+                            }
+                            _ => {
+                                let resp = HttpResponse::json(req.body.clone());
+                                if conn.write_all(&resp.to_bytes(true)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, stalls, truncates)
+    }
+
+    #[test]
+    fn timed_out_request_is_not_replayed() {
+        // Regression: `request()` used to replay on *any* error from a reused
+        // connection, including timeouts — a stalling upstream saw every
+        // non-idempotent request twice. A timeout must surface as an error
+        // after exactly one delivery.
+        let (addr, stalls, _) = scripted_upstream();
+        let client = PooledClient::new();
+        // Prime the pool with a healthy keep-alive exchange.
+        let ok = client
+            .request(addr, "POST", "/x", no_headers(), no_headers(), b"ok", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(ok.status, 200);
+        // The stalled request times out on the reused connection.
+        let err = client.request(
+            addr,
+            "POST",
+            "/x",
+            no_headers(),
+            no_headers(),
+            b"stall",
+            Duration::from_millis(250),
+        );
+        assert!(err.is_err(), "a stalled upstream must surface an error, got {err:?}");
+        // Give any (buggy) background replay a beat to land before counting.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(stalls.load(Ordering::Relaxed), 1, "exactly one delivery of the stalled body");
+        assert_eq!(client.stats().replay_suppressed(), 1);
+        assert_eq!(client.stats().retries_on_stale(), 0);
+        assert_eq!(client.stats().connects(), 1, "no fresh connection may be opened for a replay");
+    }
+
+    #[test]
+    fn failure_after_first_response_byte_is_not_replayed() {
+        // Once response bytes exist the server definitely processed the
+        // request; a mid-response connection drop is an error, not a replay.
+        let (addr, _, truncates) = scripted_upstream();
+        let client = PooledClient::new();
+        let ok = client
+            .request(addr, "POST", "/x", no_headers(), no_headers(), b"ok", Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(ok.status, 200);
+        let err = client.request(
+            addr,
+            "POST",
+            "/x",
+            no_headers(),
+            no_headers(),
+            b"truncate",
+            Duration::from_secs(5),
+        );
+        assert!(err.is_err(), "truncated response must surface an error, got {err:?}");
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(truncates.load(Ordering::Relaxed), 1, "exactly one delivery");
+        assert_eq!(client.stats().replay_suppressed(), 1);
+        assert_eq!(client.stats().retries_on_stale(), 0);
+    }
+
+    #[test]
+    fn caller_supplied_content_length_cannot_poison_a_pooled_connection() {
+        // Regression: `exchange` appended caller headers verbatim after its own
+        // framing trio, so a caller-supplied `content-length` (or `connection`)
+        // produced duplicates the PR-5-hardened servers reject with 400 — and a
+        // wrong length could desynchronize every later request on the pooled
+        // connection. Reserved names are dropped.
+        let server = ReactorServer::spawn(|req| HttpResponse::json(req.body)).unwrap();
+        let client = PooledClient::new();
+        let poisoned = vec![
+            ("content-length".to_string(), "999".to_string()),
+            ("Connection".to_string(), "close".to_string()),
+            ("x-spatial-app".to_string(), "1".to_string()),
+        ];
+        for i in 0..3 {
+            let body = format!("b{i}");
+            let resp = client
+                .request(
+                    server.addr(),
+                    "POST",
+                    "/x",
+                    &poisoned,
+                    no_headers(),
+                    body.as_bytes(),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "reserved headers must be filtered, not duplicated");
+            assert_eq!(resp.body, body.as_bytes());
+        }
+        // The connection stayed framed correctly and kept being reused.
+        assert_eq!(client.stats().connects(), 1);
+        assert_eq!(client.stats().reuses(), 2);
     }
 
     #[test]

@@ -365,8 +365,12 @@ pub struct ForwardPoolStats {
     pub reuses: u64,
     /// Idle connections discarded after the liveness probe saw them dead.
     pub stale_drops: u64,
-    /// Requests replayed on a fresh connection after a reused one failed.
+    /// Requests replayed on a fresh connection after a reused one failed
+    /// before the server could have processed them.
     pub retries_on_stale: u64,
+    /// Reused-connection failures surfaced as errors because a replay would
+    /// have been unsafe (timeout, or the response had already started).
+    pub replay_suppressed: u64,
 }
 
 /// The running gateway.
@@ -470,6 +474,7 @@ impl ApiGateway {
             reuses: s.reuses(),
             stale_drops: s.stale_drops(),
             retries_on_stale: s.retries_on_stale(),
+            replay_suppressed: s.replay_suppressed(),
         }
     }
 
@@ -934,6 +939,11 @@ fn mirror_transport_gauges(state: &ForwardState) {
         "spatial_gateway_upstream_pool_stale_retries_total",
         "Upstream requests replayed on a fresh connection after a reused one failed",
         pool.retries_on_stale(),
+    );
+    set(
+        "spatial_gateway_upstream_pool_replay_suppressed_total",
+        "Reused-connection failures surfaced as errors because a replay would be unsafe",
+        pool.replay_suppressed(),
     );
 }
 

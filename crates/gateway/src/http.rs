@@ -386,7 +386,7 @@ pub fn read_response_buffered(reader: &mut impl BufRead) -> Result<Response, Htt
 /// close the connection (`connection: close`) — the signal the pooled keep-alive
 /// client uses to decide whether a connection may be returned to its pool.
 pub(crate) fn read_response_keep_conn(
-    reader: &mut impl BufRead,
+    mut reader: &mut impl BufRead,
 ) -> Result<(Response, bool), HttpError> {
     let mut budget = MAX_HEAD;
     let line = read_line_bounded(&mut reader, &mut budget)?;
@@ -850,6 +850,79 @@ mod tests {
         assert!(parse(b"GET /e HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_close());
         assert!(!parse(b"GET /e HTTP/1.1\r\nconnection: keep-alive\r\n\r\n").wants_close());
         assert!(!parse(b"GET /e HTTP/1.1\r\n\r\n").wants_close());
+    }
+
+    /// Spawns a one-shot server that answers its first connection with exactly
+    /// `bytes` and closes — for driving the *client-side* parser with
+    /// malformed responses.
+    fn raw_response_server(bytes: Vec<u8>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut sink = [0u8; 4096];
+                let _ = conn.read(&mut sink); // consume the request head
+                let _ = conn.write_all(&bytes);
+                let _ = conn.flush();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn client_rejects_garbage_status_line_with_typed_error() {
+        // Mirror of the PR-5 server-side fuzz crop, pointed at the client
+        // parser: garbage where the status line should be must surface as a
+        // typed HttpError::Malformed, never a panic or a bogus Response.
+        for garbage in [
+            &b"BANANA SPLIT\r\n\r\n"[..],
+            b"HTTP/1.1 OK maybe\r\n\r\n",
+            b"HTTP/1.1\r\n\r\n",
+            b"\r\n\r\n",
+            b"\x00\x01\x02\x03",
+        ] {
+            let addr = raw_response_server(garbage.to_vec());
+            let err = request(addr, "GET", "/x", b"", Duration::from_secs(5)).unwrap_err();
+            assert!(
+                matches!(err, HttpError::Malformed(_)),
+                "{:?} must be Malformed, got {err}",
+                String::from_utf8_lossy(garbage)
+            );
+        }
+    }
+
+    #[test]
+    fn client_rejects_bad_content_length_with_typed_error() {
+        // Non-numeric and oversized response content-lengths are both typed
+        // Malformed errors — the oversized case *before* any allocation.
+        for bad in [
+            "HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n".to_string(),
+            format!("HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1),
+            format!("HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n", u64::MAX),
+        ] {
+            let addr = raw_response_server(bad.clone().into_bytes());
+            let err = request(addr, "GET", "/x", b"", Duration::from_secs(5)).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{bad:?} must be Malformed, got {err}");
+        }
+    }
+
+    #[test]
+    fn client_treats_missing_content_length_as_empty_body() {
+        // A response without content-length is legal HTTP and means zero bytes
+        // here (no chunked encoding in this deployment) — it must parse, and
+        // trailing junk on the wire must not leak into the body.
+        let addr = raw_response_server(b"HTTP/1.1 200 OK\r\n\r\nleftover".to_vec());
+        let resp = request(addr, "GET", "/x", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn client_rejects_connection_closed_before_any_response_byte() {
+        let addr = raw_response_server(Vec::new());
+        let err = request(addr, "GET", "/x", b"", Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "empty response must be Malformed: {err}");
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   sensitivity, impact-resilience, and the AI-pipeline service — plus the
 //!   model-serving service (`/serve/predict`) backed by the oversight loop's
 //!   versioned model store, which keeps answering (degraded, flagged with
-//!   `x-spatial-degraded: 1`) while the deployed model is quarantined.
+//!   `x-spatial-degraded: 1`) while the deployed model is quarantined, and the
+//!   streaming service (`/serve/stream`) feeding the online-learning pipeline
+//!   with per-decision uncertainty in `x-spatial-confidence`.
 //! - [`gateway`] — the Kong substitute: prefix routing, health checks, per-route
 //!   metrics, round-robin upstreams, and the resilience policies (retries with a
 //!   retry budget, deadline propagation, eviction of failing replicas). It also

@@ -453,6 +453,109 @@ pub fn latency_rate_sweep(
         .collect()
 }
 
+/// Outcome of one streaming replay ([`run_stream_replay`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReplayReport {
+    /// Events posted (one request each).
+    pub requests: u64,
+    /// Requests answered `5xx` or failing at the transport — the bench's
+    /// zero-5xx acceptance gate reads this.
+    pub server_errors: u64,
+    /// Requests rejected `4xx` (malformed events).
+    pub client_errors: u64,
+    /// Decisions observed across all response bodies.
+    pub decisions: u64,
+    /// Wall-clock duration of the replay.
+    pub wall: Duration,
+    /// Fresh TCP connections the pooled client opened.
+    pub connections_opened: u64,
+    /// Requests served over a reused keep-alive connection.
+    pub keepalive_reuses: u64,
+}
+
+impl StreamReplayReport {
+    /// Events per second sustained over the replay.
+    pub fn events_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Replays a recorded event stream against a `/serve/stream`-style endpoint:
+/// `threads` client threads post their round-robin partition of `events`
+/// (thread `t` sends events `t, t+threads, t+2·threads, …`) over one shared
+/// pooled keep-alive client.
+///
+/// Thread count only changes arrival interleaving — the stream service's
+/// reorder buffer restores source `seq` order, so replays at any thread count
+/// produce identical decision streams (the stream service's replay test pins
+/// this; here we only count outcomes).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `events` is empty.
+pub fn run_stream_replay(
+    addr: SocketAddr,
+    path: &str,
+    events: &[spatial_data::ingest::StreamEvent],
+    threads: usize,
+    timeout: Duration,
+) -> StreamReplayReport {
+    assert!(threads > 0, "need at least one thread");
+    assert!(!events.is_empty(), "need at least one event");
+    let client = Arc::new(crate::client::PooledClient::new());
+    let server_errors = Arc::new(AtomicUsize::new(0));
+    let client_errors = Arc::new(AtomicUsize::new(0));
+    let decisions = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let slice: Vec<spatial_data::ingest::StreamEvent> =
+                events.iter().skip(t).step_by(threads).cloned().collect();
+            let client = Arc::clone(&client);
+            let server_errors = Arc::clone(&server_errors);
+            let client_errors = Arc::clone(&client_errors);
+            let decisions = Arc::clone(&decisions);
+            let path = path.to_string();
+            std::thread::spawn(move || {
+                for event in slice {
+                    let body = crate::services::stream::encode_event(&event);
+                    match client.request(addr, "POST", &path, &[], &[], &body, timeout) {
+                        Ok(resp) if resp.status >= 500 => {
+                            server_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if resp.status >= 400 => {
+                            client_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) => {
+                            let n = resp.body.windows(8).filter(|w| w == b"\"class\":").count();
+                            decisions.fetch_add(n, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            server_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    StreamReplayReport {
+        requests: events.len() as u64,
+        server_errors: server_errors.load(Ordering::Relaxed) as u64,
+        client_errors: client_errors.load(Ordering::Relaxed) as u64,
+        decisions: decisions.load(Ordering::Relaxed) as u64,
+        wall: started.elapsed(),
+        connections_opened: client.stats().connects(),
+        keepalive_reuses: client.stats().reuses(),
+    }
+}
+
 /// Starts [`run_mixed`] on a background thread and returns immediately.
 pub fn spawn_mixed(
     addr: SocketAddr,
@@ -646,6 +749,35 @@ mod tests {
         let result = handle.join();
         assert_eq!(result.summary.samples, 6);
         assert_eq!(result.summary.errors, 0);
+    }
+
+    #[test]
+    fn stream_replay_counts_outcomes_and_stays_5xx_free() {
+        use crate::service::ServiceHost;
+        use crate::services::stream::StreamService;
+        use spatial_data::stream::{generate_drift_stream, DriftStreamConfig};
+
+        let config =
+            DriftStreamConfig { events: 300, drift_at: 300, ..DriftStreamConfig::default() };
+        let svc = Arc::new(StreamService::new(
+            spatial_core::stream::StreamPipelineConfig {
+                n_streams: config.n_streams,
+                n_channels: config.n_channels,
+                ..Default::default()
+            },
+            4,
+        ));
+        let host = ServiceHost::spawn(Arc::clone(&svc) as _, 64).unwrap();
+        let events = generate_drift_stream(&config);
+        let report =
+            run_stream_replay(host.addr(), "/serve/stream", &events, 4, Duration::from_secs(10));
+        assert_eq!(report.requests, 300);
+        assert_eq!(report.server_errors, 0, "replay must be 5xx-free");
+        assert_eq!(report.client_errors, 0);
+        assert!(report.decisions > 0, "no decisions observed");
+        assert_eq!(report.decisions, svc.summary().decisions);
+        assert!(report.events_per_second() > 0.0);
+        assert!(report.keepalive_reuses > 0, "pooled client should reuse connections");
     }
 
     #[test]

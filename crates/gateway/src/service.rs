@@ -54,9 +54,28 @@ pub trait Microservice: Send + Sync + 'static {
     /// See [`ServiceError`].
     fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError>;
 
+    /// Like [`Microservice::handle`], but additionally returns headers for
+    /// *this* response — e.g. the stream service reports per-decision model
+    /// uncertainty in `x-spatial-confidence`. The default delegates to
+    /// `handle` with no per-request headers; services whose headers vary
+    /// per-request override this instead of `handle`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    fn handle_with_headers(
+        &self,
+        endpoint: &str,
+        body: &[u8],
+    ) -> Result<(Vec<u8>, Vec<(String, String)>), ServiceError> {
+        self.handle(endpoint, body).map(|body| (body, Vec::new()))
+    }
+
     /// Extra response headers attached to every successful response — e.g. the
     /// serving service marks degraded (fallback) answers with
-    /// `x-spatial-degraded: 1`. Default: none.
+    /// `x-spatial-degraded: 1`. Per-request headers from
+    /// [`Microservice::handle_with_headers`] are appended after these.
+    /// Default: none.
     fn response_headers(&self) -> Vec<(String, String)> {
         Vec::new()
     }
@@ -121,11 +140,12 @@ impl ServiceHost {
             let frame = frame.clone();
             match pool.execute(move || {
                 let _prof = profiler.as_ref().map(|p| ProfScope::enter(p, &frame));
-                service.handle(&endpoint, &body)
+                service.handle_with_headers(&endpoint, &body)
             }) {
-                Ok(Ok(body)) => {
+                Ok(Ok((body, request_headers))) => {
                     let mut resp = Response::json(body);
                     resp.headers = headers_source.response_headers();
+                    resp.headers.extend(request_headers);
                     resp
                 }
                 Ok(Err(ServiceError::BadRequest(m))) => error_response(400, &m),

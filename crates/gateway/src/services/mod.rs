@@ -7,6 +7,12 @@
 //! | Occlusion sensitivity | 4 vCPUs, 8 GB | [`occlusion::OcclusionService`], 4 workers |
 //! | Impact resilience | A4000 GPU box | [`impact::ImpactService`], 8 workers |
 //! | AI pipeline | 8 vCPUs, 8 GB | [`pipeline::PipelineService`], 8 workers |
+//!
+//! Beyond the paper's five: [`serving::ServingService`] (`POST /serve/predict`)
+//! answers from the oversight loop's model store, and
+//! [`stream::StreamService`] (`POST /serve/stream`) is its online-learning
+//! sibling — per-event ingestion into the streaming pipeline with
+//! uncertainty-quantified decisions.
 
 pub mod impact;
 pub mod lime;
@@ -14,6 +20,7 @@ pub mod occlusion;
 pub mod pipeline;
 pub mod serving;
 pub mod shap;
+pub mod stream;
 
 pub use impact::ImpactService;
 pub use lime::LimeService;
@@ -21,3 +28,4 @@ pub use occlusion::OcclusionService;
 pub use pipeline::PipelineService;
 pub use serving::{ServingService, DEGRADED_HEADER};
 pub use shap::ShapService;
+pub use stream::{StreamService, CONFIDENCE_HEADER};

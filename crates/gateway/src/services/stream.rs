@@ -1,0 +1,459 @@
+//! The streaming inference micro-service — `POST /serve/stream`.
+//!
+//! Each request carries one ingest event (`{"stream":s,"seq":n,"values":[...],
+//! "label":l}`, label optional); the service feeds it through the shared
+//! [`StreamPipeline`] and answers with whatever decisions that event released
+//! from the reorder buffer. When a decision is emitted, the response carries
+//! the ensemble's cross-member agreement for it in the
+//! [`CONFIDENCE_HEADER`] — per-request uncertainty reporting, the streaming
+//! sibling of the serving service's [`DEGRADED_HEADER`](super::DEGRADED_HEADER).
+//!
+//! Requests coalesce through the PR-9 [`MicroBatcher`]; batching is safe here
+//! for the same reason ring capacity is: events carry their source `seq` and
+//! the pipeline reorders before computing, so batch grouping affects
+//! throughput, never outputs. The in-module replay test pins bit-identical
+//! decision streams at 1 and 8 client threads.
+
+use crate::batch::{BatchStats, BatcherConfig, MicroBatcher};
+use crate::service::{Microservice, ServiceError};
+use parking_lot::Mutex;
+use spatial_core::stream::{StreamDecision, StreamPipeline, StreamPipelineConfig, StreamSummary};
+use spatial_core::DriftState;
+use spatial_data::ingest::StreamEvent;
+use std::sync::Arc;
+
+/// Response header carrying the confidence (`[0, 1]`, ensemble cross-member
+/// agreement) of the last decision a `/serve/stream` request released. Absent
+/// when the event completed no window.
+pub const CONFIDENCE_HEADER: &str = "x-spatial-confidence";
+
+/// Hosts one [`StreamPipeline`] behind `POST /serve/stream`.
+///
+/// `GET /serve/state` reports the pipeline's counters and current drift
+/// verdict, so operators (and the bench harness) can watch detection without
+/// scraping decision bodies.
+pub struct StreamService {
+    pipeline: Arc<Mutex<StreamPipeline>>,
+    /// Every decision ever emitted, in release (= `seq`) order; the replay
+    /// tests compare this log across client configurations.
+    log: Arc<Mutex<Vec<StreamDecision>>>,
+    n_streams: usize,
+    vcpus: usize,
+    batcher: MicroBatcher<StreamEvent, Vec<StreamDecision>>,
+}
+
+impl StreamService {
+    /// Creates the service with the default micro-batching window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0` or the pipeline shape is degenerate.
+    pub fn new(config: StreamPipelineConfig, vcpus: usize) -> Self {
+        Self::with_batching(config, vcpus, BatcherConfig::default())
+    }
+
+    /// Like [`StreamService::new`] with explicit batcher tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0` or the pipeline shape is degenerate.
+    pub fn with_batching(
+        config: StreamPipelineConfig,
+        vcpus: usize,
+        batching: BatcherConfig,
+    ) -> Self {
+        assert!(vcpus > 0, "vcpus must be positive");
+        let n_streams = config.n_streams;
+        let pipeline = Arc::new(Mutex::new(StreamPipeline::new(config)));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let batch_pipeline = Arc::clone(&pipeline);
+        let batch_log = Arc::clone(&log);
+        let batcher = MicroBatcher::new(batching, move |events: &[StreamEvent]| {
+            // One pipeline lock per batch; events are offered in submission
+            // order, which the reorder buffer is free to rearrange.
+            let mut pipeline = batch_pipeline.lock();
+            let mut log = batch_log.lock();
+            events
+                .iter()
+                .map(|event| {
+                    let decisions = pipeline.offer(event.clone());
+                    log.extend(decisions.iter().cloned());
+                    decisions
+                })
+                .collect()
+        });
+        Self { pipeline, log, n_streams, vcpus, batcher }
+    }
+
+    /// Current drift verdict of the hosted pipeline.
+    pub fn drift_state(&self) -> DriftState {
+        self.pipeline.lock().drift_state()
+    }
+
+    /// Consumption/production counters of the hosted pipeline.
+    pub fn summary(&self) -> StreamSummary {
+        self.pipeline.lock().summary()
+    }
+
+    /// Every `(seq, new_state)` drift transition so far.
+    pub fn transitions(&self) -> Vec<(u64, DriftState)> {
+        self.pipeline.lock().transitions().to_vec()
+    }
+
+    /// Snapshot of every decision emitted so far, in `seq` order.
+    pub fn decisions(&self) -> Vec<StreamDecision> {
+        self.log.lock().clone()
+    }
+
+    /// Occupancy counters of the ingest micro-batcher.
+    pub fn batch_stats(&self) -> &BatchStats {
+        self.batcher.stats()
+    }
+}
+
+/// Renders one event as the `/serve/stream` request body.
+pub fn encode_event(event: &StreamEvent) -> Vec<u8> {
+    let values = event.values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+    match event.label {
+        Some(label) => format!(
+            "{{\"stream\":{},\"seq\":{},\"values\":[{values}],\"label\":{label}}}",
+            event.stream, event.seq
+        ),
+        None => {
+            format!("{{\"stream\":{},\"seq\":{},\"values\":[{values}]}}", event.stream, event.seq)
+        }
+    }
+    .into_bytes()
+}
+
+/// Locates the value after `"key":`, with optional whitespace.
+fn field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start();
+    rest.strip_prefix(':').map(str::trim_start)
+}
+
+/// Parses the integer field `key`.
+fn int_field(text: &str, key: &str) -> Result<u64, String> {
+    let rest = field(text, key).ok_or_else(|| format!("missing \"{key}\" key"))?;
+    let digits: &str = &rest[..rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len())];
+    digits.parse::<u64>().map_err(|_| format!("bad integer for \"{key}\""))
+}
+
+/// Parses the `"values"` float array (same flat codec as the serving service).
+fn values_field(text: &str) -> Result<Vec<f64>, String> {
+    let rest = field(text, "values").ok_or_else(|| "missing \"values\" key".to_string())?;
+    let inner = rest
+        .strip_prefix('[')
+        .and_then(|r| r.find(']').map(|close| &r[..close]))
+        .ok_or_else(|| "\"values\" is not an array".to_string())?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|tok| tok.trim().parse::<f64>().map_err(|_| format!("bad number in values: {tok:?}")))
+        .collect()
+}
+
+/// Decodes one `/serve/stream` body.
+fn parse_event(body: &[u8]) -> Result<StreamEvent, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let stream = int_field(text, "stream")? as usize;
+    let seq = int_field(text, "seq")?;
+    let values = values_field(text)?;
+    if values.is_empty() {
+        return Err("\"values\" must not be empty".to_string());
+    }
+    let label = match field(text, "label") {
+        None => None,
+        Some(rest) if rest.starts_with("null") => None,
+        Some(_) => Some(int_field(text, "label")? as usize),
+    };
+    Ok(StreamEvent { stream, seq, values, label })
+}
+
+/// Renders the decisions one request released.
+fn render_decisions(seq: u64, decisions: &[StreamDecision]) -> Vec<u8> {
+    let items = decisions
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"seq\":{},\"class\":{},\"proba\":{},\"confidence\":{},\"drift\":\"{}\"}}",
+                d.seq,
+                d.class,
+                d.proba,
+                d.confidence,
+                d.drift.name()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"seq\":{seq},\"decisions\":[{items}]}}").into_bytes()
+}
+
+impl Microservice for StreamService {
+    fn name(&self) -> &str {
+        "serve"
+    }
+
+    fn vcpus(&self) -> usize {
+        self.vcpus
+    }
+
+    fn handle(&self, endpoint: &str, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        self.handle_with_headers(endpoint, body).map(|(body, _)| body)
+    }
+
+    fn handle_with_headers(
+        &self,
+        endpoint: &str,
+        body: &[u8],
+    ) -> Result<(Vec<u8>, Vec<(String, String)>), ServiceError> {
+        match endpoint {
+            "/stream" => {
+                let event = parse_event(body).map_err(ServiceError::BadRequest)?;
+                if event.stream >= self.n_streams {
+                    return Err(ServiceError::BadRequest(format!(
+                        "stream {} out of range (pipeline has {})",
+                        event.stream, self.n_streams
+                    )));
+                }
+                let seq = event.seq;
+                let decisions = self.batcher.submit(event);
+                let headers = match decisions.last() {
+                    // Display is shortest-round-trip, so the header value is as
+                    // deterministic as the f64 bits underneath it.
+                    Some(d) => {
+                        vec![(CONFIDENCE_HEADER.to_string(), format!("{}", d.confidence))]
+                    }
+                    None => Vec::new(),
+                };
+                Ok((render_decisions(seq, &decisions), headers))
+            }
+            "/state" => {
+                let summary = self.summary();
+                let drift = self.drift_state();
+                Ok((
+                    format!(
+                        "{{\"drift\":\"{}\",\"events\":{},\"decisions\":{},\"stale_dropped\":{},\"error_rate\":{},\"qc\":{{\"accepted\":{},\"rejected_out_of_range\":{},\"rejected_stuck\":{},\"windows_rejected_unrepairable\":{},\"cells_repaired\":{}}}}}",
+                        drift.name(),
+                        summary.events,
+                        summary.decisions,
+                        summary.stale_dropped,
+                        summary.error_rate,
+                        summary.qc.accepted,
+                        summary.qc.rejected_out_of_range,
+                        summary.qc.rejected_stuck,
+                        summary.qc.windows_rejected_unrepairable,
+                        summary.qc.cells_repaired,
+                    )
+                    .into_bytes(),
+                    Vec::new(),
+                ))
+            }
+            _ => Err(ServiceError::NotFound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PooledClient;
+    use crate::http::request;
+    use crate::service::ServiceHost;
+    use spatial_data::stream::{generate_drift_stream, DriftStreamConfig};
+    use std::time::Duration;
+
+    fn stream_config() -> DriftStreamConfig {
+        DriftStreamConfig {
+            n_streams: 2,
+            n_channels: 3,
+            events: 800,
+            drift_at: 800,
+            seed: 21,
+            ..DriftStreamConfig::default()
+        }
+    }
+
+    fn service() -> StreamService {
+        let sc = stream_config();
+        StreamService::new(
+            StreamPipelineConfig {
+                n_streams: sc.n_streams,
+                n_channels: sc.n_channels,
+                ..StreamPipelineConfig::default()
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn stream_endpoint_serves_decisions_with_confidence_header() {
+        let svc = Arc::new(service());
+        let host = ServiceHost::spawn(Arc::clone(&svc) as _, 32).unwrap();
+        let events = generate_drift_stream(&stream_config());
+        let mut saw_decision_with_header = false;
+        for event in &events[..200] {
+            let resp = request(
+                host.addr(),
+                "POST",
+                "/serve/stream",
+                &encode_event(event),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            let body = String::from_utf8(resp.body.clone()).unwrap();
+            if body.contains("\"class\":") {
+                let header = resp
+                    .header(CONFIDENCE_HEADER)
+                    .expect("a released decision must carry the confidence header");
+                let confidence: f64 = header.parse().expect("header must be a float");
+                assert!((0.0..=1.0).contains(&confidence), "confidence {confidence}");
+                saw_decision_with_header = true;
+            } else {
+                assert!(resp.header(CONFIDENCE_HEADER).is_none(), "no decision, no header");
+            }
+        }
+        assert!(saw_decision_with_header, "200 events never completed a window");
+        assert!(svc.summary().decisions > 0);
+    }
+
+    #[test]
+    fn replay_over_http_is_bit_identical_across_thread_counts() {
+        let events = generate_drift_stream(&stream_config());
+
+        // Baseline: the pipeline alone, no HTTP, in order.
+        let sc = stream_config();
+        let mut baseline_pipeline = StreamPipeline::new(StreamPipelineConfig {
+            n_streams: sc.n_streams,
+            n_channels: sc.n_channels,
+            ..StreamPipelineConfig::default()
+        });
+        let mut baseline = Vec::new();
+        for e in events.iter().cloned() {
+            baseline.extend(baseline_pipeline.offer(e));
+        }
+        assert!(!baseline.is_empty());
+
+        for n_threads in [1usize, 8] {
+            let svc = Arc::new(service());
+            let host = ServiceHost::spawn(Arc::clone(&svc) as _, 64).unwrap();
+            let addr = host.addr();
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let slice: Vec<StreamEvent> =
+                        events.iter().skip(t).step_by(n_threads).cloned().collect();
+                    std::thread::spawn(move || {
+                        let client = PooledClient::new();
+                        for event in slice {
+                            let resp = client
+                                .request(
+                                    addr,
+                                    "POST",
+                                    "/serve/stream",
+                                    &[],
+                                    &[],
+                                    &encode_event(&event),
+                                    Duration::from_secs(10),
+                                )
+                                .unwrap();
+                            assert!(resp.status < 500, "5xx during replay: {}", resp.status);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                svc.decisions(),
+                baseline,
+                "decision stream diverged at {n_threads} client threads"
+            );
+            assert_eq!(svc.transitions(), baseline_pipeline.transitions().to_vec());
+            assert_eq!(svc.summary().events, events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn malformed_event_is_400() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        for bad in [
+            &b"{oops"[..],
+            b"{}",
+            br#"{"stream":0,"seq":1}"#,
+            br#"{"stream":0,"seq":1,"values":[]}"#,
+            br#"{"stream":0,"seq":1,"values":["x"]}"#,
+            br#"{"stream":"a","seq":1,"values":[1.0]}"#,
+        ] {
+            let resp =
+                request(host.addr(), "POST", "/serve/stream", bad, Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn out_of_range_stream_id_is_400_not_500() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/stream",
+            br#"{"stream":7,"seq":0,"values":[1.0,2.0,3.0]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn unlabeled_events_are_accepted() {
+        let host = ServiceHost::spawn(Arc::new(service()), 16).unwrap();
+        let resp = request(
+            host.addr(),
+            "POST",
+            "/serve/stream",
+            br#"{"stream":0,"seq":0,"values":[1.0,2.0,3.0]}"#,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn state_endpoint_reports_summary() {
+        let svc = Arc::new(service());
+        let host = ServiceHost::spawn(Arc::clone(&svc) as _, 16).unwrap();
+        let events = generate_drift_stream(&stream_config());
+        for event in &events[..50] {
+            let resp = request(
+                host.addr(),
+                "POST",
+                "/serve/stream",
+                &encode_event(event),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        let state =
+            request(host.addr(), "GET", "/serve/state", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(state.status, 200);
+        let body = String::from_utf8(state.body).unwrap();
+        assert!(body.contains("\"events\":50"), "{body}");
+        assert!(body.contains("\"drift\":\"stable\""), "{body}");
+    }
+
+    #[test]
+    fn encode_event_round_trips_through_parse() {
+        let event =
+            StreamEvent { stream: 1, seq: 42, values: vec![1.25, -0.5, 3.0], label: Some(1) };
+        assert_eq!(parse_event(&encode_event(&event)).unwrap(), event);
+        let unlabeled = StreamEvent { label: None, ..event };
+        assert_eq!(parse_event(&encode_event(&unlabeled)).unwrap(), unlabeled);
+    }
+}

@@ -50,6 +50,37 @@ proptest! {
     }
 }
 
+proptest! {
+    #[test]
+    fn adapt_window_stays_within_bounds_under_arbitrary_occupancy(
+        start_us in 1u64..5_000,
+        min_us in 1u64..1_000,
+        spread_us in 0u64..4_000,
+        max_batch in 1usize..64,
+        occupancies in proptest::collection::vec(0usize..128, 1..200),
+    ) {
+        use spatial_gateway::batch::{adapt_window, BatcherConfig};
+        let config = BatcherConfig {
+            max_batch,
+            min_window: Duration::from_micros(min_us),
+            max_window: Duration::from_micros(min_us + spread_us),
+        };
+        // The batcher always starts its window inside the bounds; the property
+        // is that no occupancy sequence can ever push it out again.
+        let mut window =
+            Duration::from_micros(start_us).clamp(config.min_window, config.max_window);
+        for occupancy in occupancies {
+            adapt_window(&mut window, &config, occupancy);
+            prop_assert!(
+                window >= config.min_window && window <= config.max_window,
+                "window {window:?} escaped [{:?}, {:?}] at occupancy {occupancy}",
+                config.min_window,
+                config.max_window,
+            );
+        }
+    }
+}
+
 #[test]
 fn http_transports_arbitrary_binary_bodies() {
     // One server reused across the proptest iterations below (servers are sockets,

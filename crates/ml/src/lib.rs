@@ -16,6 +16,9 @@
 //! attack, resilience and gateway crates program against. [`mlp::MlpClassifier`]
 //! additionally implements [`GradientModel`], exposing input gradients for FGSM.
 //!
+//! [`online`] adds the incremental learners of the streaming plane (SGD logistic
+//! regression, a Hoeffding-bound tree, and the uncertainty-reporting ensemble).
+//!
 //! [`pipeline`] implements the paper's standard model-construction pipeline (Fig. 4a);
 //! [`cv`] provides k-fold cross-validation; [`metrics`] the evaluation metrics the
 //! paper reports (accuracy, precision, recall, F1, confusion matrices); [`store`] the
@@ -32,6 +35,7 @@ pub mod logreg;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod store;

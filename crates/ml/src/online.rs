@@ -1,0 +1,549 @@
+//! Incremental (online) learners for the streaming data plane.
+//!
+//! The batch models in this crate retrain from scratch on a cadence; the
+//! learners here update per example, so the serving path can adapt between
+//! retrains and the drift detector can watch the *prequential* error signal
+//! (test-then-train: score the incoming example first, then learn from it)
+//! instead of waiting a full cadence to notice the world changed.
+//!
+//! Three learners:
+//!
+//! - [`OnlineLogReg`] — multinomial logistic regression updated by plain SGD
+//!   with an inverse-decay learning rate.
+//! - [`HoeffdingTree`] — an incremental decision tree that splits a leaf only
+//!   once a Hoeffding bound says the best split is reliably better than the
+//!   runner-up, the standard VFDT recipe adapted to Gaussian numeric stats.
+//! - [`OnlineEnsemble`] — two SGD learners at different rates plus one tree;
+//!   the mean probability picks the class and the cross-member spread is the
+//!   uncertainty the gateway reports in `x-spatial-confidence`.
+//!
+//! Everything here is deterministic: zero or seed-derived initialisation,
+//! sequential updates, tie-breaks by lowest index. Feeding the same example
+//! sequence always yields the same model bits — the property the stream replay
+//! test pins end-to-end.
+
+use spatial_linalg::vector;
+
+/// Multinomial logistic regression trained one example at a time by SGD.
+///
+/// Weights start at zero (deterministic) and each [`OnlineLogReg::learn`] call
+/// applies one gradient step with rate `lr0 / (1 + decay * steps)`.
+#[derive(Debug, Clone)]
+pub struct OnlineLogReg {
+    /// `n_classes` rows of `n_features + 1` weights (bias last).
+    weights: Vec<Vec<f64>>,
+    lr0: f64,
+    decay: f64,
+    steps: u64,
+}
+
+impl OnlineLogReg {
+    /// A zero-initialised learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes < 2`, `n_features == 0`, or `lr0` is not positive
+    /// and finite.
+    pub fn new(n_features: usize, n_classes: usize, lr0: f64, decay: f64) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(n_features > 0, "need at least one feature");
+        assert!(lr0 > 0.0 && lr0.is_finite(), "invalid learning rate {lr0}");
+        assert!(decay >= 0.0 && decay.is_finite(), "invalid decay {decay}");
+        Self { weights: vec![vec![0.0; n_features + 1]; n_classes], lr0, decay, steps: 0 }
+    }
+
+    /// Examples learned so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Class-probability estimate for one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let logits: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| {
+                assert_eq!(x.len() + 1, w.len(), "feature count mismatch");
+                vector::dot(&w[..x.len()], x) + w[x.len()]
+            })
+            .collect();
+        vector::softmax(&logits)
+    }
+
+    /// One SGD step on `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range or `x` has the wrong number of features.
+    pub fn learn(&mut self, x: &[f64], y: usize) {
+        assert!(y < self.weights.len(), "label {y} out of range");
+        let proba = self.predict_proba(x);
+        let lr = self.lr0 / (1.0 + self.decay * self.steps as f64);
+        for (k, w) in self.weights.iter_mut().enumerate() {
+            // Cross-entropy gradient: (p_k - [y == k]) * x.
+            let err = proba[k] - if k == y { 1.0 } else { 0.0 };
+            for (wi, xi) in w[..x.len()].iter_mut().zip(x) {
+                *wi -= lr * err * xi;
+            }
+            let bias = x.len();
+            w[bias] -= lr * err;
+        }
+        self.steps += 1;
+    }
+}
+
+/// Streaming per-class Gaussian statistics of one feature (Welford updates).
+#[derive(Debug, Clone, Default)]
+struct GaussianStat {
+    n: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl GaussianStat {
+    fn update(&mut self, x: f64) {
+        self.n += 1.0;
+        let d = x - self.mean;
+        self.mean += d / self.n;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.n < 2.0 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1.0)
+        }
+    }
+
+    /// Probability mass at or below `threshold` under the fitted Gaussian,
+    /// via the logistic approximation of the normal CDF (no `erf` in `std`).
+    fn mass_below(&self, threshold: f64) -> f64 {
+        let std = self.variance().sqrt().max(1e-9);
+        let z = (threshold - self.mean) / std;
+        1.0 / (1.0 + (-1.702 * z).exp())
+    }
+}
+
+/// One node of a [`HoeffdingTree`] in the arena.
+#[derive(Debug, Clone)]
+struct TreeNode {
+    /// Split decision once internal: `(feature, threshold, left, right)`.
+    split: Option<(usize, f64, usize, usize)>,
+    /// Per-class example counts at this leaf.
+    class_counts: Vec<f64>,
+    /// Per-feature, per-class Gaussian stats (flattened `feature * n_classes + class`).
+    stats: Vec<GaussianStat>,
+    /// Examples seen since the last split evaluation.
+    since_eval: usize,
+    depth: usize,
+}
+
+impl TreeNode {
+    fn leaf(n_features: usize, n_classes: usize, depth: usize) -> Self {
+        Self {
+            split: None,
+            class_counts: vec![0.0; n_classes],
+            stats: vec![GaussianStat::default(); n_features * n_classes],
+            since_eval: 0,
+            depth,
+        }
+    }
+}
+
+/// Hoeffding-bound incremental decision tree (VFDT-style) over numeric
+/// features with per-class Gaussian leaf statistics.
+///
+/// A leaf accumulates per-(feature, class) Welford mean/variance; every
+/// `grace_period` examples it scores one candidate threshold per feature (the
+/// midpoint of the two most-populated class means) by the Gini gain of the
+/// Gaussian mass split, and converts to an internal node when the best
+/// candidate beats the runner-up by more than the Hoeffding bound
+/// `sqrt(R² ln(1/δ) / 2n)` — or, per the standard VFDT tie-break, when the
+/// bound has tightened below τ = 0.1 while the best gain itself clears τ
+/// (equally informative features would otherwise stall the strict bound
+/// forever). Ties break to the lowest feature index, so the tree grown from a
+/// given example sequence is unique.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    nodes: Vec<TreeNode>,
+    n_features: usize,
+    n_classes: usize,
+    /// Split-confidence δ.
+    delta: f64,
+    /// Examples between split evaluations at a leaf.
+    grace_period: usize,
+    max_depth: usize,
+}
+
+impl HoeffdingTree {
+    /// A single-leaf tree. `delta` is the allowed probability of choosing the
+    /// wrong split (smaller → more conservative splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape or `delta` is degenerate.
+    pub fn new(
+        n_features: usize,
+        n_classes: usize,
+        delta: f64,
+        grace_period: usize,
+        max_depth: usize,
+    ) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(n_features > 0, "need at least one feature");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        assert!(grace_period > 0, "grace period must be positive");
+        Self {
+            nodes: vec![TreeNode::leaf(n_features, n_classes, 0)],
+            n_features,
+            n_classes,
+            delta,
+            grace_period,
+            max_depth,
+        }
+    }
+
+    /// Total nodes (internal + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn sort_leaf(&self, x: &[f64]) -> usize {
+        let mut at = 0;
+        while let Some((feature, threshold, left, right)) = self.nodes[at].split {
+            at = if x[feature] <= threshold { left } else { right };
+        }
+        at
+    }
+
+    /// Laplace-smoothed class distribution of the leaf `x` sorts to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features, "feature count mismatch");
+        let leaf = &self.nodes[self.sort_leaf(x)];
+        let total: f64 = leaf.class_counts.iter().sum();
+        leaf.class_counts.iter().map(|c| (c + 1.0) / (total + self.n_classes as f64)).collect()
+    }
+
+    /// Learns one example, possibly splitting the leaf it lands in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range or `x` has the wrong number of features.
+    pub fn learn(&mut self, x: &[f64], y: usize) {
+        assert_eq!(x.len(), self.n_features, "feature count mismatch");
+        assert!(y < self.n_classes, "label {y} out of range");
+        let at = self.sort_leaf(x);
+        let n_classes = self.n_classes;
+        let leaf = &mut self.nodes[at];
+        leaf.class_counts[y] += 1.0;
+        for (f, xf) in x.iter().enumerate() {
+            leaf.stats[f * n_classes + y].update(*xf);
+        }
+        leaf.since_eval += 1;
+        if leaf.since_eval >= self.grace_period && leaf.depth < self.max_depth {
+            self.nodes[at].since_eval = 0;
+            self.try_split(at);
+        }
+    }
+
+    /// Gini impurity of a class-mass vector.
+    fn gini(masses: &[f64]) -> f64 {
+        let total: f64 = masses.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - masses.iter().map(|m| (m / total).powi(2)).sum::<f64>()
+    }
+
+    /// Gini gain of splitting this leaf's Gaussian class masses at
+    /// `threshold` on `feature`.
+    fn split_gain(&self, at: usize, feature: usize, threshold: f64) -> f64 {
+        let leaf = &self.nodes[at];
+        let mut left = vec![0.0; self.n_classes];
+        let mut right = vec![0.0; self.n_classes];
+        for k in 0..self.n_classes {
+            let count = leaf.class_counts[k];
+            if count == 0.0 {
+                continue;
+            }
+            let below = self.nodes[at].stats[feature * self.n_classes + k].mass_below(threshold);
+            left[k] = count * below;
+            right[k] = count * (1.0 - below);
+        }
+        let total: f64 = leaf.class_counts.iter().sum();
+        let lt: f64 = left.iter().sum();
+        let rt: f64 = right.iter().sum();
+        if lt <= 0.0 || rt <= 0.0 || total <= 0.0 {
+            return 0.0;
+        }
+        Self::gini(&leaf.class_counts)
+            - (lt / total) * Self::gini(&left)
+            - (rt / total) * Self::gini(&right)
+    }
+
+    fn try_split(&mut self, at: usize) {
+        let n: f64 = self.nodes[at].class_counts.iter().sum();
+        if n < 2.0 {
+            return;
+        }
+        // Candidate per feature: midpoint of the two most-populated classes'
+        // means on that feature (deterministic; ties to lower class index).
+        let mut candidates: Vec<(usize, f64, f64)> = Vec::new(); // (feature, threshold, gain)
+        let mut order: Vec<usize> = (0..self.n_classes).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (self.nodes[at].class_counts[a], self.nodes[at].class_counts[b]);
+            cb.partial_cmp(&ca).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let (top, second) = (order[0], order[1]);
+        if self.nodes[at].class_counts[second] == 0.0 {
+            return; // A pure leaf has nothing to separate.
+        }
+        for feature in 0..self.n_features {
+            let m1 = self.nodes[at].stats[feature * self.n_classes + top].mean;
+            let m2 = self.nodes[at].stats[feature * self.n_classes + second].mean;
+            let threshold = 0.5 * (m1 + m2);
+            if !threshold.is_finite() {
+                continue;
+            }
+            candidates.push((feature, threshold, self.split_gain(at, feature, threshold)));
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        // Best and runner-up gains; ties already break to the lowest feature
+        // index because we scan features in order and require strict '>'.
+        let mut best = candidates[0];
+        let mut second_gain = 0.0;
+        for c in candidates.iter().skip(1) {
+            if c.2 > best.2 {
+                second_gain = best.2;
+                best = *c;
+            } else if c.2 > second_gain {
+                second_gain = c.2;
+            }
+        }
+        // Hoeffding bound for a statistic with range R = 1 (Gini). Two equally
+        // informative features (best ≈ runner-up) would stall the strict bound
+        // forever, so the standard VFDT tie-break applies: once the bound is
+        // tighter than TIE_TAU, either candidate is provably near-best — split
+        // on the winner, provided its own gain clears TIE_TAU (a near-zero
+        // "best" among useless features is a tie we must *not* break).
+        const TIE_TAU: f64 = 0.1;
+        let epsilon = ((1.0f64 / self.delta).ln() / (2.0 * n)).sqrt();
+        let clear_winner = best.2 - second_gain > epsilon;
+        let tie_of_good_options = epsilon < TIE_TAU && best.2 > TIE_TAU;
+        if best.2 <= 0.0 || !(clear_winner || tie_of_good_options) {
+            return;
+        }
+        let depth = self.nodes[at].depth;
+        let left = self.nodes.len();
+        self.nodes.push(TreeNode::leaf(self.n_features, self.n_classes, depth + 1));
+        let right = self.nodes.len();
+        self.nodes.push(TreeNode::leaf(self.n_features, self.n_classes, depth + 1));
+        self.nodes[at].split = Some((best.0, best.1, left, right));
+    }
+}
+
+/// One scored-then-learned example's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prequential {
+    /// Predicted class (ensemble mean probability, ties to lowest index).
+    pub predicted: usize,
+    /// Mean ensemble probability of the predicted class.
+    pub proba: f64,
+    /// Confidence in `[0, 1]`: one minus the cross-member standard deviation
+    /// of the predicted class's probability (spread → doubt).
+    pub confidence: f64,
+    /// `1.0` when the prediction missed the true label, `0.0` when it hit.
+    pub error: f64,
+    /// 0/1 error of the slow *reference* member alone — the indicator stream
+    /// the drift detector should watch. The fast member re-adapts to a shifted
+    /// concept within a handful of examples, healing the ensemble error before
+    /// a sequential detector can accumulate evidence; the slow member keeps
+    /// missing for tens of examples, turning the same shift into a sustained,
+    /// detectable burst.
+    pub reference_error: f64,
+}
+
+/// Two [`OnlineLogReg`]s at different learning rates plus one
+/// [`HoeffdingTree`], combined by mean probability.
+///
+/// Disagreement between members — the standard deviation of the winning
+/// class's probability across members — is the uncertainty estimate surfaced
+/// as the gateway's `x-spatial-confidence` header.
+#[derive(Debug, Clone)]
+pub struct OnlineEnsemble {
+    fast: OnlineLogReg,
+    slow: OnlineLogReg,
+    tree: HoeffdingTree,
+    n_classes: usize,
+    examples: u64,
+    errors: u64,
+}
+
+impl OnlineEnsemble {
+    /// An untrained ensemble for the given shape.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        Self {
+            fast: OnlineLogReg::new(n_features, n_classes, 0.5, 0.001),
+            slow: OnlineLogReg::new(n_features, n_classes, 0.05, 0.0001),
+            tree: HoeffdingTree::new(n_features, n_classes, 1e-4, 32, 12),
+            n_classes,
+            examples: 0,
+            errors: 0,
+        }
+    }
+
+    /// Labeled examples consumed.
+    pub fn examples(&self) -> u64 {
+        self.examples
+    }
+
+    /// Running prequential error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.examples == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.examples as f64
+        }
+    }
+
+    fn member_probas(&self, x: &[f64]) -> [Vec<f64>; 3] {
+        [self.fast.predict_proba(x), self.slow.predict_proba(x), self.tree.predict_proba(x)]
+    }
+
+    /// Mean-probability prediction with cross-member uncertainty.
+    pub fn predict(&self, x: &[f64]) -> (usize, f64, f64) {
+        let members = self.member_probas(x);
+        let mean: Vec<f64> = (0..self.n_classes)
+            .map(|k| members.iter().map(|p| p[k]).sum::<f64>() / members.len() as f64)
+            .collect();
+        let predicted = vector::argmax(&mean).unwrap_or(0);
+        let spread = spatial_linalg::stats::std_dev(
+            &members.iter().map(|p| p[predicted]).collect::<Vec<_>>(),
+        );
+        let confidence = (1.0 - spread).clamp(0.0, 1.0);
+        (predicted, mean[predicted], confidence)
+    }
+
+    /// Scores `x` against the current model, then learns `(x, y)` —
+    /// test-then-train, so the error stream is an honest estimate of serving
+    /// accuracy between retrains.
+    pub fn prequential(&mut self, x: &[f64], y: usize) -> Prequential {
+        let (predicted, proba, confidence) = self.predict(x);
+        let error = if predicted == y { 0.0 } else { 1.0 };
+        let slow_predicted = vector::argmax(&self.slow.predict_proba(x)).unwrap_or(0);
+        let reference_error = if slow_predicted == y { 0.0 } else { 1.0 };
+        self.examples += 1;
+        self.errors += error as u64;
+        self.fast.learn(x, y);
+        self.slow.learn(x, y);
+        self.tree.learn(x, y);
+        Prequential { predicted, proba, confidence, error, reference_error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Linearly separable two-class samples: class 0 around -1, class 1 around +1.
+    fn labeled_stream(n: usize, seed: u64, flipped: bool) -> Vec<(Vec<f64>, usize)> {
+        let mut r = spatial_linalg::rng::seeded(seed);
+        (0..n)
+            .map(|_| {
+                let y = r.random_range(0..2usize);
+                let polarity = if (y == 1) != flipped { 1.0 } else { -1.0 };
+                let x = vec![
+                    spatial_linalg::rng::normal(&mut r, polarity, 0.4),
+                    spatial_linalg::rng::normal(&mut r, -polarity, 0.4),
+                ];
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_logreg_learns_a_separable_problem() {
+        let mut model = OnlineLogReg::new(2, 2, 0.5, 0.001);
+        for (x, y) in labeled_stream(500, 3, false) {
+            model.learn(&x, y);
+        }
+        let mut correct = 0;
+        let held_out = labeled_stream(200, 4, false);
+        for (x, y) in &held_out {
+            let p = model.predict_proba(x);
+            if vector::argmax(&p) == Some(*y) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 180, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn hoeffding_tree_splits_and_learns() {
+        let mut tree = HoeffdingTree::new(2, 2, 1e-4, 32, 12);
+        for (x, y) in labeled_stream(1_000, 5, false) {
+            tree.learn(&x, y);
+        }
+        assert!(tree.n_nodes() > 1, "tree never split");
+        let mut correct = 0;
+        let held_out = labeled_stream(200, 6, false);
+        for (x, y) in &held_out {
+            if vector::argmax(&tree.predict_proba(x)) == Some(*y) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 170, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn learners_are_bitwise_deterministic() {
+        let stream = labeled_stream(400, 7, false);
+        let run = || {
+            let mut e = OnlineEnsemble::new(2, 2);
+            stream.iter().map(|(x, y)| e.prequential(x, *y)).collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same example sequence must give bit-identical outcomes");
+    }
+
+    #[test]
+    fn prequential_error_rises_after_concept_flip() {
+        let mut e = OnlineEnsemble::new(2, 2);
+        for (x, y) in labeled_stream(800, 9, false) {
+            e.prequential(&x, y);
+        }
+        let settled = e.error_rate();
+        assert!(settled < 0.25, "pre-drift error rate {settled}");
+        // Flip the concept: the adapted models must start missing immediately —
+        // and then adapt, so the error burst is front-loaded, not permanent.
+        let flipped = labeled_stream(100, 10, true);
+        let errors: Vec<f64> = flipped.iter().map(|(x, y)| e.prequential(x, *y).error).collect();
+        let early: f64 = errors[..30].iter().sum();
+        let late: f64 = errors[50..].iter().sum();
+        assert!(early / 30.0 > 0.5, "flip went unnoticed: {early}/30 early errors");
+        assert!(late < early, "ensemble never started re-adapting: {late} late vs {early} early");
+    }
+
+    #[test]
+    fn confidence_is_in_unit_range() {
+        let mut e = OnlineEnsemble::new(2, 2);
+        for (x, y) in labeled_stream(300, 11, false) {
+            let out = e.prequential(&x, y);
+            assert!((0.0..=1.0).contains(&out.confidence), "confidence {}", out.confidence);
+            assert!((0.0..=1.0).contains(&out.proba));
+        }
+    }
+}

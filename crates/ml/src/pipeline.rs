@@ -141,14 +141,24 @@ impl AiPipeline {
 
         // Stage 1: data collection/cleaning.
         let mut features = raw.features.clone();
-        let repaired = spatial_data::preprocess::repair_non_finite(&mut features);
+        let repair = spatial_data::preprocess::repair_non_finite(&mut features);
+        if !repair.unrepairable_columns().is_empty() {
+            return Err(TrainError::InvalidConfig(format!(
+                "columns {:?} have no finite entries and cannot be imputed",
+                repair.unrepairable_columns()
+            )));
+        }
         let cleaned = Dataset::new(
             features,
             raw.labels.clone(),
             raw.feature_names.clone(),
             raw.class_names.clone(),
         );
-        log.push(stage_log(Stage::DataCollection, t0, format!("repaired {repaired} cells")));
+        log.push(stage_log(
+            Stage::DataCollection,
+            t0,
+            format!("repaired {} cells", repair.total_repaired()),
+        ));
 
         // Stage 2: preparation — split then scale (scaler sees only training data).
         let t1 = std::time::Instant::now();
@@ -251,6 +261,21 @@ mod tests {
         ds.features[(0, 0)] = f64::NAN;
         let deployed = AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.8, 4).unwrap();
         assert!(deployed.log[0].note.contains("repaired 1"));
+    }
+
+    #[test]
+    fn unrepairable_column_fails_the_run_instead_of_training_on_zeros() {
+        // Regression companion to the repair_non_finite fix: a feature column with
+        // no finite entries used to be silently zero-filled and trained on.
+        let mut ds = dataset();
+        for r in 0..ds.n_samples() {
+            ds.features[(r, 1)] = f64::NAN;
+        }
+        let err = AiPipeline::new(Box::new(DecisionTree::new())).run(&ds, 0.8, 4).unwrap_err();
+        match err {
+            TrainError::InvalidConfig(msg) => assert!(msg.contains("no finite entries"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

@@ -37,7 +37,20 @@ cargo run -q --release -p spatial-bench --bin slo_guard -- --smoke > /dev/null
 echo "== gateway throughput smoke (reactor vs blocking core at p99 < 10ms; batch occupancy) =="
 cargo run -q --release -p spatial-bench --bin gateway_throughput -- --smoke > /dev/null
 
+echo "== ingest throughput smoke (replay bit-identical across ring/thread configs; stream detection beats retrain cadence; zero 5xx) =="
+cargo run -q --release -p spatial-bench --bin ingest_throughput -- --smoke > /dev/null
+
 echo "== conformance audit (oracles, axioms, metamorphic relations, wire fuzz smoke) =="
 cargo run -q --release -p spatial-bench --bin conformance -- --smoke
+
+# Everything above proves the workspace builds and runs here, so a committed
+# benchmark placeholder is stale by definition: regenerate it with --write.
+echo "== committed BENCH files must carry real numbers on a host that builds =="
+stale=$(grep -l '"status": "not-yet-run"' BENCH_*.json 2>/dev/null || true)
+if [ -n "$stale" ]; then
+  echo "ERROR: placeholder benchmark file(s) still committed: $stale" >&2
+  echo "       regenerate with: cargo run --release -p spatial-bench --bin <name> -- --write" >&2
+  exit 1
+fi
 
 echo "all checks passed"
